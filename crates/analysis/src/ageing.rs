@@ -1,0 +1,201 @@
+//! Dataset ageing (§9 "Changes in ownership over time").
+//!
+//! The paper's dataset captures a reference timeframe and anticipates
+//! that maintaining it "would be significantly less taxing than
+//! generating the initial list". This module measures both halves of
+//! that claim on the synthetic world: how fast a frozen dataset decays
+//! as ownership churns, and how small the year-over-year refresh diff
+//! is compared to the dataset itself.
+
+use serde::{Deserialize, Serialize};
+use soi_core::eval::PrScore;
+use soi_core::Dataset;
+use soi_types::Asn;
+use soi_worldgen::{ChurnConfig, ChurnLog, World};
+
+use crate::render::render_table;
+
+/// One year of decay measurements.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AgeingRow {
+    /// Years since the dataset snapshot.
+    pub years: u32,
+    /// The frozen dataset scored against the evolved ground truth.
+    pub score: PrScore,
+    /// Ownership events that occurred during this year.
+    pub events: usize,
+    /// Stale entries: dataset ASes that were correctly state-owned at
+    /// the snapshot but no longer are.
+    pub stale_ases: usize,
+    /// Missing entries: newly state-owned ASes absent from the dataset.
+    pub missing_ases: usize,
+}
+
+/// Decay of a frozen dataset over `years` of churn.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct AgeingReport {
+    /// Per-year rows, year 0 first (the snapshot itself).
+    pub rows: Vec<AgeingRow>,
+}
+
+impl AgeingReport {
+    /// Evolves the world year by year, scoring the frozen dataset against
+    /// each year's ground truth.
+    pub fn compute(
+        world: &World,
+        dataset: &Dataset,
+        churn: &ChurnConfig,
+        years: u32,
+    ) -> Result<AgeingReport, soi_types::SoiError> {
+        let predicted = dataset.state_owned_ases();
+        let mut rows = vec![AgeingRow {
+            years: 0,
+            score: PrScore::from_sets(&predicted, &world.truth.state_owned_ases),
+            events: 0,
+            stale_ases: 0,
+            missing_ases: 0,
+        }];
+        let mut current = world.clone();
+        let mut log_total: Vec<ChurnLog> = Vec::new();
+        for y in 1..=years {
+            let (next, log) = churn.evolve(&current, y - 1)?;
+            current = next;
+            log_total.push(log);
+            let truth = &current.truth.state_owned_ases;
+            let snapshot_truth = &world.truth.state_owned_ases;
+            // Stale = was a true positive at the snapshot, no longer
+            // state-owned now (initial false positives are not "ageing").
+            let stale = predicted
+                .iter()
+                .filter(|a| {
+                    snapshot_truth.binary_search(a).is_ok() && truth.binary_search(a).is_err()
+                })
+                .count();
+            let missing: usize = truth
+                .iter()
+                .filter(|a| {
+                    predicted.binary_search(a).is_err()
+                        && snapshot_truth.binary_search(a).is_err() // genuinely new
+                })
+                .count();
+            rows.push(AgeingRow {
+                years: y,
+                score: PrScore::from_sets(&predicted, truth),
+                events: log_total.last().map_or(0, ChurnLog::ownership_events),
+                stale_ases: stale,
+                missing_ases: missing,
+            });
+        }
+        Ok(AgeingReport { rows })
+    }
+
+    /// Renders the decay table.
+    pub fn text(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.years.to_string(),
+                    format!("{:.3}", r.score.precision()),
+                    format!("{:.3}", r.score.recall()),
+                    r.events.to_string(),
+                    r.stale_ases.to_string(),
+                    r.missing_ases.to_string(),
+                ]
+            })
+            .collect();
+        render_table(
+            &["years", "precision", "recall", "events", "stale ASes", "newly missing"],
+            &rows,
+        )
+    }
+
+    /// The final-year F1 (decay summary).
+    pub fn final_f1(&self) -> f64 {
+        self.rows.last().map_or(0.0, |r| r.score.f1())
+    }
+}
+
+/// Maintenance cost: sizes of year-over-year refresh diffs relative to
+/// the dataset size. The paper's conjecture is that each year's update
+/// is "fractional in size compared with the preceding year's aggregate
+/// list".
+pub fn maintenance_fraction(dataset: &Dataset, yearly_diff_sizes: &[usize]) -> f64 {
+    let base = dataset.state_owned_ases().len().max(1);
+    let avg: f64 =
+        yearly_diff_sizes.iter().map(|&s| s as f64).sum::<f64>() / yearly_diff_sizes.len().max(1) as f64;
+    avg / base as f64
+}
+
+/// Which dataset ASes went stale against a given truth (for reporting).
+pub fn stale_entries(dataset: &Dataset, truth: &[Asn]) -> Vec<Asn> {
+    dataset
+        .state_owned_ases()
+        .into_iter()
+        .filter(|a| truth.binary_search(a).is_err())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soi_core::{InputConfig, Pipeline, PipelineConfig, PipelineInputs};
+    use soi_worldgen::{generate, WorldConfig};
+
+    fn setup() -> (World, Dataset) {
+        let world = generate(&WorldConfig::test_scale(161)).unwrap();
+        let inputs = PipelineInputs::from_world(&world, &InputConfig::with_seed(161)).unwrap();
+        let output = Pipeline::run(&inputs, &PipelineConfig::default());
+        (world, output.dataset)
+    }
+
+    #[test]
+    fn frozen_dataset_decays_monotonically_under_heavy_churn() {
+        let (world, dataset) = setup();
+        let churn = ChurnConfig {
+            privatization_rate: 0.15,
+            nationalization_rate: 0.1,
+            acquisitions_per_year: 4.0,
+            rebrand_rate: 0.1,
+            seed: 1,
+        };
+        let report = AgeingReport::compute(&world, &dataset, &churn, 4).unwrap();
+        assert_eq!(report.rows.len(), 5);
+        let f1s: Vec<f64> = report.rows.iter().map(|r| r.score.f1()).collect();
+        assert!(
+            f1s.last().unwrap() < f1s.first().unwrap(),
+            "no decay under heavy churn: {f1s:?}"
+        );
+        assert!(report.rows[1..].iter().any(|r| r.stale_ases > 0));
+        assert!(report.text().contains("stale ASes"));
+    }
+
+    #[test]
+    fn zero_churn_means_no_decay() {
+        let (world, dataset) = setup();
+        let churn = ChurnConfig {
+            privatization_rate: 0.0,
+            nationalization_rate: 0.0,
+            acquisitions_per_year: 0.0,
+            rebrand_rate: 0.0,
+            seed: 1,
+        };
+        let report = AgeingReport::compute(&world, &dataset, &churn, 3).unwrap();
+        let first = report.rows.first().unwrap().score;
+        let last = report.rows.last().unwrap().score;
+        assert_eq!(first.tp, last.tp);
+        assert_eq!(first.fp, last.fp);
+        assert_eq!(report.rows.last().unwrap().stale_ases, 0);
+    }
+
+    #[test]
+    fn maintenance_fraction_math() {
+        let (_, dataset) = setup();
+        let n = dataset.state_owned_ases().len();
+        assert!(n > 0);
+        let frac = maintenance_fraction(&dataset, &[n / 10, n / 20]);
+        assert!(frac < 0.2, "fraction {frac}");
+        assert_eq!(maintenance_fraction(&dataset, &[]), 0.0);
+    }
+}

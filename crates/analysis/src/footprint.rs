@@ -1,0 +1,326 @@
+//! Access-market footprints (Figure 1, Figure 4, Table 8, Figure 6).
+//!
+//! The paper approximates a country's Internet-access market with two
+//! proxies — geolocated announced addresses and estimated eyeballs — and
+//! measures, per country, the fraction held by (i) domestically-owned
+//! state ASes and (ii) foreign state-owned ASes.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use soi_core::candidates::geolocated_shares;
+use soi_core::{PipelineInputs, PipelineOutput};
+use soi_types::{all_countries, Asn, CountryCode, Region, Rir};
+
+use crate::render::render_table;
+
+/// One country's footprint numbers.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct CountryFootprint {
+    /// The country.
+    pub country: CountryCode,
+    /// Fraction of geolocated addresses originated by ASes owned by this
+    /// country's state.
+    pub domestic_addr: f64,
+    /// Fraction of eyeballs on ASes owned by this country's state.
+    pub domestic_eyeballs: f64,
+    /// Fraction of geolocated addresses originated by *foreign*
+    /// state-owned ASes.
+    pub foreign_addr: f64,
+    /// Fraction of eyeballs on foreign state-owned ASes.
+    pub foreign_eyeballs: f64,
+}
+
+impl CountryFootprint {
+    /// An all-zero footprint for a country.
+    pub fn empty(country: CountryCode) -> CountryFootprint {
+        CountryFootprint {
+            country,
+            domestic_addr: 0.0,
+            domestic_eyeballs: 0.0,
+            foreign_addr: 0.0,
+            foreign_eyeballs: 0.0,
+        }
+    }
+
+    /// Figure 1's blue value: max of the two domestic proxies.
+    pub fn domestic(&self) -> f64 {
+        self.domestic_addr.max(self.domestic_eyeballs)
+    }
+
+    /// Figure 1's green value: max of the two foreign proxies.
+    pub fn foreign(&self) -> f64 {
+        self.foreign_addr.max(self.foreign_eyeballs)
+    }
+}
+
+/// Footprints for every country, with the queries the paper's figures
+/// need.
+#[derive(Clone, Debug, Default)]
+pub struct FootprintReport {
+    per_country: HashMap<CountryCode, CountryFootprint>,
+}
+
+impl FootprintReport {
+    /// Computes footprints from the dataset and the observable inputs.
+    pub fn compute(inputs: &PipelineInputs, output: &PipelineOutput) -> FootprintReport {
+        // Ownership of each dataset AS, by the country operating it.
+        let mut owner_of: HashMap<Asn, CountryCode> = HashMap::new();
+        for rec in &output.dataset.organizations {
+            for &asn in &rec.asns {
+                owner_of.entry(asn).or_insert(rec.ownership_cc);
+            }
+        }
+
+        let mut per_country: HashMap<CountryCode, CountryFootprint> = HashMap::new();
+
+        // Address proxy.
+        for ((country, asn), share) in geolocated_shares(inputs) {
+            let fp = per_country
+                .entry(country)
+                .or_insert_with(|| CountryFootprint::empty(country));
+            match owner_of.get(&asn) {
+                Some(&owner) if owner == country => fp.domestic_addr += share,
+                Some(_) => fp.foreign_addr += share,
+                None => {}
+            }
+        }
+
+        // Eyeball proxy.
+        let countries: Vec<CountryCode> = inputs.eyeballs.countries().collect();
+        for country in countries {
+            let fp = per_country
+                .entry(country)
+                .or_insert_with(|| CountryFootprint::empty(country));
+            for (asn, share) in inputs.eyeballs.country_shares(country) {
+                match owner_of.get(&asn) {
+                    Some(&owner) if owner == country => fp.domestic_eyeballs += share,
+                    Some(_) => fp.foreign_eyeballs += share,
+                    None => {}
+                }
+            }
+        }
+        FootprintReport { per_country }
+    }
+
+    /// One country's footprint (zeroes if absent).
+    pub fn of(&self, country: CountryCode) -> CountryFootprint {
+        self.per_country
+            .get(&country)
+            .copied()
+            .unwrap_or_else(|| CountryFootprint::empty(country))
+    }
+
+    /// All footprints, sorted by country code.
+    pub fn all(&self) -> Vec<CountryFootprint> {
+        let mut out: Vec<CountryFootprint> = self.per_country.values().copied().collect();
+        out.sort_by_key(|f| f.country);
+        out
+    }
+
+    /// Figure 1 rows: `country, domestic, foreign` for every country with
+    /// any footprint.
+    pub fn figure1(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .all()
+            .into_iter()
+            .filter(|f| f.domestic() > 0.005 || f.foreign() > 0.005)
+            .map(|f| {
+                vec![
+                    f.country.to_string(),
+                    format!("{:.3}", f.domestic()),
+                    format!("{:.3}", f.foreign()),
+                ]
+            })
+            .collect();
+        render_table(&["country", "domestic", "foreign"], &rows)
+    }
+
+    /// Figure 4 histogram: per RIR, counts of countries by aggregate
+    /// domestic share bucket ([0.0,0.1), ..., [0.9,1.0]). `by_addresses`
+    /// selects 4a (addresses) vs 4b (eyeballs).
+    pub fn figure4(&self, by_addresses: bool) -> (Vec<[usize; 10]>, Vec<Rir>, [usize; 10]) {
+        let rirs: Vec<Rir> = Rir::ALL.to_vec();
+        let mut per_rir: Vec<[usize; 10]> = vec![[0; 10]; rirs.len()];
+        let mut total = [0usize; 10];
+        for info in all_countries() {
+            let f = self.of(info.code);
+            let share = if by_addresses { f.domestic_addr } else { f.domestic_eyeballs };
+            let bucket = ((share * 10.0).floor() as usize).min(9);
+            let ri = rirs.iter().position(|&r| r == info.rir).expect("RIR in ALL");
+            per_rir[ri][bucket] += 1;
+            total[bucket] += 1;
+        }
+        (per_rir, rirs, total)
+    }
+
+    /// Renders Figure 4 as a text table.
+    pub fn figure4_text(&self, by_addresses: bool) -> String {
+        let (per_rir, rirs, total) = self.figure4(by_addresses);
+        let mut headers: Vec<String> = vec!["bucket".into()];
+        headers.extend(rirs.iter().map(|r| r.name().to_owned()));
+        headers.push("all".into());
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let rows: Vec<Vec<String>> = (0..10)
+            .map(|b| {
+                let mut row = vec![format!("{:.1}-{:.1}", b as f64 / 10.0, (b + 1) as f64 / 10.0)];
+                row.extend(per_rir.iter().map(|h| h[b].to_string()));
+                row.push(total[b].to_string());
+                row
+            })
+            .collect();
+        render_table(&header_refs, &rows)
+    }
+
+    /// Mean domestic footprint per region with country counts — the
+    /// quantified form of Figure 1's headline ("state ownership is much
+    /// more prevalent in Africa and Asia").
+    pub fn region_rollup(&self) -> Vec<(Region, usize, f64)> {
+        let mut sums: Vec<(Region, usize, f64)> =
+            Region::ALL.iter().map(|&r| (r, 0usize, 0.0f64)).collect();
+        for info in all_countries() {
+            let share = self.of(info.code).domestic();
+            let slot = sums
+                .iter_mut()
+                .find(|(r, _, _)| *r == info.region)
+                .expect("region in ALL");
+            slot.1 += 1;
+            slot.2 += share;
+        }
+        for slot in &mut sums {
+            slot.2 /= slot.1.max(1) as f64;
+        }
+        sums.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap().then(a.1.cmp(&b.1)));
+        sums
+    }
+
+    /// Renders the region rollup as a bar chart.
+    pub fn region_rollup_text(&self) -> String {
+        let rows: Vec<(String, f64)> = self
+            .region_rollup()
+            .into_iter()
+            .map(|(region, n, mean)| (format!("{region} ({n})"), mean))
+            .collect();
+        crate::render::bar_chart(&rows, 30)
+    }
+
+    /// Countries whose domestic footprint (max of both proxies) is at
+    /// least `threshold` — Table 8 uses 0.9.
+    pub fn dominated_countries(&self, threshold: f64) -> Vec<(CountryCode, f64)> {
+        let mut out: Vec<(CountryCode, f64)> = self
+            .all()
+            .into_iter()
+            .map(|f| (f.country, f.domestic()))
+            .filter(|&(_, v)| v >= threshold)
+            .collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Countries where foreign state-owned ASes hold at least `threshold`
+    /// of the market (the paper's Africa finding: 12 countries above 5%,
+    /// 6 above 50%).
+    pub fn foreign_dominated(&self, threshold: f64) -> Vec<(CountryCode, f64)> {
+        let mut out: Vec<(CountryCode, f64)> = self
+            .all()
+            .into_iter()
+            .map(|f| (f.country, f.foreign()))
+            .filter(|&(_, v)| v >= threshold)
+            .collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soi_core::{InputConfig, Pipeline, PipelineConfig};
+    use soi_worldgen::{generate, WorldConfig};
+
+    fn setup() -> (soi_worldgen::World, PipelineInputs, PipelineOutput) {
+        let world = generate(&WorldConfig::test_scale(101)).unwrap();
+        let inputs = PipelineInputs::from_world(&world, &InputConfig::with_seed(101)).unwrap();
+        let output = Pipeline::run(&inputs, &PipelineConfig::default());
+        (world, inputs, output)
+    }
+
+    #[test]
+    fn footprints_are_probabilities() {
+        let (_, inputs, output) = setup();
+        let report = FootprintReport::compute(&inputs, &output);
+        for f in report.all() {
+            for v in [f.domestic_addr, f.domestic_eyeballs, f.foreign_addr, f.foreign_eyeballs] {
+                assert!((0.0..=1.02).contains(&v), "{}: {v}", f.country);
+            }
+        }
+    }
+
+    #[test]
+    fn monopoly_countries_show_dominant_domestic_footprints() {
+        let (_, inputs, output) = setup();
+        let report = FootprintReport::compute(&inputs, &output);
+        let dominated = report.dominated_countries(0.9);
+        // Most of the 18 engineered monopolies should be recovered.
+        let hits = soi_worldgen::config::MONOPOLY_COUNTRIES
+            .iter()
+            .filter(|c| dominated.iter().any(|&(d, _)| d == **c))
+            .count();
+        assert!(hits >= 10, "only {hits} monopoly countries detected: {dominated:?}");
+    }
+
+    #[test]
+    fn african_foreign_footprints_appear() {
+        let (_, inputs, output) = setup();
+        let report = FootprintReport::compute(&inputs, &output);
+        let foreign = report.foreign_dominated(0.05);
+        let african = foreign
+            .iter()
+            .filter(|(c, _)| {
+                c.info().is_some_and(|i| i.region == soi_types::Region::Africa)
+            })
+            .count();
+        assert!(african >= 5, "African foreign footprints: {african}");
+        // And some exceed half the market.
+        assert!(
+            report.foreign_dominated(0.5).iter().any(|(c, _)| {
+                c.info().is_some_and(|i| i.region == soi_types::Region::Africa)
+            }),
+            "no African country majority-served by foreign states"
+        );
+    }
+
+    #[test]
+    fn figure4_buckets_partition_all_countries() {
+        let (_, inputs, output) = setup();
+        let report = FootprintReport::compute(&inputs, &output);
+        let (_, _, total) = report.figure4(true);
+        assert_eq!(total.iter().sum::<usize>(), all_countries().len());
+        let text = report.figure4_text(false);
+        assert!(text.contains("APNIC") && text.contains("0.9-1.0"));
+    }
+
+    #[test]
+    fn regional_prevalence_matches_the_paper() {
+        let (_, inputs, output) = setup();
+        let report = FootprintReport::compute(&inputs, &output);
+        let rollup = report.region_rollup();
+        let mean = |r: Region| rollup.iter().find(|(x, _, _)| *x == r).unwrap().2;
+        // The paper's core geographic finding.
+        assert!(mean(Region::Africa) > mean(Region::NorthAmerica));
+        assert!(mean(Region::MiddleEast) > mean(Region::Europe));
+        assert!(mean(Region::Asia) > mean(Region::NorthAmerica));
+        // Rollup is sorted descending and covers every region.
+        assert_eq!(rollup.len(), Region::ALL.len());
+        assert!(rollup.windows(2).all(|w| w[0].2 >= w[1].2));
+        assert!(report.region_rollup_text().contains('#'));
+    }
+
+    #[test]
+    fn figure1_renders() {
+        let (_, inputs, output) = setup();
+        let report = FootprintReport::compute(&inputs, &output);
+        let fig = report.figure1();
+        assert!(fig.lines().count() > 10, "figure 1 too small:\n{fig}");
+    }
+}

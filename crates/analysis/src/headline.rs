@@ -1,0 +1,137 @@
+//! §7 headline statistics.
+//!
+//! "We obtain 989 state-owned ASes — including 193 foreign subsidiaries —
+//! from a total of 302 state-owned companies [in 123 countries]. In
+//! aggregate, state-owned ASes originate 17% of the Internet's address
+//! space announced in BGP (25% excluding the US)."
+
+use std::collections::HashSet;
+
+use serde::{Deserialize, Serialize};
+use soi_core::{PipelineInputs, PipelineOutput};
+use soi_types::{cc, Asn};
+
+/// The headline counts.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct Headline {
+    /// State-owned ASes identified.
+    pub state_owned_ases: usize,
+    /// Of which foreign subsidiaries.
+    pub foreign_subsidiary_ases: usize,
+    /// State-owned organizations.
+    pub companies: usize,
+    /// Of which foreign subsidiary organizations.
+    pub foreign_subsidiary_companies: usize,
+    /// Countries owning at least one operator.
+    pub owner_countries: usize,
+    /// Fraction of announced address space originated by state-owned
+    /// ASes.
+    pub address_share: f64,
+    /// Same, excluding addresses originated by US-registered ASes.
+    pub address_share_ex_us: f64,
+    /// Minority-state ASes observed along the way.
+    pub minority_ases: usize,
+}
+
+impl Headline {
+    /// Computes the headline from a pipeline run.
+    pub fn compute(inputs: &PipelineInputs, output: &PipelineOutput) -> Headline {
+        let ases = output.dataset.state_owned_ases();
+        let state_set: HashSet<Asn> = ases.iter().copied().collect();
+
+        let per_origin = inputs.prefix_to_as.addresses_per_origin();
+        let us = cc("US");
+        let mut total = 0u64;
+        let mut total_ex_us = 0u64;
+        let mut state = 0u64;
+        let mut state_ex_us = 0u64;
+        for (&origin, &addrs) in &per_origin {
+            let is_us = inputs
+                .whois
+                .record(origin)
+                .is_some_and(|r| r.country == us);
+            total += addrs;
+            if !is_us {
+                total_ex_us += addrs;
+            }
+            if state_set.contains(&origin) {
+                state += addrs;
+                if !is_us {
+                    state_ex_us += addrs;
+                }
+            }
+        }
+
+        let minority_ases: HashSet<Asn> = output
+            .minority
+            .iter()
+            .flat_map(|m| m.asns.iter().copied())
+            .collect();
+
+        Headline {
+            state_owned_ases: ases.len(),
+            foreign_subsidiary_ases: output.dataset.foreign_subsidiary_ases().len(),
+            companies: output.dataset.organizations.len(),
+            foreign_subsidiary_companies: output
+                .dataset
+                .organizations
+                .iter()
+                .filter(|o| o.is_foreign_subsidiary())
+                .count(),
+            owner_countries: output.dataset.owner_countries().len(),
+            address_share: state as f64 / total.max(1) as f64,
+            address_share_ex_us: state_ex_us as f64 / total_ex_us.max(1) as f64,
+            minority_ases: minority_ases.len(),
+        }
+    }
+
+    /// Renders the headline block.
+    pub fn text(&self) -> String {
+        format!(
+            "state-owned ASes:            {}\n\
+             ... foreign subsidiaries:    {}\n\
+             state-owned organizations:   {}\n\
+             ... foreign subsidiaries:    {}\n\
+             owner countries:             {}\n\
+             announced address share:     {:.1}%\n\
+             ... excluding the US:        {:.1}%\n\
+             minority-state ASes noted:   {}\n",
+            self.state_owned_ases,
+            self.foreign_subsidiary_ases,
+            self.companies,
+            self.foreign_subsidiary_companies,
+            self.owner_countries,
+            self.address_share * 100.0,
+            self.address_share_ex_us * 100.0,
+            self.minority_ases,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soi_core::{InputConfig, Pipeline, PipelineConfig};
+    use soi_worldgen::{generate, WorldConfig};
+
+    #[test]
+    fn headline_shapes_hold() {
+        let world = generate(&WorldConfig::test_scale(111)).unwrap();
+        let inputs = PipelineInputs::from_world(&world, &InputConfig::with_seed(111)).unwrap();
+        let output = Pipeline::run(&inputs, &PipelineConfig::default());
+        let h = Headline::compute(&inputs, &output);
+
+        assert!(h.state_owned_ases > 50);
+        assert!(h.foreign_subsidiary_ases > 0);
+        assert!(h.foreign_subsidiary_ases < h.state_owned_ases / 2);
+        assert!(h.companies < h.state_owned_ases, "multiple ASes per company");
+        assert!(h.owner_countries > 40, "owner countries: {}", h.owner_countries);
+        // State ASes originate a substantial but minority share, and the
+        // share grows when the (stateless, address-rich) US is excluded.
+        assert!(h.address_share > 0.05 && h.address_share < 0.6, "{}", h.address_share);
+        assert!(h.address_share_ex_us > h.address_share);
+        assert!(h.minority_ases > 0);
+        let text = h.text();
+        assert!(text.contains("owner countries"));
+    }
+}

@@ -1,0 +1,129 @@
+//! IXPs vs. state concentration (the paper's §10 related work, measured).
+//!
+//! Carisimo et al. ("A first look at the Latin American IXPs", CCR 2020)
+//! — cited by this paper as one of the studies its dataset would enable —
+//! argue that IXP ecosystems fail to develop in countries whose access
+//! markets are concentrated in state-owned incumbents. The synthetic
+//! world generates that mechanism; this module measures it *from the
+//! pipeline's outputs* (the dataset plus the observable footprints), the
+//! way a researcher armed with the paper's dataset would.
+
+use serde::{Deserialize, Serialize};
+use soi_topology::IxpRegistry;
+use soi_types::all_countries;
+
+use crate::footprint::FootprintReport;
+use crate::render::render_table;
+
+/// The IXP-presence comparison.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct IxpStudy {
+    /// Countries hosting at least one exchange.
+    pub with_ixp: usize,
+    /// Their mean domestic state footprint.
+    pub mean_state_share_with: f64,
+    /// Countries hosting none.
+    pub without_ixp: usize,
+    /// Their mean domestic state footprint.
+    pub mean_state_share_without: f64,
+    /// Fraction of state-dominated (> 0.6) countries that host an IXP.
+    pub ixp_rate_dominated: f64,
+    /// Fraction of open-market (< 0.3) countries that host an IXP.
+    pub ixp_rate_open: f64,
+}
+
+impl IxpStudy {
+    /// Computes the comparison from exchange data and measured
+    /// footprints.
+    pub fn compute(ixps: &IxpRegistry, footprints: &FootprintReport) -> IxpStudy {
+        let mut study = IxpStudy::default();
+        let (mut sum_with, mut sum_without) = (0.0f64, 0.0f64);
+        let (mut dominated, mut dominated_ixp) = (0usize, 0usize);
+        let (mut open, mut open_ixp) = (0usize, 0usize);
+        for info in all_countries() {
+            let share = footprints.of(info.code).domestic();
+            let has_ixp = ixps.in_country(info.code).next().is_some();
+            if has_ixp {
+                study.with_ixp += 1;
+                sum_with += share;
+            } else {
+                study.without_ixp += 1;
+                sum_without += share;
+            }
+            if share > 0.6 {
+                dominated += 1;
+                if has_ixp {
+                    dominated_ixp += 1;
+                }
+            } else if share < 0.3 {
+                open += 1;
+                if has_ixp {
+                    open_ixp += 1;
+                }
+            }
+        }
+        study.mean_state_share_with = sum_with / study.with_ixp.max(1) as f64;
+        study.mean_state_share_without = sum_without / study.without_ixp.max(1) as f64;
+        study.ixp_rate_dominated = dominated_ixp as f64 / dominated.max(1) as f64;
+        study.ixp_rate_open = open_ixp as f64 / open.max(1) as f64;
+        study
+    }
+
+    /// Renders the comparison table.
+    pub fn text(&self) -> String {
+        let rows = vec![
+            vec![
+                "countries with an IXP".to_owned(),
+                self.with_ixp.to_string(),
+                format!("{:.2}", self.mean_state_share_with),
+            ],
+            vec![
+                "countries without".to_owned(),
+                self.without_ixp.to_string(),
+                format!("{:.2}", self.mean_state_share_without),
+            ],
+        ];
+        let mut out = render_table(&["group", "countries", "mean state share"], &rows);
+        out.push_str(&format!(
+            "\nIXP rate where the state holds > 60% of the market: {:.0}%\n\
+             IXP rate in open markets (< 30% state):              {:.0}%\n",
+            self.ixp_rate_dominated * 100.0,
+            self.ixp_rate_open * 100.0
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soi_core::{InputConfig, Pipeline, PipelineConfig, PipelineInputs};
+    use soi_worldgen::{generate, WorldConfig};
+
+    #[test]
+    fn state_concentration_suppresses_ixps() {
+        let world = generate(&WorldConfig::test_scale(181)).unwrap();
+        let inputs = PipelineInputs::from_world(&world, &InputConfig::with_seed(181)).unwrap();
+        let output = Pipeline::run(&inputs, &PipelineConfig::default());
+        let footprints = FootprintReport::compute(&inputs, &output);
+        let study = IxpStudy::compute(&world.ixps, &footprints);
+
+        assert!(study.with_ixp > 10, "too few IXP countries: {}", study.with_ixp);
+        assert!(study.without_ixp > 10);
+        // The Carisimo-style relationship, measured from observable data:
+        // IXP countries have lower state concentration.
+        assert!(
+            study.mean_state_share_with < study.mean_state_share_without,
+            "IXP countries should be less state-concentrated: {:.2} vs {:.2}",
+            study.mean_state_share_with,
+            study.mean_state_share_without
+        );
+        assert!(
+            study.ixp_rate_open > study.ixp_rate_dominated,
+            "open markets should host IXPs more often: {:.2} vs {:.2}",
+            study.ixp_rate_open,
+            study.ixp_rate_dominated
+        );
+        assert!(study.text().contains("mean state share"));
+    }
+}

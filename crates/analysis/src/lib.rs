@@ -1,0 +1,35 @@
+//! Dataset analyses reproducing every table and figure of the paper's
+//! evaluation (§7, §8 and the appendices).
+//!
+//! Each module computes typed rows for one family of results and renders
+//! them as aligned text tables, so the `repro` binary can print the same
+//! rows/series the paper reports:
+//!
+//! * [`headline`] — §7's headline counts and announced-address-space
+//!   shares (17% / 25% excluding the US);
+//! * [`footprint`] — Figure 1 (per-country domestic/foreign footprint),
+//!   Figure 4 (per-RIR histograms), Table 8 / Appendix F (>= 0.9
+//!   monopolies) and Figure 6 / Appendix A (majority/minority world map);
+//! * [`tables`] — Tables 1-4 (confirmation sources, country
+//!   participation, foreign subsidiaries, per-RIR rollup);
+//! * [`venn`] — Figure 3 (three-category overlap), Figure 7 / Appendix C
+//!   (full five-source Venn) and Table 6 / Appendix B (per-source
+//!   contributions), plus Table 7 / Appendix D (CTI-only ASes);
+//! * [`transit`] — Table 5 (largest customer cones) and Figure 5
+//!   (fastest-growing cones);
+//! * [`ageing`] — dataset decay under ownership churn and maintenance
+//!   cost (the §9 future-work study);
+//! * [`render`] — plain-text table/CSV rendering shared by all of them.
+
+pub mod ageing;
+pub mod footprint;
+pub mod headline;
+pub mod ixp;
+pub mod render;
+pub mod tables;
+pub mod transit;
+pub mod venn;
+
+pub use footprint::{CountryFootprint, FootprintReport};
+pub use headline::Headline;
+pub use render::{render_csv, render_table};

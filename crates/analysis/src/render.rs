@@ -1,0 +1,175 @@
+//! Plain-text table rendering.
+
+/// Renders an aligned text table with a header row and a separator.
+///
+/// ```
+/// use soi_analysis::render::render_table;
+///
+/// let t = render_table(
+///     &["ASN", "name"],
+///     &[vec!["7473".into(), "SingTel".into()]],
+/// );
+/// assert_eq!(t.lines().count(), 3);
+/// assert!(t.ends_with("7473  SingTel\n"));
+/// ```
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    let emit_row = |cells: &[String], out: &mut String| {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate().take(cols) {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(cell);
+            let pad = widths[i].saturating_sub(cell.chars().count());
+            if i + 1 < cols {
+                line.extend(std::iter::repeat_n(' ', pad));
+            }
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+    };
+    emit_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(), &mut out);
+    let seps: Vec<String> = widths.iter().map(|&w| "-".repeat(w)).collect();
+    emit_row(&seps, &mut out);
+    for row in rows {
+        emit_row(row, &mut out);
+    }
+    out
+}
+
+/// Renders rows as CSV (naive quoting: fields containing commas or
+/// quotes are double-quoted).
+pub fn render_csv(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let quote = |s: &str| -> String {
+        if s.contains(',') || s.contains('"') || s.contains('\n') {
+            format!("\"{}\"", s.replace('"', "\"\""))
+        } else {
+            s.to_owned()
+        }
+    };
+    let mut out = String::new();
+    out.push_str(&headers.iter().map(|h| quote(h)).collect::<Vec<_>>().join(","));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a horizontal bar chart: one row per label, bar lengths scaled
+/// to the maximum value, value printed after the bar.
+///
+/// ```text
+/// ARIN     ############             12
+/// AFRINIC  ######################## 24
+/// ```
+pub fn bar_chart(rows: &[(String, f64)], width: usize) -> String {
+    let label_w = rows.iter().map(|(l, _)| l.chars().count()).max().unwrap_or(0);
+    let max = rows.iter().map(|&(_, v)| v).fold(0.0f64, f64::max);
+    let mut out = String::new();
+    for (label, value) in rows {
+        let bar_len = if max > 0.0 {
+            ((value / max) * width as f64).round() as usize
+        } else {
+            0
+        };
+        let pad = label_w - label.chars().count();
+        out.push_str(label);
+        out.extend(std::iter::repeat_n(' ', pad + 2));
+        out.extend(std::iter::repeat_n('#', bar_len));
+        out.extend(std::iter::repeat_n(' ', width.saturating_sub(bar_len) + 1));
+        if (value.fract()).abs() < 1e-9 {
+            out.push_str(&format!("{value:.0}"));
+        } else {
+            out.push_str(&format!("{value:.2}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a unicode sparkline (eight block heights) for a series —
+/// compact enough to put a decade of cone history on one line.
+pub fn sparkline(values: &[u32]) -> String {
+    const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let (min, max) = values
+        .iter()
+        .fold((u32::MAX, 0u32), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    if values.is_empty() {
+        return String::new();
+    }
+    let span = (max - min).max(1) as f64;
+    values
+        .iter()
+        .map(|&v| {
+            let t = (f64::from(v - min) / span * 7.0).round() as usize;
+            BLOCKS[t.min(7)]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = render_table(
+            &["ASN", "name"],
+            &[
+                vec!["7473".into(), "SingTel".into()],
+                vec!["12389".into(), "Rostelecom".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("ASN"));
+        assert!(lines[1].starts_with("-----"));
+        assert!(lines[3].starts_with("12389  Rostelecom"));
+        // Columns align.
+        assert_eq!(lines[2].find("SingTel"), lines[3].find("Rostelecom"));
+    }
+
+    #[test]
+    fn bar_chart_scales_and_aligns() {
+        let chart = bar_chart(
+            &[("ARIN".into(), 2.0), ("AFRINIC".into(), 24.0), ("none".into(), 0.0)],
+            24,
+        );
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].contains(&"#".repeat(24)), "max bar full width: {chart}");
+        let short = lines[0].matches('#').count();
+        assert!((1..=3).contains(&short), "scaled bar: {short}");
+        assert_eq!(lines[2].matches('#').count(), 0);
+        assert!(lines[1].ends_with("24"));
+    }
+
+    #[test]
+    fn sparkline_shape() {
+        let s = sparkline(&[0, 10, 20, 30, 40, 50, 60, 70]);
+        assert_eq!(s.chars().count(), 8);
+        assert!(s.starts_with('▁') && s.ends_with('█'));
+        assert_eq!(sparkline(&[5, 5, 5]), "▁▁▁", "flat series stays low");
+        assert_eq!(sparkline(&[]), "");
+    }
+
+    #[test]
+    fn csv_quoting() {
+        let c = render_csv(
+            &["name", "quote"],
+            &[vec!["A, Inc".into(), "said \"hi\"".into()]],
+        );
+        assert!(c.contains("\"A, Inc\""));
+        assert!(c.contains("\"said \"\"hi\"\"\""));
+    }
+}

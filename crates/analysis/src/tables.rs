@@ -1,0 +1,297 @@
+//! Tables 1-4: confirmation sources, country participation, foreign
+//! subsidiaries and the per-RIR rollup.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use soi_core::PipelineOutput;
+use soi_types::{all_countries, CountryCode, Rir};
+
+use crate::render::render_table;
+
+/// Table 1: organizations per confirmation-source type, descending.
+pub fn table1(output: &PipelineOutput) -> String {
+    let mut rows: Vec<(String, usize)> = output
+        .confirmation_counts
+        .iter()
+        .map(|(k, &n)| (k.name().to_owned(), n))
+        .collect();
+    rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let rows: Vec<Vec<String>> =
+        rows.into_iter().map(|(s, n)| vec![s, n.to_string()]).collect();
+    render_table(&["Confirmation source", "Companies"], &rows)
+}
+
+/// Table 2 rows: countries participating as majority owners, subsidiary
+/// owners, and minority owners (a country may appear in several rows).
+pub struct Table2 {
+    /// Countries with a majority-owned operator.
+    pub majority: BTreeSet<CountryCode>,
+    /// Countries whose state companies run foreign subsidiaries.
+    pub subsidiary_owners: BTreeSet<CountryCode>,
+    /// Countries with only minority positions observed.
+    pub minority: BTreeSet<CountryCode>,
+}
+
+impl Table2 {
+    /// Computes the participation sets.
+    pub fn compute(output: &PipelineOutput) -> Table2 {
+        let majority: BTreeSet<CountryCode> =
+            output.dataset.owner_countries().into_iter().collect();
+        let subsidiary_owners: BTreeSet<CountryCode> = output
+            .dataset
+            .organizations
+            .iter()
+            .filter(|o| o.is_foreign_subsidiary())
+            .map(|o| o.ownership_cc)
+            .collect();
+        let minority: BTreeSet<CountryCode> =
+            output.minority.iter().map(|m| m.state).collect();
+        Table2 { majority, subsidiary_owners, minority }
+    }
+
+    /// Total countries participating in any way.
+    pub fn total(&self) -> usize {
+        let mut all = self.majority.clone();
+        all.extend(&self.subsidiary_owners);
+        all.extend(&self.minority);
+        all.len()
+    }
+
+    /// Renders the table.
+    pub fn text(&self) -> String {
+        let rows = vec![
+            vec!["state-owned operators".to_owned(), self.majority.len().to_string()],
+            vec!["subsidiaries".to_owned(), self.subsidiary_owners.len().to_string()],
+            vec![
+                "minority state-owned operators".to_owned(),
+                self.minority.len().to_string(),
+            ],
+            vec!["Total countries".to_owned(), self.total().to_string()],
+        ];
+        render_table(&["Participation in", "# of countries"], &rows)
+    }
+}
+
+/// The §7 "large ASes with government minority ownership" list: minority
+/// observations ranked by how many ASNs they map to (a proxy for operator
+/// size without re-deriving cones), rendered like the paper's examples
+/// (Deutsche Telekom 31%, Orange 22.95%, Telia 39.5%...).
+pub fn minority_table(output: &PipelineOutput, k: usize) -> String {
+    let mut rows: Vec<&soi_core::pipeline::MinorityObservation> =
+        output.minority.iter().collect();
+    rows.sort_by(|a, b| b.asns.len().cmp(&a.asns.len()).then(a.name.cmp(&b.name)));
+    let rows: Vec<Vec<String>> = rows
+        .into_iter()
+        .take(k)
+        .map(|m| {
+            vec![
+                m.name.clone(),
+                m.state.to_string(),
+                m.equity.to_string(),
+                m.asns.iter().map(|a| a.to_string()).collect::<Vec<_>>().join(" "),
+            ]
+        })
+        .collect();
+    render_table(&["Company", "State", "Equity", "ASNs"], &rows)
+}
+
+/// Table 3: owner country -> host countries of its foreign subsidiaries,
+/// sorted by subsidiary count descending (the paper's layout).
+pub fn table3(output: &PipelineOutput) -> String {
+    let mut by_owner: BTreeMap<CountryCode, BTreeSet<CountryCode>> = BTreeMap::new();
+    for rec in &output.dataset.organizations {
+        if rec.is_foreign_subsidiary() {
+            if let Some(target) = rec.target_cc {
+                by_owner.entry(rec.ownership_cc).or_default().insert(target);
+            }
+        }
+    }
+    let mut rows: Vec<(CountryCode, BTreeSet<CountryCode>)> = by_owner.into_iter().collect();
+    rows.sort_by(|a, b| b.1.len().cmp(&a.1.len()).then(a.0.cmp(&b.0)));
+    let rows: Vec<Vec<String>> = rows
+        .into_iter()
+        .map(|(owner, targets)| {
+            let list: Vec<String> = targets.iter().map(|t| t.to_string()).collect();
+            vec![owner.to_string(), targets.len().to_string(), list.join(", ")]
+        })
+        .collect();
+    render_table(&["Owner (cc)", "#", "Subsidiary country codes"], &rows)
+}
+
+/// Table 4 row: one RIR's rollup.
+#[derive(Clone, Copy, Debug)]
+pub struct RirRollup {
+    /// The registry.
+    pub rir: Rir,
+    /// State-owned organizations registered there.
+    pub companies: usize,
+    /// Member countries with a domestically-owned state operator.
+    pub countries: usize,
+    /// Member countries in total (from the static registry).
+    pub members: usize,
+}
+
+impl RirRollup {
+    /// Percentage of member countries with a state operator.
+    pub fn percent(&self) -> f64 {
+        if self.members == 0 {
+            0.0
+        } else {
+            100.0 * self.countries as f64 / self.members as f64
+        }
+    }
+}
+
+/// Computes Table 4 (plus the world total as a final pseudo-row).
+pub fn table4(output: &PipelineOutput) -> (Vec<RirRollup>, RirRollup) {
+    let mut rollups: Vec<RirRollup> = Rir::ALL
+        .iter()
+        .map(|&rir| RirRollup {
+            rir,
+            companies: 0,
+            countries: 0,
+            members: all_countries().iter().filter(|c| c.rir == rir).count(),
+        })
+        .collect();
+    // Companies by RIR of registration.
+    for rec in &output.dataset.organizations {
+        if let Some(rir) = rec.rir {
+            if let Some(r) = rollups.iter_mut().find(|r| r.rir == rir) {
+                r.companies += 1;
+            }
+        }
+    }
+    // Countries with a *domestic* state operator, by their RIR.
+    let domestic: BTreeSet<CountryCode> = output
+        .dataset
+        .organizations
+        .iter()
+        .filter(|o| !o.is_foreign_subsidiary())
+        .map(|o| o.ownership_cc)
+        .collect();
+    for c in &domestic {
+        if let Some(info) = c.info() {
+            if let Some(r) = rollups.iter_mut().find(|r| r.rir == info.rir) {
+                r.countries += 1;
+            }
+        }
+    }
+    let world = RirRollup {
+        rir: Rir::Ripe, // placeholder; the total row is labelled "World"
+        companies: rollups.iter().map(|r| r.companies).sum(),
+        countries: domestic.len(),
+        members: all_countries().len(),
+    };
+    (rollups, world)
+}
+
+/// Renders Table 4.
+pub fn table4_text(output: &PipelineOutput) -> String {
+    let (rollups, world) = table4(output);
+    let mut headers: Vec<String> = vec!["".into()];
+    headers.extend(rollups.iter().map(|r| r.rir.name().to_owned()));
+    headers.push("World".into());
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let row = |label: &str, f: &dyn Fn(&RirRollup) -> String| {
+        let mut r = vec![label.to_owned()];
+        r.extend(rollups.iter().map(f));
+        r.push(f(&world));
+        r
+    };
+    let rows = vec![
+        row("# companies", &|r| r.companies.to_string()),
+        row("# countries", &|r| r.countries.to_string()),
+        row("% countries", &|r| format!("{:.0}", r.percent())),
+    ];
+    render_table(&header_refs, &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soi_core::{InputConfig, Pipeline, PipelineConfig, PipelineInputs};
+    use soi_worldgen::{generate, WorldConfig};
+
+    fn output() -> PipelineOutput {
+        let world = generate(&WorldConfig::test_scale(121)).unwrap();
+        let inputs = PipelineInputs::from_world(&world, &InputConfig::with_seed(121)).unwrap();
+        Pipeline::run(&inputs, &PipelineConfig::default())
+    }
+
+    #[test]
+    fn table1_sorted_descending() {
+        let out = output();
+        let t = table1(&out);
+        let counts: Vec<usize> = t
+            .lines()
+            .skip(2)
+            .filter_map(|l| l.rsplit(' ').next()?.parse().ok())
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] >= w[1]), "not sorted: {t}");
+        assert!(t.contains("Company's website"));
+    }
+
+    #[test]
+    fn table2_membership_logic() {
+        let out = output();
+        let t2 = Table2::compute(&out);
+        assert!(!t2.majority.is_empty());
+        assert!(!t2.subsidiary_owners.is_empty());
+        // Subsidiary owners are (almost always) also majority owners.
+        let also_majority = t2
+            .subsidiary_owners
+            .iter()
+            .filter(|c| t2.majority.contains(c))
+            .count();
+        assert!(also_majority * 10 >= t2.subsidiary_owners.len() * 8);
+        assert!(t2.total() >= t2.majority.len());
+        assert!(t2.text().contains("Total countries"));
+    }
+
+    #[test]
+    fn minority_table_ranks_and_formats() {
+        let out = output();
+        let t = minority_table(&out, 5);
+        assert!(t.lines().count() <= 7);
+        assert!(t.contains("Equity"));
+        // Every rendered equity is a minority percentage.
+        for line in t.lines().skip(2) {
+            if let Some(pct) = line.split_whitespace().find(|w| w.ends_with('%')) {
+                let v: f64 = pct.trim_end_matches('%').parse().unwrap();
+                assert!(v < 50.0, "{line}");
+            }
+        }
+    }
+
+    #[test]
+    fn table3_owner_ordering() {
+        let out = output();
+        let t = table3(&out);
+        let counts: Vec<usize> = t
+            .lines()
+            .skip(2)
+            .filter_map(|l| l.split_whitespace().nth(1)?.parse().ok())
+            .collect();
+        assert!(!counts.is_empty());
+        assert!(counts.windows(2).all(|w| w[0] >= w[1]), "not sorted:\n{t}");
+    }
+
+    #[test]
+    fn table4_consistency() {
+        let out = output();
+        let (rollups, world) = table4(&out);
+        assert_eq!(rollups.len(), 5);
+        assert_eq!(world.companies, rollups.iter().map(|r| r.companies).sum::<usize>());
+        for r in &rollups {
+            assert!(r.countries <= r.members);
+            assert!(r.percent() <= 100.0);
+        }
+        // ARIN has (almost) no state operators; AFRINIC/APNIC/RIPE do.
+        let arin = rollups.iter().find(|r| r.rir == Rir::Arin).unwrap();
+        let afrinic = rollups.iter().find(|r| r.rir == Rir::Afrinic).unwrap();
+        assert!(arin.countries <= 2, "ARIN countries: {}", arin.countries);
+        assert!(afrinic.countries > 10);
+        let text = table4_text(&out);
+        assert!(text.contains("% countries"));
+    }
+}

@@ -1,0 +1,140 @@
+//! Transit-market analyses: Table 5 (largest customer cones among
+//! state-owned ASes) and Figure 5 (fastest-growing cones over the
+//! decade).
+
+use soi_core::{PipelineInputs, PipelineOutput};
+use soi_topology::{AsRank, ConeHistory};
+use soi_types::Asn;
+
+use crate::render::render_table;
+
+/// Table 5 rows: the `k` largest customer cones among dataset ASes,
+/// annotated with AS name and registration country from WHOIS.
+pub fn table5(
+    rank: &AsRank,
+    inputs: &PipelineInputs,
+    output: &PipelineOutput,
+    k: usize,
+) -> Vec<Vec<String>> {
+    let ases = output.dataset.state_owned_ases();
+    rank.top_within(&ases, k)
+        .into_iter()
+        .map(|(asn, cone)| {
+            let (name, country) = inputs
+                .whois
+                .record(asn)
+                .map(|r| (r.as_name.clone(), r.country.to_string()))
+                .unwrap_or_default();
+            vec![format!("{}-{}", asn.value(), name), country, cone.to_string()]
+        })
+        .collect()
+}
+
+/// Renders Table 5.
+pub fn table5_text(
+    rank: &AsRank,
+    inputs: &PipelineInputs,
+    output: &PipelineOutput,
+    k: usize,
+) -> String {
+    render_table(&["ASN-ASname", "Country (cc)", "cust. cone"], &table5(rank, inputs, output, k))
+}
+
+/// One Figure-5 growth row: `(asn, slope per year, (date, cone) series)`.
+pub type GrowthRow = (Asn, f64, Vec<(String, u32)>);
+
+/// Figure 5: the fastest-growing customer cones among dataset ASes.
+pub fn figure5(
+    history: &ConeHistory,
+    output: &PipelineOutput,
+    k: usize,
+) -> Vec<GrowthRow> {
+    let ases = output.dataset.state_owned_ases();
+    history
+        .fastest_growing(&ases, k)
+        .into_iter()
+        .map(|(series, slope)| {
+            let pts = series
+                .points
+                .iter()
+                .map(|&(d, v)| (d.to_string(), v))
+                .collect();
+            (series.asn, slope, pts)
+        })
+        .collect()
+}
+
+/// Renders Figure 5 as one table per AS.
+pub fn figure5_text(history: &ConeHistory, output: &PipelineOutput, k: usize) -> String {
+    let mut out = String::new();
+    for (asn, slope, points) in figure5(history, output, k) {
+        out.push_str(&format!("{asn} — cone growth {slope:+.1}/year\n"));
+        let rows: Vec<Vec<String>> =
+            points.into_iter().map(|(d, v)| vec![d, v.to_string()]).collect();
+        out.push_str(&render_table(&["date", "cone"], &rows));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soi_core::{InputConfig, Pipeline, PipelineConfig, PipelineInputs};
+    use soi_worldgen::{generate, AsRole, WorldConfig};
+
+    fn setup() -> (soi_worldgen::World, PipelineInputs, PipelineOutput) {
+        let world = generate(&WorldConfig::test_scale(141)).unwrap();
+        let inputs = PipelineInputs::from_world(&world, &InputConfig::with_seed(141)).unwrap();
+        let output = Pipeline::run(&inputs, &PipelineConfig::default());
+        (world, inputs, output)
+    }
+
+    #[test]
+    fn table5_is_descending_and_carrier_heavy() {
+        let (world, inputs, output) = setup();
+        let rank = AsRank::compute(&world.topology);
+        let rows = table5(&rank, &inputs, &output, 10);
+        assert!(rows.len() >= 5, "too few cones: {}", rows.len());
+        let cones: Vec<u32> = rows.iter().map(|r| r[2].parse().unwrap()).collect();
+        assert!(cones.windows(2).all(|w| w[0] >= w[1]));
+        // The top entries should be the engineered big state carriers
+        // (regional carriers have large cones by construction).
+        let top_asn: Asn = rows[0][0].split('-').next().unwrap().parse().unwrap();
+        let role = world.profiles[&top_asn].role;
+        assert!(
+            matches!(role, AsRole::RegionalCarrier | AsRole::NationalTransit),
+            "unexpected top-cone role {role:?}"
+        );
+        assert!(cones[0] > 20, "top state cone too small: {}", cones[0]);
+    }
+
+    #[test]
+    fn figure5_finds_growing_cables() {
+        let (world, _, output) = setup();
+        let history = world.cone_history().unwrap();
+        let top = figure5(&history, &output, 2);
+        assert_eq!(top.len(), 2);
+        for (asn, slope, points) in &top {
+            assert!(*slope > 0.0, "{asn} not growing");
+            assert!(points.len() >= 2);
+        }
+        // The engineered submarine-cable carriers are the canonical
+        // fast growers; at least one should make the top 2.
+        let cables: Vec<Asn> = world
+            .profiles
+            .values()
+            .filter(|p| {
+                p.role == AsRole::RegionalCarrier
+                    && matches!(p.country.as_str(), "AO" | "BD")
+            })
+            .map(|p| p.asn)
+            .collect();
+        assert!(
+            top.iter().any(|(a, _, _)| cables.contains(a)),
+            "no cable carrier in the top growers: {top:?} (cables: {cables:?})"
+        );
+        let text = figure5_text(&history, &output, 2);
+        assert!(text.contains("cone growth"));
+    }
+}

@@ -1,0 +1,257 @@
+//! Source-contribution overlaps: Figure 3, Figure 7/Appendix C,
+//! Table 6/Appendix B and Table 7/Appendix D.
+
+use std::collections::{BTreeMap, HashSet};
+
+use soi_core::{PipelineInputs, PipelineOutput, SourceFlags};
+use soi_types::Asn;
+
+use crate::render::render_table;
+
+/// Per-source contribution to the final AS list (Table 6): total ASes
+/// carrying the flag, how many of those are foreign subsidiaries, and how
+/// many minority-state ASes the source surfaced.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SourceContribution {
+    /// ASes in the final dataset nominated (at least in part) by this
+    /// source.
+    pub state_owned: usize,
+    /// Of which foreign-subsidiary ASes.
+    pub subsidiaries: usize,
+    /// Minority-state ASes surfaced by this source.
+    pub minority: usize,
+}
+
+/// All overlap analyses over the final attribution map.
+pub struct VennReport {
+    /// Count of final ASes per 5-bit region key (order G E C W O).
+    pub regions: BTreeMap<u8, usize>,
+    /// Per-source contributions, in (G, E, C, W, O) order.
+    pub contributions: [(char, SourceContribution); 5],
+}
+
+const SOURCE_ORDER: [(SourceFlags, char); 5] = [
+    (SourceFlags::G, 'G'),
+    (SourceFlags::E, 'E'),
+    (SourceFlags::C, 'C'),
+    (SourceFlags::W, 'W'),
+    (SourceFlags::O, 'O'),
+];
+
+impl VennReport {
+    /// Computes region counts and contributions from a pipeline run.
+    pub fn compute(output: &PipelineOutput) -> VennReport {
+        let foreign: HashSet<Asn> =
+            output.dataset.foreign_subsidiary_ases().into_iter().collect();
+        let mut regions: BTreeMap<u8, usize> = BTreeMap::new();
+        let mut contributions =
+            SOURCE_ORDER.map(|(_, label)| (label, SourceContribution::default()));
+
+        let final_ases: HashSet<Asn> = output.dataset.state_owned_ases().into_iter().collect();
+        for (&asn, &flags) in &output.as_attribution {
+            if !final_ases.contains(&asn) {
+                continue;
+            }
+            *regions.entry(flags.venn_key()).or_default() += 1;
+            for (i, (flag, _)) in SOURCE_ORDER.iter().enumerate() {
+                if flags.contains(*flag) {
+                    contributions[i].1.state_owned += 1;
+                    if foreign.contains(&asn) {
+                        contributions[i].1.subsidiaries += 1;
+                    }
+                }
+            }
+        }
+        for m in &output.minority {
+            for (i, (flag, _)) in SOURCE_ORDER.iter().enumerate() {
+                if m.flags.contains(*flag) {
+                    contributions[i].1.minority += m.asns.len();
+                }
+            }
+        }
+        VennReport { regions, contributions }
+    }
+
+    /// ASes contributed *only* by one source (no other flag set).
+    pub fn unique_to(&self, flag: SourceFlags) -> usize {
+        self.regions
+            .iter()
+            .filter(|&(&key, _)| key == flag.venn_key())
+            .map(|(_, &n)| n)
+            .sum()
+    }
+
+    /// Figure 3: collapse into three categories — Technical (G|E|C),
+    /// Reports (W), Orbis (O) — returning counts per 3-bit region
+    /// (bit 2 = technical, bit 1 = reports, bit 0 = orbis).
+    pub fn figure3(&self) -> BTreeMap<u8, usize> {
+        let mut out: BTreeMap<u8, usize> = BTreeMap::new();
+        for (&key, &n) in &self.regions {
+            // key bits: G E C W O (MSB..LSB).
+            let technical = key & 0b11100 != 0;
+            let reports = key & 0b00010 != 0;
+            let orbis = key & 0b00001 != 0;
+            let collapsed =
+                ((technical as u8) << 2) | ((reports as u8) << 1) | (orbis as u8);
+            *out.entry(collapsed).or_default() += n;
+        }
+        out
+    }
+
+    /// Renders Figure 7 (the full 31-region Venn) as a table of
+    /// `GECWO-bitstring -> count`, skipping empty regions.
+    pub fn figure7_text(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .regions
+            .iter()
+            .filter(|&(&k, &n)| k != 0 && n > 0)
+            .map(|(&k, &n)| vec![format!("{k:05b}"), n.to_string()])
+            .collect();
+        render_table(&["GECWO", "ASes"], &rows)
+    }
+
+    /// Renders Figure 3's seven regions.
+    pub fn figure3_text(&self) -> String {
+        let labels = [
+            (0b100, "technical only"),
+            (0b010, "reports only"),
+            (0b001, "orbis only"),
+            (0b110, "technical+reports"),
+            (0b101, "technical+orbis"),
+            (0b011, "reports+orbis"),
+            (0b111, "all three"),
+        ];
+        let f3 = self.figure3();
+        let rows: Vec<Vec<String>> = labels
+            .iter()
+            .map(|&(k, label)| {
+                vec![label.to_owned(), f3.get(&k).copied().unwrap_or(0).to_string()]
+            })
+            .collect();
+        render_table(&["Region", "ASes"], &rows)
+    }
+
+    /// Renders Table 6.
+    pub fn table6_text(&self) -> String {
+        let name = |c: char| match c {
+            'G' => "Geolocated addresses",
+            'E' => "APNIC's Eyeballs list",
+            'C' => "CTI",
+            'W' => "Wikipedia+FH",
+            _ => "Orbis",
+        };
+        let rows: Vec<Vec<String>> = self
+            .contributions
+            .iter()
+            .map(|&(label, c)| {
+                vec![
+                    name(label).to_owned(),
+                    format!("{} ({})", c.state_owned, c.subsidiaries),
+                    c.minority.to_string(),
+                ]
+            })
+            .collect();
+        render_table(
+            &["Data source", "State-owned ASes (subs)", "Minority state-owned"],
+            &rows,
+        )
+    }
+}
+
+/// Table 7: ASes only discovered by CTI, with registry annotations.
+pub fn table7(inputs: &PipelineInputs, output: &PipelineOutput) -> Vec<Vec<String>> {
+    let final_ases: HashSet<Asn> = output.dataset.state_owned_ases().into_iter().collect();
+    let mut rows = Vec::new();
+    let mut keys: Vec<(&Asn, &SourceFlags)> = output.as_attribution.iter().collect();
+    keys.sort_by_key(|(&a, _)| a);
+    for (&asn, &flags) in keys {
+        if !final_ases.contains(&asn) {
+            continue;
+        }
+        if flags.venn_key() != SourceFlags::C.venn_key() {
+            continue;
+        }
+        let (country, name) = inputs
+            .whois
+            .record(asn)
+            .map(|r| (r.country.to_string(), r.as_name.clone()))
+            .unwrap_or_default();
+        rows.push(vec![country, asn.to_string(), name]);
+    }
+    rows
+}
+
+/// Renders Table 7.
+pub fn table7_text(inputs: &PipelineInputs, output: &PipelineOutput) -> String {
+    render_table(&["Country (cc)", "ASN", "AS name"], &table7(inputs, output))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soi_core::{InputConfig, Pipeline, PipelineConfig, PipelineInputs};
+    use soi_worldgen::{generate, WorldConfig};
+
+    fn setup() -> (PipelineInputs, PipelineOutput) {
+        let world = generate(&WorldConfig::test_scale(131)).unwrap();
+        let inputs = PipelineInputs::from_world(&world, &InputConfig::with_seed(131)).unwrap();
+        let output = Pipeline::run(&inputs, &PipelineConfig::default());
+        (inputs, output)
+    }
+
+    #[test]
+    fn regions_partition_the_dataset() {
+        let (_, output) = setup();
+        let venn = VennReport::compute(&output);
+        let total: usize = venn.regions.values().sum();
+        assert_eq!(total, output.dataset.state_owned_ases().len());
+    }
+
+    #[test]
+    fn every_source_contributes_and_cti_is_small_but_unique() {
+        let (_, output) = setup();
+        let venn = VennReport::compute(&output);
+        for &(label, c) in &venn.contributions {
+            assert!(c.state_owned > 0, "source {label} contributed nothing");
+        }
+        let cti = venn.contributions.iter().find(|&&(l, _)| l == 'C').unwrap().1;
+        let geo = venn.contributions.iter().find(|&&(l, _)| l == 'G').unwrap().1;
+        assert!(cti.state_owned < geo.state_owned, "CTI should be the smallest source");
+        // The paper's key insight: CTI-only ASes exist.
+        assert!(venn.unique_to(SourceFlags::C) > 0, "no CTI-unique ASes");
+    }
+
+    #[test]
+    fn figure3_collapse_preserves_totals() {
+        let (_, output) = setup();
+        let venn = VennReport::compute(&output);
+        let f3 = venn.figure3();
+        assert_eq!(
+            f3.values().sum::<usize>(),
+            venn.regions.values().sum::<usize>()
+        );
+        assert!(venn.figure3_text().contains("all three"));
+        assert!(venn.figure7_text().contains("GECWO"));
+        assert!(venn.table6_text().contains("CTI"));
+    }
+
+    #[test]
+    fn table7_lists_cti_only_transit_ases(){
+        let (inputs, output) = setup();
+        let rows = table7(&inputs, &output);
+        assert!(!rows.is_empty(), "expected CTI-only discoveries");
+        // They should largely be the engineered gateways (transit-only).
+        let gatewayish = rows
+            .iter()
+            .filter(|r| {
+                ["GATEWAY", "CABLES", "INTERNATIONAL", "TRUNKCARRIER", "BSCCL"]
+                    .iter()
+                    .any(|k| r[2].contains(k))
+            })
+            .count();
+        assert!(
+            gatewayish * 2 >= rows.len(),
+            "CTI-only ASes should be dominated by gateways: {rows:?}"
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! Analysis benchmarks: footprints (Fig 1/4/Table 8), Venn overlaps
+//! (Fig 3/7, Tables 6/7) and the table renderers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use soi_analysis::footprint::FootprintReport;
+use soi_analysis::{tables, venn};
+use soi_bench::Fixture;
+
+fn bench_analysis(c: &mut Criterion) {
+    let fx = Fixture::small();
+
+    let mut g = c.benchmark_group("analysis");
+    g.sample_size(10);
+    g.bench_function("footprints", |b| {
+        b.iter(|| FootprintReport::compute(&fx.inputs, &fx.output))
+    });
+    let report = FootprintReport::compute(&fx.inputs, &fx.output);
+    g.bench_function("figure4_histograms", |b| {
+        b.iter(|| (report.figure4(true), report.figure4(false)))
+    });
+    g.bench_function("venn", |b| b.iter(|| venn::VennReport::compute(&fx.output)));
+    g.bench_function("tables_1_to_4", |b| {
+        b.iter(|| {
+            (
+                tables::table1(&fx.output),
+                tables::Table2::compute(&fx.output).text(),
+                tables::table3(&fx.output),
+                tables::table4_text(&fx.output),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Customer-cone benchmarks (Table 5 and Figure 5 kernels): cone
+//! computation, ranking and historical regression.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use soi_topology::{cone_sizes, customer_cone, AsRank};
+use soi_worldgen::{generate, WorldConfig};
+
+fn bench_cones(c: &mut Criterion) {
+    let world = generate(&WorldConfig::test_scale(7)).expect("generate");
+    let graph = &world.topology;
+    let big = AsRank::compute(graph).ranked()[0].0;
+
+    let mut g = c.benchmark_group("cones");
+    g.bench_function("single_cone_largest", |b| b.iter(|| customer_cone(graph, big)));
+    g.sample_size(20);
+    g.bench_function("all_cone_sizes", |b| b.iter(|| cone_sizes(graph)));
+    g.bench_function("asrank", |b| b.iter(|| AsRank::compute(graph)));
+    g.sample_size(10);
+    g.bench_function("cone_history_6_snapshots", |b| {
+        b.iter(|| world.cone_history().expect("history"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cones);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! CTI benchmarks (Appendix G formula over all monitors and prefixes —
+//! the kernel behind Table 7 and the C candidate source).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use soi_bench::Fixture;
+use soi_cti::{CtiConfig, CtiResults};
+
+fn bench_cti(c: &mut Criterion) {
+    let fx = Fixture::small();
+    let mut g = c.benchmark_group("cti");
+    g.sample_size(10);
+    g.bench_function("compute_small_world", |b| {
+        b.iter(|| {
+            CtiResults::compute(
+                &fx.inputs.view,
+                &fx.inputs.prefix_to_as,
+                &fx.inputs.geo,
+                CtiConfig::default(),
+            )
+            .expect("cti")
+        })
+    });
+    let cti = CtiResults::compute(
+        &fx.inputs.view,
+        &fx.inputs.prefix_to_as,
+        &fx.inputs.geo,
+        CtiConfig::default(),
+    )
+    .expect("cti");
+    g.bench_function("country_ranking_queries", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for (country, _) in cti.most_dependent_countries(75) {
+                acc += cti.top_k(country, 2).len();
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cti);
+criterion_main!(benches);

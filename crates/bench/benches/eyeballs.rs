@@ -1,0 +1,44 @@
+//! Eyeball-estimation benchmarks (the E candidate source and Figure 4b's
+//! per-country shares).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use soi_eyeballs::{ApnicEstimator, UserPopulation};
+use soi_worldgen::{generate, WorldConfig};
+
+fn bench_eyeballs(c: &mut Criterion) {
+    let world = generate(&WorldConfig::test_scale(7)).expect("generate");
+    let truth: Vec<UserPopulation> = world
+        .users
+        .iter()
+        .map(|&(country, asn, users)| UserPopulation { country, asn, users })
+        .collect();
+    let estimates = ApnicEstimator::default().estimate(&truth).expect("estimate");
+    let countries: Vec<_> = estimates.countries().collect();
+
+    let mut g = c.benchmark_group("eyeballs");
+    g.bench_function("estimate", |b| {
+        b.iter(|| ApnicEstimator::default().estimate(&truth).expect("estimate"))
+    });
+    g.bench_function("all_country_shares", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &country in &countries {
+                acc += estimates.country_shares(country).len();
+            }
+            acc
+        })
+    });
+    g.bench_function("threshold_filter", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &country in &countries {
+                acc += estimates.ases_above_share(country, 0.05).len();
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_eyeballs);
+criterion_main!(benches);

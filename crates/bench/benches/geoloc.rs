@@ -1,0 +1,42 @@
+//! Geolocation benchmarks: per-prefix country counting (called for every
+//! routed prefix during candidate selection) and database perturbation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use soi_geo::{GeoDb, GeoNoise};
+use soi_worldgen::{generate, WorldConfig};
+
+fn bench_geoloc(c: &mut Criterion) {
+    let world = generate(&WorldConfig::test_scale(7)).expect("generate");
+    let truth = GeoDb::from_blocks(world.geo_blocks.iter().copied()).expect("geo");
+    let db = GeoNoise::default().perturb(&truth).expect("perturb");
+    let prefixes: Vec<_> = world.prefix_assignments.iter().map(|&(p, _)| p).collect();
+
+    let mut g = c.benchmark_group("geoloc");
+    g.bench_function("count_by_country_all_prefixes", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &p in &prefixes {
+                acc += db.count_by_country(p).values().sum::<u64>();
+            }
+            acc
+        })
+    });
+    g.bench_function("ip_lookups_10k", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for i in 0..10_000u32 {
+                if db.country_of_ip(i.wrapping_mul(429_497)).is_some() {
+                    acc += 1;
+                }
+            }
+            acc
+        })
+    });
+    g.bench_function("perturb_database", |b| {
+        b.iter(|| GeoNoise::default().perturb(&truth).expect("perturb"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_geoloc);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Pipeline-stage benchmarks: candidate discovery (stage 1), ownership
+//! confirmation (stage 2) and the full three-stage run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use soi_bench::Fixture;
+use soi_core::confirm::{ConfirmPolicy, Confirmer};
+use soi_core::{CandidateSet, Pipeline, PipelineConfig};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let fx = Fixture::small();
+    let cfg = PipelineConfig::default();
+
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10);
+    g.bench_function("stage1_candidates", |b| {
+        b.iter(|| CandidateSet::discover(&fx.inputs, &cfg))
+    });
+
+    // Stage 2 over the actual candidate names.
+    let candidates = CandidateSet::discover(&fx.inputs, &cfg);
+    let names: Vec<String> = candidates.company_names.iter().map(|(n, _)| n.clone()).collect();
+    g.bench_function("stage2_confirm_all_candidates", |b| {
+        b.iter(|| {
+            let confirmer = Confirmer::new(&fx.inputs.corpus, ConfirmPolicy::default());
+            names
+                .iter()
+                .filter(|n| matches!(confirmer.confirm(n), soi_core::ConfirmOutcome::Confirmed(_)))
+                .count()
+        })
+    });
+
+    g.bench_function("full_run", |b| b.iter(|| Pipeline::run(&fx.inputs, &cfg)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! BGP propagation benchmarks: routing trees and full collector views
+//! (the kernel behind the prefix-to-AS table and CTI's path data).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use soi_bgp::{Announcement, BgpView, Monitor, OriginTree};
+use soi_worldgen::{generate, WorldConfig};
+
+fn bench_propagation(c: &mut Criterion) {
+    let world = generate(&WorldConfig::test_scale(7)).expect("generate");
+    let graph = &world.topology;
+    let announcements: Vec<Announcement> = world
+        .prefix_assignments
+        .iter()
+        .map(|&(p, o)| Announcement::new(p, o))
+        .collect();
+    let monitors: Vec<Monitor> = world
+        .default_monitor_ases(20)
+        .into_iter()
+        .enumerate()
+        .map(|(i, asn)| Monitor { id: i as u32, asn })
+        .collect();
+    let some_origin = announcements[announcements.len() / 2].origin;
+
+    let mut g = c.benchmark_group("propagation");
+    g.bench_function("origin_tree", |b| {
+        b.iter(|| OriginTree::compute(graph, some_origin).expect("origin in topology"))
+    });
+    g.sample_size(10);
+    g.bench_function("full_view", |b| {
+        b.iter(|| BgpView::compute(graph, &announcements, &monitors).expect("view"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_propagation);
+criterion_main!(benches);

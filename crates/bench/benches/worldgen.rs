@@ -1,0 +1,19 @@
+//! World-generation benchmarks: the substrate behind every experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use soi_worldgen::{generate, WorldConfig};
+
+fn bench_worldgen(c: &mut Criterion) {
+    let mut g = c.benchmark_group("worldgen");
+    g.sample_size(20);
+    g.bench_function("test_scale", |b| {
+        b.iter(|| generate(&WorldConfig::test_scale(7)).expect("generate"))
+    });
+    g.bench_function("paper_scale", |b| {
+        b.iter(|| generate(&WorldConfig::paper_scale()).expect("generate"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_worldgen);
+criterion_main!(benches);

@@ -1,0 +1,444 @@
+//! Regenerates every table and figure of the paper from the synthetic
+//! world and prints paper-vs-measured values.
+//!
+//! ```text
+//! repro [--exp <id>] [--seed <n>] [--json <path>] [--csv <dir>]
+//!
+//!   ids: headline funnel fig1 fig2 fig3 fig4 fig5 fig6 fig7 minority
+//!        table1 table2 table3 table4 table5 table6 table7 table8
+//!        orbis ixp experts ageing eval all (default)
+//! ```
+
+use std::collections::BTreeSet;
+
+use soi_analysis::footprint::FootprintReport;
+use soi_analysis::headline::Headline;
+use soi_analysis::render::render_table;
+use soi_analysis::{tables, transit, venn};
+use soi_bench::{Fixture, REPRO_SEED};
+use soi_core::Evaluation;
+use soi_topology::AsRank;
+use soi_worldgen::WorldConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut exps: BTreeSet<String> = BTreeSet::new();
+    let mut seed = REPRO_SEED;
+    let mut json_path: Option<String> = None;
+    let mut csv_dir: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--exp" => {
+                i += 1;
+                exps.insert(args.get(i).expect("--exp needs a value").clone());
+            }
+            "--seed" => {
+                i += 1;
+                seed = args.get(i).expect("--seed needs a value").parse().expect("numeric seed");
+            }
+            "--json" => {
+                i += 1;
+                json_path = Some(args.get(i).expect("--json needs a path").clone());
+            }
+            "--csv" => {
+                i += 1;
+                csv_dir = Some(args.get(i).expect("--csv needs a directory").clone());
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let want = |id: &str| exps.is_empty() || exps.contains(id) || exps.contains("all");
+
+    eprintln!("# generating paper-scale world (seed {seed}) ...");
+    let fx = Fixture::with_config(WorldConfig { seed, ..WorldConfig::paper_scale() });
+    eprintln!(
+        "# world: {} ASes, {} links, {} prefixes, {} companies",
+        fx.world.num_ases(),
+        fx.world.topology.num_links(),
+        fx.world.prefix_assignments.len(),
+        fx.world.ownership.companies().len()
+    );
+
+    if let Some(path) = json_path {
+        let json = fx.output.dataset.to_json().expect("dataset serializes");
+        std::fs::write(&path, json).expect("write dataset");
+        eprintln!("# dataset written to {path}");
+    }
+
+    if let Some(dir) = &csv_dir {
+        write_csv_artifacts(dir, &fx);
+        eprintln!("# CSV artifacts written to {dir}/");
+    }
+
+    if want("headline") {
+        section("HEADLINE (§7)", "989 state-owned ASes incl. 193 foreign subs, 302 companies, 123 countries; 17% of announced space (25% ex-US)");
+        println!("{}", Headline::compute(&fx.inputs, &fx.output).text());
+    }
+
+    if want("funnel") {
+        section(
+            "CANDIDATE FUNNEL (§4)",
+            "geo 793, eyeballs 716, ∩ 466, ∪ 1043, CTI 93, total 1091; Orbis 994 companies",
+        );
+        let f = fx.output.funnel;
+        let rows = vec![
+            vec!["geolocation ASes".into(), f.geo_ases.to_string(), "793".into()],
+            vec!["eyeball ASes".into(), f.eyeball_ases.to_string(), "716".into()],
+            vec!["intersection".into(), f.geo_eyeball_intersection.to_string(), "466".into()],
+            vec!["union".into(), f.geo_eyeball_union.to_string(), "1043".into()],
+            vec!["CTI ASes".into(), f.cti_ases.to_string(), "93".into()],
+            vec!["total technical".into(), f.total_ases.to_string(), "1091".into()],
+            vec!["Orbis companies".into(), f.orbis_companies.to_string(), "994".into()],
+            vec!["report companies".into(), f.report_companies.to_string(), "-".into()],
+        ];
+        println!("{}", render_table(&["stage", "measured", "paper"], &rows));
+    }
+
+    let footprints = FootprintReport::compute(&fx.inputs, &fx.output);
+
+    if want("fig1") {
+        section("FIGURE 1", "per-country domestic (blue) and foreign (green) state footprint; prevalence highest in Africa/Asia/Middle East");
+        println!("mean domestic state footprint by region:");
+        println!("{}", footprints.region_rollup_text());
+        println!("{}", footprints.figure1());
+    }
+
+    if want("fig2") {
+        section("FIGURE 2", "the data discovery and classification process (realized as soi_core::Pipeline)");
+        let diagram = [
+            "[G: geolocated shares >=5%] --\\",
+            "[E: eyeball shares >=5%] -----+-> candidate ASNs -> PeeringDB/WHOIS/domain mapping --\\",
+            "[C: top-2 CTI per country] --/                                                        |",
+            "[O: Orbis state-owned] -------+-> candidate company names ---------------------------+",
+            "[W: Wikipedia + FH] ---------/                                                        |",
+            "                                                                                      v",
+            "STAGE 2: confirmation -- shareholder lists, fund-chain resolution, >=50% rule,",
+            "         exclusion filters (subnational/academic/gov/NIC), subsidiary discovery",
+            "                                                                                      |",
+            "                                                                                      v",
+            "STAGE 3: name->ASN reverse mapping -> AS2Org sibling expansion -> merge -> dataset",
+        ]
+        .join("\n");
+        println!("{diagram}\n"
+        );
+    }
+
+    if want("minority") {
+        section(
+            "MINORITY STATE OWNERSHIP (§7)",
+            "paper: 302 minority ASes noted; e.g. Deutsche Telekom 31%, Orange 22.95%, Telia 39.5%",
+        );
+        println!("{}", tables::minority_table(&fx.output, 12));
+    }
+
+    let venn_report = venn::VennReport::compute(&fx.output);
+
+    if want("fig3") {
+        section("FIGURE 3", "3-category overlap; every category has unique contributions (tech-only: 95)");
+        println!("{}", venn_report.figure3_text());
+    }
+
+    if want("fig4") {
+        section("FIGURE 4a", "countries by aggregate domestic state address share, per RIR; paper: 49 countries > 0.5");
+        println!("{}", footprints.figure4_text(true));
+        let (per_rir, rirs, _) = footprints.figure4(true);
+        let bars: Vec<(String, f64)> = rirs
+            .iter()
+            .zip(&per_rir)
+            .map(|(r, h)| (r.name().to_owned(), h[5..].iter().sum::<usize>() as f64))
+            .collect();
+        println!("countries > 0.5 per RIR:");
+        println!("{}", soi_analysis::render::bar_chart(&bars, 30));
+        let above_half_addr = footprints
+            .all()
+            .iter()
+            .filter(|f| f.domestic_addr > 0.5)
+            .count();
+        println!("countries with address share > 0.5: {above_half_addr} (paper: 49)\n");
+        section("FIGURE 4b", "same by eyeballs; paper: 42 countries > 0.5");
+        println!("{}", footprints.figure4_text(false));
+        let above_half_eye = footprints
+            .all()
+            .iter()
+            .filter(|f| f.domestic_eyeballs > 0.5)
+            .count();
+        println!("countries with eyeball share > 0.5: {above_half_eye} (paper: 42)\n");
+    }
+
+    if want("fig5") {
+        section("FIGURE 5", "fastest-growing state cones; paper: Angola Cables & BSCCL submarine carriers");
+        let history = fx.world.cone_history().expect("history");
+        for (asn, slope, points) in transit::figure5(&history, &fx.output, 4) {
+            let series: Vec<u32> = points.iter().map(|&(_, v)| v).collect();
+            let country = fx
+                .inputs
+                .whois
+                .record(asn)
+                .map(|r| r.country.to_string())
+                .unwrap_or_default();
+            println!(
+                "{asn} ({country})  {}  {:>4} -> {:<4}  {slope:+.1}/yr",
+                soi_analysis::render::sparkline(&series),
+                series.first().copied().unwrap_or(0),
+                series.last().copied().unwrap_or(0),
+            );
+        }
+        println!();
+        println!("{}", transit::figure5_text(&history, &fx.output, 2));
+    }
+
+    if want("fig6") {
+        section("FIGURE 6 (Appendix A)", "majority (blue) / minority (orange) owner countries");
+        let t2 = tables::Table2::compute(&fx.output);
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        for c in &t2.majority {
+            rows.push(vec![c.to_string(), "majority".into()]);
+        }
+        for c in &t2.minority {
+            if !t2.majority.contains(c) {
+                rows.push(vec![c.to_string(), "minority".into()]);
+            }
+        }
+        rows.sort();
+        println!("{}", render_table(&["country", "class"], &rows));
+    }
+
+    if want("fig7") {
+        section("FIGURE 7 (Appendix C)", "full 5-source Venn; paper's largest regions: 11011=310, 11010=158, 00001=121, 00010=108");
+        println!("{}", venn_report.figure7_text());
+    }
+
+    if want("table1") {
+        section("TABLE 1", "confirmation sources; paper: website 161, annual report 44, FH 33, CommsUpdate 22, WB 20 ...");
+        println!("{}", tables::table1(&fx.output));
+    }
+
+    if want("table2") {
+        section("TABLE 2", "paper: 123 majority, 19 subsidiary owners, 24 minority, 136 total");
+        println!("{}", tables::Table2::compute(&fx.output).text());
+    }
+
+    if want("table3") {
+        section("TABLE 3", "foreign subsidiaries; paper: AE 12, CN 9, QA 9, NO 9, VN 9 ... 19 owners");
+        println!("{}", tables::table3(&fx.output));
+    }
+
+    if want("table4") {
+        section("TABLE 4", "per-RIR; paper: APNIC 56/30/54%, RIPE 76/47/62%, ARIN 29/2/7%, AFRINIC 56/30/45%, LACNIC 31/14/50%");
+        println!("{}", tables::table4_text(&fx.output));
+    }
+
+    if want("table5") {
+        section("TABLE 5", "ten largest state cones; paper: SingTel 4235, Rostelecom 3778, TTK 3171, Angola Cables 1843 ...");
+        let rank = AsRank::compute(&fx.world.topology);
+        println!("{}", transit::table5_text(&rank, &fx.inputs, &fx.output, 10));
+    }
+
+    if want("table6") {
+        section("TABLE 6 (Appendix B)", "per-source contributions; paper: Geo 593(126), Eyeballs 586(151), CTI 15(0), Wiki+FH 728(126), Orbis 587(123)");
+        println!("{}", venn_report.table6_text());
+    }
+
+    if want("table7") {
+        section("TABLE 7 (Appendix D)", "ASes only CTI discovered; paper: 9 (MobiFone Global x3, BSCCL, ETECSA, Belarus x4)");
+        println!("{}", venn::table7_text(&fx.inputs, &fx.output));
+    }
+
+    if want("table8") {
+        section("TABLE 8 (Appendix F)", "countries with >= 0.9 state access-market footprint; paper: 18 incl. ET TV CU GL DJ SY AE ...");
+        let rows: Vec<Vec<String>> = footprints
+            .dominated_countries(0.9)
+            .into_iter()
+            .map(|(c, v)| vec![c.to_string(), format!("{v:.2}")])
+            .collect();
+        println!("{}", render_table(&["Country (cc)", "footprint"], &rows));
+        let foreign5 = footprints.foreign_dominated(0.05);
+        let foreign50 = footprints.foreign_dominated(0.5);
+        println!(
+            "foreign footprint > 5%: {} countries; > 50%: {} (paper: 12 African > 5%, 6 > 50%)\n",
+            foreign5.len(),
+            foreign50.len()
+        );
+    }
+
+    if want("orbis") {
+        section("ORBIS ASSESSMENT (§7)", "paper: 12 false positives, 140 false negatives over 79 countries");
+        println!(
+            "false positives: {}\nfalse negatives: {}\n",
+            fx.output.orbis.false_positives.len(),
+            fx.output.orbis.false_negatives.len()
+        );
+    }
+
+    if want("ixp") {
+        section(
+            "IXPs vs STATE CONCENTRATION (related work, beyond the paper)",
+            "Carisimo et al. 2020: IXPs fail to develop in state-concentrated markets",
+        );
+        let study = soi_analysis::ixp::IxpStudy::compute(&fx.world.ixps, &footprints);
+        println!("{}", study.text());
+    }
+
+    if want("experts") {
+        section(
+            "EXPERT VALIDATION (§7)",
+            "paper: a LACNIC expert validated 35 ASNs (14 countries), a French expert 2 companies; zero errors found",
+        );
+        let rows: Vec<Vec<String>> = soi_types::Rir::ALL
+            .iter()
+            .map(|&rir| {
+                let review =
+                    soi_core::eval::ExpertReview::conduct(&fx.output.dataset, &fx.world, rir);
+                vec![
+                    rir.name().to_owned(),
+                    review.checked.to_string(),
+                    review.false_positives.len().to_string(),
+                    review.false_negatives.len().to_string(),
+                    if review.clean() { "clean".into() } else { String::new() },
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(&["region", "ASNs checked", "wrong inclusions", "missed", ""], &rows)
+        );
+    }
+
+    if want("ageing") {
+        section(
+            "DATASET AGEING (§9, beyond the paper)",
+            "frozen dataset scored against 5 years of ownership churn",
+        );
+        let churn = soi_worldgen::ChurnConfig { seed, ..Default::default() };
+        let report = soi_analysis::ageing::AgeingReport::compute(
+            &fx.world,
+            &fx.output.dataset,
+            &churn,
+            5,
+        )
+        .expect("ageing");
+        println!("{}", report.text());
+    }
+
+    if want("eval") {
+        section("EVALUATION vs GROUND TRUTH", "(not in the paper: only possible with a synthetic world)");
+        let eval = Evaluation::score(&fx.output.dataset, &fx.world);
+        let rows = vec![
+            row("state-owned ASes", eval.ases),
+            row("foreign-subsidiary ASes", eval.foreign_ases),
+            row("owner countries", eval.countries),
+        ];
+        println!(
+            "{}",
+            render_table(&["level", "tp", "fp", "fn", "precision", "recall", "F1"], &rows)
+        );
+        println!(
+            "exclusions applied: {:?}\nunresolved candidates: {}\nconfirmed private: {}\n",
+            fx.output.excluded_counts, fx.output.unresolved, fx.output.confirmed_private
+        );
+    }
+}
+
+fn row(label: &str, s: soi_core::eval::PrScore) -> Vec<String> {
+    vec![
+        label.to_owned(),
+        s.tp.to_string(),
+        s.fp.to_string(),
+        s.fn_.to_string(),
+        format!("{:.3}", s.precision()),
+        format!("{:.3}", s.recall()),
+        format!("{:.3}", s.f1()),
+    ]
+}
+
+/// Writes machine-readable figure data (one CSV per figure/table) so the
+/// plots can be regenerated in any plotting tool.
+fn write_csv_artifacts(dir: &str, fx: &Fixture) {
+    use soi_analysis::render::render_csv;
+    std::fs::create_dir_all(dir).expect("create csv dir");
+    let write = |name: &str, content: String| {
+        std::fs::write(format!("{dir}/{name}"), content).expect("write csv");
+    };
+
+    let footprints = FootprintReport::compute(&fx.inputs, &fx.output);
+    let fig1_rows: Vec<Vec<String>> = footprints
+        .all()
+        .into_iter()
+        .map(|f| {
+            vec![
+                f.country.to_string(),
+                format!("{:.4}", f.domestic()),
+                format!("{:.4}", f.foreign()),
+                format!("{:.4}", f.domestic_addr),
+                format!("{:.4}", f.domestic_eyeballs),
+            ]
+        })
+        .collect();
+    write(
+        "fig1_footprints.csv",
+        render_csv(
+            &["country", "domestic", "foreign", "domestic_addr", "domestic_eyeballs"],
+            &fig1_rows,
+        ),
+    );
+
+    for (name, by_addresses) in [("fig4a_addresses.csv", true), ("fig4b_eyeballs.csv", false)] {
+        let (per_rir, rirs, total) = footprints.figure4(by_addresses);
+        let mut rows = Vec::new();
+        for b in 0..10 {
+            let mut row = vec![format!("{:.1}", b as f64 / 10.0)];
+            row.extend(per_rir.iter().map(|h| h[b].to_string()));
+            row.push(total[b].to_string());
+            rows.push(row);
+        }
+        let mut headers: Vec<String> = vec!["bucket".into()];
+        headers.extend(rirs.iter().map(|r| r.name().to_owned()));
+        headers.push("all".into());
+        let refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        write(name, render_csv(&refs, &rows));
+    }
+
+    let rank = AsRank::compute(&fx.world.topology);
+    write(
+        "table5_cones.csv",
+        render_csv(
+            &["asn", "country", "cone"],
+            &transit::table5(&rank, &fx.inputs, &fx.output, 10),
+        ),
+    );
+
+    let history = fx.world.cone_history().expect("history");
+    let mut fig5_rows = Vec::new();
+    for (asn, slope, points) in transit::figure5(&history, &fx.output, 4) {
+        for (date, cone) in points {
+            fig5_rows.push(vec![
+                asn.to_string(),
+                format!("{slope:.2}"),
+                date,
+                cone.to_string(),
+            ]);
+        }
+    }
+    write(
+        "fig5_cone_growth.csv",
+        render_csv(&["asn", "slope_per_year", "date", "cone"], &fig5_rows),
+    );
+
+    let venn_report = venn::VennReport::compute(&fx.output);
+    let venn_rows: Vec<Vec<String>> = venn_report
+        .regions
+        .iter()
+        .map(|(&k, &n)| vec![format!("{k:05b}"), n.to_string()])
+        .collect();
+    write("fig7_venn.csv", render_csv(&["gecwo", "ases"], &venn_rows));
+}
+
+fn section(title: &str, paper: &str) {
+    println!("=== {title} ===");
+    println!("    [paper: {paper}]");
+}

@@ -1,0 +1,44 @@
+//! Shared fixtures for benchmarks and the `repro` binary.
+//!
+//! Criterion benches must not re-generate the world per iteration, so the
+//! canonical paper-scale fixture (and a smaller bench fixture) live here.
+
+use soi_core::{InputConfig, Pipeline, PipelineConfig, PipelineInputs, PipelineOutput};
+use soi_worldgen::{generate, World, WorldConfig};
+
+/// The seed used by every reproduction artifact (tables in
+/// EXPERIMENTS.md were produced with this).
+pub const REPRO_SEED: u64 = 2021;
+
+/// The full paper-scale fixture: world, observable inputs and a complete
+/// pipeline run.
+pub struct Fixture {
+    /// The generated world.
+    pub world: World,
+    /// Observable inputs.
+    pub inputs: PipelineInputs,
+    /// Pipeline output.
+    pub output: PipelineOutput,
+}
+
+impl Fixture {
+    /// Builds the canonical paper-scale fixture.
+    pub fn paper() -> Fixture {
+        Self::with_config(WorldConfig { seed: REPRO_SEED, ..WorldConfig::paper_scale() })
+    }
+
+    /// Builds a smaller fixture for latency-sensitive benches.
+    pub fn small() -> Fixture {
+        Self::with_config(WorldConfig::test_scale(REPRO_SEED))
+    }
+
+    /// Builds a fixture from any world configuration.
+    pub fn with_config(cfg: WorldConfig) -> Fixture {
+        let seed = cfg.seed;
+        let world = generate(&cfg).expect("world generation");
+        let inputs =
+            PipelineInputs::from_world(&world, &InputConfig::with_seed(seed)).expect("inputs");
+        let output = Pipeline::run(&inputs, &PipelineConfig::default());
+        Fixture { world, inputs, output }
+    }
+}

@@ -1,0 +1,31 @@
+//! BGP substrate: valley-free route propagation, monitors and RIBs.
+//!
+//! The paper consumes three BGP-derived artifacts: CAIDA's prefix-to-AS
+//! table (origin of every routed prefix), the set of announced paths seen by
+//! public route collectors (RouteViews/RIS — the input to CTI), and the
+//! visibility of prefixes in the global routing table. This crate produces
+//! all three from an [`soi_topology::AsGraph`] plus a list of
+//! [`Announcement`]s, using the standard Gao–Rexford policy model:
+//!
+//! * **export**: an AS exports customer routes to everyone, but
+//!   provider/peer routes only to its customers (valley-free paths);
+//! * **selection**: prefer customer-learned over peer-learned over
+//!   provider-learned routes, then shortest AS path, then lowest next-hop
+//!   ASN (a deterministic stand-in for real tie-breakers).
+//!
+//! Routes are computed per *origin* as a routing tree ([`OriginTree`]):
+//! every AS's best next hop toward that origin. Monitors' RIBs and paths
+//! are then read out of the trees. This mirrors how BGP simulation is done
+//! at scale and keeps the per-origin work at O(V + E).
+
+pub mod dump;
+pub mod prefix2as;
+pub mod route;
+pub mod tree;
+pub mod view;
+
+pub use dump::{dump_rib, parse_dump, DumpEntry};
+pub use prefix2as::PrefixToAs;
+pub use route::{Announcement, RouteKind};
+pub use tree::OriginTree;
+pub use view::{BgpView, Monitor};

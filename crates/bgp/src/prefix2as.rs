@@ -1,0 +1,265 @@
+//! The prefix-to-AS table (CAIDA `pfx2as` analogue).
+//!
+//! Besides origin lookups, this table implements the "not covered by a more
+//! specific prefix" accounting that both the candidate-selection stage and
+//! CTI's `a(p, C)` term require: when `10.0.0.0/8` and `10.1.0.0/16` are
+//! both announced, the /16's addresses must not also be attributed to the
+//! /8's origin.
+
+use std::collections::HashMap;
+
+use soi_types::{Asn, Ipv4Prefix, PrefixTrie, SoiError};
+
+/// Immutable mapping from announced prefix to its (single) origin AS.
+#[derive(Clone, Debug)]
+pub struct PrefixToAs {
+    entries: Vec<(Ipv4Prefix, Asn)>,
+    trie: PrefixTrie<Asn>,
+}
+
+impl PrefixToAs {
+    /// Builds the table. Duplicate identical entries collapse; a prefix
+    /// announced by two different origins (MOAS) is rejected — the
+    /// simulator guarantees single-origin announcements, so a MOAS here is
+    /// a bug upstream, not data to tolerate.
+    pub fn from_entries(
+        entries: impl IntoIterator<Item = (Ipv4Prefix, Asn)>,
+    ) -> Result<PrefixToAs, SoiError> {
+        let mut trie = PrefixTrie::new();
+        let mut list: Vec<(Ipv4Prefix, Asn)> = Vec::new();
+        for (prefix, origin) in entries {
+            match trie.insert(prefix, origin) {
+                None => list.push((prefix, origin)),
+                Some(prev) if prev == origin => {
+                    // Exact duplicate; restore and move on.
+                }
+                Some(prev) => {
+                    return Err(SoiError::Invariant(format!(
+                        "MOAS: {prefix} announced by both {prev} and {origin}"
+                    )));
+                }
+            }
+        }
+        list.sort_unstable();
+        Ok(PrefixToAs { entries: list, trie })
+    }
+
+    /// Number of announced prefixes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+
+    /// All `(prefix, origin)` pairs in address order.
+    pub fn entries(&self) -> &[(Ipv4Prefix, Asn)] {
+        &self.entries
+    }
+
+    /// Exact-match origin of `prefix`.
+    pub fn origin(&self, prefix: Ipv4Prefix) -> Option<Asn> {
+        self.trie.get(prefix).copied()
+    }
+
+    /// Longest-prefix-match origin for a single address.
+    pub fn origin_of_ip(&self, ip: u32) -> Option<Asn> {
+        self.trie.lookup(ip).map(|(_, &o)| o)
+    }
+
+    /// The parts of `prefix` *not* covered by any strictly more-specific
+    /// announced prefix, as a list of disjoint subprefixes.
+    ///
+    /// This is the address set that "belongs" to `prefix`'s origin under
+    /// longest-prefix-match forwarding.
+    pub fn uncovered_subprefixes(&self, prefix: Ipv4Prefix) -> Vec<Ipv4Prefix> {
+        // Maximal strict more-specifics of `prefix`.
+        let mut specifics: Vec<Ipv4Prefix> = self
+            .entries
+            .iter()
+            .map(|&(p, _)| p)
+            .filter(|&p| prefix.covers(p) && p != prefix)
+            .collect();
+        // Keep only maximal ones (not covered by another specific).
+        specifics.sort_unstable_by_key(|p| p.len());
+        let mut maximal: Vec<Ipv4Prefix> = Vec::new();
+        for p in specifics {
+            if !maximal.iter().any(|m| m.covers(p)) {
+                maximal.push(p);
+            }
+        }
+        complement(prefix, &maximal)
+    }
+
+    /// Addresses attributed to each announced prefix after removing
+    /// more-specific carve-outs.
+    pub fn effective_addresses(&self) -> HashMap<Ipv4Prefix, u64> {
+        self.entries
+            .iter()
+            .map(|&(p, _)| {
+                let kept: u64 = self
+                    .uncovered_subprefixes(p)
+                    .iter()
+                    .map(|s| s.num_addresses())
+                    .sum();
+                (p, kept)
+            })
+            .collect()
+    }
+
+    /// Total addresses originated per AS (using effective, carve-out-aware
+    /// counts). This is the "fraction of the Internet's address space
+    /// announced in BGP" denominator in §7.
+    pub fn addresses_per_origin(&self) -> HashMap<Asn, u64> {
+        let eff = self.effective_addresses();
+        let mut out: HashMap<Asn, u64> = HashMap::new();
+        for &(p, origin) in &self.entries {
+            *out.entry(origin).or_default() += eff[&p];
+        }
+        out
+    }
+
+    /// Total announced (deduplicated) address space.
+    pub fn total_addresses(&self) -> u64 {
+        self.effective_addresses().values().sum()
+    }
+}
+
+/// The complement of the union of `holes` within `space`, as disjoint
+/// prefixes. `holes` must each be covered by `space` and be mutually
+/// non-nested (maximal).
+fn complement(space: Ipv4Prefix, holes: &[Ipv4Prefix]) -> Vec<Ipv4Prefix> {
+    if holes.is_empty() {
+        return vec![space];
+    }
+    if holes.contains(&space) {
+        return Vec::new();
+    }
+    let Some((lo, hi)) = space.split() else {
+        // /32 with a hole equal to it was handled above; a /32 cannot have
+        // a strict more-specific.
+        return vec![space];
+    };
+    let lo_holes: Vec<Ipv4Prefix> = holes.iter().copied().filter(|h| lo.covers(*h)).collect();
+    let hi_holes: Vec<Ipv4Prefix> = holes.iter().copied().filter(|h| hi.covers(*h)).collect();
+    let mut out = complement(lo, &lo_holes);
+    out.extend(complement(hi, &hi_holes));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn p(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    fn table(entries: &[(&str, u32)]) -> PrefixToAs {
+        PrefixToAs::from_entries(entries.iter().map(|&(s, o)| (p(s), Asn(o)))).unwrap()
+    }
+
+    #[test]
+    fn basic_lookup() {
+        let t = table(&[("10.0.0.0/8", 1), ("10.1.0.0/16", 2)]);
+        assert_eq!(t.origin(p("10.0.0.0/8")), Some(Asn(1)));
+        assert_eq!(t.origin_of_ip(u32::from(std::net::Ipv4Addr::new(10, 1, 2, 3))), Some(Asn(2)));
+        assert_eq!(t.origin_of_ip(u32::from(std::net::Ipv4Addr::new(10, 9, 2, 3))), Some(Asn(1)));
+        assert_eq!(t.origin_of_ip(u32::from(std::net::Ipv4Addr::new(11, 0, 0, 1))), None);
+    }
+
+    #[test]
+    fn moas_rejected_duplicates_collapse() {
+        assert!(PrefixToAs::from_entries([
+            (p("10.0.0.0/8"), Asn(1)),
+            (p("10.0.0.0/8"), Asn(2))
+        ])
+        .is_err());
+        let t = PrefixToAs::from_entries([
+            (p("10.0.0.0/8"), Asn(1)),
+            (p("10.0.0.0/8"), Asn(1)),
+        ])
+        .unwrap();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn carve_outs_are_subtracted() {
+        let t = table(&[("10.0.0.0/8", 1), ("10.1.0.0/16", 2), ("10.1.2.0/24", 3)]);
+        let eff = t.effective_addresses();
+        assert_eq!(eff[&p("10.1.2.0/24")], 256);
+        assert_eq!(eff[&p("10.1.0.0/16")], 65536 - 256);
+        assert_eq!(eff[&p("10.0.0.0/8")], (1 << 24) - 65536);
+        let per = t.addresses_per_origin();
+        assert_eq!(per[&Asn(1)] + per[&Asn(2)] + per[&Asn(3)], 1 << 24);
+        assert_eq!(t.total_addresses(), 1 << 24);
+    }
+
+    #[test]
+    fn uncovered_subprefixes_are_disjoint_and_complete() {
+        let t = table(&[("10.0.0.0/8", 1), ("10.64.0.0/10", 2)]);
+        let un = t.uncovered_subprefixes(p("10.0.0.0/8"));
+        let total: u64 = un.iter().map(|s| s.num_addresses()).sum();
+        assert_eq!(total, (1u64 << 24) - (1 << 22));
+        for (i, a) in un.iter().enumerate() {
+            assert!(!a.overlaps(p("10.64.0.0/10")));
+            for b in &un[i + 1..] {
+                assert!(!a.overlaps(*b));
+            }
+        }
+    }
+
+    #[test]
+    fn same_origin_more_specific_still_carved() {
+        // Traffic engineering: same origin announces /8 and /9; effective
+        // counts must not double-count.
+        let t = table(&[("10.0.0.0/8", 1), ("10.0.0.0/9", 1)]);
+        assert_eq!(t.addresses_per_origin()[&Asn(1)], 1 << 24);
+    }
+
+    proptest! {
+        /// Effective addresses of all entries always sum to the size of
+        /// the union of announced space (no double counting, no loss).
+        #[test]
+        fn prop_no_double_counting(
+            raw in proptest::collection::vec((any::<u32>(), 4u8..=20, 1u32..50), 1..40)
+        ) {
+            let mut seen = std::collections::HashSet::new();
+            let entries: Vec<(Ipv4Prefix, Asn)> = raw
+                .into_iter()
+                .filter_map(|(addr, len, o)| {
+                    let pfx = Ipv4Prefix::new(addr, len).unwrap();
+                    seen.insert(pfx).then_some((pfx, Asn(o)))
+                })
+                .collect();
+            let t = PrefixToAs::from_entries(entries.clone()).unwrap();
+            // Union size via sweep over sorted disjointified ranges.
+            let mut ranges: Vec<(u64, u64)> = entries
+                .iter()
+                .map(|(pfx, _)| (pfx.network() as u64, pfx.network() as u64 + pfx.num_addresses()))
+                .collect();
+            ranges.sort_unstable();
+            let mut union = 0u64;
+            let mut cur: Option<(u64, u64)> = None;
+            for (s, e) in ranges {
+                match cur {
+                    Some((cs, ce)) if s <= ce => cur = Some((cs, ce.max(e))),
+                    Some((cs, ce)) => {
+                        union += ce - cs;
+                        cur = Some((s, e));
+                        let _ = cs;
+                    }
+                    None => cur = Some((s, e)),
+                }
+            }
+            if let Some((cs, ce)) = cur {
+                union += ce - cs;
+            }
+            prop_assert_eq!(t.total_addresses(), union);
+        }
+    }
+}

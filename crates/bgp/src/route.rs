@@ -1,0 +1,68 @@
+//! Announcements and route classification.
+
+use serde::{Deserialize, Serialize};
+use soi_types::{Asn, Ipv4Prefix};
+
+/// An origination: `origin` announces `prefix` into BGP.
+///
+/// The paper notes that almost all routed address space has a single origin
+/// AS; the simulator enforces that (one origin per prefix), so a prefix's
+/// "owner" is unambiguous just as in CAIDA's prefix-to-AS data.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Announcement {
+    /// The announced prefix.
+    pub prefix: Ipv4Prefix,
+    /// The origin AS.
+    pub origin: Asn,
+}
+
+impl Announcement {
+    /// Convenience constructor.
+    pub fn new(prefix: Ipv4Prefix, origin: Asn) -> Self {
+        Announcement { prefix, origin }
+    }
+}
+
+/// How a route was learned, in Gao–Rexford preference order.
+///
+/// `Origin < Customer < Peer < Provider` in *preference-loss* order: an AS
+/// prefers routes earlier in this enum regardless of path length.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum RouteKind {
+    /// The AS originates the prefix itself.
+    Origin,
+    /// Learned from a customer (revenue-generating; exported to everyone).
+    Customer,
+    /// Learned from a peer (exported only to customers).
+    Peer,
+    /// Learned from a provider (exported only to customers).
+    Provider,
+}
+
+impl RouteKind {
+    /// True if an AS holding a route of this kind exports it to *peers and
+    /// providers* (only origin/customer routes are; Gao–Rexford export rule).
+    pub fn exported_upward(self) -> bool {
+        matches!(self, RouteKind::Origin | RouteKind::Customer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preference_order() {
+        assert!(RouteKind::Origin < RouteKind::Customer);
+        assert!(RouteKind::Customer < RouteKind::Peer);
+        assert!(RouteKind::Peer < RouteKind::Provider);
+    }
+
+    #[test]
+    fn export_rule() {
+        assert!(RouteKind::Origin.exported_upward());
+        assert!(RouteKind::Customer.exported_upward());
+        assert!(!RouteKind::Peer.exported_upward());
+        assert!(!RouteKind::Provider.exported_upward());
+    }
+}

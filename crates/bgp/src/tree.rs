@@ -1,0 +1,398 @@
+//! Per-origin routing trees (Gao–Rexford propagation).
+//!
+//! For one origin AS, an [`OriginTree`] records every other AS's best route
+//! toward it: how the route was learned ([`RouteKind`]), the AS-path length,
+//! and the chosen next hop. Best-path selection follows the standard policy
+//! order — customer-learned beats peer-learned beats provider-learned
+//! *regardless of length*, then shorter paths win, then the lowest next-hop
+//! ASN breaks remaining ties deterministically.
+//!
+//! The computation runs in three phases mirroring the export rules:
+//!
+//! 1. **customer routes** — BFS from the origin along customer→provider
+//!    links: every AS with the origin in its customer cone learns a
+//!    customer route (these propagate everywhere);
+//! 2. **peer routes** — an AS lacking a customer route learns from any peer
+//!    holding a customer/origin route (peers only export those);
+//! 3. **provider routes** — BFS downward from all routed ASes along
+//!    provider→customer links (providers export everything to customers).
+//!
+//! Phase order encodes route preference, so no relabelling is ever needed
+//! and each phase is linear in edges.
+
+use soi_topology::{AsGraph, NodeIx};
+use soi_types::Asn;
+
+use crate::route::RouteKind;
+
+/// Sentinel for "no next hop" (origin or unreachable).
+const NO_HOP: NodeIx = NodeIx::MAX;
+
+/// Every AS's best route toward one origin.
+#[derive(Clone, Debug)]
+pub struct OriginTree {
+    origin: Asn,
+    origin_ix: NodeIx,
+    kind: Vec<Option<RouteKind>>,
+    dist: Vec<u16>,
+    next_hop: Vec<NodeIx>,
+}
+
+impl OriginTree {
+    /// Computes the routing tree for `origin` over `graph`.
+    ///
+    /// Returns `None` if the origin is not in the topology (an announcement
+    /// from an AS with no links is invisible, matching real collectors).
+    pub fn compute(graph: &AsGraph, origin: Asn) -> Option<OriginTree> {
+        let origin_ix = graph.ix(origin)?;
+        let n = graph.num_ases();
+        let mut kind: Vec<Option<RouteKind>> = vec![None; n];
+        let mut dist: Vec<u16> = vec![u16::MAX; n];
+        let mut next_hop: Vec<NodeIx> = vec![NO_HOP; n];
+
+        kind[origin_ix as usize] = Some(RouteKind::Origin);
+        dist[origin_ix as usize] = 0;
+
+        // Phase 1: customer routes climb provider links, layer by layer so
+        // the lowest-ASN next hop wins within a distance layer.
+        let mut frontier: Vec<NodeIx> = vec![origin_ix];
+        let mut d = 0u16;
+        while !frontier.is_empty() {
+            d += 1;
+            // (candidate, via) pairs for the next layer.
+            let mut next_layer: Vec<NodeIx> = Vec::new();
+            for &u in &frontier {
+                for &v in graph.providers_ix(u) {
+                    let vs = v as usize;
+                    if kind[vs].is_none() {
+                        kind[vs] = Some(RouteKind::Customer);
+                        dist[vs] = d;
+                        next_hop[vs] = u;
+                        next_layer.push(v);
+                    } else if kind[vs] == Some(RouteKind::Customer)
+                        && dist[vs] == d
+                        && graph.asn(u) < graph.asn(next_hop[vs])
+                    {
+                        next_hop[vs] = u;
+                    }
+                }
+            }
+            next_layer.sort_unstable();
+            next_layer.dedup();
+            frontier = next_layer;
+        }
+
+        // Phase 2: peer routes. Only ASes holding origin/customer routes
+        // export to peers; receivers without any route accept.
+        let mut peer_gain: Vec<(NodeIx, NodeIx)> = Vec::new();
+        for u in 0..n as NodeIx {
+            if matches!(kind[u as usize], Some(k) if k.exported_upward()) {
+                for &v in graph.peers_ix(u) {
+                    if kind[v as usize].is_none() {
+                        peer_gain.push((v, u));
+                    }
+                }
+            }
+        }
+        for (v, u) in peer_gain {
+            let vs = v as usize;
+            let cand = dist[u as usize].saturating_add(1);
+            let better = match kind[vs] {
+                None => true,
+                Some(RouteKind::Peer) => {
+                    cand < dist[vs]
+                        || (cand == dist[vs] && graph.asn(u) < graph.asn(next_hop[vs]))
+                }
+                _ => false,
+            };
+            if better {
+                kind[vs] = Some(RouteKind::Peer);
+                dist[vs] = cand;
+                next_hop[vs] = u;
+            }
+        }
+
+        // Phase 3: provider routes flow down provider->customer links from
+        // every routed AS, again layered for deterministic tie-breaks.
+        // A customer may chain the route to its own customers.
+        let mut frontier: Vec<NodeIx> =
+            (0..n as NodeIx).filter(|&i| kind[i as usize].is_some()).collect();
+        // Layered Dijkstra-like sweep: distances are small integers, so we
+        // bucket by distance.
+        let mut by_dist: Vec<Vec<NodeIx>> = Vec::new();
+        for &i in &frontier {
+            let d = dist[i as usize] as usize;
+            if by_dist.len() <= d {
+                by_dist.resize(d + 1, Vec::new());
+            }
+            by_dist[d].push(i);
+        }
+        let mut level = 0usize;
+        while level < by_dist.len() {
+            let layer = std::mem::take(&mut by_dist[level]);
+            for u in layer {
+                if dist[u as usize] as usize != level {
+                    continue; // stale entry
+                }
+                for &v in graph.customers_ix(u) {
+                    let vs = v as usize;
+                    let cand = (level + 1) as u16;
+                    let better = match kind[vs] {
+                        None => true,
+                        Some(RouteKind::Provider) => {
+                            cand < dist[vs]
+                                || (cand == dist[vs]
+                                    && graph.asn(u) < graph.asn(next_hop[vs]))
+                        }
+                        _ => false,
+                    };
+                    if better {
+                        kind[vs] = Some(RouteKind::Provider);
+                        dist[vs] = cand;
+                        next_hop[vs] = u;
+                        if by_dist.len() <= level + 1 {
+                            by_dist.resize(level + 2, Vec::new());
+                        }
+                        by_dist[level + 1].push(v);
+                    }
+                }
+            }
+            level += 1;
+        }
+        frontier.clear();
+
+        Some(OriginTree { origin, origin_ix, kind, dist, next_hop })
+    }
+
+    /// The origin this tree routes toward.
+    pub fn origin(&self) -> Asn {
+        self.origin
+    }
+
+    /// How `asn` learned its best route (None if unreachable/unknown).
+    pub fn route_kind(&self, graph: &AsGraph, asn: Asn) -> Option<RouteKind> {
+        graph.ix(asn).and_then(|i| self.kind[i as usize])
+    }
+
+    /// AS-path length from `asn` to the origin (0 at the origin itself).
+    pub fn path_len(&self, graph: &AsGraph, asn: Asn) -> Option<u16> {
+        let i = graph.ix(asn)?;
+        self.kind[i as usize].map(|_| self.dist[i as usize])
+    }
+
+    /// The full AS path from `asn` to the origin, both inclusive
+    /// (`[asn, ..., origin]`). None if unreachable.
+    pub fn path(&self, graph: &AsGraph, asn: Asn) -> Option<Vec<Asn>> {
+        let mut i = graph.ix(asn)?;
+        self.kind[i as usize]?;
+        let mut out = Vec::with_capacity(self.dist[i as usize] as usize + 1);
+        loop {
+            out.push(graph.asn(i));
+            if i == self.origin_ix {
+                return Some(out);
+            }
+            let hop = self.next_hop[i as usize];
+            debug_assert_ne!(hop, NO_HOP, "non-origin routed AS must have a next hop");
+            i = hop;
+        }
+    }
+
+    /// Number of ASes with a route to the origin (including the origin).
+    pub fn reachable_count(&self) -> usize {
+        self.kind.iter().filter(|k| k.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use soi_topology::AsGraphBuilder;
+
+    fn a(n: u32) -> Asn {
+        Asn(n)
+    }
+
+    /// Classic two-tier-1 topology:
+    ///   1 -- 2 (peers, tier 1)
+    ///   3 buys from 1; 4 buys from 2; 5 buys from 3 and 4.
+    fn diamond() -> AsGraph {
+        let mut b = AsGraphBuilder::new();
+        b.add_peering(a(1), a(2));
+        b.add_transit(a(3), a(1));
+        b.add_transit(a(4), a(2));
+        b.add_transit(a(5), a(3));
+        b.add_transit(a(5), a(4));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn customer_routes_climb() {
+        let g = diamond();
+        let t = OriginTree::compute(&g, a(5)).unwrap();
+        assert_eq!(t.route_kind(&g, a(5)), Some(RouteKind::Origin));
+        assert_eq!(t.route_kind(&g, a(3)), Some(RouteKind::Customer));
+        assert_eq!(t.route_kind(&g, a(1)), Some(RouteKind::Customer));
+        assert_eq!(t.path(&g, a(1)).unwrap(), vec![a(1), a(3), a(5)]);
+        assert_eq!(t.reachable_count(), 5);
+    }
+
+    #[test]
+    fn peer_routes_cross_the_top() {
+        let g = diamond();
+        let t = OriginTree::compute(&g, a(3)).unwrap();
+        // 2 has no customer route to 3; it learns via its peer 1.
+        assert_eq!(t.route_kind(&g, a(2)), Some(RouteKind::Peer));
+        assert_eq!(t.path(&g, a(2)).unwrap(), vec![a(2), a(1), a(3)]);
+        // 4 learns from its provider 2 (provider route).
+        assert_eq!(t.route_kind(&g, a(4)), Some(RouteKind::Provider));
+        assert_eq!(t.path(&g, a(4)).unwrap(), vec![a(4), a(2), a(1), a(3)]);
+    }
+
+    #[test]
+    fn valley_free_no_peer_then_up() {
+        // 6 peers with 3. 6's peer route to 5 must NOT be re-exported to 1
+        // (1 only hears from its customer 3). Topology: add 6 as peer of 3.
+        let mut b = AsGraphBuilder::new();
+        b.add_peering(a(1), a(2));
+        b.add_transit(a(3), a(1));
+        b.add_transit(a(5), a(3));
+        b.add_peering(a(6), a(3));
+        let g = b.build().unwrap();
+        let t = OriginTree::compute(&g, a(5)).unwrap();
+        // 6 hears the customer route from its peer 3.
+        assert_eq!(t.route_kind(&g, a(6)), Some(RouteKind::Peer));
+        // 2 hears via its peer 1 (customer route at 1), not via 6.
+        assert_eq!(t.path(&g, a(2)).unwrap(), vec![a(2), a(1), a(3), a(5)]);
+    }
+
+    #[test]
+    fn customer_route_preferred_even_if_longer() {
+        // 10 has a 3-hop customer path to origin and a 1-hop peer path; it
+        // must pick the customer route (Gao-Rexford preference).
+        let mut b = AsGraphBuilder::new();
+        b.add_transit(a(2), a(10)); // 10 <- 2
+        b.add_transit(a(3), a(2)); // 2 <- 3
+        b.add_transit(a(9), a(3)); // 3 <- 9 (origin)
+        b.add_peering(a(10), a(9));
+        let g = b.build().unwrap();
+        let t = OriginTree::compute(&g, a(9)).unwrap();
+        assert_eq!(t.route_kind(&g, a(10)), Some(RouteKind::Customer));
+        assert_eq!(t.path(&g, a(10)).unwrap(), vec![a(10), a(2), a(3), a(9)]);
+    }
+
+    #[test]
+    fn shortest_then_lowest_asn_tiebreak() {
+        // Origin 9; AS 5 can reach via customer 2 or customer 3 at equal
+        // distance -> picks 2 (lower ASN).
+        let mut b = AsGraphBuilder::new();
+        b.add_transit(a(9), a(2));
+        b.add_transit(a(9), a(3));
+        b.add_transit(a(2), a(5));
+        b.add_transit(a(3), a(5));
+        let g = b.build().unwrap();
+        let t = OriginTree::compute(&g, a(9)).unwrap();
+        assert_eq!(t.path(&g, a(5)).unwrap(), vec![a(5), a(2), a(9)]);
+    }
+
+    #[test]
+    fn disconnected_as_unreachable() {
+        let mut b = AsGraphBuilder::new();
+        b.add_transit(a(2), a(1));
+        b.add_transit(a(4), a(3)); // separate island
+        let g = b.build().unwrap();
+        let t = OriginTree::compute(&g, a(2)).unwrap();
+        assert_eq!(t.route_kind(&g, a(4)), None);
+        assert_eq!(t.path(&g, a(4)), None);
+        assert_eq!(t.reachable_count(), 2);
+        assert!(OriginTree::compute(&g, a(99)).is_none());
+    }
+
+    /// Generates a random plausibly-Internet-like layered topology.
+    fn random_graph(links: &std::collections::HashSet<(u32, u32)>, peers: &std::collections::HashSet<(u32, u32)>) -> Option<AsGraph> {
+        let mut b = AsGraphBuilder::new();
+        let mut used = std::collections::HashSet::new();
+        for &(x, y) in links {
+            if x == y {
+                continue;
+            }
+            let (lo, hi) = (x.min(y), x.max(y));
+            if !used.insert((lo, hi)) {
+                continue;
+            }
+            b.add_transit(Asn(hi), Asn(lo));
+        }
+        for &(x, y) in peers {
+            if x == y {
+                continue;
+            }
+            let (lo, hi) = (x.min(y), x.max(y));
+            if !used.insert((lo, hi)) {
+                continue;
+            }
+            b.add_peering(Asn(lo), Asn(hi));
+        }
+        b.build().ok()
+    }
+
+    proptest! {
+        /// Every produced path is valley-free: once the path (read from the
+        /// viewer toward the origin... reversed it is origin->viewer) stops
+        /// going "up" (c2p), it never goes up again; at most one peer link
+        /// is used, at the top.
+        #[test]
+        fn prop_paths_are_valley_free(
+            links in proptest::collection::hash_set((1u32..30, 1u32..30), 1..80),
+            peers in proptest::collection::hash_set((1u32..30, 1u32..30), 0..20),
+        ) {
+            let Some(g) = random_graph(&links, &peers) else {
+                return Ok(()); // contradictory peer+transit draw; skip
+            };
+            for &origin in g.ases() {
+                let t = OriginTree::compute(&g, origin).unwrap();
+                for &viewer in g.ases() {
+                    let Some(path) = t.path(&g, viewer) else { continue };
+                    prop_assert_eq!(*path.first().unwrap(), viewer);
+                    prop_assert_eq!(*path.last().unwrap(), origin);
+                    // Classify each hop in origin->viewer direction.
+                    // path[i] learned from path[i+1]; link between them.
+                    let mut phase = 0; // 0 = ascending from origin (c2p), 1 = after peak
+                    let mut peer_used = 0;
+                    for w in path.windows(2).rev() {
+                        let (closer_to_viewer, closer_to_origin) = (w[0], w[1]);
+                        // Walking origin -> viewer, the step goes from
+                        // closer_to_origin to closer_to_viewer.
+                        let up = g.providers(closer_to_origin).contains(&closer_to_viewer);
+                        let down = g.customers(closer_to_origin).contains(&closer_to_viewer);
+                        let peer = g.peers(closer_to_origin).contains(&closer_to_viewer);
+                        prop_assert!(up || down || peer, "path uses nonexistent link");
+                        match (up, peer) {
+                            (true, _) => prop_assert_eq!(phase, 0, "up after peak"),
+                            (_, true) => { peer_used += 1; phase = 1; }
+                            _ => phase = 1,
+                        }
+                    }
+                    prop_assert!(peer_used <= 1, "multiple peer links on path");
+                }
+            }
+        }
+
+        /// Paths never contain loops.
+        #[test]
+        fn prop_paths_are_simple(
+            links in proptest::collection::hash_set((1u32..25, 1u32..25), 1..60),
+        ) {
+            let Some(g) = random_graph(&links, &Default::default()) else { return Ok(()); };
+            for &origin in g.ases() {
+                let t = OriginTree::compute(&g, origin).unwrap();
+                for &viewer in g.ases() {
+                    if let Some(path) = t.path(&g, viewer) {
+                        let set: std::collections::HashSet<_> = path.iter().collect();
+                        prop_assert_eq!(set.len(), path.len(), "loop in path");
+                        prop_assert_eq!(path.len() as u16 - 1, t.path_len(&g, viewer).unwrap());
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! The collector's-eye view of the routing system.
+//!
+//! A [`BgpView`] is what RouteViews/RIS would give you for the synthetic
+//! world: for every monitor, the best AS path to every announced origin, and
+//! therefore a RIB of `(prefix, path)` entries. The prefix-to-AS table the
+//! candidate-selection stage consumes (§4.1) and the per-monitor paths CTI
+//! consumes (Appendix G) are both read out of this structure.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use soi_topology::AsGraph;
+use soi_types::{Asn, Ipv4Prefix, SoiError};
+
+use crate::prefix2as::PrefixToAs;
+use crate::route::Announcement;
+use crate::tree::OriginTree;
+
+/// A BGP monitor: an operational border router inside some AS that exports
+/// its view to a public collector.
+///
+/// Several monitors may sit inside the same AS; CTI down-weights them by
+/// `1/|monitors in that AS|` so a heavily-instrumented AS does not dominate.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Monitor {
+    /// Stable identifier within the collector set.
+    pub id: u32,
+    /// The AS hosting the monitor.
+    pub asn: Asn,
+}
+
+/// Best paths from every monitor to every announced origin.
+#[derive(Clone, Debug)]
+pub struct BgpView {
+    monitors: Vec<Monitor>,
+    announcements: Vec<Announcement>,
+    /// `paths[origin][monitor_index]` = AS path `[monitor_as, ..., origin]`.
+    paths: HashMap<Asn, Vec<Option<Vec<Asn>>>>,
+}
+
+impl BgpView {
+    /// Propagates routes for every announced origin and records each
+    /// monitor's best path.
+    ///
+    /// Origins are independent, so trees are computed in parallel across
+    /// available cores. Errors if the monitor set is empty (a collector
+    /// with no feeds sees nothing, which is never what a caller wants).
+    pub fn compute(
+        graph: &AsGraph,
+        announcements: &[Announcement],
+        monitors: &[Monitor],
+    ) -> Result<BgpView, SoiError> {
+        if monitors.is_empty() {
+            return Err(SoiError::InvalidConfig("empty monitor set".into()));
+        }
+        let mut origins: Vec<Asn> = announcements.iter().map(|a| a.origin).collect();
+        origins.sort_unstable();
+        origins.dedup();
+
+        let threads = std::thread::available_parallelism()
+            .map_or(1, |p| p.get())
+            .min(origins.len().max(1));
+        let chunk = origins.len().div_ceil(threads).max(1);
+        let mut results: Vec<(Asn, Vec<Option<Vec<Asn>>>)> = Vec::with_capacity(origins.len());
+
+        crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = origins
+                .chunks(chunk)
+                .map(|slice| {
+                    s.spawn(move |_| {
+                        let mut local = Vec::with_capacity(slice.len());
+                        for &origin in slice {
+                            let per_mon = match OriginTree::compute(graph, origin) {
+                                Some(tree) => monitors
+                                    .iter()
+                                    .map(|m| tree.path(graph, m.asn))
+                                    .collect(),
+                                None => vec![None; monitors.len()],
+                            };
+                            local.push((origin, per_mon));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for h in handles {
+                results.extend(h.join().expect("propagation worker panicked"));
+            }
+        })
+        .expect("propagation scope failed");
+
+        Ok(BgpView {
+            monitors: monitors.to_vec(),
+            announcements: announcements.to_vec(),
+            paths: results.into_iter().collect(),
+        })
+    }
+
+    /// The monitor set.
+    pub fn monitors(&self) -> &[Monitor] {
+        &self.monitors
+    }
+
+    /// All announcements fed into the view (visible or not).
+    pub fn announcements(&self) -> &[Announcement] {
+        &self.announcements
+    }
+
+    /// Best path `[monitor_as, ..., origin]` from monitor `mon_idx` to
+    /// `origin`; `None` if unreachable.
+    pub fn path(&self, mon_idx: usize, origin: Asn) -> Option<&[Asn]> {
+        self.paths
+            .get(&origin)?
+            .get(mon_idx)?
+            .as_deref()
+    }
+
+    /// Number of monitors that can reach `origin`.
+    pub fn monitors_reaching(&self, origin: Asn) -> usize {
+        self.paths
+            .get(&origin)
+            .map_or(0, |v| v.iter().filter(|p| p.is_some()).count())
+    }
+
+    /// The RIB of one monitor: every announcement it has a path for.
+    pub fn rib(&self, mon_idx: usize) -> impl Iterator<Item = (Ipv4Prefix, &[Asn])> + '_ {
+        self.announcements.iter().filter_map(move |a| {
+            self.path(mon_idx, a.origin).map(|p| (a.prefix, p))
+        })
+    }
+
+    /// Announcements visible from at least `min_monitors` monitors — the
+    /// simulated "global routing table" (prefixes seen by too few feeds are
+    /// discarded, as CAIDA's pipeline does).
+    pub fn visible_announcements(&self, min_monitors: usize) -> Vec<Announcement> {
+        self.announcements
+            .iter()
+            .filter(|a| self.monitors_reaching(a.origin) >= min_monitors)
+            .copied()
+            .collect()
+    }
+
+    /// Builds the prefix-to-AS table from announcements visible to at least
+    /// `min_monitors` monitors.
+    pub fn prefix_to_as(&self, min_monitors: usize) -> Result<PrefixToAs, SoiError> {
+        PrefixToAs::from_entries(
+            self.visible_announcements(min_monitors)
+                .into_iter()
+                .map(|a| (a.prefix, a.origin)),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soi_topology::AsGraphBuilder;
+
+    fn a(n: u32) -> Asn {
+        Asn(n)
+    }
+
+    fn p(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    fn world() -> (AsGraph, Vec<Announcement>, Vec<Monitor>) {
+        // 1 -- 2 tier-1 peers; 3 under 1; 4 under 2; 5 under 3 & 4.
+        let mut b = AsGraphBuilder::new();
+        b.add_peering(a(1), a(2));
+        b.add_transit(a(3), a(1));
+        b.add_transit(a(4), a(2));
+        b.add_transit(a(5), a(3));
+        b.add_transit(a(5), a(4));
+        let g = b.build().unwrap();
+        let ann = vec![
+            Announcement::new(p("10.0.0.0/8"), a(5)),
+            Announcement::new(p("20.0.0.0/8"), a(3)),
+            Announcement::new(p("30.0.0.0/8"), a(99)), // ghost origin
+        ];
+        let mons = vec![Monitor { id: 0, asn: a(1) }, Monitor { id: 1, asn: a(4) }];
+        (g, ann, mons)
+    }
+
+    #[test]
+    fn paths_reach_origins() {
+        let (g, ann, mons) = world();
+        let v = BgpView::compute(&g, &ann, &mons).unwrap();
+        assert_eq!(v.path(0, a(5)).unwrap(), &[a(1), a(3), a(5)]);
+        assert_eq!(v.path(1, a(5)).unwrap(), &[a(4), a(5)]);
+        assert_eq!(v.path(1, a(3)).unwrap(), &[a(4), a(2), a(1), a(3)]);
+        assert!(v.path(0, a(99)).is_none());
+    }
+
+    #[test]
+    fn visibility_filters_ghosts() {
+        let (g, ann, mons) = world();
+        let v = BgpView::compute(&g, &ann, &mons).unwrap();
+        assert_eq!(v.monitors_reaching(a(5)), 2);
+        assert_eq!(v.monitors_reaching(a(99)), 0);
+        let vis = v.visible_announcements(2);
+        assert_eq!(vis.len(), 2);
+        assert!(vis.iter().all(|x| x.origin != a(99)));
+    }
+
+    #[test]
+    fn rib_contents() {
+        let (g, ann, mons) = world();
+        let v = BgpView::compute(&g, &ann, &mons).unwrap();
+        let rib: Vec<_> = v.rib(0).collect();
+        assert_eq!(rib.len(), 2);
+        let table = v.prefix_to_as(1).unwrap();
+        assert_eq!(table.origin(p("10.0.0.0/8")), Some(a(5)));
+        assert_eq!(table.origin(p("30.0.0.0/8")), None);
+    }
+
+    #[test]
+    fn empty_monitor_set_rejected() {
+        let (g, ann, _) = world();
+        assert!(BgpView::compute(&g, &ann, &[]).is_err());
+    }
+
+    #[test]
+    fn monitor_inside_origin_sees_trivial_path() {
+        let (g, ann, _) = world();
+        let mons = vec![Monitor { id: 0, asn: a(5) }];
+        let v = BgpView::compute(&g, &ann, &mons).unwrap();
+        assert_eq!(v.path(0, a(5)).unwrap(), &[a(5)]);
+    }
+}

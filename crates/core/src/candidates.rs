@@ -1,0 +1,299 @@
+//! Stage 1: candidate ASes and companies (§4).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use soi_types::{Asn, CountryCode};
+
+use crate::inputs::PipelineInputs;
+use crate::pipeline::PipelineConfig;
+
+/// Which input sources nominated an AS/company, using the paper's
+/// single-letter convention: **G**eolocation, **E**yeballs, **C**TI,
+/// **O**rbis, **W**ikipedia + Freedom House.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Debug, Serialize, Deserialize)]
+pub struct SourceFlags(pub u8);
+
+impl SourceFlags {
+    /// Country-level AS geolocation.
+    pub const G: SourceFlags = SourceFlags(1);
+    /// APNIC eyeballs.
+    pub const E: SourceFlags = SourceFlags(2);
+    /// Country Transit Influence.
+    pub const C: SourceFlags = SourceFlags(4);
+    /// Orbis.
+    pub const O: SourceFlags = SourceFlags(8);
+    /// Wikipedia + Freedom House.
+    pub const W: SourceFlags = SourceFlags(16);
+
+    /// Set union.
+    pub fn union(self, other: SourceFlags) -> SourceFlags {
+        SourceFlags(self.0 | other.0)
+    }
+
+    /// True if all of `other`'s flags are present.
+    pub fn contains(self, other: SourceFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// True if no flag is set.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The paper's `[G, E, C, O, W]` label list.
+    pub fn labels(self) -> Vec<char> {
+        [(Self::G, 'G'), (Self::E, 'E'), (Self::C, 'C'), (Self::O, 'O'), (Self::W, 'W')]
+            .into_iter()
+            .filter(|&(f, _)| self.contains(f))
+            .map(|(_, l)| l)
+            .collect()
+    }
+
+    /// 5-bit Venn-region key in the order `G E C W O` (matching the
+    /// paper's Appendix C figure labels).
+    pub fn venn_key(self) -> u8 {
+        let mut k = 0u8;
+        for (i, f) in [Self::G, Self::E, Self::C, Self::W, Self::O].into_iter().enumerate() {
+            if self.contains(f) {
+                k |= 1 << (4 - i);
+            }
+        }
+        k
+    }
+}
+
+impl std::fmt::Display for SourceFlags {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let labels = self.labels();
+        let strs: Vec<String> = labels.iter().map(|c| c.to_string()).collect();
+        write!(f, "[{}]", strs.join(", "))
+    }
+}
+
+/// Stage-1 funnel statistics (the counts §4 reports).
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct FunnelStats {
+    /// ASes selected by country-level geolocation (paper: 793).
+    pub geo_ases: usize,
+    /// ASes selected by eyeball share (paper: 716).
+    pub eyeball_ases: usize,
+    /// Intersection of the two (paper: 466).
+    pub geo_eyeball_intersection: usize,
+    /// Union of the two (paper: 1043).
+    pub geo_eyeball_union: usize,
+    /// ASes selected by CTI (paper: 93).
+    pub cti_ases: usize,
+    /// Total candidate ASes across technical sources (paper: 1091).
+    pub total_ases: usize,
+    /// Companies labelled state-owned by Orbis (paper: 994).
+    pub orbis_companies: usize,
+    /// Company names claimed by Wikipedia + Freedom House.
+    pub report_companies: usize,
+}
+
+/// The stage-1 output: candidate ASNs with source attribution, plus
+/// candidate company names from the non-technical sources.
+#[derive(Clone, Debug, Default)]
+pub struct CandidateSet {
+    /// Candidate ASes and which technical sources nominated them.
+    pub as_sources: HashMap<Asn, SourceFlags>,
+    /// Candidate company names with their nominating source.
+    pub company_names: Vec<(String, SourceFlags)>,
+    /// Funnel statistics.
+    pub funnel: FunnelStats,
+}
+
+impl CandidateSet {
+    /// Runs candidate discovery over the inputs.
+    pub fn discover(inputs: &PipelineInputs, cfg: &PipelineConfig) -> CandidateSet {
+        let mut set = CandidateSet::default();
+
+        // --- G: country-level AS geolocation ---
+        if cfg.use_geolocation {
+            let shares = geolocated_shares(inputs);
+            for ((_, asn), share) in &shares {
+                if *share >= cfg.share_threshold {
+                    let e = set.as_sources.entry(*asn).or_default();
+                    *e = e.union(SourceFlags::G);
+                }
+            }
+        }
+
+        // --- E: eyeball shares ---
+        if cfg.use_eyeballs {
+            let countries: Vec<CountryCode> = inputs.eyeballs.countries().collect();
+            for country in countries {
+                for asn in inputs.eyeballs.ases_above_share(country, cfg.share_threshold) {
+                    let e = set.as_sources.entry(asn).or_default();
+                    *e = e.union(SourceFlags::E);
+                }
+            }
+        }
+
+        set.funnel.geo_ases = set
+            .as_sources
+            .values()
+            .filter(|f| f.contains(SourceFlags::G))
+            .count();
+        set.funnel.eyeball_ases = set
+            .as_sources
+            .values()
+            .filter(|f| f.contains(SourceFlags::E))
+            .count();
+        set.funnel.geo_eyeball_intersection = set
+            .as_sources
+            .values()
+            .filter(|f| f.contains(SourceFlags::G) && f.contains(SourceFlags::E))
+            .count();
+        set.funnel.geo_eyeball_union = set.as_sources.len();
+
+        // --- C: top-k CTI ASes in the most transit-dependent countries ---
+        if cfg.use_cti {
+            for (country, _) in inputs.cti.most_dependent_countries(cfg.cti_countries) {
+                for (asn, _) in inputs.cti.top_k(country, cfg.cti_top_k) {
+                    let e = set.as_sources.entry(asn).or_default();
+                    *e = e.union(SourceFlags::C);
+                }
+            }
+        }
+        set.funnel.cti_ases = set
+            .as_sources
+            .values()
+            .filter(|f| f.contains(SourceFlags::C))
+            .count();
+        set.funnel.total_ases = set.as_sources.len();
+
+        // --- O: Orbis state-owned company names ---
+        if cfg.use_orbis {
+            for entry in inputs.orbis.state_owned() {
+                set.company_names.push((entry.name.clone(), SourceFlags::O));
+            }
+            set.funnel.orbis_companies = set.company_names.len();
+        }
+
+        // --- W: Wikipedia + Freedom House claims ---
+        if cfg.use_reports {
+            let before = set.company_names.len();
+            for claim in inputs.wikipedia.claims() {
+                set.company_names.push((claim.company_name.clone(), SourceFlags::W));
+            }
+            for claim in inputs.freedom_house.claims() {
+                set.company_names.push((claim.company_name.clone(), SourceFlags::W));
+            }
+            set.funnel.report_companies = set.company_names.len() - before;
+        }
+
+        // Merge duplicate names, unioning flags.
+        let mut merged: HashMap<String, SourceFlags> = HashMap::new();
+        for (name, flags) in set.company_names.drain(..) {
+            let e = merged.entry(name).or_default();
+            *e = e.union(flags);
+        }
+        set.company_names = merged.into_iter().collect();
+        set.company_names.sort_by(|a, b| a.0.cmp(&b.0));
+
+        set
+    }
+}
+
+/// Per-(country, origin AS) share of the country's geolocated announced
+/// address space, honouring more-specific carve-outs.
+pub fn geolocated_shares(inputs: &PipelineInputs) -> HashMap<(CountryCode, Asn), f64> {
+    let mut per_pair: HashMap<(CountryCode, Asn), u64> = HashMap::new();
+    let mut per_country: HashMap<CountryCode, u64> = HashMap::new();
+    for &(prefix, origin) in inputs.prefix_to_as.entries() {
+        let kept = inputs.prefix_to_as.uncovered_subprefixes(prefix);
+        for (country, count) in inputs.geo.count_by_country_multi(&kept) {
+            *per_pair.entry((country, origin)).or_default() += count;
+            *per_country.entry(country).or_default() += count;
+        }
+    }
+    per_pair
+        .into_iter()
+        .map(|((country, asn), n)| {
+            let total = per_country[&country].max(1);
+            ((country, asn), n as f64 / total as f64)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inputs::{InputConfig, PipelineInputs};
+    use soi_worldgen::{generate, WorldConfig};
+
+    #[test]
+    fn flags_algebra() {
+        let f = SourceFlags::G.union(SourceFlags::O);
+        assert!(f.contains(SourceFlags::G) && f.contains(SourceFlags::O));
+        assert!(!f.contains(SourceFlags::E));
+        assert_eq!(f.labels(), vec!['G', 'O']);
+        assert_eq!(f.to_string(), "[G, O]");
+        assert!(SourceFlags::default().is_empty());
+        // Venn key order G E C W O: G=10000, O=00001.
+        assert_eq!(f.venn_key(), 0b10001);
+        assert_eq!(SourceFlags::W.venn_key(), 0b00010);
+    }
+
+    #[test]
+    fn discovery_produces_candidates_with_attribution() {
+        let world = generate(&WorldConfig::test_scale(51)).unwrap();
+        let inputs = PipelineInputs::from_world(&world, &InputConfig::with_seed(51)).unwrap();
+        let cfg = PipelineConfig::default();
+        let set = CandidateSet::discover(&inputs, &cfg);
+
+        assert!(set.funnel.geo_ases > 50, "geo: {}", set.funnel.geo_ases);
+        assert!(set.funnel.eyeball_ases > 50, "eyeballs: {}", set.funnel.eyeball_ases);
+        // The two overlap substantially but not fully (paper: 466 of ~1k).
+        assert!(set.funnel.geo_eyeball_intersection > 0);
+        assert!(set.funnel.geo_eyeball_union > set.funnel.geo_ases.max(set.funnel.eyeball_ases));
+        // CTI contributes a small set.
+        assert!(set.funnel.cti_ases > 0);
+        assert!(set.funnel.cti_ases < set.funnel.geo_ases);
+        assert!(set.funnel.total_ases >= set.funnel.geo_eyeball_union);
+        // Non-technical sources contribute names.
+        assert!(set.funnel.orbis_companies > 20);
+        assert!(set.funnel.report_companies > 20);
+        // Candidates are a minority of all ASes. (The paper sees ~1.6%;
+        // our synthetic world has far fewer stub ASes per country than
+        // the real Internet, and at test scale the stub population also
+        // shrinks with `scale` while operators do not — so only the
+        // weaker "well under 2/3" shape holds here.)
+        assert!(set.funnel.total_ases * 3 < world.num_ases() * 2);
+    }
+
+    #[test]
+    fn source_toggles_disable_contributions() {
+        let world = generate(&WorldConfig::test_scale(52)).unwrap();
+        let inputs = PipelineInputs::from_world(&world, &InputConfig::with_seed(52)).unwrap();
+        let cfg = PipelineConfig {
+            use_geolocation: false,
+            use_cti: false,
+            use_orbis: false,
+            ..PipelineConfig::default()
+        };
+        let set = CandidateSet::discover(&inputs, &cfg);
+        assert_eq!(set.funnel.geo_ases, 0);
+        assert_eq!(set.funnel.cti_ases, 0);
+        assert_eq!(set.funnel.orbis_companies, 0);
+        assert!(set.funnel.eyeball_ases > 0);
+        assert!(!set.company_names.is_empty(), "reports still contribute");
+    }
+
+    #[test]
+    fn threshold_monotonicity() {
+        let world = generate(&WorldConfig::test_scale(53)).unwrap();
+        let inputs = PipelineInputs::from_world(&world, &InputConfig::with_seed(53)).unwrap();
+        let loose = CandidateSet::discover(
+            &inputs,
+            &PipelineConfig { share_threshold: 0.01, ..PipelineConfig::default() },
+        );
+        let tight = CandidateSet::discover(
+            &inputs,
+            &PipelineConfig { share_threshold: 0.2, ..PipelineConfig::default() },
+        );
+        assert!(loose.funnel.total_ases > tight.funnel.total_ases);
+    }
+}

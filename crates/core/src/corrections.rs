@@ -1,0 +1,142 @@
+//! AS2Org corrections feedback (§6).
+//!
+//! While assembling the dataset, the paper's authors "identified several
+//! sibling ASNs that were incorrectly not recognized as such by AS2Org
+//! (e.g., because their AS names are completely different); we contributed
+//! our findings to the AS2Org project." This module derives exactly those
+//! corrections from a pipeline run: whenever a confirmed organization's
+//! ASNs span more than one AS2Org cluster, the clusters are siblings that
+//! the registry-based inference failed to join. The corrections can be
+//! applied back ([`soi_registry::As2Org::with_merges`]) and their effect
+//! measured against ground-truth company boundaries.
+
+use std::collections::{HashMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+use soi_registry::As2Org;
+use soi_types::{Asn, CompanyId, OrgId};
+
+use crate::pipeline::PipelineOutput;
+
+/// One correction: clusters that the dataset shows belong to one
+/// organization.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SiblingCorrection {
+    /// The organization (as named in the dataset) the clusters belong to.
+    pub org_name: String,
+    /// AS2Org cluster ids to merge.
+    pub merge: Vec<OrgId>,
+    /// The ASNs driving the merge (for the upstream report).
+    pub asns: Vec<Asn>,
+}
+
+/// Derives sibling corrections from a pipeline run: one per dataset
+/// organization whose ASNs span multiple clusters.
+pub fn derive_corrections(output: &PipelineOutput, as2org: &As2Org) -> Vec<SiblingCorrection> {
+    let mut out = Vec::new();
+    for rec in &output.dataset.organizations {
+        let mut clusters: Vec<OrgId> =
+            rec.asns.iter().filter_map(|&a| as2org.org_of(a)).collect();
+        clusters.sort_unstable();
+        clusters.dedup();
+        if clusters.len() > 1 {
+            out.push(SiblingCorrection {
+                org_name: rec.org_name.clone(),
+                merge: clusters,
+                asns: rec.asns.clone(),
+            });
+        }
+    }
+    out
+}
+
+/// Cluster quality against ground truth: the fraction of multi-AS
+/// companies whose ASNs all land in a single cluster. The §6 feedback
+/// loop should raise this.
+pub fn company_cluster_agreement(
+    as2org: &As2Org,
+    company_of: &HashMap<Asn, CompanyId>,
+) -> f64 {
+    let mut asns_of_company: HashMap<CompanyId, Vec<Asn>> = HashMap::new();
+    for (&asn, &company) in company_of {
+        asns_of_company.entry(company).or_default().push(asn);
+    }
+    let multi: Vec<&Vec<Asn>> =
+        asns_of_company.values().filter(|asns| asns.len() > 1).collect();
+    if multi.is_empty() {
+        return 1.0;
+    }
+    let unified = multi
+        .iter()
+        .filter(|asns| {
+            let orgs: HashSet<Option<OrgId>> = asns.iter().map(|&a| as2org.org_of(a)).collect();
+            orgs.len() == 1
+        })
+        .count();
+    unified as f64 / multi.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inputs::{InputConfig, PipelineInputs};
+    use crate::pipeline::{Pipeline, PipelineConfig};
+    use soi_worldgen::{generate, WorldConfig};
+
+    #[test]
+    fn corrections_exist_and_improve_cluster_agreement() {
+        let world = generate(&WorldConfig::test_scale(171)).unwrap();
+        let inputs = PipelineInputs::from_world(&world, &InputConfig::with_seed(171)).unwrap();
+        let output = Pipeline::run(&inputs, &PipelineConfig::default());
+
+        let corrections = derive_corrections(&output, &inputs.as2org);
+        assert!(
+            !corrections.is_empty(),
+            "stale WHOIS records should fragment some confirmed orgs"
+        );
+        for c in &corrections {
+            assert!(c.merge.len() > 1);
+            assert!(c.asns.len() >= c.merge.len());
+        }
+
+        // Apply them and measure cluster/company agreement.
+        let company_of: HashMap<Asn, CompanyId> = world
+            .registrations
+            .iter()
+            .map(|r| (r.asn, r.company))
+            .collect();
+        let before = company_cluster_agreement(&inputs.as2org, &company_of);
+        let merges: Vec<Vec<OrgId>> = corrections.iter().map(|c| c.merge.clone()).collect();
+        let corrected = inputs.as2org.with_merges(&merges);
+        let after = company_cluster_agreement(&corrected, &company_of);
+        assert!(
+            after > before,
+            "corrections did not improve agreement: {before:.3} -> {after:.3}"
+        );
+
+        // Merged clusters really contain the union.
+        for c in &corrections {
+            let org = corrected.org_of(c.asns[0]).expect("clustered");
+            for &asn in &c.asns {
+                assert_eq!(corrected.org_of(asn), Some(org), "{asn} not merged");
+            }
+        }
+    }
+
+    #[test]
+    fn agreement_metric_bounds() {
+        let world = generate(&WorldConfig::test_scale(172)).unwrap();
+        let inputs = PipelineInputs::from_world(&world, &InputConfig::with_seed(172)).unwrap();
+        let company_of: HashMap<Asn, CompanyId> = world
+            .registrations
+            .iter()
+            .map(|r| (r.asn, r.company))
+            .collect();
+        let score = company_cluster_agreement(&inputs.as2org, &company_of);
+        assert!((0.0..=1.0).contains(&score));
+        // Perfect inference is impossible with stale WHOIS, total failure
+        // is impossible with shared domains.
+        assert!(score > 0.3 && score < 1.0, "agreement {score}");
+        assert_eq!(company_cluster_agreement(&inputs.as2org, &HashMap::new()), 1.0);
+    }
+}

@@ -1,0 +1,245 @@
+//! The published dataset schema (paper §6, Listing 1).
+
+use serde::{Deserialize, Serialize};
+use soi_types::{Asn, CountryCode, OrgId, Rir, SoiError};
+
+/// One state-owned organization with its metadata and ASNs — the same
+/// fields as the paper's released JSON (Listing 1), with the org→ASN map
+/// inlined.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct OrgRecord {
+    /// Conglomerate the company belongs to (its own name when
+    /// independent).
+    pub conglomerate_name: String,
+    /// AS2Org cluster id, when the org's ASNs were clustered.
+    pub org_id: Option<OrgId>,
+    /// Organization name.
+    pub org_name: String,
+    /// Country of the controlling state.
+    pub ownership_cc: CountryCode,
+    /// Its English name.
+    pub ownership_country_name: String,
+    /// RIR of the organization's registrations.
+    pub rir: Option<Rir>,
+    /// Confirmation-source type ("Company's website", ...).
+    pub source: String,
+    /// Quote used to determine state ownership.
+    pub quote: String,
+    /// Language of the quote.
+    pub quote_lang: String,
+    /// URL of the confirmation source.
+    pub url: String,
+    /// Free-text extras.
+    pub additional_info: String,
+    /// Which input sources originally nominated the organization
+    /// (G/E/C/O/W convention).
+    pub inputs: Vec<char>,
+    /// Parent organization name for foreign subsidiaries.
+    pub parent_org: Option<String>,
+    /// Country where a foreign subsidiary operates.
+    pub target_cc: Option<CountryCode>,
+    /// Its English name.
+    pub target_country_name: Option<String>,
+    /// ASNs operated by the organization.
+    pub asns: Vec<Asn>,
+}
+
+impl OrgRecord {
+    /// True if the record describes a foreign state-owned subsidiary.
+    pub fn is_foreign_subsidiary(&self) -> bool {
+        self.target_cc.is_some_and(|t| t != self.ownership_cc)
+    }
+
+    /// The country where the organization operates (target country for
+    /// subsidiaries, owner country otherwise).
+    pub fn operating_cc(&self) -> CountryCode {
+        self.target_cc.unwrap_or(self.ownership_cc)
+    }
+}
+
+/// The final dataset: all identified state-owned organizations.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Dataset {
+    /// One record per organization.
+    pub organizations: Vec<OrgRecord>,
+}
+
+impl Dataset {
+    /// All state-owned ASNs, sorted and deduplicated.
+    pub fn state_owned_ases(&self) -> Vec<Asn> {
+        let mut out: Vec<Asn> = self.organizations.iter().flat_map(|o| o.asns.iter().copied()).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// ASNs of foreign state-owned subsidiaries.
+    pub fn foreign_subsidiary_ases(&self) -> Vec<Asn> {
+        let mut out: Vec<Asn> = self
+            .organizations
+            .iter()
+            .filter(|o| o.is_foreign_subsidiary())
+            .flat_map(|o| o.asns.iter().copied())
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Countries that own at least one organization in the dataset.
+    pub fn owner_countries(&self) -> Vec<CountryCode> {
+        let mut out: Vec<CountryCode> = self.organizations.iter().map(|o| o.ownership_cc).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Records owned by one country.
+    pub fn owned_by(&self, country: CountryCode) -> impl Iterator<Item = &OrgRecord> {
+        self.organizations.iter().filter(move |o| o.ownership_cc == country)
+    }
+
+    /// Serializes in the paper's published JSON shape.
+    pub fn to_json(&self) -> Result<String, SoiError> {
+        serde_json::to_string_pretty(self)
+            .map_err(|e| SoiError::Parse(format!("dataset serialization failed: {e}")))
+    }
+
+    /// Deserializes a dataset from JSON.
+    pub fn from_json(s: &str) -> Result<Dataset, SoiError> {
+        serde_json::from_str(s).map_err(|e| SoiError::Parse(format!("dataset parse failed: {e}")))
+    }
+}
+
+/// The difference between two datasets (e.g. a snapshot and a refreshed
+/// run after ownership churn) — the maintenance view §9 anticipates.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct DatasetDiff {
+    /// ASNs present only in the newer dataset.
+    pub added_ases: Vec<Asn>,
+    /// ASNs present only in the older dataset.
+    pub removed_ases: Vec<Asn>,
+    /// Organization names present only in the newer dataset.
+    pub added_orgs: Vec<String>,
+    /// Organization names present only in the older dataset.
+    pub removed_orgs: Vec<String>,
+}
+
+impl DatasetDiff {
+    /// Computes `new - old`.
+    pub fn between(old: &Dataset, new: &Dataset) -> DatasetDiff {
+        let old_ases = old.state_owned_ases();
+        let new_ases = new.state_owned_ases();
+        let added_ases =
+            new_ases.iter().filter(|a| old_ases.binary_search(a).is_err()).copied().collect();
+        let removed_ases =
+            old_ases.iter().filter(|a| new_ases.binary_search(a).is_err()).copied().collect();
+        let names = |d: &Dataset| -> Vec<String> {
+            let mut v: Vec<String> = d.organizations.iter().map(|o| o.org_name.clone()).collect();
+            v.sort();
+            v
+        };
+        let (old_names, new_names) = (names(old), names(new));
+        let added_orgs = new_names
+            .iter()
+            .filter(|n| old_names.binary_search(n).is_err())
+            .cloned()
+            .collect();
+        let removed_orgs = old_names
+            .iter()
+            .filter(|n| new_names.binary_search(n).is_err())
+            .cloned()
+            .collect();
+        DatasetDiff { added_ases, removed_ases, added_orgs, removed_orgs }
+    }
+
+    /// Total churned entries.
+    pub fn size(&self) -> usize {
+        self.added_ases.len() + self.removed_ases.len()
+    }
+
+    /// True if the datasets agree exactly on ASNs and names.
+    pub fn is_empty(&self) -> bool {
+        self.size() == 0 && self.added_orgs.is_empty() && self.removed_orgs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soi_types::cc;
+
+    fn record(name: &str, owner: &str, target: Option<&str>, asns: &[u32]) -> OrgRecord {
+        OrgRecord {
+            conglomerate_name: name.to_owned(),
+            org_id: Some(OrgId(1)),
+            org_name: name.to_owned(),
+            ownership_cc: owner.parse().unwrap(),
+            ownership_country_name: owner.to_owned(),
+            rir: Some(Rir::Ripe),
+            source: "Company's website".into(),
+            quote: "Major shareholdings: Government (54%)".into(),
+            quote_lang: "English".into(),
+            url: "https://example.net".into(),
+            additional_info: String::new(),
+            inputs: vec!['G', 'E'],
+            parent_org: None,
+            target_cc: target.map(|t| t.parse().unwrap()),
+            target_country_name: target.map(|t| t.to_owned()),
+            asns: asns.iter().map(|&a| Asn(a)).collect(),
+        }
+    }
+
+    #[test]
+    fn as_sets_and_subsidiaries() {
+        let ds = Dataset {
+            organizations: vec![
+                record("Telenor", "NO", None, &[2119, 8210]),
+                record("Telenor Pakistan", "NO", Some("PK"), &[24499]),
+                record("PTCL", "PK", None, &[17557, 24499]),
+            ],
+        };
+        assert_eq!(ds.state_owned_ases(), vec![Asn(2119), Asn(8210), Asn(17557), Asn(24499)]);
+        assert_eq!(ds.foreign_subsidiary_ases(), vec![Asn(24499)]);
+        assert_eq!(ds.owner_countries(), vec![cc("NO"), cc("PK")]);
+        assert_eq!(ds.owned_by(cc("NO")).count(), 2);
+        assert!(ds.organizations[1].is_foreign_subsidiary());
+        assert!(!ds.organizations[0].is_foreign_subsidiary());
+        assert_eq!(ds.organizations[1].operating_cc(), cc("PK"));
+    }
+
+    #[test]
+    fn diff_detects_additions_and_removals() {
+        let old = Dataset {
+            organizations: vec![
+                record("Telenor", "NO", None, &[2119]),
+                record("ARSAT", "AR", None, &[52361]),
+            ],
+        };
+        let new = Dataset {
+            organizations: vec![
+                record("Telenor", "NO", None, &[2119, 8210]),
+                record("Ucell", "UZ", None, &[31203]),
+            ],
+        };
+        let diff = DatasetDiff::between(&old, &new);
+        assert_eq!(diff.added_ases, vec![Asn(8210), Asn(31203)]);
+        assert_eq!(diff.removed_ases, vec![Asn(52361)]);
+        assert_eq!(diff.added_orgs, vec!["Ucell".to_string()]);
+        assert_eq!(diff.removed_orgs, vec!["ARSAT".to_string()]);
+        assert!(!diff.is_empty());
+        assert!(DatasetDiff::between(&old, &old).is_empty());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let ds = Dataset { organizations: vec![record("Telenor", "NO", None, &[2119])] };
+        let json = ds.to_json().unwrap();
+        assert!(json.contains("\"ownership_cc\": \"NO\""));
+        assert!(json.contains("2119"));
+        let back = Dataset::from_json(&json).unwrap();
+        assert_eq!(back.organizations.len(), 1);
+        assert_eq!(back.organizations[0].asns, vec![Asn(2119)]);
+        assert!(Dataset::from_json("{nope").is_err());
+    }
+}

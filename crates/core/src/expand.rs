@@ -1,0 +1,209 @@
+//! Stage 3: mapping confirmed companies back to ASNs, sibling expansion
+//! and record consolidation (§6).
+
+use std::collections::HashMap;
+
+use soi_types::{country_info, Asn, CountryCode, Rir};
+
+use crate::candidates::SourceFlags;
+use crate::confirm::Confirmation;
+use crate::dataset::OrgRecord;
+use crate::inputs::PipelineInputs;
+use crate::mapping::AsMapper;
+
+/// A confirmed company together with its provenance, before ASN
+/// expansion.
+#[derive(Clone, Debug)]
+pub struct ConfirmedEntry {
+    /// The confirmation itself.
+    pub confirmation: Confirmation,
+    /// Input sources that nominated it.
+    pub flags: SourceFlags,
+    /// Candidate ASNs that led to it (empty for name-only candidates).
+    pub seeds: Vec<Asn>,
+    /// Parent organization when discovered via subsidiary disclosure.
+    pub parent: Option<String>,
+}
+
+/// Expands one confirmed entry to a full dataset record. Returns `None`
+/// when no ASN can be found for the company — the paper's "unclear
+/// whether the mapping failed or the company owns no ASN" case.
+pub fn expand_entry(
+    entry: &ConfirmedEntry,
+    mapper: &AsMapper<'_>,
+    inputs: &PipelineInputs,
+) -> Option<OrgRecord> {
+    let mut asns = entry.seeds.clone();
+    asns.extend(mapper.asns_for_name(&entry.confirmation.name));
+    asns.sort_unstable();
+    asns.dedup();
+    let asns = mapper.with_siblings(&asns);
+    if asns.is_empty() {
+        return None;
+    }
+
+    // Organization country/RIR by majority vote over WHOIS records.
+    let (country, rir) = registration_consensus(&asns, inputs)?;
+    let ownership_cc = entry.confirmation.state;
+    let owner_name = country_info(ownership_cc)
+        .map(|i| i.name.to_owned())
+        .unwrap_or_else(|| ownership_cc.to_string());
+    let foreign = country != ownership_cc;
+
+    Some(OrgRecord {
+        conglomerate_name: entry
+            .parent
+            .clone()
+            .unwrap_or_else(|| entry.confirmation.name.clone()),
+        org_id: inputs.as2org.org_of(asns[0]),
+        org_name: entry.confirmation.name.clone(),
+        ownership_cc,
+        ownership_country_name: owner_name,
+        rir: Some(rir),
+        source: entry.confirmation.source.name().to_owned(),
+        quote: entry.confirmation.quote.clone(),
+        quote_lang: entry.confirmation.language.to_string(),
+        url: entry.confirmation.url.clone(),
+        additional_info: match (&entry.parent, entry.confirmation.equity) {
+            (Some(p), _) => format!("Disclosed as majority-held subsidiary of {p}"),
+            (None, Some(e)) => format!("Aggregate state equity {e}"),
+            (None, None) => String::new(),
+        },
+        inputs: entry.flags.labels(),
+        parent_org: entry.parent.clone(),
+        target_cc: foreign.then_some(country),
+        target_country_name: foreign
+            .then(|| country_info(country).map(|i| i.name.to_owned()))
+            .flatten(),
+        asns,
+    })
+}
+
+/// Majority `(country, RIR)` of the ASNs' WHOIS registrations.
+fn registration_consensus(
+    asns: &[Asn],
+    inputs: &PipelineInputs,
+) -> Option<(CountryCode, Rir)> {
+    let mut votes: HashMap<(CountryCode, Rir), usize> = HashMap::new();
+    for &asn in asns {
+        if let Some(rec) = inputs.whois.record(asn) {
+            *votes.entry((rec.country, rec.rir)).or_default() += 1;
+        }
+    }
+    votes
+        .into_iter()
+        .max_by_key(|&((c, _), n)| (n, std::cmp::Reverse(c)))
+        .map(|(k, _)| k)
+}
+
+/// Merges records that turned out to describe the same organization
+/// (brand and legal name both confirmed, overlapping ASN sets). Keeps the
+/// first record's metadata, unions ASNs and input flags.
+pub fn merge_overlapping(mut records: Vec<(OrgRecord, SourceFlags)>) -> Vec<(OrgRecord, SourceFlags)> {
+    // Union-find over record indices keyed by shared ASNs.
+    let n = records.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    let mut owner_of_asn: HashMap<Asn, usize> = HashMap::new();
+    for (i, (rec, _)) in records.iter().enumerate() {
+        for &asn in &rec.asns {
+            match owner_of_asn.entry(asn) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    let (ra, rb) = (find(&mut parent, *e.get()), find(&mut parent, i));
+                    if ra != rb {
+                        parent[ra.max(rb)] = ra.min(rb);
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(i);
+                }
+            }
+        }
+    }
+    let mut merged: HashMap<usize, (OrgRecord, SourceFlags)> = HashMap::new();
+    for (i, (rec, flags)) in records.drain(..).enumerate() {
+        let root = find(&mut parent, i);
+        match merged.entry(root) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                let (kept, kept_flags) = e.get_mut();
+                let mut asns = std::mem::take(&mut kept.asns);
+                asns.extend(rec.asns);
+                asns.sort_unstable();
+                asns.dedup();
+                kept.asns = asns;
+                *kept_flags = kept_flags.union(flags);
+                let mut inputs = kept_flags.labels();
+                inputs.dedup();
+                kept.inputs = inputs;
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert((rec, flags));
+            }
+        }
+    }
+    let mut out: Vec<(OrgRecord, SourceFlags)> = merged.into_values().collect();
+    out.sort_by(|a, b| a.0.org_name.cmp(&b.0.org_name).then(a.0.ownership_cc.cmp(&b.0.ownership_cc)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soi_sources::{Language, SourceKind};
+    use soi_types::cc;
+
+    fn record(name: &str, asns: &[u32]) -> OrgRecord {
+        OrgRecord {
+            conglomerate_name: name.into(),
+            org_id: None,
+            org_name: name.into(),
+            ownership_cc: cc("NO"),
+            ownership_country_name: "Norway".into(),
+            rir: None,
+            source: SourceKind::CompanyWebsite.name().into(),
+            quote: String::new(),
+            quote_lang: Language::English.to_string(),
+            url: String::new(),
+            additional_info: String::new(),
+            inputs: vec![],
+            parent_org: None,
+            target_cc: None,
+            target_country_name: None,
+            asns: asns.iter().map(|&a| Asn(a)).collect(),
+        }
+    }
+
+    #[test]
+    fn merging_unions_overlapping_records() {
+        let records = vec![
+            (record("Telenor", &[1, 2]), SourceFlags::G),
+            (record("Telenor Norge AS", &[2, 3]), SourceFlags::O),
+            (record("Telia", &[9]), SourceFlags::E),
+        ];
+        let merged = merge_overlapping(records);
+        assert_eq!(merged.len(), 2);
+        let telenor = merged.iter().find(|(r, _)| r.org_name.starts_with("Telenor")).unwrap();
+        assert_eq!(telenor.0.asns, vec![Asn(1), Asn(2), Asn(3)]);
+        assert!(telenor.1.contains(SourceFlags::G) && telenor.1.contains(SourceFlags::O));
+        let telia = merged.iter().find(|(r, _)| r.org_name == "Telia").unwrap();
+        assert_eq!(telia.1, SourceFlags::E);
+    }
+
+    #[test]
+    fn merging_is_transitive() {
+        let records = vec![
+            (record("A", &[1, 2]), SourceFlags::G),
+            (record("B", &[2, 3]), SourceFlags::E),
+            (record("C", &[3, 4]), SourceFlags::C),
+        ];
+        let merged = merge_overlapping(records);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].0.asns, vec![Asn(1), Asn(2), Asn(3), Asn(4)]);
+    }
+}

@@ -1,0 +1,184 @@
+//! Assembly of every observable data product from a world.
+//!
+//! The pipeline never touches [`soi_worldgen::World`] internals directly:
+//! it consumes only what the paper's authors could observe — BGP data from
+//! collectors, the geolocation database, eyeball estimates, registry data,
+//! commercial/report sources and the document corpus. This module derives
+//! all of them (with their respective noise models) in one place.
+
+use serde::{Deserialize, Serialize};
+use soi_bgp::{Announcement, BgpView, Monitor, PrefixToAs};
+use soi_cti::{CtiConfig, CtiResults};
+use soi_eyeballs::{ApnicEstimator, EyeballEstimates, UserPopulation};
+use soi_geo::{GeoDb, GeoNoise};
+use soi_registry::{As2Org, AsRegistration, PeeringDb, WhoisDb, WhoisNoise};
+use soi_sources::{CorpusConfig, DocumentCorpus, FreedomHouse, OrbisDb, OrbisNoise, Wikipedia};
+use soi_types::SoiError;
+use soi_worldgen::{AsRole, World};
+
+/// Noise/measurement configuration for all derived inputs.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct InputConfig {
+    /// Geolocation database error model.
+    pub geo: GeoNoise,
+    /// Eyeball estimator model.
+    pub eyeballs: ApnicEstimator,
+    /// WHOIS error model.
+    pub whois: WhoisNoise,
+    /// Orbis error model.
+    pub orbis: OrbisNoise,
+    /// Confirmation-corpus availability.
+    pub corpus: CorpusConfig,
+    /// Number of BGP monitors to place.
+    pub monitors: usize,
+    /// Master seed for input derivation.
+    pub seed: u64,
+}
+
+impl InputConfig {
+    /// Calibrated defaults with a given seed.
+    pub fn with_seed(seed: u64) -> Self {
+        InputConfig {
+            geo: GeoNoise { seed, ..GeoNoise::default() },
+            eyeballs: ApnicEstimator { seed, ..ApnicEstimator::default() },
+            whois: WhoisNoise { seed, ..WhoisNoise::default() },
+            orbis: OrbisNoise { seed, ..OrbisNoise::default() },
+            corpus: CorpusConfig { seed, ..CorpusConfig::default() },
+            monitors: 40,
+            seed,
+        }
+    }
+}
+
+/// Everything the pipeline is allowed to see.
+pub struct PipelineInputs {
+    /// Collector view (paths from every monitor).
+    pub view: BgpView,
+    /// Prefix-to-AS table from visible announcements.
+    pub prefix_to_as: PrefixToAs,
+    /// The (noisy) geolocation database.
+    pub geo: GeoDb,
+    /// Eyeball estimates.
+    pub eyeballs: EyeballEstimates,
+    /// WHOIS records.
+    pub whois: WhoisDb,
+    /// PeeringDB snapshot.
+    pub peeringdb: PeeringDb,
+    /// AS2Org sibling inference (computed from the noisy WHOIS).
+    pub as2org: As2Org,
+    /// Orbis snapshot.
+    pub orbis: OrbisDb,
+    /// Freedom House reports.
+    pub freedom_house: FreedomHouse,
+    /// Wikipedia claims.
+    pub wikipedia: Wikipedia,
+    /// Confirmation documents.
+    pub corpus: DocumentCorpus,
+    /// CTI scores.
+    pub cti: CtiResults,
+}
+
+impl PipelineInputs {
+    /// Derives all observable inputs from a world.
+    pub fn from_world(world: &World, cfg: &InputConfig) -> Result<PipelineInputs, SoiError> {
+        // BGP: monitors, propagation, prefix table.
+        let monitor_ases = world.default_monitor_ases(cfg.monitors.max(1));
+        if monitor_ases.is_empty() {
+            return Err(SoiError::InvalidConfig("world yields no monitor ASes".into()));
+        }
+        let monitors: Vec<Monitor> = monitor_ases
+            .iter()
+            .enumerate()
+            .map(|(i, &asn)| Monitor { id: i as u32, asn })
+            .collect();
+        let announcements: Vec<Announcement> = world
+            .prefix_assignments
+            .iter()
+            .map(|&(prefix, origin)| Announcement::new(prefix, origin))
+            .collect();
+        let view = BgpView::compute(&world.topology, &announcements, &monitors)?;
+        let prefix_to_as = view.prefix_to_as((monitors.len() / 3).max(1))?;
+
+        // Geolocation: ground-truth blocks perturbed by the noise model.
+        let truth_geo = GeoDb::from_blocks(world.geo_blocks.iter().copied())?;
+        let geo = cfg.geo.perturb(&truth_geo)?;
+
+        // Eyeballs.
+        let populations: Vec<UserPopulation> = world
+            .users
+            .iter()
+            .map(|&(country, asn, users)| UserPopulation { country, asn, users })
+            .collect();
+        let eyeballs = cfg.eyeballs.estimate(&populations)?;
+
+        // Registry data. PeeringDB participation skews toward transit
+        // sellers, as in reality.
+        let whois = WhoisDb::generate(&world.registrations, cfg.whois)?;
+        let profiles = &world.profiles;
+        let peeringdb = PeeringDb::generate(
+            &world.registrations,
+            |reg: &AsRegistration| match profiles.get(&reg.asn).map(|p| p.role) {
+                Some(AsRole::GlobalCarrier | AsRole::RegionalCarrier) => 0.95,
+                Some(AsRole::NationalTransit | AsRole::TransitGateway) => 0.6,
+                Some(AsRole::Access) => 0.35,
+                Some(AsRole::Academic) => 0.3,
+                _ => 0.08,
+            },
+            cfg.seed,
+        )?;
+        let as2org = As2Org::infer(&whois);
+
+        // Non-technical sources.
+        let orbis = OrbisDb::generate(world, cfg.orbis)?;
+        let freedom_house = FreedomHouse::generate(world, cfg.seed);
+        let wikipedia = Wikipedia::generate(world, cfg.seed);
+        let corpus = DocumentCorpus::generate(world, &freedom_house, cfg.corpus)?;
+
+        // CTI.
+        let cti = CtiResults::compute(&view, &prefix_to_as, &geo, CtiConfig::default())?;
+
+        Ok(PipelineInputs {
+            view,
+            prefix_to_as,
+            geo,
+            eyeballs,
+            whois,
+            peeringdb,
+            as2org,
+            orbis,
+            freedom_house,
+            wikipedia,
+            corpus,
+            cti,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soi_worldgen::{generate, WorldConfig};
+
+    #[test]
+    fn derives_full_input_set() {
+        let world = generate(&WorldConfig::test_scale(41)).unwrap();
+        let inputs = PipelineInputs::from_world(&world, &InputConfig::with_seed(41)).unwrap();
+        assert!(!inputs.prefix_to_as.is_empty());
+        assert!(inputs.geo.len() > 100);
+        assert!(inputs.eyeballs.distinct_ases() > 50);
+        assert_eq!(inputs.whois.records().len(), world.registrations.len());
+        assert!(inputs.peeringdb.entries().len() < world.registrations.len());
+        assert!(inputs.as2org.num_orgs() > 0);
+        assert!(inputs.orbis.entries().len() > 50);
+        assert!(!inputs.corpus.documents().is_empty());
+        assert!(inputs.cti.countries().count() > 10);
+    }
+
+    #[test]
+    fn monitor_count_respected() {
+        let world = generate(&WorldConfig::test_scale(42)).unwrap();
+        let cfg = InputConfig { monitors: 10, ..InputConfig::with_seed(42) };
+        let inputs = PipelineInputs::from_world(&world, &cfg).unwrap();
+        assert_eq!(inputs.view.monitors().len(), 10);
+    }
+}

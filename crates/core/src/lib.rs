@@ -1,0 +1,43 @@
+//! The three-stage state-owned-AS identification pipeline.
+//!
+//! This crate is the paper's primary contribution, made executable:
+//!
+//! * **Stage 1 — candidates** ([`candidates`]): technical sources
+//!   (country-level geolocation of routed space, APNIC-style eyeball
+//!   shares, top-CTI transit providers) nominate ASNs; non-technical
+//!   sources (Orbis, Wikipedia + Freedom House) nominate company names.
+//!   ASNs are mapped to names via PeeringDB, WHOIS and a contact-domain
+//!   fallback ([`mapping`]).
+//! * **Stage 2 — confirmation** ([`confirm`]): each candidate company's
+//!   ownership is resolved against the document corpus: shareholder lists
+//!   are parsed, holder names resolved (recursively, through funds),
+//!   aggregate state equity computed, and the IMF >= 50% rule applied.
+//!   Excluded categories (subnational, academic, bureaucratic, NIC) are
+//!   filtered, and majority-held subsidiaries disclosed in corporate
+//!   documents are discovered and confirmed transitively (§5.2).
+//! * **Stage 3 — expansion & consolidation** ([`expand`]): confirmed
+//!   operators map back to ASNs, AS2Org siblings are added, and the
+//!   dataset is emitted in the paper's published schema ([`dataset`]),
+//!   with per-organization confirmation metadata and input-source flags.
+//!
+//! Because the world is synthetic, [`eval`] can score the pipeline's
+//! output against ground truth — the precision/recall the paper could
+//! only estimate through expert spot checks.
+
+pub mod candidates;
+pub mod confirm;
+pub mod corrections;
+pub mod dataset;
+pub mod eval;
+pub mod expand;
+pub mod inputs;
+pub mod mapping;
+pub mod pipeline;
+
+pub use candidates::{CandidateSet, SourceFlags};
+pub use confirm::{ConfirmOutcome, Confirmation, Confirmer};
+pub use corrections::{derive_corrections, SiblingCorrection};
+pub use dataset::{Dataset, DatasetDiff, OrgRecord};
+pub use eval::Evaluation;
+pub use inputs::{InputConfig, PipelineInputs};
+pub use pipeline::{Pipeline, PipelineConfig, PipelineOutput};

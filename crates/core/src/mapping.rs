@@ -1,0 +1,181 @@
+//! AS ↔ company-name mapping (§4.2, and its inverse for stage 3).
+//!
+//! Forward mapping (ASN → names) prefers PeeringDB (fresh brand names,
+//! low coverage) over WHOIS (total coverage, stale/legal names), with the
+//! paper's "Google the contact domain" fallback simulated as a lookup of
+//! the domain against the document corpus's URLs. Reverse mapping
+//! (name → ASNs) searches WHOIS and PeeringDB org names.
+
+use std::collections::HashMap;
+
+use soi_registry::as2org::normalize_org_name;
+use soi_types::Asn;
+
+use crate::inputs::PipelineInputs;
+
+/// Bidirectional AS/company-name mapper over the observable registries.
+pub struct AsMapper<'a> {
+    inputs: &'a PipelineInputs,
+    /// Contact domain -> subject names appearing at that domain in the
+    /// document corpus (the simulated web search).
+    domain_index: HashMap<String, Vec<String>>,
+}
+
+impl<'a> AsMapper<'a> {
+    /// Builds the mapper (indexes corpus URLs by host).
+    pub fn new(inputs: &'a PipelineInputs) -> Self {
+        let mut domain_index: HashMap<String, Vec<String>> = HashMap::new();
+        for doc in inputs.corpus.documents() {
+            if let Some(host) = host_of(&doc.url) {
+                let names = domain_index.entry(host.to_owned()).or_default();
+                if !names.contains(&doc.subject_name) {
+                    names.push(doc.subject_name.clone());
+                }
+            }
+        }
+        AsMapper { inputs, domain_index }
+    }
+
+    /// Candidate company names for an ASN, best-first and deduplicated
+    /// by normalization.
+    pub fn names_for_as(&self, asn: Asn) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        let mut seen: Vec<String> = Vec::new();
+        let push = |name: String, out: &mut Vec<String>, seen: &mut Vec<String>| {
+            let key = normalize_org_name(&name);
+            if !key.is_empty() && !seen.contains(&key) {
+                seen.push(key);
+                out.push(name);
+            }
+        };
+        if let Some(entry) = self.inputs.peeringdb.entry(asn) {
+            push(entry.org_name.clone(), &mut out, &mut seen);
+        }
+        if let Some(rec) = self.inputs.whois.record(asn) {
+            push(rec.org_name.clone(), &mut out, &mut seen);
+        }
+        // Contact-domain fallback ("we Google-search for the DNS domains
+        // from the points of contact").
+        if let Some(domain) = self.inputs.whois.contact_domain(asn) {
+            if let Some(names) = self.domain_index.get(domain) {
+                for n in names {
+                    push(n.clone(), &mut out, &mut seen);
+                }
+            }
+        }
+        out
+    }
+
+    /// ASNs whose registry records name exactly this organization (up to
+    /// normalization). Substring matching would conflate e.g. "Telenor"
+    /// with "Telenor Sverige" — a distinct legal entity — so the reverse
+    /// mapping is deliberately exact; broader discovery happens through
+    /// sibling expansion instead.
+    pub fn asns_for_name(&self, name: &str) -> Vec<Asn> {
+        let key = normalize_org_name(name);
+        if key.is_empty() {
+            return Vec::new();
+        }
+        let mut out: Vec<Asn> = self
+            .inputs
+            .whois
+            .records()
+            .iter()
+            .filter(|r| normalize_org_name(&r.org_name) == key)
+            .map(|r| r.asn)
+            .chain(
+                self.inputs
+                    .peeringdb
+                    .entries()
+                    .iter()
+                    .filter(|e| normalize_org_name(&e.org_name) == key)
+                    .map(|e| e.asn),
+            )
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Sibling expansion via AS2Org: every ASN clustered with any of the
+    /// given ASNs.
+    pub fn with_siblings(&self, asns: &[Asn]) -> Vec<Asn> {
+        let mut out: Vec<Asn> = asns.to_vec();
+        for &asn in asns {
+            out.extend_from_slice(self.inputs.as2org.siblings(asn));
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+fn host_of(url: &str) -> Option<&str> {
+    let rest = url.split_once("://").map_or(url, |(_, r)| r);
+    let host = rest.split('/').next()?;
+    let host = host.strip_prefix("www.").unwrap_or(host);
+    (!host.is_empty()).then_some(host)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inputs::{InputConfig, PipelineInputs};
+    use soi_worldgen::{generate, WorldConfig};
+
+    #[test]
+    fn host_parsing() {
+        assert_eq!(host_of("https://www.telenor.no/investors"), Some("telenor.no"));
+        assert_eq!(host_of("telenor.no/x"), Some("telenor.no"));
+        assert_eq!(host_of("https:///"), None);
+    }
+
+    #[test]
+    fn forward_mapping_finds_names_for_most_candidates() {
+        let world = generate(&WorldConfig::test_scale(61)).unwrap();
+        let inputs = PipelineInputs::from_world(&world, &InputConfig::with_seed(61)).unwrap();
+        let mapper = AsMapper::new(&inputs);
+        let mut named = 0usize;
+        let mut total = 0usize;
+        for reg in world.registrations.iter().take(300) {
+            total += 1;
+            if !mapper.names_for_as(reg.asn).is_empty() {
+                named += 1;
+            }
+        }
+        assert!(named * 10 >= total * 9, "only {named}/{total} ASNs mapped to names");
+    }
+
+    #[test]
+    fn reverse_mapping_round_trips_brands() {
+        let world = generate(&WorldConfig::test_scale(62)).unwrap();
+        let inputs = PipelineInputs::from_world(&world, &InputConfig::with_seed(62)).unwrap();
+        let mapper = AsMapper::new(&inputs);
+        // For registered PeeringDB brands, reverse mapping must find the ASN.
+        let mut checked = 0;
+        for entry in inputs.peeringdb.entries().iter().take(50) {
+            let asns = mapper.asns_for_name(&entry.org_name);
+            assert!(asns.contains(&entry.asn), "{} not found for {}", entry.asn, entry.org_name);
+            checked += 1;
+        }
+        assert!(checked > 0);
+    }
+
+    #[test]
+    fn sibling_expansion_includes_cluster() {
+        let world = generate(&WorldConfig::test_scale(63)).unwrap();
+        let inputs = PipelineInputs::from_world(&world, &InputConfig::with_seed(63)).unwrap();
+        let mapper = AsMapper::new(&inputs);
+        // Find an org with 2+ members.
+        let org = inputs
+            .as2org
+            .orgs()
+            .find(|&o| inputs.as2org.members(o).len() >= 2)
+            .expect("some multi-AS org exists");
+        let members = inputs.as2org.members(org);
+        let expanded = mapper.with_siblings(&members[..1]);
+        for m in members {
+            assert!(expanded.contains(m));
+        }
+    }
+}

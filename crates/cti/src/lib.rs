@@ -1,0 +1,327 @@
+//! Country-Level Transit Influence (CTI).
+//!
+//! CTI captures how much of a country's address space is served *through*
+//! a given transit AS, as seen from a set of BGP monitors. The paper uses
+//! it as its third technical candidate source — and finds it contributes a
+//! small set of state-owned transit gateways no other source sees
+//! (Appendix D). This crate implements the Appendix G formula:
+//!
+//! ```text
+//! CTI(AS, C) = Σ_{m ∈ M} ( w(m)/|M| ·
+//!              Σ_{p : onpath(AS, m, p)} a(p, C)/A(C) · 1/d(AS, m, p) )
+//! ```
+//!
+//! where `w(m)` down-weights co-located monitors (inverse of the number of
+//! monitors in the same AS), `onpath` requires `AS` on `m`'s preferred
+//! path to `p` with the monitor not inside `AS` itself, `a(p, C)` counts
+//! `p`'s addresses geolocated to `C` *not covered by a more-specific
+//! prefix*, `A(C)` is the country's total announced address space, and
+//! `d` is the AS-level hop distance from the prefix (origin excluded,
+//! direct provider at `d = 1`).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use soi_bgp::{BgpView, PrefixToAs};
+use soi_geo::GeoDb;
+use soi_types::{Asn, CountryCode, SoiError};
+
+/// CTI computation parameters.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct CtiConfig {
+    /// Prefixes must be visible from at least this many monitors to
+    /// count (CAIDA-style visibility filtering).
+    pub min_monitors: usize,
+    /// Drop per-(AS, country) scores below this floor (numerical noise
+    /// from tiny leaked blocks).
+    pub min_score: f64,
+}
+
+impl Default for CtiConfig {
+    fn default() -> Self {
+        CtiConfig { min_monitors: 1, min_score: 1e-6 }
+    }
+}
+
+/// Computed CTI scores.
+#[derive(Clone, Debug, Default)]
+pub struct CtiResults {
+    /// Per country: `(transit AS, score)` sorted descending.
+    per_country: HashMap<CountryCode, Vec<(Asn, f64)>>,
+}
+
+impl CtiResults {
+    /// Computes CTI for every (transit AS, country) pair observable from
+    /// the view's monitors.
+    pub fn compute(
+        view: &BgpView,
+        table: &PrefixToAs,
+        geo: &GeoDb,
+        cfg: CtiConfig,
+    ) -> Result<CtiResults, SoiError> {
+        if view.monitors().is_empty() {
+            return Err(SoiError::InvalidConfig("CTI needs at least one monitor".into()));
+        }
+        // Monitor weights: 1 / #monitors hosted in the same AS.
+        let mut per_as_count: HashMap<Asn, u32> = HashMap::new();
+        for m in view.monitors() {
+            *per_as_count.entry(m.asn).or_default() += 1;
+        }
+        let m_total = view.monitors().len() as f64;
+
+        // a(p, C) for every announced prefix (more-specific carve-outs
+        // honoured), and A(C).
+        let mut a_pc: HashMap<soi_types::Ipv4Prefix, HashMap<CountryCode, u64>> = HashMap::new();
+        let mut a_c: HashMap<CountryCode, u64> = HashMap::new();
+        for &(prefix, _) in table.entries() {
+            let kept = table.uncovered_subprefixes(prefix);
+            let counts = geo.count_by_country_multi(&kept);
+            for (&c, &n) in &counts {
+                *a_c.entry(c).or_default() += n;
+            }
+            a_pc.insert(prefix, counts);
+        }
+
+        let mut scores: HashMap<(Asn, CountryCode), f64> = HashMap::new();
+        for (idx, monitor) in view.monitors().iter().enumerate() {
+            let w = 1.0 / f64::from(per_as_count[&monitor.asn]) / m_total;
+            for &(prefix, origin) in table.entries() {
+                if view.monitors_reaching(origin) < cfg.min_monitors {
+                    continue;
+                }
+                let Some(path) = view.path(idx, origin) else { continue };
+                let counts = &a_pc[&prefix];
+                if counts.is_empty() {
+                    continue;
+                }
+                // path = [monitor_as, ..., origin]; d(AS) = hops to origin.
+                let len = path.len();
+                for (pos, &asn) in path.iter().enumerate() {
+                    let d = (len - 1 - pos) as f64;
+                    if d == 0.0 {
+                        continue; // the origin itself is not transit
+                    }
+                    if asn == monitor.asn {
+                        continue; // monitor contained within AS
+                    }
+                    for (&country, &a) in counts {
+                        let total = a_c[&country];
+                        if total == 0 {
+                            continue;
+                        }
+                        let contrib = w * (a as f64 / total as f64) / d;
+                        *scores.entry((asn, country)).or_default() += contrib;
+                    }
+                }
+            }
+        }
+
+        let mut per_country: HashMap<CountryCode, Vec<(Asn, f64)>> = HashMap::new();
+        for ((asn, country), score) in scores {
+            if score >= cfg.min_score {
+                per_country.entry(country).or_default().push((asn, score));
+            }
+        }
+        for list in per_country.values_mut() {
+            list.sort_by(|a, b| {
+                b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+            });
+        }
+        Ok(CtiResults { per_country })
+    }
+
+    /// Ranked `(AS, score)` list for a country (descending).
+    pub fn ranking(&self, country: CountryCode) -> &[(Asn, f64)] {
+        self.per_country.get(&country).map_or(&[], Vec::as_slice)
+    }
+
+    /// The score of one AS in one country.
+    pub fn score(&self, asn: Asn, country: CountryCode) -> f64 {
+        self.ranking(country)
+            .iter()
+            .find(|&&(a, _)| a == asn)
+            .map_or(0.0, |&(_, s)| s)
+    }
+
+    /// Top `k` transit ASes of a country.
+    pub fn top_k(&self, country: CountryCode, k: usize) -> Vec<(Asn, f64)> {
+        self.ranking(country).iter().take(k).copied().collect()
+    }
+
+    /// Countries ranked by their single highest CTI score (proxy for
+    /// "how exposed is this country to one transit network") — used to
+    /// pick the N most transit-dependent countries, mirroring the paper's
+    /// application of CTI to 75 countries.
+    pub fn most_dependent_countries(&self, n: usize) -> Vec<(CountryCode, f64)> {
+        let mut out: Vec<(CountryCode, f64)> = self
+            .per_country
+            .iter()
+            .filter_map(|(&c, list)| list.first().map(|&(_, s)| (c, s)))
+            .collect();
+        out.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+        });
+        out.truncate(n);
+        out
+    }
+
+    /// All countries with any score.
+    pub fn countries(&self) -> impl Iterator<Item = CountryCode> + '_ {
+        self.per_country.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soi_bgp::{Announcement, Monitor};
+    use soi_topology::AsGraphBuilder;
+    use soi_types::{cc, Ipv4Prefix};
+
+    fn a(n: u32) -> Asn {
+        Asn(n)
+    }
+
+    fn p(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    /// Bottleneck world: tier-1s 1,2 peer; gateway 7 buys from 1; access
+    /// ASes 8 and 9 buy only from 7. All of 8/9's space is in SY.
+    fn bottleneck() -> (BgpView, PrefixToAs, GeoDb) {
+        let mut b = AsGraphBuilder::new();
+        b.add_peering(a(1), a(2));
+        b.add_transit(a(7), a(1));
+        b.add_transit(a(8), a(7));
+        b.add_transit(a(9), a(7));
+        let g = b.build().unwrap();
+        let ann = vec![
+            Announcement::new(p("10.0.0.0/16"), a(8)),
+            Announcement::new(p("10.1.0.0/16"), a(9)),
+        ];
+        let monitors = vec![Monitor { id: 0, asn: a(1) }, Monitor { id: 1, asn: a(2) }];
+        let view = BgpView::compute(&g, &ann, &monitors).unwrap();
+        let table = view.prefix_to_as(1).unwrap();
+        let geo = GeoDb::from_blocks([
+            (p("10.0.0.0/16"), cc("SY")),
+            (p("10.1.0.0/16"), cc("SY")),
+        ])
+        .unwrap();
+        (view, table, geo)
+    }
+
+    #[test]
+    fn gateway_dominates_its_country() {
+        let (view, table, geo) = bottleneck();
+        let cti = CtiResults::compute(&view, &table, &geo, CtiConfig::default()).unwrap();
+        let top = cti.top_k(cc("SY"), 3);
+        assert_eq!(top[0].0, a(7), "gateway must rank first: {top:?}");
+        // Gateway carries 100% of SY space at d=1 from both monitors.
+        assert!((top[0].1 - 1.0).abs() < 1e-9, "score {}", top[0].1);
+        // Tier-1 AS1 carries everything too, but at d=2 and only for the
+        // monitor not inside it.
+        let s1 = cti.score(a(1), cc("SY"));
+        assert!((s1 - 0.25).abs() < 1e-9, "AS1 score {s1}");
+        assert_eq!(cti.score(a(8), cc("SY")), 0.0, "origins are not transit");
+    }
+
+    #[test]
+    fn monitor_weighting_divides_colocated_feeds() {
+        let (view0, table, geo) = bottleneck();
+        // Duplicate a monitor inside AS1: its two feeds each get w=1/2.
+        let mut b = AsGraphBuilder::new();
+        b.add_peering(a(1), a(2));
+        b.add_transit(a(7), a(1));
+        b.add_transit(a(8), a(7));
+        b.add_transit(a(9), a(7));
+        let g = b.build().unwrap();
+        let monitors = vec![
+            Monitor { id: 0, asn: a(1) },
+            Monitor { id: 1, asn: a(1) },
+            Monitor { id: 2, asn: a(2) },
+        ];
+        let view = BgpView::compute(&g, view0.announcements(), &monitors).unwrap();
+        let cti = CtiResults::compute(&view, &table, &geo, CtiConfig::default()).unwrap();
+        // Gateway still saturates: every feed sees it at d=1 on all of
+        // SY's space; weights normalize out to 2/3 here because |M|=3 and
+        // the co-located feeds count as one.
+        let s7 = cti.score(a(7), cc("SY"));
+        assert!((s7 - (2.0 / 3.0)).abs() < 1e-9, "gateway score {s7}");
+    }
+
+    #[test]
+    fn split_country_space_splits_scores() {
+        // Two providers each carrying half of a country's space.
+        let mut b = AsGraphBuilder::new();
+        b.add_peering(a(1), a(2));
+        b.add_transit(a(7), a(1));
+        b.add_transit(a(6), a(2));
+        b.add_transit(a(8), a(7));
+        b.add_transit(a(9), a(6));
+        let g = b.build().unwrap();
+        let ann = vec![
+            Announcement::new(p("10.0.0.0/16"), a(8)),
+            Announcement::new(p("10.1.0.0/16"), a(9)),
+        ];
+        let monitors = vec![Monitor { id: 0, asn: a(1) }, Monitor { id: 1, asn: a(2) }];
+        let view = BgpView::compute(&g, &ann, &monitors).unwrap();
+        let table = view.prefix_to_as(1).unwrap();
+        let geo = GeoDb::from_blocks([
+            (p("10.0.0.0/16"), cc("SY")),
+            (p("10.1.0.0/16"), cc("SY")),
+        ])
+        .unwrap();
+        let cti = CtiResults::compute(&view, &table, &geo, CtiConfig::default()).unwrap();
+        let s7 = cti.score(a(7), cc("SY"));
+        let s6 = cti.score(a(6), cc("SY"));
+        assert!((s7 - 0.5).abs() < 1e-9, "AS7 {s7}");
+        assert!((s6 - 0.5).abs() < 1e-9, "AS6 {s6}");
+    }
+
+    #[test]
+    fn more_specific_carveouts_shift_attribution() {
+        // AS8 announces a /16; AS9 (behind a different provider) announces
+        // a more-specific /17 of it. The /17's addresses must count toward
+        // AS9's path providers, not AS8's.
+        let mut b = AsGraphBuilder::new();
+        b.add_peering(a(1), a(2));
+        b.add_transit(a(7), a(1));
+        b.add_transit(a(6), a(2));
+        b.add_transit(a(8), a(7));
+        b.add_transit(a(9), a(6));
+        let g = b.build().unwrap();
+        let ann = vec![
+            Announcement::new(p("10.0.0.0/16"), a(8)),
+            Announcement::new(p("10.0.128.0/17"), a(9)),
+        ];
+        let monitors = vec![Monitor { id: 0, asn: a(1) }, Monitor { id: 1, asn: a(2) }];
+        let view = BgpView::compute(&g, &ann, &monitors).unwrap();
+        let table = view.prefix_to_as(1).unwrap();
+        let geo = GeoDb::from_blocks([(p("10.0.0.0/16"), cc("SY"))]).unwrap();
+        let cti = CtiResults::compute(&view, &table, &geo, CtiConfig::default()).unwrap();
+        let s7 = cti.score(a(7), cc("SY"));
+        let s6 = cti.score(a(6), cc("SY"));
+        assert!((s7 - 0.5).abs() < 1e-9, "AS7 gets only the uncovered half: {s7}");
+        assert!((s6 - 0.5).abs() < 1e-9, "AS6 gets the carved-out half: {s6}");
+    }
+
+    #[test]
+    fn dependent_country_ranking_and_config() {
+        let (view, table, geo) = bottleneck();
+        let cti = CtiResults::compute(&view, &table, &geo, CtiConfig::default()).unwrap();
+        let deps = cti.most_dependent_countries(5);
+        assert_eq!(deps[0].0, cc("SY"));
+        assert_eq!(cti.countries().count(), 1);
+        assert!(cti.ranking(cc("NO")).is_empty());
+        // Empty monitor sets are impossible to construct via BgpView, but
+        // config floor filters tiny scores.
+        let strict = CtiResults::compute(
+            &view,
+            &table,
+            &geo,
+            CtiConfig { min_monitors: 1, min_score: 0.9 },
+        )
+        .unwrap();
+        assert_eq!(strict.ranking(cc("SY")).len(), 1, "only the gateway survives");
+    }
+}

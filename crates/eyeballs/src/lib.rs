@@ -1,0 +1,304 @@
+//! APNIC-style "eyeball" population estimation.
+//!
+//! The paper's second technical source is APNIC's per-AS estimates of
+//! Internet *user* populations, derived from web-advertising samples
+//! (Huston, "How Big is that Network?"). Address counts and user counts
+//! disagree systematically — NAT hides many users behind few addresses and
+//! lightly-used allocations inflate address footprints — which is exactly
+//! why the paper uses both. This crate models the measurement: given the
+//! ground-truth users of every `(AS, country)` pair, [`ApnicEstimator`]
+//! produces noisy, partially-covering estimates ([`EyeballEstimates`])
+//! with the same failure modes as the real dataset:
+//!
+//! * multiplicative sampling noise (ad panels are not uniform samples);
+//! * a coverage floor — ASes whose sample would be too small simply do not
+//!   appear (the real dataset covers ~25k of ~70k ASes);
+//! * deterministic output for a given seed.
+
+use std::collections::HashMap;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use soi_types::{Asn, CountryCode, SoiError};
+
+/// Ground-truth user population of one AS within one country.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UserPopulation {
+    /// Country the users live in.
+    pub country: CountryCode,
+    /// The access network serving them.
+    pub asn: Asn,
+    /// Number of users.
+    pub users: u64,
+}
+
+/// Configuration of the simulated ad-sampling measurement.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ApnicEstimator {
+    /// Standard deviation of the multiplicative (log-space) noise applied
+    /// to each estimate. 0 means exact measurements.
+    pub noise_sigma: f64,
+    /// Populations below this size fall out of the sample entirely
+    /// (mirrors the real dataset's partial AS coverage).
+    pub min_measurable: u64,
+    /// Probability that an AS above the floor is still missed (panel has
+    /// no presence there).
+    pub miss_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ApnicEstimator {
+    fn default() -> Self {
+        ApnicEstimator { noise_sigma: 0.15, min_measurable: 200, miss_rate: 0.05, seed: 0 }
+    }
+}
+
+impl ApnicEstimator {
+    /// Runs the simulated measurement over ground truth.
+    pub fn estimate(
+        &self,
+        truth: &[UserPopulation],
+    ) -> Result<EyeballEstimates, SoiError> {
+        if !(0.0..=1.0).contains(&self.miss_rate) {
+            return Err(SoiError::InvalidConfig(format!(
+                "miss_rate {} outside [0, 1]",
+                self.miss_rate
+            )));
+        }
+        if self.noise_sigma < 0.0 || !self.noise_sigma.is_finite() {
+            return Err(SoiError::InvalidConfig(format!(
+                "noise_sigma {} must be a finite non-negative value",
+                self.noise_sigma
+            )));
+        }
+        let mut rng = SmallRng::seed_from_u64(self.seed ^ 0x65796562616c6c73);
+        let mut estimates = Vec::new();
+        for pop in truth {
+            if pop.users < self.min_measurable || rng.gen_bool(self.miss_rate) {
+                continue;
+            }
+            let factor = (standard_normal(&mut rng) * self.noise_sigma).exp();
+            let est = ((pop.users as f64) * factor).round().max(1.0) as u64;
+            estimates.push(UserPopulation { users: est, ..*pop });
+        }
+        Ok(EyeballEstimates::new(estimates))
+    }
+}
+
+/// Box–Muller standard normal draw (kept local; the workspace's only use
+/// of a normal distribution does not justify a distribution crate).
+fn standard_normal(rng: &mut impl Rng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// The published estimates: per-(AS, country) user counts.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct EyeballEstimates {
+    estimates: Vec<UserPopulation>,
+    by_country: HashMap<CountryCode, Vec<usize>>,
+    country_totals: HashMap<CountryCode, u64>,
+}
+
+impl EyeballEstimates {
+    /// Wraps a list of estimates (also usable directly in tests to build a
+    /// noiseless dataset).
+    pub fn new(estimates: Vec<UserPopulation>) -> Self {
+        let mut by_country: HashMap<CountryCode, Vec<usize>> = HashMap::new();
+        let mut country_totals: HashMap<CountryCode, u64> = HashMap::new();
+        for (i, e) in estimates.iter().enumerate() {
+            by_country.entry(e.country).or_default().push(i);
+            *country_totals.entry(e.country).or_default() += e.users;
+        }
+        EyeballEstimates { estimates, by_country, country_totals }
+    }
+
+    /// Every estimate.
+    pub fn estimates(&self) -> &[UserPopulation] {
+        &self.estimates
+    }
+
+    /// Number of distinct ASes appearing anywhere in the dataset (the
+    /// paper quotes 25,498 for the real one).
+    pub fn distinct_ases(&self) -> usize {
+        let mut ases: Vec<Asn> = self.estimates.iter().map(|e| e.asn).collect();
+        ases.sort_unstable();
+        ases.dedup();
+        ases.len()
+    }
+
+    /// Total estimated users in a country.
+    pub fn country_total(&self, country: CountryCode) -> u64 {
+        self.country_totals.get(&country).copied().unwrap_or(0)
+    }
+
+    /// Estimated users of `asn` in `country`.
+    pub fn users(&self, country: CountryCode, asn: Asn) -> u64 {
+        self.by_country
+            .get(&country)
+            .map(|ixs| {
+                ixs.iter()
+                    .map(|&i| &self.estimates[i])
+                    .filter(|e| e.asn == asn)
+                    .map(|e| e.users)
+                    .sum()
+            })
+            .unwrap_or(0)
+    }
+
+    /// `asn`'s share of `country`'s estimated eyeballs, in [0, 1].
+    pub fn share(&self, country: CountryCode, asn: Asn) -> f64 {
+        let total = self.country_total(country);
+        if total == 0 {
+            return 0.0;
+        }
+        self.users(country, asn) as f64 / total as f64
+    }
+
+    /// All `(asn, share)` pairs of a country, descending by share.
+    pub fn country_shares(&self, country: CountryCode) -> Vec<(Asn, f64)> {
+        let total = self.country_total(country) as f64;
+        let Some(ixs) = self.by_country.get(&country) else {
+            return Vec::new();
+        };
+        let mut per_asn: HashMap<Asn, u64> = HashMap::new();
+        for &i in ixs {
+            let e = &self.estimates[i];
+            *per_asn.entry(e.asn).or_default() += e.users;
+        }
+        let mut out: Vec<(Asn, f64)> = per_asn
+            .into_iter()
+            .map(|(a, u)| (a, u as f64 / total))
+            .collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// ASes holding at least `threshold` (fraction) of a country's
+    /// eyeballs — the §4.1 candidate rule with its 5% default.
+    pub fn ases_above_share(&self, country: CountryCode, threshold: f64) -> Vec<Asn> {
+        self.country_shares(country)
+            .into_iter()
+            .filter(|&(_, s)| s >= threshold)
+            .map(|(a, _)| a)
+            .collect()
+    }
+
+    /// Countries present in the dataset.
+    pub fn countries(&self) -> impl Iterator<Item = CountryCode> + '_ {
+        self.by_country.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use soi_types::cc;
+
+
+    fn pop(c: &str, asn: u32, users: u64) -> UserPopulation {
+        UserPopulation { country: c.parse().unwrap(), asn: Asn(asn), users }
+    }
+
+    #[test]
+    fn shares_and_thresholds() {
+        let e = EyeballEstimates::new(vec![
+            pop("NO", 1, 900_000),
+            pop("NO", 2, 90_000),
+            pop("NO", 3, 10_000),
+            pop("SE", 1, 50_000),
+        ]);
+        assert_eq!(e.country_total(cc("NO")), 1_000_000);
+        assert!((e.share(cc("NO"), Asn(1)) - 0.9).abs() < 1e-9);
+        assert_eq!(e.ases_above_share(cc("NO"), 0.05), vec![Asn(1), Asn(2)]);
+        assert_eq!(e.ases_above_share(cc("DK"), 0.05), Vec::<Asn>::new());
+        assert_eq!(e.distinct_ases(), 3);
+    }
+
+    #[test]
+    fn multihomed_as_users_summed() {
+        // Same AS appearing twice in the same country (e.g. two entries
+        // after a merge) must aggregate.
+        let e = EyeballEstimates::new(vec![pop("NO", 1, 100), pop("NO", 1, 200), pop("NO", 2, 700)]);
+        assert_eq!(e.users(cc("NO"), Asn(1)), 300);
+        assert!((e.share(cc("NO"), Asn(1)) - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn estimator_floor_and_determinism() {
+        let truth = vec![pop("NO", 1, 1_000_000), pop("NO", 2, 50)];
+        let est = ApnicEstimator { noise_sigma: 0.1, min_measurable: 200, miss_rate: 0.0, seed: 9 };
+        let a = est.estimate(&truth).unwrap();
+        let b = est.estimate(&truth).unwrap();
+        assert_eq!(a.estimates(), b.estimates());
+        assert_eq!(a.users(cc("NO"), Asn(2)), 0, "below floor, unmeasured");
+        let u = a.users(cc("NO"), Asn(1));
+        assert!(u > 500_000 && u < 2_000_000, "noise within reason: {u}");
+    }
+
+    #[test]
+    fn zero_noise_is_exact() {
+        let truth = vec![pop("NO", 1, 12345)];
+        let est = ApnicEstimator { noise_sigma: 0.0, min_measurable: 1, miss_rate: 0.0, seed: 0 };
+        assert_eq!(est.estimate(&truth).unwrap().users(cc("NO"), Asn(1)), 12345);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let bad = ApnicEstimator { miss_rate: 1.5, ..Default::default() };
+        assert!(bad.estimate(&[]).is_err());
+        let bad = ApnicEstimator { noise_sigma: -1.0, ..Default::default() };
+        assert!(bad.estimate(&[]).is_err());
+        let bad = ApnicEstimator { noise_sigma: f64::NAN, ..Default::default() };
+        assert!(bad.estimate(&[]).is_err());
+    }
+
+    #[test]
+    fn miss_rate_drops_roughly_expected_fraction() {
+        let truth: Vec<UserPopulation> =
+            (0..2000).map(|i| pop("NO", i, 10_000)).collect();
+        let est = ApnicEstimator { noise_sigma: 0.0, min_measurable: 1, miss_rate: 0.25, seed: 4 };
+        let out = est.estimate(&truth).unwrap();
+        let kept = out.estimates().len() as f64 / 2000.0;
+        assert!((kept - 0.75).abs() < 0.05, "kept {kept}");
+    }
+
+    proptest! {
+        /// Shares in a country always sum to ~1 when the country has users.
+        #[test]
+        fn prop_shares_sum_to_one(
+            users in proptest::collection::vec(1u64..1_000_000, 1..30)
+        ) {
+            let truth: Vec<UserPopulation> = users
+                .iter()
+                .enumerate()
+                .map(|(i, &u)| pop("NO", i as u32 + 1, u))
+                .collect();
+            let e = EyeballEstimates::new(truth);
+            let sum: f64 = e.country_shares(cc("NO")).iter().map(|&(_, s)| s).sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+        }
+
+        /// Threshold filtering is consistent with reported shares.
+        #[test]
+        fn prop_threshold_consistency(
+            users in proptest::collection::vec(1u64..1_000_000, 1..30),
+            threshold in 0.0f64..1.0,
+        ) {
+            let truth: Vec<UserPopulation> = users
+                .iter()
+                .enumerate()
+                .map(|(i, &u)| pop("NO", i as u32 + 1, u))
+                .collect();
+            let e = EyeballEstimates::new(truth);
+            let above = e.ases_above_share(cc("NO"), threshold);
+            for (asn, share) in e.country_shares(cc("NO")) {
+                prop_assert_eq!(above.contains(&asn), share >= threshold);
+            }
+        }
+    }
+}

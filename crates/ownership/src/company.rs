@@ -1,0 +1,178 @@
+//! Legal entities and their business classification.
+
+use serde::{Deserialize, Serialize};
+use soi_types::{CompanyId, CountryCode};
+
+/// Whether an Internet operator serves at the national (federal) level or
+/// only a subnational jurisdiction (state, province, municipality, city).
+///
+/// The paper restricts its dataset to national-level operators and excludes
+/// everything below (§5.3), both to bound the problem and to avoid coverage
+/// bias across countries.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum OperatorScope {
+    /// Operates at federal/country level.
+    National,
+    /// Operates only within a first-level (or smaller) administrative
+    /// division.
+    Subnational,
+}
+
+/// What kind of connectivity an operator sells.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum ServiceKind {
+    /// Residential/business access (eyeball network).
+    Access,
+    /// Transit to other ASes.
+    Transit,
+    /// Both access and transit.
+    Both,
+}
+
+impl ServiceKind {
+    /// True if the operator sells transit.
+    pub fn sells_transit(self) -> bool {
+        matches!(self, ServiceKind::Transit | ServiceKind::Both)
+    }
+
+    /// True if the operator serves end users.
+    pub fn serves_access(self) -> bool {
+        matches!(self, ServiceKind::Access | ServiceKind::Both)
+    }
+}
+
+/// Business classification of a legal entity.
+///
+/// Every category the paper's §5.3 exclusion rules (and Appendix E) mention
+/// is representable, so the confirmation stage can filter precisely.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Business {
+    /// A company offering unrestricted Internet access and/or transit.
+    InternetOperator {
+        /// Federal vs. subnational reach.
+        scope: OperatorScope,
+        /// Access, transit, or both.
+        service: ServiceKind,
+    },
+    /// University networks and academic backbones (excluded: they do not
+    /// compete in open access/transit markets).
+    AcademicNetwork,
+    /// Networks connecting government offices only (excluded; e.g. a
+    /// defence ministry's AS).
+    GovernmentAgencyNetwork,
+    /// NIC-style bodies running ccTLD/registry infrastructure without
+    /// selling connectivity (excluded).
+    InternetAdministration,
+    /// Telecommunication businesses with no Internet service (excluded).
+    NonInternetTelco,
+    /// An ordinary company operating its own AS (bank, hosting shop,
+    /// enterprise); never an Internet operator candidate but bulks out the
+    /// AS-level topology like the real Internet's stub networks.
+    Enterprise,
+    /// Equipment manufacturers and similar (excluded).
+    HardwareVendor,
+    /// A pure holding vehicle: sovereign wealth funds, pension funds,
+    /// state asset managers, private holding companies.
+    Holding,
+    /// A sovereign state itself (the root of state-control chains).
+    Government,
+    /// The aggregate of dispersed private/free-float shareholders.
+    PrivateInvestorPool,
+}
+
+impl Business {
+    /// True if this entity is an Internet operator in the paper's sense —
+    /// the only category eligible for the final dataset.
+    pub fn is_internet_operator(self) -> bool {
+        matches!(self, Business::InternetOperator { .. })
+    }
+
+    /// True for a *national-level* Internet operator (the paper's full
+    /// eligibility test on the business axis).
+    pub fn is_eligible_operator(self) -> bool {
+        matches!(
+            self,
+            Business::InternetOperator { scope: OperatorScope::National, .. }
+        )
+    }
+}
+
+/// A legal entity in the ground-truth world.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Company {
+    /// Unique identifier.
+    pub id: CompanyId,
+    /// Commercial/brand name ("Telenor").
+    pub name: String,
+    /// Registered legal name as it would appear in WHOIS ("Telenor Norge
+    /// AS") — often diverges from the brand, which is one of the paper's
+    /// mapping challenges.
+    pub legal_name: String,
+    /// Country of registration.
+    pub country: CountryCode,
+    /// Business classification.
+    pub business: Business,
+}
+
+impl Company {
+    /// Shorthand constructor.
+    pub fn new(
+        id: CompanyId,
+        name: impl Into<String>,
+        legal_name: impl Into<String>,
+        country: CountryCode,
+        business: Business,
+    ) -> Self {
+        Company {
+            id,
+            name: name.into(),
+            legal_name: legal_name.into(),
+            country,
+            business,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soi_types::{cc, CompanyId};
+
+    #[test]
+    fn eligibility_rules() {
+        let national = Business::InternetOperator {
+            scope: OperatorScope::National,
+            service: ServiceKind::Both,
+        };
+        let municipal = Business::InternetOperator {
+            scope: OperatorScope::Subnational,
+            service: ServiceKind::Access,
+        };
+        assert!(national.is_eligible_operator());
+        assert!(municipal.is_internet_operator());
+        assert!(!municipal.is_eligible_operator());
+        assert!(!Business::AcademicNetwork.is_eligible_operator());
+        assert!(!Business::Government.is_internet_operator());
+    }
+
+    #[test]
+    fn service_kinds() {
+        assert!(ServiceKind::Transit.sells_transit());
+        assert!(!ServiceKind::Transit.serves_access());
+        assert!(ServiceKind::Both.sells_transit() && ServiceKind::Both.serves_access());
+        assert!(ServiceKind::Access.serves_access());
+    }
+
+    #[test]
+    fn company_construction() {
+        let c = Company::new(
+            CompanyId(1),
+            "Telenor",
+            "Telenor Norge AS",
+            cc("NO"),
+            Business::InternetOperator { scope: OperatorScope::National, service: ServiceKind::Both },
+        );
+        assert_eq!(c.name, "Telenor");
+        assert_ne!(c.name, c.legal_name);
+    }
+}

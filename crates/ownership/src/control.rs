@@ -1,0 +1,425 @@
+//! State-control resolution over the shareholding graph.
+//!
+//! Given the validated DAG, [`StateControl::resolve`] answers, for every
+//! company and every state: *how much of this company does that state
+//! effectively hold, and does it control it?* Two attribution models are
+//! computed:
+//!
+//! * **control-based** (the paper's, and the primary output): a stake held
+//!   by an entity the state already controls counts *in full*. Control is
+//!   "aggregate attributed equity >= 50%", so the relation is recursive;
+//!   one pass in topological order (holders before held) resolves it
+//!   because control of a holder is always decided before its stakes are
+//!   attributed.
+//! * **multiplicative economic interest**: stakes are scaled down chains
+//!   (60% of a 80% holder = 48%). Kept for the attribution-model ablation;
+//!   under this model Telekom-Malaysia-style fund aggregations can fall
+//!   below the line even though the state clearly controls the firm.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use soi_types::{CompanyId, CountryCode, Equity};
+
+use crate::company::Business;
+use crate::graph::OwnershipGraph;
+
+/// One state's position in one company.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StateStake {
+    /// The state (country) holding the position.
+    pub country: CountryCode,
+    /// Aggregate attributed equity under the control model.
+    pub controlled_equity: Equity,
+    /// Multiplicative economic interest.
+    pub economic_interest: Equity,
+}
+
+/// Resolved state positions for every company in a graph.
+///
+/// ```
+/// use soi_ownership::{Business, Company, OperatorScope, OwnershipGraphBuilder,
+///                     ServiceKind, StateControl};
+/// use soi_types::{cc, CompanyId, Equity};
+///
+/// let mut b = OwnershipGraphBuilder::new();
+/// b.add_company(Company::new(CompanyId(1), "Government of Norway", "State of Norway",
+///     cc("NO"), Business::Government));
+/// b.add_company(Company::new(CompanyId(2), "Telenor", "Telenor ASA", cc("NO"),
+///     Business::InternetOperator { scope: OperatorScope::National,
+///                                  service: ServiceKind::Both }));
+/// b.add_holding(CompanyId(1), CompanyId(2), Equity::from_bp(5470));
+/// let control = StateControl::resolve(&b.build().unwrap());
+/// assert_eq!(control.controlling_state(CompanyId(2)), Some(cc("NO")));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct StateControl {
+    /// Per company: stakes by state, control-model equity.
+    stakes: HashMap<CompanyId, Vec<StateStake>>,
+}
+
+impl StateControl {
+    /// Runs the resolution over the whole graph.
+    pub fn resolve(graph: &OwnershipGraph) -> StateControl {
+        // Countries that actually have a government entity in the graph.
+        let mut gov_of: HashMap<CompanyId, CountryCode> = HashMap::new();
+        for c in graph.companies() {
+            if c.business == Business::Government {
+                gov_of.insert(c.id, c.country);
+            }
+        }
+
+        let order = graph.topo_order();
+        // Per company position: attributed equity per country, both models.
+        let n = graph.companies().len();
+        let mut ctl: Vec<HashMap<CountryCode, Equity>> = vec![HashMap::new(); n];
+        let mut eco: Vec<HashMap<CountryCode, Equity>> = vec![HashMap::new(); n];
+
+        for &pos in &order {
+            let holder = graph.company_at(pos);
+            // Which states control (or are) this holder?
+            let holder_is_gov = gov_of.get(&holder.id).copied();
+            let controlling_states: Vec<CountryCode> = match holder_is_gov {
+                Some(cc) => vec![cc],
+                None => ctl[pos]
+                    .iter()
+                    .filter(|&(_, &e)| e.is_majority())
+                    .map(|(&cc, _)| cc)
+                    .collect(),
+            };
+            // Economic interest flows for every state with any position.
+            let eco_positions: Vec<(CountryCode, Equity)> = match holder_is_gov {
+                Some(cc) => vec![(cc, Equity::FULL)],
+                None => eco[pos].iter().map(|(&cc, &e)| (cc, e)).collect(),
+            };
+
+            for holding in graph.portfolio(holder.id) {
+                let held_pos = graph
+                    .position(holding.held)
+                    .expect("validated graph has no dangling holdings");
+                // Control model: a controlled holder's stake counts fully.
+                for &state in &controlling_states {
+                    let entry = ctl[held_pos].entry(state).or_insert(Equity::ZERO);
+                    *entry = entry.saturating_add(holding.equity);
+                }
+                // Economic model: scale down the chain.
+                for &(state, interest) in &eco_positions {
+                    let scaled = interest.scale(holding.equity);
+                    if scaled > Equity::ZERO {
+                        let entry = eco[held_pos].entry(state).or_insert(Equity::ZERO);
+                        *entry = entry.saturating_add(scaled);
+                    }
+                }
+            }
+        }
+
+        let mut stakes: HashMap<CompanyId, Vec<StateStake>> = HashMap::new();
+        for (pos, company) in graph.companies().iter().enumerate() {
+            let mut per: Vec<StateStake> = ctl[pos]
+                .iter()
+                .map(|(&country, &controlled_equity)| StateStake {
+                    country,
+                    controlled_equity,
+                    economic_interest: eco[pos].get(&country).copied().unwrap_or(Equity::ZERO),
+                })
+                .collect();
+            // Economic-only positions (possible when a holder has interest
+            // but no control anywhere on the chain).
+            for (&country, &interest) in &eco[pos] {
+                if !per.iter().any(|s| s.country == country) {
+                    per.push(StateStake {
+                        country,
+                        controlled_equity: Equity::ZERO,
+                        economic_interest: interest,
+                    });
+                }
+            }
+            per.sort_by(|a, b| {
+                b.controlled_equity
+                    .cmp(&a.controlled_equity)
+                    .then(b.economic_interest.cmp(&a.economic_interest))
+                    .then(a.country.cmp(&b.country))
+            });
+            if !per.is_empty() {
+                stakes.insert(company.id, per);
+            }
+        }
+        StateControl { stakes }
+    }
+
+    /// All state stakes in a company, largest first.
+    pub fn stakes(&self, company: CompanyId) -> &[StateStake] {
+        self.stakes.get(&company).map_or(&[], Vec::as_slice)
+    }
+
+    /// The state controlling the company (>= 50% attributed equity), if
+    /// any. With an exact 50/50 two-state joint venture, the
+    /// lexicographically smaller country code wins for determinism — the
+    /// paper similarly assigns joint ventures to the larger shareholder.
+    pub fn controlling_state(&self, company: CompanyId) -> Option<CountryCode> {
+        self.stakes(company)
+            .iter()
+            .find(|s| s.controlled_equity.is_majority())
+            .map(|s| s.country)
+    }
+
+    /// States with a minority position (0 < equity < 50%) in the company.
+    pub fn minority_states(&self, company: CompanyId) -> Vec<(CountryCode, Equity)> {
+        self.stakes(company)
+            .iter()
+            .filter(|s| s.controlled_equity.is_minority())
+            .map(|s| (s.country, s.controlled_equity))
+            .collect()
+    }
+
+    /// Every company controlled by `state`.
+    pub fn controlled_by(&self, state: CountryCode) -> Vec<CompanyId> {
+        let mut out: Vec<CompanyId> = self
+            .stakes
+            .iter()
+            .filter(|(_, stakes)| {
+                stakes
+                    .first()
+                    .is_some_and(|s| s.controlled_equity.is_majority() && s.country == state)
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Companies with any state position at all.
+    pub fn companies_with_stakes(&self) -> impl Iterator<Item = CompanyId> + '_ {
+        self.stakes.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::company::{Business, Company, OperatorScope, ServiceKind};
+    use crate::graph::OwnershipGraphBuilder;
+    use soi_types::cc;
+
+    fn pct(p: u32) -> Equity {
+        Equity::from_percent(p)
+    }
+
+    fn company(id: u32, name: &str, country: &str, business: Business) -> Company {
+        Company::new(CompanyId(id), name, name, country.parse().unwrap(), business)
+    }
+
+    const OPERATOR: Business = Business::InternetOperator {
+        scope: OperatorScope::National,
+        service: ServiceKind::Both,
+    };
+
+    #[test]
+    fn direct_majority() {
+        let mut b = OwnershipGraphBuilder::new();
+        b.add_company(company(1, "Gov NO", "NO", Business::Government));
+        b.add_company(company(2, "Telenor", "NO", OPERATOR));
+        b.add_holding(CompanyId(1), CompanyId(2), Equity::from_bp(5470));
+        let sc = StateControl::resolve(&b.build().unwrap());
+        assert_eq!(sc.controlling_state(CompanyId(2)), Some(cc("NO")));
+        let s = &sc.stakes(CompanyId(2))[0];
+        assert_eq!(s.controlled_equity, Equity::from_bp(5470));
+        assert_eq!(s.economic_interest, Equity::from_bp(5470));
+    }
+
+    #[test]
+    fn fund_aggregation_crosses_majority() {
+        // Telekom Malaysia pattern: three wholly-state-owned funds each
+        // hold a minority stake; the aggregate controls.
+        let mut b = OwnershipGraphBuilder::new();
+        b.add_company(company(1, "Gov MY", "MY", Business::Government));
+        b.add_company(company(2, "Khazanah", "MY", Business::Holding));
+        b.add_company(company(3, "AmanahRaya", "MY", Business::Holding));
+        b.add_company(company(4, "EPF", "MY", Business::Holding));
+        b.add_company(company(5, "Telekom Malaysia", "MY", OPERATOR));
+        for fund in [2, 3, 4] {
+            b.add_holding(CompanyId(1), CompanyId(fund), pct(100));
+        }
+        b.add_holding(CompanyId(2), CompanyId(5), Equity::from_bp(2620));
+        b.add_holding(CompanyId(3), CompanyId(5), Equity::from_bp(1120));
+        b.add_holding(CompanyId(4), CompanyId(5), Equity::from_bp(1540));
+        let sc = StateControl::resolve(&b.build().unwrap());
+        assert_eq!(sc.controlling_state(CompanyId(5)), Some(cc("MY")));
+        assert_eq!(sc.stakes(CompanyId(5))[0].controlled_equity, Equity::from_bp(5280));
+    }
+
+    #[test]
+    fn partially_owned_fund_breaks_control_chain() {
+        // State owns only 40% of the fund; the fund's 60% stake in the
+        // telco is NOT attributed to the state under the control model.
+        let mut b = OwnershipGraphBuilder::new();
+        b.add_company(company(1, "Gov", "NO", Business::Government));
+        b.add_company(company(2, "Fund", "NO", Business::Holding));
+        b.add_company(company(3, "Telco", "NO", OPERATOR));
+        b.add_holding(CompanyId(1), CompanyId(2), pct(40));
+        b.add_holding(CompanyId(2), CompanyId(3), pct(60));
+        let sc = StateControl::resolve(&b.build().unwrap());
+        assert_eq!(sc.controlling_state(CompanyId(3)), None);
+        // Fund itself is minority-state.
+        assert_eq!(sc.minority_states(CompanyId(2)), vec![(cc("NO"), pct(40))]);
+        // Economic interest still flows: 40% * 60% = 24%.
+        let stake = sc
+            .stakes(CompanyId(3))
+            .iter()
+            .find(|s| s.country == cc("NO"))
+            .unwrap();
+        assert_eq!(stake.economic_interest, pct(24));
+        assert_eq!(stake.controlled_equity, Equity::ZERO);
+    }
+
+    #[test]
+    fn foreign_subsidiary_chain() {
+        // Qatar controls Ooredoo; Ooredoo holds 55% of a Tunisian telco ->
+        // Qatar controls the Tunisian company (foreign subsidiary).
+        let mut b = OwnershipGraphBuilder::new();
+        b.add_company(company(1, "Gov QA", "QA", Business::Government));
+        b.add_company(company(2, "Ooredoo", "QA", OPERATOR));
+        b.add_company(company(3, "Ooredoo Tunisia", "TN", OPERATOR));
+        b.add_holding(CompanyId(1), CompanyId(2), pct(52));
+        b.add_holding(CompanyId(2), CompanyId(3), pct(55));
+        let sc = StateControl::resolve(&b.build().unwrap());
+        assert_eq!(sc.controlling_state(CompanyId(3)), Some(cc("QA")));
+        assert_eq!(sc.controlled_by(cc("QA")), vec![CompanyId(2), CompanyId(3)]);
+    }
+
+    #[test]
+    fn joint_venture_majority_holder_wins() {
+        // PTCL pattern: Pakistan 62%, UAE 26% -> Pakistan controls, UAE is
+        // minority.
+        let mut b = OwnershipGraphBuilder::new();
+        b.add_company(company(1, "Gov PK", "PK", Business::Government));
+        b.add_company(company(2, "Gov AE", "AE", Business::Government));
+        b.add_company(company(3, "PTCL", "PK", OPERATOR));
+        b.add_holding(CompanyId(1), CompanyId(3), pct(62));
+        b.add_holding(CompanyId(2), CompanyId(3), pct(26));
+        let sc = StateControl::resolve(&b.build().unwrap());
+        assert_eq!(sc.controlling_state(CompanyId(3)), Some(cc("PK")));
+        assert_eq!(sc.minority_states(CompanyId(3)), vec![(cc("AE"), pct(26))]);
+    }
+
+    #[test]
+    fn exact_fifty_fifty_is_deterministic() {
+        let mut b = OwnershipGraphBuilder::new();
+        b.add_company(company(1, "Gov BE", "BE", Business::Government));
+        b.add_company(company(2, "Gov CH", "CH", Business::Government));
+        b.add_company(company(3, "BICS", "BE", OPERATOR));
+        b.add_holding(CompanyId(1), CompanyId(3), pct(50));
+        b.add_holding(CompanyId(2), CompanyId(3), pct(50));
+        let sc = StateControl::resolve(&b.build().unwrap());
+        // Both meet the >=50% rule; ties break to the lexicographically
+        // smaller code.
+        assert_eq!(sc.controlling_state(CompanyId(3)), Some(cc("BE")));
+    }
+
+    #[test]
+    fn no_state_participation_no_stakes() {
+        let mut b = OwnershipGraphBuilder::new();
+        b.add_company(company(1, "PrivateCo", "US", Business::PrivateInvestorPool));
+        b.add_company(company(2, "ISP", "US", OPERATOR));
+        b.add_holding(CompanyId(1), CompanyId(2), pct(100));
+        let sc = StateControl::resolve(&b.build().unwrap());
+        assert!(sc.stakes(CompanyId(2)).is_empty());
+        assert_eq!(sc.controlling_state(CompanyId(2)), None);
+        assert!(sc.controlled_by(cc("US")).is_empty());
+    }
+
+    proptest::proptest! {
+        /// On random layered ownership DAGs: (1) control implies >= 50%
+        /// attributed equity; (2) at most two states can simultaneously
+        /// meet the >= 50% rule, and only at exactly 50/50; (3) economic
+        /// interest never exceeds control-attributed equity plus rounding.
+        #[test]
+        fn prop_control_invariants(
+            edges in proptest::collection::vec((0u32..12, 12u32..40, 500u16..6_000), 1..40)
+        ) {
+            use std::collections::HashMap;
+            // Companies 0..12 are governments of distinct countries;
+            // 12..40 are operators/holdings. Edges point low -> high
+            // (layered, hence acyclic). Cap inbound equity at 100%.
+            let mut b = OwnershipGraphBuilder::new();
+            let countries = soi_types::all_countries();
+            for i in 0..12u32 {
+                b.add_company(Company::new(
+                    CompanyId(i),
+                    format!("Gov{i}"),
+                    format!("Gov{i}"),
+                    countries[i as usize].code,
+                    Business::Government,
+                ));
+            }
+            for i in 12..40u32 {
+                b.add_company(company(i, &format!("C{i}"), "NO", if i % 3 == 0 {
+                    Business::Holding
+                } else {
+                    OPERATOR
+                }));
+            }
+            let mut into: HashMap<u32, u32> = HashMap::new();
+            let mut seen = std::collections::HashSet::new();
+            for (holder, held, bp) in edges {
+                if holder >= held || !seen.insert((holder, held)) {
+                    continue;
+                }
+                let total = into.entry(held).or_insert(0);
+                let bp = u32::from(bp).min(10_000 - *total);
+                if bp == 0 {
+                    continue;
+                }
+                *total += bp;
+                b.add_holding(CompanyId(holder), CompanyId(held), Equity::from_bp(bp));
+            }
+            let g = b.build().expect("layered graphs are valid");
+            let sc = StateControl::resolve(&g);
+            for c in g.companies() {
+                let stakes = sc.stakes(c.id);
+                let majorities =
+                    stakes.iter().filter(|s| s.controlled_equity.is_majority()).count();
+                proptest::prop_assert!(majorities <= 2);
+                if majorities == 2 {
+                    proptest::prop_assert!(stakes
+                        .iter()
+                        .filter(|s| s.controlled_equity.is_majority())
+                        .all(|s| s.controlled_equity == Equity::MAJORITY));
+                }
+                if let Some(state) = sc.controlling_state(c.id) {
+                    let stake = stakes.iter().find(|s| s.country == state).unwrap();
+                    proptest::prop_assert!(stake.controlled_equity.is_majority());
+                }
+                for s in stakes {
+                    // Economic interest is a lower bound on control-based
+                    // attribution for the same state (scaling only shrinks
+                    // stakes; control counts them in full) up to rounding.
+                    proptest::prop_assert!(
+                        s.economic_interest.bp() <= s.controlled_equity.bp().saturating_add(2)
+                            || s.controlled_equity == Equity::ZERO
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deep_chain_control_propagates() {
+        // Gov -> 100% H1 -> 60% H2 -> 51% telco: control at every level.
+        let mut b = OwnershipGraphBuilder::new();
+        b.add_company(company(1, "Gov", "CN", Business::Government));
+        b.add_company(company(2, "H1", "CN", Business::Holding));
+        b.add_company(company(3, "H2", "CN", Business::Holding));
+        b.add_company(company(4, "Telco", "CN", OPERATOR));
+        b.add_holding(CompanyId(1), CompanyId(2), pct(100));
+        b.add_holding(CompanyId(2), CompanyId(3), pct(60));
+        b.add_holding(CompanyId(3), CompanyId(4), pct(51));
+        let sc = StateControl::resolve(&b.build().unwrap());
+        assert_eq!(sc.controlling_state(CompanyId(4)), Some(cc("CN")));
+        // Economic interest: 100% * 60% * 51% = 30.6% < 50%: the ablation
+        // model would (wrongly) miss this firm.
+        let stake = &sc.stakes(CompanyId(4))[0];
+        assert_eq!(stake.economic_interest, Equity::from_bp(3060));
+        assert!(stake.controlled_equity.is_majority());
+    }
+}

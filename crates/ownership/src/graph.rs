@@ -1,0 +1,358 @@
+//! The validated shareholding graph.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use soi_types::{CompanyId, Equity, SoiError};
+
+use crate::company::Company;
+
+/// One shareholder position: `holder` owns `equity` of `held`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Shareholding {
+    /// The owning entity.
+    pub holder: CompanyId,
+    /// The owned entity.
+    pub held: CompanyId,
+    /// Fraction of `held`'s equity.
+    pub equity: Equity,
+}
+
+/// Builder for [`OwnershipGraph`].
+#[derive(Default, Clone, Debug)]
+pub struct OwnershipGraphBuilder {
+    companies: Vec<Company>,
+    holdings: Vec<Shareholding>,
+}
+
+impl OwnershipGraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a company. IDs must be unique (checked at build).
+    pub fn add_company(&mut self, company: Company) -> &mut Self {
+        self.companies.push(company);
+        self
+    }
+
+    /// Records that `holder` owns `equity` of `held`.
+    pub fn add_holding(&mut self, holder: CompanyId, held: CompanyId, equity: Equity) -> &mut Self {
+        self.holdings.push(Shareholding { holder, held, equity });
+        self
+    }
+
+    /// Validates and freezes the graph.
+    ///
+    /// Rejects duplicate company IDs, holdings referencing unknown
+    /// companies, self-holdings, duplicate holder→held pairs, per-company
+    /// equity totals above 100%, and ownership cycles (cross-holdings are
+    /// rare in reality and poison control computation; the generator never
+    /// produces them, so one here is a bug to surface, not data to accept).
+    pub fn build(self) -> Result<OwnershipGraph, SoiError> {
+        let mut index: HashMap<CompanyId, usize> = HashMap::with_capacity(self.companies.len());
+        for (i, c) in self.companies.iter().enumerate() {
+            if index.insert(c.id, i).is_some() {
+                return Err(SoiError::Invariant(format!("duplicate company id {}", c.id)));
+            }
+        }
+
+        let mut seen_pairs = std::collections::HashSet::new();
+        let mut into_total: HashMap<CompanyId, Equity> = HashMap::new();
+        for h in &self.holdings {
+            if h.holder == h.held {
+                return Err(SoiError::Invariant(format!("{} holds itself", h.holder)));
+            }
+            for id in [h.holder, h.held] {
+                if !index.contains_key(&id) {
+                    return Err(SoiError::NotFound(format!("holding references unknown {id}")));
+                }
+            }
+            if !seen_pairs.insert((h.holder, h.held)) {
+                return Err(SoiError::Invariant(format!(
+                    "duplicate holding {} -> {}",
+                    h.holder, h.held
+                )));
+            }
+            let total = into_total.entry(h.held).or_insert(Equity::ZERO);
+            let new_total = u32::from(total.bp()) + u32::from(h.equity.bp());
+            if new_total > u32::from(Equity::FULL.bp()) {
+                return Err(SoiError::Invariant(format!(
+                    "shareholders of {} exceed 100%",
+                    h.held
+                )));
+            }
+            *total = Equity::from_bp(new_total);
+        }
+
+        // Adjacency.
+        let n = self.companies.len();
+        let mut holders_of: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut holdings_of: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (hi, h) in self.holdings.iter().enumerate() {
+            holders_of[index[&h.held]].push(hi);
+            holdings_of[index[&h.holder]].push(hi);
+        }
+
+        let graph = OwnershipGraph {
+            companies: self.companies,
+            holdings: self.holdings,
+            index,
+            holders_of,
+            holdings_of,
+        };
+        graph.check_acyclic()?;
+        Ok(graph)
+    }
+}
+
+/// An immutable, validated shareholding DAG.
+#[derive(Clone, Debug)]
+pub struct OwnershipGraph {
+    companies: Vec<Company>,
+    holdings: Vec<Shareholding>,
+    index: HashMap<CompanyId, usize>,
+    /// Per company (by position), indices into `holdings` where it is held.
+    holders_of: Vec<Vec<usize>>,
+    /// Per company (by position), indices into `holdings` where it holds.
+    holdings_of: Vec<Vec<usize>>,
+}
+
+impl OwnershipGraph {
+    /// All companies.
+    pub fn companies(&self) -> &[Company] {
+        &self.companies
+    }
+
+    /// All shareholdings.
+    pub fn holdings(&self) -> &[Shareholding] {
+        &self.holdings
+    }
+
+    /// Looks up a company.
+    pub fn company(&self, id: CompanyId) -> Option<&Company> {
+        self.index.get(&id).map(|&i| &self.companies[i])
+    }
+
+    pub(crate) fn position(&self, id: CompanyId) -> Option<usize> {
+        self.index.get(&id).copied()
+    }
+
+    pub(crate) fn company_at(&self, pos: usize) -> &Company {
+        &self.companies[pos]
+    }
+
+    /// Who holds shares of `id`.
+    pub fn holders(&self, id: CompanyId) -> Vec<Shareholding> {
+        match self.index.get(&id) {
+            Some(&i) => self.holders_of[i].iter().map(|&hi| self.holdings[hi]).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// What `id` holds shares of.
+    pub fn portfolio(&self, id: CompanyId) -> Vec<Shareholding> {
+        match self.index.get(&id) {
+            Some(&i) => self.holdings_of[i].iter().map(|&hi| self.holdings[hi]).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// The single shareholder holding >= 50% of `id`, if one exists.
+    pub fn majority_holder(&self, id: CompanyId) -> Option<Shareholding> {
+        self.holders(id).into_iter().find(|h| h.equity.is_majority())
+    }
+
+    /// Companies in which `id` directly holds >= 50%.
+    pub fn majority_subsidiaries(&self, id: CompanyId) -> Vec<CompanyId> {
+        self.portfolio(id)
+            .into_iter()
+            .filter(|h| h.equity.is_majority())
+            .map(|h| h.held)
+            .collect()
+    }
+
+    /// Free float: equity of `id` not accounted for by recorded holders.
+    pub fn unattributed_equity(&self, id: CompanyId) -> Equity {
+        let held: Equity = self.holders(id).iter().map(|h| h.equity).sum();
+        Equity::FULL - held
+    }
+
+    fn check_acyclic(&self) -> Result<(), SoiError> {
+        // Kahn over holder -> held edges.
+        let n = self.companies.len();
+        let mut indeg = vec![0u32; n];
+        for h in &self.holdings {
+            indeg[self.index[&h.held]] += 1;
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut visited = 0;
+        while let Some(i) = queue.pop() {
+            visited += 1;
+            for &hi in &self.holdings_of[i] {
+                let held = self.index[&self.holdings[hi].held];
+                indeg[held] -= 1;
+                if indeg[held] == 0 {
+                    queue.push(held);
+                }
+            }
+        }
+        if visited == n {
+            Ok(())
+        } else {
+            Err(SoiError::Invariant("ownership cycle detected".into()))
+        }
+    }
+
+    /// Companies in topological order (holders before held) — used by the
+    /// control fixpoint so a single pass suffices.
+    pub(crate) fn topo_order(&self) -> Vec<usize> {
+        let n = self.companies.len();
+        let mut indeg = vec![0u32; n];
+        for h in &self.holdings {
+            indeg[self.index[&h.held]] += 1;
+        }
+        let mut queue: std::collections::VecDeque<usize> =
+            (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(i) = queue.pop_front() {
+            order.push(i);
+            for &hi in &self.holdings_of[i] {
+                let held = self.index[&self.holdings[hi].held];
+                indeg[held] -= 1;
+                if indeg[held] == 0 {
+                    queue.push_back(held);
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), n, "graph validated acyclic at build");
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::company::{Business, Company};
+    use soi_types::cc;
+
+    fn gov(id: u32, country: &str) -> Company {
+        Company::new(
+            CompanyId(id),
+            format!("Government of {country}"),
+            format!("State of {country}"),
+            country.parse().unwrap(),
+            Business::Government,
+        )
+    }
+
+    fn telco(id: u32, name: &str, country: &str) -> Company {
+        Company::new(
+            CompanyId(id),
+            name,
+            format!("{name} Holdings"),
+            country.parse().unwrap(),
+            Business::InternetOperator {
+                scope: crate::company::OperatorScope::National,
+                service: crate::company::ServiceKind::Both,
+            },
+        )
+    }
+
+    fn pct(p: u32) -> Equity {
+        Equity::from_percent(p)
+    }
+
+    #[test]
+    fn builds_and_queries() {
+        let mut b = OwnershipGraphBuilder::new();
+        b.add_company(gov(1, "NO"));
+        b.add_company(telco(2, "Telenor", "NO"));
+        b.add_holding(CompanyId(1), CompanyId(2), pct(54));
+        let g = b.build().unwrap();
+        assert_eq!(g.companies().len(), 2);
+        assert_eq!(g.holders(CompanyId(2)).len(), 1);
+        assert_eq!(g.majority_holder(CompanyId(2)).unwrap().holder, CompanyId(1));
+        assert_eq!(g.majority_subsidiaries(CompanyId(1)), vec![CompanyId(2)]);
+        assert_eq!(g.unattributed_equity(CompanyId(2)), pct(46));
+        assert_eq!(g.company(CompanyId(2)).unwrap().country, cc("NO"));
+        assert!(g.company(CompanyId(9)).is_none());
+    }
+
+    #[test]
+    fn rejects_duplicate_ids() {
+        let mut b = OwnershipGraphBuilder::new();
+        b.add_company(gov(1, "NO"));
+        b.add_company(gov(1, "SE"));
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn rejects_dangling_and_self_holdings() {
+        let mut b = OwnershipGraphBuilder::new();
+        b.add_company(gov(1, "NO"));
+        b.add_holding(CompanyId(1), CompanyId(2), pct(10));
+        assert!(b.build().is_err());
+
+        let mut b = OwnershipGraphBuilder::new();
+        b.add_company(gov(1, "NO"));
+        b.add_holding(CompanyId(1), CompanyId(1), pct(10));
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn rejects_overallocation_and_duplicates() {
+        let mut b = OwnershipGraphBuilder::new();
+        b.add_company(gov(1, "NO"));
+        b.add_company(gov(2, "SE"));
+        b.add_company(telco(3, "X", "NO"));
+        b.add_holding(CompanyId(1), CompanyId(3), pct(60));
+        b.add_holding(CompanyId(2), CompanyId(3), pct(60));
+        assert!(b.build().is_err());
+
+        let mut b = OwnershipGraphBuilder::new();
+        b.add_company(gov(1, "NO"));
+        b.add_company(telco(3, "X", "NO"));
+        b.add_holding(CompanyId(1), CompanyId(3), pct(30));
+        b.add_holding(CompanyId(1), CompanyId(3), pct(30));
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn rejects_cycles() {
+        let mut b = OwnershipGraphBuilder::new();
+        b.add_company(telco(1, "A", "NO"));
+        b.add_company(telco(2, "B", "NO"));
+        b.add_holding(CompanyId(1), CompanyId(2), pct(30));
+        b.add_holding(CompanyId(2), CompanyId(1), pct(30));
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn exactly_100_percent_allowed() {
+        let mut b = OwnershipGraphBuilder::new();
+        b.add_company(gov(1, "NO"));
+        b.add_company(gov(2, "SE"));
+        b.add_company(telco(3, "X", "NO"));
+        b.add_holding(CompanyId(1), CompanyId(3), pct(50));
+        b.add_holding(CompanyId(2), CompanyId(3), pct(50));
+        let g = b.build().unwrap();
+        assert_eq!(g.unattributed_equity(CompanyId(3)), Equity::ZERO);
+    }
+
+    #[test]
+    fn topo_order_holders_first() {
+        let mut b = OwnershipGraphBuilder::new();
+        b.add_company(gov(1, "NO"));
+        b.add_company(telco(2, "Hold", "NO"));
+        b.add_company(telco(3, "Op", "NO"));
+        b.add_holding(CompanyId(1), CompanyId(2), pct(100));
+        b.add_holding(CompanyId(2), CompanyId(3), pct(60));
+        let g = b.build().unwrap();
+        let order = g.topo_order();
+        let pos = |id: u32| order.iter().position(|&i| g.company_at(i).id == CompanyId(id)).unwrap();
+        assert!(pos(1) < pos(2));
+        assert!(pos(2) < pos(3));
+    }
+}

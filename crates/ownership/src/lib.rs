@@ -1,0 +1,27 @@
+//! Company ownership graphs and state-control resolution.
+//!
+//! The hardest part of the paper's manual stage is deciding whether a
+//! government's aggregate position in a company crosses the IMF's >= 50%
+//! line when holdings are spread across direct stakes, wholly-owned holding
+//! companies, and state-controlled funds (the Telekom Malaysia example sums
+//! three funds). This crate provides the substrate for that reasoning:
+//!
+//! * [`Company`] / [`Business`] — legal entities with the business
+//!   classification the paper's exclusion rules need (§5.3);
+//! * [`OwnershipGraph`] — a validated shareholding DAG;
+//! * [`StateControl`] — the fixpoint computation of which companies each
+//!   state *controls*: a company counts as state-controlled when the sum of
+//!   stakes held by the government itself plus stakes held by entities the
+//!   state already controls reaches 50%. This matches how the paper
+//!   attributes fund holdings (Khazanah's stake in Telekom Malaysia counts
+//!   in full once Khazanah is state-controlled), rather than multiplying
+//!   equity down chains. The multiplicative "economic interest" is also
+//!   provided, for the ablation comparing the two attribution models.
+
+pub mod company;
+pub mod control;
+pub mod graph;
+
+pub use company::{Business, Company, OperatorScope, ServiceKind};
+pub use control::{StateControl, StateStake};
+pub use graph::{OwnershipGraph, OwnershipGraphBuilder, Shareholding};

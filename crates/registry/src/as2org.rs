@@ -1,0 +1,339 @@
+//! AS2Org-style sibling inference.
+//!
+//! CAIDA's AS2Org clusters ASNs into organizations using WHOIS record
+//! similarity. The paper both *uses* this data (stage 3 adds sibling ASNs
+//! of confirmed operators) and *documents its failure mode*: siblings whose
+//! WHOIS records share neither a name nor contact infrastructure are split
+//! into separate clusters (§6 — the authors contributed corrections
+//! upstream). This module reproduces the inference faithfully: it sees only
+//! the simulated WHOIS records, so stale or legal-name records fragment
+//! clusters exactly as they do in the real data product.
+
+use std::collections::HashMap;
+
+use soi_types::{Asn, OrgId};
+
+use crate::whois::{WhoisDb, WhoisRecord};
+
+/// Inferred organization clusters.
+#[derive(Clone, Debug, Default)]
+pub struct As2Org {
+    org_of: HashMap<Asn, OrgId>,
+    members: HashMap<OrgId, Vec<Asn>>,
+    names: HashMap<OrgId, String>,
+}
+
+/// Strips legal-form suffixes and punctuation, lowercases.
+///
+/// "Telenor Norge AS" and "TELENOR NORGE a.s." normalize identically; a
+/// completely different former name does not — which is the point.
+///
+/// ```
+/// use soi_registry::as2org::normalize_org_name;
+///
+/// assert_eq!(normalize_org_name("Telenor Norge AS"),
+///            normalize_org_name("TELENOR-NORGE a.s."));
+/// assert_ne!(normalize_org_name("Televerket"), normalize_org_name("Telenor"));
+/// ```
+pub fn normalize_org_name(name: &str) -> String {
+    const LEGAL_SUFFIXES: &[&str] = &[
+        "sa", "s.a", "sab", "ab", "as", "a.s", "asa", "plc", "inc", "llc", "ltd", "gmbh",
+        "bhd", "spa", "s.p.a", "pte", "pjsc", "jsc", "co", "corp", "holdings", "holding",
+        "group", "company", "limited",
+    ];
+    let cleaned: String = name
+        .chars()
+        .map(|c| {
+            if c.is_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                ' '
+            }
+        })
+        .collect();
+    let tokens: Vec<&str> = cleaned
+        .split_whitespace()
+        .filter(|t| t.chars().count() > 1 && !LEGAL_SUFFIXES.contains(t))
+        .collect();
+    tokens.join(" ")
+}
+
+impl As2Org {
+    /// Runs the inference over a WHOIS database.
+    ///
+    /// Two ASNs land in one cluster iff their records share a normalized
+    /// org name or an informative contact domain (union-find closure).
+    pub fn infer(whois: &WhoisDb) -> As2Org {
+        let records = whois.records();
+        let n = records.len();
+        let mut dsu = Dsu::new(n);
+
+        let mut by_name: HashMap<String, usize> = HashMap::new();
+        let mut by_domain: HashMap<&str, usize> = HashMap::new();
+        for (i, rec) in records.iter().enumerate() {
+            let name = normalize_org_name(&rec.org_name);
+            if !name.is_empty() {
+                match by_name.entry(name) {
+                    std::collections::hash_map::Entry::Occupied(e) => dsu.union(*e.get(), i),
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(i);
+                    }
+                }
+            }
+            if let Some(domain) = informative_domain(rec) {
+                match by_domain.entry(domain) {
+                    std::collections::hash_map::Entry::Occupied(e) => dsu.union(*e.get(), i),
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(i);
+                    }
+                }
+            }
+        }
+
+        // Assign OrgIds by cluster representative, ordered by lowest ASN
+        // for stability.
+        let mut clusters: HashMap<usize, Vec<usize>> = HashMap::new();
+        for i in 0..n {
+            clusters.entry(dsu.find(i)).or_default().push(i);
+        }
+        let mut cluster_list: Vec<Vec<usize>> = clusters.into_values().collect();
+        for c in &mut cluster_list {
+            c.sort_by_key(|&i| records[i].asn);
+        }
+        cluster_list.sort_by_key(|c| records[c[0]].asn);
+
+        let mut org_of = HashMap::new();
+        let mut members = HashMap::new();
+        let mut names = HashMap::new();
+        for (oid, cluster) in cluster_list.into_iter().enumerate() {
+            let org = OrgId(oid as u32);
+            let asns: Vec<Asn> = cluster.iter().map(|&i| records[i].asn).collect();
+            for &a in &asns {
+                org_of.insert(a, org);
+            }
+            names.insert(org, records[cluster[0]].org_name.clone());
+            members.insert(org, asns);
+        }
+        As2Org { org_of, members, names }
+    }
+
+    /// The inferred organization of an ASN.
+    pub fn org_of(&self, asn: Asn) -> Option<OrgId> {
+        self.org_of.get(&asn).copied()
+    }
+
+    /// All ASNs in a cluster (sorted).
+    pub fn members(&self, org: OrgId) -> &[Asn] {
+        self.members.get(&org).map_or(&[], Vec::as_slice)
+    }
+
+    /// Sibling ASNs of `asn` (cluster members, including `asn` itself).
+    pub fn siblings(&self, asn: Asn) -> &[Asn] {
+        match self.org_of(asn) {
+            Some(org) => self.members(org),
+            None => &[],
+        }
+    }
+
+    /// Representative name of a cluster.
+    pub fn org_name(&self, org: OrgId) -> Option<&str> {
+        self.names.get(&org).map(String::as_str)
+    }
+
+    /// Number of inferred organizations.
+    pub fn num_orgs(&self) -> usize {
+        self.members.len()
+    }
+
+    /// All organization IDs.
+    pub fn orgs(&self) -> impl Iterator<Item = OrgId> + '_ {
+        let mut ids: Vec<OrgId> = self.members.keys().copied().collect();
+        ids.sort_unstable();
+        ids.into_iter()
+    }
+
+    /// Applies externally-contributed sibling corrections: each group of
+    /// org ids is merged into one cluster (the paper's §6 — the authors
+    /// found siblings AS2Org had split and "contributed [their] findings
+    /// to the AS2Org project"). Cluster ids are re-assigned afresh; the
+    /// merged cluster takes the name of its lowest-ASN member's cluster.
+    pub fn with_merges(&self, groups: &[Vec<OrgId>]) -> As2Org {
+        // Union-find over existing org ids.
+        let mut ids: Vec<OrgId> = self.members.keys().copied().collect();
+        ids.sort_unstable();
+        let index: HashMap<OrgId, usize> = ids.iter().enumerate().map(|(i, &o)| (o, i)).collect();
+        let mut parent: Vec<usize> = (0..ids.len()).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for group in groups {
+            let mut it = group.iter().filter_map(|o| index.get(o).copied());
+            let Some(first) = it.next() else { continue };
+            for other in it {
+                let (ra, rb) = (find(&mut parent, first), find(&mut parent, other));
+                if ra != rb {
+                    parent[ra.max(rb)] = ra.min(rb);
+                }
+            }
+        }
+        // Collect merged clusters, keyed by root.
+        let mut merged: HashMap<usize, Vec<Asn>> = HashMap::new();
+        for (i, &org) in ids.iter().enumerate() {
+            let root = find(&mut parent, i);
+            merged.entry(root).or_default().extend_from_slice(self.members(org));
+        }
+        let mut clusters: Vec<Vec<Asn>> = merged.into_values().collect();
+        for c in &mut clusters {
+            c.sort_unstable();
+        }
+        clusters.sort_by_key(|c| c[0]);
+
+        let mut org_of = HashMap::new();
+        let mut members = HashMap::new();
+        let mut names = HashMap::new();
+        for (oid, asns) in clusters.into_iter().enumerate() {
+            let org = OrgId(oid as u32);
+            let name = self
+                .org_of(asns[0])
+                .and_then(|o| self.org_name(o))
+                .unwrap_or("")
+                .to_owned();
+            for &a in &asns {
+                org_of.insert(a, org);
+            }
+            names.insert(org, name);
+            members.insert(org, asns);
+        }
+        As2Org { org_of, members, names }
+    }
+}
+
+fn informative_domain(rec: &WhoisRecord) -> Option<&str> {
+    let domain = rec.email.split_once('@')?.1;
+    (!domain.ends_with("-registry.example")).then_some(domain)
+}
+
+/// Minimal union-find with path halving.
+struct Dsu {
+    parent: Vec<usize>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Dsu { parent: (0..n).collect() }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra.max(rb)] = ra.min(rb);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registration::AsRegistration;
+    use crate::whois::{WhoisDb, WhoisNoise};
+    use soi_types::{cc, CompanyId, Rir};
+
+    fn reg(asn: u32, company: u32, brand: &str, legal: &str, former: Option<&str>, domain: &str) -> AsRegistration {
+        AsRegistration {
+            asn: Asn(asn),
+            company: CompanyId(company),
+            brand: brand.into(),
+            legal_name: legal.into(),
+            former_name: former.map(Into::into),
+            country: cc("NO"),
+            rir: Rir::Ripe,
+            domain: domain.into(),
+        }
+    }
+
+    fn clean_whois(regs: &[AsRegistration]) -> WhoisDb {
+        WhoisDb::generate(
+            regs,
+            WhoisNoise { stale_rate: 0.0, legal_name_rate: 0.0, opaque_contact_rate: 0.0, seed: 0 },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn normalization_strips_legal_forms() {
+        assert_eq!(normalize_org_name("Telenor Norge AS"), "telenor norge");
+        assert_eq!(normalize_org_name("TELENOR-NORGE a.s."), "telenor norge");
+        assert_eq!(normalize_org_name("América Móvil S.A.B."), "américa móvil");
+        assert_ne!(normalize_org_name("Televerket"), normalize_org_name("Telenor"));
+    }
+
+    #[test]
+    fn same_name_clusters() {
+        let regs = vec![
+            reg(1, 10, "Telenor", "Telenor AS", None, "telenor.example"),
+            reg(2, 10, "Telenor", "Telenor AS", None, "telenor.example"),
+            reg(3, 11, "Telia", "Telia AB", None, "telia.example"),
+        ];
+        let a2o = As2Org::infer(&clean_whois(&regs));
+        assert_eq!(a2o.num_orgs(), 2);
+        assert_eq!(a2o.org_of(Asn(1)), a2o.org_of(Asn(2)));
+        assert_ne!(a2o.org_of(Asn(1)), a2o.org_of(Asn(3)));
+        assert_eq!(a2o.siblings(Asn(1)), &[Asn(1), Asn(2)]);
+    }
+
+    #[test]
+    fn shared_contact_domain_merges_distinct_names() {
+        let regs = vec![
+            reg(1, 10, "Ooredoo", "Ooredoo QSC", None, "ooredoo.example"),
+            reg(2, 10, "Wataniya", "Wataniya Telecom", None, "ooredoo.example"),
+        ];
+        let a2o = As2Org::infer(&clean_whois(&regs));
+        assert_eq!(a2o.num_orgs(), 1, "same NOC domain merges");
+    }
+
+    #[test]
+    fn stale_record_splits_siblings() {
+        // The documented AS2Org failure: one sibling's record is stale
+        // (former name + opaque contact), so the cluster fragments.
+        let regs = vec![
+            reg(1, 10, "Internexa", "Internexa SA", None, "internexa.example"),
+            reg(2, 10, "Internexa", "Transamerican Telecomunication S.A.", Some("Transamerican Telecomunication S.A."), "internexa.example"),
+        ];
+        let db = WhoisDb::generate(
+            &regs,
+            WhoisNoise { stale_rate: 1.0, legal_name_rate: 0.0, opaque_contact_rate: 1.0, seed: 0 },
+        )
+        .unwrap();
+        let a2o = As2Org::infer(&db);
+        assert_eq!(a2o.num_orgs(), 2, "stale sibling fragments the org");
+        assert_ne!(a2o.org_of(Asn(1)), a2o.org_of(Asn(2)));
+    }
+
+    #[test]
+    fn org_ids_are_stable_and_named() {
+        let regs = vec![
+            reg(5, 10, "Beta", "Beta AS", None, "beta.example"),
+            reg(3, 11, "Alpha", "Alpha AS", None, "alpha.example"),
+        ];
+        let a2o = As2Org::infer(&clean_whois(&regs));
+        // Lowest-ASN cluster gets OrgId 0.
+        assert_eq!(a2o.org_of(Asn(3)), Some(OrgId(0)));
+        assert_eq!(a2o.org_name(OrgId(0)), Some("Alpha"));
+        let orgs: Vec<OrgId> = a2o.orgs().collect();
+        assert_eq!(orgs, vec![OrgId(0), OrgId(1)]);
+        assert!(a2o.org_of(Asn(99)).is_none());
+        assert!(a2o.siblings(Asn(99)).is_empty());
+    }
+}

@@ -1,0 +1,301 @@
+//! NRO "delegated-extended" statistics files.
+//!
+//! Each RIR publishes a daily pipe-separated file enumerating every
+//! resource it has delegated — the canonical public record of which
+//! country an ASN or address block was registered in:
+//!
+//! ```text
+//! 2|ripe|20200601|2|19920101|20200601|+0000
+//! ripe|*|asn|*|2|summary
+//! ripe|NO|asn|2119|1|19960101|allocated|opaque-1
+//! ripe|NO|ipv4|193.90.0.0|65536|19960101|allocated|opaque-1
+//! ```
+//!
+//! The generator renders one file per RIR from the world's registrations
+//! and prefix assignments; the parser reads any of them back. Consumers
+//! that want per-country AS counts without WHOIS (a common measurement
+//! shortcut) can be built and tested against this format.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use soi_types::{Asn, CountryCode, Ipv4Prefix, Rir, SoiError};
+
+use crate::registration::AsRegistration;
+
+/// One delegation record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Delegation {
+    /// An ASN delegated to a country.
+    Asn {
+        /// Issuing registry.
+        rir: Rir,
+        /// Registration country.
+        country: CountryCode,
+        /// The ASN.
+        asn: Asn,
+        /// Opaque per-organization handle (same org, same handle).
+        opaque_id: String,
+    },
+    /// An IPv4 block delegated to a country.
+    Ipv4 {
+        /// Issuing registry.
+        rir: Rir,
+        /// Registration country.
+        country: CountryCode,
+        /// First address of the block.
+        start: u32,
+        /// Number of addresses (delegations need not be CIDR-aligned,
+        /// though ours are).
+        count: u64,
+        /// Opaque per-organization handle.
+        opaque_id: String,
+    },
+}
+
+impl Delegation {
+    /// The issuing registry.
+    pub fn rir(&self) -> Rir {
+        match self {
+            Delegation::Asn { rir, .. } | Delegation::Ipv4 { rir, .. } => *rir,
+        }
+    }
+
+    /// The registration country.
+    pub fn country(&self) -> CountryCode {
+        match self {
+            Delegation::Asn { country, .. } | Delegation::Ipv4 { country, .. } => *country,
+        }
+    }
+}
+
+/// Renders one registry's delegated-extended file from world data.
+pub fn render_delegated(
+    rir: Rir,
+    registrations: &[AsRegistration],
+    prefixes: &[(Ipv4Prefix, Asn)],
+) -> String {
+    let regs: Vec<&AsRegistration> =
+        registrations.iter().filter(|r| r.rir == rir).collect();
+    let reg_of: BTreeMap<Asn, &AsRegistration> = regs.iter().map(|r| (r.asn, *r)).collect();
+    let blocks: Vec<(&Ipv4Prefix, &AsRegistration)> = prefixes
+        .iter()
+        .filter_map(|(p, asn)| reg_of.get(asn).map(|r| (p, *r)))
+        .collect();
+
+    let name = rir.name().to_ascii_lowercase();
+    let mut out = String::new();
+    let _ = writeln!(out, "2|{name}|20200601|{}|19920101|20200601|+0000", regs.len() + blocks.len());
+    let _ = writeln!(out, "{name}|*|asn|*|{}|summary", regs.len());
+    let _ = writeln!(out, "{name}|*|ipv4|*|{}|summary", blocks.len());
+    for r in &regs {
+        let _ = writeln!(
+            out,
+            "{name}|{}|asn|{}|1|19990101|allocated|{}",
+            r.country,
+            r.asn.value(),
+            r.company
+        );
+    }
+    for (p, r) in &blocks {
+        let _ = writeln!(
+            out,
+            "{name}|{}|ipv4|{}|{}|19990101|allocated|{}",
+            r.country,
+            std::net::Ipv4Addr::from(p.network()),
+            p.num_addresses(),
+            r.company
+        );
+    }
+    out
+}
+
+/// Parses a delegated-extended file (any registry).
+pub fn parse_delegated(text: &str) -> Result<Vec<Delegation>, SoiError> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('|').collect();
+        // Version header and summary lines are structural, not records.
+        if fields.first() == Some(&"2") || fields.get(5) == Some(&"summary") {
+            continue;
+        }
+        if fields.len() < 7 {
+            return Err(SoiError::Parse(format!("short delegation record: {line:?}")));
+        }
+        let rir = match fields[0] {
+            "afrinic" => Rir::Afrinic,
+            "apnic" => Rir::Apnic,
+            "arin" => Rir::Arin,
+            "lacnic" => Rir::Lacnic,
+            "ripe" | "ripencc" => Rir::Ripe,
+            other => return Err(SoiError::Parse(format!("unknown registry: {other:?}"))),
+        };
+        let country: CountryCode = fields[1]
+            .parse()
+            .map_err(|_| SoiError::Parse(format!("bad country in {line:?}")))?;
+        let opaque_id = fields[6..].last().unwrap_or(&"").to_string();
+        match fields[2] {
+            "asn" => {
+                let asn: Asn = fields[3]
+                    .parse()
+                    .map_err(|_| SoiError::Parse(format!("bad ASN in {line:?}")))?;
+                out.push(Delegation::Asn { rir, country, asn, opaque_id });
+            }
+            "ipv4" => {
+                let start: std::net::Ipv4Addr = fields[3]
+                    .parse()
+                    .map_err(|_| SoiError::Parse(format!("bad address in {line:?}")))?;
+                let count: u64 = fields[4]
+                    .parse()
+                    .map_err(|_| SoiError::Parse(format!("bad count in {line:?}")))?;
+                out.push(Delegation::Ipv4 {
+                    rir,
+                    country,
+                    start: u32::from(start),
+                    count,
+                    opaque_id,
+                });
+            }
+            "ipv6" => {} // not modelled; skip silently like most consumers
+            other => {
+                return Err(SoiError::Parse(format!("unknown record type: {other:?}")))
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Per-country ASN counts from delegations — the WHOIS-free shortcut many
+/// measurement pipelines use.
+pub fn asn_counts_by_country(delegations: &[Delegation]) -> BTreeMap<CountryCode, usize> {
+    let mut out = BTreeMap::new();
+    for d in delegations {
+        if let Delegation::Asn { country, .. } = d {
+            *out.entry(*country).or_default() += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soi_types::{cc, CompanyId};
+
+    fn reg(asn: u32, country: &str, rir: Rir) -> AsRegistration {
+        AsRegistration {
+            asn: Asn(asn),
+            company: CompanyId(asn),
+            brand: format!("Net{asn}"),
+            legal_name: format!("Net{asn} Ltd"),
+            former_name: None,
+            country: country.parse().unwrap(),
+            rir,
+            domain: format!("net{asn}.example"),
+        }
+    }
+
+    #[test]
+    fn render_and_parse_roundtrip() {
+        let regs = vec![reg(2119, "NO", Rir::Ripe), reg(37468, "AO", Rir::Afrinic)];
+        let prefixes = vec![
+            ("193.90.0.0/16".parse().unwrap(), Asn(2119)),
+            ("197.149.0.0/17".parse().unwrap(), Asn(37468)),
+        ];
+        let text = render_delegated(Rir::Ripe, &regs, &prefixes);
+        assert!(text.starts_with("2|ripe|"));
+        assert!(text.contains("ripe|*|asn|*|1|summary"));
+        let parsed = parse_delegated(&text).unwrap();
+        assert_eq!(parsed.len(), 2, "one ASN + one block, AFRINIC rows excluded");
+        assert!(parsed.iter().any(|d| matches!(
+            d,
+            Delegation::Asn { asn, country, .. } if *asn == Asn(2119) && *country == cc("NO")
+        )));
+        assert!(parsed.iter().any(|d| matches!(
+            d,
+            Delegation::Ipv4 { count: 65536, .. }
+        )));
+    }
+
+    #[test]
+    fn parser_handles_real_world_quirks() {
+        let text = "2|ripencc|20200601|3|19920101|20200601|+0000\n\
+                    ripencc|*|asn|*|1|summary\n\
+                    # a comment\n\
+                    ripencc|NO|asn|2119|1|19960101|allocated|opaque-1\n\
+                    ripencc|NO|ipv6|2001:db8::|32|20050101|allocated|opaque-1\n";
+        let parsed = parse_delegated(text).unwrap();
+        assert_eq!(parsed.len(), 1, "ipv6 rows skipped, 'ripencc' accepted");
+        assert_eq!(parsed[0].rir(), Rir::Ripe);
+        assert!(parse_delegated("mars|NO|asn|1|1|x|allocated|o").is_err());
+        assert!(parse_delegated("ripe|NO|asn|xyz|1|x|allocated|o").is_err());
+        assert!(parse_delegated("ripe|NO|frn|1|1|x|allocated|o").is_err());
+    }
+
+    #[test]
+    fn parser_is_total_on_arbitrary_input() {
+        for garbage in [
+            "",
+            "|||||||",
+            "2|",
+            "ripe",
+            "ripe|NO|asn|99999999999999999999|1|x|allocated|o",
+            "ripe|N0|asn|1|1|x|allocated|o",
+        ] {
+            let _ = parse_delegated(garbage);
+        }
+    }
+
+    #[test]
+    fn country_counts() {
+        let dels = vec![
+            Delegation::Asn { rir: Rir::Ripe, country: cc("NO"), asn: Asn(1), opaque_id: "a".into() },
+            Delegation::Asn { rir: Rir::Ripe, country: cc("NO"), asn: Asn(2), opaque_id: "a".into() },
+            Delegation::Asn { rir: Rir::Ripe, country: cc("SE"), asn: Asn(3), opaque_id: "b".into() },
+            Delegation::Ipv4 { rir: Rir::Ripe, country: cc("NO"), start: 0, count: 256, opaque_id: "a".into() },
+        ];
+        let counts = asn_counts_by_country(&dels);
+        assert_eq!(counts[&cc("NO")], 2);
+        assert_eq!(counts[&cc("SE")], 1);
+    }
+
+    #[test]
+    fn generated_world_files_parse() {
+        let world = soi_worldgen_stub();
+        for rir in Rir::ALL {
+            let text = render_delegated(rir, &world.0, &world.1);
+            let parsed = parse_delegated(&text).unwrap();
+            let expected = world.0.iter().filter(|r| r.rir == rir).count();
+            let asns = parsed.iter().filter(|d| matches!(d, Delegation::Asn { .. })).count();
+            assert_eq!(asns, expected, "{rir}");
+        }
+    }
+
+    // Local mini-world (this crate cannot depend on soi-worldgen).
+    fn soi_worldgen_stub() -> (Vec<AsRegistration>, Vec<(Ipv4Prefix, Asn)>) {
+        let regs: Vec<AsRegistration> = (1..40)
+            .map(|i| {
+                let (country, rir) = match i % 5 {
+                    0 => ("NO", Rir::Ripe),
+                    1 => ("AO", Rir::Afrinic),
+                    2 => ("BR", Rir::Lacnic),
+                    3 => ("SG", Rir::Apnic),
+                    _ => ("US", Rir::Arin),
+                };
+                reg(i * 11, country, rir)
+            })
+            .collect();
+        let prefixes = regs
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                (Ipv4Prefix::new((i as u32 + 1) << 20, 16).unwrap(), r.asn)
+            })
+            .collect();
+        (regs, prefixes)
+    }
+}

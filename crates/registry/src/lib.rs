@@ -1,0 +1,23 @@
+//! Registry-data simulators: WHOIS, PeeringDB and AS2Org.
+//!
+//! Mapping an ASN to the company operating it — and back — is one of the
+//! paper's recurring pain points (§2, §4.2): WHOIS records go stale after
+//! acquisitions and carry legal names that differ from brands, PeeringDB is
+//! self-reported and covers only ~20% of ASes, and AS2Org-style sibling
+//! inference misses siblings whose records share nothing. This crate
+//! simulates all three data products from ground-truth
+//! [`AsRegistration`]s, with each failure mode as an explicit, seeded knob,
+//! so the pipeline's mapping stage contends with the same distortions the
+//! authors did.
+
+pub mod as2org;
+pub mod delegated;
+pub mod peeringdb;
+pub mod registration;
+pub mod rpsl;
+pub mod whois;
+
+pub use as2org::As2Org;
+pub use peeringdb::{PeeringDb, PeeringDbEntry};
+pub use registration::AsRegistration;
+pub use whois::{WhoisDb, WhoisNoise, WhoisRecord};

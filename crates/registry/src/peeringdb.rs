@@ -1,0 +1,202 @@
+//! PeeringDB simulator.
+//!
+//! PeeringDB is voluntary and self-reported: coverage is partial (~20% of
+//! ASes) and skewed toward networks that want to be found — transit
+//! sellers and large peers — but the names are *fresh brand names*, because
+//! operators keep them current to attract customers (§4.2). The simulator
+//! therefore inverts WHOIS's error model: low coverage, high name quality.
+
+use std::collections::HashMap;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use soi_types::{Asn, SoiError};
+
+
+use crate::registration::AsRegistration;
+
+/// A self-reported PeeringDB entry.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PeeringDbEntry {
+    /// The registered ASN.
+    pub asn: Asn,
+    /// Self-reported organization name (current brand).
+    pub org_name: String,
+    /// Self-reported website.
+    pub website: String,
+}
+
+/// The generated PeeringDB snapshot.
+#[derive(Clone, Debug, Default)]
+pub struct PeeringDb {
+    entries: Vec<PeeringDbEntry>,
+    by_asn: HashMap<Asn, usize>,
+}
+
+impl PeeringDb {
+    /// Generates a snapshot. `participation` yields, per registration, the
+    /// probability that the operator registered on the platform — callers
+    /// boost transit-heavy networks to mirror the real skew.
+    pub fn generate<F>(
+        registrations: &[AsRegistration],
+        participation: F,
+        seed: u64,
+    ) -> Result<PeeringDb, SoiError>
+    where
+        F: Fn(&AsRegistration) -> f64,
+    {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x706565726462);
+        let mut entries = Vec::new();
+        let mut by_asn = HashMap::new();
+        for reg in registrations {
+            let p = participation(reg);
+            if !(0.0..=1.0).contains(&p) {
+                return Err(SoiError::InvalidConfig(format!(
+                    "participation probability {p} for {} outside [0, 1]",
+                    reg.asn
+                )));
+            }
+            if rng.gen_bool(p) {
+                by_asn.insert(reg.asn, entries.len());
+                entries.push(PeeringDbEntry {
+                    asn: reg.asn,
+                    org_name: reg.brand.clone(),
+                    website: format!("https://www.{}", reg.domain),
+                });
+            }
+        }
+        Ok(PeeringDb { entries, by_asn })
+    }
+
+    /// All entries.
+    pub fn entries(&self) -> &[PeeringDbEntry] {
+        &self.entries
+    }
+
+    /// Entry for one ASN, if the operator registered.
+    pub fn entry(&self, asn: Asn) -> Option<&PeeringDbEntry> {
+        self.by_asn.get(&asn).map(|&i| &self.entries[i])
+    }
+
+    /// Fraction of the given registrations that appear here.
+    pub fn coverage(&self, registrations: &[AsRegistration]) -> f64 {
+        if registrations.is_empty() {
+            return 0.0;
+        }
+        let hits = registrations.iter().filter(|r| self.by_asn.contains_key(&r.asn)).count();
+        hits as f64 / registrations.len() as f64
+    }
+
+    /// Serializes the snapshot in the shape of the real PeeringDB API's
+    /// `/api/net` response (`{"data": [...]}`).
+    pub fn to_json(&self) -> Result<String, SoiError> {
+        #[derive(serde::Serialize)]
+        struct Api<'a> {
+            data: &'a [PeeringDbEntry],
+        }
+        serde_json::to_string_pretty(&Api { data: &self.entries })
+            .map_err(|e| SoiError::Parse(format!("peeringdb serialization failed: {e}")))
+    }
+
+    /// Parses an `/api/net`-shaped JSON document back into a snapshot.
+    pub fn from_json(text: &str) -> Result<PeeringDb, SoiError> {
+        #[derive(serde::Deserialize)]
+        struct Api {
+            data: Vec<PeeringDbEntry>,
+        }
+        let api: Api = serde_json::from_str(text)
+            .map_err(|e| SoiError::Parse(format!("peeringdb parse failed: {e}")))?;
+        let by_asn = api.data.iter().enumerate().map(|(i, e)| (e.asn, i)).collect();
+        Ok(PeeringDb { entries: api.data, by_asn })
+    }
+
+    /// Case-insensitive substring search over self-reported names.
+    pub fn search_org(&self, needle: &str) -> Vec<&PeeringDbEntry> {
+        let needle = needle.to_lowercase();
+        if needle.is_empty() {
+            return Vec::new();
+        }
+        self.entries
+            .iter()
+            .filter(|e| e.org_name.to_lowercase().contains(&needle))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soi_types::{cc, CompanyId, Rir};
+
+    fn reg(asn: u32, brand: &str) -> AsRegistration {
+        AsRegistration {
+            asn: Asn(asn),
+            company: CompanyId(asn),
+            brand: brand.into(),
+            legal_name: format!("{brand} Holdings"),
+            former_name: None,
+            country: cc("NO"),
+            rir: Rir::Ripe,
+            domain: format!("{}.example", brand.to_lowercase()),
+        }
+    }
+
+    #[test]
+    fn coverage_tracks_probability() {
+        let regs: Vec<_> = (0..2000).map(|i| reg(i, &format!("Net{i}"))).collect();
+        let db = PeeringDb::generate(&regs, |_| 0.2, 5).unwrap();
+        let cov = db.coverage(&regs);
+        assert!((cov - 0.2).abs() < 0.03, "coverage {cov}");
+    }
+
+    #[test]
+    fn names_are_always_fresh_brands() {
+        let mut r = reg(1, "NewBrand");
+        r.former_name = Some("OldBrand".into());
+        let db = PeeringDb::generate(&[r], |_| 1.0, 0).unwrap();
+        assert_eq!(db.entry(Asn(1)).unwrap().org_name, "NewBrand");
+        assert!(db.entry(Asn(1)).unwrap().website.contains("newbrand.example"));
+    }
+
+    #[test]
+    fn zero_probability_absent() {
+        let db = PeeringDb::generate(&[reg(1, "A")], |_| 0.0, 0).unwrap();
+        assert!(db.entry(Asn(1)).is_none());
+        assert!(db.entries().is_empty());
+    }
+
+    #[test]
+    fn weighted_participation() {
+        let regs: Vec<_> = (0..1000).map(|i| reg(i, &format!("Net{i}"))).collect();
+        // Even ASNs are "transit" networks with high participation.
+        let db = PeeringDb::generate(&regs, |r| if r.asn.0 % 2 == 0 { 0.9 } else { 0.1 }, 3).unwrap();
+        let even = regs.iter().filter(|r| r.asn.0 % 2 == 0).filter(|r| db.entry(r.asn).is_some()).count();
+        let odd = regs.iter().filter(|r| r.asn.0 % 2 == 1).filter(|r| db.entry(r.asn).is_some()).count();
+        assert!(even > 400 && odd < 100, "even={even} odd={odd}");
+    }
+
+    #[test]
+    fn json_api_shape_roundtrips() {
+        let db = PeeringDb::generate(&[reg(1, "Alpha"), reg(2, "Beta")], |_| 1.0, 0).unwrap();
+        let json = db.to_json().unwrap();
+        assert!(json.contains("\"data\""));
+        assert!(json.contains("\"org_name\": \"Alpha\""));
+        let back = PeeringDb::from_json(&json).unwrap();
+        assert_eq!(back.entries(), db.entries());
+        assert_eq!(back.entry(Asn(2)).unwrap().org_name, "Beta");
+        assert!(PeeringDb::from_json("{\"nope\": 1}").is_err());
+    }
+
+    #[test]
+    fn invalid_probability_rejected() {
+        assert!(PeeringDb::generate(&[reg(1, "A")], |_| 1.5, 0).is_err());
+    }
+
+    #[test]
+    fn search_matches_brands() {
+        let db = PeeringDb::generate(&[reg(1, "Angola Cables"), reg(2, "BSCCL")], |_| 1.0, 0).unwrap();
+        assert_eq!(db.search_org("angola").len(), 1);
+        assert!(db.search_org("").is_empty());
+    }
+}

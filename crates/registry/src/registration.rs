@@ -1,0 +1,64 @@
+//! Ground-truth AS registrations (the input all simulators derive from).
+
+use serde::{Deserialize, Serialize};
+use soi_types::{Asn, CompanyId, CountryCode, Rir};
+
+/// The ground truth of one ASN delegation: which company holds it and under
+/// which names it is known.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AsRegistration {
+    /// The delegated ASN.
+    pub asn: Asn,
+    /// The company operating the AS.
+    pub company: CompanyId,
+    /// Commercial/brand name ("Internexa").
+    pub brand: String,
+    /// Registered legal name ("Transamerican Telecomunication S.A.") —
+    /// what WHOIS is likely to carry.
+    pub legal_name: String,
+    /// A previous name if the company was renamed/acquired; stale WHOIS
+    /// records surface this one.
+    pub former_name: Option<String>,
+    /// Country of registration.
+    pub country: CountryCode,
+    /// RIR the ASN was delegated by.
+    pub rir: Rir,
+    /// The company's web domain ("internexa.com") — the paper's fallback
+    /// for mapping is searching contact domains.
+    pub domain: String,
+}
+
+impl AsRegistration {
+    /// Uppercase short AS name derived from the brand, WHOIS-style
+    /// ("INTERNEXA-AS").
+    pub fn as_name(&self) -> String {
+        let stem: String = self
+            .brand
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric())
+            .collect::<String>()
+            .to_ascii_uppercase();
+        format!("{stem}-AS")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soi_types::cc;
+
+    #[test]
+    fn as_name_is_sanitized() {
+        let r = AsRegistration {
+            asn: Asn(262195),
+            company: CompanyId(7),
+            brand: "Internexa (AR)".into(),
+            legal_name: "Transamerican Telecomunication S.A.".into(),
+            former_name: None,
+            country: cc("AR"),
+            rir: Rir::Lacnic,
+            domain: "internexa.com".into(),
+        };
+        assert_eq!(r.as_name(), "INTERNEXAAR-AS");
+    }
+}

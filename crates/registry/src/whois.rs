@@ -1,0 +1,216 @@
+//! WHOIS database simulator.
+//!
+//! RIR WHOIS is the compulsory source: every delegated ASN has a record.
+//! Its failure modes (§2) are *staleness* — the record still carries a
+//! pre-acquisition name — and *legal-name opacity* — the `OrgName` is a
+//! registration-time legal entity nobody recognizes (the paper's example:
+//! Colombia's Internexa appearing in LACNIC WHOIS as "Transamerican
+//! Telecomunication S.A."). Both are seeded knobs here.
+
+use std::collections::HashMap;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use soi_types::{Asn, CountryCode, Rir, SoiError};
+
+use crate::registration::AsRegistration;
+
+/// A WHOIS record for one ASN.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WhoisRecord {
+    /// The ASN.
+    pub asn: Asn,
+    /// Short AS name ("TELENOR-AS").
+    pub as_name: String,
+    /// The registered organization name (may be stale or a legal name).
+    pub org_name: String,
+    /// Registration country.
+    pub country: CountryCode,
+    /// Issuing RIR.
+    pub rir: Rir,
+    /// Contact email (carries the real operating domain unless stale).
+    pub email: String,
+}
+
+/// Error-model knobs for WHOIS generation.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct WhoisNoise {
+    /// Probability that a record with a former name still shows it
+    /// (stale record after acquisition/rebrand).
+    pub stale_rate: f64,
+    /// Probability the org name uses the legal name instead of the brand.
+    pub legal_name_rate: f64,
+    /// Probability the contact email is a generic registrar address that
+    /// reveals nothing about the operator.
+    pub opaque_contact_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WhoisNoise {
+    fn default() -> Self {
+        WhoisNoise { stale_rate: 0.35, legal_name_rate: 0.5, opaque_contact_rate: 0.1, seed: 0 }
+    }
+}
+
+/// The generated WHOIS database.
+#[derive(Clone, Debug, Default)]
+pub struct WhoisDb {
+    records: Vec<WhoisRecord>,
+    by_asn: HashMap<Asn, usize>,
+}
+
+impl WhoisDb {
+    /// Generates records for every registration (WHOIS is compulsory, so
+    /// coverage is total).
+    pub fn generate(
+        registrations: &[AsRegistration],
+        noise: WhoisNoise,
+    ) -> Result<WhoisDb, SoiError> {
+        for (name, v) in [
+            ("stale_rate", noise.stale_rate),
+            ("legal_name_rate", noise.legal_name_rate),
+            ("opaque_contact_rate", noise.opaque_contact_rate),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(SoiError::InvalidConfig(format!("{name} {v} outside [0, 1]")));
+            }
+        }
+        let mut rng = SmallRng::seed_from_u64(noise.seed ^ 0x77686f6973);
+        let mut records = Vec::with_capacity(registrations.len());
+        let mut by_asn = HashMap::with_capacity(registrations.len());
+        for reg in registrations {
+            let org_name = match (&reg.former_name, rng.gen_bool(noise.stale_rate)) {
+                (Some(former), true) => former.clone(),
+                _ if rng.gen_bool(noise.legal_name_rate) => reg.legal_name.clone(),
+                _ => reg.brand.clone(),
+            };
+            let email = if rng.gen_bool(noise.opaque_contact_rate) {
+                format!("hostmaster@{}-registry.example", reg.rir.name().to_ascii_lowercase())
+            } else {
+                format!("noc@{}", reg.domain)
+            };
+            by_asn.insert(reg.asn, records.len());
+            records.push(WhoisRecord {
+                asn: reg.asn,
+                as_name: reg.as_name(),
+                org_name,
+                country: reg.country,
+                rir: reg.rir,
+                email,
+            });
+        }
+        Ok(WhoisDb { records, by_asn })
+    }
+
+    /// All records.
+    pub fn records(&self) -> &[WhoisRecord] {
+        &self.records
+    }
+
+    /// Record for one ASN.
+    pub fn record(&self, asn: Asn) -> Option<&WhoisRecord> {
+        self.by_asn.get(&asn).map(|&i| &self.records[i])
+    }
+
+    /// Case-insensitive substring search over org names (how a human — or
+    /// the reverse-mapping stage — finds an organization's ASNs).
+    pub fn search_org(&self, needle: &str) -> Vec<&WhoisRecord> {
+        let needle = needle.to_lowercase();
+        if needle.is_empty() {
+            return Vec::new();
+        }
+        self.records
+            .iter()
+            .filter(|r| r.org_name.to_lowercase().contains(&needle))
+            .collect()
+    }
+
+    /// The operator contact domain from the email, if it is informative.
+    pub fn contact_domain(&self, asn: Asn) -> Option<&str> {
+        let rec = self.record(asn)?;
+        let domain = rec.email.split_once('@')?.1;
+        (!domain.ends_with("-registry.example")).then_some(domain)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soi_types::{cc, CompanyId};
+
+    fn reg(asn: u32, brand: &str, legal: &str, former: Option<&str>) -> AsRegistration {
+        AsRegistration {
+            asn: Asn(asn),
+            company: CompanyId(asn),
+            brand: brand.into(),
+            legal_name: legal.into(),
+            former_name: former.map(Into::into),
+            country: cc("NO"),
+            rir: Rir::Ripe,
+            domain: format!("{}.example", brand.to_lowercase()),
+        }
+    }
+
+    #[test]
+    fn full_coverage_and_lookup() {
+        let regs = vec![reg(1, "Alpha", "Alpha AS", None), reg(2, "Beta", "Beta SA", None)];
+        let db = WhoisDb::generate(&regs, WhoisNoise { seed: 1, ..Default::default() }).unwrap();
+        assert_eq!(db.records().len(), 2);
+        assert!(db.record(Asn(1)).is_some());
+        assert!(db.record(Asn(3)).is_none());
+    }
+
+    #[test]
+    fn zero_noise_uses_brand_names() {
+        let regs = vec![reg(1, "Telenor", "Telenor Norge AS", Some("Televerket"))];
+        let db = WhoisDb::generate(
+            &regs,
+            WhoisNoise { stale_rate: 0.0, legal_name_rate: 0.0, opaque_contact_rate: 0.0, seed: 0 },
+        )
+        .unwrap();
+        let r = db.record(Asn(1)).unwrap();
+        assert_eq!(r.org_name, "Telenor");
+        assert_eq!(db.contact_domain(Asn(1)), Some("telenor.example"));
+    }
+
+    #[test]
+    fn full_staleness_uses_former_names() {
+        let regs = vec![reg(1, "Telenor", "Telenor Norge AS", Some("Televerket"))];
+        let db = WhoisDb::generate(
+            &regs,
+            WhoisNoise { stale_rate: 1.0, legal_name_rate: 0.0, opaque_contact_rate: 1.0, seed: 0 },
+        )
+        .unwrap();
+        assert_eq!(db.record(Asn(1)).unwrap().org_name, "Televerket");
+        assert_eq!(db.contact_domain(Asn(1)), None, "opaque contact hidden");
+    }
+
+    #[test]
+    fn search_is_case_insensitive_substring() {
+        let regs = vec![
+            reg(1, "Telenor", "Telenor Norge AS", None),
+            reg(2, "Telenor Sverige", "Telenor Sverige AB", None),
+            reg(3, "Telia", "Telia Company", None),
+        ];
+        let db = WhoisDb::generate(
+            &regs,
+            WhoisNoise { stale_rate: 0.0, legal_name_rate: 1.0, opaque_contact_rate: 0.0, seed: 0 },
+        )
+        .unwrap();
+        assert_eq!(db.search_org("telenor").len(), 2);
+        assert_eq!(db.search_org("TELIA").len(), 1);
+        assert!(db.search_org("").is_empty());
+    }
+
+    #[test]
+    fn determinism_and_validation() {
+        let regs = vec![reg(1, "A", "A Legal", Some("Old A")); 1];
+        let noise = WhoisNoise { seed: 42, ..Default::default() };
+        let a = WhoisDb::generate(&regs, noise).unwrap();
+        let b = WhoisDb::generate(&regs, noise).unwrap();
+        assert_eq!(a.records(), b.records());
+        assert!(WhoisDb::generate(&regs, WhoisNoise { stale_rate: 2.0, ..Default::default() }).is_err());
+    }
+}

@@ -1,0 +1,448 @@
+//! The confirmation-document corpus.
+//!
+//! Stage 2 of the paper is a human reading authoritative documents. The
+//! corpus generator produces those documents from ground truth, with
+//! availability tied to how documented a country's economy is (our ICT
+//! proxy — §9 "Visibility"): a Norwegian incumbent almost always has an
+//! investor-relations page disclosing the state's stake; a small operator
+//! in a low-ICT country may have nothing online, in which case the
+//! pipeline simply cannot confirm it — a real, measured failure mode.
+//!
+//! Disclosure documents list *direct shareholders by name*. Confirming a
+//! fund-held company therefore requires finding the fund's own document
+//! and recursing — exactly the chain-walking the authors did by hand.
+
+use std::collections::HashMap;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use soi_ownership::Business;
+use soi_registry::as2org::normalize_org_name;
+use soi_types::{CompanyId, CountryCode, Equity, Region, SoiError};
+use soi_worldgen::World;
+
+use crate::kinds::{Language, OwnershipDisclosure, SourceKind};
+use crate::reports::FreedomHouse;
+
+/// Corpus-generation knobs.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct CorpusConfig {
+    /// Multiplier on every availability probability (1.0 = calibrated
+    /// default; the documentation-availability ablation sweeps this).
+    pub availability: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig { availability: 1.0, seed: 0 }
+    }
+}
+
+/// The generated document corpus, indexed by normalized subject name.
+#[derive(Clone, Debug, Default)]
+pub struct DocumentCorpus {
+    documents: Vec<OwnershipDisclosure>,
+    by_name: HashMap<String, Vec<usize>>,
+}
+
+impl DocumentCorpus {
+    /// Generates the corpus. The Freedom House reports are passed in so
+    /// that its verdict documents exactly mirror its published claims.
+    pub fn generate(
+        world: &World,
+        freedom_house: &FreedomHouse,
+        cfg: CorpusConfig,
+    ) -> Result<DocumentCorpus, SoiError> {
+        if !(0.0..=3.0).contains(&cfg.availability) || !cfg.availability.is_finite() {
+            return Err(SoiError::InvalidConfig(format!(
+                "availability {} outside [0, 3]",
+                cfg.availability
+            )));
+        }
+        let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x636f72707573);
+        let mut corpus = DocumentCorpus::default();
+        let p = |base: f64| (base * cfg.availability).clamp(0.0, 1.0);
+
+        // Market prominence: a national incumbent is documented far more
+        // than its country's ICT average suggests (Ethio telecom has a
+        // website even though little else in the country does).
+        let mut prominence: HashMap<CompanyId, f64> = HashMap::new();
+        for profile in world.profiles.values() {
+            let e = prominence.entry(profile.company).or_default();
+            *e = e.max(profile.market_share);
+        }
+
+        for company in world.ownership.companies() {
+            let is_operator = company.business.is_internet_operator();
+            let is_holding = company.business == Business::Holding;
+            if !is_operator && !is_holding && company.business != Business::NonInternetTelco {
+                continue;
+            }
+            let info = company.country.info();
+            let ict = f64::from(info.map_or(50, |i| i.ict_maturity)) / 100.0;
+            let region = info.map(|i| i.region);
+
+            let holders: Vec<(String, Equity)> = world
+                .ownership
+                .holders(company.id)
+                .into_iter()
+                .filter_map(|h| {
+                    world
+                        .ownership
+                        .company(h.holder)
+                        .map(|c| (c.name.clone(), h.equity))
+                })
+                .collect();
+            let subsidiaries: Vec<(String, Equity)> = world
+                .ownership
+                .portfolio(company.id)
+                .into_iter()
+                .filter(|h| h.equity.is_majority())
+                .filter_map(|h| {
+                    world
+                        .ownership
+                        .company(h.held)
+                        .map(|c| (c.name.clone(), h.equity))
+                })
+                .collect();
+            let is_state = world.control.controlling_state(company.id).is_some();
+            let free_float = world.ownership.unattributed_equity(company.id);
+
+            // Company website (investor relations). Funds are prominent
+            // and usually self-describe.
+            let market_boost = if prominence.get(&company.id).copied().unwrap_or(0.0) > 0.3 {
+                0.4
+            } else {
+                0.0
+            };
+            // Wholly government-held enterprises (gateways, backbones)
+            // declare their status plainly — Congo's CONGTEL website is
+            // the paper's example (§5.1).
+            let gov_held = !holders.is_empty()
+                && free_float == Equity::ZERO
+                && holders.iter().all(|(n, _)| n.starts_with("Government of"));
+            let boost = market_boost + if gov_held { 0.3 } else { 0.0 };
+            let website_p =
+                if is_holding { 0.45 + 0.5 * ict } else { (0.3 + 0.55 * ict + boost).min(0.98) };
+            if rng.gen_bool(p(website_p)) {
+                let language = doc_language(&mut rng, region, ict, 0.7);
+                corpus.push(disclosure_doc(
+                    company.name.clone(),
+                    company.id,
+                    SourceKind::CompanyWebsite,
+                    format!("https://{}/investors", domain_of(world, company.id)),
+                    language,
+                    &holders,
+                    &subsidiaries,
+                    free_float,
+                ));
+            }
+            // Annual report, when publicly traded (some free float).
+            if free_float > Equity::ZERO && rng.gen_bool(p(0.5 * ict)) {
+                let language = doc_language(&mut rng, region, ict, 0.85);
+                corpus.push(disclosure_doc(
+                    company.legal_name.clone(),
+                    company.id,
+                    SourceKind::AnnualReport,
+                    format!("https://{}/annual-report.pdf", domain_of(world, company.id)),
+                    language,
+                    &holders,
+                    &subsidiaries,
+                    free_float,
+                ));
+            }
+            // National regulator filings (state enterprises always have
+            // a licensing paper trail).
+            if is_operator && rng.gen_bool(p(0.05 + 0.1 * ict + if gov_held { 0.4 } else { 0.0 })) {
+                corpus.push(disclosure_doc(
+                    company.legal_name.clone(),
+                    company.id,
+                    SourceKind::Regulator,
+                    format!("https://regulator.{}.example/filings", company.country.as_str().to_ascii_lowercase()),
+                    doc_language(&mut rng, region, ict, 0.4),
+                    &holders,
+                    &[],
+                    free_float,
+                ));
+            }
+            // FCC filings for companies with US-market activities.
+            if is_operator && rng.gen_bool(p(0.02)) {
+                corpus.push(disclosure_doc(
+                    company.legal_name.clone(),
+                    company.id,
+                    SourceKind::Fcc,
+                    "https://fcc.example/ecfs".into(),
+                    Language::English,
+                    &holders,
+                    &[],
+                    free_float,
+                ));
+            }
+
+            // Verdict documents only make claims about truly state-owned
+            // firms (these sources report, they do not misreport; wrong
+            // claims live in Wikipedia, a candidate source).
+            if is_state && is_operator {
+                let owner = world
+                    .control
+                    .controlling_state(company.id)
+                    .expect("is_state implies owner");
+                if rng.gen_bool(p(0.12)) {
+                    corpus.push(verdict_doc(company, owner, SourceKind::CommsUpdate, Language::English));
+                }
+                let developing = info.is_some_and(|i| {
+                    i.ict_maturity < 45
+                        || matches!(
+                            i.region,
+                            Region::Africa | Region::LatinAmerica | Region::CentralAsia
+                        )
+                });
+                if developing && rng.gen_bool(p(0.25)) {
+                    corpus.push(verdict_doc(company, owner, SourceKind::WorldBank, Language::English));
+                }
+                if rng.gen_bool(p(0.05)) {
+                    corpus.push(verdict_doc(company, owner, SourceKind::Itu, Language::English));
+                }
+                if rng.gen_bool(p(0.03)) {
+                    corpus.push(verdict_doc(company, owner, SourceKind::News, Language::English));
+                }
+            }
+        }
+
+        // Freedom House verdict documents mirror the published claims.
+        for claim in freedom_house.claims() {
+            let Some(company) = world.ownership.company(claim.company) else { continue };
+            let Some(owner) = world.control.controlling_state(claim.company) else { continue };
+            corpus.push(verdict_doc(company, owner, SourceKind::FreedomHouse, Language::English));
+        }
+
+        Ok(corpus)
+    }
+
+    fn push(&mut self, doc: OwnershipDisclosure) {
+        let key = normalize_org_name(&doc.subject_name);
+        self.by_name.entry(key).or_default().push(self.documents.len());
+        self.documents.push(doc);
+    }
+
+    /// All documents.
+    pub fn documents(&self) -> &[OwnershipDisclosure] {
+        &self.documents
+    }
+
+    /// Documents whose subject name normalizes to the query's
+    /// normalization — how the pipeline "searches the web" for a company.
+    pub fn find(&self, name: &str) -> Vec<&OwnershipDisclosure> {
+        self.by_name
+            .get(&normalize_org_name(name))
+            .map(|ixs| ixs.iter().map(|&i| &self.documents[i]).collect())
+            .unwrap_or_default()
+    }
+
+    /// Evaluation helper: all documents about a company id.
+    pub fn documents_of(&self, company: CompanyId) -> Vec<&OwnershipDisclosure> {
+        self.documents.iter().filter(|d| d.subject == company).collect()
+    }
+}
+
+fn domain_of(world: &World, company: CompanyId) -> String {
+    world
+        .registrations
+        .iter()
+        .find(|r| r.company == company)
+        .map(|r| r.domain.clone())
+        .unwrap_or_else(|| "example.net".into())
+}
+
+fn doc_language(
+    rng: &mut SmallRng,
+    region: Option<Region>,
+    ict: f64,
+    english_base: f64,
+) -> Language {
+    if rng.gen_bool((english_base + 0.3 * ict).clamp(0.0, 1.0)) {
+        return Language::English;
+    }
+    match region {
+        Some(Region::LatinAmerica) => Language::Spanish,
+        Some(Region::Africa) => {
+            if rng.gen_bool(0.5) {
+                Language::French
+            } else {
+                Language::Other
+            }
+        }
+        _ => Language::Other,
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // document fields, not behaviour knobs
+fn disclosure_doc(
+    subject_name: String,
+    subject: CompanyId,
+    source: SourceKind,
+    url: String,
+    language: Language,
+    holders: &[(String, Equity)],
+    subsidiaries: &[(String, Equity)],
+    free_float: Equity,
+) -> OwnershipDisclosure {
+    let mut parts: Vec<String> =
+        holders.iter().map(|(n, e)| format!("{n} ({e})")).collect();
+    if free_float > Equity::ZERO {
+        parts.push(format!("Free float ({free_float})"));
+    }
+    let quote = if parts.is_empty() {
+        format!("{subject_name} is a privately held company.")
+    } else {
+        format!("Major shareholdings: {}", parts.join(", "))
+    };
+    OwnershipDisclosure {
+        subject_name,
+        subject,
+        source,
+        url,
+        language,
+        holders: holders.to_vec(),
+        subsidiaries: subsidiaries.to_vec(),
+        claimed_state: None,
+        quote,
+    }
+}
+
+fn verdict_doc(
+    company: &soi_ownership::Company,
+    owner: CountryCode,
+    source: SourceKind,
+    language: Language,
+) -> OwnershipDisclosure {
+    let owner_name = owner.info().map_or("the state", |i| i.name);
+    OwnershipDisclosure {
+        subject_name: company.name.clone(),
+        subject: company.id,
+        source,
+        url: format!(
+            "https://{}.example/{}",
+            source.name().to_ascii_lowercase().replace([' ', '\''], "-"),
+            normalize_org_name(&company.name).replace(' ', "-")
+        ),
+        language,
+        holders: Vec::new(),
+        subsidiaries: Vec::new(),
+        claimed_state: Some(owner),
+        quote: format!(
+            "{} is the state-owned operator controlled by the government of {owner_name}.",
+            company.name
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soi_worldgen::{generate, WorldConfig};
+
+    fn setup() -> (World, FreedomHouse, DocumentCorpus) {
+        let w = generate(&WorldConfig::test_scale(31)).unwrap();
+        let fh = FreedomHouse::generate(&w, 31);
+        let corpus = DocumentCorpus::generate(&w, &fh, CorpusConfig::default()).unwrap();
+        (w, fh, corpus)
+    }
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let w = generate(&WorldConfig::test_scale(32)).unwrap();
+        let fh = FreedomHouse::generate(&w, 32);
+        let a = DocumentCorpus::generate(&w, &fh, CorpusConfig::default()).unwrap();
+        let b = DocumentCorpus::generate(&w, &fh, CorpusConfig::default()).unwrap();
+        assert_eq!(a.documents().len(), b.documents().len());
+    }
+
+    #[test]
+    fn websites_dominate_and_quote_shareholders() {
+        let (_, _, corpus) = setup();
+        let mut by_kind: HashMap<SourceKind, usize> = HashMap::new();
+        for d in corpus.documents() {
+            *by_kind.entry(d.source).or_default() += 1;
+        }
+        let web = by_kind.get(&SourceKind::CompanyWebsite).copied().unwrap_or(0);
+        for (&k, &n) in &by_kind {
+            if k != SourceKind::CompanyWebsite {
+                assert!(web >= n, "{k} ({n}) outnumbers websites ({web})");
+            }
+        }
+        let some_disclosure = corpus
+            .documents()
+            .iter()
+            .find(|d| d.is_disclosure() && !d.holders.is_empty())
+            .expect("corpus has disclosures");
+        assert!(some_disclosure.quote.contains("Major shareholdings"));
+    }
+
+    #[test]
+    fn find_resolves_brand_and_legal_names() {
+        let (w, _, corpus) = setup();
+        // Pick a company that has at least one document.
+        let doc = &corpus.documents()[0];
+        let found = corpus.find(&doc.subject_name);
+        assert!(found.iter().any(|d| d.subject == doc.subject));
+        // Unknown names resolve to nothing.
+        assert!(corpus.find("No Such Operator Anywhere").is_empty());
+        let _ = w;
+    }
+
+    #[test]
+    fn fund_chains_are_documented_sometimes() {
+        let (w, _, corpus) = setup();
+        // Some Holding company must have a disclosure showing government
+        // ownership, enabling chain resolution.
+        let fund_docs = corpus.documents().iter().filter(|d| {
+            w.ownership
+                .company(d.subject)
+                .is_some_and(|c| c.business == Business::Holding)
+                && d.is_disclosure()
+        });
+        let with_gov = fund_docs
+            .filter(|d| d.holders.iter().any(|(n, _)| n.starts_with("Government of")))
+            .count();
+        assert!(with_gov > 0, "no fund disclosures with government holders");
+    }
+
+    #[test]
+    fn verdicts_are_never_false() {
+        let (w, _, corpus) = setup();
+        for d in corpus.documents() {
+            if let Some(claim) = d.claimed_state {
+                assert_eq!(
+                    w.control.controlling_state(d.subject),
+                    Some(claim),
+                    "false verdict about {}",
+                    d.subject_name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn availability_zero_empties_corpus_except_fh() {
+        let w = generate(&WorldConfig::test_scale(33)).unwrap();
+        let fh = FreedomHouse::generate(&w, 33);
+        let corpus =
+            DocumentCorpus::generate(&w, &fh, CorpusConfig { availability: 0.0, seed: 0 }).unwrap();
+        assert!(corpus.documents().iter().all(|d| d.source == SourceKind::FreedomHouse));
+        assert!(DocumentCorpus::generate(&w, &fh, CorpusConfig { availability: 9.0, seed: 0 })
+            .is_err());
+    }
+
+    #[test]
+    fn languages_vary_by_region() {
+        let (_, _, corpus) = setup();
+        let langs: std::collections::HashSet<_> =
+            corpus.documents().iter().map(|d| d.language).collect();
+        assert!(langs.contains(&Language::English));
+        assert!(langs.len() >= 2, "corpus should not be monolingual");
+    }
+}

@@ -1,0 +1,32 @@
+//! Non-technical candidate sources and the confirmation-document corpus.
+//!
+//! The paper draws candidate *company names* from a commercial ownership
+//! database (Orbis) and from Freedom-House/Wikipedia-style reports, then
+//! confirms each candidate against authoritative documents: company
+//! websites, annual reports, regulators, multilateral credit agencies,
+//! telecom news (§4.3, §5.1, Table 1). This crate generates all of those
+//! from the world's ground truth, with each source's documented failure
+//! modes:
+//!
+//! * [`OrbisDb`] — false positives concentrated on foreign subsidiaries of
+//!   private conglomerates and on subnational entities, false negatives
+//!   concentrated in the developing world (§7 found 12 FPs and 140 FNs);
+//! * [`FreedomHouse`] — covers only ~65 countries, but what it asserts is
+//!   reliable (the paper found zero false positives);
+//! * [`Wikipedia`] — broad but uneven coverage tied to ICT maturity, with
+//!   occasional false claims that confirmation must filter;
+//! * [`DocumentCorpus`] — the confirmation evidence. Crucially, documents
+//!   disclose *shareholder lists*, not verdicts: the confirmation engine
+//!   must itself resolve holder names, follow chains through funds, sum
+//!   stakes and apply the >= 50% rule — the reasoning the paper's authors
+//!   performed by hand for 4.6 person-months.
+
+pub mod corpus;
+pub mod kinds;
+pub mod orbis;
+pub mod reports;
+
+pub use corpus::{CorpusConfig, DocumentCorpus};
+pub use kinds::{Language, OwnershipDisclosure, SourceKind};
+pub use orbis::{OrbisDb, OrbisEntry, OrbisNoise};
+pub use reports::{FreedomHouse, ReportClaim, Wikipedia};

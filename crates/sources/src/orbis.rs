@@ -1,0 +1,289 @@
+//! Orbis-style commercial ownership database.
+//!
+//! Orbis is the paper's only machine-queryable ownership source, and §7
+//! measures exactly how it fails: 12 companies incorrectly labelled
+//! state-owned (mostly foreign subsidiaries, three wrongly assigned to the
+//! Colombian government), and 140 state-owned companies missed or
+//! mislabelled — spread over 79 countries and concentrated in Latin
+//! America, Central Asia, Southeast Asia and Africa (ARSAT and ANTEL are
+//! in the database but not labelled; Iran/Kazakhstan/Uzbekistan/Tajikistan
+//! report no state telcos at all). The generator reproduces those failure
+//! modes with region/ICT-dependent error rates.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use soi_ownership::Business;
+use soi_types::{CompanyId, CountryCode, Equity, Region, SoiError};
+use soi_worldgen::World;
+
+/// One Orbis company record (as the database engine returns it).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OrbisEntry {
+    /// Company name as listed.
+    pub name: String,
+    /// Ground-truth id — **evaluation only**.
+    pub company: CompanyId,
+    /// Registration country.
+    pub country: CountryCode,
+    /// Whether Orbis labels the company majority state-owned.
+    pub labeled_state_owned: bool,
+    /// The state Orbis attributes ownership to (when labelled).
+    pub labeled_owner: Option<CountryCode>,
+    /// The equity figure Orbis carries (when labelled).
+    pub labeled_equity: Option<Equity>,
+}
+
+/// Error-model knobs.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct OrbisNoise {
+    /// False-negative rate for state-owned companies in the developing
+    /// world (Africa, Latin America, Central Asia, non-rich Asia).
+    pub fn_rate_developing: f64,
+    /// False-negative rate elsewhere.
+    pub fn_rate_developed: f64,
+    /// Probability a company is missing from the database entirely
+    /// (scaled up for low-ICT countries).
+    pub omission_rate: f64,
+    /// Number of false-positive labels to inject (paper found 12).
+    pub fp_count: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for OrbisNoise {
+    fn default() -> Self {
+        OrbisNoise {
+            fn_rate_developing: 0.5,
+            fn_rate_developed: 0.12,
+            omission_rate: 0.08,
+            fp_count: 12,
+            seed: 0,
+        }
+    }
+}
+
+/// The generated database snapshot.
+#[derive(Clone, Debug, Default)]
+pub struct OrbisDb {
+    entries: Vec<OrbisEntry>,
+}
+
+fn is_developing(region: Region, ict: u8) -> bool {
+    matches!(
+        region,
+        Region::Africa | Region::LatinAmerica | Region::CentralAsia
+    ) || ict < 45
+}
+
+impl OrbisDb {
+    /// Generates the snapshot from the world's ground truth.
+    pub fn generate(world: &World, noise: OrbisNoise) -> Result<OrbisDb, SoiError> {
+        for (name, v) in [
+            ("fn_rate_developing", noise.fn_rate_developing),
+            ("fn_rate_developed", noise.fn_rate_developed),
+            ("omission_rate", noise.omission_rate),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(SoiError::InvalidConfig(format!("{name} {v} outside [0, 1]")));
+            }
+        }
+        let mut rng = SmallRng::seed_from_u64(noise.seed ^ 0x6f72626973);
+        let mut entries = Vec::new();
+        let mut fp_candidates: Vec<usize> = Vec::new();
+
+        for company in world.ownership.companies() {
+            // Orbis is a telecom-sector query: operators and telecom
+            // businesses, not governments/funds/stubs.
+            let in_sector = matches!(
+                company.business,
+                Business::InternetOperator { .. } | Business::NonInternetTelco
+            );
+            if !in_sector {
+                continue;
+            }
+            let info = company.country.info();
+            let (region, ict) =
+                info.map_or((Region::Europe, 50), |i| (i.region, i.ict_maturity));
+            let developing = is_developing(region, ict);
+
+            // Missing entirely (more likely where Orbis has no coverage;
+            // much more likely for transit-only enterprises, which have
+            // no consumer presence for business databases to track —
+            // the paper's Appendix D class).
+            let transit_only = !world.company_serves_access(company.id);
+            let mut omit = noise.omission_rate * if developing { 2.0 } else { 0.5 };
+            if transit_only {
+                omit = omit.max(0.85);
+            }
+            if rng.gen_bool(omit.min(1.0)) {
+                continue;
+            }
+
+            let truth_owner = world.control.controlling_state(company.id);
+            let is_state = truth_owner.is_some();
+            let fn_rate = if developing { noise.fn_rate_developing } else { noise.fn_rate_developed };
+            let labeled = is_state && !rng.gen_bool(fn_rate);
+            let equity = labeled
+                .then(|| {
+                    world
+                        .control
+                        .stakes(company.id)
+                        .first()
+                        .map(|s| s.controlled_equity)
+                })
+                .flatten();
+
+            let idx = entries.len();
+            entries.push(OrbisEntry {
+                name: company.legal_name.clone(),
+                company: company.id,
+                country: company.country,
+                labeled_state_owned: labeled,
+                labeled_owner: labeled.then(|| truth_owner.expect("state owner exists")),
+                labeled_equity: equity,
+            });
+
+            // False-positive material: private foreign subsidiaries (a
+            // majority holder exists but no state controls the company)
+            // and subnational entities.
+            let is_sub = matches!(
+                company.business,
+                Business::InternetOperator { scope: soi_ownership::OperatorScope::Subnational, .. }
+            );
+            let private_subsidiary =
+                !is_state && world.ownership.majority_holder(company.id).is_some();
+            if !labeled && (private_subsidiary || (is_sub && !is_state)) {
+                fp_candidates.push(idx);
+            }
+        }
+
+        // Inject false positives: label them state-owned by their host
+        // country's government (the paper's Colombian misattributions).
+        for k in 0..noise.fp_count.min(fp_candidates.len()) {
+            let idx = fp_candidates[k * fp_candidates.len() / noise.fp_count.max(1)];
+            let e = &mut entries[idx];
+            e.labeled_state_owned = true;
+            e.labeled_owner = Some(e.country);
+            e.labeled_equity = Some(Equity::from_bp(rng.gen_range(5_000..9_000)));
+        }
+
+        entries.sort_by(|a, b| a.name.cmp(&b.name).then(a.company.cmp(&b.company)));
+        Ok(OrbisDb { entries })
+    }
+
+    /// All records.
+    pub fn entries(&self) -> &[OrbisEntry] {
+        &self.entries
+    }
+
+    /// The records labelled majority state-owned (the candidate list the
+    /// paper pulled: 994 companies).
+    pub fn state_owned(&self) -> impl Iterator<Item = &OrbisEntry> {
+        self.entries.iter().filter(|e| e.labeled_state_owned)
+    }
+
+    /// Case-insensitive substring lookup by name.
+    pub fn search(&self, needle: &str) -> Vec<&OrbisEntry> {
+        let needle = needle.to_lowercase();
+        if needle.is_empty() {
+            return Vec::new();
+        }
+        self.entries
+            .iter()
+            .filter(|e| e.name.to_lowercase().contains(&needle))
+            .collect()
+    }
+
+    /// Evaluation helper: the record of a specific company.
+    pub fn entry_of(&self, company: CompanyId) -> Option<&OrbisEntry> {
+        self.entries.iter().find(|e| e.company == company)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soi_worldgen::{generate, WorldConfig};
+
+    fn world() -> World {
+        generate(&WorldConfig::test_scale(11)).unwrap()
+    }
+
+    #[test]
+    fn deterministic_and_validated() {
+        let w = world();
+        let noise = OrbisNoise { seed: 1, ..Default::default() };
+        let a = OrbisDb::generate(&w, noise).unwrap();
+        let b = OrbisDb::generate(&w, noise).unwrap();
+        assert_eq!(a.entries(), b.entries());
+        assert!(OrbisDb::generate(&w, OrbisNoise { fn_rate_developed: 2.0, ..Default::default() })
+            .is_err());
+    }
+
+    #[test]
+    fn injects_false_positives() {
+        let w = world();
+        let db = OrbisDb::generate(&w, OrbisNoise { seed: 3, ..Default::default() }).unwrap();
+        let fps: Vec<_> = db
+            .state_owned()
+            .filter(|e| w.control.controlling_state(e.company).is_none())
+            .collect();
+        assert!(
+            (6..=12).contains(&fps.len()),
+            "expected ~12 false positives, got {}",
+            fps.len()
+        );
+    }
+
+    #[test]
+    fn misses_concentrate_in_developing_world() {
+        let w = world();
+        let db = OrbisDb::generate(&w, OrbisNoise { seed: 5, ..Default::default() }).unwrap();
+        let mut missed_dev = 0usize;
+        let mut hit_dev = 0usize;
+        let mut missed_rich = 0usize;
+        let mut hit_rich = 0usize;
+        for &cid in &w.truth.state_owned_companies {
+            let company = w.ownership.company(cid).unwrap();
+            let info = company.country.info().unwrap();
+            let labelled = db
+                .entry_of(cid)
+                .map(|e| e.labeled_state_owned)
+                .unwrap_or(false);
+            if is_developing(info.region, info.ict_maturity) {
+                if labelled { hit_dev += 1 } else { missed_dev += 1 }
+            } else if labelled {
+                hit_rich += 1
+            } else {
+                missed_rich += 1
+            }
+        }
+        let dev_rate = missed_dev as f64 / (missed_dev + hit_dev).max(1) as f64;
+        let rich_rate = missed_rich as f64 / (missed_rich + hit_rich).max(1) as f64;
+        assert!(dev_rate > rich_rate + 0.15, "dev {dev_rate} vs rich {rich_rate}");
+        assert!(missed_dev + missed_rich > 20, "substantial false negatives expected");
+    }
+
+    #[test]
+    fn excludes_non_telecom_entities() {
+        let w = world();
+        let db = OrbisDb::generate(&w, OrbisNoise::default()).unwrap();
+        for e in db.entries() {
+            let business = w.ownership.company(e.company).unwrap().business;
+            assert!(
+                matches!(business, Business::InternetOperator { .. } | Business::NonInternetTelco),
+                "unexpected sector: {business:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn search_by_name() {
+        let w = world();
+        let db = OrbisDb::generate(&w, OrbisNoise::default()).unwrap();
+        let first = &db.entries()[0];
+        assert!(db.search(&first.name).iter().any(|e| e.company == first.company));
+        assert!(db.search("").is_empty());
+    }
+}

@@ -1,0 +1,254 @@
+//! Customer cones and ASRank-style ranking.
+//!
+//! The *customer cone* of an AS is the set of ASes reachable by following
+//! customer links only — the AS itself, its customers, their customers, and
+//! so on (CAIDA ASRank's definition). Cone size is the paper's measure of an
+//! operator's weight in the transit ecosystem (Table 5 lists the ten largest
+//! cones among state-owned ASes).
+
+use std::collections::HashMap;
+
+use soi_types::Asn;
+
+use crate::graph::AsGraph;
+
+/// The customer cone of `asn`: the AS itself plus every AS reachable via
+/// customer links, returned sorted by ASN. Empty if the AS is unknown.
+///
+/// ```
+/// use soi_topology::{customer_cone, AsGraphBuilder};
+/// use soi_types::Asn;
+///
+/// let mut b = AsGraphBuilder::new();
+/// b.add_transit(Asn(2), Asn(1));
+/// b.add_transit(Asn(3), Asn(2));
+/// let g = b.build().unwrap();
+/// assert_eq!(customer_cone(&g, Asn(1)), vec![Asn(1), Asn(2), Asn(3)]);
+/// ```
+pub fn customer_cone(graph: &AsGraph, asn: Asn) -> Vec<Asn> {
+    let Some(root) = graph.ix(asn) else {
+        return Vec::new();
+    };
+    let mut seen = vec![false; graph.num_ases()];
+    let mut stack = vec![root];
+    seen[root as usize] = true;
+    let mut cone = Vec::new();
+    while let Some(i) = stack.pop() {
+        cone.push(graph.asn(i));
+        for &c in graph.customers_ix(i) {
+            if !seen[c as usize] {
+                seen[c as usize] = true;
+                stack.push(c);
+            }
+        }
+    }
+    cone.sort_unstable();
+    cone
+}
+
+/// Computes every AS's customer-cone size.
+///
+/// Work is split across threads with `crossbeam` scoped threads: cones are
+/// independent per AS and the graph is shared read-only, so this is an
+/// embarrassingly parallel kernel (it dominates the Table 5 bench).
+pub fn cone_sizes(graph: &AsGraph) -> HashMap<Asn, u32> {
+    let n = graph.num_ases();
+    if n == 0 {
+        return HashMap::new();
+    }
+    let threads = std::thread::available_parallelism().map_or(1, |p| p.get()).min(n);
+    let chunk = n.div_ceil(threads);
+    let mut out: Vec<u32> = vec![0; n];
+
+    crossbeam::thread::scope(|s| {
+        for (t, slice) in out.chunks_mut(chunk).enumerate() {
+            let start = t * chunk;
+            s.spawn(move |_| {
+                let mut seen = vec![0u32; n];
+                let mut epoch = 0u32;
+                let mut stack = Vec::new();
+                for (off, size_out) in slice.iter_mut().enumerate() {
+                    let root = (start + off) as u32;
+                    epoch += 1;
+                    stack.clear();
+                    stack.push(root);
+                    seen[root as usize] = epoch;
+                    let mut count = 0u32;
+                    while let Some(i) = stack.pop() {
+                        count += 1;
+                        for &c in graph.customers_ix(i) {
+                            if seen[c as usize] != epoch {
+                                seen[c as usize] = epoch;
+                                stack.push(c);
+                            }
+                        }
+                    }
+                    *size_out = count;
+                }
+            });
+        }
+    })
+    .expect("cone worker panicked");
+
+    graph
+        .ases()
+        .iter()
+        .enumerate()
+        .map(|(i, &asn)| (asn, out[i]))
+        .collect()
+}
+
+/// An ASRank-style ranking: ASes ordered by descending customer-cone size,
+/// ties broken by ascending ASN (stable across runs).
+#[derive(Clone, Debug)]
+pub struct AsRank {
+    ranked: Vec<(Asn, u32)>,
+    position: HashMap<Asn, usize>,
+}
+
+impl AsRank {
+    /// Builds the ranking from a topology snapshot.
+    pub fn compute(graph: &AsGraph) -> Self {
+        let mut ranked: Vec<(Asn, u32)> = cone_sizes(graph).into_iter().collect();
+        ranked.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let position = ranked.iter().enumerate().map(|(i, &(a, _))| (a, i)).collect();
+        AsRank { ranked, position }
+    }
+
+    /// The full ranking, best first.
+    pub fn ranked(&self) -> &[(Asn, u32)] {
+        &self.ranked
+    }
+
+    /// Cone size of an AS (None if absent from the topology).
+    pub fn cone_size(&self, asn: Asn) -> Option<u32> {
+        self.position.get(&asn).map(|&i| self.ranked[i].1)
+    }
+
+    /// 1-based rank of an AS.
+    pub fn rank(&self, asn: Asn) -> Option<usize> {
+        self.position.get(&asn).map(|&i| i + 1)
+    }
+
+    /// The `k` largest cones restricted to a given AS subset, preserving
+    /// rank order — exactly the Table 5 query ("largest customer cones of
+    /// state-owned ASes").
+    pub fn top_within<'a>(&'a self, subset: &'a [Asn], k: usize) -> Vec<(Asn, u32)> {
+        let member: std::collections::HashSet<Asn> = subset.iter().copied().collect();
+        self.ranked
+            .iter()
+            .filter(|(a, _)| member.contains(a))
+            .take(k)
+            .copied()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::AsGraphBuilder;
+    use proptest::prelude::*;
+
+    fn a(n: u32) -> Asn {
+        Asn(n)
+    }
+
+    /// 1 <- 2 <- {3, 4}; 5 peers with 2 (peers do NOT join the cone).
+    fn chain() -> AsGraph {
+        let mut b = AsGraphBuilder::new();
+        b.add_transit(a(2), a(1));
+        b.add_transit(a(3), a(2));
+        b.add_transit(a(4), a(2));
+        b.add_peering(a(2), a(5));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn cone_includes_self_and_descendants_only() {
+        let g = chain();
+        assert_eq!(customer_cone(&g, a(1)), vec![a(1), a(2), a(3), a(4)]);
+        assert_eq!(customer_cone(&g, a(2)), vec![a(2), a(3), a(4)]);
+        assert_eq!(customer_cone(&g, a(3)), vec![a(3)]);
+        assert_eq!(customer_cone(&g, a(5)), vec![a(5)], "peers excluded");
+        assert!(customer_cone(&g, a(99)).is_empty());
+    }
+
+    #[test]
+    fn shared_subtree_counted_once() {
+        // Diamond: 4 buys from 2 and 3, both of which buy from 1.
+        let mut b = AsGraphBuilder::new();
+        b.add_transit(a(2), a(1));
+        b.add_transit(a(3), a(1));
+        b.add_transit(a(4), a(2));
+        b.add_transit(a(4), a(3));
+        let g = b.build().unwrap();
+        assert_eq!(customer_cone(&g, a(1)), vec![a(1), a(2), a(3), a(4)]);
+    }
+
+    #[test]
+    fn cone_sizes_match_individual_cones() {
+        let g = chain();
+        let sizes = cone_sizes(&g);
+        for &asn in g.ases() {
+            assert_eq!(sizes[&asn] as usize, customer_cone(&g, asn).len(), "{asn}");
+        }
+    }
+
+    #[test]
+    fn rank_orders_by_cone_then_asn() {
+        let g = chain();
+        let rank = AsRank::compute(&g);
+        assert_eq!(rank.ranked()[0].0, a(1));
+        assert_eq!(rank.rank(a(1)), Some(1));
+        assert_eq!(rank.cone_size(a(2)), Some(3));
+        // 3, 4, 5 all have cone 1; ties broken by ASN.
+        let tail: Vec<Asn> = rank.ranked()[2..].iter().map(|&(a, _)| a).collect();
+        assert_eq!(tail, vec![a(3), a(4), a(5)]);
+        assert_eq!(rank.rank(a(99)), None);
+    }
+
+    #[test]
+    fn top_within_filters_and_truncates() {
+        let g = chain();
+        let rank = AsRank::compute(&g);
+        let top = rank.top_within(&[a(2), a(4), a(99)], 10);
+        assert_eq!(top.iter().map(|&(a, _)| a).collect::<Vec<_>>(), vec![a(2), a(4)]);
+        let top1 = rank.top_within(&[a(2), a(4)], 1);
+        assert_eq!(top1.len(), 1);
+    }
+
+    proptest! {
+        /// On random layered DAGs, a provider's cone contains each of its
+        /// customers' cones, and parallel sizes agree with serial BFS.
+        #[test]
+        fn prop_cone_monotone_and_parallel_consistent(
+            links in proptest::collection::hash_set((1u32..40, 1u32..40), 1..120)
+        ) {
+            let mut b = AsGraphBuilder::new();
+            let mut used = std::collections::HashSet::new();
+            let mut any = false;
+            for (x, y) in links {
+                if x == y { continue; }
+                let (lo, hi) = (x.min(y), x.max(y));
+                if !used.insert((lo, hi)) { continue; }
+                b.add_transit(Asn(hi), Asn(lo));
+                any = true;
+            }
+            prop_assume!(any);
+            let g = b.build().unwrap();
+            let sizes = cone_sizes(&g);
+            for &asn in g.ases() {
+                let cone = customer_cone(&g, asn);
+                prop_assert_eq!(sizes[&asn] as usize, cone.len());
+                for cust in g.customers(asn) {
+                    let sub = customer_cone(&g, cust);
+                    for x in &sub {
+                        prop_assert!(cone.binary_search(x).is_ok(),
+                            "{} in cone({}) but not cone({})", x, cust, asn);
+                    }
+                }
+            }
+        }
+    }
+}

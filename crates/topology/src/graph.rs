@@ -1,0 +1,405 @@
+//! The AS-relationship graph.
+//!
+//! Inter-domain links follow the standard two-relationship model (CAIDA
+//! AS-relationships): *customer-to-provider* (the customer pays the provider
+//! for transit) and *peer-to-peer* (settlement-free exchange of customer
+//! routes). Valley-free routing and customer-cone semantics both derive from
+//! this classification, so the graph validates its structural invariants at
+//! build time: no self-links, no duplicate or contradictory links, and no
+//! cycle in the provider hierarchy.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use soi_types::{Asn, SoiError};
+
+/// The business relationship attached to an inter-AS link.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Relationship {
+    /// First AS buys transit from the second.
+    CustomerToProvider,
+    /// Settlement-free peering.
+    PeerToPeer,
+}
+
+/// Compact node index into an [`AsGraph`].
+pub type NodeIx = u32;
+
+/// Builder for [`AsGraph`]; accumulates links and validates on `build`.
+///
+/// ```
+/// use soi_topology::AsGraphBuilder;
+/// use soi_types::Asn;
+///
+/// let mut b = AsGraphBuilder::new();
+/// b.add_transit(Asn(64512), Asn(3356)); // 64512 buys from 3356
+/// b.add_peering(Asn(3356), Asn(1299));
+/// let graph = b.build().unwrap();
+/// assert_eq!(graph.providers(Asn(64512)), vec![Asn(3356)]);
+/// assert_eq!(graph.transit_degree(Asn(3356)), 1);
+/// ```
+#[derive(Default, Clone, Debug)]
+pub struct AsGraphBuilder {
+    c2p: Vec<(Asn, Asn)>,
+    p2p: Vec<(Asn, Asn)>,
+}
+
+impl AsGraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `customer` buys transit from `provider`.
+    pub fn add_transit(&mut self, customer: Asn, provider: Asn) -> &mut Self {
+        self.c2p.push((customer, provider));
+        self
+    }
+
+    /// Records a settlement-free peering between `a` and `b`.
+    pub fn add_peering(&mut self, a: Asn, b: Asn) -> &mut Self {
+        self.p2p.push((a, b));
+        self
+    }
+
+    /// Number of links recorded so far (both kinds).
+    pub fn link_count(&self) -> usize {
+        self.c2p.len() + self.p2p.len()
+    }
+
+    /// Validates and freezes the graph.
+    ///
+    /// Errors on self-links, duplicate links, links classified as both
+    /// transit and peering, mutual provider relationships, and cycles in the
+    /// provider hierarchy (a customer chain that loops would break both
+    /// valley-free propagation and cone semantics).
+    pub fn build(self) -> Result<AsGraph, SoiError> {
+        let mut index: HashMap<Asn, NodeIx> = HashMap::new();
+        let mut nodes: Vec<Asn> = Vec::new();
+        let ix = |asn: Asn, nodes: &mut Vec<Asn>, index: &mut HashMap<Asn, NodeIx>| -> NodeIx {
+            *index.entry(asn).or_insert_with(|| {
+                nodes.push(asn);
+                (nodes.len() - 1) as NodeIx
+            })
+        };
+
+        let mut c2p_ix: Vec<(NodeIx, NodeIx)> = Vec::with_capacity(self.c2p.len());
+        for (c, p) in &self.c2p {
+            if c == p {
+                return Err(SoiError::Invariant(format!("self transit link at {c}")));
+            }
+            let ci = ix(*c, &mut nodes, &mut index);
+            let pi = ix(*p, &mut nodes, &mut index);
+            c2p_ix.push((ci, pi));
+        }
+        let mut p2p_ix: Vec<(NodeIx, NodeIx)> = Vec::with_capacity(self.p2p.len());
+        for (a, b) in &self.p2p {
+            if a == b {
+                return Err(SoiError::Invariant(format!("self peering link at {a}")));
+            }
+            let ai = ix(*a, &mut nodes, &mut index);
+            let bi = ix(*b, &mut nodes, &mut index);
+            p2p_ix.push((ai.min(bi), ai.max(bi)));
+        }
+
+        // Detect duplicates and contradictions.
+        let mut seen: HashMap<(NodeIx, NodeIx), Relationship> = HashMap::new();
+        for &(c, p) in &c2p_ix {
+            let key = (c.min(p), c.max(p));
+            if let Some(prev) = seen.insert(key, Relationship::CustomerToProvider) {
+                let _ = prev;
+                return Err(SoiError::Invariant(format!(
+                    "duplicate or contradictory link between {} and {}",
+                    nodes[c as usize], nodes[p as usize]
+                )));
+            }
+        }
+        for &(a, b) in &p2p_ix {
+            if seen.insert((a, b), Relationship::PeerToPeer).is_some() {
+                return Err(SoiError::Invariant(format!(
+                    "duplicate or contradictory link between {} and {}",
+                    nodes[a as usize], nodes[b as usize]
+                )));
+            }
+        }
+
+        let n = nodes.len();
+        let mut providers: Vec<Vec<NodeIx>> = vec![Vec::new(); n];
+        let mut customers: Vec<Vec<NodeIx>> = vec![Vec::new(); n];
+        let mut peers: Vec<Vec<NodeIx>> = vec![Vec::new(); n];
+        for &(c, p) in &c2p_ix {
+            providers[c as usize].push(p);
+            customers[p as usize].push(c);
+        }
+        for &(a, b) in &p2p_ix {
+            peers[a as usize].push(b);
+            peers[b as usize].push(a);
+        }
+        for list in providers.iter_mut().chain(customers.iter_mut()).chain(peers.iter_mut()) {
+            list.sort_unstable();
+        }
+
+        let graph = AsGraph { nodes, index, providers, customers, peers };
+        graph.check_provider_hierarchy_acyclic()?;
+        Ok(graph)
+    }
+}
+
+/// An immutable, validated AS-relationship graph.
+#[derive(Clone, Debug)]
+pub struct AsGraph {
+    nodes: Vec<Asn>,
+    index: HashMap<Asn, NodeIx>,
+    providers: Vec<Vec<NodeIx>>,
+    customers: Vec<Vec<NodeIx>>,
+    peers: Vec<Vec<NodeIx>>,
+}
+
+impl AsGraph {
+    /// Number of ASes.
+    pub fn num_ases(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of links (transit + peering).
+    pub fn num_links(&self) -> usize {
+        let c2p: usize = self.providers.iter().map(Vec::len).sum();
+        let p2p: usize = self.peers.iter().map(Vec::len).sum();
+        c2p + p2p / 2
+    }
+
+    /// All ASNs, in insertion order.
+    pub fn ases(&self) -> &[Asn] {
+        &self.nodes
+    }
+
+    /// True if the ASN participates in the topology.
+    pub fn contains(&self, asn: Asn) -> bool {
+        self.index.contains_key(&asn)
+    }
+
+    /// Compact index of an ASN (stable for the graph's lifetime). The
+    /// index-based accessors below are the hot-path API used by the BGP
+    /// propagation and cone kernels; prefer the ASN-based accessors
+    /// elsewhere.
+    pub fn ix(&self, asn: Asn) -> Option<NodeIx> {
+        self.index.get(&asn).copied()
+    }
+
+    /// The ASN at a compact index. Panics on an out-of-range index.
+    pub fn asn(&self, ix: NodeIx) -> Asn {
+        self.nodes[ix as usize]
+    }
+
+    /// Providers of the AS at `ix`, as compact indices (sorted).
+    pub fn providers_ix(&self, ix: NodeIx) -> &[NodeIx] {
+        &self.providers[ix as usize]
+    }
+
+    /// Customers of the AS at `ix`, as compact indices (sorted).
+    pub fn customers_ix(&self, ix: NodeIx) -> &[NodeIx] {
+        &self.customers[ix as usize]
+    }
+
+    /// Peers of the AS at `ix`, as compact indices (sorted).
+    pub fn peers_ix(&self, ix: NodeIx) -> &[NodeIx] {
+        &self.peers[ix as usize]
+    }
+
+    fn neighbors_of(&self, asn: Asn, which: &[Vec<NodeIx>]) -> Vec<Asn> {
+        match self.ix(asn) {
+            Some(i) => which[i as usize].iter().map(|&j| self.asn(j)).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// The providers of `asn` (empty if unknown or tier-1).
+    pub fn providers(&self, asn: Asn) -> Vec<Asn> {
+        self.neighbors_of(asn, &self.providers)
+    }
+
+    /// The customers of `asn`.
+    pub fn customers(&self, asn: Asn) -> Vec<Asn> {
+        self.neighbors_of(asn, &self.customers)
+    }
+
+    /// The peers of `asn`.
+    pub fn peers(&self, asn: Asn) -> Vec<Asn> {
+        self.neighbors_of(asn, &self.peers)
+    }
+
+    /// Total degree (providers + customers + peers).
+    pub fn degree(&self, asn: Asn) -> usize {
+        match self.ix(asn) {
+            Some(i) => {
+                self.providers[i as usize].len()
+                    + self.customers[i as usize].len()
+                    + self.peers[i as usize].len()
+            }
+            None => 0,
+        }
+    }
+
+    /// Transit degree: number of customers (the degree notion used when
+    /// picking "large transit" ASes).
+    pub fn transit_degree(&self, asn: Asn) -> usize {
+        self.ix(asn).map_or(0, |i| self.customers[i as usize].len())
+    }
+
+    /// ASes with no providers — the simulated "tier 1" clique candidates.
+    pub fn provider_free_ases(&self) -> Vec<Asn> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.providers[*i].is_empty())
+            .map(|(_, &a)| a)
+            .collect()
+    }
+
+    /// Kahn's algorithm over provider links; errors if the hierarchy loops.
+    fn check_provider_hierarchy_acyclic(&self) -> Result<(), SoiError> {
+        let n = self.nodes.len();
+        // Edges point customer -> provider; count in-degrees on providers.
+        let mut indeg: Vec<u32> = vec![0; n];
+        for provs in &self.providers {
+            for &p in provs {
+                indeg[p as usize] += 1;
+            }
+        }
+        let mut queue: Vec<NodeIx> = (0..n as NodeIx).filter(|&i| indeg[i as usize] == 0).collect();
+        let mut visited = 0usize;
+        while let Some(i) = queue.pop() {
+            visited += 1;
+            for &p in &self.providers[i as usize] {
+                indeg[p as usize] -= 1;
+                if indeg[p as usize] == 0 {
+                    queue.push(p);
+                }
+            }
+        }
+        if visited == n {
+            Ok(())
+        } else {
+            Err(SoiError::Invariant(
+                "cycle detected in customer-to-provider hierarchy".into(),
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn a(n: u32) -> Asn {
+        Asn(n)
+    }
+
+    /// Small fixture: 1 and 2 are tier-1 peers; 3 buys from both; 4 and 5
+    /// buy from 3; 5 also peers with 4.
+    fn fixture() -> AsGraph {
+        let mut b = AsGraphBuilder::new();
+        b.add_peering(a(1), a(2));
+        b.add_transit(a(3), a(1));
+        b.add_transit(a(3), a(2));
+        b.add_transit(a(4), a(3));
+        b.add_transit(a(5), a(3));
+        b.add_peering(a(4), a(5));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builds_and_counts() {
+        let g = fixture();
+        assert_eq!(g.num_ases(), 5);
+        assert_eq!(g.num_links(), 6);
+        assert_eq!(g.providers(a(3)), vec![a(1), a(2)]);
+        assert_eq!(g.customers(a(3)), vec![a(4), a(5)]);
+        assert_eq!(g.peers(a(1)), vec![a(2)]);
+        assert_eq!(g.degree(a(3)), 4);
+        assert_eq!(g.transit_degree(a(3)), 2);
+        assert_eq!(g.transit_degree(a(4)), 0);
+    }
+
+    #[test]
+    fn unknown_asn_is_benign() {
+        let g = fixture();
+        assert!(!g.contains(a(99)));
+        assert!(g.providers(a(99)).is_empty());
+        assert_eq!(g.degree(a(99)), 0);
+    }
+
+    #[test]
+    fn tier1_detection() {
+        let g = fixture();
+        let mut t1 = g.provider_free_ases();
+        t1.sort();
+        assert_eq!(t1, vec![a(1), a(2)]);
+    }
+
+    #[test]
+    fn rejects_self_links() {
+        let mut b = AsGraphBuilder::new();
+        b.add_transit(a(1), a(1));
+        assert!(b.build().is_err());
+        let mut b = AsGraphBuilder::new();
+        b.add_peering(a(2), a(2));
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn rejects_duplicates_and_contradictions() {
+        // Duplicate transit.
+        let mut b = AsGraphBuilder::new();
+        b.add_transit(a(1), a(2));
+        b.add_transit(a(1), a(2));
+        assert!(b.build().is_err());
+        // Same link both transit and peering.
+        let mut b = AsGraphBuilder::new();
+        b.add_transit(a(1), a(2));
+        b.add_peering(a(1), a(2));
+        assert!(b.build().is_err());
+        // Mutual providership is a 2-cycle, also rejected.
+        let mut b = AsGraphBuilder::new();
+        b.add_transit(a(1), a(2));
+        b.add_transit(a(2), a(1));
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn rejects_provider_cycles() {
+        let mut b = AsGraphBuilder::new();
+        b.add_transit(a(1), a(2));
+        b.add_transit(a(2), a(3));
+        b.add_transit(a(3), a(1));
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn duplicate_peering_either_order_rejected() {
+        let mut b = AsGraphBuilder::new();
+        b.add_peering(a(1), a(2));
+        b.add_peering(a(2), a(1));
+        assert!(b.build().is_err());
+    }
+
+    proptest! {
+        /// Random strictly-layered topologies (links only point from a
+        /// higher-numbered AS to a lower-numbered one) must always validate.
+        #[test]
+        fn prop_layered_graphs_always_build(
+            links in proptest::collection::hash_set((1u32..80, 1u32..80), 0..200)
+        ) {
+            let mut b = AsGraphBuilder::new();
+            let mut used = std::collections::HashSet::new();
+            for (x, y) in links {
+                if x == y { continue; }
+                let (lo, hi) = (x.min(y), x.max(y));
+                if !used.insert((lo, hi)) { continue; }
+                b.add_transit(Asn(hi), Asn(lo));
+            }
+            prop_assert!(b.build().is_ok());
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Customer-cone history and growth ranking.
+//!
+//! Figure 5 of the paper plots the customer-cone growth of Angola Cables
+//! (AS37468) and BSCCL (AS132602) from January 2010 to June 2020, found by
+//! ranking state-owned ASes by the slope of a temporal linear regression
+//! over CAIDA ASRank history. This module stores cone-size snapshots over
+//! time and reproduces that ranking.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use soi_types::{Asn, SimDate};
+
+/// A single AS's cone-size time series.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ConeSeries {
+    /// The AS observed.
+    pub asn: Asn,
+    /// `(date, cone size)` points in chronological order.
+    pub points: Vec<(SimDate, u32)>,
+}
+
+impl ConeSeries {
+    /// Least-squares slope of cone size per *year*. `None` with fewer than
+    /// two points or a degenerate (single-date) x-axis.
+    pub fn slope_per_year(&self) -> Option<f64> {
+        linear_slope(
+            self.points
+                .iter()
+                .map(|&(d, v)| (d.as_year_fraction(), f64::from(v))),
+        )
+    }
+
+    /// Final observed cone size (0 if empty).
+    pub fn final_size(&self) -> u32 {
+        self.points.last().map_or(0, |&(_, v)| v)
+    }
+}
+
+/// Least-squares slope of `y` against `x`. `None` if fewer than two points
+/// or all `x` equal.
+pub fn linear_slope(points: impl IntoIterator<Item = (f64, f64)>) -> Option<f64> {
+    let pts: Vec<(f64, f64)> = points.into_iter().collect();
+    if pts.len() < 2 {
+        return None;
+    }
+    let n = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    Some((n * sxy - sx * sy) / denom)
+}
+
+/// A collection of dated cone-size snapshots.
+#[derive(Clone, Debug, Default)]
+pub struct ConeHistory {
+    snapshots: Vec<(SimDate, HashMap<Asn, u32>)>,
+}
+
+impl ConeHistory {
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a snapshot. Snapshots must be pushed in chronological order;
+    /// out-of-order pushes are rejected with a panic since they indicate a
+    /// generator bug, not recoverable input.
+    pub fn push(&mut self, date: SimDate, sizes: HashMap<Asn, u32>) {
+        if let Some(&(last, _)) = self.snapshots.last() {
+            assert!(date > last, "snapshots must be chronological: {last} then {date}");
+        }
+        self.snapshots.push((date, sizes));
+    }
+
+    /// Number of snapshots.
+    pub fn len(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// True if no snapshot has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.snapshots.is_empty()
+    }
+
+    /// Snapshot dates in order.
+    pub fn dates(&self) -> impl Iterator<Item = SimDate> + '_ {
+        self.snapshots.iter().map(|&(d, _)| d)
+    }
+
+    /// Extracts the time series of one AS. ASes absent from a snapshot
+    /// (not yet announced at that date) simply have no point for it, which
+    /// is how an AS "born" mid-decade appears in ASRank history too.
+    pub fn series(&self, asn: Asn) -> ConeSeries {
+        let points = self
+            .snapshots
+            .iter()
+            .filter_map(|(d, m)| m.get(&asn).map(|&v| (*d, v)))
+            .collect();
+        ConeSeries { asn, points }
+    }
+
+    /// Ranks a subset of ASes by regression slope (fastest-growing first).
+    pub fn fastest_growing(&self, subset: &[Asn], k: usize) -> Vec<(ConeSeries, f64)> {
+        fastest_growing(subset.iter().map(|&a| self.series(a)), k)
+    }
+}
+
+/// Ranks series by slope per year, descending; series too short to regress
+/// are dropped. Ties broken by ASN for determinism.
+pub fn fastest_growing(
+    series: impl IntoIterator<Item = ConeSeries>,
+    k: usize,
+) -> Vec<(ConeSeries, f64)> {
+    let mut scored: Vec<(ConeSeries, f64)> = series
+        .into_iter()
+        .filter_map(|s| s.slope_per_year().map(|m| (s, m)))
+        .collect();
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.asn.cmp(&b.0.asn)));
+    scored.truncate(k);
+    scored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn d(y: u16, m: u8) -> SimDate {
+        SimDate::new(y, m).unwrap()
+    }
+
+    #[test]
+    fn slope_of_perfect_line() {
+        let s = linear_slope([(0.0, 1.0), (1.0, 3.0), (2.0, 5.0)]).unwrap();
+        assert!((s - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slope_degenerate_cases() {
+        assert!(linear_slope([(1.0, 5.0)]).is_none());
+        assert!(linear_slope([(1.0, 5.0), (1.0, 9.0)]).is_none());
+        assert!(linear_slope(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn history_extracts_series_with_gaps() {
+        let mut h = ConeHistory::new();
+        h.push(d(2010, 1), HashMap::from([(Asn(1), 10)]));
+        h.push(d(2015, 1), HashMap::from([(Asn(1), 50), (Asn(2), 5)]));
+        h.push(d(2020, 1), HashMap::from([(Asn(1), 100), (Asn(2), 500)]));
+        let s1 = h.series(Asn(1));
+        assert_eq!(s1.points.len(), 3);
+        let s2 = h.series(Asn(2));
+        assert_eq!(s2.points.len(), 2, "AS2 born in 2015");
+        assert_eq!(s2.final_size(), 500);
+        assert!(h.series(Asn(9)).points.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "chronological")]
+    fn history_rejects_out_of_order() {
+        let mut h = ConeHistory::new();
+        h.push(d(2020, 1), HashMap::new());
+        h.push(d(2010, 1), HashMap::new());
+    }
+
+    #[test]
+    fn fastest_growing_ranks_by_slope() {
+        let mut h = ConeHistory::new();
+        h.push(d(2010, 1), HashMap::from([(Asn(1), 100), (Asn(2), 0), (Asn(3), 7)]));
+        h.push(d(2020, 1), HashMap::from([(Asn(1), 120), (Asn(2), 1800), (Asn(3), 7)]));
+        let top = h.fastest_growing(&[Asn(1), Asn(2), Asn(3)], 2);
+        assert_eq!(top[0].0.asn, Asn(2));
+        assert!(top[0].1 > 150.0);
+        assert_eq!(top[1].0.asn, Asn(1));
+        // Flat series ranks last and is cut by k=2.
+        assert_eq!(top.len(), 2);
+    }
+
+    #[test]
+    fn fastest_growing_skips_short_series() {
+        let mut h = ConeHistory::new();
+        h.push(d(2019, 1), HashMap::from([(Asn(1), 10)]));
+        h.push(d(2020, 1), HashMap::from([(Asn(1), 20), (Asn(2), 999)]));
+        let top = h.fastest_growing(&[Asn(1), Asn(2)], 5);
+        assert_eq!(top.len(), 1, "AS2 has only one point");
+        assert_eq!(top[0].0.asn, Asn(1));
+    }
+
+    proptest! {
+        /// Slope is invariant under y-shift and scales linearly with y.
+        #[test]
+        fn prop_slope_linearity(
+            xs in proptest::collection::vec(-50.0f64..50.0, 2..20),
+            shift in -100.0f64..100.0,
+        ) {
+            // Build y = 3x + noiseless, with distinct xs.
+            let mut xs = xs;
+            xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            xs.dedup_by(|a, b| (*a - *b).abs() < 1e-6);
+            prop_assume!(xs.len() >= 2);
+            let base: Vec<(f64, f64)> = xs.iter().map(|&x| (x, 3.0 * x)).collect();
+            let shifted: Vec<(f64, f64)> = base.iter().map(|&(x, y)| (x, y + shift)).collect();
+            let s1 = linear_slope(base).unwrap();
+            let s2 = linear_slope(shifted).unwrap();
+            prop_assert!((s1 - 3.0).abs() < 1e-6);
+            prop_assert!((s2 - 3.0).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Internet Exchange Points.
+//!
+//! IXPs host multilateral peering: members exchange routes through a
+//! route server, so one membership list implies a dense mesh of p2p
+//! relationships. The paper's related work (Carisimo et al., "A first
+//! look at the Latin American IXPs") argues that IXP development stalls
+//! in countries whose access markets are concentrated in state-owned
+//! incumbents — a relationship the synthetic world generates and the
+//! analysis crate measures.
+
+use serde::{Deserialize, Serialize};
+use soi_types::{Asn, CountryCode, SoiError};
+
+use crate::graph::AsGraphBuilder;
+
+/// Identifier of an exchange point.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct IxpId(pub u32);
+
+/// One exchange point.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Ixp {
+    /// Identifier.
+    pub id: IxpId,
+    /// Display name ("IX.br"-style).
+    pub name: String,
+    /// Country hosting the exchange.
+    pub country: CountryCode,
+    /// Member ASes (unique, sorted).
+    pub members: Vec<Asn>,
+}
+
+impl Ixp {
+    /// Builds an exchange, normalizing and validating the member list
+    /// (at least two members; no duplicates after normalization).
+    pub fn new(
+        id: IxpId,
+        name: impl Into<String>,
+        country: CountryCode,
+        mut members: Vec<Asn>,
+    ) -> Result<Ixp, SoiError> {
+        members.sort_unstable();
+        members.dedup();
+        if members.len() < 2 {
+            return Err(SoiError::InvalidConfig(format!(
+                "IXP {id:?} needs at least two members"
+            )));
+        }
+        Ok(Ixp { id, name: name.into(), country, members })
+    }
+
+    /// Number of members.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True if `asn` peers at this exchange.
+    pub fn has_member(&self, asn: Asn) -> bool {
+        self.members.binary_search(&asn).is_ok()
+    }
+
+    /// Materializes the exchange's multilateral peering mesh into a
+    /// topology builder: every member pair becomes a p2p link unless the
+    /// pair is already connected. Returns the number of links added.
+    pub fn add_peering_mesh(
+        &self,
+        builder: &mut AsGraphBuilder,
+        already_linked: &mut std::collections::HashSet<(Asn, Asn)>,
+    ) -> usize {
+        let mut added = 0;
+        for (i, &a) in self.members.iter().enumerate() {
+            for &b in &self.members[i + 1..] {
+                let key = (a.min(b), a.max(b));
+                if already_linked.insert(key) {
+                    builder.add_peering(a, b);
+                    added += 1;
+                }
+            }
+        }
+        added
+    }
+}
+
+/// All exchanges of a world.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct IxpRegistry {
+    ixps: Vec<Ixp>,
+}
+
+impl IxpRegistry {
+    /// Wraps a list of exchanges.
+    pub fn new(ixps: Vec<Ixp>) -> IxpRegistry {
+        IxpRegistry { ixps }
+    }
+
+    /// All exchanges.
+    pub fn ixps(&self) -> &[Ixp] {
+        &self.ixps
+    }
+
+    /// Number of exchanges.
+    pub fn len(&self) -> usize {
+        self.ixps.len()
+    }
+
+    /// True if no exchange exists.
+    pub fn is_empty(&self) -> bool {
+        self.ixps.is_empty()
+    }
+
+    /// Exchanges in one country.
+    pub fn in_country(&self, country: CountryCode) -> impl Iterator<Item = &Ixp> {
+        self.ixps.iter().filter(move |x| x.country == country)
+    }
+
+    /// Exchanges an AS peers at.
+    pub fn memberships(&self, asn: Asn) -> impl Iterator<Item = &Ixp> {
+        self.ixps.iter().filter(move |x| x.has_member(asn))
+    }
+
+    /// Countries hosting at least one exchange.
+    pub fn countries(&self) -> Vec<CountryCode> {
+        let mut out: Vec<CountryCode> = self.ixps.iter().map(|x| x.country).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soi_types::cc;
+
+    fn a(n: u32) -> Asn {
+        Asn(n)
+    }
+
+    #[test]
+    fn construction_normalizes_and_validates() {
+        let ixp = Ixp::new(IxpId(1), "IX.br", cc("BR"), vec![a(3), a(1), a(3), a(2)]).unwrap();
+        assert_eq!(ixp.members, vec![a(1), a(2), a(3)]);
+        assert_eq!(ixp.size(), 3);
+        assert!(ixp.has_member(a(2)));
+        assert!(!ixp.has_member(a(9)));
+        assert!(Ixp::new(IxpId(2), "tiny", cc("BR"), vec![a(1), a(1)]).is_err());
+        assert!(Ixp::new(IxpId(3), "empty", cc("BR"), vec![]).is_err());
+    }
+
+    #[test]
+    fn mesh_materialization_dedups() {
+        let ixp = Ixp::new(IxpId(1), "X", cc("BR"), vec![a(1), a(2), a(3), a(4)]).unwrap();
+        let mut b = AsGraphBuilder::new();
+        let mut linked = std::collections::HashSet::new();
+        linked.insert((a(1), a(2))); // pre-existing bilateral link
+        let added = ixp.add_peering_mesh(&mut b, &mut linked);
+        assert_eq!(added, 5, "C(4,2)=6 minus the pre-existing pair");
+        let g = b.build().unwrap();
+        assert_eq!(g.num_links(), 5);
+        assert!(g.peers(a(3)).contains(&a(4)));
+    }
+
+    #[test]
+    fn registry_queries() {
+        let reg = IxpRegistry::new(vec![
+            Ixp::new(IxpId(1), "BR-IX", cc("BR"), vec![a(1), a(2), a(3)]).unwrap(),
+            Ixp::new(IxpId(2), "BR-IX2", cc("BR"), vec![a(2), a(4)]).unwrap(),
+            Ixp::new(IxpId(3), "DE-IX", cc("DE"), vec![a(5), a(6)]).unwrap(),
+        ]);
+        assert_eq!(reg.len(), 3);
+        assert_eq!(reg.in_country(cc("BR")).count(), 2);
+        assert_eq!(reg.memberships(a(2)).count(), 2);
+        assert_eq!(reg.countries(), vec![cc("BR"), cc("DE")]);
+        assert!(reg.in_country(cc("NO")).next().is_none());
+    }
+}

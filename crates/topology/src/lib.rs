@@ -1,0 +1,20 @@
+//! AS-level topology substrate.
+//!
+//! The paper leans on CAIDA's topology products in three places: AS
+//! relationships underpin the BGP propagation that produces the visible
+//! routing table (§4.1), ASRank customer cones measure the transit footprint
+//! of state-owned ASes (Table 5), and a decade of cone history reveals the
+//! fastest-growing state-owned transit networks (Figure 5). This crate
+//! provides all three: a validated AS-relationship graph ([`AsGraph`]),
+//! customer-cone computation and ranking ([`cone`]), and cone time series
+//! with linear-regression growth ranking ([`history`]).
+
+pub mod cone;
+pub mod graph;
+pub mod ixp;
+pub mod history;
+
+pub use cone::{cone_sizes, customer_cone, AsRank};
+pub use graph::{AsGraph, AsGraphBuilder, NodeIx, Relationship};
+pub use ixp::{Ixp, IxpId, IxpRegistry};
+pub use history::{fastest_growing, linear_slope, ConeHistory, ConeSeries};

@@ -1,0 +1,117 @@
+//! Autonomous System Numbers.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::SoiError;
+
+/// An Autonomous System Number.
+///
+/// ASNs are the paper's unit of analysis: the final dataset maps state-owned
+/// organizations to the set of ASNs they control. We support the full 32-bit
+/// ASN space (RFC 6793); the reserved value 0 (RFC 7607) is never assigned by
+/// the world generator but is representable so parsers stay total.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Asn(pub u32);
+
+impl Asn {
+    /// The reserved ASN 0 (RFC 7607). Used as a sentinel in a few internal
+    /// tables; never originates prefixes.
+    pub const RESERVED: Asn = Asn(0);
+
+    /// Returns the raw 32-bit value.
+    #[inline]
+    pub fn value(self) -> u32 {
+        self.0
+    }
+
+    /// True if this is a 16-bit ("legacy") ASN.
+    #[inline]
+    pub fn is_16bit(self) -> bool {
+        self.0 <= u16::MAX as u32
+    }
+
+    /// True if the ASN falls in a range reserved for private use
+    /// (64512-65534 and 4200000000-4294967294, RFC 6996).
+    pub fn is_private(self) -> bool {
+        (64512..=65534).contains(&self.0) || (4_200_000_000..=4_294_967_294).contains(&self.0)
+    }
+}
+
+impl fmt::Display for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+impl fmt::Debug for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+impl From<u32> for Asn {
+    fn from(v: u32) -> Self {
+        Asn(v)
+    }
+}
+
+impl FromStr for Asn {
+    type Err = SoiError;
+
+    /// Parses either a bare number (`"2119"`) or the conventional `AS`
+    /// prefix form (`"AS2119"`, case-insensitive).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let digits = s
+            .strip_prefix("AS")
+            .or_else(|| s.strip_prefix("as"))
+            .or_else(|| s.strip_prefix("As"))
+            .unwrap_or(s);
+        digits
+            .parse::<u32>()
+            .map(Asn)
+            .map_err(|_| SoiError::Parse(format!("invalid ASN: {s:?}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_as_prefix() {
+        assert_eq!(Asn(2119).to_string(), "AS2119");
+    }
+
+    #[test]
+    fn parses_bare_and_prefixed() {
+        assert_eq!("2119".parse::<Asn>().unwrap(), Asn(2119));
+        assert_eq!("AS2119".parse::<Asn>().unwrap(), Asn(2119));
+        assert_eq!("as4788".parse::<Asn>().unwrap(), Asn(4788));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!("ASX".parse::<Asn>().is_err());
+        assert!("".parse::<Asn>().is_err());
+        assert!("AS-5".parse::<Asn>().is_err());
+    }
+
+    #[test]
+    fn bit_width_classification() {
+        assert!(Asn(65535).is_16bit());
+        assert!(!Asn(65536).is_16bit());
+        assert!(!Asn(132602).is_private());
+        assert!(Asn(64512).is_private());
+        assert!(Asn(4_200_000_000).is_private());
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(Asn(9) < Asn(10));
+        assert!(Asn(65536) > Asn(65535));
+    }
+}

@@ -1,0 +1,507 @@
+//! Countries, regions and Regional Internet Registries.
+//!
+//! The paper analyses state ownership at country granularity and rolls
+//! results up per RIR (Table 4) and per region (Figure 1: prevalence is much
+//! higher in Africa and Asia). This module provides ISO-3166 alpha-2 country
+//! codes plus a static registry of countries with their RIR, coarse region,
+//! approximate Internet-size class, and ICT maturity. The latter two fields
+//! parameterize the synthetic world: size class scales how many ASes and
+//! addresses a country hosts, while ICT maturity controls how likely it is
+//! that ownership documentation is available online (a limitation the paper
+//! calls out in §9 "Visibility and data interpretation").
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::SoiError;
+
+/// An ISO-3166 alpha-2 country code (two ASCII uppercase letters).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(into = "String", try_from = "String")]
+pub struct CountryCode([u8; 2]);
+
+impl CountryCode {
+    /// Constructs a code from two bytes, normalizing to uppercase.
+    ///
+    /// Returns an error unless both bytes are ASCII letters.
+    pub fn new(a: u8, b: u8) -> Result<Self, SoiError> {
+        if a.is_ascii_alphabetic() && b.is_ascii_alphabetic() {
+            Ok(CountryCode([a.to_ascii_uppercase(), b.to_ascii_uppercase()]))
+        } else {
+            Err(SoiError::Parse(format!(
+                "invalid country code bytes: {a:#x} {b:#x}"
+            )))
+        }
+    }
+
+    /// The code as a `&str` (always two uppercase ASCII letters).
+    pub fn as_str(&self) -> &str {
+        // Invariant: constructor only accepts ASCII letters.
+        std::str::from_utf8(&self.0).expect("country code is ASCII")
+    }
+
+    /// Looks up this country in the static registry.
+    pub fn info(&self) -> Option<&'static CountryInfo> {
+        country_info(*self)
+    }
+}
+
+impl fmt::Display for CountryCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl fmt::Debug for CountryCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for CountryCode {
+    type Err = SoiError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let bytes = s.as_bytes();
+        if bytes.len() != 2 {
+            return Err(SoiError::Parse(format!("invalid country code: {s:?}")));
+        }
+        CountryCode::new(bytes[0], bytes[1])
+    }
+}
+
+impl From<CountryCode> for String {
+    fn from(cc: CountryCode) -> String {
+        cc.as_str().to_owned()
+    }
+}
+
+impl TryFrom<String> for CountryCode {
+    type Error = SoiError;
+
+    fn try_from(s: String) -> Result<Self, Self::Error> {
+        s.parse()
+    }
+}
+
+/// Convenience constructor for compile-time-known codes; panics on invalid
+/// input, so only use with literals (tests, static tables).
+pub const fn cc(code: &str) -> CountryCode {
+    let b = code.as_bytes();
+    assert!(b.len() == 2, "country code must be two letters");
+    assert!(
+        b[0].is_ascii_uppercase() && b[1].is_ascii_uppercase(),
+        "country code must be uppercase ASCII"
+    );
+    CountryCode([b[0], b[1]])
+}
+
+/// The five Regional Internet Registries.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum Rir {
+    Afrinic,
+    Apnic,
+    Arin,
+    Lacnic,
+    Ripe,
+}
+
+impl Rir {
+    /// All five RIRs, in the order the paper's Table 4 lists them.
+    pub const ALL: [Rir; 5] = [Rir::Apnic, Rir::Ripe, Rir::Arin, Rir::Afrinic, Rir::Lacnic];
+
+    /// The registry's conventional display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rir::Afrinic => "AFRINIC",
+            Rir::Apnic => "APNIC",
+            Rir::Arin => "ARIN",
+            Rir::Lacnic => "LACNIC",
+            Rir::Ripe => "RIPE",
+        }
+    }
+}
+
+impl fmt::Display for Rir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Coarse world regions used by the generator's prevalence profiles.
+///
+/// The paper finds state ownership "much more prevalent in Africa and Asia";
+/// the generator's per-region ownership probabilities encode that shape.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum Region {
+    Africa,
+    Asia,
+    CentralAsia,
+    Europe,
+    LatinAmerica,
+    MiddleEast,
+    NorthAmerica,
+    Oceania,
+}
+
+impl Region {
+    /// All regions.
+    pub const ALL: [Region; 8] = [
+        Region::Africa,
+        Region::Asia,
+        Region::CentralAsia,
+        Region::Europe,
+        Region::LatinAmerica,
+        Region::MiddleEast,
+        Region::NorthAmerica,
+        Region::Oceania,
+    ];
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Region::Africa => "Africa",
+            Region::Asia => "Asia",
+            Region::CentralAsia => "Central Asia",
+            Region::Europe => "Europe",
+            Region::LatinAmerica => "Latin America",
+            Region::MiddleEast => "Middle East",
+            Region::NorthAmerica => "North America",
+            Region::Oceania => "Oceania",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Static profile of a country.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CountryInfo {
+    /// ISO-3166 alpha-2 code.
+    pub code: CountryCode,
+    /// English short name.
+    pub name: &'static str,
+    /// Which RIR serves the country.
+    pub rir: Rir,
+    /// Coarse region for prevalence profiles.
+    pub region: Region,
+    /// Log-scale Internet size class in 1..=6 (6 = US/China scale). Drives
+    /// how many ASes, prefixes and users the generator places here.
+    pub size_class: u8,
+    /// ICT-maturity score in 0..=100. Drives availability of online
+    /// ownership documentation in the synthetic document corpus.
+    pub ict_maturity: u8,
+}
+
+macro_rules! countries {
+    ($(($code:literal, $name:literal, $rir:ident, $region:ident, $size:literal, $ict:literal)),+ $(,)?) => {
+        &[$(CountryInfo {
+            code: cc($code),
+            name: $name,
+            rir: Rir::$rir,
+            region: Region::$region,
+            size_class: $size,
+            ict_maturity: $ict,
+        }),+]
+    };
+}
+
+/// The static registry: 193 countries/territories with RIR and region.
+///
+/// Size classes and ICT maturities are coarse, hand-assigned approximations;
+/// they only need to produce a world whose aggregate shape matches the
+/// paper's (a few huge countries, a long tail of small ones, documentation
+/// sparser in the developing world).
+static COUNTRIES: &[CountryInfo] = countries![
+    // ---- AFRINIC ----
+    ("DZ", "Algeria", Afrinic, Africa, 4, 45),
+    ("AO", "Angola", Afrinic, Africa, 3, 35),
+    ("BJ", "Benin", Afrinic, Africa, 2, 30),
+    ("BW", "Botswana", Afrinic, Africa, 2, 45),
+    ("BF", "Burkina Faso", Afrinic, Africa, 2, 25),
+    ("BI", "Burundi", Afrinic, Africa, 1, 20),
+    ("CM", "Cameroon", Afrinic, Africa, 3, 30),
+    ("CV", "Cape Verde", Afrinic, Africa, 1, 45),
+    ("CF", "Central African Republic", Afrinic, Africa, 1, 15),
+    ("TD", "Chad", Afrinic, Africa, 2, 15),
+    ("KM", "Comoros", Afrinic, Africa, 1, 20),
+    ("CG", "Congo", Afrinic, Africa, 2, 25),
+    ("CD", "DR Congo", Afrinic, Africa, 3, 20),
+    ("CI", "Ivory Coast", Afrinic, Africa, 3, 35),
+    ("DJ", "Djibouti", Afrinic, Africa, 1, 30),
+    ("EG", "Egypt", Afrinic, Africa, 4, 50),
+    ("GQ", "Equatorial Guinea", Afrinic, Africa, 1, 25),
+    ("ER", "Eritrea", Afrinic, Africa, 1, 10),
+    ("SZ", "Eswatini", Afrinic, Africa, 1, 30),
+    ("ET", "Ethiopia", Afrinic, Africa, 3, 20),
+    ("GA", "Gabon", Afrinic, Africa, 2, 35),
+    ("GM", "Gambia", Afrinic, Africa, 1, 25),
+    ("GH", "Ghana", Afrinic, Africa, 3, 40),
+    ("GN", "Guinea", Afrinic, Africa, 2, 20),
+    ("GW", "Guinea-Bissau", Afrinic, Africa, 1, 15),
+    ("KE", "Kenya", Afrinic, Africa, 3, 45),
+    ("LS", "Lesotho", Afrinic, Africa, 1, 25),
+    ("LR", "Liberia", Afrinic, Africa, 1, 20),
+    ("LY", "Libya", Afrinic, Africa, 2, 30),
+    ("MG", "Madagascar", Afrinic, Africa, 2, 25),
+    ("MW", "Malawi", Afrinic, Africa, 2, 20),
+    ("ML", "Mali", Afrinic, Africa, 2, 20),
+    ("MR", "Mauritania", Afrinic, Africa, 1, 25),
+    ("MU", "Mauritius", Afrinic, Africa, 2, 55),
+    ("MA", "Morocco", Afrinic, Africa, 3, 50),
+    ("MZ", "Mozambique", Afrinic, Africa, 2, 25),
+    ("NA", "Namibia", Afrinic, Africa, 2, 40),
+    ("NE", "Niger", Afrinic, Africa, 2, 15),
+    ("NG", "Nigeria", Afrinic, Africa, 4, 40),
+    ("RW", "Rwanda", Afrinic, Africa, 2, 35),
+    ("ST", "Sao Tome and Principe", Afrinic, Africa, 1, 25),
+    ("SN", "Senegal", Afrinic, Africa, 2, 35),
+    ("SC", "Seychelles", Afrinic, Africa, 1, 50),
+    ("SL", "Sierra Leone", Afrinic, Africa, 1, 20),
+    ("SO", "Somalia", Afrinic, Africa, 2, 15),
+    ("ZA", "South Africa", Afrinic, Africa, 4, 60),
+    ("SS", "South Sudan", Afrinic, Africa, 1, 10),
+    ("SD", "Sudan", Afrinic, Africa, 2, 20),
+    ("TZ", "Tanzania", Afrinic, Africa, 3, 30),
+    ("TG", "Togo", Afrinic, Africa, 1, 25),
+    ("TN", "Tunisia", Afrinic, Africa, 3, 50),
+    ("UG", "Uganda", Afrinic, Africa, 2, 30),
+    ("ZM", "Zambia", Afrinic, Africa, 2, 25),
+    ("ZW", "Zimbabwe", Afrinic, Africa, 2, 30),
+    // ---- APNIC ----
+    ("AF", "Afghanistan", Apnic, CentralAsia, 2, 15),
+    ("AU", "Australia", Apnic, Oceania, 5, 90),
+    ("BD", "Bangladesh", Apnic, Asia, 4, 35),
+    ("BN", "Brunei", Apnic, Asia, 1, 65),
+    ("BT", "Bhutan", Apnic, Asia, 1, 35),
+    ("CN", "China", Apnic, Asia, 6, 70),
+    ("FJ", "Fiji", Apnic, Oceania, 1, 45),
+    ("HK", "Hong Kong", Apnic, Asia, 4, 90),
+    ("ID", "Indonesia", Apnic, Asia, 5, 55),
+    ("IN", "India", Apnic, Asia, 6, 55),
+    ("JP", "Japan", Apnic, Asia, 6, 90),
+    ("KH", "Cambodia", Apnic, Asia, 2, 35),
+    ("KI", "Kiribati", Apnic, Oceania, 1, 25),
+    ("KP", "North Korea", Apnic, Asia, 1, 5),
+    ("KR", "South Korea", Apnic, Asia, 5, 90),
+    ("LA", "Laos", Apnic, Asia, 2, 30),
+    ("LK", "Sri Lanka", Apnic, Asia, 3, 45),
+    ("MM", "Myanmar", Apnic, Asia, 3, 25),
+    ("MN", "Mongolia", Apnic, Asia, 2, 45),
+    ("MO", "Macao", Apnic, Asia, 1, 75),
+    ("MV", "Maldives", Apnic, Asia, 1, 50),
+    ("MY", "Malaysia", Apnic, Asia, 4, 70),
+    ("NP", "Nepal", Apnic, Asia, 2, 30),
+    ("NR", "Nauru", Apnic, Oceania, 1, 25),
+    ("NZ", "New Zealand", Apnic, Oceania, 3, 88),
+    ("PG", "Papua New Guinea", Apnic, Oceania, 2, 20),
+    ("PH", "Philippines", Apnic, Asia, 4, 50),
+    ("PK", "Pakistan", Apnic, Asia, 4, 35),
+    ("PW", "Palau", Apnic, Oceania, 1, 35),
+    ("SB", "Solomon Islands", Apnic, Oceania, 1, 20),
+    ("SG", "Singapore", Apnic, Asia, 4, 95),
+    ("TH", "Thailand", Apnic, Asia, 4, 60),
+    ("TL", "Timor-Leste", Apnic, Asia, 1, 25),
+    ("TO", "Tonga", Apnic, Oceania, 1, 35),
+    ("TV", "Tuvalu", Apnic, Oceania, 1, 25),
+    ("TW", "Taiwan", Apnic, Asia, 4, 85),
+    ("VN", "Vietnam", Apnic, Asia, 4, 50),
+    ("VU", "Vanuatu", Apnic, Oceania, 1, 30),
+    ("WS", "Samoa", Apnic, Oceania, 1, 35),
+    ("FM", "Micronesia", Apnic, Oceania, 1, 30),
+    ("MH", "Marshall Islands", Apnic, Oceania, 1, 30),
+    // ---- ARIN ----
+    ("US", "United States", Arin, NorthAmerica, 6, 92),
+    ("CA", "Canada", Arin, NorthAmerica, 5, 90),
+    ("GL", "Greenland", Arin, NorthAmerica, 1, 70),
+    ("BM", "Bermuda", Arin, NorthAmerica, 1, 80),
+    ("PR", "Puerto Rico", Arin, NorthAmerica, 2, 70),
+    // ---- LACNIC ----
+    ("AR", "Argentina", Lacnic, LatinAmerica, 4, 60),
+    ("BO", "Bolivia", Lacnic, LatinAmerica, 2, 40),
+    ("BR", "Brazil", Lacnic, LatinAmerica, 5, 60),
+    ("BZ", "Belize", Lacnic, LatinAmerica, 1, 40),
+    ("CL", "Chile", Lacnic, LatinAmerica, 3, 70),
+    ("CO", "Colombia", Lacnic, LatinAmerica, 4, 55),
+    ("CR", "Costa Rica", Lacnic, LatinAmerica, 2, 60),
+    ("CU", "Cuba", Lacnic, LatinAmerica, 2, 25),
+    ("DO", "Dominican Republic", Lacnic, LatinAmerica, 2, 45),
+    ("EC", "Ecuador", Lacnic, LatinAmerica, 3, 50),
+    ("GT", "Guatemala", Lacnic, LatinAmerica, 2, 40),
+    ("GY", "Guyana", Lacnic, LatinAmerica, 1, 35),
+    ("HN", "Honduras", Lacnic, LatinAmerica, 2, 35),
+    ("HT", "Haiti", Lacnic, LatinAmerica, 1, 20),
+    ("JM", "Jamaica", Lacnic, LatinAmerica, 1, 45),
+    ("MX", "Mexico", Lacnic, LatinAmerica, 5, 60),
+    ("NI", "Nicaragua", Lacnic, LatinAmerica, 1, 30),
+    ("PA", "Panama", Lacnic, LatinAmerica, 2, 55),
+    ("PY", "Paraguay", Lacnic, LatinAmerica, 2, 40),
+    ("PE", "Peru", Lacnic, LatinAmerica, 3, 50),
+    ("SR", "Suriname", Lacnic, LatinAmerica, 1, 40),
+    ("SV", "El Salvador", Lacnic, LatinAmerica, 2, 40),
+    ("TT", "Trinidad and Tobago", Lacnic, LatinAmerica, 1, 55),
+    ("UY", "Uruguay", Lacnic, LatinAmerica, 2, 70),
+    ("VE", "Venezuela", Lacnic, LatinAmerica, 3, 35),
+    // ---- RIPE: Europe ----
+    ("AL", "Albania", Ripe, Europe, 2, 50),
+    ("AD", "Andorra", Ripe, Europe, 1, 80),
+    ("AM", "Armenia", Ripe, Europe, 2, 50),
+    ("AT", "Austria", Ripe, Europe, 3, 88),
+    ("AZ", "Azerbaijan", Ripe, CentralAsia, 2, 45),
+    ("BA", "Bosnia and Herzegovina", Ripe, Europe, 2, 50),
+    ("BE", "Belgium", Ripe, Europe, 3, 88),
+    ("BG", "Bulgaria", Ripe, Europe, 3, 65),
+    ("BY", "Belarus", Ripe, Europe, 3, 55),
+    ("CH", "Switzerland", Ripe, Europe, 4, 92),
+    ("CY", "Cyprus", Ripe, Europe, 1, 75),
+    ("CZ", "Czechia", Ripe, Europe, 3, 85),
+    ("DE", "Germany", Ripe, Europe, 6, 92),
+    ("DK", "Denmark", Ripe, Europe, 3, 95),
+    ("EE", "Estonia", Ripe, Europe, 2, 92),
+    ("ES", "Spain", Ripe, Europe, 5, 85),
+    ("FI", "Finland", Ripe, Europe, 3, 95),
+    ("FR", "France", Ripe, Europe, 5, 90),
+    ("GB", "United Kingdom", Ripe, Europe, 5, 92),
+    ("GE", "Georgia", Ripe, Europe, 2, 50),
+    ("GR", "Greece", Ripe, Europe, 3, 75),
+    ("HR", "Croatia", Ripe, Europe, 2, 72),
+    ("HU", "Hungary", Ripe, Europe, 3, 75),
+    ("IE", "Ireland", Ripe, Europe, 3, 90),
+    ("IS", "Iceland", Ripe, Europe, 1, 95),
+    ("IT", "Italy", Ripe, Europe, 5, 82),
+    ("KZ", "Kazakhstan", Ripe, CentralAsia, 3, 50),
+    ("KG", "Kyrgyzstan", Ripe, CentralAsia, 2, 35),
+    ("LI", "Liechtenstein", Ripe, Europe, 1, 90),
+    ("LT", "Lithuania", Ripe, Europe, 2, 80),
+    ("LU", "Luxembourg", Ripe, Europe, 1, 92),
+    ("LV", "Latvia", Ripe, Europe, 2, 80),
+    ("MC", "Monaco", Ripe, Europe, 1, 88),
+    ("MD", "Moldova", Ripe, Europe, 2, 50),
+    ("ME", "Montenegro", Ripe, Europe, 1, 55),
+    ("MK", "North Macedonia", Ripe, Europe, 2, 55),
+    ("MT", "Malta", Ripe, Europe, 1, 80),
+    ("NL", "Netherlands", Ripe, Europe, 5, 95),
+    ("NO", "Norway", Ripe, Europe, 3, 96),
+    ("PL", "Poland", Ripe, Europe, 4, 78),
+    ("PT", "Portugal", Ripe, Europe, 3, 80),
+    ("RO", "Romania", Ripe, Europe, 3, 68),
+    ("RS", "Serbia", Ripe, Europe, 2, 58),
+    ("RU", "Russia", Ripe, Europe, 5, 65),
+    ("SE", "Sweden", Ripe, Europe, 4, 96),
+    ("SI", "Slovenia", Ripe, Europe, 2, 80),
+    ("SK", "Slovakia", Ripe, Europe, 2, 76),
+    ("SM", "San Marino", Ripe, Europe, 1, 80),
+    ("TJ", "Tajikistan", Ripe, CentralAsia, 1, 25),
+    ("TM", "Turkmenistan", Ripe, CentralAsia, 1, 15),
+    ("TR", "Turkey", Ripe, Europe, 4, 60),
+    ("UA", "Ukraine", Ripe, Europe, 4, 60),
+    ("UZ", "Uzbekistan", Ripe, CentralAsia, 3, 35),
+    ("VA", "Vatican City", Ripe, Europe, 1, 70),
+    ("IM", "Isle of Man", Ripe, Europe, 1, 82),
+    // ---- RIPE: Middle East ----
+    ("AE", "United Arab Emirates", Ripe, MiddleEast, 3, 85),
+    ("BH", "Bahrain", Ripe, MiddleEast, 2, 80),
+    ("IL", "Israel", Ripe, MiddleEast, 3, 88),
+    ("IQ", "Iraq", Ripe, MiddleEast, 3, 30),
+    ("IR", "Iran", Ripe, MiddleEast, 4, 40),
+    ("JO", "Jordan", Ripe, MiddleEast, 2, 55),
+    ("KW", "Kuwait", Ripe, MiddleEast, 2, 75),
+    ("LB", "Lebanon", Ripe, MiddleEast, 2, 50),
+    ("OM", "Oman", Ripe, MiddleEast, 2, 65),
+    ("PS", "Palestine", Ripe, MiddleEast, 1, 40),
+    ("QA", "Qatar", Ripe, MiddleEast, 2, 85),
+    ("SA", "Saudi Arabia", Ripe, MiddleEast, 4, 75),
+    ("SY", "Syria", Ripe, MiddleEast, 2, 20),
+    ("YE", "Yemen", Ripe, MiddleEast, 2, 15),
+];
+
+/// Returns the full static country registry.
+pub fn all_countries() -> &'static [CountryInfo] {
+    COUNTRIES
+}
+
+/// Looks up a country in the static registry by code.
+pub fn country_info(code: CountryCode) -> Option<&'static CountryInfo> {
+    COUNTRIES.iter().find(|c| c.code == code)
+}
+
+/// Looks up a country by its English short name (case-insensitive) —
+/// used to resolve shareholder names like "Government of Norway" to a
+/// state.
+pub fn country_by_name(name: &str) -> Option<&'static CountryInfo> {
+    COUNTRIES.iter().find(|c| c.name.eq_ignore_ascii_case(name.trim()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn registry_has_no_duplicate_codes() {
+        let mut seen = HashSet::new();
+        for c in all_countries() {
+            assert!(seen.insert(c.code), "duplicate country {}", c.code);
+        }
+    }
+
+    #[test]
+    fn registry_covers_all_rirs_and_regions() {
+        let rirs: HashSet<_> = all_countries().iter().map(|c| c.rir).collect();
+        assert_eq!(rirs.len(), 5);
+        let regions: HashSet<_> = all_countries().iter().map(|c| c.region).collect();
+        assert_eq!(regions.len(), Region::ALL.len());
+    }
+
+    #[test]
+    fn registry_is_reasonably_sized() {
+        // The paper's world has ~246 country entities; ours is a curated
+        // subset but must stay close to real-world RIR proportions.
+        let n = all_countries().len();
+        assert!((150..=250).contains(&n), "unexpected registry size {n}");
+        let ripe = all_countries().iter().filter(|c| c.rir == Rir::Ripe).count();
+        let afrinic = all_countries().iter().filter(|c| c.rir == Rir::Afrinic).count();
+        assert!(ripe > 60, "RIPE should be the largest registry, got {ripe}");
+        assert!(afrinic > 45);
+    }
+
+    #[test]
+    fn size_and_ict_are_in_range() {
+        for c in all_countries() {
+            assert!((1..=6).contains(&c.size_class), "{}: size {}", c.code, c.size_class);
+            assert!(c.ict_maturity <= 100);
+        }
+    }
+
+    #[test]
+    fn code_parsing_roundtrips() {
+        for c in all_countries() {
+            let parsed: CountryCode = c.code.as_str().parse().unwrap();
+            assert_eq!(parsed, c.code);
+        }
+    }
+
+    #[test]
+    fn lowercase_is_normalized() {
+        assert_eq!("no".parse::<CountryCode>().unwrap(), cc("NO"));
+    }
+
+    #[test]
+    fn invalid_codes_rejected() {
+        assert!("N".parse::<CountryCode>().is_err());
+        assert!("NOR".parse::<CountryCode>().is_err());
+        assert!("1A".parse::<CountryCode>().is_err());
+    }
+
+    #[test]
+    fn known_lookups() {
+        let no = country_info(cc("NO")).unwrap();
+        assert_eq!(no.name, "Norway");
+        assert_eq!(no.rir, Rir::Ripe);
+        let ao = country_info(cc("AO")).unwrap();
+        assert_eq!(ao.rir, Rir::Afrinic);
+        assert_eq!(ao.region, Region::Africa);
+    }
+}

@@ -1,0 +1,128 @@
+//! Simulation dates.
+//!
+//! The paper's dataset captures ownership during a reference timeframe
+//! (June 2019 - November 2020) and Figure 5 tracks customer-cone growth from
+//! January 2010 to June 2020. A month-granularity date is all the substrate
+//! needs; using a purpose-built type avoids dragging in a calendar crate.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::SoiError;
+
+/// A month-granularity date, e.g. `2020-06`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SimDate {
+    /// Calendar year.
+    pub year: u16,
+    /// Month in 1..=12.
+    pub month: u8,
+}
+
+impl SimDate {
+    /// Constructs a date, validating the month.
+    pub fn new(year: u16, month: u8) -> Result<Self, SoiError> {
+        if (1..=12).contains(&month) {
+            Ok(SimDate { year, month })
+        } else {
+            Err(SoiError::Parse(format!("invalid month {month}")))
+        }
+    }
+
+    /// The paper's dataset snapshot date (June 2020, used for ASRank data).
+    pub const SNAPSHOT: SimDate = SimDate { year: 2020, month: 6 };
+
+    /// Start of the Figure 5 cone-growth series (January 2010).
+    pub const HISTORY_START: SimDate = SimDate { year: 2010, month: 1 };
+
+    /// Months elapsed since year 0; gives a total order usable as an x-axis.
+    pub fn months_since_epoch(self) -> u32 {
+        u32::from(self.year) * 12 + u32::from(self.month) - 1
+    }
+
+    /// The date `n` months later.
+    pub fn plus_months(self, n: u32) -> SimDate {
+        let total = self.months_since_epoch() + n;
+        SimDate {
+            year: (total / 12) as u16,
+            month: (total % 12 + 1) as u8,
+        }
+    }
+
+    /// Fractional year (e.g. 2020-06 -> 2020.417), for regression x-axes.
+    pub fn as_year_fraction(self) -> f64 {
+        f64::from(self.year) + (f64::from(self.month) - 1.0) / 12.0
+    }
+}
+
+impl fmt::Display for SimDate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}", self.year, self.month)
+    }
+}
+
+impl fmt::Debug for SimDate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl FromStr for SimDate {
+    type Err = SoiError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (y, m) = s
+            .split_once('-')
+            .ok_or_else(|| SoiError::Parse(format!("invalid date: {s:?}")))?;
+        let year = y.parse().map_err(|_| SoiError::Parse(format!("invalid year in {s:?}")))?;
+        let month = m.parse().map_err(|_| SoiError::Parse(format!("invalid month in {s:?}")))?;
+        SimDate::new(year, month)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_arithmetic() {
+        let a = SimDate::new(2019, 6).unwrap();
+        let b = SimDate::new(2020, 11).unwrap();
+        assert!(a < b);
+        assert_eq!(a.plus_months(17), b);
+        assert_eq!(b.months_since_epoch() - a.months_since_epoch(), 17);
+    }
+
+    #[test]
+    fn month_validation() {
+        assert!(SimDate::new(2020, 0).is_err());
+        assert!(SimDate::new(2020, 13).is_err());
+    }
+
+    #[test]
+    fn year_rollover() {
+        let d = SimDate::new(2019, 12).unwrap().plus_months(1);
+        assert_eq!(d, SimDate::new(2020, 1).unwrap());
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        let d: SimDate = "2020-06".parse().unwrap();
+        assert_eq!(d, SimDate::SNAPSHOT);
+        assert_eq!(d.to_string(), "2020-06");
+        assert!("2020".parse::<SimDate>().is_err());
+        assert!("2020-00".parse::<SimDate>().is_err());
+    }
+
+    #[test]
+    fn year_fraction_is_monotonic() {
+        let mut prev = SimDate::HISTORY_START;
+        for i in 1..200 {
+            let next = SimDate::HISTORY_START.plus_months(i);
+            assert!(next.as_year_fraction() > prev.as_year_fraction());
+            prev = next;
+        }
+    }
+}

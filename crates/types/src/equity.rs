@@ -1,0 +1,231 @@
+//! Exact fixed-point equity arithmetic.
+//!
+//! The paper adopts the IMF definition: a firm is state-owned if a
+//! government owns **at least 50%** of its equity, where holdings may be
+//! aggregated across several state-controlled vehicles (the Telekom Malaysia
+//! example sums three government funds). A threshold comparison like this
+//! must not depend on floating-point rounding, so equity is represented in
+//! basis points (1/100 of a percent) as an integer.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// An equity share in basis points: `Equity(10_000)` is 100%.
+///
+/// Values above 100% are unrepresentable by construction: the arithmetic
+/// saturates at [`Equity::FULL`], which is the correct behaviour when summing
+/// noisy shareholder lists.
+///
+/// ```
+/// use soi_types::Equity;
+///
+/// // Telekom Malaysia: three state funds aggregate past the IMF line.
+/// let total: Equity = [26.2, 11.2, 15.4]
+///     .into_iter()
+///     .map(Equity::from_percent_f64)
+///     .sum();
+/// assert!(total.is_majority());
+/// assert_eq!(total.to_string(), "52.8%");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Equity(u16);
+
+impl Equity {
+    /// 0% ownership.
+    pub const ZERO: Equity = Equity(0);
+    /// 100% ownership.
+    pub const FULL: Equity = Equity(10_000);
+    /// The IMF majority threshold: 50%.
+    pub const MAJORITY: Equity = Equity(5_000);
+
+    /// Constructs from basis points, clamping to 100%.
+    pub fn from_bp(bp: u32) -> Self {
+        Equity(bp.min(10_000) as u16)
+    }
+
+    /// Constructs from whole percent, clamping to 100%.
+    pub fn from_percent(pct: u32) -> Self {
+        Self::from_bp(pct.saturating_mul(100))
+    }
+
+    /// Constructs from a fractional percentage (e.g. `54.7`), rounding to the
+    /// nearest basis point and clamping to [0%, 100%]. Intended for ingesting
+    /// quotes like "Government of Norway (54,7%)"; internal math never
+    /// touches floats.
+    pub fn from_percent_f64(pct: f64) -> Self {
+        if !pct.is_finite() || pct <= 0.0 {
+            return Equity::ZERO;
+        }
+        Self::from_bp((pct * 100.0).round() as u32)
+    }
+
+    /// Raw basis points.
+    #[inline]
+    pub fn bp(self) -> u16 {
+        self.0
+    }
+
+    /// The share as a fraction in [0, 1] (for reporting only).
+    pub fn fraction(self) -> f64 {
+        f64::from(self.0) / 10_000.0
+    }
+
+    /// True if this share meets the IMF majority rule (>= 50%).
+    #[inline]
+    pub fn is_majority(self) -> bool {
+        self >= Equity::MAJORITY
+    }
+
+    /// True if the share is positive but below the majority threshold —
+    /// the paper's "minority state-owned" category.
+    #[inline]
+    pub fn is_minority(self) -> bool {
+        self > Equity::ZERO && self < Equity::MAJORITY
+    }
+
+    /// Multiplies two shares (e.g. owning 60% of a company that owns 80% of
+    /// a target yields 48% of the target). Rounds half-up to the nearest
+    /// basis point.
+    pub fn scale(self, other: Equity) -> Equity {
+        let prod = u32::from(self.0) * u32::from(other.0);
+        Equity::from_bp((prod + 5_000) / 10_000)
+    }
+
+    /// Saturating addition (aggregate holdings of multiple state vehicles).
+    pub fn saturating_add(self, other: Equity) -> Equity {
+        Equity::from_bp(u32::from(self.0) + u32::from(other.0))
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: Equity) -> Equity {
+        Equity(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add for Equity {
+    type Output = Equity;
+    fn add(self, rhs: Equity) -> Equity {
+        self.saturating_add(rhs)
+    }
+}
+
+impl AddAssign for Equity {
+    fn add_assign(&mut self, rhs: Equity) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Equity {
+    type Output = Equity;
+    fn sub(self, rhs: Equity) -> Equity {
+        self.saturating_sub(rhs)
+    }
+}
+
+impl Sum for Equity {
+    fn sum<I: Iterator<Item = Equity>>(iter: I) -> Equity {
+        iter.fold(Equity::ZERO, Equity::saturating_add)
+    }
+}
+
+impl fmt::Display for Equity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let whole = self.0 / 100;
+        let frac = self.0 % 100;
+        if frac == 0 {
+            write!(f, "{whole}%")
+        } else if frac.is_multiple_of(10) {
+            write!(f, "{whole}.{}%", frac / 10)
+        } else {
+            write!(f, "{whole}.{frac:02}%")
+        }
+    }
+}
+
+impl fmt::Debug for Equity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn constructors_and_clamping() {
+        assert_eq!(Equity::from_percent(50), Equity::MAJORITY);
+        assert_eq!(Equity::from_percent(150), Equity::FULL);
+        assert_eq!(Equity::from_bp(20_000), Equity::FULL);
+        assert_eq!(Equity::from_percent_f64(54.7).bp(), 5_470);
+        assert_eq!(Equity::from_percent_f64(-1.0), Equity::ZERO);
+        assert_eq!(Equity::from_percent_f64(f64::NAN), Equity::ZERO);
+    }
+
+    #[test]
+    fn majority_rule_is_inclusive_at_exactly_50() {
+        assert!(Equity::from_bp(5_000).is_majority());
+        assert!(!Equity::from_bp(4_999).is_majority());
+        assert!(Equity::from_bp(4_999).is_minority());
+        assert!(!Equity::ZERO.is_minority());
+        assert!(!Equity::FULL.is_minority());
+    }
+
+    #[test]
+    fn telekom_malaysia_fund_aggregation() {
+        // Three government vehicles whose aggregate crosses 50% even though
+        // none does alone — the paper's motivating example.
+        let khazanah = Equity::from_percent_f64(26.2);
+        let amanah = Equity::from_percent_f64(11.2);
+        let epf = Equity::from_percent_f64(15.4);
+        let total: Equity = [khazanah, amanah, epf].into_iter().sum();
+        assert!(total.is_majority());
+        assert!(!khazanah.is_majority());
+    }
+
+    #[test]
+    fn indirect_chain_scaling() {
+        // State owns 60% of holding; holding owns 80% of telco -> 48%.
+        let through = Equity::from_percent(60).scale(Equity::from_percent(80));
+        assert_eq!(through, Equity::from_percent(48));
+        assert!(!through.is_majority());
+        assert_eq!(Equity::FULL.scale(Equity::from_percent(51)), Equity::from_percent(51));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Equity::from_percent(54).to_string(), "54%");
+        assert_eq!(Equity::from_bp(5_470).to_string(), "54.7%");
+        assert_eq!(Equity::from_bp(5_473).to_string(), "54.73%");
+        assert_eq!(Equity::from_bp(5_403).to_string(), "54.03%");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_addition_saturates_and_commutes(a in 0u32..20_000, b in 0u32..20_000) {
+            let (ea, eb) = (Equity::from_bp(a), Equity::from_bp(b));
+            prop_assert_eq!(ea + eb, eb + ea);
+            prop_assert!(ea + eb <= Equity::FULL);
+        }
+
+        #[test]
+        fn prop_scale_never_exceeds_factors(a in 0u32..=10_000, b in 0u32..=10_000) {
+            let (ea, eb) = (Equity::from_bp(a), Equity::from_bp(b));
+            let s = ea.scale(eb);
+            // Product of fractions <= min of fractions (allow 1bp rounding).
+            prop_assert!(s.bp() <= ea.bp().max(1).min(eb.bp().max(1)).saturating_add(1));
+        }
+
+        #[test]
+        fn prop_scale_by_full_is_identity(a in 0u32..=10_000) {
+            let e = Equity::from_bp(a);
+            prop_assert_eq!(e.scale(Equity::FULL), e);
+            prop_assert_eq!(Equity::FULL.scale(e), e);
+        }
+    }
+}

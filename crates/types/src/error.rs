@@ -1,0 +1,55 @@
+//! Shared error type.
+
+use std::fmt;
+
+/// Errors produced across the workspace.
+///
+/// The workspace is a batch-analysis library; most APIs are total over their
+/// inputs and return values rather than results. Errors are reserved for
+/// genuinely fallible operations: parsing external representations,
+/// inconsistent configurations, and dataset export.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SoiError {
+    /// A textual representation failed to parse.
+    Parse(String),
+    /// A configuration is internally inconsistent (e.g. thresholds out of
+    /// range, empty monitor set).
+    InvalidConfig(String),
+    /// A referenced entity does not exist (dangling ASN, unknown country).
+    NotFound(String),
+    /// A structural invariant was violated (e.g. an ownership cycle where a
+    /// DAG is required).
+    Invariant(String),
+}
+
+impl fmt::Display for SoiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SoiError::Parse(m) => write!(f, "parse error: {m}"),
+            SoiError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
+            SoiError::NotFound(m) => write!(f, "not found: {m}"),
+            SoiError::Invariant(m) => write!(f, "invariant violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SoiError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_category_and_message() {
+        let e = SoiError::Parse("bad ASN".into());
+        assert_eq!(e.to_string(), "parse error: bad ASN");
+        let e = SoiError::NotFound("AS65000".into());
+        assert!(e.to_string().contains("AS65000"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&SoiError::Invariant("cycle".into()));
+    }
+}

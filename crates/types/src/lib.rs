@@ -1,0 +1,32 @@
+//! Core identifier and network types shared by every crate in the
+//! `state-owned-ases` workspace.
+//!
+//! The types here are deliberately small and dependency-free: autonomous
+//! system numbers ([`Asn`]), ISO-3166 country codes ([`CountryCode`]) backed
+//! by a static registry of countries and their Regional Internet Registries
+//! ([`Rir`]), IPv4 prefixes ([`Ipv4Prefix`]) with a longest-prefix-match trie
+//! ([`PrefixTrie`]), and exact fixed-point equity arithmetic ([`Equity`]) used
+//! by the ownership-confirmation engine (the paper's IMF ">= 50% of equity"
+//! rule must never be subject to floating-point rounding).
+
+pub mod asn;
+pub mod country;
+pub mod date;
+pub mod equity;
+pub mod error;
+pub mod ids;
+pub mod prefix;
+pub mod trie;
+
+pub use asn::Asn;
+pub use country::{all_countries, cc, country_by_name, country_info, CountryCode, CountryInfo, Region, Rir};
+pub use date::SimDate;
+pub use equity::Equity;
+pub use error::SoiError;
+pub use ids::{CompanyId, OrgId};
+pub use prefix::Ipv4Prefix;
+pub use trie::PrefixTrie;
+
+/// Number of IPv4 addresses, used throughout for market-share style
+/// computations (fractions of a country's announced address space).
+pub type AddressCount = u64;

@@ -1,0 +1,297 @@
+//! IPv4 prefixes.
+//!
+//! The paper's market-share analyses count IPv4 addresses per `(origin AS,
+//! country)` pair, so exact prefix arithmetic (containment, splitting,
+//! address counts) is load-bearing. IPv6 is out of scope, matching the
+//! paper's address-space analysis.
+
+use std::fmt;
+use std::net::Ipv4Addr;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::SoiError;
+
+/// An IPv4 prefix in CIDR notation: a network address and a mask length.
+///
+/// The stored address always has its host bits zeroed; [`Ipv4Prefix::new`]
+/// enforces this, so two prefixes covering the same range always compare
+/// equal.
+///
+/// ```
+/// use soi_types::Ipv4Prefix;
+///
+/// let p: Ipv4Prefix = "10.0.0.0/8".parse().unwrap();
+/// let sub: Ipv4Prefix = "10.1.0.0/16".parse().unwrap();
+/// assert!(p.covers(sub));
+/// assert_eq!(p.num_addresses(), 1 << 24);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Ipv4Prefix {
+    addr: u32,
+    len: u8,
+}
+
+impl Ipv4Prefix {
+    /// The default route `0.0.0.0/0`.
+    pub const DEFAULT: Ipv4Prefix = Ipv4Prefix { addr: 0, len: 0 };
+
+    /// Builds a prefix, rejecting mask lengths above 32.
+    ///
+    /// Host bits in `addr` are silently zeroed so the representation is
+    /// canonical (mirrors what routers do with received NLRI).
+    pub fn new(addr: u32, len: u8) -> Result<Self, SoiError> {
+        if len > 32 {
+            return Err(SoiError::Parse(format!("prefix length {len} exceeds 32")));
+        }
+        Ok(Ipv4Prefix {
+            addr: addr & Self::mask(len),
+            len,
+        })
+    }
+
+    /// Builds a prefix from compile-time-known parts; panics if `len > 32`,
+    /// so only use with literals.
+    pub const fn lit(a: u8, b: u8, c: u8, d: u8, len: u8) -> Self {
+        assert!(len <= 32);
+        let addr = ((a as u32) << 24) | ((b as u32) << 16) | ((c as u32) << 8) | (d as u32);
+        let mask = if len == 0 { 0 } else { u32::MAX << (32 - len) };
+        Ipv4Prefix { addr: addr & mask, len }
+    }
+
+    /// The netmask for a given prefix length.
+    #[inline]
+    pub const fn mask(len: u8) -> u32 {
+        if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - len)
+        }
+    }
+
+    /// Network address (host bits zero).
+    #[inline]
+    pub fn network(self) -> u32 {
+        self.addr
+    }
+
+    /// Mask length.
+    #[allow(clippy::len_without_is_empty)] // a mask length is not a container size
+    #[inline]
+    pub fn len(self) -> u8 {
+        self.len
+    }
+
+    /// Number of addresses covered (2^(32-len)).
+    #[inline]
+    pub fn num_addresses(self) -> u64 {
+        1u64 << (32 - self.len as u32)
+    }
+
+    /// Last address covered by the prefix.
+    #[inline]
+    pub fn last_address(self) -> u32 {
+        self.addr | !Self::mask(self.len)
+    }
+
+    /// True if `ip` falls inside this prefix.
+    #[inline]
+    pub fn contains(self, ip: u32) -> bool {
+        (ip & Self::mask(self.len)) == self.addr
+    }
+
+    /// True if `other` is fully contained in `self` (equal counts).
+    pub fn covers(self, other: Ipv4Prefix) -> bool {
+        other.len >= self.len && self.contains(other.addr)
+    }
+
+    /// True if the two prefixes share any address.
+    pub fn overlaps(self, other: Ipv4Prefix) -> bool {
+        self.covers(other) || other.covers(self)
+    }
+
+    /// Splits the prefix into its two halves. Returns `None` for a /32.
+    pub fn split(self) -> Option<(Ipv4Prefix, Ipv4Prefix)> {
+        if self.len >= 32 {
+            return None;
+        }
+        let child_len = self.len + 1;
+        let low = Ipv4Prefix { addr: self.addr, len: child_len };
+        let high = Ipv4Prefix {
+            addr: self.addr | (1 << (32 - child_len as u32)),
+            len: child_len,
+        };
+        Some((low, high))
+    }
+
+    /// Enumerates the `count` subprefixes of length `new_len` covering the
+    /// same range, in address order. Returns an error if `new_len` is not
+    /// in `len..=32` or would enumerate more than 2^16 children (guard
+    /// against accidental huge expansions).
+    pub fn subdivide(self, new_len: u8) -> Result<Vec<Ipv4Prefix>, SoiError> {
+        if new_len < self.len || new_len > 32 {
+            return Err(SoiError::InvalidConfig(format!(
+                "cannot subdivide /{} into /{}",
+                self.len, new_len
+            )));
+        }
+        let bits = (new_len - self.len) as u32;
+        if bits > 16 {
+            return Err(SoiError::InvalidConfig(format!(
+                "refusing to enumerate 2^{bits} subprefixes"
+            )));
+        }
+        let step = 1u32 << (32 - new_len as u32);
+        let count = 1u32 << bits;
+        Ok((0..count)
+            .map(|i| Ipv4Prefix {
+                addr: self.addr + i * step,
+                len: new_len,
+            })
+            .collect())
+    }
+
+    /// The `n`-th address inside the prefix (0-based); `None` if out of
+    /// range.
+    pub fn nth_address(self, n: u64) -> Option<u32> {
+        if n < self.num_addresses() {
+            Some(self.addr + n as u32)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Ipv4Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", Ipv4Addr::from(self.addr), self.len)
+    }
+}
+
+impl fmt::Debug for Ipv4Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl FromStr for Ipv4Prefix {
+    type Err = SoiError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (ip, len) = s
+            .split_once('/')
+            .ok_or_else(|| SoiError::Parse(format!("missing '/' in prefix: {s:?}")))?;
+        let ip: Ipv4Addr = ip
+            .parse()
+            .map_err(|_| SoiError::Parse(format!("invalid IPv4 address in {s:?}")))?;
+        let len: u8 = len
+            .parse()
+            .map_err(|_| SoiError::Parse(format!("invalid prefix length in {s:?}")))?;
+        Ipv4Prefix::new(u32::from(ip), len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn canonicalizes_host_bits() {
+        let p = Ipv4Prefix::new(0x0A0A0A0A, 8).unwrap();
+        assert_eq!(p.to_string(), "10.0.0.0/8");
+        assert_eq!(p, "10.0.0.0/8".parse().unwrap());
+    }
+
+    #[test]
+    fn rejects_bad_lengths() {
+        assert!(Ipv4Prefix::new(0, 33).is_err());
+        assert!("10.0.0.0/33".parse::<Ipv4Prefix>().is_err());
+        assert!("10.0.0.0".parse::<Ipv4Prefix>().is_err());
+        assert!("300.0.0.0/8".parse::<Ipv4Prefix>().is_err());
+    }
+
+    #[test]
+    fn address_counting() {
+        assert_eq!(Ipv4Prefix::lit(10, 0, 0, 0, 8).num_addresses(), 1 << 24);
+        assert_eq!(Ipv4Prefix::lit(1, 2, 3, 4, 32).num_addresses(), 1);
+        assert_eq!(Ipv4Prefix::DEFAULT.num_addresses(), 1u64 << 32);
+    }
+
+    #[test]
+    fn containment_and_overlap() {
+        let p8 = Ipv4Prefix::lit(10, 0, 0, 0, 8);
+        let p16 = Ipv4Prefix::lit(10, 1, 0, 0, 16);
+        let other = Ipv4Prefix::lit(11, 0, 0, 0, 16);
+        assert!(p8.covers(p16));
+        assert!(!p16.covers(p8));
+        assert!(p8.overlaps(p16) && p16.overlaps(p8));
+        assert!(!p8.overlaps(other));
+        assert!(p8.contains(u32::from(Ipv4Addr::new(10, 200, 1, 1))));
+        assert!(!p8.contains(u32::from(Ipv4Addr::new(11, 0, 0, 1))));
+    }
+
+    #[test]
+    fn split_halves() {
+        let p = Ipv4Prefix::lit(10, 0, 0, 0, 8);
+        let (lo, hi) = p.split().unwrap();
+        assert_eq!(lo.to_string(), "10.0.0.0/9");
+        assert_eq!(hi.to_string(), "10.128.0.0/9");
+        assert!(Ipv4Prefix::lit(1, 1, 1, 1, 32).split().is_none());
+    }
+
+    #[test]
+    fn subdivide_enumerates_in_order() {
+        let p = Ipv4Prefix::lit(192, 168, 0, 0, 16);
+        let subs = p.subdivide(18).unwrap();
+        assert_eq!(subs.len(), 4);
+        assert_eq!(subs[1].to_string(), "192.168.64.0/18");
+        assert!(p.subdivide(8).is_err());
+        assert!(p.subdivide(33).is_err());
+        assert!(Ipv4Prefix::DEFAULT.subdivide(24).is_err(), "guard on huge expansion");
+    }
+
+    #[test]
+    fn nth_address_bounds() {
+        let p = Ipv4Prefix::lit(10, 0, 0, 0, 30);
+        assert_eq!(p.nth_address(0), Some(u32::from(Ipv4Addr::new(10, 0, 0, 0))));
+        assert_eq!(p.nth_address(3), Some(u32::from(Ipv4Addr::new(10, 0, 0, 3))));
+        assert_eq!(p.nth_address(4), None);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip_display_parse(addr: u32, len in 0u8..=32) {
+            let p = Ipv4Prefix::new(addr, len).unwrap();
+            let back: Ipv4Prefix = p.to_string().parse().unwrap();
+            prop_assert_eq!(p, back);
+        }
+
+        #[test]
+        fn prop_split_partitions_addresses(addr: u32, len in 0u8..32) {
+            let p = Ipv4Prefix::new(addr, len).unwrap();
+            let (lo, hi) = p.split().unwrap();
+            prop_assert_eq!(lo.num_addresses() + hi.num_addresses(), p.num_addresses());
+            prop_assert!(p.covers(lo) && p.covers(hi));
+            prop_assert!(!lo.overlaps(hi));
+            prop_assert_eq!(hi.network(), lo.last_address().wrapping_add(1));
+        }
+
+        #[test]
+        fn prop_contains_consistent_with_bounds(addr: u32, len in 0u8..=32, ip: u32) {
+            let p = Ipv4Prefix::new(addr, len).unwrap();
+            let inside = ip >= p.network() && ip <= p.last_address();
+            prop_assert_eq!(p.contains(ip), inside);
+        }
+
+        #[test]
+        fn prop_covers_is_partial_order(a: u32, la in 0u8..=32, b: u32, lb in 0u8..=32) {
+            let pa = Ipv4Prefix::new(a, la).unwrap();
+            let pb = Ipv4Prefix::new(b, lb).unwrap();
+            if pa.covers(pb) && pb.covers(pa) {
+                prop_assert_eq!(pa, pb);
+            }
+        }
+    }
+}

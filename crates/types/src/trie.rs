@@ -1,0 +1,332 @@
+//! A binary trie keyed by IPv4 prefixes with longest-prefix-match lookup.
+//!
+//! This is the core data structure behind both the geolocation database
+//! (country lookup per address, honouring "not covered by a more specific
+//! prefix" semantics from the CTI definition in Appendix G) and the
+//! prefix-to-AS table derived from BGP RIBs.
+
+use crate::prefix::Ipv4Prefix;
+
+#[derive(Clone, Debug)]
+struct Node<T> {
+    value: Option<T>,
+    children: [Option<Box<Node<T>>>; 2],
+}
+
+impl<T> Node<T> {
+    fn new() -> Self {
+        Node { value: None, children: [None, None] }
+    }
+
+    fn is_empty_leaf(&self) -> bool {
+        self.value.is_none() && self.children[0].is_none() && self.children[1].is_none()
+    }
+}
+
+/// A map from IPv4 prefixes to values supporting exact and
+/// longest-prefix-match lookups.
+///
+/// Unlike a `HashMap<Ipv4Prefix, T>`, lookups by *address* return the most
+/// specific covering prefix — the semantics of a router's FIB and of
+/// geolocation databases.
+///
+/// ```
+/// use soi_types::{Ipv4Prefix, PrefixTrie};
+///
+/// let mut fib = PrefixTrie::new();
+/// fib.insert("10.0.0.0/8".parse().unwrap(), "coarse");
+/// fib.insert("10.1.0.0/16".parse().unwrap(), "specific");
+/// let ip = u32::from(std::net::Ipv4Addr::new(10, 1, 2, 3));
+/// assert_eq!(fib.lookup(ip).unwrap().1, &"specific");
+/// ```
+#[derive(Clone, Debug)]
+pub struct PrefixTrie<T> {
+    root: Node<T>,
+    len: usize,
+}
+
+impl<T> Default for PrefixTrie<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> PrefixTrie<T> {
+    /// Creates an empty trie.
+    pub fn new() -> Self {
+        PrefixTrie { root: Node::new(), len: 0 }
+    }
+
+    /// Number of prefixes stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no prefix is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn bit(addr: u32, depth: u8) -> usize {
+        ((addr >> (31 - depth as u32)) & 1) as usize
+    }
+
+    /// Inserts `value` at `prefix`, returning the previous value if any.
+    pub fn insert(&mut self, prefix: Ipv4Prefix, value: T) -> Option<T> {
+        let mut node = &mut self.root;
+        for depth in 0..prefix.len() {
+            let b = Self::bit(prefix.network(), depth);
+            node = node.children[b].get_or_insert_with(|| Box::new(Node::new()));
+        }
+        let old = node.value.replace(value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Removes and returns the value stored exactly at `prefix`.
+    ///
+    /// Empty branches left behind are pruned so memory usage tracks the
+    /// live prefix set.
+    pub fn remove(&mut self, prefix: Ipv4Prefix) -> Option<T> {
+        fn rec<T>(node: &mut Node<T>, addr: u32, len: u8, depth: u8) -> Option<T> {
+            if depth == len {
+                return node.value.take();
+            }
+            let b = PrefixTrie::<T>::bit(addr, depth);
+            let child = node.children[b].as_mut()?;
+            let out = rec(child, addr, len, depth + 1);
+            if child.is_empty_leaf() {
+                node.children[b] = None;
+            }
+            out
+        }
+        let out = rec(&mut self.root, prefix.network(), prefix.len(), 0);
+        if out.is_some() {
+            self.len -= 1;
+        }
+        out
+    }
+
+    /// Returns the value stored exactly at `prefix`, if any.
+    pub fn get(&self, prefix: Ipv4Prefix) -> Option<&T> {
+        let mut node = &self.root;
+        for depth in 0..prefix.len() {
+            node = node.children[Self::bit(prefix.network(), depth)].as_deref()?;
+        }
+        node.value.as_ref()
+    }
+
+    /// Longest-prefix-match: the most specific stored prefix covering `ip`,
+    /// together with its value.
+    pub fn lookup(&self, ip: u32) -> Option<(Ipv4Prefix, &T)> {
+        let mut node = &self.root;
+        let mut best: Option<(u8, &T)> = node.value.as_ref().map(|v| (0, v));
+        for depth in 0..32u8 {
+            match node.children[Self::bit(ip, depth)].as_deref() {
+                Some(child) => {
+                    node = child;
+                    if let Some(v) = node.value.as_ref() {
+                        best = Some((depth + 1, v));
+                    }
+                }
+                None => break,
+            }
+        }
+        best.map(|(len, v)| {
+            let p = Ipv4Prefix::new(ip, len).expect("len <= 32");
+            (p, v)
+        })
+    }
+
+    /// The most specific stored prefix covering `prefix` itself (i.e. with
+    /// length `<= prefix.len()`). Used to answer "which announced prefix
+    /// does this more-specific fall under?".
+    pub fn lookup_covering(&self, prefix: Ipv4Prefix) -> Option<(Ipv4Prefix, &T)> {
+        let mut node = &self.root;
+        let mut best: Option<(u8, &T)> = node.value.as_ref().map(|v| (0, v));
+        for depth in 0..prefix.len() {
+            match node.children[Self::bit(prefix.network(), depth)].as_deref() {
+                Some(child) => {
+                    node = child;
+                    if let Some(v) = node.value.as_ref() {
+                        best = Some((depth + 1, v));
+                    }
+                }
+                None => break,
+            }
+        }
+        best.map(|(len, v)| {
+            let p = Ipv4Prefix::new(prefix.network(), len).expect("len <= 32");
+            (p, v)
+        })
+    }
+
+    /// True if any stored prefix is a strict more-specific of `prefix`.
+    pub fn has_more_specific(&self, prefix: Ipv4Prefix) -> bool {
+        let mut node = &self.root;
+        for depth in 0..prefix.len() {
+            match node.children[Self::bit(prefix.network(), depth)].as_deref() {
+                Some(child) => node = child,
+                None => return false,
+            }
+        }
+        // Any value strictly below this node is a more-specific.
+        fn subtree_has_value<T>(node: &Node<T>) -> bool {
+            node.children.iter().flatten().any(|c| c.value.is_some() || subtree_has_value(c))
+        }
+        subtree_has_value(node)
+    }
+
+    /// Iterates over all `(prefix, value)` pairs in address order.
+    pub fn iter(&self) -> impl Iterator<Item = (Ipv4Prefix, &T)> {
+        let mut out = Vec::with_capacity(self.len);
+        fn walk<'a, T>(node: &'a Node<T>, addr: u32, depth: u8, out: &mut Vec<(Ipv4Prefix, &'a T)>) {
+            if let Some(v) = node.value.as_ref() {
+                out.push((Ipv4Prefix::new(addr, depth).expect("depth <= 32"), v));
+            }
+            if depth == 32 {
+                return;
+            }
+            if let Some(c) = node.children[0].as_deref() {
+                walk(c, addr, depth + 1, out);
+            }
+            if let Some(c) = node.children[1].as_deref() {
+                walk(c, addr | (1 << (31 - depth as u32)), depth + 1, out);
+            }
+        }
+        walk(&self.root, 0, 0, &mut out);
+        out.into_iter()
+    }
+}
+
+impl<T> FromIterator<(Ipv4Prefix, T)> for PrefixTrie<T> {
+    fn from_iter<I: IntoIterator<Item = (Ipv4Prefix, T)>>(iter: I) -> Self {
+        let mut t = PrefixTrie::new();
+        for (p, v) in iter {
+            t.insert(p, v);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    fn p(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn exact_get_and_replace() {
+        let mut t = PrefixTrie::new();
+        assert_eq!(t.insert(p("10.0.0.0/8"), 1), None);
+        assert_eq!(t.insert(p("10.0.0.0/8"), 2), Some(1));
+        assert_eq!(t.get(p("10.0.0.0/8")), Some(&2));
+        assert_eq!(t.get(p("10.0.0.0/9")), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn longest_prefix_match_prefers_specific() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), "big");
+        t.insert(p("10.1.0.0/16"), "mid");
+        t.insert(p("10.1.2.0/24"), "small");
+        let ip = u32::from(std::net::Ipv4Addr::new(10, 1, 2, 3));
+        assert_eq!(t.lookup(ip).unwrap().1, &"small");
+        let ip = u32::from(std::net::Ipv4Addr::new(10, 1, 9, 9));
+        assert_eq!(t.lookup(ip).unwrap().1, &"mid");
+        let ip = u32::from(std::net::Ipv4Addr::new(10, 9, 9, 9));
+        assert_eq!(t.lookup(ip).unwrap().1, &"big");
+        let ip = u32::from(std::net::Ipv4Addr::new(11, 0, 0, 1));
+        assert!(t.lookup(ip).is_none());
+    }
+
+    #[test]
+    fn default_route_matches_everything() {
+        let mut t = PrefixTrie::new();
+        t.insert(Ipv4Prefix::DEFAULT, 0u8);
+        assert_eq!(t.lookup(u32::MAX).unwrap().1, &0);
+        assert_eq!(t.lookup(0).unwrap().0, Ipv4Prefix::DEFAULT);
+    }
+
+    #[test]
+    fn remove_prunes_and_reports() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), 1);
+        t.insert(p("10.1.0.0/16"), 2);
+        assert_eq!(t.remove(p("10.1.0.0/16")), Some(2));
+        assert_eq!(t.remove(p("10.1.0.0/16")), None);
+        assert_eq!(t.len(), 1);
+        let ip = u32::from(std::net::Ipv4Addr::new(10, 1, 2, 3));
+        assert_eq!(t.lookup(ip).unwrap().1, &1);
+    }
+
+    #[test]
+    fn covering_lookup_and_more_specific() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), 1);
+        t.insert(p("10.1.2.0/24"), 2);
+        assert_eq!(t.lookup_covering(p("10.1.0.0/16")).unwrap().0, p("10.0.0.0/8"));
+        assert!(t.has_more_specific(p("10.1.0.0/16")));
+        assert!(t.has_more_specific(p("10.0.0.0/8")));
+        assert!(!t.has_more_specific(p("10.1.2.0/24")));
+        assert!(!t.has_more_specific(p("11.0.0.0/8")));
+    }
+
+    #[test]
+    fn iter_in_address_order() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("192.168.0.0/16"), 3);
+        t.insert(p("10.0.0.0/8"), 1);
+        t.insert(p("10.64.0.0/10"), 2);
+        let got: Vec<_> = t.iter().map(|(pfx, _)| pfx.to_string()).collect();
+        assert_eq!(got, vec!["10.0.0.0/8", "10.64.0.0/10", "192.168.0.0/16"]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_behaves_like_hashmap_on_exact_ops(
+            ops in proptest::collection::vec((any::<u32>(), 0u8..=32, any::<u16>(), any::<bool>()), 0..200)
+        ) {
+            let mut trie = PrefixTrie::new();
+            let mut map: HashMap<Ipv4Prefix, u16> = HashMap::new();
+            for (addr, len, val, is_insert) in ops {
+                let pfx = Ipv4Prefix::new(addr, len).unwrap();
+                if is_insert {
+                    prop_assert_eq!(trie.insert(pfx, val), map.insert(pfx, val));
+                } else {
+                    prop_assert_eq!(trie.remove(pfx), map.remove(&pfx));
+                }
+                prop_assert_eq!(trie.len(), map.len());
+            }
+            for (pfx, val) in &map {
+                prop_assert_eq!(trie.get(*pfx), Some(val));
+            }
+        }
+
+        #[test]
+        fn prop_lookup_returns_longest_cover(
+            entries in proptest::collection::vec((any::<u32>(), 0u8..=32), 1..60),
+            ip: u32,
+        ) {
+            let mut trie = PrefixTrie::new();
+            let mut set = Vec::new();
+            for (i, (addr, len)) in entries.into_iter().enumerate() {
+                let pfx = Ipv4Prefix::new(addr, len).unwrap();
+                trie.insert(pfx, i);
+                set.push(pfx);
+            }
+            let expected = set.iter().filter(|pfx| pfx.contains(ip)).map(|p| p.len()).max();
+            match trie.lookup(ip) {
+                Some((found, _)) => prop_assert_eq!(Some(found.len()), expected),
+                None => prop_assert_eq!(expected, None),
+            }
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Sequential, aligned IPv4 address-space allocator.
+//!
+//! The generator hands out disjoint power-of-two blocks the way an RIR
+//! would: naturally aligned, never overlapping, starting from `1.0.0.0`
+//! (space below is left unassigned, standing in for reserved ranges).
+
+use soi_types::{Ipv4Prefix, SoiError};
+
+/// Bump allocator over the IPv4 space.
+#[derive(Clone, Debug)]
+pub struct AddressAllocator {
+    /// Next free address.
+    cursor: u64,
+    /// Exclusive end of the allocatable range.
+    end: u64,
+}
+
+impl Default for AddressAllocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AddressAllocator {
+    /// Allocator over `1.0.0.0`..`224.0.0.0` (unicast space, minus the
+    /// low reserved /8).
+    pub fn new() -> Self {
+        AddressAllocator { cursor: 1 << 24, end: 224 << 24 }
+    }
+
+    /// Allocates one naturally-aligned prefix of the given length.
+    pub fn alloc(&mut self, len: u8) -> Result<Ipv4Prefix, SoiError> {
+        if len > 32 {
+            return Err(SoiError::InvalidConfig(format!("prefix length {len} exceeds 32")));
+        }
+        let size = 1u64 << (32 - len as u32);
+        // Align up.
+        let aligned = (self.cursor + size - 1) & !(size - 1);
+        if aligned + size > self.end {
+            return Err(SoiError::InvalidConfig(format!(
+                "address space exhausted allocating a /{len}"
+            )));
+        }
+        self.cursor = aligned + size;
+        Ipv4Prefix::new(aligned as u32, len)
+    }
+
+    /// Allocates a set of blocks totalling at least `addresses`, using at
+    /// most `max_blocks` prefixes no larger than `/min_len` and no smaller
+    /// than `/24`. Returns the blocks largest-first.
+    pub fn alloc_amount(
+        &mut self,
+        addresses: u64,
+        max_blocks: usize,
+        min_len: u8,
+    ) -> Result<Vec<Ipv4Prefix>, SoiError> {
+        if addresses == 0 || max_blocks == 0 {
+            return Ok(Vec::new());
+        }
+        let mut out = Vec::new();
+        let mut remaining = addresses;
+        while remaining > 0 && out.len() < max_blocks {
+            let last = out.len() + 1 == max_blocks;
+            // Smallest power of two >= remaining if this is the last block,
+            // else largest power of two <= remaining.
+            let bits = if last || remaining.is_power_of_two() {
+                64 - (remaining - 1).leading_zeros()
+            } else {
+                63 - remaining.leading_zeros()
+            };
+            let len = (32u32.saturating_sub(bits)).clamp(min_len as u32, 24) as u8;
+            let block = self.alloc(len)?;
+            remaining = remaining.saturating_sub(block.num_addresses());
+            out.push(block);
+        }
+        Ok(out)
+    }
+
+    /// Addresses handed out so far (including alignment gaps).
+    pub fn consumed(&self) -> u64 {
+        self.cursor - (1 << 24)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn blocks_are_aligned_and_disjoint() {
+        let mut a = AddressAllocator::new();
+        let p1 = a.alloc(10).unwrap();
+        let p2 = a.alloc(8).unwrap();
+        let p3 = a.alloc(24).unwrap();
+        assert_eq!(p1.network() % (1 << 22), 0);
+        assert_eq!(p2.network() % (1 << 24), 0);
+        assert!(!p1.overlaps(p2) && !p2.overlaps(p3) && !p1.overlaps(p3));
+    }
+
+    #[test]
+    fn alloc_amount_covers_request() {
+        let mut a = AddressAllocator::new();
+        let blocks = a.alloc_amount(300_000, 4, 8).unwrap();
+        let total: u64 = blocks.iter().map(|b| b.num_addresses()).sum();
+        assert!(total >= 300_000);
+        assert!(blocks.len() <= 4);
+        for (i, x) in blocks.iter().enumerate() {
+            for y in &blocks[i + 1..] {
+                assert!(!x.overlaps(*y));
+            }
+        }
+    }
+
+    #[test]
+    fn alloc_amount_zero_and_exact() {
+        let mut a = AddressAllocator::new();
+        assert!(a.alloc_amount(0, 4, 8).unwrap().is_empty());
+        let blocks = a.alloc_amount(1 << 16, 4, 8).unwrap();
+        assert_eq!(blocks.iter().map(|b| b.num_addresses()).sum::<u64>(), 1 << 16);
+    }
+
+    #[test]
+    fn respects_min_len_and_floor() {
+        let mut a = AddressAllocator::new();
+        // Huge request clamped to /8 blocks.
+        let blocks = a.alloc_amount(1 << 30, 2, 8).unwrap();
+        assert!(blocks.iter().all(|b| b.len() >= 8));
+        // Tiny request still yields at least a /24.
+        let blocks = a.alloc_amount(10, 1, 8).unwrap();
+        assert_eq!(blocks[0].len(), 24);
+    }
+
+    #[test]
+    fn exhaustion_errors() {
+        let mut a = AddressAllocator { cursor: 0, end: 1 << 10 };
+        assert!(a.alloc(8).is_err());
+        assert!(a.alloc(33).is_err());
+    }
+
+    proptest! {
+        /// Sequential allocations never overlap and are always aligned.
+        #[test]
+        fn prop_disjoint_aligned(lens in proptest::collection::vec(8u8..=24, 1..60)) {
+            let mut a = AddressAllocator::new();
+            let mut blocks = Vec::new();
+            for len in lens {
+                let b = a.alloc(len).unwrap();
+                prop_assert_eq!(u64::from(b.network()) % b.num_addresses(), 0);
+                for prev in &blocks {
+                    prop_assert!(!b.overlaps(*prev));
+                }
+                blocks.push(b);
+            }
+        }
+    }
+}

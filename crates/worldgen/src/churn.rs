@@ -1,0 +1,430 @@
+//! Ownership churn: evolving the world after the snapshot (§2, §9).
+//!
+//! The paper stresses that ownership is dynamic — privatizations are
+//! announced (Angola Telecom), companies are (re)nationalized (Ucell),
+//! conglomerates enter new markets — and that its dataset captures one
+//! reference timeframe, leaving "a systematic study of churn" to future
+//! work. This module is that study's substrate: [`ChurnConfig::evolve`]
+//! advances a world by one year of ownership events while keeping the
+//! technical substrate (ASNs, prefixes, topology) fixed, so a dataset
+//! frozen at the snapshot can be scored against later ground truth.
+//!
+//! Event model (annual rates):
+//!
+//! * **privatization** — a majority-state operator's government stake is
+//!   sold down below the line (rare; the paper observed none complete
+//!   during its study);
+//! * **nationalization** — a private or minority-state operator is taken
+//!   past 50% by its government (Ucell-style);
+//! * **acquisition** — a state conglomerate buys majority control of an
+//!   existing foreign operator (new foreign subsidiary without minting
+//!   new ASNs);
+//! * **rebrand** — a company changes its commercial name, feeding future
+//!   WHOIS staleness.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use soi_ownership::{Business, OwnershipGraphBuilder, StateControl};
+use soi_types::{CompanyId, Equity, SoiError};
+
+use crate::names;
+use crate::truth::GroundTruth;
+use crate::world::World;
+
+/// Annual churn rates.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ChurnConfig {
+    /// Probability per year that a majority-state operator is privatized.
+    pub privatization_rate: f64,
+    /// Probability per year that a private/minority operator is
+    /// nationalized.
+    pub nationalization_rate: f64,
+    /// Expected number of foreign acquisitions by state conglomerates per
+    /// year (worldwide).
+    pub acquisitions_per_year: f64,
+    /// Probability per year that an operator rebrands.
+    pub rebrand_rate: f64,
+    /// RNG seed (combined with the year index so successive years
+    /// differ).
+    pub seed: u64,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            privatization_rate: 0.01,
+            nationalization_rate: 0.008,
+            acquisitions_per_year: 2.0,
+            rebrand_rate: 0.03,
+            seed: 0,
+        }
+    }
+}
+
+/// A record of what changed in one evolution step.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ChurnLog {
+    /// Companies whose state lost majority control.
+    pub privatized: Vec<CompanyId>,
+    /// Companies newly brought under majority state control.
+    pub nationalized: Vec<CompanyId>,
+    /// `(parent, target)` acquisitions by state conglomerates.
+    pub acquired: Vec<(CompanyId, CompanyId)>,
+    /// Companies that changed brand names.
+    pub rebranded: Vec<CompanyId>,
+}
+
+impl ChurnLog {
+    /// Total number of ownership-affecting events.
+    pub fn ownership_events(&self) -> usize {
+        self.privatized.len() + self.nationalized.len() + self.acquired.len()
+    }
+}
+
+impl ChurnConfig {
+    /// Advances the world by one year of ownership churn, returning the
+    /// evolved world and the event log. The technical substrate (ASNs,
+    /// prefixes, users, topology) is untouched; ownership, names and
+    /// ground truth are rebuilt.
+    pub fn evolve(&self, world: &World, year_index: u32) -> Result<(World, ChurnLog), SoiError> {
+        let mut rng =
+            SmallRng::seed_from_u64(self.seed ^ 0x636875726e ^ (u64::from(year_index) << 32));
+        let mut log = ChurnLog::default();
+
+        let mut companies: Vec<soi_ownership::Company> =
+            world.ownership.companies().to_vec();
+        // holder -> held -> equity, mutable.
+        let mut holdings: Vec<(CompanyId, CompanyId, Equity)> = world
+            .ownership
+            .holdings()
+            .iter()
+            .map(|h| (h.holder, h.held, h.equity))
+            .collect();
+
+        let gov_of = |companies: &[soi_ownership::Company], country: soi_types::CountryCode| {
+            companies
+                .iter()
+                .find(|c| c.business == Business::Government && c.country == country)
+                .map(|c| c.id)
+        };
+
+        // Eligible operators only — governments/funds do not churn.
+        let operators: Vec<CompanyId> = companies
+            .iter()
+            .filter(|c| c.business.is_eligible_operator())
+            .map(|c| c.id)
+            .collect();
+
+        for &cid in &operators {
+            let controlled = world.control.controlling_state(cid);
+            let company_country =
+                companies.iter().find(|c| c.id == cid).expect("exists").country;
+            // Privatization: scale every state-side holder's stake down so
+            // the aggregate lands in minority territory.
+            if controlled == Some(company_country) && rng.gen_bool(self.privatization_rate) {
+                // Scale the *aggregate* state-side position to a target
+                // below 50% — per-holder scaling would let multi-fund
+                // structures stay in control.
+                let is_state_side = |holder: CompanyId| {
+                    world.control.controlling_state(holder).is_some()
+                        || companies
+                            .iter()
+                            .any(|c| c.id == holder && c.business == Business::Government)
+                };
+                let aggregate: u32 = holdings
+                    .iter()
+                    .filter(|h| h.1 == cid && is_state_side(h.0))
+                    .map(|h| u32::from(h.2.bp()))
+                    .sum();
+                if aggregate > 0 {
+                    let target = f64::from(rng.gen_range(1_500..4_500u32));
+                    let scale = (target / f64::from(aggregate)).min(1.0);
+                    for h in holdings.iter_mut().filter(|h| h.1 == cid) {
+                        if is_state_side(h.0) {
+                            h.2 = Equity::from_bp((f64::from(h.2.bp()) * scale) as u32);
+                        }
+                    }
+                    log.privatized.push(cid);
+                }
+                continue;
+            }
+            // Nationalization of private/minority domestic operators.
+            if controlled.is_none() && rng.gen_bool(self.nationalization_rate) {
+                let Some(gov) = gov_of(&companies, company_country) else { continue };
+                let current: u32 = holdings
+                    .iter()
+                    .filter(|h| h.1 == cid)
+                    .map(|h| u32::from(h.2.bp()))
+                    .sum();
+                let room = 10_000u32.saturating_sub(current);
+                let want = rng.gen_range(5_100..=8_000u32);
+                // Buy out free float first; absorb private holders if the
+                // float is not enough.
+                let take = want.min(room);
+                if take < 5_100 {
+                    // Not enough float to cross the line; squeeze private
+                    // holders proportionally.
+                    let deficit = 5_100 - take;
+                    let mut remaining = deficit;
+                    for h in holdings.iter_mut().filter(|h| h.1 == cid) {
+                        if remaining == 0 {
+                            break;
+                        }
+                        let cut = u32::from(h.2.bp()).min(remaining);
+                        h.2 = Equity::from_bp(u32::from(h.2.bp()) - cut);
+                        remaining -= cut;
+                    }
+                    match holdings.iter_mut().find(|h| h.0 == gov && h.1 == cid) {
+                        Some(h) => h.2 = h.2.saturating_add(Equity::from_bp(5_100)),
+                        None => holdings.push((gov, cid, Equity::from_bp(5_100))),
+                    }
+                } else {
+                    match holdings.iter_mut().find(|h| h.0 == gov && h.1 == cid) {
+                        Some(h) => h.2 = h.2.saturating_add(Equity::from_bp(take)),
+                        None => holdings.push((gov, cid, Equity::from_bp(take))),
+                    }
+                }
+                log.nationalized.push(cid);
+            }
+        }
+
+        // Foreign acquisitions by existing state conglomerates: pick a
+        // state-controlled parent that already runs subsidiaries, and a
+        // private operator abroad.
+        let n_acq = poisson_like(&mut rng, self.acquisitions_per_year);
+        if n_acq > 0 {
+            let parents: Vec<CompanyId> = companies
+                .iter()
+                .filter(|c| {
+                    c.business.is_eligible_operator()
+                        && world.control.controlling_state(c.id) == Some(c.country)
+                        && !world.ownership.majority_subsidiaries(c.id).is_empty()
+                })
+                .map(|c| c.id)
+                .collect();
+            let targets: Vec<CompanyId> = companies
+                .iter()
+                .filter(|c| {
+                    c.business.is_eligible_operator()
+                        && world.control.stakes(c.id).is_empty()
+                        && world.ownership.holders(c.id).is_empty() // pure free float
+                })
+                .map(|c| c.id)
+                .collect();
+            for _ in 0..n_acq {
+                let (Some(&parent), Some(&target)) =
+                    (parents.as_slice().choose(&mut rng), targets.as_slice().choose(&mut rng))
+                else {
+                    break;
+                };
+                let parent_country =
+                    companies.iter().find(|c| c.id == parent).expect("exists").country;
+                let target_country =
+                    companies.iter().find(|c| c.id == target).expect("exists").country;
+                // A company nationalized or already acquired this year is
+                // off the market (its cap table just changed).
+                if parent_country == target_country
+                    || log.acquired.iter().any(|&(_, t)| t == target)
+                    || log.nationalized.contains(&target)
+                    || log.privatized.contains(&target)
+                {
+                    continue;
+                }
+                let stake = rng.gen_range(5_100..9_500u32);
+                holdings.push((parent, target, Equity::from_bp(stake)));
+                log.acquired.push((parent, target));
+            }
+        }
+
+        // Rebrands: the company gets a fresh name; its old brand becomes
+        // the former name on its registrations (WHOIS will eventually go
+        // stale against it).
+        let mut registrations = world.registrations.clone();
+        for company in companies.iter_mut() {
+            if !company.business.is_eligible_operator() || !rng.gen_bool(self.rebrand_rate) {
+                continue;
+            }
+            let new_brand = names::brand_name(&mut rng, company.country);
+            let old = std::mem::replace(&mut company.name, new_brand.clone());
+            for reg in registrations.iter_mut().filter(|r| r.company == company.id) {
+                reg.former_name = Some(old.clone());
+                reg.brand = new_brand.clone();
+                reg.domain = names::domain(&new_brand, reg.country);
+            }
+            log.rebranded.push(company.id);
+        }
+
+        // Rebuild the validated graph and truth.
+        let mut builder = OwnershipGraphBuilder::new();
+        for c in &companies {
+            builder.add_company(c.clone());
+        }
+        for &(holder, held, equity) in &holdings {
+            if equity > Equity::ZERO {
+                builder.add_holding(holder, held, equity);
+            }
+        }
+        let ownership = builder.build()?;
+        let control = StateControl::resolve(&ownership);
+        let truth = GroundTruth::derive(&ownership, &control, &registrations);
+
+        Ok((
+            World {
+                config: world.config.clone(),
+                ownership,
+                control,
+                registrations,
+                profiles: world.profiles.clone(),
+                topology: world.topology.clone(),
+                links: world.links.clone(),
+                prefix_assignments: world.prefix_assignments.clone(),
+                geo_blocks: world.geo_blocks.clone(),
+                users: world.users.clone(),
+                ixps: world.ixps.clone(),
+                truth,
+            },
+            log,
+        ))
+    }
+
+    /// Evolves the world by `years` steps, returning the final world and
+    /// the concatenated logs.
+    pub fn evolve_years(
+        &self,
+        world: &World,
+        years: u32,
+    ) -> Result<(World, Vec<ChurnLog>), SoiError> {
+        let mut current = world.clone();
+        let mut logs = Vec::with_capacity(years as usize);
+        for y in 0..years {
+            let (next, log) = self.evolve(&current, y)?;
+            current = next;
+            logs.push(log);
+        }
+        Ok((current, logs))
+    }
+}
+
+/// Small deterministic Poisson-ish draw (inverse-CDF on a short tail).
+fn poisson_like(rng: &mut SmallRng, mean: f64) -> usize {
+    if mean <= 0.0 {
+        return 0;
+    }
+    let u: f64 = rng.gen();
+    let mut p = (-mean).exp();
+    let mut cdf = p;
+    let mut k = 0usize;
+    while u > cdf && k < 20 {
+        k += 1;
+        p *= mean / k as f64;
+        cdf += p;
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, WorldConfig};
+
+    fn world() -> World {
+        generate(&WorldConfig::test_scale(151)).unwrap()
+    }
+
+    #[test]
+    fn evolution_is_deterministic() {
+        let w = world();
+        let cfg = ChurnConfig { seed: 5, ..Default::default() };
+        let (a, la) = cfg.evolve(&w, 0).unwrap();
+        let (b, lb) = cfg.evolve(&w, 0).unwrap();
+        assert_eq!(a.truth.state_owned_ases, b.truth.state_owned_ases);
+        assert_eq!(la.ownership_events(), lb.ownership_events());
+    }
+
+    #[test]
+    fn substrate_is_preserved() {
+        let w = world();
+        let (evolved, _) = ChurnConfig::default().evolve(&w, 0).unwrap();
+        assert_eq!(evolved.prefix_assignments, w.prefix_assignments);
+        assert_eq!(evolved.topology.num_links(), w.topology.num_links());
+        assert_eq!(evolved.registrations.len(), w.registrations.len());
+    }
+
+    #[test]
+    fn events_change_ground_truth_in_the_right_direction() {
+        let w = world();
+        // Exaggerated rates so every event type fires.
+        let cfg = ChurnConfig {
+            privatization_rate: 0.3,
+            nationalization_rate: 0.2,
+            acquisitions_per_year: 5.0,
+            rebrand_rate: 0.2,
+            seed: 9,
+        };
+        let (evolved, log) = cfg.evolve(&w, 0).unwrap();
+        assert!(!log.privatized.is_empty());
+        assert!(!log.nationalized.is_empty());
+        assert!(!log.rebranded.is_empty());
+        for &cid in &log.privatized {
+            assert_eq!(
+                evolved.control.controlling_state(cid),
+                None,
+                "privatized {cid} still controlled"
+            );
+        }
+        for &cid in &log.nationalized {
+            assert!(
+                evolved.control.controlling_state(cid).is_some(),
+                "nationalized {cid} not controlled"
+            );
+        }
+        for &(parent, target) in &log.acquired {
+            let owner = evolved.control.controlling_state(parent).expect("parent state-owned");
+            assert_eq!(evolved.control.controlling_state(target), Some(owner));
+        }
+        for &cid in &log.rebranded {
+            let reg = evolved
+                .registrations
+                .iter()
+                .find(|r| r.company == cid)
+                .expect("operator has registrations");
+            assert!(reg.former_name.is_some());
+        }
+    }
+
+    #[test]
+    fn multi_year_evolution_accumulates_drift() {
+        let w = world();
+        let cfg = ChurnConfig {
+            privatization_rate: 0.1,
+            nationalization_rate: 0.05,
+            acquisitions_per_year: 3.0,
+            rebrand_rate: 0.05,
+            seed: 3,
+        };
+        let (evolved, logs) = cfg.evolve_years(&w, 5).unwrap();
+        assert_eq!(logs.len(), 5);
+        let total_events: usize = logs.iter().map(|l| l.ownership_events()).sum();
+        assert!(total_events > 5, "only {total_events} events in 5 years");
+        // The state-owned AS set drifts.
+        assert_ne!(evolved.truth.state_owned_ases, w.truth.state_owned_ases);
+    }
+
+    #[test]
+    fn zero_rates_change_nothing() {
+        let w = world();
+        let cfg = ChurnConfig {
+            privatization_rate: 0.0,
+            nationalization_rate: 0.0,
+            acquisitions_per_year: 0.0,
+            rebrand_rate: 0.0,
+            seed: 1,
+        };
+        let (evolved, log) = cfg.evolve(&w, 0).unwrap();
+        assert_eq!(log.ownership_events(), 0);
+        assert!(log.rebranded.is_empty());
+        assert_eq!(evolved.truth.state_owned_ases, w.truth.state_owned_ases);
+    }
+}

@@ -1,0 +1,356 @@
+//! Generator configuration and calibration tables.
+//!
+//! The constants here encode the *shapes* the paper reports, so a default
+//! world reproduces them: per-region prevalence of majority state
+//! ownership, the conglomerates operating foreign subsidiaries (paper
+//! Table 3), countries where state operators hold >= 90% of the access
+//! market (Table 8), and countries whose international connectivity runs
+//! through a state transit gateway discoverable only via CTI (Appendix D).
+
+use serde::{Deserialize, Serialize};
+use soi_types::{cc, CountryCode, Region};
+
+/// Top-level generator configuration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WorldConfig {
+    /// Master seed; all randomness derives from it.
+    pub seed: u64,
+    /// Linear scale on AS counts. `1.0` targets a world of roughly 6-8k
+    /// ASes (compute-friendly while preserving the paper's proportions);
+    /// tests use `0.1`-`0.25`.
+    pub scale: f64,
+    /// Probability that a company has been renamed at some point (feeding
+    /// WHOIS staleness).
+    pub rebrand_rate: f64,
+    /// Probability that an incumbent-sized operator owns sibling ASNs.
+    pub sibling_rate: f64,
+    /// Fraction of a country's address space that leaks into a neighbour's
+    /// geolocation blocks (regional operators, delegations) — exercises
+    /// cross-border counting.
+    pub geo_spill_rate: f64,
+    /// Number of half-year topology snapshots generated for cone history
+    /// (Figure 5). 22 covers 2010-01..2020-06.
+    pub history_snapshots: usize,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig {
+            seed: 0xC0FFEE,
+            scale: 1.0,
+            rebrand_rate: 0.18,
+            sibling_rate: 0.35,
+            geo_spill_rate: 0.02,
+            history_snapshots: 22,
+        }
+    }
+}
+
+impl WorldConfig {
+    /// The full-size calibrated world used by the benchmarks and the
+    /// `repro` binary.
+    pub fn paper_scale() -> Self {
+        Self::default()
+    }
+
+    /// A small world for unit/integration tests (~1-2k ASes).
+    pub fn test_scale(seed: u64) -> Self {
+        WorldConfig { seed, scale: 0.18, history_snapshots: 6, ..Self::default() }
+    }
+}
+
+/// Per-region probability that a country's incumbent operator is majority
+/// state-owned; calibrated so Table 4's per-RIR country percentages come
+/// out roughly right (APNIC 54%, RIPE 62%, ARIN 7%, AFRINIC 45%, LACNIC
+/// 50%) with Africa/Asia/Middle East clearly ahead.
+pub fn majority_rate(region: Region) -> f64 {
+    match region {
+        Region::Africa => 0.62,
+        Region::Asia => 0.68,
+        Region::CentralAsia => 0.9,
+        Region::Europe => 0.52,
+        Region::LatinAmerica => 0.52,
+        Region::MiddleEast => 0.95,
+        Region::NorthAmerica => 0.0,
+        Region::Oceania => 0.45,
+    }
+}
+
+/// Given that the incumbent is *not* majority state-owned, probability it
+/// still carries a minority state stake (privatized European incumbents:
+/// Deutsche Telekom 31%, Orange 23%, Telia 39.5%...).
+pub fn minority_rate(region: Region) -> f64 {
+    match region {
+        Region::Europe => 0.5,
+        Region::Asia | Region::LatinAmerica => 0.3,
+        Region::Africa | Region::CentralAsia | Region::MiddleEast => 0.35,
+        Region::Oceania => 0.2,
+        Region::NorthAmerica => 0.05,
+    }
+}
+
+/// Countries whose incumbent is forced majority-state regardless of the
+/// regional draw, with a >= 0.9 access-market monopoly — the paper's
+/// Table 8 / Appendix F list (intersected with our registry).
+pub const MONOPOLY_COUNTRIES: &[CountryCode] = &[
+    cc("ET"),
+    cc("TV"),
+    cc("CU"),
+    cc("GL"),
+    cc("DJ"),
+    cc("SY"),
+    cc("AE"),
+    cc("ER"),
+    cc("SR"),
+    cc("CN"),
+    cc("LY"),
+    cc("YE"),
+    cc("DZ"),
+    cc("MO"),
+    cc("AD"),
+    cc("IR"),
+    cc("UY"),
+    cc("TM"),
+];
+
+/// Countries whose international connectivity is squeezed through a
+/// state-owned transit gateway AS that serves (almost) no eyeballs and
+/// originates little space — the class of AS only CTI discovers
+/// (Appendix D lists Belarus, Vietnam's MobiFone Global, BSCCL, ETECSA).
+pub const BOTTLENECK_COUNTRIES: &[CountryCode] = &[
+    cc("BY"),
+    cc("SY"),
+    cc("CU"),
+    cc("BD"),
+    cc("ET"),
+    cc("TM"),
+    cc("VN"),
+    cc("AO"),
+];
+
+/// A state-owned conglomerate with foreign subsidiaries: the paper's
+/// Table 3, restricted to countries in our registry. `owner` is the
+/// country whose state controls the parent; `targets` are the countries
+/// hosting subsidiaries.
+#[derive(Clone, Copy, Debug)]
+pub struct ConglomerateSpec {
+    /// Country of the state-owned parent.
+    pub owner: CountryCode,
+    /// Countries where subsidiaries operate.
+    pub targets: &'static [CountryCode],
+}
+
+/// Table 3 of the paper (19 owner countries, 70 host countries), with
+/// codes normalized to our registry (UK -> GB).
+pub const CONGLOMERATES: &[ConglomerateSpec] = &[
+    ConglomerateSpec {
+        owner: cc("AE"),
+        targets: &[
+            cc("AF"),
+            cc("BF"),
+            cc("BJ"),
+            cc("CI"),
+            cc("EG"),
+            cc("GA"),
+            cc("MA"),
+            cc("ML"),
+            cc("MR"),
+            cc("NE"),
+            cc("TD"),
+            cc("TG"),
+        ],
+    },
+    ConglomerateSpec {
+        owner: cc("CN"),
+        targets: &[
+            cc("AU"),
+            cc("GB"),
+            cc("HK"),
+            cc("MO"),
+            cc("NL"),
+            cc("PK"),
+            cc("SG"),
+            cc("US"),
+            cc("ZA"),
+        ],
+    },
+    ConglomerateSpec {
+        owner: cc("QA"),
+        targets: &[
+            cc("DZ"),
+            cc("ID"),
+            cc("IQ"),
+            cc("KW"),
+            cc("MM"),
+            cc("MV"),
+            cc("OM"),
+            cc("PS"),
+            cc("TN"),
+        ],
+    },
+    ConglomerateSpec {
+        owner: cc("NO"),
+        targets: &[
+            cc("BD"),
+            cc("DK"),
+            cc("FI"),
+            cc("MM"),
+            cc("MY"),
+            cc("PK"),
+            cc("SE"),
+            cc("TH"),
+            cc("GB"),
+        ],
+    },
+    ConglomerateSpec {
+        owner: cc("VN"),
+        targets: &[
+            cc("BI"),
+            cc("CM"),
+            cc("HT"),
+            cc("KH"),
+            cc("LA"),
+            cc("MZ"),
+            cc("PE"),
+            cc("TL"),
+            cc("TZ"),
+        ],
+    },
+    ConglomerateSpec {
+        owner: cc("SG"),
+        targets: &[cc("AU"), cc("HK"), cc("JP"), cc("KR"), cc("LK"), cc("TW")],
+    },
+    ConglomerateSpec {
+        owner: cc("MY"),
+        targets: &[cc("BD"), cc("ID"), cc("KH"), cc("LK"), cc("NP")],
+    },
+    ConglomerateSpec { owner: cc("CO"), targets: &[cc("AR"), cc("BR"), cc("CL"), cc("PE")] },
+    ConglomerateSpec { owner: cc("RS"), targets: &[cc("AT"), cc("BA"), cc("ME")] },
+    ConglomerateSpec { owner: cc("ID"), targets: &[cc("MY"), cc("SG"), cc("TL")] },
+    ConglomerateSpec { owner: cc("BH"), targets: &[cc("IM"), cc("JO"), cc("MV")] },
+    ConglomerateSpec { owner: cc("TN"), targets: &[cc("CY"), cc("MR"), cc("MT")] },
+    ConglomerateSpec { owner: cc("SA"), targets: &[cc("BH"), cc("KW")] },
+    ConglomerateSpec { owner: cc("FJ"), targets: &[cc("VU")] },
+    ConglomerateSpec { owner: cc("MU"), targets: &[cc("UG")] },
+    ConglomerateSpec { owner: cc("BE"), targets: &[cc("LU")] },
+    ConglomerateSpec { owner: cc("CH"), targets: &[cc("IT")] },
+    ConglomerateSpec { owner: cc("RU"), targets: &[cc("AM")] },
+    ConglomerateSpec { owner: cc("SI"), targets: &[cc("AL")] },
+];
+
+/// Two private multinational conglomerates (an América-Móvil-like and a
+/// Vodafone-like): their subsidiaries are the classic Orbis
+/// false-positive / misleading-name material (§7, §9).
+pub const PRIVATE_CONGLOMERATES: &[ConglomerateSpec] = &[
+    ConglomerateSpec {
+        owner: cc("MX"),
+        targets: &[cc("CO"), cc("PE"), cc("EC"), cc("GT"), cc("DO")],
+    },
+    ConglomerateSpec {
+        owner: cc("GB"),
+        targets: &[cc("DE"), cc("ES"), cc("IT"), cc("EG"), cc("TZ"), cc("CD")],
+    },
+];
+
+/// Number of ASes a country hosts at `scale == 1.0`, by size class —
+/// before stubs and specials. Tuned to land a full world around 6-8k ASes.
+pub fn ases_for_size_class(size_class: u8) -> u32 {
+    match size_class {
+        1 => 4,
+        2 => 9,
+        3 => 22,
+        4 => 48,
+        5 => 110,
+        6 => 220,
+        _ => 4,
+    }
+}
+
+/// IPv4 addresses allocated to a country, by size class (log scale).
+pub fn address_budget(size_class: u8) -> u64 {
+    match size_class {
+        1 => 1 << 17,
+        2 => 1 << 19,
+        3 => 1 << 21,
+        4 => 1 << 23,
+        5 => 1 << 25,
+        6 => 3 << 26,
+        _ => 1 << 17,
+    }
+}
+
+/// Internet-user budget of a country, by size class.
+pub fn user_budget(size_class: u8) -> u64 {
+    match size_class {
+        1 => 60_000,
+        2 => 400_000,
+        3 => 3_000_000,
+        4 => 15_000_000,
+        5 => 60_000_000,
+        6 => 400_000_000,
+        _ => 60_000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soi_types::{all_countries, country_info};
+
+    #[test]
+    fn calibration_tables_reference_known_countries() {
+        for c in MONOPOLY_COUNTRIES.iter().chain(BOTTLENECK_COUNTRIES) {
+            assert!(country_info(*c).is_some(), "unknown country {c}");
+        }
+        for spec in CONGLOMERATES.iter().chain(PRIVATE_CONGLOMERATES) {
+            assert!(country_info(spec.owner).is_some(), "unknown owner {}", spec.owner);
+            for t in spec.targets {
+                assert!(country_info(*t).is_some(), "unknown target {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn table3_shape_preserved() {
+        // 19 state conglomerate owners, ~70 target countries (paper values).
+        assert_eq!(CONGLOMERATES.len(), 19);
+        // The paper counts 70 distinct host countries; several (AU, HK,
+        // BD, ...) host subsidiaries of more than one state.
+        let unique: std::collections::HashSet<_> =
+            CONGLOMERATES.iter().flat_map(|c| c.targets).collect();
+        assert!((60..=75).contains(&unique.len()), "unique targets {}", unique.len());
+        // UAE has the most subsidiaries, all over Africa.
+        assert_eq!(CONGLOMERATES[0].owner, cc("AE"));
+        assert_eq!(CONGLOMERATES[0].targets.len(), 12);
+    }
+
+    #[test]
+    fn world_size_lands_in_range() {
+        let total: u32 = all_countries()
+            .iter()
+            .map(|c| ases_for_size_class(c.size_class))
+            .sum();
+        // Operators + stubs roughly double this; keep base in 3-6k.
+        assert!((3_000..=6_000).contains(&total), "base AS count {total}");
+    }
+
+    #[test]
+    fn rates_are_probabilities() {
+        for r in Region::ALL {
+            assert!((0.0..=1.0).contains(&majority_rate(r)));
+            assert!((0.0..=1.0).contains(&minority_rate(r)));
+        }
+        // The paper's core regional finding must be encoded.
+        assert!(majority_rate(Region::Africa) > majority_rate(Region::NorthAmerica));
+        assert!(majority_rate(Region::MiddleEast) > majority_rate(Region::Europe));
+    }
+
+    #[test]
+    fn budgets_scale_monotonically() {
+        for c in 1..6u8 {
+            assert!(address_budget(c + 1) > address_budget(c));
+            assert!(user_budget(c + 1) > user_budget(c));
+            assert!(ases_for_size_class(c + 1) > ases_for_size_class(c));
+        }
+    }
+}

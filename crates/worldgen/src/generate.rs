@@ -1,0 +1,1442 @@
+//! The world generator.
+//!
+//! Generation proceeds in deterministic passes (all randomness comes from
+//! one seeded RNG, consumed in a fixed order):
+//!
+//! 1. **countries** — per country: government, incumbent telco (ownership
+//!    category drawn from regional prevalence, with the paper's monopoly/
+//!    bottleneck/conglomerate overrides), alternative operators, excluded
+//!    specials (academic, government, NIC, subnational), and transit
+//!    gateways/carriers;
+//! 2. **conglomerates** — foreign subsidiaries per the paper's Table 3,
+//!    plus two private multinationals for false-positive material;
+//! 3. **ASNs & registrations** — every operator gets 1..4 ASNs with brand/
+//!    legal/former names;
+//! 4. **stubs** — enterprise ASes bulk each country to its size target;
+//! 5. **addresses & users** — market shares turn into prefixes, geo blocks
+//!    and user populations;
+//! 6. **topology** — tiered wiring (tier-1 clique, regional carriers,
+//!    national transit, access, stubs) with birth dates for cone history.
+
+use std::collections::{HashMap, HashSet};
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use soi_ownership::{
+    Business, Company, OperatorScope, OwnershipGraphBuilder, ServiceKind, StateControl,
+};
+use soi_registry::AsRegistration;
+use soi_topology::{Ixp, IxpId, IxpRegistry, Relationship};
+use soi_types::{
+    all_countries, Asn, CompanyId, CountryCode, CountryInfo, Equity, Ipv4Prefix, Region, SimDate,
+    SoiError,
+};
+
+use crate::allocator::AddressAllocator;
+use crate::config::{
+    address_budget, ases_for_size_class, majority_rate, minority_rate, user_budget,
+    WorldConfig, BOTTLENECK_COUNTRIES, CONGLOMERATES, MONOPOLY_COUNTRIES, PRIVATE_CONGLOMERATES,
+};
+use crate::names;
+use crate::truth::GroundTruth;
+use crate::world::{AsProfile, AsRole, Link, World};
+
+/// Countries whose state carriers play outsized international transit
+/// roles (Table 5's top-10 cones: SingTel, Rostelecom+TTK, China
+/// Telecom+Unicom, Swisscom, Exatel, Internexa). The number is how many
+/// distinct state carrier companies get a `RegionalCarrier` ASN.
+const BIG_STATE_CARRIERS: &[(CountryCode, u32)] = &[
+    (soi_types::cc("SG"), 1),
+    (soi_types::cc("RU"), 2),
+    (soi_types::cc("CN"), 2),
+    (soi_types::cc("CH"), 1),
+    (soi_types::cc("PL"), 1),
+    (soi_types::cc("CO"), 1),
+];
+
+/// Countries with a state-owned submarine-cable carrier whose customer
+/// cone grows steeply through the decade (Figure 5: Angola Cables, BSCCL).
+const CABLE_CARRIERS: &[CountryCode] = &[soi_types::cc("AO"), soi_types::cc("BD")];
+
+/// How the incumbent is owned.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum OwnCat {
+    Majority,
+    Minority,
+    Private,
+}
+
+/// When an AS was born.
+#[derive(Clone, Copy, Debug)]
+enum Era {
+    /// Established network: 1995-2009.
+    Old,
+    /// Weighted mix (65% old, 35% 2010-2020).
+    Mixed,
+    /// Specific window (inclusive years).
+    Window(u16, u16),
+}
+
+/// An operator awaiting ASN assignment.
+struct OpSpec {
+    company: CompanyId,
+    brand: String,
+    legal: String,
+    former: Option<String>,
+    country: CountryCode,
+    service: ServiceKind,
+    /// Role of the first ASN; additional ASNs of multi-ASN operators
+    /// become `Access` siblings.
+    role: AsRole,
+    weight: f64,
+    n_asns: u32,
+    era: Era,
+}
+
+/// Generates a world from a configuration.
+///
+/// ```
+/// use soi_worldgen::{generate, WorldConfig};
+///
+/// let world = generate(&WorldConfig::test_scale(7)).unwrap();
+/// assert!(world.num_ases() > 100);
+/// assert!(!world.truth.state_owned_ases.is_empty());
+/// // Deterministic: the same seed always yields the same world.
+/// let again = generate(&WorldConfig::test_scale(7)).unwrap();
+/// assert_eq!(world.registrations, again.registrations);
+/// ```
+pub fn generate(config: &WorldConfig) -> Result<World, SoiError> {
+    Generator::new(config.clone()).run()
+}
+
+struct Generator {
+    cfg: WorldConfig,
+    rng: SmallRng,
+    companies: Vec<Company>,
+    holdings: Vec<(CompanyId, CompanyId, Equity)>,
+    next_company: u32,
+    ops: Vec<OpSpec>,
+    govs: HashMap<CountryCode, CompanyId>,
+    incumbents: HashMap<CountryCode, (CompanyId, String)>,
+    incumbent_cat: HashMap<CountryCode, OwnCat>,
+    used_asns: HashSet<u32>,
+    used_brands: HashSet<String>,
+}
+
+impl Generator {
+    fn new(cfg: WorldConfig) -> Self {
+        let rng = SmallRng::seed_from_u64(cfg.seed ^ 0x776f726c6467656e);
+        Generator {
+            cfg,
+            rng,
+            companies: Vec::new(),
+            holdings: Vec::new(),
+            next_company: 1,
+            ops: Vec::new(),
+            govs: HashMap::new(),
+            incumbents: HashMap::new(),
+            incumbent_cat: HashMap::new(),
+            used_asns: HashSet::new(),
+            used_brands: HashSet::new(),
+        }
+    }
+
+    fn run(mut self) -> Result<World, SoiError> {
+        self.create_countries();
+        self.create_conglomerates();
+
+        // Freeze company/ownership structure.
+        let mut builder = OwnershipGraphBuilder::new();
+        for c in &self.companies {
+            builder.add_company(c.clone());
+        }
+        for &(holder, held, equity) in &self.holdings {
+            builder.add_holding(holder, held, equity);
+        }
+        let ownership = builder.build()?;
+        let control = StateControl::resolve(&ownership);
+
+        let (mut registrations, mut profiles) = self.assign_asns();
+        self.add_stubs(&mut registrations, &mut profiles);
+        registrations.sort_by_key(|r| r.asn);
+
+        let (prefix_assignments, geo_blocks, users) =
+            self.allocate_resources(&mut profiles, &registrations)?;
+        let (links, ixps) = self.wire_topology(&profiles)?;
+
+        // Current topology = all links.
+        let mut tb = soi_topology::AsGraphBuilder::new();
+        for link in &links {
+            match link.rel {
+                Relationship::CustomerToProvider => tb.add_transit(link.a, link.b),
+                Relationship::PeerToPeer => tb.add_peering(link.a, link.b),
+            };
+        }
+        let topology = tb.build()?;
+
+        let truth = GroundTruth::derive(&ownership, &control, &registrations);
+
+        Ok(World {
+            config: self.cfg,
+            ownership,
+            control,
+            registrations,
+            profiles,
+            topology,
+            links,
+            prefix_assignments,
+            geo_blocks,
+            users,
+            ixps,
+            truth,
+        })
+    }
+
+    // ---- companies ----
+
+    fn new_company(
+        &mut self,
+        name: impl Into<String>,
+        legal: impl Into<String>,
+        country: CountryCode,
+        business: Business,
+    ) -> CompanyId {
+        let id = CompanyId(self.next_company);
+        self.next_company += 1;
+        self.companies.push(Company::new(id, name, legal, country, business));
+        id
+    }
+
+    fn hold(&mut self, holder: CompanyId, held: CompanyId, equity: Equity) {
+        self.holdings.push((holder, held, equity));
+    }
+
+    fn operator_business(scope: OperatorScope, service: ServiceKind) -> Business {
+        Business::InternetOperator { scope, service }
+    }
+
+    /// Draws a brand name that no other company uses. Real telco brands
+    /// rarely collide across countries; the remaining ambiguity the
+    /// pipeline must survive comes from legal/stale names, not brands.
+    fn unique_brand(&mut self, country: CountryCode) -> String {
+        for _ in 0..8 {
+            let cand = names::brand_name(&mut self.rng, country);
+            if self.used_brands.insert(cand.clone()) {
+                return cand;
+            }
+        }
+        let cand = format!(
+            "{} {}",
+            names::brand_name(&mut self.rng, country),
+            country.as_str()
+        );
+        self.used_brands.insert(cand.clone());
+        cand
+    }
+
+    fn create_countries(&mut self) {
+        let conglomerate_owners: HashSet<CountryCode> =
+            CONGLOMERATES.iter().map(|c| c.owner).collect();
+
+        for info in all_countries() {
+            let gov = self.new_company(
+                format!("Government of {}", info.name),
+                format!("State of {}", info.name),
+                info.code,
+                Business::Government,
+            );
+            self.govs.insert(info.code, gov);
+
+            // Incumbent ownership category.
+            let forced_majority = MONOPOLY_COUNTRIES.contains(&info.code)
+                || BOTTLENECK_COUNTRIES.contains(&info.code)
+                || conglomerate_owners.contains(&info.code);
+            let cat = if forced_majority || self.rng.gen_bool(majority_rate(info.region)) {
+                OwnCat::Majority
+            } else if self.rng.gen_bool(minority_rate(info.region)) {
+                OwnCat::Minority
+            } else {
+                OwnCat::Private
+            };
+            self.incumbent_cat.insert(info.code, cat);
+            self.create_incumbent(info, gov, cat);
+            self.create_alt_operators(info, gov);
+            self.create_specials(info, gov);
+            self.create_carriers(info, gov);
+        }
+    }
+
+    fn create_incumbent(&mut self, info: &CountryInfo, gov: CompanyId, cat: OwnCat) {
+        // Misleading-name special case: Fiji's nationalized incumbent kept
+        // its private-sounding brand (§9).
+        let brand = if info.code == soi_types::cc("FJ") {
+            "Vodafone Fiji".to_string()
+        } else {
+            names::incumbent_name(info.code)
+        };
+        let legal = names::legal_name(&mut self.rng, &brand, info.code, 0.15);
+        let rebranded = self.rng.gen_bool(0.6); // incumbents usually ex-PTT
+        let former = rebranded.then(|| names::former_name(&mut self.rng, info.code));
+        self.used_brands.insert(brand.clone());
+        let id = self.new_company(
+            brand.clone(),
+            legal.clone(),
+            info.code,
+            Self::operator_business(OperatorScope::National, ServiceKind::Both),
+        );
+        self.incumbents.insert(info.code, (id, brand.clone()));
+
+        match cat {
+            OwnCat::Majority => {
+                if self.rng.gen_bool(0.3) {
+                    // Fund structure: 2-3 wholly-state funds aggregate past 50%.
+                    let n_funds = self.rng.gen_range(2..=3);
+                    let total_bp = self.rng.gen_range(5_100..7_500u32);
+                    let mut remaining = total_bp;
+                    for f in 0..n_funds {
+                        let fund = self.new_company(
+                            format!("{} National Fund {}", info.name, f + 1),
+                            format!("{} Sovereign Holdings {}", info.name, f + 1),
+                            info.code,
+                            Business::Holding,
+                        );
+                        self.hold(gov, fund, Equity::FULL);
+                        let share = if f + 1 == n_funds {
+                            remaining
+                        } else {
+                            let s = remaining / (n_funds - f) as u32;
+                            let jitter = self.rng.gen_range(0..s / 2 + 1);
+                            (s + jitter).min(remaining)
+                        };
+                        remaining -= share;
+                        self.hold(fund, id, Equity::from_bp(share));
+                    }
+                } else {
+                    let share = self.rng.gen_range(5_000..=10_000u32);
+                    self.hold(gov, id, Equity::from_bp(share));
+                }
+            }
+            OwnCat::Minority => {
+                let share = self.rng.gen_range(1_500..5_000u32);
+                self.hold(gov, id, Equity::from_bp(share));
+            }
+            OwnCat::Private => {}
+        }
+
+        // Market weight: monopolies dominate; elsewhere by region.
+        let weight = if MONOPOLY_COUNTRIES.contains(&info.code) {
+            self.rng.gen_range(0.9..1.0)
+        } else {
+            match info.region {
+                // §8: state footprints run high across Africa, Asia and
+                // the Middle East...
+                Region::Africa
+                | Region::Asia
+                | Region::MiddleEast
+                | Region::CentralAsia => self.rng.gen_range(0.45..0.85),
+                // ...and are "quite small" in the LACNIC region outside
+                // the monopoly islands (Cuba/Uruguay/Suriname are forced
+                // above).
+                Region::LatinAmerica => self.rng.gen_range(0.12..0.4),
+                _ => self.rng.gen_range(0.25..0.6),
+            }
+        };
+        let n_asns = if self.rng.gen_bool(self.cfg.sibling_rate) {
+            self.rng.gen_range(2..=4)
+        } else {
+            1
+        };
+        self.ops.push(OpSpec {
+            company: id,
+            brand,
+            legal,
+            former,
+            country: info.code,
+            service: ServiceKind::Both,
+            role: AsRole::NationalTransit,
+            weight,
+            n_asns,
+            era: Era::Old,
+        });
+    }
+
+    fn create_alt_operators(&mut self, info: &CountryInfo, gov: CompanyId) {
+        let count = match info.size_class {
+            1 => 1,
+            2 => 2,
+            3 => 3,
+            4 => 4,
+            5 => 6,
+            _ => 8,
+        };
+        for i in 0..count {
+            let brand = self.unique_brand(info.code);
+            let legal = names::legal_name(&mut self.rng, &brand, info.code, 0.25);
+            let former = self
+                .rng
+                .gen_bool(self.cfg.rebrand_rate)
+                .then(|| names::brand_name(&mut self.rng, info.code));
+            let service = if self.rng.gen_bool(0.3) {
+                ServiceKind::Both
+            } else {
+                ServiceKind::Access
+            };
+            let id = self.new_company(
+                brand.clone(),
+                legal.clone(),
+                info.code,
+                Self::operator_business(OperatorScope::National, service),
+            );
+            // Occasional second state operator (state mobile carrier) or
+            // minority state position.
+            if self.rng.gen_bool(0.08) {
+                let bp = self.rng.gen_range(5_000..9_000);
+                self.hold(gov, id, Equity::from_bp(bp));
+            } else if self.rng.gen_bool(0.1) {
+                let bp = self.rng.gen_range(500..5_000);
+                self.hold(gov, id, Equity::from_bp(bp));
+            }
+            // Monopoly countries have only marginal competitors (their
+            // incumbents must keep >= 0.9 of the market, Table 8).
+            let monopoly = MONOPOLY_COUNTRIES.contains(&info.code);
+            let weight = 0.5 / (i as f64 + 2.0) * if monopoly { 0.05 } else { 1.0 };
+            let n_asns = if self.rng.gen_bool(self.cfg.sibling_rate * 0.5) { 2 } else { 1 };
+            self.ops.push(OpSpec {
+                company: id,
+                brand,
+                legal,
+                former,
+                country: info.code,
+                service,
+                role: if service == ServiceKind::Both && i == 0 {
+                    AsRole::NationalTransit
+                } else {
+                    AsRole::Access
+                },
+                weight,
+                n_asns,
+                era: Era::Mixed,
+            });
+        }
+    }
+
+    fn create_specials(&mut self, info: &CountryInfo, gov: CompanyId) {
+        // Academic network.
+        if self.rng.gen_bool(0.5) {
+            let brand = format!("{} Education & Research Network", info.name);
+            let id = self.new_company(
+                brand.clone(),
+                format!("{} University Network Consortium", info.name),
+                info.code,
+                Business::AcademicNetwork,
+            );
+            self.hold(gov, id, Equity::FULL);
+            self.push_special(id, brand, info, AsRole::Academic);
+        }
+        // Government-office network.
+        if self.rng.gen_bool(0.4) {
+            let brand = format!("{} Government Network", info.name);
+            let id = self.new_company(
+                brand.clone(),
+                format!("Ministry of ICT of {}", info.name),
+                info.code,
+                Business::GovernmentAgencyNetwork,
+            );
+            self.hold(gov, id, Equity::FULL);
+            self.push_special(id, brand, info, AsRole::GovernmentNet);
+        }
+        // NIC / ccTLD administration.
+        if self.rng.gen_bool(0.3) {
+            let brand = format!("NIC.{}", info.code.as_str());
+            let id = self.new_company(
+                brand.clone(),
+                format!("Network Information Centre of {}", info.name),
+                info.code,
+                Business::InternetAdministration,
+            );
+            self.hold(gov, id, Equity::FULL);
+            self.push_special(id, brand, info, AsRole::Nic);
+        }
+        // Subnational state operator.
+        if self.rng.gen_bool(0.25) {
+            let brand = format!("{} Provincial Net", info.name);
+            let legal = names::legal_name(&mut self.rng, &brand, info.code, 0.1);
+            let id = self.new_company(
+                brand.clone(),
+                legal,
+                info.code,
+                Self::operator_business(OperatorScope::Subnational, ServiceKind::Access),
+            );
+            self.hold(gov, id, Equity::FULL);
+            self.push_special(id, brand, info, AsRole::Subnational);
+        }
+    }
+
+    fn push_special(&mut self, id: CompanyId, brand: String, info: &CountryInfo, role: AsRole) {
+        let legal = self
+            .companies
+            .iter()
+            .rev()
+            .find(|c| c.id == id)
+            .map(|c| c.legal_name.clone())
+            .unwrap_or_else(|| brand.clone());
+        self.ops.push(OpSpec {
+            company: id,
+            brand,
+            legal,
+            former: None,
+            country: info.code,
+            service: ServiceKind::Access,
+            role,
+            weight: 0.0,
+            n_asns: 1,
+            era: Era::Mixed,
+        });
+    }
+
+    fn create_carriers(&mut self, info: &CountryInfo, gov: CompanyId) {
+        // Tier-1 private global carriers live in a few developed countries.
+        let tier1_count: u32 = match info.code.as_str() {
+            "US" => 3,
+            "DE" | "GB" | "JP" | "FR" | "NL" => 1,
+            _ => 0,
+        };
+        for _ in 0..tier1_count {
+            let brand = format!("{} Global", names::brand_name(&mut self.rng, info.code));
+            let legal = names::legal_name(&mut self.rng, &brand, info.code, 0.1);
+            let id = self.new_company(
+                brand.clone(),
+                legal.clone(),
+                info.code,
+                Self::operator_business(OperatorScope::National, ServiceKind::Transit),
+            );
+            self.ops.push(OpSpec {
+                company: id,
+                brand,
+                legal,
+                former: None,
+                country: info.code,
+                service: ServiceKind::Transit,
+                role: AsRole::GlobalCarrier,
+                weight: 0.0,
+                n_asns: 1,
+                era: Era::Old,
+            });
+        }
+
+        // Big state carriers (Table 5 material).
+        if let Some(&(_, n)) = BIG_STATE_CARRIERS.iter().find(|&&(c, _)| c == info.code) {
+            // First carrier ASN belongs to the incumbent itself.
+            let (inc_id, inc_brand) = self.incumbents[&info.code].clone();
+            self.ops.push(OpSpec {
+                company: inc_id,
+                brand: format!("{inc_brand} International"),
+                legal: format!("{inc_brand} Global Carrier"),
+                former: None,
+                country: info.code,
+                service: ServiceKind::Transit,
+                role: AsRole::RegionalCarrier,
+                weight: 0.0,
+                n_asns: 1,
+                era: Era::Old,
+            });
+            // Additional distinct state carrier companies (TTK, Unicom).
+            for k in 1..n {
+                let brand = format!("{} Trunk Carrier {}", info.name, k);
+                let legal = names::legal_name(&mut self.rng, &brand, info.code, 0.1);
+                let id = self.new_company(
+                    brand.clone(),
+                    legal.clone(),
+                    info.code,
+                    Self::operator_business(OperatorScope::National, ServiceKind::Transit),
+                );
+                let bp = self.rng.gen_range(5_100..10_000);
+                self.hold(gov, id, Equity::from_bp(bp));
+                self.ops.push(OpSpec {
+                    company: id,
+                    brand,
+                    legal,
+                    former: None,
+                    country: info.code,
+                    service: ServiceKind::Transit,
+                    role: AsRole::RegionalCarrier,
+                    weight: 0.0,
+                    n_asns: 1,
+                    era: Era::Old,
+                });
+            }
+        }
+
+        // Submarine-cable carriers born early in the decade (Figure 5).
+        if CABLE_CARRIERS.contains(&info.code) {
+            let brand = format!("{} Cables", info.name);
+            let legal = names::legal_name(&mut self.rng, &brand, info.code, 0.0);
+            let id = self.new_company(
+                brand.clone(),
+                legal.clone(),
+                info.code,
+                Self::operator_business(OperatorScope::National, ServiceKind::Transit),
+            );
+            let bp = self.rng.gen_range(5_100..8_000);
+            self.hold(gov, id, Equity::from_bp(bp));
+            self.ops.push(OpSpec {
+                company: id,
+                brand,
+                legal,
+                former: None,
+                country: info.code,
+                service: ServiceKind::Transit,
+                role: AsRole::RegionalCarrier,
+                weight: 0.0,
+                n_asns: 1,
+                era: Era::Window(2010, 2012),
+            });
+        }
+
+        // Bottleneck countries: the state international gateway. Serves no
+        // eyeballs and originates little space: only CTI will surface it.
+        if BOTTLENECK_COUNTRIES.contains(&info.code) {
+            let brand = format!("{} International Gateway", info.name);
+            let legal = format!("{} Telecommunications Gateway Enterprise", info.name);
+            let id = self.new_company(
+                brand.clone(),
+                legal.clone(),
+                info.code,
+                Self::operator_business(OperatorScope::National, ServiceKind::Transit),
+            );
+            self.hold(gov, id, Equity::FULL);
+            let n_asns = self.rng.gen_range(1..=3);
+            self.ops.push(OpSpec {
+                company: id,
+                brand,
+                legal,
+                former: None,
+                country: info.code,
+                service: ServiceKind::Transit,
+                role: AsRole::TransitGateway,
+                weight: 0.0,
+                n_asns,
+                era: Era::Old,
+            });
+        }
+    }
+
+    fn create_conglomerates(&mut self) {
+        // State-owned conglomerates (Table 3).
+        for spec in CONGLOMERATES {
+            let (parent, parent_brand) = self.incumbents[&spec.owner].clone();
+            for &target in spec.targets {
+                let Some(tinfo) = target.info() else { continue };
+                let brand =
+                    format!("{} {}", names::conglomerate_prefix(&parent_brand), tinfo.name);
+                let legal = names::legal_name(&mut self.rng, &brand, target, 0.3);
+                let former = self
+                    .rng
+                    .gen_bool(0.4)
+                    .then(|| names::brand_name(&mut self.rng, target));
+                let id = self.new_company(
+                    brand.clone(),
+                    legal.clone(),
+                    target,
+                    Self::operator_business(OperatorScope::National, ServiceKind::Access),
+                );
+                let bp = self.rng.gen_range(5_100..10_000);
+                self.hold(parent, id, Equity::from_bp(bp));
+                // African hosts get big foreign footprints (6 of 12 such
+                // countries exceed 50% in the paper); elsewhere modest;
+                // domestic monopolies (Table 8) leave little room.
+                let weight = if MONOPOLY_COUNTRIES.contains(&target) {
+                    self.rng.gen_range(0.01..0.05)
+                } else if tinfo.region == Region::Africa {
+                    self.rng.gen_range(0.5..1.6)
+                } else {
+                    self.rng.gen_range(0.1..0.45)
+                };
+                self.ops.push(OpSpec {
+                    company: id,
+                    brand,
+                    legal,
+                    former,
+                    country: target,
+                    service: ServiceKind::Access,
+                    role: AsRole::Access,
+                    weight,
+                    n_asns: if self.rng.gen_bool(0.25) { 2 } else { 1 },
+                    era: Era::Mixed,
+                });
+            }
+        }
+
+        // Private multinationals (Orbis false-positive material).
+        for spec in PRIVATE_CONGLOMERATES {
+            let owner_info = spec.owner.info().expect("registry country");
+            let brand_root = self.unique_brand(spec.owner);
+            let parent_legal = names::legal_name(&mut self.rng, &brand_root, spec.owner, 0.0);
+            let parent = self.new_company(
+                format!("{brand_root} Group"),
+                parent_legal,
+                spec.owner,
+                Self::operator_business(OperatorScope::National, ServiceKind::Both),
+            );
+            let _ = owner_info;
+            self.ops.push(OpSpec {
+                company: parent,
+                brand: format!("{brand_root} Group"),
+                legal: format!("{brand_root} Group"),
+                former: None,
+                country: spec.owner,
+                service: ServiceKind::Both,
+                role: AsRole::Access,
+                weight: 0.3,
+                n_asns: 1,
+                era: Era::Old,
+            });
+            for &target in spec.targets {
+                let Some(tinfo) = target.info() else { continue };
+                let brand = format!("{brand_root} {}", tinfo.name);
+                let legal = names::legal_name(&mut self.rng, &brand, target, 0.3);
+                let id = self.new_company(
+                    brand.clone(),
+                    legal.clone(),
+                    target,
+                    Self::operator_business(OperatorScope::National, ServiceKind::Access),
+                );
+                let bp = self.rng.gen_range(5_100..10_000);
+                self.hold(parent, id, Equity::from_bp(bp));
+                self.ops.push(OpSpec {
+                    company: id,
+                    brand,
+                    legal,
+                    former: None,
+                    country: target,
+                    service: ServiceKind::Access,
+                    role: AsRole::Access,
+                    weight: self.rng.gen_range(0.1..0.4),
+                    n_asns: 1,
+                    era: Era::Mixed,
+                });
+            }
+        }
+    }
+
+    // ---- ASNs ----
+
+    fn fresh_asn(&mut self, old_era: bool) -> Asn {
+        loop {
+            let v = if old_era {
+                self.rng.gen_range(1_000..64_000)
+            } else {
+                self.rng.gen_range(131_072..400_000)
+            };
+            if self.used_asns.insert(v) {
+                return Asn(v);
+            }
+        }
+    }
+
+    fn draw_birth(&mut self, era: Era) -> SimDate {
+        let (lo, hi) = match era {
+            Era::Old => (1995, 2009),
+            Era::Mixed => {
+                if self.rng.gen_bool(0.65) {
+                    (1995, 2009)
+                } else {
+                    (2010, 2019)
+                }
+            }
+            Era::Window(a, b) => (a, b),
+        };
+        SimDate::new(self.rng.gen_range(lo..=hi), self.rng.gen_range(1..=12))
+            .expect("month in range")
+    }
+
+    fn assign_asns(&mut self) -> (Vec<AsRegistration>, HashMap<Asn, AsProfile>) {
+        let mut registrations = Vec::new();
+        let mut profiles = HashMap::new();
+        let ops = std::mem::take(&mut self.ops);
+        for op in &ops {
+            let info = op.country.info().expect("registry country");
+            let birth = self.draw_birth(op.era);
+            for k in 0..op.n_asns {
+                let old = matches!(op.era, Era::Old) || birth.year < 2010;
+                let asn = self.fresh_asn(old);
+                registrations.push(AsRegistration {
+                    asn,
+                    company: op.company,
+                    brand: op.brand.clone(),
+                    legal_name: op.legal.clone(),
+                    former_name: op.former.clone(),
+                    country: op.country,
+                    rir: info.rir,
+                    domain: names::domain(&op.brand, op.country),
+                });
+                // First ASN carries the headline role; siblings are access
+                // arms (incumbent regional networks etc.).
+                let (role, service, weight) = if k == 0 {
+                    (op.role, op.service, op.weight)
+                } else {
+                    (AsRole::Access, ServiceKind::Access, 0.0)
+                };
+                profiles.insert(
+                    asn,
+                    AsProfile {
+                        asn,
+                        company: op.company,
+                        country: op.country,
+                        service,
+                        role,
+                        birth,
+                        market_share: weight, // normalized later
+                    },
+                );
+            }
+        }
+        self.ops = ops;
+        (registrations, profiles)
+    }
+
+    fn add_stubs(
+        &mut self,
+        registrations: &mut Vec<AsRegistration>,
+        profiles: &mut HashMap<Asn, AsProfile>,
+    ) {
+        for info in all_countries() {
+            let target = (f64::from(ases_for_size_class(info.size_class)) * self.cfg.scale)
+                .round() as usize;
+            let existing = profiles.values().filter(|p| p.country == info.code).count();
+            for _ in existing..target {
+                let brand = self.unique_brand(info.code);
+                let legal = names::legal_name(&mut self.rng, &brand, info.code, 0.2);
+                let id = self.new_company(brand.clone(), legal.clone(), info.code, Business::Enterprise);
+                let birth = self.draw_birth(Era::Mixed);
+                let asn = self.fresh_asn(birth.year < 2010);
+                registrations.push(AsRegistration {
+                    asn,
+                    company: id,
+                    brand: brand.clone(),
+                    legal_name: legal,
+                    former_name: None,
+                    country: info.code,
+                    rir: info.rir,
+                    domain: names::domain(&brand, info.code),
+                });
+                profiles.insert(
+                    asn,
+                    AsProfile {
+                        asn,
+                        company: id,
+                        country: info.code,
+                        service: ServiceKind::Access,
+                        role: AsRole::Stub,
+                        birth,
+                        market_share: 0.0,
+                    },
+                );
+            }
+        }
+    }
+
+    // ---- resources ----
+
+    #[allow(clippy::type_complexity)]
+    fn allocate_resources(
+        &mut self,
+        profiles: &mut HashMap<Asn, AsProfile>,
+        registrations: &[AsRegistration],
+    ) -> Result<
+        (Vec<(Ipv4Prefix, Asn)>, Vec<(Ipv4Prefix, CountryCode)>, Vec<(CountryCode, Asn, u64)>),
+        SoiError,
+    > {
+        let mut alloc = AddressAllocator::new();
+        let mut prefixes: Vec<(Ipv4Prefix, Asn)> = Vec::new();
+        let mut geo: Vec<(Ipv4Prefix, CountryCode)> = Vec::new();
+        let mut users: Vec<(CountryCode, Asn, u64)> = Vec::new();
+
+        // Group ASes per country in a deterministic order.
+        let mut by_country: HashMap<CountryCode, Vec<Asn>> = HashMap::new();
+        for reg in registrations {
+            by_country.entry(reg.country).or_default().push(reg.asn);
+        }
+
+        for info in all_countries() {
+            let Some(asns) = by_country.get(&info.code) else { continue };
+            // The US announces disproportionate legacy space ("largely
+            // unused but announced address blocks", §7) — without this the
+            // ex-US correction the paper reports would be invisible.
+            let budget = address_budget(info.size_class)
+                * if info.code.as_str() == "US" { 4 } else { 1 };
+            let user_pool = user_budget(info.size_class);
+
+            // Normalize access weights.
+            let total_weight: f64 = asns
+                .iter()
+                .map(|a| profiles[a].market_share)
+                .sum::<f64>()
+                .max(1e-9);
+
+            // Users do not track addresses one-for-one: NAT-heavy mobile
+            // operators serve many users on little space, while legacy
+            // holders squat on large blocks. A per-AS multiplicative
+            // distortion (renormalized below) decouples the two proxies,
+            // which is why the paper's two technical sources overlap only
+            // partially (466 of 1043 ASes).
+            let mut user_weight: HashMap<Asn, f64> = HashMap::new();
+            for &asn in asns {
+                let w = profiles[&asn].market_share;
+                if w > 0.0 {
+                    let distort = (self.rng.gen_range(-1.2f64..1.2)).exp();
+                    user_weight.insert(asn, w * distort);
+                }
+            }
+            // Sum in ASN order: float addition is not associative, and
+            // HashMap order would make the total (hence every user count)
+            // process-dependent.
+            let user_total: f64 = {
+                let mut ws: Vec<(Asn, f64)> = user_weight.iter().map(|(&a, &w)| (a, w)).collect();
+                ws.sort_by_key(|&(a, _)| a);
+                ws.iter().map(|&(_, w)| w).sum::<f64>().max(1e-9)
+            };
+
+            for &asn in asns {
+                let p = profiles.get_mut(&asn).expect("profile exists");
+                let share = p.market_share / total_weight;
+                let eyeball_share = user_weight.get(&asn).copied().unwrap_or(0.0) / user_total;
+                p.market_share = if p.market_share > 0.0 { share } else { 0.0 };
+                let (amount, max_blocks) = match p.role {
+                    AsRole::Access | AsRole::NationalTransit if share > 0.0 => {
+                        ((0.85 * budget as f64 * share) as u64, 3)
+                    }
+                    AsRole::GlobalCarrier | AsRole::RegionalCarrier => ((1u64 << 14), 1),
+                    AsRole::TransitGateway => ((1u64 << 11), 1),
+                    AsRole::Academic => ((budget / 24).clamp(1 << 12, 1 << 18), 1),
+                    AsRole::GovernmentNet => ((budget / 40).clamp(1 << 10, 1 << 16), 1),
+                    AsRole::Nic => ((1u64 << 10), 1),
+                    AsRole::Subnational => ((1u64 << 12), 1),
+                    AsRole::Stub => (if self.rng.gen_bool(0.2) { 512 } else { 256 }, 1),
+                    _ => (1u64 << 10, 1),
+                };
+                let blocks = alloc.alloc_amount(amount.max(256), max_blocks, 10)?;
+                for b in blocks {
+                    prefixes.push((b, asn));
+                    // Occasional cross-border geolocation of a block.
+                    let geo_country = if self.rng.gen_bool(self.cfg.geo_spill_rate) {
+                        let pool: Vec<CountryCode> = all_countries()
+                            .iter()
+                            .filter(|c| c.region == info.region && c.code != info.code)
+                            .map(|c| c.code)
+                            .collect();
+                        pool.choose(&mut self.rng).copied().unwrap_or(info.code)
+                    } else {
+                        info.code
+                    };
+                    geo.push((b, geo_country));
+                }
+
+                // Users follow the distorted eyeball share.
+                let u = match p.role {
+                    AsRole::Access | AsRole::NationalTransit if share > 0.0 => {
+                        (user_pool as f64 * eyeball_share * 0.95) as u64
+                    }
+                    AsRole::Academic => user_pool / 21,
+                    AsRole::Subnational => user_pool / 200,
+                    _ => 0,
+                };
+                if u > 0 {
+                    users.push((info.code, asn, u));
+                }
+            }
+        }
+        Ok((prefixes, geo, users))
+    }
+
+    // ---- topology ----
+
+    fn wire_topology(
+        &mut self,
+        profiles: &HashMap<Asn, AsProfile>,
+    ) -> Result<(Vec<Link>, IxpRegistry), SoiError> {
+        let mut links: Vec<Link> = Vec::new();
+        let mut have: HashSet<(Asn, Asn)> = HashSet::new();
+
+        let mut sorted: Vec<&AsProfile> = profiles.values().collect();
+        sorted.sort_by_key(|p| p.asn);
+
+        let tier1: Vec<Asn> = sorted
+            .iter()
+            .filter(|p| p.role == AsRole::GlobalCarrier)
+            .map(|p| p.asn)
+            .collect();
+        let regionals: Vec<&AsProfile> = sorted
+            .iter()
+            .filter(|p| p.role == AsRole::RegionalCarrier)
+            .copied()
+            .collect();
+        let mut transit_by_country: HashMap<CountryCode, Vec<Asn>> = HashMap::new();
+        let mut gateway_by_country: HashMap<CountryCode, Vec<Asn>> = HashMap::new();
+        let mut both_sellers_by_country: HashMap<CountryCode, Vec<Asn>> = HashMap::new();
+        for p in &sorted {
+            match p.role {
+                AsRole::NationalTransit => {
+                    transit_by_country.entry(p.country).or_default().push(p.asn)
+                }
+                AsRole::TransitGateway => {
+                    gateway_by_country.entry(p.country).or_default().push(p.asn)
+                }
+                _ => {}
+            }
+            if p.service == ServiceKind::Both && p.role != AsRole::Stub {
+                both_sellers_by_country.entry(p.country).or_default().push(p.asn);
+            }
+        }
+
+        let add = |rng: &mut SmallRng,
+                       links: &mut Vec<Link>,
+                       have: &mut HashSet<(Asn, Asn)>,
+                       a: Asn,
+                       b: Asn,
+                       rel: Relationship,
+                       birth: SimDate| {
+            if a == b {
+                return;
+            }
+            let key = (a.min(b), a.max(b));
+            if have.insert(key) {
+                let lag = rng.gen_range(0..6);
+                links.push(Link { a, b, rel, birth: birth.plus_months(lag) });
+            }
+        };
+
+        let birth_of = |asn: Asn| profiles[&asn].birth;
+        let link_birth = |a: Asn, b: Asn| birth_of(a).max(birth_of(b));
+
+        // 1. Tier-1 full-mesh peering.
+        for (i, &a) in tier1.iter().enumerate() {
+            for &b in &tier1[i + 1..] {
+                add(&mut self.rng, &mut links, &mut have, a, b, Relationship::PeerToPeer, link_birth(a, b));
+            }
+        }
+
+        // 2. Regional carriers buy from 2-3 tier-1s; sparse peering between
+        // regionals.
+        for r in &regionals {
+            let n = self.rng.gen_range(2..=3usize).min(tier1.len());
+            let mut ups = tier1.clone();
+            ups.shuffle(&mut self.rng);
+            for &u in ups.iter().take(n) {
+                add(&mut self.rng, &mut links, &mut have, r.asn, u, Relationship::CustomerToProvider, link_birth(r.asn, u));
+            }
+        }
+        for (i, a) in regionals.iter().enumerate() {
+            for b in &regionals[i + 1..] {
+                if self.rng.gen_bool(0.3) {
+                    add(&mut self.rng, &mut links, &mut have, a.asn, b.asn, Relationship::PeerToPeer, link_birth(a.asn, b.asn));
+                }
+            }
+        }
+
+        // 3. Gateways connect out to 1-2 tier-1/regional carriers.
+        // (Sorted iteration: HashMap order would leak the per-process
+        // hasher seed into RNG consumption and break determinism.)
+        let mut gateway_countries: Vec<_> = gateway_by_country.iter().collect();
+        gateway_countries.sort_by_key(|(c, _)| **c);
+        for (_, gws) in gateway_countries {
+            for &gw in gws {
+                let mut ups: Vec<Asn> =
+                    tier1.iter().chain(regionals.iter().map(|r| &r.asn)).copied().collect();
+                ups.shuffle(&mut self.rng);
+                for &u in ups.iter().take(self.rng.gen_range(1..=2)) {
+                    if profiles[&u].role.tier() < AsRole::TransitGateway.tier() {
+                        add(&mut self.rng, &mut links, &mut have, gw, u, Relationship::CustomerToProvider, link_birth(gw, u));
+                    }
+                }
+            }
+        }
+
+        // 4. National transit: in bottleneck countries, buy only from the
+        // domestic gateway; elsewhere from 1-3 tier-1/regional carriers.
+        for p in sorted.iter().filter(|p| p.role == AsRole::NationalTransit) {
+            if let Some(gws) = gateway_by_country.get(&p.country) {
+                for &gw in gws {
+                    add(&mut self.rng, &mut links, &mut have, p.asn, gw, Relationship::CustomerToProvider, link_birth(p.asn, gw));
+                }
+                continue;
+            }
+            let mut ups: Vec<Asn> =
+                tier1.iter().chain(regionals.iter().map(|r| &r.asn)).copied().collect();
+            ups.shuffle(&mut self.rng);
+            for &u in ups.iter().take(self.rng.gen_range(1..=3)) {
+                add(&mut self.rng, &mut links, &mut have, p.asn, u, Relationship::CustomerToProvider, link_birth(p.asn, u));
+            }
+        }
+
+        // 5. Access / specials / stubs buy from domestic providers.
+        for p in &sorted {
+            let providers: Vec<Asn> = match p.role {
+                AsRole::Access => {
+                    let mut ups: Vec<Asn> = transit_by_country
+                        .get(&p.country)
+                        .cloned()
+                        .unwrap_or_default();
+                    if ups.is_empty() {
+                        ups = gateway_by_country.get(&p.country).cloned().unwrap_or_default();
+                    }
+                    ups
+                }
+                AsRole::Stub
+                | AsRole::Academic
+                | AsRole::GovernmentNet
+                | AsRole::Nic
+                | AsRole::Subnational => both_sellers_by_country
+                    .get(&p.country)
+                    .cloned()
+                    .unwrap_or_default(),
+                _ => continue,
+            };
+            if providers.is_empty() {
+                continue;
+            }
+            let bottleneck = gateway_by_country.contains_key(&p.country);
+            let n = if bottleneck { 1 } else { self.rng.gen_range(1..=2usize) };
+            let mut ups = providers;
+            ups.shuffle(&mut self.rng);
+            for &u in ups.iter().take(n) {
+                if profiles[&u].role.tier() < p.role.tier() {
+                    add(&mut self.rng, &mut links, &mut have, p.asn, u, Relationship::CustomerToProvider, link_birth(p.asn, u));
+                }
+            }
+            // Occasional direct foreign upstream (not in bottlenecks).
+            if !bottleneck && p.role == AsRole::Access && self.rng.gen_bool(0.15) {
+                if let Some(&u) = tier1.as_slice().choose(&mut self.rng) {
+                    add(&mut self.rng, &mut links, &mut have, p.asn, u, Relationship::CustomerToProvider, link_birth(p.asn, u));
+                }
+            }
+        }
+
+        // 6. Regional carriers pick up foreign national-transit customers;
+        // cable carriers grow theirs through the decade (Figure 5).
+        for r in &regionals {
+            let Some(rinfo) = r.country.info() else { continue };
+            let is_cable = CABLE_CARRIERS.contains(&r.country);
+            let candidates: Vec<Asn> = sorted
+                .iter()
+                .filter(|p| {
+                    p.role == AsRole::NationalTransit
+                        && p.country != r.country
+                        // Bottleneck countries connect out only through
+                        // their gateway; recruiting their transits as
+                        // customers would breach the monopoly that CTI
+                        // is supposed to detect.
+                        && !gateway_by_country.contains_key(&p.country)
+                        && p.country.info().is_some_and(|i| {
+                            // Cables serve their region; big carriers global.
+                            !is_cable || i.region == rinfo.region
+                        })
+                })
+                .map(|p| p.asn)
+                .collect();
+            let want = if is_cable {
+                (18.0 * self.cfg.scale).ceil() as usize
+            } else {
+                (30.0 * self.cfg.scale).ceil() as usize
+            };
+            let mut pool = candidates;
+            pool.shuffle(&mut self.rng);
+            for &cust in pool.iter().take(want) {
+                let base = link_birth(cust, r.asn);
+                let birth = if is_cable {
+                    // Spread adoption across the decade after launch.
+                    let start = base.max(SimDate::HISTORY_START);
+                    let span = SimDate::SNAPSHOT.months_since_epoch()
+                        - start.months_since_epoch();
+                    start.plus_months(self.rng.gen_range(0..=span.max(1)))
+                } else {
+                    base
+                };
+                if profiles[&cust].role.tier() > r.role.tier() {
+                    add(&mut self.rng, &mut links, &mut have, cust, r.asn, Relationship::CustomerToProvider, birth);
+                }
+            }
+        }
+
+        // 7. Foreign subsidiaries multihome to the parent conglomerate's
+        // carrier when one exists.
+        let mut carrier_of_company: HashMap<CompanyId, Asn> = HashMap::new();
+        for r in &regionals {
+            carrier_of_company.entry(r.company).or_insert(r.asn);
+        }
+        for p in &sorted {
+            if p.role != AsRole::Access {
+                continue;
+            }
+            // Find a holder with a carrier ASN.
+            // (Direct majority parent lookup keeps this cheap.)
+            if self.rng.gen_bool(0.5) {
+                continue;
+            }
+            if let Some(&carrier) = carrier_of_company.get(&p.company) {
+                add(&mut self.rng, &mut links, &mut have, p.asn, carrier, Relationship::CustomerToProvider, link_birth(p.asn, carrier));
+            }
+        }
+
+        // 8. Internet exchange points: founded readily in large, open
+        // markets; rarely where a state incumbent dominates (the
+        // concentration/IXP relationship of Carisimo et al. 2020 the
+        // paper cites). Each exchange materializes a multilateral
+        // peering mesh.
+        let mut ixps: Vec<Ixp> = Vec::new();
+        for info in all_countries() {
+            let base = match info.size_class {
+                1 => 0.05,
+                2 => 0.2,
+                3 => 0.5,
+                _ => 0.85,
+            };
+            let concentrated = self
+                .incumbent_cat
+                .get(&info.code)
+                .is_some_and(|&cat| cat == OwnCat::Majority)
+                && MONOPOLY_COUNTRIES.contains(&info.code);
+            let dominant_share = profiles
+                .values()
+                .filter(|p| p.country == info.code)
+                .map(|p| p.market_share)
+                .fold(0.0f64, f64::max);
+            let penalty = if concentrated || dominant_share > 0.6 { 0.15 } else { 1.0 };
+            if !self.rng.gen_bool(base * penalty) {
+                continue;
+            }
+            // Members: domestic operators and a slice of stubs.
+            let mut domestic: Vec<Asn> = sorted
+                .iter()
+                .filter(|p| {
+                    p.country == info.code
+                        && matches!(
+                            p.role,
+                            AsRole::Access | AsRole::NationalTransit | AsRole::Stub
+                        )
+                })
+                .map(|p| p.asn)
+                .collect();
+            domestic.shuffle(&mut self.rng);
+            // Cap the mesh: route servers scale to thousands of members in
+            // reality, but a full O(n^2) mesh at class-6 country scale
+            // would dwarf every other link class in this scaled world.
+            let take = (domestic.len() * 2 / 3).clamp(2, 36).min(domestic.len());
+            domestic.truncate(take);
+            let Ok(ixp) = Ixp::new(
+                IxpId(ixps.len() as u32),
+                format!("IX.{}", info.code.as_str().to_ascii_lowercase()),
+                info.code,
+                domestic,
+            ) else {
+                continue;
+            };
+            // Materialize the mesh (respecting existing links).
+            let member_list = ixp.members.clone();
+            for (i, &x) in member_list.iter().enumerate() {
+                for &y in &member_list[i + 1..] {
+                    add(&mut self.rng, &mut links, &mut have, x, y, Relationship::PeerToPeer, link_birth(x, y));
+                }
+            }
+            ixps.push(ixp);
+        }
+
+        // 9. Sparse peering among national transits within a region.
+        let mut transits: Vec<&AsProfile> = sorted
+            .iter()
+            .filter(|p| p.role == AsRole::NationalTransit)
+            .copied()
+            .collect();
+        transits.sort_by_key(|p| p.asn);
+        for (i, a) in transits.iter().enumerate() {
+            if gateway_by_country.contains_key(&a.country) {
+                continue; // bottleneck transits never peer abroad
+            }
+            for b in transits[i + 1..].iter().take(20) {
+                if gateway_by_country.contains_key(&b.country) {
+                    continue;
+                }
+                let same_region = a
+                    .country
+                    .info()
+                    .zip(b.country.info())
+                    .is_some_and(|(x, y)| x.region == y.region);
+                if same_region && self.rng.gen_bool(0.06) {
+                    add(&mut self.rng, &mut links, &mut have, a.asn, b.asn, Relationship::PeerToPeer, link_birth(a.asn, b.asn));
+                }
+            }
+        }
+
+        Ok((links, IxpRegistry::new(ixps)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_deterministically() {
+        let cfg = WorldConfig::test_scale(7);
+        let a = generate(&cfg).unwrap();
+        let b = generate(&cfg).unwrap();
+        assert_eq!(a.registrations, b.registrations);
+        assert_eq!(a.prefix_assignments, b.prefix_assignments);
+        assert_eq!(a.truth.state_owned_ases, b.truth.state_owned_ases);
+        assert_eq!(a.topology.num_links(), b.topology.num_links());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&WorldConfig::test_scale(1)).unwrap();
+        let b = generate(&WorldConfig::test_scale(2)).unwrap();
+        assert_ne!(a.registrations, b.registrations);
+    }
+
+    #[test]
+    fn world_has_sane_shape() {
+        let w = generate(&WorldConfig::test_scale(3)).unwrap();
+        assert!(w.num_ases() > 400, "too few ASes: {}", w.num_ases());
+        assert!(w.topology.num_links() > w.num_ases() / 2);
+        assert!(!w.truth.state_owned_ases.is_empty());
+        assert!(!w.truth.foreign_subsidiary_ases.is_empty());
+        assert!(!w.truth.minority_ases.is_empty());
+        // Every AS has a registration, profile and at least one prefix or
+        // is at least present in the topology.
+        for reg in &w.registrations {
+            assert!(w.profiles.contains_key(&reg.asn));
+        }
+        let with_prefix: std::collections::HashSet<Asn> =
+            w.prefix_assignments.iter().map(|&(_, a)| a).collect();
+        assert!(with_prefix.len() as f64 > 0.95 * w.num_ases() as f64);
+    }
+
+    #[test]
+    fn monopoly_countries_have_dominant_state_operator() {
+        let w = generate(&WorldConfig::test_scale(4)).unwrap();
+        for &country in MONOPOLY_COUNTRIES {
+            let (inc, _) = w
+                .profiles
+                .values()
+                .filter(|p| p.country == country && p.market_share > 0.0)
+                .map(|p| (p.company, p.market_share))
+                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .expect("country has operators");
+            assert!(
+                w.control.controlling_state(inc).is_some(),
+                "{country}: dominant operator not state-controlled"
+            );
+        }
+    }
+
+    #[test]
+    fn bottleneck_gateways_exist_and_are_state_owned() {
+        let w = generate(&WorldConfig::test_scale(5)).unwrap();
+        for &country in BOTTLENECK_COUNTRIES {
+            let gw: Vec<&AsProfile> = w
+                .profiles
+                .values()
+                .filter(|p| p.country == country && p.role == AsRole::TransitGateway)
+                .collect();
+            assert!(!gw.is_empty(), "{country} missing gateway");
+            for p in gw {
+                assert!(w.truth.is_state_owned_as(p.asn), "{country} gateway not state-owned");
+            }
+        }
+    }
+
+    #[test]
+    fn foreign_subsidiaries_follow_table3() {
+        let w = generate(&WorldConfig::test_scale(6)).unwrap();
+        // Every conglomerate owner controls companies abroad.
+        for spec in CONGLOMERATES {
+            let controlled = w.control.controlled_by(spec.owner);
+            let abroad = controlled
+                .iter()
+                .filter(|&&c| w.ownership.company(c).map(|x| x.country) != Some(spec.owner))
+                .count();
+            assert!(
+                abroad >= spec.targets.len().saturating_sub(2),
+                "{}: only {abroad} foreign subsidiaries",
+                spec.owner
+            );
+        }
+    }
+
+    #[test]
+    fn market_shares_normalized_per_country() {
+        let w = generate(&WorldConfig::test_scale(8)).unwrap();
+        let mut per_country: HashMap<CountryCode, f64> = HashMap::new();
+        for p in w.profiles.values() {
+            *per_country.entry(p.country).or_default() += p.market_share;
+        }
+        for (c, total) in per_country {
+            assert!((0.0..=1.000001).contains(&total), "{c}: shares sum to {total}");
+        }
+    }
+
+    #[test]
+    fn ixps_avoid_state_concentrated_markets() {
+        let w = generate(&WorldConfig::test_scale(10)).unwrap();
+        assert!(!w.ixps.is_empty(), "world should have exchanges");
+        // Every exchange's mesh is materialized in the link set.
+        for ixp in w.ixps.ixps() {
+            assert!(ixp.size() >= 2);
+            let (a, b) = (ixp.members[0], ixp.members[1]);
+            assert!(
+                w.topology.peers(a).contains(&b)
+                    || w.topology.providers(a).contains(&b)
+                    || w.topology.customers(a).contains(&b),
+                "IXP members {a} and {b} not connected"
+            );
+        }
+        // Monopoly countries almost never host one (the concentration
+        // penalty); open large markets usually do.
+        let monopoly_with_ixp = MONOPOLY_COUNTRIES
+            .iter()
+            .filter(|&&c| w.ixps.in_country(c).next().is_some())
+            .count();
+        assert!(
+            monopoly_with_ixp <= 3,
+            "{monopoly_with_ixp} of 18 monopoly countries host IXPs"
+        );
+        let open_big: Vec<_> = all_countries()
+            .iter()
+            .filter(|i| i.size_class >= 4 && !MONOPOLY_COUNTRIES.contains(&i.code))
+            .collect();
+        let open_with_ixp = open_big
+            .iter()
+            .filter(|i| w.ixps.in_country(i.code).next().is_some())
+            .count();
+        assert!(
+            open_with_ixp * 2 >= open_big.len(),
+            "only {open_with_ixp}/{} open large markets host IXPs",
+            open_big.len()
+        );
+    }
+
+    #[test]
+    fn cone_history_shows_cable_growth() {
+        let w = generate(&WorldConfig::test_scale(9)).unwrap();
+        let history = w.cone_history().unwrap();
+        assert_eq!(history.len(), w.config.history_snapshots);
+        // Cable carriers' cones grow.
+        let cable_ases: Vec<Asn> = w
+            .profiles
+            .values()
+            .filter(|p| {
+                p.role == AsRole::RegionalCarrier && CABLE_CARRIERS.contains(&p.country)
+            })
+            .map(|p| p.asn)
+            .collect();
+        assert_eq!(cable_ases.len(), 2);
+        for asn in cable_ases {
+            let series = history.series(asn);
+            assert!(
+                series.slope_per_year().unwrap_or(0.0) > 0.0,
+                "{asn}: cable cone not growing"
+            );
+        }
+    }
+}

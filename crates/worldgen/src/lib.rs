@@ -1,0 +1,34 @@
+//! Seeded synthetic-Internet generator.
+//!
+//! Every input the paper consumes is proprietary or web-scale, so the
+//! reproduction builds a *world* instead: countries (real ISO codes and RIR
+//! memberships), governments, telcos with full shareholder structures
+//! (direct stakes, wealth/pension funds, foreign subsidiaries, joint
+//! ventures, misleading names), ASNs with registrations, address space,
+//! user populations, and an AS-level topology with tier-1 carriers,
+//! national transit gateways and stub networks. The generator is
+//! deterministic from a single `u64` seed, and — crucially — retains
+//! **ground truth** ([`GroundTruth`]): which companies are state-owned and
+//! which ASes they operate. That is what lets the reproduction measure the
+//! pipeline's precision and recall, something the paper could only
+//! approximate with expert spot-checks.
+//!
+//! Shape calibration comes from the paper itself: per-region state-
+//! ownership prevalence (Figure 1/Table 4), the foreign-subsidiary
+//! conglomerate table (Table 3), the near-monopoly countries (Table 8,
+//! Appendix F), and transit-bottleneck countries whose state gateways only
+//! CTI can discover (Appendix D).
+
+pub mod allocator;
+pub mod churn;
+pub mod config;
+pub mod generate;
+pub mod names;
+pub mod truth;
+pub mod world;
+
+pub use churn::{ChurnConfig, ChurnLog};
+pub use config::WorldConfig;
+pub use generate::generate;
+pub use truth::{ExclusionReason, GroundTruth};
+pub use world::{AsProfile, AsRole, World};

@@ -1,0 +1,222 @@
+//! Deterministic company-name synthesis.
+//!
+//! Names matter in this problem: the pipeline maps ASes to companies by
+//! name, and the paper's §9 warns about misleading ones. The generator
+//! produces plausible telco names per country ("EthioNet Telecom",
+//! "Andes Comunicaciones"), legal registered names that may diverge from
+//! the brand, and former names for rebranded firms.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use soi_types::{CountryCode, Region};
+
+const STEMS: &[&str] = &[
+    "Tele", "Net", "Com", "Link", "Globe", "Uni", "Inter", "Trans", "Star", "Sky", "Terra",
+    "Digi", "Opti", "Axis", "Nova", "Omni", "Via", "Volt", "Zen", "Core", "Hex", "Luma",
+    "Aero", "Bright", "Crest", "Delta", "Ether", "Flux", "Giga", "Halo", "Iris", "Jet",
+    "Kilo", "Lyra", "Meridian", "Nimbus", "Orbit", "Pulse", "Quanta", "Ridge", "Summit",
+    "Tide", "Umbra", "Vertex", "Wave", "Xenon", "Yonder", "Zephyr", "Atlas", "Borea",
+];
+
+const TAILS: &[&str] = &[
+    "com", "net", "tel", "link", "line", "wave", "data", "connect", "speed", "band", "cast",
+    "path", "port", "cable", "fiber", "grid", "mesh", "beam", "loop", "span", "route", "pulse",
+];
+
+const SUFFIXES: &[&str] = &[
+    "Telecom", "Communications", "Networks", "Internet", "Broadband", "Telecommunications",
+    "Connect", "Online", "Digital",
+];
+
+const LEGAL_FORMS: &[(&str, Region)] = &[
+    ("S.A.", Region::LatinAmerica),
+    ("S.A.", Region::Africa),
+    ("AS", Region::Europe),
+    ("AB", Region::Europe),
+    ("GmbH", Region::Europe),
+    ("PJSC", Region::MiddleEast),
+    ("Bhd", Region::Asia),
+    ("Pte Ltd", Region::Asia),
+    ("JSC", Region::CentralAsia),
+    ("Inc.", Region::NorthAmerica),
+    ("Ltd", Region::Oceania),
+];
+
+/// Generates a brand name flavoured by the country.
+pub fn brand_name(rng: &mut impl Rng, country: CountryCode) -> String {
+    let info = country.info();
+    let country_word = info.map(|i| i.name.split(' ').next().unwrap_or(i.name));
+    match rng.gen_range(0..4u8) {
+        // "EthioNet" style: country fragment + tail.
+        0 => {
+            let base = country_word.unwrap_or("Global");
+            let cut = base.len().min(5);
+            format!(
+                "{}{}",
+                &base[..base.char_indices().nth(cut).map_or(base.len(), |(i, _)| i)],
+                capitalize(TAILS.choose(rng).expect("non-empty"))
+            )
+        }
+        // "Nova Telecom" style, usually carrying the country to keep
+        // names distinguishable (as real operators do).
+        1 => {
+            let base = format!(
+                "{} {}",
+                STEMS.choose(rng).expect("non-empty"),
+                SUFFIXES.choose(rng).expect("non-empty")
+            );
+            match country_word {
+                Some(cw) if rng.gen_bool(0.6) => format!("{base} {cw}"),
+                _ => base,
+            }
+        }
+        // "Telenet" style compound.
+        2 => {
+            let base = format!(
+                "{}{}",
+                STEMS.choose(rng).expect("non-empty"),
+                TAILS.choose(rng).expect("non-empty")
+            );
+            match country_word {
+                Some(cw) if rng.gen_bool(0.5) => format!("{base} {cw}"),
+                _ => base,
+            }
+        }
+        // "Telecom Argentina" style: suffix + country name.
+        _ => format!(
+            "{} {}",
+            SUFFIXES.choose(rng).expect("non-empty"),
+            country_word.unwrap_or("International")
+        ),
+    }
+}
+
+/// The incumbent's traditional name ("Angola Telecom"), used for state
+/// telcos. The *full* country name keeps incumbents globally unique —
+/// "United Arab Emirates Telecom" and "United Kingdom Telecom" must not
+/// collide, or the confirmation stage would conflate their ownership.
+pub fn incumbent_name(country: CountryCode) -> String {
+    let name = country.info().map(|i| i.name).unwrap_or("National");
+    format!("{name} Telecom")
+}
+
+/// The short prefix a conglomerate stamps on its foreign subsidiaries
+/// ("Emirates" for "United Arab Emirates Telecom" -> "Emirates Egypt").
+pub fn conglomerate_prefix(parent_brand: &str) -> &str {
+    let stem = parent_brand.strip_suffix(" Telecom").unwrap_or(parent_brand);
+    stem.rsplit(' ').next().unwrap_or(stem)
+}
+
+/// The registered legal name for a brand; with probability
+/// `obscure_rate`, a legal entity name that shares nothing with the brand
+/// (the "Transamerican Telecomunication" effect), otherwise brand + legal
+/// form.
+pub fn legal_name(
+    rng: &mut impl Rng,
+    brand: &str,
+    country: CountryCode,
+    obscure_rate: f64,
+) -> String {
+    if rng.gen_bool(obscure_rate) {
+        // Compose from three independent draws so obscure legal names
+        // practically never collide (a collision would wrongly merge two
+        // organizations in AS2Org-style clustering).
+        let a = STEMS.choose(rng).expect("non-empty");
+        let t = TAILS.choose(rng).expect("non-empty");
+        let b = STEMS.choose(rng).expect("non-empty");
+        let c = SUFFIXES.choose(rng).expect("non-empty");
+        return format!("{a}{t} {b}ram {c} Holdings");
+    }
+    let region = country.info().map(|i| i.region);
+    let forms: Vec<&str> = LEGAL_FORMS
+        .iter()
+        .filter(|(_, r)| Some(*r) == region)
+        .map(|&(f, _)| f)
+        .collect();
+    let form = forms.choose(rng).copied().unwrap_or("Ltd");
+    format!("{brand} {form}")
+}
+
+/// A pre-rebrand name (the PTT-era name for incumbents).
+pub fn former_name(rng: &mut impl Rng, country: CountryCode) -> String {
+    let name = country
+        .info()
+        .map(|i| i.name.split(' ').next().unwrap_or(i.name))
+        .unwrap_or("National");
+    let kind = ["Post & Telegraph", "PTT", "Telegraph Authority", "State Telephone"]
+        .choose(rng)
+        .expect("non-empty");
+    format!("{name} {kind}")
+}
+
+/// Web domain for a brand ("novatelecom.example").
+pub fn domain(brand: &str, country: CountryCode) -> String {
+    let stem: String = brand
+        .chars()
+        .filter(|c| c.is_ascii_alphanumeric())
+        .collect::<String>()
+        .to_ascii_lowercase();
+    format!("{stem}.{}", country.as_str().to_ascii_lowercase())
+}
+
+fn capitalize(s: &str) -> String {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) => c.to_uppercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use soi_types::cc;
+
+    #[test]
+    fn names_are_deterministic() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(1);
+        for _ in 0..50 {
+            assert_eq!(brand_name(&mut a, cc("AO")), brand_name(&mut b, cc("AO")));
+        }
+    }
+
+    #[test]
+    fn incumbents_carry_country_names() {
+        assert_eq!(incumbent_name(cc("AO")), "Angola Telecom");
+        assert_eq!(incumbent_name(cc("CU")), "Cuba Telecom");
+    }
+
+    #[test]
+    fn legal_names_extend_or_obscure() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let clear = legal_name(&mut rng, "NovaTel", cc("NO"), 0.0);
+        assert!(clear.starts_with("NovaTel "), "{clear}");
+        let obscure = legal_name(&mut rng, "NovaTel", cc("NO"), 1.0);
+        assert!(!obscure.contains("NovaTel"), "{obscure}");
+    }
+
+    #[test]
+    fn domains_are_clean() {
+        assert_eq!(domain("Nova Telecom S.A.", cc("AR")), "novatelecomsa.ar");
+    }
+
+    #[test]
+    fn former_names_differ_from_incumbent() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let f = former_name(&mut rng, cc("AO"));
+        assert!(f.starts_with("Angola "));
+        assert_ne!(f, incumbent_name(cc("AO")));
+    }
+
+    #[test]
+    fn brand_names_are_nonempty_for_all_variants() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..200 {
+            let n = brand_name(&mut rng, cc("KZ"));
+            assert!(!n.trim().is_empty());
+        }
+    }
+}

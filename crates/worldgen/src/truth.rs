@@ -1,0 +1,220 @@
+//! Ground-truth labels derived from the generated world.
+//!
+//! The generator retains perfect knowledge, so the classification the
+//! pipeline is *supposed* to produce can be computed directly: which
+//! companies are majority state-owned eligible Internet operators, which
+//! are foreign subsidiaries, which carry only minority state stakes, and
+//! which are excluded (and why). The evaluation harness scores the
+//! pipeline's output against these labels.
+
+use std::collections::{HashMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+use soi_ownership::{Business, OperatorScope, OwnershipGraph, StateControl};
+use soi_registry::AsRegistration;
+use soi_types::{Asn, CompanyId, CountryCode};
+
+/// Why a state-controlled company is nonetheless excluded from the
+/// dataset (the paper's §5.3 / Appendix E taxonomy).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum ExclusionReason {
+    /// Operates only below country level.
+    Subnational,
+    /// Academic network / research backbone.
+    Academic,
+    /// Government-office connectivity.
+    GovernmentAgency,
+    /// NIC/ccTLD administration.
+    InternetAdministration,
+    /// Not an Internet service business at all.
+    NotInternetService,
+}
+
+/// Ground-truth classification of every company and AS.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct GroundTruth {
+    /// Majority state-owned, eligible Internet operators (the dataset the
+    /// pipeline should recover).
+    pub state_owned_companies: Vec<CompanyId>,
+    /// Subset of `state_owned_companies` registered in a different country
+    /// than their controlling state.
+    pub foreign_subsidiaries: Vec<CompanyId>,
+    /// Eligible operators with only minority state stakes.
+    pub minority_companies: Vec<CompanyId>,
+    /// State-controlled entities excluded from the dataset, with reasons.
+    pub excluded: HashMap<CompanyId, ExclusionReason>,
+    /// ASes of `state_owned_companies`.
+    pub state_owned_ases: Vec<Asn>,
+    /// ASes of `foreign_subsidiaries`.
+    pub foreign_subsidiary_ases: Vec<Asn>,
+    /// ASes of `minority_companies`.
+    pub minority_ases: Vec<Asn>,
+    /// Controlling state per state-owned company.
+    pub controller: HashMap<CompanyId, CountryCode>,
+}
+
+impl GroundTruth {
+    /// Derives the labels from the generated world's internals.
+    pub fn derive(
+        ownership: &OwnershipGraph,
+        control: &StateControl,
+        registrations: &[AsRegistration],
+    ) -> GroundTruth {
+        let mut truth = GroundTruth::default();
+        for company in ownership.companies() {
+            let Some(state) = control.controlling_state(company.id) else {
+                // No controlling state; note minority operators.
+                if company.business.is_eligible_operator()
+                    && !control.minority_states(company.id).is_empty()
+                {
+                    truth.minority_companies.push(company.id);
+                }
+                continue;
+            };
+            match company.business {
+                Business::InternetOperator { scope: OperatorScope::National, .. } => {
+                    truth.state_owned_companies.push(company.id);
+                    truth.controller.insert(company.id, state);
+                    if state != company.country {
+                        truth.foreign_subsidiaries.push(company.id);
+                    }
+                }
+                Business::InternetOperator { scope: OperatorScope::Subnational, .. } => {
+                    truth.excluded.insert(company.id, ExclusionReason::Subnational);
+                }
+                Business::AcademicNetwork => {
+                    truth.excluded.insert(company.id, ExclusionReason::Academic);
+                }
+                Business::GovernmentAgencyNetwork => {
+                    truth.excluded.insert(company.id, ExclusionReason::GovernmentAgency);
+                }
+                Business::InternetAdministration => {
+                    truth
+                        .excluded
+                        .insert(company.id, ExclusionReason::InternetAdministration);
+                }
+                Business::NonInternetTelco | Business::HardwareVendor | Business::Enterprise => {
+                    truth.excluded.insert(company.id, ExclusionReason::NotInternetService);
+                }
+                // Pure structure: governments, funds, investor pools.
+                Business::Holding | Business::Government | Business::PrivateInvestorPool => {}
+            }
+        }
+
+        let owned: HashSet<CompanyId> = truth.state_owned_companies.iter().copied().collect();
+        let foreign: HashSet<CompanyId> = truth.foreign_subsidiaries.iter().copied().collect();
+        let minority: HashSet<CompanyId> = truth.minority_companies.iter().copied().collect();
+        for reg in registrations {
+            if owned.contains(&reg.company) {
+                truth.state_owned_ases.push(reg.asn);
+            }
+            if foreign.contains(&reg.company) {
+                truth.foreign_subsidiary_ases.push(reg.asn);
+            }
+            if minority.contains(&reg.company) {
+                truth.minority_ases.push(reg.asn);
+            }
+        }
+        for list in [
+            &mut truth.state_owned_companies,
+            &mut truth.foreign_subsidiaries,
+            &mut truth.minority_companies,
+        ] {
+            list.sort_unstable();
+        }
+        for list in [
+            &mut truth.state_owned_ases,
+            &mut truth.foreign_subsidiary_ases,
+            &mut truth.minority_ases,
+        ] {
+            list.sort_unstable();
+        }
+        truth
+    }
+
+    /// Countries with at least one (domestically-controlled) state-owned
+    /// operator.
+    pub fn owner_countries(&self) -> Vec<CountryCode> {
+        let mut out: Vec<CountryCode> = self.controller.values().copied().collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// True if the ASN belongs to a majority state-owned operator.
+    pub fn is_state_owned_as(&self, asn: Asn) -> bool {
+        self.state_owned_ases.binary_search(&asn).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soi_ownership::{Company, OwnershipGraphBuilder, ServiceKind};
+    use soi_types::{cc, Equity, Rir};
+
+    fn company(id: u32, name: &str, country: &str, business: Business) -> Company {
+        Company::new(CompanyId(id), name, name, country.parse().unwrap(), business)
+    }
+
+    fn reg(asn: u32, company: u32, country: &str) -> AsRegistration {
+        AsRegistration {
+            asn: Asn(asn),
+            company: CompanyId(company),
+            brand: format!("B{company}"),
+            legal_name: format!("B{company} Ltd"),
+            former_name: None,
+            country: country.parse().unwrap(),
+            rir: Rir::Ripe,
+            domain: format!("b{company}.example"),
+        }
+    }
+
+    const OPERATOR: Business = Business::InternetOperator {
+        scope: OperatorScope::National,
+        service: ServiceKind::Both,
+    };
+
+    #[test]
+    fn derives_all_label_classes() {
+        let mut b = OwnershipGraphBuilder::new();
+        b.add_company(company(1, "Gov NO", "NO", Business::Government));
+        b.add_company(company(2, "Telenor", "NO", OPERATOR));
+        b.add_company(company(3, "Telenor DK", "DK", OPERATOR)); // foreign sub
+        b.add_company(company(4, "PartialTel", "NO", OPERATOR)); // minority
+        b.add_company(company(5, "Uninett", "NO", Business::AcademicNetwork));
+        b.add_company(
+            company(
+                6,
+                "Oslo Net",
+                "NO",
+                Business::InternetOperator {
+                    scope: OperatorScope::Subnational,
+                    service: ServiceKind::Access,
+                },
+            ),
+        );
+        b.add_holding(CompanyId(1), CompanyId(2), Equity::from_percent(54));
+        b.add_holding(CompanyId(2), CompanyId(3), Equity::from_percent(100));
+        b.add_holding(CompanyId(1), CompanyId(4), Equity::from_percent(30));
+        b.add_holding(CompanyId(1), CompanyId(5), Equity::from_percent(100));
+        b.add_holding(CompanyId(1), CompanyId(6), Equity::from_percent(100));
+        let g = b.build().unwrap();
+        let control = StateControl::resolve(&g);
+        let regs = vec![reg(10, 2, "NO"), reg(11, 2, "NO"), reg(20, 3, "DK"), reg(30, 4, "NO"), reg(40, 5, "NO"), reg(50, 6, "NO")];
+        let truth = GroundTruth::derive(&g, &control, &regs);
+
+        assert_eq!(truth.state_owned_companies, vec![CompanyId(2), CompanyId(3)]);
+        assert_eq!(truth.foreign_subsidiaries, vec![CompanyId(3)]);
+        assert_eq!(truth.minority_companies, vec![CompanyId(4)]);
+        assert_eq!(truth.state_owned_ases, vec![Asn(10), Asn(11), Asn(20)]);
+        assert_eq!(truth.foreign_subsidiary_ases, vec![Asn(20)]);
+        assert_eq!(truth.minority_ases, vec![Asn(30)]);
+        assert_eq!(truth.excluded[&CompanyId(5)], ExclusionReason::Academic);
+        assert_eq!(truth.excluded[&CompanyId(6)], ExclusionReason::Subnational);
+        assert_eq!(truth.controller[&CompanyId(3)], cc("NO"));
+        assert_eq!(truth.owner_countries(), vec![cc("NO")]);
+        assert!(truth.is_state_owned_as(Asn(10)));
+        assert!(!truth.is_state_owned_as(Asn(30)));
+    }
+}

@@ -1,0 +1,245 @@
+//! The assembled world and its accessors.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use soi_ownership::{OwnershipGraph, ServiceKind, StateControl};
+use soi_registry::AsRegistration;
+use soi_topology::{AsGraph, AsGraphBuilder, ConeHistory, IxpRegistry, Relationship, cone_sizes};
+use soi_types::{Asn, CompanyId, CountryCode, Ipv4Prefix, Rir, SimDate, SoiError};
+
+use crate::config::WorldConfig;
+use crate::truth::GroundTruth;
+
+/// Structural role of an AS in the generated topology.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum AsRole {
+    /// Tier-1 global carrier (full-mesh peering at the top).
+    GlobalCarrier,
+    /// Regional/submarine-cable carrier selling transit across countries.
+    RegionalCarrier,
+    /// National transit provider (incumbent transit arm).
+    NationalTransit,
+    /// State-owned international gateway in a bottleneck country.
+    TransitGateway,
+    /// Access/eyeball network.
+    Access,
+    /// Enterprise stub.
+    Stub,
+    /// Academic network (excluded category).
+    Academic,
+    /// Government-office network (excluded category).
+    GovernmentNet,
+    /// NIC/ccTLD administrative network (excluded category).
+    Nic,
+    /// Subnational (state/municipal) operator (excluded category).
+    Subnational,
+}
+
+impl AsRole {
+    /// Strict provider-hierarchy tier; customer→provider links only ever
+    /// point to a strictly smaller tier, which makes the generated graph
+    /// acyclic by construction.
+    pub fn tier(self) -> u8 {
+        match self {
+            AsRole::GlobalCarrier => 0,
+            AsRole::RegionalCarrier => 1,
+            // Gateways sit above their country's transit providers: in a
+            // bottleneck country the national incumbent buys from the
+            // gateway, never the other way around.
+            AsRole::TransitGateway => 2,
+            AsRole::NationalTransit => 3,
+            AsRole::Access => 4,
+            AsRole::Stub
+            | AsRole::Academic
+            | AsRole::GovernmentNet
+            | AsRole::Nic
+            | AsRole::Subnational => 5,
+        }
+    }
+}
+
+/// Per-AS generation metadata (ground truth, not observable data).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AsProfile {
+    /// The AS.
+    pub asn: Asn,
+    /// Operating company.
+    pub company: CompanyId,
+    /// Country whose market the AS serves (for subsidiaries: the *target*
+    /// country, not the parent's).
+    pub country: CountryCode,
+    /// Kind of service sold.
+    pub service: ServiceKind,
+    /// Structural role.
+    pub role: AsRole,
+    /// When the AS first appeared.
+    pub birth: SimDate,
+    /// Share of the operating country's access market in [0, 1]
+    /// (0 for pure transit/stub/special ASes).
+    pub market_share: f64,
+}
+
+/// One inter-AS link with its appearance date.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Link {
+    /// Customer (for transit links) or first peer.
+    pub a: Asn,
+    /// Provider (for transit links) or second peer.
+    pub b: Asn,
+    /// Link kind.
+    pub rel: Relationship,
+    /// When the link appeared.
+    pub birth: SimDate,
+}
+
+/// The fully-generated synthetic Internet.
+#[derive(Clone, Debug)]
+pub struct World {
+    /// The configuration that produced it.
+    pub config: WorldConfig,
+    /// Company/shareholder graph (ground truth).
+    pub ownership: OwnershipGraph,
+    /// Resolved state control (ground truth).
+    pub control: StateControl,
+    /// Every ASN delegation.
+    pub registrations: Vec<AsRegistration>,
+    /// Ground-truth AS metadata.
+    pub profiles: HashMap<Asn, AsProfile>,
+    /// The current (snapshot-date) topology.
+    pub topology: AsGraph,
+    /// All links with birth dates (for historical snapshots).
+    pub links: Vec<Link>,
+    /// Announced prefixes with their origins.
+    pub prefix_assignments: Vec<(Ipv4Prefix, Asn)>,
+    /// Ground-truth geolocation blocks.
+    pub geo_blocks: Vec<(Ipv4Prefix, CountryCode)>,
+    /// Ground-truth users per (country, AS).
+    pub users: Vec<(CountryCode, Asn, u64)>,
+    /// Internet exchange points (multilateral peering already
+    /// materialized into `links`).
+    pub ixps: IxpRegistry,
+    /// Ground-truth classification labels.
+    pub truth: GroundTruth,
+}
+
+impl World {
+    /// The registration of an ASN.
+    pub fn registration(&self, asn: Asn) -> Option<&AsRegistration> {
+        // Registrations are sorted by ASN at generation time.
+        self.registrations
+            .binary_search_by_key(&asn, |r| r.asn)
+            .ok()
+            .map(|i| &self.registrations[i])
+    }
+
+    /// The company operating an ASN.
+    pub fn company_of(&self, asn: Asn) -> Option<CompanyId> {
+        self.registration(asn).map(|r| r.company)
+    }
+
+    /// True if any of the company's ASes serves end users (false for
+    /// transit-only operators such as gateways and cable carriers —
+    /// precisely the class that "flies under the radar" of
+    /// ownership-focused sources, Appendix D).
+    pub fn company_serves_access(&self, company: CompanyId) -> bool {
+        self.registrations
+            .iter()
+            .filter(|r| r.company == company)
+            .any(|r| {
+                self.profiles
+                    .get(&r.asn)
+                    .is_some_and(|p| p.market_share > 0.0 || p.service.serves_access())
+            })
+    }
+
+    /// All ASNs of one company, sorted.
+    pub fn asns_of(&self, company: CompanyId) -> Vec<Asn> {
+        self.registrations
+            .iter()
+            .filter(|r| r.company == company)
+            .map(|r| r.asn)
+            .collect()
+    }
+
+    /// Total number of ASes.
+    pub fn num_ases(&self) -> usize {
+        self.registrations.len()
+    }
+
+    /// Chooses `count` monitor ASes: all global/regional carriers first,
+    /// then national transit providers round-robin across RIRs — the same
+    /// skew as real RouteViews/RIS feeds (well-connected, biased to large
+    /// networks, but geographically spread).
+    pub fn default_monitor_ases(&self, count: usize) -> Vec<Asn> {
+        let mut carriers: Vec<Asn> = Vec::new();
+        let mut transit_by_rir: HashMap<Rir, Vec<Asn>> = HashMap::new();
+        let mut profiles: Vec<&AsProfile> = self.profiles.values().collect();
+        profiles.sort_by_key(|p| p.asn);
+        for p in profiles {
+            match p.role {
+                AsRole::GlobalCarrier | AsRole::RegionalCarrier => carriers.push(p.asn),
+                AsRole::NationalTransit => {
+                    if let Some(info) = p.country.info() {
+                        transit_by_rir.entry(info.rir).or_default().push(p.asn);
+                    }
+                }
+                _ => {}
+            }
+        }
+        let mut out = carriers;
+        out.truncate(count);
+        let mut idx = 0usize;
+        while out.len() < count {
+            let mut added = false;
+            for rir in Rir::ALL {
+                if out.len() >= count {
+                    break;
+                }
+                if let Some(list) = transit_by_rir.get(&rir) {
+                    if let Some(&asn) = list.get(idx) {
+                        out.push(asn);
+                        added = true;
+                    }
+                }
+            }
+            if !added {
+                break;
+            }
+            idx += 1;
+        }
+        out
+    }
+
+    /// The topology as it stood at `date` (links born on or before it).
+    pub fn topology_at(&self, date: SimDate) -> Result<AsGraph, SoiError> {
+        let mut b = AsGraphBuilder::new();
+        for link in &self.links {
+            if link.birth <= date {
+                match link.rel {
+                    Relationship::CustomerToProvider => b.add_transit(link.a, link.b),
+                    Relationship::PeerToPeer => b.add_peering(link.a, link.b),
+                };
+            }
+        }
+        b.build()
+    }
+
+    /// Customer-cone history from January 2010 to the snapshot date, with
+    /// `config.history_snapshots` evenly-spaced samples (Figure 5's
+    /// underlying data).
+    pub fn cone_history(&self) -> Result<ConeHistory, SoiError> {
+        let mut history = ConeHistory::new();
+        let n = self.config.history_snapshots.max(2);
+        let start = SimDate::HISTORY_START;
+        let end = SimDate::SNAPSHOT;
+        let span = end.months_since_epoch() - start.months_since_epoch();
+        for i in 0..n {
+            let offset = span * i as u32 / (n as u32 - 1);
+            let date = start.plus_months(offset);
+            let graph = self.topology_at(date)?;
+            history.push(date, cone_sizes(&graph));
+        }
+        Ok(history)
+    }
+}

@@ -1,0 +1,64 @@
+//! Dataset ageing: how fast does the published dataset go stale, and how
+//! cheap is maintenance? (§9's future-work churn study, made runnable.)
+//!
+//! Freezes the snapshot dataset, evolves the world year by year
+//! (privatizations, nationalizations, conglomerate acquisitions,
+//! rebrands), scores the frozen dataset against each year's ground
+//! truth, and finally re-runs the whole pipeline on the aged world to
+//! measure the size of the refresh diff.
+//!
+//! ```sh
+//! cargo run --release --example ageing [seed] [years]
+//! ```
+
+use soi_analysis::ageing::{maintenance_fraction, AgeingReport};
+use soi_core::{DatasetDiff, InputConfig, Pipeline, PipelineConfig, PipelineInputs};
+use soi_worldgen::{generate, ChurnConfig, WorldConfig};
+
+fn main() {
+    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2021);
+    let years: u32 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(5);
+
+    let world = generate(&WorldConfig { seed, ..WorldConfig::paper_scale() }).expect("worldgen");
+    let inputs = PipelineInputs::from_world(&world, &InputConfig::with_seed(seed)).expect("inputs");
+    let snapshot = Pipeline::run(&inputs, &PipelineConfig::default());
+    println!(
+        "snapshot dataset: {} organizations, {} ASNs\n",
+        snapshot.dataset.organizations.len(),
+        snapshot.dataset.state_owned_ases().len()
+    );
+
+    let churn = ChurnConfig { seed, ..ChurnConfig::default() };
+    println!("== Frozen-dataset decay over {years} years of churn ==");
+    let report =
+        AgeingReport::compute(&world, &snapshot.dataset, &churn, years).expect("ageing");
+    println!("{}", report.text());
+
+    // Maintenance run: evolve the world fully, re-derive inputs, re-run
+    // the pipeline, and diff against the frozen snapshot.
+    let (aged_world, logs) = churn.evolve_years(&world, years).expect("churn");
+    let total_events: usize = logs.iter().map(|l| l.ownership_events()).sum();
+    let aged_inputs =
+        PipelineInputs::from_world(&aged_world, &InputConfig::with_seed(seed)).expect("inputs");
+    let refreshed = Pipeline::run(&aged_inputs, &PipelineConfig::default());
+    let diff = DatasetDiff::between(&snapshot.dataset, &refreshed.dataset);
+
+    println!("== Maintenance after {years} years ({total_events} ownership events) ==");
+    println!(
+        "refresh diff: +{} / -{} ASNs, +{} / -{} organizations",
+        diff.added_ases.len(),
+        diff.removed_ases.len(),
+        diff.added_orgs.len(),
+        diff.removed_orgs.len()
+    );
+    let frac = maintenance_fraction(&snapshot.dataset, &[diff.size()]);
+    println!(
+        "diff size is {:.1}% of the dataset — {}",
+        frac * 100.0,
+        if frac < 0.5 {
+            "consistent with the paper's 'maintenance is fractional' conjecture"
+        } else {
+            "larger than the paper's conjecture anticipates"
+        }
+    );
+}

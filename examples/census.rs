@@ -1,0 +1,69 @@
+//! Census: run the full pipeline and export the complete dataset in the
+//! paper's published JSON schema, then summarize it per country.
+//!
+//! ```sh
+//! cargo run --release --example census -- [--out dataset.json] [--seed N]
+//! ```
+
+use soi_analysis::render::render_table;
+use soi_core::{InputConfig, Pipeline, PipelineConfig, PipelineInputs};
+use soi_worldgen::{generate, WorldConfig};
+use std::collections::BTreeMap;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = None;
+    let mut seed = 2021u64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out_path = Some(args[i].clone());
+            }
+            "--seed" => {
+                i += 1;
+                seed = args[i].parse().expect("numeric seed");
+            }
+            other => panic!("unknown argument {other}"),
+        }
+        i += 1;
+    }
+
+    let world = generate(&WorldConfig { seed, ..WorldConfig::paper_scale() }).expect("worldgen");
+    let inputs = PipelineInputs::from_world(&world, &InputConfig::with_seed(seed)).expect("inputs");
+    let output = Pipeline::run(&inputs, &PipelineConfig::default());
+
+    // Per-owner-country census.
+    let mut per_country: BTreeMap<String, (usize, usize, usize)> = BTreeMap::new();
+    for rec in &output.dataset.organizations {
+        let e = per_country.entry(rec.ownership_cc.to_string()).or_default();
+        e.0 += 1;
+        e.1 += rec.asns.len();
+        if rec.is_foreign_subsidiary() {
+            e.2 += 1;
+        }
+    }
+    let rows: Vec<Vec<String>> = per_country
+        .into_iter()
+        .map(|(cc, (orgs, asns, foreign))| {
+            vec![cc, orgs.to_string(), asns.to_string(), foreign.to_string()]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["owner", "orgs", "ASNs", "foreign subs"], &rows)
+    );
+    println!(
+        "total: {} organizations, {} ASNs, {} minority observations",
+        output.dataset.organizations.len(),
+        output.dataset.state_owned_ases().len(),
+        output.minority.len()
+    );
+
+    if let Some(path) = out_path {
+        let json = output.dataset.to_json().expect("serialize");
+        std::fs::write(&path, &json).expect("write dataset");
+        println!("dataset written to {path} ({} bytes)", json.len());
+    }
+}

@@ -1,0 +1,53 @@
+//! Foreign footprint: where do states own Internet operators *abroad*?
+//! Reproduces the paper's Table 3 (conglomerates and their subsidiary
+//! countries) and the Figure 1 "green" analysis — including its headline
+//! Africa finding (foreign state operators holding majority access-market
+//! shares in several African countries).
+//!
+//! ```sh
+//! cargo run --release --example foreign_footprint [seed]
+//! ```
+
+use soi_analysis::footprint::FootprintReport;
+use soi_analysis::render::render_table;
+use soi_analysis::tables;
+use soi_core::{InputConfig, Pipeline, PipelineConfig, PipelineInputs};
+use soi_types::Region;
+use soi_worldgen::{generate, WorldConfig};
+
+fn main() {
+    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2021);
+    let world = generate(&WorldConfig { seed, ..WorldConfig::paper_scale() }).expect("worldgen");
+    let inputs = PipelineInputs::from_world(&world, &InputConfig::with_seed(seed)).expect("inputs");
+    let output = Pipeline::run(&inputs, &PipelineConfig::default());
+
+    println!("== State conglomerates and their foreign subsidiaries (Table 3) ==");
+    println!("{}", tables::table3(&output));
+
+    let footprints = FootprintReport::compute(&inputs, &output);
+
+    println!("== Countries with the largest foreign state footprints ==");
+    let rows: Vec<Vec<String>> = footprints
+        .foreign_dominated(0.05)
+        .into_iter()
+        .take(20)
+        .map(|(country, share)| {
+            let region = country
+                .info()
+                .map(|i| i.region.to_string())
+                .unwrap_or_default();
+            vec![country.to_string(), format!("{share:.2}"), region]
+        })
+        .collect();
+    println!("{}", render_table(&["country", "foreign share", "region"], &rows));
+
+    let african_over_half = footprints
+        .foreign_dominated(0.5)
+        .into_iter()
+        .filter(|(c, _)| c.info().is_some_and(|i| i.region == Region::Africa))
+        .count();
+    println!(
+        "African countries where foreign states hold > 50% of the access market: \
+         {african_over_half} (the paper found 6)"
+    );
+}

@@ -1,0 +1,46 @@
+//! Transit watch: the state-transit analyses of §8 — which states carry
+//! other networks' traffic (Table 5), which countries are most exposed to
+//! a single transit AS (CTI), and whose cones are growing (Figure 5).
+//!
+//! ```sh
+//! cargo run --release --example transit_watch [seed]
+//! ```
+
+use soi_analysis::render::render_table;
+use soi_analysis::transit;
+use soi_core::{InputConfig, Pipeline, PipelineConfig, PipelineInputs};
+use soi_topology::AsRank;
+use soi_worldgen::{generate, WorldConfig};
+
+fn main() {
+    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2021);
+    let world = generate(&WorldConfig { seed, ..WorldConfig::paper_scale() }).expect("worldgen");
+    let inputs = PipelineInputs::from_world(&world, &InputConfig::with_seed(seed)).expect("inputs");
+    let output = Pipeline::run(&inputs, &PipelineConfig::default());
+
+    println!("== Largest customer cones among state-owned ASes (Table 5) ==");
+    let rank = AsRank::compute(&world.topology);
+    println!("{}", transit::table5_text(&rank, &inputs, &output, 10));
+
+    println!("== Countries most exposed to a single transit AS (CTI) ==");
+    let rows: Vec<Vec<String>> = inputs
+        .cti
+        .most_dependent_countries(15)
+        .into_iter()
+        .map(|(country, score)| {
+            let (asn, _) = inputs.cti.top_k(country, 1)[0];
+            let state_owned = output.dataset.state_owned_ases().binary_search(&asn).is_ok();
+            vec![
+                country.to_string(),
+                asn.to_string(),
+                format!("{score:.3}"),
+                if state_owned { "state-owned".into() } else { String::new() },
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&["country", "top transit AS", "CTI", ""], &rows));
+
+    println!("== Fastest-growing state-owned cones 2010-2020 (Figure 5) ==");
+    let history = world.cone_history().expect("history");
+    println!("{}", transit::figure5_text(&history, &output, 3));
+}

@@ -1,0 +1,18 @@
+//! Umbrella crate for the `state-owned-ases` workspace.
+//!
+//! Re-exports every member crate under a stable module name so examples and
+//! downstream users can depend on one crate. See [`soi_core`] for the
+//! pipeline entry point and [`soi_worldgen`] for the synthetic Internet.
+
+pub use soi_analysis as analysis;
+pub use soi_bgp as bgp;
+pub use soi_core as core;
+pub use soi_cti as cti;
+pub use soi_eyeballs as eyeballs;
+pub use soi_geo as geo;
+pub use soi_ownership as ownership;
+pub use soi_registry as registry;
+pub use soi_sources as sources;
+pub use soi_topology as topology;
+pub use soi_types as types;
+pub use soi_worldgen as worldgen;

@@ -1,0 +1,209 @@
+//! `soi` — command-line interface to the state-owned-ases reproduction.
+//!
+//! ```text
+//! soi <command> [--seed N] [args]
+//!
+//!   summary                world statistics (generation only)
+//!   run [--json PATH]      full pipeline; headline + evaluation
+//!   whois <ASN>            the synthetic RPSL WHOIS object of an ASN
+//!   org <name fragment>    search the identified dataset by name
+//!   cti <CC> [k]           top transit ASes of a country by CTI
+//!   ageing [years]         frozen-dataset decay under ownership churn
+//! ```
+//!
+//! Every command regenerates the world from the seed (deterministic, a
+//! couple of seconds in release mode).
+
+use soi_analysis::headline::Headline;
+use soi_analysis::render::render_table;
+use state_owned_ases::analysis::ageing::AgeingReport;
+use state_owned_ases::core::{
+    Evaluation, InputConfig, Pipeline, PipelineConfig, PipelineInputs,
+};
+use state_owned_ases::registry::rpsl;
+use state_owned_ases::types::{Asn, CountryCode};
+use state_owned_ases::worldgen::{generate, ChurnConfig, World, WorldConfig};
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let seed = extract_flag(&mut args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(2021);
+    let json = extract_flag(&mut args, "--json");
+
+    let Some(command) = args.first().cloned() else {
+        usage();
+        std::process::exit(2);
+    };
+
+    match command.as_str() {
+        "summary" => {
+            let world = build_world(seed);
+            summary(&world);
+        }
+        "run" => {
+            let world = build_world(seed);
+            let (inputs, output) = run_pipeline(&world, seed);
+            println!("{}", Headline::compute(&inputs, &output).text());
+            let eval = Evaluation::score(&output.dataset, &world);
+            println!(
+                "precision {:.3}  recall {:.3}  F1 {:.3}",
+                eval.ases.precision(),
+                eval.ases.recall(),
+                eval.ases.f1()
+            );
+            if let Some(path) = json {
+                std::fs::write(&path, output.dataset.to_json().expect("serialize"))
+                    .expect("write dataset");
+                println!("dataset written to {path}");
+            }
+        }
+        "whois" => {
+            let asn: Asn = args
+                .get(1)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| fail("whois needs an ASN (e.g. `soi whois AS2119`)"));
+            let world = build_world(seed);
+            let whois = state_owned_ases::registry::WhoisDb::generate(
+                &world.registrations,
+                state_owned_ases::registry::WhoisNoise {
+                    seed,
+                    ..Default::default()
+                },
+            )
+            .expect("whois");
+            match whois.record(asn) {
+                Some(rec) => print!("{}", rpsl::to_rpsl(rec)),
+                None => fail(&format!("{asn} is not registered in this world")),
+            }
+        }
+        "org" => {
+            let needle = args
+                .get(1)
+                .cloned()
+                .unwrap_or_else(|| fail("org needs a name fragment"));
+            let world = build_world(seed);
+            let (_, output) = run_pipeline(&world, seed);
+            let rows: Vec<Vec<String>> = output
+                .dataset
+                .organizations
+                .iter()
+                .filter(|o| o.org_name.to_lowercase().contains(&needle.to_lowercase()))
+                .map(|o| {
+                    vec![
+                        o.org_name.clone(),
+                        o.ownership_cc.to_string(),
+                        o.asns.iter().map(|a| a.to_string()).collect::<Vec<_>>().join(" "),
+                        o.source.clone(),
+                    ]
+                })
+                .collect();
+            if rows.is_empty() {
+                println!("no organization matches {needle:?}");
+            } else {
+                println!("{}", render_table(&["organization", "owner", "ASNs", "source"], &rows));
+            }
+        }
+        "cti" => {
+            let country: CountryCode = args
+                .get(1)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| fail("cti needs a country code (e.g. `soi cti SY`)"));
+            let k: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(5);
+            let world = build_world(seed);
+            let (inputs, output) = run_pipeline(&world, seed);
+            let dataset_ases = output.dataset.state_owned_ases();
+            let rows: Vec<Vec<String>> = inputs
+                .cti
+                .top_k(country, k)
+                .into_iter()
+                .map(|(asn, score)| {
+                    let name = inputs
+                        .whois
+                        .record(asn)
+                        .map(|r| r.as_name.clone())
+                        .unwrap_or_default();
+                    let owned = dataset_ases.binary_search(&asn).is_ok();
+                    vec![
+                        asn.to_string(),
+                        name,
+                        format!("{score:.3}"),
+                        if owned { "state-owned".into() } else { String::new() },
+                    ]
+                })
+                .collect();
+            println!("{}", render_table(&["ASN", "name", "CTI", ""], &rows));
+        }
+        "ageing" => {
+            let years: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(5);
+            let world = build_world(seed);
+            let (_, output) = run_pipeline(&world, seed);
+            let churn = ChurnConfig { seed, ..Default::default() };
+            let report =
+                AgeingReport::compute(&world, &output.dataset, &churn, years).expect("ageing");
+            println!("{}", report.text());
+        }
+        other => {
+            eprintln!("unknown command: {other}\n");
+            usage();
+            std::process::exit(2);
+        }
+    }
+}
+
+fn build_world(seed: u64) -> World {
+    eprintln!("(generating world, seed {seed})");
+    generate(&WorldConfig { seed, ..WorldConfig::paper_scale() }).expect("worldgen")
+}
+
+fn run_pipeline(
+    world: &World,
+    seed: u64,
+) -> (PipelineInputs, state_owned_ases::core::PipelineOutput) {
+    let inputs = PipelineInputs::from_world(world, &InputConfig::with_seed(seed)).expect("inputs");
+    let output = Pipeline::run(&inputs, &PipelineConfig::default());
+    (inputs, output)
+}
+
+fn summary(world: &World) {
+    let rows = vec![
+        vec!["ASes".to_string(), world.num_ases().to_string()],
+        vec!["links".into(), world.topology.num_links().to_string()],
+        vec!["prefixes".into(), world.prefix_assignments.len().to_string()],
+        vec!["companies".into(), world.ownership.companies().len().to_string()],
+        vec!["state-owned ASes (truth)".into(), world.truth.state_owned_ases.len().to_string()],
+        vec![
+            "foreign-subsidiary ASes (truth)".into(),
+            world.truth.foreign_subsidiary_ases.len().to_string(),
+        ],
+        vec!["owner countries (truth)".into(), world.truth.owner_countries().len().to_string()],
+    ];
+    println!("{}", render_table(&["quantity", "value"], &rows));
+}
+
+fn extract_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let ix = args.iter().position(|a| a == flag)?;
+    if ix + 1 >= args.len() {
+        fail(&format!("{flag} needs a value"));
+    }
+    let value = args.remove(ix + 1);
+    args.remove(ix);
+    Some(value)
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+fn usage() {
+    eprintln!(
+        "soi — state-owned-ases reproduction CLI\n\n\
+         usage: soi <command> [--seed N]\n\n\
+         commands:\n\
+         \x20 summary               world statistics\n\
+         \x20 run [--json PATH]     full pipeline + evaluation\n\
+         \x20 whois <ASN>           synthetic RPSL WHOIS object\n\
+         \x20 org <name>            search the dataset by name\n\
+         \x20 cti <CC> [k]          top transit ASes of a country\n\
+         \x20 ageing [years]        dataset decay under churn"
+    );
+}

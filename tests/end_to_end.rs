@@ -1,0 +1,119 @@
+//! End-to-end integration: the whole system from world generation to the
+//! published dataset, checked for determinism, accuracy and internal
+//! consistency.
+
+mod common;
+
+use common::fixture;
+use soi_core::{Dataset, Evaluation, InputConfig, Pipeline, PipelineConfig, PipelineInputs};
+use soi_worldgen::{generate, WorldConfig};
+
+#[test]
+fn pipeline_is_deterministic_end_to_end() {
+    let cfg = WorldConfig::test_scale(31337);
+    let run = || {
+        let world = generate(&cfg).unwrap();
+        let inputs = PipelineInputs::from_world(&world, &InputConfig::with_seed(31337)).unwrap();
+        let output = Pipeline::run(&inputs, &PipelineConfig::default());
+        output.dataset.to_json().unwrap()
+    };
+    assert_eq!(run(), run(), "same seed must produce byte-identical datasets");
+}
+
+#[test]
+fn dataset_meets_quality_bounds() {
+    let fx = fixture();
+    let eval = Evaluation::score(&fx.output.dataset, &fx.world);
+    assert!(eval.ases.precision() > 0.95, "precision {}", eval.ases.precision());
+    assert!(eval.ases.recall() > 0.6, "recall {}", eval.ases.recall());
+    assert!(eval.countries.precision() > 0.95);
+    assert!(eval.foreign_ases.precision() > 0.8);
+}
+
+#[test]
+fn dataset_json_roundtrips_completely() {
+    let fx = fixture();
+    let json = fx.output.dataset.to_json().unwrap();
+    let back = Dataset::from_json(&json).unwrap();
+    assert_eq!(back.organizations.len(), fx.output.dataset.organizations.len());
+    assert_eq!(back.state_owned_ases(), fx.output.dataset.state_owned_ases());
+    assert_eq!(back.foreign_subsidiary_ases(), fx.output.dataset.foreign_subsidiary_ases());
+    // Listing-1 fields present in serialized form.
+    assert!(json.contains("\"conglomerate_name\""));
+    assert!(json.contains("\"ownership_cc\""));
+    assert!(json.contains("\"quote\""));
+    assert!(json.contains("\"inputs\""));
+}
+
+#[test]
+fn every_record_is_well_formed() {
+    let fx = fixture();
+    for rec in &fx.output.dataset.organizations {
+        assert!(!rec.asns.is_empty(), "{}: record without ASNs", rec.org_name);
+        assert!(!rec.org_name.is_empty());
+        assert!(!rec.quote.is_empty(), "{}: no confirming quote", rec.org_name);
+        assert!(!rec.url.is_empty());
+        assert!(rec.rir.is_some());
+        // Foreign-subsidiary fields are consistent.
+        if let Some(target) = rec.target_cc {
+            assert_ne!(target, rec.ownership_cc, "{}: self-foreign", rec.org_name);
+            assert!(rec.target_country_name.is_some());
+        }
+        // ASNs are sorted and unique.
+        assert!(rec.asns.windows(2).all(|w| w[0] < w[1]), "{}: unsorted ASNs", rec.org_name);
+    }
+    // No ASN appears in two different owners' records.
+    let mut seen = std::collections::HashMap::new();
+    for rec in &fx.output.dataset.organizations {
+        for &asn in &rec.asns {
+            if let Some(prev) = seen.insert(asn, rec.ownership_cc) {
+                assert_eq!(
+                    prev, rec.ownership_cc,
+                    "{asn} attributed to two different states"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn confirmations_trace_back_to_real_documents() {
+    let fx = fixture();
+    for rec in fx.output.dataset.organizations.iter().take(100) {
+        // Every quote must literally exist in the corpus (no fabricated
+        // evidence), except the subsidiary-inheritance records which
+        // reuse the parent's quote.
+        let found = fx
+            .inputs
+            .corpus
+            .documents()
+            .iter()
+            .any(|d| d.quote == rec.quote);
+        assert!(found, "{}: quote not found in corpus: {:?}", rec.org_name, rec.quote);
+    }
+}
+
+#[test]
+fn minority_and_majority_sets_are_disjoint() {
+    let fx = fixture();
+    let majority = fx.output.dataset.state_owned_ases();
+    for m in &fx.output.minority {
+        assert!(m.equity.is_minority());
+        for asn in &m.asns {
+            assert!(
+                majority.binary_search(asn).is_err(),
+                "{asn} is both minority and majority"
+            );
+        }
+    }
+}
+
+#[test]
+fn attribution_flags_are_consistent_with_config() {
+    let fx = fixture();
+    // Every final AS carries at least one input-source flag.
+    for asn in fx.output.dataset.state_owned_ases() {
+        let flags = fx.output.as_attribution.get(&asn).copied().unwrap_or_default();
+        assert!(!flags.is_empty(), "{asn}: no source attribution");
+    }
+}

@@ -1,0 +1,120 @@
+//! Interchange-format integration: every textual data product the system
+//! emits (RPSL WHOIS, bgpdump tables, delegated-extended files, PeeringDB
+//! JSON, the dataset JSON) must round-trip over a real generated world.
+
+mod common;
+
+use common::fixture;
+use soi_registry::{delegated, rpsl};
+use soi_types::Rir;
+
+#[test]
+fn whois_rpsl_bulk_dump_roundtrips() {
+    let fx = fixture();
+    let text = rpsl::dump(fx.inputs.whois.records());
+    let parsed = rpsl::parse_dump(&text).expect("dump parses");
+    assert_eq!(parsed.len(), fx.inputs.whois.records().len());
+    for (a, b) in parsed.iter().zip(fx.inputs.whois.records()) {
+        assert_eq!(a.asn, b.asn);
+        assert_eq!(a.org_name, b.org_name);
+        assert_eq!(a.country, b.country);
+        assert_eq!(a.rir, b.rir);
+    }
+}
+
+#[test]
+fn bgpdump_tables_roundtrip_for_every_monitor() {
+    let fx = fixture();
+    for (i, monitor) in fx.inputs.view.monitors().iter().enumerate().take(5) {
+        let text = soi_bgp::dump_rib(&fx.inputs.view, i, 1_592_611_200);
+        let entries = soi_bgp::parse_dump(&text).expect("table parses");
+        assert_eq!(entries.len(), fx.inputs.view.rib(i).count());
+        for e in &entries {
+            assert_eq!(e.peer_as, monitor.asn);
+            // Origins agree with the prefix table when visible there.
+            if let Some(origin) = fx.inputs.prefix_to_as.origin(e.prefix) {
+                assert_eq!(e.origin(), Some(origin));
+            }
+        }
+    }
+}
+
+#[test]
+fn delegated_files_cover_the_world() {
+    let fx = fixture();
+    let mut total_asns = 0usize;
+    for rir in Rir::ALL {
+        let text = delegated::render_delegated(
+            rir,
+            &fx.world.registrations,
+            &fx.world.prefix_assignments,
+        );
+        let parsed = delegated::parse_delegated(&text).expect("delegated parses");
+        total_asns += parsed
+            .iter()
+            .filter(|d| matches!(d, delegated::Delegation::Asn { .. }))
+            .count();
+    }
+    assert_eq!(total_asns, fx.world.registrations.len());
+}
+
+#[test]
+fn delegated_country_counts_match_registrations() {
+    let fx = fixture();
+    let text = delegated::render_delegated(
+        Rir::Afrinic,
+        &fx.world.registrations,
+        &fx.world.prefix_assignments,
+    );
+    let parsed = delegated::parse_delegated(&text).unwrap();
+    let counts = delegated::asn_counts_by_country(&parsed);
+    for (&country, &n) in &counts {
+        let expected = fx
+            .world
+            .registrations
+            .iter()
+            .filter(|r| r.rir == Rir::Afrinic && r.country == country)
+            .count();
+        assert_eq!(n, expected, "{country}");
+    }
+}
+
+#[test]
+fn peeringdb_json_roundtrips() {
+    let fx = fixture();
+    let json = fx.inputs.peeringdb.to_json().expect("serialize");
+    let back = soi_registry::PeeringDb::from_json(&json).expect("parse");
+    assert_eq!(back.entries(), fx.inputs.peeringdb.entries());
+}
+
+#[test]
+fn dataset_json_matches_paper_listing_schema() {
+    let fx = fixture();
+    let json = fx.output.dataset.to_json().unwrap();
+    let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+    let orgs = value["organizations"].as_array().unwrap();
+    assert!(!orgs.is_empty());
+    // Every Listing-1 field is present on every record.
+    for org in orgs {
+        for field in [
+            "conglomerate_name",
+            "org_id",
+            "org_name",
+            "ownership_cc",
+            "ownership_country_name",
+            "rir",
+            "source",
+            "quote",
+            "quote_lang",
+            "url",
+            "additional_info",
+            "inputs",
+            "parent_org",
+            "target_cc",
+            "target_country_name",
+            "asns",
+        ] {
+            assert!(org.get(field).is_some(), "missing field {field}");
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Shape fidelity: the qualitative findings of the paper's evaluation
+//! must hold on the synthetic world (exact values are world-dependent;
+//! these tests pin the *relationships* the paper reports).
+
+mod common;
+
+use common::fixture;
+use soi_analysis::footprint::FootprintReport;
+use soi_analysis::headline::Headline;
+use soi_analysis::venn::VennReport;
+use soi_analysis::{tables, venn};
+use soi_core::SourceFlags;
+use soi_sources::SourceKind;
+use soi_types::{Region, Rir};
+
+#[test]
+fn state_ownership_is_widespread_but_not_universal() {
+    let fx = fixture();
+    let h = Headline::compute(&fx.inputs, &fx.output);
+    let n_countries = soi_types::all_countries().len();
+    // Paper: 53% of countries are majority owners.
+    assert!(h.owner_countries * 10 > n_countries * 3, "too few owner countries");
+    assert!(h.owner_countries < n_countries, "not every country owns a telco");
+    // State ASes originate a substantial minority of announced space.
+    assert!(h.address_share > 0.05 && h.address_share < 0.6);
+    // Excluding the US raises the share (paper: 17% -> 25%).
+    assert!(h.address_share_ex_us > h.address_share);
+}
+
+#[test]
+fn prevalence_is_higher_in_africa_and_asia_than_north_america() {
+    let fx = fixture();
+    let (rollups, _) = tables::table4(&fx.output);
+    let pct = |r: Rir| rollups.iter().find(|x| x.rir == r).unwrap().percent();
+    assert!(pct(Rir::Afrinic) > pct(Rir::Arin), "AFRINIC must beat ARIN");
+    assert!(pct(Rir::Apnic) > pct(Rir::Arin), "APNIC must beat ARIN");
+    // ARIN is nearly empty of state operators (paper: 2 countries).
+    let arin = rollups.iter().find(|x| x.rir == Rir::Arin).unwrap();
+    assert!(arin.countries <= 2);
+}
+
+#[test]
+fn every_candidate_source_contributes_unique_ases() {
+    let fx = fixture();
+    let report = VennReport::compute(&fx.output);
+    // The paper's core methodological claim: each source class finds ASes
+    // nobody else finds (Figure 3 / Appendix C).
+    let f3 = report.figure3();
+    assert!(f3.get(&0b100).copied().unwrap_or(0) > 0, "no technical-only ASes");
+    assert!(
+        f3.get(&0b010).copied().unwrap_or(0) + f3.get(&0b001).copied().unwrap_or(0) > 0,
+        "non-technical sources contribute nothing unique"
+    );
+    // And CTI specifically surfaces transit-only state ASes (Appendix D).
+    assert!(report.unique_to(SourceFlags::C) > 0, "no CTI-only ASes");
+    let t7 = venn::table7(&fx.inputs, &fx.output);
+    assert!(!t7.is_empty());
+}
+
+#[test]
+fn company_websites_are_the_dominant_confirmation_source() {
+    let fx = fixture();
+    let counts = &fx.output.confirmation_counts;
+    let web = counts.get(&SourceKind::CompanyWebsite).copied().unwrap_or(0);
+    let total: usize = counts.values().sum();
+    // Paper: ~53% of companies confirmed via their own website.
+    assert!(web * 3 > total, "websites: {web}/{total}");
+    // Freedom House ranks among the top fallback sources.
+    let fh = counts.get(&SourceKind::FreedomHouse).copied().unwrap_or(0);
+    assert!(fh > 0);
+}
+
+#[test]
+fn foreign_subsidiaries_concentrate_in_africa() {
+    let fx = fixture();
+    let report = FootprintReport::compute(&fx.inputs, &fx.output);
+    let foreign5 = report.foreign_dominated(0.05);
+    let african = foreign5
+        .iter()
+        .filter(|(c, _)| c.info().is_some_and(|i| i.region == Region::Africa))
+        .count();
+    assert!(african >= 4, "African foreign footprints: {african}");
+    // Some of them exceed half the market (paper: 6 of 12).
+    let over_half_africa = report
+        .foreign_dominated(0.5)
+        .iter()
+        .filter(|(c, _)| c.info().is_some_and(|i| i.region == Region::Africa))
+        .count();
+    assert!(over_half_africa >= 1);
+}
+
+#[test]
+fn near_monopolies_exist_and_match_engineered_countries() {
+    let fx = fixture();
+    let report = FootprintReport::compute(&fx.inputs, &fx.output);
+    let dominated = report.dominated_countries(0.9);
+    assert!(dominated.len() >= 8, "only {} >=0.9 countries", dominated.len());
+    let engineered_hits = soi_worldgen::config::MONOPOLY_COUNTRIES
+        .iter()
+        .filter(|c| dominated.iter().any(|&(d, _)| d == **c))
+        .count();
+    assert!(engineered_hits >= 8, "monopoly recovery: {engineered_hits}/18");
+}
+
+#[test]
+fn orbis_errors_match_the_papers_pattern() {
+    let fx = fixture();
+    // False negatives far outnumber false positives (paper: 140 vs 12).
+    let fns = fx.output.orbis.false_negatives.len();
+    let fps = fx.output.orbis.false_positives.len();
+    assert!(fns > fps, "Orbis FN {fns} <= FP {fps}");
+    assert!(fns > 10, "too few Orbis false negatives: {fns}");
+}
+
+#[test]
+fn cable_carriers_grow_fastest() {
+    let fx = fixture();
+    let history = fx.world.cone_history().expect("history");
+    let growers = soi_analysis::transit::figure5(&history, &fx.output, 3);
+    assert!(!growers.is_empty());
+    let cable_in_top = growers.iter().any(|(asn, _, _)| {
+        fx.world
+            .profiles
+            .get(asn)
+            .is_some_and(|p| matches!(p.country.as_str(), "AO" | "BD"))
+    });
+    assert!(cable_in_top, "no submarine-cable carrier among top growers: {growers:?}");
+}
+
+#[test]
+fn excluded_categories_are_filtered_not_published() {
+    let fx = fixture();
+    // §5.3 filters fire...
+    assert!(!fx.output.excluded_counts.is_empty());
+    // ...and no academic/NIC/government-office AS reaches the dataset.
+    for asn in fx.output.dataset.state_owned_ases() {
+        let role = fx.world.profiles.get(&asn).map(|p| p.role);
+        assert!(
+            !matches!(
+                role,
+                Some(soi_worldgen::AsRole::Academic)
+                    | Some(soi_worldgen::AsRole::Nic)
+                    | Some(soi_worldgen::AsRole::GovernmentNet)
+            ),
+            "{asn} ({role:?}) should have been excluded"
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! Robustness across worlds: the headline quality and shape findings must
+//! hold for arbitrary seeds, not just the tuned fixtures. (Run in release
+//! for speed: `cargo test --release --test seed_sweep`.)
+
+use soi_core::{Evaluation, InputConfig, Pipeline, PipelineConfig, PipelineInputs};
+use soi_worldgen::{generate, WorldConfig};
+
+#[test]
+fn quality_holds_across_seeds() {
+    for seed in [1111, 2222, 3333] {
+        let world = generate(&WorldConfig::test_scale(seed)).unwrap();
+        let inputs =
+            PipelineInputs::from_world(&world, &InputConfig::with_seed(seed)).unwrap();
+        let output = Pipeline::run(&inputs, &PipelineConfig::default());
+        let eval = Evaluation::score(&output.dataset, &world);
+        assert!(
+            eval.ases.precision() > 0.93,
+            "seed {seed}: precision {:.3}",
+            eval.ases.precision()
+        );
+        assert!(
+            eval.ases.recall() > 0.55,
+            "seed {seed}: recall {:.3}",
+            eval.ases.recall()
+        );
+        // Shape invariants that must not depend on the seed.
+        assert!(!output.dataset.foreign_subsidiary_ases().is_empty(), "seed {seed}");
+        assert!(!output.minority.is_empty(), "seed {seed}");
+        assert!(output.funnel.cti_ases > 0, "seed {seed}");
+        assert!(
+            output.funnel.cti_ases < output.funnel.geo_ases,
+            "seed {seed}: CTI should be the smallest technical source"
+        );
+    }
+}

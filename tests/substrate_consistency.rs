@@ -1,0 +1,157 @@
+//! Cross-crate consistency: the substrates must agree with each other on
+//! the same world (routing vs. topology, geolocation vs. allocation,
+//! registries vs. ground truth).
+
+mod common;
+
+use common::fixture;
+use soi_topology::customer_cone;
+use soi_types::Asn;
+
+#[test]
+fn whois_covers_every_registration() {
+    let fx = fixture();
+    for reg in &fx.world.registrations {
+        let rec = fx.inputs.whois.record(reg.asn).expect("WHOIS is compulsory");
+        assert_eq!(rec.country, reg.country);
+        assert_eq!(rec.rir, reg.rir);
+    }
+}
+
+#[test]
+fn peeringdb_is_partial_but_accurate() {
+    let fx = fixture();
+    let cov = fx.inputs.peeringdb.coverage(&fx.world.registrations);
+    assert!(cov > 0.05 && cov < 0.6, "coverage {cov} outside plausible band");
+    for entry in fx.inputs.peeringdb.entries() {
+        let reg = fx.world.registration(entry.asn).expect("registered");
+        assert_eq!(entry.org_name, reg.brand, "PeeringDB names are fresh brands");
+    }
+}
+
+#[test]
+fn as2org_clusters_partition_the_as_space() {
+    let fx = fixture();
+    let mut seen = std::collections::HashSet::new();
+    for org in fx.inputs.as2org.orgs() {
+        for &asn in fx.inputs.as2org.members(org) {
+            assert!(seen.insert(asn), "{asn} in two clusters");
+            assert_eq!(fx.inputs.as2org.org_of(asn), Some(org));
+        }
+    }
+    assert_eq!(seen.len(), fx.world.registrations.len());
+}
+
+#[test]
+fn bgp_paths_use_only_real_links() {
+    let fx = fixture();
+    let graph = &fx.world.topology;
+    for (mi, _) in fx.inputs.view.monitors().iter().enumerate().take(3) {
+        for ann in fx.inputs.view.announcements().iter().take(300) {
+            let Some(path) = fx.inputs.view.path(mi, ann.origin) else { continue };
+            for w in path.windows(2) {
+                let linked = graph.providers(w[0]).contains(&w[1])
+                    || graph.customers(w[0]).contains(&w[1])
+                    || graph.peers(w[0]).contains(&w[1]);
+                assert!(linked, "path uses nonexistent link {} - {}", w[0], w[1]);
+            }
+        }
+    }
+}
+
+#[test]
+fn customer_routes_imply_cone_membership() {
+    let fx = fixture();
+    let graph = &fx.world.topology;
+    // For a sample of monitors/origins: if the path from monitor M to
+    // origin O is all customer-steps (monitor above origin), then O is in
+    // M's customer cone.
+    let monitor = fx.inputs.view.monitors()[0];
+    let cone = customer_cone(graph, monitor.asn);
+    for ann in fx.inputs.view.announcements().iter().take(500) {
+        if cone.binary_search(&ann.origin).is_ok() {
+            let path = fx
+                .inputs
+                .view
+                .path(0, ann.origin)
+                .expect("cone member must be reachable");
+            assert!(!path.is_empty());
+        }
+    }
+}
+
+#[test]
+fn announced_space_matches_allocated_space() {
+    let fx = fixture();
+    let allocated: u64 = fx
+        .world
+        .prefix_assignments
+        .iter()
+        .map(|(p, _)| p.num_addresses())
+        .sum();
+    let announced = fx.inputs.prefix_to_as.total_addresses();
+    // Visibility filtering may drop a few unreachable stubs, never add.
+    assert!(announced <= allocated);
+    assert!(
+        announced * 10 >= allocated * 9,
+        "more than 10% of allocated space invisible: {announced}/{allocated}"
+    );
+}
+
+#[test]
+fn geo_blocks_cover_exactly_the_allocated_prefixes() {
+    let fx = fixture();
+    let geo_total: u64 = fx.world.geo_blocks.iter().map(|(p, _)| p.num_addresses()).sum();
+    let alloc_total: u64 =
+        fx.world.prefix_assignments.iter().map(|(p, _)| p.num_addresses()).sum();
+    assert_eq!(geo_total, alloc_total);
+}
+
+#[test]
+fn cti_scores_only_transit_ases() {
+    let fx = fixture();
+    let origins: std::collections::HashSet<Asn> =
+        fx.inputs.prefix_to_as.entries().iter().map(|&(_, o)| o).collect();
+    for country in fx.inputs.cti.countries() {
+        for &(asn, score) in fx.inputs.cti.ranking(country).iter().take(3) {
+            assert!(score > 0.0);
+            // An AS can both originate and provide transit, but a pure
+            // stub (no customers) must never score.
+            if fx.world.topology.transit_degree(asn) == 0 && origins.contains(&asn) {
+                // Only possible if it appears on paths toward *other*
+                // origins, which requires customers.
+                panic!("{asn} has no customers but scores CTI {score} in {country}");
+            }
+        }
+    }
+}
+
+#[test]
+fn ground_truth_agrees_with_ownership_resolution() {
+    let fx = fixture();
+    // Every truth state-owned company resolves to a controlling state via
+    // the ownership engine (they are two views of the same graph).
+    for &cid in &fx.world.truth.state_owned_companies {
+        assert!(fx.world.control.controlling_state(cid).is_some());
+    }
+    for &cid in &fx.world.truth.minority_companies {
+        assert!(fx.world.control.controlling_state(cid).is_none());
+        assert!(!fx.world.control.minority_states(cid).is_empty());
+    }
+}
+
+#[test]
+fn historical_topologies_grow_monotonically() {
+    let fx = fixture();
+    let history = fx.world.cone_history().expect("history");
+    let dates: Vec<_> = history.dates().collect();
+    assert!(dates.windows(2).all(|w| w[0] < w[1]));
+    // The total number of ASes with cones grows over time (the Internet
+    // only accretes in our model).
+    let mut prev = 0usize;
+    for d in dates {
+        let g = fx.world.topology_at(d).expect("snapshot");
+        assert!(g.num_ases() >= prev, "topology shrank at {d}");
+        prev = g.num_ases();
+    }
+}

@@ -74,8 +74,8 @@ impl AgeingReport {
             let missing: usize = truth
                 .iter()
                 .filter(|a| {
-                    predicted.binary_search(a).is_err()
-                        && snapshot_truth.binary_search(a).is_err() // genuinely new
+                    predicted.binary_search(a).is_err() && snapshot_truth.binary_search(a).is_err()
+                    // genuinely new
                 })
                 .count();
             rows.push(AgeingRow {
@@ -123,18 +123,14 @@ impl AgeingReport {
 /// list".
 pub fn maintenance_fraction(dataset: &Dataset, yearly_diff_sizes: &[usize]) -> f64 {
     let base = dataset.state_owned_ases().len().max(1);
-    let avg: f64 =
-        yearly_diff_sizes.iter().map(|&s| s as f64).sum::<f64>() / yearly_diff_sizes.len().max(1) as f64;
+    let avg: f64 = yearly_diff_sizes.iter().map(|&s| s as f64).sum::<f64>()
+        / yearly_diff_sizes.len().max(1) as f64;
     avg / base as f64
 }
 
 /// Which dataset ASes went stale against a given truth (for reporting).
 pub fn stale_entries(dataset: &Dataset, truth: &[Asn]) -> Vec<Asn> {
-    dataset
-        .state_owned_ases()
-        .into_iter()
-        .filter(|a| truth.binary_search(a).is_err())
-        .collect()
+    dataset.state_owned_ases().into_iter().filter(|a| truth.binary_search(a).is_err()).collect()
 }
 
 #[cfg(test)]
@@ -163,10 +159,7 @@ mod tests {
         let report = AgeingReport::compute(&world, &dataset, &churn, 4).unwrap();
         assert_eq!(report.rows.len(), 5);
         let f1s: Vec<f64> = report.rows.iter().map(|r| r.score.f1()).collect();
-        assert!(
-            f1s.last().unwrap() < f1s.first().unwrap(),
-            "no decay under heavy churn: {f1s:?}"
-        );
+        assert!(f1s.last().unwrap() < f1s.first().unwrap(), "no decay under heavy churn: {f1s:?}");
         assert!(report.rows[1..].iter().any(|r| r.stale_ases > 0));
         assert!(report.text().contains("stale ASes"));
     }

@@ -76,9 +76,7 @@ impl FootprintReport {
 
         // Address proxy.
         for ((country, asn), share) in geolocated_shares(inputs) {
-            let fp = per_country
-                .entry(country)
-                .or_insert_with(|| CountryFootprint::empty(country));
+            let fp = per_country.entry(country).or_insert_with(|| CountryFootprint::empty(country));
             match owner_of.get(&asn) {
                 Some(&owner) if owner == country => fp.domestic_addr += share,
                 Some(_) => fp.foreign_addr += share,
@@ -89,9 +87,7 @@ impl FootprintReport {
         // Eyeball proxy.
         let countries: Vec<CountryCode> = inputs.eyeballs.countries().collect();
         for country in countries {
-            let fp = per_country
-                .entry(country)
-                .or_insert_with(|| CountryFootprint::empty(country));
+            let fp = per_country.entry(country).or_insert_with(|| CountryFootprint::empty(country));
             for (asn, share) in inputs.eyeballs.country_shares(country) {
                 match owner_of.get(&asn) {
                     Some(&owner) if owner == country => fp.domestic_eyeballs += share,
@@ -105,10 +101,7 @@ impl FootprintReport {
 
     /// One country's footprint (zeroes if absent).
     pub fn of(&self, country: CountryCode) -> CountryFootprint {
-        self.per_country
-            .get(&country)
-            .copied()
-            .unwrap_or_else(|| CountryFootprint::empty(country))
+        self.per_country.get(&country).copied().unwrap_or_else(|| CountryFootprint::empty(country))
     }
 
     /// All footprints, sorted by country code.
@@ -180,10 +173,7 @@ impl FootprintReport {
             Region::ALL.iter().map(|&r| (r, 0usize, 0.0f64)).collect();
         for info in all_countries() {
             let share = self.of(info.code).domestic();
-            let slot = sums
-                .iter_mut()
-                .find(|(r, _, _)| *r == info.region)
-                .expect("region in ALL");
+            let slot = sums.iter_mut().find(|(r, _, _)| *r == info.region).expect("region in ALL");
             slot.1 += 1;
             slot.2 += share;
         }
@@ -276,16 +266,15 @@ mod tests {
         let foreign = report.foreign_dominated(0.05);
         let african = foreign
             .iter()
-            .filter(|(c, _)| {
-                c.info().is_some_and(|i| i.region == soi_types::Region::Africa)
-            })
+            .filter(|(c, _)| c.info().is_some_and(|i| i.region == soi_types::Region::Africa))
             .count();
         assert!(african >= 5, "African foreign footprints: {african}");
         // And some exceed half the market.
         assert!(
-            report.foreign_dominated(0.5).iter().any(|(c, _)| {
-                c.info().is_some_and(|i| i.region == soi_types::Region::Africa)
-            }),
+            report
+                .foreign_dominated(0.5)
+                .iter()
+                .any(|(c, _)| { c.info().is_some_and(|i| i.region == soi_types::Region::Africa) }),
             "no African country majority-served by foreign states"
         );
     }

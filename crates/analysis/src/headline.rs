@@ -46,10 +46,7 @@ impl Headline {
         let mut state = 0u64;
         let mut state_ex_us = 0u64;
         for (&origin, &addrs) in &per_origin {
-            let is_us = inputs
-                .whois
-                .record(origin)
-                .is_some_and(|r| r.country == us);
+            let is_us = inputs.whois.record(origin).is_some_and(|r| r.country == us);
             total += addrs;
             if !is_us {
                 total_ex_us += addrs;
@@ -62,11 +59,8 @@ impl Headline {
             }
         }
 
-        let minority_ases: HashSet<Asn> = output
-            .minority
-            .iter()
-            .flat_map(|m| m.asns.iter().copied())
-            .collect();
+        let minority_ases: HashSet<Asn> =
+            output.minority.iter().flat_map(|m| m.asns.iter().copied()).collect();
 
         Headline {
             state_owned_ases: ases.len(),

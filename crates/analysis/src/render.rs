@@ -77,11 +77,7 @@ pub fn bar_chart(rows: &[(String, f64)], width: usize) -> String {
     let max = rows.iter().map(|&(_, v)| v).fold(0.0f64, f64::max);
     let mut out = String::new();
     for (label, value) in rows {
-        let bar_len = if max > 0.0 {
-            ((value / max) * width as f64).round() as usize
-        } else {
-            0
-        };
+        let bar_len = if max > 0.0 { ((value / max) * width as f64).round() as usize } else { 0 };
         let pad = label_w - label.chars().count();
         out.push_str(label);
         out.extend(std::iter::repeat_n(' ', pad + 2));
@@ -101,9 +97,7 @@ pub fn bar_chart(rows: &[(String, f64)], width: usize) -> String {
 /// compact enough to put a decade of cone history on one line.
 pub fn sparkline(values: &[u32]) -> String {
     const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
-    let (min, max) = values
-        .iter()
-        .fold((u32::MAX, 0u32), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    let (min, max) = values.iter().fold((u32::MAX, 0u32), |(lo, hi), &v| (lo.min(v), hi.max(v)));
     if values.is_empty() {
         return String::new();
     }
@@ -125,10 +119,7 @@ mod tests {
     fn table_alignment() {
         let t = render_table(
             &["ASN", "name"],
-            &[
-                vec!["7473".into(), "SingTel".into()],
-                vec!["12389".into(), "Rostelecom".into()],
-            ],
+            &[vec!["7473".into(), "SingTel".into()], vec!["12389".into(), "Rostelecom".into()]],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);
@@ -141,10 +132,8 @@ mod tests {
 
     #[test]
     fn bar_chart_scales_and_aligns() {
-        let chart = bar_chart(
-            &[("ARIN".into(), 2.0), ("AFRINIC".into(), 24.0), ("none".into(), 0.0)],
-            24,
-        );
+        let chart =
+            bar_chart(&[("ARIN".into(), 2.0), ("AFRINIC".into(), 24.0), ("none".into(), 0.0)], 24);
         let lines: Vec<&str> = chart.lines().collect();
         assert_eq!(lines.len(), 3);
         assert!(lines[1].contains(&"#".repeat(24)), "max bar full width: {chart}");
@@ -165,10 +154,7 @@ mod tests {
 
     #[test]
     fn csv_quoting() {
-        let c = render_csv(
-            &["name", "quote"],
-            &[vec!["A, Inc".into(), "said \"hi\"".into()]],
-        );
+        let c = render_csv(&["name", "quote"], &[vec!["A, Inc".into(), "said \"hi\"".into()]]);
         assert!(c.contains("\"A, Inc\""));
         assert!(c.contains("\"said \"\"hi\"\"\""));
     }

@@ -10,14 +10,10 @@ use crate::render::render_table;
 
 /// Table 1: organizations per confirmation-source type, descending.
 pub fn table1(output: &PipelineOutput) -> String {
-    let mut rows: Vec<(String, usize)> = output
-        .confirmation_counts
-        .iter()
-        .map(|(k, &n)| (k.name().to_owned(), n))
-        .collect();
+    let mut rows: Vec<(String, usize)> =
+        output.confirmation_counts.iter().map(|(k, &n)| (k.name().to_owned(), n)).collect();
     rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-    let rows: Vec<Vec<String>> =
-        rows.into_iter().map(|(s, n)| vec![s, n.to_string()]).collect();
+    let rows: Vec<Vec<String>> = rows.into_iter().map(|(s, n)| vec![s, n.to_string()]).collect();
     render_table(&["Confirmation source", "Companies"], &rows)
 }
 
@@ -44,8 +40,7 @@ impl Table2 {
             .filter(|o| o.is_foreign_subsidiary())
             .map(|o| o.ownership_cc)
             .collect();
-        let minority: BTreeSet<CountryCode> =
-            output.minority.iter().map(|m| m.state).collect();
+        let minority: BTreeSet<CountryCode> = output.minority.iter().map(|m| m.state).collect();
         Table2 { majority, subsidiary_owners, minority }
     }
 
@@ -62,10 +57,7 @@ impl Table2 {
         let rows = vec![
             vec!["state-owned operators".to_owned(), self.majority.len().to_string()],
             vec!["subsidiaries".to_owned(), self.subsidiary_owners.len().to_string()],
-            vec![
-                "minority state-owned operators".to_owned(),
-                self.minority.len().to_string(),
-            ],
+            vec!["minority state-owned operators".to_owned(), self.minority.len().to_string()],
             vec!["Total countries".to_owned(), self.total().to_string()],
         ];
         render_table(&["Participation in", "# of countries"], &rows)
@@ -77,8 +69,7 @@ impl Table2 {
 /// size without re-deriving cones), rendered like the paper's examples
 /// (Deutsche Telekom 31%, Orange 22.95%, Telia 39.5%...).
 pub fn minority_table(output: &PipelineOutput, k: usize) -> String {
-    let mut rows: Vec<&soi_core::pipeline::MinorityObservation> =
-        output.minority.iter().collect();
+    let mut rows: Vec<&soi_core::pipeline::MinorityObservation> = output.minority.iter().collect();
     rows.sort_by(|a, b| b.asns.len().cmp(&a.asns.len()).then(a.name.cmp(&b.name)));
     let rows: Vec<Vec<String>> = rows
         .into_iter()
@@ -222,11 +213,8 @@ mod tests {
     fn table1_sorted_descending() {
         let out = output();
         let t = table1(&out);
-        let counts: Vec<usize> = t
-            .lines()
-            .skip(2)
-            .filter_map(|l| l.rsplit(' ').next()?.parse().ok())
-            .collect();
+        let counts: Vec<usize> =
+            t.lines().skip(2).filter_map(|l| l.rsplit(' ').next()?.parse().ok()).collect();
         assert!(counts.windows(2).all(|w| w[0] >= w[1]), "not sorted: {t}");
         assert!(t.contains("Company's website"));
     }
@@ -238,11 +226,7 @@ mod tests {
         assert!(!t2.majority.is_empty());
         assert!(!t2.subsidiary_owners.is_empty());
         // Subsidiary owners are (almost always) also majority owners.
-        let also_majority = t2
-            .subsidiary_owners
-            .iter()
-            .filter(|c| t2.majority.contains(c))
-            .count();
+        let also_majority = t2.subsidiary_owners.iter().filter(|c| t2.majority.contains(c)).count();
         assert!(also_majority * 10 >= t2.subsidiary_owners.len() * 8);
         assert!(t2.total() >= t2.majority.len());
         assert!(t2.text().contains("Total countries"));
@@ -267,11 +251,8 @@ mod tests {
     fn table3_owner_ordering() {
         let out = output();
         let t = table3(&out);
-        let counts: Vec<usize> = t
-            .lines()
-            .skip(2)
-            .filter_map(|l| l.split_whitespace().nth(1)?.parse().ok())
-            .collect();
+        let counts: Vec<usize> =
+            t.lines().skip(2).filter_map(|l| l.split_whitespace().nth(1)?.parse().ok()).collect();
         assert!(!counts.is_empty());
         assert!(counts.windows(2).all(|w| w[0] >= w[1]), "not sorted:\n{t}");
     }

@@ -44,21 +44,13 @@ pub fn table5_text(
 pub type GrowthRow = (Asn, f64, Vec<(String, u32)>);
 
 /// Figure 5: the fastest-growing customer cones among dataset ASes.
-pub fn figure5(
-    history: &ConeHistory,
-    output: &PipelineOutput,
-    k: usize,
-) -> Vec<GrowthRow> {
+pub fn figure5(history: &ConeHistory, output: &PipelineOutput, k: usize) -> Vec<GrowthRow> {
     let ases = output.dataset.state_owned_ases();
     history
         .fastest_growing(&ases, k)
         .into_iter()
         .map(|(series, slope)| {
-            let pts = series
-                .points
-                .iter()
-                .map(|&(d, v)| (d.to_string(), v))
-                .collect();
+            let pts = series.points.iter().map(|&(d, v)| (d.to_string(), v)).collect();
             (series.asn, slope, pts)
         })
         .collect()
@@ -125,8 +117,7 @@ mod tests {
             .profiles
             .values()
             .filter(|p| {
-                p.role == AsRole::RegionalCarrier
-                    && matches!(p.country.as_str(), "AO" | "BD")
+                p.role == AsRole::RegionalCarrier && matches!(p.country.as_str(), "AO" | "BD")
             })
             .map(|p| p.asn)
             .collect();

@@ -41,8 +41,7 @@ const SOURCE_ORDER: [(SourceFlags, char); 5] = [
 impl VennReport {
     /// Computes region counts and contributions from a pipeline run.
     pub fn compute(output: &PipelineOutput) -> VennReport {
-        let foreign: HashSet<Asn> =
-            output.dataset.foreign_subsidiary_ases().into_iter().collect();
+        let foreign: HashSet<Asn> = output.dataset.foreign_subsidiary_ases().into_iter().collect();
         let mut regions: BTreeMap<u8, usize> = BTreeMap::new();
         let mut contributions =
             SOURCE_ORDER.map(|(_, label)| (label, SourceContribution::default()));
@@ -74,11 +73,7 @@ impl VennReport {
 
     /// ASes contributed *only* by one source (no other flag set).
     pub fn unique_to(&self, flag: SourceFlags) -> usize {
-        self.regions
-            .iter()
-            .filter(|&(&key, _)| key == flag.venn_key())
-            .map(|(_, &n)| n)
-            .sum()
+        self.regions.iter().filter(|&(&key, _)| key == flag.venn_key()).map(|(_, &n)| n).sum()
     }
 
     /// Figure 3: collapse into three categories — Technical (G|E|C),
@@ -91,8 +86,7 @@ impl VennReport {
             let technical = key & 0b11100 != 0;
             let reports = key & 0b00010 != 0;
             let orbis = key & 0b00001 != 0;
-            let collapsed =
-                ((technical as u8) << 2) | ((reports as u8) << 1) | (orbis as u8);
+            let collapsed = ((technical as u8) << 2) | ((reports as u8) << 1) | (orbis as u8);
             *out.entry(collapsed).or_default() += n;
         }
         out
@@ -124,9 +118,7 @@ impl VennReport {
         let f3 = self.figure3();
         let rows: Vec<Vec<String>> = labels
             .iter()
-            .map(|&(k, label)| {
-                vec![label.to_owned(), f3.get(&k).copied().unwrap_or(0).to_string()]
-            })
+            .map(|&(k, label)| vec![label.to_owned(), f3.get(&k).copied().unwrap_or(0).to_string()])
             .collect();
         render_table(&["Region", "ASes"], &rows)
     }
@@ -151,10 +143,7 @@ impl VennReport {
                 ]
             })
             .collect();
-        render_table(
-            &["Data source", "State-owned ASes (subs)", "Minority state-owned"],
-            &rows,
-        )
+        render_table(&["Data source", "State-owned ASes (subs)", "Minority state-owned"], &rows)
     }
 }
 
@@ -226,17 +215,14 @@ mod tests {
         let (_, output) = setup();
         let venn = VennReport::compute(&output);
         let f3 = venn.figure3();
-        assert_eq!(
-            f3.values().sum::<usize>(),
-            venn.regions.values().sum::<usize>()
-        );
+        assert_eq!(f3.values().sum::<usize>(), venn.regions.values().sum::<usize>());
         assert!(venn.figure3_text().contains("all three"));
         assert!(venn.figure7_text().contains("GECWO"));
         assert!(venn.table6_text().contains("CTI"));
     }
 
     #[test]
-    fn table7_lists_cti_only_transit_ases(){
+    fn table7_lists_cti_only_transit_ases() {
         let (inputs, output) = setup();
         let rows = table7(&inputs, &output);
         assert!(!rows.is_empty(), "expected CTI-only discoveries");

@@ -11,9 +11,7 @@ fn bench_analysis(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("analysis");
     g.sample_size(10);
-    g.bench_function("footprints", |b| {
-        b.iter(|| FootprintReport::compute(&fx.inputs, &fx.output))
-    });
+    g.bench_function("footprints", |b| b.iter(|| FootprintReport::compute(&fx.inputs, &fx.output)));
     let report = FootprintReport::compute(&fx.inputs, &fx.output);
     g.bench_function("figure4_histograms", |b| {
         b.iter(|| (report.figure4(true), report.figure4(false)))

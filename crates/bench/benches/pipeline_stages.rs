@@ -12,9 +12,7 @@ fn bench_pipeline(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("pipeline");
     g.sample_size(10);
-    g.bench_function("stage1_candidates", |b| {
-        b.iter(|| CandidateSet::discover(&fx.inputs, &cfg))
-    });
+    g.bench_function("stage1_candidates", |b| b.iter(|| CandidateSet::discover(&fx.inputs, &cfg)));
 
     // Stage 2 over the actual candidate names.
     let candidates = CandidateSet::discover(&fx.inputs, &cfg);

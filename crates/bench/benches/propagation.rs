@@ -8,11 +8,8 @@ use soi_worldgen::{generate, WorldConfig};
 fn bench_propagation(c: &mut Criterion) {
     let world = generate(&WorldConfig::test_scale(7)).expect("generate");
     let graph = &world.topology;
-    let announcements: Vec<Announcement> = world
-        .prefix_assignments
-        .iter()
-        .map(|&(p, o)| Announcement::new(p, o))
-        .collect();
+    let announcements: Vec<Announcement> =
+        world.prefix_assignments.iter().map(|&(p, o)| Announcement::new(p, o)).collect();
     let monitors: Vec<Monitor> = world
         .default_monitor_ases(20)
         .into_iter()

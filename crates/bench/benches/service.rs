@@ -1,0 +1,64 @@
+//! Service throughput benchmark: boots the HTTP server over the small
+//! fixture and drives it with the closed-loop load generator, so
+//! Criterion tracks sustained QPS (via `Throughput::Elements`) across
+//! commits.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use soi_bench::load::{self, LoadConfig};
+use soi_bench::Fixture;
+use soi_service::{serve, ServerConfig, ServiceIndex};
+
+/// Mixed read workload touching every hot route.
+fn targets() -> Vec<String> {
+    [
+        "/healthz",
+        "/asn/AS10",
+        "/asn/AS2119",
+        "/ip/10.1.2.3",
+        "/ip/172.20.1.9",
+        "/prefix/10.0.0.0/8",
+        "/country/CN",
+        "/search?q=tel",
+        "/dataset",
+        "/metrics",
+    ]
+    .into_iter()
+    .map(str::to_owned)
+    .collect()
+}
+
+fn bench_service(c: &mut Criterion) {
+    let fx = Fixture::small();
+    let index = Arc::new(ServiceIndex::build(fx.output.dataset.clone(), &fx.inputs.prefix_to_as));
+
+    let mut g = c.benchmark_group("service");
+    g.sample_size(10);
+
+    for threads in [1usize, 8] {
+        let cfg = LoadConfig { threads, requests_per_thread: 250, targets: targets() };
+        let total = (cfg.threads * cfg.requests_per_thread) as u64;
+        g.throughput(Throughput::Elements(total));
+        g.bench_function(format!("closed_loop_{threads}_threads"), |b| {
+            b.iter_custom(|iters| {
+                let mut elapsed = std::time::Duration::ZERO;
+                for _ in 0..iters {
+                    let handle =
+                        serve(Arc::clone(&index), ("127.0.0.1", 0), ServerConfig::default())
+                            .expect("bind bench server");
+                    let report = load::run(handle.local_addr(), &cfg);
+                    assert_eq!(report.errors, 0, "bench run must be error-free");
+                    assert_eq!(report.requests, total);
+                    elapsed += report.elapsed;
+                    handle.shutdown();
+                }
+                elapsed
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_service);
+criterion_main!(benches);

@@ -109,7 +109,10 @@ fn main() {
     }
 
     if want("fig2") {
-        section("FIGURE 2", "the data discovery and classification process (realized as soi_core::Pipeline)");
+        section(
+            "FIGURE 2",
+            "the data discovery and classification process (realized as soi_core::Pipeline)",
+        );
         let diagram = [
             "[G: geolocated shares >=5%] --\\",
             "[E: eyeball shares >=5%] -----+-> candidate ASNs -> PeeringDB/WHOIS/domain mapping --\\",
@@ -124,8 +127,7 @@ fn main() {
             "STAGE 3: name->ASN reverse mapping -> AS2Org sibling expansion -> merge -> dataset",
         ]
         .join("\n");
-        println!("{diagram}\n"
-        );
+        println!("{diagram}\n");
     }
 
     if want("minority") {
@@ -139,7 +141,10 @@ fn main() {
     let venn_report = venn::VennReport::compute(&fx.output);
 
     if want("fig3") {
-        section("FIGURE 3", "3-category overlap; every category has unique contributions (tech-only: 95)");
+        section(
+            "FIGURE 3",
+            "3-category overlap; every category has unique contributions (tech-only: 95)",
+        );
         println!("{}", venn_report.figure3_text());
     }
 
@@ -154,33 +159,24 @@ fn main() {
             .collect();
         println!("countries > 0.5 per RIR:");
         println!("{}", soi_analysis::render::bar_chart(&bars, 30));
-        let above_half_addr = footprints
-            .all()
-            .iter()
-            .filter(|f| f.domestic_addr > 0.5)
-            .count();
+        let above_half_addr = footprints.all().iter().filter(|f| f.domestic_addr > 0.5).count();
         println!("countries with address share > 0.5: {above_half_addr} (paper: 49)\n");
         section("FIGURE 4b", "same by eyeballs; paper: 42 countries > 0.5");
         println!("{}", footprints.figure4_text(false));
-        let above_half_eye = footprints
-            .all()
-            .iter()
-            .filter(|f| f.domestic_eyeballs > 0.5)
-            .count();
+        let above_half_eye = footprints.all().iter().filter(|f| f.domestic_eyeballs > 0.5).count();
         println!("countries with eyeball share > 0.5: {above_half_eye} (paper: 42)\n");
     }
 
     if want("fig5") {
-        section("FIGURE 5", "fastest-growing state cones; paper: Angola Cables & BSCCL submarine carriers");
+        section(
+            "FIGURE 5",
+            "fastest-growing state cones; paper: Angola Cables & BSCCL submarine carriers",
+        );
         let history = fx.world.cone_history().expect("history");
         for (asn, slope, points) in transit::figure5(&history, &fx.output, 4) {
             let series: Vec<u32> = points.iter().map(|&(_, v)| v).collect();
-            let country = fx
-                .inputs
-                .whois
-                .record(asn)
-                .map(|r| r.country.to_string())
-                .unwrap_or_default();
+            let country =
+                fx.inputs.whois.record(asn).map(|r| r.country.to_string()).unwrap_or_default();
             println!(
                 "{asn} ({country})  {}  {:>4} -> {:<4}  {slope:+.1}/yr",
                 soi_analysis::render::sparkline(&series),
@@ -224,7 +220,10 @@ fn main() {
     }
 
     if want("table3") {
-        section("TABLE 3", "foreign subsidiaries; paper: AE 12, CN 9, QA 9, NO 9, VN 9 ... 19 owners");
+        section(
+            "TABLE 3",
+            "foreign subsidiaries; paper: AE 12, CN 9, QA 9, NO 9, VN 9 ... 19 owners",
+        );
         println!("{}", tables::table3(&fx.output));
     }
 
@@ -245,7 +244,10 @@ fn main() {
     }
 
     if want("table7") {
-        section("TABLE 7 (Appendix D)", "ASes only CTI discovered; paper: 9 (MobiFone Global x3, BSCCL, ETECSA, Belarus x4)");
+        section(
+            "TABLE 7 (Appendix D)",
+            "ASes only CTI discovered; paper: 9 (MobiFone Global x3, BSCCL, ETECSA, Belarus x4)",
+        );
         println!("{}", venn::table7_text(&fx.inputs, &fx.output));
     }
 
@@ -267,7 +269,10 @@ fn main() {
     }
 
     if want("orbis") {
-        section("ORBIS ASSESSMENT (§7)", "paper: 12 false positives, 140 false negatives over 79 countries");
+        section(
+            "ORBIS ASSESSMENT (§7)",
+            "paper: 12 false positives, 140 false negatives over 79 countries",
+        );
         println!(
             "false positives: {}\nfalse negatives: {}\n",
             fx.output.orbis.false_positives.len(),
@@ -315,18 +320,17 @@ fn main() {
             "frozen dataset scored against 5 years of ownership churn",
         );
         let churn = soi_worldgen::ChurnConfig { seed, ..Default::default() };
-        let report = soi_analysis::ageing::AgeingReport::compute(
-            &fx.world,
-            &fx.output.dataset,
-            &churn,
-            5,
-        )
-        .expect("ageing");
+        let report =
+            soi_analysis::ageing::AgeingReport::compute(&fx.world, &fx.output.dataset, &churn, 5)
+                .expect("ageing");
         println!("{}", report.text());
     }
 
     if want("eval") {
-        section("EVALUATION vs GROUND TRUTH", "(not in the paper: only possible with a synthetic world)");
+        section(
+            "EVALUATION vs GROUND TRUTH",
+            "(not in the paper: only possible with a synthetic world)",
+        );
         let eval = Evaluation::score(&fx.output.dataset, &fx.world);
         let rows = vec![
             row("state-owned ASes", eval.ases),
@@ -416,12 +420,7 @@ fn write_csv_artifacts(dir: &str, fx: &Fixture) {
     let mut fig5_rows = Vec::new();
     for (asn, slope, points) in transit::figure5(&history, &fx.output, 4) {
         for (date, cone) in points {
-            fig5_rows.push(vec![
-                asn.to_string(),
-                format!("{slope:.2}"),
-                date,
-                cone.to_string(),
-            ]);
+            fig5_rows.push(vec![asn.to_string(), format!("{slope:.2}"), date, cone.to_string()]);
         }
     }
     write(

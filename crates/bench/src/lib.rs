@@ -3,6 +3,8 @@
 //! Criterion benches must not re-generate the world per iteration, so the
 //! canonical paper-scale fixture (and a smaller bench fixture) live here.
 
+pub mod load;
+
 use soi_core::{InputConfig, Pipeline, PipelineConfig, PipelineInputs, PipelineOutput};
 use soi_worldgen::{generate, World, WorldConfig};
 

@@ -1,0 +1,160 @@
+//! Closed-loop multi-threaded HTTP load generator for `soi-service`.
+//!
+//! Closed-loop: each client thread holds one keep-alive connection and
+//! issues its next request only after fully reading the previous
+//! response, so concurrency is exactly [`LoadConfig::threads`] and the
+//! measured rate is the service's sustained throughput at that
+//! concurrency (not an open-loop arrival process).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Load-run parameters.
+#[derive(Clone, Debug)]
+pub struct LoadConfig {
+    /// Concurrent client threads (= in-flight requests).
+    pub threads: usize,
+    /// Requests each thread issues before stopping.
+    pub requests_per_thread: usize,
+    /// Request targets (path + query), visited round-robin with a
+    /// per-thread offset so threads don't move in lockstep.
+    pub targets: Vec<String>,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig { threads: 8, requests_per_thread: 500, targets: vec!["/healthz".to_owned()] }
+    }
+}
+
+/// Outcome of one load run.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadReport {
+    /// Responses fully read (any status).
+    pub requests: u64,
+    /// Transport failures or 5xx responses.
+    pub errors: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+}
+
+impl LoadReport {
+    /// Sustained queries per second over the whole run.
+    pub fn qps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.requests as f64 / secs
+        }
+    }
+}
+
+/// Runs the closed loop against `addr` and reports aggregate throughput.
+pub fn run(addr: SocketAddr, cfg: &LoadConfig) -> LoadReport {
+    assert!(!cfg.targets.is_empty(), "load run needs at least one target");
+    let requests = AtomicU64::new(0);
+    let errors = AtomicU64::new(0);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for thread_ix in 0..cfg.threads.max(1) {
+            let requests = &requests;
+            let errors = &errors;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr);
+                for i in 0..cfg.requests_per_thread {
+                    let target = &cfg.targets[(thread_ix + i) % cfg.targets.len()];
+                    match client.get(target) {
+                        Ok(status) => {
+                            requests.fetch_add(1, Ordering::Relaxed);
+                            if status >= 500 {
+                                errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Err(_) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                            // Server may have recycled the connection
+                            // (keep-alive cap, timeout); dial again.
+                            client = Client::connect(addr);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    LoadReport {
+        requests: requests.into_inner(),
+        errors: errors.into_inner(),
+        elapsed: start.elapsed(),
+    }
+}
+
+/// One keep-alive connection with minimal HTTP/1.1 response framing.
+struct Client {
+    addr: SocketAddr,
+    conn: Option<BufReader<TcpStream>>,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        Client { addr, conn: None }
+    }
+
+    /// Issues `GET target`, drains the response body, and returns the
+    /// status code. Any transport error poisons the connection.
+    fn get(&mut self, target: &str) -> std::io::Result<u16> {
+        if self.conn.is_none() {
+            let stream = TcpStream::connect_timeout(&self.addr, Duration::from_secs(2))?;
+            stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+            stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+            stream.set_nodelay(true)?;
+            self.conn = Some(BufReader::new(stream));
+        }
+        let result = self.exchange(target);
+        if result.is_err() {
+            self.conn = None;
+        }
+        result
+    }
+
+    fn exchange(&mut self, target: &str) -> std::io::Result<u16> {
+        let reader = self.conn.as_mut().expect("connected");
+        reader
+            .get_mut()
+            .write_all(format!("GET {target} HTTP/1.1\r\nHost: bench\r\n\r\n").as_bytes())?;
+        let mut status_line = String::new();
+        reader.read_line(&mut status_line)?;
+        let status: u16 =
+            status_line.split_whitespace().nth(1).and_then(|s| s.parse().ok()).ok_or_else(
+                || std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line"),
+            )?;
+        let mut content_length = 0usize;
+        let mut close = false;
+        loop {
+            let mut line = String::new();
+            if reader.read_line(&mut line)? == 0 {
+                return Err(std::io::ErrorKind::UnexpectedEof.into());
+            }
+            let line = line.trim_end().to_ascii_lowercase();
+            if line.is_empty() {
+                break;
+            }
+            if let Some(v) = line.strip_prefix("content-length:") {
+                content_length = v.trim().parse().map_err(|_| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidData, "bad content-length")
+                })?;
+            }
+            if line == "connection: close" {
+                close = true;
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body)?;
+        if close {
+            self.conn = None;
+        }
+        Ok(status)
+    }
+}

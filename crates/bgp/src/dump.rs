@@ -71,15 +71,12 @@ pub fn parse_dump(text: &str) -> Result<Vec<DumpEntry>, SoiError> {
         if fields.len() < 7 {
             return Err(SoiError::Parse(format!("short table-dump record: {line:?}")));
         }
-        let timestamp: u64 = fields[1]
-            .parse()
-            .map_err(|_| SoiError::Parse(format!("bad timestamp in {line:?}")))?;
-        let peer_as: Asn = fields[4]
-            .parse()
-            .map_err(|_| SoiError::Parse(format!("bad peer AS in {line:?}")))?;
-        let prefix: Ipv4Prefix = fields[5]
-            .parse()
-            .map_err(|_| SoiError::Parse(format!("bad prefix in {line:?}")))?;
+        let timestamp: u64 =
+            fields[1].parse().map_err(|_| SoiError::Parse(format!("bad timestamp in {line:?}")))?;
+        let peer_as: Asn =
+            fields[4].parse().map_err(|_| SoiError::Parse(format!("bad peer AS in {line:?}")))?;
+        let prefix: Ipv4Prefix =
+            fields[5].parse().map_err(|_| SoiError::Parse(format!("bad prefix in {line:?}")))?;
         let as_path = fields[6]
             .split_whitespace()
             .map(|t| t.parse::<Asn>())

@@ -54,7 +54,6 @@ impl PrefixToAs {
         self.entries.is_empty()
     }
 
-
     /// All `(prefix, origin)` pairs in address order.
     pub fn entries(&self) -> &[(Ipv4Prefix, Asn)] {
         &self.entries
@@ -100,11 +99,8 @@ impl PrefixToAs {
         self.entries
             .iter()
             .map(|&(p, _)| {
-                let kept: u64 = self
-                    .uncovered_subprefixes(p)
-                    .iter()
-                    .map(|s| s.num_addresses())
-                    .sum();
+                let kept: u64 =
+                    self.uncovered_subprefixes(p).iter().map(|s| s.num_addresses()).sum();
                 (p, kept)
             })
             .collect()
@@ -174,16 +170,10 @@ mod tests {
 
     #[test]
     fn moas_rejected_duplicates_collapse() {
-        assert!(PrefixToAs::from_entries([
-            (p("10.0.0.0/8"), Asn(1)),
-            (p("10.0.0.0/8"), Asn(2))
-        ])
-        .is_err());
-        let t = PrefixToAs::from_entries([
-            (p("10.0.0.0/8"), Asn(1)),
-            (p("10.0.0.0/8"), Asn(1)),
-        ])
-        .unwrap();
+        assert!(PrefixToAs::from_entries([(p("10.0.0.0/8"), Asn(1)), (p("10.0.0.0/8"), Asn(2))])
+            .is_err());
+        let t = PrefixToAs::from_entries([(p("10.0.0.0/8"), Asn(1)), (p("10.0.0.0/8"), Asn(1))])
+            .unwrap();
         assert_eq!(t.len(), 1);
     }
 

@@ -100,8 +100,7 @@ impl OriginTree {
             let better = match kind[vs] {
                 None => true,
                 Some(RouteKind::Peer) => {
-                    cand < dist[vs]
-                        || (cand == dist[vs] && graph.asn(u) < graph.asn(next_hop[vs]))
+                    cand < dist[vs] || (cand == dist[vs] && graph.asn(u) < graph.asn(next_hop[vs]))
                 }
                 _ => false,
             };
@@ -141,8 +140,7 @@ impl OriginTree {
                         None => true,
                         Some(RouteKind::Provider) => {
                             cand < dist[vs]
-                                || (cand == dist[vs]
-                                    && graph.asn(u) < graph.asn(next_hop[vs]))
+                                || (cand == dist[vs] && graph.asn(u) < graph.asn(next_hop[vs]))
                         }
                         _ => false,
                     };
@@ -309,7 +307,10 @@ mod tests {
     }
 
     /// Generates a random plausibly-Internet-like layered topology.
-    fn random_graph(links: &std::collections::HashSet<(u32, u32)>, peers: &std::collections::HashSet<(u32, u32)>) -> Option<AsGraph> {
+    fn random_graph(
+        links: &std::collections::HashSet<(u32, u32)>,
+        peers: &std::collections::HashSet<(u32, u32)>,
+    ) -> Option<AsGraph> {
         let mut b = AsGraphBuilder::new();
         let mut used = std::collections::HashSet::new();
         for &(x, y) in links {

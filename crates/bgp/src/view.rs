@@ -57,9 +57,8 @@ impl BgpView {
         origins.sort_unstable();
         origins.dedup();
 
-        let threads = std::thread::available_parallelism()
-            .map_or(1, |p| p.get())
-            .min(origins.len().max(1));
+        let threads =
+            std::thread::available_parallelism().map_or(1, |p| p.get()).min(origins.len().max(1));
         let chunk = origins.len().div_ceil(threads).max(1);
         let mut results: Vec<(Asn, Vec<Option<Vec<Asn>>>)> = Vec::with_capacity(origins.len());
 
@@ -71,10 +70,9 @@ impl BgpView {
                         let mut local = Vec::with_capacity(slice.len());
                         for &origin in slice {
                             let per_mon = match OriginTree::compute(graph, origin) {
-                                Some(tree) => monitors
-                                    .iter()
-                                    .map(|m| tree.path(graph, m.asn))
-                                    .collect(),
+                                Some(tree) => {
+                                    monitors.iter().map(|m| tree.path(graph, m.asn)).collect()
+                                }
                                 None => vec![None; monitors.len()],
                             };
                             local.push((origin, per_mon));
@@ -109,24 +107,19 @@ impl BgpView {
     /// Best path `[monitor_as, ..., origin]` from monitor `mon_idx` to
     /// `origin`; `None` if unreachable.
     pub fn path(&self, mon_idx: usize, origin: Asn) -> Option<&[Asn]> {
-        self.paths
-            .get(&origin)?
-            .get(mon_idx)?
-            .as_deref()
+        self.paths.get(&origin)?.get(mon_idx)?.as_deref()
     }
 
     /// Number of monitors that can reach `origin`.
     pub fn monitors_reaching(&self, origin: Asn) -> usize {
-        self.paths
-            .get(&origin)
-            .map_or(0, |v| v.iter().filter(|p| p.is_some()).count())
+        self.paths.get(&origin).map_or(0, |v| v.iter().filter(|p| p.is_some()).count())
     }
 
     /// The RIB of one monitor: every announcement it has a path for.
     pub fn rib(&self, mon_idx: usize) -> impl Iterator<Item = (Ipv4Prefix, &[Asn])> + '_ {
-        self.announcements.iter().filter_map(move |a| {
-            self.path(mon_idx, a.origin).map(|p| (a.prefix, p))
-        })
+        self.announcements
+            .iter()
+            .filter_map(move |a| self.path(mon_idx, a.origin).map(|p| (a.prefix, p)))
     }
 
     /// Announcements visible from at least `min_monitors` monitors — the
@@ -144,9 +137,7 @@ impl BgpView {
     /// `min_monitors` monitors.
     pub fn prefix_to_as(&self, min_monitors: usize) -> Result<PrefixToAs, SoiError> {
         PrefixToAs::from_entries(
-            self.visible_announcements(min_monitors)
-                .into_iter()
-                .map(|a| (a.prefix, a.origin)),
+            self.visible_announcements(min_monitors).into_iter().map(|a| (a.prefix, a.origin)),
         )
     }
 }

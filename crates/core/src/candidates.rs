@@ -131,16 +131,10 @@ impl CandidateSet {
             }
         }
 
-        set.funnel.geo_ases = set
-            .as_sources
-            .values()
-            .filter(|f| f.contains(SourceFlags::G))
-            .count();
-        set.funnel.eyeball_ases = set
-            .as_sources
-            .values()
-            .filter(|f| f.contains(SourceFlags::E))
-            .count();
+        set.funnel.geo_ases =
+            set.as_sources.values().filter(|f| f.contains(SourceFlags::G)).count();
+        set.funnel.eyeball_ases =
+            set.as_sources.values().filter(|f| f.contains(SourceFlags::E)).count();
         set.funnel.geo_eyeball_intersection = set
             .as_sources
             .values()
@@ -157,11 +151,8 @@ impl CandidateSet {
                 }
             }
         }
-        set.funnel.cti_ases = set
-            .as_sources
-            .values()
-            .filter(|f| f.contains(SourceFlags::C))
-            .count();
+        set.funnel.cti_ases =
+            set.as_sources.values().filter(|f| f.contains(SourceFlags::C)).count();
         set.funnel.total_ases = set.as_sources.len();
 
         // --- O: Orbis state-owned company names ---

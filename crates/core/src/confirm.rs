@@ -289,9 +289,7 @@ fn pick_priority<'d>(
 /// human analyst used).
 pub fn classify_excluded(name: &str) -> Option<ExclusionReason> {
     let lower = name.to_lowercase();
-    if ["education", "research network", "university", "academic"]
-        .iter()
-        .any(|k| lower.contains(k))
+    if ["education", "research network", "university", "academic"].iter().any(|k| lower.contains(k))
     {
         return Some(ExclusionReason::Academic);
     }
@@ -374,26 +372,18 @@ mod tests {
             if w.control.controlling_state(company.id).is_some() {
                 continue;
             }
-            if w.control
-                .stakes(company.id)
-                .iter()
-                .any(|s| s.controlled_equity > Equity::ZERO)
-            {
+            if w.control.stakes(company.id).iter().any(|s| s.controlled_equity > Equity::ZERO) {
                 continue; // minority-state companies may share a name with others
             }
             if let ConfirmOutcome::Confirmed(c) = confirmer.confirm(&company.name) {
                 // Only acceptable if another company shares the name and
                 // that one IS state-owned (name collision, which the
                 // paper also cannot distinguish).
-                let collision = w
-                    .ownership
-                    .companies()
-                    .iter()
-                    .any(|other| {
-                        other.id != company.id
-                            && normalize_org_name(&other.name) == normalize_org_name(&company.name)
-                            && w.control.controlling_state(other.id) == Some(c.state)
-                    });
+                let collision = w.ownership.companies().iter().any(|other| {
+                    other.id != company.id
+                        && normalize_org_name(&other.name) == normalize_org_name(&company.name)
+                        && w.control.controlling_state(other.id) == Some(c.state)
+                });
                 if !collision {
                     fp += 1;
                 }

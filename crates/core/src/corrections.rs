@@ -35,8 +35,7 @@ pub struct SiblingCorrection {
 pub fn derive_corrections(output: &PipelineOutput, as2org: &As2Org) -> Vec<SiblingCorrection> {
     let mut out = Vec::new();
     for rec in &output.dataset.organizations {
-        let mut clusters: Vec<OrgId> =
-            rec.asns.iter().filter_map(|&a| as2org.org_of(a)).collect();
+        let mut clusters: Vec<OrgId> = rec.asns.iter().filter_map(|&a| as2org.org_of(a)).collect();
         clusters.sort_unstable();
         clusters.dedup();
         if clusters.len() > 1 {
@@ -53,16 +52,12 @@ pub fn derive_corrections(output: &PipelineOutput, as2org: &As2Org) -> Vec<Sibli
 /// Cluster quality against ground truth: the fraction of multi-AS
 /// companies whose ASNs all land in a single cluster. The §6 feedback
 /// loop should raise this.
-pub fn company_cluster_agreement(
-    as2org: &As2Org,
-    company_of: &HashMap<Asn, CompanyId>,
-) -> f64 {
+pub fn company_cluster_agreement(as2org: &As2Org, company_of: &HashMap<Asn, CompanyId>) -> f64 {
     let mut asns_of_company: HashMap<CompanyId, Vec<Asn>> = HashMap::new();
     for (&asn, &company) in company_of {
         asns_of_company.entry(company).or_default().push(asn);
     }
-    let multi: Vec<&Vec<Asn>> =
-        asns_of_company.values().filter(|asns| asns.len() > 1).collect();
+    let multi: Vec<&Vec<Asn>> = asns_of_company.values().filter(|asns| asns.len() > 1).collect();
     if multi.is_empty() {
         return 1.0;
     }
@@ -90,29 +85,20 @@ mod tests {
         let output = Pipeline::run(&inputs, &PipelineConfig::default());
 
         let corrections = derive_corrections(&output, &inputs.as2org);
-        assert!(
-            !corrections.is_empty(),
-            "stale WHOIS records should fragment some confirmed orgs"
-        );
+        assert!(!corrections.is_empty(), "stale WHOIS records should fragment some confirmed orgs");
         for c in &corrections {
             assert!(c.merge.len() > 1);
             assert!(c.asns.len() >= c.merge.len());
         }
 
         // Apply them and measure cluster/company agreement.
-        let company_of: HashMap<Asn, CompanyId> = world
-            .registrations
-            .iter()
-            .map(|r| (r.asn, r.company))
-            .collect();
+        let company_of: HashMap<Asn, CompanyId> =
+            world.registrations.iter().map(|r| (r.asn, r.company)).collect();
         let before = company_cluster_agreement(&inputs.as2org, &company_of);
         let merges: Vec<Vec<OrgId>> = corrections.iter().map(|c| c.merge.clone()).collect();
         let corrected = inputs.as2org.with_merges(&merges);
         let after = company_cluster_agreement(&corrected, &company_of);
-        assert!(
-            after > before,
-            "corrections did not improve agreement: {before:.3} -> {after:.3}"
-        );
+        assert!(after > before, "corrections did not improve agreement: {before:.3} -> {after:.3}");
 
         // Merged clusters really contain the union.
         for c in &corrections {
@@ -127,11 +113,8 @@ mod tests {
     fn agreement_metric_bounds() {
         let world = generate(&WorldConfig::test_scale(172)).unwrap();
         let inputs = PipelineInputs::from_world(&world, &InputConfig::with_seed(172)).unwrap();
-        let company_of: HashMap<Asn, CompanyId> = world
-            .registrations
-            .iter()
-            .map(|r| (r.asn, r.company))
-            .collect();
+        let company_of: HashMap<Asn, CompanyId> =
+            world.registrations.iter().map(|r| (r.asn, r.company)).collect();
         let score = company_cluster_agreement(&inputs.as2org, &company_of);
         assert!((0.0..=1.0).contains(&score));
         // Perfect inference is impossible with stale WHOIS, total failure

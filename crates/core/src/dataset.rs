@@ -67,7 +67,8 @@ pub struct Dataset {
 impl Dataset {
     /// All state-owned ASNs, sorted and deduplicated.
     pub fn state_owned_ases(&self) -> Vec<Asn> {
-        let mut out: Vec<Asn> = self.organizations.iter().flat_map(|o| o.asns.iter().copied()).collect();
+        let mut out: Vec<Asn> =
+            self.organizations.iter().flat_map(|o| o.asns.iter().copied()).collect();
         out.sort_unstable();
         out.dedup();
         out
@@ -140,16 +141,10 @@ impl DatasetDiff {
             v
         };
         let (old_names, new_names) = (names(old), names(new));
-        let added_orgs = new_names
-            .iter()
-            .filter(|n| old_names.binary_search(n).is_err())
-            .cloned()
-            .collect();
-        let removed_orgs = old_names
-            .iter()
-            .filter(|n| new_names.binary_search(n).is_err())
-            .cloned()
-            .collect();
+        let added_orgs =
+            new_names.iter().filter(|n| old_names.binary_search(n).is_err()).cloned().collect();
+        let removed_orgs =
+            old_names.iter().filter(|n| new_names.binary_search(n).is_err()).cloned().collect();
         DatasetDiff { added_ases, removed_ases, added_orgs, removed_orgs }
     }
 

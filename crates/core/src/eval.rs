@@ -109,19 +109,11 @@ pub struct ExpertReview {
 impl ExpertReview {
     /// Runs the review for one registry region.
     pub fn conduct(dataset: &Dataset, world: &World, rir: Rir) -> ExpertReview {
-        let in_region = |asn: Asn| {
-            world
-                .registration(asn)
-                .map(|r| r.rir == rir)
-                .unwrap_or(false)
-        };
+        let in_region = |asn: Asn| world.registration(asn).map(|r| r.rir == rir).unwrap_or(false);
         let claimed: Vec<Asn> =
             dataset.state_owned_ases().into_iter().filter(|&a| in_region(a)).collect();
-        let false_positives = claimed
-            .iter()
-            .copied()
-            .filter(|&a| !world.truth.is_state_owned_as(a))
-            .collect();
+        let false_positives =
+            claimed.iter().copied().filter(|&a| !world.truth.is_state_owned_as(a)).collect();
         let claimed_set: std::collections::HashSet<Asn> = claimed.iter().copied().collect();
         let false_negatives = world
             .truth

@@ -51,10 +51,7 @@ pub fn expand_entry(
     let foreign = country != ownership_cc;
 
     Some(OrgRecord {
-        conglomerate_name: entry
-            .parent
-            .clone()
-            .unwrap_or_else(|| entry.confirmation.name.clone()),
+        conglomerate_name: entry.parent.clone().unwrap_or_else(|| entry.confirmation.name.clone()),
         org_id: inputs.as2org.org_of(asns[0]),
         org_name: entry.confirmation.name.clone(),
         ownership_cc,
@@ -80,26 +77,22 @@ pub fn expand_entry(
 }
 
 /// Majority `(country, RIR)` of the ASNs' WHOIS registrations.
-fn registration_consensus(
-    asns: &[Asn],
-    inputs: &PipelineInputs,
-) -> Option<(CountryCode, Rir)> {
+fn registration_consensus(asns: &[Asn], inputs: &PipelineInputs) -> Option<(CountryCode, Rir)> {
     let mut votes: HashMap<(CountryCode, Rir), usize> = HashMap::new();
     for &asn in asns {
         if let Some(rec) = inputs.whois.record(asn) {
             *votes.entry((rec.country, rec.rir)).or_default() += 1;
         }
     }
-    votes
-        .into_iter()
-        .max_by_key(|&((c, _), n)| (n, std::cmp::Reverse(c)))
-        .map(|(k, _)| k)
+    votes.into_iter().max_by_key(|&((c, _), n)| (n, std::cmp::Reverse(c))).map(|(k, _)| k)
 }
 
 /// Merges records that turned out to describe the same organization
 /// (brand and legal name both confirmed, overlapping ASN sets). Keeps the
 /// first record's metadata, unions ASNs and input flags.
-pub fn merge_overlapping(mut records: Vec<(OrgRecord, SourceFlags)>) -> Vec<(OrgRecord, SourceFlags)> {
+pub fn merge_overlapping(
+    mut records: Vec<(OrgRecord, SourceFlags)>,
+) -> Vec<(OrgRecord, SourceFlags)> {
     // Union-find over record indices keyed by shared ASNs.
     let n = records.len();
     let mut parent: Vec<usize> = (0..n).collect();
@@ -148,7 +141,9 @@ pub fn merge_overlapping(mut records: Vec<(OrgRecord, SourceFlags)>) -> Vec<(Org
         }
     }
     let mut out: Vec<(OrgRecord, SourceFlags)> = merged.into_values().collect();
-    out.sort_by(|a, b| a.0.org_name.cmp(&b.0.org_name).then(a.0.ownership_cc.cmp(&b.0.ownership_cc)));
+    out.sort_by(|a, b| {
+        a.0.org_name.cmp(&b.0.org_name).then(a.0.ownership_cc.cmp(&b.0.ownership_cc))
+    });
     out
 }
 

@@ -106,6 +106,10 @@ pub struct PipelineOutput {
     pub confirmed_private: usize,
     /// Confirmed companies for which no ASN could be found.
     pub unmapped_companies: usize,
+    /// Dataset records whose recorded confirmation-source name did not map
+    /// back to a [`SourceKind`] (should be zero; counted instead of being
+    /// silently folded into "News").
+    pub unknown_source_records: usize,
     /// Observable Orbis quality assessment.
     pub orbis: OrbisAssessment,
 }
@@ -173,9 +177,8 @@ impl Pipeline {
         let mut names: Vec<(&String, &NameEntry)> = by_name.iter().collect();
         names.sort_by_key(|(k, _)| k.as_str());
         let outcomes: Vec<ConfirmOutcome> = {
-            let threads = std::thread::available_parallelism()
-                .map_or(1, |p| p.get())
-                .min(names.len().max(1));
+            let threads =
+                std::thread::available_parallelism().map_or(1, |p| p.get()).min(names.len().max(1));
             let chunk = names.len().div_ceil(threads).max(1);
             let mut out: Vec<ConfirmOutcome> = Vec::with_capacity(names.len());
             crossbeam::thread::scope(|s| {
@@ -186,10 +189,7 @@ impl Pipeline {
                         let policy = cfg.confirm.clone();
                         s.spawn(move |_| {
                             let local = Confirmer::new(corpus, policy);
-                            slice
-                                .iter()
-                                .map(|(_, e)| local.confirm(&e.display))
-                                .collect::<Vec<_>>()
+                            slice.iter().map(|(_, e)| local.confirm(&e.display)).collect::<Vec<_>>()
                         })
                     })
                     .collect();
@@ -244,6 +244,15 @@ impl Pipeline {
         }
 
         // ---- Stage 2.5: subsidiary enrichment (§5.2) ----
+        // Parents are looked up by name constantly while the queue drains;
+        // index them once (and keep the index current as subsidiaries are
+        // confirmed) so large worlds don't degrade quadratically.
+        let mut confirmed_by_name: HashMap<String, usize> = HashMap::new();
+        for (i, e) in confirmed.iter().enumerate() {
+            // First entry wins on (unlikely) duplicate display names — the
+            // behaviour of the linear scan this index replaces.
+            confirmed_by_name.entry(e.confirmation.name.clone()).or_insert(i);
+        }
         let mut queue: Vec<(String, String, SourceFlags)> = confirmed
             .iter()
             .flat_map(|e| {
@@ -264,6 +273,7 @@ impl Pipeline {
                     for s in &c.subsidiaries {
                         queue.push((s.clone(), c.name.clone(), parent_flags));
                     }
+                    confirmed_by_name.entry(c.name.clone()).or_insert(confirmed.len());
                     confirmed.push(ConfirmedEntry {
                         confirmation: c,
                         flags: parent_flags,
@@ -278,11 +288,11 @@ impl Pipeline {
                     // The parent's own disclosure is the evidence: a
                     // majority-held subsidiary of a state-controlled firm
                     // is state-controlled.
-                    if let Some(parent) = confirmed
-                        .iter()
-                        .find(|e| e.confirmation.name == parent_name)
-                        .map(|e| e.confirmation.clone())
+                    if let Some(parent) = confirmed_by_name
+                        .get(&parent_name)
+                        .map(|&i| confirmed[i].confirmation.clone())
                     {
+                        confirmed_by_name.entry(sub_name.clone()).or_insert(confirmed.len());
                         confirmed.push(ConfirmedEntry {
                             confirmation: crate::confirm::Confirmation {
                                 name: sub_name.clone(),
@@ -312,11 +322,10 @@ impl Pipeline {
         let merged = merge_overlapping(records);
 
         for (rec, flags) in &merged {
-            let kind = SourceKind::ALL
-                .into_iter()
-                .find(|k| k.name() == rec.source)
-                .unwrap_or(SourceKind::News);
-            *out.confirmation_counts.entry(kind).or_default() += 1;
+            match SourceKind::from_name(&rec.source) {
+                Some(kind) => *out.confirmation_counts.entry(kind).or_default() += 1,
+                None => out.unknown_source_records += 1,
+            }
             for &asn in &rec.asns {
                 let mut f = *flags;
                 if let Some(own) = candidates.as_sources.get(&asn) {
@@ -331,11 +340,7 @@ impl Pipeline {
         // ---- Orbis assessment (§7) ----
         out.orbis.false_positives = orbis_fp;
         for rec in &out.dataset.organizations {
-            let labelled = inputs
-                .orbis
-                .search(&rec.org_name)
-                .iter()
-                .any(|e| e.labeled_state_owned);
+            let labelled = inputs.orbis.search(&rec.org_name).iter().any(|e| e.labeled_state_owned);
             if !labelled {
                 out.orbis.false_negatives.push(rec.org_name.clone());
             }
@@ -394,17 +399,13 @@ mod tests {
     #[test]
     fn table1_shape_websites_dominate() {
         let (_, out) = run(83);
-        let web = out
-            .confirmation_counts
-            .get(&SourceKind::CompanyWebsite)
-            .copied()
-            .unwrap_or(0);
+        let web = out.confirmation_counts.get(&SourceKind::CompanyWebsite).copied().unwrap_or(0);
         let total: usize = out.confirmation_counts.values().sum();
         assert!(total > 30);
-        assert!(
-            web * 3 > total,
-            "websites should dominate confirmations: {web}/{total}"
-        );
+        assert!(web * 3 > total, "websites should dominate confirmations: {web}/{total}");
+        // Every record's source string must map back to a SourceKind; the
+        // explicit unknown counter replaces the old silent News fallback.
+        assert_eq!(out.unknown_source_records, 0);
     }
 
     #[test]
@@ -430,10 +431,7 @@ mod tests {
     fn attribution_covers_every_dataset_as() {
         let (_, out) = run(86);
         for asn in out.dataset.state_owned_ases() {
-            assert!(
-                out.as_attribution.contains_key(&asn),
-                "{asn} lacks source attribution"
-            );
+            assert!(out.as_attribution.contains_key(&asn), "{asn} lacks source attribution");
         }
     }
 

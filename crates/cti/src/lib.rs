@@ -137,10 +137,7 @@ impl CtiResults {
 
     /// The score of one AS in one country.
     pub fn score(&self, asn: Asn, country: CountryCode) -> f64 {
-        self.ranking(country)
-            .iter()
-            .find(|&&(a, _)| a == asn)
-            .map_or(0.0, |&(_, s)| s)
+        self.ranking(country).iter().find(|&&(a, _)| a == asn).map_or(0.0, |&(_, s)| s)
     }
 
     /// Top `k` transit ASes of a country.
@@ -202,11 +199,8 @@ mod tests {
         let monitors = vec![Monitor { id: 0, asn: a(1) }, Monitor { id: 1, asn: a(2) }];
         let view = BgpView::compute(&g, &ann, &monitors).unwrap();
         let table = view.prefix_to_as(1).unwrap();
-        let geo = GeoDb::from_blocks([
-            (p("10.0.0.0/16"), cc("SY")),
-            (p("10.1.0.0/16"), cc("SY")),
-        ])
-        .unwrap();
+        let geo = GeoDb::from_blocks([(p("10.0.0.0/16"), cc("SY")), (p("10.1.0.0/16"), cc("SY"))])
+            .unwrap();
         (view, table, geo)
     }
 
@@ -266,11 +260,8 @@ mod tests {
         let monitors = vec![Monitor { id: 0, asn: a(1) }, Monitor { id: 1, asn: a(2) }];
         let view = BgpView::compute(&g, &ann, &monitors).unwrap();
         let table = view.prefix_to_as(1).unwrap();
-        let geo = GeoDb::from_blocks([
-            (p("10.0.0.0/16"), cc("SY")),
-            (p("10.1.0.0/16"), cc("SY")),
-        ])
-        .unwrap();
+        let geo = GeoDb::from_blocks([(p("10.0.0.0/16"), cc("SY")), (p("10.1.0.0/16"), cc("SY"))])
+            .unwrap();
         let cti = CtiResults::compute(&view, &table, &geo, CtiConfig::default()).unwrap();
         let s7 = cti.score(a(7), cc("SY"));
         let s6 = cti.score(a(6), cc("SY"));
@@ -315,13 +306,9 @@ mod tests {
         assert!(cti.ranking(cc("NO")).is_empty());
         // Empty monitor sets are impossible to construct via BgpView, but
         // config floor filters tiny scores.
-        let strict = CtiResults::compute(
-            &view,
-            &table,
-            &geo,
-            CtiConfig { min_monitors: 1, min_score: 0.9 },
-        )
-        .unwrap();
+        let strict =
+            CtiResults::compute(&view, &table, &geo, CtiConfig { min_monitors: 1, min_score: 0.9 })
+                .unwrap();
         assert_eq!(strict.ranking(cc("SY")).len(), 1, "only the gateway survives");
     }
 }

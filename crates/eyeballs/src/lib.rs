@@ -57,10 +57,7 @@ impl Default for ApnicEstimator {
 
 impl ApnicEstimator {
     /// Runs the simulated measurement over ground truth.
-    pub fn estimate(
-        &self,
-        truth: &[UserPopulation],
-    ) -> Result<EyeballEstimates, SoiError> {
+    pub fn estimate(&self, truth: &[UserPopulation]) -> Result<EyeballEstimates, SoiError> {
         if !(0.0..=1.0).contains(&self.miss_rate) {
             return Err(SoiError::InvalidConfig(format!(
                 "miss_rate {} outside [0, 1]",
@@ -169,10 +166,8 @@ impl EyeballEstimates {
             let e = &self.estimates[i];
             *per_asn.entry(e.asn).or_default() += e.users;
         }
-        let mut out: Vec<(Asn, f64)> = per_asn
-            .into_iter()
-            .map(|(a, u)| (a, u as f64 / total))
-            .collect();
+        let mut out: Vec<(Asn, f64)> =
+            per_asn.into_iter().map(|(a, u)| (a, u as f64 / total)).collect();
         out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
         out
     }
@@ -199,7 +194,6 @@ mod tests {
     use proptest::prelude::*;
     use soi_types::cc;
 
-
     fn pop(c: &str, asn: u32, users: u64) -> UserPopulation {
         UserPopulation { country: c.parse().unwrap(), asn: Asn(asn), users }
     }
@@ -223,7 +217,8 @@ mod tests {
     fn multihomed_as_users_summed() {
         // Same AS appearing twice in the same country (e.g. two entries
         // after a merge) must aggregate.
-        let e = EyeballEstimates::new(vec![pop("NO", 1, 100), pop("NO", 1, 200), pop("NO", 2, 700)]);
+        let e =
+            EyeballEstimates::new(vec![pop("NO", 1, 100), pop("NO", 1, 200), pop("NO", 2, 700)]);
         assert_eq!(e.users(cc("NO"), Asn(1)), 300);
         assert!((e.share(cc("NO"), Asn(1)) - 0.3).abs() < 1e-9);
     }
@@ -259,8 +254,7 @@ mod tests {
 
     #[test]
     fn miss_rate_drops_roughly_expected_fraction() {
-        let truth: Vec<UserPopulation> =
-            (0..2000).map(|i| pop("NO", i, 10_000)).collect();
+        let truth: Vec<UserPopulation> = (0..2000).map(|i| pop("NO", i, 10_000)).collect();
         let est = ApnicEstimator { noise_sigma: 0.0, min_measurable: 1, miss_rate: 0.25, seed: 4 };
         let out = est.estimate(&truth).unwrap();
         let kept = out.estimates().len() as f64 / 2000.0;

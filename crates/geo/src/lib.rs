@@ -96,7 +96,8 @@ impl GeoDb {
     }
 
     fn accumulate(&self, prefix: Ipv4Prefix, out: &mut HashMap<CountryCode, AddressCount>) {
-        let (q_start, q_end) = (prefix.network() as u64, prefix.network() as u64 + prefix.num_addresses());
+        let (q_start, q_end) =
+            (prefix.network() as u64, prefix.network() as u64 + prefix.num_addresses());
         // First block whose *end* is after the query start.
         let mut i = self
             .blocks
@@ -220,14 +221,21 @@ mod tests {
     #[test]
     fn lookups() {
         let d = db();
-        assert_eq!(d.country_of_ip(u32::from(std::net::Ipv4Addr::new(10, 1, 1, 1))), Some(cc("NO")));
-        assert_eq!(d.country_of_ip(u32::from(std::net::Ipv4Addr::new(10, 200, 1, 1))), Some(cc("SE")));
+        assert_eq!(
+            d.country_of_ip(u32::from(std::net::Ipv4Addr::new(10, 1, 1, 1))),
+            Some(cc("NO"))
+        );
+        assert_eq!(
+            d.country_of_ip(u32::from(std::net::Ipv4Addr::new(10, 200, 1, 1))),
+            Some(cc("SE"))
+        );
         assert_eq!(d.country_of_ip(u32::from(std::net::Ipv4Addr::new(50, 0, 0, 1))), None);
     }
 
     #[test]
     fn rejects_overlap() {
-        assert!(GeoDb::from_blocks([(p("10.0.0.0/8"), cc("NO")), (p("10.1.0.0/16"), cc("SE"))]).is_err());
+        assert!(GeoDb::from_blocks([(p("10.0.0.0/8"), cc("NO")), (p("10.1.0.0/16"), cc("SE"))])
+            .is_err());
     }
 
     #[test]
@@ -263,9 +271,8 @@ mod tests {
     #[test]
     fn noise_is_deterministic_and_bounded() {
         // Many small blocks; check error rate is near 1 - accuracy.
-        let blocks: Vec<_> = (0u32..2000)
-            .map(|i| (Ipv4Prefix::new(i << 12, 24).unwrap(), cc("NO")))
-            .collect();
+        let blocks: Vec<_> =
+            (0u32..2000).map(|i| (Ipv4Prefix::new(i << 12, 24).unwrap(), cc("NO"))).collect();
         let truth = GeoDb::from_blocks(blocks).unwrap();
         let noise = GeoNoise { accuracy: 0.8, regional_confusion: 0.5, min_error_len: 18, seed: 7 };
         let a = noise.perturb(&truth).unwrap();
@@ -275,7 +282,8 @@ mod tests {
         let rate = wrong as f64 / 2000.0;
         assert!((rate - 0.2).abs() < 0.05, "error rate {rate} far from 0.2");
         // Never relabels to the same country, so errors are real errors.
-        let noise_full = GeoNoise { accuracy: 0.0, regional_confusion: 1.0, min_error_len: 18, seed: 1 };
+        let noise_full =
+            GeoNoise { accuracy: 0.0, regional_confusion: 1.0, min_error_len: 18, seed: 1 };
         let all_wrong = noise_full.perturb(&truth).unwrap();
         assert!(all_wrong.blocks().iter().all(|&(_, c)| c != cc("NO")));
     }
@@ -291,11 +299,9 @@ mod tests {
 
     #[test]
     fn large_blocks_are_immune() {
-        let truth = GeoDb::from_blocks([
-            (p("10.0.0.0/12"), cc("AR")),
-            (p("20.0.0.0/24"), cc("AR")),
-        ])
-        .unwrap();
+        let truth =
+            GeoDb::from_blocks([(p("10.0.0.0/12"), cc("AR")), (p("20.0.0.0/24"), cc("AR"))])
+                .unwrap();
         let noise = GeoNoise { accuracy: 0.0, regional_confusion: 1.0, min_error_len: 18, seed: 5 };
         let out = noise.perturb(&truth).unwrap();
         assert_eq!(out.blocks()[0].1, cc("AR"), "/12 must never be mislocated");
@@ -305,7 +311,9 @@ mod tests {
     #[test]
     fn invalid_accuracy_rejected() {
         let truth = db();
-        assert!(GeoNoise { accuracy: 1.5, regional_confusion: 0.5, min_error_len: 18, seed: 0 }.perturb(&truth).is_err());
+        assert!(GeoNoise { accuracy: 1.5, regional_confusion: 0.5, min_error_len: 18, seed: 0 }
+            .perturb(&truth)
+            .is_err());
     }
 
     proptest! {

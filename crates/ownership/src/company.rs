@@ -90,10 +90,7 @@ impl Business {
     /// True for a *national-level* Internet operator (the paper's full
     /// eligibility test on the business axis).
     pub fn is_eligible_operator(self) -> bool {
-        matches!(
-            self,
-            Business::InternetOperator { scope: OperatorScope::National, .. }
-        )
+        matches!(self, Business::InternetOperator { scope: OperatorScope::National, .. })
     }
 }
 
@@ -123,13 +120,7 @@ impl Company {
         country: CountryCode,
         business: Business,
     ) -> Self {
-        Company {
-            id,
-            name: name.into(),
-            legal_name: legal_name.into(),
-            country,
-            business,
-        }
+        Company { id, name: name.into(), legal_name: legal_name.into(), country, business }
     }
 }
 
@@ -170,7 +161,10 @@ mod tests {
             "Telenor",
             "Telenor Norge AS",
             cc("NO"),
-            Business::InternetOperator { scope: OperatorScope::National, service: ServiceKind::Both },
+            Business::InternetOperator {
+                scope: OperatorScope::National,
+                service: ServiceKind::Both,
+            },
         );
         assert_eq!(c.name, "Telenor");
         assert_ne!(c.name, c.legal_name);

@@ -81,11 +81,9 @@ impl StateControl {
             let holder_is_gov = gov_of.get(&holder.id).copied();
             let controlling_states: Vec<CountryCode> = match holder_is_gov {
                 Some(cc) => vec![cc],
-                None => ctl[pos]
-                    .iter()
-                    .filter(|&(_, &e)| e.is_majority())
-                    .map(|(&cc, _)| cc)
-                    .collect(),
+                None => {
+                    ctl[pos].iter().filter(|&(_, &e)| e.is_majority()).map(|(&cc, _)| cc).collect()
+                }
             };
             // Economic interest flows for every state with any position.
             let eco_positions: Vec<(CountryCode, Equity)> = match holder_is_gov {
@@ -94,9 +92,8 @@ impl StateControl {
             };
 
             for holding in graph.portfolio(holder.id) {
-                let held_pos = graph
-                    .position(holding.held)
-                    .expect("validated graph has no dangling holdings");
+                let held_pos =
+                    graph.position(holding.held).expect("validated graph has no dangling holdings");
                 // Control model: a controlled holder's stake counts fully.
                 for &state in &controlling_states {
                     let entry = ctl[held_pos].entry(state).or_insert(Equity::ZERO);
@@ -157,10 +154,7 @@ impl StateControl {
     /// lexicographically smaller country code wins for determinism — the
     /// paper similarly assigns joint ventures to the larger shareholder.
     pub fn controlling_state(&self, company: CompanyId) -> Option<CountryCode> {
-        self.stakes(company)
-            .iter()
-            .find(|s| s.controlled_equity.is_majority())
-            .map(|s| s.country)
+        self.stakes(company).iter().find(|s| s.controlled_equity.is_majority()).map(|s| s.country)
     }
 
     /// States with a minority position (0 < equity < 50%) in the company.
@@ -209,10 +203,8 @@ mod tests {
         Company::new(CompanyId(id), name, name, country.parse().unwrap(), business)
     }
 
-    const OPERATOR: Business = Business::InternetOperator {
-        scope: OperatorScope::National,
-        service: ServiceKind::Both,
-    };
+    const OPERATOR: Business =
+        Business::InternetOperator { scope: OperatorScope::National, service: ServiceKind::Both };
 
     #[test]
     fn direct_majority() {
@@ -263,11 +255,7 @@ mod tests {
         // Fund itself is minority-state.
         assert_eq!(sc.minority_states(CompanyId(2)), vec![(cc("NO"), pct(40))]);
         // Economic interest still flows: 40% * 60% = 24%.
-        let stake = sc
-            .stakes(CompanyId(3))
-            .iter()
-            .find(|s| s.country == cc("NO"))
-            .unwrap();
+        let stake = sc.stakes(CompanyId(3)).iter().find(|s| s.country == cc("NO")).unwrap();
         assert_eq!(stake.economic_interest, pct(24));
         assert_eq!(stake.controlled_equity, Equity::ZERO);
     }

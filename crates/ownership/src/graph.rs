@@ -78,10 +78,7 @@ impl OwnershipGraphBuilder {
             let total = into_total.entry(h.held).or_insert(Equity::ZERO);
             let new_total = u32::from(total.bp()) + u32::from(h.equity.bp());
             if new_total > u32::from(Equity::FULL.bp()) {
-                return Err(SoiError::Invariant(format!(
-                    "shareholders of {} exceed 100%",
-                    h.held
-                )));
+                return Err(SoiError::Invariant(format!("shareholders of {} exceed 100%", h.held)));
             }
             *total = Equity::from_bp(new_total);
         }
@@ -166,11 +163,7 @@ impl OwnershipGraph {
 
     /// Companies in which `id` directly holds >= 50%.
     pub fn majority_subsidiaries(&self, id: CompanyId) -> Vec<CompanyId> {
-        self.portfolio(id)
-            .into_iter()
-            .filter(|h| h.equity.is_majority())
-            .map(|h| h.held)
-            .collect()
+        self.portfolio(id).into_iter().filter(|h| h.equity.is_majority()).map(|h| h.held).collect()
     }
 
     /// Free float: equity of `id` not accounted for by recorded holders.
@@ -351,7 +344,8 @@ mod tests {
         b.add_holding(CompanyId(2), CompanyId(3), pct(60));
         let g = b.build().unwrap();
         let order = g.topo_order();
-        let pos = |id: u32| order.iter().position(|&i| g.company_at(i).id == CompanyId(id)).unwrap();
+        let pos =
+            |id: u32| order.iter().position(|&i| g.company_at(i).id == CompanyId(id)).unwrap();
         assert!(pos(1) < pos(2));
         assert!(pos(2) < pos(3));
     }

@@ -37,19 +37,13 @@ pub struct As2Org {
 /// ```
 pub fn normalize_org_name(name: &str) -> String {
     const LEGAL_SUFFIXES: &[&str] = &[
-        "sa", "s.a", "sab", "ab", "as", "a.s", "asa", "plc", "inc", "llc", "ltd", "gmbh",
-        "bhd", "spa", "s.p.a", "pte", "pjsc", "jsc", "co", "corp", "holdings", "holding",
-        "group", "company", "limited",
+        "sa", "s.a", "sab", "ab", "as", "a.s", "asa", "plc", "inc", "llc", "ltd", "gmbh", "bhd",
+        "spa", "s.p.a", "pte", "pjsc", "jsc", "co", "corp", "holdings", "holding", "group",
+        "company", "limited",
     ];
     let cleaned: String = name
         .chars()
-        .map(|c| {
-            if c.is_alphanumeric() {
-                c.to_ascii_lowercase()
-            } else {
-                ' '
-            }
-        })
+        .map(|c| if c.is_alphanumeric() { c.to_ascii_lowercase() } else { ' ' })
         .collect();
     let tokens: Vec<&str> = cleaned
         .split_whitespace()
@@ -197,11 +191,7 @@ impl As2Org {
         let mut names = HashMap::new();
         for (oid, asns) in clusters.into_iter().enumerate() {
             let org = OrgId(oid as u32);
-            let name = self
-                .org_of(asns[0])
-                .and_then(|o| self.org_name(o))
-                .unwrap_or("")
-                .to_owned();
+            let name = self.org_of(asns[0]).and_then(|o| self.org_name(o)).unwrap_or("").to_owned();
             for &a in &asns {
                 org_of.insert(a, org);
             }
@@ -250,7 +240,14 @@ mod tests {
     use crate::whois::{WhoisDb, WhoisNoise};
     use soi_types::{cc, CompanyId, Rir};
 
-    fn reg(asn: u32, company: u32, brand: &str, legal: &str, former: Option<&str>, domain: &str) -> AsRegistration {
+    fn reg(
+        asn: u32,
+        company: u32,
+        brand: &str,
+        legal: &str,
+        former: Option<&str>,
+        domain: &str,
+    ) -> AsRegistration {
         AsRegistration {
             asn: Asn(asn),
             company: CompanyId(company),
@@ -309,7 +306,14 @@ mod tests {
         // (former name + opaque contact), so the cluster fragments.
         let regs = vec![
             reg(1, 10, "Internexa", "Internexa SA", None, "internexa.example"),
-            reg(2, 10, "Internexa", "Transamerican Telecomunication S.A.", Some("Transamerican Telecomunication S.A."), "internexa.example"),
+            reg(
+                2,
+                10,
+                "Internexa",
+                "Transamerican Telecomunication S.A.",
+                Some("Transamerican Telecomunication S.A."),
+                "internexa.example",
+            ),
         ];
         let db = WhoisDb::generate(
             &regs,

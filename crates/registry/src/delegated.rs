@@ -75,17 +75,15 @@ pub fn render_delegated(
     registrations: &[AsRegistration],
     prefixes: &[(Ipv4Prefix, Asn)],
 ) -> String {
-    let regs: Vec<&AsRegistration> =
-        registrations.iter().filter(|r| r.rir == rir).collect();
+    let regs: Vec<&AsRegistration> = registrations.iter().filter(|r| r.rir == rir).collect();
     let reg_of: BTreeMap<Asn, &AsRegistration> = regs.iter().map(|r| (r.asn, *r)).collect();
-    let blocks: Vec<(&Ipv4Prefix, &AsRegistration)> = prefixes
-        .iter()
-        .filter_map(|(p, asn)| reg_of.get(asn).map(|r| (p, *r)))
-        .collect();
+    let blocks: Vec<(&Ipv4Prefix, &AsRegistration)> =
+        prefixes.iter().filter_map(|(p, asn)| reg_of.get(asn).map(|r| (p, *r))).collect();
 
     let name = rir.name().to_ascii_lowercase();
     let mut out = String::new();
-    let _ = writeln!(out, "2|{name}|20200601|{}|19920101|20200601|+0000", regs.len() + blocks.len());
+    let _ =
+        writeln!(out, "2|{name}|20200601|{}|19920101|20200601|+0000", regs.len() + blocks.len());
     let _ = writeln!(out, "{name}|*|asn|*|{}|summary", regs.len());
     let _ = writeln!(out, "{name}|*|ipv4|*|{}|summary", blocks.len());
     for r in &regs {
@@ -134,9 +132,8 @@ pub fn parse_delegated(text: &str) -> Result<Vec<Delegation>, SoiError> {
             "ripe" | "ripencc" => Rir::Ripe,
             other => return Err(SoiError::Parse(format!("unknown registry: {other:?}"))),
         };
-        let country: CountryCode = fields[1]
-            .parse()
-            .map_err(|_| SoiError::Parse(format!("bad country in {line:?}")))?;
+        let country: CountryCode =
+            fields[1].parse().map_err(|_| SoiError::Parse(format!("bad country in {line:?}")))?;
         let opaque_id = fields[6..].last().unwrap_or(&"").to_string();
         match fields[2] {
             "asn" => {
@@ -161,9 +158,7 @@ pub fn parse_delegated(text: &str) -> Result<Vec<Delegation>, SoiError> {
                 });
             }
             "ipv6" => {} // not modelled; skip silently like most consumers
-            other => {
-                return Err(SoiError::Parse(format!("unknown record type: {other:?}")))
-            }
+            other => return Err(SoiError::Parse(format!("unknown record type: {other:?}"))),
         }
     }
     Ok(out)
@@ -215,10 +210,7 @@ mod tests {
             d,
             Delegation::Asn { asn, country, .. } if *asn == Asn(2119) && *country == cc("NO")
         )));
-        assert!(parsed.iter().any(|d| matches!(
-            d,
-            Delegation::Ipv4 { count: 65536, .. }
-        )));
+        assert!(parsed.iter().any(|d| matches!(d, Delegation::Ipv4 { count: 65536, .. })));
     }
 
     #[test]
@@ -253,10 +245,31 @@ mod tests {
     #[test]
     fn country_counts() {
         let dels = vec![
-            Delegation::Asn { rir: Rir::Ripe, country: cc("NO"), asn: Asn(1), opaque_id: "a".into() },
-            Delegation::Asn { rir: Rir::Ripe, country: cc("NO"), asn: Asn(2), opaque_id: "a".into() },
-            Delegation::Asn { rir: Rir::Ripe, country: cc("SE"), asn: Asn(3), opaque_id: "b".into() },
-            Delegation::Ipv4 { rir: Rir::Ripe, country: cc("NO"), start: 0, count: 256, opaque_id: "a".into() },
+            Delegation::Asn {
+                rir: Rir::Ripe,
+                country: cc("NO"),
+                asn: Asn(1),
+                opaque_id: "a".into(),
+            },
+            Delegation::Asn {
+                rir: Rir::Ripe,
+                country: cc("NO"),
+                asn: Asn(2),
+                opaque_id: "a".into(),
+            },
+            Delegation::Asn {
+                rir: Rir::Ripe,
+                country: cc("SE"),
+                asn: Asn(3),
+                opaque_id: "b".into(),
+            },
+            Delegation::Ipv4 {
+                rir: Rir::Ripe,
+                country: cc("NO"),
+                start: 0,
+                count: 256,
+                opaque_id: "a".into(),
+            },
         ];
         let counts = asn_counts_by_country(&dels);
         assert_eq!(counts[&cc("NO")], 2);
@@ -292,9 +305,7 @@ mod tests {
         let prefixes = regs
             .iter()
             .enumerate()
-            .map(|(i, r)| {
-                (Ipv4Prefix::new((i as u32 + 1) << 20, 16).unwrap(), r.asn)
-            })
+            .map(|(i, r)| (Ipv4Prefix::new((i as u32 + 1) << 20, 16).unwrap(), r.asn))
             .collect();
         (regs, prefixes)
     }

@@ -13,7 +13,6 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use soi_types::{Asn, SoiError};
 
-
 use crate::registration::AsRegistration;
 
 /// A self-reported PeeringDB entry.
@@ -117,10 +116,7 @@ impl PeeringDb {
         if needle.is_empty() {
             return Vec::new();
         }
-        self.entries
-            .iter()
-            .filter(|e| e.org_name.to_lowercase().contains(&needle))
-            .collect()
+        self.entries.iter().filter(|e| e.org_name.to_lowercase().contains(&needle)).collect()
     }
 }
 
@@ -170,9 +166,12 @@ mod tests {
     fn weighted_participation() {
         let regs: Vec<_> = (0..1000).map(|i| reg(i, &format!("Net{i}"))).collect();
         // Even ASNs are "transit" networks with high participation.
-        let db = PeeringDb::generate(&regs, |r| if r.asn.0 % 2 == 0 { 0.9 } else { 0.1 }, 3).unwrap();
-        let even = regs.iter().filter(|r| r.asn.0 % 2 == 0).filter(|r| db.entry(r.asn).is_some()).count();
-        let odd = regs.iter().filter(|r| r.asn.0 % 2 == 1).filter(|r| db.entry(r.asn).is_some()).count();
+        let db =
+            PeeringDb::generate(&regs, |r| if r.asn.0 % 2 == 0 { 0.9 } else { 0.1 }, 3).unwrap();
+        let even =
+            regs.iter().filter(|r| r.asn.0 % 2 == 0).filter(|r| db.entry(r.asn).is_some()).count();
+        let odd =
+            regs.iter().filter(|r| r.asn.0 % 2 == 1).filter(|r| db.entry(r.asn).is_some()).count();
         assert!(even > 400 && odd < 100, "even={even} odd={odd}");
     }
 
@@ -195,7 +194,8 @@ mod tests {
 
     #[test]
     fn search_matches_brands() {
-        let db = PeeringDb::generate(&[reg(1, "Angola Cables"), reg(2, "BSCCL")], |_| 1.0, 0).unwrap();
+        let db =
+            PeeringDb::generate(&[reg(1, "Angola Cables"), reg(2, "BSCCL")], |_| 1.0, 0).unwrap();
         assert_eq!(db.search_org("angola").len(), 1);
         assert!(db.search_org("").is_empty());
     }

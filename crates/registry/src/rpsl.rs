@@ -75,9 +75,10 @@ pub fn from_rpsl(text: &str) -> Result<WhoisRecord, SoiError> {
         let value = value.trim();
         match key.trim().to_ascii_lowercase().as_str() {
             "aut-num" | "asnumber" => {
-                asn = Some(value.parse().map_err(|_| {
-                    SoiError::Parse(format!("invalid ASN attribute: {value:?}"))
-                })?);
+                asn =
+                    Some(value.parse().map_err(|_| {
+                        SoiError::Parse(format!("invalid ASN attribute: {value:?}"))
+                    })?);
             }
             "as-name" | "asname" => as_name = Some(value.to_owned()),
             // First organization-ish attribute wins (objects may carry
@@ -103,9 +104,7 @@ pub fn from_rpsl(text: &str) -> Result<WhoisRecord, SoiError> {
         Some("APNIC") => Rir::Apnic,
         Some("AFRINIC") => Rir::Afrinic,
         Some("LACNIC") => Rir::Lacnic,
-        Some(other) => {
-            return Err(SoiError::Parse(format!("unknown registry source: {other:?}")))
-        }
+        Some(other) => return Err(SoiError::Parse(format!("unknown registry source: {other:?}"))),
         None => return Err(SoiError::Parse("missing source attribute".into())),
     };
 

@@ -121,10 +121,7 @@ impl WhoisDb {
         if needle.is_empty() {
             return Vec::new();
         }
-        self.records
-            .iter()
-            .filter(|r| r.org_name.to_lowercase().contains(&needle))
-            .collect()
+        self.records.iter().filter(|r| r.org_name.to_lowercase().contains(&needle)).collect()
     }
 
     /// The operator contact domain from the email, if it is informative.
@@ -211,6 +208,8 @@ mod tests {
         let a = WhoisDb::generate(&regs, noise).unwrap();
         let b = WhoisDb::generate(&regs, noise).unwrap();
         assert_eq!(a.records(), b.records());
-        assert!(WhoisDb::generate(&regs, WhoisNoise { stale_rate: 2.0, ..Default::default() }).is_err());
+        assert!(
+            WhoisDb::generate(&regs, WhoisNoise { stale_rate: 2.0, ..Default::default() }).is_err()
+        );
     }
 }

@@ -1,0 +1,224 @@
+//! Route dispatch: maps parsed requests onto [`ServiceIndex`] queries.
+//!
+//! ## HTTP API
+//!
+//! | route | answer |
+//! |---|---|
+//! | `GET /healthz` | liveness + dataset presence |
+//! | `GET /metrics` | [`crate::metrics::MetricsSnapshot`] |
+//! | `GET /asn/{asn}` | state-ownership verdict + full org record |
+//! | `GET /ip/{a.b.c.d}` | longest-prefix-match verdict for an address |
+//! | `GET /prefix/{a.b.c.d}/{len}` | covering-announcement verdict |
+//! | `GET /country/{CC}` | per-country footprint/majority summary |
+//! | `GET /search?q=needle[&limit=n]` | org-name substring search |
+//! | `GET /dataset` | whole-dataset summary |
+//!
+//! Errors are uniform JSON: `{"error": "..."}` with 400/404/405 status.
+
+use std::net::Ipv4Addr;
+
+use serde::Serialize;
+use soi_types::{Asn, CountryCode, Ipv4Prefix};
+
+use crate::http::{Request, Response};
+use crate::index::ServiceIndex;
+use crate::metrics::Metrics;
+
+/// Hard cap on `/search` results per request.
+const MAX_SEARCH_LIMIT: usize = 100;
+/// Default `/search` result count.
+const DEFAULT_SEARCH_LIMIT: usize = 20;
+
+#[derive(Serialize)]
+struct Health<'a> {
+    status: &'a str,
+    organizations: usize,
+}
+
+#[derive(Serialize)]
+struct SearchAnswer {
+    query: String,
+    hits: Vec<crate::index::SearchHit>,
+}
+
+/// Dispatches one request. Returns the route label (for per-route
+/// metrics) and the response.
+pub fn respond(
+    index: &ServiceIndex,
+    metrics: &Metrics,
+    queue_depth: usize,
+    req: &Request,
+) -> (&'static str, Response) {
+    if req.method != "GET" {
+        return ("other", Response::error(405, &format!("method {} not allowed", req.method)));
+    }
+    let segments = req.segments();
+    match *segments.as_slice() {
+        ["healthz"] => (
+            "healthz",
+            Response::json(
+                200,
+                &Health { status: "ok", organizations: index.sizes().organizations },
+            ),
+        ),
+        ["metrics"] => ("metrics", Response::json(200, &metrics.snapshot(queue_depth))),
+        ["asn", raw] => ("asn", asn_route(index, raw)),
+        ["ip", raw] => ("ip", ip_route(index, raw)),
+        ["prefix", addr, len] => ("prefix", prefix_route(index, addr, len)),
+        ["country", raw] => ("country", country_route(index, raw)),
+        ["search"] => ("search", search_route(index, req)),
+        ["dataset"] => ("dataset", Response::json(200, &index.summary())),
+        _ => ("other", Response::error(404, &format!("no such route: {}", req.path))),
+    }
+}
+
+fn asn_route(index: &ServiceIndex, raw: &str) -> Response {
+    match raw.parse::<Asn>() {
+        Ok(asn) => Response::json(200, &index.lookup_asn(asn)),
+        Err(_) => Response::error(400, &format!("invalid ASN: {raw:?}")),
+    }
+}
+
+fn ip_route(index: &ServiceIndex, raw: &str) -> Response {
+    match raw.parse::<Ipv4Addr>() {
+        Ok(ip) => Response::json(200, &index.lookup_ip(ip)),
+        Err(_) => Response::error(400, &format!("invalid IPv4 address: {raw:?}")),
+    }
+}
+
+fn prefix_route(index: &ServiceIndex, addr: &str, len: &str) -> Response {
+    let cidr = format!("{addr}/{len}");
+    match cidr.parse::<Ipv4Prefix>() {
+        Ok(prefix) => Response::json(200, &index.lookup_prefix(prefix)),
+        Err(_) => Response::error(400, &format!("invalid prefix: {cidr:?}")),
+    }
+}
+
+fn country_route(index: &ServiceIndex, raw: &str) -> Response {
+    let upper = raw.to_ascii_uppercase();
+    match upper.parse::<CountryCode>() {
+        Ok(code) => match index.country(code) {
+            Some(summary) => Response::json(200, &summary),
+            None => Response::error(404, &format!("unknown country: {upper:?}")),
+        },
+        Err(_) => Response::error(400, &format!("invalid country code: {raw:?}")),
+    }
+}
+
+fn search_route(index: &ServiceIndex, req: &Request) -> Response {
+    let Some(needle) = req.query_param("q").filter(|q| !q.is_empty()) else {
+        return Response::error(400, "search needs a non-empty ?q= parameter");
+    };
+    let limit = req
+        .query_param("limit")
+        .and_then(|l| l.parse::<usize>().ok())
+        .unwrap_or(DEFAULT_SEARCH_LIMIT)
+        .clamp(1, MAX_SEARCH_LIMIT);
+    let hits = index.search(needle, limit);
+    Response::json(200, &SearchAnswer { query: needle.to_owned(), hits })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soi_bgp::PrefixToAs;
+    use soi_core::{Dataset, OrgRecord};
+    use soi_types::{OrgId, Rir};
+    use std::io::BufReader;
+
+    fn index() -> ServiceIndex {
+        let rec = OrgRecord {
+            conglomerate_name: "Telenor".into(),
+            org_id: Some(OrgId(1)),
+            org_name: "Telenor".into(),
+            ownership_cc: "NO".parse().unwrap(),
+            ownership_country_name: "Norway".into(),
+            rir: Some(Rir::Ripe),
+            source: "Company's website".into(),
+            quote: "Major shareholdings: Government (54%)".into(),
+            quote_lang: "English".into(),
+            url: "https://example.net".into(),
+            additional_info: String::new(),
+            inputs: vec!['G'],
+            parent_org: None,
+            target_cc: None,
+            target_country_name: None,
+            asns: vec![Asn(2119)],
+        };
+        let table = PrefixToAs::from_entries([("10.0.0.0/8".parse().unwrap(), Asn(2119))]).unwrap();
+        ServiceIndex::build(Dataset { organizations: vec![rec] }, &table)
+    }
+
+    fn get(index: &ServiceIndex, metrics: &Metrics, target: &str) -> (&'static str, Response) {
+        let raw = format!("GET {target} HTTP/1.1\r\n\r\n");
+        let mut reader = BufReader::new(raw.as_bytes());
+        let req = crate::http::read_request(&mut reader).unwrap();
+        respond(index, metrics, 0, &req)
+    }
+
+    fn body(resp: &Response) -> String {
+        String::from_utf8(resp.body.clone()).unwrap()
+    }
+
+    #[test]
+    fn routes_dispatch_and_label() {
+        let ix = index();
+        let m = Metrics::new(ix.sizes());
+        for (target, route, status) in [
+            ("/healthz", "healthz", 200),
+            ("/metrics", "metrics", 200),
+            ("/asn/AS2119", "asn", 200),
+            ("/asn/2119", "asn", 200),
+            ("/asn/banana", "asn", 400),
+            ("/ip/10.1.2.3", "ip", 200),
+            ("/ip/999.1.1.1", "ip", 400),
+            ("/prefix/10.1.0.0/16", "prefix", 200),
+            ("/prefix/10.1.0.0/99", "prefix", 400),
+            ("/country/no", "country", 200),
+            ("/country/xx", "country", 404),
+            ("/country/nope", "country", 400),
+            ("/search?q=telenor", "search", 200),
+            ("/search", "search", 400),
+            ("/dataset", "dataset", 200),
+            ("/nope", "other", 404),
+        ] {
+            let (label, resp) = get(&ix, &m, target);
+            assert_eq!(label, route, "{target}");
+            assert_eq!(resp.status, status, "{target}: {}", body(&resp));
+        }
+    }
+
+    #[test]
+    fn asn_answer_carries_the_record() {
+        let ix = index();
+        let m = Metrics::new(ix.sizes());
+        let (_, resp) = get(&ix, &m, "/asn/AS2119");
+        let text = body(&resp);
+        assert!(text.contains("\"state_owned\":true"), "{text}");
+        assert!(text.contains("Telenor"), "{text}");
+        let (_, resp) = get(&ix, &m, "/asn/AS1");
+        assert!(body(&resp).contains("\"state_owned\":false"));
+    }
+
+    #[test]
+    fn non_get_methods_rejected() {
+        let ix = index();
+        let m = Metrics::new(ix.sizes());
+        let raw = "POST /asn/AS2119 HTTP/1.1\r\nContent-Length: 0\r\n\r\n";
+        let mut reader = BufReader::new(raw.as_bytes());
+        let req = crate::http::read_request(&mut reader).unwrap();
+        let (label, resp) = respond(&ix, &m, 0, &req);
+        assert_eq!(label, "other");
+        assert_eq!(resp.status, 405);
+    }
+
+    #[test]
+    fn search_limit_is_clamped() {
+        let ix = index();
+        let m = Metrics::new(ix.sizes());
+        let (_, resp) = get(&ix, &m, "/search?q=telenor&limit=0");
+        assert_eq!(resp.status, 200, "limit 0 clamps to 1 rather than erroring");
+        let (_, resp) = get(&ix, &m, "/search?q=e&limit=junk");
+        assert_eq!(resp.status, 200);
+    }
+}

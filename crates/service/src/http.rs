@@ -1,0 +1,382 @@
+//! Hand-rolled HTTP/1.1 request parsing and response rendering.
+//!
+//! The service is synchronous by design (like the rest of the workspace —
+//! see DESIGN.md §3), so this is a small, strict subset of HTTP/1.1 over
+//! blocking `std::net` streams: GET requests, bounded line/header sizes,
+//! percent-decoded paths and query strings, keep-alive, and
+//! `Content-Length`-framed JSON responses. Written in the same
+//! render/parse spirit as `soi-bgp`'s bgpdump support.
+
+use std::io::{BufRead, Write};
+
+use serde::Serialize;
+
+/// Longest accepted request line or header line, bytes.
+const MAX_LINE: usize = 8 * 1024;
+/// Most headers accepted per request.
+const MAX_HEADERS: usize = 100;
+/// Largest tolerated (and discarded) request body, bytes.
+const MAX_BODY: usize = 64 * 1024;
+
+/// Why a request could not be served from the wire.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Peer closed the connection cleanly before sending a request line.
+    Closed,
+    /// The read timed out (idle keep-alive connection or slow client).
+    Timeout,
+    /// Any other transport failure.
+    Io(std::io::Error),
+    /// The bytes were not a well-formed request; the message is safe to
+    /// echo back in a 400 response.
+    BadRequest(String),
+    /// The request exceeded a size bound; maps to 431/413.
+    TooLarge(String),
+}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        match e.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => HttpError::Timeout,
+            std::io::ErrorKind::UnexpectedEof => HttpError::Closed,
+            _ => HttpError::Io(e),
+        }
+    }
+}
+
+/// One parsed request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Uppercase method token (`GET`, `HEAD`, ...).
+    pub method: String,
+    /// Percent-decoded path, query string excluded. Always starts `/`.
+    pub path: String,
+    /// Decoded query parameters, in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// True when the connection should stay open after the response
+    /// (HTTP/1.1 default, overridden by `Connection: close`).
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// First value of query parameter `key`, if present.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// Path split into non-empty `/`-separated segments.
+    pub fn segments(&self) -> Vec<&str> {
+        self.path.split('/').filter(|s| !s.is_empty()).collect()
+    }
+}
+
+/// Reads one request from a buffered stream.
+///
+/// Returns [`HttpError::Closed`] on clean EOF before the request line, so
+/// keep-alive loops can distinguish "client done" from real failures.
+pub fn read_request(reader: &mut impl BufRead) -> Result<Request, HttpError> {
+    let line = read_line(reader)?;
+    if line.is_empty() {
+        return Err(HttpError::Closed);
+    }
+    let mut parts = line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) => (m.to_owned(), t.to_owned(), v.to_owned()),
+        _ => return Err(HttpError::BadRequest(format!("malformed request line: {line:?}"))),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::BadRequest(format!("unsupported version: {version:?}")));
+    }
+    let http11 = version == "HTTP/1.1";
+
+    // Headers: we only act on Connection and Content-Length.
+    let mut keep_alive = http11;
+    let mut content_length: usize = 0;
+    for n in 0.. {
+        if n >= MAX_HEADERS {
+            return Err(HttpError::TooLarge("too many headers".into()));
+        }
+        let line = read_line(reader)?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::BadRequest(format!("malformed header: {line:?}")));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "connection" => {
+                let v = value.to_ascii_lowercase();
+                if v.contains("close") {
+                    keep_alive = false;
+                } else if v.contains("keep-alive") {
+                    keep_alive = true;
+                }
+            }
+            "content-length" => {
+                content_length = value
+                    .parse()
+                    .map_err(|_| HttpError::BadRequest(format!("bad content-length: {value:?}")))?;
+            }
+            _ => {}
+        }
+    }
+
+    // Bodies carry nothing for this API; read and discard so the next
+    // keep-alive request starts at a message boundary.
+    if content_length > MAX_BODY {
+        return Err(HttpError::TooLarge(format!("body of {content_length} bytes")));
+    }
+    let mut remaining = content_length;
+    let mut scratch = [0u8; 1024];
+    while remaining > 0 {
+        let want = remaining.min(scratch.len());
+        let got = std::io::Read::read(reader, &mut scratch[..want]).map_err(HttpError::from)?;
+        if got == 0 {
+            return Err(HttpError::BadRequest("body shorter than content-length".into()));
+        }
+        remaining -= got;
+    }
+
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target.as_str(), None),
+    };
+    if !raw_path.starts_with('/') {
+        return Err(HttpError::BadRequest(format!("non-absolute path: {raw_path:?}")));
+    }
+    let path = percent_decode(raw_path, false);
+    let query = raw_query.map(parse_query).unwrap_or_default();
+
+    Ok(Request { method, path, query, keep_alive })
+}
+
+fn read_line(reader: &mut impl BufRead) -> Result<String, HttpError> {
+    let mut buf = Vec::with_capacity(64);
+    loop {
+        if buf.len() > MAX_LINE {
+            return Err(HttpError::TooLarge("request line too long".into()));
+        }
+        let mut byte = [0u8; 1];
+        let got = std::io::Read::read(reader, &mut byte).map_err(HttpError::from)?;
+        if got == 0 {
+            if buf.is_empty() {
+                return Ok(String::new());
+            }
+            return Err(HttpError::BadRequest("stream ended mid-line".into()));
+        }
+        if byte[0] == b'\n' {
+            break;
+        }
+        buf.push(byte[0]);
+    }
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    String::from_utf8(buf).map_err(|_| HttpError::BadRequest("non-UTF-8 request bytes".into()))
+}
+
+/// Decodes `%XX` escapes (and, in query mode, `+` as space). Invalid
+/// escapes pass through literally.
+pub fn percent_decode(s: &str, query_mode: bool) -> String {
+    fn hex_val(b: u8) -> Option<u8> {
+        match b {
+            b'0'..=b'9' => Some(b - b'0'),
+            b'a'..=b'f' => Some(b - b'a' + 10),
+            b'A'..=b'F' => Some(b - b'A' + 10),
+            _ => None,
+        }
+    }
+    let bytes = s.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' if i + 2 < bytes.len() => match (hex_val(bytes[i + 1]), hex_val(bytes[i + 2])) {
+                (Some(hi), Some(lo)) => {
+                    out.push(hi * 16 + lo);
+                    i += 3;
+                }
+                _ => {
+                    out.push(b'%');
+                    i += 1;
+                }
+            },
+            b'+' if query_mode => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn parse_query(raw: &str) -> Vec<(String, String)> {
+    raw.split('&')
+        .filter(|pair| !pair.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (percent_decode(k, true), percent_decode(v, true)),
+            None => (percent_decode(pair, true), String::new()),
+        })
+        .collect()
+}
+
+/// A rendered response, ready to write.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body bytes (always JSON for this API).
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// Serializes `value` as the JSON body of a response.
+    pub fn json<T: Serialize>(status: u16, value: &T) -> Response {
+        match serde_json::to_vec(value) {
+            Ok(body) => Response { status, body },
+            Err(e) => Response::error(500, &format!("serialization failed: {e}")),
+        }
+    }
+
+    /// The API's uniform JSON error shape.
+    pub fn error(status: u16, message: &str) -> Response {
+        let body = format!("{{\"error\":{}}}", json_string(message));
+        Response { status, body: body.into_bytes() }
+    }
+
+    /// Writes status line, headers and body. `keep_alive` controls the
+    /// advertised `Connection` disposition.
+    pub fn write_to(&self, writer: &mut impl Write, keep_alive: bool) -> std::io::Result<()> {
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+            self.status,
+            reason(self.status),
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
+        );
+        writer.write_all(head.as_bytes())?;
+        writer.write_all(&self.body)?;
+        writer.flush()
+    }
+}
+
+/// Reason phrases for the statuses this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Response",
+    }
+}
+
+/// Minimal JSON string escaping for hand-built error bodies.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, HttpError> {
+        let mut r = BufReader::new(raw.as_bytes());
+        read_request(&mut r)
+    }
+
+    #[test]
+    fn parses_request_line_path_and_query() {
+        let req = parse("GET /search?q=telenor+asa&limit=5 HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/search");
+        assert_eq!(req.query_param("q"), Some("telenor asa"));
+        assert_eq!(req.query_param("limit"), Some("5"));
+        assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn percent_decoding_applies() {
+        let req = parse("GET /search?q=t%C3%A9l%C3%A9com HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.query_param("q"), Some("télécom"));
+        assert_eq!(percent_decode("/a%2Fb", false), "/a/b");
+        assert_eq!(percent_decode("a%zz", false), "a%zz", "bad escape passes through");
+    }
+
+    #[test]
+    fn connection_close_and_http10_disable_keep_alive() {
+        let req = parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!req.keep_alive);
+        let req = parse("GET / HTTP/1.0\r\n\r\n").unwrap();
+        assert!(!req.keep_alive);
+    }
+
+    #[test]
+    fn rejects_garbage_and_reports_clean_close() {
+        assert!(matches!(parse(""), Err(HttpError::Closed)));
+        assert!(matches!(parse("NOT-HTTP\r\n\r\n"), Err(HttpError::BadRequest(_))));
+        assert!(matches!(parse("GET / SPDY/3\r\n\r\n"), Err(HttpError::BadRequest(_))));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nbroken header\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn discards_body_to_keep_framing() {
+        let raw =
+            "GET /healthz HTTP/1.1\r\nContent-Length: 5\r\n\r\nhelloGET /next HTTP/1.1\r\n\r\n";
+        let mut r = BufReader::new(raw.as_bytes());
+        let first = read_request(&mut r).unwrap();
+        assert_eq!(first.path, "/healthz");
+        let second = read_request(&mut r).unwrap();
+        assert_eq!(second.path, "/next");
+    }
+
+    #[test]
+    fn renders_response_with_length_framing() {
+        let resp = Response::json(200, &serde_json::json!({"ok": true}));
+        let mut out = Vec::new();
+        resp.write_to(&mut out, true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: "));
+        assert!(text.contains("Connection: keep-alive"));
+        assert!(text.ends_with("{\"ok\":true}"));
+        let err = Response::error(404, "no such route \"x\"");
+        assert_eq!(err.status, 404);
+        assert!(String::from_utf8(err.body).unwrap().contains("\\\"x\\\""));
+    }
+
+    #[test]
+    fn segments_split_path() {
+        let req = parse("GET /asn/AS2119/ HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.segments(), vec!["asn", "AS2119"]);
+    }
+}

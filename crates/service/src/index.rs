@@ -1,0 +1,435 @@
+//! Immutable in-memory indexes over a pipeline run.
+//!
+//! [`ServiceIndex`] is built once from a [`Dataset`] plus the world's
+//! announced prefix→origin table and is then shared read-only across every
+//! server worker thread — queries never take a lock. Four indexes answer
+//! the questions downstream consumers actually ask:
+//!
+//! * **ASN → organization** — "which state operates this AS?"
+//! * **longest-prefix-match** over announced space — "who originates this
+//!   address, and is that a state operator?"
+//! * **country → footprint/majority summary** — per-country rollups of
+//!   state-operated organizations, ASNs and announced address space;
+//! * **organization-name search** — substring search over org names.
+
+use std::collections::{BTreeMap, HashMap};
+use std::net::Ipv4Addr;
+
+use serde::Serialize;
+use soi_bgp::PrefixToAs;
+use soi_core::{Dataset, OrgRecord};
+use soi_types::{country_info, Asn, CountryCode, Ipv4Prefix, PrefixTrie};
+
+/// Sizes of every index, reported by `/metrics`.
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct IndexSizes {
+    /// Organizations in the served dataset.
+    pub organizations: usize,
+    /// Distinct state-owned ASNs indexed.
+    pub asns: usize,
+    /// Announced prefixes in the longest-prefix-match trie.
+    pub announced_prefixes: usize,
+    /// Countries with a non-empty summary.
+    pub countries: usize,
+}
+
+/// Answer to an ASN point lookup.
+#[derive(Clone, Debug, Serialize)]
+pub struct AsnAnswer {
+    /// The queried ASN, `ASnnnn` form.
+    pub asn: String,
+    /// True if the ASN belongs to a majority state-owned operator.
+    pub state_owned: bool,
+    /// The full dataset record when state-owned.
+    pub organization: Option<OrgRecord>,
+}
+
+/// Answer to an address or prefix lookup (longest-prefix-match over
+/// announced space, then the ASN verdict for the origin).
+#[derive(Clone, Debug, Serialize)]
+pub struct IpAnswer {
+    /// The queried address or prefix, as given.
+    pub query: String,
+    /// Most specific announced prefix covering the query, if any.
+    pub matched_prefix: Option<String>,
+    /// Origin AS of the matched prefix.
+    pub origin: Option<String>,
+    /// True if the origin belongs to a majority state-owned operator.
+    pub state_owned: bool,
+    /// Operating organization's name when state-owned.
+    pub organization: Option<String>,
+    /// Owning state's country code when state-owned.
+    pub owner: Option<String>,
+}
+
+/// Per-country rollup: who the state operates at home, which foreign
+/// states operate locally, and how much announced space that covers.
+///
+/// Address counts attribute each announced prefix (after more-specific
+/// carve-outs) to the country where its origin's organization *operates*
+/// (the target country for foreign subsidiaries) — the dataset-only
+/// approximation of the paper's geolocated footprints.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct CountrySummary {
+    /// ISO alpha-2 code.
+    pub country: String,
+    /// English short name.
+    pub country_name: String,
+    /// True if the country's own state majority-owns at least one
+    /// operator in the dataset (every dataset record is majority-owned).
+    pub has_majority_state_operator: bool,
+    /// Names of operators owned by this country's state and operating
+    /// domestically.
+    pub domestic_organizations: Vec<String>,
+    /// Names of foreign state-owned operators active in this country.
+    pub foreign_organizations: Vec<String>,
+    /// ASNs of the domestic state operators.
+    pub domestic_asns: Vec<Asn>,
+    /// ASNs of foreign state operators active here.
+    pub foreign_asns: Vec<Asn>,
+    /// Announced IPv4 addresses originated by the domestic state ASNs.
+    pub domestic_announced_addresses: u64,
+    /// Announced IPv4 addresses originated by the foreign state ASNs.
+    pub foreign_announced_addresses: u64,
+}
+
+/// One org-name search hit.
+#[derive(Clone, Debug, Serialize)]
+pub struct SearchHit {
+    /// Organization name.
+    pub org_name: String,
+    /// Owning state's country code.
+    pub owner: String,
+    /// Confirmation-source type.
+    pub source: String,
+    /// ASNs operated by the organization.
+    pub asns: Vec<Asn>,
+}
+
+/// Whole-dataset summary (the `/dataset` route).
+#[derive(Clone, Debug, Serialize)]
+pub struct DatasetSummary {
+    /// Organizations in the dataset.
+    pub organizations: usize,
+    /// Distinct state-owned ASNs.
+    pub state_owned_asns: usize,
+    /// Foreign state-owned subsidiaries.
+    pub foreign_subsidiaries: usize,
+    /// Countries owning at least one operator.
+    pub owner_countries: usize,
+    /// Announced prefixes known to the server.
+    pub announced_prefixes: usize,
+}
+
+/// The immutable query engine shared by all worker threads.
+pub struct ServiceIndex {
+    dataset: Dataset,
+    by_asn: HashMap<Asn, usize>,
+    origins: PrefixTrie<Asn>,
+    announced_prefixes: usize,
+    countries: BTreeMap<CountryCode, CountrySummary>,
+    names: Vec<(String, usize)>,
+}
+
+impl ServiceIndex {
+    /// Builds every index from a dataset and the announced prefix→origin
+    /// table.
+    pub fn build(dataset: Dataset, table: &PrefixToAs) -> ServiceIndex {
+        let mut by_asn: HashMap<Asn, usize> = HashMap::new();
+        for (i, rec) in dataset.organizations.iter().enumerate() {
+            for &asn in &rec.asns {
+                by_asn.entry(asn).or_insert(i);
+            }
+        }
+
+        let mut origins = PrefixTrie::new();
+        for &(prefix, origin) in table.entries() {
+            origins.insert(prefix, origin);
+        }
+
+        // Per-country rollups. Effective addresses honour more-specific
+        // carve-outs, so nested announcements are not double-counted.
+        let effective = table.effective_addresses();
+        let mut addr_by_asn: HashMap<Asn, u64> = HashMap::new();
+        for &(prefix, origin) in table.entries() {
+            let n = effective.get(&prefix).copied().unwrap_or(0);
+            *addr_by_asn.entry(origin).or_insert(0) += n;
+        }
+        let mut countries: BTreeMap<CountryCode, CountrySummary> = BTreeMap::new();
+        for rec in &dataset.organizations {
+            let operating = rec.operating_cc();
+            let summary = countries.entry(operating).or_insert_with(|| empty_summary(operating));
+            let announced: u64 =
+                rec.asns.iter().map(|a| addr_by_asn.get(a).copied().unwrap_or(0)).sum();
+            if rec.ownership_cc == operating {
+                summary.has_majority_state_operator = true;
+                summary.domestic_organizations.push(rec.org_name.clone());
+                summary.domestic_asns.extend(rec.asns.iter().copied());
+                summary.domestic_announced_addresses += announced;
+            } else {
+                summary.foreign_organizations.push(rec.org_name.clone());
+                summary.foreign_asns.extend(rec.asns.iter().copied());
+                summary.foreign_announced_addresses += announced;
+            }
+        }
+        for summary in countries.values_mut() {
+            summary.domestic_organizations.sort();
+            summary.foreign_organizations.sort();
+            summary.domestic_asns.sort_unstable();
+            summary.domestic_asns.dedup();
+            summary.foreign_asns.sort_unstable();
+            summary.foreign_asns.dedup();
+        }
+
+        let names: Vec<(String, usize)> = dataset
+            .organizations
+            .iter()
+            .enumerate()
+            .map(|(i, rec)| (rec.org_name.to_lowercase(), i))
+            .collect();
+
+        ServiceIndex {
+            announced_prefixes: origins.len(),
+            dataset,
+            by_asn,
+            origins,
+            countries,
+            names,
+        }
+    }
+
+    /// The served dataset.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// Index sizes for `/metrics`.
+    pub fn sizes(&self) -> IndexSizes {
+        IndexSizes {
+            organizations: self.dataset.organizations.len(),
+            asns: self.by_asn.len(),
+            announced_prefixes: self.announced_prefixes,
+            countries: self.countries.len(),
+        }
+    }
+
+    /// The record operating `asn`, if state-owned.
+    pub fn record_for_asn(&self, asn: Asn) -> Option<&OrgRecord> {
+        self.by_asn.get(&asn).map(|&i| &self.dataset.organizations[i])
+    }
+
+    /// ASN point lookup.
+    pub fn lookup_asn(&self, asn: Asn) -> AsnAnswer {
+        let rec = self.record_for_asn(asn);
+        AsnAnswer { asn: asn.to_string(), state_owned: rec.is_some(), organization: rec.cloned() }
+    }
+
+    /// Longest-prefix-match lookup for one address.
+    pub fn lookup_ip(&self, ip: Ipv4Addr) -> IpAnswer {
+        let matched = self.origins.lookup(u32::from(ip));
+        self.verdict(ip.to_string(), matched)
+    }
+
+    /// Most specific announced prefix covering `prefix` (length `<=`
+    /// the query's), then the origin's verdict.
+    pub fn lookup_prefix(&self, prefix: Ipv4Prefix) -> IpAnswer {
+        let matched = self.origins.lookup_covering(prefix);
+        self.verdict(prefix.to_string(), matched)
+    }
+
+    fn verdict(&self, query: String, matched: Option<(Ipv4Prefix, &Asn)>) -> IpAnswer {
+        let (matched_prefix, origin) = match matched {
+            Some((p, &asn)) => (Some(p), Some(asn)),
+            None => (None, None),
+        };
+        let rec = origin.and_then(|asn| self.record_for_asn(asn));
+        IpAnswer {
+            query,
+            matched_prefix: matched_prefix.map(|p| p.to_string()),
+            origin: origin.map(|a| a.to_string()),
+            state_owned: rec.is_some(),
+            organization: rec.map(|r| r.org_name.clone()),
+            owner: rec.map(|r| r.ownership_cc.to_string()),
+        }
+    }
+
+    /// Country rollup. `None` for codes outside the static registry.
+    pub fn country(&self, country: CountryCode) -> Option<CountrySummary> {
+        country_info(country)?;
+        Some(self.countries.get(&country).cloned().unwrap_or_else(|| empty_summary(country)))
+    }
+
+    /// Case-insensitive substring search over organization names, in
+    /// dataset order, capped at `limit` hits.
+    pub fn search(&self, needle: &str, limit: usize) -> Vec<SearchHit> {
+        let needle = needle.to_lowercase();
+        self.names
+            .iter()
+            .filter(|(name, _)| name.contains(&needle))
+            .take(limit)
+            .map(|&(_, i)| {
+                let rec = &self.dataset.organizations[i];
+                SearchHit {
+                    org_name: rec.org_name.clone(),
+                    owner: rec.ownership_cc.to_string(),
+                    source: rec.source.clone(),
+                    asns: rec.asns.clone(),
+                }
+            })
+            .collect()
+    }
+
+    /// Whole-dataset summary.
+    pub fn summary(&self) -> DatasetSummary {
+        DatasetSummary {
+            organizations: self.dataset.organizations.len(),
+            state_owned_asns: self.dataset.state_owned_ases().len(),
+            foreign_subsidiaries: self
+                .dataset
+                .organizations
+                .iter()
+                .filter(|o| o.is_foreign_subsidiary())
+                .count(),
+            owner_countries: self.dataset.owner_countries().len(),
+            announced_prefixes: self.announced_prefixes,
+        }
+    }
+}
+
+fn empty_summary(country: CountryCode) -> CountrySummary {
+    CountrySummary {
+        country: country.to_string(),
+        country_name: country_info(country).map(|i| i.name.to_owned()).unwrap_or_default(),
+        ..CountrySummary::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soi_types::{cc, OrgId, Rir};
+
+    fn record(name: &str, owner: &str, target: Option<&str>, asns: &[u32]) -> OrgRecord {
+        OrgRecord {
+            conglomerate_name: name.to_owned(),
+            org_id: Some(OrgId(1)),
+            org_name: name.to_owned(),
+            ownership_cc: owner.parse().unwrap(),
+            ownership_country_name: owner.to_owned(),
+            rir: Some(Rir::Ripe),
+            source: "Company's website".into(),
+            quote: "Major shareholdings: Government (54%)".into(),
+            quote_lang: "English".into(),
+            url: "https://example.net".into(),
+            additional_info: String::new(),
+            inputs: vec!['G'],
+            parent_org: None,
+            target_cc: target.map(|t| t.parse().unwrap()),
+            target_country_name: target.map(|t| t.to_owned()),
+            asns: asns.iter().map(|&a| Asn(a)).collect(),
+        }
+    }
+
+    fn fixture() -> ServiceIndex {
+        let dataset = Dataset {
+            organizations: vec![
+                record("Telenor", "NO", None, &[2119, 8210]),
+                record("Telenor Pakistan", "NO", Some("PK"), &[24499]),
+                record("PTCL", "PK", None, &[17557]),
+            ],
+        };
+        let table = PrefixToAs::from_entries([
+            ("10.0.0.0/8".parse().unwrap(), Asn(2119)),
+            ("10.1.0.0/16".parse().unwrap(), Asn(24499)),
+            ("192.168.0.0/16".parse().unwrap(), Asn(9999)),
+        ])
+        .unwrap();
+        ServiceIndex::build(dataset, &table)
+    }
+
+    #[test]
+    fn asn_lookup_distinguishes_state_owned() {
+        let ix = fixture();
+        let hit = ix.lookup_asn(Asn(2119));
+        assert!(hit.state_owned);
+        assert_eq!(hit.organization.unwrap().org_name, "Telenor");
+        assert_eq!(hit.asn, "AS2119");
+        let miss = ix.lookup_asn(Asn(9999));
+        assert!(!miss.state_owned);
+        assert!(miss.organization.is_none());
+    }
+
+    #[test]
+    fn ip_lookup_is_longest_prefix_match() {
+        let ix = fixture();
+        // 10.1.x.x falls under the /16 announced by the subsidiary, not
+        // the covering /8.
+        let a = ix.lookup_ip(Ipv4Addr::new(10, 1, 2, 3));
+        assert_eq!(a.matched_prefix.as_deref(), Some("10.1.0.0/16"));
+        assert_eq!(a.origin.as_deref(), Some("AS24499"));
+        assert!(a.state_owned);
+        assert_eq!(a.owner.as_deref(), Some("NO"));
+        let b = ix.lookup_ip(Ipv4Addr::new(10, 9, 9, 9));
+        assert_eq!(b.matched_prefix.as_deref(), Some("10.0.0.0/8"));
+        assert_eq!(b.organization.as_deref(), Some("Telenor"));
+        // Announced by a non-state AS: matched but not state-owned.
+        let c = ix.lookup_ip(Ipv4Addr::new(192, 168, 0, 1));
+        assert!(!c.state_owned && c.matched_prefix.is_some());
+        // Unannounced space.
+        let d = ix.lookup_ip(Ipv4Addr::new(8, 8, 8, 8));
+        assert!(d.matched_prefix.is_none() && !d.state_owned);
+    }
+
+    #[test]
+    fn prefix_lookup_finds_covering_announcement() {
+        let ix = fixture();
+        let a = ix.lookup_prefix("10.1.2.0/24".parse().unwrap());
+        assert_eq!(a.matched_prefix.as_deref(), Some("10.1.0.0/16"));
+        let b = ix.lookup_prefix("10.0.0.0/8".parse().unwrap());
+        assert_eq!(b.matched_prefix.as_deref(), Some("10.0.0.0/8"));
+    }
+
+    #[test]
+    fn country_rollup_splits_domestic_and_foreign() {
+        let ix = fixture();
+        let pk = ix.country(cc("PK")).unwrap();
+        assert!(pk.has_majority_state_operator, "PTCL is domestic state-owned");
+        assert_eq!(pk.domestic_organizations, vec!["PTCL".to_string()]);
+        assert_eq!(pk.foreign_organizations, vec!["Telenor Pakistan".to_string()]);
+        assert_eq!(pk.foreign_asns, vec![Asn(24499)]);
+        // The /16 carve-out of 10.0.0.0/8 belongs to the subsidiary.
+        assert_eq!(pk.foreign_announced_addresses, 1 << 16);
+        let no = ix.country(cc("NO")).unwrap();
+        assert_eq!(no.domestic_asns, vec![Asn(2119), Asn(8210)]);
+        // /8 minus the more-specific /16.
+        assert_eq!(no.domestic_announced_addresses, (1 << 24) - (1 << 16));
+        // A country with no dataset presence still answers, with zeroes.
+        let de = ix.country(cc("DE")).unwrap();
+        assert!(!de.has_majority_state_operator);
+        assert!(de.domestic_organizations.is_empty());
+    }
+
+    #[test]
+    fn search_is_case_insensitive_substring() {
+        let ix = fixture();
+        let hits = ix.search("telenor", 10);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(ix.search("TELENOR PAK", 10).len(), 1);
+        assert!(ix.search("zzz", 10).is_empty());
+        assert_eq!(ix.search("telenor", 1).len(), 1, "limit respected");
+    }
+
+    #[test]
+    fn sizes_and_summary_report_index_cardinalities() {
+        let ix = fixture();
+        let sizes = ix.sizes();
+        assert_eq!(sizes.organizations, 3);
+        assert_eq!(sizes.asns, 4);
+        assert_eq!(sizes.announced_prefixes, 3);
+        assert_eq!(sizes.countries, 2);
+        let summary = ix.summary();
+        assert_eq!(summary.foreign_subsidiaries, 1);
+        assert_eq!(summary.state_owned_asns, 4);
+        assert_eq!(summary.owner_countries, 2);
+    }
+}

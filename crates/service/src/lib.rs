@@ -1,0 +1,45 @@
+//! `soi-service`: a concurrent query service over a state-owned-operator
+//! [`Dataset`](soi_core::Dataset) and its announced address space.
+//!
+//! The pipeline (`soi-core`) produces a dataset *once*; this crate makes
+//! it *queryable*. [`ServiceIndex`] freezes the dataset plus the world's
+//! prefix→origin table into immutable in-memory indexes — ASN→record,
+//! longest-prefix-match over announced space, per-country footprint
+//! summaries, and an org-name search — and [`serve`] exposes them over a
+//! small HTTP/1.1 server built directly on `std::net`:
+//!
+//! * a bounded worker pool with an explicit backpressure queue (full
+//!   queue ⇒ immediate `503`, never unbounded memory),
+//! * per-request read/write timeouts,
+//! * graceful shutdown that drains queued and in-flight requests,
+//! * `/healthz` and a `/metrics` endpoint with request counts and
+//!   p50/p95/p99 latency histograms.
+//!
+//! No async runtime, no HTTP dependency: request parsing is hand-rolled
+//! in [`http`], JSON comes from the workspace's existing `serde_json`.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use soi_service::{serve, ServerConfig, ServiceIndex};
+//! # fn demo(dataset: soi_core::Dataset, table: soi_bgp::PrefixToAs) -> std::io::Result<()> {
+//! let index = Arc::new(ServiceIndex::build(dataset, &table));
+//! let handle = serve(index, ("127.0.0.1", 8080), ServerConfig::default())?;
+//! println!("listening on {}", handle.local_addr());
+//! // ... later:
+//! let final_metrics = handle.shutdown();
+//! println!("served {} requests", final_metrics.requests_total);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod handlers;
+pub mod http;
+pub mod index;
+pub mod metrics;
+pub mod server;
+
+pub use index::{
+    AsnAnswer, CountrySummary, DatasetSummary, IndexSizes, IpAnswer, SearchHit, ServiceIndex,
+};
+pub use metrics::{LatencySummary, Metrics, MetricsSnapshot};
+pub use server::{install_signal_handlers, serve, shutdown_requested, ServerConfig, ServerHandle};

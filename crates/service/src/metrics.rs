@@ -1,0 +1,294 @@
+//! Lock-free service metrics: request counters, a log-bucketed latency
+//! histogram with p50/p95/p99, and index sizes.
+//!
+//! Everything is plain atomics so the hot path never contends; `/metrics`
+//! takes a relaxed snapshot (fast, possibly a few events torn across
+//! counters — fine for observability).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+
+use crate::index::IndexSizes;
+
+/// Route labels tracked per-route; `other` catches 404s and probes.
+pub const ROUTES: [&str; 9] =
+    ["healthz", "metrics", "asn", "ip", "prefix", "country", "search", "dataset", "other"];
+
+/// Upper bounds (microseconds) of the latency histogram buckets; one
+/// overflow bucket sits above the last bound.
+const BOUNDS_MICROS: [u64; 15] = [
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    1_000_000, 2_500_000,
+];
+
+/// A fixed-bucket latency histogram, safe for concurrent recording.
+pub struct Histogram {
+    buckets: [AtomicU64; BOUNDS_MICROS.len() + 1],
+    count: AtomicU64,
+    sum_micros: AtomicU64,
+    max_micros: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_micros: AtomicU64::new(0),
+            max_micros: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn record(&self, latency: Duration) {
+        let micros = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        let slot = BOUNDS_MICROS.iter().position(|&b| micros <= b).unwrap_or(BOUNDS_MICROS.len());
+        self.buckets[slot].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+        self.max_micros.fetch_max(micros, Ordering::Relaxed);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile (0 < q <= 1) as the upper bound of the bucket the
+    /// quantile falls in, in microseconds. Returns 0 when empty; the
+    /// overflow bucket reports the maximum observed value.
+    pub fn quantile_micros(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return BOUNDS_MICROS
+                    .get(i)
+                    .copied()
+                    .unwrap_or_else(|| self.max_micros.load(Ordering::Relaxed));
+            }
+        }
+        self.max_micros.load(Ordering::Relaxed)
+    }
+
+    fn summary(&self) -> LatencySummary {
+        let count = self.count();
+        let sum = self.sum_micros.load(Ordering::Relaxed);
+        LatencySummary {
+            count,
+            mean_micros: if count == 0 { 0.0 } else { sum as f64 / count as f64 },
+            p50_micros: self.quantile_micros(0.50),
+            p95_micros: self.quantile_micros(0.95),
+            p99_micros: self.quantile_micros(0.99),
+            max_micros: self.max_micros.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Serialized latency digest.
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct LatencySummary {
+    /// Requests measured.
+    pub count: u64,
+    /// Mean latency, microseconds.
+    pub mean_micros: f64,
+    /// Median.
+    pub p50_micros: u64,
+    /// 95th percentile.
+    pub p95_micros: u64,
+    /// 99th percentile.
+    pub p99_micros: u64,
+    /// Largest observation.
+    pub max_micros: u64,
+}
+
+/// All counters the server maintains.
+pub struct Metrics {
+    started: Instant,
+    index_sizes: IndexSizes,
+    /// Requests fully served (any status).
+    requests: AtomicU64,
+    /// Responses with status >= 400.
+    errors: AtomicU64,
+    /// Connections refused with 503 because the accept queue was full.
+    rejected: AtomicU64,
+    /// Connections accepted.
+    connections: AtomicU64,
+    /// Reads that hit the per-request timeout.
+    timeouts: AtomicU64,
+    /// Requests currently being handled (gauge).
+    in_flight: AtomicU64,
+    per_route: [AtomicU64; ROUTES.len()],
+    latency: Histogram,
+}
+
+impl Metrics {
+    /// Fresh metrics for a server over an index of the given sizes.
+    pub fn new(index_sizes: IndexSizes) -> Metrics {
+        Metrics {
+            started: Instant::now(),
+            index_sizes,
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            per_route: std::array::from_fn(|_| AtomicU64::new(0)),
+            latency: Histogram::default(),
+        }
+    }
+
+    /// Records one served request.
+    pub fn record_request(&self, route: &str, status: u16, latency: Duration) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if status >= 400 {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        let slot = ROUTES.iter().position(|&r| r == route).unwrap_or(ROUTES.len() - 1);
+        self.per_route[slot].fetch_add(1, Ordering::Relaxed);
+        self.latency.record(latency);
+    }
+
+    /// Counts one accepted connection.
+    pub fn record_connection(&self) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one backpressure rejection.
+    pub fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one request-read timeout.
+    pub fn record_timeout(&self) {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks a request as in flight; decremented by [`Metrics::end_request`].
+    pub fn begin_request(&self) {
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Ends an in-flight request.
+    pub fn end_request(&self) {
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Total requests served so far.
+    pub fn requests_total(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time view, serialized by `/metrics`.
+    pub fn snapshot(&self, queue_depth: usize) -> MetricsSnapshot {
+        let per_route: BTreeMap<String, u64> = ROUTES
+            .iter()
+            .zip(self.per_route.iter())
+            .map(|(&name, counter)| (name.to_owned(), counter.load(Ordering::Relaxed)))
+            .collect();
+        MetricsSnapshot {
+            uptime_seconds: self.started.elapsed().as_secs_f64(),
+            requests_total: self.requests.load(Ordering::Relaxed),
+            responses_error: self.errors.load(Ordering::Relaxed),
+            rejected_backpressure: self.rejected.load(Ordering::Relaxed),
+            connections_total: self.connections.load(Ordering::Relaxed),
+            read_timeouts: self.timeouts.load(Ordering::Relaxed),
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+            queue_depth,
+            per_route,
+            latency: self.latency.summary(),
+            index: self.index_sizes,
+        }
+    }
+}
+
+/// The `/metrics` JSON document.
+#[derive(Clone, Debug, Serialize)]
+pub struct MetricsSnapshot {
+    /// Seconds since the server started.
+    pub uptime_seconds: f64,
+    /// Requests fully served.
+    pub requests_total: u64,
+    /// Responses with status >= 400.
+    pub responses_error: u64,
+    /// Connections 503'd by backpressure.
+    pub rejected_backpressure: u64,
+    /// Connections accepted.
+    pub connections_total: u64,
+    /// Request reads that timed out.
+    pub read_timeouts: u64,
+    /// Requests being handled right now.
+    pub in_flight: u64,
+    /// Connections waiting in the accept queue right now.
+    pub queue_depth: usize,
+    /// Requests per route.
+    pub per_route: BTreeMap<String, u64>,
+    /// Latency digest over all routes.
+    pub latency: LatencySummary,
+    /// Sizes of the served indexes.
+    pub index: IndexSizes,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_observations() {
+        let h = Histogram::default();
+        for micros in [40u64, 60, 200, 400, 800, 2_000, 4_000, 9_000, 20_000, 3_000_000] {
+            h.record(Duration::from_micros(micros));
+        }
+        assert_eq!(h.count(), 10);
+        // The 5th of ten observations (800us) sits in the 500..=1000
+        // bucket, whose upper bound is reported.
+        assert_eq!(h.quantile_micros(0.5), 1_000);
+        // p99 lands in the overflow bucket -> max observed.
+        assert_eq!(h.quantile_micros(0.99), 3_000_000);
+        assert_eq!(h.quantile_micros(1.0), 3_000_000);
+        let s = h.summary();
+        assert!(s.mean_micros > 0.0);
+        assert_eq!(s.max_micros, 3_000_000);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile_micros(0.5), 0);
+        assert_eq!(h.summary().count, 0);
+    }
+
+    #[test]
+    fn metrics_aggregate_requests_and_routes() {
+        let m = Metrics::new(IndexSizes::default());
+        m.record_connection();
+        m.begin_request();
+        m.record_request("asn", 200, Duration::from_micros(120));
+        m.end_request();
+        m.record_request("asn", 200, Duration::from_micros(90));
+        m.record_request("nonsense-route", 404, Duration::from_micros(30));
+        m.record_rejected();
+        let snap = m.snapshot(3);
+        assert_eq!(snap.requests_total, 3);
+        assert_eq!(snap.responses_error, 1);
+        assert_eq!(snap.rejected_backpressure, 1);
+        assert_eq!(snap.connections_total, 1);
+        assert_eq!(snap.queue_depth, 3);
+        assert_eq!(snap.in_flight, 0);
+        assert_eq!(snap.per_route["asn"], 2);
+        assert_eq!(snap.per_route["other"], 1);
+        assert_eq!(snap.latency.count, 3);
+        assert!(snap.latency.p50_micros > 0);
+    }
+}

@@ -1,0 +1,472 @@
+//! The thread-pool HTTP server.
+//!
+//! Architecture (all blocking `std::net`, no async runtime):
+//!
+//! ```text
+//!  acceptor thread ──► bounded ConnQueue ──► N worker threads
+//!       │                   │                    │
+//!       │ queue full: 503   │ depth gauge        │ parse → route → respond
+//!       ▼                   ▼                    ▼ per-request timeouts
+//!  graceful shutdown: stop accepting, drain the queue, finish in-flight
+//!  requests, close keep-alive connections at the next message boundary.
+//! ```
+//!
+//! Backpressure is explicit: when the queue is full the acceptor answers
+//! `503` immediately instead of letting connections pile up unbounded.
+
+use std::collections::VecDeque;
+use std::io::BufReader;
+use std::net::{IpAddr, Ipv4Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::handlers;
+use crate::http::{self, HttpError, Response};
+use crate::index::ServiceIndex;
+use crate::metrics::{Metrics, MetricsSnapshot};
+
+/// Server tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Accepted connections allowed to wait for a worker before the
+    /// acceptor starts answering 503.
+    pub queue_capacity: usize,
+    /// Per-request read timeout (also bounds how long an idle keep-alive
+    /// connection can hold a worker, and therefore shutdown latency).
+    pub read_timeout: Duration,
+    /// Per-response write timeout.
+    pub write_timeout: Duration,
+    /// Requests served per connection before it is recycled.
+    pub max_requests_per_connection: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 8,
+            queue_capacity: 128,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            max_requests_per_connection: 10_000,
+        }
+    }
+}
+
+struct QueueInner {
+    conns: VecDeque<TcpStream>,
+    closed: bool,
+}
+
+/// Bounded MPMC handoff between the acceptor and the workers.
+struct ConnQueue {
+    inner: Mutex<QueueInner>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl ConnQueue {
+    fn new(capacity: usize) -> ConnQueue {
+        ConnQueue {
+            inner: Mutex::new(QueueInner { conns: VecDeque::new(), closed: false }),
+            available: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Enqueues unless full or closed; the stream comes back on refusal
+    /// so the caller can answer 503 on it.
+    fn try_push(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        if inner.closed || inner.conns.len() >= self.capacity {
+            return Err(stream);
+        }
+        inner.conns.push_back(stream);
+        drop(inner);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next connection; `None` once closed *and* drained —
+    /// the property that makes shutdown serve everything already accepted.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            if let Some(stream) = inner.conns.pop_front() {
+                return Some(stream);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.available.wait(inner).expect("queue wait");
+        }
+    }
+
+    fn close(&self) {
+        self.inner.lock().expect("queue lock").closed = true;
+        self.available.notify_all();
+    }
+
+    fn depth(&self) -> usize {
+        self.inner.lock().expect("queue lock").conns.len()
+    }
+}
+
+/// A running server. Dropping the handle shuts the server down
+/// gracefully; [`ServerHandle::shutdown`] does the same and returns the
+/// final metrics.
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    metrics: Arc<Metrics>,
+    queue: Arc<ConnQueue>,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Live metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Point-in-time metrics snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot(self.queue.depth())
+    }
+
+    /// Graceful shutdown: stop accepting, serve everything already
+    /// accepted or queued, finish in-flight requests, join all threads.
+    /// Returns the final metrics.
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        self.stop();
+        self.metrics.snapshot(0)
+    }
+
+    fn stop(&mut self) {
+        if self.acceptor.is_none() && self.workers.is_empty() {
+            return;
+        }
+        self.shutdown.store(true, Ordering::Release);
+        // Unblock the acceptor's blocking accept(2) with a throwaway
+        // connection to ourselves.
+        let mut wake = self.local_addr;
+        if wake.ip().is_unspecified() {
+            wake.set_ip(IpAddr::V4(Ipv4Addr::LOCALHOST));
+        }
+        let _ = TcpStream::connect_timeout(&wake, Duration::from_secs(1));
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        // The acceptor closes the queue on exit; repeat here in case it
+        // died some other way. Idempotent.
+        self.queue.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Binds `addr` and starts the acceptor and worker threads.
+pub fn serve(
+    index: Arc<ServiceIndex>,
+    addr: impl ToSocketAddrs,
+    cfg: ServerConfig,
+) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let local_addr = listener.local_addr()?;
+    let metrics = Arc::new(Metrics::new(index.sizes()));
+    let queue = Arc::new(ConnQueue::new(cfg.queue_capacity.max(1)));
+    let shutdown = Arc::new(AtomicBool::new(false));
+
+    let workers: Vec<JoinHandle<()>> = (0..cfg.workers.max(1))
+        .map(|i| {
+            let index = Arc::clone(&index);
+            let metrics = Arc::clone(&metrics);
+            let queue = Arc::clone(&queue);
+            let shutdown = Arc::clone(&shutdown);
+            let cfg = cfg.clone();
+            std::thread::Builder::new()
+                .name(format!("soi-service-worker-{i}"))
+                .spawn(move || {
+                    while let Some(stream) = queue.pop() {
+                        handle_connection(stream, &index, &metrics, &queue, &shutdown, &cfg);
+                    }
+                })
+                .expect("spawn worker thread")
+        })
+        .collect();
+
+    let acceptor = {
+        let metrics = Arc::clone(&metrics);
+        let queue = Arc::clone(&queue);
+        let shutdown = Arc::clone(&shutdown);
+        let write_timeout = cfg.write_timeout;
+        std::thread::Builder::new()
+            .name("soi-service-acceptor".to_owned())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if shutdown.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    metrics.record_connection();
+                    if let Err(mut refused) = queue.try_push(stream) {
+                        metrics.record_rejected();
+                        let _ = refused.set_write_timeout(Some(write_timeout));
+                        let _ = Response::error(503, "accept queue full, retry later")
+                            .write_to(&mut refused, false);
+                    }
+                }
+                queue.close();
+            })
+            .expect("spawn acceptor thread")
+    };
+
+    Ok(ServerHandle { local_addr, metrics, queue, shutdown, acceptor: Some(acceptor), workers })
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    index: &ServiceIndex,
+    metrics: &Metrics,
+    queue: &ConnQueue,
+    shutdown: &AtomicBool,
+    cfg: &ServerConfig,
+) {
+    if stream.set_read_timeout(Some(cfg.read_timeout)).is_err()
+        || stream.set_write_timeout(Some(cfg.write_timeout)).is_err()
+    {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(read_half);
+
+    for served in 0..cfg.max_requests_per_connection {
+        match http::read_request(&mut reader) {
+            Ok(req) => {
+                metrics.begin_request();
+                let start = Instant::now();
+                let (route, response) = handlers::respond(index, metrics, queue.depth(), &req);
+                // During drain, finish this response but advertise (and
+                // enforce) closure so the connection reaches a boundary.
+                let keep = req.keep_alive
+                    && !shutdown.load(Ordering::Acquire)
+                    && served + 1 < cfg.max_requests_per_connection;
+                let wrote = response.write_to(&mut stream, keep);
+                metrics.record_request(route, response.status, start.elapsed());
+                metrics.end_request();
+                if !keep || wrote.is_err() {
+                    break;
+                }
+            }
+            Err(HttpError::Closed) => break,
+            Err(HttpError::Timeout) => {
+                // Idle keep-alive connection or stalled sender; reclaim
+                // the worker.
+                metrics.record_timeout();
+                break;
+            }
+            Err(HttpError::Io(_)) => break,
+            Err(HttpError::BadRequest(message)) => {
+                let response = Response::error(400, &message);
+                let _ = response.write_to(&mut stream, false);
+                metrics.record_request("other", 400, Duration::ZERO);
+                break;
+            }
+            Err(HttpError::TooLarge(message)) => {
+                let response = Response::error(431, &message);
+                let _ = response.write_to(&mut stream, false);
+                metrics.record_request("other", 431, Duration::ZERO);
+                break;
+            }
+        }
+    }
+}
+
+static SIGNAL_FLAG: AtomicBool = AtomicBool::new(false);
+
+/// True once SIGINT or SIGTERM has been observed (after
+/// [`install_signal_handlers`]). The `soi serve` loop polls this to turn
+/// signals into a graceful drain.
+pub fn shutdown_requested() -> bool {
+    SIGNAL_FLAG.load(Ordering::Relaxed)
+}
+
+/// Installs best-effort SIGINT/SIGTERM handlers that set the flag read by
+/// [`shutdown_requested`]. Uses `signal(2)` from libc directly (the
+/// workspace has no signal-handling dependency); the handler only touches
+/// an atomic, which is async-signal-safe. No-op on non-Unix targets.
+#[cfg(unix)]
+pub fn install_signal_handlers() {
+    extern "C" fn on_signal(_signum: i32) {
+        SIGNAL_FLAG.store(true, Ordering::Relaxed);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal as extern "C" fn(i32) as usize);
+        signal(SIGTERM, on_signal as extern "C" fn(i32) as usize);
+    }
+}
+
+/// No-op fallback where `signal(2)` is unavailable.
+#[cfg(not(unix))]
+pub fn install_signal_handlers() {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soi_bgp::PrefixToAs;
+    use soi_core::{Dataset, OrgRecord};
+    use soi_types::{Asn, OrgId, Rir};
+    use std::io::{BufRead, Read, Write};
+
+    fn test_index() -> Arc<ServiceIndex> {
+        let rec = OrgRecord {
+            conglomerate_name: "Telenor".into(),
+            org_id: Some(OrgId(1)),
+            org_name: "Telenor".into(),
+            ownership_cc: "NO".parse().unwrap(),
+            ownership_country_name: "Norway".into(),
+            rir: Some(Rir::Ripe),
+            source: "Company's website".into(),
+            quote: "Major shareholdings: Government (54%)".into(),
+            quote_lang: "English".into(),
+            url: "https://example.net".into(),
+            additional_info: String::new(),
+            inputs: vec!['G'],
+            parent_org: None,
+            target_cc: None,
+            target_country_name: None,
+            asns: vec![Asn(2119)],
+        };
+        let table = PrefixToAs::from_entries([("10.0.0.0/8".parse().unwrap(), Asn(2119))]).unwrap();
+        Arc::new(ServiceIndex::build(Dataset { organizations: vec![rec] }, &table))
+    }
+
+    fn test_config() -> ServerConfig {
+        ServerConfig {
+            workers: 2,
+            queue_capacity: 16,
+            read_timeout: Duration::from_millis(500),
+            write_timeout: Duration::from_millis(500),
+            ..ServerConfig::default()
+        }
+    }
+
+    /// One blocking GET returning (status, body).
+    fn get(addr: SocketAddr, target: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET {target} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut status_line = String::new();
+        reader.read_line(&mut status_line).expect("status line");
+        let status: u16 = status_line.split_whitespace().nth(1).unwrap().parse().unwrap();
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+                content_length = v.trim().parse().unwrap();
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body).unwrap();
+        (status, String::from_utf8(body).unwrap())
+    }
+
+    #[test]
+    fn serves_requests_and_shuts_down_cleanly() {
+        let handle = serve(test_index(), ("127.0.0.1", 0), test_config()).unwrap();
+        let addr = handle.local_addr();
+        let (status, body) = get(addr, "/healthz");
+        assert_eq!(status, 200);
+        assert!(body.contains("ok"), "{body}");
+        let (status, body) = get(addr, "/asn/AS2119");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"state_owned\":true"), "{body}");
+        let (status, _) = get(addr, "/no/such/route");
+        assert_eq!(status, 404);
+        let snap = handle.shutdown();
+        assert!(snap.requests_total >= 3);
+        assert!(snap.latency.p50_micros > 0, "histogram populated");
+        // The port is released: connecting now must fail.
+        assert!(TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_err());
+    }
+
+    #[test]
+    fn keep_alive_serves_multiple_requests_on_one_connection() {
+        let handle = serve(test_index(), ("127.0.0.1", 0), test_config()).unwrap();
+        let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
+        for _ in 0..3 {
+            write!(stream, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert!(line.contains("200"), "{line}");
+            let mut content_length = 0usize;
+            loop {
+                let mut h = String::new();
+                reader.read_line(&mut h).unwrap();
+                if h.trim_end().is_empty() {
+                    break;
+                }
+                if let Some(v) = h.to_ascii_lowercase().strip_prefix("content-length:") {
+                    content_length = v.trim().parse().unwrap();
+                }
+            }
+            let mut body = vec![0u8; content_length];
+            std::io::Read::read_exact(&mut reader, &mut body).unwrap();
+        }
+        let snap = handle.shutdown();
+        assert!(snap.requests_total >= 3);
+        assert!(snap.connections_total < 3, "one connection carried them all");
+    }
+
+    #[test]
+    fn bad_requests_get_400_not_a_hang() {
+        let handle = serve(test_index(), ("127.0.0.1", 0), test_config()).unwrap();
+        let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
+        stream.write_all(b"THIS IS NOT HTTP\r\n\r\n").unwrap();
+        let mut response = String::new();
+        let mut reader = BufReader::new(stream);
+        reader.read_line(&mut response).unwrap();
+        assert!(response.contains("400"), "{response}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn drop_performs_shutdown() {
+        let addr;
+        {
+            let handle = serve(test_index(), ("127.0.0.1", 0), test_config()).unwrap();
+            addr = handle.local_addr();
+            let (status, _) = get(addr, "/healthz");
+            assert_eq!(status, 200);
+        }
+        assert!(TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_err());
+    }
+}

@@ -90,10 +90,7 @@ impl DocumentCorpus {
                 .holders(company.id)
                 .into_iter()
                 .filter_map(|h| {
-                    world
-                        .ownership
-                        .company(h.holder)
-                        .map(|c| (c.name.clone(), h.equity))
+                    world.ownership.company(h.holder).map(|c| (c.name.clone(), h.equity))
                 })
                 .collect();
             let subsidiaries: Vec<(String, Equity)> = world
@@ -101,23 +98,15 @@ impl DocumentCorpus {
                 .portfolio(company.id)
                 .into_iter()
                 .filter(|h| h.equity.is_majority())
-                .filter_map(|h| {
-                    world
-                        .ownership
-                        .company(h.held)
-                        .map(|c| (c.name.clone(), h.equity))
-                })
+                .filter_map(|h| world.ownership.company(h.held).map(|c| (c.name.clone(), h.equity)))
                 .collect();
             let is_state = world.control.controlling_state(company.id).is_some();
             let free_float = world.ownership.unattributed_equity(company.id);
 
             // Company website (investor relations). Funds are prominent
             // and usually self-describe.
-            let market_boost = if prominence.get(&company.id).copied().unwrap_or(0.0) > 0.3 {
-                0.4
-            } else {
-                0.0
-            };
+            let market_boost =
+                if prominence.get(&company.id).copied().unwrap_or(0.0) > 0.3 { 0.4 } else { 0.0 };
             // Wholly government-held enterprises (gateways, backbones)
             // declare their status plainly — Congo's CONGTEL website is
             // the paper's example (§5.1).
@@ -161,7 +150,10 @@ impl DocumentCorpus {
                     company.legal_name.clone(),
                     company.id,
                     SourceKind::Regulator,
-                    format!("https://regulator.{}.example/filings", company.country.as_str().to_ascii_lowercase()),
+                    format!(
+                        "https://regulator.{}.example/filings",
+                        company.country.as_str().to_ascii_lowercase()
+                    ),
                     doc_language(&mut rng, region, ict, 0.4),
                     &holders,
                     &[],
@@ -186,12 +178,15 @@ impl DocumentCorpus {
             // firms (these sources report, they do not misreport; wrong
             // claims live in Wikipedia, a candidate source).
             if is_state && is_operator {
-                let owner = world
-                    .control
-                    .controlling_state(company.id)
-                    .expect("is_state implies owner");
+                let owner =
+                    world.control.controlling_state(company.id).expect("is_state implies owner");
                 if rng.gen_bool(p(0.12)) {
-                    corpus.push(verdict_doc(company, owner, SourceKind::CommsUpdate, Language::English));
+                    corpus.push(verdict_doc(
+                        company,
+                        owner,
+                        SourceKind::CommsUpdate,
+                        Language::English,
+                    ));
                 }
                 let developing = info.is_some_and(|i| {
                     i.ict_maturity < 45
@@ -201,7 +196,12 @@ impl DocumentCorpus {
                         )
                 });
                 if developing && rng.gen_bool(p(0.25)) {
-                    corpus.push(verdict_doc(company, owner, SourceKind::WorldBank, Language::English));
+                    corpus.push(verdict_doc(
+                        company,
+                        owner,
+                        SourceKind::WorldBank,
+                        Language::English,
+                    ));
                 }
                 if rng.gen_bool(p(0.05)) {
                     corpus.push(verdict_doc(company, owner, SourceKind::Itu, Language::English));
@@ -290,8 +290,7 @@ fn disclosure_doc(
     subsidiaries: &[(String, Equity)],
     free_float: Equity,
 ) -> OwnershipDisclosure {
-    let mut parts: Vec<String> =
-        holders.iter().map(|(n, e)| format!("{n} ({e})")).collect();
+    let mut parts: Vec<String> = holders.iter().map(|(n, e)| format!("{n} ({e})")).collect();
     if free_float > Equity::ZERO {
         parts.push(format!("Free float ({free_float})"));
     }
@@ -400,9 +399,7 @@ mod tests {
         // Some Holding company must have a disclosure showing government
         // ownership, enabling chain resolution.
         let fund_docs = corpus.documents().iter().filter(|d| {
-            w.ownership
-                .company(d.subject)
-                .is_some_and(|c| c.business == Business::Holding)
+            w.ownership.company(d.subject).is_some_and(|c| c.business == Business::Holding)
                 && d.is_disclosure()
         });
         let with_gov = fund_docs
@@ -433,8 +430,9 @@ mod tests {
         let corpus =
             DocumentCorpus::generate(&w, &fh, CorpusConfig { availability: 0.0, seed: 0 }).unwrap();
         assert!(corpus.documents().iter().all(|d| d.source == SourceKind::FreedomHouse));
-        assert!(DocumentCorpus::generate(&w, &fh, CorpusConfig { availability: 9.0, seed: 0 })
-            .is_err());
+        assert!(
+            DocumentCorpus::generate(&w, &fh, CorpusConfig { availability: 9.0, seed: 0 }).is_err()
+        );
     }
 
     #[test]

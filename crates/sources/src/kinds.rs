@@ -54,6 +54,13 @@ impl SourceKind {
             SourceKind::Regulator => "regulator",
         }
     }
+
+    /// Inverse of [`SourceKind::name`]: resolves a Table 1 display name
+    /// back to its kind. Returns `None` for unrecognized names so callers
+    /// can account for them instead of silently mislabelling.
+    pub fn from_name(name: &str) -> Option<SourceKind> {
+        SourceKind::ALL.into_iter().find(|k| k.name() == name)
+    }
 }
 
 impl std::fmt::Display for SourceKind {
@@ -140,6 +147,15 @@ mod tests {
     }
 
     #[test]
+    fn from_name_roundtrips_and_rejects_unknowns() {
+        for kind in SourceKind::ALL {
+            assert_eq!(SourceKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(SourceKind::from_name("carrier pigeon"), None);
+        assert_eq!(SourceKind::from_name(""), None);
+    }
+
+    #[test]
     fn disclosure_flavours() {
         let d = OwnershipDisclosure {
             subject_name: "Telenor".into(),
@@ -153,7 +169,8 @@ mod tests {
             quote: "Major Shareholdings: Government of Norway (54.7%)".into(),
         };
         assert!(d.is_disclosure());
-        let v = OwnershipDisclosure { holders: vec![], claimed_state: Some(soi_types::cc("NO")), ..d };
+        let v =
+            OwnershipDisclosure { holders: vec![], claimed_state: Some(soi_types::cc("NO")), ..d };
         assert!(!v.is_disclosure());
     }
 }

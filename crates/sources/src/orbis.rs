@@ -70,10 +70,7 @@ pub struct OrbisDb {
 }
 
 fn is_developing(region: Region, ict: u8) -> bool {
-    matches!(
-        region,
-        Region::Africa | Region::LatinAmerica | Region::CentralAsia
-    ) || ict < 45
+    matches!(region, Region::Africa | Region::LatinAmerica | Region::CentralAsia) || ict < 45
 }
 
 impl OrbisDb {
@@ -103,8 +100,7 @@ impl OrbisDb {
                 continue;
             }
             let info = company.country.info();
-            let (region, ict) =
-                info.map_or((Region::Europe, 50), |i| (i.region, i.ict_maturity));
+            let (region, ict) = info.map_or((Region::Europe, 50), |i| (i.region, i.ict_maturity));
             let developing = is_developing(region, ict);
 
             // Missing entirely (more likely where Orbis has no coverage;
@@ -122,16 +118,11 @@ impl OrbisDb {
 
             let truth_owner = world.control.controlling_state(company.id);
             let is_state = truth_owner.is_some();
-            let fn_rate = if developing { noise.fn_rate_developing } else { noise.fn_rate_developed };
+            let fn_rate =
+                if developing { noise.fn_rate_developing } else { noise.fn_rate_developed };
             let labeled = is_state && !rng.gen_bool(fn_rate);
             let equity = labeled
-                .then(|| {
-                    world
-                        .control
-                        .stakes(company.id)
-                        .first()
-                        .map(|s| s.controlled_equity)
-                })
+                .then(|| world.control.stakes(company.id).first().map(|s| s.controlled_equity))
                 .flatten();
 
             let idx = entries.len();
@@ -189,10 +180,7 @@ impl OrbisDb {
         if needle.is_empty() {
             return Vec::new();
         }
-        self.entries
-            .iter()
-            .filter(|e| e.name.to_lowercase().contains(&needle))
-            .collect()
+        self.entries.iter().filter(|e| e.name.to_lowercase().contains(&needle)).collect()
     }
 
     /// Evaluation helper: the record of a specific company.
@@ -225,15 +213,9 @@ mod tests {
     fn injects_false_positives() {
         let w = world();
         let db = OrbisDb::generate(&w, OrbisNoise { seed: 3, ..Default::default() }).unwrap();
-        let fps: Vec<_> = db
-            .state_owned()
-            .filter(|e| w.control.controlling_state(e.company).is_none())
-            .collect();
-        assert!(
-            (6..=12).contains(&fps.len()),
-            "expected ~12 false positives, got {}",
-            fps.len()
-        );
+        let fps: Vec<_> =
+            db.state_owned().filter(|e| w.control.controlling_state(e.company).is_none()).collect();
+        assert!((6..=12).contains(&fps.len()), "expected ~12 false positives, got {}", fps.len());
     }
 
     #[test]
@@ -247,12 +229,13 @@ mod tests {
         for &cid in &w.truth.state_owned_companies {
             let company = w.ownership.company(cid).unwrap();
             let info = company.country.info().unwrap();
-            let labelled = db
-                .entry_of(cid)
-                .map(|e| e.labeled_state_owned)
-                .unwrap_or(false);
+            let labelled = db.entry_of(cid).map(|e| e.labeled_state_owned).unwrap_or(false);
             if is_developing(info.region, info.ict_maturity) {
-                if labelled { hit_dev += 1 } else { missed_dev += 1 }
+                if labelled {
+                    hit_dev += 1
+                } else {
+                    missed_dev += 1
+                }
             } else if labelled {
                 hit_rich += 1
             } else {

@@ -47,11 +47,8 @@ impl FreedomHouse {
             soi_types::all_countries().iter().collect();
         // Low ICT first, deterministic tie-break, small shuffle for realism.
         countries.sort_by_key(|c| (c.ict_maturity, c.code));
-        let mut covered: Vec<CountryCode> = countries
-            .iter()
-            .take(Self::COVERAGE + 10)
-            .map(|c| c.code)
-            .collect();
+        let mut covered: Vec<CountryCode> =
+            countries.iter().take(Self::COVERAGE + 10).map(|c| c.code).collect();
         covered.shuffle(&mut rng);
         covered.truncate(Self::COVERAGE);
         covered.sort_unstable();
@@ -118,10 +115,7 @@ impl Wikipedia {
             if !company.business.is_internet_operator() {
                 continue;
             }
-            let ict = company
-                .country
-                .info()
-                .map_or(50, |i| i.ict_maturity);
+            let ict = company.country.info().map_or(50, |i| i.ict_maturity);
             let is_state = world.control.controlling_state(company.id).is_some();
             let mut recall = 0.35 + 0.5 * f64::from(ict) / 100.0;
             // Articles about a country's communications landscape list
@@ -195,11 +189,9 @@ mod tests {
             .map(|i| f64::from(i.ict_maturity))
             .sum::<f64>()
             / fh.covered_countries().len() as f64;
-        let global_avg: f64 = soi_types::all_countries()
-            .iter()
-            .map(|i| f64::from(i.ict_maturity))
-            .sum::<f64>()
-            / soi_types::all_countries().len() as f64;
+        let global_avg: f64 =
+            soi_types::all_countries().iter().map(|i| f64::from(i.ict_maturity)).sum::<f64>()
+                / soi_types::all_countries().len() as f64;
         assert!(avg_ict < global_avg, "FH average ICT {avg_ict} >= global {global_avg}");
     }
 

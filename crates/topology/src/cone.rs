@@ -90,12 +90,7 @@ pub fn cone_sizes(graph: &AsGraph) -> HashMap<Asn, u32> {
     })
     .expect("cone worker panicked");
 
-    graph
-        .ases()
-        .iter()
-        .enumerate()
-        .map(|(i, &asn)| (asn, out[i]))
-        .collect()
+    graph.ases().iter().enumerate().map(|(i, &asn)| (asn, out[i])).collect()
 }
 
 /// An ASRank-style ranking: ASes ordered by descending customer-cone size,
@@ -135,12 +130,7 @@ impl AsRank {
     /// state-owned ASes").
     pub fn top_within<'a>(&'a self, subset: &'a [Asn], k: usize) -> Vec<(Asn, u32)> {
         let member: std::collections::HashSet<Asn> = subset.iter().copied().collect();
-        self.ranked
-            .iter()
-            .filter(|(a, _)| member.contains(a))
-            .take(k)
-            .copied()
-            .collect()
+        self.ranked.iter().filter(|(a, _)| member.contains(a)).take(k).copied().collect()
     }
 }
 

@@ -280,9 +280,7 @@ impl AsGraph {
         if visited == n {
             Ok(())
         } else {
-            Err(SoiError::Invariant(
-                "cycle detected in customer-to-provider hierarchy".into(),
-            ))
+            Err(SoiError::Invariant("cycle detected in customer-to-provider hierarchy".into()))
         }
     }
 }

@@ -24,11 +24,7 @@ impl ConeSeries {
     /// Least-squares slope of cone size per *year*. `None` with fewer than
     /// two points or a degenerate (single-date) x-axis.
     pub fn slope_per_year(&self) -> Option<f64> {
-        linear_slope(
-            self.points
-                .iter()
-                .map(|&(d, v)| (d.as_year_fraction(), f64::from(v))),
-        )
+        linear_slope(self.points.iter().map(|&(d, v)| (d.as_year_fraction(), f64::from(v))))
     }
 
     /// Final observed cone size (0 if empty).
@@ -97,11 +93,8 @@ impl ConeHistory {
     /// (not yet announced at that date) simply have no point for it, which
     /// is how an AS "born" mid-decade appears in ASRank history too.
     pub fn series(&self, asn: Asn) -> ConeSeries {
-        let points = self
-            .snapshots
-            .iter()
-            .filter_map(|(d, m)| m.get(&asn).map(|&v| (*d, v)))
-            .collect();
+        let points =
+            self.snapshots.iter().filter_map(|(d, m)| m.get(&asn).map(|&v| (*d, v))).collect();
         ConeSeries { asn, points }
     }
 
@@ -117,11 +110,11 @@ pub fn fastest_growing(
     series: impl IntoIterator<Item = ConeSeries>,
     k: usize,
 ) -> Vec<(ConeSeries, f64)> {
-    let mut scored: Vec<(ConeSeries, f64)> = series
-        .into_iter()
-        .filter_map(|s| s.slope_per_year().map(|m| (s, m)))
-        .collect();
-    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.asn.cmp(&b.0.asn)));
+    let mut scored: Vec<(ConeSeries, f64)> =
+        series.into_iter().filter_map(|s| s.slope_per_year().map(|m| (s, m))).collect();
+    scored.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.asn.cmp(&b.0.asn))
+    });
     scored.truncate(k);
     scored
 }

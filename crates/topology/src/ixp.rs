@@ -42,9 +42,7 @@ impl Ixp {
         members.sort_unstable();
         members.dedup();
         if members.len() < 2 {
-            return Err(SoiError::InvalidConfig(format!(
-                "IXP {id:?} needs at least two members"
-            )));
+            return Err(SoiError::InvalidConfig(format!("IXP {id:?} needs at least two members")));
         }
         Ok(Ixp { id, name: name.into(), country, members })
     }

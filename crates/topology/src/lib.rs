@@ -11,10 +11,10 @@
 
 pub mod cone;
 pub mod graph;
-pub mod ixp;
 pub mod history;
+pub mod ixp;
 
 pub use cone::{cone_sizes, customer_cone, AsRank};
 pub use graph::{AsGraph, AsGraphBuilder, NodeIx, Relationship};
-pub use ixp::{Ixp, IxpId, IxpRegistry};
 pub use history::{fastest_growing, linear_slope, ConeHistory, ConeSeries};
+pub use ixp::{Ixp, IxpId, IxpRegistry};

@@ -70,10 +70,7 @@ impl FromStr for Asn {
             .or_else(|| s.strip_prefix("as"))
             .or_else(|| s.strip_prefix("As"))
             .unwrap_or(s);
-        digits
-            .parse::<u32>()
-            .map(Asn)
-            .map_err(|_| SoiError::Parse(format!("invalid ASN: {s:?}")))
+        digits.parse::<u32>().map(Asn).map_err(|_| SoiError::Parse(format!("invalid ASN: {s:?}")))
     }
 }
 

@@ -30,9 +30,7 @@ impl CountryCode {
         if a.is_ascii_alphabetic() && b.is_ascii_alphabetic() {
             Ok(CountryCode([a.to_ascii_uppercase(), b.to_ascii_uppercase()]))
         } else {
-            Err(SoiError::Parse(format!(
-                "invalid country code bytes: {a:#x} {b:#x}"
-            )))
+            Err(SoiError::Parse(format!("invalid country code bytes: {a:#x} {b:#x}")))
         }
     }
 

@@ -45,10 +45,7 @@ impl SimDate {
     /// The date `n` months later.
     pub fn plus_months(self, n: u32) -> SimDate {
         let total = self.months_since_epoch() + n;
-        SimDate {
-            year: (total / 12) as u16,
-            month: (total % 12 + 1) as u8,
-        }
+        SimDate { year: (total / 12) as u16, month: (total % 12 + 1) as u8 }
     }
 
     /// Fractional year (e.g. 2020-06 -> 2020.417), for regression x-axes.
@@ -73,9 +70,8 @@ impl FromStr for SimDate {
     type Err = SoiError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let (y, m) = s
-            .split_once('-')
-            .ok_or_else(|| SoiError::Parse(format!("invalid date: {s:?}")))?;
+        let (y, m) =
+            s.split_once('-').ok_or_else(|| SoiError::Parse(format!("invalid date: {s:?}")))?;
         let year = y.parse().map_err(|_| SoiError::Parse(format!("invalid year in {s:?}")))?;
         let month = m.parse().map_err(|_| SoiError::Parse(format!("invalid month in {s:?}")))?;
         SimDate::new(year, month)

@@ -19,7 +19,9 @@ pub mod prefix;
 pub mod trie;
 
 pub use asn::Asn;
-pub use country::{all_countries, cc, country_by_name, country_info, CountryCode, CountryInfo, Region, Rir};
+pub use country::{
+    all_countries, cc, country_by_name, country_info, CountryCode, CountryInfo, Region, Rir,
+};
 pub use date::SimDate;
 pub use equity::Equity;
 pub use error::SoiError;

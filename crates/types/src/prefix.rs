@@ -45,10 +45,7 @@ impl Ipv4Prefix {
         if len > 32 {
             return Err(SoiError::Parse(format!("prefix length {len} exceeds 32")));
         }
-        Ok(Ipv4Prefix {
-            addr: addr & Self::mask(len),
-            len,
-        })
+        Ok(Ipv4Prefix { addr: addr & Self::mask(len), len })
     }
 
     /// Builds a prefix from compile-time-known parts; panics if `len > 32`,
@@ -118,10 +115,7 @@ impl Ipv4Prefix {
         }
         let child_len = self.len + 1;
         let low = Ipv4Prefix { addr: self.addr, len: child_len };
-        let high = Ipv4Prefix {
-            addr: self.addr | (1 << (32 - child_len as u32)),
-            len: child_len,
-        };
+        let high = Ipv4Prefix { addr: self.addr | (1 << (32 - child_len as u32)), len: child_len };
         Some((low, high))
     }
 
@@ -144,12 +138,7 @@ impl Ipv4Prefix {
         }
         let step = 1u32 << (32 - new_len as u32);
         let count = 1u32 << bits;
-        Ok((0..count)
-            .map(|i| Ipv4Prefix {
-                addr: self.addr + i * step,
-                len: new_len,
-            })
-            .collect())
+        Ok((0..count).map(|i| Ipv4Prefix { addr: self.addr + i * step, len: new_len }).collect())
     }
 
     /// The `n`-th address inside the prefix (0-based); `None` if out of
@@ -182,12 +171,10 @@ impl FromStr for Ipv4Prefix {
         let (ip, len) = s
             .split_once('/')
             .ok_or_else(|| SoiError::Parse(format!("missing '/' in prefix: {s:?}")))?;
-        let ip: Ipv4Addr = ip
-            .parse()
-            .map_err(|_| SoiError::Parse(format!("invalid IPv4 address in {s:?}")))?;
-        let len: u8 = len
-            .parse()
-            .map_err(|_| SoiError::Parse(format!("invalid prefix length in {s:?}")))?;
+        let ip: Ipv4Addr =
+            ip.parse().map_err(|_| SoiError::Parse(format!("invalid IPv4 address in {s:?}")))?;
+        let len: u8 =
+            len.parse().map_err(|_| SoiError::Parse(format!("invalid prefix length in {s:?}")))?;
         Ipv4Prefix::new(u32::from(ip), len)
     }
 }

@@ -182,7 +182,12 @@ impl<T> PrefixTrie<T> {
     /// Iterates over all `(prefix, value)` pairs in address order.
     pub fn iter(&self) -> impl Iterator<Item = (Ipv4Prefix, &T)> {
         let mut out = Vec::with_capacity(self.len);
-        fn walk<'a, T>(node: &'a Node<T>, addr: u32, depth: u8, out: &mut Vec<(Ipv4Prefix, &'a T)>) {
+        fn walk<'a, T>(
+            node: &'a Node<T>,
+            addr: u32,
+            depth: u8,
+            out: &mut Vec<(Ipv4Prefix, &'a T)>,
+        ) {
             if let Some(v) = node.value.as_ref() {
                 out.push((Ipv4Prefix::new(addr, depth).expect("depth <= 32"), v));
             }

@@ -93,15 +93,10 @@ impl ChurnConfig {
             SmallRng::seed_from_u64(self.seed ^ 0x636875726e ^ (u64::from(year_index) << 32));
         let mut log = ChurnLog::default();
 
-        let mut companies: Vec<soi_ownership::Company> =
-            world.ownership.companies().to_vec();
+        let mut companies: Vec<soi_ownership::Company> = world.ownership.companies().to_vec();
         // holder -> held -> equity, mutable.
-        let mut holdings: Vec<(CompanyId, CompanyId, Equity)> = world
-            .ownership
-            .holdings()
-            .iter()
-            .map(|h| (h.holder, h.held, h.equity))
-            .collect();
+        let mut holdings: Vec<(CompanyId, CompanyId, Equity)> =
+            world.ownership.holdings().iter().map(|h| (h.holder, h.held, h.equity)).collect();
 
         let gov_of = |companies: &[soi_ownership::Company], country: soi_types::CountryCode| {
             companies
@@ -111,16 +106,12 @@ impl ChurnConfig {
         };
 
         // Eligible operators only — governments/funds do not churn.
-        let operators: Vec<CompanyId> = companies
-            .iter()
-            .filter(|c| c.business.is_eligible_operator())
-            .map(|c| c.id)
-            .collect();
+        let operators: Vec<CompanyId> =
+            companies.iter().filter(|c| c.business.is_eligible_operator()).map(|c| c.id).collect();
 
         for &cid in &operators {
             let controlled = world.control.controlling_state(cid);
-            let company_country =
-                companies.iter().find(|c| c.id == cid).expect("exists").country;
+            let company_country = companies.iter().find(|c| c.id == cid).expect("exists").country;
             // Privatization: scale every state-side holder's stake down so
             // the aggregate lands in minority territory.
             if controlled == Some(company_country) && rng.gen_bool(self.privatization_rate) {
@@ -153,11 +144,8 @@ impl ChurnConfig {
             // Nationalization of private/minority domestic operators.
             if controlled.is_none() && rng.gen_bool(self.nationalization_rate) {
                 let Some(gov) = gov_of(&companies, company_country) else { continue };
-                let current: u32 = holdings
-                    .iter()
-                    .filter(|h| h.1 == cid)
-                    .map(|h| u32::from(h.2.bp()))
-                    .sum();
+                let current: u32 =
+                    holdings.iter().filter(|h| h.1 == cid).map(|h| u32::from(h.2.bp())).sum();
                 let room = 10_000u32.saturating_sub(current);
                 let want = rng.gen_range(5_100..=8_000u32);
                 // Buy out free float first; absorb private holders if the

@@ -117,16 +117,8 @@ pub const MONOPOLY_COUNTRIES: &[CountryCode] = &[
 /// state-owned transit gateway AS that serves (almost) no eyeballs and
 /// originates little space — the class of AS only CTI discovers
 /// (Appendix D lists Belarus, Vietnam's MobiFone Global, BSCCL, ETECSA).
-pub const BOTTLENECK_COUNTRIES: &[CountryCode] = &[
-    cc("BY"),
-    cc("SY"),
-    cc("CU"),
-    cc("BD"),
-    cc("ET"),
-    cc("TM"),
-    cc("VN"),
-    cc("AO"),
-];
+pub const BOTTLENECK_COUNTRIES: &[CountryCode] =
+    &[cc("BY"), cc("SY"), cc("CU"), cc("BD"), cc("ET"), cc("TM"), cc("VN"), cc("AO")];
 
 /// A state-owned conglomerate with foreign subsidiaries: the paper's
 /// Table 3, restricted to countries in our registry. `owner` is the
@@ -326,10 +318,7 @@ mod tests {
 
     #[test]
     fn world_size_lands_in_range() {
-        let total: u32 = all_countries()
-            .iter()
-            .map(|c| ases_for_size_class(c.size_class))
-            .sum();
+        let total: u32 = all_countries().iter().map(|c| ases_for_size_class(c.size_class)).sum();
         // Operators + stubs roughly double this; keep base in 3-6k.
         assert!((3_000..=6_000).contains(&total), "base AS count {total}");
     }

@@ -35,8 +35,8 @@ use soi_types::{
 
 use crate::allocator::AddressAllocator;
 use crate::config::{
-    address_budget, ases_for_size_class, majority_rate, minority_rate, user_budget,
-    WorldConfig, BOTTLENECK_COUNTRIES, CONGLOMERATES, MONOPOLY_COUNTRIES, PRIVATE_CONGLOMERATES,
+    address_budget, ases_for_size_class, majority_rate, minority_rate, user_budget, WorldConfig,
+    BOTTLENECK_COUNTRIES, CONGLOMERATES, MONOPOLY_COUNTRIES, PRIVATE_CONGLOMERATES,
 };
 use crate::names;
 use crate::truth::GroundTruth;
@@ -226,11 +226,7 @@ impl Generator {
                 return cand;
             }
         }
-        let cand = format!(
-            "{} {}",
-            names::brand_name(&mut self.rng, country),
-            country.as_str()
-        );
+        let cand = format!("{} {}", names::brand_name(&mut self.rng, country), country.as_str());
         self.used_brands.insert(cand.clone());
         cand
     }
@@ -331,10 +327,9 @@ impl Generator {
             match info.region {
                 // §8: state footprints run high across Africa, Asia and
                 // the Middle East...
-                Region::Africa
-                | Region::Asia
-                | Region::MiddleEast
-                | Region::CentralAsia => self.rng.gen_range(0.45..0.85),
+                Region::Africa | Region::Asia | Region::MiddleEast | Region::CentralAsia => {
+                    self.rng.gen_range(0.45..0.85)
+                }
                 // ...and are "quite small" in the LACNIC region outside
                 // the monopoly islands (Cuba/Uruguay/Suriname are forced
                 // above).
@@ -342,11 +337,8 @@ impl Generator {
                 _ => self.rng.gen_range(0.25..0.6),
             }
         };
-        let n_asns = if self.rng.gen_bool(self.cfg.sibling_rate) {
-            self.rng.gen_range(2..=4)
-        } else {
-            1
-        };
+        let n_asns =
+            if self.rng.gen_bool(self.cfg.sibling_rate) { self.rng.gen_range(2..=4) } else { 1 };
         self.ops.push(OpSpec {
             company: id,
             brand,
@@ -377,11 +369,8 @@ impl Generator {
                 .rng
                 .gen_bool(self.cfg.rebrand_rate)
                 .then(|| names::brand_name(&mut self.rng, info.code));
-            let service = if self.rng.gen_bool(0.3) {
-                ServiceKind::Both
-            } else {
-                ServiceKind::Access
-            };
+            let service =
+                if self.rng.gen_bool(0.3) { ServiceKind::Both } else { ServiceKind::Access };
             let id = self.new_company(
                 brand.clone(),
                 legal.clone(),
@@ -628,13 +617,10 @@ impl Generator {
             let (parent, parent_brand) = self.incumbents[&spec.owner].clone();
             for &target in spec.targets {
                 let Some(tinfo) = target.info() else { continue };
-                let brand =
-                    format!("{} {}", names::conglomerate_prefix(&parent_brand), tinfo.name);
+                let brand = format!("{} {}", names::conglomerate_prefix(&parent_brand), tinfo.name);
                 let legal = names::legal_name(&mut self.rng, &brand, target, 0.3);
-                let former = self
-                    .rng
-                    .gen_bool(0.4)
-                    .then(|| names::brand_name(&mut self.rng, target));
+                let former =
+                    self.rng.gen_bool(0.4).then(|| names::brand_name(&mut self.rng, target));
                 let id = self.new_company(
                     brand.clone(),
                     legal.clone(),
@@ -802,13 +788,14 @@ impl Generator {
         profiles: &mut HashMap<Asn, AsProfile>,
     ) {
         for info in all_countries() {
-            let target = (f64::from(ases_for_size_class(info.size_class)) * self.cfg.scale)
-                .round() as usize;
+            let target =
+                (f64::from(ases_for_size_class(info.size_class)) * self.cfg.scale).round() as usize;
             let existing = profiles.values().filter(|p| p.country == info.code).count();
             for _ in existing..target {
                 let brand = self.unique_brand(info.code);
                 let legal = names::legal_name(&mut self.rng, &brand, info.code, 0.2);
-                let id = self.new_company(brand.clone(), legal.clone(), info.code, Business::Enterprise);
+                let id =
+                    self.new_company(brand.clone(), legal.clone(), info.code, Business::Enterprise);
                 let birth = self.draw_birth(Era::Mixed);
                 let asn = self.fresh_asn(birth.year < 2010);
                 registrations.push(AsRegistration {
@@ -864,16 +851,13 @@ impl Generator {
             // The US announces disproportionate legacy space ("largely
             // unused but announced address blocks", §7) — without this the
             // ex-US correction the paper reports would be invisible.
-            let budget = address_budget(info.size_class)
-                * if info.code.as_str() == "US" { 4 } else { 1 };
+            let budget =
+                address_budget(info.size_class) * if info.code.as_str() == "US" { 4 } else { 1 };
             let user_pool = user_budget(info.size_class);
 
             // Normalize access weights.
-            let total_weight: f64 = asns
-                .iter()
-                .map(|a| profiles[a].market_share)
-                .sum::<f64>()
-                .max(1e-9);
+            let total_weight: f64 =
+                asns.iter().map(|a| profiles[a].market_share).sum::<f64>().max(1e-9);
 
             // Users do not track addresses one-for-one: NAT-heavy mobile
             // operators serve many users on little space, while legacy
@@ -962,16 +946,10 @@ impl Generator {
         let mut sorted: Vec<&AsProfile> = profiles.values().collect();
         sorted.sort_by_key(|p| p.asn);
 
-        let tier1: Vec<Asn> = sorted
-            .iter()
-            .filter(|p| p.role == AsRole::GlobalCarrier)
-            .map(|p| p.asn)
-            .collect();
-        let regionals: Vec<&AsProfile> = sorted
-            .iter()
-            .filter(|p| p.role == AsRole::RegionalCarrier)
-            .copied()
-            .collect();
+        let tier1: Vec<Asn> =
+            sorted.iter().filter(|p| p.role == AsRole::GlobalCarrier).map(|p| p.asn).collect();
+        let regionals: Vec<&AsProfile> =
+            sorted.iter().filter(|p| p.role == AsRole::RegionalCarrier).copied().collect();
         let mut transit_by_country: HashMap<CountryCode, Vec<Asn>> = HashMap::new();
         let mut gateway_by_country: HashMap<CountryCode, Vec<Asn>> = HashMap::new();
         let mut both_sellers_by_country: HashMap<CountryCode, Vec<Asn>> = HashMap::new();
@@ -991,12 +969,12 @@ impl Generator {
         }
 
         let add = |rng: &mut SmallRng,
-                       links: &mut Vec<Link>,
-                       have: &mut HashSet<(Asn, Asn)>,
-                       a: Asn,
-                       b: Asn,
-                       rel: Relationship,
-                       birth: SimDate| {
+                   links: &mut Vec<Link>,
+                   have: &mut HashSet<(Asn, Asn)>,
+                   a: Asn,
+                   b: Asn,
+                   rel: Relationship,
+                   birth: SimDate| {
             if a == b {
                 return;
             }
@@ -1013,7 +991,15 @@ impl Generator {
         // 1. Tier-1 full-mesh peering.
         for (i, &a) in tier1.iter().enumerate() {
             for &b in &tier1[i + 1..] {
-                add(&mut self.rng, &mut links, &mut have, a, b, Relationship::PeerToPeer, link_birth(a, b));
+                add(
+                    &mut self.rng,
+                    &mut links,
+                    &mut have,
+                    a,
+                    b,
+                    Relationship::PeerToPeer,
+                    link_birth(a, b),
+                );
             }
         }
 
@@ -1024,13 +1010,29 @@ impl Generator {
             let mut ups = tier1.clone();
             ups.shuffle(&mut self.rng);
             for &u in ups.iter().take(n) {
-                add(&mut self.rng, &mut links, &mut have, r.asn, u, Relationship::CustomerToProvider, link_birth(r.asn, u));
+                add(
+                    &mut self.rng,
+                    &mut links,
+                    &mut have,
+                    r.asn,
+                    u,
+                    Relationship::CustomerToProvider,
+                    link_birth(r.asn, u),
+                );
             }
         }
         for (i, a) in regionals.iter().enumerate() {
             for b in &regionals[i + 1..] {
                 if self.rng.gen_bool(0.3) {
-                    add(&mut self.rng, &mut links, &mut have, a.asn, b.asn, Relationship::PeerToPeer, link_birth(a.asn, b.asn));
+                    add(
+                        &mut self.rng,
+                        &mut links,
+                        &mut have,
+                        a.asn,
+                        b.asn,
+                        Relationship::PeerToPeer,
+                        link_birth(a.asn, b.asn),
+                    );
                 }
             }
         }
@@ -1047,7 +1049,15 @@ impl Generator {
                 ups.shuffle(&mut self.rng);
                 for &u in ups.iter().take(self.rng.gen_range(1..=2)) {
                     if profiles[&u].role.tier() < AsRole::TransitGateway.tier() {
-                        add(&mut self.rng, &mut links, &mut have, gw, u, Relationship::CustomerToProvider, link_birth(gw, u));
+                        add(
+                            &mut self.rng,
+                            &mut links,
+                            &mut have,
+                            gw,
+                            u,
+                            Relationship::CustomerToProvider,
+                            link_birth(gw, u),
+                        );
                     }
                 }
             }
@@ -1058,7 +1068,15 @@ impl Generator {
         for p in sorted.iter().filter(|p| p.role == AsRole::NationalTransit) {
             if let Some(gws) = gateway_by_country.get(&p.country) {
                 for &gw in gws {
-                    add(&mut self.rng, &mut links, &mut have, p.asn, gw, Relationship::CustomerToProvider, link_birth(p.asn, gw));
+                    add(
+                        &mut self.rng,
+                        &mut links,
+                        &mut have,
+                        p.asn,
+                        gw,
+                        Relationship::CustomerToProvider,
+                        link_birth(p.asn, gw),
+                    );
                 }
                 continue;
             }
@@ -1066,7 +1084,15 @@ impl Generator {
                 tier1.iter().chain(regionals.iter().map(|r| &r.asn)).copied().collect();
             ups.shuffle(&mut self.rng);
             for &u in ups.iter().take(self.rng.gen_range(1..=3)) {
-                add(&mut self.rng, &mut links, &mut have, p.asn, u, Relationship::CustomerToProvider, link_birth(p.asn, u));
+                add(
+                    &mut self.rng,
+                    &mut links,
+                    &mut have,
+                    p.asn,
+                    u,
+                    Relationship::CustomerToProvider,
+                    link_birth(p.asn, u),
+                );
             }
         }
 
@@ -1074,10 +1100,8 @@ impl Generator {
         for p in &sorted {
             let providers: Vec<Asn> = match p.role {
                 AsRole::Access => {
-                    let mut ups: Vec<Asn> = transit_by_country
-                        .get(&p.country)
-                        .cloned()
-                        .unwrap_or_default();
+                    let mut ups: Vec<Asn> =
+                        transit_by_country.get(&p.country).cloned().unwrap_or_default();
                     if ups.is_empty() {
                         ups = gateway_by_country.get(&p.country).cloned().unwrap_or_default();
                     }
@@ -1087,10 +1111,9 @@ impl Generator {
                 | AsRole::Academic
                 | AsRole::GovernmentNet
                 | AsRole::Nic
-                | AsRole::Subnational => both_sellers_by_country
-                    .get(&p.country)
-                    .cloned()
-                    .unwrap_or_default(),
+                | AsRole::Subnational => {
+                    both_sellers_by_country.get(&p.country).cloned().unwrap_or_default()
+                }
                 _ => continue,
             };
             if providers.is_empty() {
@@ -1102,13 +1125,29 @@ impl Generator {
             ups.shuffle(&mut self.rng);
             for &u in ups.iter().take(n) {
                 if profiles[&u].role.tier() < p.role.tier() {
-                    add(&mut self.rng, &mut links, &mut have, p.asn, u, Relationship::CustomerToProvider, link_birth(p.asn, u));
+                    add(
+                        &mut self.rng,
+                        &mut links,
+                        &mut have,
+                        p.asn,
+                        u,
+                        Relationship::CustomerToProvider,
+                        link_birth(p.asn, u),
+                    );
                 }
             }
             // Occasional direct foreign upstream (not in bottlenecks).
             if !bottleneck && p.role == AsRole::Access && self.rng.gen_bool(0.15) {
                 if let Some(&u) = tier1.as_slice().choose(&mut self.rng) {
-                    add(&mut self.rng, &mut links, &mut have, p.asn, u, Relationship::CustomerToProvider, link_birth(p.asn, u));
+                    add(
+                        &mut self.rng,
+                        &mut links,
+                        &mut have,
+                        p.asn,
+                        u,
+                        Relationship::CustomerToProvider,
+                        link_birth(p.asn, u),
+                    );
                 }
             }
         }
@@ -1147,14 +1186,21 @@ impl Generator {
                 let birth = if is_cable {
                     // Spread adoption across the decade after launch.
                     let start = base.max(SimDate::HISTORY_START);
-                    let span = SimDate::SNAPSHOT.months_since_epoch()
-                        - start.months_since_epoch();
+                    let span = SimDate::SNAPSHOT.months_since_epoch() - start.months_since_epoch();
                     start.plus_months(self.rng.gen_range(0..=span.max(1)))
                 } else {
                     base
                 };
                 if profiles[&cust].role.tier() > r.role.tier() {
-                    add(&mut self.rng, &mut links, &mut have, cust, r.asn, Relationship::CustomerToProvider, birth);
+                    add(
+                        &mut self.rng,
+                        &mut links,
+                        &mut have,
+                        cust,
+                        r.asn,
+                        Relationship::CustomerToProvider,
+                        birth,
+                    );
                 }
             }
         }
@@ -1175,7 +1221,15 @@ impl Generator {
                 continue;
             }
             if let Some(&carrier) = carrier_of_company.get(&p.company) {
-                add(&mut self.rng, &mut links, &mut have, p.asn, carrier, Relationship::CustomerToProvider, link_birth(p.asn, carrier));
+                add(
+                    &mut self.rng,
+                    &mut links,
+                    &mut have,
+                    p.asn,
+                    carrier,
+                    Relationship::CustomerToProvider,
+                    link_birth(p.asn, carrier),
+                );
             }
         }
 
@@ -1192,11 +1246,9 @@ impl Generator {
                 3 => 0.5,
                 _ => 0.85,
             };
-            let concentrated = self
-                .incumbent_cat
-                .get(&info.code)
-                .is_some_and(|&cat| cat == OwnCat::Majority)
-                && MONOPOLY_COUNTRIES.contains(&info.code);
+            let concentrated =
+                self.incumbent_cat.get(&info.code).is_some_and(|&cat| cat == OwnCat::Majority)
+                    && MONOPOLY_COUNTRIES.contains(&info.code);
             let dominant_share = profiles
                 .values()
                 .filter(|p| p.country == info.code)
@@ -1211,10 +1263,7 @@ impl Generator {
                 .iter()
                 .filter(|p| {
                     p.country == info.code
-                        && matches!(
-                            p.role,
-                            AsRole::Access | AsRole::NationalTransit | AsRole::Stub
-                        )
+                        && matches!(p.role, AsRole::Access | AsRole::NationalTransit | AsRole::Stub)
                 })
                 .map(|p| p.asn)
                 .collect();
@@ -1236,18 +1285,23 @@ impl Generator {
             let member_list = ixp.members.clone();
             for (i, &x) in member_list.iter().enumerate() {
                 for &y in &member_list[i + 1..] {
-                    add(&mut self.rng, &mut links, &mut have, x, y, Relationship::PeerToPeer, link_birth(x, y));
+                    add(
+                        &mut self.rng,
+                        &mut links,
+                        &mut have,
+                        x,
+                        y,
+                        Relationship::PeerToPeer,
+                        link_birth(x, y),
+                    );
                 }
             }
             ixps.push(ixp);
         }
 
         // 9. Sparse peering among national transits within a region.
-        let mut transits: Vec<&AsProfile> = sorted
-            .iter()
-            .filter(|p| p.role == AsRole::NationalTransit)
-            .copied()
-            .collect();
+        let mut transits: Vec<&AsProfile> =
+            sorted.iter().filter(|p| p.role == AsRole::NationalTransit).copied().collect();
         transits.sort_by_key(|p| p.asn);
         for (i, a) in transits.iter().enumerate() {
             if gateway_by_country.contains_key(&a.country) {
@@ -1263,7 +1317,15 @@ impl Generator {
                     .zip(b.country.info())
                     .is_some_and(|(x, y)| x.region == y.region);
                 if same_region && self.rng.gen_bool(0.06) {
-                    add(&mut self.rng, &mut links, &mut have, a.asn, b.asn, Relationship::PeerToPeer, link_birth(a.asn, b.asn));
+                    add(
+                        &mut self.rng,
+                        &mut links,
+                        &mut have,
+                        a.asn,
+                        b.asn,
+                        Relationship::PeerToPeer,
+                        link_birth(a.asn, b.asn),
+                    );
                 }
             }
         }
@@ -1393,22 +1455,15 @@ mod tests {
         }
         // Monopoly countries almost never host one (the concentration
         // penalty); open large markets usually do.
-        let monopoly_with_ixp = MONOPOLY_COUNTRIES
-            .iter()
-            .filter(|&&c| w.ixps.in_country(c).next().is_some())
-            .count();
-        assert!(
-            monopoly_with_ixp <= 3,
-            "{monopoly_with_ixp} of 18 monopoly countries host IXPs"
-        );
+        let monopoly_with_ixp =
+            MONOPOLY_COUNTRIES.iter().filter(|&&c| w.ixps.in_country(c).next().is_some()).count();
+        assert!(monopoly_with_ixp <= 3, "{monopoly_with_ixp} of 18 monopoly countries host IXPs");
         let open_big: Vec<_> = all_countries()
             .iter()
             .filter(|i| i.size_class >= 4 && !MONOPOLY_COUNTRIES.contains(&i.code))
             .collect();
-        let open_with_ixp = open_big
-            .iter()
-            .filter(|i| w.ixps.in_country(i.code).next().is_some())
-            .count();
+        let open_with_ixp =
+            open_big.iter().filter(|i| w.ixps.in_country(i.code).next().is_some()).count();
         assert!(
             open_with_ixp * 2 >= open_big.len(),
             "only {open_with_ixp}/{} open large markets host IXPs",
@@ -1425,18 +1480,13 @@ mod tests {
         let cable_ases: Vec<Asn> = w
             .profiles
             .values()
-            .filter(|p| {
-                p.role == AsRole::RegionalCarrier && CABLE_CARRIERS.contains(&p.country)
-            })
+            .filter(|p| p.role == AsRole::RegionalCarrier && CABLE_CARRIERS.contains(&p.country))
             .map(|p| p.asn)
             .collect();
         assert_eq!(cable_ases.len(), 2);
         for asn in cable_ases {
             let series = history.series(asn);
-            assert!(
-                series.slope_per_year().unwrap_or(0.0) > 0.0,
-                "{asn}: cable cone not growing"
-            );
+            assert!(series.slope_per_year().unwrap_or(0.0) > 0.0, "{asn}: cable cone not growing");
         }
     }
 }

@@ -11,11 +11,11 @@ use rand::Rng;
 use soi_types::{CountryCode, Region};
 
 const STEMS: &[&str] = &[
-    "Tele", "Net", "Com", "Link", "Globe", "Uni", "Inter", "Trans", "Star", "Sky", "Terra",
-    "Digi", "Opti", "Axis", "Nova", "Omni", "Via", "Volt", "Zen", "Core", "Hex", "Luma",
-    "Aero", "Bright", "Crest", "Delta", "Ether", "Flux", "Giga", "Halo", "Iris", "Jet",
-    "Kilo", "Lyra", "Meridian", "Nimbus", "Orbit", "Pulse", "Quanta", "Ridge", "Summit",
-    "Tide", "Umbra", "Vertex", "Wave", "Xenon", "Yonder", "Zephyr", "Atlas", "Borea",
+    "Tele", "Net", "Com", "Link", "Globe", "Uni", "Inter", "Trans", "Star", "Sky", "Terra", "Digi",
+    "Opti", "Axis", "Nova", "Omni", "Via", "Volt", "Zen", "Core", "Hex", "Luma", "Aero", "Bright",
+    "Crest", "Delta", "Ether", "Flux", "Giga", "Halo", "Iris", "Jet", "Kilo", "Lyra", "Meridian",
+    "Nimbus", "Orbit", "Pulse", "Quanta", "Ridge", "Summit", "Tide", "Umbra", "Vertex", "Wave",
+    "Xenon", "Yonder", "Zephyr", "Atlas", "Borea",
 ];
 
 const TAILS: &[&str] = &[
@@ -24,8 +24,15 @@ const TAILS: &[&str] = &[
 ];
 
 const SUFFIXES: &[&str] = &[
-    "Telecom", "Communications", "Networks", "Internet", "Broadband", "Telecommunications",
-    "Connect", "Online", "Digital",
+    "Telecom",
+    "Communications",
+    "Networks",
+    "Internet",
+    "Broadband",
+    "Telecommunications",
+    "Connect",
+    "Online",
+    "Digital",
 ];
 
 const LEGAL_FORMS: &[(&str, Region)] = &[
@@ -128,21 +135,16 @@ pub fn legal_name(
         return format!("{a}{t} {b}ram {c} Holdings");
     }
     let region = country.info().map(|i| i.region);
-    let forms: Vec<&str> = LEGAL_FORMS
-        .iter()
-        .filter(|(_, r)| Some(*r) == region)
-        .map(|&(f, _)| f)
-        .collect();
+    let forms: Vec<&str> =
+        LEGAL_FORMS.iter().filter(|(_, r)| Some(*r) == region).map(|&(f, _)| f).collect();
     let form = forms.choose(rng).copied().unwrap_or("Ltd");
     format!("{brand} {form}")
 }
 
 /// A pre-rebrand name (the PTT-era name for incumbents).
 pub fn former_name(rng: &mut impl Rng, country: CountryCode) -> String {
-    let name = country
-        .info()
-        .map(|i| i.name.split(' ').next().unwrap_or(i.name))
-        .unwrap_or("National");
+    let name =
+        country.info().map(|i| i.name.split(' ').next().unwrap_or(i.name)).unwrap_or("National");
     let kind = ["Post & Telegraph", "PTT", "Telegraph Authority", "State Telephone"]
         .choose(rng)
         .expect("non-empty");

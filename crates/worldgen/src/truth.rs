@@ -89,9 +89,7 @@ impl GroundTruth {
                     truth.excluded.insert(company.id, ExclusionReason::GovernmentAgency);
                 }
                 Business::InternetAdministration => {
-                    truth
-                        .excluded
-                        .insert(company.id, ExclusionReason::InternetAdministration);
+                    truth.excluded.insert(company.id, ExclusionReason::InternetAdministration);
                 }
                 Business::NonInternetTelco | Business::HardwareVendor | Business::Enterprise => {
                     truth.excluded.insert(company.id, ExclusionReason::NotInternetService);
@@ -170,10 +168,8 @@ mod tests {
         }
     }
 
-    const OPERATOR: Business = Business::InternetOperator {
-        scope: OperatorScope::National,
-        service: ServiceKind::Both,
-    };
+    const OPERATOR: Business =
+        Business::InternetOperator { scope: OperatorScope::National, service: ServiceKind::Both };
 
     #[test]
     fn derives_all_label_classes() {
@@ -183,17 +179,15 @@ mod tests {
         b.add_company(company(3, "Telenor DK", "DK", OPERATOR)); // foreign sub
         b.add_company(company(4, "PartialTel", "NO", OPERATOR)); // minority
         b.add_company(company(5, "Uninett", "NO", Business::AcademicNetwork));
-        b.add_company(
-            company(
-                6,
-                "Oslo Net",
-                "NO",
-                Business::InternetOperator {
-                    scope: OperatorScope::Subnational,
-                    service: ServiceKind::Access,
-                },
-            ),
-        );
+        b.add_company(company(
+            6,
+            "Oslo Net",
+            "NO",
+            Business::InternetOperator {
+                scope: OperatorScope::Subnational,
+                service: ServiceKind::Access,
+            },
+        ));
         b.add_holding(CompanyId(1), CompanyId(2), Equity::from_percent(54));
         b.add_holding(CompanyId(2), CompanyId(3), Equity::from_percent(100));
         b.add_holding(CompanyId(1), CompanyId(4), Equity::from_percent(30));
@@ -201,7 +195,14 @@ mod tests {
         b.add_holding(CompanyId(1), CompanyId(6), Equity::from_percent(100));
         let g = b.build().unwrap();
         let control = StateControl::resolve(&g);
-        let regs = vec![reg(10, 2, "NO"), reg(11, 2, "NO"), reg(20, 3, "DK"), reg(30, 4, "NO"), reg(40, 5, "NO"), reg(50, 6, "NO")];
+        let regs = vec![
+            reg(10, 2, "NO"),
+            reg(11, 2, "NO"),
+            reg(20, 3, "DK"),
+            reg(30, 4, "NO"),
+            reg(40, 5, "NO"),
+            reg(50, 6, "NO"),
+        ];
         let truth = GroundTruth::derive(&g, &control, &regs);
 
         assert_eq!(truth.state_owned_companies, vec![CompanyId(2), CompanyId(3)]);

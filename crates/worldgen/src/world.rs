@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use serde::{Deserialize, Serialize};
 use soi_ownership::{OwnershipGraph, ServiceKind, StateControl};
 use soi_registry::AsRegistration;
-use soi_topology::{AsGraph, AsGraphBuilder, ConeHistory, IxpRegistry, Relationship, cone_sizes};
+use soi_topology::{cone_sizes, AsGraph, AsGraphBuilder, ConeHistory, IxpRegistry, Relationship};
 use soi_types::{Asn, CompanyId, CountryCode, Ipv4Prefix, Rir, SimDate, SoiError};
 
 use crate::config::WorldConfig;
@@ -143,23 +143,16 @@ impl World {
     /// precisely the class that "flies under the radar" of
     /// ownership-focused sources, Appendix D).
     pub fn company_serves_access(&self, company: CompanyId) -> bool {
-        self.registrations
-            .iter()
-            .filter(|r| r.company == company)
-            .any(|r| {
-                self.profiles
-                    .get(&r.asn)
-                    .is_some_and(|p| p.market_share > 0.0 || p.service.serves_access())
-            })
+        self.registrations.iter().filter(|r| r.company == company).any(|r| {
+            self.profiles
+                .get(&r.asn)
+                .is_some_and(|p| p.market_share > 0.0 || p.service.serves_access())
+        })
     }
 
     /// All ASNs of one company, sorted.
     pub fn asns_of(&self, company: CompanyId) -> Vec<Asn> {
-        self.registrations
-            .iter()
-            .filter(|r| r.company == company)
-            .map(|r| r.asn)
-            .collect()
+        self.registrations.iter().filter(|r| r.company == company).map(|r| r.asn).collect()
     }
 
     /// Total number of ASes.

@@ -37,15 +37,15 @@ fn main() {
     // (i) Source drop-outs.
     let base = PipelineConfig::default();
     run("all sources (baseline)", &base_inputs, &base);
-    run(
-        "- geolocation",
-        &base_inputs,
-        &PipelineConfig { use_geolocation: false, ..base.clone() },
-    );
+    run("- geolocation", &base_inputs, &PipelineConfig { use_geolocation: false, ..base.clone() });
     run("- eyeballs", &base_inputs, &PipelineConfig { use_eyeballs: false, ..base.clone() });
     run("- CTI", &base_inputs, &PipelineConfig { use_cti: false, ..base.clone() });
     run("- Orbis", &base_inputs, &PipelineConfig { use_orbis: false, ..base.clone() });
-    run("- reports (Wiki+FH)", &base_inputs, &PipelineConfig { use_reports: false, ..base.clone() });
+    run(
+        "- reports (Wiki+FH)",
+        &base_inputs,
+        &PipelineConfig { use_reports: false, ..base.clone() },
+    );
     run(
         "technical sources only",
         &base_inputs,
@@ -80,10 +80,7 @@ fn main() {
             &format!("ownership threshold {}%", bp / 100),
             &base_inputs,
             &PipelineConfig {
-                confirm: soi_core::confirm::ConfirmPolicy {
-                    majority_bp: bp,
-                    ..Default::default()
-                },
+                confirm: soi_core::confirm::ConfirmPolicy { majority_bp: bp, ..Default::default() },
                 ..base.clone()
             },
         );
@@ -99,8 +96,5 @@ fn main() {
         run(&format!("doc availability x{availability}"), &inputs, &base);
     }
 
-    println!(
-        "{}",
-        render_table(&["configuration", "ASes", "precision", "recall", "F1"], &rows)
-    );
+    println!("{}", render_table(&["configuration", "ASes", "precision", "recall", "F1"], &rows));
 }

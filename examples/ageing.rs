@@ -30,8 +30,7 @@ fn main() {
 
     let churn = ChurnConfig { seed, ..ChurnConfig::default() };
     println!("== Frozen-dataset decay over {years} years of churn ==");
-    let report =
-        AgeingReport::compute(&world, &snapshot.dataset, &churn, years).expect("ageing");
+    let report = AgeingReport::compute(&world, &snapshot.dataset, &churn, years).expect("ageing");
     println!("{}", report.text());
 
     // Maintenance run: evolve the world fully, re-derive inputs, re-run

@@ -50,10 +50,7 @@ fn main() {
             vec![cc, orgs.to_string(), asns.to_string(), foreign.to_string()]
         })
         .collect();
-    println!(
-        "{}",
-        render_table(&["owner", "orgs", "ASNs", "foreign subs"], &rows)
-    );
+    println!("{}", render_table(&["owner", "orgs", "ASNs", "foreign subs"], &rows));
     println!(
         "total: {} organizations, {} ASNs, {} minority observations",
         output.dataset.organizations.len(),

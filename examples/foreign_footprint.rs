@@ -32,10 +32,7 @@ fn main() {
         .into_iter()
         .take(20)
         .map(|(country, share)| {
-            let region = country
-                .info()
-                .map(|i| i.region.to_string())
-                .unwrap_or_default();
+            let region = country.info().map(|i| i.region.to_string()).unwrap_or_default();
             vec![country.to_string(), format!("{share:.2}"), region]
         })
         .collect();

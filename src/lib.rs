@@ -12,6 +12,7 @@ pub use soi_eyeballs as eyeballs;
 pub use soi_geo as geo;
 pub use soi_ownership as ownership;
 pub use soi_registry as registry;
+pub use soi_service as service;
 pub use soi_sources as sources;
 pub use soi_topology as topology;
 pub use soi_types as types;

@@ -9,6 +9,7 @@
 //!   org <name fragment>    search the identified dataset by name
 //!   cti <CC> [k]           top transit ASes of a country by CTI
 //!   ageing [years]         frozen-dataset decay under ownership churn
+//!   serve [--port P]       HTTP query service over the dataset
 //! ```
 //!
 //! Every command regenerates the world from the seed (deterministic, a
@@ -17,10 +18,9 @@
 use soi_analysis::headline::Headline;
 use soi_analysis::render::render_table;
 use state_owned_ases::analysis::ageing::AgeingReport;
-use state_owned_ases::core::{
-    Evaluation, InputConfig, Pipeline, PipelineConfig, PipelineInputs,
-};
+use state_owned_ases::core::{Evaluation, InputConfig, Pipeline, PipelineConfig, PipelineInputs};
 use state_owned_ases::registry::rpsl;
+use state_owned_ases::service::{self, ServerConfig, ServiceIndex};
 use state_owned_ases::types::{Asn, CountryCode};
 use state_owned_ases::worldgen::{generate, ChurnConfig, World, WorldConfig};
 
@@ -64,10 +64,7 @@ fn main() {
             let world = build_world(seed);
             let whois = state_owned_ases::registry::WhoisDb::generate(
                 &world.registrations,
-                state_owned_ases::registry::WhoisNoise {
-                    seed,
-                    ..Default::default()
-                },
+                state_owned_ases::registry::WhoisNoise { seed, ..Default::default() },
             )
             .expect("whois");
             match whois.record(asn) {
@@ -76,10 +73,7 @@ fn main() {
             }
         }
         "org" => {
-            let needle = args
-                .get(1)
-                .cloned()
-                .unwrap_or_else(|| fail("org needs a name fragment"));
+            let needle = args.get(1).cloned().unwrap_or_else(|| fail("org needs a name fragment"));
             let world = build_world(seed);
             let (_, output) = run_pipeline(&world, seed);
             let rows: Vec<Vec<String>> = output
@@ -116,11 +110,8 @@ fn main() {
                 .top_k(country, k)
                 .into_iter()
                 .map(|(asn, score)| {
-                    let name = inputs
-                        .whois
-                        .record(asn)
-                        .map(|r| r.as_name.clone())
-                        .unwrap_or_default();
+                    let name =
+                        inputs.whois.record(asn).map(|r| r.as_name.clone()).unwrap_or_default();
                     let owned = dataset_ases.binary_search(&asn).is_ok();
                     vec![
                         asn.to_string(),
@@ -131,6 +122,46 @@ fn main() {
                 })
                 .collect();
             println!("{}", render_table(&["ASN", "name", "CTI", ""], &rows));
+        }
+        "serve" => {
+            let port: u16 = extract_flag(&mut args, "--port")
+                .map(|p| p.parse().unwrap_or_else(|_| fail("--port needs a number")))
+                .unwrap_or(7021);
+            let workers: usize = extract_flag(&mut args, "--workers")
+                .map(|w| w.parse().unwrap_or_else(|_| fail("--workers needs a number")))
+                .unwrap_or_else(|| ServerConfig::default().workers);
+            let world = build_world(seed);
+            let (inputs, output) = run_pipeline(&world, seed);
+            let index =
+                std::sync::Arc::new(ServiceIndex::build(output.dataset, &inputs.prefix_to_as));
+            let sizes = index.sizes();
+            let cfg = ServerConfig { workers, ..ServerConfig::default() };
+            let handle =
+                service::serve(index, ("0.0.0.0", port), cfg).expect("bind service socket");
+            println!(
+                "soi-service listening on {} ({} orgs, {} ASNs, {} prefixes; {} workers)",
+                handle.local_addr(),
+                sizes.organizations,
+                sizes.asns,
+                sizes.announced_prefixes,
+                workers,
+            );
+            println!("routes: /healthz /metrics /asn/{{asn}} /ip/{{addr}} /prefix/{{addr}}/{{len}} /country/{{cc}} /search?q= /dataset");
+            service::install_signal_handlers();
+            while !service::shutdown_requested() {
+                std::thread::sleep(std::time::Duration::from_millis(100));
+            }
+            eprintln!("(signal received, draining)");
+            let snap = handle.shutdown();
+            println!(
+                "served {} requests ({} errors, {} rejected) — p50 {}us p95 {}us p99 {}us",
+                snap.requests_total,
+                snap.responses_error,
+                snap.rejected_backpressure,
+                snap.latency.p50_micros,
+                snap.latency.p95_micros,
+                snap.latency.p99_micros,
+            );
         }
         "ageing" => {
             let years: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(5);
@@ -204,6 +235,8 @@ fn usage() {
          \x20 whois <ASN>           synthetic RPSL WHOIS object\n\
          \x20 org <name>            search the dataset by name\n\
          \x20 cti <CC> [k]          top transit ASes of a country\n\
-         \x20 ageing [years]        dataset decay under churn"
+         \x20 ageing [years]        dataset decay under churn\n\
+         \x20 serve [--port P] [--workers W]\n\
+         \x20                       HTTP query service over the dataset"
     );
 }

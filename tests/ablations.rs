@@ -28,10 +28,7 @@ fn removing_all_languages_empties_the_dataset() {
 fn spanish_documents_matter_for_latin_america() {
     let fx = fixture();
     let english_only = PipelineConfig {
-        confirm: ConfirmPolicy {
-            readable: vec![Language::English],
-            ..ConfirmPolicy::default()
-        },
+        confirm: ConfirmPolicy { readable: vec![Language::English], ..ConfirmPolicy::default() },
         ..PipelineConfig::default()
     };
     let narrow = Pipeline::run(&fx.inputs, &english_only);
@@ -106,8 +103,5 @@ fn each_attribution_model_is_exposed() {
             }
         }
     }
-    assert!(
-        disagreements > 0,
-        "no company where control-based and economic attribution disagree"
-    );
+    assert!(disagreements > 0, "no company where control-based and economic attribution disagree");
 }

@@ -67,10 +67,7 @@ fn every_record_is_well_formed() {
     for rec in &fx.output.dataset.organizations {
         for &asn in &rec.asns {
             if let Some(prev) = seen.insert(asn, rec.ownership_cc) {
-                assert_eq!(
-                    prev, rec.ownership_cc,
-                    "{asn} attributed to two different states"
-                );
+                assert_eq!(prev, rec.ownership_cc, "{asn} attributed to two different states");
             }
         }
     }
@@ -83,12 +80,7 @@ fn confirmations_trace_back_to_real_documents() {
         // Every quote must literally exist in the corpus (no fabricated
         // evidence), except the subsidiary-inheritance records which
         // reuse the parent's quote.
-        let found = fx
-            .inputs
-            .corpus
-            .documents()
-            .iter()
-            .any(|d| d.quote == rec.quote);
+        let found = fx.inputs.corpus.documents().iter().any(|d| d.quote == rec.quote);
         assert!(found, "{}: quote not found in corpus: {:?}", rec.org_name, rec.quote);
     }
 }
@@ -100,10 +92,7 @@ fn minority_and_majority_sets_are_disjoint() {
     for m in &fx.output.minority {
         assert!(m.equity.is_minority());
         for asn in &m.asns {
-            assert!(
-                majority.binary_search(asn).is_err(),
-                "{asn} is both minority and majority"
-            );
+            assert!(majority.binary_search(asn).is_err(), "{asn} is both minority and majority");
         }
     }
 }

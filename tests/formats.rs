@@ -44,16 +44,11 @@ fn delegated_files_cover_the_world() {
     let fx = fixture();
     let mut total_asns = 0usize;
     for rir in Rir::ALL {
-        let text = delegated::render_delegated(
-            rir,
-            &fx.world.registrations,
-            &fx.world.prefix_assignments,
-        );
+        let text =
+            delegated::render_delegated(rir, &fx.world.registrations, &fx.world.prefix_assignments);
         let parsed = delegated::parse_delegated(&text).expect("delegated parses");
-        total_asns += parsed
-            .iter()
-            .filter(|d| matches!(d, delegated::Delegation::Asn { .. }))
-            .count();
+        total_asns +=
+            parsed.iter().filter(|d| matches!(d, delegated::Delegation::Asn { .. })).count();
     }
     assert_eq!(total_asns, fx.world.registrations.len());
 }

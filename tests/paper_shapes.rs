@@ -119,10 +119,7 @@ fn cable_carriers_grow_fastest() {
     let growers = soi_analysis::transit::figure5(&history, &fx.output, 3);
     assert!(!growers.is_empty());
     let cable_in_top = growers.iter().any(|(asn, _, _)| {
-        fx.world
-            .profiles
-            .get(asn)
-            .is_some_and(|p| matches!(p.country.as_str(), "AO" | "BD"))
+        fx.world.profiles.get(asn).is_some_and(|p| matches!(p.country.as_str(), "AO" | "BD"))
     });
     assert!(cable_in_top, "no submarine-cable carrier among top growers: {growers:?}");
 }

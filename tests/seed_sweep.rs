@@ -9,8 +9,7 @@ use soi_worldgen::{generate, WorldConfig};
 fn quality_holds_across_seeds() {
     for seed in [1111, 2222, 3333] {
         let world = generate(&WorldConfig::test_scale(seed)).unwrap();
-        let inputs =
-            PipelineInputs::from_world(&world, &InputConfig::with_seed(seed)).unwrap();
+        let inputs = PipelineInputs::from_world(&world, &InputConfig::with_seed(seed)).unwrap();
         let output = Pipeline::run(&inputs, &PipelineConfig::default());
         let eval = Evaluation::score(&output.dataset, &world);
         assert!(
@@ -18,11 +17,7 @@ fn quality_holds_across_seeds() {
             "seed {seed}: precision {:.3}",
             eval.ases.precision()
         );
-        assert!(
-            eval.ases.recall() > 0.55,
-            "seed {seed}: recall {:.3}",
-            eval.ases.recall()
-        );
+        assert!(eval.ases.recall() > 0.55, "seed {seed}: recall {:.3}", eval.ases.recall());
         // Shape invariants that must not depend on the seed.
         assert!(!output.dataset.foreign_subsidiary_ases().is_empty(), "seed {seed}");
         assert!(!output.minority.is_empty(), "seed {seed}");

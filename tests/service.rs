@@ -1,0 +1,218 @@
+//! End-to-end tests of the `soi-service` subsystem: a real server on an
+//! ephemeral port, queried concurrently from many client threads, with
+//! every answer checked against the same pipeline output the server
+//! indexed.
+
+mod common;
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use serde_json::Value;
+use state_owned_ases::core::{Dataset, OrgRecord};
+use state_owned_ases::service::{serve, ServerConfig, ServerHandle, ServiceIndex};
+use state_owned_ases::types::Asn;
+
+fn boot() -> (ServerHandle, Arc<ServiceIndex>) {
+    let fx = common::fixture();
+    let index = Arc::new(ServiceIndex::build(fx.output.dataset.clone(), &fx.inputs.prefix_to_as));
+    let cfg = ServerConfig {
+        read_timeout: Duration::from_secs(2),
+        write_timeout: Duration::from_secs(2),
+        ..ServerConfig::default()
+    };
+    let handle = serve(Arc::clone(&index), ("127.0.0.1", 0), cfg).expect("bind test server");
+    (handle, index)
+}
+
+/// One `Connection: close` GET; returns (status, parsed JSON body).
+fn get(addr: SocketAddr, target: &str) -> (u16, Value) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    write!(stream, "GET {target} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n").unwrap();
+    let mut reader = BufReader::new(stream);
+    let (status, body) = read_response(&mut reader);
+    (status, serde_json::from_str(&body).expect("JSON body"))
+}
+
+/// Reads one framed HTTP response; returns (status, raw body).
+fn read_response(reader: &mut BufReader<TcpStream>) -> (u16, String) {
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status line");
+    let status: u16 =
+        status_line.split_whitespace().nth(1).expect("status code").parse().expect("numeric");
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header line");
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v.trim().parse().expect("content-length value");
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).expect("body");
+    (status, String::from_utf8(body).expect("utf8 body"))
+}
+
+/// First record operating `asn` — the same first-match rule the index
+/// uses.
+fn expected_org(dataset: &Dataset, asn: Asn) -> Option<&OrgRecord> {
+    dataset.organizations.iter().find(|o| o.asns.contains(&asn))
+}
+
+#[test]
+fn concurrent_queries_match_the_pipeline_output() {
+    let fx = common::fixture();
+    let (handle, _index) = boot();
+    let addr = handle.local_addr();
+    let dataset = &fx.output.dataset;
+    assert!(!dataset.organizations.is_empty(), "fixture pipeline found operators");
+
+    let state_owned = dataset.state_owned_ases();
+    let countries = dataset.owner_countries();
+    let max_asn = fx.world.registrations.iter().map(|r| r.asn.0).max().unwrap_or(0);
+    let entries = fx.inputs.prefix_to_as.entries();
+
+    std::thread::scope(|scope| {
+        for thread_ix in 0..8usize {
+            // Shared read-only views; `move` below copies these references.
+            let state_owned = &state_owned;
+            let countries = &countries;
+            scope.spawn(move || {
+                // ASN route: every state-owned ASN answers with its record;
+                // an ASN outside the world answers state_owned=false.
+                for &asn in state_owned.iter().skip(thread_ix).step_by(8) {
+                    let (status, v) = get(addr, &format!("/asn/{asn}"));
+                    assert_eq!(status, 200);
+                    assert_eq!(v["state_owned"], Value::Bool(true), "{asn}");
+                    let rec = expected_org(dataset, asn).expect("ASN is in the dataset");
+                    assert_eq!(v["organization"]["org_name"], Value::from(rec.org_name.clone()));
+                    assert_eq!(
+                        v["organization"]["ownership_cc"],
+                        Value::from(rec.ownership_cc.to_string())
+                    );
+                }
+                let absent = Asn(max_asn + 7 + thread_ix as u32);
+                let (status, v) = get(addr, &format!("/asn/{absent}"));
+                assert_eq!(status, 200);
+                assert_eq!(v["state_owned"], Value::Bool(false));
+                assert!(v["organization"].is_null());
+
+                // Prefix route: an announced prefix covers itself, so the
+                // origin must be exactly the table's origin.
+                for &(prefix, origin) in entries.iter().skip(thread_ix).step_by(8).take(40) {
+                    let (status, v) = get(addr, &format!("/prefix/{prefix}"));
+                    assert_eq!(status, 200, "{prefix}");
+                    assert_eq!(v["matched_prefix"], Value::from(prefix.to_string()));
+                    assert_eq!(v["origin"], Value::from(origin.to_string()));
+                    let owned = state_owned.binary_search(&origin).is_ok();
+                    assert_eq!(v["state_owned"], Value::Bool(owned), "{prefix} -> {origin}");
+                }
+
+                // Country route: domestic organization lists come straight
+                // from the dataset.
+                for &cc in countries.iter().skip(thread_ix).step_by(8) {
+                    let (status, v) = get(addr, &format!("/country/{cc}"));
+                    assert_eq!(status, 200, "{cc}");
+                    let mut expected: Vec<String> = dataset
+                        .organizations
+                        .iter()
+                        .filter(|o| o.ownership_cc == cc && o.operating_cc() == cc)
+                        .map(|o| o.org_name.clone())
+                        .collect();
+                    expected.sort();
+                    let got: Vec<String> = v["domestic_organizations"]
+                        .as_array()
+                        .expect("array")
+                        .iter()
+                        .map(|s| s.as_str().unwrap().to_owned())
+                        .collect();
+                    assert_eq!(got, expected, "{cc}");
+                }
+            });
+        }
+    });
+
+    // Search: the first organization's first name token must find itself.
+    let first = &dataset.organizations[0];
+    let token = first.org_name.split_whitespace().next().unwrap().to_lowercase();
+    let (status, v) = get(addr, &format!("/search?q={token}"));
+    assert_eq!(status, 200);
+    let names: Vec<&str> = v["hits"]
+        .as_array()
+        .expect("hits array")
+        .iter()
+        .map(|h| h["org_name"].as_str().unwrap())
+        .collect();
+    assert!(names.contains(&first.org_name.as_str()), "{token:?} finds {:?}", first.org_name);
+
+    // Metrics: after the load above, the histogram must be populated.
+    let (status, v) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(v["requests_total"].as_u64().unwrap() > 8, "requests counted");
+    assert!(v["latency"]["count"].as_u64().unwrap() > 0, "latency recorded");
+    assert!(v["latency"]["p50_micros"].as_u64().unwrap() > 0, "non-zero p50");
+    assert!(v["latency"]["p99_micros"].as_u64().unwrap() > 0, "non-zero p99");
+    assert!(v["per_route"]["asn"].as_u64().unwrap() > 0, "per-route counts");
+    assert_eq!(v["index"]["organizations"].as_u64().unwrap() as usize, dataset.organizations.len());
+
+    let snapshot = handle.shutdown();
+    assert!(snapshot.requests_total > 8);
+    assert_eq!(snapshot.in_flight, 0, "nothing left in flight after drain");
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_requests() {
+    let (handle, _index) = boot();
+    let addr = handle.local_addr();
+
+    // Establish keep-alive connections and prove each is live.
+    let mut conns: Vec<BufReader<TcpStream>> = (0..4)
+        .map(|_| {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            write!(stream, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+            let mut reader = BufReader::new(stream);
+            let (status, _) = read_response(&mut reader);
+            assert_eq!(status, 200);
+            reader
+        })
+        .collect();
+
+    // Put one more request in flight on every connection, then shut down
+    // while they are being read/served.
+    for reader in &mut conns {
+        write!(reader.get_mut(), "GET /dataset HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+    }
+    let readers = std::thread::spawn(move || {
+        conns
+            .into_iter()
+            .map(|mut reader| read_response(&mut reader))
+            .collect::<Vec<(u16, String)>>()
+    });
+    std::thread::sleep(Duration::from_millis(50));
+    let snapshot = handle.shutdown();
+
+    // Every in-flight request completed with a full, valid response.
+    let responses = readers.join().expect("reader thread");
+    assert_eq!(responses.len(), 4);
+    for (status, body) in &responses {
+        assert_eq!(*status, 200);
+        let v: Value = serde_json::from_str(body).expect("complete JSON body");
+        assert!(v["organizations"].is_u64());
+    }
+    assert!(snapshot.requests_total >= 8, "both rounds served");
+    assert_eq!(snapshot.in_flight, 0);
+
+    // And the listener is gone: new connections are refused.
+    assert!(
+        TcpStream::connect_timeout(&addr, Duration::from_millis(300)).is_err(),
+        "port released after shutdown"
+    );
+}

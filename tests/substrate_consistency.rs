@@ -70,11 +70,7 @@ fn customer_routes_imply_cone_membership() {
     let cone = customer_cone(graph, monitor.asn);
     for ann in fx.inputs.view.announcements().iter().take(500) {
         if cone.binary_search(&ann.origin).is_ok() {
-            let path = fx
-                .inputs
-                .view
-                .path(0, ann.origin)
-                .expect("cone member must be reachable");
+            let path = fx.inputs.view.path(0, ann.origin).expect("cone member must be reachable");
             assert!(!path.is_empty());
         }
     }
@@ -83,12 +79,7 @@ fn customer_routes_imply_cone_membership() {
 #[test]
 fn announced_space_matches_allocated_space() {
     let fx = fixture();
-    let allocated: u64 = fx
-        .world
-        .prefix_assignments
-        .iter()
-        .map(|(p, _)| p.num_addresses())
-        .sum();
+    let allocated: u64 = fx.world.prefix_assignments.iter().map(|(p, _)| p.num_addresses()).sum();
     let announced = fx.inputs.prefix_to_as.total_addresses();
     // Visibility filtering may drop a few unreachable stubs, never add.
     assert!(announced <= allocated);
@@ -102,8 +93,7 @@ fn announced_space_matches_allocated_space() {
 fn geo_blocks_cover_exactly_the_allocated_prefixes() {
     let fx = fixture();
     let geo_total: u64 = fx.world.geo_blocks.iter().map(|(p, _)| p.num_addresses()).sum();
-    let alloc_total: u64 =
-        fx.world.prefix_assignments.iter().map(|(p, _)| p.num_addresses()).sum();
+    let alloc_total: u64 = fx.world.prefix_assignments.iter().map(|(p, _)| p.num_addresses()).sum();
     assert_eq!(geo_total, alloc_total);
 }
 

@@ -1,0 +1,49 @@
+//! Cold-start benchmark: how long until a `ServiceIndex` is ready to
+//! serve, starting (a) from nothing — worldgen + pipeline + index build,
+//! what `soi serve` does without `--snapshot` — versus (b) from a
+//! persisted snapshot file — read + validate checksum + index build, what
+//! `soi serve --snapshot` does. The gap is the payoff of the snapshot
+//! subsystem; Criterion tracks both across commits.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use soi_bench::Fixture;
+use soi_core::{Snapshot, SnapshotBuildInfo};
+use soi_service::ServiceIndex;
+
+fn bench_cold_start(c: &mut Criterion) {
+    // One canonical fixture; the snapshot is written once so every
+    // snapshot_load iteration measures read+validate+build, not write.
+    let fx = Fixture::small();
+    let path =
+        std::env::temp_dir().join(format!("soi-bench-cold-start-{}.json", std::process::id()));
+    let snapshot = Snapshot::build(
+        fx.output.dataset.clone(),
+        fx.inputs.prefix_to_as.clone(),
+        SnapshotBuildInfo { tool: "soi-bench cold_start".into(), ..Default::default() },
+    )
+    .expect("build snapshot");
+    snapshot.write_to_file(&path).expect("write snapshot");
+
+    let mut g = c.benchmark_group("cold_start");
+    g.sample_size(10);
+
+    g.bench_function("rebuild_world_and_pipeline", |b| {
+        b.iter(|| {
+            let fx = Fixture::small();
+            ServiceIndex::build(fx.output.dataset, &fx.inputs.prefix_to_as)
+        })
+    });
+
+    g.bench_function("snapshot_load", |b| {
+        b.iter(|| {
+            let snapshot = Snapshot::read_from_file(&path).expect("read snapshot");
+            ServiceIndex::from_snapshot(snapshot)
+        })
+    });
+
+    g.finish();
+    let _ = std::fs::remove_file(&path);
+}
+
+criterion_group!(benches, bench_cold_start);
+criterion_main!(benches);

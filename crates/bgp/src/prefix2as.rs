@@ -8,6 +8,8 @@
 
 use std::collections::HashMap;
 
+use serde::de::Error as _;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
 use soi_types::{Asn, Ipv4Prefix, PrefixTrie, SoiError};
 
 /// Immutable mapping from announced prefix to its (single) origin AS.
@@ -124,6 +126,26 @@ impl PrefixToAs {
     }
 }
 
+/// Serializes as the sorted `(prefix, origin)` entry list — the trie is
+/// derived state and is rebuilt on deserialization. The byte-stable entry
+/// order makes serialized tables safe to checksum (snapshot format).
+impl Serialize for PrefixToAs {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.entries.serialize(serializer)
+    }
+}
+
+/// Rebuilds the table through [`PrefixToAs::from_entries`], so a
+/// deserialized table re-validates the single-origin invariant: a MOAS
+/// entry in a persisted file is a deserialization error, not latent
+/// corruption.
+impl<'de> Deserialize<'de> for PrefixToAs {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let entries: Vec<(Ipv4Prefix, Asn)> = Vec::deserialize(deserializer)?;
+        PrefixToAs::from_entries(entries).map_err(D::Error::custom)
+    }
+}
+
 /// The complement of the union of `holes` within `space`, as disjoint
 /// prefixes. `holes` must each be covered by `space` and be mutually
 /// non-nested (maximal).
@@ -209,6 +231,25 @@ mod tests {
         // counts must not double-count.
         let t = table(&[("10.0.0.0/8", 1), ("10.0.0.0/9", 1)]);
         assert_eq!(t.addresses_per_origin()[&Asn(1)], 1 << 24);
+    }
+
+    #[test]
+    fn serde_round_trip_rebuilds_the_trie() {
+        let t = table(&[("10.0.0.0/8", 1), ("10.1.0.0/16", 2)]);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: PrefixToAs = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.entries(), t.entries());
+        // The trie was rebuilt, not just the entry list.
+        assert_eq!(back.origin_of_ip(u32::from(std::net::Ipv4Addr::new(10, 1, 2, 3))), Some(Asn(2)));
+        // Serialization is deterministic (sorted entries), so equal tables
+        // produce identical bytes — the property snapshot checksums rely on.
+        assert_eq!(json, serde_json::to_string(&back).unwrap());
+    }
+
+    #[test]
+    fn serde_rejects_moas_entries() {
+        let moas = r#"[[{"addr":167772160,"len":8},1],[{"addr":167772160,"len":8},2]]"#;
+        assert!(serde_json::from_str::<PrefixToAs>(moas).is_err());
     }
 
     proptest! {

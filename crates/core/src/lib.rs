@@ -33,6 +33,7 @@ pub mod expand;
 pub mod inputs;
 pub mod mapping;
 pub mod pipeline;
+pub mod snapshot;
 
 pub use candidates::{CandidateSet, SourceFlags};
 pub use confirm::{ConfirmOutcome, Confirmation, Confirmer};
@@ -41,3 +42,7 @@ pub use dataset::{Dataset, DatasetDiff, OrgRecord};
 pub use eval::Evaluation;
 pub use inputs::{InputConfig, PipelineInputs};
 pub use pipeline::{Pipeline, PipelineConfig, PipelineOutput};
+pub use snapshot::{
+    Snapshot, SnapshotBuildInfo, SnapshotError, SnapshotHeader, SnapshotPayload,
+    SNAPSHOT_FORMAT_VERSION, SNAPSHOT_MAGIC,
+};

@@ -1,0 +1,337 @@
+//! Versioned, checksummed persistence of a pipeline run.
+//!
+//! A [`Snapshot`] is the serving artifact: the identified [`Dataset`] plus
+//! the announced prefix→origin table, wrapped in a small header carrying a
+//! format version, build metadata and an FNV-1a checksum of the payload.
+//! `soi snapshot write` produces one; `soi serve --snapshot` (and the
+//! service's hot-reload path) consumes it — so restarts and dataset
+//! updates no longer pay for world generation and a full pipeline run,
+//! and downstream consumers query a *fixed, versioned* dataset rather
+//! than whatever a fresh run would recompute.
+//!
+//! ## File format
+//!
+//! One JSON document, `{"header": ..., "payload": ...}`:
+//!
+//! * `header.magic` — the literal [`SNAPSHOT_MAGIC`], so unrelated JSON is
+//!   rejected with a clear error;
+//! * `header.format_version` — [`SNAPSHOT_FORMAT_VERSION`]; readers reject
+//!   snapshots written by an incompatible schema;
+//! * `header.checksum_fnv1a64` — FNV-1a 64 over the canonical (compact,
+//!   field-ordered) JSON serialization of `payload`;
+//! * `header.build` — provenance ([`SnapshotBuildInfo`]): producing tool,
+//!   world seed, cardinalities, free-form comment;
+//! * `payload.dataset` — the paper-schema dataset (Listing 1);
+//! * `payload.table` — the announced prefix→origin entries (rebuilt into a
+//!   validated [`PrefixToAs`] on read).
+//!
+//! Validation is strict on *read*: wrong magic, unsupported version and
+//! checksum mismatch are distinct, typed [`SnapshotError`]s, so a reload
+//! path can keep serving its current index and report exactly why a new
+//! file was refused.
+
+use std::fmt;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+use soi_bgp::PrefixToAs;
+use soi_types::{fnv1a64, SoiError};
+
+use crate::dataset::Dataset;
+
+/// Magic string identifying a snapshot file.
+pub const SNAPSHOT_MAGIC: &str = "soi-snapshot";
+
+/// Schema version written by this build; readers accept exactly this.
+pub const SNAPSHOT_FORMAT_VERSION: u32 = 1;
+
+/// Why a snapshot could not be loaded.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The file could not be read or written.
+    Io(std::io::Error),
+    /// The bytes were not a well-formed snapshot document (including
+    /// truncation, which breaks the JSON mid-structure).
+    Malformed(String),
+    /// The document parsed but is not a snapshot (wrong magic).
+    WrongMagic(String),
+    /// The snapshot was written by an incompatible schema version.
+    UnsupportedVersion {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build supports.
+        supported: u32,
+    },
+    /// The payload does not hash to the header's checksum.
+    ChecksumMismatch {
+        /// Checksum stored in the header.
+        stored: u64,
+        /// Checksum recomputed from the payload.
+        computed: u64,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot I/O error: {e}"),
+            SnapshotError::Malformed(m) => write!(f, "malformed snapshot: {m}"),
+            SnapshotError::WrongMagic(m) => {
+                write!(f, "not a snapshot file (magic {m:?}, expected {SNAPSHOT_MAGIC:?})")
+            }
+            SnapshotError::UnsupportedVersion { found, supported } => {
+                write!(f, "unsupported snapshot format version {found} (this build reads {supported})")
+            }
+            SnapshotError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "snapshot checksum mismatch: header says {stored:016x}, payload hashes to {computed:016x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// Provenance metadata carried in the header and surfaced by `/metrics`.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SnapshotBuildInfo {
+    /// Tool that produced the snapshot (e.g. `soi snapshot write`).
+    pub tool: String,
+    /// World seed the dataset was derived from, when applicable.
+    pub seed: Option<u64>,
+    /// Organizations in the dataset at write time.
+    pub organizations: usize,
+    /// Announced prefixes in the table at write time.
+    pub announced_prefixes: usize,
+    /// Free-form note (scale, operator, ticket, ...).
+    pub comment: String,
+}
+
+/// The snapshot header: identification, versioning, integrity, provenance.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SnapshotHeader {
+    /// Always [`SNAPSHOT_MAGIC`].
+    pub magic: String,
+    /// Schema version, [`SNAPSHOT_FORMAT_VERSION`] for this build.
+    pub format_version: u32,
+    /// FNV-1a 64 of the payload's canonical JSON bytes.
+    pub checksum_fnv1a64: u64,
+    /// Build provenance.
+    pub build: SnapshotBuildInfo,
+}
+
+/// The data a serving process needs: dataset + announced-space table.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SnapshotPayload {
+    /// The identified state-owned-operator dataset.
+    pub dataset: Dataset,
+    /// Announced prefix→origin table (single-origin validated on read).
+    pub table: PrefixToAs,
+}
+
+/// A complete snapshot document.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Identification, version, checksum, provenance.
+    pub header: SnapshotHeader,
+    /// Dataset + table.
+    pub payload: SnapshotPayload,
+}
+
+/// Canonical checksum of a payload: FNV-1a 64 over its compact JSON
+/// serialization (deterministic: struct field order and the table's sorted
+/// entry list fix the bytes).
+pub fn payload_checksum(payload: &SnapshotPayload) -> Result<u64, SoiError> {
+    let bytes = serde_json::to_vec(payload)
+        .map_err(|e| SoiError::Parse(format!("snapshot payload serialization failed: {e}")))?;
+    Ok(fnv1a64(&bytes))
+}
+
+impl Snapshot {
+    /// Assembles a snapshot over `dataset` and `table`, computing the
+    /// checksum and filling the cardinality fields of `build`.
+    pub fn build(
+        dataset: Dataset,
+        table: PrefixToAs,
+        mut build: SnapshotBuildInfo,
+    ) -> Result<Snapshot, SoiError> {
+        build.organizations = dataset.organizations.len();
+        build.announced_prefixes = table.len();
+        let payload = SnapshotPayload { dataset, table };
+        let checksum = payload_checksum(&payload)?;
+        Ok(Snapshot {
+            header: SnapshotHeader {
+                magic: SNAPSHOT_MAGIC.to_owned(),
+                format_version: SNAPSHOT_FORMAT_VERSION,
+                checksum_fnv1a64: checksum,
+                build,
+            },
+            payload,
+        })
+    }
+
+    /// Checks magic, version and checksum; `Ok` means the payload is the
+    /// one the producer wrote.
+    pub fn validate(&self) -> Result<(), SnapshotError> {
+        if self.header.magic != SNAPSHOT_MAGIC {
+            return Err(SnapshotError::WrongMagic(self.header.magic.clone()));
+        }
+        if self.header.format_version != SNAPSHOT_FORMAT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion {
+                found: self.header.format_version,
+                supported: SNAPSHOT_FORMAT_VERSION,
+            });
+        }
+        let computed =
+            payload_checksum(&self.payload).map_err(|e| SnapshotError::Malformed(e.to_string()))?;
+        if computed != self.header.checksum_fnv1a64 {
+            return Err(SnapshotError::ChecksumMismatch {
+                stored: self.header.checksum_fnv1a64,
+                computed,
+            });
+        }
+        Ok(())
+    }
+
+    /// Serializes the full document (compact JSON).
+    pub fn to_json(&self) -> Result<String, SoiError> {
+        serde_json::to_string(self)
+            .map_err(|e| SoiError::Parse(format!("snapshot serialization failed: {e}")))
+    }
+
+    /// Parses *and validates* a snapshot document.
+    pub fn from_json(s: &str) -> Result<Snapshot, SnapshotError> {
+        let snapshot: Snapshot =
+            serde_json::from_str(s).map_err(|e| SnapshotError::Malformed(e.to_string()))?;
+        snapshot.validate()?;
+        Ok(snapshot)
+    }
+
+    /// Writes the snapshot to `path` (via a sibling temp file + rename, so
+    /// a reloading server never observes a half-written snapshot).
+    pub fn write_to_file(&self, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
+        let path = path.as_ref();
+        let json = self.to_json().map_err(|e| SnapshotError::Malformed(e.to_string()))?;
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, json)?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Reads and validates a snapshot from `path`.
+    pub fn read_from_file(path: impl AsRef<Path>) -> Result<Snapshot, SnapshotError> {
+        let text = std::fs::read_to_string(path)?;
+        Snapshot::from_json(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soi_types::{Asn, OrgId, Rir};
+
+    use crate::dataset::OrgRecord;
+
+    fn record(name: &str, asns: &[u32]) -> OrgRecord {
+        OrgRecord {
+            conglomerate_name: name.to_owned(),
+            org_id: Some(OrgId(1)),
+            org_name: name.to_owned(),
+            ownership_cc: "NO".parse().unwrap(),
+            ownership_country_name: "Norway".into(),
+            rir: Some(Rir::Ripe),
+            source: "Company's website".into(),
+            quote: "Major shareholdings: Government (54%)".into(),
+            quote_lang: "English".into(),
+            url: "https://example.net".into(),
+            additional_info: String::new(),
+            inputs: vec!['G'],
+            parent_org: None,
+            target_cc: None,
+            target_country_name: None,
+            asns: asns.iter().map(|&a| Asn(a)).collect(),
+        }
+    }
+
+    fn fixture() -> Snapshot {
+        let dataset = Dataset { organizations: vec![record("Telenor", &[2119, 8210])] };
+        let table = PrefixToAs::from_entries([
+            ("10.0.0.0/8".parse().unwrap(), Asn(2119)),
+            ("10.1.0.0/16".parse().unwrap(), Asn(8210)),
+        ])
+        .unwrap();
+        Snapshot::build(
+            dataset,
+            table,
+            SnapshotBuildInfo { tool: "test".into(), seed: Some(7), ..Default::default() },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn build_fills_header_and_round_trips() {
+        let snap = fixture();
+        assert_eq!(snap.header.magic, SNAPSHOT_MAGIC);
+        assert_eq!(snap.header.format_version, SNAPSHOT_FORMAT_VERSION);
+        assert_eq!(snap.header.build.organizations, 1);
+        assert_eq!(snap.header.build.announced_prefixes, 2);
+        let json = snap.to_json().unwrap();
+        let back = Snapshot::from_json(&json).unwrap();
+        assert_eq!(back.payload.dataset.organizations[0].org_name, "Telenor");
+        assert_eq!(back.payload.table.len(), 2);
+        assert_eq!(back.header.checksum_fnv1a64, snap.header.checksum_fnv1a64);
+    }
+
+    #[test]
+    fn tampered_payload_fails_checksum() {
+        let snap = fixture();
+        let json = snap.to_json().unwrap();
+        // Valid JSON, valid schema, different content.
+        let tampered = json.replace("Telenor", "Tampered");
+        assert!(matches!(
+            Snapshot::from_json(&tampered),
+            Err(SnapshotError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_version_and_magic_are_distinct_errors() {
+        let mut snap = fixture();
+        snap.header.format_version = 99;
+        let json = snap.to_json().unwrap();
+        assert!(matches!(
+            Snapshot::from_json(&json),
+            Err(SnapshotError::UnsupportedVersion { found: 99, .. })
+        ));
+        let mut snap = fixture();
+        snap.header.magic = "not-a-snapshot".into();
+        let json = snap.to_json().unwrap();
+        assert!(matches!(Snapshot::from_json(&json), Err(SnapshotError::WrongMagic(_))));
+    }
+
+    #[test]
+    fn truncated_document_is_malformed() {
+        let json = fixture().to_json().unwrap();
+        let truncated = &json[..json.len() / 2];
+        assert!(matches!(Snapshot::from_json(truncated), Err(SnapshotError::Malformed(_))));
+        assert!(matches!(Snapshot::from_json("{}"), Err(SnapshotError::Malformed(_))));
+    }
+
+    #[test]
+    fn file_round_trip_and_missing_file() {
+        let snap = fixture();
+        let path = std::env::temp_dir()
+            .join(format!("soi-core-snapshot-test-{}.json", std::process::id()));
+        snap.write_to_file(&path).unwrap();
+        let back = Snapshot::read_from_file(&path).unwrap();
+        assert_eq!(back.payload.dataset.organizations.len(), 1);
+        std::fs::remove_file(&path).unwrap();
+        assert!(matches!(Snapshot::read_from_file(&path), Err(SnapshotError::Io(_))));
+    }
+}

@@ -12,8 +12,13 @@
 //! | `GET /country/{CC}` | per-country footprint/majority summary |
 //! | `GET /search?q=needle[&limit=n]` | org-name substring search |
 //! | `GET /dataset` | whole-dataset summary |
+//! | `POST /admin/reload` | re-read the snapshot file and swap the index |
 //!
-//! Errors are uniform JSON: `{"error": "..."}` with 400/404/405 status.
+//! `/admin/reload` answers `409` when the server is not serving from a
+//! snapshot file, and `500` (old index kept) when the file is rejected.
+//!
+//! Errors are uniform JSON: `{"error": "..."}` with 400/404/405/409
+//! status.
 
 use std::net::Ipv4Addr;
 
@@ -22,7 +27,7 @@ use soi_types::{Asn, CountryCode, Ipv4Prefix};
 
 use crate::http::{Request, Response};
 use crate::index::ServiceIndex;
-use crate::metrics::Metrics;
+use crate::server::ServerState;
 
 /// Hard cap on `/search` results per request.
 const MAX_SEARCH_LIMIT: usize = 100;
@@ -43,16 +48,19 @@ struct SearchAnswer {
 
 /// Dispatches one request. Returns the route label (for per-route
 /// metrics) and the response.
-pub fn respond(
-    index: &ServiceIndex,
-    metrics: &Metrics,
-    queue_depth: usize,
-    req: &Request,
-) -> (&'static str, Response) {
+///
+/// The served index is loaded from the slot exactly once per request, so
+/// a concurrent reload never changes an answer mid-request.
+pub fn respond(state: &ServerState, queue_depth: usize, req: &Request) -> (&'static str, Response) {
+    let segments = req.segments();
+    if let ["admin", "reload"] = *segments.as_slice() {
+        return ("admin", admin_reload(state, req));
+    }
     if req.method != "GET" {
         return ("other", Response::error(405, &format!("method {} not allowed", req.method)));
     }
-    let segments = req.segments();
+    let index = state.slot.load();
+    let index = &*index;
     match *segments.as_slice() {
         ["healthz"] => (
             "healthz",
@@ -61,7 +69,10 @@ pub fn respond(
                 &Health { status: "ok", organizations: index.sizes().organizations },
             ),
         ),
-        ["metrics"] => ("metrics", Response::json(200, &metrics.snapshot(queue_depth))),
+        ["metrics"] => (
+            "metrics",
+            Response::json(200, &state.metrics.snapshot(queue_depth, &state.status())),
+        ),
         ["asn", raw] => ("asn", asn_route(index, raw)),
         ["ip", raw] => ("ip", ip_route(index, raw)),
         ["prefix", addr, len] => ("prefix", prefix_route(index, addr, len)),
@@ -69,6 +80,21 @@ pub fn respond(
         ["search"] => ("search", search_route(index, req)),
         ["dataset"] => ("dataset", Response::json(200, &index.summary())),
         _ => ("other", Response::error(404, &format!("no such route: {}", req.path))),
+    }
+}
+
+/// `POST /admin/reload`: re-read the snapshot file, validate it, and swap
+/// the served index. Every failure leaves the current index serving.
+fn admin_reload(state: &ServerState, req: &Request) -> Response {
+    if req.method != "POST" {
+        return Response::error(405, "reload requires POST");
+    }
+    let Some(reloader) = &state.reloader else {
+        return Response::error(409, "server was not started from a snapshot file; nothing to reload");
+    };
+    match reloader.reload(&state.metrics) {
+        Ok(outcome) => Response::json(200, &outcome),
+        Err(e) => Response::error(500, &format!("reload failed, keeping current index: {e}")),
     }
 }
 
@@ -121,10 +147,13 @@ fn search_route(index: &ServiceIndex, req: &Request) -> Response {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::metrics::Metrics;
+    use crate::reload::IndexSlot;
     use soi_bgp::PrefixToAs;
     use soi_core::{Dataset, OrgRecord};
     use soi_types::{OrgId, Rir};
     use std::io::BufReader;
+    use std::sync::Arc;
 
     fn index() -> ServiceIndex {
         let rec = OrgRecord {
@@ -149,11 +178,22 @@ mod tests {
         ServiceIndex::build(Dataset { organizations: vec![rec] }, &table)
     }
 
-    fn get(index: &ServiceIndex, metrics: &Metrics, target: &str) -> (&'static str, Response) {
-        let raw = format!("GET {target} HTTP/1.1\r\n\r\n");
+    fn state() -> ServerState {
+        ServerState {
+            slot: Arc::new(IndexSlot::new(Arc::new(index()), None)),
+            metrics: Arc::new(Metrics::new()),
+            reloader: None,
+        }
+    }
+
+    fn request(method: &str, target: &str) -> Request {
+        let raw = format!("{method} {target} HTTP/1.1\r\nContent-Length: 0\r\n\r\n");
         let mut reader = BufReader::new(raw.as_bytes());
-        let req = crate::http::read_request(&mut reader).unwrap();
-        respond(index, metrics, 0, &req)
+        crate::http::read_request(&mut reader).unwrap()
+    }
+
+    fn get(state: &ServerState, target: &str) -> (&'static str, Response) {
+        respond(state, 0, &request("GET", target))
     }
 
     fn body(resp: &Response) -> String {
@@ -162,8 +202,7 @@ mod tests {
 
     #[test]
     fn routes_dispatch_and_label() {
-        let ix = index();
-        let m = Metrics::new(ix.sizes());
+        let st = state();
         for (target, route, status) in [
             ("/healthz", "healthz", 200),
             ("/metrics", "metrics", 200),
@@ -182,7 +221,7 @@ mod tests {
             ("/dataset", "dataset", 200),
             ("/nope", "other", 404),
         ] {
-            let (label, resp) = get(&ix, &m, target);
+            let (label, resp) = get(&st, target);
             assert_eq!(label, route, "{target}");
             assert_eq!(resp.status, status, "{target}: {}", body(&resp));
         }
@@ -190,35 +229,52 @@ mod tests {
 
     #[test]
     fn asn_answer_carries_the_record() {
-        let ix = index();
-        let m = Metrics::new(ix.sizes());
-        let (_, resp) = get(&ix, &m, "/asn/AS2119");
+        let st = state();
+        let (_, resp) = get(&st, "/asn/AS2119");
         let text = body(&resp);
         assert!(text.contains("\"state_owned\":true"), "{text}");
         assert!(text.contains("Telenor"), "{text}");
-        let (_, resp) = get(&ix, &m, "/asn/AS1");
+        let (_, resp) = get(&st, "/asn/AS1");
         assert!(body(&resp).contains("\"state_owned\":false"));
     }
 
     #[test]
     fn non_get_methods_rejected() {
-        let ix = index();
-        let m = Metrics::new(ix.sizes());
-        let raw = "POST /asn/AS2119 HTTP/1.1\r\nContent-Length: 0\r\n\r\n";
-        let mut reader = BufReader::new(raw.as_bytes());
-        let req = crate::http::read_request(&mut reader).unwrap();
-        let (label, resp) = respond(&ix, &m, 0, &req);
+        let st = state();
+        let (label, resp) = respond(&st, 0, &request("POST", "/asn/AS2119"));
         assert_eq!(label, "other");
         assert_eq!(resp.status, 405);
     }
 
     #[test]
+    fn admin_reload_without_a_snapshot_is_conflict_not_crash() {
+        let st = state();
+        // No reloader configured: POST is a 409, and the route is still
+        // labelled "admin" for metrics.
+        let (label, resp) = respond(&st, 0, &request("POST", "/admin/reload"));
+        assert_eq!(label, "admin");
+        assert_eq!(resp.status, 409, "{}", body(&resp));
+        // Wrong method is a 405 even on the admin route.
+        let (label, resp) = respond(&st, 0, &request("GET", "/admin/reload"));
+        assert_eq!(label, "admin");
+        assert_eq!(resp.status, 405);
+    }
+
+    #[test]
+    fn metrics_route_reports_generation_and_index_sizes() {
+        let st = state();
+        let (_, resp) = get(&st, "/metrics");
+        let text = body(&resp);
+        assert!(text.contains("\"generation\":1"), "{text}");
+        assert!(text.contains("\"organizations\":1"), "{text}");
+    }
+
+    #[test]
     fn search_limit_is_clamped() {
-        let ix = index();
-        let m = Metrics::new(ix.sizes());
-        let (_, resp) = get(&ix, &m, "/search?q=telenor&limit=0");
+        let st = state();
+        let (_, resp) = get(&st, "/search?q=telenor&limit=0");
         assert_eq!(resp.status, 200, "limit 0 clamps to 1 rather than erroring");
-        let (_, resp) = get(&ix, &m, "/search?q=e&limit=junk");
+        let (_, resp) = get(&st, "/search?q=e&limit=junk");
         assert_eq!(resp.status, 200);
     }
 }

@@ -32,6 +32,11 @@ pub enum HttpError {
     BadRequest(String),
     /// The request exceeded a size bound; maps to 431/413.
     TooLarge(String),
+    /// The request uses a protocol feature this server does not implement
+    /// (chunked transfer coding); maps to 501. The connection must close:
+    /// without parsing the unsupported body framing, the next message
+    /// boundary is unknowable.
+    NotImplemented(String),
 }
 
 impl From<std::io::Error> for HttpError {
@@ -89,9 +94,11 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Request, HttpError> {
     }
     let http11 = version == "HTTP/1.1";
 
-    // Headers: we only act on Connection and Content-Length.
+    // Headers: we only act on Connection, Content-Length and
+    // Transfer-Encoding.
     let mut keep_alive = http11;
     let mut content_length: usize = 0;
+    let mut transfer_encoding: Option<String> = None;
     for n in 0.. {
         if n >= MAX_HEADERS {
             return Err(HttpError::TooLarge("too many headers".into()));
@@ -119,8 +126,25 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Request, HttpError> {
                     .parse()
                     .map_err(|_| HttpError::BadRequest(format!("bad content-length: {value:?}")))?;
             }
+            "transfer-encoding" => {
+                let v = value.to_ascii_lowercase();
+                if v != "identity" {
+                    transfer_encoding = Some(v);
+                }
+            }
             _ => {}
         }
+    }
+
+    // A transfer coding we don't implement means the body length is
+    // unknowable with Content-Length framing alone. Treating it as a
+    // zero-length body would leave the chunked bytes on the stream to be
+    // parsed as the *next* request — so refuse outright (the 501 response
+    // closes the connection).
+    if let Some(coding) = transfer_encoding {
+        return Err(HttpError::NotImplemented(format!(
+            "transfer-encoding {coding:?} not supported"
+        )));
     }
 
     // Bodies carry nothing for this API; read and discard so the next
@@ -274,9 +298,11 @@ pub fn reason(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         408 => "Request Timeout",
+        409 => "Conflict",
         413 => "Payload Too Large",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
+        501 => "Not Implemented",
         503 => "Service Unavailable",
         _ => "Response",
     }
@@ -346,6 +372,23 @@ mod tests {
             parse("GET / HTTP/1.1\r\nbroken header\r\n\r\n"),
             Err(HttpError::BadRequest(_))
         ));
+    }
+
+    #[test]
+    fn chunked_transfer_encoding_is_rejected_not_misframed() {
+        // Before the fix, the chunked body below was treated as a
+        // zero-length body and its bytes were parsed as the next request —
+        // desynchronizing keep-alive framing. It must be refused instead.
+        let raw = "POST /healthz HTTP/1.1\r\nHost: x\r\nTransfer-Encoding: chunked\r\n\r\n\
+                   5\r\nhello\r\n0\r\n\r\n";
+        assert!(matches!(parse(raw), Err(HttpError::NotImplemented(_))));
+        // Case-insensitive header name and value.
+        let raw = "GET / HTTP/1.1\r\ntransfer-encoding: Chunked\r\n\r\n";
+        assert!(matches!(parse(raw), Err(HttpError::NotImplemented(_))));
+        // `identity` is a no-op coding and stays accepted.
+        let req = parse("GET / HTTP/1.1\r\nTransfer-Encoding: identity\r\n\r\n").unwrap();
+        assert_eq!(req.path, "/");
+        assert_eq!(reason(501), "Not Implemented");
     }
 
     #[test]

@@ -12,12 +12,13 @@
 //!   state-operated organizations, ASNs and announced address space;
 //! * **organization-name search** — substring search over org names.
 
+use std::collections::hash_map::Entry;
 use std::collections::{BTreeMap, HashMap};
 use std::net::Ipv4Addr;
 
 use serde::Serialize;
 use soi_bgp::PrefixToAs;
-use soi_core::{Dataset, OrgRecord};
+use soi_core::{Dataset, OrgRecord, Snapshot};
 use soi_types::{country_info, Asn, CountryCode, Ipv4Prefix, PrefixTrie};
 
 /// Sizes of every index, reported by `/metrics`.
@@ -27,6 +28,10 @@ pub struct IndexSizes {
     pub organizations: usize,
     /// Distinct state-owned ASNs indexed.
     pub asns: usize,
+    /// ASN claims beyond the first record per ASN (deterministically
+    /// resolved in favour of the lowest org id; see
+    /// [`ServiceIndex::build`]).
+    pub asn_conflicts: usize,
     /// Announced prefixes in the longest-prefix-match trie.
     pub announced_prefixes: usize,
     /// Countries with a non-empty summary.
@@ -125,20 +130,46 @@ pub struct DatasetSummary {
 pub struct ServiceIndex {
     dataset: Dataset,
     by_asn: HashMap<Asn, usize>,
+    asn_conflicts: usize,
     origins: PrefixTrie<Asn>,
     announced_prefixes: usize,
     countries: BTreeMap<CountryCode, CountrySummary>,
     names: Vec<(String, usize)>,
 }
 
+/// Precedence of a record's claim on an ASN: lowest org id wins, then
+/// lexicographic org name, then dataset position — deterministic no matter
+/// what order records are enumerated in.
+fn claim_rank(rec: &OrgRecord, position: usize) -> (u32, &str, usize) {
+    (rec.org_id.map_or(u32::MAX, |o| o.0), rec.org_name.as_str(), position)
+}
+
 impl ServiceIndex {
     /// Builds every index from a dataset and the announced prefix→origin
     /// table.
+    ///
+    /// When two records claim the same ASN the record with the lowest org
+    /// id wins (ties broken by org name, then dataset position), and every
+    /// losing claim is counted in [`IndexSizes::asn_conflicts`] so the
+    /// condition is visible in `/metrics` instead of silently depending on
+    /// enumeration order.
     pub fn build(dataset: Dataset, table: &PrefixToAs) -> ServiceIndex {
         let mut by_asn: HashMap<Asn, usize> = HashMap::new();
+        let mut asn_conflicts = 0usize;
         for (i, rec) in dataset.organizations.iter().enumerate() {
             for &asn in &rec.asns {
-                by_asn.entry(asn).or_insert(i);
+                match by_asn.entry(asn) {
+                    Entry::Vacant(slot) => {
+                        slot.insert(i);
+                    }
+                    Entry::Occupied(mut slot) => {
+                        asn_conflicts += 1;
+                        let incumbent = &dataset.organizations[*slot.get()];
+                        if claim_rank(rec, i) < claim_rank(incumbent, *slot.get()) {
+                            slot.insert(i);
+                        }
+                    }
+                }
             }
         }
 
@@ -192,10 +223,22 @@ impl ServiceIndex {
             announced_prefixes: origins.len(),
             dataset,
             by_asn,
+            asn_conflicts,
             origins,
             countries,
             names,
         }
+    }
+
+    /// Builds the index directly from a validated [`Snapshot`] — the cold
+    /// start that skips world generation and the pipeline entirely.
+    ///
+    /// The snapshot's table was already re-validated (single-origin
+    /// invariant) during deserialization, so this is pure index
+    /// construction.
+    pub fn from_snapshot(snapshot: Snapshot) -> ServiceIndex {
+        let soi_core::SnapshotPayload { dataset, table } = snapshot.payload;
+        ServiceIndex::build(dataset, &table)
     }
 
     /// The served dataset.
@@ -208,6 +251,7 @@ impl ServiceIndex {
         IndexSizes {
             organizations: self.dataset.organizations.len(),
             asns: self.by_asn.len(),
+            asn_conflicts: self.asn_conflicts,
             announced_prefixes: self.announced_prefixes,
             countries: self.countries.len(),
         }
@@ -410,6 +454,65 @@ mod tests {
     }
 
     #[test]
+    fn asn_conflicts_resolve_to_lowest_org_id() {
+        let build = |first_low: bool| {
+            let mut low = record("Alpha Telecom", "PK", None, &[7000]);
+            low.org_id = Some(OrgId(3));
+            let mut high = record("Zeta Telecom", "NO", None, &[7000]);
+            high.org_id = Some(OrgId(9));
+            let organizations = if first_low { vec![low, high] } else { vec![high, low] };
+            let table =
+                PrefixToAs::from_entries([("10.0.0.0/8".parse().unwrap(), Asn(7000))]).unwrap();
+            ServiceIndex::build(Dataset { organizations }, &table)
+        };
+        // Whichever record enumerates first, the lowest org id wins and
+        // the losing claim is counted.
+        for first_low in [true, false] {
+            let ix = build(first_low);
+            assert_eq!(ix.sizes().asn_conflicts, 1, "first_low={first_low}");
+            let hit = ix.lookup_asn(Asn(7000));
+            assert_eq!(
+                hit.organization.unwrap().org_name,
+                "Alpha Telecom",
+                "first_low={first_low}"
+            );
+        }
+    }
+
+    #[test]
+    fn from_snapshot_matches_live_build() {
+        use soi_core::{Snapshot, SnapshotBuildInfo};
+        let dataset = Dataset {
+            organizations: vec![
+                record("Telenor", "NO", None, &[2119, 8210]),
+                record("PTCL", "PK", None, &[17557]),
+            ],
+        };
+        let table = PrefixToAs::from_entries([
+            ("10.0.0.0/8".parse().unwrap(), Asn(2119)),
+            ("10.1.0.0/16".parse().unwrap(), Asn(17557)),
+        ])
+        .unwrap();
+        let live = ServiceIndex::build(dataset.clone(), &table);
+        let snap =
+            Snapshot::build(dataset, table, SnapshotBuildInfo::default()).expect("snapshot");
+        let json = snap.to_json().unwrap();
+        let from_snap = ServiceIndex::from_snapshot(Snapshot::from_json(&json).unwrap());
+        for asn in [2119u32, 17557, 9999] {
+            let a = serde_json::to_value(live.lookup_asn(Asn(asn))).unwrap();
+            let b = serde_json::to_value(from_snap.lookup_asn(Asn(asn))).unwrap();
+            assert_eq!(a, b, "AS{asn}");
+        }
+        let a = serde_json::to_value(live.lookup_ip(Ipv4Addr::new(10, 1, 2, 3))).unwrap();
+        let b = serde_json::to_value(from_snap.lookup_ip(Ipv4Addr::new(10, 1, 2, 3))).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(
+            serde_json::to_value(live.sizes()).unwrap(),
+            serde_json::to_value(from_snap.sizes()).unwrap()
+        );
+    }
+
+    #[test]
     fn search_is_case_insensitive_substring() {
         let ix = fixture();
         let hits = ix.search("telenor", 10);
@@ -425,6 +528,7 @@ mod tests {
         let sizes = ix.sizes();
         assert_eq!(sizes.organizations, 3);
         assert_eq!(sizes.asns, 4);
+        assert_eq!(sizes.asn_conflicts, 0, "fixture ASNs are disjoint");
         assert_eq!(sizes.announced_prefixes, 3);
         assert_eq!(sizes.countries, 2);
         let summary = ix.summary();

@@ -12,8 +12,12 @@
 //!   queue ⇒ immediate `503`, never unbounded memory),
 //! * per-request read/write timeouts,
 //! * graceful shutdown that drains queued and in-flight requests,
-//! * `/healthz` and a `/metrics` endpoint with request counts and
-//!   p50/p95/p99 latency histograms.
+//! * `/healthz` and a `/metrics` endpoint with request counts,
+//!   p50/p95/p99 latency histograms, and reload generation/counters,
+//! * zero-downtime reload ([`reload`]): the index lives in an
+//!   [`IndexSlot`] and a [`Reloader`] swaps in a freshly validated
+//!   snapshot (`POST /admin/reload` or SIGHUP) without dropping a
+//!   request; rejected snapshots leave the old index serving.
 //!
 //! No async runtime, no HTTP dependency: request parsing is hand-rolled
 //! in [`http`], JSON comes from the workspace's existing `serde_json`.
@@ -36,10 +40,15 @@ pub mod handlers;
 pub mod http;
 pub mod index;
 pub mod metrics;
+pub mod reload;
 pub mod server;
 
 pub use index::{
     AsnAnswer, CountrySummary, DatasetSummary, IndexSizes, IpAnswer, SearchHit, ServiceIndex,
 };
-pub use metrics::{LatencySummary, Metrics, MetricsSnapshot};
-pub use server::{install_signal_handlers, serve, shutdown_requested, ServerConfig, ServerHandle};
+pub use metrics::{LatencySummary, Metrics, MetricsSnapshot, ServiceStatus};
+pub use reload::{IndexSlot, ReloadOutcome, Reloader};
+pub use server::{
+    install_signal_handlers, reload_requested, serve, serve_with, shutdown_requested, ServerConfig,
+    ServerHandle, ServerState,
+};

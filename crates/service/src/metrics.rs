@@ -10,12 +10,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use serde::Serialize;
+use soi_core::SnapshotBuildInfo;
 
 use crate::index::IndexSizes;
 
 /// Route labels tracked per-route; `other` catches 404s and probes.
-pub const ROUTES: [&str; 9] =
-    ["healthz", "metrics", "asn", "ip", "prefix", "country", "search", "dataset", "other"];
+pub const ROUTES: [&str; 10] =
+    ["healthz", "metrics", "asn", "ip", "prefix", "country", "search", "dataset", "admin", "other"];
 
 /// Upper bounds (microseconds) of the latency histogram buckets; one
 /// overflow bucket sits above the last bound.
@@ -60,25 +61,27 @@ impl Histogram {
     }
 
     /// The `q`-quantile (0 < q <= 1) as the upper bound of the bucket the
-    /// quantile falls in, in microseconds. Returns 0 when empty; the
-    /// overflow bucket reports the maximum observed value.
+    /// quantile falls in, clamped to the largest observed value, in
+    /// microseconds. Returns 0 when empty.
+    ///
+    /// The clamp keeps sparse histograms honest: a single 10µs sample must
+    /// report p50 = 10µs, not the 50µs upper bound of the bucket it landed
+    /// in. The overflow bucket reports the maximum by the same rule.
     pub fn quantile_micros(&self, q: f64) -> u64 {
         let total = self.count();
         if total == 0 {
             return 0;
         }
+        let max = self.max_micros.load(Ordering::Relaxed);
         let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
         let mut seen = 0u64;
         for (i, bucket) in self.buckets.iter().enumerate() {
             seen += bucket.load(Ordering::Relaxed);
             if seen >= rank {
-                return BOUNDS_MICROS
-                    .get(i)
-                    .copied()
-                    .unwrap_or_else(|| self.max_micros.load(Ordering::Relaxed));
+                return BOUNDS_MICROS.get(i).copied().unwrap_or(max).min(max);
             }
         }
-        self.max_micros.load(Ordering::Relaxed)
+        max
     }
 
     fn summary(&self) -> LatencySummary {
@@ -112,10 +115,23 @@ pub struct LatencySummary {
     pub max_micros: u64,
 }
 
+/// What the server is currently serving: index sizes, reload generation,
+/// and the provenance of the loaded snapshot (if any). Sampled at
+/// `/metrics` time because a hot reload can change all of it.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct ServiceStatus {
+    /// Sizes of the currently served indexes.
+    pub index: IndexSizes,
+    /// Reload generation: 1 for the boot index, +1 per successful swap.
+    pub generation: u64,
+    /// Build metadata of the currently served snapshot, when the server
+    /// was started from one.
+    pub snapshot_build: Option<SnapshotBuildInfo>,
+}
+
 /// All counters the server maintains.
 pub struct Metrics {
     started: Instant,
-    index_sizes: IndexSizes,
     /// Requests fully served (any status).
     requests: AtomicU64,
     /// Responses with status >= 400.
@@ -128,22 +144,27 @@ pub struct Metrics {
     timeouts: AtomicU64,
     /// Requests currently being handled (gauge).
     in_flight: AtomicU64,
+    /// Successful snapshot reloads (index swaps).
+    reloads_ok: AtomicU64,
+    /// Refused reloads (corrupt/mismatched snapshot; old index kept).
+    reloads_failed: AtomicU64,
     per_route: [AtomicU64; ROUTES.len()],
     latency: Histogram,
 }
 
 impl Metrics {
-    /// Fresh metrics for a server over an index of the given sizes.
-    pub fn new(index_sizes: IndexSizes) -> Metrics {
+    /// Fresh metrics for a server.
+    pub fn new() -> Metrics {
         Metrics {
             started: Instant::now(),
-            index_sizes,
             requests: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             connections: AtomicU64::new(0),
             timeouts: AtomicU64::new(0),
             in_flight: AtomicU64::new(0),
+            reloads_ok: AtomicU64::new(0),
+            reloads_failed: AtomicU64::new(0),
             per_route: std::array::from_fn(|_| AtomicU64::new(0)),
             latency: Histogram::default(),
         }
@@ -175,6 +196,16 @@ impl Metrics {
         self.timeouts.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts one successful snapshot reload.
+    pub fn record_reload_ok(&self) {
+        self.reloads_ok.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one refused reload (the old index kept serving).
+    pub fn record_reload_failed(&self) {
+        self.reloads_failed.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Marks a request as in flight; decremented by [`Metrics::end_request`].
     pub fn begin_request(&self) {
         self.in_flight.fetch_add(1, Ordering::Relaxed);
@@ -190,8 +221,11 @@ impl Metrics {
         self.requests.load(Ordering::Relaxed)
     }
 
-    /// Point-in-time view, serialized by `/metrics`.
-    pub fn snapshot(&self, queue_depth: usize) -> MetricsSnapshot {
+    /// Point-in-time view, serialized by `/metrics`. `status` describes
+    /// what is being served right now (sizes, generation, snapshot
+    /// provenance) — it lives outside `Metrics` because a hot reload can
+    /// change it mid-flight.
+    pub fn snapshot(&self, queue_depth: usize, status: &ServiceStatus) -> MetricsSnapshot {
         let per_route: BTreeMap<String, u64> = ROUTES
             .iter()
             .zip(self.per_route.iter())
@@ -205,11 +239,21 @@ impl Metrics {
             connections_total: self.connections.load(Ordering::Relaxed),
             read_timeouts: self.timeouts.load(Ordering::Relaxed),
             in_flight: self.in_flight.load(Ordering::Relaxed),
+            reloads_total: self.reloads_ok.load(Ordering::Relaxed),
+            reload_failures: self.reloads_failed.load(Ordering::Relaxed),
+            generation: status.generation,
+            snapshot_build: status.snapshot_build.clone(),
             queue_depth,
             per_route,
             latency: self.latency.summary(),
-            index: self.index_sizes,
+            index: status.index,
         }
+    }
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::new()
     }
 }
 
@@ -230,6 +274,14 @@ pub struct MetricsSnapshot {
     pub read_timeouts: u64,
     /// Requests being handled right now.
     pub in_flight: u64,
+    /// Successful snapshot reloads since boot.
+    pub reloads_total: u64,
+    /// Reload attempts refused (old index kept serving).
+    pub reload_failures: u64,
+    /// Current index generation (1 = boot index).
+    pub generation: u64,
+    /// Provenance of the served snapshot, when started from one.
+    pub snapshot_build: Option<SnapshotBuildInfo>,
     /// Connections waiting in the accept queue right now.
     pub queue_depth: usize,
     /// Requests per route.
@@ -270,8 +322,45 @@ mod tests {
     }
 
     #[test]
+    fn single_sample_quantiles_clamp_to_the_observation() {
+        // One 10µs sample lands in the ≤50µs bucket; every quantile must
+        // report 10µs, not the bucket's upper bound.
+        let h = Histogram::default();
+        h.record(Duration::from_micros(10));
+        assert_eq!(h.quantile_micros(0.5), 10);
+        assert_eq!(h.quantile_micros(0.95), 10);
+        assert_eq!(h.quantile_micros(0.99), 10);
+        assert_eq!(h.quantile_micros(1.0), 10);
+        assert_eq!(h.summary().max_micros, 10);
+    }
+
+    #[test]
+    fn overflow_bucket_quantiles_report_the_observed_max() {
+        // Everything beyond the last bound sits in the overflow bucket,
+        // which has no upper bound — the observed max is the only honest
+        // answer, even for the median.
+        let h = Histogram::default();
+        h.record(Duration::from_micros(5_000_000));
+        h.record(Duration::from_micros(7_000_000));
+        assert_eq!(h.quantile_micros(0.5), 7_000_000);
+        assert_eq!(h.quantile_micros(0.99), 7_000_000);
+    }
+
+    #[test]
+    fn quantile_clamp_does_not_disturb_populated_buckets() {
+        // With a large max elsewhere, a mid-range quantile still reports
+        // its own bucket's bound (the bound is below the max, so the clamp
+        // is inert).
+        let h = Histogram::default();
+        for micros in [600u64, 700, 800, 3_000_000] {
+            h.record(Duration::from_micros(micros));
+        }
+        assert_eq!(h.quantile_micros(0.5), 1_000);
+    }
+
+    #[test]
     fn metrics_aggregate_requests_and_routes() {
-        let m = Metrics::new(IndexSizes::default());
+        let m = Metrics::new();
         m.record_connection();
         m.begin_request();
         m.record_request("asn", 200, Duration::from_micros(120));
@@ -279,16 +368,30 @@ mod tests {
         m.record_request("asn", 200, Duration::from_micros(90));
         m.record_request("nonsense-route", 404, Duration::from_micros(30));
         m.record_rejected();
-        let snap = m.snapshot(3);
+        let status = ServiceStatus { generation: 4, ..ServiceStatus::default() };
+        let snap = m.snapshot(3, &status);
         assert_eq!(snap.requests_total, 3);
         assert_eq!(snap.responses_error, 1);
         assert_eq!(snap.rejected_backpressure, 1);
         assert_eq!(snap.connections_total, 1);
         assert_eq!(snap.queue_depth, 3);
         assert_eq!(snap.in_flight, 0);
+        assert_eq!(snap.generation, 4);
         assert_eq!(snap.per_route["asn"], 2);
         assert_eq!(snap.per_route["other"], 1);
         assert_eq!(snap.latency.count, 3);
         assert!(snap.latency.p50_micros > 0);
+    }
+
+    #[test]
+    fn reload_counters_accumulate() {
+        let m = Metrics::new();
+        m.record_reload_ok();
+        m.record_reload_ok();
+        m.record_reload_failed();
+        let snap = m.snapshot(0, &ServiceStatus::default());
+        assert_eq!(snap.reloads_total, 2);
+        assert_eq!(snap.reload_failures, 1);
+        assert!(snap.snapshot_build.is_none());
     }
 }

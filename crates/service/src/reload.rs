@@ -1,0 +1,268 @@
+//! Zero-downtime snapshot reload: the atomically-swappable index slot and
+//! the reloader that refreshes it from a snapshot file.
+//!
+//! The server never serves from a `&ServiceIndex` directly — every worker
+//! goes through an [`IndexSlot`], which hands out `Arc<ServiceIndex>`
+//! clones. A reload builds the *entire* new index off to the side and then
+//! swaps the `Arc` in one short critical section, so:
+//!
+//! * in-flight requests keep the `Arc` they already cloned and finish on
+//!   the old generation — no request ever observes a half-built index;
+//! * a corrupt, truncated, version-mismatched or checksum-failing snapshot
+//!   is rejected *before* the swap — the old index keeps serving
+//!   (rollback by construction, not by restore);
+//! * `/metrics` exposes the generation counter, reload counts and the
+//!   loaded snapshot's build metadata, so operators can tell exactly what
+//!   is being served.
+//!
+//! Reloads are triggered by `POST /admin/reload` (handled by a worker
+//! thread) or by SIGHUP (observed by the `soi serve` loop via
+//! [`crate::server::reload_requested`]); both paths funnel into
+//! [`Reloader::reload`], which serializes concurrent attempts behind a
+//! mutex.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+use serde::Serialize;
+use soi_core::{Snapshot, SnapshotBuildInfo, SnapshotError};
+
+use crate::index::{IndexSizes, ServiceIndex};
+use crate::metrics::{Metrics, ServiceStatus};
+
+/// The swappable handle the whole server reads its index through.
+///
+/// `load` is a read-lock plus an `Arc` clone — no data is copied, and the
+/// lock is held only for the clone, so readers never contend with each
+/// other and a swap stalls them only for the duration of a pointer store.
+pub struct IndexSlot {
+    current: RwLock<Arc<ServiceIndex>>,
+    generation: AtomicU64,
+    build_info: RwLock<Option<SnapshotBuildInfo>>,
+}
+
+impl IndexSlot {
+    /// A slot serving `index` at generation 1. `build_info` carries the
+    /// snapshot provenance when the index came from one.
+    pub fn new(index: Arc<ServiceIndex>, build_info: Option<SnapshotBuildInfo>) -> IndexSlot {
+        IndexSlot {
+            current: RwLock::new(index),
+            generation: AtomicU64::new(1),
+            build_info: RwLock::new(build_info),
+        }
+    }
+
+    /// The currently served index. Requests clone the `Arc` once and use
+    /// it for their whole lifetime, so a concurrent swap never changes an
+    /// answer mid-request.
+    pub fn load(&self) -> Arc<ServiceIndex> {
+        Arc::clone(&self.current.read().expect("index slot lock"))
+    }
+
+    /// Atomically replaces the served index, bumping and returning the new
+    /// generation.
+    pub fn swap(&self, index: Arc<ServiceIndex>, build_info: Option<SnapshotBuildInfo>) -> u64 {
+        *self.build_info.write().expect("build info lock") = build_info;
+        *self.current.write().expect("index slot lock") = index;
+        self.generation.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Current reload generation (1 = boot index).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Provenance of the served snapshot, if any.
+    pub fn build_info(&self) -> Option<SnapshotBuildInfo> {
+        self.build_info.read().expect("build info lock").clone()
+    }
+
+    /// What `/metrics` reports about the served state right now.
+    pub fn status(&self) -> ServiceStatus {
+        ServiceStatus {
+            index: self.load().sizes(),
+            generation: self.generation(),
+            snapshot_build: self.build_info(),
+        }
+    }
+}
+
+/// Result of a successful reload, returned by `POST /admin/reload`.
+#[derive(Clone, Debug, Serialize)]
+pub struct ReloadOutcome {
+    /// Generation now being served.
+    pub generation: u64,
+    /// Sizes of the freshly built indexes.
+    pub index: IndexSizes,
+    /// Build metadata of the loaded snapshot.
+    pub snapshot_build: SnapshotBuildInfo,
+}
+
+struct ReloaderInner {
+    path: PathBuf,
+    slot: Arc<IndexSlot>,
+    /// Serializes concurrent reload attempts (admin endpoint + SIGHUP).
+    in_progress: Mutex<()>,
+}
+
+/// Re-reads a snapshot file and swaps it into an [`IndexSlot`].
+///
+/// Cheap to clone; clones share the same serialization lock, so two
+/// triggers racing each other perform two orderly reloads, not a torn one.
+#[derive(Clone)]
+pub struct Reloader {
+    inner: Arc<ReloaderInner>,
+}
+
+impl Reloader {
+    /// A reloader that refreshes `slot` from the snapshot at `path`.
+    pub fn new(path: impl Into<PathBuf>, slot: Arc<IndexSlot>) -> Reloader {
+        Reloader {
+            inner: Arc::new(ReloaderInner {
+                path: path.into(),
+                slot,
+                in_progress: Mutex::new(()),
+            }),
+        }
+    }
+
+    /// The snapshot file this reloader watches.
+    pub fn path(&self) -> &Path {
+        &self.inner.path
+    }
+
+    /// Re-reads the snapshot, validates version + checksum, builds the new
+    /// index and swaps it in. On *any* failure the slot is untouched — the
+    /// old generation keeps serving — and the failure is counted in
+    /// `metrics`.
+    pub fn reload(&self, metrics: &Metrics) -> Result<ReloadOutcome, SnapshotError> {
+        let _guard = self.inner.in_progress.lock().expect("reload lock");
+        // Read + validate + build BEFORE touching the slot: everything
+        // fallible happens while the old index still serves.
+        match Snapshot::read_from_file(&self.inner.path) {
+            Ok(snapshot) => {
+                let build = snapshot.header.build.clone();
+                let index = Arc::new(ServiceIndex::from_snapshot(snapshot));
+                let sizes = index.sizes();
+                let generation = self.inner.slot.swap(index, Some(build.clone()));
+                metrics.record_reload_ok();
+                Ok(ReloadOutcome { generation, index: sizes, snapshot_build: build })
+            }
+            Err(e) => {
+                metrics.record_reload_failed();
+                Err(e)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soi_bgp::PrefixToAs;
+    use soi_core::{Dataset, OrgRecord};
+    use soi_types::{Asn, OrgId, Rir};
+
+    fn record(name: &str, asns: &[u32]) -> OrgRecord {
+        OrgRecord {
+            conglomerate_name: name.to_owned(),
+            org_id: Some(OrgId(1)),
+            org_name: name.to_owned(),
+            ownership_cc: "NO".parse().unwrap(),
+            ownership_country_name: "Norway".into(),
+            rir: Some(Rir::Ripe),
+            source: "Company's website".into(),
+            quote: "Major shareholdings: Government (54%)".into(),
+            quote_lang: "English".into(),
+            url: "https://example.net".into(),
+            additional_info: String::new(),
+            inputs: vec!['G'],
+            parent_org: None,
+            target_cc: None,
+            target_country_name: None,
+            asns: asns.iter().map(|&a| Asn(a)).collect(),
+        }
+    }
+
+    fn snapshot(org: &str, asn: u32) -> Snapshot {
+        let dataset = Dataset { organizations: vec![record(org, &[asn])] };
+        let table = PrefixToAs::from_entries([("10.0.0.0/8".parse().unwrap(), Asn(asn))]).unwrap();
+        Snapshot::build(
+            dataset,
+            table,
+            SnapshotBuildInfo { tool: "reload-test".into(), ..Default::default() },
+        )
+        .unwrap()
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("soi-reload-test-{}-{name}.json", std::process::id()))
+    }
+
+    #[test]
+    fn reload_swaps_generation_and_rolls_back_on_corruption() {
+        let path = tmp("swap");
+        snapshot("Telenor", 2119).write_to_file(&path).unwrap();
+        let boot = Snapshot::read_from_file(&path).unwrap();
+        let info = boot.header.build.clone();
+        let slot = Arc::new(IndexSlot::new(Arc::new(ServiceIndex::from_snapshot(boot)), Some(info)));
+        let metrics = Metrics::new();
+        let reloader = Reloader::new(&path, Arc::clone(&slot));
+
+        assert_eq!(slot.generation(), 1);
+        assert!(slot.load().lookup_asn(Asn(2119)).state_owned);
+        assert!(!slot.load().lookup_asn(Asn(4000)).state_owned);
+
+        // A good new snapshot swaps in as generation 2.
+        snapshot("PTCL", 4000).write_to_file(&path).unwrap();
+        let outcome = reloader.reload(&metrics).expect("reload succeeds");
+        assert_eq!(outcome.generation, 2);
+        assert_eq!(slot.generation(), 2);
+        assert!(slot.load().lookup_asn(Asn(4000)).state_owned);
+        assert!(!slot.load().lookup_asn(Asn(2119)).state_owned);
+
+        // A corrupt file is refused and generation 2 keeps serving.
+        std::fs::write(&path, "this is not a snapshot").unwrap();
+        assert!(reloader.reload(&metrics).is_err());
+        assert_eq!(slot.generation(), 2);
+        assert!(slot.load().lookup_asn(Asn(4000)).state_owned);
+
+        // A tampered-but-parseable file fails the checksum, same rollback.
+        let good = snapshot("PTCL", 4000).to_json().unwrap();
+        std::fs::write(&path, good.replace("PTCL", "EVIL")).unwrap();
+        assert!(matches!(
+            reloader.reload(&metrics),
+            Err(SnapshotError::ChecksumMismatch { .. })
+        ));
+        assert_eq!(slot.generation(), 2);
+
+        let status = slot.status();
+        assert_eq!(status.generation, 2);
+        assert_eq!(status.snapshot_build.unwrap().tool, "reload-test");
+        let snap = metrics.snapshot(0, &slot.status());
+        assert_eq!(snap.reloads_total, 1);
+        assert_eq!(snap.reload_failures, 2);
+
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn readers_keep_their_generation_across_a_swap() {
+        let path = tmp("readers");
+        snapshot("Telenor", 2119).write_to_file(&path).unwrap();
+        let boot = Snapshot::read_from_file(&path).unwrap();
+        let slot = Arc::new(IndexSlot::new(Arc::new(ServiceIndex::from_snapshot(boot)), None));
+
+        // A request captures the Arc before the swap...
+        let held = slot.load();
+        snapshot("PTCL", 4000).write_to_file(&path).unwrap();
+        Reloader::new(&path, Arc::clone(&slot)).reload(&Metrics::new()).unwrap();
+        // ...and still answers from the old index, while new loads see the
+        // new one.
+        assert!(held.lookup_asn(Asn(2119)).state_owned);
+        assert!(slot.load().lookup_asn(Asn(4000)).state_owned);
+
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -25,7 +25,24 @@ use std::time::{Duration, Instant};
 use crate::handlers;
 use crate::http::{self, HttpError, Response};
 use crate::index::ServiceIndex;
-use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::metrics::{Metrics, MetricsSnapshot, ServiceStatus};
+use crate::reload::{IndexSlot, Reloader};
+
+/// Everything a worker needs to answer a request: the swappable index
+/// slot, the shared metrics, and (when serving from a snapshot file) the
+/// reloader behind `POST /admin/reload`.
+pub struct ServerState {
+    pub slot: Arc<IndexSlot>,
+    pub metrics: Arc<Metrics>,
+    pub reloader: Option<Reloader>,
+}
+
+impl ServerState {
+    /// Point-in-time view of what is being served (for `/metrics`).
+    pub fn status(&self) -> ServiceStatus {
+        self.slot.status()
+    }
+}
 
 /// Server tuning knobs.
 #[derive(Clone, Debug)]
@@ -120,7 +137,7 @@ impl ConnQueue {
 /// final metrics.
 pub struct ServerHandle {
     local_addr: SocketAddr,
-    metrics: Arc<Metrics>,
+    state: Arc<ServerState>,
     queue: Arc<ConnQueue>,
     shutdown: Arc<AtomicBool>,
     acceptor: Option<JoinHandle<()>>,
@@ -135,12 +152,23 @@ impl ServerHandle {
 
     /// Live metrics.
     pub fn metrics(&self) -> &Metrics {
-        &self.metrics
+        &self.state.metrics
+    }
+
+    /// The shared server state (index slot, metrics, reloader).
+    pub fn state(&self) -> &Arc<ServerState> {
+        &self.state
+    }
+
+    /// The reloader behind `POST /admin/reload`, when serving from a
+    /// snapshot file. The `soi serve` loop uses this to honour SIGHUP.
+    pub fn reloader(&self) -> Option<&Reloader> {
+        self.state.reloader.as_ref()
     }
 
     /// Point-in-time metrics snapshot.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        self.metrics.snapshot(self.queue.depth())
+        self.state.metrics.snapshot(self.queue.depth(), &self.state.status())
     }
 
     /// Graceful shutdown: stop accepting, serve everything already
@@ -148,7 +176,7 @@ impl ServerHandle {
     /// Returns the final metrics.
     pub fn shutdown(mut self) -> MetricsSnapshot {
         self.stop();
-        self.metrics.snapshot(0)
+        self.state.metrics.snapshot(0, &self.state.status())
     }
 
     fn stop(&mut self) {
@@ -181,22 +209,34 @@ impl Drop for ServerHandle {
     }
 }
 
-/// Binds `addr` and starts the acceptor and worker threads.
+/// Binds `addr` and serves a fixed index (no reload). Convenience wrapper
+/// over [`serve_with`] for callers that build the index in-process.
 pub fn serve(
     index: Arc<ServiceIndex>,
     addr: impl ToSocketAddrs,
     cfg: ServerConfig,
 ) -> std::io::Result<ServerHandle> {
+    serve_with(Arc::new(IndexSlot::new(index, None)), None, addr, cfg)
+}
+
+/// Binds `addr` and starts the acceptor and worker threads, serving
+/// whatever `slot` currently holds. Passing a `reloader` enables
+/// `POST /admin/reload` (and SIGHUP-driven reloads via the caller).
+pub fn serve_with(
+    slot: Arc<IndexSlot>,
+    reloader: Option<Reloader>,
+    addr: impl ToSocketAddrs,
+    cfg: ServerConfig,
+) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let local_addr = listener.local_addr()?;
-    let metrics = Arc::new(Metrics::new(index.sizes()));
+    let state = Arc::new(ServerState { slot, metrics: Arc::new(Metrics::new()), reloader });
     let queue = Arc::new(ConnQueue::new(cfg.queue_capacity.max(1)));
     let shutdown = Arc::new(AtomicBool::new(false));
 
     let workers: Vec<JoinHandle<()>> = (0..cfg.workers.max(1))
         .map(|i| {
-            let index = Arc::clone(&index);
-            let metrics = Arc::clone(&metrics);
+            let state = Arc::clone(&state);
             let queue = Arc::clone(&queue);
             let shutdown = Arc::clone(&shutdown);
             let cfg = cfg.clone();
@@ -204,7 +244,7 @@ pub fn serve(
                 .name(format!("soi-service-worker-{i}"))
                 .spawn(move || {
                     while let Some(stream) = queue.pop() {
-                        handle_connection(stream, &index, &metrics, &queue, &shutdown, &cfg);
+                        handle_connection(stream, &state, &queue, &shutdown, &cfg);
                     }
                 })
                 .expect("spawn worker thread")
@@ -212,7 +252,7 @@ pub fn serve(
         .collect();
 
     let acceptor = {
-        let metrics = Arc::clone(&metrics);
+        let metrics = Arc::clone(&state.metrics);
         let queue = Arc::clone(&queue);
         let shutdown = Arc::clone(&shutdown);
         let write_timeout = cfg.write_timeout;
@@ -237,17 +277,17 @@ pub fn serve(
             .expect("spawn acceptor thread")
     };
 
-    Ok(ServerHandle { local_addr, metrics, queue, shutdown, acceptor: Some(acceptor), workers })
+    Ok(ServerHandle { local_addr, state, queue, shutdown, acceptor: Some(acceptor), workers })
 }
 
 fn handle_connection(
     mut stream: TcpStream,
-    index: &ServiceIndex,
-    metrics: &Metrics,
+    state: &ServerState,
     queue: &ConnQueue,
     shutdown: &AtomicBool,
     cfg: &ServerConfig,
 ) {
+    let metrics = &*state.metrics;
     if stream.set_read_timeout(Some(cfg.read_timeout)).is_err()
         || stream.set_write_timeout(Some(cfg.write_timeout)).is_err()
     {
@@ -262,7 +302,7 @@ fn handle_connection(
             Ok(req) => {
                 metrics.begin_request();
                 let start = Instant::now();
-                let (route, response) = handlers::respond(index, metrics, queue.depth(), &req);
+                let (route, response) = handlers::respond(state, queue.depth(), &req);
                 // During drain, finish this response but advertise (and
                 // enforce) closure so the connection reaches a boundary.
                 let keep = req.keep_alive
@@ -295,11 +335,21 @@ fn handle_connection(
                 metrics.record_request("other", 431, Duration::ZERO);
                 break;
             }
+            Err(HttpError::NotImplemented(message)) => {
+                // e.g. Transfer-Encoding: chunked. The body framing is
+                // unknown, so the connection cannot be reused: answer and
+                // close at this boundary rather than misparse the stream.
+                let response = Response::error(501, &message);
+                let _ = response.write_to(&mut stream, false);
+                metrics.record_request("other", 501, Duration::ZERO);
+                break;
+            }
         }
     }
 }
 
 static SIGNAL_FLAG: AtomicBool = AtomicBool::new(false);
+static RELOAD_FLAG: AtomicBool = AtomicBool::new(false);
 
 /// True once SIGINT or SIGTERM has been observed (after
 /// [`install_signal_handlers`]). The `soi serve` loop polls this to turn
@@ -308,23 +358,36 @@ pub fn shutdown_requested() -> bool {
     SIGNAL_FLAG.load(Ordering::Relaxed)
 }
 
-/// Installs best-effort SIGINT/SIGTERM handlers that set the flag read by
-/// [`shutdown_requested`]. Uses `signal(2)` from libc directly (the
-/// workspace has no signal-handling dependency); the handler only touches
-/// an atomic, which is async-signal-safe. No-op on non-Unix targets.
+/// True once per SIGHUP observed (after [`install_signal_handlers`]) —
+/// reading consumes the flag, so one signal triggers one reload. The
+/// `soi serve` loop polls this and calls [`Reloader::reload`].
+pub fn reload_requested() -> bool {
+    RELOAD_FLAG.swap(false, Ordering::Relaxed)
+}
+
+/// Installs best-effort SIGINT/SIGTERM/SIGHUP handlers that set the flags
+/// read by [`shutdown_requested`] and [`reload_requested`]. Uses
+/// `signal(2)` from libc directly (the workspace has no signal-handling
+/// dependency); the handlers only touch atomics, which is
+/// async-signal-safe. No-op on non-Unix targets.
 #[cfg(unix)]
 pub fn install_signal_handlers() {
     extern "C" fn on_signal(_signum: i32) {
         SIGNAL_FLAG.store(true, Ordering::Relaxed);
     }
+    extern "C" fn on_hup(_signum: i32) {
+        RELOAD_FLAG.store(true, Ordering::Relaxed);
+    }
     extern "C" {
         fn signal(signum: i32, handler: usize) -> usize;
     }
+    const SIGHUP: i32 = 1;
     const SIGINT: i32 = 2;
     const SIGTERM: i32 = 15;
     unsafe {
         signal(SIGINT, on_signal as extern "C" fn(i32) as usize);
         signal(SIGTERM, on_signal as extern "C" fn(i32) as usize);
+        signal(SIGHUP, on_hup as extern "C" fn(i32) as usize);
     }
 }
 

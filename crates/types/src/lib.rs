@@ -10,6 +10,7 @@
 //! rule must never be subject to floating-point rounding).
 
 pub mod asn;
+pub mod checksum;
 pub mod country;
 pub mod date;
 pub mod equity;
@@ -19,6 +20,7 @@ pub mod prefix;
 pub mod trie;
 
 pub use asn::Asn;
+pub use checksum::{fnv1a64, Fnv1a64};
 pub use country::{
     all_countries, cc, country_by_name, country_info, CountryCode, CountryInfo, Region, Rir,
 };

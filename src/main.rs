@@ -9,18 +9,27 @@
 //!   org <name fragment>    search the identified dataset by name
 //!   cti <CC> [k]           top transit ASes of a country by CTI
 //!   ageing [years]         frozen-dataset decay under ownership churn
+//!   snapshot write PATH    run the pipeline and persist the result
+//!   snapshot inspect PATH  print a snapshot's header without serving it
 //!   serve [--port P]       HTTP query service over the dataset
+//!         [--snapshot PATH]  serve from a snapshot file (skips worldgen
+//!                            + pipeline; SIGHUP / POST /admin/reload
+//!                            re-reads the file with zero downtime)
 //! ```
 //!
-//! Every command regenerates the world from the seed (deterministic, a
-//! couple of seconds in release mode).
+//! Without `--snapshot`, every command regenerates the world from the
+//! seed (deterministic, a couple of seconds in release mode).
+
+use std::sync::Arc;
 
 use soi_analysis::headline::Headline;
 use soi_analysis::render::render_table;
 use state_owned_ases::analysis::ageing::AgeingReport;
-use state_owned_ases::core::{Evaluation, InputConfig, Pipeline, PipelineConfig, PipelineInputs};
+use state_owned_ases::core::{
+    Evaluation, InputConfig, Pipeline, PipelineConfig, PipelineInputs, Snapshot, SnapshotBuildInfo,
+};
 use state_owned_ases::registry::rpsl;
-use state_owned_ases::service::{self, ServerConfig, ServiceIndex};
+use state_owned_ases::service::{self, IndexSlot, Reloader, ServerConfig, ServiceIndex};
 use state_owned_ases::types::{Asn, CountryCode};
 use state_owned_ases::worldgen::{generate, ChurnConfig, World, WorldConfig};
 
@@ -130,38 +139,126 @@ fn main() {
             let workers: usize = extract_flag(&mut args, "--workers")
                 .map(|w| w.parse().unwrap_or_else(|_| fail("--workers needs a number")))
                 .unwrap_or_else(|| ServerConfig::default().workers);
-            let world = build_world(seed);
-            let (inputs, output) = run_pipeline(&world, seed);
-            let index =
-                std::sync::Arc::new(ServiceIndex::build(output.dataset, &inputs.prefix_to_as));
-            let sizes = index.sizes();
+            let snapshot_path = extract_flag(&mut args, "--snapshot");
+            let (slot, reloader, source) = match &snapshot_path {
+                Some(path) => {
+                    // Cold start from disk: no worldgen, no pipeline.
+                    let snapshot = Snapshot::read_from_file(path)
+                        .unwrap_or_else(|e| fail(&format!("cannot load snapshot {path}: {e}")));
+                    let info = snapshot.header.build.clone();
+                    let index = Arc::new(ServiceIndex::from_snapshot(snapshot));
+                    let slot = Arc::new(IndexSlot::new(index, Some(info)));
+                    let reloader = Reloader::new(path, Arc::clone(&slot));
+                    (slot, Some(reloader), format!("snapshot {path}"))
+                }
+                None => {
+                    let world = build_world(seed);
+                    let (inputs, output) = run_pipeline(&world, seed);
+                    let index =
+                        Arc::new(ServiceIndex::build(output.dataset, &inputs.prefix_to_as));
+                    (Arc::new(IndexSlot::new(index, None)), None, format!("pipeline seed {seed}"))
+                }
+            };
+            let sizes = slot.load().sizes();
             let cfg = ServerConfig { workers, ..ServerConfig::default() };
-            let handle =
-                service::serve(index, ("0.0.0.0", port), cfg).expect("bind service socket");
+            let handle = service::serve_with(slot, reloader, ("0.0.0.0", port), cfg)
+                .expect("bind service socket");
             println!(
-                "soi-service listening on {} ({} orgs, {} ASNs, {} prefixes; {} workers)",
+                "soi-service listening on {} from {source} ({} orgs, {} ASNs, {} prefixes; {} workers)",
                 handle.local_addr(),
                 sizes.organizations,
                 sizes.asns,
                 sizes.announced_prefixes,
                 workers,
             );
-            println!("routes: /healthz /metrics /asn/{{asn}} /ip/{{addr}} /prefix/{{addr}}/{{len}} /country/{{cc}} /search?q= /dataset");
+            println!("routes: /healthz /metrics /asn/{{asn}} /ip/{{addr}} /prefix/{{addr}}/{{len}} /country/{{cc}} /search?q= /dataset  POST /admin/reload");
             service::install_signal_handlers();
             while !service::shutdown_requested() {
+                if service::reload_requested() {
+                    match handle.reloader() {
+                        Some(reloader) => match reloader.reload(handle.metrics()) {
+                            Ok(outcome) => eprintln!(
+                                "(SIGHUP: snapshot reloaded, generation {} now serving {} orgs)",
+                                outcome.generation, outcome.index.organizations,
+                            ),
+                            Err(e) => {
+                                eprintln!("(SIGHUP: reload failed, keeping current index: {e})")
+                            }
+                        },
+                        None => eprintln!("(SIGHUP ignored: not serving from a snapshot file)"),
+                    }
+                }
                 std::thread::sleep(std::time::Duration::from_millis(100));
             }
             eprintln!("(signal received, draining)");
             let snap = handle.shutdown();
             println!(
-                "served {} requests ({} errors, {} rejected) — p50 {}us p95 {}us p99 {}us",
+                "served {} requests ({} errors, {} rejected, {} reloads) — p50 {}us p95 {}us p99 {}us",
                 snap.requests_total,
                 snap.responses_error,
                 snap.rejected_backpressure,
+                snap.reloads_total,
                 snap.latency.p50_micros,
                 snap.latency.p95_micros,
                 snap.latency.p99_micros,
             );
+        }
+        "snapshot" => {
+            let sub = args
+                .get(1)
+                .cloned()
+                .unwrap_or_else(|| fail("snapshot needs a subcommand: write | inspect"));
+            let path = args
+                .get(2)
+                .cloned()
+                .unwrap_or_else(|| fail(&format!("snapshot {sub} needs a file path")));
+            match sub.as_str() {
+                "write" => {
+                    let world = build_world(seed);
+                    let (inputs, output) = run_pipeline(&world, seed);
+                    let build = SnapshotBuildInfo {
+                        tool: "soi snapshot write".into(),
+                        seed: Some(seed),
+                        comment: "pipeline output over the synthetic world".into(),
+                        ..Default::default()
+                    };
+                    let snapshot = Snapshot::build(output.dataset, inputs.prefix_to_as, build)
+                        .unwrap_or_else(|e| fail(&format!("cannot build snapshot: {e}")));
+                    snapshot
+                        .write_to_file(&path)
+                        .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+                    println!(
+                        "snapshot written to {path} (format v{}, {} orgs, {} prefixes, checksum {:#018x})",
+                        snapshot.header.format_version,
+                        snapshot.header.build.organizations,
+                        snapshot.header.build.announced_prefixes,
+                        snapshot.header.checksum_fnv1a64,
+                    );
+                }
+                "inspect" => {
+                    let snapshot = Snapshot::read_from_file(&path)
+                        .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+                    let h = &snapshot.header;
+                    let rows = vec![
+                        vec!["format version".to_string(), h.format_version.to_string()],
+                        vec!["checksum (fnv1a64)".into(), format!("{:#018x}", h.checksum_fnv1a64)],
+                        vec!["tool".into(), h.build.tool.clone()],
+                        vec![
+                            "seed".into(),
+                            h.build.seed.map_or_else(|| "-".into(), |s| s.to_string()),
+                        ],
+                        vec!["organizations".into(), h.build.organizations.to_string()],
+                        vec!["announced prefixes".into(), h.build.announced_prefixes.to_string()],
+                        vec!["comment".into(), h.build.comment.clone()],
+                        vec![
+                            "state-owned ASNs".into(),
+                            snapshot.payload.dataset.state_owned_ases().len().to_string(),
+                        ],
+                    ];
+                    println!("{}", render_table(&["field", "value"], &rows));
+                }
+                other => fail(&format!("unknown snapshot subcommand: {other} (write | inspect)")),
+            }
         }
         "ageing" => {
             let years: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(5);
@@ -236,7 +333,11 @@ fn usage() {
          \x20 org <name>            search the dataset by name\n\
          \x20 cti <CC> [k]          top transit ASes of a country\n\
          \x20 ageing [years]        dataset decay under churn\n\
-         \x20 serve [--port P] [--workers W]\n\
-         \x20                       HTTP query service over the dataset"
+         \x20 snapshot write PATH   run the pipeline, persist the result\n\
+         \x20 snapshot inspect PATH print a snapshot's header\n\
+         \x20 serve [--port P] [--workers W] [--snapshot PATH]\n\
+         \x20                       HTTP query service over the dataset;\n\
+         \x20                       with --snapshot, serve from the file and\n\
+         \x20                       reload on SIGHUP / POST /admin/reload"
     );
 }

@@ -60,10 +60,18 @@ fn read_response(reader: &mut BufReader<TcpStream>) -> (u16, String) {
     (status, String::from_utf8(body).expect("utf8 body"))
 }
 
-/// First record operating `asn` — the same first-match rule the index
-/// uses.
+/// The record the index resolves `asn` to. When several organizations
+/// claim the same ASN, the lowest org id wins (ties broken by org name,
+/// then dataset position) — the same deterministic rule
+/// `ServiceIndex::build` applies.
 fn expected_org(dataset: &Dataset, asn: Asn) -> Option<&OrgRecord> {
-    dataset.organizations.iter().find(|o| o.asns.contains(&asn))
+    dataset
+        .organizations
+        .iter()
+        .enumerate()
+        .filter(|(_, o)| o.asns.contains(&asn))
+        .min_by_key(|(i, o)| (o.org_id.map_or(u32::MAX, |id| id.0), o.org_name.clone(), *i))
+        .map(|(_, o)| o)
 }
 
 #[test]

@@ -1,0 +1,298 @@
+//! End-to-end tests of the snapshot subsystem: a written snapshot must
+//! answer every query exactly as the live pipeline does; corrupt or
+//! mismatched files must be rejected; and a running server must swap a
+//! new snapshot in — or refuse a bad one — without dropping a request.
+
+mod common;
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Ipv4Addr, SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use serde_json::Value;
+use state_owned_ases::bgp::PrefixToAs;
+use state_owned_ases::core::{
+    Dataset, OrgRecord, Snapshot, SnapshotBuildInfo, SnapshotError, SNAPSHOT_FORMAT_VERSION,
+};
+use state_owned_ases::service::{
+    serve_with, IndexSlot, Reloader, ServerConfig, ServiceIndex,
+};
+use state_owned_ases::types::{Asn, OrgId, Rir};
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("soi-snapshot-it-{}-{name}.json", std::process::id()))
+}
+
+/// One framed HTTP exchange; returns (status, parsed JSON body).
+fn request(addr: SocketAddr, method: &str, target: &str) -> (u16, Value) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    write!(
+        stream,
+        "{method} {target} HTTP/1.1\r\nHost: test\r\nContent-Length: 0\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status line");
+    let status: u16 =
+        status_line.split_whitespace().nth(1).expect("status code").parse().expect("numeric");
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header line");
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v.trim().parse().expect("content-length value");
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).expect("body");
+    (status, serde_json::from_slice(&body).expect("JSON body"))
+}
+
+fn get(addr: SocketAddr, target: &str) -> (u16, Value) {
+    request(addr, "GET", target)
+}
+
+#[test]
+fn snapshot_round_trip_answers_identically_to_the_live_pipeline() {
+    let fx = common::fixture();
+    let live = ServiceIndex::build(fx.output.dataset.clone(), &fx.inputs.prefix_to_as);
+
+    let path = tmp("round-trip");
+    let snapshot = Snapshot::build(
+        fx.output.dataset.clone(),
+        fx.inputs.prefix_to_as.clone(),
+        SnapshotBuildInfo { tool: "round-trip test".into(), seed: Some(777), ..Default::default() },
+    )
+    .expect("build snapshot");
+    snapshot.write_to_file(&path).expect("write snapshot");
+
+    let restored = ServiceIndex::from_snapshot(Snapshot::read_from_file(&path).expect("read"));
+
+    // Same index cardinalities...
+    assert_eq!(
+        serde_json::to_value(live.sizes()).unwrap(),
+        serde_json::to_value(restored.sizes()).unwrap(),
+    );
+
+    // ...same answer for every state-owned ASN (and a few absent ones)...
+    let state_owned = fx.output.dataset.state_owned_ases();
+    assert!(!state_owned.is_empty(), "fixture pipeline found operators");
+    let max_asn = state_owned.iter().map(|a| a.0).max().unwrap();
+    for asn in state_owned.iter().copied().chain([Asn(max_asn + 11), Asn(max_asn + 12)]) {
+        assert_eq!(
+            serde_json::to_value(live.lookup_asn(asn)).unwrap(),
+            serde_json::to_value(restored.lookup_asn(asn)).unwrap(),
+            "{asn}"
+        );
+    }
+
+    // ...same longest-prefix-match verdict for addresses inside announced
+    // space (network + an interior address) and outside it...
+    for &(prefix, _) in fx.inputs.prefix_to_as.entries().iter().take(200) {
+        for ip in [prefix.network(), prefix.network() + 1] {
+            let ip = Ipv4Addr::from(ip);
+            assert_eq!(
+                serde_json::to_value(live.lookup_ip(ip)).unwrap(),
+                serde_json::to_value(restored.lookup_ip(ip)).unwrap(),
+                "{ip}"
+            );
+        }
+    }
+
+    // ...and same per-country summaries.
+    for cc in fx.output.dataset.owner_countries() {
+        assert_eq!(
+            serde_json::to_value(live.country(cc)).unwrap(),
+            serde_json::to_value(restored.country(cc)).unwrap(),
+            "{cc}"
+        );
+    }
+
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn corrupt_truncated_and_mismatched_snapshots_are_rejected() {
+    let fx = common::fixture();
+    let snapshot = Snapshot::build(
+        fx.output.dataset.clone(),
+        fx.inputs.prefix_to_as.clone(),
+        SnapshotBuildInfo::default(),
+    )
+    .expect("build snapshot");
+    let json = snapshot.to_json().expect("serialize");
+    let path = tmp("reject");
+
+    // Truncated mid-document: malformed, not a panic.
+    std::fs::write(&path, &json[..json.len() / 2]).unwrap();
+    assert!(matches!(
+        Snapshot::read_from_file(&path),
+        Err(SnapshotError::Malformed(_))
+    ));
+
+    // Bit-rot in the payload: the checksum catches it.
+    let name = &fx.output.dataset.organizations[0].org_name;
+    let tampered = json.replace(name.as_str(), "Tampered Operator");
+    assert_ne!(tampered, json, "tampering must change the document");
+    std::fs::write(&path, tampered).unwrap();
+    assert!(matches!(
+        Snapshot::read_from_file(&path),
+        Err(SnapshotError::ChecksumMismatch { .. })
+    ));
+
+    // A future format version is refused as such (before any checksum).
+    let mut doc: Value = serde_json::from_str(&json).unwrap();
+    doc["header"]["format_version"] = Value::from(999u32);
+    std::fs::write(&path, serde_json::to_string(&doc).unwrap()).unwrap();
+    match Snapshot::read_from_file(&path) {
+        Err(SnapshotError::UnsupportedVersion { found, supported }) => {
+            assert_eq!(found, 999);
+            assert_eq!(supported, SNAPSHOT_FORMAT_VERSION);
+        }
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+
+    // A different file format entirely: wrong magic.
+    let mut doc: Value = serde_json::from_str(&json).unwrap();
+    doc["header"]["magic"] = Value::from("not-a-soi-snapshot");
+    std::fs::write(&path, serde_json::to_string(&doc).unwrap()).unwrap();
+    assert!(matches!(
+        Snapshot::read_from_file(&path),
+        Err(SnapshotError::WrongMagic(_))
+    ));
+
+    // Missing file: Io, reported as such.
+    let _ = std::fs::remove_file(&path);
+    assert!(matches!(Snapshot::read_from_file(&path), Err(SnapshotError::Io(_))));
+}
+
+/// A hand-built snapshot small enough to rebuild per reload in the live
+/// test below.
+fn mini_snapshot(org: &str, asns: &[u32], comment: &str) -> Snapshot {
+    let rec = OrgRecord {
+        conglomerate_name: org.to_owned(),
+        org_id: Some(OrgId(1)),
+        org_name: org.to_owned(),
+        ownership_cc: "NO".parse().unwrap(),
+        ownership_country_name: "Norway".into(),
+        rir: Some(Rir::Ripe),
+        source: "Company's website".into(),
+        quote: "Major shareholdings: Government (54%)".into(),
+        quote_lang: "English".into(),
+        url: "https://example.net".into(),
+        additional_info: String::new(),
+        inputs: vec!['G'],
+        parent_org: None,
+        target_cc: None,
+        target_country_name: None,
+        asns: asns.iter().map(|&a| Asn(a)).collect(),
+    };
+    let table = PrefixToAs::from_entries(
+        asns.iter()
+            .enumerate()
+            .map(|(i, &a)| (format!("10.{i}.0.0/16").parse().unwrap(), Asn(a))),
+    )
+    .unwrap();
+    Snapshot::build(
+        Dataset { organizations: vec![rec] },
+        table,
+        SnapshotBuildInfo { tool: "live-reload test".into(), comment: comment.into(), ..Default::default() },
+    )
+    .unwrap()
+}
+
+#[test]
+fn live_reload_swaps_under_concurrent_load_and_rolls_back_on_corruption() {
+    let path = tmp("live-reload");
+    mini_snapshot("Telenor", &[100, 200], "v1").write_to_file(&path).unwrap();
+
+    let boot = Snapshot::read_from_file(&path).expect("boot snapshot");
+    let info = boot.header.build.clone();
+    let slot = Arc::new(IndexSlot::new(Arc::new(ServiceIndex::from_snapshot(boot)), Some(info)));
+    let reloader = Reloader::new(&path, Arc::clone(&slot));
+    let cfg = ServerConfig {
+        read_timeout: Duration::from_secs(2),
+        write_timeout: Duration::from_secs(2),
+        ..ServerConfig::default()
+    };
+    let handle = serve_with(slot, Some(reloader), ("127.0.0.1", 0), cfg).expect("bind");
+    let addr = handle.local_addr();
+
+    // Background clients hammer routes that exist in BOTH generations the
+    // whole time; every single response must be a complete 200.
+    let stop = Arc::new(AtomicBool::new(false));
+    let served = Arc::new(AtomicU64::new(0));
+    let clients: Vec<_> = (0..4)
+        .map(|i| {
+            let stop = Arc::clone(&stop);
+            let served = Arc::clone(&served);
+            std::thread::spawn(move || {
+                let targets = ["/asn/AS100", "/ip/10.0.0.7", "/healthz", "/dataset"];
+                while !stop.load(Ordering::Relaxed) {
+                    let (status, v) = get(addr, targets[i % targets.len()]);
+                    assert_eq!(status, 200, "{v}");
+                    served.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+        })
+        .collect();
+
+    // Let the load get going, on generation 1.
+    while served.load(Ordering::Relaxed) < 20 {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let (status, v) = get(addr, "/asn/AS300");
+    assert_eq!(status, 200);
+    assert_eq!(v["state_owned"], Value::Bool(false), "AS300 unknown in v1");
+
+    // Swap in v2 (adds AS300) through the admin endpoint, under load.
+    mini_snapshot("Telenor", &[100, 200, 300], "v2").write_to_file(&path).unwrap();
+    let (status, v) = request(addr, "POST", "/admin/reload");
+    assert_eq!(status, 200, "{v}");
+    assert_eq!(v["generation"].as_u64(), Some(2));
+    assert_eq!(v["snapshot_build"]["comment"], Value::from("v2"));
+    let (status, v) = get(addr, "/asn/AS300");
+    assert_eq!(status, 200);
+    assert_eq!(v["state_owned"], Value::Bool(true), "AS300 served after reload: {v}");
+
+    // Corrupt the file; the reload must fail closed: 500, generation 2
+    // keeps serving, failure counted.
+    std::fs::write(&path, "garbage, not a snapshot").unwrap();
+    let (status, v) = request(addr, "POST", "/admin/reload");
+    assert_eq!(status, 500, "{v}");
+    assert!(v["error"].as_str().unwrap().contains("keeping current index"), "{v}");
+    let (status, v) = get(addr, "/asn/AS300");
+    assert_eq!(status, 200);
+    assert_eq!(v["state_owned"], Value::Bool(true), "old index still serving");
+
+    let (status, metrics) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert_eq!(metrics["generation"].as_u64(), Some(2));
+    assert_eq!(metrics["reloads_total"].as_u64(), Some(1));
+    assert_eq!(metrics["reload_failures"].as_u64(), Some(1));
+    assert_eq!(metrics["snapshot_build"]["comment"], Value::from("v2"));
+
+    // Keep the load running a little past the failed reload, then stop.
+    let after_failure = served.load(Ordering::Relaxed);
+    while served.load(Ordering::Relaxed) < after_failure + 20 {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    stop.store(true, Ordering::Relaxed);
+    for client in clients {
+        client.join().expect("client thread saw only 200s");
+    }
+
+    let snap = handle.shutdown();
+    assert_eq!(snap.in_flight, 0);
+    assert!(snap.requests_total >= served.load(Ordering::Relaxed), "all client requests counted");
+    let _ = std::fs::remove_file(&path);
+}

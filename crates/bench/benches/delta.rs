@@ -1,0 +1,69 @@
+//! Incremental-update benchmark: advancing the dataset by one year of
+//! ownership churn via the `soi-delta` engine (dirty-set recompute +
+//! delta emission) versus rebuilding inputs and pipeline from scratch on
+//! the evolved world, plus the cost of applying an emitted delta to a
+//! payload — the operation `POST /admin/delta` performs per patch. The
+//! engine/rebuild gap is the payoff of the delta subsystem; Criterion
+//! tracks all three across commits.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use soi_bench::{Fixture, REPRO_SEED};
+use soi_core::{Pipeline, PipelineInputs};
+use soi_delta::{DeltaEngine, EngineConfig};
+
+/// Churn exaggerated past the paper's rates so every step carries a
+/// non-trivial dirty set (the interesting regime for the engine).
+fn engine_config() -> EngineConfig {
+    let mut cfg = EngineConfig::with_seed(REPRO_SEED);
+    cfg.churn.privatization_rate = 0.2;
+    cfg.churn.nationalization_rate = 0.1;
+    cfg.churn.acquisitions_per_year = 2.0;
+    cfg.churn.rebrand_rate = 0.1;
+    cfg
+}
+
+fn bench_delta(c: &mut Criterion) {
+    let fx = Fixture::small();
+
+    // Pre-compute one step so the rebuild and apply benches measure a
+    // fixed world/delta rather than a moving target.
+    let mut probe = DeltaEngine::new(fx.world.clone(), engine_config()).expect("engine");
+    let base_payload = probe.current().payload.clone();
+    let step = probe.step().expect("step");
+    let evolved_world = probe.current().world.clone();
+
+    let mut g = c.benchmark_group("delta");
+    g.sample_size(10);
+
+    // (a) The incremental path: churn + dirty-set recompute + delta
+    // emission, starting from an already-primed engine each iteration.
+    g.bench_function("engine_step", |b| {
+        b.iter_batched(
+            || DeltaEngine::new(fx.world.clone(), engine_config()).expect("engine"),
+            |mut engine| engine.step().expect("step"),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+
+    // (b) The from-scratch path the engine replaces: full input
+    // derivation + full pipeline run on the evolved world.
+    g.bench_function("full_rebuild", |b| {
+        let cfg = engine_config();
+        b.iter(|| {
+            let inputs =
+                PipelineInputs::from_world(&evolved_world, &cfg.input).expect("inputs");
+            Pipeline::run(&inputs, &cfg.pipeline)
+        })
+    });
+
+    // (c) Applying an emitted delta to its base payload (validate base
+    // checksum, patch, re-canonicalize, validate result checksum).
+    g.bench_function("apply", |b| {
+        b.iter(|| step.delta.apply(&base_payload).expect("apply"))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_delta);
+criterion_main!(benches);

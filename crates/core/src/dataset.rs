@@ -100,6 +100,23 @@ impl Dataset {
         self.organizations.iter().filter(move |o| o.ownership_cc == country)
     }
 
+    /// Sorts records into a canonical order so datasets produced by
+    /// different execution paths (full rebuild vs. applied delta chain)
+    /// compare byte-identically. Record *contents* are untouched — only
+    /// the vector order changes; index answers are order-independent
+    /// because ASN-conflict resolution keys on org identity, not
+    /// position.
+    pub fn canonicalize(&mut self) {
+        self.organizations.sort_by(|a, b| {
+            (&a.org_name, a.ownership_cc, a.target_cc, &a.asns).cmp(&(
+                &b.org_name,
+                b.ownership_cc,
+                b.target_cc,
+                &b.asns,
+            ))
+        });
+    }
+
     /// Serializes in the paper's published JSON shape.
     pub fn to_json(&self) -> Result<String, SoiError> {
         serde_json::to_string_pretty(self)
@@ -224,6 +241,27 @@ mod tests {
         assert_eq!(diff.removed_orgs, vec!["ARSAT".to_string()]);
         assert!(!diff.is_empty());
         assert!(DatasetDiff::between(&old, &old).is_empty());
+    }
+
+    #[test]
+    fn canonicalize_orders_without_changing_contents() {
+        let mut ds = Dataset {
+            organizations: vec![
+                record("PTCL", "PK", None, &[17557]),
+                record("Telenor Pakistan", "NO", Some("PK"), &[24499]),
+                record("Telenor", "NO", None, &[2119]),
+            ],
+        };
+        let ases_before = ds.state_owned_ases();
+        ds.canonicalize();
+        let names: Vec<&str> = ds.organizations.iter().map(|o| o.org_name.as_str()).collect();
+        assert_eq!(names, vec!["PTCL", "Telenor", "Telenor Pakistan"]);
+        assert_eq!(ds.state_owned_ases(), ases_before);
+        // Idempotent and deterministic regardless of input order.
+        let json = serde_json::to_string(&ds).unwrap();
+        ds.organizations.reverse();
+        ds.canonicalize();
+        assert_eq!(serde_json::to_string(&ds).unwrap(), json);
     }
 
     #[test]

@@ -152,6 +152,60 @@ impl PipelineInputs {
             cti,
         })
     }
+
+    /// Derives inputs for a world that shares its *technical substrate*
+    /// (topology, prefix assignments, user populations, geo blocks) with
+    /// a previously-derived base — the situation after ownership churn,
+    /// which by construction only touches names, ownership stakes and
+    /// registration branding.
+    ///
+    /// The expensive measurement products (BGP propagation, prefix→AS
+    /// table, geolocation, eyeball estimates, CTI) are reused from the
+    /// base; only the ownership-/name-sensitive sources are regenerated.
+    /// Because every regeneration is seed-deterministic over substrate
+    /// the two worlds share, the result is identical to a fresh
+    /// [`PipelineInputs::from_world`] on `world` — just much cheaper.
+    /// Callers must ensure the substrate really is unchanged (soi-delta
+    /// checks and falls back to `from_world` otherwise).
+    pub fn refresh_from_base(
+        world: &World,
+        cfg: &InputConfig,
+        base: &PipelineInputs,
+    ) -> Result<PipelineInputs, SoiError> {
+        let whois = WhoisDb::generate(&world.registrations, cfg.whois)?;
+        let profiles = &world.profiles;
+        let peeringdb = PeeringDb::generate(
+            &world.registrations,
+            |reg: &AsRegistration| match profiles.get(&reg.asn).map(|p| p.role) {
+                Some(AsRole::GlobalCarrier | AsRole::RegionalCarrier) => 0.95,
+                Some(AsRole::NationalTransit | AsRole::TransitGateway) => 0.6,
+                Some(AsRole::Access) => 0.35,
+                Some(AsRole::Academic) => 0.3,
+                _ => 0.08,
+            },
+            cfg.seed,
+        )?;
+        let as2org = As2Org::infer(&whois);
+        let orbis = OrbisDb::generate(world, cfg.orbis)?;
+        let freedom_house = FreedomHouse::generate(world, cfg.seed);
+        let wikipedia = Wikipedia::generate(world, cfg.seed);
+        let corpus = DocumentCorpus::generate(world, &freedom_house, cfg.corpus)?;
+
+        Ok(PipelineInputs {
+            view: base.view.clone(),
+            prefix_to_as: base.prefix_to_as.clone(),
+            geo: base.geo.clone(),
+            eyeballs: base.eyeballs.clone(),
+            whois,
+            peeringdb,
+            as2org,
+            orbis,
+            freedom_house,
+            wikipedia,
+            corpus,
+            cti: base.cti.clone(),
+        })
+    }
 }
 
 #[cfg(test)]

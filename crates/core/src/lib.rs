@@ -41,8 +41,8 @@ pub use corrections::{derive_corrections, SiblingCorrection};
 pub use dataset::{Dataset, DatasetDiff, OrgRecord};
 pub use eval::Evaluation;
 pub use inputs::{InputConfig, PipelineInputs};
-pub use pipeline::{Pipeline, PipelineConfig, PipelineOutput};
+pub use pipeline::{ConfirmCache, Pipeline, PipelineConfig, PipelineOutput};
 pub use snapshot::{
-    Snapshot, SnapshotBuildInfo, SnapshotError, SnapshotHeader, SnapshotPayload,
+    payload_checksum, Snapshot, SnapshotBuildInfo, SnapshotError, SnapshotHeader, SnapshotPayload,
     SNAPSHOT_FORMAT_VERSION, SNAPSHOT_MAGIC,
 };

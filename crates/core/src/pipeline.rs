@@ -85,6 +85,52 @@ pub struct OrbisAssessment {
     pub false_negatives: Vec<String>,
 }
 
+/// Confirmation outcomes keyed by normalized candidate name, each paired
+/// with the exact display string that was confirmed. The incremental
+/// engine (soi-delta) feeds a previous run's outcomes back into
+/// [`Pipeline::run_cached`] after evicting names whose evidence changed;
+/// the display string guards the remaining entries — an outcome is only
+/// reused when the confirmer would be called with the byte-identical
+/// argument, since exclusion heuristics inspect the raw display name.
+#[derive(Clone, Debug, Default)]
+pub struct ConfirmCache {
+    entries: HashMap<String, (String, ConfirmOutcome)>,
+}
+
+impl ConfirmCache {
+    /// An empty cache (every name confirms from scratch).
+    pub fn new() -> ConfirmCache {
+        ConfirmCache::default()
+    }
+
+    /// Records the outcome for a normalized name + display pair.
+    pub fn insert(&mut self, norm_key: String, display: String, outcome: ConfirmOutcome) {
+        self.entries.insert(norm_key, (display, outcome));
+    }
+
+    /// The cached outcome, provided the display string matches exactly.
+    pub fn get(&self, norm_key: &str, display: &str) -> Option<&ConfirmOutcome> {
+        self.entries.get(norm_key).filter(|(d, _)| d == display).map(|(_, o)| o)
+    }
+
+    /// Evicts every normalized name in `dirty`.
+    pub fn evict_all<'a>(&mut self, dirty: impl IntoIterator<Item = &'a String>) {
+        for key in dirty {
+            self.entries.remove(key);
+        }
+    }
+
+    /// Number of cached outcomes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
 /// Everything the pipeline produces.
 #[derive(Clone, Debug, Default)]
 pub struct PipelineOutput {
@@ -112,6 +158,9 @@ pub struct PipelineOutput {
     pub unknown_source_records: usize,
     /// Observable Orbis quality assessment.
     pub orbis: OrbisAssessment,
+    /// Every confirmation outcome this run produced, reusable as the
+    /// cache for an incremental re-run (soi-delta).
+    pub confirm_outcomes: ConfirmCache,
 }
 
 /// The pipeline entry point.
@@ -120,6 +169,20 @@ pub struct Pipeline;
 impl Pipeline {
     /// Runs all three stages over the inputs.
     pub fn run(inputs: &PipelineInputs, cfg: &PipelineConfig) -> PipelineOutput {
+        Self::run_cached(inputs, cfg, &ConfirmCache::default())
+    }
+
+    /// Runs all three stages, reusing cached confirmation outcomes where
+    /// the cache holds an entry for the exact display name. The caller is
+    /// responsible for evicting every name whose evidence (document
+    /// chain) may have changed — see `soi-delta`'s dirty-set computation.
+    /// With a correctly-evicted cache this produces output identical to
+    /// [`Pipeline::run`]; with an empty cache it *is* [`Pipeline::run`].
+    pub fn run_cached(
+        inputs: &PipelineInputs,
+        cfg: &PipelineConfig,
+        cache: &ConfirmCache,
+    ) -> PipelineOutput {
         let mut out = PipelineOutput::default();
 
         // ---- Stage 1: candidates + mapping ----
@@ -176,13 +239,22 @@ impl Pipeline {
 
         let mut names: Vec<(&String, &NameEntry)> = by_name.iter().collect();
         names.sort_by_key(|(k, _)| k.as_str());
-        let outcomes: Vec<ConfirmOutcome> = {
-            let threads =
-                std::thread::available_parallelism().map_or(1, |p| p.get()).min(names.len().max(1));
-            let chunk = names.len().div_ceil(threads).max(1);
-            let mut out: Vec<ConfirmOutcome> = Vec::with_capacity(names.len());
+        // Cache hits resolve immediately; only the misses fan out to the
+        // confirmation workers. With an empty cache this degenerates to
+        // the plain full scan.
+        let mut outcomes: Vec<Option<ConfirmOutcome>> =
+            names.iter().map(|(k, e)| cache.get(k, &e.display).cloned()).collect();
+        let misses: Vec<usize> =
+            outcomes.iter().enumerate().filter(|(_, o)| o.is_none()).map(|(i, _)| i).collect();
+        if !misses.is_empty() {
+            let miss_names: Vec<(&String, &NameEntry)> = misses.iter().map(|&i| names[i]).collect();
+            let threads = std::thread::available_parallelism()
+                .map_or(1, |p| p.get())
+                .min(miss_names.len().max(1));
+            let chunk = miss_names.len().div_ceil(threads).max(1);
+            let mut fresh: Vec<ConfirmOutcome> = Vec::with_capacity(miss_names.len());
             crossbeam::thread::scope(|s| {
-                let handles: Vec<_> = names
+                let handles: Vec<_> = miss_names
                     .chunks(chunk)
                     .map(|slice| {
                         let corpus = &inputs.corpus;
@@ -194,14 +266,18 @@ impl Pipeline {
                     })
                     .collect();
                 for h in handles {
-                    out.extend(h.join().expect("confirm worker panicked"));
+                    fresh.extend(h.join().expect("confirm worker panicked"));
                 }
             })
             .expect("confirm scope failed");
-            out
-        };
+            for (&i, outcome) in misses.iter().zip(fresh) {
+                outcomes[i] = Some(outcome);
+            }
+        }
         for ((key, entry), outcome) in names.into_iter().zip(outcomes) {
+            let outcome = outcome.expect("every name has an outcome");
             processed.insert(key.clone());
+            out.confirm_outcomes.insert(key.clone(), entry.display.clone(), outcome.clone());
             match outcome {
                 ConfirmOutcome::Confirmed(c) => confirmed.push(ConfirmedEntry {
                     confirmation: c,
@@ -265,10 +341,15 @@ impl Pipeline {
             .collect();
         while let Some((sub_name, parent_name, parent_flags)) = queue.pop() {
             let key = norm(&sub_name);
-            if key.is_empty() || !processed.insert(key) {
+            if key.is_empty() || !processed.insert(key.clone()) {
                 continue;
             }
-            match confirmer.confirm(&sub_name) {
+            let outcome = cache
+                .get(&key, &sub_name)
+                .cloned()
+                .unwrap_or_else(|| confirmer.confirm(&sub_name));
+            out.confirm_outcomes.insert(key, sub_name.clone(), outcome.clone());
+            match outcome {
                 ConfirmOutcome::Confirmed(c) => {
                     for s in &c.subsidiaries {
                         queue.push((s.clone(), c.name.clone(), parent_flags));
@@ -452,6 +533,27 @@ mod tests {
             .count();
         assert!(cti_only > 0, "no CTI-only contributions found");
         let _ = world;
+    }
+
+    #[test]
+    fn warm_cache_rerun_is_identical_to_cold_run() {
+        let world = generate(&WorldConfig::test_scale(89)).unwrap();
+        let inputs = PipelineInputs::from_world(&world, &InputConfig::with_seed(89)).unwrap();
+        let cfg = PipelineConfig::default();
+        let cold = Pipeline::run(&inputs, &cfg);
+        assert!(!cold.confirm_outcomes.is_empty(), "outcomes should be recorded");
+        // Re-running with every outcome cached must reproduce the dataset
+        // and bookkeeping exactly — this is the invariant soi-delta's
+        // correctness rests on.
+        let warm = Pipeline::run_cached(&inputs, &cfg, &cold.confirm_outcomes);
+        assert_eq!(
+            serde_json::to_string(&cold.dataset).unwrap(),
+            serde_json::to_string(&warm.dataset).unwrap()
+        );
+        assert_eq!(cold.confirm_outcomes.len(), warm.confirm_outcomes.len());
+        assert_eq!(cold.unresolved, warm.unresolved);
+        assert_eq!(cold.confirmed_private, warm.confirmed_private);
+        assert_eq!(cold.unmapped_companies, warm.unmapped_companies);
     }
 
     #[test]

@@ -1,0 +1,658 @@
+//! The versioned, checksummed delta artifact and its apply/compaction
+//! semantics.
+//!
+//! A [`DatasetDelta`] is to a [`Snapshot`] what a commit is to a tree: a
+//! self-describing patch that upgrades one exact payload (identified by
+//! its FNV-1a checksum) to one exact successor (also pinned by checksum).
+//! The format mirrors `snapshot.rs`:
+//!
+//! * `header.magic` / `header.format_version` — identification and schema
+//!   versioning with distinct, typed rejection errors;
+//! * `header.checksum_fnv1a64` — integrity of the delta document itself;
+//! * `header.base_checksum` — [`payload_checksum`] of the snapshot
+//!   payload the delta applies to; apply refuses anything else
+//!   ([`DeltaError::BaseMismatch`]), which is what makes a delta stale
+//!   the moment a reload swaps in a different generation;
+//! * `header.result_checksum` — checksum of the canonicalized post-apply
+//!   payload; apply verifies it after patching
+//!   ([`DeltaError::ResultMismatch`]), so a bad patch can never be
+//!   served: like `reload.rs`, rollback is by construction — the base is
+//!   never mutated, a fresh payload either verifies or is dropped.
+//!
+//! Organizations are patched as a multiset of exact records (a *changed*
+//! org is one removal plus one addition); prefix mappings as exact
+//! `(prefix, origin)` pairs. The applied dataset is
+//! [`Dataset::canonicalize`]d, which is why chained deltas and a
+//! from-scratch rebuild agree byte-for-byte modulo ordering.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+use soi_bgp::PrefixToAs;
+use soi_core::{payload_checksum, Dataset, OrgRecord, Snapshot, SnapshotBuildInfo, SnapshotPayload};
+use soi_types::{fnv1a64, Asn, CountryCode, Ipv4Prefix, SoiError};
+
+use crate::event::EventBatch;
+
+/// Magic string identifying a delta document.
+pub const DELTA_MAGIC: &str = "soi-delta";
+
+/// Schema version written by this build; readers accept exactly this.
+pub const DELTA_FORMAT_VERSION: u32 = 1;
+
+/// Why a delta could not be loaded or applied.
+#[derive(Debug)]
+pub enum DeltaError {
+    /// The file could not be read or written.
+    Io(std::io::Error),
+    /// The bytes were not a well-formed delta document.
+    Malformed(String),
+    /// The document parsed but is not a delta (wrong magic).
+    WrongMagic(String),
+    /// The delta was written by an incompatible schema version.
+    UnsupportedVersion {
+        /// Version found in the document.
+        found: u32,
+        /// Version this build supports.
+        supported: u32,
+    },
+    /// The delta payload does not hash to its header's checksum.
+    ChecksumMismatch {
+        /// Checksum stored in the header.
+        stored: u64,
+        /// Checksum recomputed from the delta payload.
+        computed: u64,
+    },
+    /// The delta was computed against a different base payload than the
+    /// one it is being applied to (e.g. the server reloaded in between).
+    BaseMismatch {
+        /// Base checksum the delta expects.
+        expected: u64,
+        /// Checksum of the payload it was offered.
+        found: u64,
+    },
+    /// The patched payload does not hash to the promised result.
+    ResultMismatch {
+        /// Result checksum the delta promises.
+        expected: u64,
+        /// Checksum of the payload apply produced.
+        computed: u64,
+    },
+    /// The patch references state the base does not contain (removing an
+    /// absent org/mapping, announcing an already-announced prefix).
+    Conflict(String),
+    /// Upstream computation failed while building a delta.
+    Compute(String),
+}
+
+impl fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeltaError::Io(e) => write!(f, "delta I/O error: {e}"),
+            DeltaError::Malformed(m) => write!(f, "malformed delta: {m}"),
+            DeltaError::WrongMagic(m) => {
+                write!(f, "not a delta document (magic {m:?}, expected {DELTA_MAGIC:?})")
+            }
+            DeltaError::UnsupportedVersion { found, supported } => {
+                write!(f, "unsupported delta format version {found} (this build reads {supported})")
+            }
+            DeltaError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "delta checksum mismatch: header says {stored:016x}, payload hashes to {computed:016x}"
+            ),
+            DeltaError::BaseMismatch { expected, found } => write!(
+                f,
+                "delta base mismatch: patch applies to payload {expected:016x}, \
+                 but the current payload is {found:016x} (stale generation?)"
+            ),
+            DeltaError::ResultMismatch { expected, computed } => write!(
+                f,
+                "delta result mismatch: patch promises payload {expected:016x}, \
+                 apply produced {computed:016x}"
+            ),
+            DeltaError::Conflict(m) => write!(f, "delta conflict: {m}"),
+            DeltaError::Compute(m) => write!(f, "delta computation failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+impl From<std::io::Error> for DeltaError {
+    fn from(e: std::io::Error) -> Self {
+        DeltaError::Io(e)
+    }
+}
+
+impl From<SoiError> for DeltaError {
+    fn from(e: SoiError) -> Self {
+        DeltaError::Compute(e.to_string())
+    }
+}
+
+/// Provenance metadata carried in the delta header.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeltaProvenance {
+    /// Tool that produced the delta (e.g. `soi delta make`).
+    pub tool: String,
+    /// World/input seed the generations derive from, when applicable.
+    pub seed: Option<u64>,
+    /// Churn year index the delta covers, when applicable.
+    pub year: Option<u32>,
+    /// Free-form note.
+    pub comment: String,
+}
+
+/// Delta identification, versioning, integrity and chain linkage.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DeltaHeader {
+    /// Always [`DELTA_MAGIC`].
+    pub magic: String,
+    /// Schema version, [`DELTA_FORMAT_VERSION`] for this build.
+    pub format_version: u32,
+    /// FNV-1a 64 of the delta payload's canonical JSON bytes.
+    pub checksum_fnv1a64: u64,
+    /// Checksum of the snapshot payload this delta applies to.
+    pub base_checksum: u64,
+    /// Checksum of the (canonicalized) payload apply must produce.
+    pub result_checksum: u64,
+    /// Build provenance.
+    pub provenance: DeltaProvenance,
+}
+
+/// The patch itself plus the event/dirty-set summary that explains it.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct DeltaPayload {
+    /// The events that drove this delta.
+    pub events: EventBatch,
+    /// Organization records present only in the result (a changed org
+    /// appears here with its new contents and in `orgs_removed` with its
+    /// old contents).
+    pub orgs_added: Vec<OrgRecord>,
+    /// Organization records present only in the base.
+    pub orgs_removed: Vec<OrgRecord>,
+    /// Prefix→origin mappings present only in the result.
+    pub mappings_added: Vec<(Ipv4Prefix, Asn)>,
+    /// Prefix→origin mappings present only in the base.
+    pub mappings_removed: Vec<(Ipv4Prefix, Asn)>,
+    /// How many normalized names the engine re-confirmed.
+    pub dirty_names: usize,
+    /// How many cached confirmation outcomes were reused.
+    pub reused_outcomes: usize,
+    /// Countries in the blast radius of the event batch.
+    pub dirty_countries: Vec<CountryCode>,
+}
+
+/// A complete delta document.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DatasetDelta {
+    /// Identification, version, checksums, provenance.
+    pub header: DeltaHeader,
+    /// Patch + summary.
+    pub payload: DeltaPayload,
+}
+
+/// Canonical checksum of a delta payload (compact JSON, FNV-1a 64).
+fn delta_payload_checksum(payload: &DeltaPayload) -> Result<u64, DeltaError> {
+    let bytes = serde_json::to_vec(payload)
+        .map_err(|e| DeltaError::Malformed(format!("delta payload serialization failed: {e}")))?;
+    Ok(fnv1a64(&bytes))
+}
+
+fn record_key(record: &OrgRecord) -> Result<String, DeltaError> {
+    serde_json::to_string(record)
+        .map_err(|e| DeltaError::Malformed(format!("org record serialization failed: {e}")))
+}
+
+impl DatasetDelta {
+    /// Diffs `result` against `base` and wraps the patch in a checksummed
+    /// header. `result`'s dataset is canonicalized internally, so the
+    /// promised `result_checksum` always refers to canonical order;
+    /// `base` is hashed exactly as given (it is whatever is currently
+    /// being served).
+    pub fn compute(
+        base: &SnapshotPayload,
+        result: &SnapshotPayload,
+        events: EventBatch,
+        dirty_names: usize,
+        reused_outcomes: usize,
+        dirty_countries: Vec<CountryCode>,
+        provenance: DeltaProvenance,
+    ) -> Result<DatasetDelta, DeltaError> {
+        let mut canonical = result.clone();
+        canonical.dataset.canonicalize();
+
+        // Organization multiset diff by exact serialized record.
+        let mut base_counts: HashMap<String, usize> = HashMap::new();
+        for record in &base.dataset.organizations {
+            *base_counts.entry(record_key(record)?).or_default() += 1;
+        }
+        let mut orgs_added = Vec::new();
+        for record in &canonical.dataset.organizations {
+            let key = record_key(record)?;
+            match base_counts.get_mut(&key) {
+                Some(n) if *n > 0 => *n -= 1,
+                _ => orgs_added.push(record.clone()),
+            }
+        }
+        let mut orgs_removed = Vec::new();
+        for record in &base.dataset.organizations {
+            let key = record_key(record)?;
+            if let Some(n) = base_counts.get_mut(&key) {
+                if *n > 0 {
+                    *n -= 1;
+                    orgs_removed.push(record.clone());
+                }
+            }
+        }
+
+        // Prefix-mapping diff by exact pair.
+        let base_map: HashMap<Ipv4Prefix, Asn> = base.table.entries().iter().copied().collect();
+        let result_map: HashMap<Ipv4Prefix, Asn> =
+            canonical.table.entries().iter().copied().collect();
+        let mappings_added: Vec<(Ipv4Prefix, Asn)> = canonical
+            .table
+            .entries()
+            .iter()
+            .copied()
+            .filter(|(p, a)| base_map.get(p) != Some(a))
+            .collect();
+        let mappings_removed: Vec<(Ipv4Prefix, Asn)> = base
+            .table
+            .entries()
+            .iter()
+            .copied()
+            .filter(|(p, a)| result_map.get(p) != Some(a))
+            .collect();
+
+        let payload = DeltaPayload {
+            events,
+            orgs_added,
+            orgs_removed,
+            mappings_added,
+            mappings_removed,
+            dirty_names,
+            reused_outcomes,
+            dirty_countries,
+        };
+        let header = DeltaHeader {
+            magic: DELTA_MAGIC.to_owned(),
+            format_version: DELTA_FORMAT_VERSION,
+            checksum_fnv1a64: delta_payload_checksum(&payload)?,
+            base_checksum: payload_checksum(base)?,
+            result_checksum: payload_checksum(&canonical)?,
+            provenance,
+        };
+        Ok(DatasetDelta { header, payload })
+    }
+
+    /// Checks magic, version and the delta's own checksum.
+    pub fn validate(&self) -> Result<(), DeltaError> {
+        if self.header.magic != DELTA_MAGIC {
+            return Err(DeltaError::WrongMagic(self.header.magic.clone()));
+        }
+        if self.header.format_version != DELTA_FORMAT_VERSION {
+            return Err(DeltaError::UnsupportedVersion {
+                found: self.header.format_version,
+                supported: DELTA_FORMAT_VERSION,
+            });
+        }
+        let computed = delta_payload_checksum(&self.payload)?;
+        if computed != self.header.checksum_fnv1a64 {
+            return Err(DeltaError::ChecksumMismatch {
+                stored: self.header.checksum_fnv1a64,
+                computed,
+            });
+        }
+        Ok(())
+    }
+
+    /// Applies the patch to `base`, returning the new payload. The base is
+    /// never mutated: on any error — stale base, unknown record, origin
+    /// collision, result checksum mismatch — the caller still holds the
+    /// payload it started with (rollback by construction, as in
+    /// `reload.rs`).
+    pub fn apply(&self, base: &SnapshotPayload) -> Result<SnapshotPayload, DeltaError> {
+        self.validate()?;
+        let base_checksum = payload_checksum(base)?;
+        if base_checksum != self.header.base_checksum {
+            return Err(DeltaError::BaseMismatch {
+                expected: self.header.base_checksum,
+                found: base_checksum,
+            });
+        }
+
+        // Organizations: drop removed records (exact match, multiset
+        // aware), append added ones, restore canonical order.
+        let mut to_remove: HashMap<String, usize> = HashMap::new();
+        for record in &self.payload.orgs_removed {
+            *to_remove.entry(record_key(record)?).or_default() += 1;
+        }
+        let mut organizations = Vec::with_capacity(
+            base.dataset.organizations.len() + self.payload.orgs_added.len()
+                - self.payload.orgs_removed.len().min(base.dataset.organizations.len()),
+        );
+        for record in &base.dataset.organizations {
+            let key = record_key(record)?;
+            match to_remove.get_mut(&key) {
+                Some(n) if *n > 0 => *n -= 1,
+                _ => organizations.push(record.clone()),
+            }
+        }
+        if to_remove.values().any(|&n| n > 0) {
+            return Err(DeltaError::Conflict(
+                "delta removes an organization record the base does not contain".into(),
+            ));
+        }
+        organizations.extend(self.payload.orgs_added.iter().cloned());
+        let mut dataset = Dataset { organizations };
+        dataset.canonicalize();
+
+        // Prefix table: withdrawals must match exactly; additions must
+        // not collide with a surviving announcement.
+        let mut table: BTreeMap<Ipv4Prefix, Asn> = base.table.entries().iter().copied().collect();
+        for &(prefix, origin) in &self.payload.mappings_removed {
+            match table.get(&prefix) {
+                Some(&current) if current == origin => {
+                    table.remove(&prefix);
+                }
+                _ => {
+                    return Err(DeltaError::Conflict(format!(
+                        "delta withdraws {prefix} via {origin}, which the base does not announce"
+                    )))
+                }
+            }
+        }
+        for &(prefix, origin) in &self.payload.mappings_added {
+            if table.insert(prefix, origin).is_some() {
+                return Err(DeltaError::Conflict(format!(
+                    "delta announces {prefix} via {origin}, but the prefix is already announced"
+                )));
+            }
+        }
+        let table = PrefixToAs::from_entries(table)
+            .map_err(|e| DeltaError::Conflict(format!("patched table is invalid: {e}")))?;
+
+        let result = SnapshotPayload { dataset, table };
+        let computed = payload_checksum(&result)?;
+        if computed != self.header.result_checksum {
+            return Err(DeltaError::ResultMismatch {
+                expected: self.header.result_checksum,
+                computed,
+            });
+        }
+        Ok(result)
+    }
+
+    /// Total patched entries (org records + prefix mappings, both
+    /// directions) — the `/metrics` patch-size unit.
+    pub fn patch_size(&self) -> usize {
+        self.payload.orgs_added.len()
+            + self.payload.orgs_removed.len()
+            + self.payload.mappings_added.len()
+            + self.payload.mappings_removed.len()
+    }
+
+    /// Organizations present (by name) on both sides of the patch — i.e.
+    /// *changed* rather than purely added or removed.
+    pub fn orgs_changed(&self) -> usize {
+        let removed: std::collections::HashSet<&str> =
+            self.payload.orgs_removed.iter().map(|r| r.org_name.as_str()).collect();
+        self.payload
+            .orgs_added
+            .iter()
+            .filter(|r| removed.contains(r.org_name.as_str()))
+            .count()
+    }
+
+    /// Serializes the full document (compact JSON).
+    pub fn to_json(&self) -> Result<String, DeltaError> {
+        serde_json::to_string(self)
+            .map_err(|e| DeltaError::Malformed(format!("delta serialization failed: {e}")))
+    }
+
+    /// Parses *and validates* a delta document.
+    pub fn from_json(s: &str) -> Result<DatasetDelta, DeltaError> {
+        let delta: DatasetDelta =
+            serde_json::from_str(s).map_err(|e| DeltaError::Malformed(e.to_string()))?;
+        delta.validate()?;
+        Ok(delta)
+    }
+
+    /// Writes the delta to `path` (temp file + rename, like snapshots).
+    pub fn write_to_file(&self, path: impl AsRef<Path>) -> Result<(), DeltaError> {
+        let path = path.as_ref();
+        let json = self.to_json()?;
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, json)?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Reads and validates a delta from `path`.
+    pub fn read_from_file(path: impl AsRef<Path>) -> Result<DatasetDelta, DeltaError> {
+        let text = std::fs::read_to_string(path)?;
+        DatasetDelta::from_json(&text)
+    }
+}
+
+/// Applies a delta chain in order, starting from `base`.
+pub fn apply_chain<'a>(
+    base: &SnapshotPayload,
+    deltas: impl IntoIterator<Item = &'a DatasetDelta>,
+) -> Result<SnapshotPayload, DeltaError> {
+    let mut current = base.clone();
+    for delta in deltas {
+        current = delta.apply(&current)?;
+    }
+    Ok(current)
+}
+
+/// Folds a base snapshot plus an applied delta chain back into one full
+/// snapshot — `soi snapshot compact`. The resulting snapshot carries the
+/// final payload and fresh build metadata; its checksum equals the last
+/// delta's `result_checksum` by construction.
+pub fn compact(
+    base: &Snapshot,
+    deltas: &[DatasetDelta],
+    build: SnapshotBuildInfo,
+) -> Result<Snapshot, DeltaError> {
+    base.validate().map_err(|e| DeltaError::Malformed(format!("base snapshot invalid: {e}")))?;
+    let payload = apply_chain(&base.payload, deltas)?;
+    Snapshot::build(payload.dataset, payload.table, build)
+        .map_err(|e| DeltaError::Malformed(format!("compacted snapshot build failed: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soi_types::{OrgId, Rir};
+
+    fn record(name: &str, asns: &[u32]) -> OrgRecord {
+        OrgRecord {
+            conglomerate_name: name.to_owned(),
+            org_id: Some(OrgId(1)),
+            org_name: name.to_owned(),
+            ownership_cc: "NO".parse().unwrap(),
+            ownership_country_name: "Norway".into(),
+            rir: Some(Rir::Ripe),
+            source: "Company's website".into(),
+            quote: "Major shareholdings: Government (54%)".into(),
+            quote_lang: "English".into(),
+            url: "https://example.net".into(),
+            additional_info: String::new(),
+            inputs: vec!['G'],
+            parent_org: None,
+            target_cc: None,
+            target_country_name: None,
+            asns: asns.iter().map(|&a| Asn(a)).collect(),
+        }
+    }
+
+    fn payload(orgs: Vec<OrgRecord>, entries: &[(&str, u32)]) -> SnapshotPayload {
+        let table = PrefixToAs::from_entries(
+            entries.iter().map(|&(p, a)| (p.parse().unwrap(), Asn(a))),
+        )
+        .unwrap();
+        SnapshotPayload { dataset: Dataset { organizations: orgs }, table }
+    }
+
+    fn delta_between(base: &SnapshotPayload, result: &SnapshotPayload) -> DatasetDelta {
+        DatasetDelta::compute(
+            base,
+            result,
+            EventBatch::default(),
+            0,
+            0,
+            Vec::new(),
+            DeltaProvenance { tool: "test".into(), ..Default::default() },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn compute_apply_round_trips() {
+        let base = payload(
+            vec![record("Telenor", &[2119]), record("ARSAT", &[52361])],
+            &[("10.0.0.0/8", 2119), ("11.0.0.0/8", 52361)],
+        );
+        let result = payload(
+            // Telenor changed (new ASN), ARSAT gone, Ucell new; one
+            // origin change and one fresh announcement.
+            vec![record("Ucell", &[31203]), record("Telenor", &[2119, 8210])],
+            &[("10.0.0.0/8", 8210), ("12.0.0.0/8", 31203)],
+        );
+        let delta = delta_between(&base, &result);
+        assert_eq!(delta.payload.orgs_added.len(), 2);
+        assert_eq!(delta.payload.orgs_removed.len(), 2);
+        assert_eq!(delta.orgs_changed(), 1, "Telenor counts as changed");
+        // Origin change = remove + add on the same prefix.
+        assert_eq!(delta.payload.mappings_added.len(), 2);
+        assert_eq!(delta.payload.mappings_removed.len(), 2);
+        assert_eq!(delta.patch_size(), 8);
+
+        let applied = delta.apply(&base).unwrap();
+        let mut expected = result.clone();
+        expected.dataset.canonicalize();
+        assert_eq!(
+            serde_json::to_string(&applied).unwrap(),
+            serde_json::to_string(&expected).unwrap()
+        );
+        assert_eq!(payload_checksum(&applied).unwrap(), delta.header.result_checksum);
+    }
+
+    #[test]
+    fn empty_diff_is_a_noop_patch() {
+        let base = payload(vec![record("Telenor", &[2119])], &[("10.0.0.0/8", 2119)]);
+        let mut canonical = base.clone();
+        canonical.dataset.canonicalize();
+        let delta = delta_between(&base, &base);
+        assert_eq!(delta.patch_size(), 0);
+        let applied = delta.apply(&base).unwrap();
+        assert_eq!(
+            serde_json::to_string(&applied).unwrap(),
+            serde_json::to_string(&canonical).unwrap()
+        );
+    }
+
+    #[test]
+    fn stale_base_is_rejected() {
+        let base = payload(vec![record("Telenor", &[2119])], &[("10.0.0.0/8", 2119)]);
+        let result = payload(vec![record("Telenor", &[2119, 8210])], &[("10.0.0.0/8", 2119)]);
+        let delta = delta_between(&base, &result);
+        let other = payload(vec![record("Ucell", &[31203])], &[("10.0.0.0/8", 31203)]);
+        assert!(matches!(delta.apply(&other), Err(DeltaError::BaseMismatch { .. })));
+        // The intended base still applies.
+        assert!(delta.apply(&base).is_ok());
+    }
+
+    #[test]
+    fn tampered_payload_fails_own_checksum() {
+        let base = payload(vec![record("Telenor", &[2119])], &[("10.0.0.0/8", 2119)]);
+        let result = payload(vec![record("Ucell", &[31203])], &[("10.0.0.0/8", 2119)]);
+        let delta = delta_between(&base, &result);
+        let tampered = delta.to_json().unwrap().replace("Ucell", "Evil");
+        assert!(matches!(
+            DatasetDelta::from_json(&tampered),
+            Err(DeltaError::ChecksumMismatch { .. })
+        ));
+        // Wrong magic and version are distinct errors.
+        let mut wrong = delta.clone();
+        wrong.header.magic = "soi-snapshot".into();
+        assert!(matches!(wrong.validate(), Err(DeltaError::WrongMagic(_))));
+        let mut wrong = delta;
+        wrong.header.format_version = 99;
+        assert!(matches!(
+            wrong.validate(),
+            Err(DeltaError::UnsupportedVersion { found: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn conflicting_patches_roll_back() {
+        let base = payload(vec![record("Telenor", &[2119])], &[("10.0.0.0/8", 2119)]);
+        let result = payload(vec![record("Telenor", &[2119])], &[("11.0.0.0/8", 2119)]);
+        let delta = delta_between(&base, &result);
+        // Hand-tamper the patch so it withdraws a mapping the base lacks,
+        // recomputing the self-checksum so only the conflict fires.
+        let mut broken = delta.clone();
+        broken.payload.mappings_removed[0].0 = "99.0.0.0/8".parse().unwrap();
+        broken.header.checksum_fnv1a64 = delta_payload_checksum(&broken.payload).unwrap();
+        assert!(matches!(broken.apply(&base), Err(DeltaError::Conflict(_))));
+        // A patch promising the wrong result is caught after patching.
+        let mut lying = delta.clone();
+        lying.header.result_checksum ^= 1;
+        assert!(matches!(lying.apply(&base), Err(DeltaError::ResultMismatch { .. })));
+    }
+
+    #[test]
+    fn chain_and_compaction_reach_the_final_payload() {
+        let g0 = payload(vec![record("Telenor", &[2119])], &[("10.0.0.0/8", 2119)]);
+        let mut g1 = payload(
+            vec![record("Telenor", &[2119]), record("Ucell", &[31203])],
+            &[("10.0.0.0/8", 2119), ("11.0.0.0/8", 31203)],
+        );
+        g1.dataset.canonicalize();
+        let mut g2 = payload(vec![record("Ucell", &[31203])], &[("11.0.0.0/8", 31203)]);
+        g2.dataset.canonicalize();
+        let d1 = delta_between(&g0, &g1);
+        let d2 = delta_between(&g1, &g2);
+        let finished = apply_chain(&g0, [&d1, &d2]).unwrap();
+        assert_eq!(payload_checksum(&finished).unwrap(), d2.header.result_checksum);
+        // Out-of-order application fails fast.
+        assert!(matches!(apply_chain(&g0, [&d2, &d1]), Err(DeltaError::BaseMismatch { .. })));
+        // Compaction produces a valid full snapshot of the final state.
+        let base_snap = Snapshot::build(
+            g0.dataset.clone(),
+            g0.table.clone(),
+            SnapshotBuildInfo { tool: "test".into(), ..Default::default() },
+        )
+        .unwrap();
+        let compacted = compact(
+            &base_snap,
+            &[d1, d2],
+            SnapshotBuildInfo { tool: "compact-test".into(), ..Default::default() },
+        )
+        .unwrap();
+        compacted.validate().unwrap();
+        assert_eq!(compacted.header.checksum_fnv1a64, payload_checksum(&finished).unwrap());
+        assert_eq!(compacted.payload.dataset.organizations.len(), 1);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let base = payload(vec![record("Telenor", &[2119])], &[("10.0.0.0/8", 2119)]);
+        let result = payload(vec![record("Ucell", &[31203])], &[("10.0.0.0/8", 2119)]);
+        let delta = delta_between(&base, &result);
+        let path =
+            std::env::temp_dir().join(format!("soi-delta-test-{}.json", std::process::id()));
+        delta.write_to_file(&path).unwrap();
+        let back = DatasetDelta::read_from_file(&path).unwrap();
+        assert_eq!(back.header.result_checksum, delta.header.result_checksum);
+        assert_eq!(back.patch_size(), delta.patch_size());
+        std::fs::remove_file(&path).unwrap();
+        assert!(matches!(DatasetDelta::read_from_file(&path), Err(DeltaError::Io(_))));
+    }
+}

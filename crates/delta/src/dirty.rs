@@ -1,0 +1,205 @@
+//! Mapping an event batch to the minimal set of names whose confirmation
+//! must be recomputed.
+//!
+//! Confirmation ([`soi_core::Confirmer`]) is a pure function of the
+//! candidate's display name and the document chain reachable from it:
+//! the documents filed under the name itself, plus — recursively through
+//! holder names — the documents of every shareholder the resolver walks.
+//! An outcome cached from the previous generation therefore stays valid
+//! exactly when that whole chain is unchanged. The dirty set is the
+//! complement, computed from three sources:
+//!
+//! 1. the names (old and new, brand and legal) of every company an
+//!    ownership event touched;
+//! 2. every normalized subject name whose document list changed between
+//!    the two corpora — this is fingerprint-based rather than
+//!    event-based because corpus generation threads one RNG across
+//!    companies, so an event can perturb documents of companies far
+//!    downstream of it;
+//! 3. the fixpoint closure over subject→holder edges: a subject whose
+//!    resolution chain passes through a dirty holder name re-confirms
+//!    even if its own documents are untouched.
+//!
+//! Everything is keyed by *normalized* name, matching both the corpus
+//! index and the pipeline's candidate bookkeeping.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use soi_registry::as2org::normalize_org_name;
+use soi_sources::DocumentCorpus;
+use soi_types::{fnv1a64, CountryCode};
+use soi_worldgen::World;
+
+use crate::event::EventBatch;
+
+/// Names and countries invalidated by an event batch.
+#[derive(Clone, Debug, Default)]
+pub struct DirtySet {
+    /// Normalized names to evict from the confirmation cache.
+    pub names: HashSet<String>,
+    /// Countries owning an affected company in either generation — the
+    /// delta's blast radius at country granularity.
+    pub countries: BTreeSet<CountryCode>,
+}
+
+impl DirtySet {
+    /// Number of dirty names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when no name needs re-confirmation.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// FNV-1a fingerprint of each normalized subject name's document list.
+/// Documents are hashed in corpus order, which generation fixes, so equal
+/// fingerprints mean an identical document list.
+fn doc_fingerprints(corpus: &DocumentCorpus) -> HashMap<String, u64> {
+    let mut buffers: HashMap<String, Vec<u8>> = HashMap::new();
+    for doc in corpus.documents() {
+        let key = normalize_org_name(&doc.subject_name);
+        if key.is_empty() {
+            continue;
+        }
+        // Disclosures always serialize (plain data, no maps with
+        // non-string keys).
+        let bytes = serde_json::to_vec(doc).expect("disclosure serializes");
+        let buf = buffers.entry(key).or_default();
+        buf.extend_from_slice(&bytes);
+        buf.push(0x1e); // record separator: no ambiguity across documents
+    }
+    buffers.into_iter().map(|(k, v)| (k, fnv1a64(&v))).collect()
+}
+
+/// Computes the dirty set for `batch` between two generations.
+pub fn compute(
+    batch: &EventBatch,
+    base_world: &World,
+    evolved_world: &World,
+    base_corpus: &DocumentCorpus,
+    evolved_corpus: &DocumentCorpus,
+) -> DirtySet {
+    let mut names: HashSet<String> = HashSet::new();
+    let mut countries: BTreeSet<CountryCode> = BTreeSet::new();
+
+    // 1. Names of companies touched by ownership events — in both
+    // generations (a rebrand's old name lives only in the base world) and
+    // under both the brand and the legal name (registry records carry
+    // either).
+    for company in batch.ownership_companies() {
+        for world in [base_world, evolved_world] {
+            if let Some(c) = world.ownership.company(company) {
+                for name in [&c.name, &c.legal_name] {
+                    let key = normalize_org_name(name);
+                    if !key.is_empty() {
+                        names.insert(key);
+                    }
+                }
+                countries.insert(c.country);
+            }
+        }
+    }
+
+    // 2. Names whose document list changed.
+    let old_docs = doc_fingerprints(base_corpus);
+    let new_docs = doc_fingerprints(evolved_corpus);
+    for (key, fingerprint) in &new_docs {
+        if old_docs.get(key) != Some(fingerprint) {
+            names.insert(key.clone());
+        }
+    }
+    for key in old_docs.keys() {
+        if !new_docs.contains_key(key) {
+            names.insert(key.clone());
+        }
+    }
+
+    // 3. Fixpoint over subject→holder edges from both corpora: dirt
+    // propagates *up* the resolution chain (a subject is dirty if any
+    // holder it resolves through is dirty).
+    let mut edges: HashMap<String, HashSet<String>> = HashMap::new();
+    for corpus in [base_corpus, evolved_corpus] {
+        for doc in corpus.documents() {
+            let subject = normalize_org_name(&doc.subject_name);
+            if subject.is_empty() {
+                continue;
+            }
+            let entry = edges.entry(subject).or_default();
+            for (holder, _) in &doc.holders {
+                let key = normalize_org_name(holder);
+                if !key.is_empty() {
+                    entry.insert(key);
+                }
+            }
+        }
+    }
+    loop {
+        let mut grew = false;
+        for (subject, holders) in &edges {
+            if !names.contains(subject) && holders.iter().any(|h| names.contains(h)) {
+                names.insert(subject.clone());
+                grew = true;
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+
+    // Country blast radius of the full (closed) dirty set.
+    for world in [base_world, evolved_world] {
+        for c in world.ownership.companies() {
+            if names.contains(&normalize_org_name(&c.name)) {
+                countries.insert(c.country);
+            }
+        }
+    }
+
+    DirtySet { names, countries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soi_core::{InputConfig, PipelineInputs};
+    use soi_worldgen::{generate, ChurnConfig, WorldConfig};
+
+    #[test]
+    fn rebrands_dirty_both_old_and_new_names() {
+        let world = generate(&WorldConfig::test_scale(151)).unwrap();
+        let inputs = PipelineInputs::from_world(&world, &InputConfig::with_seed(151)).unwrap();
+        let cfg = ChurnConfig {
+            privatization_rate: 0.0,
+            nationalization_rate: 0.0,
+            acquisitions_per_year: 0.0,
+            rebrand_rate: 0.2,
+            seed: 13,
+        };
+        let (evolved, log) = cfg.evolve(&world, 0).unwrap();
+        assert!(!log.rebranded.is_empty(), "rebrands expected at this rate");
+        let refreshed =
+            PipelineInputs::refresh_from_base(&evolved, &InputConfig::with_seed(151), &inputs)
+                .unwrap();
+        let batch = EventBatch::from_churn(0, &log, &world, &evolved);
+        let dirty = compute(&batch, &world, &evolved, &inputs.corpus, &refreshed.corpus);
+        for &company in &log.rebranded {
+            let old_name = world.ownership.company(company).unwrap().name.clone();
+            let new_name = evolved.ownership.company(company).unwrap().name.clone();
+            assert!(dirty.names.contains(&normalize_org_name(&old_name)), "{old_name} not dirty");
+            assert!(dirty.names.contains(&normalize_org_name(&new_name)), "{new_name} not dirty");
+        }
+        assert!(!dirty.countries.is_empty());
+    }
+
+    #[test]
+    fn no_events_and_same_corpus_is_clean() {
+        let world = generate(&WorldConfig::test_scale(152)).unwrap();
+        let inputs = PipelineInputs::from_world(&world, &InputConfig::with_seed(152)).unwrap();
+        let batch = EventBatch::default();
+        let dirty = compute(&batch, &world, &world, &inputs.corpus, &inputs.corpus);
+        assert!(dirty.is_empty(), "{} names dirty with no events", dirty.len());
+    }
+}

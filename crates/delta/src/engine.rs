@@ -1,0 +1,261 @@
+//! The incremental recompute engine: events in, deltas out.
+//!
+//! A [`DeltaEngine`] holds one fully-materialized [`Generation`] (world,
+//! derived inputs, pipeline output, serving payload) and advances it one
+//! event batch at a time. Each step:
+//!
+//! 1. evolves the world (ownership churn via the configured
+//!    [`ChurnConfig`], or an arbitrary caller-perturbed world through
+//!    [`DeltaEngine::step_to_world`]);
+//! 2. re-derives inputs — *reusing* the expensive technical products
+//!    (BGP propagation, prefix→AS table, geolocation, eyeballs, CTI)
+//!    when the substrate is untouched, which is exactly what churn
+//!    guarantees, and recomputing them (emitting BGP-level events from
+//!    the table diff) when it is not;
+//! 3. computes the dirty name set ([`crate::dirty`]) and re-runs
+//!    candidate selection + confirmation only for it, feeding every
+//!    other name's outcome from the previous generation's cache
+//!    ([`Pipeline::run_cached`]);
+//! 4. diffs the resulting payload against the current one into a
+//!    checksummed [`DatasetDelta`] and makes the new generation current.
+//!
+//! The correctness oracle (asserted in `tests/delta.rs`): applying the
+//! emitted delta chain to the base payload yields a dataset
+//! byte-identical — modulo canonical ordering — to a from-scratch
+//! pipeline run on the evolved world.
+
+use soi_core::{
+    InputConfig, Pipeline, PipelineConfig, PipelineInputs, PipelineOutput, SnapshotPayload,
+};
+use soi_worldgen::{ChurnConfig, World};
+
+use crate::delta::{DatasetDelta, DeltaError, DeltaProvenance};
+use crate::dirty;
+use crate::event::EventBatch;
+
+/// Everything a delta stream derivation is parameterized by.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Input derivation (noise models, monitors, master seed).
+    pub input: InputConfig,
+    /// Pipeline parameters.
+    pub pipeline: PipelineConfig,
+    /// Annual churn rates + seed.
+    pub churn: ChurnConfig,
+}
+
+impl EngineConfig {
+    /// Paper-default pipeline and churn rates, all seeded from `seed`.
+    pub fn with_seed(seed: u64) -> EngineConfig {
+        EngineConfig {
+            input: InputConfig::with_seed(seed),
+            pipeline: PipelineConfig::default(),
+            churn: ChurnConfig { seed, ..ChurnConfig::default() },
+        }
+    }
+}
+
+/// One fully-materialized generation of the system.
+pub struct Generation {
+    /// The world this generation describes.
+    pub world: World,
+    /// Inputs derived from it.
+    pub inputs: PipelineInputs,
+    /// The pipeline run over those inputs (incl. the confirmation cache).
+    pub output: PipelineOutput,
+    /// The serving payload: dataset + announced table. For a base
+    /// generation this is exactly what `soi snapshot write` persists
+    /// (pipeline record order); for stepped generations it is canonical
+    /// order, matching what applying the step's delta produces.
+    pub payload: SnapshotPayload,
+}
+
+impl Generation {
+    /// Runs the full pipeline on `world` — the expensive, from-scratch
+    /// path every delta chain starts from.
+    pub fn base(world: World, cfg: &EngineConfig) -> Result<Generation, DeltaError> {
+        let inputs = PipelineInputs::from_world(&world, &cfg.input)?;
+        let output = Pipeline::run(&inputs, &cfg.pipeline);
+        Ok(Generation::from_parts(world, inputs, output))
+    }
+
+    /// Wraps an already-computed run (e.g. a shared test fixture) as a
+    /// generation without re-running anything.
+    pub fn from_parts(world: World, inputs: PipelineInputs, output: PipelineOutput) -> Generation {
+        let payload = SnapshotPayload {
+            dataset: output.dataset.clone(),
+            table: inputs.prefix_to_as.clone(),
+        };
+        Generation { world, inputs, output, payload }
+    }
+}
+
+/// Per-step accounting: how much work the incremental path avoided.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StepStats {
+    /// Events in the batch that drove the step.
+    pub events: usize,
+    /// Normalized names evicted and re-confirmed.
+    pub dirty_names: usize,
+    /// Cached confirmation outcomes carried over.
+    pub reused_outcomes: usize,
+    /// Total names confirmed in the new generation (cached + fresh).
+    pub total_names: usize,
+    /// Whether the technical substrate changed (forcing full BGP/geo/CTI
+    /// recomputation and BGP-level events).
+    pub substrate_changed: bool,
+}
+
+/// What one engine step yields: the patch and its accounting.
+pub struct EngineStep {
+    /// The delta upgrading the previous generation's payload to the new
+    /// one.
+    pub delta: DatasetDelta,
+    /// Work accounting.
+    pub stats: StepStats,
+}
+
+/// The incremental recompute engine.
+pub struct DeltaEngine {
+    cfg: EngineConfig,
+    current: Generation,
+    year: u32,
+}
+
+impl DeltaEngine {
+    /// Boots an engine by running the full pipeline on `world`.
+    pub fn new(world: World, cfg: EngineConfig) -> Result<DeltaEngine, DeltaError> {
+        let current = Generation::base(world, &cfg)?;
+        Ok(DeltaEngine::from_generation(current, cfg))
+    }
+
+    /// Boots an engine from an existing generation (no recompute).
+    pub fn from_generation(current: Generation, cfg: EngineConfig) -> DeltaEngine {
+        DeltaEngine { cfg, current, year: 0 }
+    }
+
+    /// The generation currently held (what a server would be serving).
+    pub fn current(&self) -> &Generation {
+        &self.current
+    }
+
+    /// The next churn year index [`DeltaEngine::step`] will run.
+    pub fn year(&self) -> u32 {
+        self.year
+    }
+
+    /// Advances one year of ownership churn and emits the delta.
+    pub fn step(&mut self) -> Result<EngineStep, DeltaError> {
+        let year = self.year;
+        let (evolved, log) = self.cfg.churn.evolve(&self.current.world, year)?;
+        let events = EventBatch::from_churn(year, &log, &self.current.world, &evolved);
+        let step = self.step_to_world(evolved, events)?;
+        self.year = year + 1;
+        Ok(step)
+    }
+
+    /// Advances to an arbitrary evolved world — the entry point for
+    /// substrate perturbations (prefix/topology changes) as well as the
+    /// churn path above. `events` should carry the ownership events that
+    /// explain the transition; BGP-level events are appended here when
+    /// the substrate differs.
+    pub fn step_to_world(
+        &mut self,
+        world: World,
+        mut events: EventBatch,
+    ) -> Result<EngineStep, DeltaError> {
+        let substrate_unchanged = world.prefix_assignments == self.current.world.prefix_assignments
+            && world.topology.num_links() == self.current.world.topology.num_links()
+            && world.users == self.current.world.users
+            && world.geo_blocks == self.current.world.geo_blocks;
+
+        let inputs = if substrate_unchanged {
+            PipelineInputs::refresh_from_base(&world, &self.cfg.input, &self.current.inputs)?
+        } else {
+            PipelineInputs::from_world(&world, &self.cfg.input)?
+        };
+        if !substrate_unchanged {
+            events.push_bgp_diff(&self.current.inputs.prefix_to_as, &inputs.prefix_to_as);
+        }
+
+        // Evict the dirty names; everything else confirms from cache.
+        let dirty_set = dirty::compute(
+            &events,
+            &self.current.world,
+            &world,
+            &self.current.inputs.corpus,
+            &inputs.corpus,
+        );
+        let mut cache = self.current.output.confirm_outcomes.clone();
+        cache.evict_all(&dirty_set.names);
+        let reused_outcomes = cache.len();
+        let output = Pipeline::run_cached(&inputs, &self.cfg.pipeline, &cache);
+
+        let mut dataset = output.dataset.clone();
+        dataset.canonicalize();
+        let payload = SnapshotPayload { dataset, table: inputs.prefix_to_as.clone() };
+
+        let stats = StepStats {
+            events: events.len(),
+            dirty_names: dirty_set.len(),
+            reused_outcomes,
+            total_names: output.confirm_outcomes.len(),
+            substrate_changed: !substrate_unchanged,
+        };
+        let provenance = DeltaProvenance {
+            tool: "soi-delta engine".into(),
+            seed: Some(self.cfg.input.seed),
+            year: Some(events.year),
+            comment: format!(
+                "{} events, {} dirty names, {} outcomes reused",
+                stats.events, stats.dirty_names, stats.reused_outcomes
+            ),
+        };
+        let delta = DatasetDelta::compute(
+            &self.current.payload,
+            &payload,
+            events,
+            stats.dirty_names,
+            stats.reused_outcomes,
+            dirty_set.countries.iter().copied().collect(),
+            provenance,
+        )?;
+
+        self.current = Generation { world, inputs, output, payload };
+        Ok(EngineStep { delta, stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soi_core::payload_checksum;
+    use soi_worldgen::{generate, WorldConfig};
+
+    #[test]
+    fn step_emits_a_delta_that_upgrades_the_previous_payload() {
+        let world = generate(&WorldConfig::test_scale(777)).unwrap();
+        let mut cfg = EngineConfig::with_seed(777);
+        // Rates high enough that a single year produces events.
+        cfg.churn.privatization_rate = 0.2;
+        cfg.churn.nationalization_rate = 0.1;
+        cfg.churn.rebrand_rate = 0.1;
+        let mut engine = DeltaEngine::new(world, cfg).unwrap();
+        let before = engine.current().payload.clone();
+        let step = engine.step().unwrap();
+        assert!(step.stats.events > 0, "no events at exaggerated rates");
+        assert!(!step.stats.substrate_changed, "churn must preserve the substrate");
+        assert!(
+            step.stats.reused_outcomes > 0,
+            "incremental step reused no cached outcomes"
+        );
+        assert!(step.stats.reused_outcomes + step.stats.dirty_names >= step.stats.total_names / 2);
+        // The delta upgrades exactly the payload the engine held before.
+        let applied = step.delta.apply(&before).unwrap();
+        assert_eq!(
+            payload_checksum(&applied).unwrap(),
+            payload_checksum(&engine.current().payload).unwrap()
+        );
+        assert_eq!(engine.year(), 1);
+    }
+}

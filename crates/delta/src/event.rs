@@ -1,0 +1,286 @@
+//! The event model: what changed in the world between two generations.
+//!
+//! Two event families feed the incremental engine:
+//!
+//! * **ownership events** — privatizations, nationalizations,
+//!   conglomerate acquisitions and rebrands, lifted from
+//!   [`soi_worldgen::ChurnLog`] and annotated with the company names the
+//!   confirmation stage keys on;
+//! * **BGP-level events** — prefix announcements, withdrawals and origin
+//!   changes, derived by diffing the prefix→AS tables of two propagation
+//!   runs after a topology/prefix perturbation.
+//!
+//! An [`EventBatch`] is the unit the engine maps to a dirty set and,
+//! ultimately, to one [`crate::DatasetDelta`]. Batches serialize into the
+//! delta artifact as provenance: a consumer can see *why* a delta exists,
+//! not just what it patches.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use soi_bgp::PrefixToAs;
+use soi_types::{Asn, CompanyId, Ipv4Prefix};
+use soi_worldgen::{ChurnLog, World};
+
+/// One observable change to the world between two generations.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorldEvent {
+    /// A majority-state operator's government stake fell below the line.
+    Privatized {
+        /// The company whose cap table changed.
+        company: CompanyId,
+        /// Its (current) commercial name.
+        name: String,
+    },
+    /// A private/minority operator was taken past 50% by its government.
+    Nationalized {
+        /// The company whose cap table changed.
+        company: CompanyId,
+        /// Its (current) commercial name.
+        name: String,
+    },
+    /// A state conglomerate bought majority control of a foreign operator.
+    Acquired {
+        /// The acquiring conglomerate.
+        parent: CompanyId,
+        /// Its commercial name.
+        parent_name: String,
+        /// The acquired operator.
+        target: CompanyId,
+        /// Its commercial name.
+        target_name: String,
+    },
+    /// A company changed its commercial name.
+    Rebranded {
+        /// The company that rebranded.
+        company: CompanyId,
+        /// The brand before the event.
+        old_name: String,
+        /// The brand after the event.
+        new_name: String,
+    },
+    /// A prefix appeared in the announced table.
+    PrefixAnnounced {
+        /// The newly-visible prefix.
+        prefix: Ipv4Prefix,
+        /// Its origin AS.
+        origin: Asn,
+    },
+    /// A prefix disappeared from the announced table.
+    PrefixWithdrawn {
+        /// The withdrawn prefix.
+        prefix: Ipv4Prefix,
+        /// The origin that previously announced it.
+        origin: Asn,
+    },
+    /// A prefix stayed announced but moved to a different origin AS.
+    OriginChanged {
+        /// The re-originated prefix.
+        prefix: Ipv4Prefix,
+        /// Origin before the event.
+        from: Asn,
+        /// Origin after the event.
+        to: Asn,
+    },
+}
+
+impl WorldEvent {
+    /// True for cap-table/name events (as opposed to BGP-level ones).
+    pub fn is_ownership(&self) -> bool {
+        matches!(
+            self,
+            WorldEvent::Privatized { .. }
+                | WorldEvent::Nationalized { .. }
+                | WorldEvent::Acquired { .. }
+                | WorldEvent::Rebranded { .. }
+        )
+    }
+
+    /// True for prefix-table events.
+    pub fn is_bgp(&self) -> bool {
+        !self.is_ownership()
+    }
+
+    /// Companies whose documentation trail this event touches.
+    pub fn companies(&self) -> Vec<CompanyId> {
+        match *self {
+            WorldEvent::Privatized { company, .. }
+            | WorldEvent::Nationalized { company, .. }
+            | WorldEvent::Rebranded { company, .. } => vec![company],
+            WorldEvent::Acquired { parent, target, .. } => vec![parent, target],
+            _ => Vec::new(),
+        }
+    }
+}
+
+/// All events between one generation and the next.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventBatch {
+    /// Churn year index the batch covers (0 = first step after the base).
+    pub year: u32,
+    /// The events, ownership first, BGP-level appended by
+    /// [`EventBatch::push_bgp_diff`].
+    pub events: Vec<WorldEvent>,
+}
+
+impl EventBatch {
+    /// Lifts a churn log into events, resolving company names against the
+    /// pre- and post-churn worlds (a rebrand's old name only exists in the
+    /// former, its new name only in the latter).
+    pub fn from_churn(year: u32, log: &ChurnLog, base: &World, evolved: &World) -> EventBatch {
+        let name_in = |world: &World, id: CompanyId| {
+            world.ownership.company(id).map(|c| c.name.clone()).unwrap_or_default()
+        };
+        let mut events = Vec::with_capacity(log.ownership_events() + log.rebranded.len());
+        for &company in &log.privatized {
+            events.push(WorldEvent::Privatized { company, name: name_in(evolved, company) });
+        }
+        for &company in &log.nationalized {
+            events.push(WorldEvent::Nationalized { company, name: name_in(evolved, company) });
+        }
+        for &(parent, target) in &log.acquired {
+            events.push(WorldEvent::Acquired {
+                parent,
+                parent_name: name_in(evolved, parent),
+                target,
+                target_name: name_in(evolved, target),
+            });
+        }
+        for &company in &log.rebranded {
+            events.push(WorldEvent::Rebranded {
+                company,
+                old_name: name_in(base, company),
+                new_name: name_in(evolved, company),
+            });
+        }
+        EventBatch { year, events }
+    }
+
+    /// Appends the BGP-level diff between two prefix→AS tables: prefixes
+    /// only in `new` are announcements, prefixes only in `old` are
+    /// withdrawals, and prefixes present in both with different origins
+    /// are origin changes. Event order is deterministic (the tables'
+    /// sorted entry order).
+    pub fn push_bgp_diff(&mut self, old: &PrefixToAs, new: &PrefixToAs) {
+        let old_map: HashMap<Ipv4Prefix, Asn> = old.entries().iter().copied().collect();
+        let new_map: HashMap<Ipv4Prefix, Asn> = new.entries().iter().copied().collect();
+        for &(prefix, origin) in new.entries() {
+            match old_map.get(&prefix) {
+                None => self.events.push(WorldEvent::PrefixAnnounced { prefix, origin }),
+                Some(&prev) if prev != origin => {
+                    self.events.push(WorldEvent::OriginChanged { prefix, from: prev, to: origin })
+                }
+                Some(_) => {}
+            }
+        }
+        for &(prefix, origin) in old.entries() {
+            if !new_map.contains_key(&prefix) {
+                self.events.push(WorldEvent::PrefixWithdrawn { prefix, origin });
+            }
+        }
+    }
+
+    /// All companies named by ownership events, deduplicated.
+    pub fn ownership_companies(&self) -> Vec<CompanyId> {
+        let mut out: Vec<CompanyId> = self.events.iter().flat_map(|e| e.companies()).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Number of ownership events in the batch.
+    pub fn ownership_count(&self) -> usize {
+        self.events.iter().filter(|e| e.is_ownership()).count()
+    }
+
+    /// Number of BGP-level events in the batch.
+    pub fn bgp_count(&self) -> usize {
+        self.events.iter().filter(|e| e.is_bgp()).count()
+    }
+
+    /// Total number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing happened.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soi_worldgen::{generate, ChurnConfig, WorldConfig};
+
+    #[test]
+    fn churn_log_lifts_to_named_events() {
+        let world = generate(&WorldConfig::test_scale(151)).unwrap();
+        let cfg = ChurnConfig {
+            privatization_rate: 0.3,
+            nationalization_rate: 0.2,
+            acquisitions_per_year: 5.0,
+            rebrand_rate: 0.2,
+            seed: 9,
+        };
+        let (evolved, log) = cfg.evolve(&world, 0).unwrap();
+        let batch = EventBatch::from_churn(0, &log, &world, &evolved);
+        assert_eq!(batch.ownership_count(), log.ownership_events() + log.rebranded.len());
+        assert_eq!(batch.bgp_count(), 0);
+        for event in &batch.events {
+            assert!(event.is_ownership());
+            match event {
+                WorldEvent::Rebranded { old_name, new_name, .. } => {
+                    assert_ne!(old_name, new_name);
+                    assert!(!old_name.is_empty() && !new_name.is_empty());
+                }
+                WorldEvent::Privatized { name, .. } | WorldEvent::Nationalized { name, .. } => {
+                    assert!(!name.is_empty());
+                }
+                WorldEvent::Acquired { parent_name, target_name, .. } => {
+                    assert!(!parent_name.is_empty() && !target_name.is_empty());
+                }
+                _ => unreachable!(),
+            }
+        }
+        // Companies touched by events are reported exactly once each.
+        let companies = batch.ownership_companies();
+        let mut dedup = companies.clone();
+        dedup.dedup();
+        assert_eq!(companies, dedup);
+    }
+
+    #[test]
+    fn bgp_diff_detects_all_three_event_kinds() {
+        let p = |s: &str| -> Ipv4Prefix { s.parse().unwrap() };
+        let old = PrefixToAs::from_entries([
+            (p("10.0.0.0/8"), Asn(1)),
+            (p("11.0.0.0/8"), Asn(2)),
+            (p("12.0.0.0/8"), Asn(3)),
+        ])
+        .unwrap();
+        let new = PrefixToAs::from_entries([
+            (p("10.0.0.0/8"), Asn(1)),  // unchanged
+            (p("11.0.0.0/8"), Asn(9)),  // origin change
+            (p("13.0.0.0/8"), Asn(4)),  // announced
+        ])
+        .unwrap();
+        let mut batch = EventBatch { year: 0, events: Vec::new() };
+        batch.push_bgp_diff(&old, &new);
+        assert_eq!(batch.bgp_count(), 3);
+        assert!(batch
+            .events
+            .contains(&WorldEvent::OriginChanged { prefix: p("11.0.0.0/8"), from: Asn(2), to: Asn(9) }));
+        assert!(batch
+            .events
+            .contains(&WorldEvent::PrefixAnnounced { prefix: p("13.0.0.0/8"), origin: Asn(4) }));
+        assert!(batch
+            .events
+            .contains(&WorldEvent::PrefixWithdrawn { prefix: p("12.0.0.0/8"), origin: Asn(3) }));
+        // Identical tables produce no events.
+        let mut quiet = EventBatch::default();
+        quiet.push_bgp_diff(&old, &old);
+        assert!(quiet.is_empty());
+    }
+}

@@ -1,0 +1,42 @@
+//! Incremental dataset updates for the state-owned-AS system.
+//!
+//! The paper's dataset describes one reference timeframe, but ownership
+//! is dynamic (§2, §9): operators privatize, nationalize, get acquired
+//! and rebrand, and the BGP substrate underneath them shifts. This crate
+//! makes the system *incrementally updatable* end-to-end instead of
+//! forcing a full pipeline rebuild per refresh:
+//!
+//! * [`event`] — the [`WorldEvent`]/[`EventBatch`] model: ownership
+//!   churn lifted from `worldgen::churn`, plus BGP-level events derived
+//!   by diffing prefix→AS tables after substrate perturbations;
+//! * [`dirty`] — maps an event batch to the minimal set of names whose
+//!   confirmation must re-run (event names ∪ changed-document names,
+//!   closed over holder-resolution edges);
+//! * [`engine`] — the [`DeltaEngine`]: re-derives only
+//!   ownership-sensitive inputs, re-confirms only the dirty set (cached
+//!   outcomes feed [`soi_core::Pipeline::run_cached`]), and emits a
+//!   [`DatasetDelta`] per step;
+//! * [`delta`] — the versioned, checksummed [`DatasetDelta`] artifact:
+//!   orgs added/removed/changed, mappings added/removed, provenance and
+//!   the exact base payload (by checksum) it applies to, plus
+//!   [`apply_chain`] and [`compact`] for folding a chain back into a
+//!   full snapshot.
+//!
+//! `soi-service` consumes deltas via `POST /admin/delta`; the CLI drives
+//! the loop with `soi delta make` and `soi snapshot compact`. The
+//! correctness oracle — delta chain ≡ full rebuild, modulo canonical
+//! ordering — is asserted in `tests/delta.rs` and measured in the
+//! `delta` criterion bench.
+
+pub mod delta;
+pub mod dirty;
+pub mod engine;
+pub mod event;
+
+pub use delta::{
+    apply_chain, compact, DatasetDelta, DeltaError, DeltaHeader, DeltaPayload, DeltaProvenance,
+    DELTA_FORMAT_VERSION, DELTA_MAGIC,
+};
+pub use dirty::DirtySet;
+pub use engine::{DeltaEngine, EngineConfig, EngineStep, Generation, StepStats};
+pub use event::{EventBatch, WorldEvent};

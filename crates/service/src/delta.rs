@@ -1,0 +1,248 @@
+//! The live write path: applying a [`DatasetDelta`] to the served index.
+//!
+//! `POST /admin/delta` ships a delta document to a running server; this
+//! module validates it against the *tracked payload* — the exact dataset
+//! and table the served index was built from, retained by the
+//! [`IndexSlot`] — applies it off to the side, rebuilds the index, and
+//! swaps both in atomically. The same discipline as snapshot reload
+//! applies:
+//!
+//! * everything fallible (checksum validation, base matching, conflict
+//!   detection, the apply itself, index construction) happens while the
+//!   old index still serves — rollback by construction, never by
+//!   restore;
+//! * a delta naming a different base payload (stale generation — e.g.
+//!   after an interleaved `/admin/reload`) is refused with a conflict,
+//!   not applied loosely;
+//! * reloads and delta applies share the slot's admin lock, so two
+//!   writers never interleave their read-compute-swap sequences;
+//! * accepted and refused deltas (and applied patch sizes) are counted
+//!   in `/metrics`.
+
+use std::sync::Arc;
+
+use serde::Serialize;
+use soi_core::SnapshotBuildInfo;
+use soi_delta::{DatasetDelta, DeltaError};
+
+use crate::index::{IndexSizes, ServiceIndex};
+use crate::metrics::Metrics;
+use crate::reload::IndexSlot;
+
+/// Result of a successful delta application, returned by
+/// `POST /admin/delta`.
+#[derive(Clone, Debug, Serialize)]
+pub struct DeltaOutcome {
+    /// Generation now being served.
+    pub generation: u64,
+    /// Canonical checksum of the payload now served — the base the
+    /// *next* delta in the chain must name.
+    pub payload_checksum: u64,
+    /// Organization records added by the patch.
+    pub orgs_added: usize,
+    /// Organization records removed by the patch.
+    pub orgs_removed: usize,
+    /// Prefix→origin mappings added by the patch.
+    pub mappings_added: usize,
+    /// Prefix→origin mappings removed by the patch.
+    pub mappings_removed: usize,
+    /// Sizes of the freshly built indexes.
+    pub index: IndexSizes,
+}
+
+/// Why a delta was refused, with the HTTP status the handler should
+/// answer with. The served index is untouched in every case.
+#[derive(Clone, Debug)]
+pub struct DeltaRejection {
+    /// 400 for a bad document, 409 for a stale/conflicting base, 500 for
+    /// internal failures.
+    pub status: u16,
+    /// Human-readable reason, returned as the error body.
+    pub error: String,
+}
+
+/// Maps a refusal to the HTTP status class: document problems are the
+/// client's (400), base problems are a conflict with the served state
+/// (409), everything else is internal (500).
+fn rejection_status(e: &DeltaError) -> u16 {
+    match e {
+        DeltaError::Malformed(_)
+        | DeltaError::WrongMagic(_)
+        | DeltaError::UnsupportedVersion { .. }
+        | DeltaError::ChecksumMismatch { .. } => 400,
+        DeltaError::BaseMismatch { .. } | DeltaError::Conflict(_) => 409,
+        _ => 500,
+    }
+}
+
+/// Validates `delta` against the slot's tracked payload, applies it,
+/// rebuilds the index, and swaps index + payload in one generation bump.
+/// Any failure leaves the slot untouched and is counted as a rejection.
+pub fn apply_delta(
+    slot: &IndexSlot,
+    delta: &DatasetDelta,
+    metrics: &Metrics,
+) -> Result<DeltaOutcome, DeltaRejection> {
+    let _guard = slot.admin_lock();
+    let Some((base, _)) = slot.payload() else {
+        metrics.record_delta_rejected();
+        return Err(DeltaRejection {
+            status: 409,
+            error: "server is not serving a tracked payload; start from (or reload) a snapshot \
+                    before applying deltas"
+                .into(),
+        });
+    };
+    match delta.apply(&base) {
+        Ok(new_payload) => {
+            let index =
+                Arc::new(ServiceIndex::build(new_payload.dataset.clone(), &new_payload.table));
+            let sizes = index.sizes();
+            let checksum = delta.header.result_checksum;
+            let build = SnapshotBuildInfo {
+                tool: "soi-delta apply".into(),
+                seed: delta.header.provenance.seed,
+                organizations: new_payload.dataset.organizations.len(),
+                announced_prefixes: new_payload.table.entries().len(),
+                comment: format!(
+                    "delta {} onto base {:016x}",
+                    delta
+                        .header
+                        .provenance
+                        .year
+                        .map_or_else(|| "(no year)".to_owned(), |y| format!("year {y}")),
+                    delta.header.base_checksum
+                ),
+            };
+            let generation =
+                slot.swap_full(index, Some(build), Some((Arc::new(new_payload), checksum)));
+            metrics.record_delta_ok(delta.patch_size());
+            Ok(DeltaOutcome {
+                generation,
+                payload_checksum: checksum,
+                orgs_added: delta.payload.orgs_added.len(),
+                orgs_removed: delta.payload.orgs_removed.len(),
+                mappings_added: delta.payload.mappings_added.len(),
+                mappings_removed: delta.payload.mappings_removed.len(),
+                index: sizes,
+            })
+        }
+        Err(e) => {
+            metrics.record_delta_rejected();
+            Err(DeltaRejection { status: rejection_status(&e), error: e.to_string() })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soi_bgp::PrefixToAs;
+    use soi_core::{payload_checksum, Dataset, OrgRecord, SnapshotPayload};
+    use soi_delta::{DatasetDelta, EventBatch};
+    use soi_types::{Asn, OrgId, Rir};
+
+    fn record(name: &str, asns: &[u32]) -> OrgRecord {
+        OrgRecord {
+            conglomerate_name: name.to_owned(),
+            org_id: Some(OrgId(1)),
+            org_name: name.to_owned(),
+            ownership_cc: "NO".parse().unwrap(),
+            ownership_country_name: "Norway".into(),
+            rir: Some(Rir::Ripe),
+            source: "Company's website".into(),
+            quote: "Major shareholdings: Government (54%)".into(),
+            quote_lang: "English".into(),
+            url: "https://example.net".into(),
+            additional_info: String::new(),
+            inputs: vec!['G'],
+            parent_org: None,
+            target_cc: None,
+            target_country_name: None,
+            asns: asns.iter().map(|&a| Asn(a)).collect(),
+        }
+    }
+
+    fn payload(orgs: &[(&str, u32)]) -> SnapshotPayload {
+        let organizations = orgs.iter().map(|&(name, asn)| record(name, &[asn])).collect();
+        let table = PrefixToAs::from_entries(
+            orgs.iter()
+                .enumerate()
+                .map(|(i, &(_, asn))| (format!("10.{i}.0.0/16").parse().unwrap(), Asn(asn))),
+        )
+        .unwrap();
+        let mut dataset = Dataset { organizations };
+        dataset.canonicalize();
+        SnapshotPayload { dataset, table }
+    }
+
+    fn delta_between(base: &SnapshotPayload, result: &SnapshotPayload) -> DatasetDelta {
+        DatasetDelta::compute(
+            base,
+            result,
+            EventBatch::default(),
+            0,
+            0,
+            Vec::new(),
+            soi_delta::DeltaProvenance {
+                tool: "service-delta-test".into(),
+                seed: Some(1),
+                year: Some(0),
+                comment: String::new(),
+            },
+        )
+        .unwrap()
+    }
+
+    fn slot_with(payload: &SnapshotPayload) -> IndexSlot {
+        let index = ServiceIndex::build(payload.dataset.clone(), &payload.table);
+        let slot = IndexSlot::new(Arc::new(index), None);
+        slot.attach_payload(
+            Arc::new(payload.clone()),
+            payload_checksum(payload).unwrap(),
+        );
+        slot
+    }
+
+    #[test]
+    fn apply_swaps_index_and_advances_the_tracked_base() {
+        let base = payload(&[("Telenor", 2119)]);
+        let next = payload(&[("Telenor", 2119), ("PTCL", 17557)]);
+        let delta = delta_between(&base, &next);
+        let slot = slot_with(&base);
+        let metrics = Metrics::new();
+
+        assert!(!slot.load().lookup_asn(Asn(17557)).state_owned);
+        let outcome = apply_delta(&slot, &delta, &metrics).expect("delta applies");
+        assert_eq!(outcome.generation, 2);
+        assert_eq!(outcome.orgs_added, 1);
+        assert!(slot.load().lookup_asn(Asn(17557)).state_owned);
+        // The tracked base moved to the delta's result, so the *same*
+        // delta is now stale and refused with a conflict.
+        let rejection = apply_delta(&slot, &delta, &metrics).expect_err("stale delta");
+        assert_eq!(rejection.status, 409, "{}", rejection.error);
+        assert!(rejection.error.contains("stale"), "{}", rejection.error);
+        assert_eq!(slot.generation(), 2, "refusal leaves the swap count alone");
+        assert!(slot.load().lookup_asn(Asn(17557)).state_owned);
+
+        let snap = metrics.snapshot(0, &slot.status());
+        assert_eq!(snap.deltas_applied, 1);
+        assert_eq!(snap.deltas_rejected, 1);
+        assert_eq!(snap.delta_records_applied as usize, delta.patch_size());
+        assert_eq!(snap.payload_checksum, Some(outcome.payload_checksum));
+    }
+
+    #[test]
+    fn untracked_slot_refuses_deltas() {
+        let base = payload(&[("Telenor", 2119)]);
+        let next = payload(&[("PTCL", 17557)]);
+        let delta = delta_between(&base, &next);
+        let index = ServiceIndex::build(base.dataset.clone(), &base.table);
+        let slot = IndexSlot::new(Arc::new(index), None); // no attach_payload
+        let metrics = Metrics::new();
+        let rejection = apply_delta(&slot, &delta, &metrics).expect_err("no tracked payload");
+        assert_eq!(rejection.status, 409);
+        assert!(rejection.error.contains("tracked payload"), "{}", rejection.error);
+        assert_eq!(metrics.snapshot(0, &slot.status()).deltas_rejected, 1);
+    }
+}

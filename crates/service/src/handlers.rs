@@ -13,9 +13,15 @@
 //! | `GET /search?q=needle[&limit=n]` | org-name substring search |
 //! | `GET /dataset` | whole-dataset summary |
 //! | `POST /admin/reload` | re-read the snapshot file and swap the index |
+//! | `POST /admin/delta` | apply a `soi-delta` patch to the served payload |
 //!
 //! `/admin/reload` answers `409` when the server is not serving from a
 //! snapshot file, and `500` (old index kept) when the file is rejected.
+//! `/admin/delta` answers `400` for a malformed or checksum-failing
+//! document, `409` when the delta names a different base payload than
+//! the one being served (stale generation — e.g. after a reload) or
+//! conflicts with it, and `500` for internal failures; in every failure
+//! case the old index keeps serving.
 //!
 //! Errors are uniform JSON: `{"error": "..."}` with 400/404/405/409
 //! status.
@@ -56,6 +62,9 @@ pub fn respond(state: &ServerState, queue_depth: usize, req: &Request) -> (&'sta
     if let ["admin", "reload"] = *segments.as_slice() {
         return ("admin", admin_reload(state, req));
     }
+    if let ["admin", "delta"] = *segments.as_slice() {
+        return ("admin", admin_delta(state, req));
+    }
     if req.method != "GET" {
         return ("other", Response::error(405, &format!("method {} not allowed", req.method)));
     }
@@ -95,6 +104,33 @@ fn admin_reload(state: &ServerState, req: &Request) -> Response {
     match reloader.reload(&state.metrics) {
         Ok(outcome) => Response::json(200, &outcome),
         Err(e) => Response::error(500, &format!("reload failed, keeping current index: {e}")),
+    }
+}
+
+/// `POST /admin/delta`: parse the request body as a [`DatasetDelta`],
+/// validate it against the served payload, and apply it. Every failure
+/// leaves the current index serving; see the module docs for the status
+/// mapping.
+fn admin_delta(state: &ServerState, req: &Request) -> Response {
+    if req.method != "POST" {
+        return Response::error(405, "delta apply requires POST");
+    }
+    let Ok(text) = std::str::from_utf8(&req.body) else {
+        return Response::error(400, "delta body is not valid UTF-8");
+    };
+    // from_json validates magic, format version and the document's own
+    // checksum; base matching happens inside apply_delta under the admin
+    // lock.
+    let delta = match soi_delta::DatasetDelta::from_json(text) {
+        Ok(delta) => delta,
+        Err(e) => return Response::error(400, &format!("invalid delta document: {e}")),
+    };
+    match crate::delta::apply_delta(&state.slot, &delta, &state.metrics) {
+        Ok(outcome) => Response::json(200, &outcome),
+        Err(rejection) => Response::error(
+            rejection.status,
+            &format!("delta refused, keeping current index: {}", rejection.error),
+        ),
     }
 }
 
@@ -187,7 +223,14 @@ mod tests {
     }
 
     fn request(method: &str, target: &str) -> Request {
-        let raw = format!("{method} {target} HTTP/1.1\r\nContent-Length: 0\r\n\r\n");
+        request_with_body(method, target, "")
+    }
+
+    fn request_with_body(method: &str, target: &str, body: &str) -> Request {
+        let raw = format!(
+            "{method} {target} HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
         let mut reader = BufReader::new(raw.as_bytes());
         crate::http::read_request(&mut reader).unwrap()
     }
@@ -258,6 +301,68 @@ mod tests {
         let (label, resp) = respond(&st, 0, &request("GET", "/admin/reload"));
         assert_eq!(label, "admin");
         assert_eq!(resp.status, 405);
+    }
+
+    #[test]
+    fn admin_delta_rejections_map_to_statuses() {
+        let st = state();
+        // Wrong method is a 405 on the delta route too.
+        let (label, resp) = respond(&st, 0, &request("GET", "/admin/delta"));
+        assert_eq!(label, "admin");
+        assert_eq!(resp.status, 405);
+        // A body that is not a delta document is the client's problem.
+        let (label, resp) = respond(&st, 0, &request_with_body("POST", "/admin/delta", "{}"));
+        assert_eq!(label, "admin");
+        assert_eq!(resp.status, 400, "{}", body(&resp));
+        // Not JSON at all.
+        let (_, resp) = respond(&st, 0, &request_with_body("POST", "/admin/delta", "nope"));
+        assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn admin_delta_applies_against_the_tracked_payload() {
+        use soi_core::{payload_checksum, SnapshotPayload};
+        use soi_delta::{DatasetDelta, DeltaProvenance, EventBatch};
+
+        let st = state();
+        let base_index = st.slot.load();
+        let mut dataset = base_index.dataset().clone();
+        dataset.canonicalize();
+        let table = PrefixToAs::from_entries([("10.0.0.0/8".parse().unwrap(), Asn(2119))]).unwrap();
+        let base = SnapshotPayload { dataset: dataset.clone(), table: table.clone() };
+        st.slot.attach_payload(Arc::new(base.clone()), payload_checksum(&base).unwrap());
+
+        let mut grown = dataset;
+        let mut newcomer = base.dataset.organizations[0].clone();
+        newcomer.org_name = "PTCL".into();
+        newcomer.conglomerate_name = "PTCL".into();
+        newcomer.asns = vec![Asn(17557)];
+        grown.organizations.push(newcomer);
+        grown.canonicalize();
+        let next = SnapshotPayload { dataset: grown, table };
+        let delta = DatasetDelta::compute(
+            &base,
+            &next,
+            EventBatch::default(),
+            0,
+            0,
+            Vec::new(),
+            DeltaProvenance::default(),
+        )
+        .unwrap();
+        let doc = delta.to_json().unwrap();
+
+        assert!(!st.slot.load().lookup_asn(Asn(17557)).state_owned);
+        let (label, resp) = respond(&st, 0, &request_with_body("POST", "/admin/delta", &doc));
+        assert_eq!(label, "admin");
+        assert_eq!(resp.status, 200, "{}", body(&resp));
+        assert!(body(&resp).contains("\"generation\":2"), "{}", body(&resp));
+        assert!(st.slot.load().lookup_asn(Asn(17557)).state_owned);
+
+        // The same delta again is stale: the tracked base moved on.
+        let (_, resp) = respond(&st, 0, &request_with_body("POST", "/admin/delta", &doc));
+        assert_eq!(resp.status, 409, "{}", body(&resp));
+        assert!(body(&resp).contains("stale"), "{}", body(&resp));
     }
 
     #[test]

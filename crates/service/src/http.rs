@@ -15,8 +15,10 @@ use serde::Serialize;
 const MAX_LINE: usize = 8 * 1024;
 /// Most headers accepted per request.
 const MAX_HEADERS: usize = 100;
-/// Largest tolerated (and discarded) request body, bytes.
-const MAX_BODY: usize = 64 * 1024;
+/// Largest accepted request body, bytes. Sized for the write path: a
+/// paper-scale `POST /admin/delta` document carries full org records both
+/// ways plus prefix mappings, which can reach hundreds of kilobytes.
+const MAX_BODY: usize = 4 * 1024 * 1024;
 
 /// Why a request could not be served from the wire.
 #[derive(Debug)]
@@ -61,6 +63,9 @@ pub struct Request {
     /// True when the connection should stay open after the response
     /// (HTTP/1.1 default, overridden by `Connection: close`).
     pub keep_alive: bool,
+    /// Request body bytes (empty for the common GET case). Bounded by
+    /// `MAX_BODY`; always fully consumed so keep-alive framing holds.
+    pub body: Vec<u8>,
 }
 
 impl Request {
@@ -147,20 +152,21 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Request, HttpError> {
         )));
     }
 
-    // Bodies carry nothing for this API; read and discard so the next
-    // keep-alive request starts at a message boundary.
+    // Read the full body (the admin write path consumes it; everything
+    // else ignores it) so the next keep-alive request starts at a
+    // message boundary.
     if content_length > MAX_BODY {
         return Err(HttpError::TooLarge(format!("body of {content_length} bytes")));
     }
-    let mut remaining = content_length;
-    let mut scratch = [0u8; 1024];
-    while remaining > 0 {
-        let want = remaining.min(scratch.len());
-        let got = std::io::Read::read(reader, &mut scratch[..want]).map_err(HttpError::from)?;
+    let mut body = vec![0u8; content_length];
+    let mut filled = 0;
+    while filled < content_length {
+        let got =
+            std::io::Read::read(reader, &mut body[filled..]).map_err(HttpError::from)?;
         if got == 0 {
             return Err(HttpError::BadRequest("body shorter than content-length".into()));
         }
-        remaining -= got;
+        filled += got;
     }
 
     let (raw_path, raw_query) = match target.split_once('?') {
@@ -173,7 +179,7 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Request, HttpError> {
     let path = percent_decode(raw_path, false);
     let query = raw_query.map(parse_query).unwrap_or_default();
 
-    Ok(Request { method, path, query, keep_alive })
+    Ok(Request { method, path, query, keep_alive, body })
 }
 
 fn read_line(reader: &mut impl BufRead) -> Result<String, HttpError> {
@@ -392,14 +398,22 @@ mod tests {
     }
 
     #[test]
-    fn discards_body_to_keep_framing() {
+    fn reads_body_and_keeps_framing() {
         let raw =
             "GET /healthz HTTP/1.1\r\nContent-Length: 5\r\n\r\nhelloGET /next HTTP/1.1\r\n\r\n";
         let mut r = BufReader::new(raw.as_bytes());
         let first = read_request(&mut r).unwrap();
         assert_eq!(first.path, "/healthz");
+        assert_eq!(first.body, b"hello", "body is retained for the admin write path");
+        // Framing holds: the next request starts exactly after the body.
         let second = read_request(&mut r).unwrap();
         assert_eq!(second.path, "/next");
+        assert!(second.body.is_empty());
+        // A short body is a framing error, not a silent truncation.
+        assert!(matches!(
+            parse("POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nhi"),
+            Err(HttpError::BadRequest(_))
+        ));
     }
 
     #[test]

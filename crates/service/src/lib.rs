@@ -17,7 +17,11 @@
 //! * zero-downtime reload ([`reload`]): the index lives in an
 //!   [`IndexSlot`] and a [`Reloader`] swaps in a freshly validated
 //!   snapshot (`POST /admin/reload` or SIGHUP) without dropping a
-//!   request; rejected snapshots leave the old index serving.
+//!   request; rejected snapshots leave the old index serving,
+//! * a live write path ([`delta`]): `POST /admin/delta` applies a
+//!   checksummed `soi-delta` patch to the tracked served payload and
+//!   swaps the rebuilt index in the same zero-downtime way; stale or
+//!   conflicting deltas are refused with the old index untouched.
 //!
 //! No async runtime, no HTTP dependency: request parsing is hand-rolled
 //! in [`http`], JSON comes from the workspace's existing `serde_json`.
@@ -36,6 +40,7 @@
 //! # }
 //! ```
 
+pub mod delta;
 pub mod handlers;
 pub mod http;
 pub mod index;
@@ -43,6 +48,7 @@ pub mod metrics;
 pub mod reload;
 pub mod server;
 
+pub use delta::{apply_delta, DeltaOutcome, DeltaRejection};
 pub use index::{
     AsnAnswer, CountrySummary, DatasetSummary, IndexSizes, IpAnswer, SearchHit, ServiceIndex,
 };

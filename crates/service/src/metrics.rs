@@ -127,6 +127,10 @@ pub struct ServiceStatus {
     /// Build metadata of the currently served snapshot, when the server
     /// was started from one.
     pub snapshot_build: Option<SnapshotBuildInfo>,
+    /// Canonical checksum of the tracked payload the served index was
+    /// built from — the base `POST /admin/delta` patches must name.
+    /// `None` when no payload is tracked (deltas are refused).
+    pub payload_checksum: Option<u64>,
 }
 
 /// All counters the server maintains.
@@ -148,6 +152,14 @@ pub struct Metrics {
     reloads_ok: AtomicU64,
     /// Refused reloads (corrupt/mismatched snapshot; old index kept).
     reloads_failed: AtomicU64,
+    /// Deltas applied through `POST /admin/delta`.
+    deltas_applied: AtomicU64,
+    /// Deltas refused (stale base, bad checksum, conflict; old index
+    /// kept).
+    deltas_rejected: AtomicU64,
+    /// Patch records (org add/remove + mapping add/remove) applied across
+    /// all accepted deltas.
+    delta_records: AtomicU64,
     per_route: [AtomicU64; ROUTES.len()],
     latency: Histogram,
 }
@@ -165,6 +177,9 @@ impl Metrics {
             in_flight: AtomicU64::new(0),
             reloads_ok: AtomicU64::new(0),
             reloads_failed: AtomicU64::new(0),
+            deltas_applied: AtomicU64::new(0),
+            deltas_rejected: AtomicU64::new(0),
+            delta_records: AtomicU64::new(0),
             per_route: std::array::from_fn(|_| AtomicU64::new(0)),
             latency: Histogram::default(),
         }
@@ -206,6 +221,17 @@ impl Metrics {
         self.reloads_failed.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts one applied delta and the patch records it carried.
+    pub fn record_delta_ok(&self, patch_records: usize) {
+        self.deltas_applied.fetch_add(1, Ordering::Relaxed);
+        self.delta_records.fetch_add(patch_records as u64, Ordering::Relaxed);
+    }
+
+    /// Counts one refused delta (the old index kept serving).
+    pub fn record_delta_rejected(&self) {
+        self.deltas_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Marks a request as in flight; decremented by [`Metrics::end_request`].
     pub fn begin_request(&self) {
         self.in_flight.fetch_add(1, Ordering::Relaxed);
@@ -241,8 +267,12 @@ impl Metrics {
             in_flight: self.in_flight.load(Ordering::Relaxed),
             reloads_total: self.reloads_ok.load(Ordering::Relaxed),
             reload_failures: self.reloads_failed.load(Ordering::Relaxed),
+            deltas_applied: self.deltas_applied.load(Ordering::Relaxed),
+            deltas_rejected: self.deltas_rejected.load(Ordering::Relaxed),
+            delta_records_applied: self.delta_records.load(Ordering::Relaxed),
             generation: status.generation,
             snapshot_build: status.snapshot_build.clone(),
+            payload_checksum: status.payload_checksum,
             queue_depth,
             per_route,
             latency: self.latency.summary(),
@@ -278,10 +308,19 @@ pub struct MetricsSnapshot {
     pub reloads_total: u64,
     /// Reload attempts refused (old index kept serving).
     pub reload_failures: u64,
+    /// Deltas applied through `POST /admin/delta` since boot.
+    pub deltas_applied: u64,
+    /// Delta attempts refused (old index kept serving).
+    pub deltas_rejected: u64,
+    /// Patch records applied across all accepted deltas.
+    pub delta_records_applied: u64,
     /// Current index generation (1 = boot index).
     pub generation: u64,
     /// Provenance of the served snapshot, when started from one.
     pub snapshot_build: Option<SnapshotBuildInfo>,
+    /// Canonical checksum of the tracked served payload, if any — the
+    /// base the next delta must name.
+    pub payload_checksum: Option<u64>,
     /// Connections waiting in the accept queue right now.
     pub queue_depth: usize,
     /// Requests per route.
@@ -393,5 +432,20 @@ mod tests {
         assert_eq!(snap.reloads_total, 2);
         assert_eq!(snap.reload_failures, 1);
         assert!(snap.snapshot_build.is_none());
+    }
+
+    #[test]
+    fn delta_counters_accumulate_applies_rejections_and_patch_sizes() {
+        let m = Metrics::new();
+        m.record_delta_ok(7);
+        m.record_delta_ok(3);
+        m.record_delta_rejected();
+        let status =
+            ServiceStatus { payload_checksum: Some(0xdead_beef), ..ServiceStatus::default() };
+        let snap = m.snapshot(0, &status);
+        assert_eq!(snap.deltas_applied, 2);
+        assert_eq!(snap.deltas_rejected, 1);
+        assert_eq!(snap.delta_records_applied, 10);
+        assert_eq!(snap.payload_checksum, Some(0xdead_beef));
     }
 }

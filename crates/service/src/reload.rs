@@ -23,10 +23,10 @@
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 
 use serde::Serialize;
-use soi_core::{Snapshot, SnapshotBuildInfo, SnapshotError};
+use soi_core::{Snapshot, SnapshotBuildInfo, SnapshotError, SnapshotPayload};
 
 use crate::index::{IndexSizes, ServiceIndex};
 use crate::metrics::{Metrics, ServiceStatus};
@@ -36,20 +36,34 @@ use crate::metrics::{Metrics, ServiceStatus};
 /// `load` is a read-lock plus an `Arc` clone — no data is copied, and the
 /// lock is held only for the clone, so readers never contend with each
 /// other and a swap stalls them only for the duration of a pointer store.
+///
+/// Next to the index the slot can *track* the exact payload (dataset +
+/// table) the index was built from, keyed by its canonical checksum —
+/// the state the delta write path (`POST /admin/delta`) validates and
+/// applies against. A slot without a tracked payload still serves reads
+/// and reloads; it just refuses deltas.
 pub struct IndexSlot {
     current: RwLock<Arc<ServiceIndex>>,
     generation: AtomicU64,
     build_info: RwLock<Option<SnapshotBuildInfo>>,
+    payload: RwLock<Option<(Arc<SnapshotPayload>, u64)>>,
+    /// Serializes administrative swaps — snapshot reloads and delta
+    /// applies — so two admin operations never interleave their
+    /// read-compute-swap sequences.
+    admin: Mutex<()>,
 }
 
 impl IndexSlot {
     /// A slot serving `index` at generation 1. `build_info` carries the
-    /// snapshot provenance when the index came from one.
+    /// snapshot provenance when the index came from one. No payload is
+    /// tracked yet; see [`IndexSlot::attach_payload`].
     pub fn new(index: Arc<ServiceIndex>, build_info: Option<SnapshotBuildInfo>) -> IndexSlot {
         IndexSlot {
             current: RwLock::new(index),
             generation: AtomicU64::new(1),
             build_info: RwLock::new(build_info),
+            payload: RwLock::new(None),
+            admin: Mutex::new(()),
         }
     }
 
@@ -61,11 +75,46 @@ impl IndexSlot {
     }
 
     /// Atomically replaces the served index, bumping and returning the new
-    /// generation.
+    /// generation. Drops any tracked payload (the new index's source is
+    /// unknown); use [`IndexSlot::swap_full`] to keep the delta write
+    /// path armed.
     pub fn swap(&self, index: Arc<ServiceIndex>, build_info: Option<SnapshotBuildInfo>) -> u64 {
+        self.swap_full(index, build_info, None)
+    }
+
+    /// Atomically replaces the served index *and* the tracked payload it
+    /// was built from, bumping and returning the new generation.
+    pub fn swap_full(
+        &self,
+        index: Arc<ServiceIndex>,
+        build_info: Option<SnapshotBuildInfo>,
+        payload: Option<(Arc<SnapshotPayload>, u64)>,
+    ) -> u64 {
+        *self.payload.write().expect("payload lock") = payload;
         *self.build_info.write().expect("build info lock") = build_info;
         *self.current.write().expect("index slot lock") = index;
         self.generation.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Records the payload the *current* index was built from (and its
+    /// canonical checksum) without bumping the generation — used at boot,
+    /// where the index and payload are installed together.
+    pub fn attach_payload(&self, payload: Arc<SnapshotPayload>, checksum: u64) {
+        *self.payload.write().expect("payload lock") = Some((payload, checksum));
+    }
+
+    /// The tracked payload and its checksum, if the served index came
+    /// from one.
+    pub fn payload(&self) -> Option<(Arc<SnapshotPayload>, u64)> {
+        self.payload.read().expect("payload lock").clone()
+    }
+
+    /// Takes the admin lock shared by every administrative swap (reload,
+    /// delta apply). Held across the whole read-compute-swap sequence so
+    /// concurrent admin operations run one after the other against a
+    /// stable base.
+    pub fn admin_lock(&self) -> MutexGuard<'_, ()> {
+        self.admin.lock().expect("admin lock")
     }
 
     /// Current reload generation (1 = boot index).
@@ -84,6 +133,7 @@ impl IndexSlot {
             index: self.load().sizes(),
             generation: self.generation(),
             snapshot_build: self.build_info(),
+            payload_checksum: self.payload().map(|(_, checksum)| checksum),
         }
     }
 }
@@ -102,14 +152,13 @@ pub struct ReloadOutcome {
 struct ReloaderInner {
     path: PathBuf,
     slot: Arc<IndexSlot>,
-    /// Serializes concurrent reload attempts (admin endpoint + SIGHUP).
-    in_progress: Mutex<()>,
 }
 
 /// Re-reads a snapshot file and swaps it into an [`IndexSlot`].
 ///
-/// Cheap to clone; clones share the same serialization lock, so two
-/// triggers racing each other perform two orderly reloads, not a torn one.
+/// Cheap to clone; clones share the slot's admin lock, so two triggers
+/// racing each other (or a reload racing a delta apply) perform two
+/// orderly swaps, not a torn one.
 #[derive(Clone)]
 pub struct Reloader {
     inner: Arc<ReloaderInner>,
@@ -118,13 +167,7 @@ pub struct Reloader {
 impl Reloader {
     /// A reloader that refreshes `slot` from the snapshot at `path`.
     pub fn new(path: impl Into<PathBuf>, slot: Arc<IndexSlot>) -> Reloader {
-        Reloader {
-            inner: Arc::new(ReloaderInner {
-                path: path.into(),
-                slot,
-                in_progress: Mutex::new(()),
-            }),
-        }
+        Reloader { inner: Arc::new(ReloaderInner { path: path.into(), slot }) }
     }
 
     /// The snapshot file this reloader watches.
@@ -133,19 +176,25 @@ impl Reloader {
     }
 
     /// Re-reads the snapshot, validates version + checksum, builds the new
-    /// index and swaps it in. On *any* failure the slot is untouched — the
-    /// old generation keeps serving — and the failure is counted in
-    /// `metrics`.
+    /// index and swaps it in — together with the snapshot's payload and
+    /// checksum, so the delta write path tracks the new base. On *any*
+    /// failure the slot is untouched — the old generation keeps serving —
+    /// and the failure is counted in `metrics`.
     pub fn reload(&self, metrics: &Metrics) -> Result<ReloadOutcome, SnapshotError> {
-        let _guard = self.inner.in_progress.lock().expect("reload lock");
+        let _guard = self.inner.slot.admin_lock();
         // Read + validate + build BEFORE touching the slot: everything
         // fallible happens while the old index still serves.
         match Snapshot::read_from_file(&self.inner.path) {
             Ok(snapshot) => {
                 let build = snapshot.header.build.clone();
+                let checksum = snapshot.header.checksum_fnv1a64;
+                let payload = Arc::new(snapshot.payload.clone());
                 let index = Arc::new(ServiceIndex::from_snapshot(snapshot));
                 let sizes = index.sizes();
-                let generation = self.inner.slot.swap(index, Some(build.clone()));
+                let generation = self
+                    .inner
+                    .slot
+                    .swap_full(index, Some(build.clone()), Some((payload, checksum)));
                 metrics.record_reload_ok();
                 Ok(ReloadOutcome { generation, index: sizes, snapshot_build: build })
             }
@@ -213,14 +262,19 @@ mod tests {
         assert_eq!(slot.generation(), 1);
         assert!(slot.load().lookup_asn(Asn(2119)).state_owned);
         assert!(!slot.load().lookup_asn(Asn(4000)).state_owned);
+        assert!(slot.payload().is_none(), "boot without attach tracks no payload");
 
-        // A good new snapshot swaps in as generation 2.
+        // A good new snapshot swaps in as generation 2 and the slot now
+        // tracks its payload (arming the delta write path).
         snapshot("PTCL", 4000).write_to_file(&path).unwrap();
         let outcome = reloader.reload(&metrics).expect("reload succeeds");
         assert_eq!(outcome.generation, 2);
         assert_eq!(slot.generation(), 2);
         assert!(slot.load().lookup_asn(Asn(4000)).state_owned);
         assert!(!slot.load().lookup_asn(Asn(2119)).state_owned);
+        let (payload, checksum) = slot.payload().expect("reload tracks the payload");
+        assert_eq!(payload.dataset.organizations[0].org_name, "PTCL");
+        assert_eq!(checksum, snapshot("PTCL", 4000).header.checksum_fnv1a64);
 
         // A corrupt file is refused and generation 2 keeps serving.
         std::fs::write(&path, "this is not a snapshot").unwrap();
@@ -240,6 +294,7 @@ mod tests {
         let status = slot.status();
         assert_eq!(status.generation, 2);
         assert_eq!(status.snapshot_build.unwrap().tool, "reload-test");
+        assert_eq!(status.payload_checksum, Some(checksum));
         let snap = metrics.snapshot(0, &slot.status());
         assert_eq!(snap.reloads_total, 1);
         assert_eq!(snap.reload_failures, 2);

@@ -8,6 +8,7 @@ pub use soi_analysis as analysis;
 pub use soi_bgp as bgp;
 pub use soi_core as core;
 pub use soi_cti as cti;
+pub use soi_delta as delta;
 pub use soi_eyeballs as eyeballs;
 pub use soi_geo as geo;
 pub use soi_ownership as ownership;

@@ -10,11 +10,17 @@
 //!   cti <CC> [k]           top transit ASes of a country by CTI
 //!   ageing [years]         frozen-dataset decay under ownership churn
 //!   snapshot write PATH    run the pipeline and persist the result
-//!   snapshot inspect PATH  print a snapshot's header without serving it
+//!   snapshot inspect PATH [--json]
+//!                          print a snapshot's header without serving it
+//!   snapshot compact BASE OUT DELTA...
+//!                          fold a delta chain into a full snapshot
+//!   delta make --out DIR [--years N]
+//!                          base snapshot + one delta file per churn year
 //!   serve [--port P]       HTTP query service over the dataset
 //!         [--snapshot PATH]  serve from a snapshot file (skips worldgen
 //!                            + pipeline; SIGHUP / POST /admin/reload
-//!                            re-reads the file with zero downtime)
+//!                            re-reads the file with zero downtime; POST
+//!                            /admin/delta patches the served payload)
 //! ```
 //!
 //! Without `--snapshot`, every command regenerates the world from the
@@ -26,8 +32,10 @@ use soi_analysis::headline::Headline;
 use soi_analysis::render::render_table;
 use state_owned_ases::analysis::ageing::AgeingReport;
 use state_owned_ases::core::{
-    Evaluation, InputConfig, Pipeline, PipelineConfig, PipelineInputs, Snapshot, SnapshotBuildInfo,
+    payload_checksum, Evaluation, InputConfig, Pipeline, PipelineConfig, PipelineInputs, Snapshot,
+    SnapshotBuildInfo, SnapshotPayload,
 };
+use state_owned_ases::delta::{compact, DatasetDelta, DeltaEngine, EngineConfig};
 use state_owned_ases::registry::rpsl;
 use state_owned_ases::service::{self, IndexSlot, Reloader, ServerConfig, ServiceIndex};
 use state_owned_ases::types::{Asn, CountryCode};
@@ -36,7 +44,6 @@ use state_owned_ases::worldgen::{generate, ChurnConfig, World, WorldConfig};
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let seed = extract_flag(&mut args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(2021);
-    let json = extract_flag(&mut args, "--json");
 
     let Some(command) = args.first().cloned() else {
         usage();
@@ -49,6 +56,9 @@ fn main() {
             summary(&world);
         }
         "run" => {
+            // `--json` takes a value here (the output path), unlike the
+            // boolean `snapshot inspect --json`.
+            let json = extract_flag(&mut args, "--json");
             let world = build_world(seed);
             let (inputs, output) = run_pipeline(&world, seed);
             println!("{}", Headline::compute(&inputs, &output).text());
@@ -146,17 +156,28 @@ fn main() {
                     let snapshot = Snapshot::read_from_file(path)
                         .unwrap_or_else(|e| fail(&format!("cannot load snapshot {path}: {e}")));
                     let info = snapshot.header.build.clone();
+                    let checksum = snapshot.header.checksum_fnv1a64;
+                    let payload = Arc::new(snapshot.payload.clone());
                     let index = Arc::new(ServiceIndex::from_snapshot(snapshot));
                     let slot = Arc::new(IndexSlot::new(index, Some(info)));
+                    slot.attach_payload(payload, checksum);
                     let reloader = Reloader::new(path, Arc::clone(&slot));
                     (slot, Some(reloader), format!("snapshot {path}"))
                 }
                 None => {
                     let world = build_world(seed);
                     let (inputs, output) = run_pipeline(&world, seed);
+                    let payload = SnapshotPayload {
+                        dataset: output.dataset.clone(),
+                        table: inputs.prefix_to_as.clone(),
+                    };
+                    let checksum = payload_checksum(&payload)
+                        .unwrap_or_else(|e| fail(&format!("cannot checksum payload: {e}")));
                     let index =
                         Arc::new(ServiceIndex::build(output.dataset, &inputs.prefix_to_as));
-                    (Arc::new(IndexSlot::new(index, None)), None, format!("pipeline seed {seed}"))
+                    let slot = Arc::new(IndexSlot::new(index, None));
+                    slot.attach_payload(Arc::new(payload), checksum);
+                    (slot, None, format!("pipeline seed {seed}"))
                 }
             };
             let sizes = slot.load().sizes();
@@ -171,7 +192,7 @@ fn main() {
                 sizes.announced_prefixes,
                 workers,
             );
-            println!("routes: /healthz /metrics /asn/{{asn}} /ip/{{addr}} /prefix/{{addr}}/{{len}} /country/{{cc}} /search?q= /dataset  POST /admin/reload");
+            println!("routes: /healthz /metrics /asn/{{asn}} /ip/{{addr}} /prefix/{{addr}}/{{len}} /country/{{cc}} /search?q= /dataset  POST /admin/reload /admin/delta");
             service::install_signal_handlers();
             while !service::shutdown_requested() {
                 if service::reload_requested() {
@@ -193,21 +214,27 @@ fn main() {
             eprintln!("(signal received, draining)");
             let snap = handle.shutdown();
             println!(
-                "served {} requests ({} errors, {} rejected, {} reloads) — p50 {}us p95 {}us p99 {}us",
+                "served {} requests ({} errors, {} rejected, {} reloads, {} deltas) — p50 {}us p95 {}us p99 {}us",
                 snap.requests_total,
                 snap.responses_error,
                 snap.rejected_backpressure,
                 snap.reloads_total,
+                snap.deltas_applied,
                 snap.latency.p50_micros,
                 snap.latency.p95_micros,
                 snap.latency.p99_micros,
             );
         }
         "snapshot" => {
+            let as_json = extract_bool_flag(&mut args, "--json");
             let sub = args
                 .get(1)
                 .cloned()
-                .unwrap_or_else(|| fail("snapshot needs a subcommand: write | inspect"));
+                .unwrap_or_else(|| fail("snapshot needs a subcommand: write | inspect | compact"));
+            if sub == "compact" {
+                snapshot_compact(&args, seed);
+                return;
+            }
             let path = args
                 .get(2)
                 .cloned()
@@ -239,6 +266,22 @@ fn main() {
                     let snapshot = Snapshot::read_from_file(&path)
                         .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
                     let h = &snapshot.header;
+                    if as_json {
+                        // Machine-readable: the header plus the derived
+                        // counts the table shows, as one JSON object.
+                        let doc = serde_json::json!({
+                            "path": path,
+                            "format_version": h.format_version,
+                            "checksum_fnv1a64": h.checksum_fnv1a64,
+                            "build": h.build,
+                            "organizations": snapshot.payload.dataset.organizations.len(),
+                            "announced_prefixes": snapshot.payload.table.entries().len(),
+                            "state_owned_asns":
+                                snapshot.payload.dataset.state_owned_ases().len(),
+                        });
+                        println!("{}", serde_json::to_string_pretty(&doc).expect("serialize"));
+                        return;
+                    }
                     let rows = vec![
                         vec!["format version".to_string(), h.format_version.to_string()],
                         vec!["checksum (fnv1a64)".into(), format!("{:#018x}", h.checksum_fnv1a64)],
@@ -257,8 +300,22 @@ fn main() {
                     ];
                     println!("{}", render_table(&["field", "value"], &rows));
                 }
-                other => fail(&format!("unknown snapshot subcommand: {other} (write | inspect)")),
+                other => {
+                    fail(&format!("unknown snapshot subcommand: {other} (write | inspect | compact)"))
+                }
             }
+        }
+        "delta" => {
+            let years: u32 = extract_flag(&mut args, "--years")
+                .map(|y| y.parse().unwrap_or_else(|_| fail("--years needs a number")))
+                .unwrap_or(3);
+            let out =
+                extract_flag(&mut args, "--out").unwrap_or_else(|| fail("delta make needs --out DIR"));
+            let sub = args.get(1).cloned().unwrap_or_else(|| fail("delta needs a subcommand: make"));
+            if sub != "make" {
+                fail(&format!("unknown delta subcommand: {sub} (make)"));
+            }
+            delta_make(&out, years, seed);
         }
         "ageing" => {
             let years: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(5);
@@ -280,6 +337,92 @@ fn main() {
 fn build_world(seed: u64) -> World {
     eprintln!("(generating world, seed {seed})");
     generate(&WorldConfig { seed, ..WorldConfig::paper_scale() }).expect("worldgen")
+}
+
+/// `soi delta make --out DIR [--years N]`: write the base snapshot and
+/// one delta file per churn year, forming a chain a server (or
+/// `soi snapshot compact`) can consume in order.
+fn delta_make(out: &str, years: u32, seed: u64) {
+    std::fs::create_dir_all(out).unwrap_or_else(|e| fail(&format!("cannot create {out}: {e}")));
+    let world = build_world(seed);
+    let mut engine = DeltaEngine::new(world, EngineConfig::with_seed(seed))
+        .unwrap_or_else(|e| fail(&format!("cannot boot delta engine: {e}")));
+
+    let base_path = format!("{out}/base.snapshot.json");
+    let base = engine.current();
+    let build = SnapshotBuildInfo {
+        tool: "soi delta make".into(),
+        seed: Some(seed),
+        comment: "base generation of a delta stream".into(),
+        ..Default::default()
+    };
+    let snapshot =
+        Snapshot::build(base.payload.dataset.clone(), base.payload.table.clone(), build)
+            .unwrap_or_else(|e| fail(&format!("cannot build base snapshot: {e}")));
+    snapshot
+        .write_to_file(&base_path)
+        .unwrap_or_else(|e| fail(&format!("cannot write {base_path}: {e}")));
+    println!(
+        "base snapshot written to {base_path} ({} orgs, checksum {:#018x})",
+        snapshot.header.build.organizations, snapshot.header.checksum_fnv1a64,
+    );
+
+    for year in 0..years {
+        let step = engine.step().unwrap_or_else(|e| fail(&format!("step for year {year}: {e}")));
+        let delta_path = format!("{out}/delta-{year:03}.json");
+        step.delta
+            .write_to_file(&delta_path)
+            .unwrap_or_else(|e| fail(&format!("cannot write {delta_path}: {e}")));
+        println!(
+            "{delta_path}: {} events, {} patch records ({} dirty names, {} outcomes reused), result {:#018x}",
+            step.stats.events,
+            step.delta.patch_size(),
+            step.stats.dirty_names,
+            step.stats.reused_outcomes,
+            step.delta.header.result_checksum,
+        );
+    }
+    println!(
+        "apply in order with POST /admin/delta, or fold with `soi snapshot compact {base_path} OUT {out}/delta-*.json`"
+    );
+}
+
+/// `soi snapshot compact BASE OUT DELTA...`: fold a delta chain into a
+/// full snapshot equivalent to having applied every delta in order.
+fn snapshot_compact(args: &[String], seed: u64) {
+    let base_path =
+        args.get(2).cloned().unwrap_or_else(|| fail("snapshot compact needs a base snapshot path"));
+    let out_path =
+        args.get(3).cloned().unwrap_or_else(|| fail("snapshot compact needs an output path"));
+    let delta_paths = &args[4.min(args.len())..];
+    if delta_paths.is_empty() {
+        fail("snapshot compact needs at least one delta file");
+    }
+    let base = Snapshot::read_from_file(&base_path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {base_path}: {e}")));
+    let deltas: Vec<DatasetDelta> = delta_paths
+        .iter()
+        .map(|p| {
+            DatasetDelta::read_from_file(p).unwrap_or_else(|e| fail(&format!("cannot read {p}: {e}")))
+        })
+        .collect();
+    let build = SnapshotBuildInfo {
+        tool: "soi snapshot compact".into(),
+        seed: Some(seed),
+        comment: format!("{} deltas folded onto {base_path}", deltas.len()),
+        ..Default::default()
+    };
+    let snapshot = compact(&base, &deltas, build)
+        .unwrap_or_else(|e| fail(&format!("cannot compact chain: {e}")));
+    snapshot
+        .write_to_file(&out_path)
+        .unwrap_or_else(|e| fail(&format!("cannot write {out_path}: {e}")));
+    println!(
+        "compacted {} deltas onto {base_path} -> {out_path} ({} orgs, checksum {:#018x})",
+        deltas.len(),
+        snapshot.header.build.organizations,
+        snapshot.header.checksum_fnv1a64,
+    );
 }
 
 fn run_pipeline(
@@ -317,6 +460,18 @@ fn extract_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
     Some(value)
 }
 
+/// Removes a valueless flag (e.g. `--json`), returning whether it was
+/// present.
+fn extract_bool_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    match args.iter().position(|a| a == flag) {
+        Some(ix) => {
+            args.remove(ix);
+            true
+        }
+        None => false,
+    }
+}
+
 fn fail(msg: &str) -> ! {
     eprintln!("error: {msg}");
     std::process::exit(2);
@@ -334,10 +489,16 @@ fn usage() {
          \x20 cti <CC> [k]          top transit ASes of a country\n\
          \x20 ageing [years]        dataset decay under churn\n\
          \x20 snapshot write PATH   run the pipeline, persist the result\n\
-         \x20 snapshot inspect PATH print a snapshot's header\n\
+         \x20 snapshot inspect PATH [--json]\n\
+         \x20                       print a snapshot's header (table or JSON)\n\
+         \x20 snapshot compact BASE OUT DELTA...\n\
+         \x20                       fold a delta chain into a full snapshot\n\
+         \x20 delta make --out DIR [--years N]\n\
+         \x20                       base snapshot + one delta per churn year\n\
          \x20 serve [--port P] [--workers W] [--snapshot PATH]\n\
          \x20                       HTTP query service over the dataset;\n\
          \x20                       with --snapshot, serve from the file and\n\
-         \x20                       reload on SIGHUP / POST /admin/reload"
+         \x20                       reload on SIGHUP / POST /admin/reload;\n\
+         \x20                       POST /admin/delta patches the served payload"
     );
 }

@@ -2,6 +2,10 @@
 
 use std::process::Command;
 
+use state_owned_ases::bgp::PrefixToAs;
+use state_owned_ases::core::{Dataset, OrgRecord, Snapshot, SnapshotBuildInfo};
+use state_owned_ases::types::{Asn, OrgId, Rir};
+
 fn soi(args: &[&str]) -> std::process::Output {
     Command::new(env!("CARGO_BIN_EXE_soi")).args(args).output().expect("binary runs")
 }
@@ -33,6 +37,58 @@ fn unknown_command_prints_usage() {
     assert!(err.contains("usage:"), "{err}");
     let none = soi(&[]);
     assert!(!none.status.success());
+}
+
+#[test]
+fn snapshot_inspect_json_reports_header_and_counts() {
+    let record = OrgRecord {
+        conglomerate_name: "Telenor".into(),
+        org_id: Some(OrgId(1)),
+        org_name: "Telenor".into(),
+        ownership_cc: "NO".parse().unwrap(),
+        ownership_country_name: "Norway".into(),
+        rir: Some(Rir::Ripe),
+        source: "Company's website".into(),
+        quote: "Major shareholdings: Government (54%)".into(),
+        quote_lang: "English".into(),
+        url: "https://example.net".into(),
+        additional_info: String::new(),
+        inputs: vec!['G'],
+        parent_org: None,
+        target_cc: None,
+        target_country_name: None,
+        asns: vec![Asn(2119)],
+    };
+    let mut dataset = Dataset { organizations: vec![record] };
+    dataset.canonicalize();
+    let table =
+        PrefixToAs::from_entries([("10.0.0.0/16".parse().unwrap(), Asn(2119))]).unwrap();
+    let snapshot = Snapshot::build(
+        dataset,
+        table,
+        SnapshotBuildInfo { tool: "cli-inspect-test".into(), seed: Some(7), ..Default::default() },
+    )
+    .unwrap();
+    let path = std::env::temp_dir()
+        .join(format!("soi-cli-inspect-test-{}.json", std::process::id()));
+    snapshot.write_to_file(&path).unwrap();
+
+    let out = soi(&["snapshot", "inspect", path.to_str().unwrap(), "--json"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let v: serde_json::Value =
+        serde_json::from_slice(&out.stdout).expect("inspect --json emits valid JSON");
+    assert_eq!(v["checksum_fnv1a64"].as_u64(), Some(snapshot.header.checksum_fnv1a64));
+    assert_eq!(v["format_version"].as_u64(), Some(u64::from(snapshot.header.format_version)));
+    assert_eq!(v["organizations"].as_u64(), Some(1));
+    assert_eq!(v["announced_prefixes"].as_u64(), Some(1));
+    assert_eq!(v["state_owned_asns"].as_u64(), Some(1));
+    assert_eq!(v["build"]["tool"].as_str(), Some("cli-inspect-test"));
+
+    // Without the flag the human-readable report still mentions the tool.
+    let out = soi(&["snapshot", "inspect", path.to_str().unwrap()]);
+    assert!(out.status.success());
+    assert!(String::from_utf8(out.stdout).unwrap().contains("cli-inspect-test"));
+    let _ = std::fs::remove_file(&path);
 }
 
 #[test]

@@ -1,0 +1,270 @@
+//! End-to-end tests of the `soi-delta` subsystem and its write path:
+//! the correctness oracle (an applied delta chain reproduces a
+//! from-scratch pipeline run on the evolved world, byte-identically
+//! modulo canonical ordering), the live `POST /admin/delta` path under
+//! concurrent readers, and the reload/delta staleness interaction.
+
+mod common;
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use serde_json::Value;
+use state_owned_ases::core::{
+    payload_checksum, Pipeline, PipelineInputs, Snapshot, SnapshotBuildInfo, SnapshotPayload,
+};
+use state_owned_ases::delta::{apply_chain, DatasetDelta, DeltaEngine, EngineConfig, EventBatch};
+use state_owned_ases::service::{
+    serve_with, IndexSlot, Reloader, ServerConfig, ServerHandle, ServiceIndex,
+};
+
+/// Churn exaggerated well past the paper's rates so a 3-year stream is
+/// guaranteed to carry events of every ownership kind.
+fn engine_config() -> EngineConfig {
+    let mut cfg = EngineConfig::with_seed(777);
+    cfg.churn.privatization_rate = 0.25;
+    cfg.churn.nationalization_rate = 0.15;
+    cfg.churn.acquisitions_per_year = 3.0;
+    cfg.churn.rebrand_rate = 0.2;
+    cfg
+}
+
+/// An engine booted from the shared fixture's world (full pipeline run).
+fn engine() -> DeltaEngine {
+    let fx = common::fixture();
+    DeltaEngine::new(fx.world.clone(), engine_config()).expect("engine boots")
+}
+
+#[test]
+fn delta_chain_equals_full_rebuild() {
+    let mut engine = engine();
+    let base = engine.current().payload.clone();
+
+    let mut deltas = Vec::new();
+    let mut total_events = 0usize;
+    for _ in 0..3 {
+        let step = engine.step().expect("step");
+        assert!(!step.stats.substrate_changed, "churn must preserve the substrate");
+        total_events += step.stats.events;
+        deltas.push(step.delta);
+    }
+    assert!(total_events > 0, "exaggerated churn produced no events");
+    assert!(deltas.iter().any(|d| d.patch_size() > 0), "no delta carried a patch");
+
+    // Chain the deltas onto the base payload...
+    let chained = apply_chain(&base, &deltas).expect("chain applies");
+    assert_eq!(
+        payload_checksum(&chained).unwrap(),
+        payload_checksum(&engine.current().payload).unwrap(),
+        "chain lands on the engine's current payload"
+    );
+
+    // ...and rebuild from scratch on the evolved world. The oracle:
+    // identical bytes, modulo canonical record ordering.
+    let cfg = engine_config();
+    let inputs = PipelineInputs::from_world(&engine.current().world, &cfg.input).expect("inputs");
+    let output = Pipeline::run(&inputs, &cfg.pipeline);
+    let mut dataset = output.dataset.clone();
+    dataset.canonicalize();
+    let rebuilt = SnapshotPayload { dataset, table: inputs.prefix_to_as.clone() };
+    assert_eq!(
+        serde_json::to_string(&chained).unwrap(),
+        serde_json::to_string(&rebuilt).unwrap(),
+        "applied chain != from-scratch rebuild"
+    );
+
+    // Same bytes imply same index answers; spot-check anyway through the
+    // public query surface.
+    let ix_chained = ServiceIndex::build(chained.dataset.clone(), &chained.table);
+    let ix_rebuilt = ServiceIndex::build(rebuilt.dataset.clone(), &rebuilt.table);
+    for rec in &rebuilt.dataset.organizations {
+        for &asn in &rec.asns {
+            let a = serde_json::to_value(ix_chained.lookup_asn(asn)).unwrap();
+            let b = serde_json::to_value(ix_rebuilt.lookup_asn(asn)).unwrap();
+            assert_eq!(a, b, "{asn}");
+        }
+    }
+}
+
+#[test]
+fn substrate_perturbation_emits_bgp_events_and_still_patches() {
+    let mut engine = engine();
+    let before = engine.current().payload.clone();
+
+    // Withdraw one ground-truth prefix assignment: the substrate changes,
+    // forcing full input recomputation and BGP-level events.
+    let mut world = engine.current().world.clone();
+    let withdrawn = world.prefix_assignments.pop().expect("world has prefixes");
+    let step = engine
+        .step_to_world(world, EventBatch { year: 99, events: Vec::new() })
+        .expect("perturbed step");
+
+    assert!(step.stats.substrate_changed, "prefix withdrawal must be detected");
+    assert!(step.delta.payload.events.bgp_count() > 0, "no BGP events for {withdrawn:?}");
+    let applied = step.delta.apply(&before).expect("delta applies");
+    assert_eq!(
+        payload_checksum(&applied).unwrap(),
+        payload_checksum(&engine.current().payload).unwrap()
+    );
+}
+
+// ---------------------------------------------------------------------
+// Live write path over HTTP.
+// ---------------------------------------------------------------------
+
+/// Boots a server over the engine's base payload, with a reloader
+/// watching `snapshot_path` when given.
+fn boot(base: &SnapshotPayload, snapshot_path: Option<&str>) -> ServerHandle {
+    let index = Arc::new(ServiceIndex::build(base.dataset.clone(), &base.table));
+    let slot = Arc::new(IndexSlot::new(index, None));
+    slot.attach_payload(Arc::new(base.clone()), payload_checksum(base).unwrap());
+    let reloader = snapshot_path.map(|p| Reloader::new(p, Arc::clone(&slot)));
+    let cfg = ServerConfig {
+        read_timeout: Duration::from_secs(2),
+        write_timeout: Duration::from_secs(2),
+        ..ServerConfig::default()
+    };
+    serve_with(slot, reloader, ("127.0.0.1", 0), cfg).expect("bind test server")
+}
+
+/// One `Connection: close` request; returns (status, parsed JSON body).
+fn call(addr: SocketAddr, method: &str, target: &str, body: &str) -> (u16, Value) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    write!(
+        stream,
+        "{method} {target} HTTP/1.1\r\nHost: test\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status line");
+    let status: u16 =
+        status_line.split_whitespace().nth(1).expect("status code").parse().expect("numeric");
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header line");
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v.trim().parse().expect("content-length value");
+        }
+    }
+    let mut raw = vec![0u8; content_length];
+    reader.read_exact(&mut raw).expect("body");
+    let text = String::from_utf8(raw).expect("utf8 body");
+    (status, serde_json::from_str(&text).expect("JSON body"))
+}
+
+#[test]
+fn live_deltas_apply_under_concurrent_readers() {
+    let mut engine = engine();
+    let base = engine.current().payload.clone();
+    let deltas: Vec<DatasetDelta> =
+        (0..2).map(|_| engine.step().expect("step").delta).collect();
+    let final_checksum = deltas.last().unwrap().header.result_checksum;
+
+    let handle = boot(&base, None);
+    let addr = handle.local_addr();
+    let stop = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        // Readers hammer the query surface across both swaps; every
+        // response must be a complete 200 — no torn generation ever
+        // serves.
+        for _ in 0..4 {
+            let stop = &stop;
+            scope.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let (status, v) = call(addr, "GET", "/healthz", "");
+                    assert_eq!(status, 200);
+                    assert!(v["organizations"].is_u64());
+                    let (status, _) = call(addr, "GET", "/dataset", "");
+                    assert_eq!(status, 200);
+                }
+            });
+        }
+
+        for (i, delta) in deltas.iter().enumerate() {
+            let (status, v) =
+                call(addr, "POST", "/admin/delta", &delta.to_json().expect("serialize"));
+            assert_eq!(status, 200, "delta {i}: {v}");
+            assert_eq!(v["generation"].as_u64(), Some(2 + i as u64));
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    // The server landed exactly on the chain's final payload.
+    let (status, v) = call(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert_eq!(v["deltas_applied"].as_u64(), Some(2));
+    assert_eq!(v["deltas_rejected"].as_u64(), Some(0));
+    assert_eq!(v["generation"].as_u64(), Some(3));
+    assert_eq!(v["payload_checksum"].as_u64(), Some(final_checksum));
+    assert!(v["delta_records_applied"].as_u64().unwrap() > 0);
+    handle.shutdown();
+}
+
+#[test]
+fn reload_reverts_the_base_and_stale_deltas_are_rejected() {
+    let mut engine = engine();
+    let base = engine.current().payload.clone();
+    let delta1 = engine.step().expect("step 1").delta;
+    let delta2 = engine.step().expect("step 2").delta;
+
+    // The reloader watches a snapshot file holding the *base* payload.
+    let path = std::env::temp_dir()
+        .join(format!("soi-delta-reload-test-{}.json", std::process::id()));
+    let snapshot = Snapshot::build(
+        base.dataset.clone(),
+        base.table.clone(),
+        SnapshotBuildInfo { tool: "delta-reload-test".into(), ..Default::default() },
+    )
+    .expect("snapshot");
+    snapshot.write_to_file(&path).expect("write snapshot");
+
+    let handle = boot(&base, Some(path.to_str().unwrap()));
+    let addr = handle.local_addr();
+
+    // Delta 1 applies: generation 2 serves delta1's result.
+    let (status, v) = call(addr, "POST", "/admin/delta", &delta1.to_json().unwrap());
+    assert_eq!(status, 200, "{v}");
+
+    // An interleaved reload reverts to the base snapshot (generation 3).
+    let (status, v) = call(addr, "POST", "/admin/reload", "");
+    assert_eq!(status, 200, "{v}");
+    assert_eq!(v["generation"].as_u64(), Some(3));
+
+    // Delta 2 chains onto delta1's result, which is no longer served:
+    // refused with a clear conflict body, index untouched.
+    let (status, v) = call(addr, "POST", "/admin/delta", &delta2.to_json().unwrap());
+    assert_eq!(status, 409, "{v}");
+    let error = v["error"].as_str().expect("error body");
+    assert!(error.contains("base mismatch"), "{error}");
+    assert!(error.contains("stale"), "{error}");
+
+    // The served base is the snapshot again, so delta 1 applies again.
+    let (status, v) = call(addr, "POST", "/admin/delta", &delta1.to_json().unwrap());
+    assert_eq!(status, 200, "{v}");
+    assert_eq!(v["generation"].as_u64(), Some(4));
+
+    let (_, v) = call(addr, "GET", "/metrics", "");
+    assert_eq!(v["deltas_applied"].as_u64(), Some(2));
+    assert_eq!(v["deltas_rejected"].as_u64(), Some(1));
+    assert_eq!(v["reloads_total"].as_u64(), Some(1));
+    assert_eq!(
+        v["payload_checksum"].as_u64(),
+        Some(delta1.header.result_checksum),
+        "serving delta1's result again"
+    );
+
+    handle.shutdown();
+    let _ = std::fs::remove_file(&path);
+}

@@ -1,0 +1,29 @@
+//! Sharded-pipeline benchmark: the full three-stage run, sequential
+//! (`Pipeline::run`, exactly one worker) against `run_parallel` at 2, 4
+//! and 8 threads on the paper-scale fixture.
+//!
+//! Parallel output is byte-identical to sequential at any thread count
+//! (see `tests/parallel.rs`), so this group measures pure wall-clock
+//! scaling of the same computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use soi_bench::Fixture;
+use soi_core::{Pipeline, PipelineConfig};
+
+fn bench_parallel_pipeline(c: &mut Criterion) {
+    let fx = Fixture::paper();
+    let cfg = PipelineConfig::default();
+
+    let mut g = c.benchmark_group("pipeline_parallel");
+    g.sample_size(10);
+    g.bench_function("sequential", |b| b.iter(|| Pipeline::run(&fx.inputs, &cfg)));
+    for threads in [2usize, 4, 8] {
+        g.bench_function(format!("threads_{threads}"), |b| {
+            b.iter(|| Pipeline::run_parallel(&fx.inputs, &cfg, threads))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_parallel_pipeline);
+criterion_main!(benches);

@@ -105,13 +105,27 @@ pub struct CandidateSet {
 }
 
 impl CandidateSet {
-    /// Runs candidate discovery over the inputs.
+    /// Runs candidate discovery over the inputs, single-threaded.
     pub fn discover(inputs: &PipelineInputs, cfg: &PipelineConfig) -> CandidateSet {
+        Self::discover_sharded(inputs, cfg, 1)
+    }
+
+    /// Runs candidate discovery with the technical sources sharded by
+    /// country over `threads` worker threads. Identical output at any
+    /// thread count: geolocation shards merge exact integer address
+    /// counts, while eyeball and CTI shards return per-country candidate
+    /// lists that are folded in the input country order and merged as
+    /// idempotent flag unions.
+    pub fn discover_sharded(
+        inputs: &PipelineInputs,
+        cfg: &PipelineConfig,
+        threads: usize,
+    ) -> CandidateSet {
         let mut set = CandidateSet::default();
 
         // --- G: country-level AS geolocation ---
         if cfg.use_geolocation {
-            let shares = geolocated_shares(inputs);
+            let shares = geolocated_shares_sharded(inputs, threads);
             for ((_, asn), share) in &shares {
                 if *share >= cfg.share_threshold {
                     let e = set.as_sources.entry(*asn).or_default();
@@ -123,11 +137,15 @@ impl CandidateSet {
         // --- E: eyeball shares ---
         if cfg.use_eyeballs {
             let countries: Vec<CountryCode> = inputs.eyeballs.countries().collect();
-            for country in countries {
-                for asn in inputs.eyeballs.ases_above_share(country, cfg.share_threshold) {
-                    let e = set.as_sources.entry(asn).or_default();
-                    *e = e.union(SourceFlags::E);
-                }
+            let per_country = crate::shard::map_chunks(&countries, threads, |slice| {
+                slice
+                    .iter()
+                    .map(|&c| inputs.eyeballs.ases_above_share(c, cfg.share_threshold))
+                    .collect::<Vec<_>>()
+            });
+            for asn in per_country.into_iter().flatten().flatten() {
+                let e = set.as_sources.entry(asn).or_default();
+                *e = e.union(SourceFlags::E);
             }
         }
 
@@ -144,11 +162,22 @@ impl CandidateSet {
 
         // --- C: top-k CTI ASes in the most transit-dependent countries ---
         if cfg.use_cti {
-            for (country, _) in inputs.cti.most_dependent_countries(cfg.cti_countries) {
-                for (asn, _) in inputs.cti.top_k(country, cfg.cti_top_k) {
-                    let e = set.as_sources.entry(asn).or_default();
-                    *e = e.union(SourceFlags::C);
-                }
+            let countries: Vec<CountryCode> = inputs
+                .cti
+                .most_dependent_countries(cfg.cti_countries)
+                .into_iter()
+                .map(|(c, _)| c)
+                .collect();
+            let per_country = crate::shard::map_chunks(&countries, threads, |slice| {
+                slice
+                    .iter()
+                    .flat_map(|&c| inputs.cti.top_k(c, cfg.cti_top_k))
+                    .map(|(asn, _)| asn)
+                    .collect::<Vec<_>>()
+            });
+            for asn in per_country.into_iter().flatten() {
+                let e = set.as_sources.entry(asn).or_default();
+                *e = e.union(SourceFlags::C);
             }
         }
         set.funnel.cti_ases =
@@ -191,13 +220,38 @@ impl CandidateSet {
 /// Per-(country, origin AS) share of the country's geolocated announced
 /// address space, honouring more-specific carve-outs.
 pub fn geolocated_shares(inputs: &PipelineInputs) -> HashMap<(CountryCode, Asn), f64> {
+    geolocated_shares_sharded(inputs, 1)
+}
+
+/// Sharded [`geolocated_shares`]: the announced-prefix table splits into
+/// contiguous chunks, each worker accumulates exact `u64` address counts
+/// for its chunk, and the partials merge by integer addition — which is
+/// associative and commutative, so shard boundaries cannot change the
+/// result. The share division only happens once, over the merged counts.
+pub fn geolocated_shares_sharded(
+    inputs: &PipelineInputs,
+    threads: usize,
+) -> HashMap<(CountryCode, Asn), f64> {
+    let partials = crate::shard::map_chunks(inputs.prefix_to_as.entries(), threads, |slice| {
+        let mut per_pair: HashMap<(CountryCode, Asn), u64> = HashMap::new();
+        let mut per_country: HashMap<CountryCode, u64> = HashMap::new();
+        for &(prefix, origin) in slice {
+            let kept = inputs.prefix_to_as.uncovered_subprefixes(prefix);
+            for (country, count) in inputs.geo.count_by_country_multi(&kept) {
+                *per_pair.entry((country, origin)).or_default() += count;
+                *per_country.entry(country).or_default() += count;
+            }
+        }
+        (per_pair, per_country)
+    });
     let mut per_pair: HashMap<(CountryCode, Asn), u64> = HashMap::new();
     let mut per_country: HashMap<CountryCode, u64> = HashMap::new();
-    for &(prefix, origin) in inputs.prefix_to_as.entries() {
-        let kept = inputs.prefix_to_as.uncovered_subprefixes(prefix);
-        for (country, count) in inputs.geo.count_by_country_multi(&kept) {
-            *per_pair.entry((country, origin)).or_default() += count;
-            *per_country.entry(country).or_default() += count;
+    for (pair_counts, country_counts) in partials {
+        for (key, n) in pair_counts {
+            *per_pair.entry(key).or_default() += n;
+        }
+        for (country, n) in country_counts {
+            *per_country.entry(country).or_default() += n;
         }
     }
     per_pair
@@ -271,6 +325,29 @@ mod tests {
         assert_eq!(set.funnel.orbis_companies, 0);
         assert!(set.funnel.eyeball_ases > 0);
         assert!(!set.company_names.is_empty(), "reports still contribute");
+    }
+
+    #[test]
+    fn sharded_discovery_matches_sequential() {
+        let world = generate(&WorldConfig::test_scale(54)).unwrap();
+        let inputs = PipelineInputs::from_world(&world, &InputConfig::with_seed(54)).unwrap();
+        let cfg = PipelineConfig::default();
+        let seq = CandidateSet::discover(&inputs, &cfg);
+        for threads in [2, 3, 8] {
+            let par = CandidateSet::discover_sharded(&inputs, &cfg, threads);
+            assert_eq!(seq.as_sources, par.as_sources, "threads={threads}");
+            assert_eq!(seq.company_names, par.company_names, "threads={threads}");
+            assert_eq!(
+                serde_json::to_string(&seq.funnel).unwrap(),
+                serde_json::to_string(&par.funnel).unwrap(),
+                "threads={threads}"
+            );
+        }
+        // The share maps themselves must match bit for bit, not just the
+        // thresholded candidate sets.
+        let a = geolocated_shares(&inputs);
+        let b = geolocated_shares_sharded(&inputs, 4);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -33,6 +33,11 @@ pub struct InputConfig {
     pub monitors: usize,
     /// Master seed for input derivation.
     pub seed: u64,
+    /// Worker threads for input derivation (currently the CTI monitor
+    /// shard). `0` and `1` both mean single-threaded; any value produces
+    /// bit-identical inputs (see [`soi_cti::CtiResults::compute_parallel`]).
+    #[serde(default)]
+    pub threads: usize,
 }
 
 impl InputConfig {
@@ -46,6 +51,7 @@ impl InputConfig {
             corpus: CorpusConfig { seed, ..CorpusConfig::default() },
             monitors: 40,
             seed,
+            threads: 1,
         }
     }
 }
@@ -134,8 +140,15 @@ impl PipelineInputs {
         let wikipedia = Wikipedia::generate(world, cfg.seed);
         let corpus = DocumentCorpus::generate(world, &freedom_house, cfg.corpus)?;
 
-        // CTI.
-        let cti = CtiResults::compute(&view, &prefix_to_as, &geo, CtiConfig::default())?;
+        // CTI (monitor-sharded when cfg.threads > 1; bit-identical either
+        // way).
+        let cti = CtiResults::compute_parallel(
+            &view,
+            &prefix_to_as,
+            &geo,
+            CtiConfig::default(),
+            cfg.threads.max(1),
+        )?;
 
         Ok(PipelineInputs {
             view,

@@ -33,6 +33,7 @@ pub mod expand;
 pub mod inputs;
 pub mod mapping;
 pub mod pipeline;
+pub mod shard;
 pub mod snapshot;
 
 pub use candidates::{CandidateSet, SourceFlags};
@@ -41,7 +42,8 @@ pub use corrections::{derive_corrections, SiblingCorrection};
 pub use dataset::{Dataset, DatasetDiff, OrgRecord};
 pub use eval::Evaluation;
 pub use inputs::{InputConfig, PipelineInputs};
-pub use pipeline::{ConfirmCache, Pipeline, PipelineConfig, PipelineOutput};
+pub use pipeline::{ConfirmCache, Pipeline, PipelineConfig, PipelineOutput, StageTimings};
+pub use shard::resolve_threads;
 pub use snapshot::{
     payload_checksum, Snapshot, SnapshotBuildInfo, SnapshotError, SnapshotHeader, SnapshotPayload,
     SNAPSHOT_FORMAT_VERSION, SNAPSHOT_MAGIC,

@@ -85,6 +85,23 @@ pub struct OrbisAssessment {
     pub false_negatives: Vec<String>,
 }
 
+/// Per-stage wall-clock timings, recorded by every pipeline run so
+/// rebuild latency is observable (`soi run`, `soi serve` startup,
+/// `/metrics`) without attaching a profiler.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct StageTimings {
+    /// Worker threads the run used (1 for the sequential entry points).
+    pub threads: usize,
+    /// Stage 1 (candidate discovery + AS mapping) wall clock, µs.
+    pub stage1_micros: u64,
+    /// Stage 2 (confirmation + subsidiary enrichment) wall clock, µs.
+    pub stage2_micros: u64,
+    /// Stage 3 (expansion, merging, Orbis assessment) wall clock, µs.
+    pub stage3_micros: u64,
+    /// Whole-run wall clock, microseconds.
+    pub total_micros: u64,
+}
+
 /// Confirmation outcomes keyed by normalized candidate name, each paired
 /// with the exact display string that was confirmed. The incremental
 /// engine (soi-delta) feeds a previous run's outcomes back into
@@ -161,15 +178,34 @@ pub struct PipelineOutput {
     /// Every confirmation outcome this run produced, reusable as the
     /// cache for an incremental re-run (soi-delta).
     pub confirm_outcomes: ConfirmCache,
+    /// Per-stage wall-clock timings for this run. Excluded from every
+    /// determinism comparison — only the dataset and bookkeeping fields
+    /// are required to be byte-identical across thread counts.
+    pub timings: StageTimings,
 }
 
 /// The pipeline entry point.
 pub struct Pipeline;
 
 impl Pipeline {
-    /// Runs all three stages over the inputs.
+    /// Runs all three stages over the inputs, single-threaded.
     pub fn run(inputs: &PipelineInputs, cfg: &PipelineConfig) -> PipelineOutput {
-        Self::run_cached(inputs, cfg, &ConfirmCache::default())
+        Self::run_cached_parallel(inputs, cfg, &ConfirmCache::default(), 1)
+    }
+
+    /// Runs all three stages with Stage 1 sharded by country and Stage 2
+    /// sharded by organization over `threads` worker threads (Stage 3
+    /// stays sequential — see `crate::expand`). `threads = 1` is exactly
+    /// [`Pipeline::run`], and every thread count serializes byte-identical
+    /// to it: each shard merge imposes a total order (integer-count
+    /// addition, flag unions, and sorted-name folds — see DESIGN.md,
+    /// "Sharded pipeline execution").
+    pub fn run_parallel(
+        inputs: &PipelineInputs,
+        cfg: &PipelineConfig,
+        threads: usize,
+    ) -> PipelineOutput {
+        Self::run_cached_parallel(inputs, cfg, &ConfirmCache::default(), threads)
     }
 
     /// Runs all three stages, reusing cached confirmation outcomes where
@@ -183,10 +219,24 @@ impl Pipeline {
         cfg: &PipelineConfig,
         cache: &ConfirmCache,
     ) -> PipelineOutput {
+        Self::run_cached_parallel(inputs, cfg, cache, 1)
+    }
+
+    /// The cached *and* sharded variant every other entry point delegates
+    /// to. Combines the [`Pipeline::run_cached`] reuse contract with the
+    /// [`Pipeline::run_parallel`] determinism contract.
+    pub fn run_cached_parallel(
+        inputs: &PipelineInputs,
+        cfg: &PipelineConfig,
+        cache: &ConfirmCache,
+        threads: usize,
+    ) -> PipelineOutput {
+        let threads = threads.max(1);
+        let t0 = std::time::Instant::now();
         let mut out = PipelineOutput::default();
 
         // ---- Stage 1: candidates + mapping ----
-        let candidates = CandidateSet::discover(inputs, cfg);
+        let candidates = CandidateSet::discover_sharded(inputs, cfg, threads);
         out.funnel = candidates.funnel;
         let mapper = AsMapper::new(inputs);
 
@@ -228,9 +278,11 @@ impl Pipeline {
             e.flags = e.flags.union(*flags);
         }
 
-        // ---- Stage 2: confirmation ----
+        let t1 = std::time::Instant::now();
+
+        // ---- Stage 2: confirmation, sharded by organization ----
         // Each candidate name confirms independently (the memo cache is
-        // pure), so the scan parallelizes across threads; outcomes are
+        // pure), so the scan shards across worker threads; outcomes are
         // folded back in sorted-name order for deterministic bookkeeping.
         let confirmer = Confirmer::new(&inputs.corpus, cfg.confirm.clone());
         let mut confirmed: Vec<ConfirmedEntry> = Vec::new();
@@ -248,29 +300,11 @@ impl Pipeline {
             outcomes.iter().enumerate().filter(|(_, o)| o.is_none()).map(|(i, _)| i).collect();
         if !misses.is_empty() {
             let miss_names: Vec<(&String, &NameEntry)> = misses.iter().map(|&i| names[i]).collect();
-            let threads = std::thread::available_parallelism()
-                .map_or(1, |p| p.get())
-                .min(miss_names.len().max(1));
-            let chunk = miss_names.len().div_ceil(threads).max(1);
-            let mut fresh: Vec<ConfirmOutcome> = Vec::with_capacity(miss_names.len());
-            crossbeam::thread::scope(|s| {
-                let handles: Vec<_> = miss_names
-                    .chunks(chunk)
-                    .map(|slice| {
-                        let corpus = &inputs.corpus;
-                        let policy = cfg.confirm.clone();
-                        s.spawn(move |_| {
-                            let local = Confirmer::new(corpus, policy);
-                            slice.iter().map(|(_, e)| local.confirm(&e.display)).collect::<Vec<_>>()
-                        })
-                    })
-                    .collect();
-                for h in handles {
-                    fresh.extend(h.join().expect("confirm worker panicked"));
-                }
-            })
-            .expect("confirm scope failed");
-            for (&i, outcome) in misses.iter().zip(fresh) {
+            let fresh = crate::shard::map_chunks(&miss_names, threads, |slice| {
+                let local = Confirmer::new(&inputs.corpus, cfg.confirm.clone());
+                slice.iter().map(|(_, e)| local.confirm(&e.display)).collect::<Vec<_>>()
+            });
+            for (&i, outcome) in misses.iter().zip(fresh.into_iter().flatten()) {
                 outcomes[i] = Some(outcome);
             }
         }
@@ -392,7 +426,11 @@ impl Pipeline {
             }
         }
 
+        let t2 = std::time::Instant::now();
+
         // ---- Stage 3: expansion, merging, dataset ----
+        // Sequential on purpose: sibling clustering in `merge_overlapping`
+        // needs a global view of every expanded record.
         let mut records = Vec::new();
         for entry in &confirmed {
             match expand_entry(entry, &mapper, inputs) {
@@ -429,6 +467,13 @@ impl Pipeline {
         out.orbis.false_negatives.sort();
         out.orbis.false_positives.sort();
 
+        out.timings = StageTimings {
+            threads,
+            stage1_micros: (t1 - t0).as_micros() as u64,
+            stage2_micros: (t2 - t1).as_micros() as u64,
+            stage3_micros: t2.elapsed().as_micros() as u64,
+            total_micros: t0.elapsed().as_micros() as u64,
+        };
         out
     }
 }
@@ -554,6 +599,31 @@ mod tests {
         assert_eq!(cold.unresolved, warm.unresolved);
         assert_eq!(cold.confirmed_private, warm.confirmed_private);
         assert_eq!(cold.unmapped_companies, warm.unmapped_companies);
+    }
+
+    #[test]
+    fn parallel_run_matches_sequential() {
+        let world = generate(&WorldConfig::test_scale(90)).unwrap();
+        let inputs = PipelineInputs::from_world(&world, &InputConfig::with_seed(90)).unwrap();
+        let cfg = PipelineConfig::default();
+        let seq = Pipeline::run(&inputs, &cfg);
+        // 3 threads gives uneven shard sizes — a harder determinism case
+        // than the power-of-two counts the integration oracle sweeps.
+        let par = Pipeline::run_parallel(&inputs, &cfg, 3);
+        assert_eq!(
+            serde_json::to_string(&seq.dataset).unwrap(),
+            serde_json::to_string(&par.dataset).unwrap()
+        );
+        assert_eq!(
+            serde_json::to_string(&seq.funnel).unwrap(),
+            serde_json::to_string(&par.funnel).unwrap()
+        );
+        assert_eq!(seq.unresolved, par.unresolved);
+        assert_eq!(seq.confirmed_private, par.confirmed_private);
+        assert_eq!(seq.confirm_outcomes.len(), par.confirm_outcomes.len());
+        assert_eq!(seq.timings.threads, 1);
+        assert_eq!(par.timings.threads, 3);
+        assert!(par.timings.total_micros > 0);
     }
 
     #[test]

@@ -50,14 +50,63 @@ pub struct CtiResults {
     per_country: HashMap<CountryCode, Vec<(Asn, f64)>>,
 }
 
+/// Splits `items` into at most `threads` contiguous chunks and maps each
+/// on a scoped worker thread, returning results in chunk order; with
+/// `threads <= 1` the closure runs inline. This mirrors
+/// `soi_core::shard::map_chunks` — duplicated here because the dependency
+/// points the other way (soi-core consumes this crate).
+fn map_chunks<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T]) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let threads = threads.max(1).min(items.len());
+    let chunk = items.len().div_ceil(threads);
+    if threads == 1 {
+        return items.chunks(chunk).map(|slice| f(slice)).collect();
+    }
+    let f = &f;
+    std::thread::scope(|s| {
+        let handles: Vec<_> =
+            items.chunks(chunk).map(|slice| s.spawn(move || f(slice))).collect();
+        handles.into_iter().map(|h| h.join().expect("CTI shard worker panicked")).collect()
+    })
+}
+
 impl CtiResults {
     /// Computes CTI for every (transit AS, country) pair observable from
-    /// the view's monitors.
+    /// the view's monitors, single-threaded.
     pub fn compute(
         view: &BgpView,
         table: &PrefixToAs,
         geo: &GeoDb,
         cfg: CtiConfig,
+    ) -> Result<CtiResults, SoiError> {
+        Self::compute_parallel(view, table, geo, cfg, 1)
+    }
+
+    /// Computes CTI with the monitor set sharded over `threads` worker
+    /// threads, bit-identical to [`CtiResults::compute`] at any thread
+    /// count.
+    ///
+    /// Floating-point addition is not associative, so shards must not
+    /// pre-sum their scores — merging per-shard partial sums would group
+    /// the additions differently from the sequential loop and change the
+    /// low bits. Instead each worker emits its monitors' score
+    /// *contributions* as an ordered list, and this thread replays them
+    /// chunk by chunk. Every `(AS, country)` key then sees the exact
+    /// per-(monitor, prefix, path-position) addition sequence of the
+    /// sequential run, which reproduces its `f64` result bit for bit.
+    pub fn compute_parallel(
+        view: &BgpView,
+        table: &PrefixToAs,
+        geo: &GeoDb,
+        cfg: CtiConfig,
+        threads: usize,
     ) -> Result<CtiResults, SoiError> {
         if view.monitors().is_empty() {
             return Err(SoiError::InvalidConfig("CTI needs at least one monitor".into()));
@@ -82,38 +131,49 @@ impl CtiResults {
             a_pc.insert(prefix, counts);
         }
 
-        let mut scores: HashMap<(Asn, CountryCode), f64> = HashMap::new();
-        for (idx, monitor) in view.monitors().iter().enumerate() {
-            let w = 1.0 / f64::from(per_as_count[&monitor.asn]) / m_total;
-            for &(prefix, origin) in table.entries() {
-                if view.monitors_reaching(origin) < cfg.min_monitors {
-                    continue;
-                }
-                let Some(path) = view.path(idx, origin) else { continue };
-                let counts = &a_pc[&prefix];
-                if counts.is_empty() {
-                    continue;
-                }
-                // path = [monitor_as, ..., origin]; d(AS) = hops to origin.
-                let len = path.len();
-                for (pos, &asn) in path.iter().enumerate() {
-                    let d = (len - 1 - pos) as f64;
-                    if d == 0.0 {
-                        continue; // the origin itself is not transit
+        let monitor_ids: Vec<usize> = (0..view.monitors().len()).collect();
+        let contribs = map_chunks(&monitor_ids, threads, |slice| {
+            let mut local: Vec<((Asn, CountryCode), f64)> = Vec::new();
+            for &idx in slice {
+                let monitor = &view.monitors()[idx];
+                let w = 1.0 / f64::from(per_as_count[&monitor.asn]) / m_total;
+                for &(prefix, origin) in table.entries() {
+                    if view.monitors_reaching(origin) < cfg.min_monitors {
+                        continue;
                     }
-                    if asn == monitor.asn {
-                        continue; // monitor contained within AS
+                    let Some(path) = view.path(idx, origin) else { continue };
+                    let counts = &a_pc[&prefix];
+                    if counts.is_empty() {
+                        continue;
                     }
-                    for (&country, &a) in counts {
-                        let total = a_c[&country];
-                        if total == 0 {
-                            continue;
+                    // path = [monitor_as, ..., origin]; d(AS) = hops to
+                    // origin.
+                    let len = path.len();
+                    for (pos, &asn) in path.iter().enumerate() {
+                        let d = (len - 1 - pos) as f64;
+                        if d == 0.0 {
+                            continue; // the origin itself is not transit
                         }
-                        let contrib = w * (a as f64 / total as f64) / d;
-                        *scores.entry((asn, country)).or_default() += contrib;
+                        if asn == monitor.asn {
+                            continue; // monitor contained within AS
+                        }
+                        for (&country, &a) in counts {
+                            let total = a_c[&country];
+                            if total == 0 {
+                                continue;
+                            }
+                            local.push(((asn, country), w * (a as f64 / total as f64) / d));
+                        }
                     }
                 }
             }
+            local
+        });
+        // Replay in monitor order — each key's additions happen in the
+        // sequential sequence, so the sums match bit for bit.
+        let mut scores: HashMap<(Asn, CountryCode), f64> = HashMap::new();
+        for (key, contrib) in contribs.into_iter().flatten() {
+            *scores.entry(key).or_default() += contrib;
         }
 
         let mut per_country: HashMap<CountryCode, Vec<(Asn, f64)>> = HashMap::new();
@@ -294,6 +354,39 @@ mod tests {
         let s6 = cti.score(a(6), cc("SY"));
         assert!((s7 - 0.5).abs() < 1e-9, "AS7 gets only the uncovered half: {s7}");
         assert!((s6 - 0.5).abs() < 1e-9, "AS6 gets the carved-out half: {s6}");
+    }
+
+    #[test]
+    fn parallel_compute_is_bit_identical() {
+        let (view0, table, geo) = bottleneck();
+        // Four monitors so a 2/4-way shard actually splits the set.
+        let mut b = AsGraphBuilder::new();
+        b.add_peering(a(1), a(2));
+        b.add_transit(a(7), a(1));
+        b.add_transit(a(8), a(7));
+        b.add_transit(a(9), a(7));
+        let g = b.build().unwrap();
+        let monitors = vec![
+            Monitor { id: 0, asn: a(1) },
+            Monitor { id: 1, asn: a(1) },
+            Monitor { id: 2, asn: a(2) },
+            Monitor { id: 3, asn: a(7) },
+        ];
+        let view = BgpView::compute(&g, view0.announcements(), &monitors).unwrap();
+        let seq = CtiResults::compute(&view, &table, &geo, CtiConfig::default()).unwrap();
+        for threads in [2, 3, 4, 9] {
+            let par =
+                CtiResults::compute_parallel(&view, &table, &geo, CtiConfig::default(), threads)
+                    .unwrap();
+            // Exact f64 equality, not approximate: the replay merge must
+            // reproduce the sequential addition order bit for bit.
+            assert_eq!(seq.ranking(cc("SY")), par.ranking(cc("SY")), "threads={threads}");
+            assert_eq!(
+                seq.most_dependent_countries(10),
+                par.most_dependent_countries(10),
+                "threads={threads}"
+            );
+        }
     }
 
     #[test]

@@ -42,6 +42,11 @@ pub struct EngineConfig {
     pub pipeline: PipelineConfig,
     /// Annual churn rates + seed.
     pub churn: ChurnConfig,
+    /// Worker threads for pipeline runs (base builds and full rebuilds
+    /// after substrate shifts). `0` means one per available core; any
+    /// value produces byte-identical generations and deltas
+    /// ([`Pipeline::run_parallel`]'s determinism contract).
+    pub threads: usize,
 }
 
 impl EngineConfig {
@@ -51,7 +56,14 @@ impl EngineConfig {
             input: InputConfig::with_seed(seed),
             pipeline: PipelineConfig::default(),
             churn: ChurnConfig { seed, ..ChurnConfig::default() },
+            threads: 0,
         }
+    }
+
+    /// The resolved worker-thread count (`threads`, with `0` mapped to
+    /// the available parallelism).
+    pub fn resolved_threads(&self) -> usize {
+        soi_core::resolve_threads(self.threads)
     }
 }
 
@@ -74,8 +86,10 @@ impl Generation {
     /// Runs the full pipeline on `world` — the expensive, from-scratch
     /// path every delta chain starts from.
     pub fn base(world: World, cfg: &EngineConfig) -> Result<Generation, DeltaError> {
-        let inputs = PipelineInputs::from_world(&world, &cfg.input)?;
-        let output = Pipeline::run(&inputs, &cfg.pipeline);
+        let threads = cfg.resolved_threads();
+        let input_cfg = InputConfig { threads, ..cfg.input };
+        let inputs = PipelineInputs::from_world(&world, &input_cfg)?;
+        let output = Pipeline::run_parallel(&inputs, &cfg.pipeline, threads);
         Ok(Generation::from_parts(world, inputs, output))
     }
 
@@ -169,10 +183,13 @@ impl DeltaEngine {
             && world.users == self.current.world.users
             && world.geo_blocks == self.current.world.geo_blocks;
 
+        let threads = self.cfg.resolved_threads();
+        let input_cfg = InputConfig { threads, ..self.cfg.input };
         let inputs = if substrate_unchanged {
-            PipelineInputs::refresh_from_base(&world, &self.cfg.input, &self.current.inputs)?
+            PipelineInputs::refresh_from_base(&world, &input_cfg, &self.current.inputs)?
         } else {
-            PipelineInputs::from_world(&world, &self.cfg.input)?
+            // Substrate shift: the full rebuild fans out like a base build.
+            PipelineInputs::from_world(&world, &input_cfg)?
         };
         if !substrate_unchanged {
             events.push_bgp_diff(&self.current.inputs.prefix_to_as, &inputs.prefix_to_as);
@@ -189,7 +206,7 @@ impl DeltaEngine {
         let mut cache = self.current.output.confirm_outcomes.clone();
         cache.evict_all(&dirty_set.names);
         let reused_outcomes = cache.len();
-        let output = Pipeline::run_cached(&inputs, &self.cfg.pipeline, &cache);
+        let output = Pipeline::run_cached_parallel(&inputs, &self.cfg.pipeline, &cache, threads);
 
         let mut dataset = output.dataset.clone();
         dataset.canonicalize();

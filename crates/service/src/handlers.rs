@@ -1,19 +1,44 @@
 //! Route dispatch: maps parsed requests onto [`ServiceIndex`] queries.
 //!
-//! ## HTTP API
+//! ## HTTP API (versioned, `/v1`)
+//!
+//! | route | answer |
+//! |---|---|
+//! | `GET /v1/asn/{asn}` | state-ownership verdict + full org record |
+//! | `GET /v1/ip/{a.b.c.d}` | longest-prefix-match verdict for an address |
+//! | `GET /v1/prefix/{a.b.c.d}/{len}` | covering-announcement verdict |
+//! | `GET /v1/country` | paginated country roll-ups, country-code order |
+//! | `GET /v1/country/{CC}` | per-country footprint/majority summary |
+//! | `GET /v1/search?q=needle[&limit=n&offset=n]` | paginated org-name substring search, dataset order |
+//! | `GET /v1/dataset` | whole-dataset summary |
+//!
+//! `/v1` errors are a uniform envelope with a stable machine-readable
+//! code: `{"error": {"code": "...", "message": "...", "detail": ...}}`.
+//! Paginated routes take `limit` (1..=100, default 20) and `offset`
+//! (default 0), reject malformed values with `invalid_limit` /
+//! `invalid_offset`, and answer with `total` so clients can page to the
+//! end. Ordering is stable within a served generation: dataset
+//! (publication) order for search hits, country-code order for the
+//! country collection.
+//!
+//! ## Unversioned routes
 //!
 //! | route | answer |
 //! |---|---|
 //! | `GET /healthz` | liveness + dataset presence |
 //! | `GET /metrics` | [`crate::metrics::MetricsSnapshot`] |
-//! | `GET /asn/{asn}` | state-ownership verdict + full org record |
-//! | `GET /ip/{a.b.c.d}` | longest-prefix-match verdict for an address |
-//! | `GET /prefix/{a.b.c.d}/{len}` | covering-announcement verdict |
-//! | `GET /country/{CC}` | per-country footprint/majority summary |
-//! | `GET /search?q=needle[&limit=n]` | org-name substring search |
-//! | `GET /dataset` | whole-dataset summary |
 //! | `POST /admin/reload` | re-read the snapshot file and swap the index |
 //! | `POST /admin/delta` | apply a `soi-delta` patch to the served payload |
+//!
+//! The pre-versioning data routes (`/asn`, `/ip`, `/prefix`, `/country/
+//! {CC}`, `/search`, `/dataset`) keep answering exactly as before —
+//! legacy error shape `{"error": "..."}` included — but are **deprecated
+//! aliases**: every answer carries `Deprecation: true` plus a `Link: ...;
+//! rel="successor-version"` header pointing at the `/v1` equivalent, and
+//! their traffic is counted separately in `/metrics`
+//! (`requests_legacy` vs `requests_v1`). `/healthz`, `/metrics` and the
+//! admin endpoints are operational, not part of the data API, and stay
+//! unversioned.
 //!
 //! `/admin/reload` answers `409` when the server is not serving from a
 //! snapshot file, and `500` (old index kept) when the file is rejected.
@@ -22,9 +47,6 @@
 //! the one being served (stale generation — e.g. after a reload) or
 //! conflicts with it, and `500` for internal failures; in every failure
 //! case the old index keeps serving.
-//!
-//! Errors are uniform JSON: `{"error": "..."}` with 400/404/405/409
-//! status.
 
 use std::net::Ipv4Addr;
 
@@ -52,6 +74,23 @@ struct SearchAnswer {
     hits: Vec<crate::index::SearchHit>,
 }
 
+#[derive(Serialize)]
+struct PagedSearchAnswer {
+    query: String,
+    total: usize,
+    limit: usize,
+    offset: usize,
+    hits: Vec<crate::index::SearchHit>,
+}
+
+#[derive(Serialize)]
+struct CountriesAnswer {
+    total: usize,
+    limit: usize,
+    offset: usize,
+    countries: Vec<crate::index::CountrySummary>,
+}
+
 /// Dispatches one request. Returns the route label (for per-route
 /// metrics) and the response.
 ///
@@ -66,6 +105,17 @@ pub fn respond(state: &ServerState, queue_depth: usize, req: &Request) -> (&'sta
         return ("admin", admin_delta(state, req));
     }
     if req.method != "GET" {
+        if segments.first() == Some(&"v1") {
+            return (
+                "v1_other",
+                Response::api_error(
+                    405,
+                    "method_not_allowed",
+                    &format!("method {} not allowed", req.method),
+                    Some(req.method.as_str()),
+                ),
+            );
+        }
         return ("other", Response::error(405, &format!("method {} not allowed", req.method)));
     }
     let index = state.slot.load();
@@ -82,14 +132,40 @@ pub fn respond(state: &ServerState, queue_depth: usize, req: &Request) -> (&'sta
             "metrics",
             Response::json(200, &state.metrics.snapshot(queue_depth, &state.status())),
         ),
-        ["asn", raw] => ("asn", asn_route(index, raw)),
-        ["ip", raw] => ("ip", ip_route(index, raw)),
-        ["prefix", addr, len] => ("prefix", prefix_route(index, addr, len)),
-        ["country", raw] => ("country", country_route(index, raw)),
-        ["search"] => ("search", search_route(index, req)),
-        ["dataset"] => ("dataset", Response::json(200, &index.summary())),
+        // Versioned data API: envelope errors, pagination, no deprecation.
+        ["v1", "asn", raw] => ("v1_asn", v1_asn_route(index, raw)),
+        ["v1", "ip", raw] => ("v1_ip", v1_ip_route(index, raw)),
+        ["v1", "prefix", addr, len] => ("v1_prefix", v1_prefix_route(index, addr, len)),
+        ["v1", "country"] => ("v1_country", v1_countries_route(index, req)),
+        ["v1", "country", raw] => ("v1_country", v1_country_route(index, raw)),
+        ["v1", "search"] => ("v1_search", v1_search_route(index, req)),
+        ["v1", "dataset"] => ("v1_dataset", Response::json(200, &index.summary())),
+        ["v1", ..] => (
+            "v1_other",
+            Response::api_error(
+                404,
+                "not_found",
+                &format!("no such /v1 route: {}", req.path),
+                Some(req.path.as_str()),
+            ),
+        ),
+        // Legacy aliases: identical answers, flagged as deprecated.
+        ["asn", raw] => ("asn", deprecated(asn_route(index, raw), &req.path)),
+        ["ip", raw] => ("ip", deprecated(ip_route(index, raw), &req.path)),
+        ["prefix", addr, len] => ("prefix", deprecated(prefix_route(index, addr, len), &req.path)),
+        ["country", raw] => ("country", deprecated(country_route(index, raw), &req.path)),
+        ["search"] => ("search", deprecated(search_route(index, req), &req.path)),
+        ["dataset"] => ("dataset", deprecated(Response::json(200, &index.summary()), &req.path)),
         _ => ("other", Response::error(404, &format!("no such route: {}", req.path))),
     }
+}
+
+/// Flags a legacy-route response as deprecated: RFC 9745 `Deprecation`
+/// plus a `Link` header pointing at the `/v1` successor. The body and
+/// status are untouched so pre-versioning clients keep working.
+fn deprecated(resp: Response, path: &str) -> Response {
+    resp.with_header("Deprecation", "true".to_owned())
+        .with_header("Link", format!("</v1{path}>; rel=\"successor-version\""))
 }
 
 /// `POST /admin/reload`: re-read the snapshot file, validate it, and swap
@@ -178,6 +254,129 @@ fn search_route(index: &ServiceIndex, req: &Request) -> Response {
         .clamp(1, MAX_SEARCH_LIMIT);
     let hits = index.search(needle, limit);
     Response::json(200, &SearchAnswer { query: needle.to_owned(), hits })
+}
+
+/// Parses `limit`/`offset` for the paginated `/v1` routes. Unlike the
+/// legacy `/search` clamp, malformed or out-of-range values are rejected
+/// with an envelope error rather than silently defaulted.
+fn parse_page(req: &Request) -> Result<(usize, usize), Response> {
+    let limit = match req.query_param("limit") {
+        None => DEFAULT_SEARCH_LIMIT,
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(n) if (1..=MAX_SEARCH_LIMIT).contains(&n) => n,
+            _ => {
+                return Err(Response::api_error(
+                    400,
+                    "invalid_limit",
+                    &format!("limit must be an integer in 1..={MAX_SEARCH_LIMIT}"),
+                    Some(raw),
+                ));
+            }
+        },
+    };
+    let offset = match req.query_param("offset") {
+        None => 0,
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => {
+                return Err(Response::api_error(
+                    400,
+                    "invalid_offset",
+                    "offset must be a non-negative integer",
+                    Some(raw),
+                ));
+            }
+        },
+    };
+    Ok((limit, offset))
+}
+
+fn v1_asn_route(index: &ServiceIndex, raw: &str) -> Response {
+    match raw.parse::<Asn>() {
+        Ok(asn) => Response::json(200, &index.lookup_asn(asn)),
+        Err(_) => Response::api_error(
+            400,
+            "invalid_asn",
+            "ASN must be a decimal number, optionally prefixed with \"AS\"",
+            Some(raw),
+        ),
+    }
+}
+
+fn v1_ip_route(index: &ServiceIndex, raw: &str) -> Response {
+    match raw.parse::<Ipv4Addr>() {
+        Ok(ip) => Response::json(200, &index.lookup_ip(ip)),
+        Err(_) => {
+            Response::api_error(400, "invalid_ip", "expected a dotted-quad IPv4 address", Some(raw))
+        }
+    }
+}
+
+fn v1_prefix_route(index: &ServiceIndex, addr: &str, len: &str) -> Response {
+    let cidr = format!("{addr}/{len}");
+    match cidr.parse::<Ipv4Prefix>() {
+        Ok(prefix) => Response::json(200, &index.lookup_prefix(prefix)),
+        Err(_) => Response::api_error(
+            400,
+            "invalid_prefix",
+            "expected an IPv4 CIDR prefix, e.g. /v1/prefix/10.0.0.0/8",
+            Some(&cidr),
+        ),
+    }
+}
+
+fn v1_country_route(index: &ServiceIndex, raw: &str) -> Response {
+    let upper = raw.to_ascii_uppercase();
+    match upper.parse::<CountryCode>() {
+        Ok(code) => match index.country(code) {
+            Some(summary) => Response::json(200, &summary),
+            None => Response::api_error(
+                404,
+                "unknown_country",
+                "country code is valid but not present in the dataset registry",
+                Some(&upper),
+            ),
+        },
+        Err(_) => Response::api_error(
+            400,
+            "invalid_country",
+            "country must be a two-letter ISO 3166-1 alpha-2 code",
+            Some(raw),
+        ),
+    }
+}
+
+/// `GET /v1/country`: the paginated country collection, ordered by
+/// country code so pages are stable within a served generation.
+fn v1_countries_route(index: &ServiceIndex, req: &Request) -> Response {
+    let (limit, offset) = match parse_page(req) {
+        Ok(page) => page,
+        Err(resp) => return resp,
+    };
+    let (total, countries) = index.countries_page(limit, offset);
+    Response::json(200, &CountriesAnswer { total, limit, offset, countries })
+}
+
+/// `GET /v1/search`: paginated substring search; hits come back in
+/// dataset (publication) order so pages are stable within a generation.
+fn v1_search_route(index: &ServiceIndex, req: &Request) -> Response {
+    let Some(needle) = req.query_param("q").filter(|q| !q.is_empty()) else {
+        return Response::api_error(
+            400,
+            "missing_query",
+            "search needs a non-empty ?q= parameter",
+            None,
+        );
+    };
+    let (limit, offset) = match parse_page(req) {
+        Ok(page) => page,
+        Err(resp) => return resp,
+    };
+    let (total, hits) = index.search_page(needle, limit, offset);
+    Response::json(
+        200,
+        &PagedSearchAnswer { query: needle.to_owned(), total, limit, offset, hits },
+    )
 }
 
 #[cfg(test)]
@@ -381,5 +580,121 @@ mod tests {
         assert_eq!(resp.status, 200, "limit 0 clamps to 1 rather than erroring");
         let (_, resp) = get(&st, "/search?q=e&limit=junk");
         assert_eq!(resp.status, 200);
+    }
+
+    fn envelope(resp: &Response) -> serde_json::Value {
+        let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+        assert!(v["error"]["code"].is_string(), "missing error.code: {}", body(resp));
+        assert!(v["error"]["message"].is_string(), "missing error.message: {}", body(resp));
+        v
+    }
+
+    #[test]
+    fn v1_routes_dispatch_with_labels_and_envelope_errors() {
+        let st = state();
+        for (target, route, status, code) in [
+            ("/v1/asn/AS2119", "v1_asn", 200, ""),
+            ("/v1/asn/2119", "v1_asn", 200, ""),
+            ("/v1/asn/banana", "v1_asn", 400, "invalid_asn"),
+            ("/v1/ip/10.1.2.3", "v1_ip", 200, ""),
+            ("/v1/ip/999.1.1.1", "v1_ip", 400, "invalid_ip"),
+            ("/v1/prefix/10.1.0.0/16", "v1_prefix", 200, ""),
+            ("/v1/prefix/10.1.0.0/99", "v1_prefix", 400, "invalid_prefix"),
+            ("/v1/country", "v1_country", 200, ""),
+            ("/v1/country/no", "v1_country", 200, ""),
+            ("/v1/country/xx", "v1_country", 404, "unknown_country"),
+            ("/v1/country/nope", "v1_country", 400, "invalid_country"),
+            ("/v1/search?q=telenor", "v1_search", 200, ""),
+            ("/v1/search", "v1_search", 400, "missing_query"),
+            ("/v1/dataset", "v1_dataset", 200, ""),
+            ("/v1/nope", "v1_other", 404, "not_found"),
+            ("/v1", "v1_other", 404, "not_found"),
+        ] {
+            let (label, resp) = get(&st, target);
+            assert_eq!(label, route, "{target}");
+            assert_eq!(resp.status, status, "{target}: {}", body(&resp));
+            assert!(resp.header("Deprecation").is_none(), "{target} must not be deprecated");
+            if status >= 400 {
+                let v = envelope(&resp);
+                assert_eq!(v["error"]["code"].as_str(), Some(code), "{target}: {}", body(&resp));
+            }
+        }
+    }
+
+    #[test]
+    fn legacy_aliases_answer_identically_and_carry_deprecation_headers() {
+        let st = state();
+        for (legacy, v1) in [
+            ("/asn/AS2119", "/v1/asn/AS2119"),
+            ("/ip/10.1.2.3", "/v1/ip/10.1.2.3"),
+            ("/prefix/10.1.0.0/16", "/v1/prefix/10.1.0.0/16"),
+            ("/country/no", "/v1/country/no"),
+            ("/dataset", "/v1/dataset"),
+        ] {
+            let (_, old) = get(&st, legacy);
+            let (_, new) = get(&st, v1);
+            assert_eq!(old.status, 200, "{legacy}");
+            assert_eq!(old.body, new.body, "{legacy} and {v1} disagree");
+            assert_eq!(old.header("Deprecation"), Some("true"), "{legacy}");
+            let link = old.header("Link").expect(legacy);
+            assert_eq!(link, format!("<{v1}>; rel=\"successor-version\""), "{legacy}");
+        }
+        // Search answers differ by design (pagination metadata), but the
+        // legacy route still carries the headers and its old error shape.
+        let (_, resp) = get(&st, "/search?q=telenor");
+        assert_eq!(resp.header("Deprecation"), Some("true"));
+        let (_, resp) = get(&st, "/search");
+        assert_eq!(resp.status, 400);
+        assert!(body(&resp).starts_with("{\"error\":\""), "legacy error shape: {}", body(&resp));
+        // Operational routes are unversioned, not deprecated.
+        for target in ["/healthz", "/metrics"] {
+            let (_, resp) = get(&st, target);
+            assert!(resp.header("Deprecation").is_none(), "{target}");
+        }
+    }
+
+    #[test]
+    fn non_get_on_v1_uses_the_envelope() {
+        let st = state();
+        let (label, resp) = respond(&st, 0, &request("POST", "/v1/asn/AS2119"));
+        assert_eq!(label, "v1_other");
+        assert_eq!(resp.status, 405);
+        assert_eq!(envelope(&resp)["error"]["code"].as_str(), Some("method_not_allowed"));
+    }
+
+    #[test]
+    fn v1_pagination_validates_and_reports_totals() {
+        let st = state();
+        // Malformed paging is an envelope error, never a silent default.
+        for (target, code) in [
+            ("/v1/search?q=e&limit=junk", "invalid_limit"),
+            ("/v1/search?q=e&limit=0", "invalid_limit"),
+            ("/v1/search?q=e&limit=101", "invalid_limit"),
+            ("/v1/search?q=e&offset=junk", "invalid_offset"),
+            ("/v1/country?limit=junk", "invalid_limit"),
+        ] {
+            let (_, resp) = get(&st, target);
+            assert_eq!(resp.status, 400, "{target}: {}", body(&resp));
+            let v = envelope(&resp);
+            assert_eq!(v["error"]["code"].as_str(), Some(code), "{target}");
+            assert!(v["error"]["detail"].is_string(), "{target}: detail echoes the bad value");
+        }
+        // A valid page reports the full total alongside the slice.
+        let (_, resp) = get(&st, "/v1/search?q=telenor&limit=1");
+        let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+        assert_eq!(v["total"].as_u64(), Some(1), "{}", body(&resp));
+        assert_eq!(v["limit"].as_u64(), Some(1));
+        assert_eq!(v["offset"].as_u64(), Some(0));
+        assert_eq!(v["hits"].as_array().unwrap().len(), 1);
+        // Paging past the end is empty but keeps the total.
+        let (_, resp) = get(&st, "/v1/search?q=telenor&offset=5");
+        let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+        assert_eq!(v["total"].as_u64(), Some(1));
+        assert!(v["hits"].as_array().unwrap().is_empty());
+        // The country collection pages in country-code order.
+        let (_, resp) = get(&st, "/v1/country");
+        let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+        assert_eq!(v["total"].as_u64(), Some(1), "{}", body(&resp));
+        assert_eq!(v["countries"][0]["country"].as_str(), Some("NO"));
     }
 }

@@ -263,33 +263,76 @@ pub struct Response {
     pub status: u16,
     /// Response body bytes (always JSON for this API).
     pub body: Vec<u8>,
+    /// Extra response headers beyond the Content-Type/Content-Length/
+    /// Connection set every response carries (e.g. `Deprecation` on the
+    /// legacy unversioned routes).
+    pub headers: Vec<(&'static str, String)>,
 }
 
 impl Response {
     /// Serializes `value` as the JSON body of a response.
     pub fn json<T: Serialize>(status: u16, value: &T) -> Response {
         match serde_json::to_vec(value) {
-            Ok(body) => Response { status, body },
+            Ok(body) => Response { status, body, headers: Vec::new() },
             Err(e) => Response::error(500, &format!("serialization failed: {e}")),
         }
     }
 
-    /// The API's uniform JSON error shape.
+    /// The legacy (unversioned) API's error shape: `{"error": "message"}`.
     pub fn error(status: u16, message: &str) -> Response {
         let body = format!("{{\"error\":{}}}", json_string(message));
-        Response { status, body: body.into_bytes() }
+        Response { status, body: body.into_bytes(), headers: Vec::new() }
+    }
+
+    /// The `/v1` API's uniform error envelope:
+    /// `{"error": {"code": ..., "message": ..., "detail": ...}}`.
+    /// `code` is a stable machine-readable token; `message` is a short
+    /// human sentence; `detail` carries the offending input (or null).
+    pub fn api_error(status: u16, code: &str, message: &str, detail: Option<&str>) -> Response {
+        let detail = detail.map_or("null".to_owned(), json_string);
+        let body = format!(
+            "{{\"error\":{{\"code\":{},\"message\":{},\"detail\":{}}}}}",
+            json_string(code),
+            json_string(message),
+            detail,
+        );
+        Response { status, body: body.into_bytes(), headers: Vec::new() }
+    }
+
+    /// Returns the response with an extra header appended.
+    pub fn with_header(mut self, name: &'static str, value: String) -> Response {
+        self.headers.push((name, value));
+        self
+    }
+
+    /// First value of extra header `name` (case-insensitive), if set.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
     }
 
     /// Writes status line, headers and body. `keep_alive` controls the
     /// advertised `Connection` disposition.
     pub fn write_to(&self, writer: &mut impl Write, keep_alive: bool) -> std::io::Result<()> {
-        let head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
             self.status,
             reason(self.status),
             self.body.len(),
-            if keep_alive { "keep-alive" } else { "close" },
         );
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str(if keep_alive {
+            "Connection: keep-alive\r\n\r\n"
+        } else {
+            "Connection: close\r\n\r\n"
+        });
         writer.write_all(head.as_bytes())?;
         writer.write_all(&self.body)?;
         writer.flush()
@@ -429,6 +472,38 @@ mod tests {
         let err = Response::error(404, "no such route \"x\"");
         assert_eq!(err.status, 404);
         assert!(String::from_utf8(err.body).unwrap().contains("\\\"x\\\""));
+    }
+
+    #[test]
+    fn api_error_envelope_and_extra_headers() {
+        let resp = Response::api_error(400, "invalid_limit", "limit must be 1..=100", Some("junk"));
+        let body = String::from_utf8(resp.body.clone()).unwrap();
+        assert_eq!(
+            body,
+            "{\"error\":{\"code\":\"invalid_limit\",\
+             \"message\":\"limit must be 1..=100\",\"detail\":\"junk\"}}"
+        );
+        // Envelope must be valid JSON even with quoting in the detail.
+        let quoted = Response::api_error(404, "not_found", "no route", Some("a\"b"));
+        let v: serde_json::Value =
+            serde_json::from_slice(&quoted.body).expect("envelope is valid JSON");
+        assert_eq!(v["error"]["detail"].as_str(), Some("a\"b"));
+        let null = Response::api_error(404, "not_found", "no route", None);
+        let v: serde_json::Value = serde_json::from_slice(&null.body).unwrap();
+        assert!(v["error"]["detail"].is_null());
+
+        // Extra headers render between the fixed set and Connection.
+        let resp = Response::json(200, &serde_json::json!({"ok": true}))
+            .with_header("Deprecation", "true".into())
+            .with_header("Link", "</v1/asn/1>; rel=\"successor-version\"".into());
+        assert_eq!(resp.header("deprecation"), Some("true"));
+        assert_eq!(resp.header("X-Missing"), None);
+        let mut out = Vec::new();
+        resp.write_to(&mut out, true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("\r\nDeprecation: true\r\n"), "{text}");
+        assert!(text.contains("\r\nLink: </v1/asn/1>; rel=\"successor-version\"\r\n"), "{text}");
+        assert!(text.contains("Connection: keep-alive\r\n\r\n{\"ok\""), "{text}");
     }
 
     #[test]

@@ -306,21 +306,49 @@ impl ServiceIndex {
     /// Case-insensitive substring search over organization names, in
     /// dataset order, capped at `limit` hits.
     pub fn search(&self, needle: &str, limit: usize) -> Vec<SearchHit> {
+        self.search_page(needle, limit, 0).1
+    }
+
+    /// Paginated [`ServiceIndex::search`]: skips `offset` matches, returns
+    /// up to `limit`, plus the total match count. Ordering is stable —
+    /// dataset (publication) order — so walking pages never skips or
+    /// repeats a hit while the served generation is unchanged.
+    pub fn search_page(
+        &self,
+        needle: &str,
+        limit: usize,
+        offset: usize,
+    ) -> (usize, Vec<SearchHit>) {
         let needle = needle.to_lowercase();
-        self.names
-            .iter()
-            .filter(|(name, _)| name.contains(&needle))
-            .take(limit)
-            .map(|&(_, i)| {
-                let rec = &self.dataset.organizations[i];
-                SearchHit {
-                    org_name: rec.org_name.clone(),
-                    owner: rec.ownership_cc.to_string(),
-                    source: rec.source.clone(),
-                    asns: rec.asns.clone(),
-                }
-            })
-            .collect()
+        let mut total = 0usize;
+        let mut hits = Vec::new();
+        for &(ref name, i) in &self.names {
+            if !name.contains(&needle) {
+                continue;
+            }
+            total += 1;
+            if total > offset && hits.len() < limit {
+                hits.push(self.hit(i));
+            }
+        }
+        (total, hits)
+    }
+
+    /// Paginated country roll-up listing in country-code order (the
+    /// `BTreeMap` key order), plus the total country count.
+    pub fn countries_page(&self, limit: usize, offset: usize) -> (usize, Vec<CountrySummary>) {
+        let total = self.countries.len();
+        (total, self.countries.values().skip(offset).take(limit).cloned().collect())
+    }
+
+    fn hit(&self, i: usize) -> SearchHit {
+        let rec = &self.dataset.organizations[i];
+        SearchHit {
+            org_name: rec.org_name.clone(),
+            owner: rec.ownership_cc.to_string(),
+            source: rec.source.clone(),
+            asns: rec.asns.clone(),
+        }
     }
 
     /// Whole-dataset summary.
@@ -451,6 +479,43 @@ mod tests {
         let de = ix.country(cc("DE")).unwrap();
         assert!(!de.has_majority_state_operator);
         assert!(de.domestic_organizations.is_empty());
+    }
+
+    #[test]
+    fn search_pagination_is_stable_and_reports_totals() {
+        let ix = fixture();
+        // Two "telenor" matches in dataset order.
+        let (total, all) = ix.search_page("telenor", 10, 0);
+        assert_eq!(total, 2);
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].org_name, "Telenor");
+        assert_eq!(all[1].org_name, "Telenor Pakistan");
+        // Page walking covers the same sequence without skips or repeats.
+        let (t1, page1) = ix.search_page("telenor", 1, 0);
+        let (t2, page2) = ix.search_page("telenor", 1, 1);
+        assert_eq!((t1, t2), (2, 2), "total is offset-independent");
+        assert_eq!(page1[0].org_name, "Telenor");
+        assert_eq!(page2[0].org_name, "Telenor Pakistan");
+        // Offset past the end: empty page, honest total.
+        let (t3, page3) = ix.search_page("telenor", 5, 9);
+        assert_eq!(t3, 2);
+        assert!(page3.is_empty());
+        // The unpaginated helper is page zero.
+        assert_eq!(ix.search("telenor", 1).len(), 1);
+    }
+
+    #[test]
+    fn countries_page_orders_by_country_code() {
+        let ix = fixture();
+        let (total, all) = ix.countries_page(10, 0);
+        assert_eq!(total, 2);
+        assert_eq!(all[0].country, "NO", "BTreeMap key order: NO before PK");
+        assert_eq!(all[1].country, "PK");
+        let (_, second) = ix.countries_page(1, 1);
+        assert_eq!(second[0].country, "PK");
+        let (t, none) = ix.countries_page(10, 2);
+        assert_eq!(t, 2);
+        assert!(none.is_empty());
     }
 
     #[test]

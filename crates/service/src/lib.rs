@@ -8,6 +8,9 @@
 //! summaries, and an org-name search — and [`serve`] exposes them over a
 //! small HTTP/1.1 server built directly on `std::net`:
 //!
+//! * a versioned `/v1` data API (envelope errors, limit/offset
+//!   pagination with totals) with the pre-versioning routes kept as
+//!   deprecated aliases — see [`handlers`] for the route table,
 //! * a bounded worker pool with an explicit backpressure queue (full
 //!   queue ⇒ immediate `503`, never unbounded memory),
 //! * per-request read/write timeouts,
@@ -52,7 +55,7 @@ pub use delta::{apply_delta, DeltaOutcome, DeltaRejection};
 pub use index::{
     AsnAnswer, CountrySummary, DatasetSummary, IndexSizes, IpAnswer, SearchHit, ServiceIndex,
 };
-pub use metrics::{LatencySummary, Metrics, MetricsSnapshot, ServiceStatus};
+pub use metrics::{IndexProvenance, LatencySummary, Metrics, MetricsSnapshot, ServiceStatus};
 pub use reload::{IndexSlot, ReloadOutcome, Reloader};
 pub use server::{
     install_signal_handlers, reload_requested, serve, serve_with, shutdown_requested, ServerConfig,

@@ -10,13 +10,22 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use serde::Serialize;
-use soi_core::SnapshotBuildInfo;
+use soi_core::{SnapshotBuildInfo, StageTimings};
 
 use crate::index::IndexSizes;
 
 /// Route labels tracked per-route; `other` catches 404s and probes.
-pub const ROUTES: [&str; 10] =
-    ["healthz", "metrics", "asn", "ip", "prefix", "country", "search", "dataset", "admin", "other"];
+/// `v1_*` labels count the versioned API; the bare data-route labels
+/// count the deprecated unversioned aliases, so legacy traffic stays
+/// separately visible during the migration.
+pub const ROUTES: [&str; 17] = [
+    "healthz", "metrics", "asn", "ip", "prefix", "country", "search", "dataset", "admin", "v1_asn",
+    "v1_ip", "v1_prefix", "v1_country", "v1_search", "v1_dataset", "v1_other", "other",
+];
+
+/// The deprecated unversioned data routes (subset of [`ROUTES`]) whose
+/// traffic is summed into `requests_legacy`.
+const LEGACY_DATA_ROUTES: [&str; 6] = ["asn", "ip", "prefix", "country", "search", "dataset"];
 
 /// Upper bounds (microseconds) of the latency histogram buckets; one
 /// overflow bucket sits above the last bound.
@@ -115,6 +124,22 @@ pub struct LatencySummary {
     pub max_micros: u64,
 }
 
+/// How the currently served index came to be: loaded from a snapshot or
+/// rebuilt through the pipeline, with the rebuild's thread count and
+/// per-stage timings when applicable. Logged at `soi serve` startup and
+/// exported through `/metrics` so cold-start regressions are visible
+/// without a profiler.
+#[derive(Clone, Debug, Serialize)]
+pub struct IndexProvenance {
+    /// `"snapshot"` or `"pipeline"`.
+    pub source: String,
+    /// Worker threads the build used (0 when not applicable, e.g. a
+    /// snapshot load).
+    pub threads: usize,
+    /// Per-stage pipeline timings for rebuilt indexes.
+    pub timings: Option<StageTimings>,
+}
+
 /// What the server is currently serving: index sizes, reload generation,
 /// and the provenance of the loaded snapshot (if any). Sampled at
 /// `/metrics` time because a hot reload can change all of it.
@@ -131,6 +156,9 @@ pub struct ServiceStatus {
     /// built from — the base `POST /admin/delta` patches must name.
     /// `None` when no payload is tracked (deltas are refused).
     pub payload_checksum: Option<u64>,
+    /// How the served index was built (snapshot load vs pipeline rebuild,
+    /// thread count, stage timings).
+    pub build: Option<IndexProvenance>,
 }
 
 /// All counters the server maintains.
@@ -257,6 +285,15 @@ impl Metrics {
             .zip(self.per_route.iter())
             .map(|(&name, counter)| (name.to_owned(), counter.load(Ordering::Relaxed)))
             .collect();
+        // The legacy/v1 split needs no extra atomics: it is a relabelling
+        // of the per-route counters.
+        let requests_legacy =
+            LEGACY_DATA_ROUTES.iter().map(|&r| per_route.get(r).copied().unwrap_or(0)).sum();
+        let requests_v1 = per_route
+            .iter()
+            .filter(|(name, _)| name.starts_with("v1_"))
+            .map(|(_, &n)| n)
+            .sum();
         MetricsSnapshot {
             uptime_seconds: self.started.elapsed().as_secs_f64(),
             requests_total: self.requests.load(Ordering::Relaxed),
@@ -273,7 +310,10 @@ impl Metrics {
             generation: status.generation,
             snapshot_build: status.snapshot_build.clone(),
             payload_checksum: status.payload_checksum,
+            build: status.build.clone(),
             queue_depth,
+            requests_legacy,
+            requests_v1,
             per_route,
             latency: self.latency.summary(),
             index: status.index,
@@ -321,8 +361,15 @@ pub struct MetricsSnapshot {
     /// Canonical checksum of the tracked served payload, if any — the
     /// base the next delta must name.
     pub payload_checksum: Option<u64>,
+    /// How the served index was built (snapshot load vs pipeline rebuild,
+    /// thread count, stage timings).
+    pub build: Option<IndexProvenance>,
     /// Connections waiting in the accept queue right now.
     pub queue_depth: usize,
+    /// Requests served by the deprecated unversioned data routes.
+    pub requests_legacy: u64,
+    /// Requests served by the `/v1` API (including `/v1` 404s/405s).
+    pub requests_v1: u64,
     /// Requests per route.
     pub per_route: BTreeMap<String, u64>,
     /// Latency digest over all routes.
@@ -420,6 +467,38 @@ mod tests {
         assert_eq!(snap.per_route["other"], 1);
         assert_eq!(snap.latency.count, 3);
         assert!(snap.latency.p50_micros > 0);
+    }
+
+    #[test]
+    fn legacy_and_v1_traffic_are_counted_separately() {
+        let m = Metrics::new();
+        m.record_request("asn", 200, Duration::from_micros(10));
+        m.record_request("search", 200, Duration::from_micros(10));
+        m.record_request("v1_asn", 200, Duration::from_micros(10));
+        m.record_request("v1_search", 200, Duration::from_micros(10));
+        m.record_request("v1_other", 404, Duration::from_micros(10));
+        // Non-data routes count in neither bucket.
+        m.record_request("healthz", 200, Duration::from_micros(10));
+        m.record_request("admin", 200, Duration::from_micros(10));
+        let snap = m.snapshot(0, &ServiceStatus::default());
+        assert_eq!(snap.requests_total, 7);
+        assert_eq!(snap.requests_legacy, 2);
+        assert_eq!(snap.requests_v1, 3);
+        assert_eq!(snap.per_route["v1_asn"], 1);
+        assert_eq!(snap.per_route["asn"], 1);
+        // The provenance block passes through the status verbatim.
+        let status = ServiceStatus {
+            build: Some(IndexProvenance {
+                source: "pipeline".into(),
+                threads: 4,
+                timings: Some(StageTimings { threads: 4, ..StageTimings::default() }),
+            }),
+            ..ServiceStatus::default()
+        };
+        let snap = m.snapshot(0, &status);
+        let build = snap.build.expect("provenance present");
+        assert_eq!(build.source, "pipeline");
+        assert_eq!(build.threads, 4);
     }
 
     #[test]

@@ -29,7 +29,7 @@ use serde::Serialize;
 use soi_core::{Snapshot, SnapshotBuildInfo, SnapshotError, SnapshotPayload};
 
 use crate::index::{IndexSizes, ServiceIndex};
-use crate::metrics::{Metrics, ServiceStatus};
+use crate::metrics::{IndexProvenance, Metrics, ServiceStatus};
 
 /// The swappable handle the whole server reads its index through.
 ///
@@ -47,6 +47,7 @@ pub struct IndexSlot {
     generation: AtomicU64,
     build_info: RwLock<Option<SnapshotBuildInfo>>,
     payload: RwLock<Option<(Arc<SnapshotPayload>, u64)>>,
+    provenance: RwLock<Option<IndexProvenance>>,
     /// Serializes administrative swaps — snapshot reloads and delta
     /// applies — so two admin operations never interleave their
     /// read-compute-swap sequences.
@@ -63,8 +64,21 @@ impl IndexSlot {
             generation: AtomicU64::new(1),
             build_info: RwLock::new(build_info),
             payload: RwLock::new(None),
+            provenance: RwLock::new(None),
             admin: Mutex::new(()),
         }
+    }
+
+    /// Records how the served index was built (snapshot load vs pipeline
+    /// rebuild, thread count, stage timings). Set at boot by `soi serve`
+    /// and refreshed on successful snapshot reloads.
+    pub fn set_provenance(&self, provenance: IndexProvenance) {
+        *self.provenance.write().expect("provenance lock") = Some(provenance);
+    }
+
+    /// How the served index was built, if recorded.
+    pub fn provenance(&self) -> Option<IndexProvenance> {
+        self.provenance.read().expect("provenance lock").clone()
     }
 
     /// The currently served index. Requests clone the `Arc` once and use
@@ -134,6 +148,7 @@ impl IndexSlot {
             generation: self.generation(),
             snapshot_build: self.build_info(),
             payload_checksum: self.payload().map(|(_, checksum)| checksum),
+            build: self.provenance(),
         }
     }
 }
@@ -195,6 +210,11 @@ impl Reloader {
                     .inner
                     .slot
                     .swap_full(index, Some(build.clone()), Some((payload, checksum)));
+                self.inner.slot.set_provenance(IndexProvenance {
+                    source: "snapshot".into(),
+                    threads: 0,
+                    timings: None,
+                });
                 metrics.record_reload_ok();
                 Ok(ReloadOutcome { generation, index: sizes, snapshot_build: build })
             }

@@ -1,7 +1,7 @@
 //! `soi` — command-line interface to the state-owned-ases reproduction.
 //!
 //! ```text
-//! soi <command> [--seed N] [args]
+//! soi <command> [--seed N] [--threads T] [args]
 //!
 //!   summary                world statistics (generation only)
 //!   run [--json PATH]      full pipeline; headline + evaluation
@@ -25,6 +25,10 @@
 //!
 //! Without `--snapshot`, every command regenerates the world from the
 //! seed (deterministic, a couple of seconds in release mode).
+//!
+//! `--threads T` shards pipeline execution over T workers (0 = one per
+//! core, the default). The output is byte-identical at any thread
+//! count; the flag only changes wall-clock time.
 
 use std::sync::Arc;
 
@@ -37,13 +41,20 @@ use state_owned_ases::core::{
 };
 use state_owned_ases::delta::{compact, DatasetDelta, DeltaEngine, EngineConfig};
 use state_owned_ases::registry::rpsl;
-use state_owned_ases::service::{self, IndexSlot, Reloader, ServerConfig, ServiceIndex};
+use state_owned_ases::service::{
+    self, IndexProvenance, IndexSlot, Reloader, ServerConfig, ServiceIndex,
+};
 use state_owned_ases::types::{Asn, CountryCode};
 use state_owned_ases::worldgen::{generate, ChurnConfig, World, WorldConfig};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let seed = extract_flag(&mut args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(2021);
+    // Pipeline worker threads. 0 = one per core. Any value produces
+    // byte-identical output; it only changes wall-clock time.
+    let threads: usize = extract_flag(&mut args, "--threads")
+        .map(|t| t.parse().unwrap_or_else(|_| fail("--threads needs a number (0 = auto)")))
+        .unwrap_or(0);
 
     let Some(command) = args.first().cloned() else {
         usage();
@@ -60,7 +71,7 @@ fn main() {
             // boolean `snapshot inspect --json`.
             let json = extract_flag(&mut args, "--json");
             let world = build_world(seed);
-            let (inputs, output) = run_pipeline(&world, seed);
+            let (inputs, output) = run_pipeline(&world, seed, threads);
             println!("{}", Headline::compute(&inputs, &output).text());
             let eval = Evaluation::score(&output.dataset, &world);
             println!(
@@ -94,7 +105,7 @@ fn main() {
         "org" => {
             let needle = args.get(1).cloned().unwrap_or_else(|| fail("org needs a name fragment"));
             let world = build_world(seed);
-            let (_, output) = run_pipeline(&world, seed);
+            let (_, output) = run_pipeline(&world, seed, threads);
             let rows: Vec<Vec<String>> = output
                 .dataset
                 .organizations
@@ -122,7 +133,7 @@ fn main() {
                 .unwrap_or_else(|| fail("cti needs a country code (e.g. `soi cti SY`)"));
             let k: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(5);
             let world = build_world(seed);
-            let (inputs, output) = run_pipeline(&world, seed);
+            let (inputs, output) = run_pipeline(&world, seed, threads);
             let dataset_ases = output.dataset.state_owned_ases();
             let rows: Vec<Vec<String>> = inputs
                 .cti
@@ -161,12 +172,17 @@ fn main() {
                     let index = Arc::new(ServiceIndex::from_snapshot(snapshot));
                     let slot = Arc::new(IndexSlot::new(index, Some(info)));
                     slot.attach_payload(payload, checksum);
+                    slot.set_provenance(IndexProvenance {
+                        source: "snapshot".into(),
+                        threads: 0,
+                        timings: None,
+                    });
                     let reloader = Reloader::new(path, Arc::clone(&slot));
                     (slot, Some(reloader), format!("snapshot {path}"))
                 }
                 None => {
                     let world = build_world(seed);
-                    let (inputs, output) = run_pipeline(&world, seed);
+                    let (inputs, output) = run_pipeline(&world, seed, threads);
                     let payload = SnapshotPayload {
                         dataset: output.dataset.clone(),
                         table: inputs.prefix_to_as.clone(),
@@ -177,10 +193,17 @@ fn main() {
                         Arc::new(ServiceIndex::build(output.dataset, &inputs.prefix_to_as));
                     let slot = Arc::new(IndexSlot::new(index, None));
                     slot.attach_payload(Arc::new(payload), checksum);
+                    slot.set_provenance(IndexProvenance {
+                        source: "pipeline".into(),
+                        threads: output.timings.threads,
+                        timings: Some(output.timings),
+                    });
                     (slot, None, format!("pipeline seed {seed}"))
                 }
             };
             let sizes = slot.load().sizes();
+            let generation = slot.status().generation;
+            let provenance = slot.provenance();
             let cfg = ServerConfig { workers, ..ServerConfig::default() };
             let handle = service::serve_with(slot, reloader, ("0.0.0.0", port), cfg)
                 .expect("bind service socket");
@@ -192,7 +215,24 @@ fn main() {
                 sizes.announced_prefixes,
                 workers,
             );
-            println!("routes: /healthz /metrics /asn/{{asn}} /ip/{{addr}} /prefix/{{addr}}/{{len}} /country/{{cc}} /search?q= /dataset  POST /admin/reload /admin/delta");
+            match &provenance {
+                Some(prov) => match &prov.timings {
+                    Some(t) => println!(
+                        "index: generation {generation} built by {} ({} threads — stage1 {}ms, stage2 {}ms, stage3 {}ms, total {}ms)",
+                        prov.source,
+                        t.threads,
+                        t.stage1_micros / 1000,
+                        t.stage2_micros / 1000,
+                        t.stage3_micros / 1000,
+                        t.total_micros / 1000,
+                    ),
+                    None => {
+                        println!("index: generation {generation} loaded from {}", prov.source)
+                    }
+                },
+                None => println!("index: generation {generation}"),
+            }
+            println!("routes: /v1/asn/{{asn}} /v1/ip/{{addr}} /v1/prefix/{{addr}}/{{len}} /v1/country /v1/country/{{cc}} /v1/search?q=[&limit=&offset=] /v1/dataset  /healthz /metrics  POST /admin/reload /admin/delta  (legacy unversioned data routes still answer, with Deprecation headers)");
             service::install_signal_handlers();
             while !service::shutdown_requested() {
                 if service::reload_requested() {
@@ -242,7 +282,7 @@ fn main() {
             match sub.as_str() {
                 "write" => {
                     let world = build_world(seed);
-                    let (inputs, output) = run_pipeline(&world, seed);
+                    let (inputs, output) = run_pipeline(&world, seed, threads);
                     let build = SnapshotBuildInfo {
                         tool: "soi snapshot write".into(),
                         seed: Some(seed),
@@ -315,12 +355,12 @@ fn main() {
             if sub != "make" {
                 fail(&format!("unknown delta subcommand: {sub} (make)"));
             }
-            delta_make(&out, years, seed);
+            delta_make(&out, years, seed, threads);
         }
         "ageing" => {
             let years: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(5);
             let world = build_world(seed);
-            let (_, output) = run_pipeline(&world, seed);
+            let (_, output) = run_pipeline(&world, seed, threads);
             let churn = ChurnConfig { seed, ..Default::default() };
             let report =
                 AgeingReport::compute(&world, &output.dataset, &churn, years).expect("ageing");
@@ -342,10 +382,12 @@ fn build_world(seed: u64) -> World {
 /// `soi delta make --out DIR [--years N]`: write the base snapshot and
 /// one delta file per churn year, forming a chain a server (or
 /// `soi snapshot compact`) can consume in order.
-fn delta_make(out: &str, years: u32, seed: u64) {
+fn delta_make(out: &str, years: u32, seed: u64, threads: usize) {
     std::fs::create_dir_all(out).unwrap_or_else(|e| fail(&format!("cannot create {out}: {e}")));
     let world = build_world(seed);
-    let mut engine = DeltaEngine::new(world, EngineConfig::with_seed(seed))
+    let mut cfg = EngineConfig::with_seed(seed);
+    cfg.threads = threads;
+    let mut engine = DeltaEngine::new(world, cfg)
         .unwrap_or_else(|e| fail(&format!("cannot boot delta engine: {e}")));
 
     let base_path = format!("{out}/base.snapshot.json");
@@ -428,9 +470,21 @@ fn snapshot_compact(args: &[String], seed: u64) {
 fn run_pipeline(
     world: &World,
     seed: u64,
+    threads: usize,
 ) -> (PipelineInputs, state_owned_ases::core::PipelineOutput) {
-    let inputs = PipelineInputs::from_world(world, &InputConfig::with_seed(seed)).expect("inputs");
-    let output = Pipeline::run(&inputs, &PipelineConfig::default());
+    let threads = state_owned_ases::core::resolve_threads(threads);
+    let input_cfg = InputConfig { threads, ..InputConfig::with_seed(seed) };
+    let inputs = PipelineInputs::from_world(world, &input_cfg).expect("inputs");
+    let output = Pipeline::run_parallel(&inputs, &PipelineConfig::default(), threads);
+    let t = &output.timings;
+    eprintln!(
+        "(pipeline: {} threads — stage1 {}ms, stage2 {}ms, stage3 {}ms, total {}ms)",
+        t.threads,
+        t.stage1_micros / 1000,
+        t.stage2_micros / 1000,
+        t.stage3_micros / 1000,
+        t.total_micros / 1000,
+    );
     (inputs, output)
 }
 
@@ -480,7 +534,9 @@ fn fail(msg: &str) -> ! {
 fn usage() {
     eprintln!(
         "soi — state-owned-ases reproduction CLI\n\n\
-         usage: soi <command> [--seed N]\n\n\
+         usage: soi <command> [--seed N] [--threads T]\n\n\
+         \x20 --threads T           pipeline worker threads (0 = one per core);\n\
+         \x20                       output is byte-identical at any count\n\n\
          commands:\n\
          \x20 summary               world statistics\n\
          \x20 run [--json PATH]     full pipeline + evaluation\n\

@@ -1,0 +1,68 @@
+//! Determinism oracle for the sharded pipeline.
+//!
+//! The contract (see DESIGN.md, "Sharded execution") is that
+//! `Pipeline::run_parallel(inputs, cfg, t)` serializes **byte-identically**
+//! to the sequential `Pipeline::run` for every thread count — parallelism
+//! may only change wall-clock time, never a single output byte. These
+//! tests are the enforcement: they run the same worldgen fixture at
+//! t ∈ {1, 2, 4, 8} and compare serialized output against the sequential
+//! run.
+
+mod common;
+
+use soi_core::{ConfirmCache, Pipeline, PipelineConfig};
+
+#[test]
+fn parallel_output_is_byte_identical_to_sequential() {
+    let fx = common::fixture();
+    let cfg = PipelineConfig::default();
+    let seq = &fx.output;
+    let seq_dataset = serde_json::to_string(&seq.dataset).expect("serialize dataset");
+    let seq_funnel = serde_json::to_string(&seq.funnel).expect("serialize funnel");
+    for threads in [1usize, 2, 4, 8] {
+        let par = Pipeline::run_parallel(&fx.inputs, &cfg, threads);
+        assert_eq!(
+            serde_json::to_string(&par.dataset).unwrap(),
+            seq_dataset,
+            "dataset diverged at {threads} threads"
+        );
+        assert_eq!(
+            serde_json::to_string(&par.funnel).unwrap(),
+            seq_funnel,
+            "funnel diverged at {threads} threads"
+        );
+        assert_eq!(par.unresolved, seq.unresolved, "unresolved at {threads} threads");
+        assert_eq!(
+            par.confirmed_private, seq.confirmed_private,
+            "confirmed_private at {threads} threads"
+        );
+        assert_eq!(
+            par.unmapped_companies, seq.unmapped_companies,
+            "unmapped_companies at {threads} threads"
+        );
+        assert_eq!(
+            par.confirm_outcomes.len(),
+            seq.confirm_outcomes.len(),
+            "confirm cache size at {threads} threads"
+        );
+        // Timings are informational and excluded from the determinism
+        // contract, but the recorded worker count must be honest.
+        assert_eq!(par.timings.threads, threads);
+    }
+}
+
+#[test]
+fn cached_parallel_run_matches_sequential_and_reuses_the_cache() {
+    let fx = common::fixture();
+    let cfg = PipelineConfig::default();
+    let seq_dataset = serde_json::to_string(&fx.output.dataset).expect("serialize dataset");
+
+    // Cold cache: every confirmation happens on the shard workers.
+    let cache = ConfirmCache::default();
+    let cold = Pipeline::run_cached_parallel(&fx.inputs, &cfg, &cache, 4);
+    assert_eq!(serde_json::to_string(&cold.dataset).unwrap(), seq_dataset);
+
+    // Warm cache: same answer again, now served from cached outcomes.
+    let warm = Pipeline::run_cached_parallel(&fx.inputs, &cfg, &cold.confirm_outcomes, 4);
+    assert_eq!(serde_json::to_string(&warm.dataset).unwrap(), seq_dataset);
+}

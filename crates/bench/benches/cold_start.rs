@@ -1,0 +1,35 @@
+//! End-to-end cold-start benchmark: what `soi serve` (without
+//! `--snapshot`) pays before it can answer its first query — world
+//! generation, observable-input derivation, the three-stage pipeline,
+//! and the service index build.
+//!
+//! Worldgen dominated this path before country generation was sharded
+//! (see DESIGN.md, "Deterministic parallel worldgen"); the group pins
+//! the whole chain at 1 and 4 workers so the cold-start win and any
+//! regression are visible in one number.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use soi_bench::REPRO_SEED;
+use soi_core::{InputConfig, Pipeline, PipelineConfig, PipelineInputs};
+use soi_service::ServiceIndex;
+use soi_worldgen::{generate, WorldConfig};
+
+fn cold_start(threads: usize) -> ServiceIndex {
+    let cfg = WorldConfig { seed: REPRO_SEED, threads, ..WorldConfig::paper_scale() };
+    let world = generate(&cfg).expect("generate");
+    let input_cfg = InputConfig { threads, ..InputConfig::with_seed(REPRO_SEED) };
+    let inputs = PipelineInputs::from_world(&world, &input_cfg).expect("inputs");
+    let output = Pipeline::run_parallel(&inputs, &PipelineConfig::default(), threads);
+    ServiceIndex::build(output.dataset, &inputs.prefix_to_as)
+}
+
+fn bench_cold_start(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cold_start");
+    g.sample_size(10);
+    g.bench_function("sequential", |b| b.iter(|| cold_start(1)));
+    g.bench_function("threads_4", |b| b.iter(|| cold_start(4)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_cold_start);
+criterion_main!(benches);

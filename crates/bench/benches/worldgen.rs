@@ -1,4 +1,11 @@
 //! World-generation benchmarks: the substrate behind every experiment.
+//!
+//! The parallel group measures the split-seed sharded generator
+//! (country generation fans out over a worker pool; see DESIGN.md,
+//! "Deterministic parallel worldgen") against the same generator pinned
+//! to one thread. Output is byte-identical at every thread count
+//! (`tests/worldgen_parallel.rs`), so the group measures pure
+//! wall-clock scaling.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use soi_worldgen::{generate, WorldConfig};
@@ -15,5 +22,20 @@ fn bench_worldgen(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_worldgen);
+fn bench_parallel_worldgen(c: &mut Criterion) {
+    let base = WorldConfig::paper_scale();
+    let mut g = c.benchmark_group("worldgen_parallel");
+    g.sample_size(10);
+    g.bench_function("sequential", |b| {
+        b.iter(|| generate(&WorldConfig { threads: 1, ..base.clone() }).expect("generate"))
+    });
+    for threads in [2usize, 4, 8] {
+        g.bench_function(format!("threads_{threads}"), |b| {
+            b.iter(|| generate(&WorldConfig { threads, ..base.clone() }).expect("generate"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_worldgen, bench_parallel_worldgen);
 criterion_main!(benches);

@@ -1,0 +1,175 @@
+//! Quick wall-clock benchmark runner with machine-readable output.
+//!
+//! ```text
+//! soi-bench [--bench <name>] [--seed N] [--scale F] [--iters N] [--json PATH]
+//!
+//!   benches: worldgen_seq worldgen_2 worldgen_4 worldgen_8
+//!            pipeline cold_start all (default)
+//! ```
+//!
+//! Criterion gives statistically careful numbers but is a dev-dependency
+//! of the bench harnesses only; this binary hand-rolls a median-of-N
+//! `Instant` loop so CI (and the acceptance gate for the parallel
+//! worldgen speedup) can record wall-clock figures without the full
+//! criterion run. With `--json PATH` it writes one record per bench:
+//! `{"bench": ..., "threads": ..., "median_micros": ..., "iters": ...,
+//! "seed": ..., "scale": ...}`.
+
+use std::time::Instant;
+
+use soi_bench::REPRO_SEED;
+use soi_core::{InputConfig, Pipeline, PipelineConfig, PipelineInputs};
+use soi_service::ServiceIndex;
+use soi_worldgen::{generate, WorldConfig};
+
+struct Record {
+    bench: &'static str,
+    threads: usize,
+    median_micros: u64,
+    iters: usize,
+}
+
+/// Runs `f` `iters` times and returns the median wall clock in µs.
+fn median_micros(iters: usize, mut f: impl FnMut()) -> u64 {
+    let mut samples: Vec<u64> = (0..iters)
+        .map(|_| {
+            let started = Instant::now();
+            f();
+            started.elapsed().as_micros() as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which: Vec<String> = Vec::new();
+    let mut seed = REPRO_SEED;
+    let mut scale: Option<f64> = None;
+    let mut iters = 5usize;
+    let mut json_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--bench" => {
+                i += 1;
+                which.push(args.get(i).expect("--bench needs a name").clone());
+            }
+            "--seed" => {
+                i += 1;
+                seed = args.get(i).expect("--seed needs a value").parse().expect("numeric seed");
+            }
+            "--scale" => {
+                i += 1;
+                scale =
+                    Some(args.get(i).expect("--scale needs a value").parse().expect("numeric scale"));
+            }
+            "--iters" => {
+                i += 1;
+                iters =
+                    args.get(i).expect("--iters needs a value").parse().expect("numeric iters");
+            }
+            "--json" => {
+                i += 1;
+                json_path = Some(args.get(i).expect("--json needs a path").clone());
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!(
+                    "usage: soi-bench [--bench NAME]... [--seed N] [--scale F] [--iters N] [--json PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    assert!(iters > 0, "--iters must be positive");
+    let want = |id: &str| which.is_empty() || which.iter().any(|w| w == id || w == "all");
+
+    let mut base = WorldConfig { seed, ..WorldConfig::paper_scale() };
+    if let Some(s) = scale {
+        base.scale = s;
+    }
+    let mut records: Vec<Record> = Vec::new();
+
+    for threads in [1usize, 2, 4, 8] {
+        let bench: &'static str = match threads {
+            1 => "worldgen_seq",
+            2 => "worldgen_2",
+            4 => "worldgen_4",
+            _ => "worldgen_8",
+        };
+        if !want(bench) {
+            continue;
+        }
+        let cfg = WorldConfig { threads, ..base.clone() };
+        let median = median_micros(iters, || {
+            generate(&cfg).expect("generate");
+        });
+        eprintln!("{bench}: median {}ms over {iters} iters", median / 1000);
+        records.push(Record { bench, threads, median_micros: median, iters });
+    }
+
+    if want("pipeline") || want("cold_start") {
+        let world = generate(&base).expect("generate");
+        if want("pipeline") {
+            let input_cfg = InputConfig { threads: 1, ..InputConfig::with_seed(seed) };
+            let inputs = PipelineInputs::from_world(&world, &input_cfg).expect("inputs");
+            let median = median_micros(iters, || {
+                Pipeline::run(&inputs, &PipelineConfig::default());
+            });
+            eprintln!("pipeline: median {}ms over {iters} iters", median / 1000);
+            records.push(Record { bench: "pipeline", threads: 1, median_micros: median, iters });
+        }
+        if want("cold_start") {
+            // The full `soi serve` boot path: worldgen + inputs +
+            // pipeline + index build, all at 4 workers.
+            let threads = 4usize;
+            let median = median_micros(iters, || {
+                let cfg = WorldConfig { threads, ..base.clone() };
+                let world = generate(&cfg).expect("generate");
+                let input_cfg = InputConfig { threads, ..InputConfig::with_seed(seed) };
+                let inputs = PipelineInputs::from_world(&world, &input_cfg).expect("inputs");
+                let output = Pipeline::run_parallel(&inputs, &PipelineConfig::default(), threads);
+                ServiceIndex::build(output.dataset, &inputs.prefix_to_as);
+            });
+            eprintln!("cold_start: median {}ms over {iters} iters", median / 1000);
+            records.push(Record { bench: "cold_start", threads, median_micros: median, iters });
+        }
+    }
+
+    if records.is_empty() {
+        eprintln!("no bench matched; known: worldgen_seq worldgen_2 worldgen_4 worldgen_8 pipeline cold_start all");
+        std::process::exit(2);
+    }
+
+    // Headline ratio the acceptance gate reads: sequential vs 4-thread
+    // worldgen, when both ran.
+    let med = |name: &str| records.iter().find(|r| r.bench == name).map(|r| r.median_micros);
+    if let (Some(seq), Some(par)) = (med("worldgen_seq"), med("worldgen_4")) {
+        if par > 0 {
+            eprintln!("worldgen speedup at 4 threads: {:.2}x", seq as f64 / par as f64);
+        }
+    }
+
+    if let Some(path) = json_path {
+        let docs: Vec<serde_json::Value> = records
+            .iter()
+            .map(|r| {
+                serde_json::json!({
+                    "bench": r.bench,
+                    "threads": r.threads,
+                    "median_micros": r.median_micros,
+                    "iters": r.iters,
+                    "seed": seed,
+                    "scale": base.scale,
+                })
+            })
+            .collect();
+        let doc = serde_json::Value::Array(docs);
+        std::fs::write(&path, serde_json::to_string_pretty(&doc).expect("serialize"))
+            .expect("write bench json");
+        println!("bench records written to {path}");
+    }
+}

@@ -33,8 +33,12 @@ pub mod expand;
 pub mod inputs;
 pub mod mapping;
 pub mod pipeline;
-pub mod shard;
 pub mod snapshot;
+
+/// Std-only sharded execution, shared workspace-wide (it lives in
+/// `soi-types` so `soi-worldgen` and `soi-cti` can use the same pool
+/// without a dependency cycle through this crate).
+pub use soi_types::shard;
 
 pub use candidates::{CandidateSet, SourceFlags};
 pub use confirm::{ConfirmOutcome, Confirmation, Confirmer};
@@ -43,7 +47,7 @@ pub use dataset::{Dataset, DatasetDiff, OrgRecord};
 pub use eval::Evaluation;
 pub use inputs::{InputConfig, PipelineInputs};
 pub use pipeline::{ConfirmCache, Pipeline, PipelineConfig, PipelineOutput, StageTimings};
-pub use shard::resolve_threads;
+pub use soi_types::shard::resolve_threads;
 pub use snapshot::{
     payload_checksum, Snapshot, SnapshotBuildInfo, SnapshotError, SnapshotHeader, SnapshotPayload,
     SNAPSHOT_FORMAT_VERSION, SNAPSHOT_MAGIC,

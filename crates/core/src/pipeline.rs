@@ -92,6 +92,12 @@ pub struct OrbisAssessment {
 pub struct StageTimings {
     /// Worker threads the run used (1 for the sequential entry points).
     pub threads: usize,
+    /// World generation wall clock, µs (0 when the world came from a
+    /// snapshot or an external source rather than being generated for
+    /// this run). Recorded by the callers that own worldgen — the
+    /// pipeline itself never generates.
+    #[serde(default)]
+    pub worldgen_micros: u64,
     /// Stage 1 (candidate discovery + AS mapping) wall clock, µs.
     pub stage1_micros: u64,
     /// Stage 2 (confirmation + subsidiary enrichment) wall clock, µs.
@@ -469,6 +475,7 @@ impl Pipeline {
 
         out.timings = StageTimings {
             threads,
+            worldgen_micros: 0, // filled in by callers that generated the world
             stage1_micros: (t1 - t0).as_micros() as u64,
             stage2_micros: (t2 - t1).as_micros() as u64,
             stage3_micros: t2.elapsed().as_micros() as u64,

@@ -206,11 +206,51 @@ impl Snapshot {
     }
 
     /// Parses *and validates* a snapshot document.
+    ///
+    /// The checksum is computed over the payload's raw bytes in the same
+    /// parse pass (via `RawValue`), instead of fully deserializing the
+    /// payload and then re-serializing it just to hash. Producers write
+    /// canonical compact JSON, so the raw bytes normally *are* the
+    /// canonical bytes; only when they differ (a hand-pretty-printed or
+    /// re-encoded file) does the reader fall back to one canonical
+    /// re-serialization before deciding between "equivalent rendering"
+    /// and [`SnapshotError::ChecksumMismatch`].
     pub fn from_json(s: &str) -> Result<Snapshot, SnapshotError> {
-        let snapshot: Snapshot =
+        #[derive(Deserialize)]
+        struct RawDocument<'a> {
+            header: SnapshotHeader,
+            #[serde(borrow)]
+            payload: &'a serde_json::value::RawValue,
+        }
+
+        let doc: RawDocument<'_> =
             serde_json::from_str(s).map_err(|e| SnapshotError::Malformed(e.to_string()))?;
-        snapshot.validate()?;
-        Ok(snapshot)
+        // Reject foreign or incompatible documents before touching the
+        // (much larger) payload.
+        if doc.header.magic != SNAPSHOT_MAGIC {
+            return Err(SnapshotError::WrongMagic(doc.header.magic.clone()));
+        }
+        if doc.header.format_version != SNAPSHOT_FORMAT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion {
+                found: doc.header.format_version,
+                supported: SNAPSHOT_FORMAT_VERSION,
+            });
+        }
+        let raw = doc.payload.get();
+        let raw_checksum = fnv1a64(raw.as_bytes());
+        let payload: SnapshotPayload =
+            serde_json::from_str(raw).map_err(|e| SnapshotError::Malformed(e.to_string()))?;
+        if raw_checksum != doc.header.checksum_fnv1a64 {
+            let computed = payload_checksum(&payload)
+                .map_err(|e| SnapshotError::Malformed(e.to_string()))?;
+            if computed != doc.header.checksum_fnv1a64 {
+                return Err(SnapshotError::ChecksumMismatch {
+                    stored: doc.header.checksum_fnv1a64,
+                    computed,
+                });
+            }
+        }
+        Ok(Snapshot { header: doc.header, payload })
     }
 
     /// Writes the snapshot to `path` (via a sibling temp file + rename, so
@@ -294,6 +334,41 @@ mod tests {
         let json = snap.to_json().unwrap();
         // Valid JSON, valid schema, different content.
         let tampered = json.replace("Telenor", "Tampered");
+        assert!(matches!(
+            Snapshot::from_json(&tampered),
+            Err(SnapshotError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn bit_flipped_payload_is_rejected() {
+        let json = fixture().to_json().unwrap();
+        // Flip one bit inside the payload — in a string character, so the
+        // document stays well-formed JSON with a valid schema and only
+        // the raw-byte checksum can catch it.
+        let pos = json.find("Major shareholdings").expect("quote in payload");
+        let mut bytes = json.into_bytes();
+        bytes[pos] ^= 0x01; // 'M' -> 'L'
+        let flipped = String::from_utf8(bytes).unwrap();
+        assert!(matches!(
+            Snapshot::from_json(&flipped),
+            Err(SnapshotError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn non_canonical_rendering_still_validates() {
+        // A pretty-printed (but content-identical) document must load:
+        // the raw-byte fast path misses, and the canonical fallback
+        // confirms the payload is the one the producer hashed.
+        let snap = fixture();
+        let pretty = serde_json::to_string_pretty(&snap).unwrap();
+        assert_ne!(pretty, snap.to_json().unwrap());
+        let back = Snapshot::from_json(&pretty).unwrap();
+        assert_eq!(back.header.checksum_fnv1a64, snap.header.checksum_fnv1a64);
+        assert_eq!(back.payload.dataset.organizations.len(), 1);
+        // ...but pretty-printing does not launder tampering.
+        let tampered = pretty.replace("Telenor", "Tampered");
         assert!(matches!(
             Snapshot::from_json(&tampered),
             Err(SnapshotError::ChecksumMismatch { .. })

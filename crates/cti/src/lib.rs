@@ -24,6 +24,7 @@ use std::collections::HashMap;
 use serde::{Deserialize, Serialize};
 use soi_bgp::{BgpView, PrefixToAs};
 use soi_geo::GeoDb;
+use soi_types::shard::map_chunks;
 use soi_types::{Asn, CountryCode, SoiError};
 
 /// CTI computation parameters.
@@ -48,33 +49,6 @@ impl Default for CtiConfig {
 pub struct CtiResults {
     /// Per country: `(transit AS, score)` sorted descending.
     per_country: HashMap<CountryCode, Vec<(Asn, f64)>>,
-}
-
-/// Splits `items` into at most `threads` contiguous chunks and maps each
-/// on a scoped worker thread, returning results in chunk order; with
-/// `threads <= 1` the closure runs inline. This mirrors
-/// `soi_core::shard::map_chunks` — duplicated here because the dependency
-/// points the other way (soi-core consumes this crate).
-fn map_chunks<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&[T]) -> R + Sync,
-{
-    if items.is_empty() {
-        return Vec::new();
-    }
-    let threads = threads.max(1).min(items.len());
-    let chunk = items.len().div_ceil(threads);
-    if threads == 1 {
-        return items.chunks(chunk).map(|slice| f(slice)).collect();
-    }
-    let f = &f;
-    std::thread::scope(|s| {
-        let handles: Vec<_> =
-            items.chunks(chunk).map(|slice| s.spawn(move || f(slice))).collect();
-        handles.into_iter().map(|h| h.join().expect("CTI shard worker panicked")).collect()
-    })
 }
 
 impl CtiResults {

@@ -486,19 +486,30 @@ mod tests {
         assert_eq!(snap.requests_v1, 3);
         assert_eq!(snap.per_route["v1_asn"], 1);
         assert_eq!(snap.per_route["asn"], 1);
-        // The provenance block passes through the status verbatim.
+        // The provenance block passes through the status verbatim,
+        // including the worldgen wall clock recorded by the caller that
+        // generated the world.
         let status = ServiceStatus {
             build: Some(IndexProvenance {
                 source: "pipeline".into(),
                 threads: 4,
-                timings: Some(StageTimings { threads: 4, ..StageTimings::default() }),
+                timings: Some(StageTimings {
+                    threads: 4,
+                    worldgen_micros: 1_234,
+                    ..StageTimings::default()
+                }),
             }),
             ..ServiceStatus::default()
         };
         let snap = m.snapshot(0, &status);
+        // /metrics is JSON-rendered; the field must survive serialization.
+        let rendered = serde_json::to_string(&snap).expect("serialize");
+        assert!(rendered.contains("\"worldgen_micros\":1234"));
         let build = snap.build.expect("provenance present");
         assert_eq!(build.source, "pipeline");
         assert_eq!(build.threads, 4);
+        let timings = build.timings.expect("timings present");
+        assert_eq!(timings.worldgen_micros, 1_234);
     }
 
     #[test]

@@ -17,6 +17,7 @@ pub mod equity;
 pub mod error;
 pub mod ids;
 pub mod prefix;
+pub mod shard;
 pub mod trie;
 
 pub use asn::Asn;
@@ -29,6 +30,7 @@ pub use equity::Equity;
 pub use error::SoiError;
 pub use ids::{CompanyId, OrgId};
 pub use prefix::Ipv4Prefix;
+pub use shard::{map_chunks, resolve_threads};
 pub use trie::PrefixTrie;
 
 /// Number of IPv4 addresses, used throughout for market-share style

@@ -1,11 +1,13 @@
-//! Std-only sharded execution for the pipeline's parallel stages.
+//! Std-only sharded execution for deterministic parallel stages.
 //!
 //! The registry is unreachable from the build environment, so this module
 //! deliberately uses nothing but `std::thread::scope`: work is split into
 //! at most `threads` *contiguous* chunks, each chunk is mapped on its own
 //! scoped worker thread, and the per-chunk results are returned **in
-//! chunk order**. Contiguity plus ordered collection is what makes the
-//! parallel pipeline deterministic:
+//! chunk order**. Contiguity plus ordered collection is what makes every
+//! consumer (the sharded pipeline in `soi-core`, CTI contribution replay
+//! in `soi-cti`, per-country world generation in `soi-worldgen`)
+//! deterministic:
 //!
 //! * integer accumulators (geolocation address counts) merge by addition,
 //!   which is exact and order-independent;
@@ -15,12 +17,15 @@
 //!   the same order as the single-threaded run and produces the same
 //!   bits;
 //! * set/flag unions (candidate source flags) are idempotent and
-//!   commutative, so shard order cannot matter.
+//!   commutative, so shard order cannot matter;
+//! * globally-stateful folds (the worldgen address allocator, cross-chunk
+//!   dedup) are replayed sequentially over the ordered chunk results, so
+//!   the global state evolves exactly as in the single-threaded run.
 //!
 //! With `threads <= 1` (or a single item) the closure runs inline on the
-//! caller's thread over one chunk — no worker is spawned, which makes
-//! `Pipeline::run_parallel(.., 1)` *exactly* the sequential path rather
-//! than a one-thread simulation of the parallel one.
+//! caller's thread over one chunk — no worker is spawned, which makes the
+//! one-thread parallel entry points *exactly* the sequential paths rather
+//! than one-thread simulations of the parallel ones.
 
 /// Resolves a user-facing thread-count knob: `0` means "one worker per
 /// available core", anything else is taken literally.

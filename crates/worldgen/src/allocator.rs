@@ -45,17 +45,17 @@ impl AddressAllocator {
         Ipv4Prefix::new(aligned as u32, len)
     }
 
-    /// Allocates a set of blocks totalling at least `addresses`, using at
-    /// most `max_blocks` prefixes no larger than `/min_len` and no smaller
-    /// than `/24`. Returns the blocks largest-first.
-    pub fn alloc_amount(
-        &mut self,
-        addresses: u64,
-        max_blocks: usize,
-        min_len: u8,
-    ) -> Result<Vec<Ipv4Prefix>, SoiError> {
+    /// Plans the prefix lengths `alloc_amount` would hand out for a
+    /// request, without touching allocator state: a set of blocks
+    /// totalling at least `addresses`, using at most `max_blocks` prefixes
+    /// no larger than `/min_len` and no smaller than `/24`,
+    /// largest-first. The plan depends only on the arguments, so parallel
+    /// worldgen workers can plan per-country blocks independently and a
+    /// sequential fold can later allocate the planned lengths against the
+    /// single global cursor.
+    pub fn plan_amount(addresses: u64, max_blocks: usize, min_len: u8) -> Vec<u8> {
         if addresses == 0 || max_blocks == 0 {
-            return Ok(Vec::new());
+            return Vec::new();
         }
         let mut out = Vec::new();
         let mut remaining = addresses;
@@ -69,11 +69,24 @@ impl AddressAllocator {
                 63 - remaining.leading_zeros()
             };
             let len = (32u32.saturating_sub(bits)).clamp(min_len as u32, 24) as u8;
-            let block = self.alloc(len)?;
-            remaining = remaining.saturating_sub(block.num_addresses());
-            out.push(block);
+            remaining = remaining.saturating_sub(1u64 << (32 - u32::from(len)));
+            out.push(len);
         }
-        Ok(out)
+        out
+    }
+
+    /// Allocates the blocks [`AddressAllocator::plan_amount`] plans for
+    /// the request.
+    pub fn alloc_amount(
+        &mut self,
+        addresses: u64,
+        max_blocks: usize,
+        min_len: u8,
+    ) -> Result<Vec<Ipv4Prefix>, SoiError> {
+        Self::plan_amount(addresses, max_blocks, min_len)
+            .into_iter()
+            .map(|len| self.alloc(len))
+            .collect()
     }
 
     /// Addresses handed out so far (including alignment gaps).
@@ -129,6 +142,21 @@ mod tests {
         // Tiny request still yields at least a /24.
         let blocks = a.alloc_amount(10, 1, 8).unwrap();
         assert_eq!(blocks[0].len(), 24);
+    }
+
+    #[test]
+    fn plan_matches_allocated_lengths() {
+        // The pure plan must predict exactly what alloc_amount hands out,
+        // for any allocator state — parallel worldgen depends on it.
+        let cases: &[(u64, usize, u8)] =
+            &[(300_000, 4, 8), (1 << 16, 4, 8), (10, 1, 8), (1 << 30, 2, 8), (77_777, 3, 10)];
+        let mut a = AddressAllocator::new();
+        for &(amount, max_blocks, min_len) in cases {
+            let plan = AddressAllocator::plan_amount(amount, max_blocks, min_len);
+            let blocks = a.alloc_amount(amount, max_blocks, min_len).unwrap();
+            let lens: Vec<u8> = blocks.iter().map(|b| b.len()).collect();
+            assert_eq!(plan, lens, "plan diverged for {amount}/{max_blocks}/{min_len}");
+        }
     }
 
     #[test]

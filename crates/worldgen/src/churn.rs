@@ -349,6 +349,31 @@ mod tests {
     }
 
     #[test]
+    fn churn_is_thread_count_invariant() {
+        // Churn replays from (seed, year) over the world, and worldgen is
+        // thread-count invariant, so the whole chain must be: a world
+        // generated on 4 workers must churn into byte-identical events
+        // and truth as the sequential one.
+        let base = WorldConfig::test_scale(151);
+        let seq = generate(&base).unwrap();
+        let par = generate(&WorldConfig { threads: 4, ..base }).unwrap();
+        let cfg = ChurnConfig {
+            privatization_rate: 0.2,
+            nationalization_rate: 0.15,
+            acquisitions_per_year: 4.0,
+            rebrand_rate: 0.15,
+            seed: 5,
+        };
+        for year in 0..3 {
+            let (a, la) = cfg.evolve(&seq, year).unwrap();
+            let (b, lb) = cfg.evolve(&par, year).unwrap();
+            assert_eq!(la, lb, "event sequences diverge across thread counts (year {year})");
+            assert_eq!(a.registrations, b.registrations);
+            assert_eq!(a.truth.state_owned_ases, b.truth.state_owned_ases);
+        }
+    }
+
+    #[test]
     fn substrate_is_preserved() {
         let w = world();
         // Even under exaggerated rates and several chained years, the

@@ -31,6 +31,16 @@ pub struct WorldConfig {
     /// Number of half-year topology snapshots generated for cone history
     /// (Figure 5). 22 covers 2010-01..2020-06.
     pub history_snapshots: usize,
+    /// Worker threads for the sharded per-country generation phases
+    /// (`0` = one per core). Any value produces a byte-identical world —
+    /// the knob only changes wall-clock time (`tests/worldgen_parallel.rs`
+    /// enforces this).
+    #[serde(default = "default_threads")]
+    pub threads: usize,
+}
+
+fn default_threads() -> usize {
+    1
 }
 
 impl Default for WorldConfig {
@@ -42,6 +52,7 @@ impl Default for WorldConfig {
             sibling_rate: 0.35,
             geo_spill_rate: 0.02,
             history_snapshots: 22,
+            threads: default_threads(),
         }
     }
 }

@@ -1,36 +1,45 @@
 //! The world generator.
 //!
-//! Generation proceeds in deterministic passes (all randomness comes from
-//! one seeded RNG, consumed in a fixed order):
+//! Since version 2 ([`crate::streams::WORLDGEN_VERSION`]) generation is a
+//! sequence of **phases**, each drawing from its own derived RNG stream
+//! (see [`crate::streams`]). Per-country phases shard across a worker
+//! pool; globally-stateful phases stay sequential and fold the sharded
+//! results in country order, so the world is byte-identical at every
+//! `WorldConfig::threads` value:
 //!
-//! 1. **countries** — per country: government, incumbent telco (ownership
-//!    category drawn from regional prevalence, with the paper's monopoly/
-//!    bottleneck/conglomerate overrides), alternative operators, excluded
-//!    specials (academic, government, NIC, subnational), and transit
-//!    gateways/carriers;
-//! 2. **conglomerates** — foreign subsidiaries per the paper's Table 3,
-//!    plus two private multinationals for false-positive material;
-//! 3. **ASNs & registrations** — every operator gets 1..4 ASNs with brand/
-//!    legal/former names;
-//! 4. **stubs** — enterprise ASes bulk each country to its size target;
-//! 5. **addresses & users** — market shares turn into prefixes, geo blocks
-//!    and user populations;
-//! 6. **topology** — tiered wiring (tier-1 clique, regional carriers,
-//!    national transit, access, stubs) with birth dates for cone history.
+//! 1. **operators** (sharded) — per country: government, incumbent telco
+//!    (ownership category drawn from regional prevalence, with the
+//!    paper's monopoly/bottleneck/conglomerate overrides), alternative
+//!    operators, excluded specials (academic, government, NIC,
+//!    subnational), and transit gateways/carriers;
+//! 2. **brand fold + conglomerates** (sequential) — cross-country brand
+//!    dedup, then foreign subsidiaries per the paper's Table 3 plus two
+//!    private multinationals for false-positive material;
+//! 3. **ASNs & stubs** (sharded) — every operator gets 1..4 ASNs with
+//!    brand/legal/former names, and enterprise stubs bulk each country
+//!    to its size target;
+//! 4. **registration fold** (sequential) — cross-country ASN collisions
+//!    redraw from a global fixup stream, stub brands dedup globally;
+//! 5. **addresses & users** (sharded plan, sequential fold) — market
+//!    shares turn into *planned* prefix lengths per country; the fold
+//!    allocates them against the single global address cursor;
+//! 6. **topology** (sequential) — tiered wiring (tier-1 clique, regional
+//!    carriers, national transit, access, stubs) with birth dates for
+//!    cone history.
 
 use std::collections::{HashMap, HashSet};
 
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 use soi_ownership::{
     Business, Company, OperatorScope, OwnershipGraphBuilder, ServiceKind, StateControl,
 };
 use soi_registry::AsRegistration;
 use soi_topology::{Ixp, IxpId, IxpRegistry, Relationship};
+use soi_types::shard::{map_chunks, resolve_threads};
 use soi_types::{
-    all_countries, Asn, CompanyId, CountryCode, CountryInfo, Equity, Ipv4Prefix, Region, SimDate,
-    SoiError,
+    all_countries, Asn, CompanyId, CountryCode, CountryInfo, Equity, Region, SimDate, SoiError,
 };
 
 use crate::allocator::AddressAllocator;
@@ -39,6 +48,10 @@ use crate::config::{
     BOTTLENECK_COUNTRIES, CONGLOMERATES, MONOPOLY_COUNTRIES, PRIVATE_CONGLOMERATES,
 };
 use crate::names;
+use crate::streams::{
+    country_stream, global_stream, PHASE_ASNS, PHASE_ASN_FIXUP, PHASE_CONGLOMERATES,
+    PHASE_OPERATORS, PHASE_RESOURCES, PHASE_TOPOLOGY,
+};
 use crate::truth::GroundTruth;
 use crate::world::{AsProfile, AsRole, Link, World};
 
@@ -58,6 +71,21 @@ const BIG_STATE_CARRIERS: &[(CountryCode, u32)] = &[
 /// Countries with a state-owned submarine-cable carrier whose customer
 /// cone grows steeply through the decade (Figure 5: Angola Cables, BSCCL).
 const CABLE_CARRIERS: &[CountryCode] = &[soi_types::cc("AO"), soi_types::cc("BD")];
+
+/// Company-ID block size per country. Every country mints IDs from its
+/// own strided block so parallel workers never race for a shared counter;
+/// the conglomerate phase uses the block after the last country. IDs may
+/// have gaps (a country rarely fills its block) — the ownership graph
+/// indexes by `CompanyId`, not position, so gaps are harmless. Class-6
+/// countries top out around ~250 companies (operators + stubs at default
+/// scale), far below the block size.
+const COMPANY_BLOCK: u32 = 8192;
+
+/// Mints the `local`-th company ID of ID block `block`.
+fn company_id(block: usize, local: u32) -> CompanyId {
+    debug_assert!(local < COMPANY_BLOCK, "company block {block} overflow");
+    CompanyId(1 + block as u32 * COMPANY_BLOCK + local)
+}
 
 /// How the incumbent is owned.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -94,7 +122,58 @@ struct OpSpec {
     era: Era,
 }
 
+fn operator_business(scope: OperatorScope, service: ServiceKind) -> Business {
+    Business::InternetOperator { scope, service }
+}
+
+/// Draws a brand name not yet in `used`. Real telco brands rarely collide
+/// across countries; the remaining ambiguity the pipeline must survive
+/// comes from legal/stale names, not brands.
+fn unique_brand(rng: &mut SmallRng, used: &mut HashSet<String>, country: CountryCode) -> String {
+    for _ in 0..8 {
+        let cand = names::brand_name(rng, country);
+        if used.insert(cand.clone()) {
+            return cand;
+        }
+    }
+    let cand = format!("{} {}", names::brand_name(rng, country), country.as_str());
+    used.insert(cand.clone());
+    cand
+}
+
+fn fresh_asn(rng: &mut SmallRng, used: &mut HashSet<u32>, old_era: bool) -> Asn {
+    loop {
+        let v = if old_era {
+            rng.gen_range(1_000..64_000)
+        } else {
+            rng.gen_range(131_072..400_000)
+        };
+        if used.insert(v) {
+            return Asn(v);
+        }
+    }
+}
+
+fn draw_birth(rng: &mut SmallRng, era: Era) -> SimDate {
+    let (lo, hi) = match era {
+        Era::Old => (1995, 2009),
+        Era::Mixed => {
+            if rng.gen_bool(0.65) {
+                (1995, 2009)
+            } else {
+                (2010, 2019)
+            }
+        }
+        Era::Window(a, b) => (a, b),
+    };
+    SimDate::new(rng.gen_range(lo..=hi), rng.gen_range(1..=12)).expect("month in range")
+}
+
 /// Generates a world from a configuration.
+///
+/// Deterministic from `WorldConfig::seed` alone: `threads` shards the
+/// per-country phases across workers but never changes the output
+/// (`tests/worldgen_parallel.rs` holds byte-identity at 1/2/4/8 threads).
 ///
 /// ```
 /// use soi_worldgen::{generate, WorldConfig};
@@ -107,104 +186,202 @@ struct OpSpec {
 /// assert_eq!(world.registrations, again.registrations);
 /// ```
 pub fn generate(config: &WorldConfig) -> Result<World, SoiError> {
-    Generator::new(config.clone()).run()
-}
+    let cfg = config.clone();
+    let threads = resolve_threads(cfg.threads);
+    let countries = all_countries();
 
-struct Generator {
-    cfg: WorldConfig,
-    rng: SmallRng,
-    companies: Vec<Company>,
-    holdings: Vec<(CompanyId, CompanyId, Equity)>,
-    next_company: u32,
-    ops: Vec<OpSpec>,
-    govs: HashMap<CountryCode, CompanyId>,
-    incumbents: HashMap<CountryCode, (CompanyId, String)>,
-    incumbent_cat: HashMap<CountryCode, OwnCat>,
-    used_asns: HashSet<u32>,
-    used_brands: HashSet<String>,
-}
+    // Phase A (sharded): per-country governments, incumbents, alternative
+    // operators, specials and carriers, each on its own country stream.
+    let conglomerate_owners: HashSet<CountryCode> =
+        CONGLOMERATES.iter().map(|c| c.owner).collect();
+    let items: Vec<(usize, &CountryInfo)> = countries.iter().enumerate().collect();
+    let mut seeds: Vec<CountrySeed> = map_chunks(&items, threads, |slice| {
+        slice
+            .iter()
+            .map(|&(index, info)| build_country(&cfg, index, info, &conglomerate_owners))
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect();
 
-impl Generator {
-    fn new(cfg: WorldConfig) -> Self {
-        let rng = SmallRng::seed_from_u64(cfg.seed ^ 0x776f726c6467656e);
-        Generator {
-            cfg,
-            rng,
-            companies: Vec::new(),
-            holdings: Vec::new(),
-            next_company: 1,
-            ops: Vec::new(),
-            govs: HashMap::new(),
-            incumbents: HashMap::new(),
-            incumbent_cat: HashMap::new(),
-            used_asns: HashSet::new(),
-            used_brands: HashSet::new(),
-        }
-    }
+    // Fold A (sequential): merge per-country brand namespaces, renaming
+    // cross-country collisions in country order.
+    let mut used_brands = dedup_brands(&mut seeds);
+    let incumbents: HashMap<CountryCode, (CompanyId, String)> =
+        seeds.iter().map(|s| (s.code, s.incumbent.clone())).collect();
+    let incumbent_cat: HashMap<CountryCode, OwnCat> =
+        seeds.iter().map(|s| (s.code, s.cat)).collect();
 
-    fn run(mut self) -> Result<World, SoiError> {
-        self.create_countries();
-        self.create_conglomerates();
+    // Phase B (sequential): conglomerates wire incumbents to foreign
+    // subsidiaries, so they need the full incumbent map and draw from a
+    // global stream.
+    let cong = create_conglomerates(&cfg, countries.len(), &incumbents, &mut used_brands);
 
-        // Freeze company/ownership structure.
-        let mut builder = OwnershipGraphBuilder::new();
-        for c in &self.companies {
+    // Freeze company/ownership structure.
+    let mut builder = OwnershipGraphBuilder::new();
+    for seed in &seeds {
+        for c in &seed.companies {
             builder.add_company(c.clone());
         }
-        for &(holder, held, equity) in &self.holdings {
+        for &(holder, held, equity) in &seed.holdings {
             builder.add_holding(holder, held, equity);
         }
-        let ownership = builder.build()?;
-        let control = StateControl::resolve(&ownership);
+    }
+    for c in &cong.companies {
+        builder.add_company(c.clone());
+    }
+    for &(holder, held, equity) in &cong.holdings {
+        builder.add_holding(holder, held, equity);
+    }
+    let ownership = builder.build()?;
+    let control = StateControl::resolve(&ownership);
 
-        let (mut registrations, mut profiles) = self.assign_asns();
-        self.add_stubs(&mut registrations, &mut profiles);
-        registrations.sort_by_key(|r| r.asn);
-
-        let (prefix_assignments, geo_blocks, users) =
-            self.allocate_resources(&mut profiles, &registrations)?;
-        let (links, ixps) = self.wire_topology(&profiles)?;
-
-        // Current topology = all links.
-        let mut tb = soi_topology::AsGraphBuilder::new();
-        for link in &links {
-            match link.rel {
-                Relationship::CustomerToProvider => tb.add_transit(link.a, link.b),
-                Relationship::PeerToPeer => tb.add_peering(link.a, link.b),
-            };
-        }
-        let topology = tb.build()?;
-
-        let truth = GroundTruth::derive(&ownership, &control, &registrations);
-
-        Ok(World {
-            config: self.cfg,
-            ownership,
-            control,
-            registrations,
-            profiles,
-            topology,
-            links,
-            prefix_assignments,
-            geo_blocks,
-            users,
-            ixps,
-            truth,
-        })
+    // Hand each conglomerate operator to its host country, after that
+    // country's own operators (a fixed order any thread count reproduces).
+    let pos: HashMap<CountryCode, usize> =
+        seeds.iter().enumerate().map(|(i, s)| (s.code, i)).collect();
+    for (country, op) in cong.ops {
+        seeds[pos[&country]].ops.push(op);
     }
 
-    // ---- companies ----
+    // Phase C (sharded): ASNs, registrations and enterprise stubs per
+    // country, with country-local collision sets.
+    let country_regs: Vec<CountryRegs> = map_chunks(&seeds, threads, |slice| {
+        slice.iter().map(|seed| assign_country_asns(&cfg, seed)).collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect();
 
+    // Fold C (sequential): cross-country ASN collisions redraw from the
+    // global fixup stream; stub brands dedup against the global namespace.
+    let (mut registrations, mut profiles) =
+        fold_registrations(cfg.seed, country_regs, &mut used_brands);
+    registrations.sort_by_key(|r| r.asn);
+
+    // Phase D (sharded): plan per-country market shares, prefix lengths,
+    // geolocations and user counts — everything except the one global
+    // address cursor.
+    let mut by_country: HashMap<CountryCode, Vec<Asn>> = HashMap::new();
+    for reg in &registrations {
+        by_country.entry(reg.country).or_default().push(reg.asn);
+    }
+    let work: Vec<(&CountryInfo, Vec<Asn>)> = countries
+        .iter()
+        .filter_map(|info| by_country.get(&info.code).map(|asns| (info, asns.clone())))
+        .collect();
+    let planned: Vec<CountryResources> = map_chunks(&work, threads, |slice| {
+        slice
+            .iter()
+            .map(|(info, asns)| plan_country_resources(&cfg, info, asns, &profiles))
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+
+    // Fold D (sequential): replay the planned blocks against the single
+    // bump allocator in country/ASN/block order.
+    let mut alloc = AddressAllocator::new();
+    let mut prefix_assignments: Vec<(soi_types::Ipv4Prefix, Asn)> = Vec::new();
+    let mut geo_blocks: Vec<(soi_types::Ipv4Prefix, CountryCode)> = Vec::new();
+    let mut users: Vec<(CountryCode, Asn, u64)> = Vec::new();
+    for cr in planned {
+        for (asn, share) in cr.shares {
+            profiles.get_mut(&asn).expect("profile exists").market_share = share;
+        }
+        for (asn, blocks) in cr.blocks {
+            for (len, geo_country) in blocks {
+                let b = alloc.alloc(len)?;
+                prefix_assignments.push((b, asn));
+                geo_blocks.push((b, geo_country));
+            }
+        }
+        users.extend(cr.users);
+    }
+
+    // Phase E (sequential): global topology on its own stream.
+    let (links, ixps) = wire_topology(
+        &cfg,
+        &profiles,
+        &incumbent_cat,
+        global_stream(cfg.seed, PHASE_TOPOLOGY),
+    )?;
+
+    // Current topology = all links.
+    let mut tb = soi_topology::AsGraphBuilder::new();
+    for link in &links {
+        match link.rel {
+            Relationship::CustomerToProvider => tb.add_transit(link.a, link.b),
+            Relationship::PeerToPeer => tb.add_peering(link.a, link.b),
+        };
+    }
+    let topology = tb.build()?;
+
+    let truth = GroundTruth::derive(&ownership, &control, &registrations);
+
+    Ok(World {
+        config: cfg,
+        ownership,
+        control,
+        registrations,
+        profiles,
+        topology,
+        links,
+        prefix_assignments,
+        geo_blocks,
+        users,
+        ixps,
+        truth,
+    })
+}
+
+// ---- phase A: per-country companies and operators ----
+
+/// Everything one country contributes before the global folds: companies,
+/// holdings, operator specs, and the local brand namespace.
+struct CountrySeed {
+    /// Position in `all_countries()` — also the country's company-ID block.
+    index: usize,
+    code: CountryCode,
+    companies: Vec<Company>,
+    holdings: Vec<(CompanyId, CompanyId, Equity)>,
+    ops: Vec<OpSpec>,
+    incumbent: (CompanyId, String),
+    cat: OwnCat,
+    /// Brand names drawn from the shared namespace (incumbent + alt-op
+    /// draws; specials and carriers use country-derived names that never
+    /// enter it).
+    brands: HashSet<String>,
+    /// Next free local company ID — phase C continues it for stubs.
+    next_local: u32,
+}
+
+/// Working state while one country is generated on its own stream.
+struct CountryCtx<'a> {
+    cfg: &'a WorldConfig,
+    info: &'a CountryInfo,
+    index: usize,
+    rng: SmallRng,
+    next_local: u32,
+    companies: Vec<Company>,
+    holdings: Vec<(CompanyId, CompanyId, Equity)>,
+    ops: Vec<OpSpec>,
+    brands: HashSet<String>,
+    incumbent: Option<(CompanyId, String)>,
+}
+
+impl CountryCtx<'_> {
     fn new_company(
         &mut self,
         name: impl Into<String>,
         legal: impl Into<String>,
-        country: CountryCode,
         business: Business,
     ) -> CompanyId {
-        let id = CompanyId(self.next_company);
-        self.next_company += 1;
-        self.companies.push(Company::new(id, name, legal, country, business));
+        let id = company_id(self.index, self.next_local);
+        self.next_local += 1;
+        self.companies.push(Company::new(id, name, legal, self.info.code, business));
         id
     }
 
@@ -212,58 +389,12 @@ impl Generator {
         self.holdings.push((holder, held, equity));
     }
 
-    fn operator_business(scope: OperatorScope, service: ServiceKind) -> Business {
-        Business::InternetOperator { scope, service }
+    fn unique_brand(&mut self) -> String {
+        unique_brand(&mut self.rng, &mut self.brands, self.info.code)
     }
 
-    /// Draws a brand name that no other company uses. Real telco brands
-    /// rarely collide across countries; the remaining ambiguity the
-    /// pipeline must survive comes from legal/stale names, not brands.
-    fn unique_brand(&mut self, country: CountryCode) -> String {
-        for _ in 0..8 {
-            let cand = names::brand_name(&mut self.rng, country);
-            if self.used_brands.insert(cand.clone()) {
-                return cand;
-            }
-        }
-        let cand = format!("{} {}", names::brand_name(&mut self.rng, country), country.as_str());
-        self.used_brands.insert(cand.clone());
-        cand
-    }
-
-    fn create_countries(&mut self) {
-        let conglomerate_owners: HashSet<CountryCode> =
-            CONGLOMERATES.iter().map(|c| c.owner).collect();
-
-        for info in all_countries() {
-            let gov = self.new_company(
-                format!("Government of {}", info.name),
-                format!("State of {}", info.name),
-                info.code,
-                Business::Government,
-            );
-            self.govs.insert(info.code, gov);
-
-            // Incumbent ownership category.
-            let forced_majority = MONOPOLY_COUNTRIES.contains(&info.code)
-                || BOTTLENECK_COUNTRIES.contains(&info.code)
-                || conglomerate_owners.contains(&info.code);
-            let cat = if forced_majority || self.rng.gen_bool(majority_rate(info.region)) {
-                OwnCat::Majority
-            } else if self.rng.gen_bool(minority_rate(info.region)) {
-                OwnCat::Minority
-            } else {
-                OwnCat::Private
-            };
-            self.incumbent_cat.insert(info.code, cat);
-            self.create_incumbent(info, gov, cat);
-            self.create_alt_operators(info, gov);
-            self.create_specials(info, gov);
-            self.create_carriers(info, gov);
-        }
-    }
-
-    fn create_incumbent(&mut self, info: &CountryInfo, gov: CompanyId, cat: OwnCat) {
+    fn create_incumbent(&mut self, gov: CompanyId, cat: OwnCat) {
+        let info = self.info;
         // Misleading-name special case: Fiji's nationalized incumbent kept
         // its private-sounding brand (§9).
         let brand = if info.code == soi_types::cc("FJ") {
@@ -274,14 +405,13 @@ impl Generator {
         let legal = names::legal_name(&mut self.rng, &brand, info.code, 0.15);
         let rebranded = self.rng.gen_bool(0.6); // incumbents usually ex-PTT
         let former = rebranded.then(|| names::former_name(&mut self.rng, info.code));
-        self.used_brands.insert(brand.clone());
+        self.brands.insert(brand.clone());
         let id = self.new_company(
             brand.clone(),
             legal.clone(),
-            info.code,
-            Self::operator_business(OperatorScope::National, ServiceKind::Both),
+            operator_business(OperatorScope::National, ServiceKind::Both),
         );
-        self.incumbents.insert(info.code, (id, brand.clone()));
+        self.incumbent = Some((id, brand.clone()));
 
         match cat {
             OwnCat::Majority => {
@@ -294,7 +424,6 @@ impl Generator {
                         let fund = self.new_company(
                             format!("{} National Fund {}", info.name, f + 1),
                             format!("{} Sovereign Holdings {}", info.name, f + 1),
-                            info.code,
                             Business::Holding,
                         );
                         self.hold(gov, fund, Equity::FULL);
@@ -353,7 +482,8 @@ impl Generator {
         });
     }
 
-    fn create_alt_operators(&mut self, info: &CountryInfo, gov: CompanyId) {
+    fn create_alt_operators(&mut self, gov: CompanyId) {
+        let info = self.info;
         let count = match info.size_class {
             1 => 1,
             2 => 2,
@@ -363,7 +493,7 @@ impl Generator {
             _ => 8,
         };
         for i in 0..count {
-            let brand = self.unique_brand(info.code);
+            let brand = self.unique_brand();
             let legal = names::legal_name(&mut self.rng, &brand, info.code, 0.25);
             let former = self
                 .rng
@@ -374,8 +504,7 @@ impl Generator {
             let id = self.new_company(
                 brand.clone(),
                 legal.clone(),
-                info.code,
-                Self::operator_business(OperatorScope::National, service),
+                operator_business(OperatorScope::National, service),
             );
             // Occasional second state operator (state mobile carrier) or
             // minority state position.
@@ -410,42 +539,33 @@ impl Generator {
         }
     }
 
-    fn create_specials(&mut self, info: &CountryInfo, gov: CompanyId) {
+    fn create_specials(&mut self, gov: CompanyId) {
+        let info = self.info;
         // Academic network.
         if self.rng.gen_bool(0.5) {
             let brand = format!("{} Education & Research Network", info.name);
-            let id = self.new_company(
-                brand.clone(),
-                format!("{} University Network Consortium", info.name),
-                info.code,
-                Business::AcademicNetwork,
-            );
+            let legal = format!("{} University Network Consortium", info.name);
+            let id = self.new_company(brand.clone(), legal.clone(), Business::AcademicNetwork);
             self.hold(gov, id, Equity::FULL);
-            self.push_special(id, brand, info, AsRole::Academic);
+            self.push_special(id, brand, legal, AsRole::Academic);
         }
         // Government-office network.
         if self.rng.gen_bool(0.4) {
             let brand = format!("{} Government Network", info.name);
-            let id = self.new_company(
-                brand.clone(),
-                format!("Ministry of ICT of {}", info.name),
-                info.code,
-                Business::GovernmentAgencyNetwork,
-            );
+            let legal = format!("Ministry of ICT of {}", info.name);
+            let id =
+                self.new_company(brand.clone(), legal.clone(), Business::GovernmentAgencyNetwork);
             self.hold(gov, id, Equity::FULL);
-            self.push_special(id, brand, info, AsRole::GovernmentNet);
+            self.push_special(id, brand, legal, AsRole::GovernmentNet);
         }
         // NIC / ccTLD administration.
         if self.rng.gen_bool(0.3) {
             let brand = format!("NIC.{}", info.code.as_str());
-            let id = self.new_company(
-                brand.clone(),
-                format!("Network Information Centre of {}", info.name),
-                info.code,
-                Business::InternetAdministration,
-            );
+            let legal = format!("Network Information Centre of {}", info.name);
+            let id =
+                self.new_company(brand.clone(), legal.clone(), Business::InternetAdministration);
             self.hold(gov, id, Equity::FULL);
-            self.push_special(id, brand, info, AsRole::Nic);
+            self.push_special(id, brand, legal, AsRole::Nic);
         }
         // Subnational state operator.
         if self.rng.gen_bool(0.25) {
@@ -453,29 +573,21 @@ impl Generator {
             let legal = names::legal_name(&mut self.rng, &brand, info.code, 0.1);
             let id = self.new_company(
                 brand.clone(),
-                legal,
-                info.code,
-                Self::operator_business(OperatorScope::Subnational, ServiceKind::Access),
+                legal.clone(),
+                operator_business(OperatorScope::Subnational, ServiceKind::Access),
             );
             self.hold(gov, id, Equity::FULL);
-            self.push_special(id, brand, info, AsRole::Subnational);
+            self.push_special(id, brand, legal, AsRole::Subnational);
         }
     }
 
-    fn push_special(&mut self, id: CompanyId, brand: String, info: &CountryInfo, role: AsRole) {
-        let legal = self
-            .companies
-            .iter()
-            .rev()
-            .find(|c| c.id == id)
-            .map(|c| c.legal_name.clone())
-            .unwrap_or_else(|| brand.clone());
+    fn push_special(&mut self, id: CompanyId, brand: String, legal: String, role: AsRole) {
         self.ops.push(OpSpec {
             company: id,
             brand,
             legal,
             former: None,
-            country: info.code,
+            country: self.info.code,
             service: ServiceKind::Access,
             role,
             weight: 0.0,
@@ -484,7 +596,8 @@ impl Generator {
         });
     }
 
-    fn create_carriers(&mut self, info: &CountryInfo, gov: CompanyId) {
+    fn create_carriers(&mut self, gov: CompanyId) {
+        let info = self.info;
         // Tier-1 private global carriers live in a few developed countries.
         let tier1_count: u32 = match info.code.as_str() {
             "US" => 3,
@@ -497,8 +610,7 @@ impl Generator {
             let id = self.new_company(
                 brand.clone(),
                 legal.clone(),
-                info.code,
-                Self::operator_business(OperatorScope::National, ServiceKind::Transit),
+                operator_business(OperatorScope::National, ServiceKind::Transit),
             );
             self.ops.push(OpSpec {
                 company: id,
@@ -517,7 +629,7 @@ impl Generator {
         // Big state carriers (Table 5 material).
         if let Some(&(_, n)) = BIG_STATE_CARRIERS.iter().find(|&&(c, _)| c == info.code) {
             // First carrier ASN belongs to the incumbent itself.
-            let (inc_id, inc_brand) = self.incumbents[&info.code].clone();
+            let (inc_id, inc_brand) = self.incumbent.clone().expect("incumbent exists");
             self.ops.push(OpSpec {
                 company: inc_id,
                 brand: format!("{inc_brand} International"),
@@ -537,8 +649,7 @@ impl Generator {
                 let id = self.new_company(
                     brand.clone(),
                     legal.clone(),
-                    info.code,
-                    Self::operator_business(OperatorScope::National, ServiceKind::Transit),
+                    operator_business(OperatorScope::National, ServiceKind::Transit),
                 );
                 let bp = self.rng.gen_range(5_100..10_000);
                 self.hold(gov, id, Equity::from_bp(bp));
@@ -564,8 +675,7 @@ impl Generator {
             let id = self.new_company(
                 brand.clone(),
                 legal.clone(),
-                info.code,
-                Self::operator_business(OperatorScope::National, ServiceKind::Transit),
+                operator_business(OperatorScope::National, ServiceKind::Transit),
             );
             let bp = self.rng.gen_range(5_100..8_000);
             self.hold(gov, id, Equity::from_bp(bp));
@@ -591,8 +701,7 @@ impl Generator {
             let id = self.new_company(
                 brand.clone(),
                 legal.clone(),
-                info.code,
-                Self::operator_business(OperatorScope::National, ServiceKind::Transit),
+                operator_business(OperatorScope::National, ServiceKind::Transit),
             );
             self.hold(gov, id, Equity::FULL);
             let n_asns = self.rng.gen_range(1..=3);
@@ -610,36 +719,184 @@ impl Generator {
             });
         }
     }
+}
 
-    fn create_conglomerates(&mut self) {
-        // State-owned conglomerates (Table 3).
-        for spec in CONGLOMERATES {
-            let (parent, parent_brand) = self.incumbents[&spec.owner].clone();
-            for &target in spec.targets {
-                let Some(tinfo) = target.info() else { continue };
-                let brand = format!("{} {}", names::conglomerate_prefix(&parent_brand), tinfo.name);
-                let legal = names::legal_name(&mut self.rng, &brand, target, 0.3);
-                let former =
-                    self.rng.gen_bool(0.4).then(|| names::brand_name(&mut self.rng, target));
-                let id = self.new_company(
-                    brand.clone(),
-                    legal.clone(),
-                    target,
-                    Self::operator_business(OperatorScope::National, ServiceKind::Access),
-                );
-                let bp = self.rng.gen_range(5_100..10_000);
-                self.hold(parent, id, Equity::from_bp(bp));
-                // African hosts get big foreign footprints (6 of 12 such
-                // countries exceed 50% in the paper); elsewhere modest;
-                // domestic monopolies (Table 8) leave little room.
-                let weight = if MONOPOLY_COUNTRIES.contains(&target) {
-                    self.rng.gen_range(0.01..0.05)
-                } else if tinfo.region == Region::Africa {
-                    self.rng.gen_range(0.5..1.6)
-                } else {
-                    self.rng.gen_range(0.1..0.45)
-                };
-                self.ops.push(OpSpec {
+/// Generates one country's complete company/operator seed on the
+/// country's own `PHASE_OPERATORS` stream — safe to run on any worker.
+fn build_country(
+    cfg: &WorldConfig,
+    index: usize,
+    info: &CountryInfo,
+    conglomerate_owners: &HashSet<CountryCode>,
+) -> CountrySeed {
+    let mut ctx = CountryCtx {
+        cfg,
+        info,
+        index,
+        rng: country_stream(cfg.seed, PHASE_OPERATORS, info.code),
+        next_local: 0,
+        companies: Vec::new(),
+        holdings: Vec::new(),
+        ops: Vec::new(),
+        brands: HashSet::new(),
+        incumbent: None,
+    };
+
+    let gov = ctx.new_company(
+        format!("Government of {}", info.name),
+        format!("State of {}", info.name),
+        Business::Government,
+    );
+
+    // Incumbent ownership category.
+    let forced_majority = MONOPOLY_COUNTRIES.contains(&info.code)
+        || BOTTLENECK_COUNTRIES.contains(&info.code)
+        || conglomerate_owners.contains(&info.code);
+    let cat = if forced_majority || ctx.rng.gen_bool(majority_rate(info.region)) {
+        OwnCat::Majority
+    } else if ctx.rng.gen_bool(minority_rate(info.region)) {
+        OwnCat::Minority
+    } else {
+        OwnCat::Private
+    };
+    ctx.create_incumbent(gov, cat);
+    ctx.create_alt_operators(gov);
+    ctx.create_specials(gov);
+    ctx.create_carriers(gov);
+
+    CountrySeed {
+        index,
+        code: info.code,
+        companies: ctx.companies,
+        holdings: ctx.holdings,
+        ops: ctx.ops,
+        incumbent: ctx.incumbent.expect("incumbent created"),
+        cat,
+        brands: ctx.brands,
+        next_local: ctx.next_local,
+    }
+}
+
+/// Rewrites a legal name after a brand rename: most legal names are the
+/// brand plus a corporate suffix, so the rename carries over the prefix.
+fn reprefix(legal: &str, old: &str, fresh: &str) -> String {
+    match legal.strip_prefix(old) {
+        Some(rest) => format!("{fresh}{rest}"),
+        None => legal.to_string(),
+    }
+}
+
+/// Merges the per-country brand namespaces into one global set, renaming
+/// cross-country collisions deterministically (suffix the ISO code, then
+/// a counter). Renames propagate to the operator spec, its company record
+/// and the incumbent handle, so registrations, WHOIS names and ownership
+/// stay consistent.
+fn dedup_brands(seeds: &mut [CountrySeed]) -> HashSet<String> {
+    let mut used: HashSet<String> = HashSet::new();
+    for seed in seeds.iter_mut() {
+        let code = seed.code;
+        for op in seed.ops.iter_mut() {
+            // Only brands drawn from the shared namespace can collide;
+            // country-name-derived brands (specials, carriers) are unique
+            // by construction and never entered it.
+            if !seed.brands.contains(&op.brand) {
+                continue;
+            }
+            if used.insert(op.brand.clone()) {
+                continue;
+            }
+            let old = op.brand.clone();
+            let mut fresh = format!("{old} {}", code.as_str());
+            let mut n = 1;
+            while !used.insert(fresh.clone()) {
+                n += 1;
+                fresh = format!("{old} {} {n}", code.as_str());
+            }
+            op.legal = reprefix(&op.legal, &old, &fresh);
+            for c in seed.companies.iter_mut() {
+                if c.id != op.company {
+                    continue;
+                }
+                if c.name == old {
+                    c.name = fresh.clone();
+                }
+                c.legal_name = reprefix(&c.legal_name, &old, &fresh);
+            }
+            if seed.incumbent.1 == old {
+                seed.incumbent.1 = fresh.clone();
+            }
+            op.brand = fresh;
+        }
+    }
+    used
+}
+
+// ---- phase B: conglomerates ----
+
+/// Companies, holdings and operators minted by the conglomerate phase.
+/// Operators carry their host country so the orchestrator can hand them
+/// to that country's ASN phase.
+struct ConglomerateBatch {
+    companies: Vec<Company>,
+    holdings: Vec<(CompanyId, CompanyId, Equity)>,
+    ops: Vec<(CountryCode, OpSpec)>,
+}
+
+/// Wires incumbents to foreign subsidiaries (Table 3) and mints two
+/// private multinationals. Inherently cross-country (a parent holds
+/// equity in many host countries), so it runs sequentially on the global
+/// `PHASE_CONGLOMERATES` stream and takes the company-ID block after the
+/// last country's.
+fn create_conglomerates(
+    cfg: &WorldConfig,
+    block: usize,
+    incumbents: &HashMap<CountryCode, (CompanyId, String)>,
+    used_brands: &mut HashSet<String>,
+) -> ConglomerateBatch {
+    let mut rng = global_stream(cfg.seed, PHASE_CONGLOMERATES);
+    let mut next_local = 0u32;
+    let mut out = ConglomerateBatch {
+        companies: Vec::new(),
+        holdings: Vec::new(),
+        ops: Vec::new(),
+    };
+    let mut mint = |local: &mut u32| {
+        let id = company_id(block, *local);
+        *local += 1;
+        id
+    };
+
+    // State-owned conglomerates (Table 3).
+    for spec in CONGLOMERATES {
+        let (parent, parent_brand) = incumbents[&spec.owner].clone();
+        for &target in spec.targets {
+            let Some(tinfo) = target.info() else { continue };
+            let brand = format!("{} {}", names::conglomerate_prefix(&parent_brand), tinfo.name);
+            let legal = names::legal_name(&mut rng, &brand, target, 0.3);
+            let former = rng.gen_bool(0.4).then(|| names::brand_name(&mut rng, target));
+            let id = mint(&mut next_local);
+            out.companies.push(Company::new(
+                id,
+                brand.clone(),
+                legal.clone(),
+                target,
+                operator_business(OperatorScope::National, ServiceKind::Access),
+            ));
+            let bp = rng.gen_range(5_100..10_000);
+            out.holdings.push((parent, id, Equity::from_bp(bp)));
+            // African hosts get big foreign footprints (6 of 12 such
+            // countries exceed 50% in the paper); elsewhere modest;
+            // domestic monopolies (Table 8) leave little room.
+            let weight = if MONOPOLY_COUNTRIES.contains(&target) {
+                rng.gen_range(0.01..0.05)
+            } else if tinfo.region == Region::Africa {
+                rng.gen_range(0.5..1.6)
+            } else {
+                rng.gen_range(0.1..0.45)
+            };
+            out.ops.push((
+                target,
+                OpSpec {
                     company: id,
                     brand,
                     legal,
@@ -648,25 +905,28 @@ impl Generator {
                     service: ServiceKind::Access,
                     role: AsRole::Access,
                     weight,
-                    n_asns: if self.rng.gen_bool(0.25) { 2 } else { 1 },
+                    n_asns: if rng.gen_bool(0.25) { 2 } else { 1 },
                     era: Era::Mixed,
-                });
-            }
+                },
+            ));
         }
+    }
 
-        // Private multinationals (Orbis false-positive material).
-        for spec in PRIVATE_CONGLOMERATES {
-            let owner_info = spec.owner.info().expect("registry country");
-            let brand_root = self.unique_brand(spec.owner);
-            let parent_legal = names::legal_name(&mut self.rng, &brand_root, spec.owner, 0.0);
-            let parent = self.new_company(
-                format!("{brand_root} Group"),
-                parent_legal,
-                spec.owner,
-                Self::operator_business(OperatorScope::National, ServiceKind::Both),
-            );
-            let _ = owner_info;
-            self.ops.push(OpSpec {
+    // Private multinationals (Orbis false-positive material).
+    for spec in PRIVATE_CONGLOMERATES {
+        let brand_root = unique_brand(&mut rng, used_brands, spec.owner);
+        let parent_legal = names::legal_name(&mut rng, &brand_root, spec.owner, 0.0);
+        let parent = mint(&mut next_local);
+        out.companies.push(Company::new(
+            parent,
+            format!("{brand_root} Group"),
+            parent_legal,
+            spec.owner,
+            operator_business(OperatorScope::National, ServiceKind::Both),
+        ));
+        out.ops.push((
+            spec.owner,
+            OpSpec {
                 company: parent,
                 brand: format!("{brand_root} Group"),
                 legal: format!("{brand_root} Group"),
@@ -677,20 +937,25 @@ impl Generator {
                 weight: 0.3,
                 n_asns: 1,
                 era: Era::Old,
-            });
-            for &target in spec.targets {
-                let Some(tinfo) = target.info() else { continue };
-                let brand = format!("{brand_root} {}", tinfo.name);
-                let legal = names::legal_name(&mut self.rng, &brand, target, 0.3);
-                let id = self.new_company(
-                    brand.clone(),
-                    legal.clone(),
-                    target,
-                    Self::operator_business(OperatorScope::National, ServiceKind::Access),
-                );
-                let bp = self.rng.gen_range(5_100..10_000);
-                self.hold(parent, id, Equity::from_bp(bp));
-                self.ops.push(OpSpec {
+            },
+        ));
+        for &target in spec.targets {
+            let Some(tinfo) = target.info() else { continue };
+            let brand = format!("{brand_root} {}", tinfo.name);
+            let legal = names::legal_name(&mut rng, &brand, target, 0.3);
+            let id = mint(&mut next_local);
+            out.companies.push(Company::new(
+                id,
+                brand.clone(),
+                legal.clone(),
+                target,
+                operator_business(OperatorScope::National, ServiceKind::Access),
+            ));
+            let bp = rng.gen_range(5_100..10_000);
+            out.holdings.push((parent, id, Equity::from_bp(bp)));
+            out.ops.push((
+                target,
+                OpSpec {
                     company: id,
                     brand,
                     legal,
@@ -698,56 +963,60 @@ impl Generator {
                     country: target,
                     service: ServiceKind::Access,
                     role: AsRole::Access,
-                    weight: self.rng.gen_range(0.1..0.4),
+                    weight: rng.gen_range(0.1..0.4),
                     n_asns: 1,
                     era: Era::Mixed,
-                });
-            }
+                },
+            ));
         }
     }
+    out
+}
 
-    // ---- ASNs ----
+// ---- phase C: ASNs, registrations, stubs ----
 
-    fn fresh_asn(&mut self, old_era: bool) -> Asn {
-        loop {
-            let v = if old_era {
-                self.rng.gen_range(1_000..64_000)
+/// A registration + profile pair as planned by a country worker. The
+/// fold may still rewrite the ASN (cross-country collision) or the stub
+/// brand (cross-country namespace collision).
+struct PlannedReg {
+    reg: AsRegistration,
+    profile: AsProfile,
+    /// Which ASN range a collision fixup must redraw from.
+    old_era: bool,
+    /// Stub brands were drawn against a country-local namespace and need
+    /// the global dedup pass; operator brands were deduped in fold A.
+    stub: bool,
+}
+
+/// One country's planned registrations, in a fixed intra-country order.
+struct CountryRegs {
+    code: CountryCode,
+    regs: Vec<PlannedReg>,
+}
+
+/// Assigns ASNs to a country's operators and bulks it to its stub target,
+/// all on the country's `PHASE_ASNS` stream with a country-local ASN
+/// collision set — safe to run on any worker.
+fn assign_country_asns(cfg: &WorldConfig, seed: &CountrySeed) -> CountryRegs {
+    let info = seed.code.info().expect("registry country");
+    let mut rng = country_stream(cfg.seed, PHASE_ASNS, seed.code);
+    let mut used_asns: HashSet<u32> = HashSet::new();
+    let mut regs: Vec<PlannedReg> = Vec::new();
+
+    for op in &seed.ops {
+        let birth = draw_birth(&mut rng, op.era);
+        for k in 0..op.n_asns {
+            let old = matches!(op.era, Era::Old) || birth.year < 2010;
+            let asn = fresh_asn(&mut rng, &mut used_asns, old);
+            // First ASN carries the headline role; siblings are access
+            // arms (incumbent regional networks etc.).
+            let (role, service, weight) = if k == 0 {
+                (op.role, op.service, op.weight)
             } else {
-                self.rng.gen_range(131_072..400_000)
+                (AsRole::Access, ServiceKind::Access, 0.0)
             };
-            if self.used_asns.insert(v) {
-                return Asn(v);
-            }
-        }
-    }
-
-    fn draw_birth(&mut self, era: Era) -> SimDate {
-        let (lo, hi) = match era {
-            Era::Old => (1995, 2009),
-            Era::Mixed => {
-                if self.rng.gen_bool(0.65) {
-                    (1995, 2009)
-                } else {
-                    (2010, 2019)
-                }
-            }
-            Era::Window(a, b) => (a, b),
-        };
-        SimDate::new(self.rng.gen_range(lo..=hi), self.rng.gen_range(1..=12))
-            .expect("month in range")
-    }
-
-    fn assign_asns(&mut self) -> (Vec<AsRegistration>, HashMap<Asn, AsProfile>) {
-        let mut registrations = Vec::new();
-        let mut profiles = HashMap::new();
-        let ops = std::mem::take(&mut self.ops);
-        for op in &ops {
-            let info = op.country.info().expect("registry country");
-            let birth = self.draw_birth(op.era);
-            for k in 0..op.n_asns {
-                let old = matches!(op.era, Era::Old) || birth.year < 2010;
-                let asn = self.fresh_asn(old);
-                registrations.push(AsRegistration {
+            regs.push(PlannedReg {
+                reg: AsRegistration {
                     asn,
                     company: op.company,
                     brand: op.brand.clone(),
@@ -756,336 +1025,408 @@ impl Generator {
                     country: op.country,
                     rir: info.rir,
                     domain: names::domain(&op.brand, op.country),
-                });
-                // First ASN carries the headline role; siblings are access
-                // arms (incumbent regional networks etc.).
-                let (role, service, weight) = if k == 0 {
-                    (op.role, op.service, op.weight)
-                } else {
-                    (AsRole::Access, ServiceKind::Access, 0.0)
-                };
-                profiles.insert(
+                },
+                profile: AsProfile {
                     asn,
-                    AsProfile {
-                        asn,
-                        company: op.company,
-                        country: op.country,
-                        service,
-                        role,
-                        birth,
-                        market_share: weight, // normalized later
-                    },
-                );
-            }
-        }
-        self.ops = ops;
-        (registrations, profiles)
-    }
-
-    fn add_stubs(
-        &mut self,
-        registrations: &mut Vec<AsRegistration>,
-        profiles: &mut HashMap<Asn, AsProfile>,
-    ) {
-        for info in all_countries() {
-            let target =
-                (f64::from(ases_for_size_class(info.size_class)) * self.cfg.scale).round() as usize;
-            let existing = profiles.values().filter(|p| p.country == info.code).count();
-            for _ in existing..target {
-                let brand = self.unique_brand(info.code);
-                let legal = names::legal_name(&mut self.rng, &brand, info.code, 0.2);
-                let id =
-                    self.new_company(brand.clone(), legal.clone(), info.code, Business::Enterprise);
-                let birth = self.draw_birth(Era::Mixed);
-                let asn = self.fresh_asn(birth.year < 2010);
-                registrations.push(AsRegistration {
-                    asn,
-                    company: id,
-                    brand: brand.clone(),
-                    legal_name: legal,
-                    former_name: None,
-                    country: info.code,
-                    rir: info.rir,
-                    domain: names::domain(&brand, info.code),
-                });
-                profiles.insert(
-                    asn,
-                    AsProfile {
-                        asn,
-                        company: id,
-                        country: info.code,
-                        service: ServiceKind::Access,
-                        role: AsRole::Stub,
-                        birth,
-                        market_share: 0.0,
-                    },
-                );
-            }
+                    company: op.company,
+                    country: op.country,
+                    service,
+                    role,
+                    birth,
+                    market_share: weight, // normalized later
+                },
+                old_era: old,
+                stub: false,
+            });
         }
     }
 
-    // ---- resources ----
-
-    #[allow(clippy::type_complexity)]
-    fn allocate_resources(
-        &mut self,
-        profiles: &mut HashMap<Asn, AsProfile>,
-        registrations: &[AsRegistration],
-    ) -> Result<
-        (Vec<(Ipv4Prefix, Asn)>, Vec<(Ipv4Prefix, CountryCode)>, Vec<(CountryCode, Asn, u64)>),
-        SoiError,
-    > {
-        let mut alloc = AddressAllocator::new();
-        let mut prefixes: Vec<(Ipv4Prefix, Asn)> = Vec::new();
-        let mut geo: Vec<(Ipv4Prefix, CountryCode)> = Vec::new();
-        let mut users: Vec<(CountryCode, Asn, u64)> = Vec::new();
-
-        // Group ASes per country in a deterministic order.
-        let mut by_country: HashMap<CountryCode, Vec<Asn>> = HashMap::new();
-        for reg in registrations {
-            by_country.entry(reg.country).or_default().push(reg.asn);
-        }
-
-        for info in all_countries() {
-            let Some(asns) = by_country.get(&info.code) else { continue };
-            // The US announces disproportionate legacy space ("largely
-            // unused but announced address blocks", §7) — without this the
-            // ex-US correction the paper reports would be invisible.
-            let budget =
-                address_budget(info.size_class) * if info.code.as_str() == "US" { 4 } else { 1 };
-            let user_pool = user_budget(info.size_class);
-
-            // Normalize access weights.
-            let total_weight: f64 =
-                asns.iter().map(|a| profiles[a].market_share).sum::<f64>().max(1e-9);
-
-            // Users do not track addresses one-for-one: NAT-heavy mobile
-            // operators serve many users on little space, while legacy
-            // holders squat on large blocks. A per-AS multiplicative
-            // distortion (renormalized below) decouples the two proxies,
-            // which is why the paper's two technical sources overlap only
-            // partially (466 of 1043 ASes).
-            let mut user_weight: HashMap<Asn, f64> = HashMap::new();
-            for &asn in asns {
-                let w = profiles[&asn].market_share;
-                if w > 0.0 {
-                    let distort = (self.rng.gen_range(-1.2f64..1.2)).exp();
-                    user_weight.insert(asn, w * distort);
-                }
-            }
-            // Sum in ASN order: float addition is not associative, and
-            // HashMap order would make the total (hence every user count)
-            // process-dependent.
-            let user_total: f64 = {
-                let mut ws: Vec<(Asn, f64)> = user_weight.iter().map(|(&a, &w)| (a, w)).collect();
-                ws.sort_by_key(|&(a, _)| a);
-                ws.iter().map(|&(_, w)| w).sum::<f64>().max(1e-9)
-            };
-
-            for &asn in asns {
-                let p = profiles.get_mut(&asn).expect("profile exists");
-                let share = p.market_share / total_weight;
-                let eyeball_share = user_weight.get(&asn).copied().unwrap_or(0.0) / user_total;
-                p.market_share = if p.market_share > 0.0 { share } else { 0.0 };
-                let (amount, max_blocks) = match p.role {
-                    AsRole::Access | AsRole::NationalTransit if share > 0.0 => {
-                        ((0.85 * budget as f64 * share) as u64, 3)
-                    }
-                    AsRole::GlobalCarrier | AsRole::RegionalCarrier => ((1u64 << 14), 1),
-                    AsRole::TransitGateway => ((1u64 << 11), 1),
-                    AsRole::Academic => ((budget / 24).clamp(1 << 12, 1 << 18), 1),
-                    AsRole::GovernmentNet => ((budget / 40).clamp(1 << 10, 1 << 16), 1),
-                    AsRole::Nic => ((1u64 << 10), 1),
-                    AsRole::Subnational => ((1u64 << 12), 1),
-                    AsRole::Stub => (if self.rng.gen_bool(0.2) { 512 } else { 256 }, 1),
-                    _ => (1u64 << 10, 1),
-                };
-                let blocks = alloc.alloc_amount(amount.max(256), max_blocks, 10)?;
-                for b in blocks {
-                    prefixes.push((b, asn));
-                    // Occasional cross-border geolocation of a block.
-                    let geo_country = if self.rng.gen_bool(self.cfg.geo_spill_rate) {
-                        let pool: Vec<CountryCode> = all_countries()
-                            .iter()
-                            .filter(|c| c.region == info.region && c.code != info.code)
-                            .map(|c| c.code)
-                            .collect();
-                        pool.choose(&mut self.rng).copied().unwrap_or(info.code)
-                    } else {
-                        info.code
-                    };
-                    geo.push((b, geo_country));
-                }
-
-                // Users follow the distorted eyeball share.
-                let u = match p.role {
-                    AsRole::Access | AsRole::NationalTransit if share > 0.0 => {
-                        (user_pool as f64 * eyeball_share * 0.95) as u64
-                    }
-                    AsRole::Academic => user_pool / 21,
-                    AsRole::Subnational => user_pool / 200,
-                    _ => 0,
-                };
-                if u > 0 {
-                    users.push((info.code, asn, u));
-                }
-            }
-        }
-        Ok((prefixes, geo, users))
+    // Enterprise stubs bulk the country to its size target. Stub
+    // companies are never part of the ownership graph (nothing holds
+    // them, they hold nothing), so only the ID is minted.
+    let target =
+        (f64::from(ases_for_size_class(info.size_class)) * cfg.scale).round() as usize;
+    let mut brands = seed.brands.clone();
+    let mut next_local = seed.next_local;
+    for _ in regs.len()..target {
+        let brand = unique_brand(&mut rng, &mut brands, seed.code);
+        let legal = names::legal_name(&mut rng, &brand, seed.code, 0.2);
+        let id = company_id(seed.index, next_local);
+        next_local += 1;
+        let birth = draw_birth(&mut rng, Era::Mixed);
+        let old = birth.year < 2010;
+        let asn = fresh_asn(&mut rng, &mut used_asns, old);
+        regs.push(PlannedReg {
+            reg: AsRegistration {
+                asn,
+                company: id,
+                brand: brand.clone(),
+                legal_name: legal,
+                former_name: None,
+                country: seed.code,
+                rir: info.rir,
+                domain: names::domain(&brand, seed.code),
+            },
+            profile: AsProfile {
+                asn,
+                company: id,
+                country: seed.code,
+                service: ServiceKind::Access,
+                role: AsRole::Stub,
+                birth,
+                market_share: 0.0,
+            },
+            old_era: old,
+            stub: true,
+        });
     }
+    CountryRegs { code: seed.code, regs }
+}
 
-    // ---- topology ----
+/// Replays the per-country registration plans in country order against
+/// global state: ASN collisions across countries redraw from the
+/// `PHASE_ASN_FIXUP` stream, stub brand collisions rename with the same
+/// ISO-suffix scheme fold A uses (domain recomputed to match).
+fn fold_registrations(
+    master: u64,
+    country_regs: Vec<CountryRegs>,
+    used_brands: &mut HashSet<String>,
+) -> (Vec<AsRegistration>, HashMap<Asn, AsProfile>) {
+    let mut fixup = global_stream(master, PHASE_ASN_FIXUP);
+    let mut used_asns: HashSet<u32> = HashSet::new();
+    let mut registrations: Vec<AsRegistration> = Vec::new();
+    let mut profiles: HashMap<Asn, AsProfile> = HashMap::new();
 
-    fn wire_topology(
-        &mut self,
-        profiles: &HashMap<Asn, AsProfile>,
-    ) -> Result<(Vec<Link>, IxpRegistry), SoiError> {
-        let mut links: Vec<Link> = Vec::new();
-        let mut have: HashSet<(Asn, Asn)> = HashSet::new();
-
-        let mut sorted: Vec<&AsProfile> = profiles.values().collect();
-        sorted.sort_by_key(|p| p.asn);
-
-        let tier1: Vec<Asn> =
-            sorted.iter().filter(|p| p.role == AsRole::GlobalCarrier).map(|p| p.asn).collect();
-        let regionals: Vec<&AsProfile> =
-            sorted.iter().filter(|p| p.role == AsRole::RegionalCarrier).copied().collect();
-        let mut transit_by_country: HashMap<CountryCode, Vec<Asn>> = HashMap::new();
-        let mut gateway_by_country: HashMap<CountryCode, Vec<Asn>> = HashMap::new();
-        let mut both_sellers_by_country: HashMap<CountryCode, Vec<Asn>> = HashMap::new();
-        for p in &sorted {
-            match p.role {
-                AsRole::NationalTransit => {
-                    transit_by_country.entry(p.country).or_default().push(p.asn)
-                }
-                AsRole::TransitGateway => {
-                    gateway_by_country.entry(p.country).or_default().push(p.asn)
-                }
-                _ => {}
+    for cr in country_regs {
+        for mut pr in cr.regs {
+            if !used_asns.insert(pr.reg.asn.0) {
+                let asn = fresh_asn(&mut fixup, &mut used_asns, pr.old_era);
+                pr.reg.asn = asn;
+                pr.profile.asn = asn;
             }
-            if p.service == ServiceKind::Both && p.role != AsRole::Stub {
-                both_sellers_by_country.entry(p.country).or_default().push(p.asn);
+            if pr.stub && !used_brands.insert(pr.reg.brand.clone()) {
+                let old = pr.reg.brand.clone();
+                let mut fresh = format!("{old} {}", cr.code.as_str());
+                let mut n = 1;
+                while !used_brands.insert(fresh.clone()) {
+                    n += 1;
+                    fresh = format!("{old} {} {n}", cr.code.as_str());
+                }
+                pr.reg.legal_name = reprefix(&pr.reg.legal_name, &old, &fresh);
+                pr.reg.domain = names::domain(&fresh, cr.code);
+                pr.reg.brand = fresh;
             }
+            profiles.insert(pr.reg.asn, pr.profile);
+            registrations.push(pr.reg);
         }
+    }
+    (registrations, profiles)
+}
 
-        let add = |rng: &mut SmallRng,
-                   links: &mut Vec<Link>,
-                   have: &mut HashSet<(Asn, Asn)>,
-                   a: Asn,
-                   b: Asn,
-                   rel: Relationship,
-                   birth: SimDate| {
-            if a == b {
-                return;
+// ---- phase D: addresses and users ----
+
+/// One country's planned resources: everything `allocate_resources` used
+/// to produce, except the actual prefixes — workers plan *lengths* (the
+/// plan is allocator-state-independent, see
+/// [`AddressAllocator::plan_amount`]) and the fold allocates them against
+/// the single global cursor.
+struct CountryResources {
+    /// Normalized market share per ASN (applied to profiles in the fold).
+    shares: Vec<(Asn, f64)>,
+    /// Planned prefix lengths and geolocation country per ASN, in
+    /// allocation order.
+    blocks: Vec<(Asn, Vec<(u8, CountryCode)>)>,
+    users: Vec<(CountryCode, Asn, u64)>,
+}
+
+fn plan_country_resources(
+    cfg: &WorldConfig,
+    info: &CountryInfo,
+    asns: &[Asn],
+    profiles: &HashMap<Asn, AsProfile>,
+) -> CountryResources {
+    let mut rng = country_stream(cfg.seed, PHASE_RESOURCES, info.code);
+    // The US announces disproportionate legacy space ("largely unused but
+    // announced address blocks", §7) — without this the ex-US correction
+    // the paper reports would be invisible.
+    let budget = address_budget(info.size_class) * if info.code.as_str() == "US" { 4 } else { 1 };
+    let user_pool = user_budget(info.size_class);
+
+    // Normalize access weights.
+    let total_weight: f64 = asns.iter().map(|a| profiles[a].market_share).sum::<f64>().max(1e-9);
+
+    // Users do not track addresses one-for-one: NAT-heavy mobile
+    // operators serve many users on little space, while legacy holders
+    // squat on large blocks. A per-AS multiplicative distortion
+    // (renormalized below) decouples the two proxies, which is why the
+    // paper's two technical sources overlap only partially (466 of 1043
+    // ASes).
+    let mut user_weight: HashMap<Asn, f64> = HashMap::new();
+    for &asn in asns {
+        let w = profiles[&asn].market_share;
+        if w > 0.0 {
+            let distort = (rng.gen_range(-1.2f64..1.2)).exp();
+            user_weight.insert(asn, w * distort);
+        }
+    }
+    // Sum in ASN order: float addition is not associative, and HashMap
+    // order would make the total (hence every user count)
+    // process-dependent.
+    let user_total: f64 = {
+        let mut ws: Vec<(Asn, f64)> = user_weight.iter().map(|(&a, &w)| (a, w)).collect();
+        ws.sort_by_key(|&(a, _)| a);
+        ws.iter().map(|&(_, w)| w).sum::<f64>().max(1e-9)
+    };
+
+    let mut out =
+        CountryResources { shares: Vec::new(), blocks: Vec::new(), users: Vec::new() };
+    for &asn in asns {
+        let p = &profiles[&asn];
+        let share = p.market_share / total_weight;
+        let eyeball_share = user_weight.get(&asn).copied().unwrap_or(0.0) / user_total;
+        out.shares.push((asn, if p.market_share > 0.0 { share } else { 0.0 }));
+        let (amount, max_blocks) = match p.role {
+            AsRole::Access | AsRole::NationalTransit if share > 0.0 => {
+                ((0.85 * budget as f64 * share) as u64, 3)
             }
-            let key = (a.min(b), a.max(b));
-            if have.insert(key) {
-                let lag = rng.gen_range(0..6);
-                links.push(Link { a, b, rel, birth: birth.plus_months(lag) });
-            }
+            AsRole::GlobalCarrier | AsRole::RegionalCarrier => ((1u64 << 14), 1),
+            AsRole::TransitGateway => ((1u64 << 11), 1),
+            AsRole::Academic => ((budget / 24).clamp(1 << 12, 1 << 18), 1),
+            AsRole::GovernmentNet => ((budget / 40).clamp(1 << 10, 1 << 16), 1),
+            AsRole::Nic => ((1u64 << 10), 1),
+            AsRole::Subnational => ((1u64 << 12), 1),
+            AsRole::Stub => (if rng.gen_bool(0.2) { 512 } else { 256 }, 1),
+            _ => (1u64 << 10, 1),
         };
+        let plan = AddressAllocator::plan_amount(amount.max(256), max_blocks, 10);
+        let mut blocks: Vec<(u8, CountryCode)> = Vec::with_capacity(plan.len());
+        for len in plan {
+            // Occasional cross-border geolocation of a block.
+            let geo_country = if rng.gen_bool(cfg.geo_spill_rate) {
+                let pool: Vec<CountryCode> = all_countries()
+                    .iter()
+                    .filter(|c| c.region == info.region && c.code != info.code)
+                    .map(|c| c.code)
+                    .collect();
+                pool.choose(&mut rng).copied().unwrap_or(info.code)
+            } else {
+                info.code
+            };
+            blocks.push((len, geo_country));
+        }
+        out.blocks.push((asn, blocks));
 
-        let birth_of = |asn: Asn| profiles[&asn].birth;
-        let link_birth = |a: Asn, b: Asn| birth_of(a).max(birth_of(b));
+        // Users follow the distorted eyeball share.
+        let u = match p.role {
+            AsRole::Access | AsRole::NationalTransit if share > 0.0 => {
+                (user_pool as f64 * eyeball_share * 0.95) as u64
+            }
+            AsRole::Academic => user_pool / 21,
+            AsRole::Subnational => user_pool / 200,
+            _ => 0,
+        };
+        if u > 0 {
+            out.users.push((info.code, asn, u));
+        }
+    }
+    out
+}
 
-        // 1. Tier-1 full-mesh peering.
-        for (i, &a) in tier1.iter().enumerate() {
-            for &b in &tier1[i + 1..] {
+// ---- phase E: topology ----
+
+fn wire_topology(
+    cfg: &WorldConfig,
+    profiles: &HashMap<Asn, AsProfile>,
+    incumbent_cat: &HashMap<CountryCode, OwnCat>,
+    mut rng: SmallRng,
+) -> Result<(Vec<Link>, IxpRegistry), SoiError> {
+    let mut links: Vec<Link> = Vec::new();
+    let mut have: HashSet<(Asn, Asn)> = HashSet::new();
+
+    let mut sorted: Vec<&AsProfile> = profiles.values().collect();
+    sorted.sort_by_key(|p| p.asn);
+
+    let tier1: Vec<Asn> =
+        sorted.iter().filter(|p| p.role == AsRole::GlobalCarrier).map(|p| p.asn).collect();
+    let regionals: Vec<&AsProfile> =
+        sorted.iter().filter(|p| p.role == AsRole::RegionalCarrier).copied().collect();
+    let mut transit_by_country: HashMap<CountryCode, Vec<Asn>> = HashMap::new();
+    let mut gateway_by_country: HashMap<CountryCode, Vec<Asn>> = HashMap::new();
+    let mut both_sellers_by_country: HashMap<CountryCode, Vec<Asn>> = HashMap::new();
+    for p in &sorted {
+        match p.role {
+            AsRole::NationalTransit => {
+                transit_by_country.entry(p.country).or_default().push(p.asn)
+            }
+            AsRole::TransitGateway => {
+                gateway_by_country.entry(p.country).or_default().push(p.asn)
+            }
+            _ => {}
+        }
+        if p.service == ServiceKind::Both && p.role != AsRole::Stub {
+            both_sellers_by_country.entry(p.country).or_default().push(p.asn);
+        }
+    }
+
+    let add = |rng: &mut SmallRng,
+               links: &mut Vec<Link>,
+               have: &mut HashSet<(Asn, Asn)>,
+               a: Asn,
+               b: Asn,
+               rel: Relationship,
+               birth: SimDate| {
+        if a == b {
+            return;
+        }
+        let key = (a.min(b), a.max(b));
+        if have.insert(key) {
+            let lag = rng.gen_range(0..6);
+            links.push(Link { a, b, rel, birth: birth.plus_months(lag) });
+        }
+    };
+
+    let birth_of = |asn: Asn| profiles[&asn].birth;
+    let link_birth = |a: Asn, b: Asn| birth_of(a).max(birth_of(b));
+
+    // 1. Tier-1 full-mesh peering.
+    for (i, &a) in tier1.iter().enumerate() {
+        for &b in &tier1[i + 1..] {
+            add(
+                &mut rng,
+                &mut links,
+                &mut have,
+                a,
+                b,
+                Relationship::PeerToPeer,
+                link_birth(a, b),
+            );
+        }
+    }
+
+    // 2. Regional carriers buy from 2-3 tier-1s; sparse peering between
+    // regionals.
+    for r in &regionals {
+        let n = rng.gen_range(2..=3usize).min(tier1.len());
+        let mut ups = tier1.clone();
+        ups.shuffle(&mut rng);
+        for &u in ups.iter().take(n) {
+            add(
+                &mut rng,
+                &mut links,
+                &mut have,
+                r.asn,
+                u,
+                Relationship::CustomerToProvider,
+                link_birth(r.asn, u),
+            );
+        }
+    }
+    for (i, a) in regionals.iter().enumerate() {
+        for b in &regionals[i + 1..] {
+            if rng.gen_bool(0.3) {
                 add(
-                    &mut self.rng,
+                    &mut rng,
                     &mut links,
                     &mut have,
-                    a,
-                    b,
+                    a.asn,
+                    b.asn,
                     Relationship::PeerToPeer,
-                    link_birth(a, b),
+                    link_birth(a.asn, b.asn),
                 );
             }
         }
+    }
 
-        // 2. Regional carriers buy from 2-3 tier-1s; sparse peering between
-        // regionals.
-        for r in &regionals {
-            let n = self.rng.gen_range(2..=3usize).min(tier1.len());
-            let mut ups = tier1.clone();
-            ups.shuffle(&mut self.rng);
-            for &u in ups.iter().take(n) {
-                add(
-                    &mut self.rng,
-                    &mut links,
-                    &mut have,
-                    r.asn,
-                    u,
-                    Relationship::CustomerToProvider,
-                    link_birth(r.asn, u),
-                );
-            }
-        }
-        for (i, a) in regionals.iter().enumerate() {
-            for b in &regionals[i + 1..] {
-                if self.rng.gen_bool(0.3) {
-                    add(
-                        &mut self.rng,
-                        &mut links,
-                        &mut have,
-                        a.asn,
-                        b.asn,
-                        Relationship::PeerToPeer,
-                        link_birth(a.asn, b.asn),
-                    );
-                }
-            }
-        }
-
-        // 3. Gateways connect out to 1-2 tier-1/regional carriers.
-        // (Sorted iteration: HashMap order would leak the per-process
-        // hasher seed into RNG consumption and break determinism.)
-        let mut gateway_countries: Vec<_> = gateway_by_country.iter().collect();
-        gateway_countries.sort_by_key(|(c, _)| **c);
-        for (_, gws) in gateway_countries {
-            for &gw in gws {
-                let mut ups: Vec<Asn> =
-                    tier1.iter().chain(regionals.iter().map(|r| &r.asn)).copied().collect();
-                ups.shuffle(&mut self.rng);
-                for &u in ups.iter().take(self.rng.gen_range(1..=2)) {
-                    if profiles[&u].role.tier() < AsRole::TransitGateway.tier() {
-                        add(
-                            &mut self.rng,
-                            &mut links,
-                            &mut have,
-                            gw,
-                            u,
-                            Relationship::CustomerToProvider,
-                            link_birth(gw, u),
-                        );
-                    }
-                }
-            }
-        }
-
-        // 4. National transit: in bottleneck countries, buy only from the
-        // domestic gateway; elsewhere from 1-3 tier-1/regional carriers.
-        for p in sorted.iter().filter(|p| p.role == AsRole::NationalTransit) {
-            if let Some(gws) = gateway_by_country.get(&p.country) {
-                for &gw in gws {
-                    add(
-                        &mut self.rng,
-                        &mut links,
-                        &mut have,
-                        p.asn,
-                        gw,
-                        Relationship::CustomerToProvider,
-                        link_birth(p.asn, gw),
-                    );
-                }
-                continue;
-            }
+    // 3. Gateways connect out to 1-2 tier-1/regional carriers.
+    // (Sorted iteration: HashMap order would leak the per-process
+    // hasher seed into RNG consumption and break determinism.)
+    let mut gateway_countries: Vec<_> = gateway_by_country.iter().collect();
+    gateway_countries.sort_by_key(|(c, _)| **c);
+    for (_, gws) in gateway_countries {
+        for &gw in gws {
             let mut ups: Vec<Asn> =
                 tier1.iter().chain(regionals.iter().map(|r| &r.asn)).copied().collect();
-            ups.shuffle(&mut self.rng);
-            for &u in ups.iter().take(self.rng.gen_range(1..=3)) {
+            ups.shuffle(&mut rng);
+            for &u in ups.iter().take(rng.gen_range(1..=2)) {
+                if profiles[&u].role.tier() < AsRole::TransitGateway.tier() {
+                    add(
+                        &mut rng,
+                        &mut links,
+                        &mut have,
+                        gw,
+                        u,
+                        Relationship::CustomerToProvider,
+                        link_birth(gw, u),
+                    );
+                }
+            }
+        }
+    }
+
+    // 4. National transit: in bottleneck countries, buy only from the
+    // domestic gateway; elsewhere from 1-3 tier-1/regional carriers.
+    for p in sorted.iter().filter(|p| p.role == AsRole::NationalTransit) {
+        if let Some(gws) = gateway_by_country.get(&p.country) {
+            for &gw in gws {
                 add(
-                    &mut self.rng,
+                    &mut rng,
+                    &mut links,
+                    &mut have,
+                    p.asn,
+                    gw,
+                    Relationship::CustomerToProvider,
+                    link_birth(p.asn, gw),
+                );
+            }
+            continue;
+        }
+        let mut ups: Vec<Asn> =
+            tier1.iter().chain(regionals.iter().map(|r| &r.asn)).copied().collect();
+        ups.shuffle(&mut rng);
+        for &u in ups.iter().take(rng.gen_range(1..=3)) {
+            add(
+                &mut rng,
+                &mut links,
+                &mut have,
+                p.asn,
+                u,
+                Relationship::CustomerToProvider,
+                link_birth(p.asn, u),
+            );
+        }
+    }
+
+    // 5. Access / specials / stubs buy from domestic providers.
+    for p in &sorted {
+        let providers: Vec<Asn> = match p.role {
+            AsRole::Access => {
+                let mut ups: Vec<Asn> =
+                    transit_by_country.get(&p.country).cloned().unwrap_or_default();
+                if ups.is_empty() {
+                    ups = gateway_by_country.get(&p.country).cloned().unwrap_or_default();
+                }
+                ups
+            }
+            AsRole::Stub
+            | AsRole::Academic
+            | AsRole::GovernmentNet
+            | AsRole::Nic
+            | AsRole::Subnational => {
+                both_sellers_by_country.get(&p.country).cloned().unwrap_or_default()
+            }
+            _ => continue,
+        };
+        if providers.is_empty() {
+            continue;
+        }
+        let bottleneck = gateway_by_country.contains_key(&p.country);
+        let n = if bottleneck { 1 } else { rng.gen_range(1..=2usize) };
+        let mut ups = providers;
+        ups.shuffle(&mut rng);
+        for &u in ups.iter().take(n) {
+            if profiles[&u].role.tier() < p.role.tier() {
+                add(
+                    &mut rng,
                     &mut links,
                     &mut have,
                     p.asn,
@@ -1095,243 +1436,201 @@ impl Generator {
                 );
             }
         }
-
-        // 5. Access / specials / stubs buy from domestic providers.
-        for p in &sorted {
-            let providers: Vec<Asn> = match p.role {
-                AsRole::Access => {
-                    let mut ups: Vec<Asn> =
-                        transit_by_country.get(&p.country).cloned().unwrap_or_default();
-                    if ups.is_empty() {
-                        ups = gateway_by_country.get(&p.country).cloned().unwrap_or_default();
-                    }
-                    ups
-                }
-                AsRole::Stub
-                | AsRole::Academic
-                | AsRole::GovernmentNet
-                | AsRole::Nic
-                | AsRole::Subnational => {
-                    both_sellers_by_country.get(&p.country).cloned().unwrap_or_default()
-                }
-                _ => continue,
-            };
-            if providers.is_empty() {
-                continue;
-            }
-            let bottleneck = gateway_by_country.contains_key(&p.country);
-            let n = if bottleneck { 1 } else { self.rng.gen_range(1..=2usize) };
-            let mut ups = providers;
-            ups.shuffle(&mut self.rng);
-            for &u in ups.iter().take(n) {
-                if profiles[&u].role.tier() < p.role.tier() {
-                    add(
-                        &mut self.rng,
-                        &mut links,
-                        &mut have,
-                        p.asn,
-                        u,
-                        Relationship::CustomerToProvider,
-                        link_birth(p.asn, u),
-                    );
-                }
-            }
-            // Occasional direct foreign upstream (not in bottlenecks).
-            if !bottleneck && p.role == AsRole::Access && self.rng.gen_bool(0.15) {
-                if let Some(&u) = tier1.as_slice().choose(&mut self.rng) {
-                    add(
-                        &mut self.rng,
-                        &mut links,
-                        &mut have,
-                        p.asn,
-                        u,
-                        Relationship::CustomerToProvider,
-                        link_birth(p.asn, u),
-                    );
-                }
-            }
-        }
-
-        // 6. Regional carriers pick up foreign national-transit customers;
-        // cable carriers grow theirs through the decade (Figure 5).
-        for r in &regionals {
-            let Some(rinfo) = r.country.info() else { continue };
-            let is_cable = CABLE_CARRIERS.contains(&r.country);
-            let candidates: Vec<Asn> = sorted
-                .iter()
-                .filter(|p| {
-                    p.role == AsRole::NationalTransit
-                        && p.country != r.country
-                        // Bottleneck countries connect out only through
-                        // their gateway; recruiting their transits as
-                        // customers would breach the monopoly that CTI
-                        // is supposed to detect.
-                        && !gateway_by_country.contains_key(&p.country)
-                        && p.country.info().is_some_and(|i| {
-                            // Cables serve their region; big carriers global.
-                            !is_cable || i.region == rinfo.region
-                        })
-                })
-                .map(|p| p.asn)
-                .collect();
-            let want = if is_cable {
-                (18.0 * self.cfg.scale).ceil() as usize
-            } else {
-                (30.0 * self.cfg.scale).ceil() as usize
-            };
-            let mut pool = candidates;
-            pool.shuffle(&mut self.rng);
-            for &cust in pool.iter().take(want) {
-                let base = link_birth(cust, r.asn);
-                let birth = if is_cable {
-                    // Spread adoption across the decade after launch.
-                    let start = base.max(SimDate::HISTORY_START);
-                    let span = SimDate::SNAPSHOT.months_since_epoch() - start.months_since_epoch();
-                    start.plus_months(self.rng.gen_range(0..=span.max(1)))
-                } else {
-                    base
-                };
-                if profiles[&cust].role.tier() > r.role.tier() {
-                    add(
-                        &mut self.rng,
-                        &mut links,
-                        &mut have,
-                        cust,
-                        r.asn,
-                        Relationship::CustomerToProvider,
-                        birth,
-                    );
-                }
-            }
-        }
-
-        // 7. Foreign subsidiaries multihome to the parent conglomerate's
-        // carrier when one exists.
-        let mut carrier_of_company: HashMap<CompanyId, Asn> = HashMap::new();
-        for r in &regionals {
-            carrier_of_company.entry(r.company).or_insert(r.asn);
-        }
-        for p in &sorted {
-            if p.role != AsRole::Access {
-                continue;
-            }
-            // Find a holder with a carrier ASN.
-            // (Direct majority parent lookup keeps this cheap.)
-            if self.rng.gen_bool(0.5) {
-                continue;
-            }
-            if let Some(&carrier) = carrier_of_company.get(&p.company) {
+        // Occasional direct foreign upstream (not in bottlenecks).
+        if !bottleneck && p.role == AsRole::Access && rng.gen_bool(0.15) {
+            if let Some(&u) = tier1.as_slice().choose(&mut rng) {
                 add(
-                    &mut self.rng,
+                    &mut rng,
                     &mut links,
                     &mut have,
                     p.asn,
-                    carrier,
+                    u,
                     Relationship::CustomerToProvider,
-                    link_birth(p.asn, carrier),
+                    link_birth(p.asn, u),
                 );
             }
         }
-
-        // 8. Internet exchange points: founded readily in large, open
-        // markets; rarely where a state incumbent dominates (the
-        // concentration/IXP relationship of Carisimo et al. 2020 the
-        // paper cites). Each exchange materializes a multilateral
-        // peering mesh.
-        let mut ixps: Vec<Ixp> = Vec::new();
-        for info in all_countries() {
-            let base = match info.size_class {
-                1 => 0.05,
-                2 => 0.2,
-                3 => 0.5,
-                _ => 0.85,
-            };
-            let concentrated =
-                self.incumbent_cat.get(&info.code).is_some_and(|&cat| cat == OwnCat::Majority)
-                    && MONOPOLY_COUNTRIES.contains(&info.code);
-            let dominant_share = profiles
-                .values()
-                .filter(|p| p.country == info.code)
-                .map(|p| p.market_share)
-                .fold(0.0f64, f64::max);
-            let penalty = if concentrated || dominant_share > 0.6 { 0.15 } else { 1.0 };
-            if !self.rng.gen_bool(base * penalty) {
-                continue;
-            }
-            // Members: domestic operators and a slice of stubs.
-            let mut domestic: Vec<Asn> = sorted
-                .iter()
-                .filter(|p| {
-                    p.country == info.code
-                        && matches!(p.role, AsRole::Access | AsRole::NationalTransit | AsRole::Stub)
-                })
-                .map(|p| p.asn)
-                .collect();
-            domestic.shuffle(&mut self.rng);
-            // Cap the mesh: route servers scale to thousands of members in
-            // reality, but a full O(n^2) mesh at class-6 country scale
-            // would dwarf every other link class in this scaled world.
-            let take = (domestic.len() * 2 / 3).clamp(2, 36).min(domestic.len());
-            domestic.truncate(take);
-            let Ok(ixp) = Ixp::new(
-                IxpId(ixps.len() as u32),
-                format!("IX.{}", info.code.as_str().to_ascii_lowercase()),
-                info.code,
-                domestic,
-            ) else {
-                continue;
-            };
-            // Materialize the mesh (respecting existing links).
-            let member_list = ixp.members.clone();
-            for (i, &x) in member_list.iter().enumerate() {
-                for &y in &member_list[i + 1..] {
-                    add(
-                        &mut self.rng,
-                        &mut links,
-                        &mut have,
-                        x,
-                        y,
-                        Relationship::PeerToPeer,
-                        link_birth(x, y),
-                    );
-                }
-            }
-            ixps.push(ixp);
-        }
-
-        // 9. Sparse peering among national transits within a region.
-        let mut transits: Vec<&AsProfile> =
-            sorted.iter().filter(|p| p.role == AsRole::NationalTransit).copied().collect();
-        transits.sort_by_key(|p| p.asn);
-        for (i, a) in transits.iter().enumerate() {
-            if gateway_by_country.contains_key(&a.country) {
-                continue; // bottleneck transits never peer abroad
-            }
-            for b in transits[i + 1..].iter().take(20) {
-                if gateway_by_country.contains_key(&b.country) {
-                    continue;
-                }
-                let same_region = a
-                    .country
-                    .info()
-                    .zip(b.country.info())
-                    .is_some_and(|(x, y)| x.region == y.region);
-                if same_region && self.rng.gen_bool(0.06) {
-                    add(
-                        &mut self.rng,
-                        &mut links,
-                        &mut have,
-                        a.asn,
-                        b.asn,
-                        Relationship::PeerToPeer,
-                        link_birth(a.asn, b.asn),
-                    );
-                }
-            }
-        }
-
-        Ok((links, IxpRegistry::new(ixps)))
     }
+
+    // 6. Regional carriers pick up foreign national-transit customers;
+    // cable carriers grow theirs through the decade (Figure 5).
+    for r in &regionals {
+        let Some(rinfo) = r.country.info() else { continue };
+        let is_cable = CABLE_CARRIERS.contains(&r.country);
+        let candidates: Vec<Asn> = sorted
+            .iter()
+            .filter(|p| {
+                p.role == AsRole::NationalTransit
+                    && p.country != r.country
+                    // Bottleneck countries connect out only through
+                    // their gateway; recruiting their transits as
+                    // customers would breach the monopoly that CTI
+                    // is supposed to detect.
+                    && !gateway_by_country.contains_key(&p.country)
+                    && p.country.info().is_some_and(|i| {
+                        // Cables serve their region; big carriers global.
+                        !is_cable || i.region == rinfo.region
+                    })
+            })
+            .map(|p| p.asn)
+            .collect();
+        let want = if is_cable {
+            (18.0 * cfg.scale).ceil() as usize
+        } else {
+            (30.0 * cfg.scale).ceil() as usize
+        };
+        let mut pool = candidates;
+        pool.shuffle(&mut rng);
+        for &cust in pool.iter().take(want) {
+            let base = link_birth(cust, r.asn);
+            let birth = if is_cable {
+                // Spread adoption across the decade after launch.
+                let start = base.max(SimDate::HISTORY_START);
+                let span = SimDate::SNAPSHOT.months_since_epoch() - start.months_since_epoch();
+                start.plus_months(rng.gen_range(0..=span.max(1)))
+            } else {
+                base
+            };
+            if profiles[&cust].role.tier() > r.role.tier() {
+                add(
+                    &mut rng,
+                    &mut links,
+                    &mut have,
+                    cust,
+                    r.asn,
+                    Relationship::CustomerToProvider,
+                    birth,
+                );
+            }
+        }
+    }
+
+    // 7. Foreign subsidiaries multihome to the parent conglomerate's
+    // carrier when one exists.
+    let mut carrier_of_company: HashMap<CompanyId, Asn> = HashMap::new();
+    for r in &regionals {
+        carrier_of_company.entry(r.company).or_insert(r.asn);
+    }
+    for p in &sorted {
+        if p.role != AsRole::Access {
+            continue;
+        }
+        // Find a holder with a carrier ASN.
+        // (Direct majority parent lookup keeps this cheap.)
+        if rng.gen_bool(0.5) {
+            continue;
+        }
+        if let Some(&carrier) = carrier_of_company.get(&p.company) {
+            add(
+                &mut rng,
+                &mut links,
+                &mut have,
+                p.asn,
+                carrier,
+                Relationship::CustomerToProvider,
+                link_birth(p.asn, carrier),
+            );
+        }
+    }
+
+    // 8. Internet exchange points: founded readily in large, open
+    // markets; rarely where a state incumbent dominates (the
+    // concentration/IXP relationship of Carisimo et al. 2020 the
+    // paper cites). Each exchange materializes a multilateral
+    // peering mesh.
+    let mut ixps: Vec<Ixp> = Vec::new();
+    for info in all_countries() {
+        let base = match info.size_class {
+            1 => 0.05,
+            2 => 0.2,
+            3 => 0.5,
+            _ => 0.85,
+        };
+        let concentrated =
+            incumbent_cat.get(&info.code).is_some_and(|&cat| cat == OwnCat::Majority)
+                && MONOPOLY_COUNTRIES.contains(&info.code);
+        let dominant_share = profiles
+            .values()
+            .filter(|p| p.country == info.code)
+            .map(|p| p.market_share)
+            .fold(0.0f64, f64::max);
+        let penalty = if concentrated || dominant_share > 0.6 { 0.15 } else { 1.0 };
+        if !rng.gen_bool(base * penalty) {
+            continue;
+        }
+        // Members: domestic operators and a slice of stubs.
+        let mut domestic: Vec<Asn> = sorted
+            .iter()
+            .filter(|p| {
+                p.country == info.code
+                    && matches!(p.role, AsRole::Access | AsRole::NationalTransit | AsRole::Stub)
+            })
+            .map(|p| p.asn)
+            .collect();
+        domestic.shuffle(&mut rng);
+        // Cap the mesh: route servers scale to thousands of members in
+        // reality, but a full O(n^2) mesh at class-6 country scale
+        // would dwarf every other link class in this scaled world.
+        let take = (domestic.len() * 2 / 3).clamp(2, 36).min(domestic.len());
+        domestic.truncate(take);
+        let Ok(ixp) = Ixp::new(
+            IxpId(ixps.len() as u32),
+            format!("IX.{}", info.code.as_str().to_ascii_lowercase()),
+            info.code,
+            domestic,
+        ) else {
+            continue;
+        };
+        // Materialize the mesh (respecting existing links).
+        let member_list = ixp.members.clone();
+        for (i, &x) in member_list.iter().enumerate() {
+            for &y in &member_list[i + 1..] {
+                add(
+                    &mut rng,
+                    &mut links,
+                    &mut have,
+                    x,
+                    y,
+                    Relationship::PeerToPeer,
+                    link_birth(x, y),
+                );
+            }
+        }
+        ixps.push(ixp);
+    }
+
+    // 9. Sparse peering among national transits within a region.
+    let mut transits: Vec<&AsProfile> =
+        sorted.iter().filter(|p| p.role == AsRole::NationalTransit).copied().collect();
+    transits.sort_by_key(|p| p.asn);
+    for (i, a) in transits.iter().enumerate() {
+        if gateway_by_country.contains_key(&a.country) {
+            continue; // bottleneck transits never peer abroad
+        }
+        for b in transits[i + 1..].iter().take(20) {
+            if gateway_by_country.contains_key(&b.country) {
+                continue;
+            }
+            let same_region = a
+                .country
+                .info()
+                .zip(b.country.info())
+                .is_some_and(|(x, y)| x.region == y.region);
+            if same_region && rng.gen_bool(0.06) {
+                add(
+                    &mut rng,
+                    &mut links,
+                    &mut have,
+                    a.asn,
+                    b.asn,
+                    Relationship::PeerToPeer,
+                    link_birth(a.asn, b.asn),
+                );
+            }
+        }
+    }
+
+    Ok((links, IxpRegistry::new(ixps)))
 }
 
 #[cfg(test)]
@@ -1347,6 +1646,21 @@ mod tests {
         assert_eq!(a.prefix_assignments, b.prefix_assignments);
         assert_eq!(a.truth.state_owned_ases, b.truth.state_owned_ases);
         assert_eq!(a.topology.num_links(), b.topology.num_links());
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_world() {
+        // The whole point of split-seed streams: `threads` is a pure
+        // wall-clock knob. (tests/worldgen_parallel.rs widens this to
+        // 1/2/4/8 threads over the fully serialized world.)
+        let base = WorldConfig::test_scale(21);
+        let seq = generate(&base).unwrap();
+        let par = generate(&WorldConfig { threads: 4, ..base }).unwrap();
+        assert_eq!(seq.registrations, par.registrations);
+        assert_eq!(seq.prefix_assignments, par.prefix_assignments);
+        assert_eq!(seq.users, par.users);
+        assert_eq!(seq.truth.state_owned_ases, par.truth.state_owned_ases);
+        assert_eq!(seq.links.len(), par.links.len());
     }
 
     #[test]
@@ -1487,6 +1801,19 @@ mod tests {
         for asn in cable_ases {
             let series = history.series(asn);
             assert!(series.slope_per_year().unwrap_or(0.0) > 0.0, "{asn}: cable cone not growing");
+        }
+    }
+
+    #[test]
+    fn company_ids_are_strided_and_collision_free() {
+        let w = generate(&WorldConfig::test_scale(11)).unwrap();
+        // Every registration's company falls inside a valid ID block
+        // (one per country plus the conglomerate block).
+        let blocks = all_countries().len() as u32 + 1;
+        let mut seen = std::collections::HashSet::new();
+        for c in w.ownership.companies() {
+            assert!(seen.insert(c.id), "duplicate company id {}", c.id);
+            assert!(c.id.0 >= 1 && c.id.0 < 1 + blocks * COMPANY_BLOCK);
         }
     }
 }

@@ -24,11 +24,13 @@ pub mod churn;
 pub mod config;
 pub mod generate;
 pub mod names;
+pub mod streams;
 pub mod truth;
 pub mod world;
 
 pub use churn::{ChurnConfig, ChurnLog};
 pub use config::WorldConfig;
 pub use generate::generate;
+pub use streams::WORLDGEN_VERSION;
 pub use truth::{ExclusionReason, GroundTruth};
 pub use world::{AsProfile, AsRole, World};

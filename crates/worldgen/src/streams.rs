@@ -1,0 +1,126 @@
+//! Split-seed RNG stream derivation for parallel world generation.
+//!
+//! Before version 2, the generator consumed a single `SmallRng` in one
+//! long fixed order, which made every phase a strict sequential
+//! dependency of the previous one. Version 2 derives an **independent
+//! deterministic stream** per (phase, country) from the master seed with
+//! a SplitMix64-style mix, so per-country work can run on any worker in
+//! any order while drawing exactly the values it would draw
+//! single-threaded. Genuinely global draws (conglomerate wiring, ASN
+//! collision fixups, topology) get their own global streams and stay
+//! sequential.
+//!
+//! The derivation chain is `splitmix64(splitmix64(splitmix64(master) ^
+//! phase) ^ salt)`: each finalizer pass is a bijection on `u64` with full
+//! avalanche, so nearby seeds / phase tags / country salts land in
+//! unrelated parts of the stream space. The stream seed feeds
+//! `SmallRng::seed_from_u64`, exactly like the old generator's single
+//! stream did.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use soi_types::CountryCode;
+
+/// Version of the seed→world mapping. Bumped to 2 when generation moved
+/// from one sequential RNG to derived per-phase/per-country streams — a
+/// one-time compatibility break: the same `WorldConfig::seed` produces a
+/// *different* (but equally valid) world than version 1 did. Within a
+/// version, the mapping is frozen by `tests/worldgen_parallel.rs`: the
+/// serialized world is byte-identical at every thread count.
+pub const WORLDGEN_VERSION: u32 = 2;
+
+/// Phase tag: per-country company/operator creation (phase A).
+pub(crate) const PHASE_OPERATORS: u64 = 0x6f70_6572;
+/// Phase tag: sequential cross-country conglomerate wiring (phase B).
+pub(crate) const PHASE_CONGLOMERATES: u64 = 0x636f_6e67;
+/// Phase tag: per-country ASN assignment and stub creation (phase C).
+pub(crate) const PHASE_ASNS: u64 = 0x6173_6e73;
+/// Phase tag: global redraw stream for cross-country ASN collisions.
+pub(crate) const PHASE_ASN_FIXUP: u64 = 0x6669_7875;
+/// Phase tag: per-country address/user resource planning (phase D).
+pub(crate) const PHASE_RESOURCES: u64 = 0x7265_7372;
+/// Phase tag: sequential global topology wiring (phase E).
+pub(crate) const PHASE_TOPOLOGY: u64 = 0x746f_706f;
+
+/// One round of the SplitMix64 output function (Steele et al.): add the
+/// golden-gamma, then two xor-shift-multiply finalizer steps.
+pub(crate) fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Derives a stream seed from the master seed, a phase tag and a salt
+/// (country code, or a sentinel for global streams).
+pub(crate) fn derive_seed(master: u64, phase: u64, salt: u64) -> u64 {
+    splitmix64(splitmix64(splitmix64(master) ^ phase) ^ salt)
+}
+
+/// The RNG stream for one (phase, country) pair.
+pub(crate) fn country_stream(master: u64, phase: u64, country: CountryCode) -> SmallRng {
+    let b = country.as_str().as_bytes();
+    let salt = (u64::from(b[0]) << 8) | u64::from(b[1]);
+    SmallRng::seed_from_u64(derive_seed(master, phase, salt))
+}
+
+/// The RNG stream for a phase with no per-country split (conglomerates,
+/// ASN fixups, topology). The salt sits outside the two-letter country
+/// salt range, so a global stream never aliases a country stream.
+pub(crate) fn global_stream(master: u64, phase: u64) -> SmallRng {
+    SmallRng::seed_from_u64(derive_seed(master, phase, u64::MAX))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use soi_types::{all_countries, cc};
+    use std::collections::HashSet;
+
+    #[test]
+    fn streams_are_deterministic() {
+        let mut a = country_stream(42, PHASE_OPERATORS, cc("AO"));
+        let mut b = country_stream(42, PHASE_OPERATORS, cc("AO"));
+        for _ in 0..64 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn phases_countries_and_seeds_produce_distinct_streams() {
+        // Every (phase, country) pair plus the global streams must map to
+        // a distinct stream seed — an aliased pair would silently reuse
+        // randomness across supposedly independent phases.
+        let phases = [
+            PHASE_OPERATORS,
+            PHASE_CONGLOMERATES,
+            PHASE_ASNS,
+            PHASE_ASN_FIXUP,
+            PHASE_RESOURCES,
+            PHASE_TOPOLOGY,
+        ];
+        let mut seen = HashSet::new();
+        for master in [0u64, 42, 0xC0FFEE] {
+            for &phase in &phases {
+                assert!(seen.insert(derive_seed(master, phase, u64::MAX)));
+                for info in all_countries() {
+                    let b = info.code.as_str().as_bytes();
+                    let salt = (u64::from(b[0]) << 8) | u64::from(b[1]);
+                    assert!(
+                        seen.insert(derive_seed(master, phase, salt)),
+                        "stream collision at master={master} phase={phase:#x} {}",
+                        info.code
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn splitmix_has_avalanche() {
+        // Flipping one input bit should flip roughly half the output bits.
+        let flipped = (splitmix64(1) ^ splitmix64(2)).count_ones();
+        assert!((16..=48).contains(&flipped), "weak avalanche: {flipped} bits");
+    }
+}

@@ -26,9 +26,10 @@
 //! Without `--snapshot`, every command regenerates the world from the
 //! seed (deterministic, a couple of seconds in release mode).
 //!
-//! `--threads T` shards pipeline execution over T workers (0 = one per
-//! core, the default). The output is byte-identical at any thread
-//! count; the flag only changes wall-clock time.
+//! `--threads T` shards both world generation and pipeline execution
+//! over T workers (0 = one per core, the default). The output is
+//! byte-identical at any thread count; the flag only changes
+//! wall-clock time.
 
 use std::sync::Arc;
 
@@ -50,8 +51,9 @@ use state_owned_ases::worldgen::{generate, ChurnConfig, World, WorldConfig};
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let seed = extract_flag(&mut args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(2021);
-    // Pipeline worker threads. 0 = one per core. Any value produces
-    // byte-identical output; it only changes wall-clock time.
+    // Worker threads for worldgen and the pipeline. 0 = one per core.
+    // Any value produces byte-identical output; it only changes
+    // wall-clock time.
     let threads: usize = extract_flag(&mut args, "--threads")
         .map(|t| t.parse().unwrap_or_else(|_| fail("--threads needs a number (0 = auto)")))
         .unwrap_or(0);
@@ -63,15 +65,15 @@ fn main() {
 
     match command.as_str() {
         "summary" => {
-            let world = build_world(seed);
+            let (world, _) = build_world(seed, threads);
             summary(&world);
         }
         "run" => {
             // `--json` takes a value here (the output path), unlike the
             // boolean `snapshot inspect --json`.
             let json = extract_flag(&mut args, "--json");
-            let world = build_world(seed);
-            let (inputs, output) = run_pipeline(&world, seed, threads);
+            let (world, wg_micros) = build_world(seed, threads);
+            let (inputs, output) = run_pipeline(&world, seed, threads, wg_micros);
             println!("{}", Headline::compute(&inputs, &output).text());
             let eval = Evaluation::score(&output.dataset, &world);
             println!(
@@ -91,7 +93,7 @@ fn main() {
                 .get(1)
                 .and_then(|s| s.parse().ok())
                 .unwrap_or_else(|| fail("whois needs an ASN (e.g. `soi whois AS2119`)"));
-            let world = build_world(seed);
+            let (world, _) = build_world(seed, threads);
             let whois = state_owned_ases::registry::WhoisDb::generate(
                 &world.registrations,
                 state_owned_ases::registry::WhoisNoise { seed, ..Default::default() },
@@ -104,8 +106,8 @@ fn main() {
         }
         "org" => {
             let needle = args.get(1).cloned().unwrap_or_else(|| fail("org needs a name fragment"));
-            let world = build_world(seed);
-            let (_, output) = run_pipeline(&world, seed, threads);
+            let (world, wg_micros) = build_world(seed, threads);
+            let (_, output) = run_pipeline(&world, seed, threads, wg_micros);
             let rows: Vec<Vec<String>> = output
                 .dataset
                 .organizations
@@ -132,8 +134,8 @@ fn main() {
                 .and_then(|s| s.parse().ok())
                 .unwrap_or_else(|| fail("cti needs a country code (e.g. `soi cti SY`)"));
             let k: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(5);
-            let world = build_world(seed);
-            let (inputs, output) = run_pipeline(&world, seed, threads);
+            let (world, wg_micros) = build_world(seed, threads);
+            let (inputs, output) = run_pipeline(&world, seed, threads, wg_micros);
             let dataset_ases = output.dataset.state_owned_ases();
             let rows: Vec<Vec<String>> = inputs
                 .cti
@@ -181,8 +183,8 @@ fn main() {
                     (slot, Some(reloader), format!("snapshot {path}"))
                 }
                 None => {
-                    let world = build_world(seed);
-                    let (inputs, output) = run_pipeline(&world, seed, threads);
+                    let (world, wg_micros) = build_world(seed, threads);
+                    let (inputs, output) = run_pipeline(&world, seed, threads, wg_micros);
                     let payload = SnapshotPayload {
                         dataset: output.dataset.clone(),
                         table: inputs.prefix_to_as.clone(),
@@ -218,9 +220,10 @@ fn main() {
             match &provenance {
                 Some(prov) => match &prov.timings {
                     Some(t) => println!(
-                        "index: generation {generation} built by {} ({} threads — stage1 {}ms, stage2 {}ms, stage3 {}ms, total {}ms)",
+                        "index: generation {generation} built by {} ({} threads — worldgen {}ms, stage1 {}ms, stage2 {}ms, stage3 {}ms, total {}ms)",
                         prov.source,
                         t.threads,
+                        t.worldgen_micros / 1000,
                         t.stage1_micros / 1000,
                         t.stage2_micros / 1000,
                         t.stage3_micros / 1000,
@@ -281,8 +284,8 @@ fn main() {
                 .unwrap_or_else(|| fail(&format!("snapshot {sub} needs a file path")));
             match sub.as_str() {
                 "write" => {
-                    let world = build_world(seed);
-                    let (inputs, output) = run_pipeline(&world, seed, threads);
+                    let (world, wg_micros) = build_world(seed, threads);
+                    let (inputs, output) = run_pipeline(&world, seed, threads, wg_micros);
                     let build = SnapshotBuildInfo {
                         tool: "soi snapshot write".into(),
                         seed: Some(seed),
@@ -359,8 +362,8 @@ fn main() {
         }
         "ageing" => {
             let years: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(5);
-            let world = build_world(seed);
-            let (_, output) = run_pipeline(&world, seed, threads);
+            let (world, wg_micros) = build_world(seed, threads);
+            let (_, output) = run_pipeline(&world, seed, threads, wg_micros);
             let churn = ChurnConfig { seed, ..Default::default() };
             let report =
                 AgeingReport::compute(&world, &output.dataset, &churn, years).expect("ageing");
@@ -374,9 +377,21 @@ fn main() {
     }
 }
 
-fn build_world(seed: u64) -> World {
+/// Generates the world and reports how long it took (µs). `threads`
+/// shards country generation; the world is byte-identical at any
+/// count, so the flag only changes wall-clock time.
+fn build_world(seed: u64, threads: usize) -> (World, u64) {
     eprintln!("(generating world, seed {seed})");
-    generate(&WorldConfig { seed, ..WorldConfig::paper_scale() }).expect("worldgen")
+    let started = std::time::Instant::now();
+    let world =
+        generate(&WorldConfig { seed, threads, ..WorldConfig::paper_scale() }).expect("worldgen");
+    let micros = started.elapsed().as_micros() as u64;
+    eprintln!(
+        "(worldgen: {} threads — {}ms)",
+        state_owned_ases::core::resolve_threads(threads),
+        micros / 1000,
+    );
+    (world, micros)
 }
 
 /// `soi delta make --out DIR [--years N]`: write the base snapshot and
@@ -384,7 +399,7 @@ fn build_world(seed: u64) -> World {
 /// `soi snapshot compact`) can consume in order.
 fn delta_make(out: &str, years: u32, seed: u64, threads: usize) {
     std::fs::create_dir_all(out).unwrap_or_else(|e| fail(&format!("cannot create {out}: {e}")));
-    let world = build_world(seed);
+    let (world, _) = build_world(seed, threads);
     let mut cfg = EngineConfig::with_seed(seed);
     cfg.threads = threads;
     let mut engine = DeltaEngine::new(world, cfg)
@@ -471,15 +486,18 @@ fn run_pipeline(
     world: &World,
     seed: u64,
     threads: usize,
+    worldgen_micros: u64,
 ) -> (PipelineInputs, state_owned_ases::core::PipelineOutput) {
     let threads = state_owned_ases::core::resolve_threads(threads);
     let input_cfg = InputConfig { threads, ..InputConfig::with_seed(seed) };
     let inputs = PipelineInputs::from_world(world, &input_cfg).expect("inputs");
-    let output = Pipeline::run_parallel(&inputs, &PipelineConfig::default(), threads);
+    let mut output = Pipeline::run_parallel(&inputs, &PipelineConfig::default(), threads);
+    output.timings.worldgen_micros = worldgen_micros;
     let t = &output.timings;
     eprintln!(
-        "(pipeline: {} threads — stage1 {}ms, stage2 {}ms, stage3 {}ms, total {}ms)",
+        "(pipeline: {} threads — worldgen {}ms, stage1 {}ms, stage2 {}ms, stage3 {}ms, total {}ms)",
         t.threads,
+        t.worldgen_micros / 1000,
         t.stage1_micros / 1000,
         t.stage2_micros / 1000,
         t.stage3_micros / 1000,
@@ -535,8 +553,9 @@ fn usage() {
     eprintln!(
         "soi — state-owned-ases reproduction CLI\n\n\
          usage: soi <command> [--seed N] [--threads T]\n\n\
-         \x20 --threads T           pipeline worker threads (0 = one per core);\n\
-         \x20                       output is byte-identical at any count\n\n\
+         \x20 --threads T           worldgen + pipeline worker threads (0 = one\n\
+         \x20                       per core); output is byte-identical at any\n\
+         \x20                       count\n\n\
          commands:\n\
          \x20 summary               world statistics\n\
          \x20 run [--json PATH]     full pipeline + evaluation\n\

@@ -1,0 +1,149 @@
+//! Determinism oracle for sharded world generation.
+//!
+//! The contract (see DESIGN.md, "Deterministic parallel worldgen") is
+//! that `generate` produces a **byte-identical** world at every thread
+//! count: each country draws from its own split-seed RNG stream, so
+//! sharding country generation across workers may only change
+//! wall-clock time, never a single output byte. These tests are the
+//! enforcement: they generate the same seeds at t ∈ {1, 2, 4, 8} and
+//! compare the serialized world component by component, then push the
+//! same invariance through churn and the delta engine's event streams.
+
+use std::collections::HashMap;
+
+use state_owned_ases::delta::{DeltaEngine, EngineConfig};
+use state_owned_ases::types::Asn;
+use state_owned_ases::worldgen::{generate, AsProfile, ChurnConfig, World, WorldConfig};
+
+const SEEDS: [u64; 2] = [21, 909];
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn world_at(seed: u64, threads: usize) -> World {
+    generate(&WorldConfig { threads, ..WorldConfig::test_scale(seed) }).expect("worldgen")
+}
+
+/// Serializes every deterministic component of a world as labelled JSON
+/// strings. HashMap-backed fields are sorted by key first — map
+/// iteration order is not part of the determinism contract, the entries
+/// are. `config` is skipped: it records the thread count, which is
+/// exactly what must be allowed to differ.
+fn canonical_components(world: &World) -> Vec<(&'static str, String)> {
+    let mut profiles: Vec<&AsProfile> = world.profiles.values().collect();
+    profiles.sort_by_key(|p| p.asn);
+    let mut excluded: Vec<_> = world.truth.excluded.iter().collect();
+    excluded.sort_by_key(|(id, _)| **id);
+    let mut controller: Vec<_> = world.truth.controller.iter().collect();
+    controller.sort_by_key(|(id, _)| **id);
+    vec![
+        ("registrations", serde_json::to_string(&world.registrations).unwrap()),
+        ("profiles", serde_json::to_string(&profiles).unwrap()),
+        ("links", serde_json::to_string(&world.links).unwrap()),
+        ("prefix_assignments", serde_json::to_string(&world.prefix_assignments).unwrap()),
+        ("geo_blocks", serde_json::to_string(&world.geo_blocks).unwrap()),
+        ("users", serde_json::to_string(&world.users).unwrap()),
+        ("ixps", serde_json::to_string(&world.ixps).unwrap()),
+        ("companies", serde_json::to_string(world.ownership.companies()).unwrap()),
+        ("truth.state_owned_companies", serde_json::to_string(&world.truth.state_owned_companies).unwrap()),
+        ("truth.foreign_subsidiaries", serde_json::to_string(&world.truth.foreign_subsidiaries).unwrap()),
+        ("truth.minority_companies", serde_json::to_string(&world.truth.minority_companies).unwrap()),
+        ("truth.state_owned_ases", serde_json::to_string(&world.truth.state_owned_ases).unwrap()),
+        ("truth.foreign_subsidiary_ases", serde_json::to_string(&world.truth.foreign_subsidiary_ases).unwrap()),
+        ("truth.minority_ases", serde_json::to_string(&world.truth.minority_ases).unwrap()),
+        ("truth.excluded", serde_json::to_string(&excluded).unwrap()),
+        ("truth.controller", serde_json::to_string(&controller).unwrap()),
+    ]
+}
+
+#[test]
+fn worldgen_is_byte_identical_at_every_thread_count() {
+    for seed in SEEDS {
+        let baseline = world_at(seed, 1);
+        let expected = canonical_components(&baseline);
+        for threads in THREAD_COUNTS {
+            let world = world_at(seed, threads);
+            for ((label, want), (_, got)) in
+                expected.iter().zip(canonical_components(&world).iter())
+            {
+                assert_eq!(
+                    got, want,
+                    "seed {seed}: {label} diverged at {threads} threads"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn churned_worlds_stay_thread_count_invariant() {
+    // Churn draws from its own stream, but it reads the generated world;
+    // a single divergent company id or brand would cascade into the
+    // event log. Exaggerated rates make every event kind likely.
+    let churn = ChurnConfig {
+        privatization_rate: 0.25,
+        nationalization_rate: 0.15,
+        acquisitions_per_year: 3.0,
+        rebrand_rate: 0.2,
+        seed: 909,
+    };
+    let mut sequential = world_at(909, 1);
+    let mut sharded = world_at(909, 8);
+    for year in 0..3 {
+        let (next_seq, log_seq) = churn.evolve(&sequential, year).expect("churn");
+        let (next_par, log_par) = churn.evolve(&sharded, year).expect("churn");
+        sequential = next_seq;
+        sharded = next_par;
+        assert_eq!(
+            serde_json::to_string(&log_seq).unwrap(),
+            serde_json::to_string(&log_par).unwrap(),
+            "churn log diverged in year {year}"
+        );
+        assert_eq!(
+            serde_json::to_string(&sequential.registrations).unwrap(),
+            serde_json::to_string(&sharded.registrations).unwrap(),
+            "registrations diverged after churn year {year}"
+        );
+    }
+}
+
+#[test]
+fn delta_event_streams_are_identical_across_worldgen_thread_counts() {
+    // `soi delta make` boots an engine on a freshly generated world; the
+    // delta files it writes must not depend on how many workers built
+    // that world. Byte-compare each year's serialized delta.
+    fn engine(threads: usize) -> DeltaEngine {
+        let mut cfg = EngineConfig::with_seed(777);
+        cfg.churn.privatization_rate = 0.25;
+        cfg.churn.nationalization_rate = 0.15;
+        cfg.churn.acquisitions_per_year = 3.0;
+        cfg.churn.rebrand_rate = 0.2;
+        let world = world_at(777, threads);
+        DeltaEngine::new(world, cfg).expect("engine boots")
+    }
+    let mut seq = engine(1);
+    let mut par = engine(4);
+    let mut any_events = false;
+    for year in 0..3 {
+        let step_seq = seq.step().expect("step");
+        let step_par = par.step().expect("step");
+        any_events |= step_seq.stats.events > 0;
+        assert_eq!(
+            step_seq.delta.to_json().expect("serialize delta"),
+            step_par.delta.to_json().expect("serialize delta"),
+            "delta stream diverged in year {year}"
+        );
+    }
+    assert!(any_events, "exaggerated churn produced no events");
+}
+
+#[test]
+fn profiles_and_registrations_agree() {
+    // Sanity check on the oracle itself: the canonical serialization
+    // covers every AS exactly once.
+    let world = world_at(21, 4);
+    let by_asn: HashMap<Asn, &AsProfile> =
+        world.profiles.iter().map(|(a, p)| (*a, p)).collect();
+    assert_eq!(by_asn.len(), world.registrations.len());
+    for reg in &world.registrations {
+        assert!(by_asn.contains_key(&reg.asn), "{} has no profile", reg.asn);
+    }
+}

@@ -50,17 +50,14 @@ fn bench_delta(c: &mut Criterion) {
     g.bench_function("full_rebuild", |b| {
         let cfg = engine_config();
         b.iter(|| {
-            let inputs =
-                PipelineInputs::from_world(&evolved_world, &cfg.input).expect("inputs");
+            let inputs = PipelineInputs::from_world(&evolved_world, &cfg.input).expect("inputs");
             Pipeline::run(&inputs, &cfg.pipeline)
         })
     });
 
     // (c) Applying an emitted delta to its base payload (validate base
     // checksum, patch, re-canonicalize, validate result checksum).
-    g.bench_function("apply", |b| {
-        b.iter(|| step.delta.apply(&base_payload).expect("apply"))
-    });
+    g.bench_function("apply", |b| b.iter(|| step.delta.apply(&base_payload).expect("apply")));
 
     g.finish();
 }

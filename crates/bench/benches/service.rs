@@ -37,7 +37,12 @@ fn bench_service(c: &mut Criterion) {
     g.sample_size(10);
 
     for threads in [1usize, 8] {
-        let cfg = LoadConfig { threads, requests_per_thread: 250, targets: targets() };
+        let cfg = LoadConfig {
+            threads,
+            requests_per_thread: 250,
+            targets: targets(),
+            ..Default::default()
+        };
         let total = (cfg.threads * cfg.requests_per_thread) as u64;
         g.throughput(Throughput::Elements(total));
         g.bench_function(format!("closed_loop_{threads}_threads"), |b| {

@@ -1,10 +1,11 @@
 //! Quick wall-clock benchmark runner with machine-readable output.
 //!
 //! ```text
-//! soi-bench [--bench <name>] [--seed N] [--scale F] [--iters N] [--json PATH]
+//! soi-bench [--bench <name>] [--seed N] [--scale F] [--iters N]
+//!           [--at-fraction F] [--json PATH]
 //!
 //!   benches: worldgen_seq worldgen_2 worldgen_4 worldgen_8
-//!            pipeline cold_start all (default)
+//!            pipeline cold_start history history_load all (default)
 //! ```
 //!
 //! Criterion gives statistically careful numbers but is a dev-dependency
@@ -13,13 +14,24 @@
 //! worldgen speedup) can record wall-clock figures without the full
 //! criterion run. With `--json PATH` it writes one record per bench:
 //! `{"bench": ..., "threads": ..., "median_micros": ..., "iters": ...,
-//! "seed": ..., "scale": ...}`.
+//! "seed": ..., "scale": ..., "spacing": ...}`.
+//!
+//! `history` sweeps checkpoint spacing over one stored delta stream and
+//! measures the worst-case uncached as-of resolve at each spacing (the
+//! disk-vs-replay-latency trade the spacing policy controls).
+//! `history_load` runs the closed-loop generator against a server with
+//! the store attached, `--at-fraction` (default 0.5) of requests
+//! carrying `at=<year>`.
 
+use std::sync::Arc;
 use std::time::Instant;
 
+use soi_bench::load::{self, LoadConfig};
 use soi_bench::REPRO_SEED;
-use soi_core::{InputConfig, Pipeline, PipelineConfig, PipelineInputs};
-use soi_service::ServiceIndex;
+use soi_core::{payload_checksum, InputConfig, Pipeline, PipelineConfig, PipelineInputs};
+use soi_delta::{DeltaEngine, EngineConfig};
+use soi_history::{HistoryBuildConfig, HistoryStore};
+use soi_service::{serve_history, HistoryService, IndexSlot, ServerConfig, ServiceIndex};
 use soi_worldgen::{generate, WorldConfig};
 
 struct Record {
@@ -27,6 +39,18 @@ struct Record {
     threads: usize,
     median_micros: u64,
     iters: usize,
+    /// Checkpoint spacing, for the history benches only.
+    spacing: Option<u32>,
+}
+
+/// The year whose resolve replays the most segments under the store's
+/// current checkpoint set — the latency worst case the spacing sweep
+/// reports.
+fn worst_year(store: &HistoryStore) -> u32 {
+    let checkpoints = store.checkpoint_years();
+    (0..=store.years())
+        .max_by_key(|y| y - checkpoints.iter().filter(|&&c| c <= *y).max().unwrap())
+        .unwrap_or(0)
 }
 
 /// Runs `f` `iters` times and returns the median wall clock in µs.
@@ -49,6 +73,7 @@ fn main() {
     let mut scale: Option<f64> = None;
     let mut iters = 5usize;
     let mut json_path: Option<String> = None;
+    let mut at_fraction = 0.5f64;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -62,22 +87,30 @@ fn main() {
             }
             "--scale" => {
                 i += 1;
-                scale =
-                    Some(args.get(i).expect("--scale needs a value").parse().expect("numeric scale"));
+                scale = Some(
+                    args.get(i).expect("--scale needs a value").parse().expect("numeric scale"),
+                );
             }
             "--iters" => {
                 i += 1;
-                iters =
-                    args.get(i).expect("--iters needs a value").parse().expect("numeric iters");
+                iters = args.get(i).expect("--iters needs a value").parse().expect("numeric iters");
             }
             "--json" => {
                 i += 1;
                 json_path = Some(args.get(i).expect("--json needs a path").clone());
             }
+            "--at-fraction" => {
+                i += 1;
+                at_fraction = args
+                    .get(i)
+                    .expect("--at-fraction needs a value")
+                    .parse()
+                    .expect("numeric fraction");
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
-                    "usage: soi-bench [--bench NAME]... [--seed N] [--scale F] [--iters N] [--json PATH]"
+                    "usage: soi-bench [--bench NAME]... [--seed N] [--scale F] [--iters N] [--at-fraction F] [--json PATH]"
                 );
                 std::process::exit(2);
             }
@@ -108,7 +141,7 @@ fn main() {
             generate(&cfg).expect("generate");
         });
         eprintln!("{bench}: median {}ms over {iters} iters", median / 1000);
-        records.push(Record { bench, threads, median_micros: median, iters });
+        records.push(Record { bench, threads, median_micros: median, iters, spacing: None });
     }
 
     if want("pipeline") || want("cold_start") {
@@ -120,7 +153,13 @@ fn main() {
                 Pipeline::run(&inputs, &PipelineConfig::default());
             });
             eprintln!("pipeline: median {}ms over {iters} iters", median / 1000);
-            records.push(Record { bench: "pipeline", threads: 1, median_micros: median, iters });
+            records.push(Record {
+                bench: "pipeline",
+                threads: 1,
+                median_micros: median,
+                iters,
+                spacing: None,
+            });
         }
         if want("cold_start") {
             // The full `soi serve` boot path: worldgen + inputs +
@@ -135,12 +174,109 @@ fn main() {
                 ServiceIndex::build(output.dataset, &inputs.prefix_to_as);
             });
             eprintln!("cold_start: median {}ms over {iters} iters", median / 1000);
-            records.push(Record { bench: "cold_start", threads, median_micros: median, iters });
+            records.push(Record {
+                bench: "cold_start",
+                threads,
+                median_micros: median,
+                iters,
+                spacing: None,
+            });
         }
     }
 
+    if want("history") || want("history_load") {
+        // One stored 8-year delta stream, shared by both history benches.
+        let world = generate(&base).expect("generate");
+        let mut engine_cfg = EngineConfig::with_seed(seed);
+        engine_cfg.threads = 0;
+        let mut engine = DeltaEngine::new(world, engine_cfg).expect("engine boots");
+        let dir = std::env::temp_dir().join(format!("soi-bench-history-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let years = 8u32;
+        let build_cfg = HistoryBuildConfig {
+            checkpoint_spacing: 1,
+            seed: Some(seed),
+            tool: "soi-bench".into(),
+            ..Default::default()
+        };
+        let mut store =
+            HistoryStore::build(&dir, &mut engine, years, &build_cfg).expect("history builds");
+
+        if want("history") {
+            // The spacing policy's trade: sparser checkpoints, longer
+            // worst-case replay. Uncached resolve each iteration.
+            for spacing in [1u32, 2, 4, 8] {
+                store.re_checkpoint(spacing).expect("re-checkpoint");
+                let year = worst_year(&store);
+                let median = median_micros(iters, || {
+                    store.resolve(year).expect("resolve");
+                });
+                eprintln!(
+                    "history_resolve spacing {spacing}: worst year {year}, median {}ms over {iters} iters",
+                    median / 1000
+                );
+                records.push(Record {
+                    bench: "history_resolve",
+                    threads: 1,
+                    median_micros: median,
+                    iters,
+                    spacing: Some(spacing),
+                });
+            }
+        }
+
+        if want("history_load") {
+            let spacing = store.checkpoint_spacing();
+            let (payload, _) = store.resolve(0).expect("base resolves");
+            let index = Arc::new(ServiceIndex::build(payload.dataset.clone(), &payload.table));
+            let slot = Arc::new(IndexSlot::new(index, None));
+            slot.attach_payload(Arc::new(payload.clone()), payload_checksum(&payload).unwrap());
+            let history = Arc::new(HistoryService::open(&dir).expect("history opens"));
+            let handle =
+                serve_history(slot, None, Some(history), ("127.0.0.1", 0), ServerConfig::default())
+                    .expect("bind bench server");
+            let mut targets: Vec<String> =
+                vec!["/v1/country".into(), "/v1/search?q=tel&limit=20".into()];
+            targets.extend(
+                payload
+                    .dataset
+                    .organizations
+                    .iter()
+                    .flat_map(|o| o.asns.iter())
+                    .take(16)
+                    .map(|a| format!("/v1/asn/{}", a.0)),
+            );
+            let cfg = LoadConfig {
+                threads: 4,
+                requests_per_thread: 250,
+                targets,
+                at_fraction,
+                at_years: (0..=years).collect(),
+            };
+            let median = median_micros(iters, || {
+                let report = load::run(handle.local_addr(), &cfg);
+                assert_eq!(report.errors, 0, "load run hit errors");
+            });
+            let qps =
+                (cfg.threads * cfg.requests_per_thread) as f64 / (median as f64 / 1_000_000.0);
+            eprintln!(
+                "history_load (at-fraction {at_fraction}): median {}ms over {iters} iters (~{qps:.0} qps)",
+                median / 1000
+            );
+            handle.shutdown();
+            records.push(Record {
+                bench: "history_load",
+                threads: cfg.threads,
+                median_micros: median,
+                iters,
+                spacing: Some(spacing),
+            });
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     if records.is_empty() {
-        eprintln!("no bench matched; known: worldgen_seq worldgen_2 worldgen_4 worldgen_8 pipeline cold_start all");
+        eprintln!("no bench matched; known: worldgen_seq worldgen_2 worldgen_4 worldgen_8 pipeline cold_start history history_load all");
         std::process::exit(2);
     }
 
@@ -164,6 +300,7 @@ fn main() {
                     "iters": r.iters,
                     "seed": seed,
                     "scale": base.scale,
+                    "spacing": r.spacing,
                 })
             })
             .collect();

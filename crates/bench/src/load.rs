@@ -21,11 +21,25 @@ pub struct LoadConfig {
     /// Request targets (path + query), visited round-robin with a
     /// per-thread offset so threads don't move in lockstep.
     pub targets: Vec<String>,
+    /// Fraction of requests (0.0..=1.0) rewritten into as-of queries by
+    /// appending `at=<year>`. Requires a server started with a history
+    /// store; only meaningful for `/v1` read targets (other routes
+    /// ignore the parameter or refuse with a non-5xx status).
+    pub at_fraction: f64,
+    /// Years the as-of mix cycles through (round-robin, per-thread
+    /// offset). Ignored when empty or `at_fraction` is 0.
+    pub at_years: Vec<u32>,
 }
 
 impl Default for LoadConfig {
     fn default() -> Self {
-        LoadConfig { threads: 8, requests_per_thread: 500, targets: vec!["/healthz".to_owned()] }
+        LoadConfig {
+            threads: 8,
+            requests_per_thread: 500,
+            targets: vec!["/healthz".to_owned()],
+            at_fraction: 0.0,
+            at_years: Vec::new(),
+        }
     }
 }
 
@@ -52,6 +66,21 @@ impl LoadReport {
     }
 }
 
+/// Whether request `i` of thread `thread_ix` joins the as-of mix, and
+/// with which year. Deterministic (no RNG): the fraction is realized by
+/// striding a 1000-slot wheel, years round-robin with a per-thread
+/// offset — same request stream on every run.
+fn as_of_year(cfg: &LoadConfig, thread_ix: usize, i: usize) -> Option<u32> {
+    if cfg.at_years.is_empty() || cfg.at_fraction <= 0.0 {
+        return None;
+    }
+    let slots = (cfg.at_fraction.min(1.0) * 1000.0) as usize;
+    if (thread_ix * 127 + i * 31) % 1000 >= slots {
+        return None;
+    }
+    Some(cfg.at_years[(thread_ix + i) % cfg.at_years.len()])
+}
+
 /// Runs the closed loop against `addr` and reports aggregate throughput.
 pub fn run(addr: SocketAddr, cfg: &LoadConfig) -> LoadReport {
     assert!(!cfg.targets.is_empty(), "load run needs at least one target");
@@ -66,7 +95,12 @@ pub fn run(addr: SocketAddr, cfg: &LoadConfig) -> LoadReport {
                 let mut client = Client::connect(addr);
                 for i in 0..cfg.requests_per_thread {
                     let target = &cfg.targets[(thread_ix + i) % cfg.targets.len()];
-                    match client.get(target) {
+                    let target = match as_of_year(cfg, thread_ix, i) {
+                        Some(year) if target.contains('?') => format!("{target}&at={year}"),
+                        Some(year) => format!("{target}?at={year}"),
+                        None => target.clone(),
+                    };
+                    match client.get(&target) {
                         Ok(status) => {
                             requests.fetch_add(1, Ordering::Relaxed);
                             if status >= 500 {

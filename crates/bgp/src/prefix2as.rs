@@ -240,7 +240,10 @@ mod tests {
         let back: PrefixToAs = serde_json::from_str(&json).unwrap();
         assert_eq!(back.entries(), t.entries());
         // The trie was rebuilt, not just the entry list.
-        assert_eq!(back.origin_of_ip(u32::from(std::net::Ipv4Addr::new(10, 1, 2, 3))), Some(Asn(2)));
+        assert_eq!(
+            back.origin_of_ip(u32::from(std::net::Ipv4Addr::new(10, 1, 2, 3))),
+            Some(Asn(2))
+        );
         // Serialization is deterministic (sorted entries), so equal tables
         // produce identical bytes — the property snapshot checksums rely on.
         assert_eq!(json, serde_json::to_string(&back).unwrap());

@@ -47,8 +47,8 @@ pub use dataset::{Dataset, DatasetDiff, OrgRecord};
 pub use eval::Evaluation;
 pub use inputs::{InputConfig, PipelineInputs};
 pub use pipeline::{ConfirmCache, Pipeline, PipelineConfig, PipelineOutput, StageTimings};
-pub use soi_types::shard::resolve_threads;
 pub use snapshot::{
     payload_checksum, Snapshot, SnapshotBuildInfo, SnapshotError, SnapshotHeader, SnapshotPayload,
     SNAPSHOT_FORMAT_VERSION, SNAPSHOT_MAGIC,
 };
+pub use soi_types::shard::resolve_threads;

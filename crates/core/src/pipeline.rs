@@ -384,10 +384,8 @@ impl Pipeline {
             if key.is_empty() || !processed.insert(key.clone()) {
                 continue;
             }
-            let outcome = cache
-                .get(&key, &sub_name)
-                .cloned()
-                .unwrap_or_else(|| confirmer.confirm(&sub_name));
+            let outcome =
+                cache.get(&key, &sub_name).cloned().unwrap_or_else(|| confirmer.confirm(&sub_name));
             out.confirm_outcomes.insert(key, sub_name.clone(), outcome.clone());
             match outcome {
                 ConfirmOutcome::Confirmed(c) => {

@@ -241,8 +241,8 @@ impl Snapshot {
         let payload: SnapshotPayload =
             serde_json::from_str(raw).map_err(|e| SnapshotError::Malformed(e.to_string()))?;
         if raw_checksum != doc.header.checksum_fnv1a64 {
-            let computed = payload_checksum(&payload)
-                .map_err(|e| SnapshotError::Malformed(e.to_string()))?;
+            let computed =
+                payload_checksum(&payload).map_err(|e| SnapshotError::Malformed(e.to_string()))?;
             if computed != doc.header.checksum_fnv1a64 {
                 return Err(SnapshotError::ChecksumMismatch {
                     stored: doc.header.checksum_fnv1a64,

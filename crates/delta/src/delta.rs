@@ -31,7 +31,9 @@ use std::path::Path;
 
 use serde::{Deserialize, Serialize};
 use soi_bgp::PrefixToAs;
-use soi_core::{payload_checksum, Dataset, OrgRecord, Snapshot, SnapshotBuildInfo, SnapshotPayload};
+use soi_core::{
+    payload_checksum, Dataset, OrgRecord, Snapshot, SnapshotBuildInfo, SnapshotPayload,
+};
 use soi_types::{fnv1a64, Asn, CountryCode, Ipv4Prefix, SoiError};
 
 use crate::event::EventBatch;
@@ -400,11 +402,7 @@ impl DatasetDelta {
     pub fn orgs_changed(&self) -> usize {
         let removed: std::collections::HashSet<&str> =
             self.payload.orgs_removed.iter().map(|r| r.org_name.as_str()).collect();
-        self.payload
-            .orgs_added
-            .iter()
-            .filter(|r| removed.contains(r.org_name.as_str()))
-            .count()
+        self.payload.orgs_added.iter().filter(|r| removed.contains(r.org_name.as_str())).count()
     }
 
     /// Serializes the full document (compact JSON).
@@ -492,10 +490,9 @@ mod tests {
     }
 
     fn payload(orgs: Vec<OrgRecord>, entries: &[(&str, u32)]) -> SnapshotPayload {
-        let table = PrefixToAs::from_entries(
-            entries.iter().map(|&(p, a)| (p.parse().unwrap(), Asn(a))),
-        )
-        .unwrap();
+        let table =
+            PrefixToAs::from_entries(entries.iter().map(|&(p, a)| (p.parse().unwrap(), Asn(a))))
+                .unwrap();
         SnapshotPayload { dataset: Dataset { organizations: orgs }, table }
     }
 
@@ -584,10 +581,7 @@ mod tests {
         assert!(matches!(wrong.validate(), Err(DeltaError::WrongMagic(_))));
         let mut wrong = delta;
         wrong.header.format_version = 99;
-        assert!(matches!(
-            wrong.validate(),
-            Err(DeltaError::UnsupportedVersion { found: 99, .. })
-        ));
+        assert!(matches!(wrong.validate(), Err(DeltaError::UnsupportedVersion { found: 99, .. })));
     }
 
     #[test]
@@ -646,8 +640,7 @@ mod tests {
         let base = payload(vec![record("Telenor", &[2119])], &[("10.0.0.0/8", 2119)]);
         let result = payload(vec![record("Ucell", &[31203])], &[("10.0.0.0/8", 2119)]);
         let delta = delta_between(&base, &result);
-        let path =
-            std::env::temp_dir().join(format!("soi-delta-test-{}.json", std::process::id()));
+        let path = std::env::temp_dir().join(format!("soi-delta-test-{}.json", std::process::id()));
         delta.write_to_file(&path).unwrap();
         let back = DatasetDelta::read_from_file(&path).unwrap();
         assert_eq!(back.header.result_checksum, delta.header.result_checksum);

@@ -96,10 +96,8 @@ impl Generation {
     /// Wraps an already-computed run (e.g. a shared test fixture) as a
     /// generation without re-running anything.
     pub fn from_parts(world: World, inputs: PipelineInputs, output: PipelineOutput) -> Generation {
-        let payload = SnapshotPayload {
-            dataset: output.dataset.clone(),
-            table: inputs.prefix_to_as.clone(),
-        };
+        let payload =
+            SnapshotPayload { dataset: output.dataset.clone(), table: inputs.prefix_to_as.clone() };
         Generation { world, inputs, output, payload }
     }
 }
@@ -262,10 +260,7 @@ mod tests {
         let step = engine.step().unwrap();
         assert!(step.stats.events > 0, "no events at exaggerated rates");
         assert!(!step.stats.substrate_changed, "churn must preserve the substrate");
-        assert!(
-            step.stats.reused_outcomes > 0,
-            "incremental step reused no cached outcomes"
-        );
+        assert!(step.stats.reused_outcomes > 0, "incremental step reused no cached outcomes");
         assert!(step.stats.reused_outcomes + step.stats.dirty_names >= step.stats.total_names / 2);
         // The delta upgrades exactly the payload the engine held before.
         let applied = step.delta.apply(&before).unwrap();

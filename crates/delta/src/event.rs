@@ -261,17 +261,19 @@ mod tests {
         ])
         .unwrap();
         let new = PrefixToAs::from_entries([
-            (p("10.0.0.0/8"), Asn(1)),  // unchanged
-            (p("11.0.0.0/8"), Asn(9)),  // origin change
-            (p("13.0.0.0/8"), Asn(4)),  // announced
+            (p("10.0.0.0/8"), Asn(1)), // unchanged
+            (p("11.0.0.0/8"), Asn(9)), // origin change
+            (p("13.0.0.0/8"), Asn(4)), // announced
         ])
         .unwrap();
         let mut batch = EventBatch { year: 0, events: Vec::new() };
         batch.push_bgp_diff(&old, &new);
         assert_eq!(batch.bgp_count(), 3);
-        assert!(batch
-            .events
-            .contains(&WorldEvent::OriginChanged { prefix: p("11.0.0.0/8"), from: Asn(2), to: Asn(9) }));
+        assert!(batch.events.contains(&WorldEvent::OriginChanged {
+            prefix: p("11.0.0.0/8"),
+            from: Asn(2),
+            to: Asn(9)
+        }));
         assert!(batch
             .events
             .contains(&WorldEvent::PrefixAnnounced { prefix: p("13.0.0.0/8"), origin: Asn(4) }));

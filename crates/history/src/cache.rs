@@ -1,0 +1,127 @@
+//! A small, thread-safe LRU of materialized as-of views.
+//!
+//! Keys are `(generation, year)`: the generation half lets a holder
+//! invalidate every cached view at once (bump the generation and the old
+//! keys simply never match again; their slots age out by recency), and
+//! the year half is the as-of target. Values are cheap clones —
+//! `Arc<ServiceIndex>` in the serving path.
+//!
+//! Eviction is strict least-recently-used with a deterministic tie-break
+//! (smallest key), implemented with a tick counter rather than a linked
+//! list: capacities are single digits, so the O(capacity) eviction scan
+//! is cheaper than pointer chasing.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// A fixed-capacity `(generation, year)` → `V` LRU map.
+#[derive(Debug)]
+pub struct TemporalCache<V: Clone> {
+    capacity: usize,
+    inner: Mutex<Inner<V>>,
+}
+
+#[derive(Debug)]
+struct Inner<V> {
+    map: HashMap<(u64, u32), Slot<V>>,
+    tick: u64,
+}
+
+#[derive(Debug)]
+struct Slot<V> {
+    value: V,
+    last_used: u64,
+}
+
+impl<V: Clone> TemporalCache<V> {
+    /// A cache holding at most `capacity` views (minimum 1).
+    pub fn new(capacity: usize) -> TemporalCache<V> {
+        TemporalCache {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner { map: HashMap::new(), tick: 0 }),
+        }
+    }
+
+    /// Maximum number of cached views.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Currently cached views.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache lock").map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fetches the view for `(generation, year)`, refreshing its recency.
+    pub fn get(&self, generation: u64, year: u32) -> Option<V> {
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.map.get_mut(&(generation, year)).map(|slot| {
+            slot.last_used = tick;
+            slot.value.clone()
+        })
+    }
+
+    /// Inserts (or refreshes) the view for `(generation, year)`,
+    /// evicting the least-recently-used entry when full.
+    pub fn insert(&self, generation: u64, year: u32, value: V) {
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        let key = (generation, year);
+        if !inner.map.contains_key(&key) && inner.map.len() >= self.capacity {
+            // Evict the stalest entry; ties broken by smallest key so
+            // eviction order is deterministic.
+            if let Some(&victim) =
+                inner.map.iter().min_by_key(|(k, slot)| (slot.last_used, **k)).map(|(k, _)| k)
+            {
+                inner.map.remove(&victim);
+            }
+        }
+        inner.map.insert(key, Slot { value, last_used: tick });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let cache = TemporalCache::new(2);
+        cache.insert(1, 0, "y0");
+        cache.insert(1, 1, "y1");
+        assert_eq!(cache.get(1, 0), Some("y0")); // refresh year 0
+        cache.insert(1, 2, "y2"); // evicts year 1, the stalest
+        assert_eq!(cache.get(1, 1), None);
+        assert_eq!(cache.get(1, 0), Some("y0"));
+        assert_eq!(cache.get(1, 2), Some("y2"));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn generation_bump_misses_old_entries() {
+        let cache = TemporalCache::new(4);
+        cache.insert(1, 3, "old");
+        assert_eq!(cache.get(2, 3), None, "new generation never sees old views");
+        cache.insert(2, 3, "new");
+        assert_eq!(cache.get(2, 3), Some("new"));
+    }
+
+    #[test]
+    fn reinsert_refreshes_in_place_without_eviction() {
+        let cache = TemporalCache::new(2);
+        cache.insert(1, 0, "a");
+        cache.insert(1, 1, "b");
+        cache.insert(1, 0, "a2"); // same key: no eviction
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(1, 0), Some("a2"));
+        assert_eq!(cache.get(1, 1), Some("b"));
+    }
+}

@@ -1,0 +1,39 @@
+//! Temporal dataset store: as-of queries over checkpoint + delta chains.
+//!
+//! The paper's longitudinal questions — privatization waves, cone
+//! growth, operator ageing — need point-in-time views of the dataset,
+//! not just the latest index. PR 3's [`soi_delta`] chains already encode
+//! the full lineage between generations; this crate stores and serves
+//! it, git-pack style:
+//!
+//! * **Checkpoints** — periodic full [`soi_core::Snapshot`]s (the
+//!   existing codec, unchanged), one at year 0 and one at every
+//!   spacing multiple.
+//! * **Segments** — one checksummed [`soi_delta::DatasetDelta`] per
+//!   year, each linking onto its predecessor's payload checksum.
+//! * **Manifest** — `history.json`, itself checksummed, pinning the
+//!   canonical payload checksum of every year.
+//!
+//! [`HistoryStore::resolve`] materializes any year by loading the
+//! nearest checkpoint at or below it and replaying forward with
+//! [`soi_delta::apply_chain`]; [`HistoryStore::re_checkpoint`] rewrites
+//! the checkpoint set for a new spacing, trading disk for replay
+//! latency. [`TemporalCache`] is the `(generation, year)`-keyed LRU the
+//! serving layer puts in front of the resolver.
+//!
+//! The design invariant inherited from the delta subsystem: every
+//! materialized view is byte-identical to a from-scratch pipeline run of
+//! the world frozen at that year (modulo canonical record ordering), and
+//! stays so across checkpoint compactions — the as-of oracle test in
+//! `tests/history.rs` enforces exactly this through the HTTP surface.
+
+mod cache;
+mod store;
+
+pub use cache::TemporalCache;
+pub use store::{
+    checkpoint_file, manifest_checksum, segment_file, HistoryBuildConfig, HistoryError,
+    HistoryManifest, HistoryStore, HistoryWriter, ManifestBody, ManifestHeader, OrgTimeline,
+    RecheckpointReport, ResolveStats, TimelinePoint, YearEntry, HISTORY_FORMAT_VERSION,
+    HISTORY_MAGIC, MANIFEST_FILE,
+};

@@ -1,0 +1,739 @@
+//! The on-disk temporal store: manifest, checkpoints, delta segments.
+//!
+//! ## Directory layout
+//!
+//! A history directory holds one dataset lineage, year 0 through year
+//! `years`:
+//!
+//! ```text
+//! DIR/
+//!   history.json          manifest (magic, version, checksum, year table)
+//!   checkpoint-0000.json  full Snapshot of year 0 (always present)
+//!   checkpoint-0004.json  full Snapshot at each spacing multiple
+//!   segment-0001.json     DatasetDelta: year 0 -> year 1
+//!   segment-0002.json     DatasetDelta: year 1 -> year 2
+//!   ...
+//! ```
+//!
+//! Checkpoints reuse the snapshot codec verbatim; segments reuse the
+//! delta codec. The manifest pins, per year, the canonical payload
+//! checksum plus which files realize it, and carries its own FNV-1a
+//! checksum so a truncated or hand-edited manifest is refused.
+//!
+//! ## Resolver
+//!
+//! `resolve(y)` picks the greatest checkpoint year `c <= y` whose file
+//! still exists (compaction may have removed interior checkpoints; year
+//! 0 is never removed), loads and validates it, then replays segments
+//! `c+1 ..= y` with [`apply_chain`]. Every link is checksum-verified:
+//! the checkpoint against the manifest, each segment against its own
+//! header, and each application against the segment's declared result.
+//!
+//! ## Invariants checked at `open`
+//!
+//! * manifest magic/version/checksum;
+//! * years are contiguous `0..=years` with a segment entry and file for
+//!   every year >= 1 (a hole is a typed [`HistoryError::SegmentGap`]);
+//! * segment chain linkage: segment `y`'s base checksum equals year
+//!   `y-1`'s payload checksum and its result equals year `y`'s;
+//! * the year-0 checkpoint file exists.
+
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+use soi_core::{payload_checksum, Snapshot, SnapshotBuildInfo, SnapshotError, SnapshotPayload};
+use soi_delta::{apply_chain, DatasetDelta, DeltaEngine, DeltaError};
+use soi_types::{fnv1a64, OrgId};
+
+/// Magic string identifying a history manifest.
+pub const HISTORY_MAGIC: &str = "soi-history";
+
+/// Manifest schema version written by this build; readers accept exactly
+/// this.
+pub const HISTORY_FORMAT_VERSION: u32 = 1;
+
+/// Manifest file name inside a history directory.
+pub const MANIFEST_FILE: &str = "history.json";
+
+/// File name of the full checkpoint for `year`.
+pub fn checkpoint_file(year: u32) -> String {
+    format!("checkpoint-{year:04}.json")
+}
+
+/// File name of the delta segment covering `year-1 -> year`.
+pub fn segment_file(year: u32) -> String {
+    format!("segment-{year:04}.json")
+}
+
+/// Why a history directory could not be built, opened or queried.
+#[derive(Debug)]
+pub enum HistoryError {
+    /// A file could not be read or written.
+    Io(std::io::Error),
+    /// The manifest (or a referenced artifact) is not well-formed.
+    Malformed(String),
+    /// The manifest parsed but is not a history manifest (wrong magic).
+    WrongMagic(String),
+    /// The manifest was written by an incompatible schema version.
+    UnsupportedVersion {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build supports.
+        supported: u32,
+    },
+    /// The manifest body does not hash to its header's checksum.
+    ChecksumMismatch {
+        /// Checksum stored in the header.
+        stored: u64,
+        /// Checksum recomputed from the body.
+        computed: u64,
+    },
+    /// The segment chain has a hole: a year whose segment is missing,
+    /// unreadable, or does not link onto its predecessor.
+    SegmentGap {
+        /// First year whose segment is broken.
+        year: u32,
+        /// What exactly is wrong with it.
+        reason: String,
+    },
+    /// The requested year is outside the stored range.
+    UnknownYear {
+        /// Year asked for.
+        requested: u32,
+        /// Greatest year the store holds.
+        max: u32,
+    },
+    /// Checkpoint spacing must be >= 1.
+    InvalidSpacing(u32),
+    /// A checkpoint file failed snapshot-level validation.
+    Snapshot(SnapshotError),
+    /// A segment failed delta-level validation or application.
+    Delta(DeltaError),
+}
+
+impl fmt::Display for HistoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HistoryError::Io(e) => write!(f, "history I/O error: {e}"),
+            HistoryError::Malformed(m) => write!(f, "malformed history store: {m}"),
+            HistoryError::WrongMagic(m) => {
+                write!(f, "not a history manifest (magic {m:?}, expected {HISTORY_MAGIC:?})")
+            }
+            HistoryError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported history format version {found} (this build reads {supported})"
+            ),
+            HistoryError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "history manifest checksum mismatch: header says {stored:016x}, body hashes to {computed:016x}"
+            ),
+            HistoryError::SegmentGap { year, reason } => {
+                write!(f, "segment chain gap at year {year}: {reason}")
+            }
+            HistoryError::UnknownYear { requested, max } => {
+                write!(f, "year {requested} is not in the store (holds 0..={max})")
+            }
+            HistoryError::InvalidSpacing(s) => {
+                write!(f, "checkpoint spacing must be >= 1, got {s}")
+            }
+            HistoryError::Snapshot(e) => write!(f, "history checkpoint error: {e}"),
+            HistoryError::Delta(e) => write!(f, "history segment error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HistoryError {}
+
+impl From<std::io::Error> for HistoryError {
+    fn from(e: std::io::Error) -> Self {
+        HistoryError::Io(e)
+    }
+}
+
+impl From<SnapshotError> for HistoryError {
+    fn from(e: SnapshotError) -> Self {
+        HistoryError::Snapshot(e)
+    }
+}
+
+impl From<DeltaError> for HistoryError {
+    fn from(e: DeltaError) -> Self {
+        HistoryError::Delta(e)
+    }
+}
+
+/// One year's row in the manifest: canonical checksum plus the files
+/// realizing it.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct YearEntry {
+    /// Year index, 0 for the base generation.
+    pub year: u32,
+    /// FNV-1a 64 of the year's canonical payload JSON.
+    pub payload_checksum: u64,
+    /// Checkpoint file name, when a full snapshot exists at this year.
+    pub checkpoint: Option<String>,
+    /// Segment file name (`year-1 -> year` delta); `None` only for year 0.
+    pub segment: Option<String>,
+    /// World events carried by the segment into this year.
+    pub events: usize,
+}
+
+/// Checksummed body of the manifest.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ManifestBody {
+    /// Tool that produced the store.
+    pub tool: String,
+    /// World seed the lineage was derived from, when applicable.
+    pub seed: Option<u64>,
+    /// Free-form note.
+    pub comment: String,
+    /// Greatest year held; entries cover `0..=years`.
+    pub years: u32,
+    /// Current checkpoint spacing policy (a checkpoint at year 0 and at
+    /// every multiple of this).
+    pub checkpoint_spacing: u32,
+    /// Per-year rows, ascending and contiguous.
+    pub entries: Vec<YearEntry>,
+}
+
+/// Manifest header: identification, versioning, integrity.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ManifestHeader {
+    /// Always [`HISTORY_MAGIC`].
+    pub magic: String,
+    /// Schema version, [`HISTORY_FORMAT_VERSION`] for this build.
+    pub format_version: u32,
+    /// FNV-1a 64 of the body's compact JSON serialization.
+    pub checksum_fnv1a64: u64,
+}
+
+/// The complete manifest document.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HistoryManifest {
+    /// Identification, version, checksum.
+    pub header: ManifestHeader,
+    /// Year table and policy.
+    pub body: ManifestBody,
+}
+
+/// Canonical checksum of a manifest body: FNV-1a 64 over its compact
+/// JSON serialization.
+pub fn manifest_checksum(body: &ManifestBody) -> Result<u64, HistoryError> {
+    let bytes = serde_json::to_vec(body)
+        .map_err(|e| HistoryError::Malformed(format!("manifest serialization failed: {e}")))?;
+    Ok(fnv1a64(&bytes))
+}
+
+/// Options for [`HistoryStore::build`].
+#[derive(Clone, Debug)]
+pub struct HistoryBuildConfig {
+    /// A checkpoint at year 0 and at every multiple of this.
+    pub checkpoint_spacing: u32,
+    /// World seed recorded in the manifest and checkpoint headers.
+    pub seed: Option<u64>,
+    /// Producing tool recorded in the manifest.
+    pub tool: String,
+    /// Free-form note recorded in the manifest.
+    pub comment: String,
+}
+
+impl Default for HistoryBuildConfig {
+    fn default() -> Self {
+        HistoryBuildConfig {
+            checkpoint_spacing: 4,
+            seed: None,
+            tool: "soi-history".to_owned(),
+            comment: String::new(),
+        }
+    }
+}
+
+/// Where the resolver started and how far it replayed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResolveStats {
+    /// Checkpoint year the materialization started from.
+    pub checkpoint_year: u32,
+    /// Segments replayed on top of it.
+    pub deltas_replayed: usize,
+}
+
+/// Outcome of a [`HistoryStore::re_checkpoint`] pass.
+#[derive(Clone, Debug, Default)]
+pub struct RecheckpointReport {
+    /// Years that gained a checkpoint.
+    pub written: Vec<u32>,
+    /// Years whose checkpoint was removed.
+    pub removed: Vec<u32>,
+}
+
+/// One change-point in an organization's ownership/confirmation history.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimelinePoint {
+    /// First year this state holds.
+    pub year: u32,
+    /// Whether the organization is in the dataset at this year.
+    pub present: bool,
+    /// Organization name, when present.
+    pub org_name: Option<String>,
+    /// Conglomerate it belongs to, when present.
+    pub conglomerate: Option<String>,
+    /// Controlling state's country code, when present.
+    pub owner: Option<String>,
+    /// Confirmation-source type, when present.
+    pub source: Option<String>,
+    /// Nominating inputs (G/E/C/O/W convention), when present.
+    pub inputs: Option<String>,
+    /// ASNs operated at this year.
+    pub asns: Vec<u32>,
+}
+
+/// An organization's change-points across the stored years.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct OrgTimeline {
+    /// AS2Org cluster id the timeline was computed for.
+    pub org_id: u32,
+    /// Greatest year examined.
+    pub years: u32,
+    /// Change-points, ascending by year; the first is year 0's state.
+    pub points: Vec<TimelinePoint>,
+    /// Segments replayed to compute the timeline.
+    pub deltas_replayed: usize,
+}
+
+/// An opened history directory: validated manifest plus the full segment
+/// chain held in memory (segments are small; checkpoints stay on disk
+/// and are loaded per resolve).
+#[derive(Debug)]
+pub struct HistoryStore {
+    dir: PathBuf,
+    manifest: ManifestBody,
+    /// `segments[i]` covers year `i` (index 0 unused, kept as `None`).
+    segments: Vec<Option<DatasetDelta>>,
+}
+
+/// Incrementally writes a history directory: a base checkpoint, then one
+/// validated segment per appended delta, with checkpoints at every
+/// spacing multiple. [`HistoryWriter::finish`] seals the manifest and
+/// re-opens (and thus fully re-validates) the store.
+///
+/// [`HistoryStore::build`] drives this from a [`DeltaEngine`]; tests and
+/// other producers can feed hand-built [`DatasetDelta`]s directly.
+#[derive(Debug)]
+pub struct HistoryWriter {
+    dir: PathBuf,
+    cfg: HistoryBuildConfig,
+    current: SnapshotPayload,
+    entries: Vec<YearEntry>,
+}
+
+impl HistoryWriter {
+    /// Starts a history directory with `base` as its year-0 checkpoint.
+    pub fn create(
+        dir: impl AsRef<Path>,
+        base: &SnapshotPayload,
+        cfg: &HistoryBuildConfig,
+    ) -> Result<HistoryWriter, HistoryError> {
+        if cfg.checkpoint_spacing == 0 {
+            return Err(HistoryError::InvalidSpacing(0));
+        }
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        write_checkpoint(&dir, 0, base, cfg.seed, &cfg.tool)?;
+        let entries = vec![YearEntry {
+            year: 0,
+            payload_checksum: checksum_of(base)?,
+            checkpoint: Some(checkpoint_file(0)),
+            segment: None,
+            events: 0,
+        }];
+        Ok(HistoryWriter { dir, cfg: cfg.clone(), current: base.clone(), entries })
+    }
+
+    /// The year index the next [`HistoryWriter::append`] will write.
+    pub fn next_year(&self) -> u32 {
+        self.entries.len() as u32
+    }
+
+    /// Appends one segment: `delta` must chain onto the previous year's
+    /// payload (`apply` enforces the base/result checksums). `events` is
+    /// recorded in the manifest for `inspect`. Returns the year written.
+    pub fn append(&mut self, delta: &DatasetDelta, events: usize) -> Result<u32, HistoryError> {
+        let year = self.next_year();
+        self.current = delta.apply(&self.current)?;
+        let name = segment_file(year);
+        delta.write_to_file(self.dir.join(&name))?;
+        let on_checkpoint = year % self.cfg.checkpoint_spacing == 0;
+        if on_checkpoint {
+            write_checkpoint(&self.dir, year, &self.current, self.cfg.seed, &self.cfg.tool)?;
+        }
+        self.entries.push(YearEntry {
+            year,
+            payload_checksum: delta.header.result_checksum,
+            checkpoint: on_checkpoint.then(|| checkpoint_file(year)),
+            segment: Some(name),
+            events,
+        });
+        Ok(year)
+    }
+
+    /// Seals the manifest and opens the finished store.
+    pub fn finish(self) -> Result<HistoryStore, HistoryError> {
+        let body = ManifestBody {
+            tool: self.cfg.tool.clone(),
+            seed: self.cfg.seed,
+            comment: self.cfg.comment.clone(),
+            years: self.entries.len() as u32 - 1,
+            checkpoint_spacing: self.cfg.checkpoint_spacing,
+            entries: self.entries,
+        };
+        write_manifest(&self.dir, &body)?;
+        HistoryStore::open(&self.dir)
+    }
+}
+
+impl HistoryStore {
+    /// Builds a history directory by stepping `engine` forward `years`
+    /// times, writing a segment per step and a checkpoint at year 0 and
+    /// every spacing multiple, then re-opens (and thus fully validates)
+    /// the result.
+    pub fn build(
+        dir: impl AsRef<Path>,
+        engine: &mut DeltaEngine,
+        years: u32,
+        cfg: &HistoryBuildConfig,
+    ) -> Result<HistoryStore, HistoryError> {
+        let mut writer = HistoryWriter::create(dir, &engine.current().payload, cfg)?;
+        for _ in 0..years {
+            let step = engine.step()?;
+            writer.append(&step.delta, step.stats.events)?;
+        }
+        writer.finish()
+    }
+
+    /// Opens and validates a history directory (see the module docs for
+    /// the invariants enforced).
+    pub fn open(dir: impl AsRef<Path>) -> Result<HistoryStore, HistoryError> {
+        let dir = dir.as_ref().to_path_buf();
+        let raw = fs::read_to_string(dir.join(MANIFEST_FILE))?;
+        let manifest: HistoryManifest = serde_json::from_str(&raw)
+            .map_err(|e| HistoryError::Malformed(format!("manifest does not parse: {e}")))?;
+
+        if manifest.header.magic != HISTORY_MAGIC {
+            return Err(HistoryError::WrongMagic(manifest.header.magic));
+        }
+        if manifest.header.format_version != HISTORY_FORMAT_VERSION {
+            return Err(HistoryError::UnsupportedVersion {
+                found: manifest.header.format_version,
+                supported: HISTORY_FORMAT_VERSION,
+            });
+        }
+        let computed = manifest_checksum(&manifest.body)?;
+        if computed != manifest.header.checksum_fnv1a64 {
+            return Err(HistoryError::ChecksumMismatch {
+                stored: manifest.header.checksum_fnv1a64,
+                computed,
+            });
+        }
+
+        let body = manifest.body;
+        if body.checkpoint_spacing == 0 {
+            return Err(HistoryError::InvalidSpacing(0));
+        }
+        if body.entries.len() != body.years as usize + 1 {
+            return Err(HistoryError::Malformed(format!(
+                "manifest declares years 0..={} but carries {} entries",
+                body.years,
+                body.entries.len()
+            )));
+        }
+        for (i, entry) in body.entries.iter().enumerate() {
+            if entry.year != i as u32 {
+                return Err(HistoryError::Malformed(format!(
+                    "entry {i} is year {} (years must be contiguous from 0)",
+                    entry.year
+                )));
+            }
+        }
+        if body.entries[0].checkpoint.is_none() || body.entries[0].segment.is_some() {
+            return Err(HistoryError::Malformed(
+                "year 0 must have a checkpoint and no segment".to_owned(),
+            ));
+        }
+        if !dir.join(checkpoint_file(0)).is_file() {
+            return Err(HistoryError::Malformed(format!(
+                "base checkpoint {} is missing",
+                checkpoint_file(0)
+            )));
+        }
+
+        // Load the full segment chain and verify its linkage.
+        let mut segments: Vec<Option<DatasetDelta>> = vec![None];
+        for year in 1..=body.years {
+            let entry = &body.entries[year as usize];
+            let name = entry.segment.as_ref().ok_or_else(|| HistoryError::SegmentGap {
+                year,
+                reason: "manifest has no segment for this year".to_owned(),
+            })?;
+            let path = dir.join(name);
+            if !path.is_file() {
+                return Err(HistoryError::SegmentGap {
+                    year,
+                    reason: format!("segment file {name} is missing"),
+                });
+            }
+            let delta = DatasetDelta::read_from_file(&path).map_err(|e| {
+                HistoryError::SegmentGap { year, reason: format!("segment {name} unreadable: {e}") }
+            })?;
+            let prev = body.entries[year as usize - 1].payload_checksum;
+            if delta.header.base_checksum != prev {
+                return Err(HistoryError::SegmentGap {
+                    year,
+                    reason: format!(
+                        "chain broken: segment bases on {:016x}, year {} is {prev:016x}",
+                        delta.header.base_checksum,
+                        year - 1
+                    ),
+                });
+            }
+            if delta.header.result_checksum != entry.payload_checksum {
+                return Err(HistoryError::SegmentGap {
+                    year,
+                    reason: format!(
+                        "chain broken: segment results in {:016x}, manifest pins {:016x}",
+                        delta.header.result_checksum, entry.payload_checksum
+                    ),
+                });
+            }
+            segments.push(Some(delta));
+        }
+
+        Ok(HistoryStore { dir, manifest: body, segments })
+    }
+
+    /// Directory the store was opened from.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Greatest year held; `resolve` accepts `0..=years()`.
+    pub fn years(&self) -> u32 {
+        self.manifest.years
+    }
+
+    /// Current checkpoint-spacing policy.
+    pub fn checkpoint_spacing(&self) -> u32 {
+        self.manifest.checkpoint_spacing
+    }
+
+    /// The validated manifest body.
+    pub fn manifest(&self) -> &ManifestBody {
+        &self.manifest
+    }
+
+    /// Years that currently carry a checkpoint, ascending.
+    pub fn checkpoint_years(&self) -> Vec<u32> {
+        self.manifest.entries.iter().filter(|e| e.checkpoint.is_some()).map(|e| e.year).collect()
+    }
+
+    /// Materializes the dataset as of `year`: loads the nearest loadable
+    /// checkpoint `<= year` and replays the segments after it.
+    pub fn resolve(&self, year: u32) -> Result<(SnapshotPayload, ResolveStats), HistoryError> {
+        if year > self.manifest.years {
+            return Err(HistoryError::UnknownYear { requested: year, max: self.manifest.years });
+        }
+
+        // Walk checkpoint candidates from nearest to year 0. Interior
+        // checkpoints may have been removed by a concurrent compaction
+        // (the manifest in memory can be older than the directory); fall
+        // back toward year 0, which is never removed.
+        let mut base: Option<(u32, Snapshot)> = None;
+        for entry in self.manifest.entries[..=year as usize].iter().rev() {
+            let Some(name) = &entry.checkpoint else { continue };
+            match Snapshot::read_from_file(self.dir.join(name)) {
+                Ok(snapshot) => {
+                    if snapshot.header.checksum_fnv1a64 != entry.payload_checksum {
+                        return Err(HistoryError::Malformed(format!(
+                            "checkpoint {name} hashes to {:016x}, manifest pins {:016x}",
+                            snapshot.header.checksum_fnv1a64, entry.payload_checksum
+                        )));
+                    }
+                    base = Some((entry.year, snapshot));
+                    break;
+                }
+                Err(SnapshotError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(HistoryError::Snapshot(e)),
+            }
+        }
+        let (checkpoint_year, snapshot) = base.ok_or_else(|| {
+            HistoryError::Malformed(format!("no loadable checkpoint at or below year {year}"))
+        })?;
+
+        let chain = self.segments[checkpoint_year as usize + 1..=year as usize]
+            .iter()
+            .map(|s| s.as_ref().expect("open() loaded every segment"));
+        let deltas_replayed = year as usize - checkpoint_year as usize;
+        let payload = if deltas_replayed == 0 {
+            snapshot.payload
+        } else {
+            apply_chain(&snapshot.payload, chain)?
+        };
+        Ok((payload, ResolveStats { checkpoint_year, deltas_replayed }))
+    }
+
+    /// Rewrites the checkpoint set for a new spacing policy: materializes
+    /// and writes missing checkpoints at the new multiples, removes
+    /// interior checkpoints that no longer belong (year 0 is always
+    /// kept), and rewrites the manifest.
+    pub fn re_checkpoint(&mut self, spacing: u32) -> Result<RecheckpointReport, HistoryError> {
+        if spacing == 0 {
+            return Err(HistoryError::InvalidSpacing(0));
+        }
+        let mut report = RecheckpointReport::default();
+
+        // Write new checkpoints first so the directory never loses
+        // coverage mid-pass.
+        for year in 1..=self.manifest.years {
+            let wanted = year % spacing == 0;
+            let entry = &self.manifest.entries[year as usize];
+            if wanted && entry.checkpoint.is_none() {
+                let (payload, _) = self.resolve(year)?;
+                write_checkpoint(
+                    &self.dir,
+                    year,
+                    &payload,
+                    self.manifest.seed,
+                    "soi history checkpoint",
+                )?;
+                self.manifest.entries[year as usize].checkpoint = Some(checkpoint_file(year));
+                report.written.push(year);
+            }
+        }
+        for year in 1..=self.manifest.years {
+            let wanted = year % spacing == 0;
+            let entry = &mut self.manifest.entries[year as usize];
+            if !wanted && entry.checkpoint.is_some() {
+                let name = entry.checkpoint.take().expect("checked is_some");
+                match fs::remove_file(self.dir.join(&name)) {
+                    Ok(()) => {}
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                    Err(e) => return Err(HistoryError::Io(e)),
+                }
+                report.removed.push(year);
+            }
+        }
+
+        self.manifest.checkpoint_spacing = spacing;
+        write_manifest(&self.dir, &self.manifest)?;
+        Ok(report)
+    }
+
+    /// Computes an organization's ownership/confirmation timeline by
+    /// replaying the whole chain once and recording change-points.
+    pub fn org_timeline(&self, org_id: u32) -> Result<OrgTimeline, HistoryError> {
+        let (mut payload, _) = self.resolve(0)?;
+        let mut points: Vec<TimelinePoint> = Vec::new();
+        let mut deltas_replayed = 0usize;
+        for year in 0..=self.manifest.years {
+            if year > 0 {
+                let segment =
+                    self.segments[year as usize].as_ref().expect("open() loaded every segment");
+                payload = segment.apply(&payload)?;
+                deltas_replayed += 1;
+            }
+            let point = observe(&payload, org_id, year);
+            let changed = match points.last() {
+                None => true,
+                Some(last) => {
+                    let mut prev = last.clone();
+                    prev.year = point.year;
+                    prev != point
+                }
+            };
+            if changed {
+                points.push(point);
+            }
+        }
+        Ok(OrgTimeline { org_id, years: self.manifest.years, points, deltas_replayed })
+    }
+}
+
+/// The organization's state at one year, as a timeline point.
+fn observe(payload: &SnapshotPayload, org_id: u32, year: u32) -> TimelinePoint {
+    let record = payload.dataset.organizations.iter().find(|r| r.org_id == Some(OrgId(org_id)));
+    match record {
+        Some(r) => TimelinePoint {
+            year,
+            present: true,
+            org_name: Some(r.org_name.clone()),
+            conglomerate: Some(r.conglomerate_name.clone()),
+            owner: Some(r.ownership_cc.to_string()),
+            source: Some(r.source.clone()),
+            inputs: Some(r.inputs.iter().collect()),
+            asns: r.asns.iter().map(|a| a.0).collect(),
+        },
+        None => TimelinePoint {
+            year,
+            present: false,
+            org_name: None,
+            conglomerate: None,
+            owner: None,
+            source: None,
+            inputs: None,
+            asns: Vec::new(),
+        },
+    }
+}
+
+fn checksum_of(payload: &SnapshotPayload) -> Result<u64, HistoryError> {
+    payload_checksum(payload).map_err(|e| HistoryError::Malformed(e.to_string()))
+}
+
+/// Writes a full snapshot of `payload` as the checkpoint for `year`.
+fn write_checkpoint(
+    dir: &Path,
+    year: u32,
+    payload: &SnapshotPayload,
+    seed: Option<u64>,
+    tool: &str,
+) -> Result<(), HistoryError> {
+    let snapshot = Snapshot::build(
+        payload.dataset.clone(),
+        payload.table.clone(),
+        SnapshotBuildInfo {
+            tool: tool.to_owned(),
+            seed,
+            comment: format!("history checkpoint, year {year}"),
+            ..Default::default()
+        },
+    )
+    .map_err(|e| HistoryError::Malformed(e.to_string()))?;
+    snapshot.write_to_file(dir.join(checkpoint_file(year)))?;
+    Ok(())
+}
+
+/// Atomically (tmp + rename) writes the manifest for `body`.
+fn write_manifest(dir: &Path, body: &ManifestBody) -> Result<(), HistoryError> {
+    let manifest = HistoryManifest {
+        header: ManifestHeader {
+            magic: HISTORY_MAGIC.to_owned(),
+            format_version: HISTORY_FORMAT_VERSION,
+            checksum_fnv1a64: manifest_checksum(body)?,
+        },
+        body: body.clone(),
+    };
+    let text = serde_json::to_string_pretty(&manifest)
+        .map_err(|e| HistoryError::Malformed(format!("manifest serialization failed: {e}")))?;
+    let path = dir.join(MANIFEST_FILE);
+    let tmp = path.with_extension("json.tmp");
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(text.as_bytes())?;
+        f.write_all(b"\n")?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, &path)?;
+    Ok(())
+}

@@ -197,10 +197,7 @@ mod tests {
     fn slot_with(payload: &SnapshotPayload) -> IndexSlot {
         let index = ServiceIndex::build(payload.dataset.clone(), &payload.table);
         let slot = IndexSlot::new(Arc::new(index), None);
-        slot.attach_payload(
-            Arc::new(payload.clone()),
-            payload_checksum(payload).unwrap(),
-        );
+        slot.attach_payload(Arc::new(payload.clone()), payload_checksum(payload).unwrap());
         slot
     }
 

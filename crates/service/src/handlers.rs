@@ -11,6 +11,18 @@
 //! | `GET /v1/country/{CC}` | per-country footprint/majority summary |
 //! | `GET /v1/search?q=needle[&limit=n&offset=n]` | paginated org-name substring search, dataset order |
 //! | `GET /v1/dataset` | whole-dataset summary |
+//! | `GET /v1/history` | history-store summary (years, checkpoints, spacing) |
+//! | `GET /v1/history/org/{id}` | ownership/confirmation timeline across stored years |
+//!
+//! With a history store attached (`soi serve --history DIR`), the read
+//! routes (`/v1/asn`, `/v1/ip`, `/v1/prefix`, `/v1/country`,
+//! `/v1/search`) accept `?at=<year>` and answer from the dataset as of
+//! that year — materialized by checkpoint load + delta replay and kept
+//! in a `(generation, year)` LRU, so the answer body is byte-identical
+//! to what a server over that year's dataset would produce. As-of
+//! errors: malformed year ⇒ `400 invalid_at`, no store attached ⇒
+//! `409 history_unavailable`, year past the stored range ⇒
+//! `404 unknown_year`.
 //!
 //! `/v1` errors are a uniform envelope with a stable machine-readable
 //! code: `{"error": {"code": "...", "message": "...", "detail": ...}}`.
@@ -49,8 +61,10 @@
 //! case the old index keeps serving.
 
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 
 use serde::Serialize;
+use soi_history::HistoryError;
 use soi_types::{Asn, CountryCode, Ipv4Prefix};
 
 use crate::http::{Request, Response};
@@ -128,18 +142,29 @@ pub fn respond(state: &ServerState, queue_depth: usize, req: &Request) -> (&'sta
                 &Health { status: "ok", organizations: index.sizes().organizations },
             ),
         ),
-        ["metrics"] => (
-            "metrics",
-            Response::json(200, &state.metrics.snapshot(queue_depth, &state.status())),
-        ),
+        ["metrics"] => {
+            ("metrics", Response::json(200, &state.metrics.snapshot(queue_depth, &state.status())))
+        }
         // Versioned data API: envelope errors, pagination, no deprecation.
-        ["v1", "asn", raw] => ("v1_asn", v1_asn_route(index, raw)),
-        ["v1", "ip", raw] => ("v1_ip", v1_ip_route(index, raw)),
-        ["v1", "prefix", addr, len] => ("v1_prefix", v1_prefix_route(index, addr, len)),
-        ["v1", "country"] => ("v1_country", v1_countries_route(index, req)),
-        ["v1", "country", raw] => ("v1_country", v1_country_route(index, raw)),
-        ["v1", "search"] => ("v1_search", v1_search_route(index, req)),
+        // The read routes answer for the live index, or — with `?at=` and
+        // a history store attached — for the year's materialized view.
+        ["v1", "asn", raw] => ("v1_asn", with_as_of(state, req, index, |ix| v1_asn_route(ix, raw))),
+        ["v1", "ip", raw] => ("v1_ip", with_as_of(state, req, index, |ix| v1_ip_route(ix, raw))),
+        ["v1", "prefix", addr, len] => {
+            ("v1_prefix", with_as_of(state, req, index, |ix| v1_prefix_route(ix, addr, len)))
+        }
+        ["v1", "country"] => {
+            ("v1_country", with_as_of(state, req, index, |ix| v1_countries_route(ix, req)))
+        }
+        ["v1", "country", raw] => {
+            ("v1_country", with_as_of(state, req, index, |ix| v1_country_route(ix, raw)))
+        }
+        ["v1", "search"] => {
+            ("v1_search", with_as_of(state, req, index, |ix| v1_search_route(ix, req)))
+        }
         ["v1", "dataset"] => ("v1_dataset", Response::json(200, &index.summary())),
+        ["v1", "history"] => ("v1_history", v1_history_summary(state)),
+        ["v1", "history", "org", raw] => ("v1_history", v1_history_org_route(state, raw)),
         ["v1", ..] => (
             "v1_other",
             Response::api_error(
@@ -160,6 +185,120 @@ pub fn respond(state: &ServerState, queue_depth: usize, req: &Request) -> (&'sta
     }
 }
 
+/// Runs a `/v1` read route against the live index, or — when the request
+/// carries `?at=<year>` — against the year's materialized view.
+fn with_as_of(
+    state: &ServerState,
+    req: &Request,
+    live: &ServiceIndex,
+    route: impl FnOnce(&ServiceIndex) -> Response,
+) -> Response {
+    match req.query_param("at") {
+        None => route(live),
+        Some(raw) => match as_of_index(state, raw) {
+            Ok(index) => route(&index),
+            Err(resp) => resp,
+        },
+    }
+}
+
+/// Resolves `?at=<raw>` to a served index via the history service; every
+/// failure is an envelope error.
+fn as_of_index(state: &ServerState, raw: &str) -> Result<Arc<ServiceIndex>, Response> {
+    let Ok(year) = raw.parse::<u32>() else {
+        return Err(Response::api_error(
+            400,
+            "invalid_at",
+            "at must be a non-negative year index",
+            Some(raw),
+        ));
+    };
+    let Some(history) = &state.history else {
+        return Err(history_unavailable());
+    };
+    history.index_at(year, &state.metrics).map_err(|e| match e {
+        HistoryError::UnknownYear { requested, max } => Response::api_error(
+            404,
+            "unknown_year",
+            &format!("history holds years 0..={max}"),
+            Some(&requested.to_string()),
+        ),
+        other => Response::api_error(
+            500,
+            "history_error",
+            &format!("as-of materialization failed: {other}"),
+            None,
+        ),
+    })
+}
+
+fn history_unavailable() -> Response {
+    Response::api_error(
+        409,
+        "history_unavailable",
+        "server was not started with a history store; as-of queries are unavailable",
+        None,
+    )
+}
+
+#[derive(Serialize)]
+struct HistorySummary {
+    years: u32,
+    checkpoint_spacing: u32,
+    checkpoints: Vec<u32>,
+    seed: Option<u64>,
+    cache_generation: u64,
+}
+
+/// `GET /v1/history`: what the attached store holds.
+fn v1_history_summary(state: &ServerState) -> Response {
+    let Some(history) = &state.history else {
+        return history_unavailable();
+    };
+    let store = history.store();
+    Response::json(
+        200,
+        &HistorySummary {
+            years: store.years(),
+            checkpoint_spacing: store.checkpoint_spacing(),
+            checkpoints: store.checkpoint_years(),
+            seed: store.manifest().seed,
+            cache_generation: history.generation(),
+        },
+    )
+}
+
+/// `GET /v1/history/org/{id}`: an organization's ownership/confirmation
+/// change-points across the stored years.
+fn v1_history_org_route(state: &ServerState, raw: &str) -> Response {
+    let Some(history) = &state.history else {
+        return history_unavailable();
+    };
+    let Ok(org_id) = raw.parse::<u32>() else {
+        return Response::api_error(
+            400,
+            "invalid_org",
+            "organization id must be a decimal AS2Org cluster id",
+            Some(raw),
+        );
+    };
+    match history.timeline(org_id, &state.metrics) {
+        Ok(timeline) if timeline.points.iter().any(|p| p.present) => Response::json(200, &timeline),
+        Ok(_) => Response::api_error(
+            404,
+            "unknown_org",
+            "organization never appears in the stored years",
+            Some(raw),
+        ),
+        Err(e) => Response::api_error(
+            500,
+            "history_error",
+            &format!("timeline computation failed: {e}"),
+            None,
+        ),
+    }
+}
+
 /// Flags a legacy-route response as deprecated: RFC 9745 `Deprecation`
 /// plus a `Link` header pointing at the `/v1` successor. The body and
 /// status are untouched so pre-versioning clients keep working.
@@ -175,7 +314,10 @@ fn admin_reload(state: &ServerState, req: &Request) -> Response {
         return Response::error(405, "reload requires POST");
     }
     let Some(reloader) = &state.reloader else {
-        return Response::error(409, "server was not started from a snapshot file; nothing to reload");
+        return Response::error(
+            409,
+            "server was not started from a snapshot file; nothing to reload",
+        );
     };
     match reloader.reload(&state.metrics) {
         Ok(outcome) => Response::json(200, &outcome),
@@ -373,10 +515,7 @@ fn v1_search_route(index: &ServiceIndex, req: &Request) -> Response {
         Err(resp) => return resp,
     };
     let (total, hits) = index.search_page(needle, limit, offset);
-    Response::json(
-        200,
-        &PagedSearchAnswer { query: needle.to_owned(), total, limit, offset, hits },
-    )
+    Response::json(200, &PagedSearchAnswer { query: needle.to_owned(), total, limit, offset, hits })
 }
 
 #[cfg(test)]
@@ -418,7 +557,75 @@ mod tests {
             slot: Arc::new(IndexSlot::new(Arc::new(index()), None)),
             metrics: Arc::new(Metrics::new()),
             reloader: None,
+            history: None,
         }
+    }
+
+    /// A server state over a hand-built two-year history store: year 0
+    /// is the base Telenor dataset, year 1 adds PTCL (org 2, AS17557),
+    /// year 2 rebrands it. Spacing 2 ⇒ checkpoints at years 0 and 2.
+    fn history_state(tag: &str) -> (ServerState, std::path::PathBuf) {
+        use soi_core::{payload_checksum, SnapshotPayload};
+        use soi_delta::{DatasetDelta, DeltaProvenance, EventBatch};
+        use soi_history::{HistoryBuildConfig, HistoryWriter};
+
+        let base_index = index();
+        let mut dataset = base_index.dataset().clone();
+        dataset.canonicalize();
+        let table = PrefixToAs::from_entries([("10.0.0.0/8".parse().unwrap(), Asn(2119))]).unwrap();
+        let base = SnapshotPayload { dataset: dataset.clone(), table: table.clone() };
+
+        let mut year1 = dataset.clone();
+        let mut newcomer = year1.organizations[0].clone();
+        newcomer.org_id = Some(OrgId(2));
+        newcomer.org_name = "PTCL".into();
+        newcomer.conglomerate_name = "PTCL".into();
+        newcomer.ownership_cc = "PK".parse().unwrap();
+        newcomer.ownership_country_name = "Pakistan".into();
+        newcomer.asns = vec![Asn(17557)];
+        year1.organizations.push(newcomer);
+        year1.canonicalize();
+        let p1 = SnapshotPayload { dataset: year1.clone(), table: table.clone() };
+
+        let mut year2 = year1.clone();
+        for rec in &mut year2.organizations {
+            if rec.org_id == Some(OrgId(2)) {
+                rec.org_name = "PTCL Group".into();
+            }
+        }
+        year2.canonicalize();
+        let p2 = SnapshotPayload { dataset: year2, table };
+
+        let dir =
+            std::env::temp_dir().join(format!("soi-handlers-history-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = HistoryBuildConfig { checkpoint_spacing: 2, ..Default::default() };
+        let mut writer = HistoryWriter::create(&dir, &base, &cfg).expect("writer");
+        for (prev, next) in [(&base, &p1), (&p1, &p2)] {
+            let delta = DatasetDelta::compute(
+                prev,
+                next,
+                EventBatch::default(),
+                0,
+                0,
+                Vec::new(),
+                DeltaProvenance::default(),
+            )
+            .expect("delta");
+            writer.append(&delta, 1).expect("append");
+        }
+        writer.finish().expect("finish");
+
+        let slot = Arc::new(IndexSlot::new(Arc::new(base_index), None));
+        slot.attach_payload(Arc::new(base.clone()), payload_checksum(&base).unwrap());
+        let history = crate::history::HistoryService::open(&dir).expect("open history");
+        let state = ServerState {
+            slot,
+            metrics: Arc::new(Metrics::new()),
+            reloader: None,
+            history: Some(Arc::new(history)),
+        };
+        (state, dir)
     }
 
     fn request(method: &str, target: &str) -> Request {
@@ -426,10 +633,8 @@ mod tests {
     }
 
     fn request_with_body(method: &str, target: &str, body: &str) -> Request {
-        let raw = format!(
-            "{method} {target} HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
-            body.len()
-        );
+        let raw =
+            format!("{method} {target} HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}", body.len());
         let mut reader = BufReader::new(raw.as_bytes());
         crate::http::read_request(&mut reader).unwrap()
     }
@@ -696,5 +901,109 @@ mod tests {
         let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
         assert_eq!(v["total"].as_u64(), Some(1), "{}", body(&resp));
         assert_eq!(v["countries"][0]["country"].as_str(), Some("NO"));
+    }
+
+    #[test]
+    fn as_of_without_history_is_conflict_and_bad_years_are_client_errors() {
+        let st = state();
+        // Malformed year: client error before the store is even consulted.
+        let (label, resp) = get(&st, "/v1/asn/AS2119?at=banana");
+        assert_eq!(label, "v1_asn");
+        assert_eq!(resp.status, 400);
+        assert_eq!(envelope(&resp)["error"]["code"].as_str(), Some("invalid_at"));
+        // Well-formed year but no store attached: 409, not 500.
+        for target in ["/v1/asn/AS2119?at=1", "/v1/search?q=tel&at=0", "/v1/country?at=2"] {
+            let (_, resp) = get(&st, target);
+            assert_eq!(resp.status, 409, "{target}: {}", body(&resp));
+            assert_eq!(envelope(&resp)["error"]["code"].as_str(), Some("history_unavailable"));
+        }
+        // The history routes themselves answer the same way.
+        for target in ["/v1/history", "/v1/history/org/1"] {
+            let (label, resp) = get(&st, target);
+            assert_eq!(label, "v1_history", "{target}");
+            assert_eq!(resp.status, 409, "{target}");
+        }
+        // Without ?at= the live index answers; nothing needs the store.
+        let (_, resp) = get(&st, "/v1/asn/AS2119");
+        assert_eq!(resp.status, 200);
+    }
+
+    #[test]
+    fn as_of_queries_answer_from_the_years_view() {
+        let (st, dir) = history_state("asof");
+        // AS17557 joins the dataset in year 1.
+        let (label, resp) = get(&st, "/v1/asn/17557?at=0");
+        assert_eq!(label, "v1_asn");
+        assert_eq!(resp.status, 200);
+        assert!(body(&resp).contains("\"state_owned\":false"), "{}", body(&resp));
+        let (_, resp) = get(&st, "/v1/asn/17557?at=1");
+        assert!(body(&resp).contains("\"state_owned\":true"), "{}", body(&resp));
+        assert!(body(&resp).contains("PTCL"), "{}", body(&resp));
+        // Year 2 (a checkpoint year: zero replay) carries the rebrand.
+        let (_, resp) = get(&st, "/v1/asn/17557?at=2");
+        assert!(body(&resp).contains("PTCL Group"), "{}", body(&resp));
+        // The live index (no ?at=) still predates PTCL.
+        let (_, resp) = get(&st, "/v1/asn/17557");
+        assert!(body(&resp).contains("\"state_owned\":false"), "{}", body(&resp));
+        // Search and country answer as-of too.
+        let (_, resp) = get(&st, "/v1/search?q=ptcl&at=2");
+        let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+        assert_eq!(v["total"].as_u64(), Some(1), "{}", body(&resp));
+        let (_, resp) = get(&st, "/v1/country/pk?at=1");
+        assert_eq!(resp.status, 200, "{}", body(&resp));
+        let (_, resp) = get(&st, "/v1/country/pk?at=0");
+        assert_eq!(resp.status, 404, "PK only exists from year 1: {}", body(&resp));
+        // Past the stored range: 404 with the range in the message.
+        let (_, resp) = get(&st, "/v1/asn/17557?at=3");
+        assert_eq!(resp.status, 404);
+        assert_eq!(envelope(&resp)["error"]["code"].as_str(), Some("unknown_year"));
+        // The LRU served the repeated years: hits < requests, and some
+        // materialization work was recorded.
+        let snap = st.metrics.snapshot(0, &st.status());
+        assert!(snap.history_as_of_requests >= 7, "{}", snap.history_as_of_requests);
+        assert!(snap.history_cache_hits >= 1, "repeated ?at= years must hit the cache");
+        assert!(snap.history_deltas_replayed >= 1, "year 1 needs one replayed segment");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn history_routes_report_the_store_and_org_timelines() {
+        let (st, dir) = history_state("timeline");
+        let (label, resp) = get(&st, "/v1/history");
+        assert_eq!(label, "v1_history");
+        assert_eq!(resp.status, 200);
+        let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+        assert_eq!(v["years"].as_u64(), Some(2), "{}", body(&resp));
+        assert_eq!(v["checkpoint_spacing"].as_u64(), Some(2));
+        assert_eq!(v["checkpoints"], serde_json::json!([0, 2]));
+
+        // PTCL (org 2): absent at 0, appears at 1, rebrands at 2 — three
+        // change-points.
+        let (_, resp) = get(&st, "/v1/history/org/2");
+        assert_eq!(resp.status, 200, "{}", body(&resp));
+        let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+        let points = v["points"].as_array().unwrap();
+        assert_eq!(points.len(), 3, "{}", body(&resp));
+        assert_eq!(points[0]["year"].as_u64(), Some(0));
+        assert_eq!(points[0]["present"].as_bool(), Some(false));
+        assert_eq!(points[1]["year"].as_u64(), Some(1));
+        assert_eq!(points[1]["org_name"].as_str(), Some("PTCL"));
+        assert_eq!(points[1]["owner"].as_str(), Some("PK"));
+        assert_eq!(points[2]["org_name"].as_str(), Some("PTCL Group"));
+        assert_eq!(points[2]["asns"], serde_json::json!([17557]));
+
+        // Telenor (org 1) never changes: a single year-0 point.
+        let (_, resp) = get(&st, "/v1/history/org/1");
+        let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+        assert_eq!(v["points"].as_array().unwrap().len(), 1, "{}", body(&resp));
+
+        // Unknown and malformed ids.
+        let (_, resp) = get(&st, "/v1/history/org/99");
+        assert_eq!(resp.status, 404);
+        assert_eq!(envelope(&resp)["error"]["code"].as_str(), Some("unknown_org"));
+        let (_, resp) = get(&st, "/v1/history/org/banana");
+        assert_eq!(resp.status, 400);
+        assert_eq!(envelope(&resp)["error"]["code"].as_str(), Some("invalid_org"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,123 @@
+//! The serving side of the temporal store: materialized as-of views.
+//!
+//! [`HistoryService`] wraps an opened [`HistoryStore`] with the piece the
+//! store itself cannot own (it sits below this crate in the dependency
+//! graph): an LRU of fully built [`ServiceIndex`]es, keyed by
+//! `(generation, year)`. The generation is bumped if the underlying
+//! store is ever swapped, instantly invalidating every cached view
+//! without touching them; the year is the as-of target. A cache hit
+//! serves an `?at=` query at the same cost as the live index; a miss
+//! pays one resolve (checkpoint load + segment replay) plus one index
+//! build, both of which are counted in [`Metrics`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use soi_history::{HistoryError, HistoryStore, OrgTimeline, TemporalCache};
+
+use crate::index::ServiceIndex;
+use crate::metrics::Metrics;
+
+/// Materialized views kept hot by default; tiny on purpose (each view is
+/// a full index over the dataset).
+pub const DEFAULT_HISTORY_CACHE_CAPACITY: usize = 8;
+
+/// An opened history store plus the `(generation, year)`-keyed LRU of
+/// materialized indexes the `?at=` handlers serve from.
+pub struct HistoryService {
+    store: HistoryStore,
+    cache: TemporalCache<Arc<ServiceIndex>>,
+    generation: AtomicU64,
+}
+
+impl HistoryService {
+    /// Opens `dir` (validating the manifest and segment chain) with the
+    /// default cache capacity.
+    pub fn open(dir: impl AsRef<std::path::Path>) -> Result<HistoryService, HistoryError> {
+        HistoryService::with_capacity(dir, DEFAULT_HISTORY_CACHE_CAPACITY)
+    }
+
+    /// Opens `dir` with an explicit cache capacity.
+    pub fn with_capacity(
+        dir: impl AsRef<std::path::Path>,
+        capacity: usize,
+    ) -> Result<HistoryService, HistoryError> {
+        Ok(HistoryService {
+            store: HistoryStore::open(dir)?,
+            cache: TemporalCache::new(capacity),
+            generation: AtomicU64::new(1),
+        })
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &HistoryStore {
+        &self.store
+    }
+
+    /// Greatest year servable; `?at=` accepts `0..=years()`.
+    pub fn years(&self) -> u32 {
+        self.store.years()
+    }
+
+    /// Current cache generation (1 at open; bumps invalidate the cache).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
+    }
+
+    /// Invalidates every cached view (e.g. after the directory was
+    /// rebuilt in place): old keys never match again and age out.
+    pub fn invalidate(&self) {
+        self.generation.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The index serving year `year`: cached, or materialized via the
+    /// store's resolver and cached. Counts the request, the hit/miss,
+    /// the segments replayed and the materialization wall clock.
+    pub fn index_at(
+        &self,
+        year: u32,
+        metrics: &Metrics,
+    ) -> Result<Arc<ServiceIndex>, HistoryError> {
+        metrics.record_as_of();
+        let generation = self.generation();
+        if let Some(index) = self.cache.get(generation, year) {
+            metrics.record_as_of_cache_hit();
+            return Ok(index);
+        }
+        let started = Instant::now();
+        let (payload, stats) = self.store.resolve(year)?;
+        let index = Arc::new(ServiceIndex::build(payload.dataset, &payload.table));
+        metrics.record_materialization(
+            stats.deltas_replayed,
+            started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
+        );
+        self.cache.insert(generation, year, Arc::clone(&index));
+        Ok(index)
+    }
+
+    /// An organization's ownership/confirmation timeline across the
+    /// stored years (one full chain replay, counted like a
+    /// materialization).
+    pub fn timeline(&self, org_id: u32, metrics: &Metrics) -> Result<OrgTimeline, HistoryError> {
+        metrics.record_as_of();
+        let started = Instant::now();
+        let timeline = self.store.org_timeline(org_id)?;
+        metrics.record_materialization(
+            timeline.deltas_replayed,
+            started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64,
+        );
+        Ok(timeline)
+    }
+}
+
+impl std::fmt::Debug for HistoryService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HistoryService")
+            .field("years", &self.store.years())
+            .field("checkpoint_spacing", &self.store.checkpoint_spacing())
+            .field("cached", &self.cache.len())
+            .field("generation", &self.generation())
+            .finish()
+    }
+}

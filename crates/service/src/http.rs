@@ -161,8 +161,7 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Request, HttpError> {
     let mut body = vec![0u8; content_length];
     let mut filled = 0;
     while filled < content_length {
-        let got =
-            std::io::Read::read(reader, &mut body[filled..]).map_err(HttpError::from)?;
+        let got = std::io::Read::read(reader, &mut body[filled..]).map_err(HttpError::from)?;
         if got == 0 {
             return Err(HttpError::BadRequest("body shorter than content-length".into()));
         }
@@ -307,10 +306,7 @@ impl Response {
 
     /// First value of extra header `name` (case-insensitive), if set.
     pub fn header(&self, name: &str) -> Option<&str> {
-        self.headers
-            .iter()
-            .find(|(n, _)| n.eq_ignore_ascii_case(name))
-            .map(|(_, v)| v.as_str())
+        self.headers.iter().find(|(n, _)| n.eq_ignore_ascii_case(name)).map(|(_, v)| v.as_str())
     }
 
     /// Writes status line, headers and body. `keep_alive` controls the

@@ -559,8 +559,7 @@ mod tests {
         ])
         .unwrap();
         let live = ServiceIndex::build(dataset.clone(), &table);
-        let snap =
-            Snapshot::build(dataset, table, SnapshotBuildInfo::default()).expect("snapshot");
+        let snap = Snapshot::build(dataset, table, SnapshotBuildInfo::default()).expect("snapshot");
         let json = snap.to_json().unwrap();
         let from_snap = ServiceIndex::from_snapshot(Snapshot::from_json(&json).unwrap());
         for asn in [2119u32, 17557, 9999] {

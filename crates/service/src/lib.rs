@@ -24,7 +24,12 @@
 //! * a live write path ([`delta`]): `POST /admin/delta` applies a
 //!   checksummed `soi-delta` patch to the tracked served payload and
 //!   swaps the rebuilt index in the same zero-downtime way; stale or
-//!   conflicting deltas are refused with the old index untouched.
+//!   conflicting deltas are refused with the old index untouched,
+//! * as-of queries ([`history`]): with a `soi-history` directory
+//!   attached ([`serve_history`]), the `/v1` read routes accept
+//!   `?at=<year>` and `/v1/history/org/{id}` serves ownership
+//!   timelines, materialized views cached in a `(generation, year)`
+//!   LRU.
 //!
 //! No async runtime, no HTTP dependency: request parsing is hand-rolled
 //! in [`http`], JSON comes from the workspace's existing `serde_json`.
@@ -45,6 +50,7 @@
 
 pub mod delta;
 pub mod handlers;
+pub mod history;
 pub mod http;
 pub mod index;
 pub mod metrics;
@@ -52,12 +58,13 @@ pub mod reload;
 pub mod server;
 
 pub use delta::{apply_delta, DeltaOutcome, DeltaRejection};
+pub use history::{HistoryService, DEFAULT_HISTORY_CACHE_CAPACITY};
 pub use index::{
     AsnAnswer, CountrySummary, DatasetSummary, IndexSizes, IpAnswer, SearchHit, ServiceIndex,
 };
 pub use metrics::{IndexProvenance, LatencySummary, Metrics, MetricsSnapshot, ServiceStatus};
 pub use reload::{IndexSlot, ReloadOutcome, Reloader};
 pub use server::{
-    install_signal_handlers, reload_requested, serve, serve_with, shutdown_requested, ServerConfig,
-    ServerHandle, ServerState,
+    install_signal_handlers, reload_requested, serve, serve_history, serve_with,
+    shutdown_requested, ServerConfig, ServerHandle, ServerState,
 };

@@ -18,9 +18,25 @@ use crate::index::IndexSizes;
 /// `v1_*` labels count the versioned API; the bare data-route labels
 /// count the deprecated unversioned aliases, so legacy traffic stays
 /// separately visible during the migration.
-pub const ROUTES: [&str; 17] = [
-    "healthz", "metrics", "asn", "ip", "prefix", "country", "search", "dataset", "admin", "v1_asn",
-    "v1_ip", "v1_prefix", "v1_country", "v1_search", "v1_dataset", "v1_other", "other",
+pub const ROUTES: [&str; 18] = [
+    "healthz",
+    "metrics",
+    "asn",
+    "ip",
+    "prefix",
+    "country",
+    "search",
+    "dataset",
+    "admin",
+    "v1_asn",
+    "v1_ip",
+    "v1_prefix",
+    "v1_country",
+    "v1_search",
+    "v1_dataset",
+    "v1_history",
+    "v1_other",
+    "other",
 ];
 
 /// The deprecated unversioned data routes (subset of [`ROUTES`]) whose
@@ -188,6 +204,15 @@ pub struct Metrics {
     /// Patch records (org add/remove + mapping add/remove) applied across
     /// all accepted deltas.
     delta_records: AtomicU64,
+    /// As-of (`?at=` / timeline) requests that reached the history layer.
+    history_as_of: AtomicU64,
+    /// As-of requests answered from the materialized-index LRU.
+    history_cache_hits: AtomicU64,
+    /// Delta segments replayed by history materializations.
+    history_deltas_replayed: AtomicU64,
+    /// Wall-clock microseconds spent materializing as-of views (resolve
+    /// + index build, cache misses only).
+    history_materialize_micros: AtomicU64,
     per_route: [AtomicU64; ROUTES.len()],
     latency: Histogram,
 }
@@ -208,6 +233,10 @@ impl Metrics {
             deltas_applied: AtomicU64::new(0),
             deltas_rejected: AtomicU64::new(0),
             delta_records: AtomicU64::new(0),
+            history_as_of: AtomicU64::new(0),
+            history_cache_hits: AtomicU64::new(0),
+            history_deltas_replayed: AtomicU64::new(0),
+            history_materialize_micros: AtomicU64::new(0),
             per_route: std::array::from_fn(|_| AtomicU64::new(0)),
             latency: Histogram::default(),
         }
@@ -260,6 +289,23 @@ impl Metrics {
         self.deltas_rejected.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts one as-of request reaching the history layer.
+    pub fn record_as_of(&self) {
+        self.history_as_of.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one as-of request answered from the materialized LRU.
+    pub fn record_as_of_cache_hit(&self) {
+        self.history_cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one as-of materialization: segments replayed and the
+    /// wall-clock cost of resolve + index build.
+    pub fn record_materialization(&self, deltas_replayed: usize, micros: u64) {
+        self.history_deltas_replayed.fetch_add(deltas_replayed as u64, Ordering::Relaxed);
+        self.history_materialize_micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
     /// Marks a request as in flight; decremented by [`Metrics::end_request`].
     pub fn begin_request(&self) {
         self.in_flight.fetch_add(1, Ordering::Relaxed);
@@ -289,11 +335,8 @@ impl Metrics {
         // of the per-route counters.
         let requests_legacy =
             LEGACY_DATA_ROUTES.iter().map(|&r| per_route.get(r).copied().unwrap_or(0)).sum();
-        let requests_v1 = per_route
-            .iter()
-            .filter(|(name, _)| name.starts_with("v1_"))
-            .map(|(_, &n)| n)
-            .sum();
+        let requests_v1 =
+            per_route.iter().filter(|(name, _)| name.starts_with("v1_")).map(|(_, &n)| n).sum();
         MetricsSnapshot {
             uptime_seconds: self.started.elapsed().as_secs_f64(),
             requests_total: self.requests.load(Ordering::Relaxed),
@@ -307,6 +350,10 @@ impl Metrics {
             deltas_applied: self.deltas_applied.load(Ordering::Relaxed),
             deltas_rejected: self.deltas_rejected.load(Ordering::Relaxed),
             delta_records_applied: self.delta_records.load(Ordering::Relaxed),
+            history_as_of_requests: self.history_as_of.load(Ordering::Relaxed),
+            history_cache_hits: self.history_cache_hits.load(Ordering::Relaxed),
+            history_deltas_replayed: self.history_deltas_replayed.load(Ordering::Relaxed),
+            history_materialize_micros: self.history_materialize_micros.load(Ordering::Relaxed),
             generation: status.generation,
             snapshot_build: status.snapshot_build.clone(),
             payload_checksum: status.payload_checksum,
@@ -354,6 +401,15 @@ pub struct MetricsSnapshot {
     pub deltas_rejected: u64,
     /// Patch records applied across all accepted deltas.
     pub delta_records_applied: u64,
+    /// As-of requests (`?at=` and timeline) that reached the history
+    /// layer since boot.
+    pub history_as_of_requests: u64,
+    /// As-of requests answered from the materialized-index LRU.
+    pub history_cache_hits: u64,
+    /// Delta segments replayed by history materializations.
+    pub history_deltas_replayed: u64,
+    /// Wall-clock microseconds spent materializing as-of views.
+    pub history_materialize_micros: u64,
     /// Current index generation (1 = boot index).
     pub generation: u64,
     /// Provenance of the served snapshot, when started from one.
@@ -537,5 +593,26 @@ mod tests {
         assert_eq!(snap.deltas_rejected, 1);
         assert_eq!(snap.delta_records_applied, 10);
         assert_eq!(snap.payload_checksum, Some(0xdead_beef));
+    }
+
+    #[test]
+    fn history_counters_accumulate_and_v1_history_is_a_route_label() {
+        let m = Metrics::new();
+        // Two as-of requests: a miss that replayed 3 segments in 250µs,
+        // then a hit.
+        m.record_as_of();
+        m.record_materialization(3, 250);
+        m.record_as_of();
+        m.record_as_of_cache_hit();
+        m.record_request("v1_history", 200, Duration::from_micros(40));
+        let snap = m.snapshot(0, &ServiceStatus::default());
+        assert_eq!(snap.history_as_of_requests, 2);
+        assert_eq!(snap.history_cache_hits, 1);
+        assert_eq!(snap.history_deltas_replayed, 3);
+        assert_eq!(snap.history_materialize_micros, 250);
+        assert_eq!(snap.per_route["v1_history"], 1);
+        // v1_history traffic counts toward the v1 bucket like every other
+        // v1_* label.
+        assert_eq!(snap.requests_v1, 1);
     }
 }

@@ -206,10 +206,11 @@ impl Reloader {
                 let payload = Arc::new(snapshot.payload.clone());
                 let index = Arc::new(ServiceIndex::from_snapshot(snapshot));
                 let sizes = index.sizes();
-                let generation = self
-                    .inner
-                    .slot
-                    .swap_full(index, Some(build.clone()), Some((payload, checksum)));
+                let generation = self.inner.slot.swap_full(
+                    index,
+                    Some(build.clone()),
+                    Some((payload, checksum)),
+                );
                 self.inner.slot.set_provenance(IndexProvenance {
                     source: "snapshot".into(),
                     threads: 0,
@@ -275,7 +276,8 @@ mod tests {
         snapshot("Telenor", 2119).write_to_file(&path).unwrap();
         let boot = Snapshot::read_from_file(&path).unwrap();
         let info = boot.header.build.clone();
-        let slot = Arc::new(IndexSlot::new(Arc::new(ServiceIndex::from_snapshot(boot)), Some(info)));
+        let slot =
+            Arc::new(IndexSlot::new(Arc::new(ServiceIndex::from_snapshot(boot)), Some(info)));
         let metrics = Metrics::new();
         let reloader = Reloader::new(&path, Arc::clone(&slot));
 
@@ -305,10 +307,7 @@ mod tests {
         // A tampered-but-parseable file fails the checksum, same rollback.
         let good = snapshot("PTCL", 4000).to_json().unwrap();
         std::fs::write(&path, good.replace("PTCL", "EVIL")).unwrap();
-        assert!(matches!(
-            reloader.reload(&metrics),
-            Err(SnapshotError::ChecksumMismatch { .. })
-        ));
+        assert!(matches!(reloader.reload(&metrics), Err(SnapshotError::ChecksumMismatch { .. })));
         assert_eq!(slot.generation(), 2);
 
         let status = slot.status();

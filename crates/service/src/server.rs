@@ -23,18 +23,21 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crate::handlers;
+use crate::history::HistoryService;
 use crate::http::{self, HttpError, Response};
 use crate::index::ServiceIndex;
 use crate::metrics::{Metrics, MetricsSnapshot, ServiceStatus};
 use crate::reload::{IndexSlot, Reloader};
 
 /// Everything a worker needs to answer a request: the swappable index
-/// slot, the shared metrics, and (when serving from a snapshot file) the
-/// reloader behind `POST /admin/reload`.
+/// slot, the shared metrics, (when serving from a snapshot file) the
+/// reloader behind `POST /admin/reload`, and (when serving a history
+/// directory) the as-of view service behind `?at=` and `/v1/history`.
 pub struct ServerState {
     pub slot: Arc<IndexSlot>,
     pub metrics: Arc<Metrics>,
     pub reloader: Option<Reloader>,
+    pub history: Option<Arc<HistoryService>>,
 }
 
 impl ServerState {
@@ -228,9 +231,23 @@ pub fn serve_with(
     addr: impl ToSocketAddrs,
     cfg: ServerConfig,
 ) -> std::io::Result<ServerHandle> {
+    serve_history(slot, reloader, None, addr, cfg)
+}
+
+/// [`serve_with`] plus an optional [`HistoryService`]: when given, the
+/// `/v1` read routes accept `?at=<year>` and `/v1/history/org/{id}`
+/// serves ownership timelines.
+pub fn serve_history(
+    slot: Arc<IndexSlot>,
+    reloader: Option<Reloader>,
+    history: Option<Arc<HistoryService>>,
+    addr: impl ToSocketAddrs,
+    cfg: ServerConfig,
+) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let local_addr = listener.local_addr()?;
-    let state = Arc::new(ServerState { slot, metrics: Arc::new(Metrics::new()), reloader });
+    let state =
+        Arc::new(ServerState { slot, metrics: Arc::new(Metrics::new()), reloader, history });
     let queue = Arc::new(ConnQueue::new(cfg.queue_capacity.max(1)));
     let shutdown = Arc::new(AtomicBool::new(false));
 

@@ -65,8 +65,7 @@ where
     }
     let f = &f;
     std::thread::scope(|s| {
-        let handles: Vec<_> =
-            items.chunks(chunk).map(|slice| s.spawn(move || f(slice))).collect();
+        let handles: Vec<_> = items.chunks(chunk).map(|slice| s.spawn(move || f(slice))).collect();
         handles.into_iter().map(|h| h.join().expect("shard worker panicked")).collect()
     })
 }

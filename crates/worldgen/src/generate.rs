@@ -143,11 +143,8 @@ fn unique_brand(rng: &mut SmallRng, used: &mut HashSet<String>, country: Country
 
 fn fresh_asn(rng: &mut SmallRng, used: &mut HashSet<u32>, old_era: bool) -> Asn {
     loop {
-        let v = if old_era {
-            rng.gen_range(1_000..64_000)
-        } else {
-            rng.gen_range(131_072..400_000)
-        };
+        let v =
+            if old_era { rng.gen_range(1_000..64_000) } else { rng.gen_range(131_072..400_000) };
         if used.insert(v) {
             return Asn(v);
         }
@@ -192,8 +189,7 @@ pub fn generate(config: &WorldConfig) -> Result<World, SoiError> {
 
     // Phase A (sharded): per-country governments, incumbents, alternative
     // operators, specials and carriers, each on its own country stream.
-    let conglomerate_owners: HashSet<CountryCode> =
-        CONGLOMERATES.iter().map(|c| c.owner).collect();
+    let conglomerate_owners: HashSet<CountryCode> = CONGLOMERATES.iter().map(|c| c.owner).collect();
     let items: Vec<(usize, &CountryInfo)> = countries.iter().enumerate().collect();
     let mut seeds: Vec<CountrySeed> = map_chunks(&items, threads, |slice| {
         slice
@@ -302,12 +298,8 @@ pub fn generate(config: &WorldConfig) -> Result<World, SoiError> {
     }
 
     // Phase E (sequential): global topology on its own stream.
-    let (links, ixps) = wire_topology(
-        &cfg,
-        &profiles,
-        &incumbent_cat,
-        global_stream(cfg.seed, PHASE_TOPOLOGY),
-    )?;
+    let (links, ixps) =
+        wire_topology(&cfg, &profiles, &incumbent_cat, global_stream(cfg.seed, PHASE_TOPOLOGY))?;
 
     // Current topology = all links.
     let mut tb = soi_topology::AsGraphBuilder::new();
@@ -855,11 +847,8 @@ fn create_conglomerates(
 ) -> ConglomerateBatch {
     let mut rng = global_stream(cfg.seed, PHASE_CONGLOMERATES);
     let mut next_local = 0u32;
-    let mut out = ConglomerateBatch {
-        companies: Vec::new(),
-        holdings: Vec::new(),
-        ops: Vec::new(),
-    };
+    let mut out =
+        ConglomerateBatch { companies: Vec::new(), holdings: Vec::new(), ops: Vec::new() };
     let mut mint = |local: &mut u32| {
         let id = company_id(block, *local);
         *local += 1;
@@ -1044,8 +1033,7 @@ fn assign_country_asns(cfg: &WorldConfig, seed: &CountrySeed) -> CountryRegs {
     // Enterprise stubs bulk the country to its size target. Stub
     // companies are never part of the ownership graph (nothing holds
     // them, they hold nothing), so only the ID is minted.
-    let target =
-        (f64::from(ases_for_size_class(info.size_class)) * cfg.scale).round() as usize;
+    let target = (f64::from(ases_for_size_class(info.size_class)) * cfg.scale).round() as usize;
     let mut brands = seed.brands.clone();
     let mut next_local = seed.next_local;
     for _ in regs.len()..target {
@@ -1178,8 +1166,7 @@ fn plan_country_resources(
         ws.iter().map(|&(_, w)| w).sum::<f64>().max(1e-9)
     };
 
-    let mut out =
-        CountryResources { shares: Vec::new(), blocks: Vec::new(), users: Vec::new() };
+    let mut out = CountryResources { shares: Vec::new(), blocks: Vec::new(), users: Vec::new() };
     for &asn in asns {
         let p = &profiles[&asn];
         let share = p.market_share / total_weight;
@@ -1255,12 +1242,8 @@ fn wire_topology(
     let mut both_sellers_by_country: HashMap<CountryCode, Vec<Asn>> = HashMap::new();
     for p in &sorted {
         match p.role {
-            AsRole::NationalTransit => {
-                transit_by_country.entry(p.country).or_default().push(p.asn)
-            }
-            AsRole::TransitGateway => {
-                gateway_by_country.entry(p.country).or_default().push(p.asn)
-            }
+            AsRole::NationalTransit => transit_by_country.entry(p.country).or_default().push(p.asn),
+            AsRole::TransitGateway => gateway_by_country.entry(p.country).or_default().push(p.asn),
             _ => {}
         }
         if p.service == ServiceKind::Both && p.role != AsRole::Stub {
@@ -1291,15 +1274,7 @@ fn wire_topology(
     // 1. Tier-1 full-mesh peering.
     for (i, &a) in tier1.iter().enumerate() {
         for &b in &tier1[i + 1..] {
-            add(
-                &mut rng,
-                &mut links,
-                &mut have,
-                a,
-                b,
-                Relationship::PeerToPeer,
-                link_birth(a, b),
-            );
+            add(&mut rng, &mut links, &mut have, a, b, Relationship::PeerToPeer, link_birth(a, b));
         }
     }
 
@@ -1611,11 +1586,8 @@ fn wire_topology(
             if gateway_by_country.contains_key(&b.country) {
                 continue;
             }
-            let same_region = a
-                .country
-                .info()
-                .zip(b.country.info())
-                .is_some_and(|(x, y)| x.region == y.region);
+            let same_region =
+                a.country.info().zip(b.country.info()).is_some_and(|(x, y)| x.region == y.region);
             if same_region && rng.gen_bool(0.06) {
                 add(
                     &mut rng,

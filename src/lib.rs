@@ -11,6 +11,7 @@ pub use soi_cti as cti;
 pub use soi_delta as delta;
 pub use soi_eyeballs as eyeballs;
 pub use soi_geo as geo;
+pub use soi_history as history;
 pub use soi_ownership as ownership;
 pub use soi_registry as registry;
 pub use soi_service as service;

@@ -16,11 +16,20 @@
 //!                          fold a delta chain into a full snapshot
 //!   delta make --out DIR [--years N]
 //!                          base snapshot + one delta file per churn year
+//!   history build --out DIR [--years N] [--spacing K]
+//!                          temporal store: checkpoints + delta segments
+//!   history inspect DIR [--json]
+//!                          validate a history dir, print its manifest
+//!   history checkpoint DIR --spacing K
+//!                          rewrite the checkpoint set for a new spacing
 //!   serve [--port P]       HTTP query service over the dataset
 //!         [--snapshot PATH]  serve from a snapshot file (skips worldgen
 //!                            + pipeline; SIGHUP / POST /admin/reload
 //!                            re-reads the file with zero downtime; POST
 //!                            /admin/delta patches the served payload)
+//!         [--history DIR]    attach a history store: `?at=<year>` on the
+//!                            /v1 read routes and /v1/history/org/{id}
+//!                            ownership timelines
 //! ```
 //!
 //! Without `--snapshot`, every command regenerates the world from the
@@ -41,9 +50,10 @@ use state_owned_ases::core::{
     SnapshotBuildInfo, SnapshotPayload,
 };
 use state_owned_ases::delta::{compact, DatasetDelta, DeltaEngine, EngineConfig};
+use state_owned_ases::history::{HistoryBuildConfig, HistoryStore};
 use state_owned_ases::registry::rpsl;
 use state_owned_ases::service::{
-    self, IndexProvenance, IndexSlot, Reloader, ServerConfig, ServiceIndex,
+    self, HistoryService, IndexProvenance, IndexSlot, Reloader, ServerConfig, ServiceIndex,
 };
 use state_owned_ases::types::{Asn, CountryCode};
 use state_owned_ases::worldgen::{generate, ChurnConfig, World, WorldConfig};
@@ -163,6 +173,7 @@ fn main() {
                 .map(|w| w.parse().unwrap_or_else(|_| fail("--workers needs a number")))
                 .unwrap_or_else(|| ServerConfig::default().workers);
             let snapshot_path = extract_flag(&mut args, "--snapshot");
+            let history_dir = extract_flag(&mut args, "--history");
             let (slot, reloader, source) = match &snapshot_path {
                 Some(path) => {
                     // Cold start from disk: no worldgen, no pipeline.
@@ -191,8 +202,7 @@ fn main() {
                     };
                     let checksum = payload_checksum(&payload)
                         .unwrap_or_else(|e| fail(&format!("cannot checksum payload: {e}")));
-                    let index =
-                        Arc::new(ServiceIndex::build(output.dataset, &inputs.prefix_to_as));
+                    let index = Arc::new(ServiceIndex::build(output.dataset, &inputs.prefix_to_as));
                     let slot = Arc::new(IndexSlot::new(index, None));
                     slot.attach_payload(Arc::new(payload), checksum);
                     slot.set_provenance(IndexProvenance {
@@ -203,11 +213,21 @@ fn main() {
                     (slot, None, format!("pipeline seed {seed}"))
                 }
             };
+            let history = history_dir.as_ref().map(|dir| {
+                let svc = HistoryService::open(dir)
+                    .unwrap_or_else(|e| fail(&format!("cannot open history {dir}: {e}")));
+                println!(
+                    "history attached from {dir}: years 0..={}, checkpoint spacing {}",
+                    svc.years(),
+                    svc.store().checkpoint_spacing(),
+                );
+                Arc::new(svc)
+            });
             let sizes = slot.load().sizes();
             let generation = slot.status().generation;
             let provenance = slot.provenance();
             let cfg = ServerConfig { workers, ..ServerConfig::default() };
-            let handle = service::serve_with(slot, reloader, ("0.0.0.0", port), cfg)
+            let handle = service::serve_history(slot, reloader, history, ("0.0.0.0", port), cfg)
                 .expect("bind service socket");
             println!(
                 "soi-service listening on {} from {source} ({} orgs, {} ASNs, {} prefixes; {} workers)",
@@ -236,6 +256,9 @@ fn main() {
                 None => println!("index: generation {generation}"),
             }
             println!("routes: /v1/asn/{{asn}} /v1/ip/{{addr}} /v1/prefix/{{addr}}/{{len}} /v1/country /v1/country/{{cc}} /v1/search?q=[&limit=&offset=] /v1/dataset  /healthz /metrics  POST /admin/reload /admin/delta  (legacy unversioned data routes still answer, with Deprecation headers)");
+            if history_dir.is_some() {
+                println!("history routes: ?at=<year> on the /v1 read routes, /v1/history, /v1/history/org/{{id}}");
+            }
             service::install_signal_handlers();
             while !service::shutdown_requested() {
                 if service::reload_requested() {
@@ -343,22 +366,26 @@ fn main() {
                     ];
                     println!("{}", render_table(&["field", "value"], &rows));
                 }
-                other => {
-                    fail(&format!("unknown snapshot subcommand: {other} (write | inspect | compact)"))
-                }
+                other => fail(&format!(
+                    "unknown snapshot subcommand: {other} (write | inspect | compact)"
+                )),
             }
         }
         "delta" => {
             let years: u32 = extract_flag(&mut args, "--years")
                 .map(|y| y.parse().unwrap_or_else(|_| fail("--years needs a number")))
                 .unwrap_or(3);
-            let out =
-                extract_flag(&mut args, "--out").unwrap_or_else(|| fail("delta make needs --out DIR"));
-            let sub = args.get(1).cloned().unwrap_or_else(|| fail("delta needs a subcommand: make"));
+            let out = extract_flag(&mut args, "--out")
+                .unwrap_or_else(|| fail("delta make needs --out DIR"));
+            let sub =
+                args.get(1).cloned().unwrap_or_else(|| fail("delta needs a subcommand: make"));
             if sub != "make" {
                 fail(&format!("unknown delta subcommand: {sub} (make)"));
             }
             delta_make(&out, years, seed, threads);
+        }
+        "history" => {
+            history_cmd(&mut args, seed, threads);
         }
         "ageing" => {
             let years: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(5);
@@ -413,9 +440,8 @@ fn delta_make(out: &str, years: u32, seed: u64, threads: usize) {
         comment: "base generation of a delta stream".into(),
         ..Default::default()
     };
-    let snapshot =
-        Snapshot::build(base.payload.dataset.clone(), base.payload.table.clone(), build)
-            .unwrap_or_else(|e| fail(&format!("cannot build base snapshot: {e}")));
+    let snapshot = Snapshot::build(base.payload.dataset.clone(), base.payload.table.clone(), build)
+        .unwrap_or_else(|e| fail(&format!("cannot build base snapshot: {e}")));
     snapshot
         .write_to_file(&base_path)
         .unwrap_or_else(|e| fail(&format!("cannot write {base_path}: {e}")));
@@ -444,6 +470,123 @@ fn delta_make(out: &str, years: u32, seed: u64, threads: usize) {
     );
 }
 
+/// `soi history build|inspect|checkpoint`: manage a temporal store of
+/// periodic full checkpoints plus per-year delta segments, servable via
+/// `soi serve --history DIR`.
+fn history_cmd(args: &mut Vec<String>, seed: u64, threads: usize) {
+    let as_json = extract_bool_flag(args, "--json");
+    let years: u32 = extract_flag(args, "--years")
+        .map(|y| y.parse().unwrap_or_else(|_| fail("--years needs a number")))
+        .unwrap_or(6);
+    let spacing: Option<u32> = extract_flag(args, "--spacing")
+        .map(|s| s.parse().unwrap_or_else(|_| fail("--spacing needs a positive number")));
+    let out = extract_flag(args, "--out");
+    let sub = args
+        .get(1)
+        .cloned()
+        .unwrap_or_else(|| fail("history needs a subcommand: build | inspect | checkpoint"));
+    match sub.as_str() {
+        "build" => {
+            let out = out.unwrap_or_else(|| fail("history build needs --out DIR"));
+            let (world, _) = build_world(seed, threads);
+            let mut engine_cfg = EngineConfig::with_seed(seed);
+            engine_cfg.threads = threads;
+            let mut engine = DeltaEngine::new(world, engine_cfg)
+                .unwrap_or_else(|e| fail(&format!("cannot boot delta engine: {e}")));
+            let cfg = HistoryBuildConfig {
+                checkpoint_spacing: spacing.unwrap_or(4),
+                seed: Some(seed),
+                tool: "soi history build".into(),
+                ..Default::default()
+            };
+            let store = HistoryStore::build(&out, &mut engine, years, &cfg)
+                .unwrap_or_else(|e| fail(&format!("cannot build history {out}: {e}")));
+            println!(
+                "history written to {out}: years 0..={}, {} checkpoints (spacing {}), {} segments",
+                store.years(),
+                store.checkpoint_years().len(),
+                store.checkpoint_spacing(),
+                store.years(),
+            );
+            println!("serve it with `soi serve --history {out}`");
+        }
+        "inspect" => {
+            let dir =
+                args.get(2).cloned().unwrap_or_else(|| fail("history inspect needs a directory"));
+            let store = HistoryStore::open(&dir)
+                .unwrap_or_else(|e| fail(&format!("cannot open history {dir}: {e}")));
+            let m = store.manifest();
+            if as_json {
+                // Machine-readable: the manifest body (already the full
+                // year table) plus the derived checkpoint list.
+                let doc = serde_json::json!({
+                    "dir": dir,
+                    "format_version": state_owned_ases::history::HISTORY_FORMAT_VERSION,
+                    "years": m.years,
+                    "checkpoint_spacing": m.checkpoint_spacing,
+                    "checkpoints": store.checkpoint_years(),
+                    "tool": m.tool,
+                    "seed": m.seed,
+                    "entries": m.entries,
+                });
+                println!("{}", serde_json::to_string_pretty(&doc).expect("serialize"));
+                return;
+            }
+            let rows: Vec<Vec<String>> = m
+                .entries
+                .iter()
+                .map(|e| {
+                    vec![
+                        e.year.to_string(),
+                        format!("{:#018x}", e.payload_checksum),
+                        e.checkpoint.clone().unwrap_or_else(|| "-".into()),
+                        e.segment.clone().unwrap_or_else(|| "-".into()),
+                        e.events.to_string(),
+                    ]
+                })
+                .collect();
+            println!(
+                "{dir}: years 0..={}, checkpoint spacing {} (tool {}, seed {})",
+                m.years,
+                m.checkpoint_spacing,
+                m.tool,
+                m.seed.map_or_else(|| "-".into(), |s| s.to_string()),
+            );
+            println!(
+                "{}",
+                render_table(
+                    &["year", "payload checksum", "checkpoint", "segment", "events"],
+                    &rows
+                )
+            );
+        }
+        "checkpoint" => {
+            let dir = args
+                .get(2)
+                .cloned()
+                .unwrap_or_else(|| fail("history checkpoint needs a directory"));
+            let spacing = spacing.unwrap_or_else(|| fail("history checkpoint needs --spacing K"));
+            let mut store = HistoryStore::open(&dir)
+                .unwrap_or_else(|e| fail(&format!("cannot open history {dir}: {e}")));
+            let old_spacing = store.checkpoint_spacing();
+            let report = store
+                .re_checkpoint(spacing)
+                .unwrap_or_else(|e| fail(&format!("cannot re-checkpoint {dir}: {e}")));
+            println!(
+                "{dir}: spacing {old_spacing} -> {spacing}; wrote {} checkpoints {:?}, removed {} {:?}; now {:?}",
+                report.written.len(),
+                report.written,
+                report.removed.len(),
+                report.removed,
+                store.checkpoint_years(),
+            );
+        }
+        other => {
+            fail(&format!("unknown history subcommand: {other} (build | inspect | checkpoint)"))
+        }
+    }
+}
+
 /// `soi snapshot compact BASE OUT DELTA...`: fold a delta chain into a
 /// full snapshot equivalent to having applied every delta in order.
 fn snapshot_compact(args: &[String], seed: u64) {
@@ -460,7 +603,8 @@ fn snapshot_compact(args: &[String], seed: u64) {
     let deltas: Vec<DatasetDelta> = delta_paths
         .iter()
         .map(|p| {
-            DatasetDelta::read_from_file(p).unwrap_or_else(|e| fail(&format!("cannot read {p}: {e}")))
+            DatasetDelta::read_from_file(p)
+                .unwrap_or_else(|e| fail(&format!("cannot read {p}: {e}")))
         })
         .collect();
     let build = SnapshotBuildInfo {
@@ -570,10 +714,18 @@ fn usage() {
          \x20                       fold a delta chain into a full snapshot\n\
          \x20 delta make --out DIR [--years N]\n\
          \x20                       base snapshot + one delta per churn year\n\
-         \x20 serve [--port P] [--workers W] [--snapshot PATH]\n\
+         \x20 history build --out DIR [--years N] [--spacing K]\n\
+         \x20                       temporal store: checkpoints + delta segments\n\
+         \x20 history inspect DIR [--json]\n\
+         \x20                       validate a history dir, print its manifest\n\
+         \x20 history checkpoint DIR --spacing K\n\
+         \x20                       rewrite the checkpoint set for a new spacing\n\
+         \x20 serve [--port P] [--workers W] [--snapshot PATH] [--history DIR]\n\
          \x20                       HTTP query service over the dataset;\n\
          \x20                       with --snapshot, serve from the file and\n\
          \x20                       reload on SIGHUP / POST /admin/reload;\n\
-         \x20                       POST /admin/delta patches the served payload"
+         \x20                       POST /admin/delta patches the served payload;\n\
+         \x20                       with --history, ?at=<year> as-of queries and\n\
+         \x20                       /v1/history/org/{{id}} timelines"
     );
 }

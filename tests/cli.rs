@@ -1,9 +1,12 @@
 //! End-to-end tests of the `soi` CLI binary (spawned as a subprocess).
 
+use std::path::PathBuf;
 use std::process::Command;
 
 use state_owned_ases::bgp::PrefixToAs;
-use state_owned_ases::core::{Dataset, OrgRecord, Snapshot, SnapshotBuildInfo};
+use state_owned_ases::core::{Dataset, OrgRecord, Snapshot, SnapshotBuildInfo, SnapshotPayload};
+use state_owned_ases::delta::{DatasetDelta, DeltaProvenance, EventBatch};
+use state_owned_ases::history::{HistoryBuildConfig, HistoryWriter};
 use state_owned_ases::types::{Asn, OrgId, Rir};
 
 fn soi(args: &[&str]) -> std::process::Output {
@@ -61,16 +64,15 @@ fn snapshot_inspect_json_reports_header_and_counts() {
     };
     let mut dataset = Dataset { organizations: vec![record] };
     dataset.canonicalize();
-    let table =
-        PrefixToAs::from_entries([("10.0.0.0/16".parse().unwrap(), Asn(2119))]).unwrap();
+    let table = PrefixToAs::from_entries([("10.0.0.0/16".parse().unwrap(), Asn(2119))]).unwrap();
     let snapshot = Snapshot::build(
         dataset,
         table,
         SnapshotBuildInfo { tool: "cli-inspect-test".into(), seed: Some(7), ..Default::default() },
     )
     .unwrap();
-    let path = std::env::temp_dir()
-        .join(format!("soi-cli-inspect-test-{}.json", std::process::id()));
+    let path =
+        std::env::temp_dir().join(format!("soi-cli-inspect-test-{}.json", std::process::id()));
     snapshot.write_to_file(&path).unwrap();
 
     let out = soi(&["snapshot", "inspect", path.to_str().unwrap(), "--json"]);
@@ -98,4 +100,123 @@ fn cti_lists_top_transit_ases() {
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("CTI"), "{text}");
     assert!(text.lines().count() >= 3, "{text}");
+}
+
+/// A tiny hand-built history directory (no worldgen): one org at year
+/// 0, its name churned every later year. Cheap enough that the CLI
+/// tests can open it repeatedly.
+fn tiny_history(tag: &str, years: u32, spacing: u32) -> PathBuf {
+    let record = OrgRecord {
+        conglomerate_name: "Telenor".into(),
+        org_id: Some(OrgId(1)),
+        org_name: "Telenor".into(),
+        ownership_cc: "NO".parse().unwrap(),
+        ownership_country_name: "Norway".into(),
+        rir: Some(Rir::Ripe),
+        source: "Company's website".into(),
+        quote: "Major shareholdings: Government (54%)".into(),
+        quote_lang: "English".into(),
+        url: "https://example.net".into(),
+        additional_info: String::new(),
+        inputs: vec!['G'],
+        parent_org: None,
+        target_cc: None,
+        target_country_name: None,
+        asns: vec![Asn(2119)],
+    };
+    let mut dataset = Dataset { organizations: vec![record] };
+    dataset.canonicalize();
+    let table = PrefixToAs::from_entries([("10.0.0.0/16".parse().unwrap(), Asn(2119))]).unwrap();
+    let base = SnapshotPayload { dataset, table };
+
+    let dir = std::env::temp_dir().join(format!("soi-cli-history-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = HistoryBuildConfig {
+        checkpoint_spacing: spacing,
+        tool: "cli-history-test".into(),
+        ..Default::default()
+    };
+    let mut writer = HistoryWriter::create(&dir, &base, &cfg).expect("writer");
+    let mut prev = base;
+    for year in 1..=years {
+        let mut next = prev.clone();
+        next.dataset.organizations[0].org_name = format!("Telenor y{year}");
+        next.dataset.canonicalize();
+        let delta = DatasetDelta::compute(
+            &prev,
+            &next,
+            EventBatch::default(),
+            0,
+            0,
+            Vec::new(),
+            DeltaProvenance::default(),
+        )
+        .expect("delta");
+        writer.append(&delta, 1).expect("append");
+        prev = next;
+    }
+    writer.finish().expect("finish");
+    dir
+}
+
+#[test]
+fn history_inspect_reports_the_manifest_and_checkpoint_rewrites_spacing() {
+    let dir = tiny_history("inspect", 3, 2);
+    let dir_s = dir.to_str().unwrap();
+
+    let out = soi(&["history", "inspect", dir_s, "--json"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let v: serde_json::Value =
+        serde_json::from_slice(&out.stdout).expect("inspect --json emits valid JSON");
+    assert_eq!(v["years"].as_u64(), Some(3));
+    assert_eq!(v["checkpoint_spacing"].as_u64(), Some(2));
+    assert_eq!(v["checkpoints"], serde_json::json!([0, 2]));
+    assert_eq!(v["tool"].as_str(), Some("cli-history-test"));
+    let entries = v["entries"].as_array().expect("year table");
+    assert_eq!(entries.len(), 4, "years 0..=3");
+    assert_eq!(entries[0]["checkpoint"].as_str(), Some("checkpoint-0000.json"));
+    assert!(entries[1]["checkpoint"].is_null(), "year 1 is segment-only");
+    assert_eq!(entries[1]["segment"].as_str(), Some("segment-0001.json"));
+
+    // The human-readable report carries the same table.
+    let out = soi(&["history", "inspect", dir_s]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("checkpoint-0000.json"), "{text}");
+    assert!(text.contains("segment-0003.json"), "{text}");
+
+    // Re-checkpoint at spacing 1: a checkpoint for every year.
+    let out = soi(&["history", "checkpoint", dir_s, "--spacing", "1"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = soi(&["history", "inspect", dir_s, "--json"]);
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).unwrap();
+    assert_eq!(v["checkpoints"], serde_json::json!([0, 1, 2, 3]));
+    assert_eq!(v["checkpoint_spacing"].as_u64(), Some(1));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn history_inspect_rejects_a_segment_chain_gap() {
+    let dir = tiny_history("gap", 3, 2);
+    std::fs::remove_file(dir.join("segment-0002.json")).expect("carve the gap");
+
+    let out = soi(&["history", "inspect", dir.to_str().unwrap()]);
+    assert!(!out.status.success(), "a holed chain must not validate");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("segment chain gap at year 2"), "{err}");
+    assert!(err.contains("segment-0002.json"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn history_build_requires_an_output_directory() {
+    // Flag validation happens before the (expensive) worldgen run.
+    let out = soi(&["history", "build"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("--out"), "{err}");
+    let out = soi(&["history", "frobnicate"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown history subcommand"), "{err}");
 }

@@ -167,8 +167,7 @@ fn call(addr: SocketAddr, method: &str, target: &str, body: &str) -> (u16, Value
 fn live_deltas_apply_under_concurrent_readers() {
     let mut engine = engine();
     let base = engine.current().payload.clone();
-    let deltas: Vec<DatasetDelta> =
-        (0..2).map(|_| engine.step().expect("step").delta).collect();
+    let deltas: Vec<DatasetDelta> = (0..2).map(|_| engine.step().expect("step").delta).collect();
     let final_checksum = deltas.last().unwrap().header.result_checksum;
 
     let handle = boot(&base, None);
@@ -220,8 +219,8 @@ fn reload_reverts_the_base_and_stale_deltas_are_rejected() {
     let delta2 = engine.step().expect("step 2").delta;
 
     // The reloader watches a snapshot file holding the *base* payload.
-    let path = std::env::temp_dir()
-        .join(format!("soi-delta-reload-test-{}.json", std::process::id()));
+    let path =
+        std::env::temp_dir().join(format!("soi-delta-reload-test-{}.json", std::process::id()));
     let snapshot = Snapshot::build(
         base.dataset.clone(),
         base.table.clone(),

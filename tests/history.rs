@@ -1,0 +1,271 @@
+//! As-of determinism oracle for the `soi-history` temporal store.
+//!
+//! The invariant: a served `?at=y` response is **byte-equal** to the
+//! same request served by a from-scratch pipeline run of the world
+//! frozen at year y (churn-evolved y years, then rebuilt and
+//! canonicalized). Checked for two seeds and two target years, and —
+//! for the nastiest case — through an interleaved checkpoint
+//! compaction that deletes the very checkpoint the live server's
+//! in-memory manifest still points at.
+
+mod common;
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+use state_owned_ases::core::{payload_checksum, Pipeline, PipelineInputs, SnapshotPayload};
+use state_owned_ases::delta::{DeltaEngine, EngineConfig};
+use state_owned_ases::history::{HistoryBuildConfig, HistoryStore};
+use state_owned_ases::service::{
+    serve_history, HistoryService, IndexSlot, ServerConfig, ServerHandle, ServiceIndex,
+};
+use state_owned_ases::worldgen::{generate, World, WorldConfig};
+
+/// Churn exaggerated well past the paper's rates so every stored year
+/// actually differs from its predecessor.
+fn engine_config(seed: u64) -> EngineConfig {
+    let mut cfg = EngineConfig::with_seed(seed);
+    cfg.churn.privatization_rate = 0.25;
+    cfg.churn.nationalization_rate = 0.15;
+    cfg.churn.acquisitions_per_year = 3.0;
+    cfg.churn.rebrand_rate = 0.2;
+    cfg
+}
+
+fn world_for(seed: u64) -> World {
+    if seed == 777 {
+        // The shared fixture is seed 777 at test scale; reuse it.
+        common::fixture().world.clone()
+    } else {
+        generate(&WorldConfig::test_scale(seed)).expect("worldgen")
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("soi-history-oracle-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The pipeline's view of the world frozen at `year`: churn-evolved
+/// from year 0 with the same per-year RNG streams the engine uses,
+/// then rebuilt from scratch and canonicalized.
+fn reference_payload(world: &World, cfg: &EngineConfig, year: u32) -> SnapshotPayload {
+    let (evolved, _) = cfg.churn.evolve_years(world, year).expect("churn evolves");
+    let inputs = PipelineInputs::from_world(&evolved, &cfg.input).expect("inputs");
+    let output = Pipeline::run(&inputs, &cfg.pipeline);
+    let mut dataset = output.dataset;
+    dataset.canonicalize();
+    SnapshotPayload { dataset, table: inputs.prefix_to_as.clone() }
+}
+
+/// Boots a server over `base`, optionally with a history store attached.
+fn boot(base: &SnapshotPayload, history_dir: Option<&Path>) -> ServerHandle {
+    let index = Arc::new(ServiceIndex::build(base.dataset.clone(), &base.table));
+    let slot = Arc::new(IndexSlot::new(index, None));
+    slot.attach_payload(Arc::new(base.clone()), payload_checksum(base).unwrap());
+    let history =
+        history_dir.map(|d| Arc::new(HistoryService::open(d).expect("history store opens")));
+    let cfg = ServerConfig {
+        read_timeout: Duration::from_secs(2),
+        write_timeout: Duration::from_secs(2),
+        ..ServerConfig::default()
+    };
+    serve_history(slot, None, history, ("127.0.0.1", 0), cfg).expect("bind test server")
+}
+
+/// One `Connection: close` GET; returns (status, raw body bytes) — raw,
+/// because the oracle compares bytes, not parsed values.
+fn fetch(addr: SocketAddr, target: &str) -> (u16, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    write!(stream, "GET {target} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n").unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status line");
+    let status: u16 =
+        status_line.split_whitespace().nth(1).expect("status code").parse().expect("numeric");
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header line");
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v.trim().parse().expect("content-length value");
+        }
+    }
+    let mut raw = vec![0u8; content_length];
+    reader.read_exact(&mut raw).expect("body");
+    (status, raw)
+}
+
+/// The request set the oracle replays: every ASN the reference dataset
+/// mentions, every owner country's footprint, the country collection,
+/// and a broad search — all four as-of-able route families.
+fn oracle_targets(reference: &SnapshotPayload) -> Vec<String> {
+    let mut targets = Vec::new();
+    let mut countries = std::collections::BTreeSet::new();
+    for org in &reference.dataset.organizations {
+        for asn in &org.asns {
+            targets.push(format!("/v1/asn/{}", asn.0));
+        }
+        countries.insert(org.ownership_cc.to_string());
+    }
+    for cc in countries {
+        targets.push(format!("/v1/country/{cc}"));
+    }
+    targets.push("/v1/country".into());
+    targets.push("/v1/search?q=a&limit=100".into());
+    targets
+}
+
+/// Appends `at=<year>` to a target, respecting an existing query string.
+fn with_at(target: &str, year: u32) -> String {
+    if target.contains('?') {
+        format!("{target}&at={year}")
+    } else {
+        format!("{target}?at={year}")
+    }
+}
+
+/// Every oracle target served by `history_addr` with `?at=year` must be
+/// byte-equal to the same target served live by `reference_addr`.
+fn assert_as_of_matches(
+    history_addr: SocketAddr,
+    reference_addr: SocketAddr,
+    reference: &SnapshotPayload,
+    year: u32,
+    label: &str,
+) {
+    let targets = oracle_targets(reference);
+    assert!(targets.len() > 10, "{label}: oracle request set is degenerate");
+    for target in &targets {
+        let (st_h, body_h) = fetch(history_addr, &with_at(target, year));
+        let (st_r, body_r) = fetch(reference_addr, target);
+        assert_eq!(st_h, st_r, "{label}: status diverges on {target}");
+        assert_eq!(
+            body_h,
+            body_r,
+            "{label}: bytes diverge on {target} (as-of {year}): {} vs {}",
+            String::from_utf8_lossy(&body_h),
+            String::from_utf8_lossy(&body_r),
+        );
+    }
+}
+
+#[test]
+fn as_of_responses_equal_from_scratch_rebuilds_for_two_seeds_and_years() {
+    for seed in [777u64, 1234u64] {
+        let world = world_for(seed);
+        let cfg = engine_config(seed);
+        let mut engine = DeltaEngine::new(world.clone(), cfg.clone()).expect("engine boots");
+        let base = engine.current().payload.clone();
+
+        let dir = temp_dir(&format!("seed{seed}"));
+        let build_cfg = HistoryBuildConfig { checkpoint_spacing: 2, ..Default::default() };
+        let store = HistoryStore::build(&dir, &mut engine, 3, &build_cfg).expect("store builds");
+        assert_eq!(store.years(), 3);
+        assert_eq!(store.checkpoint_years(), vec![0, 2]);
+
+        // One server over the year-0 payload with history attached...
+        let served = boot(&base, Some(&dir));
+        for year in [1u32, 3u32] {
+            // ...versus a from-scratch server frozen at the target year.
+            let reference = reference_payload(&world, &cfg, year);
+            let ref_server = boot(&reference, None);
+            assert_as_of_matches(
+                served.local_addr(),
+                ref_server.local_addr(),
+                &reference,
+                year,
+                &format!("seed {seed} year {year}"),
+            );
+            ref_server.shutdown();
+        }
+
+        // The store did real replay work (year 1 and 3 are off-checkpoint).
+        let (_, metrics) = fetch(served.local_addr(), "/metrics");
+        let v: serde_json::Value = serde_json::from_slice(&metrics).unwrap();
+        assert!(v["history_as_of_requests"].as_u64().unwrap() > 20, "{v}");
+        assert!(v["history_deltas_replayed"].as_u64().unwrap() >= 2, "{v}");
+        assert!(
+            v["history_cache_hits"].as_u64().unwrap()
+                >= v["history_as_of_requests"].as_u64().unwrap() - 4,
+            "two distinct years must cost at most two materializations each: {v}"
+        );
+
+        served.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn as_of_survives_an_interleaved_checkpoint_compaction_byte_for_byte() {
+    let world = world_for(777);
+    let cfg = engine_config(777);
+    let mut engine = DeltaEngine::new(world.clone(), cfg.clone()).expect("engine boots");
+    let base = engine.current().payload.clone();
+
+    let dir = temp_dir("compaction");
+    let build_cfg = HistoryBuildConfig { checkpoint_spacing: 2, ..Default::default() };
+    let store = HistoryStore::build(&dir, &mut engine, 3, &build_cfg).expect("store builds");
+    assert_eq!(store.checkpoint_years(), vec![0, 2]);
+    drop(store);
+
+    let served = boot(&base, Some(&dir));
+    // Warm the server on year 1 only: year 2 stays out of its LRU, so
+    // the post-compaction ?at=2 below must hit the resolver.
+    let (status, _) = fetch(served.local_addr(), "/v1/country?at=1");
+    assert_eq!(status, 200);
+
+    // A second handle compacts the store while the server keeps serving:
+    // spacing 3 wants checkpoints {0, 3}, so checkpoint-0002 — the one
+    // the live server's in-memory manifest still pins for year 2 — is
+    // written over to {0, 3} and removed from disk.
+    let mut compactor = HistoryStore::open(&dir).expect("second handle opens");
+    let report = compactor.re_checkpoint(3).expect("re-checkpoint");
+    assert!(report.written.contains(&3), "{report:?}");
+    assert!(report.removed.contains(&2), "{report:?}");
+    assert_eq!(compactor.checkpoint_years(), vec![0, 3]);
+    assert!(!dir.join("checkpoint-0002.json").exists());
+
+    let reference = reference_payload(&world, &cfg, 2);
+    let ref_server = boot(&reference, None);
+
+    // The live server falls back past the deleted checkpoint to year 0
+    // and replays forward — byte-identical anyway.
+    assert_as_of_matches(
+        served.local_addr(),
+        ref_server.local_addr(),
+        &reference,
+        2,
+        "live server across compaction",
+    );
+    let (_, metrics) = fetch(served.local_addr(), "/metrics");
+    let v: serde_json::Value = serde_json::from_slice(&metrics).unwrap();
+    assert!(
+        v["history_deltas_replayed"].as_u64().unwrap() >= 2,
+        "year 2 must have replayed from year 0 after the compaction: {v}"
+    );
+
+    // A cold server opened on the compacted layout agrees too.
+    let cold = boot(&base, Some(&dir));
+    assert_as_of_matches(
+        cold.local_addr(),
+        ref_server.local_addr(),
+        &reference,
+        2,
+        "cold server after compaction",
+    );
+
+    ref_server.shutdown();
+    cold.shutdown();
+    served.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -17,9 +17,7 @@ use state_owned_ases::bgp::PrefixToAs;
 use state_owned_ases::core::{
     Dataset, OrgRecord, Snapshot, SnapshotBuildInfo, SnapshotError, SNAPSHOT_FORMAT_VERSION,
 };
-use state_owned_ases::service::{
-    serve_with, IndexSlot, Reloader, ServerConfig, ServiceIndex,
-};
+use state_owned_ases::service::{serve_with, IndexSlot, Reloader, ServerConfig, ServiceIndex};
 use state_owned_ases::types::{Asn, OrgId, Rir};
 
 fn tmp(name: &str) -> PathBuf {
@@ -134,20 +132,14 @@ fn corrupt_truncated_and_mismatched_snapshots_are_rejected() {
 
     // Truncated mid-document: malformed, not a panic.
     std::fs::write(&path, &json[..json.len() / 2]).unwrap();
-    assert!(matches!(
-        Snapshot::read_from_file(&path),
-        Err(SnapshotError::Malformed(_))
-    ));
+    assert!(matches!(Snapshot::read_from_file(&path), Err(SnapshotError::Malformed(_))));
 
     // Bit-rot in the payload: the checksum catches it.
     let name = &fx.output.dataset.organizations[0].org_name;
     let tampered = json.replace(name.as_str(), "Tampered Operator");
     assert_ne!(tampered, json, "tampering must change the document");
     std::fs::write(&path, tampered).unwrap();
-    assert!(matches!(
-        Snapshot::read_from_file(&path),
-        Err(SnapshotError::ChecksumMismatch { .. })
-    ));
+    assert!(matches!(Snapshot::read_from_file(&path), Err(SnapshotError::ChecksumMismatch { .. })));
 
     // A future format version is refused as such (before any checksum).
     let mut doc: Value = serde_json::from_str(&json).unwrap();
@@ -165,10 +157,7 @@ fn corrupt_truncated_and_mismatched_snapshots_are_rejected() {
     let mut doc: Value = serde_json::from_str(&json).unwrap();
     doc["header"]["magic"] = Value::from("not-a-soi-snapshot");
     std::fs::write(&path, serde_json::to_string(&doc).unwrap()).unwrap();
-    assert!(matches!(
-        Snapshot::read_from_file(&path),
-        Err(SnapshotError::WrongMagic(_))
-    ));
+    assert!(matches!(Snapshot::read_from_file(&path), Err(SnapshotError::WrongMagic(_))));
 
     // Missing file: Io, reported as such.
     let _ = std::fs::remove_file(&path);
@@ -197,15 +186,17 @@ fn mini_snapshot(org: &str, asns: &[u32], comment: &str) -> Snapshot {
         asns: asns.iter().map(|&a| Asn(a)).collect(),
     };
     let table = PrefixToAs::from_entries(
-        asns.iter()
-            .enumerate()
-            .map(|(i, &a)| (format!("10.{i}.0.0/16").parse().unwrap(), Asn(a))),
+        asns.iter().enumerate().map(|(i, &a)| (format!("10.{i}.0.0/16").parse().unwrap(), Asn(a))),
     )
     .unwrap();
     Snapshot::build(
         Dataset { organizations: vec![rec] },
         table,
-        SnapshotBuildInfo { tool: "live-reload test".into(), comment: comment.into(), ..Default::default() },
+        SnapshotBuildInfo {
+            tool: "live-reload test".into(),
+            comment: comment.into(),
+            ..Default::default()
+        },
     )
     .unwrap()
 }

@@ -43,11 +43,23 @@ fn canonical_components(world: &World) -> Vec<(&'static str, String)> {
         ("users", serde_json::to_string(&world.users).unwrap()),
         ("ixps", serde_json::to_string(&world.ixps).unwrap()),
         ("companies", serde_json::to_string(world.ownership.companies()).unwrap()),
-        ("truth.state_owned_companies", serde_json::to_string(&world.truth.state_owned_companies).unwrap()),
-        ("truth.foreign_subsidiaries", serde_json::to_string(&world.truth.foreign_subsidiaries).unwrap()),
-        ("truth.minority_companies", serde_json::to_string(&world.truth.minority_companies).unwrap()),
+        (
+            "truth.state_owned_companies",
+            serde_json::to_string(&world.truth.state_owned_companies).unwrap(),
+        ),
+        (
+            "truth.foreign_subsidiaries",
+            serde_json::to_string(&world.truth.foreign_subsidiaries).unwrap(),
+        ),
+        (
+            "truth.minority_companies",
+            serde_json::to_string(&world.truth.minority_companies).unwrap(),
+        ),
         ("truth.state_owned_ases", serde_json::to_string(&world.truth.state_owned_ases).unwrap()),
-        ("truth.foreign_subsidiary_ases", serde_json::to_string(&world.truth.foreign_subsidiary_ases).unwrap()),
+        (
+            "truth.foreign_subsidiary_ases",
+            serde_json::to_string(&world.truth.foreign_subsidiary_ases).unwrap(),
+        ),
         ("truth.minority_ases", serde_json::to_string(&world.truth.minority_ases).unwrap()),
         ("truth.excluded", serde_json::to_string(&excluded).unwrap()),
         ("truth.controller", serde_json::to_string(&controller).unwrap()),
@@ -64,10 +76,7 @@ fn worldgen_is_byte_identical_at_every_thread_count() {
             for ((label, want), (_, got)) in
                 expected.iter().zip(canonical_components(&world).iter())
             {
-                assert_eq!(
-                    got, want,
-                    "seed {seed}: {label} diverged at {threads} threads"
-                );
+                assert_eq!(got, want, "seed {seed}: {label} diverged at {threads} threads");
             }
         }
     }
@@ -140,8 +149,7 @@ fn profiles_and_registrations_agree() {
     // Sanity check on the oracle itself: the canonical serialization
     // covers every AS exactly once.
     let world = world_at(21, 4);
-    let by_asn: HashMap<Asn, &AsProfile> =
-        world.profiles.iter().map(|(a, p)| (*a, p)).collect();
+    let by_asn: HashMap<Asn, &AsProfile> = world.profiles.iter().map(|(a, p)| (*a, p)).collect();
     assert_eq!(by_asn.len(), world.registrations.len());
     for reg in &world.registrations {
         assert!(by_asn.contains_key(&reg.asn), "{} has no profile", reg.asn);

@@ -1,28 +1,33 @@
 //! Cold-start benchmark: how long until a `ServiceIndex` is ready to
 //! serve, starting (a) from nothing — worldgen + pipeline + index build,
 //! what `soi serve` does without `--snapshot` — versus (b) from a
-//! persisted snapshot file — read + validate checksum + index build, what
-//! `soi serve --snapshot` does. The gap is the payoff of the snapshot
-//! subsystem; Criterion tracks both across commits.
+//! persisted JSON snapshot — read + validate checksum + index build,
+//! what `soi serve --snapshot` does — versus (c) from the same snapshot
+//! in the binary v2 container, the format-v2 payoff: no JSON parse and
+//! no canonical re-serialization on the load path. Criterion tracks all
+//! three across commits.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use soi_bench::Fixture;
-use soi_core::{Snapshot, SnapshotBuildInfo};
+use soi_core::{Snapshot, SnapshotBuildInfo, SnapshotFormat};
 use soi_service::ServiceIndex;
 
 fn bench_cold_start(c: &mut Criterion) {
-    // One canonical fixture; the snapshot is written once so every
-    // snapshot_load iteration measures read+validate+build, not write.
+    // One canonical fixture; each snapshot is written once so every
+    // load iteration measures read+validate+build, not write.
     let fx = Fixture::small();
     let path =
         std::env::temp_dir().join(format!("soi-bench-cold-start-{}.json", std::process::id()));
+    let v2_path =
+        std::env::temp_dir().join(format!("soi-bench-cold-start-{}.bin", std::process::id()));
     let snapshot = Snapshot::build(
         fx.output.dataset.clone(),
         fx.inputs.prefix_to_as.clone(),
         SnapshotBuildInfo { tool: "soi-bench cold_start".into(), ..Default::default() },
     )
     .expect("build snapshot");
-    snapshot.write_to_file(&path).expect("write snapshot");
+    snapshot.write_to_file_as(&path, SnapshotFormat::Json).expect("write snapshot");
+    snapshot.write_to_file_as(&v2_path, SnapshotFormat::V2).expect("write v2 snapshot");
 
     let mut g = c.benchmark_group("cold_start");
     g.sample_size(10);
@@ -41,8 +46,16 @@ fn bench_cold_start(c: &mut Criterion) {
         })
     });
 
+    g.bench_function("snapshot_load_v2", |b| {
+        b.iter(|| {
+            let snapshot = Snapshot::read_from_file(&v2_path).expect("read v2 snapshot");
+            ServiceIndex::from_snapshot(snapshot)
+        })
+    });
+
     g.finish();
     let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&v2_path);
 }
 
 criterion_group!(benches, bench_cold_start);

@@ -5,7 +5,8 @@
 //!           [--at-fraction F] [--json PATH]
 //!
 //!   benches: worldgen_seq worldgen_2 worldgen_4 worldgen_8
-//!            pipeline cold_start history history_load all (default)
+//!            pipeline cold_start snapshot history history_load
+//!            all (default)
 //! ```
 //!
 //! Criterion gives statistically careful numbers but is a dev-dependency
@@ -14,8 +15,13 @@
 //! worldgen speedup) can record wall-clock figures without the full
 //! criterion run. With `--json PATH` it writes one record per bench:
 //! `{"bench": ..., "threads": ..., "median_micros": ..., "iters": ...,
-//! "seed": ..., "scale": ..., "spacing": ...}`.
+//! "seed": ..., "scale": ..., "spacing": ..., "format": ...,
+//! "bytes_on_disk": ...}`.
 //!
+//! `snapshot` writes one pipeline snapshot in both containers (JSON and
+//! binary v2) and records, per format, the bytes on disk and the median
+//! cold-load time (read + validate + index build) — the two numbers
+//! snapshot format v2 exists to improve.
 //! `history` sweeps checkpoint spacing over one stored delta stream and
 //! measures the worst-case uncached as-of resolve at each spacing (the
 //! disk-vs-replay-latency trade the spacing policy controls).
@@ -28,7 +34,10 @@ use std::time::Instant;
 
 use soi_bench::load::{self, LoadConfig};
 use soi_bench::REPRO_SEED;
-use soi_core::{payload_checksum, InputConfig, Pipeline, PipelineConfig, PipelineInputs};
+use soi_core::{
+    payload_checksum, InputConfig, Pipeline, PipelineConfig, PipelineInputs, Snapshot,
+    SnapshotBuildInfo, SnapshotFormat,
+};
 use soi_delta::{DeltaEngine, EngineConfig};
 use soi_history::{HistoryBuildConfig, HistoryStore};
 use soi_service::{serve_history, HistoryService, IndexSlot, ServerConfig, ServiceIndex};
@@ -41,6 +50,10 @@ struct Record {
     iters: usize,
     /// Checkpoint spacing, for the history benches only.
     spacing: Option<u32>,
+    /// Snapshot container ("json"/"v2"), for the snapshot bench only.
+    format: Option<&'static str>,
+    /// Snapshot size on disk, for the snapshot bench only.
+    bytes_on_disk: Option<u64>,
 }
 
 /// The year whose resolve replays the most segments under the store's
@@ -141,7 +154,15 @@ fn main() {
             generate(&cfg).expect("generate");
         });
         eprintln!("{bench}: median {}ms over {iters} iters", median / 1000);
-        records.push(Record { bench, threads, median_micros: median, iters, spacing: None });
+        records.push(Record {
+            bench,
+            threads,
+            median_micros: median,
+            iters,
+            spacing: None,
+            format: None,
+            bytes_on_disk: None,
+        });
     }
 
     if want("pipeline") || want("cold_start") {
@@ -159,6 +180,8 @@ fn main() {
                 median_micros: median,
                 iters,
                 spacing: None,
+                format: None,
+                bytes_on_disk: None,
             });
         }
         if want("cold_start") {
@@ -180,7 +203,51 @@ fn main() {
                 median_micros: median,
                 iters,
                 spacing: None,
+                format: None,
+                bytes_on_disk: None,
             });
+        }
+    }
+
+    if want("snapshot") {
+        // One pipeline snapshot, written in both containers: bytes on
+        // disk and cold-load medians are the format-v2 headline numbers.
+        let world = generate(&base).expect("generate");
+        let input_cfg = InputConfig { threads: 0, ..InputConfig::with_seed(seed) };
+        let inputs = PipelineInputs::from_world(&world, &input_cfg).expect("inputs");
+        let output = Pipeline::run(&inputs, &PipelineConfig::default());
+        let snapshot = Snapshot::build(
+            output.dataset,
+            inputs.prefix_to_as,
+            SnapshotBuildInfo { tool: "soi-bench".into(), seed: Some(seed), ..Default::default() },
+        )
+        .expect("snapshot builds");
+        for format in [SnapshotFormat::Json, SnapshotFormat::V2] {
+            let path = std::env::temp_dir().join(format!(
+                "soi-bench-snapshot-{}.{}",
+                std::process::id(),
+                format.as_str()
+            ));
+            snapshot.write_to_file_as(&path, format).expect("write snapshot");
+            let bytes_on_disk = std::fs::metadata(&path).expect("stat snapshot").len();
+            let median = median_micros(iters, || {
+                let loaded = Snapshot::read_from_file(&path).expect("read snapshot");
+                ServiceIndex::from_snapshot(loaded);
+            });
+            eprintln!(
+                "snapshot_load {format}: {bytes_on_disk} bytes on disk, load median {}ms over {iters} iters",
+                median / 1000
+            );
+            records.push(Record {
+                bench: "snapshot_load",
+                threads: 1,
+                median_micros: median,
+                iters,
+                spacing: None,
+                format: Some(format.as_str()),
+                bytes_on_disk: Some(bytes_on_disk),
+            });
+            let _ = std::fs::remove_file(&path);
         }
     }
 
@@ -221,6 +288,8 @@ fn main() {
                     median_micros: median,
                     iters,
                     spacing: Some(spacing),
+                    format: None,
+                    bytes_on_disk: None,
                 });
             }
         }
@@ -270,13 +339,15 @@ fn main() {
                 median_micros: median,
                 iters,
                 spacing: Some(spacing),
+                format: None,
+                bytes_on_disk: None,
             });
         }
         let _ = std::fs::remove_dir_all(&dir);
     }
 
     if records.is_empty() {
-        eprintln!("no bench matched; known: worldgen_seq worldgen_2 worldgen_4 worldgen_8 pipeline cold_start history history_load all");
+        eprintln!("no bench matched; known: worldgen_seq worldgen_2 worldgen_4 worldgen_8 pipeline cold_start snapshot history history_load all");
         std::process::exit(2);
     }
 
@@ -301,6 +372,8 @@ fn main() {
                     "seed": seed,
                     "scale": base.scale,
                     "spacing": r.spacing,
+                    "format": r.format,
+                    "bytes_on_disk": r.bytes_on_disk,
                 })
             })
             .collect();

@@ -1,0 +1,714 @@
+//! Snapshot format v2: the std-only binary container.
+//!
+//! ## Layout
+//!
+//! All integers are little-endian.
+//!
+//! ```text
+//! magic              8 bytes   b"SOISNAP\0" (first byte != '{', so JSON
+//!                              and binary snapshots are distinguishable
+//!                              from the first byte)
+//! container_version  u32       2
+//! section_count      u32
+//! section * N:
+//!   id               u32       see SECTION_* constants
+//!   body_len         u64
+//!   body_fnv1a64     u64       FNV-1a 64 of the body bytes
+//!   body             body_len bytes
+//! ```
+//!
+//! Sections, in write order:
+//!
+//! * `META` — the canonical payload checksum (the same FNV-1a 64 over
+//!   the payload's canonical compact JSON that format v1 stores, so a
+//!   snapshot's identity is format-independent), the payload schema
+//!   version, and [`SnapshotBuildInfo`] provenance.
+//! * `STRINGS` — a deduplicated string table; every string field of
+//!   every org record is a `u32` index into it, so repeated values
+//!   (sources, quotes, country names) are stored once.
+//! * `ORGS` — fixed-order field-by-field org records with all string
+//!   fields ID-interned, country codes as 2 raw bytes, enums as `u8`.
+//! * `PREFIXES` — the prefix→AS table as sorted fixed-width 9-byte
+//!   entries (`addr: u32`, `len: u8`, `asn: u32`), decoded back through
+//!   `PrefixToAs::from_entries` so the single-origin invariant is
+//!   re-validated on read.
+//!
+//! ## Integrity model
+//!
+//! Each section carries its own FNV-1a 64; the reader verifies every
+//! section before decoding it, so bit rot and truncation are caught
+//! without ever re-serializing the payload to JSON (the expensive step
+//! v1 cold starts pay). The canonical payload checksum in `META` is
+//! carried into [`SnapshotHeader::checksum_fnv1a64`] unchanged — it is
+//! the cross-format identity used by delta base pinning and the history
+//! manifest — and the JSON→v2→JSON round-trip oracle
+//! (`tests/snapshot_v2.rs`) holds its write-time correctness.
+//!
+//! Decoding allocates one `Vec` per collection (`with_capacity` from
+//! the stored counts) plus one `String` clone per interned field; the
+//! remaining per-string cost goes away only with the ID-interned
+//! dataset refactor the ROADMAP tracks.
+
+use std::collections::HashMap;
+
+use soi_bgp::PrefixToAs;
+use soi_types::{fnv1a64, Asn, CountryCode, Ipv4Prefix, OrgId, Rir, SoiError};
+
+use crate::dataset::{Dataset, OrgRecord};
+use crate::snapshot::{
+    Snapshot, SnapshotBuildInfo, SnapshotError, SnapshotHeader, SnapshotPayload, SNAPSHOT_MAGIC,
+};
+
+/// First 8 bytes of every v2 snapshot.
+pub const BIN_MAGIC: [u8; 8] = *b"SOISNAP\0";
+
+/// Version of the binary *container* (independent of the payload schema
+/// version carried in `META`).
+pub const BIN_CONTAINER_VERSION: u32 = 2;
+
+const SECTION_META: u32 = 1;
+const SECTION_STRINGS: u32 = 2;
+const SECTION_ORGS: u32 = 3;
+const SECTION_PREFIXES: u32 = 4;
+
+fn section_name(id: u32) -> &'static str {
+    match id {
+        SECTION_META => "meta",
+        SECTION_STRINGS => "strings",
+        SECTION_ORGS => "orgs",
+        SECTION_PREFIXES => "prefixes",
+        _ => "unknown",
+    }
+}
+
+/// Size report for one section, surfaced by `soi snapshot inspect`.
+#[derive(Clone, Debug)]
+pub struct SectionStat {
+    /// Section name (`meta`, `strings`, `orgs`, `prefixes`).
+    pub name: &'static str,
+    /// Body bytes on disk (excluding the 20-byte section header).
+    pub bytes: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new() -> Self {
+        Writer { buf: Vec::new() }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Length-prefixed UTF-8, for the string table and META only; org
+    /// record fields go through the string table instead.
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// Deduplicating string table: interns in first-encounter order, so the
+/// encoding is deterministic for a given payload.
+#[derive(Default)]
+struct StringTable {
+    strings: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl StringTable {
+    fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&id) = self.index.get(s) {
+            return id;
+        }
+        let id = self.strings.len() as u32;
+        self.strings.push(s.to_owned());
+        self.index.insert(s.to_owned(), id);
+        id
+    }
+}
+
+fn rir_tag(rir: Option<Rir>) -> u8 {
+    match rir {
+        None => 0,
+        Some(Rir::Afrinic) => 1,
+        Some(Rir::Apnic) => 2,
+        Some(Rir::Arin) => 3,
+        Some(Rir::Lacnic) => 4,
+        Some(Rir::Ripe) => 5,
+    }
+}
+
+fn rir_from_tag(tag: u8) -> Result<Option<Rir>, SnapshotError> {
+    Ok(match tag {
+        0 => None,
+        1 => Some(Rir::Afrinic),
+        2 => Some(Rir::Apnic),
+        3 => Some(Rir::Arin),
+        4 => Some(Rir::Lacnic),
+        5 => Some(Rir::Ripe),
+        other => return Err(SnapshotError::Malformed(format!("invalid RIR tag {other}"))),
+    })
+}
+
+fn encode_cc(w: &mut Writer, cc: CountryCode) {
+    let bytes = cc.as_str().as_bytes();
+    w.u8(bytes[0]);
+    w.u8(bytes[1]);
+}
+
+fn encode_org(w: &mut Writer, table: &mut StringTable, org: &OrgRecord) {
+    w.u32(table.intern(&org.conglomerate_name));
+    match org.org_id {
+        Some(OrgId(id)) => {
+            w.u8(1);
+            w.u32(id);
+        }
+        None => w.u8(0),
+    }
+    w.u32(table.intern(&org.org_name));
+    encode_cc(w, org.ownership_cc);
+    w.u32(table.intern(&org.ownership_country_name));
+    w.u8(rir_tag(org.rir));
+    w.u32(table.intern(&org.source));
+    w.u32(table.intern(&org.quote));
+    w.u32(table.intern(&org.quote_lang));
+    w.u32(table.intern(&org.url));
+    w.u32(table.intern(&org.additional_info));
+    w.u8(org.inputs.len() as u8);
+    for &c in &org.inputs {
+        w.u32(c as u32);
+    }
+    match &org.parent_org {
+        Some(parent) => {
+            w.u8(1);
+            w.u32(table.intern(parent));
+        }
+        None => w.u8(0),
+    }
+    match org.target_cc {
+        Some(cc) => {
+            w.u8(1);
+            encode_cc(w, cc);
+        }
+        None => w.u8(0),
+    }
+    match &org.target_country_name {
+        Some(name) => {
+            w.u8(1);
+            w.u32(table.intern(name));
+        }
+        None => w.u8(0),
+    }
+    w.u32(org.asns.len() as u32);
+    for asn in &org.asns {
+        w.u32(asn.0);
+    }
+}
+
+fn push_section(out: &mut Vec<u8>, id: u32, body: &[u8]) {
+    out.extend_from_slice(&id.to_le_bytes());
+    out.extend_from_slice(&(body.len() as u64).to_le_bytes());
+    out.extend_from_slice(&fnv1a64(body).to_le_bytes());
+    out.extend_from_slice(body);
+}
+
+/// Encodes a snapshot into the v2 binary container.
+pub fn encode(snapshot: &Snapshot) -> Result<Vec<u8>, SoiError> {
+    let header = &snapshot.header;
+    let payload = &snapshot.payload;
+
+    // ORGS is encoded first so the string table it populates can be
+    // written (as STRINGS) ahead of it in the file; the reader then
+    // decodes sections in file order without backtracking.
+    let mut table = StringTable::default();
+    let mut orgs = Writer::new();
+    orgs.u32(payload.dataset.organizations.len() as u32);
+    for org in &payload.dataset.organizations {
+        if org.inputs.len() > u8::MAX as usize {
+            return Err(SoiError::Parse(format!(
+                "org {:?} has {} inputs; v2 encodes at most {}",
+                org.org_name,
+                org.inputs.len(),
+                u8::MAX
+            )));
+        }
+        encode_org(&mut orgs, &mut table, org);
+    }
+
+    let mut strings = Writer::new();
+    strings.u32(table.strings.len() as u32);
+    for s in &table.strings {
+        strings.str(s);
+    }
+
+    let mut meta = Writer::new();
+    meta.u64(header.checksum_fnv1a64);
+    meta.u32(header.format_version);
+    meta.str(&header.build.tool);
+    match header.build.seed {
+        Some(seed) => {
+            meta.u8(1);
+            meta.u64(seed);
+        }
+        None => meta.u8(0),
+    }
+    meta.u64(header.build.organizations as u64);
+    meta.u64(header.build.announced_prefixes as u64);
+    meta.str(&header.build.comment);
+
+    let mut prefixes = Writer::new();
+    prefixes.u32(payload.table.len() as u32);
+    for &(prefix, asn) in payload.table.entries() {
+        prefixes.u32(prefix.network());
+        prefixes.u8(prefix.len());
+        prefixes.u32(asn.0);
+    }
+
+    let mut out = Vec::with_capacity(
+        BIN_MAGIC.len()
+            + 8
+            + 4 * 20
+            + meta.buf.len()
+            + strings.buf.len()
+            + orgs.buf.len()
+            + prefixes.buf.len(),
+    );
+    out.extend_from_slice(&BIN_MAGIC);
+    out.extend_from_slice(&BIN_CONTAINER_VERSION.to_le_bytes());
+    out.extend_from_slice(&4u32.to_le_bytes());
+    push_section(&mut out, SECTION_META, &meta.buf);
+    push_section(&mut out, SECTION_STRINGS, &strings.buf);
+    push_section(&mut out, SECTION_ORGS, &orgs.buf);
+    push_section(&mut out, SECTION_PREFIXES, &prefixes.buf);
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.buf.len())
+            .ok_or_else(|| SnapshotError::Malformed("truncated v2 snapshot".into()))?;
+        let bytes = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(bytes)
+    }
+
+    fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Result<String, SnapshotError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| SnapshotError::Malformed(format!("invalid UTF-8 in v2 snapshot: {e}")))
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+fn decode_cc(r: &mut Reader<'_>) -> Result<CountryCode, SnapshotError> {
+    let a = r.u8()?;
+    let b = r.u8()?;
+    CountryCode::new(a, b).map_err(|e| SnapshotError::Malformed(e.to_string()))
+}
+
+struct Strings(Vec<String>);
+
+impl Strings {
+    fn get(&self, id: u32) -> Result<&str, SnapshotError> {
+        self.0.get(id as usize).map(String::as_str).ok_or_else(|| {
+            SnapshotError::Malformed(format!(
+                "string id {id} out of range (table has {})",
+                self.0.len()
+            ))
+        })
+    }
+
+    fn owned(&self, id: u32) -> Result<String, SnapshotError> {
+        self.get(id).map(str::to_owned)
+    }
+}
+
+fn decode_org(r: &mut Reader<'_>, strings: &Strings) -> Result<OrgRecord, SnapshotError> {
+    let conglomerate_name = strings.owned(r.u32()?)?;
+    let org_id = match r.u8()? {
+        0 => None,
+        _ => Some(OrgId(r.u32()?)),
+    };
+    let org_name = strings.owned(r.u32()?)?;
+    let ownership_cc = decode_cc(r)?;
+    let ownership_country_name = strings.owned(r.u32()?)?;
+    let rir = rir_from_tag(r.u8()?)?;
+    let source = strings.owned(r.u32()?)?;
+    let quote = strings.owned(r.u32()?)?;
+    let quote_lang = strings.owned(r.u32()?)?;
+    let url = strings.owned(r.u32()?)?;
+    let additional_info = strings.owned(r.u32()?)?;
+    let input_count = r.u8()? as usize;
+    let mut inputs = Vec::with_capacity(input_count);
+    for _ in 0..input_count {
+        let scalar = r.u32()?;
+        inputs.push(char::from_u32(scalar).ok_or_else(|| {
+            SnapshotError::Malformed(format!("invalid input char scalar {scalar:#x}"))
+        })?);
+    }
+    let parent_org = match r.u8()? {
+        0 => None,
+        _ => Some(strings.owned(r.u32()?)?),
+    };
+    let target_cc = match r.u8()? {
+        0 => None,
+        _ => Some(decode_cc(r)?),
+    };
+    let target_country_name = match r.u8()? {
+        0 => None,
+        _ => Some(strings.owned(r.u32()?)?),
+    };
+    let asn_count = r.u32()? as usize;
+    let mut asns = Vec::with_capacity(asn_count.min(r.buf.len() - r.pos));
+    for _ in 0..asn_count {
+        asns.push(Asn(r.u32()?));
+    }
+    Ok(OrgRecord {
+        conglomerate_name,
+        org_id,
+        org_name,
+        ownership_cc,
+        ownership_country_name,
+        rir,
+        source,
+        quote,
+        quote_lang,
+        url,
+        additional_info,
+        inputs,
+        parent_org,
+        target_cc,
+        target_country_name,
+        asns,
+    })
+}
+
+/// One verified section: id + body slice (checksum already checked).
+fn next_section<'a>(r: &mut Reader<'a>) -> Result<(u32, &'a [u8]), SnapshotError> {
+    let id = r.u32()?;
+    let len = r.u64()? as usize;
+    let stored = r.u64()?;
+    let body = r.take(len)?;
+    let computed = fnv1a64(body);
+    if computed != stored {
+        return Err(SnapshotError::ChecksumMismatch { stored, computed });
+    }
+    Ok((id, body))
+}
+
+/// Checks the container preamble; `Ok` position is just past it.
+fn read_preamble(bytes: &[u8]) -> Result<(Reader<'_>, u32), SnapshotError> {
+    let mut r = Reader::new(bytes);
+    let magic = r.take(BIN_MAGIC.len())?;
+    if magic != BIN_MAGIC {
+        return Err(SnapshotError::WrongMagic(String::from_utf8_lossy(magic).into_owned()));
+    }
+    let version = r.u32()?;
+    if version != BIN_CONTAINER_VERSION {
+        return Err(SnapshotError::UnsupportedVersion {
+            found: version,
+            supported: BIN_CONTAINER_VERSION,
+        });
+    }
+    let count = r.u32()?;
+    Ok((r, count))
+}
+
+/// Decodes a v2 binary snapshot, verifying every section checksum.
+pub fn decode(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
+    let (mut r, count) = read_preamble(bytes)?;
+
+    let mut meta: Option<&[u8]> = None;
+    let mut strings_body: Option<&[u8]> = None;
+    let mut orgs_body: Option<&[u8]> = None;
+    let mut prefixes_body: Option<&[u8]> = None;
+    for _ in 0..count {
+        let (id, body) = next_section(&mut r)?;
+        match id {
+            SECTION_META => meta = Some(body),
+            SECTION_STRINGS => strings_body = Some(body),
+            SECTION_ORGS => orgs_body = Some(body),
+            SECTION_PREFIXES => prefixes_body = Some(body),
+            // Unknown sections are skipped (their checksum was still
+            // verified): room for forward-compatible additions.
+            _ => {}
+        }
+    }
+    if !r.done() {
+        return Err(SnapshotError::Malformed("trailing bytes after last section".into()));
+    }
+    let missing = |name: &str| SnapshotError::Malformed(format!("missing {name} section"));
+    let meta = meta.ok_or_else(|| missing("meta"))?;
+    let strings_body = strings_body.ok_or_else(|| missing("strings"))?;
+    let orgs_body = orgs_body.ok_or_else(|| missing("orgs"))?;
+    let prefixes_body = prefixes_body.ok_or_else(|| missing("prefixes"))?;
+
+    // META: identity + provenance.
+    let mut m = Reader::new(meta);
+    let checksum_fnv1a64 = m.u64()?;
+    let format_version = m.u32()?;
+    if format_version != crate::snapshot::SNAPSHOT_FORMAT_VERSION {
+        return Err(SnapshotError::UnsupportedVersion {
+            found: format_version,
+            supported: crate::snapshot::SNAPSHOT_FORMAT_VERSION,
+        });
+    }
+    let tool = m.str()?;
+    let seed = match m.u8()? {
+        0 => None,
+        _ => Some(m.u64()?),
+    };
+    let organizations = m.u64()? as usize;
+    let announced_prefixes = m.u64()? as usize;
+    let comment = m.str()?;
+
+    // STRINGS: the shared table.
+    let mut s = Reader::new(strings_body);
+    let string_count = s.u32()? as usize;
+    let mut table = Vec::with_capacity(string_count.min(strings_body.len()));
+    for _ in 0..string_count {
+        table.push(s.str()?);
+    }
+    let strings = Strings(table);
+
+    // ORGS: one Vec, records decoded in place.
+    let mut o = Reader::new(orgs_body);
+    let org_count = o.u32()? as usize;
+    let mut organizations_vec = Vec::with_capacity(org_count.min(orgs_body.len()));
+    for _ in 0..org_count {
+        organizations_vec.push(decode_org(&mut o, &strings)?);
+    }
+
+    // PREFIXES: fixed-width entries, re-validated by from_entries.
+    let mut p = Reader::new(prefixes_body);
+    let entry_count = p.u32()? as usize;
+    let mut entries = Vec::with_capacity(entry_count.min(prefixes_body.len() / 9 + 1));
+    for _ in 0..entry_count {
+        let addr = p.u32()?;
+        let len = p.u8()?;
+        let asn = Asn(p.u32()?);
+        let prefix =
+            Ipv4Prefix::new(addr, len).map_err(|e| SnapshotError::Malformed(e.to_string()))?;
+        entries.push((prefix, asn));
+    }
+    let table =
+        PrefixToAs::from_entries(entries).map_err(|e| SnapshotError::Malformed(e.to_string()))?;
+
+    Ok(Snapshot {
+        header: SnapshotHeader {
+            magic: SNAPSHOT_MAGIC.to_owned(),
+            format_version,
+            checksum_fnv1a64,
+            build: SnapshotBuildInfo { tool, seed, organizations, announced_prefixes, comment },
+        },
+        payload: SnapshotPayload { dataset: Dataset { organizations: organizations_vec }, table },
+    })
+}
+
+/// Walks the container and reports per-section body sizes without
+/// decoding bodies (used by `soi snapshot inspect`).
+pub fn section_stats(bytes: &[u8]) -> Result<Vec<SectionStat>, SnapshotError> {
+    let (mut r, count) = read_preamble(bytes)?;
+    let mut stats = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let (id, body) = next_section(&mut r)?;
+        stats.push(SectionStat { name: section_name(id), bytes: body.len() as u64 });
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::SnapshotFormat;
+
+    fn record(name: &str, asns: &[u32]) -> OrgRecord {
+        OrgRecord {
+            conglomerate_name: name.to_owned(),
+            org_id: Some(OrgId(1)),
+            org_name: name.to_owned(),
+            ownership_cc: "NO".parse().unwrap(),
+            ownership_country_name: "Norway".into(),
+            rir: Some(Rir::Ripe),
+            source: "Company's website".into(),
+            quote: "Major shareholdings: Government (54%)".into(),
+            quote_lang: "English".into(),
+            url: "https://example.net".into(),
+            additional_info: String::new(),
+            inputs: vec!['G', 'W'],
+            parent_org: Some("Telenor Group".into()),
+            target_cc: Some("PK".parse().unwrap()),
+            target_country_name: Some("Pakistan".into()),
+            asns: asns.iter().map(|&a| Asn(a)).collect(),
+        }
+    }
+
+    fn fixture() -> Snapshot {
+        let dataset = Dataset {
+            organizations: vec![record("Telenor", &[2119, 8210]), record("Telenor Pakistan", &[])],
+        };
+        let table = PrefixToAs::from_entries([
+            ("10.0.0.0/8".parse().unwrap(), Asn(2119)),
+            ("10.1.0.0/16".parse().unwrap(), Asn(8210)),
+        ])
+        .unwrap();
+        Snapshot::build(
+            dataset,
+            table,
+            SnapshotBuildInfo {
+                tool: "codec-bin test".into(),
+                seed: Some(7),
+                comment: "v2".into(),
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn binary_round_trip_preserves_payload_and_identity() {
+        let snap = fixture();
+        let bytes = encode(&snap).unwrap();
+        assert_eq!(&bytes[..8], &BIN_MAGIC);
+        assert_ne!(bytes[0], b'{', "binary magic must not look like JSON");
+        let back = decode(&bytes).unwrap();
+        assert_eq!(back.header.checksum_fnv1a64, snap.header.checksum_fnv1a64);
+        assert_eq!(back.header.build, snap.header.build);
+        assert_eq!(
+            serde_json::to_vec(&back.payload).unwrap(),
+            serde_json::to_vec(&snap.payload).unwrap(),
+            "payload must round-trip byte-identically through v2"
+        );
+        // The identity is canonical: validate() recomputes the JSON
+        // checksum and must agree with what META carried.
+        back.validate().unwrap();
+    }
+
+    #[test]
+    fn string_table_dedupes_repeated_fields() {
+        let snap = fixture();
+        let bytes = encode(&snap).unwrap();
+        let stats = section_stats(&bytes).unwrap();
+        let strings = stats.iter().find(|s| s.name == "strings").unwrap();
+        // Every interned field, deduplicated: the table must hold each
+        // distinct string exactly once (u32 count + per-string u32 len
+        // prefix), no matter how many records repeat it.
+        let mut distinct = std::collections::BTreeSet::new();
+        for org in &snap.payload.dataset.organizations {
+            let mut fields = vec![
+                org.conglomerate_name.clone(),
+                org.org_name.clone(),
+                org.ownership_country_name.clone(),
+                org.source.clone(),
+                org.quote.clone(),
+                org.quote_lang.clone(),
+                org.url.clone(),
+                org.additional_info.clone(),
+            ];
+            fields.extend(org.parent_org.clone());
+            fields.extend(org.target_country_name.clone());
+            distinct.extend(fields);
+        }
+        let expected: u64 = 4 + distinct.iter().map(|s| 4 + s.len() as u64).sum::<u64>();
+        assert_eq!(strings.bytes, expected, "strings section must hold each string once");
+    }
+
+    #[test]
+    fn section_bit_rot_is_caught_by_the_section_checksum() {
+        let snap = fixture();
+        let mut bytes = encode(&snap).unwrap();
+        // Flip a bit near the end (inside the PREFIXES body).
+        let pos = bytes.len() - 3;
+        bytes[pos] ^= 0x01;
+        assert!(matches!(decode(&bytes), Err(SnapshotError::ChecksumMismatch { .. })));
+    }
+
+    #[test]
+    fn truncation_wrong_magic_and_future_version_are_distinct() {
+        let snap = fixture();
+        let bytes = encode(&snap).unwrap();
+        assert!(matches!(
+            decode(&bytes[..bytes.len() / 2]),
+            Err(SnapshotError::ChecksumMismatch { .. }) | Err(SnapshotError::Malformed(_))
+        ));
+        assert!(matches!(decode(&bytes[..4]), Err(SnapshotError::Malformed(_))));
+
+        let mut wrong = bytes.clone();
+        wrong[0] = b'X';
+        assert!(matches!(decode(&wrong), Err(SnapshotError::WrongMagic(_))));
+
+        let mut future = bytes.clone();
+        future[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            decode(&future),
+            Err(SnapshotError::UnsupportedVersion { found: 99, supported: 2 })
+        ));
+    }
+
+    #[test]
+    fn detect_distinguishes_formats_from_the_first_bytes() {
+        let snap = fixture();
+        let bin = snap.to_bytes(SnapshotFormat::V2).unwrap();
+        let json = snap.to_json().unwrap();
+        assert_eq!(SnapshotFormat::detect(&bin), Some(SnapshotFormat::V2));
+        assert_eq!(SnapshotFormat::detect(json.as_bytes()), Some(SnapshotFormat::Json));
+        assert_eq!(SnapshotFormat::detect(b"garbage"), None);
+    }
+
+    #[test]
+    fn section_stats_report_all_four_sections() {
+        let bytes = encode(&fixture()).unwrap();
+        let stats = section_stats(&bytes).unwrap();
+        let names: Vec<&str> = stats.iter().map(|s| s.name).collect();
+        assert_eq!(names, ["meta", "strings", "orgs", "prefixes"]);
+        assert!(stats.iter().all(|s| s.bytes > 0));
+    }
+}

@@ -1,0 +1,67 @@
+//! Snapshot format v1: the JSON import/export codec.
+//!
+//! One JSON document, `{"header": ..., "payload": ...}` — the original
+//! snapshot format, kept as the interchange representation (diffable,
+//! greppable, hand-editable). The binary v2 codec ([`crate::codec_bin`])
+//! is the cold-start format; `soi snapshot convert` moves between them
+//! losslessly because both carry the same canonical payload checksum.
+
+use soi_types::{fnv1a64, SoiError};
+
+use crate::snapshot::{
+    payload_checksum, Snapshot, SnapshotError, SnapshotHeader, SnapshotPayload, SNAPSHOT_MAGIC,
+};
+
+/// Serializes the full document (compact JSON).
+pub fn encode(snapshot: &Snapshot) -> Result<String, SoiError> {
+    serde_json::to_string(snapshot)
+        .map_err(|e| SoiError::Parse(format!("snapshot serialization failed: {e}")))
+}
+
+/// Parses *and validates* a JSON snapshot document.
+///
+/// The checksum is computed over the payload's raw bytes in the same
+/// parse pass (via `RawValue`), instead of fully deserializing the
+/// payload and then re-serializing it just to hash. Producers write
+/// canonical compact JSON, so the raw bytes normally *are* the
+/// canonical bytes; only when they differ (a hand-pretty-printed or
+/// re-encoded file) does the reader fall back to one canonical
+/// re-serialization before deciding between "equivalent rendering"
+/// and [`SnapshotError::ChecksumMismatch`].
+pub fn decode(s: &str) -> Result<Snapshot, SnapshotError> {
+    #[derive(serde::Deserialize)]
+    struct RawDocument<'a> {
+        header: SnapshotHeader,
+        #[serde(borrow)]
+        payload: &'a serde_json::value::RawValue,
+    }
+
+    let doc: RawDocument<'_> =
+        serde_json::from_str(s).map_err(|e| SnapshotError::Malformed(e.to_string()))?;
+    // Reject foreign or incompatible documents before touching the
+    // (much larger) payload.
+    if doc.header.magic != SNAPSHOT_MAGIC {
+        return Err(SnapshotError::WrongMagic(doc.header.magic.clone()));
+    }
+    if doc.header.format_version != crate::snapshot::SNAPSHOT_FORMAT_VERSION {
+        return Err(SnapshotError::UnsupportedVersion {
+            found: doc.header.format_version,
+            supported: crate::snapshot::SNAPSHOT_FORMAT_VERSION,
+        });
+    }
+    let raw = doc.payload.get();
+    let raw_checksum = fnv1a64(raw.as_bytes());
+    let payload: SnapshotPayload =
+        serde_json::from_str(raw).map_err(|e| SnapshotError::Malformed(e.to_string()))?;
+    if raw_checksum != doc.header.checksum_fnv1a64 {
+        let computed =
+            payload_checksum(&payload).map_err(|e| SnapshotError::Malformed(e.to_string()))?;
+        if computed != doc.header.checksum_fnv1a64 {
+            return Err(SnapshotError::ChecksumMismatch {
+                stored: doc.header.checksum_fnv1a64,
+                computed,
+            });
+        }
+    }
+    Ok(Snapshot { header: doc.header, payload })
+}

@@ -25,6 +25,8 @@
 //! only estimate through expert spot checks.
 
 pub mod candidates;
+pub mod codec_bin;
+pub mod codec_json;
 pub mod confirm;
 pub mod corrections;
 pub mod dataset;
@@ -41,6 +43,7 @@ pub mod snapshot;
 pub use soi_types::shard;
 
 pub use candidates::{CandidateSet, SourceFlags};
+pub use codec_bin::{section_stats, SectionStat, BIN_CONTAINER_VERSION, BIN_MAGIC};
 pub use confirm::{ConfirmOutcome, Confirmation, Confirmer};
 pub use corrections::{derive_corrections, SiblingCorrection};
 pub use dataset::{Dataset, DatasetDiff, OrgRecord};
@@ -48,7 +51,7 @@ pub use eval::Evaluation;
 pub use inputs::{InputConfig, PipelineInputs};
 pub use pipeline::{ConfirmCache, Pipeline, PipelineConfig, PipelineOutput, StageTimings};
 pub use snapshot::{
-    payload_checksum, Snapshot, SnapshotBuildInfo, SnapshotError, SnapshotHeader, SnapshotPayload,
-    SNAPSHOT_FORMAT_VERSION, SNAPSHOT_MAGIC,
+    payload_checksum, Snapshot, SnapshotBuildInfo, SnapshotError, SnapshotFormat, SnapshotHeader,
+    SnapshotPayload, SNAPSHOT_FORMAT_VERSION, SNAPSHOT_MAGIC,
 };
 pub use soi_types::shard::resolve_threads;

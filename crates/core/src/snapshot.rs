@@ -9,21 +9,31 @@
 //! and downstream consumers query a *fixed, versioned* dataset rather
 //! than whatever a fresh run would recompute.
 //!
-//! ## File format
+//! ## File formats
 //!
-//! One JSON document, `{"header": ..., "payload": ...}`:
+//! Two on-disk formats share one in-memory model, selected by
+//! [`SnapshotFormat`] and auto-detected from the first bytes on read:
 //!
-//! * `header.magic` — the literal [`SNAPSHOT_MAGIC`], so unrelated JSON is
-//!   rejected with a clear error;
-//! * `header.format_version` — [`SNAPSHOT_FORMAT_VERSION`]; readers reject
-//!   snapshots written by an incompatible schema;
-//! * `header.checksum_fnv1a64` — FNV-1a 64 over the canonical (compact,
-//!   field-ordered) JSON serialization of `payload`;
-//! * `header.build` — provenance ([`SnapshotBuildInfo`]): producing tool,
-//!   world seed, cardinalities, free-form comment;
-//! * `payload.dataset` — the paper-schema dataset (Listing 1);
-//! * `payload.table` — the announced prefix→origin entries (rebuilt into a
-//!   validated [`PrefixToAs`] on read).
+//! * **JSON** ([`crate::codec_json`]) — one document
+//!   `{"header": ..., "payload": ...}`; the import/export format.
+//!   * `header.magic` — the literal [`SNAPSHOT_MAGIC`], so unrelated
+//!     JSON is rejected with a clear error;
+//!   * `header.format_version` — [`SNAPSHOT_FORMAT_VERSION`]; readers
+//!     reject snapshots written by an incompatible payload schema;
+//!   * `header.checksum_fnv1a64` — FNV-1a 64 over the canonical
+//!     (compact, field-ordered) JSON serialization of `payload`;
+//!   * `header.build` — provenance ([`SnapshotBuildInfo`]): producing
+//!     tool, world seed, cardinalities, free-form comment;
+//!   * `payload.dataset` — the paper-schema dataset (Listing 1);
+//!   * `payload.table` — the announced prefix→origin entries (rebuilt
+//!     into a validated [`PrefixToAs`] on read).
+//! * **v2 binary** ([`crate::codec_bin`]) — the cold-start format:
+//!   FNV-checksummed length-prefixed sections, a deduplicated string
+//!   table, interned org records and fixed-width prefix entries. It
+//!   carries the *same* canonical payload checksum in its `META`
+//!   section, so a snapshot's identity (`header.checksum_fnv1a64`) is
+//!   independent of the format it is stored in — delta base pinning and
+//!   history manifests compare checksums across formats soundly.
 //!
 //! Validation is strict on *read*: wrong magic, unsupported version and
 //! checksum mismatch are distinct, typed [`SnapshotError`]s, so a reload
@@ -42,8 +52,62 @@ use crate::dataset::Dataset;
 /// Magic string identifying a snapshot file.
 pub const SNAPSHOT_MAGIC: &str = "soi-snapshot";
 
-/// Schema version written by this build; readers accept exactly this.
+/// Payload schema version written by this build; readers accept exactly
+/// this. Both on-disk formats carry it (the binary container has its
+/// own, separate container version — see [`crate::codec_bin`]).
 pub const SNAPSHOT_FORMAT_VERSION: u32 = 1;
+
+/// On-disk encoding of a snapshot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SnapshotFormat {
+    /// The original JSON document — import/export format.
+    Json,
+    /// The v2 binary container — cold-start format.
+    V2,
+}
+
+impl SnapshotFormat {
+    /// Identifies the format from the first bytes of a file, or `None`
+    /// if the bytes start like neither (the binary magic's first byte is
+    /// not `{`, so one byte usually decides).
+    pub fn detect(bytes: &[u8]) -> Option<SnapshotFormat> {
+        if bytes.starts_with(&crate::codec_bin::BIN_MAGIC) {
+            return Some(SnapshotFormat::V2);
+        }
+        if bytes.iter().find(|b| !b.is_ascii_whitespace()) == Some(&b'{') {
+            return Some(SnapshotFormat::Json);
+        }
+        None
+    }
+
+    /// The CLI-facing name: `"json"` or `"v2"`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SnapshotFormat::Json => "json",
+            SnapshotFormat::V2 => "v2",
+        }
+    }
+}
+
+impl fmt::Display for SnapshotFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for SnapshotFormat {
+    type Err = SoiError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "json" => Ok(SnapshotFormat::Json),
+            "v2" | "bin" | "binary" => Ok(SnapshotFormat::V2),
+            other => Err(SoiError::Parse(format!(
+                "unknown snapshot format {other:?} (expected \"v2\" or \"json\")"
+            ))),
+        }
+    }
+}
 
 /// Why a snapshot could not be loaded.
 #[derive(Debug)]
@@ -201,73 +265,85 @@ impl Snapshot {
 
     /// Serializes the full document (compact JSON).
     pub fn to_json(&self) -> Result<String, SoiError> {
-        serde_json::to_string(self)
-            .map_err(|e| SoiError::Parse(format!("snapshot serialization failed: {e}")))
+        crate::codec_json::encode(self)
     }
 
-    /// Parses *and validates* a snapshot document.
-    ///
-    /// The checksum is computed over the payload's raw bytes in the same
-    /// parse pass (via `RawValue`), instead of fully deserializing the
-    /// payload and then re-serializing it just to hash. Producers write
-    /// canonical compact JSON, so the raw bytes normally *are* the
-    /// canonical bytes; only when they differ (a hand-pretty-printed or
-    /// re-encoded file) does the reader fall back to one canonical
-    /// re-serialization before deciding between "equivalent rendering"
-    /// and [`SnapshotError::ChecksumMismatch`].
+    /// Parses *and validates* a JSON snapshot document (see
+    /// [`crate::codec_json`] for the checksum fast path).
     pub fn from_json(s: &str) -> Result<Snapshot, SnapshotError> {
-        #[derive(Deserialize)]
-        struct RawDocument<'a> {
-            header: SnapshotHeader,
-            #[serde(borrow)]
-            payload: &'a serde_json::value::RawValue,
-        }
-
-        let doc: RawDocument<'_> =
-            serde_json::from_str(s).map_err(|e| SnapshotError::Malformed(e.to_string()))?;
-        // Reject foreign or incompatible documents before touching the
-        // (much larger) payload.
-        if doc.header.magic != SNAPSHOT_MAGIC {
-            return Err(SnapshotError::WrongMagic(doc.header.magic.clone()));
-        }
-        if doc.header.format_version != SNAPSHOT_FORMAT_VERSION {
-            return Err(SnapshotError::UnsupportedVersion {
-                found: doc.header.format_version,
-                supported: SNAPSHOT_FORMAT_VERSION,
-            });
-        }
-        let raw = doc.payload.get();
-        let raw_checksum = fnv1a64(raw.as_bytes());
-        let payload: SnapshotPayload =
-            serde_json::from_str(raw).map_err(|e| SnapshotError::Malformed(e.to_string()))?;
-        if raw_checksum != doc.header.checksum_fnv1a64 {
-            let computed =
-                payload_checksum(&payload).map_err(|e| SnapshotError::Malformed(e.to_string()))?;
-            if computed != doc.header.checksum_fnv1a64 {
-                return Err(SnapshotError::ChecksumMismatch {
-                    stored: doc.header.checksum_fnv1a64,
-                    computed,
-                });
-            }
-        }
-        Ok(Snapshot { header: doc.header, payload })
+        crate::codec_json::decode(s)
     }
 
-    /// Writes the snapshot to `path` (via a sibling temp file + rename, so
-    /// a reloading server never observes a half-written snapshot).
-    pub fn write_to_file(&self, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
+    /// Serializes into the requested on-disk format.
+    pub fn to_bytes(&self, format: SnapshotFormat) -> Result<Vec<u8>, SoiError> {
+        match format {
+            SnapshotFormat::Json => self.to_json().map(String::into_bytes),
+            SnapshotFormat::V2 => crate::codec_bin::encode(self),
+        }
+    }
+
+    /// Parses and validates a snapshot in either format, auto-detected
+    /// from the first bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
+        Snapshot::from_bytes_detect(bytes).map(|(snapshot, _)| snapshot)
+    }
+
+    /// Like [`Snapshot::from_bytes`], also reporting which format the
+    /// bytes were in (the service surfaces it in `/metrics` provenance).
+    pub fn from_bytes_detect(bytes: &[u8]) -> Result<(Snapshot, SnapshotFormat), SnapshotError> {
+        match SnapshotFormat::detect(bytes) {
+            Some(SnapshotFormat::V2) => {
+                crate::codec_bin::decode(bytes).map(|s| (s, SnapshotFormat::V2))
+            }
+            Some(SnapshotFormat::Json) => {
+                let text = std::str::from_utf8(bytes).map_err(|e| {
+                    SnapshotError::Malformed(format!("snapshot is not valid UTF-8: {e}"))
+                })?;
+                crate::codec_json::decode(text).map(|s| (s, SnapshotFormat::Json))
+            }
+            None => Err(SnapshotError::WrongMagic(
+                String::from_utf8_lossy(&bytes[..bytes.len().min(16)]).into_owned(),
+            )),
+        }
+    }
+
+    /// Writes the snapshot to `path` in `format` (via a sibling temp
+    /// file + rename, so a reloading server never observes a
+    /// half-written snapshot).
+    pub fn write_to_file_as(
+        &self,
+        path: impl AsRef<Path>,
+        format: SnapshotFormat,
+    ) -> Result<(), SnapshotError> {
         let path = path.as_ref();
-        let json = self.to_json().map_err(|e| SnapshotError::Malformed(e.to_string()))?;
+        let bytes = self.to_bytes(format).map_err(|e| SnapshotError::Malformed(e.to_string()))?;
         let tmp = path.with_extension("tmp");
-        std::fs::write(&tmp, json)?;
+        std::fs::write(&tmp, bytes)?;
         std::fs::rename(&tmp, path)?;
         Ok(())
     }
 
-    /// Reads and validates a snapshot from `path`.
+    /// Writes the snapshot to `path` as JSON (the historical default;
+    /// callers that want the binary format use [`write_to_file_as`]).
+    ///
+    /// [`write_to_file_as`]: Snapshot::write_to_file_as
+    pub fn write_to_file(&self, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
+        self.write_to_file_as(path, SnapshotFormat::Json)
+    }
+
+    /// Reads and validates a snapshot from `path`, auto-detecting the
+    /// format — every consumer (serve, reload, history resolve) is
+    /// format-agnostic through this one entry point.
     pub fn read_from_file(path: impl AsRef<Path>) -> Result<Snapshot, SnapshotError> {
-        let text = std::fs::read_to_string(path)?;
-        Snapshot::from_json(&text)
+        Snapshot::read_from_file_detect(path).map(|(snapshot, _)| snapshot)
+    }
+
+    /// Like [`Snapshot::read_from_file`], also reporting the format.
+    pub fn read_from_file_detect(
+        path: impl AsRef<Path>,
+    ) -> Result<(Snapshot, SnapshotFormat), SnapshotError> {
+        let bytes = std::fs::read(path)?;
+        Snapshot::from_bytes_detect(&bytes)
     }
 }
 
@@ -408,5 +484,41 @@ mod tests {
         assert_eq!(back.payload.dataset.organizations.len(), 1);
         std::fs::remove_file(&path).unwrap();
         assert!(matches!(Snapshot::read_from_file(&path), Err(SnapshotError::Io(_))));
+    }
+
+    #[test]
+    fn v2_file_round_trip_is_auto_detected_and_checksum_stable() {
+        let snap = fixture();
+        let path =
+            std::env::temp_dir().join(format!("soi-core-snapshot-test-{}.bin", std::process::id()));
+        snap.write_to_file_as(&path, SnapshotFormat::V2).unwrap();
+        let (back, format) = Snapshot::read_from_file_detect(&path).unwrap();
+        assert_eq!(format, SnapshotFormat::V2);
+        assert_eq!(back.header.checksum_fnv1a64, snap.header.checksum_fnv1a64);
+        assert_eq!(
+            serde_json::to_vec(&back.payload).unwrap(),
+            serde_json::to_vec(&snap.payload).unwrap()
+        );
+        // The same path read through the format-agnostic entry point.
+        let auto = Snapshot::read_from_file(&path).unwrap();
+        assert_eq!(auto.header.checksum_fnv1a64, snap.header.checksum_fnv1a64);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn unrecognized_bytes_are_wrong_magic() {
+        assert!(matches!(
+            Snapshot::from_bytes(b"garbage, not a snapshot"),
+            Err(SnapshotError::WrongMagic(_))
+        ));
+        assert!(matches!(Snapshot::from_bytes(b""), Err(SnapshotError::WrongMagic(_))));
+    }
+
+    #[test]
+    fn format_names_parse_and_print() {
+        assert_eq!("v2".parse::<SnapshotFormat>().unwrap(), SnapshotFormat::V2);
+        assert_eq!("json".parse::<SnapshotFormat>().unwrap(), SnapshotFormat::Json);
+        assert_eq!(SnapshotFormat::V2.to_string(), "v2");
+        assert!("yaml".parse::<SnapshotFormat>().is_err());
     }
 }

@@ -7,8 +7,9 @@
 //! it, git-pack style:
 //!
 //! * **Checkpoints** — periodic full [`soi_core::Snapshot`]s (the
-//!   existing codec, unchanged), one at year 0 and one at every
-//!   spacing multiple.
+//!   snapshot codec, binary v2 by default since snapshot format v2
+//!   landed; JSON still readable and writable), one at year 0 and one
+//!   at every spacing multiple.
 //! * **Segments** — one checksummed [`soi_delta::DatasetDelta`] per
 //!   year, each linking onto its predecessor's payload checksum.
 //! * **Manifest** — `history.json`, itself checksummed, pinning the
@@ -32,8 +33,8 @@ mod store;
 
 pub use cache::TemporalCache;
 pub use store::{
-    checkpoint_file, manifest_checksum, segment_file, HistoryBuildConfig, HistoryError,
-    HistoryManifest, HistoryStore, HistoryWriter, ManifestBody, ManifestHeader, OrgTimeline,
-    RecheckpointReport, ResolveStats, TimelinePoint, YearEntry, HISTORY_FORMAT_VERSION,
-    HISTORY_MAGIC, MANIFEST_FILE,
+    checkpoint_file, checkpoint_file_as, manifest_checksum, segment_file, HistoryBuildConfig,
+    HistoryError, HistoryManifest, HistoryStore, HistoryWriter, ManifestBody, ManifestHeader,
+    OrgTimeline, RecheckpointReport, ResolveStats, TimelinePoint, YearEntry,
+    HISTORY_FORMAT_VERSION, HISTORY_MAGIC, MANIFEST_FILE,
 };

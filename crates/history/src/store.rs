@@ -8,17 +8,24 @@
 //! ```text
 //! DIR/
 //!   history.json          manifest (magic, version, checksum, year table)
-//!   checkpoint-0000.json  full Snapshot of year 0 (always present)
-//!   checkpoint-0004.json  full Snapshot at each spacing multiple
+//!   checkpoint-0000.bin   full Snapshot of year 0 (always present)
+//!   checkpoint-0004.bin   full Snapshot at each spacing multiple
 //!   segment-0001.json     DatasetDelta: year 0 -> year 1
 //!   segment-0002.json     DatasetDelta: year 1 -> year 2
 //!   ...
 //! ```
 //!
-//! Checkpoints reuse the snapshot codec verbatim; segments reuse the
-//! delta codec. The manifest pins, per year, the canonical payload
-//! checksum plus which files realize it, and carries its own FNV-1a
-//! checksum so a truncated or hand-edited manifest is refused.
+//! Checkpoints reuse the snapshot codec verbatim — written in the binary
+//! v2 format (`.bin`) by default, with JSON (`.json`) selectable via
+//! [`HistoryBuildConfig::format`]. Readers never guess file names: every
+//! checkpoint is loaded by its *manifest* name and the snapshot codec
+//! auto-detects the format from the leading bytes, so stores produced by
+//! older (JSON-only) builds — and mixed-format stores left behind by a
+//! [`HistoryStore::re_checkpoint`] pass — stay readable. Segments reuse
+//! the delta codec and remain JSON. The manifest pins, per year, the
+//! canonical payload checksum plus which files realize it, and carries
+//! its own FNV-1a checksum so a truncated or hand-edited manifest is
+//! refused.
 //!
 //! ## Resolver
 //!
@@ -44,7 +51,9 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
 use serde::{Deserialize, Serialize};
-use soi_core::{payload_checksum, Snapshot, SnapshotBuildInfo, SnapshotError, SnapshotPayload};
+use soi_core::{
+    payload_checksum, Snapshot, SnapshotBuildInfo, SnapshotError, SnapshotFormat, SnapshotPayload,
+};
 use soi_delta::{apply_chain, DatasetDelta, DeltaEngine, DeltaError};
 use soi_types::{fnv1a64, OrgId};
 
@@ -58,9 +67,19 @@ pub const HISTORY_FORMAT_VERSION: u32 = 1;
 /// Manifest file name inside a history directory.
 pub const MANIFEST_FILE: &str = "history.json";
 
-/// File name of the full checkpoint for `year`.
+/// File name of the full checkpoint for `year` in `format`: the binary
+/// v2 codec uses `.bin`, JSON uses `.json`. Only writers call this —
+/// readers always go by the name pinned in the manifest.
+pub fn checkpoint_file_as(year: u32, format: SnapshotFormat) -> String {
+    match format {
+        SnapshotFormat::Json => format!("checkpoint-{year:04}.json"),
+        SnapshotFormat::V2 => format!("checkpoint-{year:04}.bin"),
+    }
+}
+
+/// File name of the JSON checkpoint for `year` (the pre-v2 layout).
 pub fn checkpoint_file(year: u32) -> String {
-    format!("checkpoint-{year:04}.json")
+    checkpoint_file_as(year, SnapshotFormat::Json)
 }
 
 /// File name of the delta segment covering `year-1 -> year`.
@@ -238,6 +257,10 @@ pub struct HistoryBuildConfig {
     pub tool: String,
     /// Free-form note recorded in the manifest.
     pub comment: String,
+    /// On-disk format for checkpoints (segments are always JSON). The
+    /// binary v2 codec is the default; JSON remains available for stores
+    /// that need to be diffable or hand-inspected.
+    pub format: SnapshotFormat,
 }
 
 impl Default for HistoryBuildConfig {
@@ -247,6 +270,7 @@ impl Default for HistoryBuildConfig {
             seed: None,
             tool: "soi-history".to_owned(),
             comment: String::new(),
+            format: SnapshotFormat::V2,
         }
     }
 }
@@ -341,11 +365,11 @@ impl HistoryWriter {
         }
         let dir = dir.as_ref().to_path_buf();
         fs::create_dir_all(&dir)?;
-        write_checkpoint(&dir, 0, base, cfg.seed, &cfg.tool)?;
+        let name = write_checkpoint(&dir, 0, base, cfg.seed, &cfg.tool, cfg.format)?;
         let entries = vec![YearEntry {
             year: 0,
             payload_checksum: checksum_of(base)?,
-            checkpoint: Some(checkpoint_file(0)),
+            checkpoint: Some(name),
             segment: None,
             events: 0,
         }];
@@ -365,14 +389,22 @@ impl HistoryWriter {
         self.current = delta.apply(&self.current)?;
         let name = segment_file(year);
         delta.write_to_file(self.dir.join(&name))?;
-        let on_checkpoint = year % self.cfg.checkpoint_spacing == 0;
-        if on_checkpoint {
-            write_checkpoint(&self.dir, year, &self.current, self.cfg.seed, &self.cfg.tool)?;
-        }
+        let checkpoint = if year % self.cfg.checkpoint_spacing == 0 {
+            Some(write_checkpoint(
+                &self.dir,
+                year,
+                &self.current,
+                self.cfg.seed,
+                &self.cfg.tool,
+                self.cfg.format,
+            )?)
+        } else {
+            None
+        };
         self.entries.push(YearEntry {
             year,
             payload_checksum: delta.header.result_checksum,
-            checkpoint: on_checkpoint.then(|| checkpoint_file(year)),
+            checkpoint,
             segment: Some(name),
             events,
         });
@@ -462,10 +494,13 @@ impl HistoryStore {
                 "year 0 must have a checkpoint and no segment".to_owned(),
             ));
         }
-        if !dir.join(checkpoint_file(0)).is_file() {
+        // Go by the manifest's name, not a guessed one: the base
+        // checkpoint may be either format depending on the writing build.
+        let base_checkpoint =
+            body.entries[0].checkpoint.as_deref().expect("year-0 checkpoint checked above");
+        if !dir.join(base_checkpoint).is_file() {
             return Err(HistoryError::Malformed(format!(
-                "base checkpoint {} is missing",
-                checkpoint_file(0)
+                "base checkpoint {base_checkpoint} is missing"
             )));
         }
 
@@ -600,14 +635,19 @@ impl HistoryStore {
             let entry = &self.manifest.entries[year as usize];
             if wanted && entry.checkpoint.is_none() {
                 let (payload, _) = self.resolve(year)?;
-                write_checkpoint(
+                // Compaction writes this build's default format; against
+                // an older JSON store that leaves a mixed-format
+                // directory, which the manifest-name + auto-detect read
+                // path handles without special cases.
+                let name = write_checkpoint(
                     &self.dir,
                     year,
                     &payload,
                     self.manifest.seed,
                     "soi history checkpoint",
+                    SnapshotFormat::V2,
                 )?;
-                self.manifest.entries[year as usize].checkpoint = Some(checkpoint_file(year));
+                self.manifest.entries[year as usize].checkpoint = Some(name);
                 report.written.push(year);
             }
         }
@@ -691,14 +731,16 @@ fn checksum_of(payload: &SnapshotPayload) -> Result<u64, HistoryError> {
     payload_checksum(payload).map_err(|e| HistoryError::Malformed(e.to_string()))
 }
 
-/// Writes a full snapshot of `payload` as the checkpoint for `year`.
+/// Writes a full snapshot of `payload` as the checkpoint for `year` in
+/// `format`, returning the file name written (recorded in the manifest).
 fn write_checkpoint(
     dir: &Path,
     year: u32,
     payload: &SnapshotPayload,
     seed: Option<u64>,
     tool: &str,
-) -> Result<(), HistoryError> {
+    format: SnapshotFormat,
+) -> Result<String, HistoryError> {
     let snapshot = Snapshot::build(
         payload.dataset.clone(),
         payload.table.clone(),
@@ -710,8 +752,9 @@ fn write_checkpoint(
         },
     )
     .map_err(|e| HistoryError::Malformed(e.to_string()))?;
-    snapshot.write_to_file(dir.join(checkpoint_file(year)))?;
-    Ok(())
+    let name = checkpoint_file_as(year, format);
+    snapshot.write_to_file_as(dir.join(&name), format)?;
+    Ok(name)
 }
 
 /// Atomically (tmp + rename) writes the manifest for `body`.

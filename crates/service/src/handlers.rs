@@ -16,8 +16,8 @@
 //!
 //! With a history store attached (`soi serve --history DIR`), the read
 //! routes (`/v1/asn`, `/v1/ip`, `/v1/prefix`, `/v1/country`,
-//! `/v1/search`) accept `?at=<year>` and answer from the dataset as of
-//! that year — materialized by checkpoint load + delta replay and kept
+//! `/v1/search`, `/v1/dataset`) accept `?at=<year>` and answer from the
+//! dataset as of that year — materialized by checkpoint load + delta replay and kept
 //! in a `(generation, year)` LRU, so the answer body is byte-identical
 //! to what a server over that year's dataset would produce. As-of
 //! errors: malformed year ⇒ `400 invalid_at`, no store attached ⇒
@@ -162,7 +162,9 @@ pub fn respond(state: &ServerState, queue_depth: usize, req: &Request) -> (&'sta
         ["v1", "search"] => {
             ("v1_search", with_as_of(state, req, index, |ix| v1_search_route(ix, req)))
         }
-        ["v1", "dataset"] => ("v1_dataset", Response::json(200, &index.summary())),
+        ["v1", "dataset"] => {
+            ("v1_dataset", with_as_of(state, req, index, |ix| Response::json(200, &ix.summary())))
+        }
         ["v1", "history"] => ("v1_history", v1_history_summary(state)),
         ["v1", "history", "org", raw] => ("v1_history", v1_history_org_route(state, raw)),
         ["v1", ..] => (
@@ -963,6 +965,34 @@ mod tests {
         assert!(snap.history_as_of_requests >= 7, "{}", snap.history_as_of_requests);
         assert!(snap.history_cache_hits >= 1, "repeated ?at= years must hit the cache");
         assert!(snap.history_deltas_replayed >= 1, "year 1 needs one replayed segment");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn v1_dataset_answers_as_of_a_year() {
+        // Regression: /v1/dataset used to ignore ?at= and always summarize
+        // the live index, silently disagreeing with every other read route.
+        let (st, dir) = history_state("dataset-asof");
+        let (label, resp) = get(&st, "/v1/dataset?at=0");
+        assert_eq!(label, "v1_dataset");
+        assert_eq!(resp.status, 200, "{}", body(&resp));
+        let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+        assert_eq!(v["organizations"].as_u64(), Some(1), "{}", body(&resp));
+        // PTCL joins in year 1, so the as-of summary grows.
+        let (_, resp) = get(&st, "/v1/dataset?at=1");
+        let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+        assert_eq!(v["organizations"].as_u64(), Some(2), "{}", body(&resp));
+        // Without ?at= the live index (still 1 org) answers.
+        let (_, resp) = get(&st, "/v1/dataset");
+        let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+        assert_eq!(v["organizations"].as_u64(), Some(1), "{}", body(&resp));
+        // The route shares the as-of error envelope with the other reads.
+        let (_, resp) = get(&st, "/v1/dataset?at=banana");
+        assert_eq!(resp.status, 400);
+        assert_eq!(envelope(&resp)["error"]["code"].as_str(), Some("invalid_at"));
+        let (_, resp) = get(&st, "/v1/dataset?at=9");
+        assert_eq!(resp.status, 404);
+        assert_eq!(envelope(&resp)["error"]["code"].as_str(), Some("unknown_year"));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -57,7 +57,14 @@ pub struct Request {
     /// Uppercase method token (`GET`, `HEAD`, ...).
     pub method: String,
     /// Percent-decoded path, query string excluded. Always starts `/`.
+    /// For display/logging only — routing must use [`Request::segments`],
+    /// where an encoded `%2F` stays *inside* its segment instead of
+    /// collapsing into this string as a separator.
     pub path: String,
+    /// Non-empty path segments, split on the **raw** (still-encoded)
+    /// path and percent-decoded individually, so `/asn%2FAS1` is the
+    /// single segment `asn/AS1`, not the route `asn`/`AS1`.
+    segments: Vec<String>,
     /// Decoded query parameters, in order of appearance.
     pub query: Vec<(String, String)>,
     /// True when the connection should stay open after the response
@@ -74,9 +81,10 @@ impl Request {
         self.query.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
     }
 
-    /// Path split into non-empty `/`-separated segments.
+    /// Path split into non-empty `/`-separated segments, each
+    /// percent-decoded after the split (see the `segments` field).
     pub fn segments(&self) -> Vec<&str> {
-        self.path.split('/').filter(|s| !s.is_empty()).collect()
+        self.segments.iter().map(String::as_str).collect()
     }
 }
 
@@ -175,10 +183,15 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Request, HttpError> {
     if !raw_path.starts_with('/') {
         return Err(HttpError::BadRequest(format!("non-absolute path: {raw_path:?}")));
     }
+    // Split on the raw path FIRST, then decode each segment: decoding
+    // before splitting would let an encoded `%2F` forge a route
+    // separator (`/asn%2FAS1` must not route as `/asn/AS1`).
+    let segments: Vec<String> =
+        raw_path.split('/').filter(|s| !s.is_empty()).map(|s| percent_decode(s, false)).collect();
     let path = percent_decode(raw_path, false);
     let query = raw_query.map(parse_query).unwrap_or_default();
 
-    Ok(Request { method, path, query, keep_alive, body })
+    Ok(Request { method, path, segments, query, keep_alive, body })
 }
 
 fn read_line(reader: &mut impl BufRead) -> Result<String, HttpError> {
@@ -506,5 +519,21 @@ mod tests {
     fn segments_split_path() {
         let req = parse("GET /asn/AS2119/ HTTP/1.1\r\n\r\n").unwrap();
         assert_eq!(req.segments(), vec!["asn", "AS2119"]);
+    }
+
+    #[test]
+    fn encoded_slash_stays_inside_its_segment() {
+        // Regression: the path used to be decoded before splitting, so
+        // `%2F` forged a route separator and `/asn%2FAS1` dispatched as
+        // the two-segment route `/asn/AS1`.
+        let req = parse("GET /asn%2FAS1 HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.segments(), vec!["asn/AS1"], "one segment, slash literal");
+        // Ordinary escapes inside a segment still decode after the split.
+        let req = parse("GET /country/N%4F HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.segments(), vec!["country", "NO"]);
+        // An encoded separator mixed with real ones splits only on the
+        // real ones.
+        let req = parse("GET /a/b%2Fc/d HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.segments(), vec!["a", "b/c", "d"]);
     }
 }

@@ -149,6 +149,9 @@ pub struct LatencySummary {
 pub struct IndexProvenance {
     /// `"snapshot"` or `"pipeline"`.
     pub source: String,
+    /// On-disk format the snapshot was detected in (`"v2"` or `"json"`);
+    /// `None` for pipeline rebuilds.
+    pub format: Option<String>,
     /// Worker threads the build used (0 when not applicable, e.g. a
     /// snapshot load).
     pub threads: usize,
@@ -244,13 +247,26 @@ impl Metrics {
 
     /// Records one served request.
     pub fn record_request(&self, route: &str, status: u16, latency: Duration) {
+        self.count_response(route, status);
+        self.latency.record(latency);
+    }
+
+    /// Records one response produced *without* a measured service time —
+    /// the parse-error paths (400/431/501), where no meaningful latency
+    /// exists. Counts the request and the error but takes **no**
+    /// histogram sample: recording `Duration::ZERO` for these used to
+    /// drag p50/p95 toward zero under garbage traffic.
+    pub fn record_request_unmeasured(&self, route: &str, status: u16) {
+        self.count_response(route, status);
+    }
+
+    fn count_response(&self, route: &str, status: u16) {
         self.requests.fetch_add(1, Ordering::Relaxed);
         if status >= 400 {
             self.errors.fetch_add(1, Ordering::Relaxed);
         }
         let slot = ROUTES.iter().position(|&r| r == route).unwrap_or(ROUTES.len() - 1);
         self.per_route[slot].fetch_add(1, Ordering::Relaxed);
-        self.latency.record(latency);
     }
 
     /// Counts one accepted connection.
@@ -548,6 +564,7 @@ mod tests {
         let status = ServiceStatus {
             build: Some(IndexProvenance {
                 source: "pipeline".into(),
+                format: None,
                 threads: 4,
                 timings: Some(StageTimings {
                     threads: 4,
@@ -566,6 +583,33 @@ mod tests {
         assert_eq!(build.threads, 4);
         let timings = build.timings.expect("timings present");
         assert_eq!(timings.worldgen_micros, 1_234);
+    }
+
+    #[test]
+    fn unmeasured_errors_count_without_polluting_the_histogram() {
+        // Regression: parse-error responses (400/431/501) used to be
+        // recorded with Duration::ZERO, dragging every quantile toward
+        // zero under garbage traffic. They must count as requests and
+        // errors but contribute no latency sample.
+        let m = Metrics::new();
+        for micros in [900u64, 1_000, 1_100, 950] {
+            m.record_request("asn", 200, Duration::from_micros(micros));
+        }
+        let before = m.snapshot(0, &ServiceStatus::default());
+        for _ in 0..100 {
+            m.record_request_unmeasured("other", 400);
+        }
+        m.record_request_unmeasured("other", 431);
+        m.record_request_unmeasured("other", 501);
+        let after = m.snapshot(0, &ServiceStatus::default());
+        assert_eq!(after.requests_total, before.requests_total + 102);
+        assert_eq!(after.responses_error, before.responses_error + 102);
+        assert_eq!(after.per_route["other"], 102);
+        // The histogram is untouched: same count, same quantiles.
+        assert_eq!(after.latency.count, before.latency.count);
+        assert_eq!(after.latency.p50_micros, before.latency.p50_micros);
+        assert_eq!(after.latency.p95_micros, before.latency.p95_micros);
+        assert!(after.latency.p50_micros >= 900, "quantiles reflect real samples only");
     }
 
     #[test]

@@ -199,8 +199,8 @@ impl Reloader {
         let _guard = self.inner.slot.admin_lock();
         // Read + validate + build BEFORE touching the slot: everything
         // fallible happens while the old index still serves.
-        match Snapshot::read_from_file(&self.inner.path) {
-            Ok(snapshot) => {
+        match Snapshot::read_from_file_detect(&self.inner.path) {
+            Ok((snapshot, format)) => {
                 let build = snapshot.header.build.clone();
                 let checksum = snapshot.header.checksum_fnv1a64;
                 let payload = Arc::new(snapshot.payload.clone());
@@ -213,6 +213,7 @@ impl Reloader {
                 );
                 self.inner.slot.set_provenance(IndexProvenance {
                     source: "snapshot".into(),
+                    format: Some(format.as_str().to_owned()),
                     threads: 0,
                     timings: None,
                 });
@@ -317,6 +318,39 @@ mod tests {
         let snap = metrics.snapshot(0, &slot.status());
         assert_eq!(snap.reloads_total, 1);
         assert_eq!(snap.reload_failures, 2);
+
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn reload_accepts_v2_snapshots_and_reports_the_format() {
+        use soi_core::SnapshotFormat;
+
+        let path = tmp("v2");
+        snapshot("Telenor", 2119).write_to_file(&path).unwrap();
+        let boot = Snapshot::read_from_file(&path).unwrap();
+        let slot = Arc::new(IndexSlot::new(Arc::new(ServiceIndex::from_snapshot(boot)), None));
+        let metrics = Metrics::new();
+        let reloader = Reloader::new(&path, Arc::clone(&slot));
+
+        // Overwrite the watched file with the *binary* encoding of a new
+        // snapshot: the reloader auto-detects the format, swaps, and the
+        // provenance says which decoder ran.
+        snapshot("PTCL", 4000).write_to_file_as(&path, SnapshotFormat::V2).unwrap();
+        let outcome = reloader.reload(&metrics).expect("v2 reload succeeds");
+        assert_eq!(outcome.generation, 2);
+        assert!(slot.load().lookup_asn(Asn(4000)).state_owned);
+        assert_eq!(slot.provenance().unwrap().format.as_deref(), Some("v2"));
+
+        // The payload checksum tracked after a v2 load is the canonical
+        // one, so the delta write path is armed identically to JSON.
+        let (_, checksum) = slot.payload().expect("v2 reload tracks the payload");
+        assert_eq!(checksum, snapshot("PTCL", 4000).header.checksum_fnv1a64);
+
+        // Swapping back to JSON works too — mixed-format operation.
+        snapshot("Telenor", 2119).write_to_file(&path).unwrap();
+        reloader.reload(&metrics).expect("json reload succeeds");
+        assert_eq!(slot.provenance().unwrap().format.as_deref(), Some("json"));
 
         let _ = std::fs::remove_file(&path);
     }

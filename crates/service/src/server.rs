@@ -340,16 +340,21 @@ fn handle_connection(
                 break;
             }
             Err(HttpError::Io(_)) => break,
+            // Parse-error responses carry no meaningful service time (the
+            // clock would start mid-read, counting idle keep-alive wait),
+            // so they are counted without a latency sample — recording
+            // Duration::ZERO here used to drag p50/p95 toward zero under
+            // garbage traffic.
             Err(HttpError::BadRequest(message)) => {
                 let response = Response::error(400, &message);
                 let _ = response.write_to(&mut stream, false);
-                metrics.record_request("other", 400, Duration::ZERO);
+                metrics.record_request_unmeasured("other", 400);
                 break;
             }
             Err(HttpError::TooLarge(message)) => {
                 let response = Response::error(431, &message);
                 let _ = response.write_to(&mut stream, false);
-                metrics.record_request("other", 431, Duration::ZERO);
+                metrics.record_request_unmeasured("other", 431);
                 break;
             }
             Err(HttpError::NotImplemented(message)) => {
@@ -358,7 +363,7 @@ fn handle_connection(
                 // close at this boundary rather than misparse the stream.
                 let response = Response::error(501, &message);
                 let _ = response.write_to(&mut stream, false);
-                metrics.record_request("other", 501, Duration::ZERO);
+                metrics.record_request_unmeasured("other", 501);
                 break;
             }
         }
@@ -536,6 +541,42 @@ mod tests {
         reader.read_line(&mut response).unwrap();
         assert!(response.contains("400"), "{response}");
         handle.shutdown();
+    }
+
+    #[test]
+    fn malformed_requests_do_not_pollute_latency_quantiles() {
+        let handle = serve(test_index(), ("127.0.0.1", 0), test_config()).unwrap();
+        let addr = handle.local_addr();
+        // A few real requests populate the histogram...
+        for _ in 0..4 {
+            let (status, _) = get(addr, "/asn/AS2119");
+            assert_eq!(status, 200);
+        }
+        let (_, body) = get(addr, "/metrics");
+        let before: serde_json::Value = serde_json::from_str(&body).unwrap();
+        let measured = before["latency"]["count"].as_u64().unwrap();
+        assert!(measured >= 5, "{before}");
+        // ...then a burst of garbage draws 400s. Each one must count as a
+        // request and an error but add no histogram sample (the old
+        // Duration::ZERO samples dragged p50 to zero here).
+        for _ in 0..20 {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream.write_all(b"GARBAGE REQUEST\r\n\r\n").unwrap();
+            let mut line = String::new();
+            BufReader::new(stream).read_line(&mut line).unwrap();
+            assert!(line.contains("400"), "{line}");
+        }
+        let (_, body) = get(addr, "/metrics");
+        let after: serde_json::Value = serde_json::from_str(&body).unwrap();
+        assert!(after["responses_error"].as_u64().unwrap() >= 20, "{after}");
+        assert!(after["per_route"]["other"].as_u64().unwrap() >= 20, "{after}");
+        // The /metrics GETs above are measured; the 20 garbage requests
+        // are not.
+        let measured_after = after["latency"]["count"].as_u64().unwrap();
+        assert!(measured_after < measured + 20, "garbage must not be sampled: {after}");
+        assert!(after["latency"]["p50_micros"].as_u64().unwrap() > 0, "{after}");
+        let snap = handle.shutdown();
+        assert!(snap.latency.p50_micros > 0, "quantiles reflect served requests only");
     }
 
     #[test]

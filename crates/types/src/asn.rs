@@ -65,11 +65,13 @@ impl FromStr for Asn {
     /// Parses either a bare number (`"2119"`) or the conventional `AS`
     /// prefix form (`"AS2119"`, case-insensitive).
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let digits = s
-            .strip_prefix("AS")
-            .or_else(|| s.strip_prefix("as"))
-            .or_else(|| s.strip_prefix("As"))
-            .unwrap_or(s);
+        // Byte-wise case-insensitive prefix check: the prefix is two
+        // ASCII bytes, so `&s[2..]` always lands on a char boundary
+        // (a `s[..2]`-style slice would panic on multi-byte input).
+        let digits = match s.as_bytes() {
+            [b'A' | b'a', b'S' | b's', ..] => &s[2..],
+            _ => s,
+        };
         digits.parse::<u32>().map(Asn).map_err(|_| SoiError::Parse(format!("invalid ASN: {s:?}")))
     }
 }
@@ -91,10 +93,22 @@ mod tests {
     }
 
     #[test]
+    fn prefix_is_case_insensitive_in_every_combination() {
+        // Regression: "aS" and "As" are as valid as "AS"/"as"; the old
+        // parser enumerated literal prefixes and missed "aS".
+        for prefix in ["AS", "as", "As", "aS"] {
+            assert_eq!(format!("{prefix}2119").parse::<Asn>().unwrap(), Asn(2119), "{prefix}");
+        }
+    }
+
+    #[test]
     fn rejects_garbage() {
         assert!("ASX".parse::<Asn>().is_err());
         assert!("".parse::<Asn>().is_err());
         assert!("AS-5".parse::<Asn>().is_err());
+        // Multi-byte UTF-8 must be rejected, not panicked on.
+        assert!("€2119".parse::<Asn>().is_err());
+        assert!("aß1".parse::<Asn>().is_err());
     }
 
     #[test]

@@ -9,9 +9,15 @@
 //!   org <name fragment>    search the identified dataset by name
 //!   cti <CC> [k]           top transit ASes of a country by CTI
 //!   ageing [years]         frozen-dataset decay under ownership churn
-//!   snapshot write PATH    run the pipeline and persist the result
+//!   snapshot write PATH [--format v2|json]
+//!                          run the pipeline and persist the result
+//!                          (binary v2 container by default)
 //!   snapshot inspect PATH [--json]
-//!                          print a snapshot's header without serving it
+//!                          print a snapshot's header (and, for v2, its
+//!                          section sizes) without serving it
+//!   snapshot convert IN OUT [--format v2|json]
+//!                          re-encode a snapshot between containers;
+//!                          the payload checksum is unchanged
 //!   snapshot compact BASE OUT DELTA...
 //!                          fold a delta chain into a full snapshot
 //!   delta make --out DIR [--years N]
@@ -46,8 +52,8 @@ use soi_analysis::headline::Headline;
 use soi_analysis::render::render_table;
 use state_owned_ases::analysis::ageing::AgeingReport;
 use state_owned_ases::core::{
-    payload_checksum, Evaluation, InputConfig, Pipeline, PipelineConfig, PipelineInputs, Snapshot,
-    SnapshotBuildInfo, SnapshotPayload,
+    payload_checksum, section_stats, Evaluation, InputConfig, Pipeline, PipelineConfig,
+    PipelineInputs, Snapshot, SnapshotBuildInfo, SnapshotFormat, SnapshotPayload,
 };
 use state_owned_ases::delta::{compact, DatasetDelta, DeltaEngine, EngineConfig};
 use state_owned_ases::history::{HistoryBuildConfig, HistoryStore};
@@ -176,8 +182,9 @@ fn main() {
             let history_dir = extract_flag(&mut args, "--history");
             let (slot, reloader, source) = match &snapshot_path {
                 Some(path) => {
-                    // Cold start from disk: no worldgen, no pipeline.
-                    let snapshot = Snapshot::read_from_file(path)
+                    // Cold start from disk: no worldgen, no pipeline. The
+                    // codec auto-detects JSON vs binary v2 from the bytes.
+                    let (snapshot, format) = Snapshot::read_from_file_detect(path)
                         .unwrap_or_else(|e| fail(&format!("cannot load snapshot {path}: {e}")));
                     let info = snapshot.header.build.clone();
                     let checksum = snapshot.header.checksum_fnv1a64;
@@ -187,11 +194,12 @@ fn main() {
                     slot.attach_payload(payload, checksum);
                     slot.set_provenance(IndexProvenance {
                         source: "snapshot".into(),
+                        format: Some(format.as_str().to_owned()),
                         threads: 0,
                         timings: None,
                     });
                     let reloader = Reloader::new(path, Arc::clone(&slot));
-                    (slot, Some(reloader), format!("snapshot {path}"))
+                    (slot, Some(reloader), format!("snapshot {path} ({format})"))
                 }
                 None => {
                     let (world, wg_micros) = build_world(seed, threads);
@@ -207,6 +215,7 @@ fn main() {
                     slot.attach_payload(Arc::new(payload), checksum);
                     slot.set_provenance(IndexProvenance {
                         source: "pipeline".into(),
+                        format: None,
                         threads: output.timings.threads,
                         timings: Some(output.timings),
                     });
@@ -293,12 +302,18 @@ fn main() {
         }
         "snapshot" => {
             let as_json = extract_bool_flag(&mut args, "--json");
-            let sub = args
-                .get(1)
-                .cloned()
-                .unwrap_or_else(|| fail("snapshot needs a subcommand: write | inspect | compact"));
+            let format: SnapshotFormat = extract_flag(&mut args, "--format")
+                .map(|f| f.parse().unwrap_or_else(|e| fail(&format!("{e}"))))
+                .unwrap_or(SnapshotFormat::V2);
+            let sub = args.get(1).cloned().unwrap_or_else(|| {
+                fail("snapshot needs a subcommand: write | inspect | convert | compact")
+            });
             if sub == "compact" {
                 snapshot_compact(&args, seed);
+                return;
+            }
+            if sub == "convert" {
+                snapshot_convert(&args, format);
                 return;
             }
             let path = args
@@ -318,10 +333,10 @@ fn main() {
                     let snapshot = Snapshot::build(output.dataset, inputs.prefix_to_as, build)
                         .unwrap_or_else(|e| fail(&format!("cannot build snapshot: {e}")));
                     snapshot
-                        .write_to_file(&path)
+                        .write_to_file_as(&path, format)
                         .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
                     println!(
-                        "snapshot written to {path} (format v{}, {} orgs, {} prefixes, checksum {:#018x})",
+                        "snapshot written to {path} ({format} encoding, payload v{}, {} orgs, {} prefixes, checksum {:#018x})",
                         snapshot.header.format_version,
                         snapshot.header.build.organizations,
                         snapshot.header.build.announced_prefixes,
@@ -329,14 +344,29 @@ fn main() {
                     );
                 }
                 "inspect" => {
-                    let snapshot = Snapshot::read_from_file(&path)
+                    let bytes = std::fs::read(&path)
                         .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+                    let (snapshot, detected) = Snapshot::from_bytes_detect(&bytes)
+                        .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+                    // Per-section byte counts only exist for the
+                    // sectioned binary container.
+                    let sections = match detected {
+                        SnapshotFormat::V2 => section_stats(&bytes)
+                            .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}"))),
+                        SnapshotFormat::Json => Vec::new(),
+                    };
                     let h = &snapshot.header;
                     if as_json {
                         // Machine-readable: the header plus the derived
                         // counts the table shows, as one JSON object.
                         let doc = serde_json::json!({
                             "path": path,
+                            "format": detected.as_str(),
+                            "file_bytes": bytes.len(),
+                            "sections": sections
+                                .iter()
+                                .map(|s| serde_json::json!({ "name": s.name, "bytes": s.bytes }))
+                                .collect::<Vec<_>>(),
                             "format_version": h.format_version,
                             "checksum_fnv1a64": h.checksum_fnv1a64,
                             "build": h.build,
@@ -348,8 +378,10 @@ fn main() {
                         println!("{}", serde_json::to_string_pretty(&doc).expect("serialize"));
                         return;
                     }
-                    let rows = vec![
-                        vec!["format version".to_string(), h.format_version.to_string()],
+                    let mut rows = vec![
+                        vec!["format".to_string(), detected.to_string()],
+                        vec!["file bytes".into(), bytes.len().to_string()],
+                        vec!["payload version".into(), h.format_version.to_string()],
                         vec!["checksum (fnv1a64)".into(), format!("{:#018x}", h.checksum_fnv1a64)],
                         vec!["tool".into(), h.build.tool.clone()],
                         vec![
@@ -364,10 +396,16 @@ fn main() {
                             snapshot.payload.dataset.state_owned_ases().len().to_string(),
                         ],
                     ];
+                    for s in &sections {
+                        rows.push(vec![
+                            format!("section {}", s.name),
+                            format!("{} bytes", s.bytes),
+                        ]);
+                    }
                     println!("{}", render_table(&["field", "value"], &rows));
                 }
                 other => fail(&format!(
-                    "unknown snapshot subcommand: {other} (write | inspect | compact)"
+                    "unknown snapshot subcommand: {other} (write | inspect | convert | compact)"
                 )),
             }
         }
@@ -587,6 +625,27 @@ fn history_cmd(args: &mut Vec<String>, seed: u64, threads: usize) {
     }
 }
 
+/// `soi snapshot convert IN OUT [--format v2|json]`: re-encode a
+/// snapshot between the JSON and binary containers. The payload — and
+/// its canonical checksum — is identical on both sides; only the
+/// container bytes change, so a converted file serves byte-identical
+/// answers and stays a valid base for the same delta chain.
+fn snapshot_convert(args: &[String], format: SnapshotFormat) {
+    let in_path =
+        args.get(2).cloned().unwrap_or_else(|| fail("snapshot convert needs an input path"));
+    let out_path =
+        args.get(3).cloned().unwrap_or_else(|| fail("snapshot convert needs an output path"));
+    let (snapshot, from) = Snapshot::read_from_file_detect(&in_path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {in_path}: {e}")));
+    snapshot
+        .write_to_file_as(&out_path, format)
+        .unwrap_or_else(|e| fail(&format!("cannot write {out_path}: {e}")));
+    println!(
+        "converted {in_path} ({from}) -> {out_path} ({format}); payload checksum {:#018x} unchanged",
+        snapshot.header.checksum_fnv1a64,
+    );
+}
+
 /// `soi snapshot compact BASE OUT DELTA...`: fold a delta chain into a
 /// full snapshot equivalent to having applied every delta in order.
 fn snapshot_compact(args: &[String], seed: u64) {
@@ -707,9 +766,15 @@ fn usage() {
          \x20 org <name>            search the dataset by name\n\
          \x20 cti <CC> [k]          top transit ASes of a country\n\
          \x20 ageing [years]        dataset decay under churn\n\
-         \x20 snapshot write PATH   run the pipeline, persist the result\n\
+         \x20 snapshot write PATH [--format v2|json]\n\
+         \x20                       run the pipeline, persist the result\n\
+         \x20                       (binary v2 container by default)\n\
          \x20 snapshot inspect PATH [--json]\n\
-         \x20                       print a snapshot's header (table or JSON)\n\
+         \x20                       print a snapshot's header and, for v2,\n\
+         \x20                       its section sizes (table or JSON)\n\
+         \x20 snapshot convert IN OUT [--format v2|json]\n\
+         \x20                       re-encode between containers; payload\n\
+         \x20                       checksum unchanged\n\
          \x20 snapshot compact BASE OUT DELTA...\n\
          \x20                       fold a delta chain into a full snapshot\n\
          \x20 delta make --out DIR [--years N]\n\

@@ -80,6 +80,9 @@ fn snapshot_inspect_json_reports_header_and_counts() {
     let v: serde_json::Value =
         serde_json::from_slice(&out.stdout).expect("inspect --json emits valid JSON");
     assert_eq!(v["checksum_fnv1a64"].as_u64(), Some(snapshot.header.checksum_fnv1a64));
+    assert_eq!(v["format"].as_str(), Some("json"), "detected container format");
+    assert!(v["file_bytes"].as_u64().unwrap() > 0);
+    assert_eq!(v["sections"].as_array().map(Vec::len), Some(0), "JSON has no sections");
     assert_eq!(v["format_version"].as_u64(), Some(u64::from(snapshot.header.format_version)));
     assert_eq!(v["organizations"].as_u64(), Some(1));
     assert_eq!(v["announced_prefixes"].as_u64(), Some(1));
@@ -90,7 +93,54 @@ fn snapshot_inspect_json_reports_header_and_counts() {
     let out = soi(&["snapshot", "inspect", path.to_str().unwrap()]);
     assert!(out.status.success());
     assert!(String::from_utf8(out.stdout).unwrap().contains("cli-inspect-test"));
+
+    // Convert to the binary container: the payload checksum is pinned
+    // across the re-encode, and inspect now reports the four sections.
+    let bin_path =
+        std::env::temp_dir().join(format!("soi-cli-inspect-test-{}.bin", std::process::id()));
+    let out = soi(&[
+        "snapshot",
+        "convert",
+        path.to_str().unwrap(),
+        bin_path.to_str().unwrap(),
+        "--format",
+        "v2",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = soi(&["snapshot", "inspect", bin_path.to_str().unwrap(), "--json"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).unwrap();
+    assert_eq!(v["format"].as_str(), Some("v2"));
+    assert_eq!(v["checksum_fnv1a64"].as_u64(), Some(snapshot.header.checksum_fnv1a64));
+    let sections: Vec<&str> =
+        v["sections"].as_array().unwrap().iter().map(|s| s["name"].as_str().unwrap()).collect();
+    assert_eq!(sections, ["meta", "strings", "orgs", "prefixes"]);
+    assert_eq!(v["organizations"].as_u64(), Some(1));
+
+    // And back to JSON: the round-tripped document parses to the same
+    // snapshot the library wrote in the first place.
+    let back_path =
+        std::env::temp_dir().join(format!("soi-cli-inspect-back-{}.json", std::process::id()));
+    let out = soi(&[
+        "snapshot",
+        "convert",
+        bin_path.to_str().unwrap(),
+        back_path.to_str().unwrap(),
+        "--format",
+        "json",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let back = Snapshot::read_from_file(&back_path).unwrap();
+    assert_eq!(back.header.checksum_fnv1a64, snapshot.header.checksum_fnv1a64);
+    assert_eq!(
+        serde_json::to_vec(&back.payload).unwrap(),
+        serde_json::to_vec(&snapshot.payload).unwrap(),
+        "JSON -> v2 -> JSON round trip must preserve the payload bytes"
+    );
+
     let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&bin_path);
+    let _ = std::fs::remove_file(&back_path);
 }
 
 #[test]
@@ -174,7 +224,7 @@ fn history_inspect_reports_the_manifest_and_checkpoint_rewrites_spacing() {
     assert_eq!(v["tool"].as_str(), Some("cli-history-test"));
     let entries = v["entries"].as_array().expect("year table");
     assert_eq!(entries.len(), 4, "years 0..=3");
-    assert_eq!(entries[0]["checkpoint"].as_str(), Some("checkpoint-0000.json"));
+    assert_eq!(entries[0]["checkpoint"].as_str(), Some("checkpoint-0000.bin"));
     assert!(entries[1]["checkpoint"].is_null(), "year 1 is segment-only");
     assert_eq!(entries[1]["segment"].as_str(), Some("segment-0001.json"));
 
@@ -182,7 +232,7 @@ fn history_inspect_reports_the_manifest_and_checkpoint_rewrites_spacing() {
     let out = soi(&["history", "inspect", dir_s]);
     assert!(out.status.success());
     let text = String::from_utf8(out.stdout).unwrap();
-    assert!(text.contains("checkpoint-0000.json"), "{text}");
+    assert!(text.contains("checkpoint-0000.bin"), "{text}");
     assert!(text.contains("segment-0003.json"), "{text}");
 
     // Re-checkpoint at spacing 1: a checkpoint for every year.

@@ -233,6 +233,7 @@ fn as_of_survives_an_interleaved_checkpoint_compaction_byte_for_byte() {
     assert!(report.written.contains(&3), "{report:?}");
     assert!(report.removed.contains(&2), "{report:?}");
     assert_eq!(compactor.checkpoint_years(), vec![0, 3]);
+    assert!(!dir.join("checkpoint-0002.bin").exists());
     assert!(!dir.join("checkpoint-0002.json").exists());
 
     let reference = reference_payload(&world, &cfg, 2);

@@ -1,0 +1,247 @@
+//! Cross-format oracles for snapshot format v2 (the binary container).
+//!
+//! Two properties pin the formats together:
+//!
+//! 1. **Checksum identity** — converting JSON -> v2 -> JSON preserves
+//!    the payload byte-for-byte and keeps the canonical payload
+//!    checksum, so history manifests and delta base pins work across
+//!    formats unchanged.
+//! 2. **Served-byte equality** — a server cold-started from a v2 file
+//!    answers every data route byte-identically to one cold-started
+//!    from the JSON encoding of the same snapshot.
+//!
+//! CI runs this file as the "Snapshot v2 oracle" step.
+
+mod common;
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use state_owned_ases::core::{
+    payload_checksum, Snapshot, SnapshotBuildInfo, SnapshotFormat, SnapshotPayload,
+};
+use state_owned_ases::delta::{DatasetDelta, DeltaProvenance, EventBatch};
+use state_owned_ases::history::{HistoryBuildConfig, HistoryStore, HistoryWriter};
+use state_owned_ases::service::{serve_with, IndexSlot, ServerConfig, ServerHandle, ServiceIndex};
+
+fn tmp(name: &str, ext: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("soi-snapshot-v2-{}-{name}.{ext}", std::process::id()))
+}
+
+fn fixture_snapshot() -> Snapshot {
+    let fx = common::fixture();
+    Snapshot::build(
+        fx.output.dataset.clone(),
+        fx.inputs.prefix_to_as.clone(),
+        SnapshotBuildInfo { tool: "v2-oracle".into(), seed: Some(777), ..Default::default() },
+    )
+    .expect("build snapshot")
+}
+
+#[test]
+fn json_to_v2_to_json_round_trip_preserves_the_payload_checksum() {
+    let snapshot = fixture_snapshot();
+    let json_bytes = snapshot.to_bytes(SnapshotFormat::Json).expect("encode json");
+    let v2_bytes = snapshot.to_bytes(SnapshotFormat::V2).expect("encode v2");
+    assert_ne!(json_bytes, v2_bytes);
+
+    // JSON -> v2: the decoded snapshot carries the same canonical
+    // checksum, and recomputing it from the decoded payload agrees.
+    let (from_v2, format) = Snapshot::from_bytes_detect(&v2_bytes).expect("decode v2");
+    assert_eq!(format, SnapshotFormat::V2);
+    assert_eq!(from_v2.header.checksum_fnv1a64, snapshot.header.checksum_fnv1a64);
+    assert_eq!(
+        payload_checksum(&from_v2.payload).unwrap(),
+        snapshot.header.checksum_fnv1a64,
+        "checksum recomputed from the decoded payload must agree"
+    );
+
+    // ...and back to JSON: byte-identical to the direct JSON encoding.
+    let back = from_v2.to_bytes(SnapshotFormat::Json).expect("re-encode json");
+    assert_eq!(back, json_bytes, "JSON -> v2 -> JSON must reproduce the document bytes");
+
+    // The binary container is also the smaller one on a real dataset —
+    // the point of the format.
+    assert!(
+        v2_bytes.len() < json_bytes.len(),
+        "v2 ({} bytes) should undercut JSON ({} bytes)",
+        v2_bytes.len(),
+        json_bytes.len()
+    );
+}
+
+/// One framed HTTP exchange; returns (status, raw body bytes).
+fn fetch(addr: SocketAddr, target: &str) -> (u16, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    write!(stream, "GET {target} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n").unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status line");
+    let status: u16 =
+        status_line.split_whitespace().nth(1).expect("status code").parse().expect("numeric");
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header line");
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v.trim().parse().expect("content-length value");
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).expect("body");
+    (status, body)
+}
+
+/// Boots a server from a snapshot file exactly the way `soi serve
+/// --snapshot` does: read (auto-detected format), index, serve.
+fn boot_from_file(path: &PathBuf) -> ServerHandle {
+    let snapshot = Snapshot::read_from_file(path).expect("read snapshot");
+    let info = snapshot.header.build.clone();
+    let index = Arc::new(ServiceIndex::from_snapshot(snapshot));
+    let slot = Arc::new(IndexSlot::new(index, Some(info)));
+    let cfg = ServerConfig {
+        read_timeout: Duration::from_secs(2),
+        write_timeout: Duration::from_secs(2),
+        ..ServerConfig::default()
+    };
+    serve_with(slot, None, ("127.0.0.1", 0), cfg).expect("bind")
+}
+
+#[test]
+fn a_v2_booted_server_answers_byte_identically_to_a_json_booted_one() {
+    let snapshot = fixture_snapshot();
+    let json_path = tmp("served", "json");
+    let v2_path = tmp("served", "bin");
+    snapshot.write_to_file_as(&json_path, SnapshotFormat::Json).expect("write json");
+    snapshot.write_to_file_as(&v2_path, SnapshotFormat::V2).expect("write v2");
+
+    let json_server = boot_from_file(&json_path);
+    let v2_server = boot_from_file(&v2_path);
+
+    // Every data route, including misses and per-country rollups, must
+    // not betray which container the server booted from.
+    let mut targets = vec![
+        "/v1/dataset".to_owned(),
+        "/v1/country".to_owned(),
+        "/v1/search?q=tel".to_owned(),
+        "/v1/search?q=zzz-no-such-operator".to_owned(),
+        "/v1/ip/10.0.0.7".to_owned(),
+        "/v1/prefix/10.0.0.0/16".to_owned(),
+    ];
+    let state_owned = snapshot.payload.dataset.state_owned_ases();
+    assert!(!state_owned.is_empty(), "fixture pipeline found operators");
+    for asn in state_owned.iter().take(25) {
+        targets.push(format!("/v1/asn/{}", asn.0));
+    }
+    let max_asn = state_owned.iter().map(|a| a.0).max().unwrap();
+    targets.push(format!("/v1/asn/{}", max_asn + 17));
+    for cc in snapshot.payload.dataset.owner_countries() {
+        targets.push(format!("/v1/country/{cc}"));
+    }
+
+    for target in &targets {
+        let (json_status, json_body) = fetch(json_server.local_addr(), target);
+        let (v2_status, v2_body) = fetch(v2_server.local_addr(), target);
+        assert_eq!(json_status, v2_status, "{target}");
+        assert_eq!(
+            json_body,
+            v2_body,
+            "{target}: v2-booted and JSON-booted servers disagree: {} vs {}",
+            String::from_utf8_lossy(&json_body),
+            String::from_utf8_lossy(&v2_body),
+        );
+    }
+
+    json_server.shutdown();
+    v2_server.shutdown();
+    let _ = std::fs::remove_file(&json_path);
+    let _ = std::fs::remove_file(&v2_path);
+}
+
+/// A two-year payload lineage for the history store tests.
+fn lineage() -> (SnapshotPayload, Vec<DatasetDelta>) {
+    let fx = common::fixture();
+    let mut dataset = fx.output.dataset.clone();
+    dataset.canonicalize();
+    let base = SnapshotPayload { dataset, table: fx.inputs.prefix_to_as.clone() };
+    let mut deltas = Vec::new();
+    let mut prev = base.clone();
+    for year in 1..=2u32 {
+        let mut next = prev.clone();
+        next.dataset.organizations[0].org_name = format!("Churned Operator y{year}");
+        next.dataset.canonicalize();
+        let delta = DatasetDelta::compute(
+            &prev,
+            &next,
+            EventBatch::default(),
+            0,
+            0,
+            Vec::new(),
+            DeltaProvenance::default(),
+        )
+        .expect("delta");
+        deltas.push(delta);
+        prev = next;
+    }
+    (base, deltas)
+}
+
+fn build_store(dir: &PathBuf, format: SnapshotFormat) -> HistoryStore {
+    let (base, deltas) = lineage();
+    let _ = std::fs::remove_dir_all(dir);
+    let cfg = HistoryBuildConfig { checkpoint_spacing: 2, format, ..Default::default() };
+    let mut writer = HistoryWriter::create(dir, &base, &cfg).expect("writer");
+    for delta in &deltas {
+        writer.append(delta, 1).expect("append");
+    }
+    writer.finish().expect("finish")
+}
+
+#[test]
+fn v2_and_mixed_format_history_stores_resolve_identically_to_json_ones() {
+    let json_dir = tmp("store-json", "d");
+    let v2_dir = tmp("store-v2", "d");
+    let json_store = build_store(&json_dir, SnapshotFormat::Json);
+    let v2_store = build_store(&v2_dir, SnapshotFormat::V2);
+    assert!(json_dir.join("checkpoint-0000.json").is_file());
+    assert!(v2_dir.join("checkpoint-0000.bin").is_file());
+
+    for year in 0..=2 {
+        let (json_payload, _) = json_store.resolve(year).expect("json resolve");
+        let (v2_payload, _) = v2_store.resolve(year).expect("v2 resolve");
+        assert_eq!(
+            payload_checksum(&json_payload).unwrap(),
+            payload_checksum(&v2_payload).unwrap(),
+            "year {year}"
+        );
+    }
+
+    // Compacting the JSON store writes v2 checkpoints next to the JSON
+    // base — a mixed-format directory must reopen and resolve the same.
+    let mut mixed = HistoryStore::open(&json_dir).expect("reopen json store");
+    mixed.re_checkpoint(1).expect("re-checkpoint");
+    assert!(json_dir.join("checkpoint-0000.json").is_file(), "year-0 stays as written");
+    assert!(json_dir.join("checkpoint-0001.bin").is_file(), "new checkpoints are v2");
+    let reopened = HistoryStore::open(&json_dir).expect("mixed store validates");
+    for year in 0..=2 {
+        let (mixed_payload, stats) = reopened.resolve(year).expect("mixed resolve");
+        let (v2_payload, _) = v2_store.resolve(year).expect("v2 resolve");
+        assert_eq!(
+            payload_checksum(&mixed_payload).unwrap(),
+            payload_checksum(&v2_payload).unwrap(),
+            "year {year} after compaction"
+        );
+        assert_eq!(stats.deltas_replayed, 0, "spacing 1 means zero replay at year {year}");
+    }
+
+    let _ = std::fs::remove_dir_all(&json_dir);
+    let _ = std::fs::remove_dir_all(&v2_dir);
+}

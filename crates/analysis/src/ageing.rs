@@ -89,6 +89,51 @@ impl AgeingReport {
         Ok(AgeingReport { rows })
     }
 
+    /// Scores a frozen dataset against externally supplied per-year
+    /// state-owned sets — e.g. year-by-year datasets resolved from a
+    /// `soi-history` store — instead of re-running churn.
+    ///
+    /// `yearly` holds one **sorted** ASN set per year, year 0 first;
+    /// year 0 is the snapshot baseline for stale/missing attribution.
+    /// The store carries datasets rather than event logs, so `events`
+    /// reports the symmetric-difference size between consecutive years.
+    pub fn from_series(dataset: &Dataset, yearly: &[Vec<Asn>]) -> AgeingReport {
+        let predicted = dataset.state_owned_ases();
+        let Some(snapshot_truth) = yearly.first() else {
+            return AgeingReport::default();
+        };
+        let mut rows = Vec::with_capacity(yearly.len());
+        for (y, truth) in yearly.iter().enumerate() {
+            let stale = predicted
+                .iter()
+                .filter(|a| {
+                    snapshot_truth.binary_search(a).is_ok() && truth.binary_search(a).is_err()
+                })
+                .count();
+            let missing = truth
+                .iter()
+                .filter(|a| {
+                    predicted.binary_search(a).is_err() && snapshot_truth.binary_search(a).is_err()
+                })
+                .count();
+            let events = if y == 0 {
+                0
+            } else {
+                let prev = &yearly[y - 1];
+                prev.iter().filter(|a| truth.binary_search(a).is_err()).count()
+                    + truth.iter().filter(|a| prev.binary_search(a).is_err()).count()
+            };
+            rows.push(AgeingRow {
+                years: y as u32,
+                score: PrScore::from_sets(&predicted, truth),
+                events,
+                stale_ases: stale,
+                missing_ases: missing,
+            });
+        }
+        AgeingReport { rows }
+    }
+
     /// Renders the decay table.
     pub fn text(&self) -> String {
         let rows: Vec<Vec<String>> = self
@@ -155,6 +200,7 @@ mod tests {
             acquisitions_per_year: 4.0,
             rebrand_rate: 0.1,
             seed: 1,
+            hijacks_per_year: 0.0,
         };
         let report = AgeingReport::compute(&world, &dataset, &churn, 4).unwrap();
         assert_eq!(report.rows.len(), 5);
@@ -173,6 +219,7 @@ mod tests {
             acquisitions_per_year: 0.0,
             rebrand_rate: 0.0,
             seed: 1,
+            hijacks_per_year: 0.0,
         };
         let report = AgeingReport::compute(&world, &dataset, &churn, 3).unwrap();
         let first = report.rows.first().unwrap().score;
@@ -180,6 +227,31 @@ mod tests {
         assert_eq!(first.tp, last.tp);
         assert_eq!(first.fp, last.fp);
         assert_eq!(report.rows.last().unwrap().stale_ases, 0);
+    }
+
+    #[test]
+    fn series_scoring_matches_direct_set_comparison() {
+        let (_, dataset) = setup();
+        let base = dataset.state_owned_ases();
+        assert!(!base.is_empty());
+        // Year 1 drops the first AS; year 2 also gains a brand-new one.
+        let mut y1 = base.clone();
+        y1.remove(0);
+        let mut y2 = y1.clone();
+        y2.push(Asn(u32::MAX));
+        y2.sort_unstable();
+        let report = AgeingReport::from_series(&dataset, &[base, y1, y2]);
+        assert_eq!(report.rows.len(), 3);
+        assert_eq!(report.rows[0].stale_ases, 0);
+        assert_eq!(report.rows[0].events, 0);
+        assert_eq!(report.rows[1].stale_ases, 1, "the dropped AS went stale");
+        assert_eq!(report.rows[1].events, 1);
+        assert_eq!(report.rows[2].stale_ases, 1);
+        assert_eq!(report.rows[2].missing_ases, 1, "the new AS is missing");
+        assert_eq!(report.rows[2].events, 1);
+        assert!(report.rows[2].score.recall() < report.rows[0].score.recall());
+        // An empty series is an empty report, not a panic.
+        assert!(AgeingReport::from_series(&dataset, &[]).rows.is_empty());
     }
 
     #[test]

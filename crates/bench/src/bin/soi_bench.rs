@@ -5,7 +5,7 @@
 //!           [--at-fraction F] [--json PATH]
 //!
 //!   benches: worldgen_seq worldgen_2 worldgen_4 worldgen_8
-//!            pipeline cold_start snapshot history history_load
+//!            pipeline cold_start snapshot risk history history_load
 //!            all (default)
 //! ```
 //!
@@ -22,6 +22,10 @@
 //! binary v2) and records, per format, the bytes on disk and the median
 //! cold-load time (read + validate + index build) — the two numbers
 //! snapshot format v2 exists to improve.
+//! `risk` computes the full `RiskReport` (exposure + chokepoints +
+//! classes) over one pipeline run at 1/2/4/8 threads — the output is
+//! byte-identical at every count, so the sweep is the pure cost curve
+//! of the determinism seam.
 //! `history` sweeps checkpoint spacing over one stored delta stream and
 //! measures the worst-case uncached as-of resolve at each spacing (the
 //! disk-vs-replay-latency trade the spacing policy controls).
@@ -40,6 +44,7 @@ use soi_core::{
 };
 use soi_delta::{DeltaEngine, EngineConfig};
 use soi_history::{HistoryBuildConfig, HistoryStore};
+use soi_risk::{RiskConfig, RiskContext};
 use soi_service::{serve_history, HistoryService, IndexSlot, ServerConfig, ServiceIndex};
 use soi_worldgen::{generate, WorldConfig};
 
@@ -251,6 +256,35 @@ fn main() {
         }
     }
 
+    if want("risk") {
+        // One pipeline run, then the full risk report at each thread
+        // count. The report is byte-identical at every count, so the
+        // sweep isolates the cost of the sharded determinism seam.
+        let world = generate(&base).expect("generate");
+        let input_cfg = InputConfig { threads: 0, ..InputConfig::with_seed(seed) };
+        let inputs = PipelineInputs::from_world(&world, &input_cfg).expect("inputs");
+        let output = Pipeline::run(&inputs, &PipelineConfig::default());
+        let ctx = RiskContext::from_run(&world, &inputs, RiskConfig::default());
+        for threads in [1usize, 2, 4, 8] {
+            let median = median_micros(iters, || {
+                ctx.report(&output.dataset, &inputs.prefix_to_as, threads).expect("risk report");
+            });
+            eprintln!(
+                "risk_report at {threads} threads: median {}ms over {iters} iters",
+                median / 1000
+            );
+            records.push(Record {
+                bench: "risk_report",
+                threads,
+                median_micros: median,
+                iters,
+                spacing: None,
+                format: None,
+                bytes_on_disk: None,
+            });
+        }
+    }
+
     if want("history") || want("history_load") {
         // One stored 8-year delta stream, shared by both history benches.
         let world = generate(&base).expect("generate");
@@ -347,7 +381,7 @@ fn main() {
     }
 
     if records.is_empty() {
-        eprintln!("no bench matched; known: worldgen_seq worldgen_2 worldgen_4 worldgen_8 pipeline cold_start snapshot history history_load all");
+        eprintln!("no bench matched; known: worldgen_seq worldgen_2 worldgen_4 worldgen_8 pipeline cold_start snapshot risk history history_load all");
         std::process::exit(2);
     }
 

@@ -177,6 +177,7 @@ mod tests {
             acquisitions_per_year: 0.0,
             rebrand_rate: 0.2,
             seed: 13,
+            hijacks_per_year: 0.0,
         };
         let (evolved, log) = cfg.evolve(&world, 0).unwrap();
         assert!(!log.rebranded.is_empty(), "rebrands expected at this rate");

@@ -270,4 +270,33 @@ mod tests {
         );
         assert_eq!(engine.year(), 1);
     }
+
+    #[test]
+    fn hijacks_force_a_substrate_recompute_and_still_emit_a_valid_delta() {
+        let world = generate(&WorldConfig::test_scale(777)).unwrap();
+        let mut cfg = EngineConfig::with_seed(777);
+        cfg.churn.hijacks_per_year = 6.0;
+        let mut engine = DeltaEngine::new(world, cfg).unwrap();
+        let before = engine.current().payload.clone();
+        let step = engine.step().unwrap();
+        let hijacks = step
+            .delta
+            .payload
+            .events
+            .events
+            .iter()
+            .filter(|e| matches!(e, crate::WorldEvent::Hijacked { .. }))
+            .count();
+        assert!(hijacks > 0, "rate 6.0 should fire at least once");
+        assert!(
+            step.stats.substrate_changed,
+            "a moved prefix assignment is a routing-substrate shift"
+        );
+        // The full-rebuild path still produces a chain-valid delta.
+        let applied = step.delta.apply(&before).unwrap();
+        assert_eq!(
+            payload_checksum(&applied).unwrap(),
+            payload_checksum(&engine.current().payload).unwrap()
+        );
+    }
 }

@@ -82,6 +82,22 @@ pub enum WorldEvent {
         /// Origin after the event.
         to: Asn,
     },
+    /// An origin hijack: the prefix's *assignment* was seized by another
+    /// AS in the worldgen substrate (tampering intent, lifted from churn).
+    /// The observation-level effect shows up separately as an
+    /// [`WorldEvent::OriginChanged`] once propagation is re-run; keeping
+    /// both lets a consumer distinguish "we saw the origin move" from
+    /// "the substrate says it was hijacked". A routing-substrate shift:
+    /// the engine answers it with a full recompute, and risk analyses
+    /// must treat cached reports over the old table as invalid.
+    Hijacked {
+        /// The seized prefix.
+        prefix: Ipv4Prefix,
+        /// The legitimate origin before the event.
+        victim: Asn,
+        /// The AS now originating the prefix.
+        hijacker: Asn,
+    },
 }
 
 impl WorldEvent {
@@ -153,6 +169,9 @@ impl EventBatch {
                 new_name: name_in(evolved, company),
             });
         }
+        for &(prefix, victim, hijacker) in &log.hijacked {
+            events.push(WorldEvent::Hijacked { prefix, victim, hijacker });
+        }
         EventBatch { year, events }
     }
 
@@ -223,6 +242,7 @@ mod tests {
             acquisitions_per_year: 5.0,
             rebrand_rate: 0.2,
             seed: 9,
+            hijacks_per_year: 0.0,
         };
         let (evolved, log) = cfg.evolve(&world, 0).unwrap();
         let batch = EventBatch::from_churn(0, &log, &world, &evolved);
@@ -249,6 +269,24 @@ mod tests {
         let mut dedup = companies.clone();
         dedup.dedup();
         assert_eq!(companies, dedup);
+    }
+
+    #[test]
+    fn hijacks_lift_to_bgp_level_events() {
+        let world = generate(&WorldConfig::test_scale(151)).unwrap();
+        let cfg = ChurnConfig { hijacks_per_year: 6.0, seed: 17, ..ChurnConfig::default() };
+        let (evolved, log) = cfg.evolve(&world, 0).unwrap();
+        assert!(!log.hijacked.is_empty(), "rate 6.0 should fire at least once");
+        let batch = EventBatch::from_churn(0, &log, &world, &evolved);
+        let hijacks: Vec<&WorldEvent> =
+            batch.events.iter().filter(|e| matches!(e, WorldEvent::Hijacked { .. })).collect();
+        assert_eq!(hijacks.len(), log.hijacked.len());
+        for event in &hijacks {
+            // Substrate events: BGP-side, no company documentation trail.
+            assert!(event.is_bgp());
+            assert!(event.companies().is_empty());
+        }
+        assert_eq!(batch.bgp_count(), hijacks.len());
     }
 
     #[test]

@@ -1,0 +1,214 @@
+//! Chokepoints: how few ASes must fail to sever a country's routes.
+//!
+//! "Few Throats to Choke" asks, per country, for a small set of border
+//! ASes whose removal disconnects the country from the rest of the
+//! Internet. Minimum vertex cut is NP-hard on general route sets, so —
+//! like the paper's own counting approach — this is the classic greedy
+//! set-cover approximation: repeatedly remove the transit AS sitting on
+//! the most still-alive routes, with deterministic tie-breaks (highest
+//! coverage first, lowest ASN on ties), until either the configured cut
+//! budget is spent or the target fraction of routes is severed.
+//!
+//! A "route" is one (monitor, prefix) best path from the Gao–Rexford
+//! propagation toward a prefix majority-geolocated in the country. Cut
+//! candidates are the strict intermediates of a path — not the monitor's
+//! own AS (removing it only blinds the vantage) and not the origin
+//! (removing it is destroying the endpoint, not cutting transit).
+//! Direct monitor→origin routes therefore cannot be cut and are
+//! reported in `routes` but excluded from `cuttable`.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+use soi_bgp::BgpView;
+use soi_types::{Asn, CountryCode, Ipv4Prefix};
+
+use crate::RiskConfig;
+
+/// One AS picked into a country's cut-set.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChokepointEntry {
+    /// The cut AS.
+    pub asn: Asn,
+    /// Routes newly severed by this pick (previous picks' routes are
+    /// already dead).
+    pub severed: usize,
+    /// Registration country of the AS, when known.
+    pub registered_cc: Option<CountryCode>,
+    /// Registered outside the analyzed country (or unknown).
+    pub foreign: bool,
+    /// In the run's state-owned dataset.
+    pub state_owned: bool,
+}
+
+/// The greedy cut-set of one country.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CountryChokepoints {
+    /// The analyzed country.
+    pub country: CountryCode,
+    /// Observed (monitor, prefix) routes into the country.
+    pub routes: usize,
+    /// Routes with at least one transit intermediate (cut candidates).
+    pub cuttable: usize,
+    /// Cuttable routes severed by the final cut-set.
+    pub covered: usize,
+    /// Whether the cut reached `RiskConfig::cut_target` of the cuttable
+    /// routes within the `max_cut` budget. Countries with no cuttable
+    /// routes report `false`: nothing was (or could be) partitioned.
+    pub partitioned: bool,
+    /// The cut, in greedy pick order.
+    pub cut: Vec<ChokepointEntry>,
+}
+
+/// Greedy vertex-cut for one country's routes.
+///
+/// Deterministic by construction: routes enumerate in table × monitor
+/// order, the tally lives in a `BTreeMap` (ascending ASN), and the
+/// arg-max keeps the first maximum it sees — i.e. the lowest ASN among
+/// equals. Integer arithmetic throughout except the target threshold.
+pub(crate) fn compute_country(
+    country: CountryCode,
+    prefixes: &[(Ipv4Prefix, Asn)],
+    view: &BgpView,
+    state_owned: &[Asn],
+    as_country: &BTreeMap<Asn, CountryCode>,
+    cfg: &RiskConfig,
+) -> CountryChokepoints {
+    let mut routes: Vec<Vec<Asn>> = Vec::new();
+    let mut total = 0usize;
+    for &(_, origin) in prefixes {
+        for mon in 0..view.monitors().len() {
+            let Some(path) = view.path(mon, origin) else { continue };
+            total += 1;
+            // Paths are [monitor_as, ..., origin]; candidates are the
+            // strict intermediates (loop-free, so no dedup needed).
+            if path.len() > 2 {
+                routes.push(path[1..path.len() - 1].to_vec());
+            }
+        }
+    }
+    let cuttable = routes.len();
+    let target = (cfg.cut_target * cuttable as f64).ceil() as usize;
+
+    let mut alive = vec![true; routes.len()];
+    let mut covered = 0usize;
+    let mut cut: Vec<ChokepointEntry> = Vec::new();
+    while cut.len() < cfg.max_cut && covered < target {
+        let mut tally: BTreeMap<Asn, usize> = BTreeMap::new();
+        for (i, route) in routes.iter().enumerate() {
+            if alive[i] {
+                for &asn in route {
+                    *tally.entry(asn).or_default() += 1;
+                }
+            }
+        }
+        let mut best: Option<(Asn, usize)> = None;
+        for (&asn, &count) in &tally {
+            match best {
+                Some((_, n)) if n >= count => {}
+                _ => best = Some((asn, count)),
+            }
+        }
+        let Some((asn, severed)) = best else { break };
+        for (i, route) in routes.iter().enumerate() {
+            if alive[i] && route.contains(&asn) {
+                alive[i] = false;
+            }
+        }
+        covered += severed;
+        let registered_cc = as_country.get(&asn).copied();
+        cut.push(ChokepointEntry {
+            asn,
+            severed,
+            registered_cc,
+            foreign: registered_cc != Some(country),
+            state_owned: crate::is_state(state_owned, asn),
+        });
+    }
+
+    CountryChokepoints {
+        country,
+        routes: total,
+        cuttable,
+        covered,
+        partitioned: cuttable > 0 && covered >= target,
+        cut,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soi_bgp::{Announcement, Monitor};
+    use soi_topology::AsGraphBuilder;
+    use soi_types::cc;
+
+    fn a(n: u32) -> Asn {
+        Asn(n)
+    }
+
+    fn p(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn two_gateways_need_two_picks_and_ties_break_low() {
+        // Two disjoint gateways (5, 6) each fronting one origin; a
+        // single tier-1 monitor above both. Each gateway covers half the
+        // routes, so the greedy tally ties — AS5 must be picked first.
+        let mut b = AsGraphBuilder::new();
+        b.add_transit(a(5), a(1));
+        b.add_transit(a(6), a(1));
+        b.add_transit(a(8), a(5));
+        b.add_transit(a(9), a(6));
+        let g = b.build().unwrap();
+        let ann = vec![
+            Announcement::new(p("10.0.0.0/16"), a(8)),
+            Announcement::new(p("10.1.0.0/16"), a(9)),
+        ];
+        let monitors = vec![Monitor { id: 0, asn: a(1) }];
+        let view = BgpView::compute(&g, &ann, &monitors).unwrap();
+        let prefixes = [(p("10.0.0.0/16"), a(8)), (p("10.1.0.0/16"), a(9))];
+        let result = compute_country(
+            cc("SY"),
+            &prefixes,
+            &view,
+            &[],
+            &BTreeMap::new(),
+            &RiskConfig::default(),
+        );
+        assert_eq!(result.routes, 2);
+        assert_eq!(result.cuttable, 2);
+        assert_eq!(result.cut.len(), 2);
+        assert_eq!(result.cut[0].asn, a(5), "tie must break to the lowest ASN");
+        assert_eq!(result.cut[1].asn, a(6));
+        assert!(result.partitioned);
+        // Unknown registration counts as foreign.
+        assert!(result.cut[0].foreign && !result.cut[0].state_owned);
+    }
+
+    #[test]
+    fn direct_routes_cannot_be_cut() {
+        // Monitor AS is the origin's only provider: path is [1, 8],
+        // no intermediate to remove.
+        let mut b = AsGraphBuilder::new();
+        b.add_transit(a(8), a(1));
+        let g = b.build().unwrap();
+        let ann = vec![Announcement::new(p("10.0.0.0/16"), a(8))];
+        let monitors = vec![Monitor { id: 0, asn: a(1) }];
+        let view = BgpView::compute(&g, &ann, &monitors).unwrap();
+        let prefixes = [(p("10.0.0.0/16"), a(8))];
+        let result = compute_country(
+            cc("SY"),
+            &prefixes,
+            &view,
+            &[],
+            &BTreeMap::new(),
+            &RiskConfig::default(),
+        );
+        assert_eq!(result.routes, 1);
+        assert_eq!(result.cuttable, 0);
+        assert!(result.cut.is_empty());
+        assert!(!result.partitioned, "nothing cuttable means nothing partitioned");
+    }
+}

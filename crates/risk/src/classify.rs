@@ -1,0 +1,159 @@
+//! AS classification: the four-class taxonomy, crossed with ownership.
+//!
+//! Following the AS-taxonomy convention (enterprise customers, small and
+//! large transit providers, content/access/hosting providers), every AS
+//! is labeled purely from its customer/peer degree in the Gao–Rexford
+//! graph:
+//!
+//! * no customers, few peers → **EC** (enterprise customer / stub);
+//! * no customers, many peers → **CAHP** (content/access/hosting:
+//!   settlement-free footprint without selling transit);
+//! * customers below the large-provider threshold → **STP**;
+//! * at or above it → **LTP**.
+//!
+//! The cross-tab with state ownership answers the paper's taxonomy
+//! question directly: *where in the transit hierarchy do state-owned
+//! ASes sit?*
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+use soi_topology::AsGraph;
+use soi_types::shard::map_chunks;
+use soi_types::{Asn, CountryCode};
+
+use crate::RiskConfig;
+
+/// The four-class AS taxonomy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum AsClass {
+    /// Enterprise customer: no customers, few peers.
+    #[serde(rename = "EC")]
+    Ec,
+    /// Small transit provider.
+    #[serde(rename = "STP")]
+    Stp,
+    /// Large transit provider.
+    #[serde(rename = "LTP")]
+    Ltp,
+    /// Content/access/hosting provider: customer-free, peer-rich.
+    #[serde(rename = "CAHP")]
+    Cahp,
+}
+
+impl AsClass {
+    /// All classes, in summary order.
+    pub const ALL: [AsClass; 4] = [AsClass::Ec, AsClass::Stp, AsClass::Ltp, AsClass::Cahp];
+
+    /// The conventional label.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            AsClass::Ec => "EC",
+            AsClass::Stp => "STP",
+            AsClass::Ltp => "LTP",
+            AsClass::Cahp => "CAHP",
+        }
+    }
+}
+
+/// One classified AS.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassRow {
+    /// The AS.
+    pub asn: Asn,
+    /// Its taxonomy label.
+    pub class: AsClass,
+    /// Transit providers it buys from.
+    pub providers: usize,
+    /// Customers it sells transit to.
+    pub customers: usize,
+    /// Settlement-free peers.
+    pub peers: usize,
+    /// In the run's state-owned dataset.
+    pub state_owned: bool,
+    /// Registration country, when known.
+    pub registered_cc: Option<CountryCode>,
+}
+
+/// One class's row of the ownership cross-tab.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassSummary {
+    /// The class.
+    pub class: AsClass,
+    /// ASes with this label.
+    pub total: usize,
+    /// How many of them are state-owned.
+    pub state_owned: usize,
+}
+
+/// Every AS classified (rows sorted by ASN) plus the ownership cross-tab
+/// (one row per class, [`AsClass::ALL`] order).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassTable {
+    /// Per-AS rows, ASN ascending.
+    pub rows: Vec<ClassRow>,
+    /// Class × state-ownership counts.
+    pub summary: Vec<ClassSummary>,
+}
+
+/// The degree → class rule.
+pub(crate) fn classify(customers: usize, peers: usize, cfg: &RiskConfig) -> AsClass {
+    if customers == 0 {
+        if peers >= cfg.cahp_min_peers {
+            AsClass::Cahp
+        } else {
+            AsClass::Ec
+        }
+    } else if customers >= cfg.large_transit_customers {
+        AsClass::Ltp
+    } else {
+        AsClass::Stp
+    }
+}
+
+/// Classifies every AS in the graph, sharded over `threads`.
+///
+/// Pure integer degree lookups over a sorted ASN list, reassembled in
+/// chunk order — byte-identical at any thread count.
+pub(crate) fn classify_all(
+    graph: &AsGraph,
+    state_owned: &[Asn],
+    as_country: &BTreeMap<Asn, CountryCode>,
+    cfg: &RiskConfig,
+    threads: usize,
+) -> ClassTable {
+    let mut asns: Vec<Asn> = graph.ases().to_vec();
+    asns.sort_unstable();
+    let chunks = map_chunks(&asns, threads, |chunk| {
+        chunk
+            .iter()
+            .map(|&asn| {
+                let ix = graph.ix(asn).expect("ASN listed by its own graph");
+                let customers = graph.customers_ix(ix).len();
+                let peers = graph.peers_ix(ix).len();
+                ClassRow {
+                    asn,
+                    class: classify(customers, peers, cfg),
+                    providers: graph.providers_ix(ix).len(),
+                    customers,
+                    peers,
+                    state_owned: crate::is_state(state_owned, asn),
+                    registered_cc: as_country.get(&asn).copied(),
+                }
+            })
+            .collect::<Vec<_>>()
+    });
+    let rows: Vec<ClassRow> = chunks.into_iter().flatten().collect();
+    let mut summary: Vec<ClassSummary> = AsClass::ALL
+        .iter()
+        .map(|&class| ClassSummary { class, total: 0, state_owned: 0 })
+        .collect();
+    for row in &rows {
+        let slot = &mut summary[AsClass::ALL.iter().position(|&c| c == row.class).unwrap()];
+        slot.total += 1;
+        if row.state_owned {
+            slot.state_owned += 1;
+        }
+    }
+    ClassTable { rows, summary }
+}

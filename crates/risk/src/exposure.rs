@@ -1,0 +1,113 @@
+//! Country exposure: who carries a country's inbound routes.
+//!
+//! A thin attribution layer over [`soi_cti`]: the CTI score of a transit
+//! AS for a country is the (path- and monitor-weighted) fraction of the
+//! country's address space whose inbound routes traverse that AS. Here
+//! each scored AS is annotated with its registration country and state
+//! ownership, and the per-country score mass is split into foreign /
+//! state-owned / foreign-and-state-owned shares — the "exposure to
+//! observation and tampering" quantities of the follow-on papers.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+use soi_cti::CtiResults;
+use soi_types::{Asn, CountryCode};
+
+use crate::RiskConfig;
+
+/// One ranked transit AS in a country's exposure report.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ExposureEntry {
+    /// The transit AS.
+    pub asn: Asn,
+    /// Its CTI score for the country (fraction of weighted inbound
+    /// routes × addresses it carries).
+    pub score: f64,
+    /// Registration country of the AS, when known.
+    pub registered_cc: Option<CountryCode>,
+    /// Registered outside the scored country (or registration unknown).
+    pub foreign: bool,
+    /// In the run's state-owned dataset.
+    pub state_owned: bool,
+}
+
+/// Transit-influence exposure of one country.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CountryExposure {
+    /// The scored country.
+    pub country: CountryCode,
+    /// Number of transit ASes with a non-floor CTI score for it.
+    pub transit_ases: usize,
+    /// Sum of all CTI scores for the country (its total observable
+    /// transit mass; an isolated country scores 0).
+    pub total_score: f64,
+    /// Fraction of `total_score` carried by foreign-registered ASes.
+    pub foreign_share: f64,
+    /// Fraction carried by state-owned ASes (any state).
+    pub state_share: f64,
+    /// Fraction carried by ASes that are both foreign and state-owned.
+    pub foreign_state_share: f64,
+    /// The top-ranked carriers (CTI order: score descending, ASN
+    /// ascending on ties), at most `RiskConfig::top_exposure` of them.
+    pub top: Vec<ExposureEntry>,
+}
+
+/// Builds one country's exposure from computed CTI scores.
+///
+/// Pure over its inputs and touching only this country's ranking, so
+/// per-country calls are trivially shardable. Share sums accumulate in
+/// ranking order — a fixed sequence of `f64` additions regardless of the
+/// thread count the caller shards countries over.
+pub(crate) fn compute_country(
+    country: CountryCode,
+    cti: &CtiResults,
+    state_owned: &[Asn],
+    as_country: &BTreeMap<Asn, CountryCode>,
+    cfg: &RiskConfig,
+) -> CountryExposure {
+    let ranking = cti.ranking(country);
+    let mut total = 0.0_f64;
+    let mut foreign_sum = 0.0_f64;
+    let mut state_sum = 0.0_f64;
+    let mut foreign_state_sum = 0.0_f64;
+    for &(asn, score) in ranking {
+        let registered = as_country.get(&asn).copied();
+        let foreign = registered != Some(country);
+        let state = crate::is_state(state_owned, asn);
+        total += score;
+        if foreign {
+            foreign_sum += score;
+        }
+        if state {
+            state_sum += score;
+        }
+        if foreign && state {
+            foreign_state_sum += score;
+        }
+    }
+    let share = |x: f64| if total > 0.0 { x / total } else { 0.0 };
+    let top = ranking
+        .iter()
+        .take(cfg.top_exposure)
+        .map(|&(asn, score)| {
+            let registered_cc = as_country.get(&asn).copied();
+            ExposureEntry {
+                asn,
+                score,
+                registered_cc,
+                foreign: registered_cc != Some(country),
+                state_owned: crate::is_state(state_owned, asn),
+            }
+        })
+        .collect();
+    CountryExposure {
+        country,
+        transit_ases: ranking.len(),
+        total_score: total,
+        foreign_share: share(foreign_sum),
+        state_share: share(state_sum),
+        foreign_state_share: share(foreign_state_sum),
+        top,
+    }
+}

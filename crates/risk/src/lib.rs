@@ -1,0 +1,447 @@
+//! Derived risk analyses over one pipeline run.
+//!
+//! The pipeline identifies *which* ASes are state-owned; this crate asks
+//! what those ASes can *do*. Three datasets are computed over a run's
+//! topology + ownership truth, following the questions posed by
+//! "Quantifying Nations' Exposure to Traffic Observation and Selective
+//! Tampering" and "Few Throats to Choke" (see PAPERS.md):
+//!
+//! * **country exposure** ([`CountryExposure`]) — per-country CTI-style
+//!   transit-influence scores (reusing [`soi_cti`]'s path machinery)
+//!   attributing each country's inbound routes to the foreign and
+//!   state-owned ASes that carry them;
+//! * **chokepoints** ([`CountryChokepoints`]) — a greedy vertex-cut over
+//!   the Gao–Rexford route set per country: how few transit ASes must be
+//!   removed to sever (most of) the country's observed inbound routes;
+//! * **AS classification** ([`ClassTable`]) — EC/STP/LTP/CAHP labels
+//!   from customer/peer degree per the AS-taxonomy convention,
+//!   cross-tabulated with state ownership.
+//!
+//! Everything freezes into a checksummed [`RiskReport`]. Determinism is
+//! a hard contract: [`RiskContext::report`] is byte-identical at any
+//! worker-thread count (the `tests/risk.rs` oracle runs t ∈ {1,2,4,8}).
+//! The seam is the same as the pipeline's: per-country work is
+//! independent, so countries are sharded over
+//! [`soi_types::shard::map_chunks`] in sorted order and reassembled in
+//! chunk order; the CTI substrate uses [`CtiResults::compute_parallel`]'s
+//! contribution-replay merge; classification is pure integer arithmetic
+//! over ASNs in sorted order.
+//!
+//! The report always recomputes the BGP view from the prefix→AS table it
+//! is given — never from cached propagation state — so a report over an
+//! as-of (historical) payload takes exactly the code path of a live one,
+//! and a [`soi_delta`-style] routing-substrate shift (e.g. a
+//! `WorldEvent::Hijacked`) invalidates a cached report simply by
+//! changing the table bytes. Serving layers key cached reports on their
+//! index generation counter for the same reason.
+
+mod chokepoint;
+mod classify;
+mod exposure;
+
+pub use chokepoint::{ChokepointEntry, CountryChokepoints};
+pub use classify::{AsClass, ClassRow, ClassSummary, ClassTable};
+pub use exposure::{CountryExposure, ExposureEntry};
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+use soi_bgp::{Announcement, BgpView, Monitor, PrefixToAs};
+use soi_core::{Dataset, PipelineInputs};
+use soi_cti::{CtiConfig, CtiResults};
+use soi_geo::GeoDb;
+use soi_topology::AsGraph;
+use soi_types::shard::map_chunks;
+use soi_types::{fnv1a64, Asn, CountryCode, Ipv4Prefix, SoiError};
+use soi_worldgen::World;
+
+/// Format version stamped into every [`RiskReport`]. Bump on any change
+/// to the report's serialized shape or the analyses' semantics.
+pub const RISK_FORMAT_VERSION: u32 = 1;
+
+/// Tunables for the three analyses.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct RiskConfig {
+    /// Ranked transit ASes kept per country in the exposure report.
+    pub top_exposure: usize,
+    /// Maximum chokepoint cut-set size per country.
+    pub max_cut: usize,
+    /// Fraction of a country's cuttable routes the greedy cut must sever
+    /// before it is considered a partition.
+    pub cut_target: f64,
+    /// Customer-degree threshold separating large from small transit
+    /// providers (LTP vs STP).
+    pub large_transit_customers: usize,
+    /// Peer-degree threshold above which a customer-free AS counts as a
+    /// content/access/hosting provider (CAHP) instead of an enterprise
+    /// customer (EC).
+    pub cahp_min_peers: usize,
+    /// CTI substrate parameters (visibility filter, score floor).
+    pub cti: CtiConfig,
+}
+
+impl Default for RiskConfig {
+    fn default() -> Self {
+        RiskConfig {
+            top_exposure: 20,
+            max_cut: 8,
+            cut_target: 0.9,
+            large_transit_customers: 25,
+            cahp_min_peers: 10,
+            cti: CtiConfig::default(),
+        }
+    }
+}
+
+/// The slow-moving substrate the analyses run over: topology, monitor
+/// set, geolocation, and AS registration countries. Ownership churn does
+/// not touch any of it, so one context serves every generation of a
+/// delta chain; only substrate shifts (topology/prefix perturbations)
+/// require rebuilding it from the new run.
+#[derive(Clone, Debug)]
+pub struct RiskContext {
+    graph: AsGraph,
+    monitors: Vec<Monitor>,
+    geo: GeoDb,
+    as_country: BTreeMap<Asn, CountryCode>,
+    cfg: RiskConfig,
+}
+
+impl RiskContext {
+    /// Builds a context from explicit parts (mini-fixture entry point).
+    pub fn new(
+        graph: AsGraph,
+        monitors: Vec<Monitor>,
+        geo: GeoDb,
+        as_country: BTreeMap<Asn, CountryCode>,
+        cfg: RiskConfig,
+    ) -> RiskContext {
+        RiskContext { graph, monitors, geo, as_country, cfg }
+    }
+
+    /// Builds a context from a generated world and its derived inputs.
+    pub fn from_run(world: &World, inputs: &PipelineInputs, cfg: RiskConfig) -> RiskContext {
+        let as_country = world.registrations.iter().map(|r| (r.asn, r.country)).collect();
+        RiskContext {
+            graph: world.topology.clone(),
+            monitors: inputs.view.monitors().to_vec(),
+            geo: inputs.geo.clone(),
+            as_country,
+            cfg,
+        }
+    }
+
+    /// The configured tunables.
+    pub fn cfg(&self) -> &RiskConfig {
+        &self.cfg
+    }
+
+    /// Computes all three analyses for one served payload.
+    pub fn report(
+        &self,
+        dataset: &Dataset,
+        table: &PrefixToAs,
+        threads: usize,
+    ) -> Result<RiskReport, SoiError> {
+        self.report_with(&dataset.state_owned_ases(), table, threads)
+    }
+
+    /// [`RiskContext::report`] with an explicit state-owned ASN set
+    /// (must be sorted ascending — [`Dataset::state_owned_ases`] is).
+    ///
+    /// The BGP view is recomputed from `table`'s entries every time, so
+    /// a report over a historical payload follows exactly the code path
+    /// of a live one, and any table change (announce/withdraw/hijack)
+    /// changes the report. Byte-identical at every `threads` value.
+    pub fn report_with(
+        &self,
+        state_owned: &[Asn],
+        table: &PrefixToAs,
+        threads: usize,
+    ) -> Result<RiskReport, SoiError> {
+        let announcements: Vec<Announcement> =
+            table.entries().iter().map(|&(prefix, origin)| Announcement::new(prefix, origin)).collect();
+        let view = BgpView::compute(&self.graph, &announcements, &self.monitors)?;
+        let cti = CtiResults::compute_parallel(&view, table, &self.geo, self.cfg.cti, threads)?;
+
+        // Attribute each announced prefix to its majority country (ties
+        // break toward the lexically smallest code). Chokepoints cut a
+        // country's routes; exposure uses CTI's finer per-address split.
+        let mut by_country: BTreeMap<CountryCode, Vec<(Ipv4Prefix, Asn)>> = BTreeMap::new();
+        for &(prefix, origin) in table.entries() {
+            let counts: BTreeMap<CountryCode, u64> =
+                self.geo.count_by_country(prefix).into_iter().collect();
+            let mut majority: Option<(CountryCode, u64)> = None;
+            for (country, n) in counts {
+                match majority {
+                    Some((_, best)) if best >= n => {}
+                    _ => majority = Some((country, n)),
+                }
+            }
+            if let Some((country, _)) = majority {
+                by_country.entry(country).or_default().push((prefix, origin));
+            }
+        }
+
+        let mut countries: BTreeSet<CountryCode> = cti.countries().collect();
+        countries.extend(by_country.keys().copied());
+        let countries: Vec<CountryCode> = countries.into_iter().collect();
+
+        // Per-country work is independent: shard the sorted country list
+        // and reassemble in chunk order — bit-identical at any t.
+        let no_prefixes: Vec<(Ipv4Prefix, Asn)> = Vec::new();
+        let per_country = map_chunks(&countries, threads, |chunk| {
+            chunk
+                .iter()
+                .map(|&country| {
+                    let prefixes = by_country.get(&country).unwrap_or(&no_prefixes);
+                    let exposure = exposure::compute_country(
+                        country,
+                        &cti,
+                        state_owned,
+                        &self.as_country,
+                        &self.cfg,
+                    );
+                    let choke = chokepoint::compute_country(
+                        country,
+                        prefixes,
+                        &view,
+                        state_owned,
+                        &self.as_country,
+                        &self.cfg,
+                    );
+                    (exposure, choke)
+                })
+                .collect::<Vec<_>>()
+        });
+        let mut exposure = Vec::with_capacity(countries.len());
+        let mut chokepoints = Vec::with_capacity(countries.len());
+        for chunk in per_country {
+            for (e, c) in chunk {
+                exposure.push(e);
+                chokepoints.push(c);
+            }
+        }
+
+        let classes =
+            classify::classify_all(&self.graph, state_owned, &self.as_country, &self.cfg, threads);
+
+        let mut report = RiskReport {
+            version: RISK_FORMAT_VERSION,
+            exposure,
+            chokepoints,
+            classes,
+            checksum: 0,
+        };
+        report.checksum = report.compute_checksum()?;
+        Ok(report)
+    }
+}
+
+/// Whether `asn` is in the (sorted) state-owned set.
+pub(crate) fn is_state(state_owned: &[Asn], asn: Asn) -> bool {
+    state_owned.binary_search(&asn).is_ok()
+}
+
+/// The frozen output of one [`RiskContext::report`] run: all three
+/// analyses plus an FNV-1a-64 checksum over their canonical JSON bytes.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RiskReport {
+    /// [`RISK_FORMAT_VERSION`] at computation time.
+    pub version: u32,
+    /// Per-country exposure, sorted by country code.
+    pub exposure: Vec<CountryExposure>,
+    /// Per-country chokepoint cut-sets, sorted by country code.
+    pub chokepoints: Vec<CountryChokepoints>,
+    /// AS classification rows (sorted by ASN) + cross-tab summary.
+    pub classes: ClassTable,
+    /// FNV-1a-64 over the canonical JSON of everything above.
+    pub checksum: u64,
+}
+
+/// The checksummed portion of a report (everything but the checksum).
+#[derive(Serialize)]
+struct RiskBody<'a> {
+    version: u32,
+    exposure: &'a [CountryExposure],
+    chokepoints: &'a [CountryChokepoints],
+    classes: &'a ClassTable,
+}
+
+impl RiskReport {
+    /// FNV-1a-64 over the report body's canonical JSON bytes.
+    pub fn compute_checksum(&self) -> Result<u64, SoiError> {
+        let body = RiskBody {
+            version: self.version,
+            exposure: &self.exposure,
+            chokepoints: &self.chokepoints,
+            classes: &self.classes,
+        };
+        let bytes = serde_json::to_vec(&body)
+            .map_err(|e| SoiError::Invariant(format!("risk report serialization: {e}")))?;
+        Ok(fnv1a64(&bytes))
+    }
+
+    /// Errors unless the stored checksum matches the body.
+    pub fn verify(&self) -> Result<(), SoiError> {
+        let computed = self.compute_checksum()?;
+        if computed != self.checksum {
+            return Err(SoiError::Invariant(format!(
+                "risk report checksum mismatch: stored {:#018x}, computed {computed:#018x}",
+                self.checksum
+            )));
+        }
+        Ok(())
+    }
+
+    /// Exposure for one country, if it was observed.
+    pub fn country(&self, country: CountryCode) -> Option<&CountryExposure> {
+        self.exposure
+            .binary_search_by_key(&country, |e| e.country)
+            .ok()
+            .map(|i| &self.exposure[i])
+    }
+
+    /// Chokepoint cut-set for one country, if it was observed.
+    pub fn chokepoints_for(&self, country: CountryCode) -> Option<&CountryChokepoints> {
+        self.chokepoints
+            .binary_search_by_key(&country, |c| c.country)
+            .ok()
+            .map(|i| &self.chokepoints[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soi_topology::AsGraphBuilder;
+    use soi_types::cc;
+
+    fn a(n: u32) -> Asn {
+        Asn(n)
+    }
+
+    fn p(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    /// Bottleneck world (same shape as the CTI fixture): tier-1s 1,2
+    /// peer; gateway 7 buys from 1; access ASes 8 and 9 buy only from 7.
+    /// All of 8/9's space is in SY; everything else is registered in US,
+    /// and the gateway is state-owned.
+    fn bottleneck() -> (RiskContext, PrefixToAs) {
+        let mut b = AsGraphBuilder::new();
+        b.add_peering(a(1), a(2));
+        b.add_transit(a(7), a(1));
+        b.add_transit(a(8), a(7));
+        b.add_transit(a(9), a(7));
+        let graph = b.build().unwrap();
+        let ann = vec![
+            Announcement::new(p("10.0.0.0/16"), a(8)),
+            Announcement::new(p("10.1.0.0/16"), a(9)),
+        ];
+        let monitors = vec![Monitor { id: 0, asn: a(1) }, Monitor { id: 1, asn: a(2) }];
+        let view = BgpView::compute(&graph, &ann, &monitors).unwrap();
+        let table = view.prefix_to_as(1).unwrap();
+        let geo = GeoDb::from_blocks([(p("10.0.0.0/16"), cc("SY")), (p("10.1.0.0/16"), cc("SY"))])
+            .unwrap();
+        let as_country: BTreeMap<Asn, CountryCode> = [
+            (a(1), cc("US")),
+            (a(2), cc("US")),
+            (a(7), cc("US")),
+            (a(8), cc("SY")),
+            (a(9), cc("SY")),
+        ]
+        .into_iter()
+        .collect();
+        let ctx = RiskContext::new(graph, monitors, geo, as_country, RiskConfig::default());
+        (ctx, table)
+    }
+
+    #[test]
+    fn bottleneck_exposure_flags_the_foreign_state_gateway() {
+        let (ctx, table) = bottleneck();
+        let report = ctx.report_with(&[a(7)], &table, 1).unwrap();
+        let sy = report.country(cc("SY")).expect("SY observed");
+        // Gateway ranks first; it is registered abroad and state-owned.
+        assert_eq!(sy.top[0].asn, a(7));
+        assert!(sy.top[0].foreign && sy.top[0].state_owned);
+        // Every transit AS on SY's paths is foreign here.
+        assert!((sy.foreign_share - 1.0).abs() < 1e-12, "share {}", sy.foreign_share);
+        // Gateway carries 1.0 of SY space, AS1 another 0.25 (d=2, one
+        // monitor): state share = 1.0 / 1.25.
+        assert!((sy.state_share - 0.8).abs() < 1e-9, "share {}", sy.state_share);
+        assert_eq!(sy.foreign_state_share, sy.state_share);
+        assert!(report.country(cc("ZW")).is_none());
+    }
+
+    #[test]
+    fn bottleneck_chokepoint_is_the_gateway() {
+        let (ctx, table) = bottleneck();
+        let report = ctx.report_with(&[a(7)], &table, 1).unwrap();
+        let sy = report.chokepoints_for(cc("SY")).expect("SY observed");
+        // 2 prefixes × 2 monitors, all four routes pass through AS7.
+        assert_eq!(sy.routes, 4);
+        assert_eq!(sy.cuttable, 4);
+        assert_eq!(sy.cut.len(), 1, "one AS severs everything: {:?}", sy.cut);
+        assert_eq!(sy.cut[0].asn, a(7));
+        assert_eq!(sy.cut[0].severed, 4);
+        assert!(sy.cut[0].state_owned);
+        assert!(sy.partitioned);
+        assert_eq!(sy.covered, 4);
+    }
+
+    #[test]
+    fn classification_covers_the_bottleneck_roles() {
+        let (ctx, table) = bottleneck();
+        let report = ctx.report_with(&[a(7)], &table, 1).unwrap();
+        let class_of = |asn: Asn| {
+            report.classes.rows.iter().find(|r| r.asn == asn).map(|r| r.class).unwrap()
+        };
+        // AS1 and AS7 sell transit (small: < large_transit_customers
+        // customers); 2, 8, 9 have no customers and few peers.
+        assert_eq!(class_of(a(1)), AsClass::Stp);
+        assert_eq!(class_of(a(7)), AsClass::Stp);
+        assert_eq!(class_of(a(2)), AsClass::Ec);
+        assert_eq!(class_of(a(8)), AsClass::Ec);
+        assert_eq!(class_of(a(9)), AsClass::Ec);
+        // Rows are sorted by ASN; cross-tab counts the state gateway.
+        let asns: Vec<Asn> = report.classes.rows.iter().map(|r| r.asn).collect();
+        let mut sorted = asns.clone();
+        sorted.sort_unstable();
+        assert_eq!(asns, sorted);
+        let stp = report.classes.summary.iter().find(|s| s.class == AsClass::Stp).unwrap();
+        assert_eq!((stp.total, stp.state_owned), (2, 1));
+        let ec = report.classes.summary.iter().find(|s| s.class == AsClass::Ec).unwrap();
+        assert_eq!((ec.total, ec.state_owned), (3, 0));
+    }
+
+    #[test]
+    fn report_is_byte_identical_across_thread_counts() {
+        let (ctx, table) = bottleneck();
+        let base = serde_json::to_vec(&ctx.report_with(&[a(7)], &table, 1).unwrap()).unwrap();
+        for t in [2, 4, 8] {
+            let other = serde_json::to_vec(&ctx.report_with(&[a(7)], &table, t).unwrap()).unwrap();
+            assert_eq!(base, other, "report differs at t={t}");
+        }
+    }
+
+    #[test]
+    fn checksum_detects_mutation() {
+        let (ctx, table) = bottleneck();
+        let mut report = ctx.report_with(&[a(7)], &table, 1).unwrap();
+        report.verify().unwrap();
+        assert_ne!(report.checksum, 0);
+        report.exposure[0].total_score += 1.0;
+        assert!(report.verify().is_err(), "mutated body must fail verification");
+    }
+
+    #[test]
+    fn degree_thresholds_drive_the_taxonomy() {
+        let cfg = RiskConfig::default();
+        assert_eq!(classify::classify(0, 0, &cfg), AsClass::Ec);
+        assert_eq!(classify::classify(0, cfg.cahp_min_peers, &cfg), AsClass::Cahp);
+        assert_eq!(classify::classify(1, 100, &cfg), AsClass::Stp);
+        assert_eq!(classify::classify(cfg.large_transit_customers, 0, &cfg), AsClass::Ltp);
+    }
+}

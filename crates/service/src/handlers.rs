@@ -13,6 +13,9 @@
 //! | `GET /v1/dataset` | whole-dataset summary |
 //! | `GET /v1/history` | history-store summary (years, checkpoints, spacing) |
 //! | `GET /v1/history/org/{id}` | ownership/confirmation timeline across stored years |
+//! | `GET /v1/risk/country/{CC}` | transit-exposure scores for one country |
+//! | `GET /v1/risk/chokepoints/{CC}` | greedy AS cut-set over the country's routes |
+//! | `GET /v1/risk/classes` | paginated EC/STP/LTP/CAHP rows + ownership cross-tab |
 //!
 //! With a history store attached (`soi serve --history DIR`), the read
 //! routes (`/v1/asn`, `/v1/ip`, `/v1/prefix`, `/v1/country`,
@@ -23,6 +26,15 @@
 //! errors: malformed year ⇒ `400 invalid_at`, no store attached ⇒
 //! `409 history_unavailable`, year past the stored range ⇒
 //! `404 unknown_year`.
+//!
+//! The `/v1/risk` routes need a [`crate::risk::RiskService`] attached
+//! (`409 risk_unavailable` otherwise) and answer from the checksummed
+//! risk report for the live tracked payload — computed once per index
+//! generation — or, with `?at=<year>`, for the year's payload resolved
+//! through the history store (same `invalid_at` / `history_unavailable`
+//! / `unknown_year` envelope as the read routes). Every answer carries
+//! `report_checksum` so clients can correlate the three views of one
+//! report.
 //!
 //! `/v1` errors are a uniform envelope with a stable machine-readable
 //! code: `{"error": {"code": "...", "message": "...", "detail": ...}}`.
@@ -69,6 +81,7 @@ use soi_types::{Asn, CountryCode, Ipv4Prefix};
 
 use crate::http::{Request, Response};
 use crate::index::ServiceIndex;
+use crate::risk::RiskServiceError;
 use crate::server::ServerState;
 
 /// Hard cap on `/search` results per request.
@@ -167,6 +180,11 @@ pub fn respond(state: &ServerState, queue_depth: usize, req: &Request) -> (&'sta
         }
         ["v1", "history"] => ("v1_history", v1_history_summary(state)),
         ["v1", "history", "org", raw] => ("v1_history", v1_history_org_route(state, raw)),
+        ["v1", "risk", "country", raw] => ("v1_risk", v1_risk_country_route(state, req, raw)),
+        ["v1", "risk", "chokepoints", raw] => {
+            ("v1_risk", v1_risk_chokepoints_route(state, req, raw))
+        }
+        ["v1", "risk", "classes"] => ("v1_risk", v1_risk_classes_route(state, req)),
         ["v1", ..] => (
             "v1_other",
             Response::api_error(
@@ -299,6 +317,179 @@ fn v1_history_org_route(state: &ServerState, raw: &str) -> Response {
             None,
         ),
     }
+}
+
+fn risk_unavailable(detail: Option<&str>) -> Response {
+    Response::api_error(
+        409,
+        "risk_unavailable",
+        "server was not started with a risk context; /v1/risk is unavailable",
+        detail,
+    )
+}
+
+/// Resolves the risk report a `/v1/risk` request asks about: the live
+/// payload's report, or — with `?at=<year>` — the year's, resolved
+/// through the history store. Every failure is an envelope error.
+fn risk_report_for(
+    state: &ServerState,
+    req: &Request,
+) -> Result<Arc<soi_risk::RiskReport>, Response> {
+    let Some(risk) = &state.risk else {
+        return Err(risk_unavailable(None));
+    };
+    let result = match req.query_param("at") {
+        None => risk.live_report(&state.slot, &state.metrics),
+        Some(raw) => {
+            let Ok(year) = raw.parse::<u32>() else {
+                return Err(Response::api_error(
+                    400,
+                    "invalid_at",
+                    "at must be a non-negative year index",
+                    Some(raw),
+                ));
+            };
+            let Some(history) = &state.history else {
+                return Err(history_unavailable());
+            };
+            risk.report_at(year, history, &state.metrics)
+        }
+    };
+    result.map_err(|e| match e {
+        RiskServiceError::NoPayload => {
+            risk_unavailable(Some("server tracks no payload to analyze"))
+        }
+        RiskServiceError::History(HistoryError::UnknownYear { requested, max }) => {
+            Response::api_error(
+                404,
+                "unknown_year",
+                &format!("history holds years 0..={max}"),
+                Some(&requested.to_string()),
+            )
+        }
+        RiskServiceError::History(other) => Response::api_error(
+            500,
+            "history_error",
+            &format!("as-of resolution failed: {other}"),
+            None,
+        ),
+        RiskServiceError::Compute(e) => Response::api_error(
+            500,
+            "risk_error",
+            &format!("risk computation failed: {e}"),
+            None,
+        ),
+    })
+}
+
+fn parse_risk_country(raw: &str) -> Result<CountryCode, Response> {
+    raw.to_ascii_uppercase().parse::<CountryCode>().map_err(|_| {
+        Response::api_error(
+            400,
+            "invalid_country",
+            "country must be a two-letter ISO 3166-1 alpha-2 code",
+            Some(raw),
+        )
+    })
+}
+
+#[derive(Serialize)]
+struct RiskCountryAnswer<'a> {
+    report_checksum: u64,
+    country: &'a soi_risk::CountryExposure,
+}
+
+/// `GET /v1/risk/country/{cc}`: the country's transit-exposure scores.
+fn v1_risk_country_route(state: &ServerState, req: &Request, raw: &str) -> Response {
+    let code = match parse_risk_country(raw) {
+        Ok(code) => code,
+        Err(resp) => return resp,
+    };
+    let report = match risk_report_for(state, req) {
+        Ok(report) => report,
+        Err(resp) => return resp,
+    };
+    match report.country(code) {
+        Some(exposure) => Response::json(
+            200,
+            &RiskCountryAnswer { report_checksum: report.checksum, country: exposure },
+        ),
+        None => Response::api_error(
+            404,
+            "unknown_country",
+            "country code is valid but has no observed routes or announced space in the run",
+            Some(code.as_str()),
+        ),
+    }
+}
+
+#[derive(Serialize)]
+struct RiskChokepointsAnswer<'a> {
+    report_checksum: u64,
+    chokepoints: &'a soi_risk::CountryChokepoints,
+}
+
+/// `GET /v1/risk/chokepoints/{cc}`: the country's greedy AS cut-set.
+fn v1_risk_chokepoints_route(state: &ServerState, req: &Request, raw: &str) -> Response {
+    let code = match parse_risk_country(raw) {
+        Ok(code) => code,
+        Err(resp) => return resp,
+    };
+    let report = match risk_report_for(state, req) {
+        Ok(report) => report,
+        Err(resp) => return resp,
+    };
+    match report.chokepoints_for(code) {
+        Some(choke) => Response::json(
+            200,
+            &RiskChokepointsAnswer { report_checksum: report.checksum, chokepoints: choke },
+        ),
+        None => Response::api_error(
+            404,
+            "unknown_country",
+            "country code is valid but has no observed routes or announced space in the run",
+            Some(code.as_str()),
+        ),
+    }
+}
+
+#[derive(Serialize)]
+struct RiskClassesAnswer<'a> {
+    report_checksum: u64,
+    total: usize,
+    limit: usize,
+    offset: usize,
+    summary: &'a [soi_risk::ClassSummary],
+    rows: &'a [soi_risk::ClassRow],
+}
+
+/// `GET /v1/risk/classes`: the paginated AS-classification rows (ASN
+/// order, stable within a generation) plus the full ownership cross-tab
+/// on every page.
+fn v1_risk_classes_route(state: &ServerState, req: &Request) -> Response {
+    let (limit, offset) = match parse_page(req) {
+        Ok(page) => page,
+        Err(resp) => return resp,
+    };
+    let report = match risk_report_for(state, req) {
+        Ok(report) => report,
+        Err(resp) => return resp,
+    };
+    let rows = &report.classes.rows;
+    let total = rows.len();
+    let start = offset.min(total);
+    let end = (start + limit).min(total);
+    Response::json(
+        200,
+        &RiskClassesAnswer {
+            report_checksum: report.checksum,
+            total,
+            limit,
+            offset,
+            summary: &report.classes.summary,
+            rows: &rows[start..end],
+        },
+    )
 }
 
 /// Flags a legacy-route response as deprecated: RFC 9745 `Deprecation`
@@ -560,6 +751,48 @@ mod tests {
             metrics: Arc::new(Metrics::new()),
             reloader: None,
             history: None,
+            risk: None,
+        }
+    }
+
+    /// A risk context matching the Telenor fixture: monitor AS1 (US)
+    /// sells transit to the state-owned AS2119, whose 10.0.0.0/8 space
+    /// geolocates to NO.
+    fn risk_context() -> soi_risk::RiskContext {
+        use soi_bgp::Monitor;
+        use soi_geo::GeoDb;
+        use soi_topology::AsGraphBuilder;
+        use soi_types::cc;
+
+        let mut b = AsGraphBuilder::new();
+        b.add_transit(Asn(2119), Asn(1));
+        let graph = b.build().unwrap();
+        let geo = GeoDb::from_blocks([("10.0.0.0/8".parse().unwrap(), cc("NO"))]).unwrap();
+        let as_country =
+            [(Asn(1), cc("US")), (Asn(2119), cc("NO"))].into_iter().collect();
+        soi_risk::RiskContext::new(
+            graph,
+            vec![Monitor { id: 0, asn: Asn(1) }],
+            geo,
+            as_country,
+            soi_risk::RiskConfig::default(),
+        )
+    }
+
+    /// [`state`] with the payload tracked and a [`RiskService`] attached,
+    /// so the `/v1/risk` routes can compute live reports.
+    fn risk_state() -> ServerState {
+        use soi_core::{payload_checksum, SnapshotPayload};
+
+        let st = state();
+        let mut dataset = st.slot.load().dataset().clone();
+        dataset.canonicalize();
+        let table = PrefixToAs::from_entries([("10.0.0.0/8".parse().unwrap(), Asn(2119))]).unwrap();
+        let base = SnapshotPayload { dataset, table };
+        st.slot.attach_payload(Arc::new(base.clone()), payload_checksum(&base).unwrap());
+        ServerState {
+            risk: Some(Arc::new(crate::risk::RiskService::new(risk_context(), 1))),
+            ..st
         }
     }
 
@@ -626,6 +859,7 @@ mod tests {
             metrics: Arc::new(Metrics::new()),
             reloader: None,
             history: Some(Arc::new(history)),
+            risk: None,
         };
         (state, dir)
     }
@@ -1035,5 +1269,167 @@ mod tests {
         assert_eq!(resp.status, 400);
         assert_eq!(envelope(&resp)["error"]["code"].as_str(), Some("invalid_org"));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn risk_routes_dispatch_with_labels_and_envelope_errors() {
+        let st = risk_state();
+        for (target, status, code) in [
+            ("/v1/risk/country/no", 200, ""),
+            ("/v1/risk/country/xx", 404, "unknown_country"),
+            ("/v1/risk/country/nope", 400, "invalid_country"),
+            ("/v1/risk/chokepoints/no", 200, ""),
+            ("/v1/risk/chokepoints/xx", 404, "unknown_country"),
+            ("/v1/risk/chokepoints/nope", 400, "invalid_country"),
+            ("/v1/risk/classes", 200, ""),
+        ] {
+            let (label, resp) = get(&st, target);
+            assert_eq!(label, "v1_risk", "{target}");
+            assert_eq!(resp.status, status, "{target}: {}", body(&resp));
+            if status >= 400 {
+                let v = envelope(&resp);
+                assert_eq!(v["error"]["code"].as_str(), Some(code), "{target}: {}", body(&resp));
+            }
+        }
+        // An unknown /v1/risk sub-route falls to the v1 catch-all.
+        let (label, resp) = get(&st, "/v1/risk/nope");
+        assert_eq!(label, "v1_other");
+        assert_eq!(resp.status, 404);
+    }
+
+    #[test]
+    fn risk_answers_carry_the_analyses_and_the_report_checksum() {
+        let st = risk_state();
+        // NO's one route is [AS1, AS2119]: monitor then origin, so there
+        // is no cuttable transit AS in between.
+        let (_, resp) = get(&st, "/v1/risk/chokepoints/no");
+        let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+        let checksum = v["report_checksum"].as_u64().expect("checksum present");
+        assert!(checksum != 0);
+        assert_eq!(v["chokepoints"]["country"].as_str(), Some("NO"), "{}", body(&resp));
+        assert_eq!(v["chokepoints"]["routes"].as_u64(), Some(1));
+        assert_eq!(v["chokepoints"]["cuttable"].as_u64(), Some(0));
+        assert_eq!(v["chokepoints"]["partitioned"].as_bool(), Some(false));
+        // The exposure view shares the same report.
+        let (_, resp) = get(&st, "/v1/risk/country/no");
+        let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+        assert_eq!(v["report_checksum"].as_u64(), Some(checksum));
+        assert_eq!(v["country"]["country"].as_str(), Some("NO"));
+        // Classification covers both graph ASes: AS1 sells transit (STP),
+        // the state-owned AS2119 is a stub (EC).
+        let (_, resp) = get(&st, "/v1/risk/classes");
+        let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+        assert_eq!(v["report_checksum"].as_u64(), Some(checksum));
+        assert_eq!(v["total"].as_u64(), Some(2), "{}", body(&resp));
+        let rows = v["rows"].as_array().unwrap();
+        assert_eq!(rows[0]["asn"].as_u64(), Some(1));
+        assert_eq!(rows[0]["class"].as_str(), Some("STP"));
+        assert_eq!(rows[1]["asn"].as_u64(), Some(2119));
+        assert_eq!(rows[1]["class"].as_str(), Some("EC"));
+        assert_eq!(rows[1]["state_owned"].as_bool(), Some(true));
+    }
+
+    #[test]
+    fn risk_classes_paginate_with_validated_bounds() {
+        let st = risk_state();
+        for (target, code) in [
+            ("/v1/risk/classes?limit=junk", "invalid_limit"),
+            ("/v1/risk/classes?limit=0", "invalid_limit"),
+            ("/v1/risk/classes?limit=101", "invalid_limit"),
+            ("/v1/risk/classes?offset=junk", "invalid_offset"),
+        ] {
+            let (label, resp) = get(&st, target);
+            assert_eq!(label, "v1_risk", "{target}");
+            assert_eq!(resp.status, 400, "{target}: {}", body(&resp));
+            assert_eq!(envelope(&resp)["error"]["code"].as_str(), Some(code), "{target}");
+        }
+        // A 1-row page still reports the full total and cross-tab.
+        let (_, resp) = get(&st, "/v1/risk/classes?limit=1");
+        let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+        assert_eq!(v["total"].as_u64(), Some(2), "{}", body(&resp));
+        assert_eq!(v["rows"].as_array().unwrap().len(), 1);
+        assert_eq!(v["summary"].as_array().unwrap().len(), 4, "all four classes");
+        // Paging past the end is empty, not an error.
+        let (_, resp) = get(&st, "/v1/risk/classes?offset=9");
+        let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+        assert_eq!(v["total"].as_u64(), Some(2));
+        assert!(v["rows"].as_array().unwrap().is_empty());
+    }
+
+    #[test]
+    fn risk_without_a_service_or_payload_is_conflict_not_crash() {
+        // No RiskService attached: every risk route is a 409.
+        let st = state();
+        for target in ["/v1/risk/country/no", "/v1/risk/chokepoints/no", "/v1/risk/classes"] {
+            let (label, resp) = get(&st, target);
+            assert_eq!(label, "v1_risk", "{target}");
+            assert_eq!(resp.status, 409, "{target}: {}", body(&resp));
+            assert_eq!(envelope(&resp)["error"]["code"].as_str(), Some("risk_unavailable"));
+        }
+        // A malformed country is still the client's problem first.
+        let (_, resp) = get(&st, "/v1/risk/country/nope");
+        assert_eq!(resp.status, 400);
+        assert_eq!(envelope(&resp)["error"]["code"].as_str(), Some("invalid_country"));
+        // A service without a tracked payload has nothing to analyze.
+        let st = ServerState {
+            risk: Some(Arc::new(crate::risk::RiskService::new(risk_context(), 1))),
+            ..state()
+        };
+        let (_, resp) = get(&st, "/v1/risk/classes");
+        assert_eq!(resp.status, 409, "{}", body(&resp));
+        assert_eq!(envelope(&resp)["error"]["code"].as_str(), Some("risk_unavailable"));
+    }
+
+    #[test]
+    fn risk_reports_are_cached_per_generation() {
+        let st = risk_state();
+        let (_, first) = get(&st, "/v1/risk/classes");
+        assert_eq!(first.status, 200);
+        let (_, second) = get(&st, "/v1/risk/country/no");
+        assert_eq!(second.status, 200);
+        let snap = st.metrics.snapshot(0, &st.status());
+        assert_eq!(snap.risk_reports_computed, 1, "one report serves both routes");
+        assert!(snap.risk_cache_hits >= 1);
+        assert_eq!(snap.risk_requests, 2);
+        assert_eq!(snap.per_route["v1_risk"], 2);
+    }
+
+    #[test]
+    fn risk_as_of_resolves_through_the_history_store() {
+        let (mut st, dir) = history_state("risk-asof");
+        st.risk = Some(Arc::new(crate::risk::RiskService::new(risk_context(), 1)));
+        // The as-of error envelope matches the read routes'.
+        let (label, resp) = get(&st, "/v1/risk/country/no?at=banana");
+        assert_eq!(label, "v1_risk");
+        assert_eq!(resp.status, 400);
+        assert_eq!(envelope(&resp)["error"]["code"].as_str(), Some("invalid_at"));
+        let (_, resp) = get(&st, "/v1/risk/country/no?at=9");
+        assert_eq!(resp.status, 404);
+        assert_eq!(envelope(&resp)["error"]["code"].as_str(), Some("unknown_year"));
+        // Every stored year answers; the topology context is unchanged by
+        // ownership churn, so NO stays observed throughout.
+        for year in 0..=2 {
+            let (_, resp) = get(&st, &format!("/v1/risk/country/no?at={year}"));
+            assert_eq!(resp.status, 200, "year {year}: {}", body(&resp));
+            let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+            assert_eq!(v["country"]["country"].as_str(), Some("NO"), "year {year}");
+        }
+        // Repeating a year hits the (generation, year) cache.
+        let before = st.metrics.snapshot(0, &st.status()).risk_reports_computed;
+        let (_, resp) = get(&st, "/v1/risk/classes?at=1");
+        assert_eq!(resp.status, 200);
+        let after = st.metrics.snapshot(0, &st.status()).risk_reports_computed;
+        assert_eq!(before, after, "year 1 was already materialized");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn risk_as_of_without_history_is_conflict() {
+        // A risk service alone cannot resolve ?at=: the history envelope
+        // answers, just like the read routes.
+        let st = risk_state();
+        let (_, resp) = get(&st, "/v1/risk/classes?at=1");
+        assert_eq!(resp.status, 409, "{}", body(&resp));
+        assert_eq!(envelope(&resp)["error"]["code"].as_str(), Some("history_unavailable"));
     }
 }

@@ -29,7 +29,12 @@
 //!   attached ([`serve_history`]), the `/v1` read routes accept
 //!   `?at=<year>` and `/v1/history/org/{id}` serves ownership
 //!   timelines, materialized views cached in a `(generation, year)`
-//!   LRU.
+//!   LRU,
+//! * derived risk analyses ([`risk`]): with a [`RiskService`] attached
+//!   ([`serve_full`]), `/v1/risk/country/{cc}`,
+//!   `/v1/risk/chokepoints/{cc}` and `/v1/risk/classes` serve the
+//!   checksummed `soi-risk` report for the live payload (cached per
+//!   index generation) or, via `?at=<year>`, for any stored year.
 //!
 //! No async runtime, no HTTP dependency: request parsing is hand-rolled
 //! in [`http`], JSON comes from the workspace's existing `serde_json`.
@@ -55,6 +60,7 @@ pub mod http;
 pub mod index;
 pub mod metrics;
 pub mod reload;
+pub mod risk;
 pub mod server;
 
 pub use delta::{apply_delta, DeltaOutcome, DeltaRejection};
@@ -64,7 +70,8 @@ pub use index::{
 };
 pub use metrics::{IndexProvenance, LatencySummary, Metrics, MetricsSnapshot, ServiceStatus};
 pub use reload::{IndexSlot, ReloadOutcome, Reloader};
+pub use risk::{RiskService, RiskServiceError, DEFAULT_RISK_CACHE_CAPACITY};
 pub use server::{
-    install_signal_handlers, reload_requested, serve, serve_history, serve_with,
+    install_signal_handlers, reload_requested, serve, serve_full, serve_history, serve_with,
     shutdown_requested, ServerConfig, ServerHandle, ServerState,
 };

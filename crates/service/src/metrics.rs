@@ -18,7 +18,7 @@ use crate::index::IndexSizes;
 /// `v1_*` labels count the versioned API; the bare data-route labels
 /// count the deprecated unversioned aliases, so legacy traffic stays
 /// separately visible during the migration.
-pub const ROUTES: [&str; 18] = [
+pub const ROUTES: [&str; 19] = [
     "healthz",
     "metrics",
     "asn",
@@ -35,6 +35,7 @@ pub const ROUTES: [&str; 18] = [
     "v1_search",
     "v1_dataset",
     "v1_history",
+    "v1_risk",
     "v1_other",
     "other",
 ];
@@ -216,6 +217,14 @@ pub struct Metrics {
     /// Wall-clock microseconds spent materializing as-of views (resolve
     /// + index build, cache misses only).
     history_materialize_micros: AtomicU64,
+    /// Requests that reached the risk layer (live or as-of).
+    risk_requests: AtomicU64,
+    /// Risk requests answered from a cached report.
+    risk_cache_hits: AtomicU64,
+    /// Risk reports computed (cache misses).
+    risk_reports_computed: AtomicU64,
+    /// Wall-clock microseconds spent computing risk reports.
+    risk_compute_micros: AtomicU64,
     per_route: [AtomicU64; ROUTES.len()],
     latency: Histogram,
 }
@@ -240,6 +249,10 @@ impl Metrics {
             history_cache_hits: AtomicU64::new(0),
             history_deltas_replayed: AtomicU64::new(0),
             history_materialize_micros: AtomicU64::new(0),
+            risk_requests: AtomicU64::new(0),
+            risk_cache_hits: AtomicU64::new(0),
+            risk_reports_computed: AtomicU64::new(0),
+            risk_compute_micros: AtomicU64::new(0),
             per_route: std::array::from_fn(|_| AtomicU64::new(0)),
             latency: Histogram::default(),
         }
@@ -322,6 +335,22 @@ impl Metrics {
         self.history_materialize_micros.fetch_add(micros, Ordering::Relaxed);
     }
 
+    /// Counts one request reaching the risk layer.
+    pub fn record_risk_request(&self) {
+        self.risk_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one risk request answered from a cached report.
+    pub fn record_risk_cache_hit(&self) {
+        self.risk_cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one computed risk report and its wall-clock cost.
+    pub fn record_risk_computed(&self, micros: u64) {
+        self.risk_reports_computed.fetch_add(1, Ordering::Relaxed);
+        self.risk_compute_micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
     /// Marks a request as in flight; decremented by [`Metrics::end_request`].
     pub fn begin_request(&self) {
         self.in_flight.fetch_add(1, Ordering::Relaxed);
@@ -370,6 +399,10 @@ impl Metrics {
             history_cache_hits: self.history_cache_hits.load(Ordering::Relaxed),
             history_deltas_replayed: self.history_deltas_replayed.load(Ordering::Relaxed),
             history_materialize_micros: self.history_materialize_micros.load(Ordering::Relaxed),
+            risk_requests: self.risk_requests.load(Ordering::Relaxed),
+            risk_cache_hits: self.risk_cache_hits.load(Ordering::Relaxed),
+            risk_reports_computed: self.risk_reports_computed.load(Ordering::Relaxed),
+            risk_compute_micros: self.risk_compute_micros.load(Ordering::Relaxed),
             generation: status.generation,
             snapshot_build: status.snapshot_build.clone(),
             payload_checksum: status.payload_checksum,
@@ -426,6 +459,14 @@ pub struct MetricsSnapshot {
     pub history_deltas_replayed: u64,
     /// Wall-clock microseconds spent materializing as-of views.
     pub history_materialize_micros: u64,
+    /// Requests that reached the risk layer (live or as-of).
+    pub risk_requests: u64,
+    /// Risk requests answered from a cached report.
+    pub risk_cache_hits: u64,
+    /// Risk reports computed (cache misses).
+    pub risk_reports_computed: u64,
+    /// Wall-clock microseconds spent computing risk reports.
+    pub risk_compute_micros: u64,
     /// Current index generation (1 = boot index).
     pub generation: u64,
     /// Provenance of the served snapshot, when started from one.
@@ -657,6 +698,24 @@ mod tests {
         assert_eq!(snap.per_route["v1_history"], 1);
         // v1_history traffic counts toward the v1 bucket like every other
         // v1_* label.
+        assert_eq!(snap.requests_v1, 1);
+    }
+
+    #[test]
+    fn risk_counters_accumulate_and_v1_risk_is_a_route_label() {
+        let m = Metrics::new();
+        // A miss that computed a report in 900µs, then a hit.
+        m.record_risk_request();
+        m.record_risk_computed(900);
+        m.record_risk_request();
+        m.record_risk_cache_hit();
+        m.record_request("v1_risk", 200, Duration::from_micros(60));
+        let snap = m.snapshot(0, &ServiceStatus::default());
+        assert_eq!(snap.risk_requests, 2);
+        assert_eq!(snap.risk_cache_hits, 1);
+        assert_eq!(snap.risk_reports_computed, 1);
+        assert_eq!(snap.risk_compute_micros, 900);
+        assert_eq!(snap.per_route["v1_risk"], 1);
         assert_eq!(snap.requests_v1, 1);
     }
 }

@@ -1,0 +1,148 @@
+//! The serving side of the risk analyses: cached [`RiskReport`]s.
+//!
+//! A report is expensive (a full route propagation + CTI pass), so the
+//! service computes it at most once per served generation:
+//!
+//! * the **live** report is keyed by the index slot's generation counter
+//!   — a snapshot reload or an applied delta bumps it, so a
+//!   hijack-bearing delta (a routing-substrate shift) evicts the cached
+//!   report without any explicit invalidation protocol;
+//! * **as-of** reports are keyed `(history generation, year)` in the
+//!   same deterministic [`TemporalCache`] LRU the as-of index views use.
+//!
+//! Both paths call [`RiskContext::report`], which recomputes the BGP
+//! view from the payload's prefix→AS table — so a `?at=<year>` report is
+//! byte-identical to what a from-scratch server over that year's payload
+//! would produce (the `tests/risk.rs` oracle).
+
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+use soi_history::HistoryError;
+use soi_risk::{RiskContext, RiskReport};
+use soi_types::SoiError;
+
+use crate::history::HistoryService;
+use crate::metrics::Metrics;
+use crate::reload::IndexSlot;
+
+/// As-of reports kept hot; reports are small next to the indexes the
+/// history LRU holds, but there is no reason to outlive them.
+pub const DEFAULT_RISK_CACHE_CAPACITY: usize = 8;
+
+/// Why a risk report could not be served.
+#[derive(Debug)]
+pub enum RiskServiceError {
+    /// The slot tracks no payload (plain `serve` without snapshot/
+    /// pipeline payload attachment), so there is nothing to analyze.
+    NoPayload,
+    /// As-of resolution failed (unknown year, corrupt store, ...).
+    History(HistoryError),
+    /// The analyses themselves failed (e.g. an empty monitor set).
+    Compute(SoiError),
+}
+
+impl std::fmt::Display for RiskServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RiskServiceError::NoPayload => {
+                write!(f, "server tracks no payload; risk reports need one")
+            }
+            RiskServiceError::History(e) => write!(f, "as-of resolution failed: {e}"),
+            RiskServiceError::Compute(e) => write!(f, "risk computation failed: {e}"),
+        }
+    }
+}
+
+/// A [`RiskContext`] plus the generation-keyed report caches.
+pub struct RiskService {
+    context: RiskContext,
+    threads: usize,
+    /// `(slot generation, report)` for the live payload.
+    live: RwLock<Option<(u64, Arc<RiskReport>)>>,
+    /// `(history generation, year)` → report.
+    as_of: soi_history::TemporalCache<Arc<RiskReport>>,
+}
+
+impl RiskService {
+    /// Wraps a context; `threads` is the worker count report computation
+    /// shards over (0 = one per core; any value is byte-identical).
+    pub fn new(context: RiskContext, threads: usize) -> RiskService {
+        RiskService {
+            context,
+            threads,
+            live: RwLock::new(None),
+            as_of: soi_history::TemporalCache::new(DEFAULT_RISK_CACHE_CAPACITY),
+        }
+    }
+
+    /// The analysis context (topology, monitors, geolocation).
+    pub fn context(&self) -> &RiskContext {
+        &self.context
+    }
+
+    /// The report for the live served payload, computed on first use per
+    /// index generation. A reload or applied delta bumps the generation
+    /// and thereby invalidates the cached report.
+    pub fn live_report(
+        &self,
+        slot: &IndexSlot,
+        metrics: &Metrics,
+    ) -> Result<Arc<RiskReport>, RiskServiceError> {
+        metrics.record_risk_request();
+        let generation = slot.generation();
+        if let Some((cached, report)) = self.live.read().expect("risk live lock").clone() {
+            if cached == generation {
+                metrics.record_risk_cache_hit();
+                return Ok(report);
+            }
+        }
+        let Some((payload, _)) = slot.payload() else {
+            return Err(RiskServiceError::NoPayload);
+        };
+        let started = Instant::now();
+        let report = self
+            .context
+            .report(&payload.dataset, &payload.table, self.threads)
+            .map_err(RiskServiceError::Compute)?;
+        metrics.record_risk_computed(started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+        let report = Arc::new(report);
+        // Last writer wins; any winner computed the same bytes for this
+        // generation (determinism contract), so racing is harmless.
+        *self.live.write().expect("risk live lock") = Some((generation, Arc::clone(&report)));
+        Ok(report)
+    }
+
+    /// The report as of `year`, resolved through the history store and
+    /// cached per `(generation, year)`.
+    pub fn report_at(
+        &self,
+        year: u32,
+        history: &HistoryService,
+        metrics: &Metrics,
+    ) -> Result<Arc<RiskReport>, RiskServiceError> {
+        metrics.record_risk_request();
+        let generation = history.generation();
+        if let Some(report) = self.as_of.get(generation, year) {
+            metrics.record_risk_cache_hit();
+            return Ok(report);
+        }
+        let (payload, _stats) =
+            history.store().resolve(year).map_err(RiskServiceError::History)?;
+        let started = Instant::now();
+        let report = self
+            .context
+            .report(&payload.dataset, &payload.table, self.threads)
+            .map_err(RiskServiceError::Compute)?;
+        metrics.record_risk_computed(started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+        let report = Arc::new(report);
+        self.as_of.insert(generation, year, Arc::clone(&report));
+        Ok(report)
+    }
+}
+
+impl std::fmt::Debug for RiskService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RiskService").field("threads", &self.threads).finish()
+    }
+}

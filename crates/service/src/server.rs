@@ -28,16 +28,20 @@ use crate::http::{self, HttpError, Response};
 use crate::index::ServiceIndex;
 use crate::metrics::{Metrics, MetricsSnapshot, ServiceStatus};
 use crate::reload::{IndexSlot, Reloader};
+use crate::risk::RiskService;
 
 /// Everything a worker needs to answer a request: the swappable index
 /// slot, the shared metrics, (when serving from a snapshot file) the
-/// reloader behind `POST /admin/reload`, and (when serving a history
-/// directory) the as-of view service behind `?at=` and `/v1/history`.
+/// reloader behind `POST /admin/reload`, (when serving a history
+/// directory) the as-of view service behind `?at=` and `/v1/history`,
+/// and (when the run's topology context is available) the risk-report
+/// service behind `/v1/risk`.
 pub struct ServerState {
     pub slot: Arc<IndexSlot>,
     pub metrics: Arc<Metrics>,
     pub reloader: Option<Reloader>,
     pub history: Option<Arc<HistoryService>>,
+    pub risk: Option<Arc<RiskService>>,
 }
 
 impl ServerState {
@@ -244,10 +248,25 @@ pub fn serve_history(
     addr: impl ToSocketAddrs,
     cfg: ServerConfig,
 ) -> std::io::Result<ServerHandle> {
+    serve_full(slot, reloader, history, None, addr, cfg)
+}
+
+/// [`serve_history`] plus an optional [`RiskService`]: when given, the
+/// `/v1/risk/country/{cc}`, `/v1/risk/chokepoints/{cc}` and
+/// `/v1/risk/classes` routes serve the derived risk report for the live
+/// payload, or for any stored year via `?at=<year>`.
+pub fn serve_full(
+    slot: Arc<IndexSlot>,
+    reloader: Option<Reloader>,
+    history: Option<Arc<HistoryService>>,
+    risk: Option<Arc<RiskService>>,
+    addr: impl ToSocketAddrs,
+    cfg: ServerConfig,
+) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let local_addr = listener.local_addr()?;
     let state =
-        Arc::new(ServerState { slot, metrics: Arc::new(Metrics::new()), reloader, history });
+        Arc::new(ServerState { slot, metrics: Arc::new(Metrics::new()), reloader, history, risk });
     let queue = Arc::new(ConnQueue::new(cfg.queue_capacity.max(1)));
     let shutdown = Arc::new(AtomicBool::new(false));
 

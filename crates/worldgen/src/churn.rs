@@ -20,14 +20,19 @@
 //!   existing foreign operator (new foreign subsidiary without minting
 //!   new ASNs);
 //! * **rebrand** — a company changes its commercial name, feeding future
-//!   WHOIS staleness.
+//!   WHOIS staleness;
+//! * **hijack** — an origin hijack: a prefix's assignment moves to a
+//!   different AS. Off by default (`hijacks_per_year: 0.0`); when
+//!   enabled this is the one event that *does* shift the routing
+//!   substrate, which downstream consumers (delta engine, risk
+//!   analyses) must treat as a full routing recompute.
 
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use soi_ownership::{Business, OwnershipGraphBuilder, StateControl};
-use soi_types::{CompanyId, Equity, SoiError};
+use soi_types::{Asn, CompanyId, Equity, Ipv4Prefix, SoiError};
 
 use crate::names;
 use crate::truth::GroundTruth;
@@ -49,6 +54,12 @@ pub struct ChurnConfig {
     /// RNG seed (combined with the year index so successive years
     /// differ).
     pub seed: u64,
+    /// Expected number of origin hijacks per year (worldwide). Zero by
+    /// default: hijacks shift the routing substrate, which most callers
+    /// treat as fixed. Deserializes as 0.0 when absent so pre-existing
+    /// serialized configs keep their meaning.
+    #[serde(default)]
+    pub hijacks_per_year: f64,
 }
 
 impl Default for ChurnConfig {
@@ -59,6 +70,7 @@ impl Default for ChurnConfig {
             acquisitions_per_year: 2.0,
             rebrand_rate: 0.03,
             seed: 0,
+            hijacks_per_year: 0.0,
         }
     }
 }
@@ -74,6 +86,12 @@ pub struct ChurnLog {
     pub acquired: Vec<(CompanyId, CompanyId)>,
     /// Companies that changed brand names.
     pub rebranded: Vec<CompanyId>,
+    /// `(prefix, victim origin, hijacker)` origin hijacks. Unlike every
+    /// other event kind these change the routing substrate, not
+    /// ownership, so they do not count toward
+    /// [`ChurnLog::ownership_events`].
+    #[serde(default)]
+    pub hijacked: Vec<(Ipv4Prefix, Asn, Asn)>,
 }
 
 impl ChurnLog {
@@ -86,8 +104,9 @@ impl ChurnLog {
 impl ChurnConfig {
     /// Advances the world by one year of ownership churn, returning the
     /// evolved world and the event log. The technical substrate (ASNs,
-    /// prefixes, users, topology) is untouched; ownership, names and
-    /// ground truth are rebuilt.
+    /// prefixes, users, topology) is untouched — unless
+    /// `hijacks_per_year > 0`, in which case hijacked prefixes move to a
+    /// new origin AS; ownership, names and ground truth are rebuilt.
     pub fn evolve(&self, world: &World, year_index: u32) -> Result<(World, ChurnLog), SoiError> {
         let mut rng =
             SmallRng::seed_from_u64(self.seed ^ 0x636875726e ^ (u64::from(year_index) << 32));
@@ -244,6 +263,28 @@ impl ChurnConfig {
             log.rebranded.push(company.id);
         }
 
+        // Origin hijacks: reassign a prefix to a different registered AS.
+        // The only churn event that touches the routing substrate — the
+        // delta engine detects the moved assignment and falls back to a
+        // full routing recompute.
+        let mut prefix_assignments = world.prefix_assignments.clone();
+        let n_hijacks = poisson_like(&mut rng, self.hijacks_per_year);
+        if n_hijacks > 0 && !prefix_assignments.is_empty() && !world.registrations.is_empty() {
+            let asns: Vec<Asn> = world.registrations.iter().map(|r| r.asn).collect();
+            for _ in 0..n_hijacks {
+                let slot = rng.gen_range(0..prefix_assignments.len());
+                let (prefix, victim) = prefix_assignments[slot];
+                let Some(&hijacker) = asns.as_slice().choose(&mut rng) else { break };
+                // Self-hijacks are no-ops; a prefix hijacked twice in one
+                // year would make the log ambiguous about the victim.
+                if hijacker == victim || log.hijacked.iter().any(|&(p, _, _)| p == prefix) {
+                    continue;
+                }
+                prefix_assignments[slot].1 = hijacker;
+                log.hijacked.push((prefix, victim, hijacker));
+            }
+        }
+
         // Rebuild the validated graph and truth.
         let mut builder = OwnershipGraphBuilder::new();
         for c in &companies {
@@ -267,7 +308,7 @@ impl ChurnConfig {
                 profiles: world.profiles.clone(),
                 topology: world.topology.clone(),
                 links: world.links.clone(),
-                prefix_assignments: world.prefix_assignments.clone(),
+                prefix_assignments,
                 geo_blocks: world.geo_blocks.clone(),
                 users: world.users.clone(),
                 ixps: world.ixps.clone(),
@@ -334,6 +375,7 @@ mod tests {
             acquisitions_per_year: 4.0,
             rebrand_rate: 0.15,
             seed: 5,
+            hijacks_per_year: 0.0,
         };
         for year in 0..3 {
             let (a, la) = cfg.evolve(&w, year).unwrap();
@@ -363,6 +405,7 @@ mod tests {
             acquisitions_per_year: 4.0,
             rebrand_rate: 0.15,
             seed: 5,
+            hijacks_per_year: 0.0,
         };
         for year in 0..3 {
             let (a, la) = cfg.evolve(&seq, year).unwrap();
@@ -386,6 +429,7 @@ mod tests {
             acquisitions_per_year: 5.0,
             rebrand_rate: 0.3,
             seed: 11,
+            hijacks_per_year: 0.0,
         };
         let (evolved, logs) = cfg.evolve_years(&w, 3).unwrap();
         assert!(logs.iter().map(|l| l.ownership_events()).sum::<usize>() > 0);
@@ -413,6 +457,7 @@ mod tests {
             acquisitions_per_year: 5.0,
             rebrand_rate: 0.2,
             seed: 9,
+            hijacks_per_year: 0.0,
         };
         let (evolved, log) = cfg.evolve(&w, 0).unwrap();
         assert!(!log.privatized.is_empty());
@@ -454,6 +499,7 @@ mod tests {
             acquisitions_per_year: 3.0,
             rebrand_rate: 0.05,
             seed: 3,
+            hijacks_per_year: 0.0,
         };
         let (evolved, logs) = cfg.evolve_years(&w, 5).unwrap();
         assert_eq!(logs.len(), 5);
@@ -461,6 +507,34 @@ mod tests {
         assert!(total_events > 5, "only {total_events} events in 5 years");
         // The state-owned AS set drifts.
         assert_ne!(evolved.truth.state_owned_ases, w.truth.state_owned_ases);
+    }
+
+    #[test]
+    fn hijacks_move_prefixes_deterministically() {
+        let w = world();
+        let cfg = ChurnConfig { hijacks_per_year: 6.0, seed: 17, ..ChurnConfig::default() };
+        let (evolved, log) = cfg.evolve(&w, 0).unwrap();
+        let (evolved_b, log_b) = cfg.evolve(&w, 0).unwrap();
+        assert_eq!(log, log_b, "hijack draws must replay from (seed, year)");
+        assert_eq!(evolved.prefix_assignments, evolved_b.prefix_assignments);
+        assert!(!log.hijacked.is_empty(), "rate 6.0 should fire at least once");
+        for &(prefix, victim, hijacker) in &log.hijacked {
+            assert_ne!(victim, hijacker);
+            let before = w.prefix_assignments.iter().find(|&&(p, _)| p == prefix).unwrap();
+            let after = evolved.prefix_assignments.iter().find(|&&(p, _)| p == prefix).unwrap();
+            assert_eq!(before.1, victim, "log names the pre-churn origin");
+            assert_eq!(after.1, hijacker, "assignment moved to the hijacker");
+        }
+        // Hijacks shift the substrate but not ownership; everything else
+        // stays put because the other rates are at their (tiny) defaults.
+        assert_eq!(evolved.prefix_assignments.len(), w.prefix_assignments.len());
+        let moved = evolved
+            .prefix_assignments
+            .iter()
+            .zip(&w.prefix_assignments)
+            .filter(|(a, b)| a != b)
+            .count();
+        assert_eq!(moved, log.hijacked.len(), "exactly the logged prefixes moved");
     }
 
     #[test]
@@ -472,6 +546,7 @@ mod tests {
             acquisitions_per_year: 0.0,
             rebrand_rate: 0.0,
             seed: 1,
+            hijacks_per_year: 0.0,
         };
         let (evolved, log) = cfg.evolve(&w, 0).unwrap();
         assert_eq!(log.ownership_events(), 0);

@@ -14,6 +14,7 @@ pub use soi_geo as geo;
 pub use soi_history as history;
 pub use soi_ownership as ownership;
 pub use soi_registry as registry;
+pub use soi_risk as risk;
 pub use soi_service as service;
 pub use soi_sources as sources;
 pub use soi_topology as topology;

@@ -8,7 +8,14 @@
 //!   whois <ASN>            the synthetic RPSL WHOIS object of an ASN
 //!   org <name fragment>    search the identified dataset by name
 //!   cti <CC> [k]           top transit ASes of a country by CTI
-//!   ageing [years]         frozen-dataset decay under ownership churn
+//!   risk [CC] [--json] [--top K]
+//!                          derived risk report: per-country transit
+//!                          exposure + chokepoint cut-sets, and the
+//!                          EC/STP/LTP/CAHP ownership cross-tab
+//!   ageing [years] [--history DIR]
+//!                          frozen-dataset decay under ownership churn;
+//!                          with --history, score against the stored
+//!                          year-by-year datasets instead of re-churning
 //!   snapshot write PATH [--format v2|json]
 //!                          run the pipeline and persist the result
 //!                          (binary v2 container by default)
@@ -36,6 +43,9 @@
 //!         [--history DIR]    attach a history store: `?at=<year>` on the
 //!                            /v1 read routes and /v1/history/org/{id}
 //!                            ownership timelines
+//!
+//! When `serve` rebuilds through the pipeline (no `--snapshot`), the
+//! run's topology context also powers the /v1/risk routes.
 //! ```
 //!
 //! Without `--snapshot`, every command regenerates the world from the
@@ -58,8 +68,10 @@ use state_owned_ases::core::{
 use state_owned_ases::delta::{compact, DatasetDelta, DeltaEngine, EngineConfig};
 use state_owned_ases::history::{HistoryBuildConfig, HistoryStore};
 use state_owned_ases::registry::rpsl;
+use state_owned_ases::risk::{RiskConfig, RiskContext};
 use state_owned_ases::service::{
-    self, HistoryService, IndexProvenance, IndexSlot, Reloader, ServerConfig, ServiceIndex,
+    self, HistoryService, IndexProvenance, IndexSlot, Reloader, RiskService, ServerConfig,
+    ServiceIndex,
 };
 use state_owned_ases::types::{Asn, CountryCode};
 use state_owned_ases::worldgen::{generate, ChurnConfig, World, WorldConfig};
@@ -171,6 +183,29 @@ fn main() {
                 .collect();
             println!("{}", render_table(&["ASN", "name", "CTI", ""], &rows));
         }
+        "risk" => {
+            let as_json = extract_bool_flag(&mut args, "--json");
+            let top: usize = extract_flag(&mut args, "--top")
+                .map(|k| k.parse().unwrap_or_else(|_| fail("--top needs a number")))
+                .unwrap_or(5);
+            // Validate the optional country argument before the
+            // expensive world build so typos fail instantly.
+            let country: Option<CountryCode> = args.get(1).map(|raw| {
+                raw.to_uppercase().parse().unwrap_or_else(|_| {
+                    fail(&format!("{raw:?} is not a two-letter country code (e.g. `soi risk SY`)"))
+                })
+            });
+            let (world, wg_micros) = build_world(seed, threads);
+            let (inputs, output) = run_pipeline(&world, seed, threads, wg_micros);
+            let ctx = RiskContext::from_run(&world, &inputs, RiskConfig::default());
+            let report = ctx
+                .report(&output.dataset, &inputs.prefix_to_as, threads)
+                .unwrap_or_else(|e| fail(&format!("risk analysis failed: {e}")));
+            match country {
+                Some(cc) => risk_country(&report, cc, top, as_json),
+                None => risk_overview(&report, top, as_json),
+            }
+        }
         "serve" => {
             let port: u16 = extract_flag(&mut args, "--port")
                 .map(|p| p.parse().unwrap_or_else(|_| fail("--port needs a number")))
@@ -180,7 +215,7 @@ fn main() {
                 .unwrap_or_else(|| ServerConfig::default().workers);
             let snapshot_path = extract_flag(&mut args, "--snapshot");
             let history_dir = extract_flag(&mut args, "--history");
-            let (slot, reloader, source) = match &snapshot_path {
+            let (slot, reloader, risk_ctx, source) = match &snapshot_path {
                 Some(path) => {
                     // Cold start from disk: no worldgen, no pipeline. The
                     // codec auto-detects JSON vs binary v2 from the bytes.
@@ -199,11 +234,14 @@ fn main() {
                         timings: None,
                     });
                     let reloader = Reloader::new(path, Arc::clone(&slot));
-                    (slot, Some(reloader), format!("snapshot {path} ({format})"))
+                    // A snapshot carries no topology/monitor context, so
+                    // the /v1/risk routes stay unavailable in this mode.
+                    (slot, Some(reloader), None, format!("snapshot {path} ({format})"))
                 }
                 None => {
                     let (world, wg_micros) = build_world(seed, threads);
                     let (inputs, output) = run_pipeline(&world, seed, threads, wg_micros);
+                    let risk_ctx = RiskContext::from_run(&world, &inputs, RiskConfig::default());
                     let payload = SnapshotPayload {
                         dataset: output.dataset.clone(),
                         table: inputs.prefix_to_as.clone(),
@@ -219,7 +257,7 @@ fn main() {
                         threads: output.timings.threads,
                         timings: Some(output.timings),
                     });
-                    (slot, None, format!("pipeline seed {seed}"))
+                    (slot, None, Some(risk_ctx), format!("pipeline seed {seed}"))
                 }
             };
             let history = history_dir.as_ref().map(|dir| {
@@ -232,12 +270,15 @@ fn main() {
                 );
                 Arc::new(svc)
             });
+            let risk = risk_ctx.map(|ctx| Arc::new(RiskService::new(ctx, threads)));
+            let risk_attached = risk.is_some();
             let sizes = slot.load().sizes();
             let generation = slot.status().generation;
             let provenance = slot.provenance();
             let cfg = ServerConfig { workers, ..ServerConfig::default() };
-            let handle = service::serve_history(slot, reloader, history, ("0.0.0.0", port), cfg)
-                .expect("bind service socket");
+            let handle =
+                service::serve_full(slot, reloader, history, risk, ("0.0.0.0", port), cfg)
+                    .expect("bind service socket");
             println!(
                 "soi-service listening on {} from {source} ({} orgs, {} ASNs, {} prefixes; {} workers)",
                 handle.local_addr(),
@@ -267,6 +308,9 @@ fn main() {
             println!("routes: /v1/asn/{{asn}} /v1/ip/{{addr}} /v1/prefix/{{addr}}/{{len}} /v1/country /v1/country/{{cc}} /v1/search?q=[&limit=&offset=] /v1/dataset  /healthz /metrics  POST /admin/reload /admin/delta  (legacy unversioned data routes still answer, with Deprecation headers)");
             if history_dir.is_some() {
                 println!("history routes: ?at=<year> on the /v1 read routes, /v1/history, /v1/history/org/{{id}}");
+            }
+            if risk_attached {
+                println!("risk routes: /v1/risk/country/{{cc}} /v1/risk/chokepoints/{{cc}} /v1/risk/classes (all accept ?at=<year> with --history)");
             }
             service::install_signal_handlers();
             while !service::shutdown_requested() {
@@ -426,12 +470,32 @@ fn main() {
             history_cmd(&mut args, seed, threads);
         }
         "ageing" => {
+            let history_dir = extract_flag(&mut args, "--history");
             let years: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(5);
             let (world, wg_micros) = build_world(seed, threads);
             let (_, output) = run_pipeline(&world, seed, threads, wg_micros);
-            let churn = ChurnConfig { seed, ..Default::default() };
-            let report =
-                AgeingReport::compute(&world, &output.dataset, &churn, years).expect("ageing");
+            let report = match history_dir {
+                Some(dir) => {
+                    // Score the frozen dataset against the stored
+                    // year-by-year ground truth instead of re-churning.
+                    let store = HistoryStore::open(&dir)
+                        .unwrap_or_else(|e| fail(&format!("cannot open history {dir}: {e}")));
+                    let last = store.years().min(years);
+                    let yearly: Vec<Vec<Asn>> = (0..=last)
+                        .map(|y| {
+                            let (payload, _) = store.resolve(y).unwrap_or_else(|e| {
+                                fail(&format!("cannot resolve year {y} from {dir}: {e}"))
+                            });
+                            payload.dataset.state_owned_ases()
+                        })
+                        .collect();
+                    AgeingReport::from_series(&output.dataset, &yearly)
+                }
+                None => {
+                    let churn = ChurnConfig { seed, ..Default::default() };
+                    AgeingReport::compute(&world, &output.dataset, &churn, years).expect("ageing")
+                }
+            };
             println!("{}", report.text());
         }
         other => {
@@ -439,6 +503,128 @@ fn main() {
             usage();
             std::process::exit(2);
         }
+    }
+}
+
+/// `soi risk <CC>`: one country's transit exposure and chokepoint
+/// cut-set, as tables or one JSON document.
+fn risk_country(report: &state_owned_ases::risk::RiskReport, cc: CountryCode, top: usize, as_json: bool) {
+    let Some(exposure) = report.country(cc) else {
+        fail(&format!("{cc} has no observed routes or announced space in this run"));
+    };
+    let chokepoints = report.chokepoints_for(cc);
+    if as_json {
+        let doc = serde_json::json!({
+            "report_checksum": report.checksum,
+            "country": exposure,
+            "chokepoints": chokepoints,
+        });
+        println!("{}", serde_json::to_string_pretty(&doc).expect("serialize"));
+        return;
+    }
+    println!(
+        "{cc}: {} transit ASes, total CTI {:.3} — foreign {:.1}%, state-owned {:.1}%, foreign+state {:.1}%",
+        exposure.transit_ases,
+        exposure.total_score,
+        exposure.foreign_share * 100.0,
+        exposure.state_share * 100.0,
+        exposure.foreign_state_share * 100.0,
+    );
+    let rows: Vec<Vec<String>> = exposure
+        .top
+        .iter()
+        .take(top)
+        .map(|e| {
+            vec![
+                e.asn.to_string(),
+                format!("{:.3}", e.score),
+                e.registered_cc.map_or_else(|| "-".into(), |c| c.to_string()),
+                risk_markers(e.foreign, e.state_owned),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&["ASN", "CTI", "registered", "flags"], &rows));
+    match chokepoints {
+        Some(ch) if !ch.cut.is_empty() => {
+            println!(
+                "chokepoint cut: {} of {} cuttable routes covered ({} observed){}",
+                ch.covered,
+                ch.cuttable,
+                ch.routes,
+                if ch.partitioned { " — partition target reached" } else { "" },
+            );
+            let rows: Vec<Vec<String>> = ch
+                .cut
+                .iter()
+                .map(|e| {
+                    vec![
+                        e.asn.to_string(),
+                        e.severed.to_string(),
+                        e.registered_cc.map_or_else(|| "-".into(), |c| c.to_string()),
+                        risk_markers(e.foreign, e.state_owned),
+                    ]
+                })
+                .collect();
+            println!("{}", render_table(&["ASN", "routes severed", "registered", "flags"], &rows));
+        }
+        _ => println!("no chokepoint cut: no cuttable inbound routes observed"),
+    }
+}
+
+/// `soi risk` (no country): the class × ownership cross-tab and the
+/// countries most exposed to foreign state-owned transit.
+fn risk_overview(report: &state_owned_ases::risk::RiskReport, top: usize, as_json: bool) {
+    if as_json {
+        println!("{}", serde_json::to_string_pretty(report).expect("serialize"));
+        return;
+    }
+    let rows: Vec<Vec<String>> = report
+        .classes
+        .summary
+        .iter()
+        .map(|s| vec![s.class.as_str().to_string(), s.total.to_string(), s.state_owned.to_string()])
+        .collect();
+    println!("{}", render_table(&["class", "ASes", "state-owned"], &rows));
+    // Countries ranked by the share of their inbound transit carried by
+    // foreign state-owned ASes — the paper's core exposure question.
+    let mut ranked: Vec<_> =
+        report.exposure.iter().filter(|e| e.transit_ases > 0).collect();
+    ranked.sort_by(|a, b| {
+        b.foreign_state_share
+            .partial_cmp(&a.foreign_state_share)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.country.cmp(&b.country))
+    });
+    let rows: Vec<Vec<String>> = ranked
+        .iter()
+        .take(top)
+        .map(|e| {
+            vec![
+                e.country.to_string(),
+                e.transit_ases.to_string(),
+                format!("{:.1}%", e.foreign_share * 100.0),
+                format!("{:.1}%", e.state_share * 100.0),
+                format!("{:.1}%", e.foreign_state_share * 100.0),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["country", "transit ASes", "foreign", "state-owned", "foreign+state"],
+            &rows
+        )
+    );
+    println!("report checksum {:#018x}", report.checksum);
+}
+
+/// Compact foreign/state-owned markers for risk tables.
+fn risk_markers(foreign: bool, state_owned: bool) -> String {
+    match (foreign, state_owned) {
+        (true, true) => "foreign state-owned".into(),
+        (true, false) => "foreign".into(),
+        (false, true) => "state-owned".into(),
+        (false, false) => String::new(),
     }
 }
 
@@ -765,7 +951,13 @@ fn usage() {
          \x20 whois <ASN>           synthetic RPSL WHOIS object\n\
          \x20 org <name>            search the dataset by name\n\
          \x20 cti <CC> [k]          top transit ASes of a country\n\
-         \x20 ageing [years]        dataset decay under churn\n\
+         \x20 risk [CC] [--json] [--top K]\n\
+         \x20                       derived risk report: country transit\n\
+         \x20                       exposure + chokepoint cut-sets, and the\n\
+         \x20                       EC/STP/LTP/CAHP ownership cross-tab\n\
+         \x20 ageing [years] [--history DIR]\n\
+         \x20                       dataset decay under churn; with --history,\n\
+         \x20                       scored against the stored yearly datasets\n\
          \x20 snapshot write PATH [--format v2|json]\n\
          \x20                       run the pipeline, persist the result\n\
          \x20                       (binary v2 container by default)\n\
@@ -791,6 +983,7 @@ fn usage() {
          \x20                       reload on SIGHUP / POST /admin/reload;\n\
          \x20                       POST /admin/delta patches the served payload;\n\
          \x20                       with --history, ?at=<year> as-of queries and\n\
-         \x20                       /v1/history/org/{{id}} timelines"
+         \x20                       /v1/history/org/{{id}} timelines; without\n\
+         \x20                       --snapshot, /v1/risk/* analyses are served"
     );
 }

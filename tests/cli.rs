@@ -152,6 +152,56 @@ fn cti_lists_top_transit_ases() {
     assert!(text.lines().count() >= 3, "{text}");
 }
 
+#[test]
+fn risk_flag_validation_fails_before_worldgen() {
+    // A malformed country code or --top value must fail instantly,
+    // before the (expensive) world build starts.
+    let out = soi(&["risk", "XYZ"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("country code"), "{err}");
+    let out = soi(&["risk", "--top", "banana"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("--top needs a number"), "{err}");
+}
+
+#[test]
+fn risk_overview_prints_the_class_cross_tab_and_exposure_ranking() {
+    let out = soi(&["risk", "--seed", "42"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("class"), "{text}");
+    assert!(text.contains("state-owned"), "{text}");
+    assert!(text.contains("foreign+state"), "{text}");
+    assert!(text.contains("report checksum"), "{text}");
+}
+
+#[test]
+fn risk_country_json_carries_the_analyses_and_checksum() {
+    // SY exists in the seed-42 world (see cti_lists_top_transit_ases).
+    let out = soi(&["risk", "SY", "--json", "--seed", "42"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let v: serde_json::Value =
+        serde_json::from_slice(&out.stdout).expect("risk --json emits valid JSON");
+    assert!(v["report_checksum"].as_u64().is_some(), "{v}");
+    assert_eq!(v["country"]["country"].as_str(), Some("SY"), "{v}");
+    assert!(v["country"]["top"].as_array().is_some(), "{v}");
+    assert!(!v["chokepoints"].is_null(), "chokepoints key present: {v}");
+}
+
+#[test]
+fn ageing_scores_against_a_history_store() {
+    let dir = tiny_history("ageing", 2, 1);
+    let out = soi(&["ageing", "2", "--history", dir.to_str().unwrap(), "--seed", "42"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("stale ASes"), "{text}");
+    // Years 0..=2 of the store, as three table rows plus the header.
+    assert!(text.lines().count() >= 4, "{text}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// A tiny hand-built history directory (no worldgen): one org at year
 /// 0, its name churned every later year. Cheap enough that the CLI
 /// tests can open it repeatedly.

@@ -1,0 +1,220 @@
+//! Determinism oracle for the `soi-risk` analyses.
+//!
+//! Two invariants, both from the crate's design:
+//!
+//! 1. A [`RiskReport`] is **byte-identical** at any thread count — the
+//!    per-country shards reassemble in sorted chunk order, CTI merges by
+//!    contribution replay, and classification is pure integer
+//!    arithmetic. Checked at t ∈ {1, 2, 4, 8} for two seeds.
+//! 2. A served `/v1/risk/*?at=y` response is **byte-equal** to the same
+//!    request served live by a from-scratch server over the world
+//!    churn-evolved to year y — the as-of path recomputes the BGP view
+//!    from the resolved payload's table, never from cached propagation
+//!    state, so both sides take the same code path. The churn includes
+//!    hijack events, so the table (not just ownership) differs by year.
+
+mod common;
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+use state_owned_ases::core::{
+    payload_checksum, Pipeline, PipelineConfig, PipelineInputs, SnapshotPayload,
+};
+use state_owned_ases::delta::{DeltaEngine, EngineConfig};
+use state_owned_ases::history::{HistoryBuildConfig, HistoryStore};
+use state_owned_ases::risk::{RiskConfig, RiskContext, RiskReport};
+use state_owned_ases::service::{
+    serve_full, HistoryService, IndexSlot, RiskService, ServerConfig, ServerHandle, ServiceIndex,
+};
+use state_owned_ases::worldgen::{generate, World, WorldConfig};
+
+fn world_for(seed: u64) -> World {
+    if seed == 777 {
+        common::fixture().world.clone()
+    } else {
+        generate(&WorldConfig::test_scale(seed)).expect("worldgen")
+    }
+}
+
+/// Exaggerated churn — including hijacks, so the routing table itself
+/// (and with it every analysis input) changes year over year.
+fn engine_config(seed: u64) -> EngineConfig {
+    let mut cfg = EngineConfig::with_seed(seed);
+    cfg.churn.privatization_rate = 0.25;
+    cfg.churn.nationalization_rate = 0.15;
+    cfg.churn.acquisitions_per_year = 3.0;
+    cfg.churn.rebrand_rate = 0.2;
+    cfg.churn.hijacks_per_year = 1.5;
+    cfg
+}
+
+#[test]
+fn risk_report_is_byte_identical_across_thread_counts_for_two_seeds() {
+    for seed in [777u64, 1234u64] {
+        let world = world_for(seed);
+        let cfg = EngineConfig::with_seed(seed);
+        let inputs = PipelineInputs::from_world(&world, &cfg.input).expect("inputs");
+        let output = Pipeline::run(&inputs, &PipelineConfig::default());
+        let ctx = RiskContext::from_run(&world, &inputs, RiskConfig::default());
+        let base = ctx.report(&output.dataset, &inputs.prefix_to_as, 1).expect("risk report");
+        base.verify().expect("checksum verifies");
+        assert!(!base.exposure.is_empty(), "seed {seed}: no exposure rows");
+        assert!(!base.classes.rows.is_empty(), "seed {seed}: no class rows");
+        let base_bytes = serde_json::to_vec(&base).expect("serialize");
+        for t in [2usize, 4, 8] {
+            let other = ctx.report(&output.dataset, &inputs.prefix_to_as, t).expect("risk report");
+            assert_eq!(
+                base_bytes,
+                serde_json::to_vec(&other).expect("serialize"),
+                "seed {seed}: report differs at t={t}"
+            );
+        }
+    }
+}
+
+/// Boots a server over `base` with the given risk context, optionally
+/// with a history store attached.
+fn boot(base: &SnapshotPayload, ctx: RiskContext, history_dir: Option<&Path>) -> ServerHandle {
+    let index = Arc::new(ServiceIndex::build(base.dataset.clone(), &base.table));
+    let slot = Arc::new(IndexSlot::new(index, None));
+    slot.attach_payload(Arc::new(base.clone()), payload_checksum(base).unwrap());
+    let history =
+        history_dir.map(|d| Arc::new(HistoryService::open(d).expect("history store opens")));
+    let risk = Some(Arc::new(RiskService::new(ctx, 2)));
+    let cfg = ServerConfig {
+        read_timeout: Duration::from_secs(2),
+        write_timeout: Duration::from_secs(2),
+        ..ServerConfig::default()
+    };
+    serve_full(slot, None, history, risk, ("127.0.0.1", 0), cfg).expect("bind test server")
+}
+
+/// One `Connection: close` GET; returns (status, raw body bytes) — raw,
+/// because the oracle compares bytes, not parsed values.
+fn fetch(addr: SocketAddr, target: &str) -> (u16, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    write!(stream, "GET {target} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n").unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status line");
+    let status: u16 =
+        status_line.split_whitespace().nth(1).expect("status code").parse().expect("numeric");
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header line");
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v.trim().parse().expect("content-length value");
+        }
+    }
+    let mut raw = vec![0u8; content_length];
+    reader.read_exact(&mut raw).expect("body");
+    (status, raw)
+}
+
+/// Every `/v1/risk` target the reference report can answer: classes
+/// (both pagination shapes) plus per-country exposure and chokepoints
+/// for every country the report scored.
+fn risk_targets(reference: &RiskReport) -> Vec<String> {
+    let mut targets = vec!["/v1/risk/classes".to_string(), "/v1/risk/classes?limit=100".into()];
+    for exposure in &reference.exposure {
+        targets.push(format!("/v1/risk/country/{}", exposure.country));
+        targets.push(format!("/v1/risk/chokepoints/{}", exposure.country));
+    }
+    targets
+}
+
+fn with_at(target: &str, year: u32) -> String {
+    if target.contains('?') {
+        format!("{target}&at={year}")
+    } else {
+        format!("{target}?at={year}")
+    }
+}
+
+#[test]
+fn as_of_risk_responses_equal_from_scratch_rebuilds() {
+    let world = world_for(777);
+    let cfg = engine_config(777);
+    let mut engine = DeltaEngine::new(world.clone(), cfg.clone()).expect("engine boots");
+    let base = engine.current().payload.clone();
+
+    let dir = std::env::temp_dir().join(format!("soi-risk-oracle-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let build_cfg = HistoryBuildConfig { checkpoint_spacing: 2, ..Default::default() };
+    let store = HistoryStore::build(&dir, &mut engine, 3, &build_cfg).expect("store builds");
+    assert_eq!(store.years(), 3);
+    drop(store);
+
+    // The live server holds the year-0 payload, the year-0 risk context,
+    // and the store. The as-of path must answer from resolved payloads
+    // through that same context.
+    let inputs0 = PipelineInputs::from_world(&world, &cfg.input).expect("inputs");
+    let ctx0 = RiskContext::from_run(&world, &inputs0, RiskConfig::default());
+    let served = boot(&base, ctx0, Some(&dir));
+
+    for year in [1u32, 3] {
+        // From-scratch reference: churn-evolve, rebuild, canonicalize —
+        // then a second server with no history at all.
+        let (evolved, _) = cfg.churn.evolve_years(&world, year).expect("churn evolves");
+        let inputs = PipelineInputs::from_world(&evolved, &cfg.input).expect("inputs");
+        let output = Pipeline::run(&inputs, &cfg.pipeline);
+        let mut dataset = output.dataset;
+        dataset.canonicalize();
+        let reference = SnapshotPayload { dataset, table: inputs.prefix_to_as.clone() };
+        let ref_ctx = RiskContext::from_run(&evolved, &inputs, RiskConfig::default());
+        let ref_report =
+            ref_ctx.report(&reference.dataset, &reference.table, 2).expect("reference report");
+        let ref_server = boot(&reference, ref_ctx, None);
+
+        let targets = risk_targets(&ref_report);
+        assert!(targets.len() > 4, "year {year}: oracle request set is degenerate");
+        for target in &targets {
+            let (st_h, body_h) = fetch(served.local_addr(), &with_at(target, year));
+            let (st_r, body_r) = fetch(ref_server.local_addr(), target);
+            assert_eq!(st_h, st_r, "year {year}: status diverges on {target}");
+            assert_eq!(
+                body_h,
+                body_r,
+                "year {year}: bytes diverge on {target}: {} vs {}",
+                String::from_utf8_lossy(&body_h),
+                String::from_utf8_lossy(&body_r),
+            );
+        }
+        ref_server.shutdown();
+    }
+
+    // The hijack churn actually changed the substrate: year 3's report
+    // must not equal the live year-0 one.
+    let (_, live) = fetch(served.local_addr(), "/v1/risk/classes");
+    let (_, at3) = fetch(served.local_addr(), "/v1/risk/classes?at=3");
+    let live_v: serde_json::Value = serde_json::from_slice(&live).unwrap();
+    let at3_v: serde_json::Value = serde_json::from_slice(&at3).unwrap();
+    assert_ne!(
+        live_v["report_checksum"], at3_v["report_checksum"],
+        "three years of churn + hijacks left the risk report unchanged"
+    );
+
+    // Each year cost one computation; every further hit was cached.
+    let (_, metrics) = fetch(served.local_addr(), "/metrics");
+    let v: serde_json::Value = serde_json::from_slice(&metrics).unwrap();
+    let computed = v["risk_reports_computed"].as_u64().unwrap();
+    let requests = v["risk_requests"].as_u64().unwrap();
+    assert!(computed <= 3, "live + two as-of years should compute at most 3 reports: {v}");
+    assert!(
+        v["risk_cache_hits"].as_u64().unwrap() >= requests - computed,
+        "repeat targets within a year must come from the cache: {v}"
+    );
+
+    served.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

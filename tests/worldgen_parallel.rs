@@ -93,6 +93,7 @@ fn churned_worlds_stay_thread_count_invariant() {
         acquisitions_per_year: 3.0,
         rebrand_rate: 0.2,
         seed: 909,
+        hijacks_per_year: 0.0,
     };
     let mut sequential = world_at(909, 1);
     let mut sharded = world_at(909, 8);

@@ -6,7 +6,7 @@
 //!
 //!   benches: worldgen_seq worldgen_2 worldgen_4 worldgen_8
 //!            pipeline cold_start snapshot risk history history_load
-//!            all (default)
+//!            serve all (default)
 //! ```
 //!
 //! Criterion gives statistically careful numbers but is a dev-dependency
@@ -16,7 +16,7 @@
 //! criterion run. With `--json PATH` it writes one record per bench:
 //! `{"bench": ..., "threads": ..., "median_micros": ..., "iters": ...,
 //! "seed": ..., "scale": ..., "spacing": ..., "format": ...,
-//! "bytes_on_disk": ...}`.
+//! "bytes_on_disk": ..., "io": ..., "qps": ..., "p99_micros": ...}`.
 //!
 //! `snapshot` writes one pipeline snapshot in both containers (JSON and
 //! binary v2) and records, per format, the bytes on disk and the median
@@ -32,6 +32,10 @@
 //! `history_load` runs the closed-loop generator against a server with
 //! the store attached, `--at-fraction` (default 0.5) of requests
 //! carrying `at=<year>`.
+//! `serve` sweeps both serving engines (threaded pool and, on Linux,
+//! the epoll event loop) across closed-loop client counts over one
+//! pipeline index, recording sustained QPS and the server-side p99 per
+//! arm — the engine-comparison numbers behind `BENCH_serve.json`.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -45,7 +49,9 @@ use soi_core::{
 use soi_delta::{DeltaEngine, EngineConfig};
 use soi_history::{HistoryBuildConfig, HistoryStore};
 use soi_risk::{RiskConfig, RiskContext};
-use soi_service::{serve_history, HistoryService, IndexSlot, ServerConfig, ServiceIndex};
+use soi_service::{
+    serve, serve_history, HistoryService, IndexSlot, IoMode, ServerConfig, ServiceIndex,
+};
 use soi_worldgen::{generate, WorldConfig};
 
 struct Record {
@@ -59,6 +65,12 @@ struct Record {
     format: Option<&'static str>,
     /// Snapshot size on disk, for the snapshot bench only.
     bytes_on_disk: Option<u64>,
+    /// Serving engine ("threaded"/"epoll"), for the serve bench only.
+    io: Option<&'static str>,
+    /// Sustained closed-loop throughput, for the serve bench only.
+    qps: Option<f64>,
+    /// Server-side p99 latency in µs, for the serve bench only.
+    p99_micros: Option<u64>,
 }
 
 /// The year whose resolve replays the most segments under the store's
@@ -167,6 +179,9 @@ fn main() {
             spacing: None,
             format: None,
             bytes_on_disk: None,
+            io: None,
+            qps: None,
+            p99_micros: None,
         });
     }
 
@@ -187,6 +202,9 @@ fn main() {
                 spacing: None,
                 format: None,
                 bytes_on_disk: None,
+                io: None,
+                qps: None,
+                p99_micros: None,
             });
         }
         if want("cold_start") {
@@ -210,6 +228,9 @@ fn main() {
                 spacing: None,
                 format: None,
                 bytes_on_disk: None,
+                io: None,
+                qps: None,
+                p99_micros: None,
             });
         }
     }
@@ -251,6 +272,9 @@ fn main() {
                 spacing: None,
                 format: Some(format.as_str()),
                 bytes_on_disk: Some(bytes_on_disk),
+                io: None,
+                qps: None,
+                p99_micros: None,
             });
             let _ = std::fs::remove_file(&path);
         }
@@ -281,6 +305,9 @@ fn main() {
                 spacing: None,
                 format: None,
                 bytes_on_disk: None,
+                io: None,
+                qps: None,
+                p99_micros: None,
             });
         }
     }
@@ -324,6 +351,9 @@ fn main() {
                     spacing: Some(spacing),
                     format: None,
                     bytes_on_disk: None,
+                    io: None,
+                    qps: None,
+                    p99_micros: None,
                 });
             }
         }
@@ -375,13 +405,84 @@ fn main() {
                 spacing: Some(spacing),
                 format: None,
                 bytes_on_disk: None,
+                io: None,
+                qps: None,
+                p99_micros: None,
             });
         }
         let _ = std::fs::remove_dir_all(&dir);
     }
 
+    if want("serve") {
+        // One pipeline index served by each engine across a closed-loop
+        // client sweep. The load mix is the read-heavy production shape:
+        // ASN lookups plus country/dataset/search. QPS comes from the
+        // generator's wall clock; the p99 is the server's own histogram.
+        let world = generate(&base).expect("generate");
+        let input_cfg = InputConfig { threads: 0, ..InputConfig::with_seed(seed) };
+        let inputs = PipelineInputs::from_world(&world, &input_cfg).expect("inputs");
+        let output = Pipeline::run(&inputs, &PipelineConfig::default());
+        let mut targets: Vec<String> =
+            vec!["/v1/country".into(), "/v1/dataset".into(), "/v1/search?q=tel&limit=20".into()];
+        targets.extend(
+            output
+                .dataset
+                .organizations
+                .iter()
+                .flat_map(|o| o.asns.iter())
+                .take(16)
+                .map(|a| format!("/v1/asn/{}", a.0)),
+        );
+        for io in [IoMode::Threaded, IoMode::Epoll] {
+            if io.effective() != io {
+                continue; // epoll arm is meaningless off Linux
+            }
+            let label = match io {
+                IoMode::Threaded => "threaded",
+                IoMode::Epoll => "epoll",
+            };
+            for connections in [1usize, 4, 16] {
+                let index =
+                    Arc::new(ServiceIndex::build(output.dataset.clone(), &inputs.prefix_to_as));
+                let server_cfg = ServerConfig { io, workers: 4, ..ServerConfig::default() };
+                let handle = serve(index, ("127.0.0.1", 0), server_cfg).expect("bind bench server");
+                let cfg = LoadConfig {
+                    threads: connections,
+                    requests_per_thread: 500,
+                    targets: targets.clone(),
+                    at_fraction: 0.0,
+                    at_years: Vec::new(),
+                };
+                let median = median_micros(iters, || {
+                    let report = load::run(handle.local_addr(), &cfg);
+                    assert_eq!(report.errors, 0, "load run hit errors");
+                });
+                let qps =
+                    (cfg.threads * cfg.requests_per_thread) as f64 / (median as f64 / 1_000_000.0);
+                let p99_micros = handle.snapshot().latency.p99_micros;
+                eprintln!(
+                    "serve {label} x{connections}: median {}ms over {iters} iters (~{qps:.0} qps, p99 {p99_micros}µs)",
+                    median / 1000
+                );
+                handle.shutdown();
+                records.push(Record {
+                    bench: "serve",
+                    threads: connections,
+                    median_micros: median,
+                    iters,
+                    spacing: None,
+                    format: None,
+                    bytes_on_disk: None,
+                    io: Some(label),
+                    qps: Some(qps),
+                    p99_micros: Some(p99_micros),
+                });
+            }
+        }
+    }
+
     if records.is_empty() {
-        eprintln!("no bench matched; known: worldgen_seq worldgen_2 worldgen_4 worldgen_8 pipeline cold_start snapshot risk history history_load all");
+        eprintln!("no bench matched; known: worldgen_seq worldgen_2 worldgen_4 worldgen_8 pipeline cold_start snapshot risk history history_load serve all");
         std::process::exit(2);
     }
 
@@ -408,6 +509,9 @@ fn main() {
                     "spacing": r.spacing,
                     "format": r.format,
                     "bytes_on_disk": r.bytes_on_disk,
+                    "io": r.io,
+                    "qps": r.qps,
+                    "p99_micros": r.p99_micros,
                 })
             })
             .collect();

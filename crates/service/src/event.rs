@@ -1,0 +1,608 @@
+//! The readiness-based serving engine ([`crate::server::IoMode::Epoll`]).
+//!
+//! One event-loop thread owns the listener and every client socket
+//! (non-blocking, registered with the [`crate::poll`] epoll wrapper) and
+//! drives each connection through a small state machine:
+//!
+//! ```text
+//!            ┌────────── keep-alive idle ◄─────────┐
+//!            ▼                                     │
+//!  reading ──► parsed request ──► dispatch ──► writing
+//!            │ (pipeline seq n)     │  ▲
+//!            │                      ▼  │ completion (waker)
+//!            │              bounded job queue ──► worker pool
+//!            └ admission control: shed heavy tiers at half depth
+//! ```
+//!
+//! The loop never computes an answer itself — parsed requests go to the
+//! same bounded worker pool the threaded engine uses, tagged with a
+//! per-connection sequence number. Workers answer through
+//! [`handlers::respond_cached`] and push the rendered-to-be responses
+//! onto a completion queue; the loop flushes completions *in sequence
+//! order* (a `BTreeMap` reorder buffer), so pipelined clients get their
+//! responses in request order no matter how workers interleave.
+//!
+//! Admission control sheds by route tier before the job queue
+//! saturates: `search`/`risk`/`history` (the expensive scans and report
+//! builds) get `503 overloaded` once the queue is half full, every
+//! other data route when it is full, and ops routes
+//! (`/healthz`, `/metrics`, `/admin/*`) only when a push actually
+//! fails — so the observability plane stays up while the data plane
+//! sheds. Shed counts are exported per tier in `/metrics`.
+//!
+//! Framing is computed identically to the threaded engine
+//! (`Connection: keep-alive` vs `close`, bodies stripped for HEAD), so
+//! the two engines are byte-identical on the wire — `tests/serve.rs`
+//! holds that equality across every `/v1` route.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crate::handlers;
+use crate::http::{self, HttpError, Request, Response};
+use crate::metrics::Metrics;
+use crate::poll::{EpollEvent, Poller, Waker, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+use crate::server::{event_handle, BoundedQueue, ServerConfig, ServerHandle, ServerState};
+
+const TOKEN_LISTENER: u64 = 0;
+const TOKEN_WAKER: u64 = 1;
+const FIRST_CONN_TOKEN: u64 = 2;
+
+/// How long `epoll_wait` may sleep between timeout sweeps.
+const TICK_MS: i32 = 250;
+/// Socket read chunk size.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// One parsed request in flight from the event loop to a worker.
+pub(crate) struct Job {
+    conn: u64,
+    seq: u64,
+    req: Request,
+    accepted: Instant,
+}
+
+/// A worker's finished answer, waiting for the loop to flush it.
+struct Completion {
+    conn: u64,
+    seq: u64,
+    resp: Response,
+}
+
+/// What the loop must remember about a dispatched request to frame its
+/// response later.
+struct ReqMeta {
+    keep_alive: bool,
+    head: bool,
+}
+
+/// Per-connection state machine.
+struct Conn {
+    stream: TcpStream,
+    /// Bytes read but not yet parsed.
+    buf: Vec<u8>,
+    /// Rendered responses not yet written, and the write cursor into it.
+    out: Vec<u8>,
+    out_pos: usize,
+    /// Sequence number the next parsed request gets.
+    next_seq: u64,
+    /// Sequence number the next flushed response must have.
+    flushed_seq: u64,
+    /// Framing info per dispatched-but-unflushed request.
+    meta: BTreeMap<u64, ReqMeta>,
+    /// Completed responses waiting for their turn (reorder buffer).
+    ready: BTreeMap<u64, Response>,
+    /// No further requests will be parsed (Connection: close seen,
+    /// request cap reached, parse error, or clean end of stream).
+    no_more: bool,
+    /// Peer closed its write half (EOF observed).
+    read_closed: bool,
+    /// The connection must close once `out` drains.
+    close_when_flushed: bool,
+    /// Hard I/O failure: destroy without flushing.
+    dead: bool,
+    /// Interest bits currently registered with the poller.
+    interest: u32,
+    last_activity: Instant,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            buf: Vec::new(),
+            out: Vec::new(),
+            out_pos: 0,
+            next_seq: 0,
+            flushed_seq: 0,
+            meta: BTreeMap::new(),
+            ready: BTreeMap::new(),
+            no_more: false,
+            read_closed: false,
+            close_when_flushed: false,
+            dead: false,
+            interest: EPOLLIN | EPOLLRDHUP,
+            last_activity: Instant::now(),
+        }
+    }
+
+    /// True once nothing remains to read, compute, or write.
+    fn finished(&self, draining: bool) -> bool {
+        let flushed_all = self.flushed_seq == self.next_seq && self.ready.is_empty();
+        let out_drained = self.out_pos >= self.out.len();
+        flushed_all
+            && out_drained
+            && (self.close_when_flushed || self.read_closed || self.no_more || draining)
+    }
+}
+
+/// Admission tier for one request. Heavy routes are the expensive scans
+/// and derived-report builds; ops routes are the observability and
+/// control plane and are only refused when the queue is truly full.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Tier {
+    Ops,
+    Heavy,
+    Light,
+}
+
+/// Classifies a request for admission control, returning the per-route
+/// metrics label it sheds under and its tier.
+fn admission(req: &Request) -> (&'static str, Tier) {
+    let segments = req.segments();
+    match *segments.as_slice() {
+        ["healthz"] => ("healthz", Tier::Ops),
+        ["metrics"] => ("metrics", Tier::Ops),
+        ["admin", ..] => ("admin", Tier::Ops),
+        ["v1", "search", ..] => ("v1_search", Tier::Heavy),
+        ["v1", "risk", ..] => ("v1_risk", Tier::Heavy),
+        ["v1", "history", ..] => ("v1_history", Tier::Heavy),
+        ["search"] => ("search", Tier::Heavy),
+        ["v1", "asn", ..] => ("v1_asn", Tier::Light),
+        ["v1", "ip", ..] => ("v1_ip", Tier::Light),
+        ["v1", "prefix", ..] => ("v1_prefix", Tier::Light),
+        ["v1", "country", ..] => ("v1_country", Tier::Light),
+        ["v1", "dataset", ..] => ("v1_dataset", Tier::Light),
+        ["v1", ..] => ("v1_other", Tier::Light),
+        ["asn", ..] => ("asn", Tier::Light),
+        ["ip", ..] => ("ip", Tier::Light),
+        ["prefix", ..] => ("prefix", Tier::Light),
+        ["country", ..] => ("country", Tier::Light),
+        ["dataset"] => ("dataset", Tier::Light),
+        _ => ("other", Tier::Light),
+    }
+}
+
+fn shed_response(req: &Request) -> Response {
+    if req.segments().first() == Some(&"v1") {
+        Response::api_error(
+            503,
+            "overloaded",
+            "server overloaded, retry later",
+            Some(req.path.as_str()),
+        )
+    } else {
+        Response::error(503, "server overloaded, retry later")
+    }
+}
+
+/// Binds the event engine onto an already-bound listener: spawns the
+/// worker pool and the loop thread, returns the assembled handle.
+pub(crate) fn serve_event(
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    state: Arc<ServerState>,
+    shutdown: Arc<AtomicBool>,
+    cfg: ServerConfig,
+) -> io::Result<ServerHandle> {
+    listener.set_nonblocking(true)?;
+    let poller = Poller::new()?;
+    let waker = Waker::new()?;
+    poller.add(listener.as_raw_fd(), EPOLLIN, TOKEN_LISTENER)?;
+    poller.add(waker.read_fd(), EPOLLIN, TOKEN_WAKER)?;
+
+    let jobs: Arc<BoundedQueue<Job>> = Arc::new(BoundedQueue::new(cfg.queue_capacity.max(1)));
+    let completions: Arc<Mutex<VecDeque<Completion>>> = Arc::new(Mutex::new(VecDeque::new()));
+
+    let workers: Vec<JoinHandle<()>> = (0..cfg.workers.max(1))
+        .map(|i| {
+            let state = Arc::clone(&state);
+            let jobs = Arc::clone(&jobs);
+            let completions = Arc::clone(&completions);
+            let waker = waker.clone();
+            std::thread::Builder::new()
+                .name(format!("soi-service-worker-{i}"))
+                .spawn(move || {
+                    while let Some(job) = jobs.pop() {
+                        let (route, resp) =
+                            handlers::respond_cached(&state, jobs.depth(), &job.req);
+                        state.metrics.record_request(route, resp.status, job.accepted.elapsed());
+                        state.metrics.end_request();
+                        completions.lock().expect("completion lock").push_back(Completion {
+                            conn: job.conn,
+                            seq: job.seq,
+                            resp,
+                        });
+                        waker.wake();
+                    }
+                })
+                .expect("spawn worker thread")
+        })
+        .collect();
+
+    let event_loop = {
+        let state = Arc::clone(&state);
+        let jobs = Arc::clone(&jobs);
+        let shutdown = Arc::clone(&shutdown);
+        let waker = waker.clone();
+        let cfg = cfg.clone();
+        std::thread::Builder::new()
+            .name("soi-service-event-loop".to_owned())
+            .spawn(move || {
+                run_loop(listener, poller, waker, state, jobs, completions, shutdown, cfg)
+            })
+            .expect("spawn event loop thread")
+    };
+
+    Ok(event_handle(local_addr, state, jobs, waker, event_loop, shutdown, workers))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_loop(
+    listener: TcpListener,
+    poller: Poller,
+    waker: Waker,
+    state: Arc<ServerState>,
+    jobs: Arc<BoundedQueue<Job>>,
+    completions: Arc<Mutex<VecDeque<Completion>>>,
+    shutdown: Arc<AtomicBool>,
+    cfg: ServerConfig,
+) {
+    let metrics = &*state.metrics;
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_token = FIRST_CONN_TOKEN;
+    let mut events = vec![EpollEvent::zeroed(); 256];
+    let mut listening = true;
+
+    loop {
+        let n = poller.wait(&mut events, TICK_MS).unwrap_or(0);
+        let draining = shutdown.load(Ordering::Acquire);
+        if draining && listening {
+            // Stop accepting; the listener itself drops (releasing the
+            // port) when this function returns.
+            let _ = poller.delete(listener.as_raw_fd());
+            listening = false;
+        }
+
+        for event in events.iter().take(n) {
+            match event.token() {
+                TOKEN_LISTENER => {
+                    if !draining {
+                        accept_ready(
+                            &listener,
+                            &poller,
+                            &mut conns,
+                            &mut next_token,
+                            metrics,
+                            &cfg,
+                        );
+                    }
+                }
+                TOKEN_WAKER => waker.drain(),
+                token => {
+                    if let Some(conn) = conns.get_mut(&token) {
+                        let bits = event.events();
+                        if bits & (EPOLLIN | EPOLLRDHUP | EPOLLERR | EPOLLHUP) != 0 {
+                            read_ready(conn);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Workers finished some requests: move them into the reorder
+        // buffers. A completion for a connection that died is dropped.
+        {
+            let mut queue = completions.lock().expect("completion lock");
+            while let Some(done) = queue.pop_front() {
+                if let Some(conn) = conns.get_mut(&done.conn) {
+                    conn.ready.insert(done.seq, done.resp);
+                }
+            }
+        }
+
+        // Advance every connection's state machine: parse & dispatch
+        // new requests, flush in-order completions, write, re-arm.
+        let now = Instant::now();
+        let tokens: Vec<u64> = conns.keys().copied().collect();
+        for token in tokens {
+            let conn = conns.get_mut(&token).expect("conn for token");
+            parse_and_dispatch(token, conn, &state, &jobs, &cfg);
+            flush_ready(conn, draining, &cfg);
+            if conn.out_pos < conn.out.len() {
+                write_ready(conn);
+            }
+            sweep_timeouts(conn, now, metrics, &cfg);
+            if conn.dead || conn.finished(draining) {
+                let _ = poller.delete(conn.stream.as_raw_fd());
+                conns.remove(&token);
+                continue;
+            }
+            rearm(token, conn, &poller, &cfg);
+        }
+
+        if draining && conns.is_empty() {
+            break;
+        }
+    }
+    // No more connections will ever produce work: release the workers.
+    jobs.close();
+}
+
+fn accept_ready(
+    listener: &TcpListener,
+    poller: &Poller,
+    conns: &mut HashMap<u64, Conn>,
+    next_token: &mut u64,
+    metrics: &Metrics,
+    cfg: &ServerConfig,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                metrics.record_connection();
+                if conns.len() >= cfg.max_connections.max(1) {
+                    metrics.record_rejected();
+                    // Best-effort refusal on a briefly-blocking socket.
+                    let mut stream = stream;
+                    let _ = stream.set_nonblocking(false);
+                    let _ = stream.set_write_timeout(Some(cfg.write_timeout));
+                    let _ = Response::error(503, "connection limit reached, retry later")
+                        .write_to(&mut stream, false);
+                    continue;
+                }
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                let _ = stream.set_nodelay(true);
+                let token = *next_token;
+                *next_token += 1;
+                if poller.add(stream.as_raw_fd(), EPOLLIN | EPOLLRDHUP, token).is_ok() {
+                    conns.insert(token, Conn::new(stream));
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+    }
+}
+
+/// Drains the socket into the parse buffer (level-triggered, so
+/// stopping at `WouldBlock` is safe).
+fn read_ready(conn: &mut Conn) {
+    let mut chunk = [0u8; READ_CHUNK];
+    loop {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                conn.read_closed = true;
+                break;
+            }
+            Ok(n) => {
+                conn.buf.extend_from_slice(&chunk[..n]);
+                conn.last_activity = Instant::now();
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.dead = true;
+                break;
+            }
+        }
+    }
+}
+
+/// Parses as many complete requests as the pipeline window allows and
+/// dispatches each to the worker pool (or sheds it). Parse errors
+/// synthesize an error response directly into the reorder buffer with
+/// close framing, exactly like the threaded engine answers them.
+fn parse_and_dispatch(
+    token: u64,
+    conn: &mut Conn,
+    state: &Arc<ServerState>,
+    jobs: &Arc<BoundedQueue<Job>>,
+    cfg: &ServerConfig,
+) {
+    let metrics = &*state.metrics;
+    while !conn.no_more && !conn.dead {
+        if conn.next_seq - conn.flushed_seq >= cfg.max_pipeline_depth.max(1) as u64 {
+            break; // pipeline window full; resume after flushes
+        }
+        if conn.buf.is_empty() {
+            if conn.read_closed {
+                conn.no_more = true;
+            }
+            break;
+        }
+        match http::try_parse(&conn.buf) {
+            Ok(Some((req, consumed))) => {
+                conn.buf.drain(..consumed);
+                let seq = conn.next_seq;
+                conn.next_seq += 1;
+                let keep_alive = req.keep_alive;
+                conn.meta.insert(seq, ReqMeta { keep_alive, head: req.method == "HEAD" });
+                // After `Connection: close` (or the per-connection request
+                // cap) anything further on the stream is ignored — the
+                // same discard the threaded engine performs by closing.
+                if !keep_alive || conn.next_seq >= cfg.max_requests_per_connection as u64 {
+                    conn.no_more = true;
+                }
+                dispatch(token, conn, seq, req, metrics, jobs);
+            }
+            Ok(None) => {
+                if conn.read_closed {
+                    // Truncated request then EOF: answer like the
+                    // threaded engine's mid-request read failure.
+                    synth_error(conn, metrics, 400, "stream ended mid-request");
+                }
+                break;
+            }
+            // Clean end of stream at a message boundary: close quietly.
+            Err(HttpError::Closed) => {
+                conn.no_more = true;
+                break;
+            }
+            Err(HttpError::BadRequest(message)) => {
+                synth_error(conn, metrics, 400, &message);
+                break;
+            }
+            Err(HttpError::TooLarge(message)) => {
+                synth_error(conn, metrics, 431, &message);
+                break;
+            }
+            Err(HttpError::NotImplemented(message)) => {
+                synth_error(conn, metrics, 501, &message);
+                break;
+            }
+            // Timeout/Io cannot come from an in-memory parse.
+            Err(_) => {
+                conn.dead = true;
+                break;
+            }
+        }
+    }
+}
+
+/// Queues a parse-error response at the next sequence slot with close
+/// framing; no latency sample, mirroring the threaded engine.
+fn synth_error(conn: &mut Conn, metrics: &Metrics, status: u16, message: &str) {
+    metrics.record_request_unmeasured("other", status);
+    let seq = conn.next_seq;
+    conn.next_seq += 1;
+    conn.meta.insert(seq, ReqMeta { keep_alive: false, head: false });
+    conn.ready.insert(seq, Response::error(status, message));
+    conn.no_more = true;
+}
+
+/// Admission control, then hand-off. Heavy tiers shed at half queue
+/// depth, light tiers when full, ops only when the push itself fails.
+fn dispatch(
+    token: u64,
+    conn: &mut Conn,
+    seq: u64,
+    req: Request,
+    metrics: &Metrics,
+    jobs: &Arc<BoundedQueue<Job>>,
+) {
+    let (label, tier) = admission(&req);
+    let depth = jobs.depth();
+    let capacity = jobs.capacity();
+    let shed = match tier {
+        Tier::Ops => false,
+        Tier::Heavy => depth.saturating_mul(2) >= capacity,
+        Tier::Light => depth >= capacity,
+    };
+    if shed {
+        metrics.record_shed(tier == Tier::Heavy);
+        metrics.record_request_unmeasured(label, 503);
+        conn.ready.insert(seq, shed_response(&req));
+        return;
+    }
+    metrics.begin_request();
+    let job = Job { conn: token, seq, req, accepted: Instant::now() };
+    if let Err(job) = jobs.try_push(job) {
+        metrics.end_request();
+        metrics.record_shed(tier == Tier::Heavy);
+        metrics.record_request_unmeasured(label, 503);
+        conn.ready.insert(seq, shed_response(&job.req));
+    }
+}
+
+/// Renders completed responses in sequence order into the write buffer.
+/// Framing matches the threaded engine: keep-alive unless the request
+/// said close, the server is draining, or the request cap is reached.
+fn flush_ready(conn: &mut Conn, draining: bool, cfg: &ServerConfig) {
+    while let Some(resp) = conn.ready.remove(&conn.flushed_seq) {
+        let meta = conn.meta.remove(&conn.flushed_seq).expect("meta for flushed seq");
+        let keep = meta.keep_alive
+            && !draining
+            && conn.flushed_seq + 1 < cfg.max_requests_per_connection as u64;
+        conn.out.extend_from_slice(&resp.render(keep, meta.head));
+        conn.flushed_seq += 1;
+        if !keep {
+            conn.no_more = true;
+            conn.close_when_flushed = true;
+        }
+    }
+}
+
+/// Writes as much of the out-buffer as the socket accepts.
+fn write_ready(conn: &mut Conn) {
+    while conn.out_pos < conn.out.len() {
+        match conn.stream.write(&conn.out[conn.out_pos..]) {
+            Ok(0) => {
+                conn.dead = true;
+                break;
+            }
+            Ok(n) => {
+                conn.out_pos += n;
+                conn.last_activity = Instant::now();
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.dead = true;
+                break;
+            }
+        }
+    }
+    if conn.out_pos >= conn.out.len() {
+        conn.out.clear();
+        conn.out_pos = 0;
+    }
+}
+
+/// Reclaims idle and stalled connections, mirroring the threaded
+/// engine's read/write timeouts: an idle connection with nothing in
+/// flight counts as a timeout; a write stall is dropped silently.
+fn sweep_timeouts(conn: &mut Conn, now: Instant, metrics: &Metrics, cfg: &ServerConfig) {
+    if conn.dead {
+        return;
+    }
+    let idle = now.saturating_duration_since(conn.last_activity);
+    let writing = conn.out_pos < conn.out.len();
+    let inflight = conn.next_seq != conn.flushed_seq || !conn.ready.is_empty();
+    if writing {
+        if idle > cfg.write_timeout {
+            conn.dead = true;
+        }
+    } else if !inflight && idle > cfg.read_timeout {
+        metrics.record_timeout();
+        conn.dead = true;
+    }
+}
+
+/// Re-registers the interest set when it changed: read interest while
+/// the pipeline window has room, write interest while output is queued.
+fn rearm(token: u64, conn: &mut Conn, poller: &Poller, cfg: &ServerConfig) {
+    let mut desired = 0u32;
+    let window_open = conn.next_seq - conn.flushed_seq < cfg.max_pipeline_depth.max(1) as u64;
+    if !conn.no_more && !conn.read_closed && window_open {
+        desired |= EPOLLIN | EPOLLRDHUP;
+    }
+    if conn.out_pos < conn.out.len() {
+        desired |= EPOLLOUT;
+    }
+    if desired != conn.interest {
+        if poller.modify(conn.stream.as_raw_fd(), desired, token).is_ok() {
+            conn.interest = desired;
+        } else {
+            conn.dead = true;
+        }
+    }
+}

@@ -16,6 +16,21 @@
 //! | `GET /v1/risk/country/{CC}` | transit-exposure scores for one country |
 //! | `GET /v1/risk/chokepoints/{CC}` | greedy AS cut-set over the country's routes |
 //! | `GET /v1/risk/classes` | paginated EC/STP/LTP/CAHP rows + ownership cross-tab |
+//! | `GET /v1/risk/diff?from=&to=` | per-country exposure + class deltas between two stored years |
+//!
+//! ## Conditional requests (the cheap-revalidation flow)
+//!
+//! Every 200 from a `/v1` data, history, or risk route carries a
+//! **strong `ETag`** derived from the serving generation plus the
+//! content checksum that pins the answer (live: the tracked payload
+//! checksum; as-of: the year's manifest checksum; risk: the report
+//! checksum). Clients poll with `If-None-Match: <etag>` and get
+//! `304 Not Modified` (empty body, same `ETag`) until a reload or delta
+//! bumps the generation — the revalidation costs a header compare, not
+//! an index walk. `HEAD` is accepted wherever `GET` is and answers with
+//! identical headers (including `Content-Length` and `ETag`) and no
+//! body. As-of answers (`?at=`, `/v1/risk/*?at=`) additionally carry
+//! `X-Soi-Year: <year>` naming the resolved year.
 //!
 //! With a history store attached (`soi serve --history DIR`), the read
 //! routes (`/v1/asn`, `/v1/ip`, `/v1/prefix`, `/v1/country`,
@@ -81,6 +96,7 @@ use soi_types::{Asn, CountryCode, Ipv4Prefix};
 
 use crate::http::{Request, Response};
 use crate::index::ServiceIndex;
+use crate::respcache;
 use crate::risk::RiskServiceError;
 use crate::server::ServerState;
 
@@ -131,7 +147,10 @@ pub fn respond(state: &ServerState, queue_depth: usize, req: &Request) -> (&'sta
     if let ["admin", "delta"] = *segments.as_slice() {
         return ("admin", admin_delta(state, req));
     }
-    if req.method != "GET" {
+    // HEAD is served exactly like GET — the server strips the body at
+    // write time while keeping the entity's headers — so every read
+    // route gets HEAD support for free.
+    if req.method != "GET" && req.method != "HEAD" {
         if segments.first() == Some(&"v1") {
             return (
                 "v1_other",
@@ -178,13 +197,14 @@ pub fn respond(state: &ServerState, queue_depth: usize, req: &Request) -> (&'sta
         ["v1", "dataset"] => {
             ("v1_dataset", with_as_of(state, req, index, |ix| Response::json(200, &ix.summary())))
         }
-        ["v1", "history"] => ("v1_history", v1_history_summary(state)),
-        ["v1", "history", "org", raw] => ("v1_history", v1_history_org_route(state, raw)),
+        ["v1", "history"] => ("v1_history", v1_history_summary(state, req)),
+        ["v1", "history", "org", raw] => ("v1_history", v1_history_org_route(state, req, raw)),
         ["v1", "risk", "country", raw] => ("v1_risk", v1_risk_country_route(state, req, raw)),
         ["v1", "risk", "chokepoints", raw] => {
             ("v1_risk", v1_risk_chokepoints_route(state, req, raw))
         }
         ["v1", "risk", "classes"] => ("v1_risk", v1_risk_classes_route(state, req)),
+        ["v1", "risk", "diff"] => ("v1_risk", v1_risk_diff_route(state, req)),
         ["v1", ..] => (
             "v1_other",
             Response::api_error(
@@ -205,34 +225,201 @@ pub fn respond(state: &ServerState, queue_depth: usize, req: &Request) -> (&'sta
     }
 }
 
+/// [`respond`] behind the response cache and the conditional-request
+/// layer. Both serving modes (threaded and event-driven) dispatch
+/// through here, so a cache hit, a cache miss, and a cache-less server
+/// all produce byte-identical responses for the same request.
+///
+/// The cache stores the *full* 200 entity (with its ETag); revalidation
+/// against `If-None-Match` happens on the way out, so a 304 is served
+/// from cache without ever touching a handler.
+pub fn respond_cached(
+    state: &ServerState,
+    queue_depth: usize,
+    req: &Request,
+) -> (&'static str, Response) {
+    let key = state.respcache.as_ref().and_then(|_| {
+        respcache::cache_key(
+            state.slot.generation(),
+            state.history.as_ref().map(|h| h.generation()).unwrap_or(0),
+            req,
+        )
+    });
+    if let (Some(cache), Some(key)) = (&state.respcache, &key) {
+        if let Some((route, resp)) = cache.get(key, &state.metrics) {
+            return (route, revalidate(req, resp));
+        }
+    }
+    let (route, resp) = respond(state, queue_depth, req);
+    if let (Some(cache), Some(key)) = (&state.respcache, key) {
+        // Only 200s are cached: errors are cheap to recompute and must
+        // never outlive the condition that caused them.
+        if resp.status == 200 {
+            cache.insert(key, route, resp.clone(), &state.metrics);
+        }
+    }
+    (route, revalidate(req, resp))
+}
+
+/// Turns a 200 into a `304 Not Modified` when the request's
+/// `If-None-Match` matches the response's strong ETag. The 304 carries
+/// only the validator headers (`ETag`, `X-Soi-Year`) and an empty body.
+fn revalidate(req: &Request, resp: Response) -> Response {
+    if resp.status != 200 {
+        return resp;
+    }
+    let (Some(client), Some(etag)) = (&req.if_none_match, resp.header("ETag")) else {
+        return resp;
+    };
+    if !etag_match(client, etag) {
+        return resp;
+    }
+    let headers = resp
+        .headers
+        .iter()
+        .filter(|(n, _)| n.eq_ignore_ascii_case("ETag") || n.eq_ignore_ascii_case("X-Soi-Year"))
+        .cloned()
+        .collect();
+    Response { status: 304, body: Vec::new(), headers }
+}
+
+/// RFC 9110 §13.1.2 `If-None-Match` evaluation: a comma-separated list
+/// of entity tags, `*` matches anything, and comparison is *weak* (a
+/// client echoing `W/"x"` for our strong `"x"` still revalidates).
+fn etag_match(client: &str, etag: &str) -> bool {
+    client.split(',').map(str::trim).any(|candidate| {
+        candidate == "*" || candidate == etag || candidate.strip_prefix("W/") == Some(etag)
+    })
+}
+
+/// The one shared `?at=` validator: every year-scoped route funnels
+/// through here so the rules are uniform across `/v1` — `at` must parse
+/// as a non-negative year index and must not be combined with the
+/// `from`/`to` range parameters (a point-in-time query and a range query
+/// contradict each other).
+fn parse_at(req: &Request) -> Result<Option<u32>, Response> {
+    let raw = req.query_param("at");
+    if raw.is_some() && (req.query_param("from").is_some() || req.query_param("to").is_some()) {
+        return Err(Response::api_error(
+            400,
+            "invalid_at",
+            "at cannot be combined with the from/to range parameters",
+            raw,
+        ));
+    }
+    match raw {
+        None => Ok(None),
+        Some(raw) => match raw.parse::<u32>() {
+            Ok(year) => Ok(Some(year)),
+            Err(_) => Err(Response::api_error(
+                400,
+                "invalid_at",
+                "at must be a non-negative year index",
+                Some(raw),
+            )),
+        },
+    }
+}
+
+/// Parses a required year-range parameter (`from`/`to`) with the same
+/// strictness and error code as [`parse_at`].
+fn parse_year_param(req: &Request, key: &'static str) -> Result<u32, Response> {
+    match req.query_param(key) {
+        None => Err(Response::api_error(
+            400,
+            "invalid_at",
+            "diff requires both from and to year parameters",
+            Some(key),
+        )),
+        Some(raw) => raw.parse::<u32>().map_err(|_| {
+            Response::api_error(
+                400,
+                "invalid_at",
+                &format!("{key} must be a non-negative year index"),
+                Some(raw),
+            )
+        }),
+    }
+}
+
+/// Attaches a strong validator to a successful answer. Errors are never
+/// tagged: they have no cacheable entity.
+fn tagged(resp: Response, etag: String) -> Response {
+    if resp.status == 200 {
+        resp.with_header("ETag", etag)
+    } else {
+        resp
+    }
+}
+
+/// Marks an answer as resolved-as-of `year`.
+fn with_year_header(resp: Response, year: u32) -> Response {
+    resp.with_header("X-Soi-Year", year.to_string())
+}
+
+/// Strong validator for answers derived from the live index: the slot
+/// generation pins the swap history, the tracked payload checksum pins
+/// the content (absent when the server tracks no payload — the
+/// generation alone still changes on every swap).
+fn live_etag(state: &ServerState) -> String {
+    match state.slot.payload() {
+        Some((_, checksum)) => format!("\"g{:x}-{checksum:016x}\"", state.slot.generation()),
+        None => format!("\"g{:x}\"", state.slot.generation()),
+    }
+}
+
+/// Strong validator for an as-of answer: the year's payload checksum
+/// comes straight from the store manifest (O(1), no resolve), the
+/// history generation pins invalidation.
+fn as_of_etag(state: &ServerState, year: u32) -> Option<String> {
+    let history = state.history.as_ref()?;
+    let entry = history.store().manifest().entries.iter().find(|e| e.year == year)?;
+    Some(format!("\"h{:x}-y{year}-{:016x}\"", history.generation(), entry.payload_checksum))
+}
+
+/// Strong validator for the store-wide history routes (summary,
+/// timelines): an FNV-1a fold over every year's payload checksum, so any
+/// rewrite of the stored range changes the tag.
+fn history_etag(history: &crate::history::HistoryService) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for entry in &history.store().manifest().entries {
+        for byte in entry.year.to_le_bytes().into_iter().chain(entry.payload_checksum.to_le_bytes())
+        {
+            hash = (hash ^ u64::from(byte)).wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+    format!("\"t{:x}-{hash:016x}\"", history.generation())
+}
+
 /// Runs a `/v1` read route against the live index, or — when the request
-/// carries `?at=<year>` — against the year's materialized view.
+/// carries `?at=<year>` — against the year's materialized view. Tags
+/// successes with the matching strong validator; as-of answers also name
+/// their resolved year.
 fn with_as_of(
     state: &ServerState,
     req: &Request,
     live: &ServiceIndex,
     route: impl FnOnce(&ServiceIndex) -> Response,
 ) -> Response {
-    match req.query_param("at") {
-        None => route(live),
-        Some(raw) => match as_of_index(state, raw) {
-            Ok(index) => route(&index),
+    match parse_at(req) {
+        Err(resp) => resp,
+        Ok(None) => tagged(route(live), live_etag(state)),
+        Ok(Some(year)) => match as_of_index(state, year) {
+            Ok(index) => {
+                let resp = with_year_header(route(&index), year);
+                match as_of_etag(state, year) {
+                    Some(etag) => tagged(resp, etag),
+                    None => resp,
+                }
+            }
             Err(resp) => resp,
         },
     }
 }
 
-/// Resolves `?at=<raw>` to a served index via the history service; every
-/// failure is an envelope error.
-fn as_of_index(state: &ServerState, raw: &str) -> Result<Arc<ServiceIndex>, Response> {
-    let Ok(year) = raw.parse::<u32>() else {
-        return Err(Response::api_error(
-            400,
-            "invalid_at",
-            "at must be a non-negative year index",
-            Some(raw),
-        ));
-    };
+/// Resolves a validated `?at=` year to a served index via the history
+/// service; every failure is an envelope error.
+fn as_of_index(state: &ServerState, year: u32) -> Result<Arc<ServiceIndex>, Response> {
     let Some(history) = &state.history else {
         return Err(history_unavailable());
     };
@@ -270,27 +457,41 @@ struct HistorySummary {
     cache_generation: u64,
 }
 
-/// `GET /v1/history`: what the attached store holds.
-fn v1_history_summary(state: &ServerState) -> Response {
+/// `GET /v1/history`: what the attached store holds. The answer covers
+/// every stored year, so a well-formed `?at=` is accepted and ignored —
+/// but malformed or contradictory `at` params are rejected by the same
+/// validator as every other year-scoped route.
+fn v1_history_summary(state: &ServerState, req: &Request) -> Response {
+    if let Err(resp) = parse_at(req) {
+        return resp;
+    }
     let Some(history) = &state.history else {
         return history_unavailable();
     };
     let store = history.store();
-    Response::json(
-        200,
-        &HistorySummary {
-            years: store.years(),
-            checkpoint_spacing: store.checkpoint_spacing(),
-            checkpoints: store.checkpoint_years(),
-            seed: store.manifest().seed,
-            cache_generation: history.generation(),
-        },
+    tagged(
+        Response::json(
+            200,
+            &HistorySummary {
+                years: store.years(),
+                checkpoint_spacing: store.checkpoint_spacing(),
+                checkpoints: store.checkpoint_years(),
+                seed: store.manifest().seed,
+                cache_generation: history.generation(),
+            },
+        ),
+        history_etag(history),
     )
 }
 
 /// `GET /v1/history/org/{id}`: an organization's ownership/confirmation
-/// change-points across the stored years.
-fn v1_history_org_route(state: &ServerState, raw: &str) -> Response {
+/// change-points across the stored years. Like the summary, the timeline
+/// spans all years, so `?at=` is validated (shared rules) but a valid
+/// year does not narrow the answer.
+fn v1_history_org_route(state: &ServerState, req: &Request, raw: &str) -> Response {
+    if let Err(resp) = parse_at(req) {
+        return resp;
+    }
     let Some(history) = &state.history else {
         return history_unavailable();
     };
@@ -303,7 +504,9 @@ fn v1_history_org_route(state: &ServerState, raw: &str) -> Response {
         );
     };
     match history.timeline(org_id, &state.metrics) {
-        Ok(timeline) if timeline.points.iter().any(|p| p.present) => Response::json(200, &timeline),
+        Ok(timeline) if timeline.points.iter().any(|p| p.present) => {
+            tagged(Response::json(200, &timeline), history_etag(history))
+        }
         Ok(_) => Response::api_error(
             404,
             "unknown_org",
@@ -328,34 +531,9 @@ fn risk_unavailable(detail: Option<&str>) -> Response {
     )
 }
 
-/// Resolves the risk report a `/v1/risk` request asks about: the live
-/// payload's report, or — with `?at=<year>` — the year's, resolved
-/// through the history store. Every failure is an envelope error.
-fn risk_report_for(
-    state: &ServerState,
-    req: &Request,
-) -> Result<Arc<soi_risk::RiskReport>, Response> {
-    let Some(risk) = &state.risk else {
-        return Err(risk_unavailable(None));
-    };
-    let result = match req.query_param("at") {
-        None => risk.live_report(&state.slot, &state.metrics),
-        Some(raw) => {
-            let Ok(year) = raw.parse::<u32>() else {
-                return Err(Response::api_error(
-                    400,
-                    "invalid_at",
-                    "at must be a non-negative year index",
-                    Some(raw),
-                ));
-            };
-            let Some(history) = &state.history else {
-                return Err(history_unavailable());
-            };
-            risk.report_at(year, history, &state.metrics)
-        }
-    };
-    result.map_err(|e| match e {
+/// Maps a risk-service failure onto the `/v1` error envelope.
+fn map_risk_error(e: RiskServiceError) -> Response {
+    match e {
         RiskServiceError::NoPayload => {
             risk_unavailable(Some("server tracks no payload to analyze"))
         }
@@ -373,13 +551,45 @@ fn risk_report_for(
             &format!("as-of resolution failed: {other}"),
             None,
         ),
-        RiskServiceError::Compute(e) => Response::api_error(
-            500,
-            "risk_error",
-            &format!("risk computation failed: {e}"),
-            None,
-        ),
-    })
+        RiskServiceError::Compute(e) => {
+            Response::api_error(500, "risk_error", &format!("risk computation failed: {e}"), None)
+        }
+    }
+}
+
+/// Resolves the risk report a `/v1/risk` request asks about: the live
+/// payload's report, or — with `?at=<year>` (shared validator) — the
+/// year's, resolved through the history store. Returns the report plus
+/// the resolved year so callers can stamp `X-Soi-Year`. Every failure is
+/// an envelope error.
+fn risk_report_for(
+    state: &ServerState,
+    req: &Request,
+) -> Result<(Arc<soi_risk::RiskReport>, Option<u32>), Response> {
+    let Some(risk) = &state.risk else {
+        return Err(risk_unavailable(None));
+    };
+    let year = parse_at(req)?;
+    let result = match year {
+        None => risk.live_report(&state.slot, &state.metrics),
+        Some(year) => {
+            let Some(history) = &state.history else {
+                return Err(history_unavailable());
+            };
+            risk.report_at(year, history, &state.metrics)
+        }
+    };
+    result.map(|report| (report, year)).map_err(map_risk_error)
+}
+
+/// Decorates a risk answer: `X-Soi-Year` whenever the request was
+/// year-scoped, plus the report-checksum `ETag` on successes.
+fn risk_tagged(resp: Response, report: &soi_risk::RiskReport, year: Option<u32>) -> Response {
+    let resp = match year {
+        Some(year) => with_year_header(resp, year),
+        None => resp,
+    };
+    tagged(resp, format!("\"r{:016x}\"", report.checksum))
 }
 
 fn parse_risk_country(raw: &str) -> Result<CountryCode, Response> {
@@ -405,11 +615,11 @@ fn v1_risk_country_route(state: &ServerState, req: &Request, raw: &str) -> Respo
         Ok(code) => code,
         Err(resp) => return resp,
     };
-    let report = match risk_report_for(state, req) {
-        Ok(report) => report,
+    let (report, year) = match risk_report_for(state, req) {
+        Ok(resolved) => resolved,
         Err(resp) => return resp,
     };
-    match report.country(code) {
+    let resp = match report.country(code) {
         Some(exposure) => Response::json(
             200,
             &RiskCountryAnswer { report_checksum: report.checksum, country: exposure },
@@ -420,7 +630,8 @@ fn v1_risk_country_route(state: &ServerState, req: &Request, raw: &str) -> Respo
             "country code is valid but has no observed routes or announced space in the run",
             Some(code.as_str()),
         ),
-    }
+    };
+    risk_tagged(resp, &report, year)
 }
 
 #[derive(Serialize)]
@@ -435,11 +646,11 @@ fn v1_risk_chokepoints_route(state: &ServerState, req: &Request, raw: &str) -> R
         Ok(code) => code,
         Err(resp) => return resp,
     };
-    let report = match risk_report_for(state, req) {
-        Ok(report) => report,
+    let (report, year) = match risk_report_for(state, req) {
+        Ok(resolved) => resolved,
         Err(resp) => return resp,
     };
-    match report.chokepoints_for(code) {
+    let resp = match report.chokepoints_for(code) {
         Some(choke) => Response::json(
             200,
             &RiskChokepointsAnswer { report_checksum: report.checksum, chokepoints: choke },
@@ -450,7 +661,8 @@ fn v1_risk_chokepoints_route(state: &ServerState, req: &Request, raw: &str) -> R
             "country code is valid but has no observed routes or announced space in the run",
             Some(code.as_str()),
         ),
-    }
+    };
+    risk_tagged(resp, &report, year)
 }
 
 #[derive(Serialize)]
@@ -471,15 +683,15 @@ fn v1_risk_classes_route(state: &ServerState, req: &Request) -> Response {
         Ok(page) => page,
         Err(resp) => return resp,
     };
-    let report = match risk_report_for(state, req) {
-        Ok(report) => report,
+    let (report, year) = match risk_report_for(state, req) {
+        Ok(resolved) => resolved,
         Err(resp) => return resp,
     };
     let rows = &report.classes.rows;
     let total = rows.len();
     let start = offset.min(total);
     let end = (start + limit).min(total);
-    Response::json(
+    let resp = Response::json(
         200,
         &RiskClassesAnswer {
             report_checksum: report.checksum,
@@ -489,7 +701,233 @@ fn v1_risk_classes_route(state: &ServerState, req: &Request) -> Response {
             summary: &report.classes.summary,
             rows: &rows[start..end],
         },
-    )
+    );
+    risk_tagged(resp, &report, year)
+}
+
+#[derive(Serialize)]
+struct ClassDelta {
+    class: &'static str,
+    total_from: usize,
+    total_to: usize,
+    total_delta: i64,
+    state_owned_from: usize,
+    state_owned_to: usize,
+    state_owned_delta: i64,
+}
+
+/// Per-country classification churn between the two years, attributed to
+/// each AS's registration country.
+#[derive(Clone, Default, Serialize)]
+struct CountryClassChanges {
+    /// ASes classified in `to` but absent from `from`.
+    added: usize,
+    /// ASes classified in `from` but gone by `to`.
+    removed: usize,
+    /// ASes whose class or state-ownership flag changed.
+    reclassified: usize,
+}
+
+#[derive(Serialize)]
+struct CountryDelta {
+    country: String,
+    present_from: bool,
+    present_to: bool,
+    transit_ases_from: usize,
+    transit_ases_to: usize,
+    transit_ases_delta: i64,
+    total_score_from: f64,
+    total_score_to: f64,
+    total_score_delta: f64,
+    foreign_share_from: f64,
+    foreign_share_to: f64,
+    foreign_share_delta: f64,
+    state_share_from: f64,
+    state_share_to: f64,
+    state_share_delta: f64,
+    foreign_state_share_from: f64,
+    foreign_state_share_to: f64,
+    foreign_state_share_delta: f64,
+    class_changes: CountryClassChanges,
+}
+
+#[derive(Serialize)]
+struct RiskDiffAnswer {
+    from: u32,
+    to: u32,
+    from_checksum: u64,
+    to_checksum: u64,
+    total: usize,
+    limit: usize,
+    offset: usize,
+    classes: Vec<ClassDelta>,
+    countries: Vec<CountryDelta>,
+}
+
+/// `GET /v1/risk/diff?from=&to=`: per-country exposure and class deltas
+/// between two stored years, both resolved through the history store.
+/// The country rows (union of both years' scored countries plus any
+/// country with classification churn, country-code order) paginate; the
+/// class cross-tab delta rides on every page like `/v1/risk/classes`'s
+/// summary does.
+fn v1_risk_diff_route(state: &ServerState, req: &Request) -> Response {
+    use std::collections::{BTreeMap, BTreeSet};
+
+    // The shared validator rejects a contradictory ?at= alongside the
+    // range params before anything is resolved.
+    if let Err(resp) = parse_at(req) {
+        return resp;
+    }
+    let (limit, offset) = match parse_page(req) {
+        Ok(page) => page,
+        Err(resp) => return resp,
+    };
+    let from = match parse_year_param(req, "from") {
+        Ok(year) => year,
+        Err(resp) => return resp,
+    };
+    let to = match parse_year_param(req, "to") {
+        Ok(year) => year,
+        Err(resp) => return resp,
+    };
+    let Some(risk) = &state.risk else {
+        return risk_unavailable(None);
+    };
+    let Some(history) = &state.history else {
+        return history_unavailable();
+    };
+    let from_report = match risk.report_at(from, history, &state.metrics) {
+        Ok(report) => report,
+        Err(e) => return map_risk_error(e),
+    };
+    let to_report = match risk.report_at(to, history, &state.metrics) {
+        Ok(report) => report,
+        Err(e) => return map_risk_error(e),
+    };
+
+    // Classification churn per registration country.
+    let from_rows: BTreeMap<Asn, &soi_risk::ClassRow> =
+        from_report.classes.rows.iter().map(|r| (r.asn, r)).collect();
+    let to_rows: BTreeMap<Asn, &soi_risk::ClassRow> =
+        to_report.classes.rows.iter().map(|r| (r.asn, r)).collect();
+    let asns: BTreeSet<Asn> = from_rows.keys().chain(to_rows.keys()).copied().collect();
+    let mut class_changes: BTreeMap<CountryCode, CountryClassChanges> = BTreeMap::new();
+    for asn in asns {
+        let (old, new) = (from_rows.get(&asn), to_rows.get(&asn));
+        let Some(cc) =
+            new.and_then(|r| r.registered_cc).or_else(|| old.and_then(|r| r.registered_cc))
+        else {
+            continue;
+        };
+        let entry = class_changes.entry(cc).or_default();
+        match (old, new) {
+            (None, Some(_)) => entry.added += 1,
+            (Some(_), None) => entry.removed += 1,
+            (Some(old), Some(new))
+                if old.class != new.class || old.state_owned != new.state_owned =>
+            {
+                entry.reclassified += 1
+            }
+            _ => {}
+        }
+    }
+
+    // The global cross-tab delta, every class in [`AsClass::ALL`] order.
+    let classes: Vec<ClassDelta> = soi_risk::AsClass::ALL
+        .iter()
+        .map(|class| {
+            let sum = |report: &soi_risk::RiskReport| {
+                report
+                    .classes
+                    .summary
+                    .iter()
+                    .find(|s| s.class == *class)
+                    .map(|s| (s.total, s.state_owned))
+                    .unwrap_or((0, 0))
+            };
+            let (total_from, state_owned_from) = sum(&from_report);
+            let (total_to, state_owned_to) = sum(&to_report);
+            ClassDelta {
+                class: class.as_str(),
+                total_from,
+                total_to,
+                total_delta: total_to as i64 - total_from as i64,
+                state_owned_from,
+                state_owned_to,
+                state_owned_delta: state_owned_to as i64 - state_owned_from as i64,
+            }
+        })
+        .collect();
+
+    // Union of scored countries across both years, country-code order.
+    type ExposurePair<'a> =
+        (Option<&'a soi_risk::CountryExposure>, Option<&'a soi_risk::CountryExposure>);
+    let mut union: BTreeMap<CountryCode, ExposurePair> = BTreeMap::new();
+    for exposure in &from_report.exposure {
+        union.entry(exposure.country).or_default().0 = Some(exposure);
+    }
+    for exposure in &to_report.exposure {
+        union.entry(exposure.country).or_default().1 = Some(exposure);
+    }
+    for cc in class_changes.keys() {
+        union.entry(*cc).or_default();
+    }
+
+    let total = union.len();
+    let countries: Vec<CountryDelta> = union
+        .iter()
+        .skip(offset)
+        .take(limit)
+        .map(|(cc, (old, new))| {
+            let count = |e: Option<&soi_risk::CountryExposure>| e.map_or(0, |e| e.transit_ases);
+            let score =
+                |e: Option<&soi_risk::CountryExposure>,
+                 get: fn(&soi_risk::CountryExposure) -> f64| e.map_or(0.0, get);
+            let (taf, tat) = (count(*old), count(*new));
+            let (tsf, tst) = (score(*old, |e| e.total_score), score(*new, |e| e.total_score));
+            let (ff, ft) = (score(*old, |e| e.foreign_share), score(*new, |e| e.foreign_share));
+            let (sf, st) = (score(*old, |e| e.state_share), score(*new, |e| e.state_share));
+            let (fsf, fst) =
+                (score(*old, |e| e.foreign_state_share), score(*new, |e| e.foreign_state_share));
+            CountryDelta {
+                country: cc.as_str().to_owned(),
+                present_from: old.is_some(),
+                present_to: new.is_some(),
+                transit_ases_from: taf,
+                transit_ases_to: tat,
+                transit_ases_delta: tat as i64 - taf as i64,
+                total_score_from: tsf,
+                total_score_to: tst,
+                total_score_delta: tst - tsf,
+                foreign_share_from: ff,
+                foreign_share_to: ft,
+                foreign_share_delta: ft - ff,
+                state_share_from: sf,
+                state_share_to: st,
+                state_share_delta: st - sf,
+                foreign_state_share_from: fsf,
+                foreign_state_share_to: fst,
+                foreign_state_share_delta: fst - fsf,
+                class_changes: class_changes.get(cc).cloned().unwrap_or_default(),
+            }
+        })
+        .collect();
+
+    let resp = Response::json(
+        200,
+        &RiskDiffAnswer {
+            from,
+            to,
+            from_checksum: from_report.checksum,
+            to_checksum: to_report.checksum,
+            total,
+            limit,
+            offset,
+            classes,
+            countries,
+        },
+    );
+    tagged(resp, format!("\"rd{:016x}-{:016x}\"", from_report.checksum, to_report.checksum))
 }
 
 /// Flags a legacy-route response as deprecated: RFC 9745 `Deprecation`
@@ -752,6 +1190,7 @@ mod tests {
             reloader: None,
             history: None,
             risk: None,
+            respcache: None,
         }
     }
 
@@ -768,8 +1207,7 @@ mod tests {
         b.add_transit(Asn(2119), Asn(1));
         let graph = b.build().unwrap();
         let geo = GeoDb::from_blocks([("10.0.0.0/8".parse().unwrap(), cc("NO"))]).unwrap();
-        let as_country =
-            [(Asn(1), cc("US")), (Asn(2119), cc("NO"))].into_iter().collect();
+        let as_country = [(Asn(1), cc("US")), (Asn(2119), cc("NO"))].into_iter().collect();
         soi_risk::RiskContext::new(
             graph,
             vec![Monitor { id: 0, asn: Asn(1) }],
@@ -790,10 +1228,7 @@ mod tests {
         let table = PrefixToAs::from_entries([("10.0.0.0/8".parse().unwrap(), Asn(2119))]).unwrap();
         let base = SnapshotPayload { dataset, table };
         st.slot.attach_payload(Arc::new(base.clone()), payload_checksum(&base).unwrap());
-        ServerState {
-            risk: Some(Arc::new(crate::risk::RiskService::new(risk_context(), 1))),
-            ..st
-        }
+        ServerState { risk: Some(Arc::new(crate::risk::RiskService::new(risk_context(), 1))), ..st }
     }
 
     /// A server state over a hand-built two-year history store: year 0
@@ -860,6 +1295,7 @@ mod tests {
             reloader: None,
             history: Some(Arc::new(history)),
             risk: None,
+            respcache: None,
         };
         (state, dir)
     }
@@ -1431,5 +1867,208 @@ mod tests {
         let (_, resp) = get(&st, "/v1/risk/classes?at=1");
         assert_eq!(resp.status, 409, "{}", body(&resp));
         assert_eq!(envelope(&resp)["error"]["code"].as_str(), Some("history_unavailable"));
+    }
+
+    fn get_cached(state: &ServerState, target: &str) -> (&'static str, Response) {
+        respond_cached(state, 0, &request("GET", target))
+    }
+
+    fn conditional(state: &ServerState, target: &str, etag: &str) -> Response {
+        let raw = format!("GET {target} HTTP/1.1\r\nIf-None-Match: {etag}\r\n\r\n");
+        let mut reader = BufReader::new(raw.as_bytes());
+        let req = crate::http::read_request(&mut reader).unwrap();
+        respond_cached(state, 0, &req).1
+    }
+
+    #[test]
+    fn v1_data_routes_carry_strong_etags_and_revalidate_to_304() {
+        let st = state();
+        for target in ["/v1/asn/AS2119", "/v1/country", "/v1/search?q=tel", "/v1/dataset"] {
+            let (_, resp) = get_cached(&st, target);
+            assert_eq!(resp.status, 200, "{target}");
+            let etag = resp.header("ETag").expect("etag on 200").to_owned();
+            assert!(etag.starts_with("\"g1"), "{target}: generation-pinned etag, got {etag}");
+            // The canonical cheap-revalidation flow: echo the tag back.
+            let not_modified = conditional(&st, target, &etag);
+            assert_eq!(not_modified.status, 304, "{target}");
+            assert!(not_modified.body.is_empty(), "{target}: 304 carries no body");
+            assert_eq!(not_modified.header("ETag"), Some(etag.as_str()), "{target}");
+            // A stale or weak-but-matching tag still revalidates; a
+            // mismatched one serves the full entity again.
+            assert_eq!(conditional(&st, target, &format!("W/{etag}")).status, 304);
+            assert_eq!(conditional(&st, target, "*").status, 304);
+            assert_eq!(conditional(&st, target, "\"gdead-beef\"").status, 200, "{target}");
+        }
+        // Errors never carry validators.
+        let (_, resp) = get_cached(&st, "/v1/asn/banana");
+        assert_eq!(resp.status, 400);
+        assert!(resp.header("ETag").is_none());
+        // A reload-style swap changes the generation, therefore the tag.
+        let (_, before) = get_cached(&st, "/v1/asn/AS2119");
+        st.slot.swap(Arc::new(index()), None);
+        let (_, after) = get_cached(&st, "/v1/asn/AS2119");
+        assert_ne!(before.header("ETag"), after.header("ETag"), "etag moves with generation");
+    }
+
+    #[test]
+    fn head_answers_with_get_headers() {
+        let st = state();
+        let (label, get_resp) = get_cached(&st, "/v1/asn/AS2119");
+        let (head_label, head_resp) = respond_cached(&st, 0, &request("HEAD", "/v1/asn/AS2119"));
+        assert_eq!(label, head_label);
+        assert_eq!(head_resp.status, 200);
+        // The entity (and its validators) is identical; the server strips
+        // the body at write time while keeping Content-Length.
+        assert_eq!(head_resp.header("ETag"), get_resp.header("ETag"));
+        assert_eq!(head_resp.body, get_resp.body);
+    }
+
+    #[test]
+    fn as_of_answers_carry_x_soi_year_and_year_pinned_etags() {
+        let (mut st, dir) = history_state("etag-asof");
+        // Live answers: generation-pinned tag, no year header.
+        let (_, live) = get_cached(&st, "/v1/asn/AS2119");
+        assert!(live.header("X-Soi-Year").is_none());
+        assert!(live.header("ETag").unwrap().starts_with("\"g"));
+        // As-of answers: year header plus a history-pinned tag that
+        // differs per year.
+        let (_, y1) = get_cached(&st, "/v1/asn/AS17557?at=1");
+        assert_eq!(y1.status, 200, "{}", body(&y1));
+        assert_eq!(y1.header("X-Soi-Year"), Some("1"));
+        let tag1 = y1.header("ETag").unwrap().to_owned();
+        assert!(tag1.starts_with("\"h"), "{tag1}");
+        let (_, y2) = get_cached(&st, "/v1/asn/AS17557?at=2");
+        assert_eq!(y2.header("X-Soi-Year"), Some("2"));
+        assert_ne!(y2.header("ETag"), Some(tag1.as_str()), "year is part of the tag");
+        assert_eq!(conditional(&st, "/v1/asn/AS17557?at=1", &tag1).status, 304);
+        // The history summary and timelines pin to the whole store.
+        let (_, resp) = get_cached(&st, "/v1/history");
+        assert!(resp.header("ETag").unwrap().starts_with("\"t"), "{:?}", resp.header("ETag"));
+        let (_, resp) = get_cached(&st, "/v1/history/org/2");
+        assert!(resp.header("ETag").unwrap().starts_with("\"t"));
+        // Risk answers pin to the report checksum and carry the year.
+        st.risk = Some(Arc::new(crate::risk::RiskService::new(risk_context(), 4)));
+        let (_, resp) = get_cached(&st, "/v1/risk/classes?at=1");
+        assert_eq!(resp.status, 200, "{}", body(&resp));
+        assert_eq!(resp.header("X-Soi-Year"), Some("1"));
+        assert!(resp.header("ETag").unwrap().starts_with("\"r"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn contradictory_at_and_range_params_rejected_by_the_shared_validator() {
+        let (mut st, dir) = history_state("at-validator");
+        st.risk = Some(Arc::new(crate::risk::RiskService::new(risk_context(), 4)));
+        // One validator, every year-scoped surface: data routes, history
+        // routes, risk routes.
+        for target in [
+            "/v1/asn/AS2119?at=1&from=0",
+            "/v1/country?at=1&to=2",
+            "/v1/history?at=1&from=0",
+            "/v1/history/org/1?at=1&to=2",
+            "/v1/risk/classes?at=1&from=0",
+            "/v1/risk/country/no?at=1&to=2",
+            "/v1/risk/diff?at=1&from=0&to=2",
+        ] {
+            let (_, resp) = get_cached(&st, target);
+            assert_eq!(resp.status, 400, "{target}: {}", body(&resp));
+            let v = envelope(&resp);
+            assert_eq!(v["error"]["code"].as_str(), Some("invalid_at"), "{target}");
+            assert!(
+                v["error"]["message"].as_str().unwrap().contains("cannot be combined"),
+                "{target}: {}",
+                body(&resp)
+            );
+        }
+        // Malformed `at` funnels through the same validator.
+        let (_, resp) = get_cached(&st, "/v1/history?at=banana");
+        assert_eq!(resp.status, 400);
+        assert_eq!(envelope(&resp)["error"]["code"].as_str(), Some("invalid_at"));
+        // A valid standalone year is accepted (and ignored by the
+        // store-wide history summary).
+        let (_, resp) = get_cached(&st, "/v1/history?at=1");
+        assert_eq!(resp.status, 200, "{}", body(&resp));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn risk_diff_serves_per_country_deltas_between_stored_years() {
+        let (mut st, dir) = history_state("risk-diff");
+        st.risk = Some(Arc::new(crate::risk::RiskService::new(risk_context(), 4)));
+        let (label, resp) = get_cached(&st, "/v1/risk/diff?from=0&to=2");
+        assert_eq!(label, "v1_risk");
+        assert_eq!(resp.status, 200, "{}", body(&resp));
+        let v: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+        assert_eq!(v["from"].as_u64(), Some(0));
+        assert_eq!(v["to"].as_u64(), Some(2));
+        assert!(v["from_checksum"].as_u64().is_some());
+        assert_eq!(v["classes"].as_array().unwrap().len(), 4, "full cross-tab delta");
+        // The topology context is year-invariant in this fixture, so NO
+        // is present and unchanged on both sides.
+        let countries = v["countries"].as_array().unwrap();
+        let no = countries.iter().find(|c| c["country"].as_str() == Some("NO")).expect("NO scored");
+        assert_eq!(no["present_from"].as_bool(), Some(true));
+        assert_eq!(no["present_to"].as_bool(), Some(true));
+        assert_eq!(no["transit_ases_delta"].as_i64(), Some(0));
+        // The tag pins both reports.
+        assert!(resp.header("ETag").unwrap().starts_with("\"rd"), "{:?}", resp.header("ETag"));
+        // Pagination shares the standard validators.
+        let (_, resp) = get_cached(&st, "/v1/risk/diff?from=0&to=2&limit=0");
+        assert_eq!(envelope(&resp)["error"]["code"].as_str(), Some("invalid_limit"));
+        // Error envelope: missing params, unknown years.
+        let (_, resp) = get_cached(&st, "/v1/risk/diff?from=0");
+        assert_eq!(resp.status, 400, "{}", body(&resp));
+        assert_eq!(envelope(&resp)["error"]["code"].as_str(), Some("invalid_at"));
+        assert_eq!(envelope(&resp)["error"]["detail"].as_str(), Some("to"));
+        let (_, resp) = get_cached(&st, "/v1/risk/diff?from=banana&to=2");
+        assert_eq!(resp.status, 400);
+        assert_eq!(envelope(&resp)["error"]["code"].as_str(), Some("invalid_at"));
+        let (_, resp) = get_cached(&st, "/v1/risk/diff?from=0&to=9");
+        assert_eq!(resp.status, 404, "{}", body(&resp));
+        assert_eq!(envelope(&resp)["error"]["code"].as_str(), Some("unknown_year"));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Without a history store the diff cannot resolve any year.
+        let st = risk_state();
+        let (_, resp) = get_cached(&st, "/v1/risk/diff?from=0&to=1");
+        assert_eq!(resp.status, 409, "{}", body(&resp));
+        assert_eq!(envelope(&resp)["error"]["code"].as_str(), Some("history_unavailable"));
+    }
+
+    #[test]
+    fn response_cache_repeats_and_invalidates_on_generation_bump() {
+        let st = ServerState { respcache: Some(crate::respcache::RespCache::new(8)), ..state() };
+        let (_, first) = get_cached(&st, "/v1/asn/AS2119");
+        let (_, second) = get_cached(&st, "/v1/asn/AS2119");
+        assert_eq!(first.status, 200);
+        assert_eq!(first.body, second.body, "cached answer is byte-identical");
+        assert_eq!(first.headers, second.headers);
+        let snap = st.metrics.snapshot(0, &st.status());
+        assert_eq!(snap.respcache_misses, 1);
+        assert_eq!(snap.respcache_hits, 1);
+        // A conditional repeat is served as a 304 *from the cache*.
+        let etag = first.header("ETag").unwrap().to_owned();
+        let not_modified = conditional(&st, "/v1/asn/AS2119", &etag);
+        assert_eq!(not_modified.status, 304);
+        assert_eq!(st.metrics.snapshot(0, &st.status()).respcache_hits, 2);
+        // Swapping the index bumps the generation: the old entry is
+        // unreachable and the next request misses.
+        st.slot.swap(Arc::new(index()), None);
+        let (_, after) = get_cached(&st, "/v1/asn/AS2119");
+        assert_eq!(after.status, 200);
+        let snap = st.metrics.snapshot(0, &st.status());
+        assert_eq!(snap.respcache_misses, 2, "generation bump invalidates");
+        // Errors are looked up but never stored: two identical bad
+        // requests are two misses.
+        let before = st.metrics.snapshot(0, &st.status());
+        let _ = get_cached(&st, "/v1/asn/banana");
+        let _ = get_cached(&st, "/v1/asn/banana");
+        let snap = st.metrics.snapshot(0, &st.status());
+        assert_eq!(snap.respcache_hits, before.respcache_hits);
+        assert_eq!(snap.respcache_misses, before.respcache_misses + 2);
+        // Non-/v1 routes bypass the cache entirely.
+        let _ = get_cached(&st, "/healthz");
+        let after = st.metrics.snapshot(0, &st.status());
+        assert_eq!(after.respcache_misses, snap.respcache_misses);
     }
 }

@@ -70,6 +70,10 @@ pub struct Request {
     /// True when the connection should stay open after the response
     /// (HTTP/1.1 default, overridden by `Connection: close`).
     pub keep_alive: bool,
+    /// Raw `If-None-Match` header value, if the client sent one. The
+    /// conditional-request layer compares it against a response's strong
+    /// `ETag` and downgrades matches to `304 Not Modified`.
+    pub if_none_match: Option<String>,
     /// Request body bytes (empty for the common GET case). Bounded by
     /// `MAX_BODY`; always fully consumed so keep-alive framing holds.
     pub body: Vec<u8>,
@@ -112,6 +116,7 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Request, HttpError> {
     let mut keep_alive = http11;
     let mut content_length: usize = 0;
     let mut transfer_encoding: Option<String> = None;
+    let mut if_none_match: Option<String> = None;
     for n in 0.. {
         if n >= MAX_HEADERS {
             return Err(HttpError::TooLarge("too many headers".into()));
@@ -144,6 +149,9 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Request, HttpError> {
                 if v != "identity" {
                     transfer_encoding = Some(v);
                 }
+            }
+            "if-none-match" => {
+                if_none_match = Some(value.to_owned());
             }
             _ => {}
         }
@@ -191,7 +199,80 @@ pub fn read_request(reader: &mut impl BufRead) -> Result<Request, HttpError> {
     let path = percent_decode(raw_path, false);
     let query = raw_query.map(parse_query).unwrap_or_default();
 
-    Ok(Request { method, path, segments, query, keep_alive, body })
+    Ok(Request { method, path, segments, query, keep_alive, if_none_match, body })
+}
+
+/// Attempts to parse one complete request from the front of `buf`
+/// without blocking: the event-driven server feeds it whatever bytes the
+/// socket has yielded so far.
+///
+/// Returns `Ok(None)` when the buffer holds only a prefix of a request
+/// (more bytes needed), `Ok(Some((request, consumed)))` when a full
+/// message was parsed (`consumed` bytes must be drained from the
+/// buffer), and `Err` with exactly the [`read_request`] error taxonomy
+/// for malformed or oversized input, so both server modes answer
+/// identically.
+pub fn try_parse(buf: &[u8]) -> Result<Option<(Request, usize)>, HttpError> {
+    let Some(header_end) = find_header_end(buf) else {
+        // No header terminator yet. Bound what a slow (or malicious)
+        // client can make us buffer: the request line alone may not
+        // exceed MAX_LINE, and the whole header block is capped by the
+        // same line/count limits read_request enforces.
+        let first_line_done = buf.contains(&b'\n');
+        if !first_line_done && buf.len() > MAX_LINE {
+            return Err(HttpError::TooLarge("request line too long".into()));
+        }
+        if buf.len() > (MAX_HEADERS + 2) * MAX_LINE {
+            return Err(HttpError::TooLarge("too many headers".into()));
+        }
+        return Ok(None);
+    };
+    // Pre-scan Content-Length so only complete messages reach the real
+    // parser. A malformed value falls through: read_request reports it.
+    if let Some(needed) = content_length_hint(&buf[..header_end]) {
+        if needed > MAX_BODY {
+            return Err(HttpError::TooLarge(format!("body of {needed} bytes")));
+        }
+        if header_end + needed > buf.len() {
+            return Ok(None);
+        }
+    }
+    let mut cursor = std::io::Cursor::new(buf);
+    let request = read_request(&mut cursor)?;
+    Ok(Some((request, cursor.position() as usize)))
+}
+
+/// Index one past the blank line ending the header block, if present.
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    let mut i = 0;
+    while i < buf.len() {
+        if buf[i] == b'\n' {
+            if buf[i + 1..].starts_with(b"\r\n") {
+                return Some(i + 3);
+            }
+            if buf[i + 1..].starts_with(b"\n") {
+                return Some(i + 2);
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Last well-formed `Content-Length` value in a header block, mirroring
+/// read_request's last-wins overwrite. `None` means absent or malformed
+/// — either way the header block alone is a complete message for the
+/// pre-scan's purposes (the malformed case errors in read_request).
+fn content_length_hint(head: &[u8]) -> Option<usize> {
+    let mut length = None;
+    for line in head.split(|&b| b == b'\n') {
+        let line = String::from_utf8_lossy(line);
+        let Some((name, value)) = line.split_once(':') else { continue };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            length = value.trim().parse::<usize>().ok();
+        }
+    }
+    length
 }
 
 fn read_line(reader: &mut impl BufRead) -> Result<String, HttpError> {
@@ -322,9 +403,11 @@ impl Response {
         self.headers.iter().find(|(n, _)| n.eq_ignore_ascii_case(name)).map(|(_, v)| v.as_str())
     }
 
-    /// Writes status line, headers and body. `keep_alive` controls the
-    /// advertised `Connection` disposition.
-    pub fn write_to(&self, writer: &mut impl Write, keep_alive: bool) -> std::io::Result<()> {
+    /// Serializes the full wire form of the response. `keep_alive`
+    /// controls the advertised `Connection` disposition; `head_only`
+    /// omits the body while keeping its `Content-Length` (the HEAD
+    /// contract: identical headers, no payload).
+    pub fn render(&self, keep_alive: bool, head_only: bool) -> Vec<u8> {
         let mut head = format!(
             "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
             self.status,
@@ -342,8 +425,28 @@ impl Response {
         } else {
             "Connection: close\r\n\r\n"
         });
-        writer.write_all(head.as_bytes())?;
-        writer.write_all(&self.body)?;
+        let mut out = head.into_bytes();
+        if !head_only {
+            out.extend_from_slice(&self.body);
+        }
+        out
+    }
+
+    /// Writes status line, headers and body. `keep_alive` controls the
+    /// advertised `Connection` disposition.
+    pub fn write_to(&self, writer: &mut impl Write, keep_alive: bool) -> std::io::Result<()> {
+        self.write_to_opts(writer, keep_alive, false)
+    }
+
+    /// [`Response::write_to`] with HEAD handling: `head_only` suppresses
+    /// the body bytes but keeps the entity's `Content-Length`.
+    pub fn write_to_opts(
+        &self,
+        writer: &mut impl Write,
+        keep_alive: bool,
+        head_only: bool,
+    ) -> std::io::Result<()> {
+        writer.write_all(&self.render(keep_alive, head_only))?;
         writer.flush()
     }
 }
@@ -352,6 +455,7 @@ impl Response {
 pub fn reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
+        304 => "Not Modified",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
@@ -513,6 +617,71 @@ mod tests {
         assert!(text.contains("\r\nDeprecation: true\r\n"), "{text}");
         assert!(text.contains("\r\nLink: </v1/asn/1>; rel=\"successor-version\"\r\n"), "{text}");
         assert!(text.contains("Connection: keep-alive\r\n\r\n{\"ok\""), "{text}");
+    }
+
+    #[test]
+    fn try_parse_handles_partial_and_pipelined_input() {
+        // A prefix of a request parses to None until the terminator lands.
+        assert!(matches!(try_parse(b"GET /healthz HT"), Ok(None)));
+        assert!(matches!(try_parse(b"GET /healthz HTTP/1.1\r\nHost: x\r\n"), Ok(None)));
+        // A complete message parses and reports exactly its byte length.
+        let raw = b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n";
+        let (req, used) = try_parse(raw).unwrap().unwrap();
+        assert_eq!(req.path, "/healthz");
+        assert_eq!(used, raw.len());
+        // Pipelined input: the second message's bytes are not consumed.
+        let mut pipelined = raw.to_vec();
+        pipelined.extend_from_slice(b"GET /metrics HTTP/1.1\r\n\r\n");
+        let (req, used) = try_parse(&pipelined).unwrap().unwrap();
+        assert_eq!(req.path, "/healthz");
+        assert_eq!(used, raw.len());
+        let (next, _) = try_parse(&pipelined[used..]).unwrap().unwrap();
+        assert_eq!(next.path, "/metrics");
+    }
+
+    #[test]
+    fn try_parse_waits_for_body_and_mirrors_read_request_errors() {
+        // Body bytes outstanding: incomplete, not an error.
+        let partial = b"POST /admin/delta HTTP/1.1\r\nContent-Length: 5\r\n\r\nhi";
+        assert!(matches!(try_parse(partial), Ok(None)));
+        let full = b"POST /admin/delta HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+        let (req, used) = try_parse(full).unwrap().unwrap();
+        assert_eq!(req.body, b"hello");
+        assert_eq!(used, full.len());
+        // Error taxonomy matches read_request byte-for-byte causes.
+        assert!(matches!(try_parse(b"NOT-HTTP\r\n\r\n"), Err(HttpError::BadRequest(_))));
+        assert!(matches!(
+            try_parse(b"GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Err(HttpError::NotImplemented(_))
+        ));
+        let oversized = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1);
+        assert!(matches!(try_parse(oversized.as_bytes()), Err(HttpError::TooLarge(_))));
+        // An unterminated request line cannot grow without bound.
+        let runaway = vec![b'a'; MAX_LINE + 2];
+        assert!(matches!(try_parse(&runaway), Err(HttpError::TooLarge(_))));
+    }
+
+    #[test]
+    fn if_none_match_is_captured() {
+        let req = parse("GET /v1/asn/AS1 HTTP/1.1\r\nIf-None-Match: \"abc\"\r\n\r\n").unwrap();
+        assert_eq!(req.if_none_match.as_deref(), Some("\"abc\""));
+        let req = parse("GET / HTTP/1.1\r\n\r\n").unwrap();
+        assert!(req.if_none_match.is_none());
+    }
+
+    #[test]
+    fn head_render_keeps_length_and_drops_body() {
+        let resp = Response::json(200, &serde_json::json!({"ok": true}));
+        let full = resp.render(true, false);
+        let head = resp.render(true, true);
+        let full = String::from_utf8(full).unwrap();
+        let head = String::from_utf8(head).unwrap();
+        assert!(full.ends_with("{\"ok\":true}"));
+        assert!(head.ends_with("Connection: keep-alive\r\n\r\n"), "{head}");
+        // Identical headers: HEAD advertises the entity length it omits.
+        assert_eq!(full.strip_suffix("{\"ok\":true}").unwrap(), head);
+        assert!(head.contains("Content-Length: 11\r\n"));
+        assert_eq!(reason(304), "Not Modified");
     }
 
     #[test]

@@ -34,10 +34,24 @@
 //!   ([`serve_full`]), `/v1/risk/country/{cc}`,
 //!   `/v1/risk/chokepoints/{cc}` and `/v1/risk/classes` serve the
 //!   checksummed `soi-risk` report for the live payload (cached per
-//!   index generation) or, via `?at=<year>`, for any stored year.
+//!   index generation) or, via `?at=<year>`, for any stored year, and
+//!   `/v1/risk/diff?from=&to=` serves per-country deltas between two
+//!   stored years,
+//! * conditional requests: every `/v1` data and risk route carries a
+//!   strong `ETag` (index generation + content checksum) and honours
+//!   `If-None-Match` with `304 Not Modified` plus `HEAD` — the cheap
+//!   revalidation flow for pollers,
+//! * a generation-keyed response cache ([`respcache`]): rendered `/v1`
+//!   responses are reused until a reload/delta bumps the generation,
+//!   with hit/miss/eviction counters in `/metrics`,
+//! * two serving engines ([`ServerConfig::io`]): the thread-per-
+//!   connection pool above, and (default on Linux) an epoll event loop
+//!   with real keep-alive pipelining and tiered load shedding, byte-
+//!   identical on the wire.
 //!
 //! No async runtime, no HTTP dependency: request parsing is hand-rolled
-//! in [`http`], JSON comes from the workspace's existing `serde_json`.
+//! in [`http`], epoll is bound directly in [`poll`] (Linux only), JSON
+//! comes from the workspace's existing `serde_json`.
 //!
 //! ```no_run
 //! use std::sync::Arc;
@@ -54,12 +68,17 @@
 //! ```
 
 pub mod delta;
+#[cfg(target_os = "linux")]
+pub(crate) mod event;
 pub mod handlers;
 pub mod history;
 pub mod http;
 pub mod index;
 pub mod metrics;
+#[cfg(target_os = "linux")]
+pub mod poll;
 pub mod reload;
+pub mod respcache;
 pub mod risk;
 pub mod server;
 
@@ -70,8 +89,9 @@ pub use index::{
 };
 pub use metrics::{IndexProvenance, LatencySummary, Metrics, MetricsSnapshot, ServiceStatus};
 pub use reload::{IndexSlot, ReloadOutcome, Reloader};
+pub use respcache::{RespCache, DEFAULT_RESPCACHE_CAPACITY};
 pub use risk::{RiskService, RiskServiceError, DEFAULT_RISK_CACHE_CAPACITY};
 pub use server::{
     install_signal_handlers, reload_requested, serve, serve_full, serve_history, serve_with,
-    shutdown_requested, ServerConfig, ServerHandle, ServerState,
+    shutdown_requested, IoMode, ServerConfig, ServerHandle, ServerState,
 };

@@ -225,6 +225,18 @@ pub struct Metrics {
     risk_reports_computed: AtomicU64,
     /// Wall-clock microseconds spent computing risk reports.
     risk_compute_micros: AtomicU64,
+    /// Requests answered from the serialized-response cache.
+    respcache_hits: AtomicU64,
+    /// Cacheable requests that missed the response cache.
+    respcache_misses: AtomicU64,
+    /// Response-cache entries evicted by the LRU policy.
+    respcache_evictions: AtomicU64,
+    /// Heavy-tier requests (search/risk/history) shed by admission
+    /// control before dispatch.
+    shed_heavy: AtomicU64,
+    /// Light-tier requests (asn/ip/prefix/country/dataset) shed only
+    /// when the dispatch queue is completely full.
+    shed_light: AtomicU64,
     per_route: [AtomicU64; ROUTES.len()],
     latency: Histogram,
 }
@@ -253,6 +265,11 @@ impl Metrics {
             risk_cache_hits: AtomicU64::new(0),
             risk_reports_computed: AtomicU64::new(0),
             risk_compute_micros: AtomicU64::new(0),
+            respcache_hits: AtomicU64::new(0),
+            respcache_misses: AtomicU64::new(0),
+            respcache_evictions: AtomicU64::new(0),
+            shed_heavy: AtomicU64::new(0),
+            shed_light: AtomicU64::new(0),
             per_route: std::array::from_fn(|_| AtomicU64::new(0)),
             latency: Histogram::default(),
         }
@@ -351,6 +368,32 @@ impl Metrics {
         self.risk_compute_micros.fetch_add(micros, Ordering::Relaxed);
     }
 
+    /// Counts one request answered from the response cache.
+    pub fn record_respcache_hit(&self) {
+        self.respcache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one cacheable request that missed the response cache.
+    pub fn record_respcache_miss(&self) {
+        self.respcache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one response-cache LRU eviction.
+    pub fn record_respcache_eviction(&self) {
+        self.respcache_evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one request shed by admission control. `heavy` names the
+    /// tier: heavy routes (search/risk/history) shed at half queue
+    /// depth, light data routes only when the queue is full.
+    pub fn record_shed(&self, heavy: bool) {
+        if heavy {
+            self.shed_heavy.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.shed_light.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Marks a request as in flight; decremented by [`Metrics::end_request`].
     pub fn begin_request(&self) {
         self.in_flight.fetch_add(1, Ordering::Relaxed);
@@ -403,6 +446,11 @@ impl Metrics {
             risk_cache_hits: self.risk_cache_hits.load(Ordering::Relaxed),
             risk_reports_computed: self.risk_reports_computed.load(Ordering::Relaxed),
             risk_compute_micros: self.risk_compute_micros.load(Ordering::Relaxed),
+            respcache_hits: self.respcache_hits.load(Ordering::Relaxed),
+            respcache_misses: self.respcache_misses.load(Ordering::Relaxed),
+            respcache_evictions: self.respcache_evictions.load(Ordering::Relaxed),
+            shed_heavy: self.shed_heavy.load(Ordering::Relaxed),
+            shed_light: self.shed_light.load(Ordering::Relaxed),
             generation: status.generation,
             snapshot_build: status.snapshot_build.clone(),
             payload_checksum: status.payload_checksum,
@@ -467,6 +515,17 @@ pub struct MetricsSnapshot {
     pub risk_reports_computed: u64,
     /// Wall-clock microseconds spent computing risk reports.
     pub risk_compute_micros: u64,
+    /// Requests answered from the serialized-response cache.
+    pub respcache_hits: u64,
+    /// Cacheable requests that missed the response cache.
+    pub respcache_misses: u64,
+    /// Response-cache entries evicted by the LRU policy.
+    pub respcache_evictions: u64,
+    /// Heavy-tier requests (search/risk/history) shed by admission
+    /// control.
+    pub shed_heavy: u64,
+    /// Light-tier requests shed because the dispatch queue was full.
+    pub shed_light: u64,
     /// Current index generation (1 = boot index).
     pub generation: u64,
     /// Provenance of the served snapshot, when started from one.
@@ -699,6 +758,28 @@ mod tests {
         // v1_history traffic counts toward the v1 bucket like every other
         // v1_* label.
         assert_eq!(snap.requests_v1, 1);
+    }
+
+    #[test]
+    fn respcache_and_shed_counters_accumulate() {
+        let m = Metrics::new();
+        m.record_respcache_miss();
+        m.record_respcache_hit();
+        m.record_respcache_hit();
+        m.record_respcache_eviction();
+        m.record_shed(true);
+        m.record_shed(true);
+        m.record_shed(false);
+        let snap = m.snapshot(0, &ServiceStatus::default());
+        assert_eq!(snap.respcache_hits, 2);
+        assert_eq!(snap.respcache_misses, 1);
+        assert_eq!(snap.respcache_evictions, 1);
+        assert_eq!(snap.shed_heavy, 2);
+        assert_eq!(snap.shed_light, 1);
+        // The counters ride the JSON document analysts poll.
+        let rendered = serde_json::to_string(&snap).expect("serialize");
+        assert!(rendered.contains("\"respcache_hits\":2"));
+        assert!(rendered.contains("\"shed_heavy\":2"));
     }
 
     #[test]

@@ -1,0 +1,268 @@
+//! A thin, std-only epoll wrapper for the event-driven serving path.
+//!
+//! The workspace policy is "no async runtime, no I/O dependency", so
+//! this binds the four epoll syscalls (plus `pipe2` for cross-thread
+//! wakeups) directly via `extern "C"` — the same precedent as
+//! `signal(2)` in [`crate::server::install_signal_handlers`]. Everything
+//! here is Linux-only and the module is compiled out elsewhere; the
+//! server falls back to the threaded engine on other platforms.
+//!
+//! The wrapper is deliberately minimal: level-triggered interest only
+//! (the event loop re-arms interest explicitly, so missed-edge bugs
+//! cannot exist), one `u64` of user data per registration (the
+//! connection token), and a [`Waker`] built on a non-blocking pipe so
+//! worker threads can interrupt [`Poller::wait`].
+
+use std::io;
+use std::os::unix::io::RawFd;
+use std::sync::Arc;
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+    fn close(fd: i32) -> i32;
+    fn pipe2(fds: *mut i32, flags: i32) -> i32;
+    fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+}
+
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+const O_CLOEXEC: i32 = 0o2000000;
+const O_NONBLOCK: i32 = 0o4000;
+
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+
+/// The socket has readable data (or a pending accept).
+pub const EPOLLIN: u32 = 0x1;
+/// The socket accepts writes without blocking.
+pub const EPOLLOUT: u32 = 0x4;
+/// Error condition (always reported, no need to request).
+pub const EPOLLERR: u32 = 0x8;
+/// Hangup (always reported, no need to request).
+pub const EPOLLHUP: u32 = 0x10;
+/// Peer closed its write half (must be requested).
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+/// One readiness notification. The layout matches the kernel ABI:
+/// x86-64 packs the struct (a 32-bit `events` followed by an unaligned
+/// 64-bit `data`), every other Linux arch aligns it normally.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+impl EpollEvent {
+    /// An empty slot for [`Poller::wait`] to fill.
+    pub fn zeroed() -> EpollEvent {
+        EpollEvent { events: 0, data: 0 }
+    }
+
+    /// The readiness bitmask (`EPOLLIN` | `EPOLLOUT` | ...).
+    pub fn events(&self) -> u32 {
+        // A copy, not a reference: the field may be unaligned (packed).
+        let events = self.events;
+        events
+    }
+
+    /// The token supplied at registration.
+    pub fn token(&self) -> u64 {
+        let data = self.data;
+        data
+    }
+}
+
+/// Owns one epoll instance. Registrations are level-triggered.
+pub struct Poller {
+    epfd: RawFd,
+}
+
+impl Poller {
+    pub fn new() -> io::Result<Poller> {
+        let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Poller { epfd })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+        let mut event = EpollEvent { events: interest, data: token };
+        let event_ptr =
+            if op == EPOLL_CTL_DEL { std::ptr::null_mut() } else { &mut event as *mut EpollEvent };
+        if unsafe { epoll_ctl(self.epfd, op, fd, event_ptr) } < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Starts watching `fd`, delivering `token` with each notification.
+    pub fn add(&self, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, interest, token)
+    }
+
+    /// Replaces the interest set for an already-registered `fd`.
+    pub fn modify(&self, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, interest, token)
+    }
+
+    /// Stops watching `fd` (dropping the fd does this implicitly; the
+    /// explicit call keeps the kernel set tidy while the fd lives on).
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Blocks up to `timeout_ms` (-1 = forever) for readiness; fills
+    /// `events` from the front and returns how many are valid. A signal
+    /// interruption reports as zero events rather than an error.
+    pub fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        let n =
+            unsafe { epoll_wait(self.epfd, events.as_mut_ptr(), events.len() as i32, timeout_ms) };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(err);
+        }
+        Ok(n as usize)
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        unsafe { close(self.epfd) };
+    }
+}
+
+struct WakeFds {
+    read_fd: RawFd,
+    write_fd: RawFd,
+}
+
+impl Drop for WakeFds {
+    fn drop(&mut self) {
+        unsafe {
+            close(self.read_fd);
+            close(self.write_fd);
+        }
+    }
+}
+
+/// Interrupts a [`Poller::wait`] from another thread: the read end of a
+/// non-blocking pipe is registered with the poller, and [`Waker::wake`]
+/// writes one byte to the other end. Cloneable so every worker thread
+/// can hold one.
+#[derive(Clone)]
+pub struct Waker(Arc<WakeFds>);
+
+impl Waker {
+    pub fn new() -> io::Result<Waker> {
+        let mut fds = [0i32; 2];
+        if unsafe { pipe2(fds.as_mut_ptr(), O_CLOEXEC | O_NONBLOCK) } < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Waker(Arc::new(WakeFds { read_fd: fds[0], write_fd: fds[1] })))
+    }
+
+    /// The fd to register (`EPOLLIN`) with the poller.
+    pub fn read_fd(&self) -> RawFd {
+        self.0.read_fd
+    }
+
+    /// Makes the next (or current) `wait` return. A full pipe means a
+    /// wakeup is already pending, so the failure is ignored.
+    pub fn wake(&self) {
+        let byte = 1u8;
+        unsafe { write(self.0.write_fd, &byte as *const u8, 1) };
+    }
+
+    /// Consumes pending wakeup bytes so a level-triggered poller stops
+    /// reporting the pipe readable.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 64];
+        while unsafe { read(self.0.read_fd, buf.as_mut_ptr(), buf.len()) } > 0 {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+
+    #[test]
+    fn reports_readable_data_with_the_registered_token() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (mut server, _) = listener.accept().unwrap();
+
+        let poller = Poller::new().unwrap();
+        poller.add(server.as_raw_fd(), EPOLLIN, 42).unwrap();
+
+        let mut events = [EpollEvent::zeroed(); 8];
+        // Nothing to read yet: a short wait times out with zero events.
+        assert_eq!(poller.wait(&mut events, 50).unwrap(), 0);
+
+        client.write_all(b"ping").unwrap();
+        let n = poller.wait(&mut events, 1000).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token(), 42);
+        assert_ne!(events[0].events() & EPOLLIN, 0);
+
+        let mut buf = [0u8; 4];
+        server.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+        // Level-triggered: drained socket is no longer readable.
+        assert_eq!(poller.wait(&mut events, 50).unwrap(), 0);
+        poller.delete(server.as_raw_fd()).unwrap();
+    }
+
+    #[test]
+    fn modify_switches_interest_between_read_and_write() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+
+        let poller = Poller::new().unwrap();
+        // An idle socket is writable immediately.
+        poller.add(server.as_raw_fd(), EPOLLOUT, 7).unwrap();
+        let mut events = [EpollEvent::zeroed(); 8];
+        let n = poller.wait(&mut events, 1000).unwrap();
+        assert_eq!(n, 1);
+        assert_ne!(events[0].events() & EPOLLOUT, 0);
+
+        // Switch to read interest: quiet until the client sends.
+        poller.modify(server.as_raw_fd(), EPOLLIN, 7).unwrap();
+        assert_eq!(poller.wait(&mut events, 50).unwrap(), 0);
+        client.write_all(b"x").unwrap();
+        assert_eq!(poller.wait(&mut events, 1000).unwrap(), 1);
+        assert_eq!(events[0].token(), 7);
+    }
+
+    #[test]
+    fn waker_interrupts_wait_and_drains_clean() {
+        let poller = Poller::new().unwrap();
+        let waker = Waker::new().unwrap();
+        poller.add(waker.read_fd(), EPOLLIN, 1).unwrap();
+
+        let remote = waker.clone();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            remote.wake();
+        });
+        let mut events = [EpollEvent::zeroed(); 8];
+        let n = poller.wait(&mut events, 5000).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token(), 1);
+        waker.drain();
+        assert_eq!(poller.wait(&mut events, 50).unwrap(), 0, "drained pipe goes quiet");
+        handle.join().unwrap();
+    }
+}

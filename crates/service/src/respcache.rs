@@ -1,0 +1,254 @@
+//! Generation-keyed LRU cache of fully-serialized `/v1` responses.
+//!
+//! The workload this serves is analysts and dashboards polling a
+//! slowly-changing topology: the same handful of queries, over and over,
+//! against an index that only changes on reload/delta. Caching the
+//! *rendered* response (status + headers + JSON body bytes) turns those
+//! repeats into a hash lookup and a memcpy — no index walk, no
+//! re-serialization. Correctness rides on the same invalidation signal
+//! the risk and history caches already use: the [`IndexSlot`] generation
+//! counter (and the history store's own generation for `?at=` answers)
+//! is part of the key, so a reload or applied delta makes every stale
+//! entry unreachable and the LRU ages it out.
+//!
+//! Per-connection `Connection:` framing is *not* part of the entry — the
+//! server renders that at write time — so one cached response serves
+//! keep-alive and close clients alike.
+//!
+//! [`IndexSlot`]: crate::reload::IndexSlot
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use crate::http::{Request, Response};
+use crate::metrics::Metrics;
+
+/// Default number of cached responses (`ServerConfig::respcache_capacity`).
+pub const DEFAULT_RESPCACHE_CAPACITY: usize = 256;
+
+/// Everything that must match for a cached response to be reusable.
+///
+/// `generation`/`history_generation` carry the invalidation signal;
+/// `year` pins as-of answers to their resolved year; `head` separates
+/// HEAD from GET so the hit counter stays honest about what was served;
+/// `target` is the decoded path plus the query pairs in sorted order, so
+/// `?limit=5&offset=10` and `?offset=10&limit=5` share an entry.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Live index generation ([`IndexSlot::generation`]).
+    ///
+    /// [`IndexSlot::generation`]: crate::reload::IndexSlot::generation
+    pub generation: u64,
+    /// History-store generation, 0 when the server has no history.
+    pub history_generation: u64,
+    /// Parsed `?at=` year, `None` for live answers.
+    pub year: Option<u32>,
+    /// True for HEAD (the cached entry is still the full response; the
+    /// body is stripped at render time).
+    pub head: bool,
+    /// Canonical request target: decoded segments + sorted query pairs.
+    pub target: String,
+}
+
+/// Builds the cache key for a request, or `None` when the request is not
+/// cacheable: only GET/HEAD on `/v1` routes qualify (admin is a write
+/// path, `/metrics` and `/healthz` must never be stale, legacy routes
+/// are deprecated and not worth the memory).
+pub fn cache_key(generation: u64, history_generation: u64, req: &Request) -> Option<CacheKey> {
+    if req.method != "GET" && req.method != "HEAD" {
+        return None;
+    }
+    let segments = req.segments();
+    if segments.first() != Some(&"v1") {
+        return None;
+    }
+    // Malformed `at` values take the error path; errors are never
+    // cached, so skip the key entirely.
+    let year = match req.query_param("at") {
+        None => None,
+        Some(raw) => Some(raw.parse::<u32>().ok()?),
+    };
+    let mut pairs = req.query.clone();
+    pairs.sort();
+    let mut target = String::new();
+    for segment in &segments {
+        target.push('/');
+        target.push_str(segment);
+    }
+    for (k, v) in &pairs {
+        target.push('\u{0}');
+        target.push_str(k);
+        target.push('=');
+        target.push_str(v);
+    }
+    Some(CacheKey { generation, history_generation, year, head: req.method == "HEAD", target })
+}
+
+struct Slot {
+    route: &'static str,
+    response: Response,
+    /// Tick of the last hit (or the insert), for LRU eviction.
+    last_used: u64,
+    /// Insertion sequence — the deterministic tie-break when two slots
+    /// share a `last_used` tick.
+    inserted: u64,
+}
+
+struct Inner {
+    map: HashMap<CacheKey, Slot>,
+    tick: u64,
+    inserts: u64,
+}
+
+/// A bounded, deterministic LRU over rendered responses. Same recency
+/// policy as the history crate's `TemporalCache`: every access bumps a
+/// logical tick, eviction removes the slot with the smallest
+/// `(last_used, inserted)` pair.
+pub struct RespCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl RespCache {
+    /// A cache holding at most `capacity` responses (min 1).
+    pub fn new(capacity: usize) -> RespCache {
+        RespCache {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner { map: HashMap::new(), tick: 0, inserts: 0 }),
+        }
+    }
+
+    /// Looks up a response, recording a hit or miss. A hit refreshes the
+    /// entry's recency.
+    pub fn get(&self, key: &CacheKey, metrics: &Metrics) -> Option<(&'static str, Response)> {
+        let mut inner = self.inner.lock().expect("respcache lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(key) {
+            Some(slot) => {
+                slot.last_used = tick;
+                metrics.record_respcache_hit();
+                Some((slot.route, slot.response.clone()))
+            }
+            None => {
+                metrics.record_respcache_miss();
+                None
+            }
+        }
+    }
+
+    /// Inserts a response, evicting the least-recently-used entry when
+    /// full. Stale-generation entries need no sweep: their keys can
+    /// never be requested again, so the LRU retires them naturally.
+    pub fn insert(
+        &self,
+        key: CacheKey,
+        route: &'static str,
+        response: Response,
+        metrics: &Metrics,
+    ) {
+        let mut inner = self.inner.lock().expect("respcache lock");
+        inner.tick += 1;
+        inner.inserts += 1;
+        let (tick, inserted) = (inner.tick, inner.inserts);
+        if !inner.map.contains_key(&key) && inner.map.len() >= self.capacity {
+            if let Some(oldest) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, slot)| (slot.last_used, slot.inserted))
+                .map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&oldest);
+                metrics.record_respcache_eviction();
+            }
+        }
+        inner.map.insert(key, Slot { route, response, last_used: tick, inserted });
+    }
+
+    /// Entries currently held (test/debug aid).
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("respcache lock").map.len()
+    }
+
+    /// True when the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(target: &str) -> Request {
+        let raw = format!("GET {target} HTTP/1.1\r\n\r\n");
+        let (req, _) = crate::http::try_parse(raw.as_bytes()).unwrap().unwrap();
+        req
+    }
+
+    fn response(tag: &str) -> Response {
+        Response::json(200, &serde_json::json!({ "tag": tag }))
+    }
+
+    #[test]
+    fn only_v1_get_and_head_are_cacheable() {
+        assert!(cache_key(1, 0, &request("/v1/asn/AS1")).is_some());
+        assert!(cache_key(1, 0, &request("/healthz")).is_none());
+        assert!(cache_key(1, 0, &request("/metrics")).is_none());
+        assert!(cache_key(1, 0, &request("/asn/AS1")).is_none(), "legacy routes skip the cache");
+        let mut post = request("/v1/asn/AS1");
+        post.method = "POST".into();
+        assert!(cache_key(1, 0, &post).is_none());
+        let mut head = request("/v1/asn/AS1");
+        head.method = "HEAD".into();
+        let head_key = cache_key(1, 0, &head).unwrap();
+        assert!(head_key.head, "HEAD keys separately from GET");
+        assert_ne!(head_key, cache_key(1, 0, &request("/v1/asn/AS1")).unwrap());
+    }
+
+    #[test]
+    fn keys_canonicalize_query_order_and_pin_generations() {
+        let a = cache_key(3, 7, &request("/v1/search?q=tel&limit=5")).unwrap();
+        let b = cache_key(3, 7, &request("/v1/search?limit=5&q=tel")).unwrap();
+        assert_eq!(a, b, "query order is canonicalized");
+        assert_ne!(a, cache_key(4, 7, &request("/v1/search?q=tel&limit=5")).unwrap());
+        assert_ne!(a, cache_key(3, 8, &request("/v1/search?q=tel&limit=5")).unwrap());
+        let at = cache_key(3, 7, &request("/v1/asn/AS1?at=2")).unwrap();
+        assert_eq!(at.year, Some(2));
+        assert!(cache_key(3, 7, &request("/v1/asn/AS1?at=nope")).is_none(), "error path uncached");
+    }
+
+    #[test]
+    fn lru_evicts_deterministically_and_counts() {
+        let m = Metrics::new();
+        let cache = RespCache::new(2);
+        let k = |t: &str| cache_key(1, 0, &request(t)).unwrap();
+        cache.insert(k("/v1/asn/AS1"), "v1_asn", response("a"), &m);
+        cache.insert(k("/v1/asn/AS2"), "v1_asn", response("b"), &m);
+        // Touch AS1 so AS2 is the LRU victim.
+        assert!(cache.get(&k("/v1/asn/AS1"), &m).is_some());
+        cache.insert(k("/v1/asn/AS3"), "v1_asn", response("c"), &m);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&k("/v1/asn/AS2"), &m).is_none(), "LRU entry evicted");
+        let (route, resp) = cache.get(&k("/v1/asn/AS1"), &m).unwrap();
+        assert_eq!(route, "v1_asn");
+        assert_eq!(resp.body, response("a").body);
+        let snap = m.snapshot(0, &crate::metrics::ServiceStatus::default());
+        assert_eq!(snap.respcache_evictions, 1);
+        assert_eq!(snap.respcache_hits, 2);
+        assert_eq!(snap.respcache_misses, 1);
+    }
+
+    #[test]
+    fn generation_bump_makes_old_entries_unreachable() {
+        let m = Metrics::new();
+        let cache = RespCache::new(4);
+        let old = cache_key(1, 0, &request("/v1/country")).unwrap();
+        cache.insert(old.clone(), "v1_country", response("gen1"), &m);
+        assert!(cache.get(&old, &m).is_some());
+        // After a reload the server keys with the bumped generation:
+        // the old entry can never be served again.
+        let new = cache_key(2, 0, &request("/v1/country")).unwrap();
+        assert!(cache.get(&new, &m).is_none());
+    }
+}

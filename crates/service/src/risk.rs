@@ -105,7 +105,8 @@ impl RiskService {
             .context
             .report(&payload.dataset, &payload.table, self.threads)
             .map_err(RiskServiceError::Compute)?;
-        metrics.record_risk_computed(started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+        metrics
+            .record_risk_computed(started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
         let report = Arc::new(report);
         // Last writer wins; any winner computed the same bytes for this
         // generation (determinism contract), so racing is harmless.
@@ -127,14 +128,14 @@ impl RiskService {
             metrics.record_risk_cache_hit();
             return Ok(report);
         }
-        let (payload, _stats) =
-            history.store().resolve(year).map_err(RiskServiceError::History)?;
+        let (payload, _stats) = history.store().resolve(year).map_err(RiskServiceError::History)?;
         let started = Instant::now();
         let report = self
             .context
             .report(&payload.dataset, &payload.table, self.threads)
             .map_err(RiskServiceError::Compute)?;
-        metrics.record_risk_computed(started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+        metrics
+            .record_risk_computed(started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
         let report = Arc::new(report);
         self.as_of.insert(generation, year, Arc::clone(&report));
         Ok(report)

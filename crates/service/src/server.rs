@@ -1,9 +1,10 @@
-//! The thread-pool HTTP server.
+//! The HTTP server: one wire protocol, two interchangeable engines.
 //!
-//! Architecture (all blocking `std::net`, no async runtime):
+//! [`IoMode::Threaded`] is the original thread-per-connection design
+//! (all blocking `std::net`, no async runtime):
 //!
 //! ```text
-//!  acceptor thread ──► bounded ConnQueue ──► N worker threads
+//!  acceptor thread ──► bounded queue ──► N worker threads
 //!       │                   │                    │
 //!       │ queue full: 503   │ depth gauge        │ parse → route → respond
 //!       ▼                   ▼                    ▼ per-request timeouts
@@ -11,8 +12,19 @@
 //!  requests, close keep-alive connections at the next message boundary.
 //! ```
 //!
-//! Backpressure is explicit: when the queue is full the acceptor answers
-//! `503` immediately instead of letting connections pile up unbounded.
+//! [`IoMode::Epoll`] (the default on Linux, see [`crate::event`]) keeps
+//! the same worker pool but replaces the blocking accept/read loop with
+//! readiness-based I/O: one event-loop thread owns every socket and a
+//! connection state machine (reading → dispatch → writing → keep-alive
+//! idle), dispatching parsed requests to the workers over the same
+//! bounded queue. Both engines answer through
+//! [`handlers::respond_cached`], so their responses are byte-identical —
+//! `tests/serve.rs` proves it at the socket layer.
+//!
+//! Backpressure is explicit in both modes: the threaded acceptor answers
+//! `503` when the handoff queue is full, and the event loop sheds
+//! requests by admission tier (`search`/`risk`/`history` first, then
+//! everything but ops) before the job queue saturates.
 
 use std::collections::VecDeque;
 use std::io::BufReader;
@@ -28,20 +40,23 @@ use crate::http::{self, HttpError, Response};
 use crate::index::ServiceIndex;
 use crate::metrics::{Metrics, MetricsSnapshot, ServiceStatus};
 use crate::reload::{IndexSlot, Reloader};
+use crate::respcache::RespCache;
 use crate::risk::RiskService;
 
 /// Everything a worker needs to answer a request: the swappable index
 /// slot, the shared metrics, (when serving from a snapshot file) the
 /// reloader behind `POST /admin/reload`, (when serving a history
 /// directory) the as-of view service behind `?at=` and `/v1/history`,
-/// and (when the run's topology context is available) the risk-report
-/// service behind `/v1/risk`.
+/// (when the run's topology context is available) the risk-report
+/// service behind `/v1/risk`, and the generation-keyed response cache
+/// (`None` disables caching; responses are identical either way).
 pub struct ServerState {
     pub slot: Arc<IndexSlot>,
     pub metrics: Arc<Metrics>,
     pub reloader: Option<Reloader>,
     pub history: Option<Arc<HistoryService>>,
     pub risk: Option<Arc<RiskService>>,
+    pub respcache: Option<RespCache>,
 }
 
 impl ServerState {
@@ -51,13 +66,47 @@ impl ServerState {
     }
 }
 
+/// Which engine moves bytes between the sockets and the worker pool.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IoMode {
+    /// Thread-per-connection with blocking reads: the acceptor hands
+    /// whole connections to workers over the bounded queue.
+    Threaded,
+    /// Readiness-based: one event-loop thread owns every socket via
+    /// epoll and hands *parsed requests* to the same worker pool.
+    /// Falls back to [`IoMode::Threaded`] off Linux.
+    Epoll,
+}
+
+impl IoMode {
+    /// The mode actually used on this platform (epoll is Linux-only).
+    pub fn effective(self) -> IoMode {
+        if cfg!(target_os = "linux") {
+            self
+        } else {
+            IoMode::Threaded
+        }
+    }
+}
+
+impl Default for IoMode {
+    /// Epoll where available: it is the production path, and defaulting
+    /// it on means the whole test suite exercises the event loop.
+    fn default() -> Self {
+        IoMode::Epoll.effective()
+    }
+}
+
 /// Server tuning knobs.
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
-    /// Worker threads handling connections.
+    /// Worker threads handling connections (threaded mode) or requests
+    /// (epoll mode).
     pub workers: usize,
-    /// Accepted connections allowed to wait for a worker before the
-    /// acceptor starts answering 503.
+    /// Threaded mode: accepted connections allowed to wait for a worker
+    /// before the acceptor answers 503. Epoll mode: dispatched requests
+    /// allowed to wait for a worker before admission control sheds
+    /// (heavy tiers at half this depth, everything but ops when full).
     pub queue_capacity: usize,
     /// Per-request read timeout (also bounds how long an idle keep-alive
     /// connection can hold a worker, and therefore shutdown latency).
@@ -66,6 +115,17 @@ pub struct ServerConfig {
     pub write_timeout: Duration,
     /// Requests served per connection before it is recycled.
     pub max_requests_per_connection: usize,
+    /// The engine (see [`IoMode`]).
+    pub io: IoMode,
+    /// Epoll mode: open sockets the event loop will hold before
+    /// answering new connections with an immediate 503.
+    pub max_connections: usize,
+    /// Epoll mode: pipelined requests in flight per connection before
+    /// the loop stops reading from that socket (read resumes as
+    /// responses flush).
+    pub max_pipeline_depth: usize,
+    /// Rendered responses the [`RespCache`] holds; 0 disables caching.
+    pub respcache_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -76,51 +136,57 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
             max_requests_per_connection: 10_000,
+            io: IoMode::default(),
+            max_connections: 1024,
+            max_pipeline_depth: 32,
+            respcache_capacity: crate::respcache::DEFAULT_RESPCACHE_CAPACITY,
         }
     }
 }
 
-struct QueueInner {
-    conns: VecDeque<TcpStream>,
+struct QueueInner<T> {
+    items: VecDeque<T>,
     closed: bool,
 }
 
-/// Bounded MPMC handoff between the acceptor and the workers.
-struct ConnQueue {
-    inner: Mutex<QueueInner>,
+/// Bounded MPMC handoff: whole connections in threaded mode
+/// (acceptor → workers), parsed requests in epoll mode
+/// (event loop → workers).
+pub(crate) struct BoundedQueue<T> {
+    inner: Mutex<QueueInner<T>>,
     available: Condvar,
     capacity: usize,
 }
 
-impl ConnQueue {
-    fn new(capacity: usize) -> ConnQueue {
-        ConnQueue {
-            inner: Mutex::new(QueueInner { conns: VecDeque::new(), closed: false }),
+impl<T> BoundedQueue<T> {
+    pub(crate) fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            inner: Mutex::new(QueueInner { items: VecDeque::new(), closed: false }),
             available: Condvar::new(),
             capacity,
         }
     }
 
-    /// Enqueues unless full or closed; the stream comes back on refusal
-    /// so the caller can answer 503 on it.
-    fn try_push(&self, stream: TcpStream) -> Result<(), TcpStream> {
+    /// Enqueues unless full or closed; the item comes back on refusal so
+    /// the caller can answer 503 for it.
+    pub(crate) fn try_push(&self, item: T) -> Result<(), T> {
         let mut inner = self.inner.lock().expect("queue lock");
-        if inner.closed || inner.conns.len() >= self.capacity {
-            return Err(stream);
+        if inner.closed || inner.items.len() >= self.capacity {
+            return Err(item);
         }
-        inner.conns.push_back(stream);
+        inner.items.push_back(item);
         drop(inner);
         self.available.notify_one();
         Ok(())
     }
 
-    /// Blocks for the next connection; `None` once closed *and* drained —
-    /// the property that makes shutdown serve everything already accepted.
-    fn pop(&self) -> Option<TcpStream> {
+    /// Blocks for the next item; `None` once closed *and* drained — the
+    /// property that makes shutdown serve everything already accepted.
+    pub(crate) fn pop(&self) -> Option<T> {
         let mut inner = self.inner.lock().expect("queue lock");
         loop {
-            if let Some(stream) = inner.conns.pop_front() {
-                return Some(stream);
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
             }
             if inner.closed {
                 return None;
@@ -129,14 +195,31 @@ impl ConnQueue {
         }
     }
 
-    fn close(&self) {
+    pub(crate) fn close(&self) {
         self.inner.lock().expect("queue lock").closed = true;
         self.available.notify_all();
     }
 
-    fn depth(&self) -> usize {
-        self.inner.lock().expect("queue lock").conns.len()
+    pub(crate) fn depth(&self) -> usize {
+        self.inner.lock().expect("queue lock").items.len()
     }
+
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+/// The engine-specific half of a running server.
+enum Engine {
+    /// Acceptor thread + connection handoff queue.
+    Threaded { queue: Arc<BoundedQueue<TcpStream>>, acceptor: Option<JoinHandle<()>> },
+    /// Event-loop thread + request handoff queue + its wakeup pipe.
+    #[cfg(target_os = "linux")]
+    Event {
+        jobs: Arc<BoundedQueue<crate::event::Job>>,
+        waker: crate::poll::Waker,
+        event_loop: Option<JoinHandle<()>>,
+    },
 }
 
 /// A running server. Dropping the handle shuts the server down
@@ -145,9 +228,8 @@ impl ConnQueue {
 pub struct ServerHandle {
     local_addr: SocketAddr,
     state: Arc<ServerState>,
-    queue: Arc<ConnQueue>,
+    engine: Engine,
     shutdown: Arc<AtomicBool>,
-    acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -175,7 +257,15 @@ impl ServerHandle {
 
     /// Point-in-time metrics snapshot.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        self.state.metrics.snapshot(self.queue.depth(), &self.state.status())
+        self.state.metrics.snapshot(self.queue_depth(), &self.state.status())
+    }
+
+    fn queue_depth(&self) -> usize {
+        match &self.engine {
+            Engine::Threaded { queue, .. } => queue.depth(),
+            #[cfg(target_os = "linux")]
+            Engine::Event { jobs, .. } => jobs.depth(),
+        }
     }
 
     /// Graceful shutdown: stop accepting, serve everything already
@@ -187,23 +277,41 @@ impl ServerHandle {
     }
 
     fn stop(&mut self) {
-        if self.acceptor.is_none() && self.workers.is_empty() {
-            return;
-        }
         self.shutdown.store(true, Ordering::Release);
-        // Unblock the acceptor's blocking accept(2) with a throwaway
-        // connection to ourselves.
-        let mut wake = self.local_addr;
-        if wake.ip().is_unspecified() {
-            wake.set_ip(IpAddr::V4(Ipv4Addr::LOCALHOST));
+        match &mut self.engine {
+            Engine::Threaded { queue, acceptor } => {
+                if acceptor.is_none() && self.workers.is_empty() {
+                    return;
+                }
+                // Unblock the acceptor's blocking accept(2) with a
+                // throwaway connection to ourselves.
+                let mut wake = self.local_addr;
+                if wake.ip().is_unspecified() {
+                    wake.set_ip(IpAddr::V4(Ipv4Addr::LOCALHOST));
+                }
+                let _ = TcpStream::connect_timeout(&wake, Duration::from_secs(1));
+                if let Some(acceptor) = acceptor.take() {
+                    let _ = acceptor.join();
+                }
+                // The acceptor closes the queue on exit; repeat here in
+                // case it died some other way. Idempotent.
+                queue.close();
+            }
+            #[cfg(target_os = "linux")]
+            Engine::Event { jobs, waker, event_loop } => {
+                if event_loop.is_none() && self.workers.is_empty() {
+                    return;
+                }
+                // The loop notices the flag on the next wakeup, stops
+                // accepting, drains every connection to a message
+                // boundary, then closes the job queue and exits.
+                waker.wake();
+                if let Some(event_loop) = event_loop.take() {
+                    let _ = event_loop.join();
+                }
+                jobs.close();
+            }
         }
-        let _ = TcpStream::connect_timeout(&wake, Duration::from_secs(1));
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
-        }
-        // The acceptor closes the queue on exit; repeat here in case it
-        // died some other way. Idempotent.
-        self.queue.close();
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
@@ -265,10 +373,23 @@ pub fn serve_full(
 ) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let local_addr = listener.local_addr()?;
-    let state =
-        Arc::new(ServerState { slot, metrics: Arc::new(Metrics::new()), reloader, history, risk });
-    let queue = Arc::new(ConnQueue::new(cfg.queue_capacity.max(1)));
+    let respcache = (cfg.respcache_capacity > 0).then(|| RespCache::new(cfg.respcache_capacity));
+    let state = Arc::new(ServerState {
+        slot,
+        metrics: Arc::new(Metrics::new()),
+        reloader,
+        history,
+        risk,
+        respcache,
+    });
     let shutdown = Arc::new(AtomicBool::new(false));
+
+    #[cfg(target_os = "linux")]
+    if cfg.io.effective() == IoMode::Epoll {
+        return crate::event::serve_event(listener, local_addr, state, shutdown, cfg);
+    }
+
+    let queue = Arc::new(BoundedQueue::new(cfg.queue_capacity.max(1)));
 
     let workers: Vec<JoinHandle<()>> = (0..cfg.workers.max(1))
         .map(|i| {
@@ -313,13 +434,40 @@ pub fn serve_full(
             .expect("spawn acceptor thread")
     };
 
-    Ok(ServerHandle { local_addr, state, queue, shutdown, acceptor: Some(acceptor), workers })
+    Ok(ServerHandle {
+        local_addr,
+        state,
+        engine: Engine::Threaded { queue, acceptor: Some(acceptor) },
+        shutdown,
+        workers,
+    })
+}
+
+/// Assembles a handle for the event engine (fields are private to this
+/// module; [`crate::event::serve_event`] builds everything else).
+#[cfg(target_os = "linux")]
+pub(crate) fn event_handle(
+    local_addr: SocketAddr,
+    state: Arc<ServerState>,
+    jobs: Arc<BoundedQueue<crate::event::Job>>,
+    waker: crate::poll::Waker,
+    event_loop: JoinHandle<()>,
+    shutdown: Arc<AtomicBool>,
+    workers: Vec<JoinHandle<()>>,
+) -> ServerHandle {
+    ServerHandle {
+        local_addr,
+        state,
+        engine: Engine::Event { jobs, waker, event_loop: Some(event_loop) },
+        shutdown,
+        workers,
+    }
 }
 
 fn handle_connection(
     mut stream: TcpStream,
     state: &ServerState,
-    queue: &ConnQueue,
+    queue: &BoundedQueue<TcpStream>,
     shutdown: &AtomicBool,
     cfg: &ServerConfig,
 ) {
@@ -338,13 +486,13 @@ fn handle_connection(
             Ok(req) => {
                 metrics.begin_request();
                 let start = Instant::now();
-                let (route, response) = handlers::respond(state, queue.depth(), &req);
+                let (route, response) = handlers::respond_cached(state, queue.depth(), &req);
                 // During drain, finish this response but advertise (and
                 // enforce) closure so the connection reaches a boundary.
                 let keep = req.keep_alive
                     && !shutdown.load(Ordering::Acquire)
                     && served + 1 < cfg.max_requests_per_connection;
-                let wrote = response.write_to(&mut stream, keep);
+                let wrote = response.write_to_opts(&mut stream, keep, req.method == "HEAD");
                 metrics.record_request(route, response.status, start.elapsed());
                 metrics.end_request();
                 if !keep || wrote.is_err() {

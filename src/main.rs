@@ -43,6 +43,9 @@
 //!         [--history DIR]    attach a history store: `?at=<year>` on the
 //!                            /v1 read routes and /v1/history/org/{id}
 //!                            ownership timelines
+//!         [--io MODE]        serving engine: epoll (default on Linux;
+//!                            event loop + pipelining + load shedding)
+//!                            or threaded (thread-per-connection)
 //!
 //! When `serve` rebuilds through the pipeline (no `--snapshot`), the
 //! run's topology context also powers the /v1/risk routes.
@@ -213,6 +216,12 @@ fn main() {
             let workers: usize = extract_flag(&mut args, "--workers")
                 .map(|w| w.parse().unwrap_or_else(|_| fail("--workers needs a number")))
                 .unwrap_or_else(|| ServerConfig::default().workers);
+            let io = match extract_flag(&mut args, "--io").as_deref() {
+                None => service::IoMode::default(),
+                Some("epoll") => service::IoMode::Epoll.effective(),
+                Some("threaded") => service::IoMode::Threaded,
+                Some(other) => fail(&format!("--io must be epoll or threaded, got {other}")),
+            };
             let snapshot_path = extract_flag(&mut args, "--snapshot");
             let history_dir = extract_flag(&mut args, "--history");
             let (slot, reloader, risk_ctx, source) = match &snapshot_path {
@@ -275,17 +284,17 @@ fn main() {
             let sizes = slot.load().sizes();
             let generation = slot.status().generation;
             let provenance = slot.provenance();
-            let cfg = ServerConfig { workers, ..ServerConfig::default() };
-            let handle =
-                service::serve_full(slot, reloader, history, risk, ("0.0.0.0", port), cfg)
-                    .expect("bind service socket");
+            let cfg = ServerConfig { workers, io, ..ServerConfig::default() };
+            let handle = service::serve_full(slot, reloader, history, risk, ("0.0.0.0", port), cfg)
+                .expect("bind service socket");
             println!(
-                "soi-service listening on {} from {source} ({} orgs, {} ASNs, {} prefixes; {} workers)",
+                "soi-service listening on {} from {source} ({} orgs, {} ASNs, {} prefixes; {} workers, {:?} io)",
                 handle.local_addr(),
                 sizes.organizations,
                 sizes.asns,
                 sizes.announced_prefixes,
                 workers,
+                io,
             );
             match &provenance {
                 Some(prov) => match &prov.timings {
@@ -508,7 +517,12 @@ fn main() {
 
 /// `soi risk <CC>`: one country's transit exposure and chokepoint
 /// cut-set, as tables or one JSON document.
-fn risk_country(report: &state_owned_ases::risk::RiskReport, cc: CountryCode, top: usize, as_json: bool) {
+fn risk_country(
+    report: &state_owned_ases::risk::RiskReport,
+    cc: CountryCode,
+    top: usize,
+    as_json: bool,
+) {
     let Some(exposure) = report.country(cc) else {
         fail(&format!("{cc} has no observed routes or announced space in this run"));
     };
@@ -587,8 +601,7 @@ fn risk_overview(report: &state_owned_ases::risk::RiskReport, top: usize, as_jso
     println!("{}", render_table(&["class", "ASes", "state-owned"], &rows));
     // Countries ranked by the share of their inbound transit carried by
     // foreign state-owned ASes — the paper's core exposure question.
-    let mut ranked: Vec<_> =
-        report.exposure.iter().filter(|e| e.transit_ases > 0).collect();
+    let mut ranked: Vec<_> = report.exposure.iter().filter(|e| e.transit_ases > 0).collect();
     ranked.sort_by(|a, b| {
         b.foreign_state_share
             .partial_cmp(&a.foreign_state_share)

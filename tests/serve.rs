@@ -1,0 +1,463 @@
+//! Socket-layer oracle for the two serving engines.
+//!
+//! The contract (DESIGN.md §11): the epoll event loop and the
+//! thread-per-connection pool are *interchangeable* — both funnel every
+//! request through `handlers::respond_cached`, so their responses must
+//! be **byte-identical on the wire**, including the conditional-request
+//! surface (`ETag`, `If-None-Match` → `304`, `HEAD`), the `/v1/risk/diff`
+//! route, and every error envelope. Checked here by replaying identical
+//! raw byte streams against one server of each engine and comparing the
+//! full responses (status line, headers and body), not parsed values.
+//!
+//! Also covered: keep-alive pipelining with a reload dropped between
+//! batches on the same socket (the SIGHUP path — `Reloader::reload` is
+//! exactly what the `soi serve` loop calls when the signal arrives), and
+//! the generation-keyed response cache observed over HTTP via its
+//! `/metrics` counters.
+
+mod common;
+
+use std::collections::BTreeSet;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+use state_owned_ases::core::{
+    payload_checksum, PipelineInputs, Snapshot, SnapshotBuildInfo, SnapshotPayload,
+};
+use state_owned_ases::delta::{DeltaEngine, EngineConfig};
+use state_owned_ases::history::{HistoryBuildConfig, HistoryStore};
+use state_owned_ases::risk::{RiskConfig, RiskContext};
+use state_owned_ases::service::{
+    serve_full, serve_with, HistoryService, IndexSlot, IoMode, Reloader, ServerConfig,
+    ServerHandle, ServiceIndex,
+};
+use state_owned_ases::worldgen::World;
+
+/// Exaggerated churn (including hijacks) so every stored year differs —
+/// the same configuration the history and risk oracles use.
+fn engine_config(seed: u64) -> EngineConfig {
+    let mut cfg = EngineConfig::with_seed(seed);
+    cfg.churn.privatization_rate = 0.25;
+    cfg.churn.nationalization_rate = 0.15;
+    cfg.churn.acquisitions_per_year = 3.0;
+    cfg.churn.rebrand_rate = 0.2;
+    cfg.churn.hijacks_per_year = 1.5;
+    cfg
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("soi-serve-{tag}-{}", std::process::id()))
+}
+
+/// Boots one fully-loaded server (payload + history + risk) on the given
+/// engine. Both oracle servers are built from the same inputs, so any
+/// byte difference between them is the engine's fault.
+fn boot_full(io: IoMode, world: &World, base: &SnapshotPayload, dir: &Path) -> ServerHandle {
+    let index = Arc::new(ServiceIndex::build(base.dataset.clone(), &base.table));
+    let slot = Arc::new(IndexSlot::new(index, None));
+    slot.attach_payload(Arc::new(base.clone()), payload_checksum(base).unwrap());
+    let history = Some(Arc::new(HistoryService::open(dir).expect("history store opens")));
+    let inputs = PipelineInputs::from_world(world, &engine_config(777).input).expect("inputs");
+    let ctx = RiskContext::from_run(world, &inputs, RiskConfig::default());
+    let risk = Some(Arc::new(state_owned_ases::service::RiskService::new(ctx, 2)));
+    let cfg = ServerConfig {
+        io,
+        read_timeout: Duration::from_secs(2),
+        write_timeout: Duration::from_secs(2),
+        ..ServerConfig::default()
+    };
+    serve_full(slot, None, history, risk, ("127.0.0.1", 0), cfg).expect("bind test server")
+}
+
+/// Sends raw request bytes and returns the complete raw response (the
+/// request must make the server close the connection afterwards, e.g.
+/// `Connection: close` or a parse error).
+fn raw(addr: SocketAddr, request: &[u8]) -> Vec<u8> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    stream.set_write_timeout(Some(Duration::from_secs(10))).unwrap();
+    stream.write_all(request).expect("send request");
+    let mut out = Vec::new();
+    stream.read_to_end(&mut out).expect("read response");
+    out
+}
+
+fn get_raw(addr: SocketAddr, target: &str) -> Vec<u8> {
+    raw(addr, format!("GET {target} HTTP/1.1\r\nHost: o\r\nConnection: close\r\n\r\n").as_bytes())
+}
+
+fn status_of(response: &[u8]) -> u16 {
+    let text = String::from_utf8_lossy(response);
+    text.split_whitespace().nth(1).expect("status code").parse().expect("numeric status")
+}
+
+/// First value of `name` in the raw response's header block.
+fn header_of(response: &[u8], name: &str) -> Option<String> {
+    let text = String::from_utf8_lossy(response);
+    for line in text.lines() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((n, v)) = line.split_once(':') {
+            if n.eq_ignore_ascii_case(name) {
+                return Some(v.trim().to_owned());
+            }
+        }
+    }
+    None
+}
+
+/// Reads exactly one `Content-Length`-framed response off a keep-alive
+/// stream, returning its raw bytes (GET responses only — HEAD omits the
+/// advertised body).
+fn read_one_response(reader: &mut BufReader<TcpStream>) -> Vec<u8> {
+    let mut response = Vec::new();
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header line");
+        assert!(!line.is_empty(), "connection closed mid-response");
+        response.extend_from_slice(line.as_bytes());
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some(v) = trimmed.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v.trim().parse().expect("content-length value");
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).expect("body");
+    response.extend_from_slice(&body);
+    response
+}
+
+/// The request set the engine oracle replays: every `/v1` route family,
+/// live and as-of, success and every error envelope, plus the legacy
+/// aliases. `/metrics` is deliberately absent — its body carries uptime
+/// and latency samples that legitimately differ between two processes.
+fn oracle_targets(base: &SnapshotPayload) -> Vec<String> {
+    let mut targets: Vec<String> = [
+        "/healthz",
+        "/v1/dataset",
+        "/v1/dataset?at=2",
+        "/v1/dataset?at=9",
+        "/v1/dataset?at=banana",
+        "/v1/dataset?at=1&from=0",
+        "/v1/country",
+        "/v1/country?limit=5&offset=2",
+        "/v1/search?q=a&limit=25",
+        "/v1/search?q=tel&limit=5&offset=1",
+        "/v1/search",
+        "/v1/asn/banana",
+        "/v1/ip/10.0.0.1",
+        "/v1/ip/not-an-ip",
+        "/v1/prefix/10.0.0.0/8",
+        "/v1/history",
+        "/v1/history?at=1",
+        "/v1/history/org/banana",
+        "/v1/risk/classes",
+        "/v1/risk/classes?limit=3&offset=1",
+        "/v1/risk/classes?at=2",
+        "/v1/risk/diff?from=0&to=2",
+        "/v1/risk/diff?from=0&to=2&limit=3&offset=1",
+        "/v1/risk/diff?from=2&to=0",
+        "/v1/risk/diff?from=0",
+        "/v1/risk/diff?from=banana&to=1",
+        "/v1/risk/diff?from=0&to=9",
+        "/v1/risk/diff?from=0&to=2&at=1",
+        "/v1/nope",
+        "/no/such/route",
+        "/dataset",
+        "/search?q=a",
+    ]
+    .into_iter()
+    .map(String::from)
+    .collect();
+    let mut countries = BTreeSet::new();
+    let mut first_asn = None;
+    for org in &base.dataset.organizations {
+        for asn in &org.asns {
+            first_asn.get_or_insert(asn.0);
+            targets.push(format!("/v1/asn/{}", asn.0));
+        }
+        if let Some(id) = org.org_id {
+            targets.push(format!("/v1/history/org/{}", id.0));
+        }
+        countries.insert(org.ownership_cc.to_string());
+    }
+    for cc in countries {
+        targets.push(format!("/v1/country/{cc}"));
+        targets.push(format!("/v1/risk/country/{cc}"));
+        targets.push(format!("/v1/risk/chokepoints/{cc}"));
+    }
+    let asn = first_asn.expect("fixture dataset has ASNs");
+    targets.push(format!("/v1/asn/{asn}?at=1"));
+    targets.push(format!("/v1/asn/{asn}?at=2"));
+    targets
+}
+
+#[test]
+fn threaded_and_epoll_engines_answer_byte_identically_across_the_v1_surface() {
+    let world = common::fixture().world.clone();
+    let cfg = engine_config(777);
+    let mut engine = DeltaEngine::new(world.clone(), cfg.clone()).expect("engine boots");
+    let base = engine.current().payload.clone();
+
+    let dir = temp_dir("engine-oracle");
+    let _ = std::fs::remove_dir_all(&dir);
+    let build_cfg = HistoryBuildConfig { checkpoint_spacing: 2, ..Default::default() };
+    HistoryStore::build(&dir, &mut engine, 3, &build_cfg).expect("store builds");
+
+    let threaded = boot_full(IoMode::Threaded, &world, &base, &dir);
+    let epoll = boot_full(IoMode::Epoll, &world, &base, &dir);
+
+    let targets = oracle_targets(&base);
+    assert!(targets.len() > 40, "oracle request set is degenerate: {}", targets.len());
+    for target in &targets {
+        let a = get_raw(threaded.local_addr(), target);
+        let b = get_raw(epoll.local_addr(), target);
+        assert_eq!(
+            a,
+            b,
+            "GET {target} diverges between engines:\n{}\n---- vs ----\n{}",
+            String::from_utf8_lossy(&a),
+            String::from_utf8_lossy(&b),
+        );
+    }
+
+    // HEAD parity: identical headers (including the entity's
+    // Content-Length), no body, on data, risk and error answers alike.
+    for target in ["/v1/dataset", "/v1/country", "/v1/risk/classes", "/v1/asn/banana"] {
+        let req = format!("HEAD {target} HTTP/1.1\r\nHost: o\r\nConnection: close\r\n\r\n");
+        let a = raw(threaded.local_addr(), req.as_bytes());
+        let b = raw(epoll.local_addr(), req.as_bytes());
+        assert_eq!(a, b, "HEAD {target} diverges between engines");
+    }
+
+    // Conditional parity: the ETag one engine mints revalidates to the
+    // same 304 bytes on both.
+    for target in ["/v1/dataset", "/v1/risk/classes", "/v1/risk/diff?from=0&to=2"] {
+        let etag = header_of(&get_raw(threaded.local_addr(), target), "ETag")
+            .unwrap_or_else(|| panic!("{target} carries no ETag"));
+        let req = format!(
+            "GET {target} HTTP/1.1\r\nHost: o\r\nIf-None-Match: {etag}\r\nConnection: close\r\n\r\n"
+        );
+        let a = raw(threaded.local_addr(), req.as_bytes());
+        let b = raw(epoll.local_addr(), req.as_bytes());
+        assert_eq!(status_of(&a), 304, "{target} did not revalidate");
+        assert_eq!(a, b, "304 for {target} diverges between engines");
+    }
+
+    // Method and parse errors take different code paths in the two
+    // engines (blocking read loop vs. non-blocking synthesized error) but
+    // must still be wire-identical.
+    for req in [
+        &b"POST /v1/asn/1 HTTP/1.1\r\nHost: o\r\nConnection: close\r\n\r\n"[..],
+        &b"NOT-HTTP\r\n\r\n"[..],
+        &b"GET / SPDY/3\r\n\r\n"[..],
+    ] {
+        let a = raw(threaded.local_addr(), req);
+        let b = raw(epoll.local_addr(), req);
+        assert_eq!(
+            a,
+            b,
+            "error path diverges between engines for {:?}:\n{}\n---- vs ----\n{}",
+            String::from_utf8_lossy(req),
+            String::from_utf8_lossy(&a),
+            String::from_utf8_lossy(&b),
+        );
+    }
+    assert_eq!(status_of(&raw(epoll.local_addr(), b"NOT-HTTP\r\n\r\n")), 400);
+
+    threaded.shutdown();
+    epoll.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Boots a snapshot-file-backed server (the `soi serve` shape) so the
+/// test can drive the SIGHUP reload path.
+fn boot_snapshot(io: IoMode, path: &Path) -> (ServerHandle, Reloader) {
+    let loaded = Snapshot::read_from_file(path).expect("read snapshot");
+    let checksum = loaded.header.checksum_fnv1a64;
+    let payload = Arc::new(loaded.payload.clone());
+    let slot = Arc::new(IndexSlot::new(Arc::new(ServiceIndex::from_snapshot(loaded)), None));
+    slot.attach_payload(payload, checksum);
+    let reloader = Reloader::new(path, Arc::clone(&slot));
+    let cfg = ServerConfig {
+        io,
+        read_timeout: Duration::from_secs(2),
+        write_timeout: Duration::from_secs(2),
+        ..ServerConfig::default()
+    };
+    let handle =
+        serve_with(slot, Some(reloader.clone()), ("127.0.0.1", 0), cfg).expect("bind test server");
+    (handle, reloader)
+}
+
+fn write_fixture_snapshot(path: &Path, tool: &str) {
+    let fx = common::fixture();
+    Snapshot::build(
+        fx.output.dataset.clone(),
+        fx.inputs.prefix_to_as.clone(),
+        SnapshotBuildInfo { tool: tool.into(), seed: Some(777), ..Default::default() },
+    )
+    .expect("build snapshot")
+    .write_to_file(path)
+    .expect("write snapshot");
+}
+
+/// One keep-alive socket, requests sent one at a time, each response
+/// fully read before the next request goes out — the unpipelined control
+/// the pipelined stream must match byte-for-byte.
+fn sequential(addr: SocketAddr, targets: &[String]) -> Vec<Vec<u8>> {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut writer = stream.try_clone().expect("clone stream");
+    let mut reader = BufReader::new(stream);
+    targets
+        .iter()
+        .map(|target| {
+            write!(writer, "GET {target} HTTP/1.1\r\nHost: p\r\n\r\n").expect("send");
+            read_one_response(&mut reader)
+        })
+        .collect()
+}
+
+#[test]
+fn pipelined_requests_stay_in_order_through_a_midstream_reload_on_both_engines() {
+    let asn = common::fixture().output.dataset.state_owned_ases()[0].0;
+    let targets: Vec<String> = vec![
+        format!("/v1/asn/{asn}"),
+        "/v1/dataset".into(),
+        "/v1/country".into(),
+        "/v1/search?q=a&limit=3".into(),
+        "/v1/asn/banana".into(),
+        "/healthz".into(),
+    ];
+    let expected_statuses = [200, 200, 200, 200, 400, 200];
+    let mut pipelined_request = String::new();
+    for target in &targets {
+        pipelined_request.push_str(&format!("GET {target} HTTP/1.1\r\nHost: p\r\n\r\n"));
+    }
+
+    for io in [IoMode::Threaded, IoMode::Epoll] {
+        let path = std::env::temp_dir().join(format!(
+            "soi-serve-pipeline-{:?}-{}.json",
+            io,
+            std::process::id()
+        ));
+        write_fixture_snapshot(&path, "pipeline-test");
+        let (handle, reloader) = boot_snapshot(io, &path);
+        let addr = handle.local_addr();
+
+        let control_gen1 = sequential(addr, &targets);
+
+        // The whole batch goes out in one write before any response is
+        // read; the responses must come back in request order and
+        // byte-equal to the unpipelined control.
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let mut writer = stream.try_clone().expect("clone stream");
+        let mut reader = BufReader::new(stream);
+        writer.write_all(pipelined_request.as_bytes()).expect("send batch");
+        let batch_gen1: Vec<Vec<u8>> =
+            targets.iter().map(|_| read_one_response(&mut reader)).collect();
+        assert_eq!(batch_gen1, control_gen1, "{io:?}: pipelined batch diverges from control");
+        for (response, expected) in batch_gen1.iter().zip(expected_statuses) {
+            assert_eq!(status_of(response), expected, "{io:?}: responses out of order");
+        }
+
+        // Reload between batches — Reloader::reload is what the serve
+        // loop calls on SIGHUP — bumping the generation under the still-
+        // open socket.
+        reloader.reload(handle.metrics()).expect("reload succeeds");
+
+        let control_gen2 = sequential(addr, &targets);
+        assert_ne!(control_gen1, control_gen2, "{io:?}: reload left the served bytes unchanged");
+        assert!(
+            header_of(&control_gen2[0], "ETag").unwrap().starts_with("\"g2"),
+            "{io:?}: post-reload answers must carry the new generation's ETag"
+        );
+
+        // Same socket, second pipelined batch: the new generation
+        // answers, still in order, still byte-equal to its control.
+        writer.write_all(pipelined_request.as_bytes()).expect("send second batch");
+        let batch_gen2: Vec<Vec<u8>> =
+            targets.iter().map(|_| read_one_response(&mut reader)).collect();
+        assert_eq!(batch_gen2, control_gen2, "{io:?}: post-reload batch diverges from control");
+
+        handle.shutdown();
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+fn metrics_json(addr: SocketAddr) -> serde_json::Value {
+    let response = get_raw(addr, "/metrics");
+    let split = response.windows(4).position(|w| w == b"\r\n\r\n").expect("header terminator");
+    serde_json::from_slice(&response[split + 4..]).expect("metrics JSON")
+}
+
+#[test]
+fn response_cache_serves_repeats_and_invalidates_on_a_generation_bump() {
+    let asn = common::fixture().output.dataset.state_owned_ases()[0].0;
+    let path =
+        std::env::temp_dir().join(format!("soi-serve-respcache-{}.json", std::process::id()));
+    write_fixture_snapshot(&path, "respcache-test");
+    let (handle, reloader) = boot_snapshot(IoMode::default(), &path);
+    let addr = handle.local_addr();
+    let target = format!("/v1/asn/{asn}");
+
+    let before = metrics_json(addr);
+    let base_misses = before["respcache_misses"].as_u64().unwrap();
+    let base_hits = before["respcache_hits"].as_u64().unwrap();
+    assert!(before["respcache_evictions"].as_u64().is_some(), "{before}");
+    assert!(before["shed_heavy"].as_u64().is_some(), "{before}");
+    assert!(before["shed_light"].as_u64().is_some(), "{before}");
+
+    // First fetch misses and populates; the repeat is served from the
+    // cache, byte-identical.
+    let first = get_raw(addr, &target);
+    assert_eq!(status_of(&first), 200);
+    let second = get_raw(addr, &target);
+    assert_eq!(first, second, "cached repeat must be byte-identical");
+
+    // A conditional repeat revalidates to 304 *from the cache* — no
+    // handler runs, the hit counter still moves.
+    let etag = header_of(&first, "ETag").expect("data answer carries an ETag");
+    let conditional = format!(
+        "GET {target} HTTP/1.1\r\nHost: c\r\nIf-None-Match: {etag}\r\nConnection: close\r\n\r\n"
+    );
+    let not_modified = raw(addr, conditional.as_bytes());
+    assert_eq!(status_of(&not_modified), 304);
+    assert_eq!(header_of(&not_modified, "ETag").as_deref(), Some(etag.as_str()));
+    assert_eq!(header_of(&not_modified, "Content-Length").as_deref(), Some("0"));
+
+    let after = metrics_json(addr);
+    assert_eq!(after["respcache_misses"].as_u64().unwrap(), base_misses + 1, "{after}");
+    assert_eq!(after["respcache_hits"].as_u64().unwrap(), base_hits + 2, "{after}");
+
+    // A reload bumps the generation: the cached entry is unreachable
+    // (its key embeds the old generation), the next fetch misses, and
+    // the old ETag stops matching.
+    reloader.reload(handle.metrics()).expect("reload succeeds");
+    let third = get_raw(addr, &target);
+    assert_eq!(status_of(&third), 200);
+    assert_ne!(first, third, "new generation must mint a new ETag");
+    let revalidated = raw(addr, conditional.as_bytes());
+    assert_eq!(status_of(&revalidated), 200, "stale ETag must not revalidate");
+
+    let invalidated = metrics_json(addr);
+    // `third` missed under the new generation's key and re-populated it;
+    // `revalidated` then hit that fresh entry (and answered 200 because
+    // the stale ETag no longer matches).
+    assert_eq!(invalidated["respcache_misses"].as_u64().unwrap(), base_misses + 2, "{invalidated}");
+    assert_eq!(invalidated["respcache_hits"].as_u64().unwrap(), base_hits + 3, "{invalidated}");
+
+    handle.shutdown();
+    let _ = std::fs::remove_file(&path);
+}

@@ -1,0 +1,46 @@
+//! Routing hot-path benchmarks at growing world scale: CSR graph
+//! construction, sharded BGP propagation, and sharded customer cones —
+//! the kernels the hyperscale rewrite targets. Criterion runs stay at
+//! test scale so `cargo bench` finishes; the full {1, 4, 10} × threads
+//! sweep with RSS tracking lives in `soi-bench --bench scale`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use soi_bgp::{Announcement, BgpView, Monitor};
+use soi_topology::cone_sizes_threaded;
+use soi_types::SimDate;
+use soi_worldgen::{generate, WorldConfig};
+
+fn bench_scale(c: &mut Criterion) {
+    let world = generate(&WorldConfig::test_scale(7)).expect("generate");
+    let graph = &world.topology;
+    let announcements: Vec<Announcement> =
+        world.prefix_assignments.iter().map(|&(p, o)| Announcement::new(p, o)).collect();
+    let monitors: Vec<Monitor> = world
+        .default_monitor_ases(20)
+        .into_iter()
+        .enumerate()
+        .map(|(i, asn)| Monitor { id: i as u32, asn })
+        .collect();
+
+    let mut g = c.benchmark_group("scale");
+    // CSR assembly from the full link list (what worldgen and every
+    // `topology_at` rebuild pay).
+    g.bench_function("csr_build", |b| {
+        b.iter(|| world.topology_at(SimDate::SNAPSHOT).expect("topology builds"))
+    });
+    g.sample_size(10);
+    for threads in [1usize, 8] {
+        g.bench_function(format!("propagation_t{threads}"), |b| {
+            b.iter(|| {
+                BgpView::compute_parallel(graph, &announcements, &monitors, threads).expect("view")
+            })
+        });
+        g.bench_function(format!("cones_t{threads}"), |b| {
+            b.iter(|| cone_sizes_threaded(graph, threads))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scale);
+criterion_main!(benches);

@@ -6,7 +6,7 @@
 //!
 //!   benches: worldgen_seq worldgen_2 worldgen_4 worldgen_8
 //!            pipeline cold_start snapshot risk history history_load
-//!            serve all (default)
+//!            serve scale all (default; excludes scale)
 //! ```
 //!
 //! Criterion gives statistically careful numbers but is a dev-dependency
@@ -36,12 +36,17 @@
 //! the epoll event loop) across closed-loop client counts over one
 //! pipeline index, recording sustained QPS and the server-side p99 per
 //! arm — the engine-comparison numbers behind `BENCH_serve.json`.
+//! `scale` (opt-in; not part of `all`) sweeps world scale {1, 4, 10} ×
+//! threads {1, 8} and records per-arm stage medians (worldgen, BGP
+//! propagation, customer cones, pipeline) plus the process peak RSS —
+//! the scaling curve behind `BENCH_scale.json`.
 
 use std::sync::Arc;
 use std::time::Instant;
 
 use soi_bench::load::{self, LoadConfig};
 use soi_bench::REPRO_SEED;
+use soi_bgp::{Announcement, BgpView, Monitor};
 use soi_core::{
     payload_checksum, InputConfig, Pipeline, PipelineConfig, PipelineInputs, Snapshot,
     SnapshotBuildInfo, SnapshotFormat,
@@ -52,6 +57,7 @@ use soi_risk::{RiskConfig, RiskContext};
 use soi_service::{
     serve, serve_history, HistoryService, IndexSlot, IoMode, ServerConfig, ServiceIndex,
 };
+use soi_topology::cone_sizes_threaded;
 use soi_worldgen::{generate, WorldConfig};
 
 struct Record {
@@ -71,6 +77,47 @@ struct Record {
     qps: Option<f64>,
     /// Server-side p99 latency in µs, for the serve bench only.
     p99_micros: Option<u64>,
+    /// Pipeline stage ("worldgen"/"propagation"/"cone"/"pipeline"), for
+    /// the scale bench only.
+    stage: Option<&'static str>,
+    /// Per-record world scale, for the scale bench only (other benches
+    /// report the run-wide `--scale`).
+    scale: Option<f64>,
+    /// Process peak RSS in kB after this arm, for the scale bench only.
+    peak_rss_kb: Option<u64>,
+}
+
+impl Record {
+    fn new(bench: &'static str, threads: usize, median_micros: u64, iters: usize) -> Record {
+        Record {
+            bench,
+            threads,
+            median_micros,
+            iters,
+            spacing: None,
+            format: None,
+            bytes_on_disk: None,
+            io: None,
+            qps: None,
+            p99_micros: None,
+            stage: None,
+            scale: None,
+            peak_rss_kb: None,
+        }
+    }
+}
+
+/// Peak resident set of this process in kB, read from `/proc/self/status`
+/// (`VmHWM`). This is a process-wide high-water mark — monotone across
+/// arms within one run — so a scale arm's value means "largest footprint
+/// seen up to and including this arm"; run arms in separate processes
+/// for isolated numbers. `None` on platforms without procfs.
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status.lines().find_map(|line| {
+        line.strip_prefix("VmHWM:")
+            .and_then(|rest| rest.trim().trim_end_matches("kB").trim().parse().ok())
+    })
 }
 
 /// The year whose resolve replays the most segments under the store's
@@ -171,18 +218,7 @@ fn main() {
             generate(&cfg).expect("generate");
         });
         eprintln!("{bench}: median {}ms over {iters} iters", median / 1000);
-        records.push(Record {
-            bench,
-            threads,
-            median_micros: median,
-            iters,
-            spacing: None,
-            format: None,
-            bytes_on_disk: None,
-            io: None,
-            qps: None,
-            p99_micros: None,
-        });
+        records.push(Record::new(bench, threads, median, iters));
     }
 
     if want("pipeline") || want("cold_start") {
@@ -194,18 +230,7 @@ fn main() {
                 Pipeline::run(&inputs, &PipelineConfig::default());
             });
             eprintln!("pipeline: median {}ms over {iters} iters", median / 1000);
-            records.push(Record {
-                bench: "pipeline",
-                threads: 1,
-                median_micros: median,
-                iters,
-                spacing: None,
-                format: None,
-                bytes_on_disk: None,
-                io: None,
-                qps: None,
-                p99_micros: None,
-            });
+            records.push(Record::new("pipeline", 1, median, iters));
         }
         if want("cold_start") {
             // The full `soi serve` boot path: worldgen + inputs +
@@ -220,18 +245,7 @@ fn main() {
                 ServiceIndex::build(output.dataset, &inputs.prefix_to_as);
             });
             eprintln!("cold_start: median {}ms over {iters} iters", median / 1000);
-            records.push(Record {
-                bench: "cold_start",
-                threads,
-                median_micros: median,
-                iters,
-                spacing: None,
-                format: None,
-                bytes_on_disk: None,
-                io: None,
-                qps: None,
-                p99_micros: None,
-            });
+            records.push(Record::new("cold_start", threads, median, iters));
         }
     }
 
@@ -264,18 +278,10 @@ fn main() {
                 "snapshot_load {format}: {bytes_on_disk} bytes on disk, load median {}ms over {iters} iters",
                 median / 1000
             );
-            records.push(Record {
-                bench: "snapshot_load",
-                threads: 1,
-                median_micros: median,
-                iters,
-                spacing: None,
-                format: Some(format.as_str()),
-                bytes_on_disk: Some(bytes_on_disk),
-                io: None,
-                qps: None,
-                p99_micros: None,
-            });
+            let mut rec = Record::new("snapshot_load", 1, median, iters);
+            rec.format = Some(format.as_str());
+            rec.bytes_on_disk = Some(bytes_on_disk);
+            records.push(rec);
             let _ = std::fs::remove_file(&path);
         }
     }
@@ -297,18 +303,7 @@ fn main() {
                 "risk_report at {threads} threads: median {}ms over {iters} iters",
                 median / 1000
             );
-            records.push(Record {
-                bench: "risk_report",
-                threads,
-                median_micros: median,
-                iters,
-                spacing: None,
-                format: None,
-                bytes_on_disk: None,
-                io: None,
-                qps: None,
-                p99_micros: None,
-            });
+            records.push(Record::new("risk_report", threads, median, iters));
         }
     }
 
@@ -343,18 +338,9 @@ fn main() {
                     "history_resolve spacing {spacing}: worst year {year}, median {}ms over {iters} iters",
                     median / 1000
                 );
-                records.push(Record {
-                    bench: "history_resolve",
-                    threads: 1,
-                    median_micros: median,
-                    iters,
-                    spacing: Some(spacing),
-                    format: None,
-                    bytes_on_disk: None,
-                    io: None,
-                    qps: None,
-                    p99_micros: None,
-                });
+                let mut rec = Record::new("history_resolve", 1, median, iters);
+                rec.spacing = Some(spacing);
+                records.push(rec);
             }
         }
 
@@ -397,18 +383,9 @@ fn main() {
                 median / 1000
             );
             handle.shutdown();
-            records.push(Record {
-                bench: "history_load",
-                threads: cfg.threads,
-                median_micros: median,
-                iters,
-                spacing: Some(spacing),
-                format: None,
-                bytes_on_disk: None,
-                io: None,
-                qps: None,
-                p99_micros: None,
-            });
+            let mut rec = Record::new("history_load", cfg.threads, median, iters);
+            rec.spacing = Some(spacing);
+            records.push(rec);
         }
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -465,24 +442,80 @@ fn main() {
                     median / 1000
                 );
                 handle.shutdown();
-                records.push(Record {
-                    bench: "serve",
-                    threads: connections,
-                    median_micros: median,
-                    iters,
-                    spacing: None,
-                    format: None,
-                    bytes_on_disk: None,
-                    io: Some(label),
-                    qps: Some(qps),
-                    p99_micros: Some(p99_micros),
+                let mut rec = Record::new("serve", connections, median, iters);
+                rec.io = Some(label);
+                rec.qps = Some(qps);
+                rec.p99_micros = Some(p99_micros);
+                records.push(rec);
+            }
+        }
+    }
+
+    // Explicit opt-in only (not part of "all"): the 10x arm dwarfs every
+    // other bench and would turn a default run into a long soak.
+    if which.iter().any(|w| w == "scale") {
+        // Hyperscale sweep: worldgen / BGP propagation / cone / pipeline
+        // stage medians at each (scale, threads) arm, plus the process
+        // peak RSS after the arm (VmHWM — cumulative across arms; see
+        // `peak_rss_kb`). `--scale` narrows the sweep to one scale.
+        let sweep: Vec<f64> = match scale {
+            Some(s) => vec![s],
+            None => vec![1.0, 4.0, 10.0],
+        };
+        for &arm_scale in &sweep {
+            for threads in [1usize, 8] {
+                let cfg = WorldConfig { threads, scale: arm_scale, ..base.clone() };
+                let mut push = |stage: &'static str, median: u64| {
+                    eprintln!(
+                        "scale {arm_scale} x{threads} threads, {stage}: median {}ms over {iters} iters",
+                        median / 1000
+                    );
+                    let mut rec = Record::new("scale", threads, median, iters);
+                    rec.stage = Some(stage);
+                    rec.scale = Some(arm_scale);
+                    rec.peak_rss_kb = peak_rss_kb();
+                    records.push(rec);
+                };
+                let worldgen = median_micros(iters, || {
+                    generate(&cfg).expect("generate");
                 });
+                push("worldgen", worldgen);
+
+                let world = generate(&cfg).expect("generate");
+                let input_cfg = InputConfig { threads, ..InputConfig::with_seed(seed) };
+                let monitors: Vec<Monitor> = world
+                    .default_monitor_ases(input_cfg.monitors.max(1))
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &asn)| Monitor { id: i as u32, asn })
+                    .collect();
+                let announcements: Vec<Announcement> = world
+                    .prefix_assignments
+                    .iter()
+                    .map(|&(prefix, origin)| Announcement::new(prefix, origin))
+                    .collect();
+                let propagation = median_micros(iters, || {
+                    BgpView::compute_parallel(&world.topology, &announcements, &monitors, threads)
+                        .expect("propagation");
+                });
+                push("propagation", propagation);
+
+                let cone = median_micros(iters, || {
+                    cone_sizes_threaded(&world.topology, threads);
+                });
+                push("cone", cone);
+
+                let inputs = PipelineInputs::from_world(&world, &input_cfg).expect("inputs");
+                let pipeline = median_micros(iters, || {
+                    Pipeline::run_parallel(&inputs, &PipelineConfig::default(), threads);
+                });
+                push("pipeline", pipeline);
             }
         }
     }
 
     if records.is_empty() {
-        eprintln!("no bench matched; known: worldgen_seq worldgen_2 worldgen_4 worldgen_8 pipeline cold_start snapshot risk history history_load serve all");
+        eprintln!("no bench matched; known: worldgen_seq worldgen_2 worldgen_4 worldgen_8 pipeline cold_start snapshot risk history history_load serve scale all");
         std::process::exit(2);
     }
 
@@ -505,13 +538,15 @@ fn main() {
                     "median_micros": r.median_micros,
                     "iters": r.iters,
                     "seed": seed,
-                    "scale": base.scale,
+                    "scale": r.scale.unwrap_or(base.scale),
                     "spacing": r.spacing,
                     "format": r.format,
                     "bytes_on_disk": r.bytes_on_disk,
                     "io": r.io,
                     "qps": r.qps,
                     "p99_micros": r.p99_micros,
+                    "stage": r.stage,
+                    "peak_rss_kb": r.peak_rss_kb,
                 })
             })
             .collect();

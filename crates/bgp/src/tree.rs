@@ -167,6 +167,27 @@ impl OriginTree {
         self.origin
     }
 
+    /// Compact index of the origin (for arena writers walking hop chains).
+    pub(crate) fn origin_ix(&self) -> NodeIx {
+        self.origin_ix
+    }
+
+    /// True if the AS at `ix` holds any route toward the origin.
+    pub(crate) fn is_routed(&self, ix: NodeIx) -> bool {
+        self.kind[ix as usize].is_some()
+    }
+
+    /// Hop count from the AS at `ix` to the origin (0 at the origin).
+    /// Only meaningful when [`OriginTree::is_routed`] holds.
+    pub(crate) fn dist_ix(&self, ix: NodeIx) -> u16 {
+        self.dist[ix as usize]
+    }
+
+    /// The chosen next hop of the AS at `ix` ([`NO_HOP`] at the origin).
+    pub(crate) fn next_hop_ix(&self, ix: NodeIx) -> NodeIx {
+        self.next_hop[ix as usize]
+    }
+
     /// How `asn` learned its best route (None if unreachable/unknown).
     pub fn route_kind(&self, graph: &AsGraph, asn: Asn) -> Option<RouteKind> {
         graph.ix(asn).and_then(|i| self.kind[i as usize])

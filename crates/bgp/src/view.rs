@@ -5,11 +5,25 @@
 //! therefore a RIB of `(prefix, path)` entries. The prefix-to-AS table the
 //! candidate-selection stage consumes (§4.1) and the per-monitor paths CTI
 //! consumes (Appendix G) are both read out of this structure.
+//!
+//! # Layout
+//!
+//! Paths live in one flat ASN arena. Each (origin, monitor) pair owns a
+//! fixed-width `(offset, len)` slot — `len == 0` means "no path" — indexed
+//! by dense origin index × monitor index, with origins kept in a sorted
+//! array and resolved by binary search. Because Gao–Rexford selection gives
+//! every AS a single next hop per origin, any stored path's suffix starting
+//! at AS *u* is exactly *u*'s best path; monitors whose routes converge
+//! therefore share arena bytes instead of owning per-pair `Vec<Asn>`
+//! allocations (the dominant allocation at scale in the old layout).
+//!
+//! Propagation is sharded over `soi_types::shard::map_chunks` in sorted
+//! origin order and reassembled in chunk order, so the view — arena bytes
+//! included — is identical at any thread count.
 
-use std::collections::HashMap;
-
+use soi_topology::{AsGraph, NodeIx};
+use soi_types::shard::{map_chunks, resolve_threads};
 use serde::{Deserialize, Serialize};
-use soi_topology::AsGraph;
 use soi_types::{Asn, Ipv4Prefix, SoiError};
 
 use crate::prefix2as::PrefixToAs;
@@ -29,26 +43,59 @@ pub struct Monitor {
     pub asn: Asn,
 }
 
+/// One (origin, monitor) path slot: an arena range. `len == 0` = no path.
+#[derive(Clone, Copy, Debug, Default)]
+struct PathSlot {
+    off: u32,
+    len: u32,
+}
+
 /// Best paths from every monitor to every announced origin.
 #[derive(Clone, Debug)]
 pub struct BgpView {
     monitors: Vec<Monitor>,
     announcements: Vec<Announcement>,
-    /// `paths[origin][monitor_index]` = AS path `[monitor_as, ..., origin]`.
-    paths: HashMap<Asn, Vec<Option<Vec<Asn>>>>,
+    /// Announced origins, sorted ascending (binary-search key for `slots`).
+    origins: Vec<Asn>,
+    /// Shared path storage; slots below index into this.
+    arena: Vec<Asn>,
+    /// `slots[origin_index * monitors.len() + mon_idx]`.
+    slots: Vec<PathSlot>,
+    /// Per-origin count of monitors holding a path, same order as `origins`.
+    reach: Vec<u32>,
+}
+
+/// Per-chunk propagation result: slots (arena-local offsets), the local
+/// arena, and per-origin reach counts.
+struct ChunkPaths {
+    slots: Vec<PathSlot>,
+    arena: Vec<Asn>,
+    reach: Vec<u32>,
 }
 
 impl BgpView {
     /// Propagates routes for every announced origin and records each
-    /// monitor's best path.
+    /// monitor's best path, using one thread per core.
     ///
-    /// Origins are independent, so trees are computed in parallel across
-    /// available cores. Errors if the monitor set is empty (a collector
-    /// with no feeds sees nothing, which is never what a caller wants).
+    /// Errors if the monitor set is empty (a collector with no feeds sees
+    /// nothing, which is never what a caller wants).
     pub fn compute(
         graph: &AsGraph,
         announcements: &[Announcement],
         monitors: &[Monitor],
+    ) -> Result<BgpView, SoiError> {
+        Self::compute_parallel(graph, announcements, monitors, resolve_threads(0))
+    }
+
+    /// [`BgpView::compute`] with an explicit thread count (`0` = one per
+    /// core). Origins are independent, so propagation shards over sorted
+    /// origins via `map_chunks`; the resulting view is identical — arena
+    /// bytes included — at any `threads` value.
+    pub fn compute_parallel(
+        graph: &AsGraph,
+        announcements: &[Announcement],
+        monitors: &[Monitor],
+        threads: usize,
     ) -> Result<BgpView, SoiError> {
         if monitors.is_empty() {
             return Err(SoiError::InvalidConfig("empty monitor set".into()));
@@ -57,41 +104,106 @@ impl BgpView {
         origins.sort_unstable();
         origins.dedup();
 
-        let threads =
-            std::thread::available_parallelism().map_or(1, |p| p.get()).min(origins.len().max(1));
-        let chunk = origins.len().div_ceil(threads).max(1);
-        let mut results: Vec<(Asn, Vec<Option<Vec<Asn>>>)> = Vec::with_capacity(origins.len());
-
-        crossbeam::thread::scope(|s| {
-            let handles: Vec<_> = origins
-                .chunks(chunk)
-                .map(|slice| {
-                    s.spawn(move |_| {
-                        let mut local = Vec::with_capacity(slice.len());
-                        for &origin in slice {
-                            let per_mon = match OriginTree::compute(graph, origin) {
-                                Some(tree) => {
-                                    monitors.iter().map(|m| tree.path(graph, m.asn)).collect()
-                                }
-                                None => vec![None; monitors.len()],
-                            };
-                            local.push((origin, per_mon));
+        let n = graph.num_ases();
+        let nmon = monitors.len();
+        let chunks = map_chunks(&origins, threads, |chunk| {
+            let mut out = ChunkPaths {
+                slots: Vec::with_capacity(chunk.len() * nmon),
+                arena: Vec::new(),
+                reach: Vec::with_capacity(chunk.len()),
+            };
+            // Suffix-sharing bookkeeping, epoch-stamped so the arrays are
+            // allocated once per worker and reused across origins.
+            let mut pos = vec![PathSlot::default(); n];
+            let mut stamp = vec![0u32; n];
+            let mut epoch = 0u32;
+            for &origin in chunk {
+                epoch += 1;
+                let tree = OriginTree::compute(graph, origin);
+                let mut reached = 0u32;
+                for m in monitors.iter() {
+                    let slot = match (&tree, graph.ix(m.asn)) {
+                        (Some(tree), Some(u)) if tree.is_routed(u) => {
+                            Self::emit_path(graph, tree, u, &mut out.arena, &mut pos, &mut stamp, epoch)
                         }
-                        local
-                    })
-                })
-                .collect();
-            for h in handles {
-                results.extend(h.join().expect("propagation worker panicked"));
+                        _ => PathSlot::default(),
+                    };
+                    if slot.len > 0 {
+                        reached += 1;
+                    }
+                    out.slots.push(slot);
+                }
+                out.reach.push(reached);
             }
-        })
-        .expect("propagation scope failed");
+            out
+        });
+
+        // Concatenate chunk arenas in chunk (= sorted-origin) order,
+        // rebasing slot offsets into the global arena.
+        let total: usize = chunks.iter().map(|c| c.arena.len()).sum();
+        assert!(total < u32::MAX as usize, "path arena exceeds u32 offsets");
+        let mut arena: Vec<Asn> = Vec::with_capacity(total);
+        let mut slots: Vec<PathSlot> = Vec::with_capacity(origins.len() * nmon);
+        let mut reach: Vec<u32> = Vec::with_capacity(origins.len());
+        for chunk in chunks {
+            let base = arena.len() as u32;
+            arena.extend_from_slice(&chunk.arena);
+            slots.extend(chunk.slots.iter().map(|s| {
+                if s.len == 0 {
+                    PathSlot::default()
+                } else {
+                    PathSlot { off: s.off + base, len: s.len }
+                }
+            }));
+            reach.extend_from_slice(&chunk.reach);
+        }
 
         Ok(BgpView {
             monitors: monitors.to_vec(),
             announcements: announcements.to_vec(),
-            paths: results.into_iter().collect(),
+            origins,
+            arena,
+            slots,
+            reach,
         })
+    }
+
+    /// Writes the best path of routed AS `u` into the arena (or reuses an
+    /// already-stored suffix) and returns its slot.
+    ///
+    /// Selection leaves one next hop per AS, so the stored chain through
+    /// `u` doubles as the best path of every AS on it; `pos`/`stamp`
+    /// record those suffixes as they are first written.
+    fn emit_path(
+        graph: &AsGraph,
+        tree: &OriginTree,
+        u: NodeIx,
+        arena: &mut Vec<Asn>,
+        pos: &mut [PathSlot],
+        stamp: &mut [u32],
+        epoch: u32,
+    ) -> PathSlot {
+        if stamp[u as usize] == epoch {
+            return pos[u as usize];
+        }
+        let base = arena.len() as u32;
+        let len = u32::from(tree.dist_ix(u)) + 1;
+        let mut i = u;
+        let mut j = 0u32;
+        loop {
+            arena.push(graph.asn(i));
+            if stamp[i as usize] != epoch {
+                stamp[i as usize] = epoch;
+                pos[i as usize] = PathSlot { off: base + j, len: len - j };
+            }
+            if i == tree.origin_ix() {
+                break;
+            }
+            i = tree.next_hop_ix(i);
+            j += 1;
+        }
+        debug_assert_eq!(arena.len() as u32 - base, len, "chain length disagrees with dist");
+        pos[u as usize]
     }
 
     /// The monitor set.
@@ -107,12 +219,22 @@ impl BgpView {
     /// Best path `[monitor_as, ..., origin]` from monitor `mon_idx` to
     /// `origin`; `None` if unreachable.
     pub fn path(&self, mon_idx: usize, origin: Asn) -> Option<&[Asn]> {
-        self.paths.get(&origin)?.get(mon_idx)?.as_deref()
+        if mon_idx >= self.monitors.len() {
+            return None;
+        }
+        let o = self.origins.binary_search(&origin).ok()?;
+        let slot = self.slots[o * self.monitors.len() + mon_idx];
+        if slot.len == 0 {
+            None
+        } else {
+            Some(&self.arena[slot.off as usize..(slot.off + slot.len) as usize])
+        }
     }
 
-    /// Number of monitors that can reach `origin`.
+    /// Number of monitors that can reach `origin` — precomputed at
+    /// `compute` time, so this is a binary search plus an array read.
     pub fn monitors_reaching(&self, origin: Asn) -> usize {
-        self.paths.get(&origin).map_or(0, |v| v.iter().filter(|p| p.is_some()).count())
+        self.origins.binary_search(&origin).map_or(0, |o| self.reach[o] as usize)
     }
 
     /// The RIB of one monitor: every announcement it has a path for.
@@ -139,6 +261,12 @@ impl BgpView {
         PrefixToAs::from_entries(
             self.visible_announcements(min_monitors).into_iter().map(|a| (a.prefix, a.origin)),
         )
+    }
+
+    /// Total ASNs stored in the path arena (after suffix sharing). Exposed
+    /// for benches and diagnostics.
+    pub fn arena_len(&self) -> usize {
+        self.arena.len()
     }
 }
 
@@ -181,6 +309,7 @@ mod tests {
         assert_eq!(v.path(1, a(5)).unwrap(), &[a(4), a(5)]);
         assert_eq!(v.path(1, a(3)).unwrap(), &[a(4), a(2), a(1), a(3)]);
         assert!(v.path(0, a(99)).is_none());
+        assert!(v.path(7, a(5)).is_none(), "out-of-range monitor index");
     }
 
     #[test]
@@ -217,5 +346,42 @@ mod tests {
         let mons = vec![Monitor { id: 0, asn: a(5) }];
         let v = BgpView::compute(&g, &ann, &mons).unwrap();
         assert_eq!(v.path(0, a(5)).unwrap(), &[a(5)]);
+    }
+
+    #[test]
+    fn view_identical_across_thread_counts() {
+        let (g, ann, mons) = world();
+        let one = BgpView::compute_parallel(&g, &ann, &mons, 1).unwrap();
+        for t in [2, 3, 8] {
+            let v = BgpView::compute_parallel(&g, &ann, &mons, t).unwrap();
+            assert_eq!(one.arena, v.arena, "arena differs at threads={t}");
+            assert_eq!(one.reach, v.reach, "reach differs at threads={t}");
+            for (idx, _) in mons.iter().enumerate() {
+                for &o in &one.origins {
+                    assert_eq!(one.path(idx, o), v.path(idx, o), "path({idx}, {o}) at threads={t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn converging_monitors_share_arena_suffixes() {
+        // Both monitors sit behind AS 3, so their paths to 5 share the
+        // stored [3, 5] suffix; the arena must hold fewer ASNs than the
+        // sum of path lengths.
+        let (g, _, _) = world();
+        let ann = vec![Announcement::new(p("10.0.0.0/8"), a(5))];
+        let mons = vec![
+            Monitor { id: 0, asn: a(1) },
+            Monitor { id: 1, asn: a(3) },
+            Monitor { id: 2, asn: a(5) },
+        ];
+        let v = BgpView::compute(&g, &ann, &mons).unwrap();
+        let naive: usize = (0..mons.len()).map(|i| v.path(i, a(5)).unwrap().len()).sum();
+        assert_eq!(v.path(0, a(5)).unwrap(), &[a(1), a(3), a(5)]);
+        assert_eq!(v.path(1, a(5)).unwrap(), &[a(3), a(5)]);
+        assert_eq!(v.path(2, a(5)).unwrap(), &[a(5)]);
+        assert_eq!(v.arena_len(), 3, "suffixes shared, not re-stored");
+        assert!(v.arena_len() < naive);
     }
 }

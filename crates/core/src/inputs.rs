@@ -33,9 +33,11 @@ pub struct InputConfig {
     pub monitors: usize,
     /// Master seed for input derivation.
     pub seed: u64,
-    /// Worker threads for input derivation (currently the CTI monitor
-    /// shard). `0` and `1` both mean single-threaded; any value produces
-    /// bit-identical inputs (see [`soi_cti::CtiResults::compute_parallel`]).
+    /// Worker threads for input derivation (BGP propagation and the CTI
+    /// monitor shard). `0` and `1` both mean single-threaded; any value
+    /// produces bit-identical inputs (see
+    /// [`soi_bgp::BgpView::compute_parallel`] and
+    /// [`soi_cti::CtiResults::compute_parallel`]).
     #[serde(default)]
     pub threads: usize,
 }
@@ -82,6 +84,11 @@ pub struct PipelineInputs {
     pub corpus: DocumentCorpus,
     /// CTI scores.
     pub cti: CtiResults,
+    /// Wall time spent in BGP propagation (`BgpView::compute_parallel`),
+    /// in microseconds. Measurement only — excluded from the determinism
+    /// contract, like the pipeline's stage timings. Zero when the view was
+    /// reused from a base ([`PipelineInputs::refresh_from_base`]).
+    pub propagation_micros: u64,
 }
 
 impl PipelineInputs {
@@ -102,7 +109,14 @@ impl PipelineInputs {
             .iter()
             .map(|&(prefix, origin)| Announcement::new(prefix, origin))
             .collect();
-        let view = BgpView::compute(&world.topology, &announcements, &monitors)?;
+        let propagation_start = std::time::Instant::now();
+        let view = BgpView::compute_parallel(
+            &world.topology,
+            &announcements,
+            &monitors,
+            cfg.threads.max(1),
+        )?;
+        let propagation_micros = propagation_start.elapsed().as_micros() as u64;
         let prefix_to_as = view.prefix_to_as((monitors.len() / 3).max(1))?;
 
         // Geolocation: ground-truth blocks perturbed by the noise model.
@@ -163,6 +177,7 @@ impl PipelineInputs {
             wikipedia,
             corpus,
             cti,
+            propagation_micros,
         })
     }
 
@@ -217,6 +232,7 @@ impl PipelineInputs {
             wikipedia,
             corpus,
             cti: base.cti.clone(),
+            propagation_micros: 0,
         })
     }
 }

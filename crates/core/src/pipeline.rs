@@ -98,6 +98,11 @@ pub struct StageTimings {
     /// pipeline itself never generates.
     #[serde(default)]
     pub worldgen_micros: u64,
+    /// BGP propagation wall clock, µs (0 when the view was reused from a
+    /// cached base rather than recomputed). Recorded by the callers that
+    /// derive inputs — the pipeline itself consumes a prebuilt view.
+    #[serde(default)]
+    pub propagation_micros: u64,
     /// Stage 1 (candidate discovery + AS mapping) wall clock, µs.
     pub stage1_micros: u64,
     /// Stage 2 (confirmation + subsidiary enrichment) wall clock, µs.
@@ -474,6 +479,7 @@ impl Pipeline {
         out.timings = StageTimings {
             threads,
             worldgen_micros: 0, // filled in by callers that generated the world
+            propagation_micros: 0, // filled in by callers that derived the inputs
             stage1_micros: (t1 - t0).as_micros() as u64,
             stage2_micros: (t2 - t1).as_micros() as u64,
             stage3_micros: t2.elapsed().as_micros() as u64,

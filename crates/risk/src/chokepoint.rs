@@ -74,7 +74,9 @@ pub(crate) fn compute_country(
     as_country: &BTreeMap<Asn, CountryCode>,
     cfg: &RiskConfig,
 ) -> CountryChokepoints {
-    let mut routes: Vec<Vec<Asn>> = Vec::new();
+    // Routes borrow straight from the view's path arena — the greedy
+    // loop below only reads them, so no per-route copy is needed.
+    let mut routes: Vec<&[Asn]> = Vec::new();
     let mut total = 0usize;
     for &(_, origin) in prefixes {
         for mon in 0..view.monitors().len() {
@@ -83,7 +85,7 @@ pub(crate) fn compute_country(
             // Paths are [monitor_as, ..., origin]; candidates are the
             // strict intermediates (loop-free, so no dedup needed).
             if path.len() > 2 {
-                routes.push(path[1..path.len() - 1].to_vec());
+                routes.push(&path[1..path.len() - 1]);
             }
         }
     }
@@ -95,7 +97,7 @@ pub(crate) fn compute_country(
     let mut cut: Vec<ChokepointEntry> = Vec::new();
     while cut.len() < cfg.max_cut && covered < target {
         let mut tally: BTreeMap<Asn, usize> = BTreeMap::new();
-        for (i, route) in routes.iter().enumerate() {
+        for (i, &route) in routes.iter().enumerate() {
             if alive[i] {
                 for &asn in route {
                     *tally.entry(asn).or_default() += 1;
@@ -110,7 +112,7 @@ pub(crate) fn compute_country(
             }
         }
         let Some((asn, severed)) = best else { break };
-        for (i, route) in routes.iter().enumerate() {
+        for (i, &route) in routes.iter().enumerate() {
             if alive[i] && route.contains(&asn) {
                 alive[i] = false;
             }

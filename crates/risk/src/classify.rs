@@ -128,13 +128,12 @@ pub(crate) fn classify_all(
         chunk
             .iter()
             .map(|&asn| {
-                let ix = graph.ix(asn).expect("ASN listed by its own graph");
-                let customers = graph.customers_ix(ix).len();
-                let peers = graph.peers_ix(ix).len();
+                let customers = graph.customers_of(asn).len();
+                let peers = graph.peers_of(asn).len();
                 ClassRow {
                     asn,
                     class: classify(customers, peers, cfg),
-                    providers: graph.providers_ix(ix).len(),
+                    providers: graph.providers_of(asn).len(),
                     customers,
                     peers,
                     state_owned: crate::is_state(state_owned, asn),

@@ -161,7 +161,8 @@ impl RiskContext {
     ) -> Result<RiskReport, SoiError> {
         let announcements: Vec<Announcement> =
             table.entries().iter().map(|&(prefix, origin)| Announcement::new(prefix, origin)).collect();
-        let view = BgpView::compute(&self.graph, &announcements, &self.monitors)?;
+        let view =
+            BgpView::compute_parallel(&self.graph, &announcements, &self.monitors, threads.max(1))?;
         let cti = CtiResults::compute_parallel(&view, table, &self.geo, self.cfg.cti, threads)?;
 
         // Attribute each announced prefix to its majority country (ties

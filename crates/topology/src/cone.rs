@@ -5,12 +5,19 @@
 //! so on (CAIDA ASRank's definition). Cone size is the paper's measure of an
 //! operator's weight in the transit ecosystem (Table 5 lists the ten largest
 //! cones among state-owned ASes).
+//!
+//! Cone computation is sharded over the `soi_types::shard::map_chunks`
+//! seam: per-AS cones are independent, chunks are contiguous in node
+//! order, and results are reassembled in chunk order, so the output is
+//! byte-identical at any thread count (the same contract the pipeline's
+//! determinism oracle enforces).
 
 use std::collections::HashMap;
 
+use soi_types::shard::{map_chunks, resolve_threads};
 use soi_types::Asn;
 
-use crate::graph::AsGraph;
+use crate::graph::{AsGraph, NodeIx};
 
 /// The customer cone of `asn`: the AS itself plus every AS reachable via
 /// customer links, returned sorted by ASN. Empty if the AS is unknown.
@@ -46,68 +53,136 @@ pub fn customer_cone(graph: &AsGraph, asn: Asn) -> Vec<Asn> {
     cone
 }
 
-/// Computes every AS's customer-cone size.
+/// Every AS's customer-cone size, stored as a flat `(Asn, size)` vec
+/// sorted by ASN and looked up by binary search — no hash table between
+/// the cone kernel and its (read-heavy) consumers.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ConeSizes {
+    sizes: Vec<(Asn, u32)>,
+}
+
+impl ConeSizes {
+    /// Cone size of an AS; `None` if absent from the topology.
+    pub fn get(&self, asn: Asn) -> Option<u32> {
+        self.sizes.binary_search_by_key(&asn, |&(a, _)| a).ok().map(|i| self.sizes[i].1)
+    }
+
+    /// Number of ASes recorded.
+    pub fn len(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// True if no AS is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.sizes.is_empty()
+    }
+
+    /// `(Asn, size)` pairs in ascending ASN order.
+    pub fn iter(&self) -> impl Iterator<Item = (Asn, u32)> + '_ {
+        self.sizes.iter().copied()
+    }
+
+    /// The underlying sorted slice.
+    pub fn as_slice(&self) -> &[(Asn, u32)] {
+        &self.sizes
+    }
+}
+
+impl FromIterator<(Asn, u32)> for ConeSizes {
+    fn from_iter<I: IntoIterator<Item = (Asn, u32)>>(iter: I) -> Self {
+        let mut sizes: Vec<(Asn, u32)> = iter.into_iter().collect();
+        sizes.sort_unstable_by_key(|&(a, _)| a);
+        ConeSizes { sizes }
+    }
+}
+
+impl From<HashMap<Asn, u32>> for ConeSizes {
+    fn from(map: HashMap<Asn, u32>) -> Self {
+        map.into_iter().collect()
+    }
+}
+
+/// Computes every AS's customer-cone size with one thread per core.
 ///
-/// Work is split across threads with `crossbeam` scoped threads: cones are
-/// independent per AS and the graph is shared read-only, so this is an
-/// embarrassingly parallel kernel (it dominates the Table 5 bench).
-pub fn cone_sizes(graph: &AsGraph) -> HashMap<Asn, u32> {
+/// Cones are independent per AS and the graph is shared read-only, so this
+/// is an embarrassingly parallel kernel (it dominates the Table 5 bench).
+/// See [`cone_sizes_threaded`] for an explicit thread count.
+pub fn cone_sizes(graph: &AsGraph) -> ConeSizes {
+    cone_sizes_threaded(graph, resolve_threads(0))
+}
+
+/// [`cone_sizes`] with an explicit thread count (`0` = one per core).
+/// Output is byte-identical at any `threads` value.
+pub fn cone_sizes_threaded(graph: &AsGraph, threads: usize) -> ConeSizes {
     let n = graph.num_ases();
     if n == 0 {
-        return HashMap::new();
+        return ConeSizes::default();
     }
-    let threads = std::thread::available_parallelism().map_or(1, |p| p.get()).min(n);
-    let chunk = n.div_ceil(threads);
-    let mut out: Vec<u32> = vec![0; n];
-
-    crossbeam::thread::scope(|s| {
-        for (t, slice) in out.chunks_mut(chunk).enumerate() {
-            let start = t * chunk;
-            s.spawn(move |_| {
-                let mut seen = vec![0u32; n];
-                let mut epoch = 0u32;
-                let mut stack = Vec::new();
-                for (off, size_out) in slice.iter_mut().enumerate() {
-                    let root = (start + off) as u32;
-                    epoch += 1;
-                    stack.clear();
-                    stack.push(root);
-                    seen[root as usize] = epoch;
-                    let mut count = 0u32;
-                    while let Some(i) = stack.pop() {
-                        count += 1;
-                        for &c in graph.customers_ix(i) {
-                            if seen[c as usize] != epoch {
-                                seen[c as usize] = epoch;
-                                stack.push(c);
-                            }
+    let roots: Vec<NodeIx> = (0..n as NodeIx).collect();
+    let chunks = map_chunks(&roots, threads, |chunk| {
+        // Epoch-stamped seen array: one allocation per worker, reused
+        // across every root in the chunk.
+        let mut seen = vec![0u32; n];
+        let mut epoch = 0u32;
+        let mut stack = Vec::new();
+        chunk
+            .iter()
+            .map(|&root| {
+                epoch += 1;
+                stack.clear();
+                stack.push(root);
+                seen[root as usize] = epoch;
+                let mut count = 0u32;
+                while let Some(i) = stack.pop() {
+                    count += 1;
+                    for &c in graph.customers_ix(i) {
+                        if seen[c as usize] != epoch {
+                            seen[c as usize] = epoch;
+                            stack.push(c);
                         }
                     }
-                    *size_out = count;
                 }
-            });
-        }
-    })
-    .expect("cone worker panicked");
-
-    graph.ases().iter().enumerate().map(|(i, &asn)| (asn, out[i])).collect()
+                count
+            })
+            .collect::<Vec<u32>>()
+    });
+    // Chunk order == node order, so zip against `ases()` directly.
+    graph.ases().iter().copied().zip(chunks.into_iter().flatten()).collect()
 }
 
 /// An ASRank-style ranking: ASes ordered by descending customer-cone size,
-/// ties broken by ascending ASN (stable across runs).
+/// ties broken by ascending ASN (stable across runs). Rank lookup is a
+/// binary search over an ASN-sorted side array — no hash map.
 #[derive(Clone, Debug)]
 pub struct AsRank {
     ranked: Vec<(Asn, u32)>,
-    position: HashMap<Asn, usize>,
+    /// `(asn, index into ranked)`, sorted by ASN.
+    by_asn: Vec<(Asn, usize)>,
 }
 
 impl AsRank {
-    /// Builds the ranking from a topology snapshot.
+    /// Builds the ranking from a topology snapshot (one thread per core).
     pub fn compute(graph: &AsGraph) -> Self {
-        let mut ranked: Vec<(Asn, u32)> = cone_sizes(graph).into_iter().collect();
+        Self::from_sizes(cone_sizes(graph))
+    }
+
+    /// [`AsRank::compute`] with an explicit thread count for the cone pass.
+    pub fn compute_threaded(graph: &AsGraph, threads: usize) -> Self {
+        Self::from_sizes(cone_sizes_threaded(graph, threads))
+    }
+
+    /// Builds the ranking from already-computed cone sizes.
+    pub fn from_sizes(sizes: ConeSizes) -> Self {
+        let mut ranked: Vec<(Asn, u32)> = sizes.iter().collect();
         ranked.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-        let position = ranked.iter().enumerate().map(|(i, &(a, _))| (a, i)).collect();
-        AsRank { ranked, position }
+        let mut by_asn: Vec<(Asn, usize)> =
+            ranked.iter().enumerate().map(|(i, &(a, _))| (a, i)).collect();
+        by_asn.sort_unstable_by_key(|&(a, _)| a);
+        AsRank { ranked, by_asn }
+    }
+
+    fn position(&self, asn: Asn) -> Option<usize> {
+        self.by_asn.binary_search_by_key(&asn, |&(a, _)| a).ok().map(|i| self.by_asn[i].1)
     }
 
     /// The full ranking, best first.
@@ -117,12 +192,12 @@ impl AsRank {
 
     /// Cone size of an AS (None if absent from the topology).
     pub fn cone_size(&self, asn: Asn) -> Option<u32> {
-        self.position.get(&asn).map(|&i| self.ranked[i].1)
+        self.position(asn).map(|i| self.ranked[i].1)
     }
 
     /// 1-based rank of an AS.
     pub fn rank(&self, asn: Asn) -> Option<usize> {
-        self.position.get(&asn).map(|&i| i + 1)
+        self.position(asn).map(|i| i + 1)
     }
 
     /// The `k` largest cones restricted to a given AS subset, preserving
@@ -180,9 +255,30 @@ mod tests {
     fn cone_sizes_match_individual_cones() {
         let g = chain();
         let sizes = cone_sizes(&g);
+        assert_eq!(sizes.len(), g.num_ases());
         for &asn in g.ases() {
-            assert_eq!(sizes[&asn] as usize, customer_cone(&g, asn).len(), "{asn}");
+            assert_eq!(sizes.get(asn).unwrap() as usize, customer_cone(&g, asn).len(), "{asn}");
         }
+        assert_eq!(sizes.get(a(99)), None);
+    }
+
+    #[test]
+    fn cone_sizes_identical_across_thread_counts() {
+        let g = chain();
+        let one = cone_sizes_threaded(&g, 1);
+        for t in [2, 3, 8] {
+            assert_eq!(one, cone_sizes_threaded(&g, t), "threads={t}");
+        }
+        assert_eq!(one, cone_sizes(&g));
+    }
+
+    #[test]
+    fn cone_sizes_from_hashmap_and_iter_agree() {
+        let g = chain();
+        let direct = cone_sizes(&g);
+        let via_map: ConeSizes =
+            ConeSizes::from(direct.iter().collect::<HashMap<Asn, u32>>());
+        assert_eq!(direct, via_map);
     }
 
     #[test]
@@ -228,9 +324,10 @@ mod tests {
             prop_assume!(any);
             let g = b.build().unwrap();
             let sizes = cone_sizes(&g);
+            prop_assert_eq!(&sizes, &cone_sizes_threaded(&g, 1));
             for &asn in g.ases() {
                 let cone = customer_cone(&g, asn);
-                prop_assert_eq!(sizes[&asn] as usize, cone.len());
+                prop_assert_eq!(sizes.get(asn).unwrap() as usize, cone.len());
                 for cust in g.customers(asn) {
                     let sub = customer_cone(&g, cust);
                     for x in &sub {

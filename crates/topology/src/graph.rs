@@ -7,8 +7,18 @@
 //! this classification, so the graph validates its structural invariants at
 //! build time: no self-links, no duplicate or contradictory links, and no
 //! cycle in the provider hierarchy.
-
-use std::collections::HashMap;
+//!
+//! # Layout
+//!
+//! The graph is stored in CSR (compressed sparse row) form: one flat edge
+//! pool ([`NodeIx`] targets) with per-node offsets carving out three
+//! contiguous views — providers, customers, peers — per node. The BGP
+//! propagation and cone kernels stream these arrays linearly, which is what
+//! lets `OriginTree`'s three BFS phases stay cache-resident on worlds one
+//! to two orders of magnitude beyond paper scale. ASN→index resolution is a
+//! binary search over a sorted ASN array instead of a hash map: no heap
+//! indirection, and the sorted array doubles as the deterministic
+//! iteration order for bulk kernels.
 
 use serde::{Deserialize, Serialize};
 use soi_types::{Asn, SoiError};
@@ -67,20 +77,34 @@ impl AsGraphBuilder {
         self.c2p.len() + self.p2p.len()
     }
 
-    /// Validates and freezes the graph.
+    /// Validates and freezes the graph into its CSR form.
     ///
     /// Errors on self-links, duplicate links, links classified as both
     /// transit and peering, mutual provider relationships, and cycles in the
     /// provider hierarchy (a customer chain that loops would break both
     /// valley-free propagation and cone semantics).
     pub fn build(self) -> Result<AsGraph, SoiError> {
-        let mut index: HashMap<Asn, NodeIx> = HashMap::new();
+        // Intern ASNs in first-seen order (the stable node order every
+        // downstream kernel enumerates), with a sorted side index for
+        // lookup during interning and, later, for `AsGraph::ix`.
         let mut nodes: Vec<Asn> = Vec::new();
-        let ix = |asn: Asn, nodes: &mut Vec<Asn>, index: &mut HashMap<Asn, NodeIx>| -> NodeIx {
-            *index.entry(asn).or_insert_with(|| {
-                nodes.push(asn);
-                (nodes.len() - 1) as NodeIx
-            })
+        let mut sorted_asns: Vec<Asn> = Vec::new();
+        let mut sorted_ix: Vec<NodeIx> = Vec::new();
+        let mut intern = |asn: Asn,
+                          nodes: &mut Vec<Asn>,
+                          sorted_asns: &mut Vec<Asn>,
+                          sorted_ix: &mut Vec<NodeIx>|
+         -> NodeIx {
+            match sorted_asns.binary_search(&asn) {
+                Ok(pos) => sorted_ix[pos],
+                Err(pos) => {
+                    let ix = nodes.len() as NodeIx;
+                    nodes.push(asn);
+                    sorted_asns.insert(pos, asn);
+                    sorted_ix.insert(pos, ix);
+                    ix
+                }
+            }
         };
 
         let mut c2p_ix: Vec<(NodeIx, NodeIx)> = Vec::with_capacity(self.c2p.len());
@@ -88,8 +112,8 @@ impl AsGraphBuilder {
             if c == p {
                 return Err(SoiError::Invariant(format!("self transit link at {c}")));
             }
-            let ci = ix(*c, &mut nodes, &mut index);
-            let pi = ix(*p, &mut nodes, &mut index);
+            let ci = intern(*c, &mut nodes, &mut sorted_asns, &mut sorted_ix);
+            let pi = intern(*p, &mut nodes, &mut sorted_asns, &mut sorted_ix);
             c2p_ix.push((ci, pi));
         }
         let mut p2p_ix: Vec<(NodeIx, NodeIx)> = Vec::with_capacity(self.p2p.len());
@@ -97,62 +121,118 @@ impl AsGraphBuilder {
             if a == b {
                 return Err(SoiError::Invariant(format!("self peering link at {a}")));
             }
-            let ai = ix(*a, &mut nodes, &mut index);
-            let bi = ix(*b, &mut nodes, &mut index);
+            let ai = intern(*a, &mut nodes, &mut sorted_asns, &mut sorted_ix);
+            let bi = intern(*b, &mut nodes, &mut sorted_asns, &mut sorted_ix);
             p2p_ix.push((ai.min(bi), ai.max(bi)));
         }
 
-        // Detect duplicates and contradictions.
-        let mut seen: HashMap<(NodeIx, NodeIx), Relationship> = HashMap::new();
-        for &(c, p) in &c2p_ix {
-            let key = (c.min(p), c.max(p));
-            if let Some(prev) = seen.insert(key, Relationship::CustomerToProvider) {
-                let _ = prev;
+        // Detect duplicates and contradictions by sorting the normalized
+        // endpoint pairs — O(E log E) with no hash table, so validation
+        // scales with the same cache behavior as the CSR fill below.
+        let mut seen: Vec<(NodeIx, NodeIx)> =
+            Vec::with_capacity(c2p_ix.len() + p2p_ix.len());
+        seen.extend(c2p_ix.iter().map(|&(c, p)| (c.min(p), c.max(p))));
+        seen.extend(p2p_ix.iter().copied());
+        seen.sort_unstable();
+        for w in seen.windows(2) {
+            if w[0] == w[1] {
                 return Err(SoiError::Invariant(format!(
                     "duplicate or contradictory link between {} and {}",
-                    nodes[c as usize], nodes[p as usize]
-                )));
-            }
-        }
-        for &(a, b) in &p2p_ix {
-            if seen.insert((a, b), Relationship::PeerToPeer).is_some() {
-                return Err(SoiError::Invariant(format!(
-                    "duplicate or contradictory link between {} and {}",
-                    nodes[a as usize], nodes[b as usize]
+                    nodes[w[0].0 as usize], nodes[w[0].1 as usize]
                 )));
             }
         }
 
+        // CSR assembly: count per-node degrees, prefix-sum into segment
+        // offsets, fill, then sort each view so neighbor lists stay in
+        // ascending index order (the order the old nested-Vec layout
+        // produced — downstream tie-breaks depend on it).
         let n = nodes.len();
-        let mut providers: Vec<Vec<NodeIx>> = vec![Vec::new(); n];
-        let mut customers: Vec<Vec<NodeIx>> = vec![Vec::new(); n];
-        let mut peers: Vec<Vec<NodeIx>> = vec![Vec::new(); n];
+        let mut prov_cnt = vec![0u32; n];
+        let mut cust_cnt = vec![0u32; n];
+        let mut peer_cnt = vec![0u32; n];
         for &(c, p) in &c2p_ix {
-            providers[c as usize].push(p);
-            customers[p as usize].push(c);
+            prov_cnt[c as usize] += 1;
+            cust_cnt[p as usize] += 1;
         }
         for &(a, b) in &p2p_ix {
-            peers[a as usize].push(b);
-            peers[b as usize].push(a);
-        }
-        for list in providers.iter_mut().chain(customers.iter_mut()).chain(peers.iter_mut()) {
-            list.sort_unstable();
+            peer_cnt[a as usize] += 1;
+            peer_cnt[b as usize] += 1;
         }
 
-        let graph = AsGraph { nodes, index, providers, customers, peers };
+        let total_edges = 2 * c2p_ix.len() + 2 * p2p_ix.len();
+        assert!(total_edges < u32::MAX as usize, "edge pool exceeds u32 offsets");
+        let mut seg_start = vec![0u32; n + 1];
+        let mut prov_end = vec![0u32; n];
+        let mut cust_end = vec![0u32; n];
+        let mut cursor = 0u32;
+        for i in 0..n {
+            seg_start[i] = cursor;
+            prov_end[i] = cursor + prov_cnt[i];
+            cust_end[i] = prov_end[i] + cust_cnt[i];
+            cursor = cust_end[i] + peer_cnt[i];
+        }
+        seg_start[n] = cursor;
+
+        let mut edges = vec![0 as NodeIx; total_edges];
+        // Reuse the count arrays as fill cursors (reset to zero first).
+        prov_cnt.iter_mut().for_each(|c| *c = 0);
+        cust_cnt.iter_mut().for_each(|c| *c = 0);
+        peer_cnt.iter_mut().for_each(|c| *c = 0);
+        for &(c, p) in &c2p_ix {
+            let (cs, ps) = (c as usize, p as usize);
+            edges[(seg_start[cs] + prov_cnt[cs]) as usize] = p;
+            prov_cnt[cs] += 1;
+            edges[(prov_end[ps] + cust_cnt[ps]) as usize] = c;
+            cust_cnt[ps] += 1;
+        }
+        for &(a, b) in &p2p_ix {
+            let (as_, bs) = (a as usize, b as usize);
+            edges[(cust_end[as_] + peer_cnt[as_]) as usize] = b;
+            peer_cnt[as_] += 1;
+            edges[(cust_end[bs] + peer_cnt[bs]) as usize] = a;
+            peer_cnt[bs] += 1;
+        }
+        for i in 0..n {
+            edges[seg_start[i] as usize..prov_end[i] as usize].sort_unstable();
+            edges[prov_end[i] as usize..cust_end[i] as usize].sort_unstable();
+            edges[cust_end[i] as usize..seg_start[i + 1] as usize].sort_unstable();
+        }
+
+        let graph = AsGraph {
+            nodes,
+            sorted_asns,
+            sorted_ix,
+            edges,
+            seg_start,
+            prov_end,
+            cust_end,
+            num_c2p: c2p_ix.len(),
+            num_p2p: p2p_ix.len(),
+        };
         graph.check_provider_hierarchy_acyclic()?;
         Ok(graph)
     }
 }
 
-/// An immutable, validated AS-relationship graph.
+/// An immutable, validated AS-relationship graph in CSR layout.
+///
+/// One flat `edges` pool holds every adjacency; per node `i` the segment
+/// `seg_start[i]..seg_start[i+1]` splits into three sorted views:
+/// providers (`..prov_end[i]`), customers (`..cust_end[i]`), and peers
+/// (the remainder). ASN→index lookup is a binary search over
+/// `sorted_asns`/`sorted_ix`.
 #[derive(Clone, Debug)]
 pub struct AsGraph {
     nodes: Vec<Asn>,
-    index: HashMap<Asn, NodeIx>,
-    providers: Vec<Vec<NodeIx>>,
-    customers: Vec<Vec<NodeIx>>,
-    peers: Vec<Vec<NodeIx>>,
+    sorted_asns: Vec<Asn>,
+    sorted_ix: Vec<NodeIx>,
+    edges: Vec<NodeIx>,
+    seg_start: Vec<u32>,
+    prov_end: Vec<u32>,
+    cust_end: Vec<u32>,
+    num_c2p: usize,
+    num_p2p: usize,
 }
 
 impl AsGraph {
@@ -163,9 +243,7 @@ impl AsGraph {
 
     /// Number of links (transit + peering).
     pub fn num_links(&self) -> usize {
-        let c2p: usize = self.providers.iter().map(Vec::len).sum();
-        let p2p: usize = self.peers.iter().map(Vec::len).sum();
-        c2p + p2p / 2
+        self.num_c2p + self.num_p2p
     }
 
     /// All ASNs, in insertion order.
@@ -175,7 +253,7 @@ impl AsGraph {
 
     /// True if the ASN participates in the topology.
     pub fn contains(&self, asn: Asn) -> bool {
-        self.index.contains_key(&asn)
+        self.sorted_asns.binary_search(&asn).is_ok()
     }
 
     /// Compact index of an ASN (stable for the graph's lifetime). The
@@ -183,7 +261,7 @@ impl AsGraph {
     /// propagation and cone kernels; prefer the ASN-based accessors
     /// elsewhere.
     pub fn ix(&self, asn: Asn) -> Option<NodeIx> {
-        self.index.get(&asn).copied()
+        self.sorted_asns.binary_search(&asn).ok().map(|pos| self.sorted_ix[pos])
     }
 
     /// The ASN at a compact index. Panics on an out-of-range index.
@@ -193,48 +271,70 @@ impl AsGraph {
 
     /// Providers of the AS at `ix`, as compact indices (sorted).
     pub fn providers_ix(&self, ix: NodeIx) -> &[NodeIx] {
-        &self.providers[ix as usize]
+        let i = ix as usize;
+        &self.edges[self.seg_start[i] as usize..self.prov_end[i] as usize]
     }
 
     /// Customers of the AS at `ix`, as compact indices (sorted).
     pub fn customers_ix(&self, ix: NodeIx) -> &[NodeIx] {
-        &self.customers[ix as usize]
+        let i = ix as usize;
+        &self.edges[self.prov_end[i] as usize..self.cust_end[i] as usize]
     }
 
     /// Peers of the AS at `ix`, as compact indices (sorted).
     pub fn peers_ix(&self, ix: NodeIx) -> &[NodeIx] {
-        &self.peers[ix as usize]
+        let i = ix as usize;
+        &self.edges[self.cust_end[i] as usize..self.seg_start[i + 1] as usize]
     }
 
-    fn neighbors_of(&self, asn: Asn, which: &[Vec<NodeIx>]) -> Vec<Asn> {
-        match self.ix(asn) {
-            Some(i) => which[i as usize].iter().map(|&j| self.asn(j)).collect(),
-            None => Vec::new(),
-        }
+    /// Providers of `asn` as a borrowed slice of compact indices (empty
+    /// if the AS is unknown). The non-allocating counterpart of
+    /// [`AsGraph::providers`] for hot callers that only need counts or
+    /// index-space traversal.
+    pub fn providers_of(&self, asn: Asn) -> &[NodeIx] {
+        self.ix(asn).map_or(&[], |i| self.providers_ix(i))
     }
 
-    /// The providers of `asn` (empty if unknown or tier-1).
+    /// Customers of `asn` as a borrowed slice of compact indices (empty
+    /// if unknown).
+    pub fn customers_of(&self, asn: Asn) -> &[NodeIx] {
+        self.ix(asn).map_or(&[], |i| self.customers_ix(i))
+    }
+
+    /// Peers of `asn` as a borrowed slice of compact indices (empty if
+    /// unknown).
+    pub fn peers_of(&self, asn: Asn) -> &[NodeIx] {
+        self.ix(asn).map_or(&[], |i| self.peers_ix(i))
+    }
+
+    fn to_asns(&self, ixs: &[NodeIx]) -> Vec<Asn> {
+        ixs.iter().map(|&j| self.asn(j)).collect()
+    }
+
+    /// The providers of `asn` (empty if unknown or tier-1). Allocates;
+    /// prefer [`AsGraph::providers_of`] on hot paths.
     pub fn providers(&self, asn: Asn) -> Vec<Asn> {
-        self.neighbors_of(asn, &self.providers)
+        self.to_asns(self.providers_of(asn))
     }
 
-    /// The customers of `asn`.
+    /// The customers of `asn`. Allocates; prefer
+    /// [`AsGraph::customers_of`] on hot paths.
     pub fn customers(&self, asn: Asn) -> Vec<Asn> {
-        self.neighbors_of(asn, &self.customers)
+        self.to_asns(self.customers_of(asn))
     }
 
-    /// The peers of `asn`.
+    /// The peers of `asn`. Allocates; prefer [`AsGraph::peers_of`] on
+    /// hot paths.
     pub fn peers(&self, asn: Asn) -> Vec<Asn> {
-        self.neighbors_of(asn, &self.peers)
+        self.to_asns(self.peers_of(asn))
     }
 
     /// Total degree (providers + customers + peers).
     pub fn degree(&self, asn: Asn) -> usize {
         match self.ix(asn) {
-            Some(i) => {
-                self.providers[i as usize].len()
-                    + self.customers[i as usize].len()
-                    + self.peers[i as usize].len()
+            Some(ix) => {
+                let i = ix as usize;
+                (self.seg_start[i + 1] - self.seg_start[i]) as usize
             }
             None => 0,
         }
@@ -243,16 +343,14 @@ impl AsGraph {
     /// Transit degree: number of customers (the degree notion used when
     /// picking "large transit" ASes).
     pub fn transit_degree(&self, asn: Asn) -> usize {
-        self.ix(asn).map_or(0, |i| self.customers[i as usize].len())
+        self.customers_of(asn).len()
     }
 
     /// ASes with no providers — the simulated "tier 1" clique candidates.
     pub fn provider_free_ases(&self) -> Vec<Asn> {
-        self.nodes
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| self.providers[*i].is_empty())
-            .map(|(_, &a)| a)
+        (0..self.nodes.len())
+            .filter(|&i| self.seg_start[i] == self.prov_end[i])
+            .map(|i| self.nodes[i])
             .collect()
     }
 
@@ -261,8 +359,8 @@ impl AsGraph {
         let n = self.nodes.len();
         // Edges point customer -> provider; count in-degrees on providers.
         let mut indeg: Vec<u32> = vec![0; n];
-        for provs in &self.providers {
-            for &p in provs {
+        for i in 0..n as NodeIx {
+            for &p in self.providers_ix(i) {
                 indeg[p as usize] += 1;
             }
         }
@@ -270,7 +368,7 @@ impl AsGraph {
         let mut visited = 0usize;
         while let Some(i) = queue.pop() {
             visited += 1;
-            for &p in &self.providers[i as usize] {
+            for &p in self.providers_ix(i) {
                 indeg[p as usize] -= 1;
                 if indeg[p as usize] == 0 {
                     queue.push(p);
@@ -325,7 +423,29 @@ mod tests {
         let g = fixture();
         assert!(!g.contains(a(99)));
         assert!(g.providers(a(99)).is_empty());
+        assert!(g.providers_of(a(99)).is_empty());
+        assert!(g.customers_of(a(99)).is_empty());
+        assert!(g.peers_of(a(99)).is_empty());
         assert_eq!(g.degree(a(99)), 0);
+    }
+
+    #[test]
+    fn borrowed_accessors_match_allocating_ones() {
+        let g = fixture();
+        for &asn in g.ases() {
+            assert_eq!(g.to_asns(g.providers_of(asn)), g.providers(asn), "{asn}");
+            assert_eq!(g.to_asns(g.customers_of(asn)), g.customers(asn), "{asn}");
+            assert_eq!(g.to_asns(g.peers_of(asn)), g.peers(asn), "{asn}");
+        }
+    }
+
+    #[test]
+    fn sorted_index_roundtrips() {
+        let g = fixture();
+        for (i, &asn) in g.ases().iter().enumerate() {
+            assert_eq!(g.ix(asn), Some(i as NodeIx), "{asn}");
+            assert_eq!(g.asn(i as NodeIx), asn);
+        }
     }
 
     #[test]
@@ -398,6 +518,51 @@ mod tests {
                 b.add_transit(Asn(hi), Asn(lo));
             }
             prop_assert!(b.build().is_ok());
+        }
+
+        /// The CSR views always agree with a naive adjacency built from
+        /// the same link set.
+        #[test]
+        fn prop_csr_matches_naive_adjacency(
+            links in proptest::collection::hash_set((1u32..60, 1u32..60), 0..150),
+            peers in proptest::collection::hash_set((1u32..60, 1u32..60), 0..40),
+        ) {
+            use std::collections::{HashMap, HashSet};
+            let mut b = AsGraphBuilder::new();
+            let mut used = HashSet::new();
+            let mut prov: HashMap<Asn, Vec<Asn>> = HashMap::new();
+            let mut cust: HashMap<Asn, Vec<Asn>> = HashMap::new();
+            let mut peer: HashMap<Asn, Vec<Asn>> = HashMap::new();
+            for &(x, y) in &links {
+                if x == y { continue; }
+                let (lo, hi) = (x.min(y), x.max(y));
+                if !used.insert((lo, hi)) { continue; }
+                b.add_transit(Asn(hi), Asn(lo));
+                prov.entry(Asn(hi)).or_default().push(Asn(lo));
+                cust.entry(Asn(lo)).or_default().push(Asn(hi));
+            }
+            for &(x, y) in &peers {
+                if x == y { continue; }
+                let (lo, hi) = (x.min(y), x.max(y));
+                if !used.insert((lo, hi)) { continue; }
+                b.add_peering(Asn(lo), Asn(hi));
+                peer.entry(Asn(lo)).or_default().push(Asn(hi));
+                peer.entry(Asn(hi)).or_default().push(Asn(lo));
+            }
+            let g = b.build().unwrap();
+            for &asn in g.ases() {
+                for (naive, got) in [
+                    (prov.get(&asn), g.providers(asn)),
+                    (cust.get(&asn), g.customers(asn)),
+                    (peer.get(&asn), g.peers(asn)),
+                ] {
+                    let mut want = naive.cloned().unwrap_or_default();
+                    want.sort_unstable();
+                    let mut got_sorted = got.clone();
+                    got_sorted.sort_unstable();
+                    prop_assert_eq!(want, got_sorted, "adjacency mismatch at {}", asn);
+                }
+            }
         }
     }
 }

@@ -6,10 +6,10 @@
 //! over CAIDA ASRank history. This module stores cone-size snapshots over
 //! time and reproduces that ranking.
 
-use std::collections::HashMap;
-
 use serde::{Deserialize, Serialize};
 use soi_types::{Asn, SimDate};
+
+use crate::cone::ConeSizes;
 
 /// A single AS's cone-size time series.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -55,7 +55,7 @@ pub fn linear_slope(points: impl IntoIterator<Item = (f64, f64)>) -> Option<f64>
 /// A collection of dated cone-size snapshots.
 #[derive(Clone, Debug, Default)]
 pub struct ConeHistory {
-    snapshots: Vec<(SimDate, HashMap<Asn, u32>)>,
+    snapshots: Vec<(SimDate, ConeSizes)>,
 }
 
 impl ConeHistory {
@@ -64,14 +64,15 @@ impl ConeHistory {
         Self::default()
     }
 
-    /// Appends a snapshot. Snapshots must be pushed in chronological order;
-    /// out-of-order pushes are rejected with a panic since they indicate a
-    /// generator bug, not recoverable input.
-    pub fn push(&mut self, date: SimDate, sizes: HashMap<Asn, u32>) {
+    /// Appends a snapshot (anything convertible to [`ConeSizes`], e.g. a
+    /// `HashMap<Asn, u32>`). Snapshots must be pushed in chronological
+    /// order; out-of-order pushes are rejected with a panic since they
+    /// indicate a generator bug, not recoverable input.
+    pub fn push(&mut self, date: SimDate, sizes: impl Into<ConeSizes>) {
         if let Some(&(last, _)) = self.snapshots.last() {
             assert!(date > last, "snapshots must be chronological: {last} then {date}");
         }
-        self.snapshots.push((date, sizes));
+        self.snapshots.push((date, sizes.into()));
     }
 
     /// Number of snapshots.
@@ -94,7 +95,7 @@ impl ConeHistory {
     /// is how an AS "born" mid-decade appears in ASRank history too.
     pub fn series(&self, asn: Asn) -> ConeSeries {
         let points =
-            self.snapshots.iter().filter_map(|(d, m)| m.get(&asn).map(|&v| (*d, v))).collect();
+            self.snapshots.iter().filter_map(|(d, m)| m.get(asn).map(|v| (*d, v))).collect();
         ConeSeries { asn, points }
     }
 
@@ -121,6 +122,8 @@ pub fn fastest_growing(
 
 #[cfg(test)]
 mod tests {
+    use std::collections::HashMap;
+
     use super::*;
     use proptest::prelude::*;
 
@@ -159,8 +162,8 @@ mod tests {
     #[should_panic(expected = "chronological")]
     fn history_rejects_out_of_order() {
         let mut h = ConeHistory::new();
-        h.push(d(2020, 1), HashMap::new());
-        h.push(d(2010, 1), HashMap::new());
+        h.push(d(2020, 1), ConeSizes::default());
+        h.push(d(2010, 1), ConeSizes::default());
     }
 
     #[test]

@@ -14,7 +14,7 @@ pub mod graph;
 pub mod history;
 pub mod ixp;
 
-pub use cone::{cone_sizes, customer_cone, AsRank};
+pub use cone::{cone_sizes, cone_sizes_threaded, customer_cone, AsRank, ConeSizes};
 pub use graph::{AsGraph, AsGraphBuilder, NodeIx, Relationship};
 pub use history::{fastest_growing, linear_slope, ConeHistory, ConeSeries};
 pub use ixp::{Ixp, IxpId, IxpRegistry};

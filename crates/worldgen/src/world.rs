@@ -5,7 +5,9 @@ use std::collections::HashMap;
 use serde::{Deserialize, Serialize};
 use soi_ownership::{OwnershipGraph, ServiceKind, StateControl};
 use soi_registry::AsRegistration;
-use soi_topology::{cone_sizes, AsGraph, AsGraphBuilder, ConeHistory, IxpRegistry, Relationship};
+use soi_topology::{
+    cone_sizes_threaded, AsGraph, AsGraphBuilder, ConeHistory, IxpRegistry, Relationship,
+};
 use soi_types::{Asn, CompanyId, CountryCode, Ipv4Prefix, Rir, SimDate, SoiError};
 
 use crate::config::WorldConfig;
@@ -231,7 +233,7 @@ impl World {
             let offset = span * i as u32 / (n as u32 - 1);
             let date = start.plus_months(offset);
             let graph = self.topology_at(date)?;
-            history.push(date, cone_sizes(&graph));
+            history.push(date, cone_sizes_threaded(&graph, self.config.threads.max(1)));
         }
         Ok(history)
     }

@@ -299,10 +299,11 @@ fn main() {
             match &provenance {
                 Some(prov) => match &prov.timings {
                     Some(t) => println!(
-                        "index: generation {generation} built by {} ({} threads — worldgen {}ms, stage1 {}ms, stage2 {}ms, stage3 {}ms, total {}ms)",
+                        "index: generation {generation} built by {} ({} threads — worldgen {}ms, propagation {}ms, stage1 {}ms, stage2 {}ms, stage3 {}ms, total {}ms)",
                         prov.source,
                         t.threads,
                         t.worldgen_micros / 1000,
+                        t.propagation_micros / 1000,
                         t.stage1_micros / 1000,
                         t.stage2_micros / 1000,
                         t.stage3_micros / 1000,
@@ -895,11 +896,13 @@ fn run_pipeline(
     let inputs = PipelineInputs::from_world(world, &input_cfg).expect("inputs");
     let mut output = Pipeline::run_parallel(&inputs, &PipelineConfig::default(), threads);
     output.timings.worldgen_micros = worldgen_micros;
+    output.timings.propagation_micros = inputs.propagation_micros;
     let t = &output.timings;
     eprintln!(
-        "(pipeline: {} threads — worldgen {}ms, stage1 {}ms, stage2 {}ms, stage3 {}ms, total {}ms)",
+        "(pipeline: {} threads — worldgen {}ms, propagation {}ms, stage1 {}ms, stage2 {}ms, stage3 {}ms, total {}ms)",
         t.threads,
         t.worldgen_micros / 1000,
+        t.propagation_micros / 1000,
         t.stage1_micros / 1000,
         t.stage2_micros / 1000,
         t.stage3_micros / 1000,

@@ -10,7 +10,13 @@
 
 mod common;
 
-use soi_core::{ConfirmCache, Pipeline, PipelineConfig};
+use std::collections::HashMap;
+
+use soi_bgp::{Announcement, BgpView, Monitor};
+use soi_core::{ConfirmCache, InputConfig, Pipeline, PipelineConfig, PipelineInputs};
+use soi_topology::{cone_sizes_threaded, AsRank, NodeIx};
+use soi_types::Asn;
+use soi_worldgen::{generate, WorldConfig};
 
 #[test]
 fn parallel_output_is_byte_identical_to_sequential() {
@@ -65,4 +71,143 @@ fn cached_parallel_run_matches_sequential_and_reuses_the_cache() {
     // Warm cache: same answer again, now served from cached outcomes.
     let warm = Pipeline::run_cached_parallel(&fx.inputs, &cfg, &cold.confirm_outcomes, 4);
     assert_eq!(serde_json::to_string(&warm.dataset).unwrap(), seq_dataset);
+}
+
+/// Routing-kernel oracle, thread axis: BGP propagation (paths, reach
+/// counts, prefix table), cone sizes, ASRank, and the full
+/// `PipelineOutput` must be byte-identical at t ∈ {1, 2, 4, 8}. The
+/// sharded kernels may only change wall-clock time.
+#[test]
+fn routing_kernel_is_byte_identical_across_thread_counts() {
+    let fx = common::fixture();
+    let graph = &fx.world.topology;
+    let monitors = fx.inputs.view.monitors().to_vec();
+    let announcements = fx.inputs.view.announcements().to_vec();
+    let mut origins: Vec<Asn> = announcements.iter().map(|a| a.origin).collect();
+    origins.sort_unstable();
+    origins.dedup();
+
+    let base_view = BgpView::compute_parallel(graph, &announcements, &monitors, 1).unwrap();
+    let base_cones = cone_sizes_threaded(graph, 1);
+    let base_rank = AsRank::compute_threaded(graph, 1);
+    let base_table = serde_json::to_string(base_view.prefix_to_as(1).unwrap().entries()).unwrap();
+    let base_dataset = serde_json::to_string(&fx.output.dataset).unwrap();
+
+    for threads in [1usize, 2, 4, 8] {
+        let view = BgpView::compute_parallel(graph, &announcements, &monitors, threads).unwrap();
+        for &origin in &origins {
+            assert_eq!(
+                view.monitors_reaching(origin),
+                base_view.monitors_reaching(origin),
+                "reach({origin}) at {threads} threads"
+            );
+            for mon in 0..monitors.len() {
+                assert_eq!(
+                    view.path(mon, origin),
+                    base_view.path(mon, origin),
+                    "path({mon}, {origin}) at {threads} threads"
+                );
+            }
+        }
+        assert_eq!(
+            serde_json::to_string(view.prefix_to_as(1).unwrap().entries()).unwrap(),
+            base_table,
+            "prefix table at {threads} threads"
+        );
+
+        assert_eq!(cone_sizes_threaded(graph, threads), base_cones, "cones at {threads} threads");
+        assert_eq!(
+            AsRank::compute_threaded(graph, threads).ranked(),
+            base_rank.ranked(),
+            "ranking at {threads} threads"
+        );
+
+        // End to end: inputs derived AND pipeline run at `threads` must
+        // reproduce the sequential fixture's dataset bytes.
+        let cfg = InputConfig { threads, ..InputConfig::with_seed(777) };
+        let inputs = PipelineInputs::from_world(&fx.world, &cfg).expect("inputs");
+        let out = Pipeline::run_parallel(&inputs, &PipelineConfig::default(), threads);
+        assert_eq!(
+            serde_json::to_string(&out.dataset).unwrap(),
+            base_dataset,
+            "pipeline dataset at {threads} threads"
+        );
+    }
+}
+
+/// Routing-kernel oracle, representation axis: at `scale = 2.0` the CSR
+/// graph must agree with a naive adjacency-list build from the same link
+/// set (the previous representation's semantics), and the sharded
+/// kernels must stay thread-invariant on the bigger world.
+#[test]
+fn routing_kernel_matches_naive_adjacency_at_scale_2() {
+    use soi_topology::Relationship;
+
+    let cfg = WorldConfig { scale: 2.0, ..WorldConfig::test_scale(778) };
+    let world = generate(&cfg).expect("worldgen");
+    let graph = &world.topology;
+
+    // Rebuild the adjacency the old Vec<Vec<NodeIx>> layout encoded,
+    // straight from the world's link list.
+    let mut prov: HashMap<Asn, Vec<Asn>> = HashMap::new();
+    let mut cust: HashMap<Asn, Vec<Asn>> = HashMap::new();
+    let mut peer: HashMap<Asn, Vec<Asn>> = HashMap::new();
+    for link in &world.links {
+        match link.rel {
+            Relationship::CustomerToProvider => {
+                prov.entry(link.a).or_default().push(link.b);
+                cust.entry(link.b).or_default().push(link.a);
+            }
+            Relationship::PeerToPeer => {
+                peer.entry(link.a).or_default().push(link.b);
+                peer.entry(link.b).or_default().push(link.a);
+            }
+        }
+    }
+
+    assert!(graph.num_ases() > 1000, "scale 2.0 should be a real graph");
+    for (i, &asn) in graph.ases().iter().enumerate() {
+        assert_eq!(graph.ix(asn), Some(i as NodeIx), "index roundtrip for {asn}");
+        assert_eq!(graph.asn(i as NodeIx), asn);
+        for (naive, got, label) in [
+            (prov.get(&asn), graph.providers(asn), "providers"),
+            (cust.get(&asn), graph.customers(asn), "customers"),
+            (peer.get(&asn), graph.peers(asn), "peers"),
+        ] {
+            let mut want = naive.cloned().unwrap_or_default();
+            want.sort_unstable();
+            let mut got = got;
+            got.sort_unstable();
+            assert_eq!(want, got, "{label} of {asn} diverge from the naive adjacency");
+        }
+        // Borrowed accessors expose the same sets as the allocating ones.
+        let borrowed: Vec<Asn> = graph.providers_of(asn).iter().map(|&j| graph.asn(j)).collect();
+        assert_eq!(borrowed, graph.providers(asn), "providers_of({asn})");
+    }
+    let naive_provider_free: usize =
+        graph.ases().iter().filter(|a| prov.get(a).map_or(true, |v| v.is_empty())).count();
+    assert_eq!(graph.provider_free_ases().len(), naive_provider_free);
+
+    // Sharded kernels stay thread-invariant on the 2x world.
+    assert_eq!(cone_sizes_threaded(graph, 1), cone_sizes_threaded(graph, 8));
+    let monitors: Vec<Monitor> = world
+        .default_monitor_ases(8)
+        .into_iter()
+        .enumerate()
+        .map(|(i, asn)| Monitor { id: i as u32, asn })
+        .collect();
+    let announcements: Vec<Announcement> = world
+        .prefix_assignments
+        .iter()
+        .take(200)
+        .map(|&(p, o)| Announcement::new(p, o))
+        .collect();
+    let one = BgpView::compute_parallel(graph, &announcements, &monitors, 1).unwrap();
+    let eight = BgpView::compute_parallel(graph, &announcements, &monitors, 8).unwrap();
+    for a in &announcements {
+        for mon in 0..monitors.len() {
+            assert_eq!(one.path(mon, a.origin), eight.path(mon, a.origin));
+        }
+        assert_eq!(one.monitors_reaching(a.origin), eight.monitors_reaching(a.origin));
+    }
 }
